@@ -1,0 +1,57 @@
+//! E9 (Theorem 7.4, Claim 7.1): Shannon–Fano vs Huffman.
+//!
+//! Construction-time series (SF's `n/log n`-processor construction is
+//! asymptotically cheaper than exact Huffman) plus end-to-end
+//! encode/decode throughput of the resulting codes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use partree_bench::Distribution;
+use partree_codes::prefix::PrefixCode;
+use partree_codes::shannon_fano::shannon_fano;
+use partree_core::gen;
+use partree_huffman::sequential::huffman_heap;
+
+fn bench_codes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("code_construction");
+    g.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let w = Distribution::Zipf.weights(n, 9);
+        g.bench_with_input(BenchmarkId::new("shannon_fano", n), &n, |b, _| {
+            b.iter(|| shannon_fano(&w).unwrap().lengths.len())
+        });
+        g.bench_with_input(BenchmarkId::new("huffman_heap", n), &n, |b, _| {
+            b.iter(|| huffman_heap(&w).unwrap().lengths.len())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("encode_decode");
+    let n_sym = 256usize;
+    let w = Distribution::Zipf.weights(n_sym, 4);
+    let huff = huffman_heap(&w).unwrap();
+    let code = PrefixCode::from_tree(&huff.tree, n_sym).unwrap();
+    let msg: Vec<usize> = gen::random_string(100_000, &(0..=255u8).collect::<Vec<_>>(), 7)
+        .into_iter()
+        .map(|b| b as usize)
+        .collect();
+    g.throughput(Throughput::Elements(msg.len() as u64));
+    g.bench_function("encode_100k_symbols", |b| {
+        b.iter(|| code.encode(&msg).unwrap().1)
+    });
+    let (bytes, bits) = code.encode(&msg).unwrap();
+    g.bench_function("decode_100k_symbols_tree", |b| {
+        b.iter(|| code.decode(&bytes, bits).unwrap().len())
+    });
+    // Table-driven canonical decode on the same payload (re-encoded
+    // under the canonical code for the same lengths).
+    let canon = partree_codes::canonical::canonical_code(&huff.lengths).unwrap();
+    let dec = partree_codes::decoder::CanonicalDecoder::from_lengths(&huff.lengths).unwrap();
+    let (cbytes, cbits) = canon.encode(&msg).unwrap();
+    g.bench_function("decode_100k_symbols_table", |b| {
+        b.iter(|| dec.decode(&cbytes, cbits).unwrap().len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codes);
+criterion_main!(benches);

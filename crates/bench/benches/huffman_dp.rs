@@ -1,0 +1,42 @@
+//! E2 (Theorem 3.1): the RAKE/COMPRESS dynamic program.
+//!
+//! The §3 DP performs `2⌈log n⌉ + 1` naive `(min,+)` products — `n³`
+//! work per round. Series: the DP vs the sequential heap baseline, to
+//! show where the `n³` work bound sits in practice (the DP is a
+//! parallel-time construction, not a work-efficient one).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partree_bench::Distribution;
+use partree_core::gen;
+use partree_huffman::dp::huffman_dp;
+use partree_huffman::garsia_wachs::garsia_wachs;
+use partree_huffman::package_merge::package_merge;
+use partree_huffman::sequential::{huffman_heap, huffman_two_queue};
+
+fn bench_dp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("huffman_dp");
+    g.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let w = gen::sorted(Distribution::Uniform.weights(n, 7));
+        g.bench_with_input(BenchmarkId::new("rake_compress_dp", n), &n, |b, _| {
+            b.iter(|| huffman_dp(&w, None).unwrap().cost)
+        });
+        g.bench_with_input(BenchmarkId::new("heap", n), &n, |b, _| {
+            b.iter(|| huffman_heap(&w).unwrap().cost)
+        });
+        g.bench_with_input(BenchmarkId::new("two_queue", n), &n, |b, _| {
+            b.iter(|| huffman_two_queue(&w).unwrap().cost)
+        });
+        g.bench_with_input(BenchmarkId::new("garsia_wachs", n), &n, |b, _| {
+            b.iter(|| garsia_wachs(&w).unwrap().1)
+        });
+        g.bench_with_input(BenchmarkId::new("package_merge_loglimit", n), &n, |b, _| {
+            let limit = (n as f64).log2().ceil() as u32 + 2;
+            b.iter(|| package_merge(&w, limit).unwrap().1)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dp);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E4 (Theorem 5.1): the concave-matrix parallel Huffman algorithm.
+//!
+//! Series: cost-only §5 pipeline (height-bounded squarings + spine
+//! squaring), the full tree-producing pipeline, and the sequential
+//! baselines; plus a thread-count sweep on the largest size (the
+//! speedup curve standing in for the paper's processor bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partree_bench::{Distribution, HUFFMAN_SIZES};
+use partree_huffman::parallel::{huffman_parallel, huffman_parallel_cost};
+use partree_huffman::sequential::huffman_heap;
+use partree_pram::model::with_threads;
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("huffman_parallel");
+    g.sample_size(10);
+    for &n in HUFFMAN_SIZES {
+        let w = Distribution::Zipf.weights(n, 11);
+        g.bench_with_input(BenchmarkId::new("concave_cost_only", n), &n, |b, _| {
+            b.iter(|| huffman_parallel_cost(&w).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("concave_with_tree", n), &n, |b, _| {
+            b.iter(|| huffman_parallel(&w).unwrap().cost())
+        });
+        g.bench_with_input(BenchmarkId::new("heap_sequential", n), &n, |b, _| {
+            b.iter(|| huffman_heap(&w).unwrap().cost)
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("huffman_parallel_threads");
+    g.sample_size(10);
+    // Thread sweep at a size that keeps single-core full runs bounded.
+    let n = 1024;
+    let w = Distribution::Zipf.weights(n, 11);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| with_threads(t, || huffman_parallel_cost(&w).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

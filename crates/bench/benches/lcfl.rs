@@ -1,0 +1,42 @@
+//! E10 (Theorem 8.1): linear context-free language recognition.
+//!
+//! Series: BFS over the induced graph (sequential baseline) vs the
+//! divide-and-conquer Boolean-matmul recognizer, on palindromes and
+//! `aⁿbⁿ` of growing length.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partree_core::gen;
+use partree_lcfl::grammar::{an_bn, even_palindromes};
+use partree_lcfl::{recognize_bfs, recognize_divide, recognize_separator};
+
+fn bench_lcfl(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lcfl_recognition");
+    g.sample_size(10);
+    let pal = even_palindromes();
+    let anbn = an_bn();
+    for &n in &[64usize, 256, 1024] {
+        let w = gen::palindrome(n / 2, 5);
+        g.bench_with_input(BenchmarkId::new("palindrome_bfs", n), &n, |b, _| {
+            b.iter(|| recognize_bfs(&pal, &w))
+        });
+        g.bench_with_input(BenchmarkId::new("palindrome_divide", n), &n, |b, _| {
+            b.iter(|| recognize_divide(&pal, &w))
+        });
+        if n <= 128 {
+            g.bench_with_input(BenchmarkId::new("palindrome_separator", n), &n, |b, _| {
+                b.iter(|| recognize_separator(&pal, &w))
+            });
+        }
+        let s = gen::an_bn(n / 2);
+        g.bench_with_input(BenchmarkId::new("anbn_bfs", n), &n, |b, _| {
+            b.iter(|| recognize_bfs(&anbn, &s))
+        });
+        g.bench_with_input(BenchmarkId::new("anbn_divide", n), &n, |b, _| {
+            b.iter(|| recognize_divide(&anbn, &s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lcfl);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E1 (Theorem 4.1): concave `(min,+)` multiplication.
+//!
+//! Series: naive `O(n³)` product, the recursive §4.1 `Cut` algorithm,
+//! the §4.2 bottom-up variant, and the SMAWK-per-row ablation. The
+//! paper's claim is the `n³ → n²` work separation; wall-clock follows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partree_bench::{concave_matrix, MONGE_SIZES};
+use partree_monge::bottom_up::concave_mul_bottom_up;
+use partree_monge::cut::concave_mul;
+use partree_monge::dense::min_plus_naive;
+use partree_monge::smawk::smawk_mul;
+
+fn bench_monge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monge_mul");
+    g.sample_size(10);
+    for &n in MONGE_SIZES {
+        let a = concave_matrix(n, 1);
+        let b = concave_matrix(n, 2);
+        g.bench_with_input(BenchmarkId::new("concave_recursive", n), &n, |bench, _| {
+            bench.iter(|| concave_mul(&a, &b, None).values.get(0, 0))
+        });
+        g.bench_with_input(BenchmarkId::new("concave_bottom_up", n), &n, |bench, _| {
+            bench.iter(|| concave_mul_bottom_up(&a, &b, None).values.get(0, 0))
+        });
+        g.bench_with_input(BenchmarkId::new("smawk_per_row", n), &n, |bench, _| {
+            bench.iter(|| smawk_mul(&a, &b, None).get(0, 0))
+        });
+        if n <= 256 {
+            g.bench_with_input(BenchmarkId::new("naive_cubic", n), &n, |bench, _| {
+                bench.iter(|| min_plus_naive(&a, &b, None).get(0, 0))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_monge);
+criterion_main!(benches);

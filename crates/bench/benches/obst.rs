@@ -1,0 +1,37 @@
+//! E5 (Theorem 6.1): approximately optimal binary search trees.
+//!
+//! Series: naive `O(n³)` DP, Knuth `O(n²)`, and the collapse +
+//! height-bounded concave pipeline at two `ε` settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partree_obst::approx::approx_optimal_bst;
+use partree_obst::knuth::obst_knuth;
+use partree_obst::naive::obst_naive;
+use partree_obst::ObstInstance;
+
+fn bench_obst(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obst");
+    g.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let inst = ObstInstance::random(n, 1000, 5);
+        let eps = 1.0 / n as f64;
+        g.bench_with_input(BenchmarkId::new("knuth_quadratic", n), &n, |b, _| {
+            b.iter(|| obst_knuth(&inst).cost())
+        });
+        if n <= 128 {
+            g.bench_with_input(BenchmarkId::new("naive_cubic", n), &n, |b, _| {
+                b.iter(|| obst_naive(&inst).cost())
+            });
+        }
+        g.bench_with_input(BenchmarkId::new("approx_eps_1_over_n", n), &n, |b, _| {
+            b.iter(|| approx_optimal_bst(&inst, eps).unwrap().cost)
+        });
+        g.bench_with_input(BenchmarkId::new("approx_eps_0.05", n), &n, |b, _| {
+            b.iter(|| approx_optimal_bst(&inst, 0.05).unwrap().cost)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_obst);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E6–E8 (Theorems 7.1–7.3): tree construction from leaf patterns.
+//!
+//! Series: the monotone histogram construction, the bitonic layout, the
+//! Finger-Reduction general builder, and the sequential stack baseline,
+//! across pattern sizes up to 10⁶ leaves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use partree_core::gen;
+use partree_trees::bitonic::build_bitonic;
+use partree_trees::finger::build_general;
+use partree_trees::monotone::build_monotone;
+use partree_trees::pattern::build_exact;
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pattern_trees");
+    g.sample_size(10);
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        g.throughput(Throughput::Elements(n as u64));
+        let mono = gen::monotone_pattern(n, 3);
+        let bito = gen::bitonic_pattern(n, 3);
+        g.bench_with_input(BenchmarkId::new("monotone", n), &n, |b, _| {
+            b.iter(|| build_monotone(&mono).unwrap().leaf_count())
+        });
+        g.bench_with_input(BenchmarkId::new("bitonic", n), &n, |b, _| {
+            b.iter(|| build_bitonic(&bito).unwrap().leaf_count())
+        });
+        g.bench_with_input(BenchmarkId::new("sequential_baseline", n), &n, |b, _| {
+            b.iter(|| build_exact(&mono).unwrap().leaf_count())
+        });
+        if n <= 100_000 {
+            let humps = 64;
+            let fingers = gen::pattern_with_fingers(humps, n / humps, 3);
+            g.bench_with_input(BenchmarkId::new("finger_reduction_64_humps", n), &n, |b, _| {
+                b.iter(|| build_general(&fingers).unwrap().tree.leaf_count())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! PRAM primitive throughput: the §7 substrate (prefix sums, packing,
+//! pointer-jumping list ranking), parallel vs sequential.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use partree_pram::rank::{list_rank, list_rank_seq, NIL};
+use partree_pram::scan::{exclusive_scan_seq, exclusive_sum};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+fn bench_pram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pram_primitives");
+    g.sample_size(10);
+    let n = 4_000_000usize;
+    g.throughput(Throughput::Elements(n as u64));
+
+    let mut r = partree_core::gen::rng(1);
+    let a: Vec<u64> = (0..n).map(|_| r.gen_range(0..1000)).collect();
+    g.bench_with_input(BenchmarkId::new("exclusive_sum_parallel", n), &n, |b, _| {
+        b.iter(|| exclusive_sum(&a).1)
+    });
+    g.bench_with_input(BenchmarkId::new("exclusive_sum_sequential", n), &n, |b, _| {
+        b.iter(|| exclusive_scan_seq(&a, 0u64, |x, y| x + y).1)
+    });
+
+    let m = 1_000_000usize;
+    let mut order: Vec<usize> = (0..m).collect();
+    order.shuffle(&mut partree_core::gen::rng(2));
+    let mut next = vec![NIL; m];
+    for w in order.windows(2) {
+        next[w[0]] = w[1];
+    }
+    g.throughput(Throughput::Elements(m as u64));
+    g.bench_with_input(BenchmarkId::new("list_rank_pointer_jumping", m), &m, |b, _| {
+        b.iter(|| list_rank(&next)[order[0]])
+    });
+    g.bench_with_input(BenchmarkId::new("list_rank_sequential", m), &m, |b, _| {
+        b.iter(|| list_rank_seq(&next)[order[0]])
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pram);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Shared workload construction for the benchmark harness and the
+//! experiment driver.
+//!
+//! Every experiment in EXPERIMENTS.md pulls its inputs from here so the
+//! Criterion benches and the `experiments` binary measure identical
+//! workloads.
+
+use partree_core::gen;
+use partree_monge::Matrix;
+
+/// Standard problem sizes for the matrix experiments (E1).
+pub const MONGE_SIZES: &[usize] = &[64, 128, 256, 512];
+
+/// Standard sizes for the Huffman experiments (E2, E4).
+pub const HUFFMAN_SIZES: &[usize] = &[64, 128, 256, 512, 1024];
+
+/// Standard sizes for the pattern experiments (E6–E8).
+pub const PATTERN_SIZES: &[usize] = &[1_000, 10_000, 100_000, 1_000_000];
+
+/// A random square concave matrix (integer-valued, exact in `Cost`).
+pub fn concave_matrix(n: usize, seed: u64) -> Matrix {
+    Matrix::from_rows(&gen::random_monge(n, n, seed))
+}
+
+/// The frequency distributions the paper's applications care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Uniform integer weights (balanced trees).
+    Uniform,
+    /// Zipf (text-like — the introduction's motivating workload).
+    Zipf,
+    /// Geometric (maximally skewed — deepest trees, longest spines).
+    Geometric,
+}
+
+impl Distribution {
+    /// All distributions, for sweeps.
+    pub const ALL: [Distribution; 3] =
+        [Distribution::Uniform, Distribution::Zipf, Distribution::Geometric];
+
+    /// A short label for report rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Distribution::Uniform => "uniform",
+            Distribution::Zipf => "zipf",
+            Distribution::Geometric => "geometric",
+        }
+    }
+
+    /// Draws `n` weights.
+    pub fn weights(self, n: usize, seed: u64) -> Vec<f64> {
+        match self {
+            Distribution::Uniform => gen::uniform_weights(n, 1_000, seed),
+            Distribution::Zipf => gen::zipf_weights(n, 1.1, seed),
+            Distribution::Geometric => gen::geometric_weights(n, 1.5, seed),
+        }
+    }
+}
+
+/// Geometric-mean helper for summarizing ratio columns.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributions_draw_requested_sizes() {
+        for d in Distribution::ALL {
+            assert_eq!(d.weights(37, 1).len(), 37, "{}", d.label());
+        }
+    }
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn concave_matrices_are_concave() {
+        let m = concave_matrix(24, 3);
+        assert!(partree_monge::concave::is_concave(&m, 1e-9));
+    }
+}

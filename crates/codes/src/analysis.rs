@@ -1,0 +1,121 @@
+//! Code-quality analysis: entropy, redundancy, Kraft slack.
+//!
+//! The quantities §1's discussion of optimal codes revolves around:
+//! Shannon entropy lower-bounds every uniquely decipherable code
+//! (Kraft/McMillan), Huffman achieves redundancy < 1 bit, Shannon–Fano
+//! stays within 1 bit of Huffman (Claim 7.1). These helpers make those
+//! statements measurable for any code.
+
+use partree_core::{Error, Result};
+
+/// Shannon entropy `−Σ pᵢ log₂ pᵢ` of a (non-negative, non-all-zero)
+/// frequency vector, in bits per symbol.
+pub fn entropy(weights: &[f64]) -> Result<f64> {
+    let total: f64 = weights.iter().sum();
+    if weights.is_empty() || total <= 0.0 {
+        return Err(Error::invalid("entropy needs positive total weight"));
+    }
+    Ok(weights
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| {
+            let p = w / total;
+            -p * p.log2()
+        })
+        .sum())
+}
+
+/// Expected code length `Σ pᵢ lᵢ` in bits per symbol.
+pub fn expected_length(weights: &[f64], lengths: &[u32]) -> Result<f64> {
+    if weights.len() != lengths.len() {
+        return Err(Error::invalid("weights/lengths size mismatch"));
+    }
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Err(Error::invalid("positive total weight required"));
+    }
+    Ok(weights
+        .iter()
+        .zip(lengths)
+        .map(|(&w, &l)| w * f64::from(l))
+        .sum::<f64>()
+        / total)
+}
+
+/// Redundancy: expected length minus entropy (≥ 0 for prefix codes; < 1
+/// for Huffman).
+pub fn redundancy(weights: &[f64], lengths: &[u32]) -> Result<f64> {
+    Ok(expected_length(weights, lengths)? - entropy(weights)?)
+}
+
+/// Kraft slack `1 − Σ 2^{-lᵢ}` (0 for complete codes; > 0 when the code
+/// wastes codeword space — e.g. Shannon–Fano). Exact via the
+/// `O(log n)`-bit arithmetic of [`partree_trees::kraft`], returned as
+/// an `(is_complete, f64_estimate)` pair.
+pub fn kraft_slack(lengths: &[u32]) -> (bool, f64) {
+    let complete = partree_trees::kraft::kraft_complete(lengths);
+    let est: f64 = 1.0
+        - lengths
+            .iter()
+            .map(|&l| if l < 1080 { 2f64.powi(-(l as i32)) } else { 0.0 })
+            .sum::<f64>();
+    (complete, est)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partree_core::gen;
+    use partree_huffman::sequential::huffman_heap;
+
+    #[test]
+    fn entropy_known_values() {
+        // Uniform over 8 symbols: exactly 3 bits.
+        assert!((entropy(&[1.0; 8]).unwrap() - 3.0).abs() < 1e-12);
+        // Degenerate: one symbol, zero entropy.
+        assert_eq!(entropy(&[5.0]).unwrap(), 0.0);
+        // (1/2, 1/4, 1/4): 1.5 bits.
+        assert!((entropy(&[2.0, 1.0, 1.0]).unwrap() - 1.5).abs() < 1e-12);
+        assert!(entropy(&[]).is_err());
+        assert!(entropy(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn huffman_redundancy_below_one_bit() {
+        for seed in 0..10 {
+            let w = gen::zipf_weights(50, 1.1, seed);
+            let h = huffman_heap(&w).unwrap();
+            let r = redundancy(&w, &h.lengths).unwrap();
+            assert!((0.0..1.0).contains(&r), "seed={seed}: redundancy {r}");
+        }
+    }
+
+    #[test]
+    fn dyadic_weights_have_zero_redundancy() {
+        let w = [4.0, 2.0, 1.0, 1.0];
+        let h = huffman_heap(&w).unwrap();
+        assert!(redundancy(&w, &h.lengths).unwrap().abs() < 1e-12);
+        let (complete, slack) = kraft_slack(&h.lengths);
+        assert!(complete);
+        assert!(slack.abs() < 1e-12);
+    }
+
+    #[test]
+    fn shannon_fano_slack_positive_on_non_dyadic() {
+        let w = gen::zipf_weights(20, 1.0, 1);
+        let sf = crate::shannon_fano::shannon_fano(&w).unwrap();
+        let (complete, slack) = kraft_slack(&sf.lengths);
+        // Non-dyadic Zipf: SF wastes some codeword space.
+        assert!(!complete);
+        assert!(slack > 0.0);
+        // But still a valid prefix code.
+        assert!(slack < 1.0);
+    }
+
+    #[test]
+    fn expected_length_validation() {
+        assert!(expected_length(&[1.0], &[1, 2]).is_err());
+        let el = expected_length(&[1.0, 3.0], &[2, 1]).unwrap();
+        assert!((el - (2.0 * 0.25 + 1.0 * 0.75)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,159 @@
+//! Bit-granular I/O over byte buffers.
+//!
+//! Codewords have arbitrary bit lengths, so encoders need sub-byte
+//! writes. [`BitWriter`] packs MSB-first into a [`bytes::BytesMut`];
+//! [`BitReader`] replays the stream bit by bit.
+
+use bytes::{BufMut, BytesMut};
+
+/// MSB-first bit writer.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: BytesMut,
+    /// Bits used in the trailing partial byte (0..8; 0 = byte-aligned).
+    partial_bits: u8,
+    partial: u8,
+    len_bits: u64,
+}
+
+impl BitWriter {
+    /// An empty writer.
+    pub fn new() -> BitWriter {
+        BitWriter::default()
+    }
+
+    /// Appends one bit.
+    #[inline]
+    pub fn push(&mut self, bit: bool) {
+        self.partial = (self.partial << 1) | u8::from(bit);
+        self.partial_bits += 1;
+        self.len_bits += 1;
+        if self.partial_bits == 8 {
+            self.buf.put_u8(self.partial);
+            self.partial = 0;
+            self.partial_bits = 0;
+        }
+    }
+
+    /// Appends the low `len` bits of `bits`, most significant first.
+    pub fn push_bits(&mut self, bits: u64, len: u32) {
+        assert!(len <= 64);
+        for k in (0..len).rev() {
+            self.push((bits >> k) & 1 == 1);
+        }
+    }
+
+    /// Total bits written.
+    pub fn len_bits(&self) -> u64 {
+        self.len_bits
+    }
+
+    /// Finishes (zero-padding the final byte) and returns the bytes plus
+    /// the exact bit length.
+    pub fn finish(mut self) -> (Vec<u8>, u64) {
+        if self.partial_bits > 0 {
+            let pad = 8 - self.partial_bits;
+            self.buf.put_u8(self.partial << pad);
+        }
+        (self.buf.to_vec(), self.len_bits)
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+    len_bits: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads `len_bits` bits from `bytes`.
+    pub fn new(bytes: &'a [u8], len_bits: u64) -> BitReader<'a> {
+        assert!(len_bits <= bytes.len() as u64 * 8, "declared length exceeds buffer");
+        BitReader { bytes, pos: 0, len_bits }
+    }
+
+    /// Next bit, or `None` at end of stream.
+    #[inline]
+    pub fn next_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.len_bits {
+            return None;
+        }
+        let byte = self.bytes[(self.pos / 8) as usize];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> u64 {
+        self.len_bits - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_bits() {
+        let pattern = [true, false, false, true, true, true, false, true, true, false];
+        let mut w = BitWriter::new();
+        for &b in &pattern {
+            w.push(b);
+        }
+        assert_eq!(w.len_bits(), 10);
+        let (bytes, len) = w.finish();
+        assert_eq!(len, 10);
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes, len);
+        let got: Vec<bool> = std::iter::from_fn(|| r.next_bit()).collect();
+        assert_eq!(got, pattern);
+    }
+
+    #[test]
+    fn push_bits_msb_first() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b101, 3);
+        w.push_bits(0b01, 2);
+        let (bytes, len) = w.finish();
+        assert_eq!(len, 5);
+        assert_eq!(bytes, vec![0b10101000]);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let (bytes, len) = BitWriter::new().finish();
+        assert!(bytes.is_empty());
+        assert_eq!(len, 0);
+        let mut r = BitReader::new(&bytes, 0);
+        assert_eq!(r.next_bit(), None);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn exact_byte_boundary() {
+        let mut w = BitWriter::new();
+        w.push_bits(0xAB, 8);
+        let (bytes, len) = w.finish();
+        assert_eq!((bytes.as_slice(), len), (&[0xABu8][..], 8));
+    }
+
+    #[test]
+    fn reader_stops_at_declared_length() {
+        let bytes = [0xFF];
+        let mut r = BitReader::new(&bytes, 3);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(r.next_bit(), Some(true));
+        assert_eq!(r.next_bit(), Some(true));
+        assert_eq!(r.next_bit(), Some(true));
+        assert_eq!(r.next_bit(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "declared length")]
+    fn overlong_declaration_panics() {
+        let _ = BitReader::new(&[0x00], 9);
+    }
+}

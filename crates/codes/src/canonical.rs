@@ -1,0 +1,124 @@
+//! Canonical prefix codes from code lengths.
+//!
+//! Any multiset of lengths satisfying Kraft's inequality admits a
+//! *canonical* code: codewords assigned in numerically increasing order,
+//! shorter lengths first — fully determined by the lengths alone, which
+//! is how real systems (DEFLATE et al.) ship code tables. This is the
+//! practical endpoint of Theorem 7.1: a canonical code *is* a monotone
+//! leaf pattern realized as a tree.
+
+use crate::prefix::PrefixCode;
+use partree_core::{Error, Result};
+use partree_trees::kraft::kraft_feasible;
+use partree_trees::monotone::build_monotone;
+
+/// Builds the canonical prefix code for the given per-symbol lengths.
+///
+/// Errors when the lengths violate Kraft's inequality or exceed 64 bits
+/// (a practical transport bound, not a theoretical one).
+pub fn canonical_code(lengths: &[u32]) -> Result<PrefixCode> {
+    if lengths.is_empty() {
+        return Err(Error::invalid("empty alphabet"));
+    }
+    if let Some(&l) = lengths.iter().find(|&&l| l > 64) {
+        return Err(Error::invalid(format!("codeword length {l} exceeds 64 bits")));
+    }
+    if !kraft_feasible(lengths) {
+        return Err(Error::InfeasiblePattern { trees_needed: None });
+    }
+
+    // Sort symbols by (length desc) — a monotone pattern — realize the
+    // tree with the Theorem 7.1 construction, then re-tag.
+    let mut order: Vec<usize> = (0..lengths.len()).collect();
+    order.sort_by(|&a, &b| lengths[b].cmp(&lengths[a]).then(a.cmp(&b)));
+    let pattern: Vec<u32> = order.iter().map(|&s| lengths[s]).collect();
+    let mut tree = build_monotone(&pattern)?;
+    tree.map_tags(|sorted_idx| order[sorted_idx]);
+    PrefixCode::from_tree(&tree, lengths.len())
+}
+
+/// The canonical first-code table: for each length `l`, the numeric
+/// value of the first codeword of that length (the classic
+/// `next_code[]` recurrence) — exposed for interoperability tests.
+pub fn first_codes(lengths: &[u32]) -> Vec<u64> {
+    let max = lengths.iter().copied().max().unwrap_or(0) as usize;
+    let mut count = vec![0u64; max + 1];
+    for &l in lengths {
+        count[l as usize] += 1;
+    }
+    let mut first = vec![0u64; max + 1];
+    let mut code = 0u64;
+    for l in 1..=max {
+        code = (code + count[l - 1]) << 1;
+        first[l] = code;
+    }
+    first
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deflate_style_example() {
+        // Lengths (3,3,3,3,3,2,4,4) — RFC 1951's worked example.
+        let lengths = [3u32, 3, 3, 3, 3, 2, 4, 4];
+        let code = canonical_code(&lengths).unwrap();
+        assert_eq!(code.lengths(), lengths);
+        // Our canonical convention is depth-first: the deepest codewords
+        // occupy the numerically smallest region, so the unique length-2
+        // symbol (5) gets the all-ones codeword "11" (DEFLATE uses the
+        // mirrored convention; both are canonical — determined by the
+        // lengths alone).
+        assert_eq!(code.codeword(5).to_bit_string(), "11");
+        // Symbols of equal length get consecutive codewords in symbol
+        // order (ties in the deeper-first sort break by symbol index).
+        let v = |s: usize| {
+            let cw = code.codeword(s);
+            (0..cw.len()).fold(0u64, |acc, k| (acc << 1) | u64::from(cw.bit(k)))
+        };
+        assert!(v(6) < v(7), "equal-length codewords ordered by symbol");
+        assert!(v(0) < v(1) && v(1) < v(2));
+    }
+
+    #[test]
+    fn roundtrip_with_canonical_code() {
+        let lengths = [2u32, 2, 2, 3, 3];
+        let code = canonical_code(&lengths).unwrap();
+        let msg = vec![4, 0, 3, 2, 1, 0, 4];
+        let (bytes, bits) = code.encode(&msg).unwrap();
+        assert_eq!(code.decode(&bytes, bits).unwrap(), msg);
+    }
+
+    #[test]
+    fn infeasible_lengths_rejected() {
+        assert!(canonical_code(&[1, 1, 1]).is_err());
+        assert!(canonical_code(&[]).is_err());
+        assert!(canonical_code(&[70]).is_err());
+    }
+
+    #[test]
+    fn underfull_lengths_accepted() {
+        // Kraft < 1: tree has unary chains, still a valid prefix code.
+        let code = canonical_code(&[3, 3]).unwrap();
+        assert_eq!(code.lengths(), vec![3, 3]);
+        let (bytes, bits) = code.encode(&[0, 1, 0]).unwrap();
+        assert_eq!(code.decode(&bytes, bits).unwrap(), vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn single_symbol() {
+        let code = canonical_code(&[0]).unwrap();
+        assert_eq!(code.lengths(), vec![0]);
+    }
+
+    #[test]
+    fn first_codes_recurrence() {
+        // Lengths 2,3,3,3,3,3,4,4 → counts [0,0,1,5,2]:
+        // first[2]=0, first[3]=(0+1)<<1=2, first[4]=(2+5)<<1=14.
+        let f = first_codes(&[3, 3, 3, 3, 3, 2, 4, 4]);
+        assert_eq!(f[2], 0);
+        assert_eq!(f[3], 2);
+        assert_eq!(f[4], 14);
+    }
+}

@@ -1,0 +1,183 @@
+//! A table-driven decoder for canonical codes.
+//!
+//! Tree-walking decode costs one pointer chase per bit. Canonical codes
+//! admit the classic length-indexed decode instead: because all
+//! codewords of one length are numerically consecutive, a decoder only
+//! needs, per length `l`, the numeric value of the first codeword
+//! (`first[l]`), how many there are (`count[l]`), and the symbol table
+//! sorted in canonical order. Reading bits accumulates a value `v`; as
+//! soon as `v − first[l] < count[l]` the codeword is complete. This is
+//! the decoder DEFLATE-class formats use, built here on the same
+//! canonical convention as [`crate::canonical::canonical_code`]
+//! (deepest codewords numerically smallest).
+
+use crate::bitio::BitReader;
+use crate::prefix::PrefixCode;
+use partree_core::{Error, Result};
+
+/// A length-indexed canonical decoder.
+#[derive(Debug, Clone)]
+pub struct CanonicalDecoder {
+    /// `first[l]`: numeric value of the first (smallest) codeword of
+    /// length `l`.
+    first: Vec<u64>,
+    /// `count[l]`: number of codewords of length `l`.
+    count: Vec<u64>,
+    /// Symbols sorted in canonical order (by length desc, symbol asc),
+    /// with `offset[l]` locating each length's block.
+    symbols: Vec<usize>,
+    offset: Vec<usize>,
+    max_len: usize,
+}
+
+impl CanonicalDecoder {
+    /// Builds the decoder from per-symbol code lengths. The lengths
+    /// must describe a canonical code in this crate's convention (the
+    /// output of [`crate::canonical::canonical_code`]).
+    pub fn from_lengths(lengths: &[u32]) -> Result<CanonicalDecoder> {
+        if lengths.is_empty() {
+            return Err(Error::invalid("empty alphabet"));
+        }
+        if let Some(&l) = lengths.iter().find(|&&l| l > 64) {
+            return Err(Error::invalid(format!("length {l} exceeds 64 bits")));
+        }
+        let max_len = *lengths.iter().max().expect("non-empty") as usize;
+        let mut count = vec![0u64; max_len + 1];
+        for &l in lengths {
+            count[l as usize] += 1;
+        }
+        // Canonical order: length descending, symbol ascending (the
+        // convention of `canonical_code`: deepest leftmost).
+        let mut symbols: Vec<usize> = (0..lengths.len()).collect();
+        symbols.sort_by(|&a, &b| lengths[b].cmp(&lengths[a]).then(a.cmp(&b)));
+        // first[l]: longer codes occupy the numerically smaller range —
+        // first[l] = ⌈(first[l+1] + count[l+1]) / 2⌉ walking up from the
+        // deepest level (the level-layout recurrence of
+        // `trees::level_build` read as code values).
+        let mut first = vec![0u64; max_len + 2];
+        let mut carry = 0u64;
+        for l in (1..=max_len).rev() {
+            first[l] = carry;
+            carry = (carry + count[l]).div_ceil(2);
+        }
+        if max_len == 0 {
+            // Single-symbol alphabet with the empty codeword.
+            if lengths.len() != 1 {
+                return Err(Error::InfeasiblePattern { trees_needed: None });
+            }
+        } else if carry > 1 {
+            return Err(Error::InfeasiblePattern { trees_needed: None });
+        }
+        let mut offset = vec![0usize; max_len + 2];
+        // Blocks in `symbols` run deepest-first.
+        let mut acc = 0usize;
+        for l in (0..=max_len).rev() {
+            offset[l] = acc;
+            acc += count[l] as usize;
+        }
+        Ok(CanonicalDecoder { first: first[..=max_len.max(1)].to_vec(), count, symbols, offset, max_len })
+    }
+
+    /// Decodes `len_bits` bits into symbols.
+    pub fn decode(&self, bytes: &[u8], len_bits: u64) -> Result<Vec<usize>> {
+        if self.max_len == 0 {
+            return if len_bits == 0 {
+                Ok(Vec::new())
+            } else {
+                Err(Error::invalid("unexpected bits for single-symbol code"))
+            };
+        }
+        let mut out = Vec::new();
+        let mut r = BitReader::new(bytes, len_bits);
+        let mut v = 0u64;
+        let mut l = 0usize;
+        while let Some(bit) = r.next_bit() {
+            v = (v << 1) | u64::from(bit);
+            l += 1;
+            if l > self.max_len {
+                return Err(Error::invalid("bit sequence exceeds the longest codeword"));
+            }
+            if l < self.count.len() && self.count[l] > 0 && v >= self.first[l] {
+                let idx = v - self.first[l];
+                if idx < self.count[l] {
+                    out.push(self.symbols[self.offset[l] + idx as usize]);
+                    v = 0;
+                    l = 0;
+                }
+            }
+        }
+        if l != 0 {
+            return Err(Error::invalid("truncated codeword at end of stream"));
+        }
+        Ok(out)
+    }
+
+    /// Convenience: builds a decoder matching an existing canonical
+    /// [`PrefixCode`].
+    pub fn from_code(code: &PrefixCode) -> Result<CanonicalDecoder> {
+        CanonicalDecoder::from_lengths(&code.lengths())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::canonical_code;
+    use partree_core::gen;
+    use partree_huffman::sequential::huffman_heap;
+
+    fn roundtrip(lengths: &[u32], msg: &[usize]) {
+        let code = canonical_code(lengths).unwrap();
+        let dec = CanonicalDecoder::from_lengths(lengths).unwrap();
+        let (bytes, bits) = code.encode(msg).unwrap();
+        assert_eq!(dec.decode(&bytes, bits).unwrap(), msg, "lengths {lengths:?}");
+        // And the tree decoder agrees.
+        assert_eq!(code.decode(&bytes, bits).unwrap(), msg);
+    }
+
+    #[test]
+    fn deflate_style_lengths() {
+        let lengths = [3u32, 3, 3, 3, 3, 2, 4, 4];
+        let msg: Vec<usize> = (0..8).chain([5, 5, 0, 7, 6]).collect();
+        roundtrip(&lengths, &msg);
+    }
+
+    #[test]
+    fn huffman_lengths_across_distributions() {
+        for seed in 0..8 {
+            let w = gen::zipf_weights(64, 1.1, seed);
+            let h = huffman_heap(&w).unwrap();
+            let msg: Vec<usize> = (0..64).chain((0..64).rev()).collect();
+            roundtrip(&h.lengths, &msg);
+        }
+    }
+
+    #[test]
+    fn underfull_codes() {
+        roundtrip(&[3, 3], &[0, 1, 1, 0]);
+        roundtrip(&[2, 5, 5], &[2, 0, 1]);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let dec = CanonicalDecoder::from_lengths(&[0]).unwrap();
+        assert!(dec.decode(&[], 0).unwrap().is_empty());
+        assert!(dec.decode(&[0x80], 1).is_err());
+    }
+
+    #[test]
+    fn malformed_streams_rejected() {
+        let lengths = [2u32, 2, 2, 2];
+        let code = canonical_code(&lengths).unwrap();
+        let dec = CanonicalDecoder::from_lengths(&lengths).unwrap();
+        let (bytes, bits) = code.encode(&[0, 1, 2, 3]).unwrap();
+        assert!(dec.decode(&bytes, bits - 1).is_err()); // truncated
+    }
+
+    #[test]
+    fn infeasible_lengths_rejected() {
+        assert!(CanonicalDecoder::from_lengths(&[1, 1, 1]).is_err());
+        assert!(CanonicalDecoder::from_lengths(&[]).is_err());
+        assert!(CanonicalDecoder::from_lengths(&[90]).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! # partree-codes
+//!
+//! Prefix codes over `Σ = {0, 1}`: the deliverable the paper's tree
+//! algorithms exist to produce.
+//!
+//! * [`analysis`] — entropy, redundancy, Kraft slack — the yardsticks
+//!   of §1's optimal-code discussion;
+//! * [`bitio`] — bit-granular writer/reader over byte buffers;
+//! * [`prefix`] — codeword tables derived from code trees, encoding and
+//!   decoding of symbol streams (uniquely decipherable by
+//!   prefix-freeness — the Kraft/McMillan observation of §1);
+//! * [`canonical`] — canonical codes from code lengths alone (the form
+//!   used to ship a code table compactly);
+//! * [`decoder`] — the length-indexed table decoder for canonical codes
+//!   (the DEFLATE-class fast path, no tree walking);
+//! * [`shannon_fano`] — Theorem 7.4: the Shannon–Fano code built with
+//!   the monotone tree construction, within one bit of Huffman
+//!   (Claim 7.1).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod analysis;
+pub mod bitio;
+pub mod canonical;
+pub mod decoder;
+pub mod prefix;
+pub mod shannon_fano;
+
+pub use prefix::PrefixCode;
+pub use shannon_fano::{shannon_fano, ShannonFanoCode};

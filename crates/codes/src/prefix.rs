@@ -1,0 +1,281 @@
+//! Prefix codes: codeword tables, encoding, decoding.
+//!
+//! A prefix code is read directly off a code tree: the path to leaf `i`
+//! (left = 0, right = 1) is symbol `i`'s codeword. Prefix-freeness is
+//! structural — no leaf is an ancestor of another — which gives unique
+//! decipherability (§1's Kraft/McMillan discussion).
+
+use crate::bitio::{BitReader, BitWriter};
+use partree_core::{Error, Result};
+use partree_trees::arena::NONE;
+use partree_trees::Tree;
+
+/// One codeword: up-to-arbitrary-length bit string, MSB-first across
+/// `words`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Codeword {
+    bits: Vec<u64>,
+    len: u32,
+}
+
+impl Codeword {
+    fn new() -> Codeword {
+        Codeword { bits: Vec::new(), len: 0 }
+    }
+
+    fn push(&mut self, bit: bool) {
+        let word = (self.len / 64) as usize;
+        if word == self.bits.len() {
+            self.bits.push(0);
+        }
+        if bit {
+            self.bits[word] |= 1 << (63 - (self.len % 64));
+        }
+        self.len += 1;
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// `true` for the empty codeword (single-symbol alphabet).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `k` (0 = first transmitted).
+    pub fn bit(&self, k: u32) -> bool {
+        debug_assert!(k < self.len);
+        (self.bits[(k / 64) as usize] >> (63 - (k % 64))) & 1 == 1
+    }
+
+    /// Renders as a 0/1 string.
+    pub fn to_bit_string(&self) -> String {
+        (0..self.len).map(|k| if self.bit(k) { '1' } else { '0' }).collect()
+    }
+}
+
+/// A prefix code: one codeword per symbol, plus the decoding tree.
+#[derive(Debug, Clone)]
+pub struct PrefixCode {
+    words: Vec<Codeword>,
+    tree: Tree,
+}
+
+impl PrefixCode {
+    /// Extracts the code from a code tree whose leaves are tagged with
+    /// the symbol indices `0 … n-1` (each exactly once).
+    pub fn from_tree(tree: &Tree, n_symbols: usize) -> Result<PrefixCode> {
+        let mut words = vec![None; n_symbols];
+        // DFS carrying the path.
+        let mut stack: Vec<(usize, Codeword)> = vec![(tree.root(), Codeword::new())];
+        while let Some((v, path)) = stack.pop() {
+            let node = &tree.nodes()[v];
+            if node.is_leaf() {
+                let tag = node
+                    .tag
+                    .ok_or_else(|| Error::invalid("code tree has an untagged leaf"))?;
+                if tag >= n_symbols {
+                    return Err(Error::invalid(format!("leaf tag {tag} out of range")));
+                }
+                if words[tag].is_some() {
+                    return Err(Error::invalid(format!("symbol {tag} appears twice")));
+                }
+                words[tag] = Some(path);
+                continue;
+            }
+            if node.left != NONE {
+                let mut p = path.clone();
+                p.push(false);
+                stack.push((node.left, p));
+            }
+            if node.right != NONE {
+                let mut p = path;
+                p.push(true);
+                stack.push((node.right, p));
+            }
+        }
+        let words: Vec<Codeword> = words
+            .into_iter()
+            .enumerate()
+            .map(|(i, w)| w.ok_or_else(|| Error::invalid(format!("symbol {i} missing from tree"))))
+            .collect::<Result<_>>()?;
+        Ok(PrefixCode { words, tree: tree.clone() })
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// `true` when the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// The codeword for `symbol`.
+    pub fn codeword(&self, symbol: usize) -> &Codeword {
+        &self.words[symbol]
+    }
+
+    /// Code lengths per symbol.
+    pub fn lengths(&self) -> Vec<u32> {
+        self.words.iter().map(Codeword::len).collect()
+    }
+
+    /// Encodes a symbol sequence; returns `(bytes, bit length)`.
+    pub fn encode(&self, symbols: &[usize]) -> Result<(Vec<u8>, u64)> {
+        let mut w = BitWriter::new();
+        for &s in symbols {
+            let cw = self
+                .words
+                .get(s)
+                .ok_or_else(|| Error::invalid(format!("symbol {s} out of alphabet")))?;
+            for k in 0..cw.len() {
+                w.push(cw.bit(k));
+            }
+        }
+        Ok(w.finish())
+    }
+
+    /// Decodes a bit stream back into symbols (walking the code tree).
+    pub fn decode(&self, bytes: &[u8], len_bits: u64) -> Result<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut r = BitReader::new(bytes, len_bits);
+        let nodes = self.tree.nodes();
+        // Single-symbol alphabet: the empty codeword decodes by count —
+        // encode produced 0 bits, so nothing to do (callers carry symbol
+        // counts out of band for that degenerate alphabet).
+        if self.words.len() == 1 && self.words[0].is_empty() {
+            if len_bits != 0 {
+                return Err(Error::invalid("unexpected bits for single-symbol code"));
+            }
+            return Ok(out);
+        }
+        let mut cur = self.tree.root();
+        while let Some(bit) = r.next_bit() {
+            let node = &nodes[cur];
+            cur = if bit { node.right } else { node.left };
+            if cur == NONE {
+                return Err(Error::invalid("invalid bit sequence for this code"));
+            }
+            if nodes[cur].is_leaf() {
+                out.push(nodes[cur].tag.expect("validated in from_tree"));
+                cur = self.tree.root();
+            }
+        }
+        if cur != self.tree.root() {
+            return Err(Error::invalid("truncated codeword at end of stream"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partree_huffman::sequential::huffman_heap;
+
+    fn code_for(weights: &[f64]) -> PrefixCode {
+        let h = huffman_heap(weights).unwrap();
+        PrefixCode::from_tree(&h.tree, weights.len()).unwrap()
+    }
+
+    #[test]
+    fn codewords_match_tree_depths() {
+        let h = huffman_heap(&[5.0, 9.0, 12.0, 13.0, 16.0, 45.0]).unwrap();
+        let code = PrefixCode::from_tree(&h.tree, 6).unwrap();
+        assert_eq!(code.lengths(), h.lengths);
+    }
+
+    #[test]
+    fn prefix_freeness() {
+        let code = code_for(&[1.0, 2.0, 4.0, 8.0, 16.0]);
+        for a in 0..5 {
+            for b in 0..5 {
+                if a == b {
+                    continue;
+                }
+                let (ca, cb) = (code.codeword(a), code.codeword(b));
+                if ca.len() <= cb.len() {
+                    let is_prefix = (0..ca.len()).all(|k| ca.bit(k) == cb.bit(k));
+                    assert!(!is_prefix, "{a} is a prefix of {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let code = code_for(&[10.0, 3.0, 7.0, 1.0]);
+        let msg = vec![0, 1, 2, 3, 2, 1, 0, 0, 3, 3, 2];
+        let (bytes, bits) = code.encode(&msg).unwrap();
+        let back = code.decode(&bytes, bits).unwrap();
+        assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn encoded_length_is_sum_of_codeword_lengths() {
+        let code = code_for(&[1.0, 1.0, 2.0]);
+        let msg = vec![0, 0, 1, 2];
+        let (_, bits) = code.encode(&msg).unwrap();
+        let expect: u64 = msg.iter().map(|&s| u64::from(code.codeword(s).len())).sum();
+        assert_eq!(bits, expect);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_stream() {
+        let code = code_for(&[1.0, 1.0, 1.0, 1.0]);
+        let (bytes, bits) = code.encode(&[0, 1, 2]).unwrap();
+        assert!(code.decode(&bytes, bits - 1).is_err());
+    }
+
+    #[test]
+    fn decode_handles_unary_chain_trees() {
+        // Shannon–Fano-style trees contain unary nodes: a 1-bit at a
+        // unary node is an invalid stream.
+        let t = partree_trees::pattern::build_exact(&[2, 1]).unwrap();
+        let code = PrefixCode::from_tree(&t, 2).unwrap();
+        assert_eq!(code.codeword(0).len(), 2);
+        let msg = vec![0, 1, 0];
+        let (bytes, bits) = code.encode(&msg).unwrap();
+        assert_eq!(code.decode(&bytes, bits).unwrap(), msg);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let t = Tree::leaf(Some(0));
+        let code = PrefixCode::from_tree(&t, 1).unwrap();
+        let (bytes, bits) = code.encode(&[0, 0, 0]).unwrap();
+        assert_eq!(bits, 0);
+        assert!(code.decode(&bytes, bits).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_and_duplicate_symbols_rejected() {
+        let t = Tree::leaf(Some(0));
+        assert!(PrefixCode::from_tree(&t, 2).is_err());
+        let mut b = partree_trees::arena::TreeBuilder::new();
+        let x = b.leaf(Some(0));
+        let y = b.leaf(Some(0));
+        let r = b.internal(x, Some(y));
+        let t = b.build(r).unwrap();
+        assert!(PrefixCode::from_tree(&t, 1).is_err());
+    }
+
+    #[test]
+    fn encode_rejects_out_of_alphabet_symbols() {
+        let code = code_for(&[1.0, 1.0]);
+        assert!(code.encode(&[0, 5]).is_err());
+    }
+
+    #[test]
+    fn bit_string_rendering() {
+        let code = code_for(&[1.0, 1.0]);
+        let s0 = code.codeword(0).to_bit_string();
+        let s1 = code.codeword(1).to_bit_string();
+        assert_eq!(s0.len(), 1);
+        assert_ne!(s0, s1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Theorem 7.4 — Shannon–Fano codes via parallel tree construction.
+//!
+//! The Shannon–Fano method (§7.3): choose code lengths
+//! `⌈log 1/pᵢ⌉ ≤ lᵢ ≤ ⌈log 1/pᵢ⌉` (the smallest `l` with `2^{-l} ≤ pᵢ`),
+//! then realize a prefix code with those lengths — a *monotone* leaf
+//! pattern after sorting, i.e. exactly the Theorem 7.1 construction.
+//! Claim 7.1 bounds the result: `HUFF(A) ≤ SF(A) ≤ HUFF(A) + 1` in
+//! average word length.
+//!
+//! The paper's punchline: this gives an `O(log n)`-time, `n/log n`-
+//! processor code construction — within one bit of optimal at a tiny
+//! fraction of the `n²/log n` processors the exact algorithm needs.
+
+use crate::prefix::PrefixCode;
+use partree_core::{Cost, Error, Result};
+use partree_trees::monotone::build_monotone;
+use partree_trees::Tree;
+
+/// A Shannon–Fano code.
+#[derive(Debug, Clone)]
+pub struct ShannonFanoCode {
+    /// Code length per symbol, in input order.
+    pub lengths: Vec<u32>,
+    /// The code tree (leaves tagged with input symbol indices).
+    pub tree: Tree,
+    /// The ready-to-use prefix code.
+    pub code: PrefixCode,
+}
+
+impl ShannonFanoCode {
+    /// Total weighted path length `Σ wᵢ·lᵢ`.
+    pub fn cost(&self, weights: &[f64]) -> Cost {
+        weights
+            .iter()
+            .zip(&self.lengths)
+            .map(|(&w, &l)| Cost::new(w * f64::from(l)))
+            .sum()
+    }
+
+    /// Average word length `Σ pᵢ·lᵢ / Σ pᵢ`.
+    pub fn average_length(&self, weights: &[f64]) -> f64 {
+        let total: f64 = weights.iter().sum();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.cost(weights).value() / total
+        }
+    }
+}
+
+/// Builds the Shannon–Fano code for positive frequencies.
+///
+/// ```
+/// use partree_codes::shannon_fano::shannon_fano;
+///
+/// let sf = shannon_fano(&[4.0, 2.0, 1.0, 1.0])?;       // dyadic weights
+/// assert_eq!(sf.lengths, vec![1, 2, 3, 3]);            // = ideal lengths
+/// let (bytes, bits) = sf.code.encode(&[0, 1, 2, 3])?;
+/// assert_eq!(sf.code.decode(&bytes, bits)?, vec![0, 1, 2, 3]);
+/// # Ok::<(), partree_core::Error>(())
+/// ```
+pub fn shannon_fano(weights: &[f64]) -> Result<ShannonFanoCode> {
+    if weights.is_empty() {
+        return Err(Error::invalid("need at least one symbol"));
+    }
+    if weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
+        return Err(Error::invalid("Shannon–Fano requires strictly positive weights"));
+    }
+    let n = weights.len();
+    if n == 1 {
+        let tree = Tree::leaf(Some(0));
+        let code = PrefixCode::from_tree(&tree, 1)?;
+        return Ok(ShannonFanoCode { lengths: vec![0], tree, code });
+    }
+
+    let total: f64 = weights.iter().sum();
+    let lengths: Vec<u32> = weights.iter().map(|&w| ideal_length(w, total)).collect::<Result<_>>()?;
+
+    // Sort deepest-first (monotone pattern), realize, un-sort tags.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| lengths[b].cmp(&lengths[a]).then(a.cmp(&b)));
+    let pattern: Vec<u32> = order.iter().map(|&s| lengths[s]).collect();
+    let mut tree = build_monotone(&pattern)?;
+    tree.map_tags(|sorted_idx| order[sorted_idx]);
+    let code = PrefixCode::from_tree(&tree, n)?;
+    Ok(ShannonFanoCode { lengths, tree, code })
+}
+
+/// The smallest `l` with `w · 2^l ≥ total`, i.e. `⌈log₂(total/w)⌉` —
+/// computed by doubling so dyadic inputs stay exact (no float `log`).
+fn ideal_length(w: f64, total: f64) -> Result<u32> {
+    let mut l = 0u32;
+    let mut scaled = w;
+    while scaled < total {
+        scaled *= 2.0;
+        l += 1;
+        if l > 1 << 20 {
+            return Err(Error::invalid(format!("weight {w} too small relative to total {total}")));
+        }
+    }
+    Ok(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partree_core::gen;
+    use partree_huffman::sequential::huffman_heap;
+    use partree_trees::kraft::kraft_feasible;
+
+    fn check_claim_7_1(weights: &[f64]) {
+        let sf = shannon_fano(weights).unwrap();
+        let huff = huffman_heap(weights).unwrap();
+        let total: f64 = weights.iter().sum();
+        let sf_avg = sf.average_length(weights);
+        let huff_avg = huff.cost.value() / total;
+        assert!(
+            sf_avg >= huff_avg - 1e-9,
+            "SF {sf_avg} beat Huffman {huff_avg} on {weights:?}"
+        );
+        assert!(
+            sf_avg <= huff_avg + 1.0 + 1e-9,
+            "SF {sf_avg} > Huffman+1 {huff_avg} on {weights:?}"
+        );
+    }
+
+    #[test]
+    fn ideal_lengths() {
+        assert_eq!(ideal_length(1.0, 2.0).unwrap(), 1);
+        assert_eq!(ideal_length(1.0, 8.0).unwrap(), 3);
+        assert_eq!(ideal_length(3.0, 8.0).unwrap(), 2); // 2^{-2}=1/4 ≤ 3/8
+        assert_eq!(ideal_length(8.0, 8.0).unwrap(), 0);
+        assert_eq!(ideal_length(5.0, 8.0).unwrap(), 1);
+    }
+
+    #[test]
+    fn lengths_satisfy_kraft_automatically() {
+        for seed in 0..20 {
+            let w = gen::uniform_weights(50, 500, seed);
+            let sf = shannon_fano(&w).unwrap();
+            assert!(kraft_feasible(&sf.lengths), "seed={seed}");
+            // Tree realizes exactly those lengths.
+            let mut by_tag = vec![0u32; 50];
+            for (d, t) in sf.tree.leaf_levels() {
+                by_tag[t.unwrap()] = d;
+            }
+            assert_eq!(by_tag, sf.lengths, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn claim_7_1_across_distributions() {
+        for seed in 0..10 {
+            check_claim_7_1(&gen::uniform_weights(32, 100, seed));
+            check_claim_7_1(&gen::zipf_weights(32, 1.1, seed));
+            check_claim_7_1(&gen::geometric_weights(20, 1.6, seed));
+        }
+    }
+
+    #[test]
+    fn dyadic_weights_make_sf_exactly_optimal() {
+        let w = [4.0, 2.0, 1.0, 1.0];
+        let sf = shannon_fano(&w).unwrap();
+        let huff = huffman_heap(&w).unwrap();
+        assert_eq!(sf.cost(&w), huff.cost);
+        assert_eq!(sf.lengths, vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn roundtrip_through_the_sf_code() {
+        let w = gen::zipf_weights(10, 1.0, 4);
+        let sf = shannon_fano(&w).unwrap();
+        let msg: Vec<usize> = (0..10).chain((0..10).rev()).collect();
+        let (bytes, bits) = sf.code.encode(&msg).unwrap();
+        assert_eq!(sf.code.decode(&bytes, bits).unwrap(), msg);
+    }
+
+    #[test]
+    fn single_and_two_symbols() {
+        let one = shannon_fano(&[3.0]).unwrap();
+        assert_eq!(one.lengths, vec![0]);
+        let two = shannon_fano(&[1.0, 1.0]).unwrap();
+        assert_eq!(two.lengths, vec![1, 1]);
+    }
+
+    #[test]
+    fn zero_or_negative_weights_rejected() {
+        assert!(shannon_fano(&[1.0, 0.0]).is_err());
+        assert!(shannon_fano(&[-1.0, 2.0]).is_err());
+        assert!(shannon_fano(&[]).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests: prefix-code round trips, canonical codes from
+//! arbitrary feasible lengths, Shannon–Fano bounds on arbitrary
+//! weights.
+
+use partree_codes::analysis::{entropy, expected_length, kraft_slack, redundancy};
+use partree_codes::canonical::canonical_code;
+use partree_codes::decoder::CanonicalDecoder;
+use partree_codes::prefix::PrefixCode;
+use partree_codes::shannon_fano::shannon_fano;
+use partree_huffman::sequential::huffman_heap;
+use partree_trees::kraft::kraft_feasible;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// decode ∘ encode = id for Huffman codes over arbitrary weights
+    /// and arbitrary messages.
+    /// (Single-symbol alphabets have the empty codeword and decode by
+    /// out-of-band counts — see `PrefixCode::decode` — so the roundtrip
+    /// property starts at 2 symbols.)
+    #[test]
+    fn roundtrip_arbitrary_messages(
+        ws in prop::collection::vec(1u32..300, 2..24),
+        msg_idx in prop::collection::vec(0usize..1000, 0..200),
+    ) {
+        let w: Vec<f64> = ws.iter().map(|&x| f64::from(x)).collect();
+        let h = huffman_heap(&w).unwrap();
+        let code = PrefixCode::from_tree(&h.tree, w.len()).unwrap();
+        let msg: Vec<usize> = msg_idx.iter().map(|&i| i % w.len()).collect();
+        let (bytes, bits) = code.encode(&msg).unwrap();
+        prop_assert_eq!(code.decode(&bytes, bits).unwrap(), msg);
+    }
+
+    /// Canonical codes accept exactly the Kraft-feasible length vectors
+    /// and reproduce the requested lengths.
+    #[test]
+    fn canonical_iff_kraft(lengths in prop::collection::vec(0u32..12, 1..24)) {
+        match canonical_code(&lengths) {
+            Ok(code) => {
+                prop_assert!(kraft_feasible(&lengths));
+                prop_assert_eq!(code.lengths(), lengths);
+            }
+            Err(_) => prop_assert!(!kraft_feasible(&lengths)),
+        }
+    }
+
+    /// The table decoder and the tree decoder agree on every canonical
+    /// code and message.
+    #[test]
+    fn table_decoder_equals_tree_decoder(
+        ws in prop::collection::vec(1u32..300, 2..24),
+        msg_idx in prop::collection::vec(0usize..1000, 0..120),
+    ) {
+        let w: Vec<f64> = ws.iter().map(|&x| f64::from(x)).collect();
+        let h = huffman_heap(&w).unwrap();
+        let canon = canonical_code(&h.lengths).unwrap();
+        let dec = CanonicalDecoder::from_lengths(&h.lengths).unwrap();
+        let msg: Vec<usize> = msg_idx.iter().map(|&i| i % w.len()).collect();
+        let (bytes, bits) = canon.encode(&msg).unwrap();
+        prop_assert_eq!(canon.decode(&bytes, bits).unwrap(), msg.clone());
+        prop_assert_eq!(dec.decode(&bytes, bits).unwrap(), msg);
+    }
+
+    /// Shannon–Fano: entropy ≤ expected length < entropy + 1 (its
+    /// textbook guarantee) and Claim 7.1 against Huffman, on arbitrary
+    /// positive weights.
+    #[test]
+    fn shannon_fano_bounds(ws in prop::collection::vec(1u32..5000, 1..40)) {
+        let w: Vec<f64> = ws.iter().map(|&x| f64::from(x)).collect();
+        let sf = shannon_fano(&w).unwrap();
+        let h = entropy(&w).unwrap();
+        let el = expected_length(&w, &sf.lengths).unwrap();
+        prop_assert!(el >= h - 1e-9, "below entropy: {} < {}", el, h);
+        prop_assert!(el < h + 1.0 + 1e-9, "beyond entropy+1: {} vs {}", el, h);
+        let huff = huffman_heap(&w).unwrap();
+        let total: f64 = w.iter().sum();
+        let h_avg = huff.cost.value() / total;
+        prop_assert!(el >= h_avg - 1e-9);
+        prop_assert!(el <= h_avg + 1.0 + 1e-9);
+    }
+
+    /// Redundancy of Huffman codes lies in [0, 1); Kraft slack of a
+    /// Huffman code is zero (complete code).
+    #[test]
+    fn huffman_redundancy_and_slack(ws in prop::collection::vec(1u32..800, 2..32)) {
+        let w: Vec<f64> = ws.iter().map(|&x| f64::from(x)).collect();
+        let h = huffman_heap(&w).unwrap();
+        let r = redundancy(&w, &h.lengths).unwrap();
+        prop_assert!((0.0 - 1e-9..1.0).contains(&r), "redundancy {}", r);
+        let (complete, slack) = kraft_slack(&h.lengths);
+        prop_assert!(complete);
+        prop_assert!(slack.abs() < 1e-9);
+    }
+}

@@ -1,0 +1,92 @@
+//! Workspace-wide error type.
+//!
+//! The algorithms in this workspace fail in a small number of structured
+//! ways — an infeasible leaf pattern (Kraft sum exceeds 1), an input that
+//! violates a documented precondition (unsorted weights where monotone
+//! weights are required), a malformed grammar. Each gets a variant so
+//! callers can react programmatically.
+
+use std::fmt;
+
+/// Workspace result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by `partree` algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A leaf-level pattern admits no single ordered binary tree.
+    ///
+    /// For monotone/bitonic patterns this means the Kraft sum exceeds 1
+    /// (Lemmas 7.1, 7.2); for general patterns it means Finger-Reduction
+    /// reached an infeasible residual pattern (Lemma 7.3). `trees_needed`
+    /// reports the size of the minimal forest that *does* realize the
+    /// pattern, when known (Theorem 7.2's "minimum number of trees").
+    InfeasiblePattern {
+        /// Minimal number of trees realizing the pattern, if computed.
+        trees_needed: Option<usize>,
+    },
+
+    /// An input violated a documented precondition.
+    InvalidInput(String),
+
+    /// A grammar was rejected (empty production set, unknown symbol,
+    /// a rule that is not linear, …).
+    InvalidGrammar(String),
+
+    /// An internal invariant was violated — a bug in this library.
+    Internal(String),
+}
+
+impl Error {
+    /// Convenience constructor for precondition violations.
+    pub fn invalid(msg: impl Into<String>) -> Error {
+        Error::InvalidInput(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InfeasiblePattern { trees_needed: Some(k) } => {
+                write!(f, "leaf pattern is infeasible as a single tree (minimal forest size {k})")
+            }
+            Error::InfeasiblePattern { trees_needed: None } => {
+                write!(f, "leaf pattern is infeasible as a single tree")
+            }
+            Error::InvalidInput(m) => write!(f, "invalid input: {m}"),
+            Error::InvalidGrammar(m) => write!(f, "invalid grammar: {m}"),
+            Error::Internal(m) => write!(f, "internal invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert!(Error::InfeasiblePattern { trees_needed: Some(3) }
+            .to_string()
+            .contains("forest size 3"));
+        assert!(Error::InfeasiblePattern { trees_needed: None }
+            .to_string()
+            .contains("infeasible"));
+        assert!(Error::invalid("weights must be sorted")
+            .to_string()
+            .contains("sorted"));
+        assert!(Error::InvalidGrammar("no productions".into())
+            .to_string()
+            .contains("grammar"));
+        assert!(Error::Internal("oops".into()).to_string().contains("invariant"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&Error::invalid("x"));
+    }
+}

@@ -1,0 +1,414 @@
+//! Deterministic workload generators.
+//!
+//! Every experiment in EXPERIMENTS.md and every randomized test draws its
+//! inputs from here, keyed by an explicit `u64` seed, so results are
+//! reproducible bit-for-bit.
+//!
+//! The generators cover the paper's input classes:
+//!
+//! * **frequency vectors** for Huffman / Shannon–Fano / OBST workloads —
+//!   uniform, Zipf (the textbook "English word frequency" shape the
+//!   paper's introduction motivates), geometric (maximally skewed —
+//!   deepest Huffman trees), and dyadic (Shannon–Fano is exactly optimal);
+//! * **leaf-level patterns** for the Tree Construction Problem —
+//!   monotone, bitonic, exactly-realizable general patterns (read off
+//!   random full binary trees), and patterns with a controlled number of
+//!   *fingers* for Theorem 7.3;
+//! * **raw Monge matrices** for concave matrix multiplication;
+//! * **strings** for linear-CFL recognition.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded RNG — the single entry point for randomness in the workspace.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+// ---------------------------------------------------------------------
+// Frequency vectors
+// ---------------------------------------------------------------------
+
+/// `n` integer-valued weights drawn uniformly from `1..=max`, unsorted.
+pub fn uniform_weights(n: usize, max: u64, seed: u64) -> Vec<f64> {
+    let mut r = rng(seed);
+    (0..n).map(|_| r.gen_range(1..=max) as f64).collect()
+}
+
+/// `n` Zipf(`s`)-shaped weights: item `k` (1-based) gets weight
+/// proportional to `k^-s`, scaled so the smallest weight is ≥ 1 and
+/// rounded to integers (keeping `Cost` arithmetic exact). Unsorted order
+/// is randomized by `seed`.
+pub fn zipf_weights(n: usize, s: f64, seed: u64) -> Vec<f64> {
+    assert!(n > 0, "zipf_weights needs n > 0");
+    let scale = (n as f64).powf(s);
+    let mut w: Vec<f64> = (1..=n)
+        .map(|k| (scale / (k as f64).powf(s)).round().max(1.0))
+        .collect();
+    shuffle(&mut w, seed);
+    w
+}
+
+/// `n` geometric weights `ratio^0, ratio^1, …` scaled to integers; with
+/// `ratio` close to the golden-ratio conjugate these produce the deepest
+/// possible Huffman trees (a left-justified chain — the paper's worst
+/// case for the spine computation).
+pub fn geometric_weights(n: usize, ratio: f64, seed: u64) -> Vec<f64> {
+    assert!(ratio > 1.0, "ratio must exceed 1");
+    // Cap the magnitude so downstream arithmetic stays exact in f64:
+    // weighted path lengths sum n·depth terms of size ≤ cap, and all
+    // partial sums must stay below 2^53.
+    let cap = 2f64.powi(32);
+    let mut w = Vec::with_capacity(n);
+    let mut cur = 1.0f64;
+    for _ in 0..n {
+        w.push(cur.round());
+        cur = (cur * ratio).min(cap);
+    }
+    shuffle(&mut w, seed);
+    w
+}
+
+/// `n` dyadic weights (powers of two summing to a power of two when
+/// `n` is a power of two). Shannon–Fano equals Huffman exactly on these.
+pub fn dyadic_weights(n: usize) -> Vec<f64> {
+    assert!(n >= 2, "need at least two symbols");
+    // Build levels of an arbitrary full tree: n-1 weights of exponentially
+    // decreasing size plus a duplicate of the smallest, so the Kraft sum
+    // of the ideal code lengths is exactly 1.
+    let mut w: Vec<f64> = (0..n - 1).map(|i| 2f64.powi((n - 1 - i).min(50) as i32)).collect();
+    w.push(*w.last().expect("n >= 2"));
+    w
+}
+
+/// Sorts weights ascending — the precondition of the paper's Section 3/5
+/// algorithms (Lemma 3.1 requires monotone frequency vectors).
+pub fn sorted(mut w: Vec<f64>) -> Vec<f64> {
+    w.sort_by(|a, b| a.partial_cmp(b).expect("weights are never NaN"));
+    w
+}
+
+fn shuffle(w: &mut [f64], seed: u64) {
+    let mut r = rng(seed ^ 0x9e37_79b9_7f4a_7c15);
+    // Fisher–Yates.
+    for i in (1..w.len()).rev() {
+        let j = r.gen_range(0..=i);
+        w.swap(i, j);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leaf-level patterns
+// ---------------------------------------------------------------------
+
+/// Leaf depths, left to right, of a uniformly random *full* binary tree
+/// with `n` leaves (every internal node has two children). Such patterns
+/// are always exactly realizable (Kraft sum = 1), which makes them the
+/// canonical positive test inputs for Section 7.
+pub fn full_tree_pattern(n: usize, seed: u64) -> Vec<u32> {
+    assert!(n >= 1);
+    let mut r = rng(seed);
+    let mut out = Vec::with_capacity(n);
+    // Iterative random splitting: stack of (leaf count, depth).
+    let mut stack = vec![(n, 0u32)];
+    while let Some((m, d)) = stack.pop() {
+        if m == 1 {
+            out.push(d);
+        } else {
+            let left = r.gen_range(1..m);
+            // Push right first so left is emitted first (stack is LIFO).
+            stack.push((m - left, d + 1));
+            stack.push((left, d + 1));
+        }
+    }
+    out
+}
+
+/// A feasible *monotone non-increasing* pattern with `n` leaves:
+/// the sorted-descending leaf depths of a random full tree.
+pub fn monotone_pattern(n: usize, seed: u64) -> Vec<u32> {
+    let mut p = full_tree_pattern(n, seed);
+    p.sort_unstable_by(|a, b| b.cmp(a));
+    p
+}
+
+/// A feasible *bitonic* pattern (rises then falls): the depths of a random
+/// full tree arranged greatest-first from both ends inward.
+pub fn bitonic_pattern(n: usize, seed: u64) -> Vec<u32> {
+    let mut depths = full_tree_pattern(n, seed);
+    depths.sort_unstable(); // ascending
+    let mut out = vec![0u32; n];
+    let (mut lo, mut hi) = (0usize, n);
+    // Deal ascending depths alternately to the two ends; the front gets
+    // the small values ascending, the back gets them descending.
+    let mut front = true;
+    for d in depths {
+        if front {
+            out[lo] = d;
+            lo += 1;
+        } else {
+            hi -= 1;
+            out[hi] = d;
+        }
+        front = !front;
+    }
+    out
+}
+
+/// A feasible general pattern with roughly `humps` fingers: concatenates
+/// depth sequences of random full trees, each shifted under a common
+/// root chain. Realizable by construction (it is the leaf pattern of an
+/// explicit tree).
+pub fn pattern_with_fingers(humps: usize, leaves_per_hump: usize, seed: u64) -> Vec<u32> {
+    assert!(humps >= 1 && leaves_per_hump >= 1);
+    if humps == 1 {
+        return full_tree_pattern(leaves_per_hump, seed);
+    }
+    // Build a left spine of `humps` nodes; hang a random full tree at each
+    // spine position. The leaf pattern of the result is the concatenation
+    // of the hump patterns shifted by their spine depth, which (for humps
+    // of varying internal shape) yields many local maxima.
+    let mut out = Vec::with_capacity(humps * leaves_per_hump);
+    for h in 0..humps {
+        // Spine node at depth h+1 for all but the last hump, which sits at
+        // depth `humps` alongside the previous one (classic chain shape:
+        // each spine node has one subtree child and one chain child).
+        let depth = if h + 1 == humps { h as u32 } else { (h + 1) as u32 };
+        let sub = full_tree_pattern(leaves_per_hump, seed.wrapping_add(h as u64));
+        out.extend(sub.into_iter().map(|d| d + depth));
+    }
+    out
+}
+
+/// Counts the fingers (local maxima regions) of a pattern — the `m` of
+/// Theorem 7.3. A plateau counts once.
+pub fn count_fingers(pattern: &[u32]) -> usize {
+    if pattern.is_empty() {
+        return 0;
+    }
+    // Collapse plateaus, then count local maxima (including the ends when
+    // they are maxima).
+    let mut levels: Vec<u32> = Vec::with_capacity(pattern.len());
+    for &l in pattern {
+        if levels.last() != Some(&l) {
+            levels.push(l);
+        }
+    }
+    let m = levels.len();
+    let mut fingers = 0;
+    for i in 0..m {
+        let left_ok = i == 0 || levels[i - 1] < levels[i];
+        let right_ok = i + 1 == m || levels[i + 1] < levels[i];
+        if left_ok && right_ok {
+            fingers += 1;
+        }
+    }
+    fingers
+}
+
+// ---------------------------------------------------------------------
+// Monge matrices
+// ---------------------------------------------------------------------
+
+/// Entries of a random `rows × cols` *concave* (Monge) matrix: satisfies
+/// `M[i][j] + M[k][l] ≤ M[i][l] + M[k][j]` for `i < k`, `j < l`.
+///
+/// Construction: `M[i][j] = r_i + c_j − Σ_{u≤i, v≤j} d[u][v]` with
+/// `d ≥ 0`. The double cumulative sum is supermodular, so its negation is
+/// submodular (= concave in the paper's sense); row/column offsets do not
+/// affect the quadrangle condition.
+pub fn random_monge(rows: usize, cols: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut r = rng(seed);
+    let d: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(|_| r.gen_range(0..100) as f64).collect())
+        .collect();
+    let row_off: Vec<f64> = (0..rows).map(|_| r.gen_range(0..1000) as f64).collect();
+    let col_off: Vec<f64> = (0..cols).map(|_| r.gen_range(0..1000) as f64).collect();
+
+    let mut m = vec![vec![0.0; cols]; rows];
+    let mut cum = vec![0.0f64; cols];
+    for i in 0..rows {
+        let mut row_acc = 0.0;
+        for j in 0..cols {
+            row_acc += d[i][j];
+            cum[j] += row_acc;
+            m[i][j] = row_off[i] + col_off[j] - cum[j];
+        }
+    }
+    m
+}
+
+/// Checks the quadrangle (Monge/concave) condition on raw entries —
+/// quadratic in the matrix size; test-support only.
+pub fn is_monge(m: &[Vec<f64>], tol: f64) -> bool {
+    let rows = m.len();
+    if rows == 0 {
+        return true;
+    }
+    let cols = m[0].len();
+    for i in 0..rows.saturating_sub(1) {
+        for j in 0..cols.saturating_sub(1) {
+            // Adjacent quadrangles suffice: the condition is closed under
+            // composition of adjacent rows/columns.
+            if m[i][j] + m[i + 1][j + 1] > m[i][j + 1] + m[i + 1][j] + tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------
+// Strings for grammar recognition
+// ---------------------------------------------------------------------
+
+/// An even-length palindrome over `{a, b}` of length `2k`.
+pub fn palindrome(k: usize, seed: u64) -> Vec<u8> {
+    let mut r = rng(seed);
+    let half: Vec<u8> = (0..k).map(|_| if r.gen_bool(0.5) { b'a' } else { b'b' }).collect();
+    let mut s = half.clone();
+    s.extend(half.iter().rev());
+    s
+}
+
+/// The string `a^n b^n`.
+pub fn an_bn(n: usize) -> Vec<u8> {
+    let mut s = vec![b'a'; n];
+    s.extend(std::iter::repeat_n(b'b', n));
+    s
+}
+
+/// A uniformly random string over `alphabet`.
+pub fn random_string(len: usize, alphabet: &[u8], seed: u64) -> Vec<u8> {
+    assert!(!alphabet.is_empty());
+    let mut r = rng(seed);
+    (0..len).map(|_| alphabet[r.gen_range(0..alphabet.len())]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kraft(pattern: &[u32]) -> f64 {
+        pattern.iter().map(|&l| 2f64.powi(-(l as i32))).sum()
+    }
+
+    #[test]
+    fn uniform_weights_deterministic_and_in_range() {
+        let a = uniform_weights(100, 50, 7);
+        let b = uniform_weights(100, 50, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&w| (1.0..=50.0).contains(&w)));
+    }
+
+    #[test]
+    fn zipf_weights_skewed() {
+        let w = sorted(zipf_weights(64, 1.0, 3));
+        assert_eq!(w.len(), 64);
+        assert!(w[0] >= 1.0);
+        assert!(w[63] > 10.0 * w[0], "Zipf should be skewed: {} vs {}", w[63], w[0]);
+    }
+
+    #[test]
+    fn geometric_weights_grow() {
+        let w = sorted(geometric_weights(20, 1.7, 1));
+        assert!(w.windows(2).all(|p| p[0] <= p[1]));
+        assert!(w[19] > w[0]);
+    }
+
+    #[test]
+    fn dyadic_weights_kraft_exact() {
+        for n in [2usize, 3, 5, 9] {
+            let w = dyadic_weights(n);
+            let total: f64 = w.iter().sum();
+            // Ideal code lengths -log2(w/total) are integers ⇔ each w
+            // divides the total as a power of two.
+            for &x in &w {
+                let ratio = total / x;
+                assert_eq!(ratio, ratio.round(), "n={n}");
+                assert_eq!((ratio as u64).count_ones(), 1, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_tree_pattern_kraft_is_one() {
+        for n in [1usize, 2, 3, 10, 100] {
+            let p = full_tree_pattern(n, 42);
+            assert_eq!(p.len(), n);
+            assert!((kraft(&p) - 1.0).abs() < 1e-9, "n={n}: kraft={}", kraft(&p));
+        }
+    }
+
+    #[test]
+    fn monotone_pattern_is_monotone_and_feasible() {
+        let p = monotone_pattern(50, 9);
+        assert!(p.windows(2).all(|w| w[0] >= w[1]));
+        assert!(kraft(&p) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn bitonic_pattern_is_bitonic() {
+        let p = bitonic_pattern(51, 5);
+        assert_eq!(p.len(), 51);
+        // Find the split: non-decreasing then non-increasing.
+        let mut i = 0;
+        while i + 1 < p.len() && p[i] <= p[i + 1] {
+            i += 1;
+        }
+        assert!(
+            p[i..].windows(2).all(|w| w[0] >= w[1]),
+            "not bitonic: {:?}",
+            p
+        );
+        assert!((kraft(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pattern_with_fingers_counts() {
+        let p = pattern_with_fingers(8, 16, 11);
+        assert_eq!(p.len(), 8 * 16);
+        let m = count_fingers(&p);
+        assert!(m >= 2, "expected several fingers, got {m}");
+        assert!((kraft(&p) - 1.0).abs() < 1e-9, "kraft={}", kraft(&p));
+    }
+
+    #[test]
+    fn count_fingers_basics() {
+        assert_eq!(count_fingers(&[]), 0);
+        assert_eq!(count_fingers(&[3]), 1);
+        assert_eq!(count_fingers(&[1, 2, 3]), 1);
+        assert_eq!(count_fingers(&[3, 2, 1]), 1);
+        assert_eq!(count_fingers(&[1, 3, 1, 3, 1]), 2);
+        assert_eq!(count_fingers(&[2, 2, 2]), 1);
+        assert_eq!(count_fingers(&[1, 3, 3, 1, 4, 1]), 2);
+    }
+
+    #[test]
+    fn random_monge_is_monge() {
+        for seed in 0..5 {
+            let m = random_monge(17, 23, seed);
+            assert!(is_monge(&m, 1e-9), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn is_monge_rejects_non_monge() {
+        let m = vec![vec![0.0, 10.0], vec![0.0, 0.0]];
+        // 0 + 0 > 10 + 0 is false; craft a violation:
+        let bad = vec![vec![0.0, 0.0], vec![0.0, 10.0]];
+        assert!(is_monge(&m, 1e-9));
+        assert!(!is_monge(&bad, 1e-9));
+    }
+
+    #[test]
+    fn strings_shapes() {
+        let p = palindrome(10, 3);
+        assert_eq!(p.len(), 20);
+        assert!(p.iter().eq(p.iter().rev()));
+        let s = an_bn(4);
+        assert_eq!(s, b"aaaabbbb");
+        let r = random_string(30, b"abc", 1);
+        assert!(r.iter().all(|c| b"abc".contains(c)));
+    }
+}

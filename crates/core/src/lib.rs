@@ -1,0 +1,26 @@
+//! # partree-core
+//!
+//! Shared foundation for the `partree` workspace, a reproduction of
+//! *Constructing Trees in Parallel* (Atallah, Kosaraju, Larmore, Miller,
+//! Teng; SPAA 1989).
+//!
+//! This crate holds the types every other crate agrees on:
+//!
+//! * [`Cost`] — the carrier of the `(min, +)` closed semiring the paper
+//!   works in (rationals extended with `+∞`),
+//! * [`Error`] / [`Result`] — the workspace error type,
+//! * [`gen`] — deterministic workload generators used by tests, examples
+//!   and the benchmark harness (weight distributions, leaf-level
+//!   patterns, strings for grammar recognition).
+//!
+//! Nothing in here is parallel; this is the vocabulary layer.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cost;
+pub mod error;
+pub mod gen;
+
+pub use cost::Cost;
+pub use error::{Error, Result};

@@ -1,0 +1,68 @@
+//! Property tests: the `(min, +)` closed-semiring laws on [`Cost`] —
+//! the algebra every dynamic program in the workspace computes in.
+
+use partree_core::cost::PrefixWeights;
+use partree_core::Cost;
+use proptest::prelude::*;
+
+/// Strategy: a Cost that is finite (integer-valued) or `+∞`.
+fn cost() -> impl Strategy<Value = Cost> {
+    prop_oneof![
+        8 => (0u32..1_000_000).prop_map(Cost::from),
+        1 => Just(Cost::INFINITY),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `min` is associative, commutative, idempotent, with identity +∞.
+    #[test]
+    fn min_is_a_commutative_idempotent_monoid(a in cost(), b in cost(), c in cost()) {
+        prop_assert_eq!(a.min(b).min(c), a.min(b.min(c)));
+        prop_assert_eq!(a.min(b), b.min(a));
+        prop_assert_eq!(a.min(a), a);
+        prop_assert_eq!(a.min(Cost::INFINITY), a);
+    }
+
+    /// `+` is associative, commutative, with identity 0 and absorbing
+    /// element +∞ (the semiring's multiplication).
+    #[test]
+    fn plus_is_a_commutative_monoid_with_absorption(a in cost(), b in cost(), c in cost()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!(a + Cost::ZERO, a);
+        prop_assert_eq!(a + Cost::INFINITY, Cost::INFINITY);
+    }
+
+    /// Distributivity: `a + min(b, c) = min(a+b, a+c)` — what makes
+    /// `(min,+)` matrix products associative, hence repeated squaring
+    /// valid.
+    #[test]
+    fn plus_distributes_over_min(a in cost(), b in cost(), c in cost()) {
+        prop_assert_eq!(a + b.min(c), (a + b).min(a + c));
+    }
+
+    /// The total order is compatible: adding a constant preserves it,
+    /// and `min` picks the smaller.
+    #[test]
+    fn order_compatibility(a in cost(), b in cost(), c in cost()) {
+        if a <= b {
+            prop_assert!(a + c <= b + c);
+        }
+        prop_assert!(a.min(b) <= a && a.min(b) <= b);
+    }
+
+    /// Prefix weights: `S[i,j] + S[j,k] = S[i,k]` (interval additivity),
+    /// the identity every DP's weight terms rely on.
+    #[test]
+    fn prefix_weight_additivity(ws in prop::collection::vec(0u32..10_000, 1..64)) {
+        let w: Vec<f64> = ws.iter().map(|&x| f64::from(x)).collect();
+        let pw = PrefixWeights::new(&w);
+        let n = w.len();
+        for (i, j, k) in [(0, n / 2, n), (0, 0, n), (n / 3, n / 2, (n / 2 + n) / 2)] {
+            prop_assert_eq!(pw.sum(i, j) + pw.sum(j, k), pw.sum(i, k));
+        }
+        prop_assert_eq!(pw.sum(0, n), pw.total());
+    }
+}

@@ -1,0 +1,174 @@
+//! Knuth's `O(n²)` optimal alphabetic tree DP.
+//!
+//! An *alphabetic* tree keeps the leaves in input order. For weights
+//! sorted non-decreasingly, an optimal alphabetic tree achieves the
+//! Huffman optimum (the monotone re-arrangement behind Lemma 3.1), which
+//! makes this DP both (a) the sequential tool the reconstruction phase
+//! uses to materialize per-segment subtrees and (b) an independent
+//! correctness oracle for the matrix algorithms.
+//!
+//! Knuth's speedup: the optimal root `r[a][b]` is monotone —
+//! `r[a][b-1] ≤ r[a][b] ≤ r[a+1][b]` — a consequence of the same
+//! quadrangle condition that drives Section 4; restricting the split
+//! search to that window telescopes the total work to `O(n²)`.
+
+use partree_core::cost::PrefixWeights;
+use partree_core::Cost;
+use partree_trees::arena::TreeBuilder;
+use partree_trees::Tree;
+
+/// An optimal alphabetic tree over a weight segment.
+pub struct Alphabetic {
+    /// Total weighted path length.
+    pub cost: Cost,
+    /// The tree; leaves tagged with global weight indices `i … j-1`.
+    pub tree: Tree,
+}
+
+/// Computes the optimal alphabetic tree over weights `i+1 … j` (paper
+/// boundary convention: `pw.sum(i, j)` is the segment's total weight).
+///
+/// Uses Knuth's monotone-root window; set `use_knuth_speedup = false` in
+/// [`alphabetic_optimal_with`] to get the plain `O(n³)` DP (ablation).
+pub fn alphabetic_optimal(pw: &PrefixWeights, i: usize, j: usize) -> Alphabetic {
+    alphabetic_optimal_with(pw, i, j, true)
+}
+
+/// [`alphabetic_optimal`] with the Knuth speedup toggleable.
+pub fn alphabetic_optimal_with(
+    pw: &PrefixWeights,
+    i: usize,
+    j: usize,
+    use_knuth_speedup: bool,
+) -> Alphabetic {
+    assert!(i < j && j <= pw.len(), "empty or out-of-range segment");
+    let m = j - i; // number of leaves
+    // e[a][b] (local boundaries 0..=m): optimal cost over leaves a..b.
+    let idx = |a: usize, b: usize| a * (m + 1) + b;
+    let mut e = vec![Cost::INFINITY; (m + 1) * (m + 1)];
+    let mut root = vec![0u32; (m + 1) * (m + 1)];
+    for a in 0..m {
+        e[idx(a, a + 1)] = Cost::ZERO;
+        root[idx(a, a + 1)] = (a + 1) as u32;
+    }
+    for d in 2..=m {
+        for a in 0..=m - d {
+            let b = a + d;
+            let (klo, khi) = if use_knuth_speedup && d > 2 {
+                (root[idx(a, b - 1)] as usize, root[idx(a + 1, b)] as usize)
+            } else {
+                (a + 1, b - 1)
+            };
+            let mut best = Cost::INFINITY;
+            let mut arg = a + 1;
+            for k in klo..=khi.min(b - 1).max(klo) {
+                let cand = e[idx(a, k)] + e[idx(k, b)];
+                if cand < best {
+                    best = cand;
+                    arg = k;
+                }
+            }
+            e[idx(a, b)] = best + pw.sum(i + a, i + b);
+            root[idx(a, b)] = arg as u32;
+        }
+    }
+
+    // Reconstruct.
+    let mut builder = TreeBuilder::new();
+    let r = build(&root, m, i, 0, m, &mut builder);
+    let tree = builder.build(r).expect("DP trees are valid");
+    Alphabetic { cost: e[idx(0, m)], tree }
+}
+
+fn build(
+    root: &[u32],
+    m: usize,
+    offset: usize,
+    a: usize,
+    b: usize,
+    builder: &mut TreeBuilder,
+) -> usize {
+    if b == a + 1 {
+        return builder.leaf(Some(offset + a));
+    }
+    let k = root[a * (m + 1) + b] as usize;
+    let l = build(root, m, offset, a, k, builder);
+    let r = build(root, m, offset, k, b, builder);
+    builder.internal(l, Some(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::huffman_heap;
+    use partree_core::gen;
+
+    #[test]
+    fn two_leaves() {
+        let pw = PrefixWeights::new(&[3.0, 5.0]);
+        let a = alphabetic_optimal(&pw, 0, 2);
+        assert_eq!(a.cost, Cost::new(8.0));
+        assert_eq!(a.tree.leaf_depths(), vec![1, 1]);
+    }
+
+    #[test]
+    fn matches_huffman_on_sorted_weights() {
+        for seed in 0..15 {
+            let w = gen::sorted(gen::uniform_weights(25, 100, seed));
+            let pw = PrefixWeights::new(&w);
+            let alpha = alphabetic_optimal(&pw, 0, 25);
+            let huff = huffman_heap(&w).unwrap();
+            assert_eq!(alpha.cost, huff.cost, "seed={seed}");
+            // And the tree's own cost matches.
+            let tree_cost: Cost = alpha
+                .tree
+                .leaf_levels()
+                .iter()
+                .map(|&(d, t)| Cost::new(w[t.unwrap()] * f64::from(d)))
+                .sum();
+            assert_eq!(tree_cost, alpha.cost, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn knuth_speedup_is_an_optimization_not_a_change() {
+        for seed in 0..10 {
+            let w = gen::sorted(gen::zipf_weights(20, 1.0, seed));
+            let pw = PrefixWeights::new(&w);
+            let fast = alphabetic_optimal_with(&pw, 0, 20, true);
+            let slow = alphabetic_optimal_with(&pw, 0, 20, false);
+            assert_eq!(fast.cost, slow.cost, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn segment_offsets_respected() {
+        let w = [9.0, 1.0, 1.0, 2.0, 9.0];
+        let pw = PrefixWeights::new(&w);
+        let a = alphabetic_optimal(&pw, 1, 4); // weights 1,1,2
+        let tags: Vec<_> = a.tree.leaf_levels().iter().map(|&(_, t)| t.unwrap()).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+        // Optimal over (1,1,2): ((1,1),2) → cost 2·2+2·1… = 1·2+1·2+2·1 = 6.
+        assert_eq!(a.cost, Cost::new(6.0));
+    }
+
+    #[test]
+    fn unsorted_weights_alphabetic_differs_from_huffman() {
+        // Alphabetic must keep order; with an adversarial order it can
+        // cost strictly more than Huffman.
+        let w = [10.0, 1.0, 10.0];
+        let pw = PrefixWeights::new(&w);
+        let alpha = alphabetic_optimal(&pw, 0, 3);
+        let huff = huffman_heap(&w).unwrap();
+        assert!(alpha.cost >= huff.cost);
+        assert_eq!(huff.cost, Cost::new(32.0)); // (1,10) merged first
+        assert_eq!(alpha.cost, Cost::new(32.0)); // ((10,1),10) = 22+10 = 32 ✓ equal here
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or out-of-range")]
+    fn empty_segment_panics() {
+        let pw = PrefixWeights::new(&[1.0]);
+        let _ = alphabetic_optimal(&pw, 1, 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Section 3: the RAKE/COMPRESS dynamic program (Theorem 3.1).
+//!
+//! The paper's first processor reduction: instead of iterating the
+//! Huffman recurrence `O(n)` times (one RAKE per round), simulate
+//! `⌈log n⌉` RAKEs on the `H` recurrence (eq. 1) and then `⌈log n⌉`
+//! COMPRESS steps on the `F` recurrence (eq. 2). Each round is one naive
+//! `(min,+)` product — `O(n³)` comparisons — which is exactly where §4/§5
+//! later cut the work to `O(n²)` per round. This module keeps the naive
+//! products on purpose: it *is* the Theorem 3.1 algorithm and the
+//! baseline of experiment E2.
+//!
+//! The `F` phase is realized through the spine matrix `M'` of §5 (the
+//! two formulations are the same recurrence; see [`crate::spine`]).
+
+use crate::sequential::huffman_heap;
+use crate::spine::spine_matrix;
+use crate::weight_matrix;
+use partree_core::cost::PrefixWeights;
+use partree_core::{Cost, Error, Result};
+use partree_monge::dense::min_plus_naive;
+use partree_monge::Matrix;
+use partree_pram::OpCounter;
+
+/// Outcome of the RAKE/COMPRESS DP.
+#[derive(Debug)]
+pub struct DpRun {
+    /// Optimal total weighted path length.
+    pub cost: Cost,
+    /// RAKE rounds executed (`⌈log₂ n⌉`).
+    pub rake_rounds: usize,
+    /// COMPRESS rounds executed (`⌈log₂ n⌉ + 1`).
+    pub compress_rounds: usize,
+}
+
+/// Runs the Theorem 3.1 algorithm on *sorted* weights.
+pub fn huffman_dp(sorted_weights: &[f64], counter: Option<&OpCounter>) -> Result<DpRun> {
+    crate::check_weights(sorted_weights)?;
+    if sorted_weights.windows(2).any(|w| w[0] > w[1]) {
+        return Err(Error::invalid("the §3 DP requires monotone weights (Lemma 3.1)"));
+    }
+    let n = sorted_weights.len();
+    if n == 1 {
+        return Ok(DpRun { cost: Cost::ZERO, rake_rounds: 0, compress_rounds: 0 });
+    }
+    let pw = PrefixWeights::new(sorted_weights);
+    let s = weight_matrix(&pw);
+
+    // RAKE phase: H ← min(H, H⋆H + S), ⌈log n⌉ times.
+    let rake_rounds = (n as f64).log2().ceil() as usize;
+    let mut h = Matrix::from_fn(n + 1, n + 1, |i, j| {
+        if j == i + 1 {
+            Cost::ZERO
+        } else {
+            Cost::INFINITY
+        }
+    });
+    for _ in 0..rake_rounds {
+        let prod = min_plus_naive(&h, &h, counter).entrywise_add(&s);
+        h = prod.entrywise_min(&h);
+    }
+
+    // COMPRESS phase: square the spine matrix ⌈log n⌉ + 1 times.
+    let compress_rounds = rake_rounds + 1;
+    let mut m = spine_matrix(&h, &pw);
+    for _ in 0..compress_rounds {
+        m = min_plus_naive(&m, &m, counter);
+    }
+
+    Ok(DpRun { cost: m.get(0, n), rake_rounds, compress_rounds })
+}
+
+/// Diagnostic variant: iterates RAKE until the `H` matrix is stable and
+/// reports how many rounds that took (the paper's `O(n)` bound without
+/// COMPRESS; experiment E2 shows stability is reached by `⌈log n⌉` on
+/// the height-bounded band but may take `Θ(n)` rounds for the full
+/// unrestricted fixpoint on skewed weights).
+pub fn rake_rounds_until_stable(sorted_weights: &[f64], max_rounds: usize) -> Result<usize> {
+    crate::check_weights(sorted_weights)?;
+    let n = sorted_weights.len();
+    let pw = PrefixWeights::new(sorted_weights);
+    let s = weight_matrix(&pw);
+    let mut h = Matrix::from_fn(n + 1, n + 1, |i, j| {
+        if j == i + 1 {
+            Cost::ZERO
+        } else {
+            Cost::INFINITY
+        }
+    });
+    for round in 1..=max_rounds {
+        let next = min_plus_naive(&h, &h, None).entrywise_add(&s).entrywise_min(&h);
+        if next.approx_eq(&h, 0.0) {
+            return Ok(round - 1);
+        }
+        h = next;
+    }
+    Ok(max_rounds)
+}
+
+/// Convenience wrapper asserting the DP agrees with the heap baseline
+/// (used by tests and the experiment driver).
+pub fn dp_cost_checked(sorted_weights: &[f64]) -> Result<Cost> {
+    let dp = huffman_dp(sorted_weights, None)?;
+    let heap = huffman_heap(sorted_weights)?;
+    if dp.cost != heap.cost {
+        return Err(Error::Internal(format!(
+            "DP cost {} disagrees with Huffman {}",
+            dp.cost, heap.cost
+        )));
+    }
+    Ok(dp.cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partree_core::gen;
+
+    #[test]
+    fn dp_matches_heap_on_random_inputs() {
+        for seed in 0..12 {
+            let w = gen::sorted(gen::uniform_weights(18, 100, seed));
+            dp_cost_checked(&w).unwrap();
+        }
+    }
+
+    #[test]
+    fn dp_matches_heap_on_skewed_inputs() {
+        // Geometric weights: longest spine, the COMPRESS phase does the
+        // heavy lifting.
+        for seed in 0..6 {
+            let w = gen::sorted(gen::geometric_weights(16, 1.9, seed));
+            dp_cost_checked(&w).unwrap();
+        }
+        // Zipf.
+        for seed in 0..6 {
+            let w = gen::sorted(gen::zipf_weights(20, 1.3, seed));
+            dp_cost_checked(&w).unwrap();
+        }
+    }
+
+    #[test]
+    fn round_counts_are_logarithmic() {
+        let w = gen::sorted(gen::uniform_weights(33, 50, 1));
+        let run = huffman_dp(&w, None).unwrap();
+        assert_eq!(run.rake_rounds, 6); // ⌈log₂ 33⌉
+        assert_eq!(run.compress_rounds, 7);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(huffman_dp(&[4.0], None).unwrap().cost, Cost::ZERO);
+        assert_eq!(huffman_dp(&[1.0, 2.0], None).unwrap().cost, Cost::new(3.0));
+        assert_eq!(huffman_dp(&[1.0, 1.0, 2.0], None).unwrap().cost, Cost::new(6.0));
+    }
+
+    #[test]
+    fn unsorted_rejected() {
+        assert!(huffman_dp(&[3.0, 1.0], None).is_err());
+    }
+
+    #[test]
+    fn rake_alone_stabilizes_slowly_on_chains() {
+        // Balanced weights stabilize in ~log n rounds; geometric weights
+        // (chain-shaped optimum) need more rounds of pure RAKE — the
+        // motivation for COMPRESS.
+        let balanced = vec![1.0; 16];
+        let fast = rake_rounds_until_stable(&balanced, 32).unwrap();
+        assert!(fast <= 5, "balanced stabilized in {fast}");
+
+        let chain = gen::sorted(gen::geometric_weights(16, 2.5, 0));
+        let slow = rake_rounds_until_stable(&chain, 32).unwrap();
+        assert!(slow > fast, "chain ({slow}) should need more RAKEs than balanced ({fast})");
+    }
+}

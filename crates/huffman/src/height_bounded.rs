@@ -1,0 +1,244 @@
+//! Section 5, step 1: height-bounded optimal trees via concave squaring.
+//!
+//! `A_h[i, j]` is the weighted path length of the cheapest tree over the
+//! (sorted) weights `p_{i+1} … p_j` among trees of height at most `h`
+//! (`+∞` when none exists, i.e. `i ≥ j` or `j − i > 2^h`). The paper's
+//! recurrence:
+//!
+//! ```text
+//! A_0[i, i+1] = 0,  A_0 = +∞ elsewhere
+//! A_h = (A_{h-1} ⋆ A_{h-1}) + S     entrywise on j − i ≥ 2
+//! ```
+//!
+//! Every `A_h` is concave (Lemma 5.1, the Quadrangle Lemma of Garey /
+//! Larmore), so each squaring is one concave product — `O(n²)`
+//! comparisons instead of `O(n³)` (Theorem 4.1). `⌈log₂ n⌉` rounds reach
+//! `A_{⌈log n⌉}`, which by Corollary 2.1 is enough for every off-spine
+//! subtree of some optimal left-justified tree.
+
+use crate::weight_matrix;
+use partree_core::cost::PrefixWeights;
+use partree_core::Cost;
+use partree_monge::cut::concave_mul;
+use partree_monge::Matrix;
+use partree_pram::OpCounter;
+
+/// The result of the height-bounded phase.
+pub struct HeightBounded {
+    /// `A_H` for `H = ⌈log₂ n⌉` (or the requested bound).
+    pub final_matrix: Matrix,
+    /// The height bound actually computed.
+    pub height: u32,
+    /// Cut (witness) matrices per round when retention was requested:
+    /// `cuts[t]` witnesses the product forming `A_{t+1}`.
+    pub cuts: Option<Vec<Vec<u32>>>,
+}
+
+/// Computes `A_H` for sorted weights. `retain_cuts` keeps the per-round
+/// witness matrices (`⌈log n⌉ · (n+1)²` u32 — reconstruction support);
+/// pass `false` for cost-only workloads.
+pub fn height_bounded(
+    pw: &PrefixWeights,
+    height: u32,
+    retain_cuts: bool,
+    counter: Option<&OpCounter>,
+) -> HeightBounded {
+    let n = pw.len();
+    let s = weight_matrix(pw);
+
+    let mut a = Matrix::from_fn(n + 1, n + 1, |i, j| {
+        if j == i + 1 {
+            Cost::ZERO
+        } else {
+            Cost::INFINITY
+        }
+    });
+    let mut cuts = retain_cuts.then(Vec::new);
+
+    for _ in 0..height {
+        let prod = concave_mul(&a, &a, counter);
+        // A_h = (A ⋆ A) + S on j−i ≥ 2; single leaves stay at 0. The
+        // entrywise min with the previous A restores the j = i+1 zeros
+        // (the product is ∞ there — no interior split point exists).
+        let next = prod.values.entrywise_add(&s);
+        a = next.entrywise_min(&a);
+        if let Some(c) = cuts.as_mut() {
+            c.push(prod.cut);
+        }
+    }
+
+    HeightBounded { final_matrix: a, height, cuts }
+}
+
+/// The default height bound `⌈log₂ n⌉` (at least 1).
+pub fn default_height(n: usize) -> u32 {
+    (usize::BITS - n.next_power_of_two().leading_zeros()).saturating_sub(1).max(1)
+}
+
+/// Reconstructs an optimal height-≤`H` tree over the segment `(i, j]`
+/// from retained cut matrices. Leaves are tagged with their (sorted)
+/// weight indices `i … j-1`.
+pub fn reconstruct_segment(
+    hb: &HeightBounded,
+    i: usize,
+    j: usize,
+) -> Option<partree_trees::Tree> {
+    let cuts = hb.cuts.as_ref()?;
+    if hb.final_matrix.get(i, j).is_infinite() {
+        return None;
+    }
+    let n_cols = hb.final_matrix.cols();
+    let mut b = partree_trees::arena::TreeBuilder::new();
+    let root = rec(cuts, n_cols, i, j, cuts.len(), &mut b)?;
+    b.build(root).ok()
+}
+
+fn rec(
+    cuts: &[Vec<u32>],
+    n_cols: usize,
+    i: usize,
+    j: usize,
+    h: usize,
+    b: &mut partree_trees::arena::TreeBuilder,
+) -> Option<usize> {
+    if j == i + 1 {
+        return Some(b.leaf(Some(i)));
+    }
+    debug_assert!(h > 0, "segments of ≥ 2 leaves need height budget");
+    let k = cuts[h - 1][i * n_cols + j];
+    if k == partree_monge::UNTRUSTED {
+        return None;
+    }
+    let k = k as usize;
+    let left = rec(cuts, n_cols, i, k, h - 1, b)?;
+    let right = rec(cuts, n_cols, k, j, h - 1, b)?;
+    Some(b.internal(left, Some(right)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabetic::alphabetic_optimal;
+    use crate::sequential::huffman_heap;
+    use partree_core::gen;
+    use partree_monge::concave::is_concave;
+
+    fn pw(w: &[f64]) -> PrefixWeights {
+        PrefixWeights::new(w)
+    }
+
+    #[test]
+    fn a_matrices_are_concave_lemma_5_1() {
+        let w = gen::sorted(gen::uniform_weights(14, 50, 3));
+        let p = pw(&w);
+        for h in 1..=4 {
+            let hb = height_bounded(&p, h, false, None);
+            assert!(is_concave(&hb.final_matrix, 1e-9), "A_{h} not concave");
+        }
+    }
+
+    #[test]
+    fn band_structure() {
+        let w = gen::sorted(gen::uniform_weights(10, 9, 1));
+        let p = pw(&w);
+        let hb = height_bounded(&p, 2, false, None);
+        for i in 0..=10usize {
+            for j in 0..=10usize {
+                let finite = hb.final_matrix.get(i, j).is_finite();
+                let expected = j > i && (j - i) <= 4;
+                assert_eq!(finite, expected, "A_2[{i},{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn full_height_matches_unrestricted_optimum() {
+        for seed in 0..10 {
+            let w = gen::sorted(gen::uniform_weights(17, 100, seed));
+            let p = pw(&w);
+            // Height 17 > any optimal tree's height.
+            let hb = height_bounded(&p, 17, false, None);
+            let opt = alphabetic_optimal(&p, 0, 17);
+            assert_eq!(hb.final_matrix.get(0, 17), opt.cost, "seed={seed}");
+            // And on sorted weights the alphabetic optimum IS the
+            // Huffman optimum.
+            let huff = huffman_heap(&w).unwrap();
+            assert_eq!(opt.cost, huff.cost, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn height_restriction_binds() {
+        // 4 equal weights: height 2 suffices (balanced, cost 8);
+        // height-2-optimal equals unrestricted; but n=5 with height 2
+        // has no tree at all (5 > 2²+…): A_2[0,5] = ∞.
+        let p4 = pw(&[1.0, 1.0, 1.0, 1.0]);
+        let hb = height_bounded(&p4, 2, false, None);
+        assert_eq!(hb.final_matrix.get(0, 4), Cost::new(8.0));
+        let p5 = pw(&[1.0; 5]);
+        let hb = height_bounded(&p5, 2, false, None);
+        assert!(hb.final_matrix.get(0, 5).is_infinite());
+    }
+
+    #[test]
+    fn skewed_weights_pay_for_height_restriction() {
+        // Geometric weights want a deep tree; restricting to ⌈log n⌉
+        // strictly increases cost for a long chain shape.
+        let w: Vec<f64> = (0..8).map(|i| 3f64.powi(i)).collect();
+        let p = pw(&w);
+        let restricted = height_bounded(&p, 3, false, None).final_matrix.get(0, 8);
+        let free = height_bounded(&p, 8, false, None).final_matrix.get(0, 8);
+        assert!(restricted > free, "restricted {restricted} ≤ free {free}");
+    }
+
+    #[test]
+    fn reconstruction_matches_cost_and_height() {
+        for seed in 0..10 {
+            let w = gen::sorted(gen::uniform_weights(13, 30, seed));
+            let p = pw(&w);
+            let h = 4u32;
+            let hb = height_bounded(&p, h, true, None);
+            let t = reconstruct_segment(&hb, 0, 13).expect("2^4 ≥ 13");
+            t.validate().unwrap();
+            assert!(t.height() <= h, "seed={seed}");
+            // Cost identity: Σ w·depth == A_h[0,n].
+            let cost: Cost = t
+                .leaf_levels()
+                .iter()
+                .map(|&(d, tag)| Cost::new(w[tag.unwrap()] * f64::from(d)))
+                .sum();
+            assert_eq!(cost, hb.final_matrix.get(0, 13), "seed={seed}");
+            // Leaves in sorted order.
+            let tags: Vec<_> = t.leaf_levels().iter().map(|&(_, t)| t.unwrap()).collect();
+            assert_eq!(tags, (0..13).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn reconstruction_of_inner_segments() {
+        let w = gen::sorted(gen::uniform_weights(12, 20, 5));
+        let p = pw(&w);
+        let hb = height_bounded(&p, 3, true, None);
+        let t = reconstruct_segment(&hb, 4, 9).expect("5 leaves fit in height 3");
+        let tags: Vec<_> = t.leaf_levels().iter().map(|&(_, t)| t.unwrap()).collect();
+        assert_eq!(tags, vec![4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn infeasible_segment_returns_none() {
+        let p = pw(&[1.0; 9]);
+        let hb = height_bounded(&p, 2, true, None);
+        assert!(reconstruct_segment(&hb, 0, 9).is_none());
+    }
+
+    #[test]
+    fn default_height_values() {
+        assert_eq!(default_height(2), 1);
+        assert_eq!(default_height(3), 2);
+        assert_eq!(default_height(4), 2);
+        assert_eq!(default_height(5), 3);
+        assert_eq!(default_height(1024), 10);
+        assert_eq!(default_height(1025), 11);
+        assert_eq!(default_height(1), 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! # partree-huffman
+//!
+//! Huffman coding, four ways — the paper's central application:
+//!
+//! * [`sequential`] — the classical baselines: Huffman's `O(n log n)`
+//!   heap algorithm and van Leeuwen's `O(n)` two-queue algorithm for
+//!   pre-sorted frequencies;
+//! * [`dp`] — Section 3: the RAKE/COMPRESS dynamic program over the `H`
+//!   and `F` recurrences (Theorem 3.1) — `⌈log n⌉` RAKE rounds followed
+//!   by `⌈log n⌉` COMPRESS rounds of naive `(min,+)` products;
+//! * [`height_bounded`] — Section 5, step 1: the `A_h` matrices
+//!   (optimal trees of height ≤ `h`) by `⌈log n⌉` *concave* squarings —
+//!   `A_h = (A_{h-1} ⋆ A_{h-1}) + S`, each product `O(n²)` comparisons;
+//! * [`spine`] — Section 5, step 2: the spine digraph `M'` (zero
+//!   self-loop at 0) and its repeated concave squaring, giving
+//!   `(M')^{2^{⌈log n⌉}}[0, n]` = the optimal average word length
+//!   (Theorem 5.1); plus the witness-free spine recovery used for tree
+//!   reconstruction;
+//! * [`alphabetic`] — Knuth's `O(n²)` optimal alphabetic tree DP (the
+//!   sequential tool used to materialize per-segment subtrees, and a
+//!   correctness oracle);
+//! * [`garsia_wachs`] — the Garsia–Wachs combining algorithm for
+//!   optimal alphabetic trees (a second, independent oracle);
+//! * [`package_merge`] — Larmore–Hirschberg length-limited Huffman
+//!   (the sequential classic for exactly the height-bounded quantity
+//!   `A_L[0, n]` that §5's matrices compute in parallel);
+//! * [`parallel`] — the assembled end-to-end algorithm: sort, height-
+//!   bounded DP, spine, reconstruction, inverse permutation.
+//!
+//! Conventions: weights enter as `&[f64]` (non-negative, finite;
+//! integer-valued inputs are computed exactly). Matrices index
+//! *boundaries* `0..=n`; entry `(i, j)` concerns weights `i+1 ..= j` in
+//! sorted order.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod alphabetic;
+pub mod garsia_wachs;
+pub mod dp;
+pub mod height_bounded;
+pub mod package_merge;
+pub mod parallel;
+pub mod sequential;
+pub mod spine;
+
+pub use parallel::{huffman_parallel, huffman_parallel_cost, HuffmanCode};
+
+use partree_core::cost::PrefixWeights;
+use partree_core::Cost;
+use partree_monge::Matrix;
+
+/// The paper's weight matrix `S[i, j] = p_{i+1} + … + p_j` for `i < j`,
+/// `+∞` otherwise — concave by construction.
+pub fn weight_matrix(pw: &PrefixWeights) -> Matrix {
+    let n = pw.len();
+    Matrix::from_fn(n + 1, n + 1, |i, j| if i < j { pw.sum(i, j) } else { Cost::INFINITY })
+}
+
+/// Validates a frequency slice: non-empty, all finite and non-negative.
+pub(crate) fn check_weights(weights: &[f64]) -> partree_core::Result<()> {
+    if weights.is_empty() {
+        return Err(partree_core::Error::invalid("need at least one symbol"));
+    }
+    if let Some(w) = weights.iter().find(|w| !w.is_finite() || **w < 0.0) {
+        return Err(partree_core::Error::invalid(format!("invalid weight {w}")));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_matrix_is_concave() {
+        let pw = PrefixWeights::new(&[3.0, 1.0, 4.0, 1.0, 5.0]);
+        let s = weight_matrix(&pw);
+        assert!(partree_monge::concave::is_concave(&s, 1e-9));
+        assert_eq!(s.get(0, 5), Cost::new(14.0));
+        assert_eq!(s.get(2, 4), Cost::new(5.0));
+        assert!(s.get(3, 3).is_infinite());
+        assert!(s.get(4, 2).is_infinite());
+    }
+
+    #[test]
+    fn weight_checks() {
+        assert!(check_weights(&[]).is_err());
+        assert!(check_weights(&[1.0, -2.0]).is_err());
+        assert!(check_weights(&[1.0, f64::INFINITY]).is_err());
+        assert!(check_weights(&[0.0, 2.0]).is_ok());
+    }
+}

@@ -1,0 +1,181 @@
+//! Package-merge: length-limited Huffman codes (Larmore–Hirschberg).
+//!
+//! The sequential classic for "optimal prefix code with all lengths
+//! ≤ L" — exactly the quantity the paper's height-bounded matrix
+//! `A_L[0, n]` computes in parallel (§5, step 1). Having both lets the
+//! test suite cross-validate the concave-matrix pipeline against an
+//! independent algorithm with a completely different structure.
+//!
+//! The coin-collector view: each symbol contributes one "coin" of face
+//! value `2^{-l}` for every level `l = 1..=L`, with numismatic value
+//! `w_i`. Buying face value `n − 1` at minimum numismatic cost forces
+//! each symbol to be bought through a prefix of its levels; symbol `i`
+//! bought `c_i` times means `l_i = c_i`. The greedy: sort level-`L`
+//! coins, package pairs, merge with level-`L−1` coins, repeat; take the
+//! cheapest `2n − 2` items of the final list.
+
+use crate::check_weights;
+use partree_core::{Cost, Error, Result};
+
+/// One list item: accumulated weight plus the multiset of leaves inside
+/// (as indices into the sorted weight array).
+#[derive(Clone)]
+struct Item {
+    weight: f64,
+    leaves: Vec<u32>,
+}
+
+/// Optimal code lengths for *sorted* weights under the constraint
+/// `lᵢ ≤ limit`, plus the optimal cost. Errors when `2^limit < n`.
+///
+/// ```
+/// use partree_huffman::package_merge::package_merge;
+///
+/// // 8 skewed weights forced into 3 bits: perfectly balanced code.
+/// let w: Vec<f64> = (0..8).map(|i| 3f64.powi(i)).collect();
+/// let (lengths, _) = package_merge(&w, 3)?;
+/// assert_eq!(lengths, vec![3; 8]);
+/// # Ok::<(), partree_core::Error>(())
+/// ```
+///
+pub fn package_merge(sorted_weights: &[f64], limit: u32) -> Result<(Vec<u32>, Cost)> {
+    check_weights(sorted_weights)?;
+    if sorted_weights.windows(2).any(|w| w[0] > w[1]) {
+        return Err(Error::invalid("package-merge expects sorted weights"));
+    }
+    let n = sorted_weights.len();
+    if n == 1 {
+        return Ok((vec![0], Cost::ZERO));
+    }
+    if limit < 64 && (1u64 << limit) < n as u64 {
+        return Err(Error::invalid(format!("no code with {n} symbols fits in {limit} bits")));
+    }
+
+    // Level-L list: one coin per symbol, already sorted.
+    let singletons: Vec<Item> = (0..n)
+        .map(|i| Item { weight: sorted_weights[i], leaves: vec![i as u32] })
+        .collect();
+
+    let mut list = singletons.clone();
+    for _level in (2..=limit).rev() {
+        // Package adjacent pairs…
+        let mut packages: Vec<Item> = Vec::with_capacity(list.len() / 2);
+        let mut it = list.chunks_exact(2);
+        for pair in &mut it {
+            let mut leaves = pair[0].leaves.clone();
+            leaves.extend_from_slice(&pair[1].leaves);
+            packages.push(Item { weight: pair[0].weight + pair[1].weight, leaves });
+        }
+        // …and merge with the next level's singletons (both sorted).
+        list = merge(singletons.clone(), packages);
+    }
+
+    // Buy the 2n − 2 cheapest items of the level-1 list.
+    let mut lengths = vec![0u32; n];
+    let mut cost = 0.0f64;
+    for item in list.iter().take(2 * n - 2) {
+        cost += item.weight;
+        for &leaf in &item.leaves {
+            lengths[leaf as usize] += 1;
+        }
+    }
+    Ok((lengths, Cost::new(cost)))
+}
+
+/// Stable merge of two weight-sorted item lists.
+fn merge(a: Vec<Item>, b: Vec<Item>) -> Vec<Item> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut ia, mut ib) = (0, 0);
+    while ia < a.len() && ib < b.len() {
+        if a[ia].weight <= b[ib].weight {
+            out.push(a[ia].clone());
+            ia += 1;
+        } else {
+            out.push(b[ib].clone());
+            ib += 1;
+        }
+    }
+    out.extend_from_slice(&a[ia..]);
+    out.extend_from_slice(&b[ib..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::height_bounded::height_bounded;
+    use crate::sequential::{huffman_heap, weighted_length};
+    use partree_core::cost::PrefixWeights;
+    use partree_core::gen;
+    use partree_trees::kraft::kraft_feasible;
+
+    #[test]
+    fn unbounded_limit_recovers_huffman() {
+        for seed in 0..10 {
+            let w = gen::sorted(gen::uniform_weights(30, 100, seed));
+            let (lengths, cost) = package_merge(&w, 30).unwrap();
+            let huff = huffman_heap(&w).unwrap();
+            assert_eq!(cost, huff.cost, "seed={seed}");
+            assert_eq!(weighted_length(&w, &lengths), cost);
+            assert!(kraft_feasible(&lengths));
+        }
+    }
+
+    #[test]
+    fn matches_height_bounded_matrix_for_every_limit() {
+        // The headline cross-check: package-merge cost == A_L[0, n] from
+        // the concave-matrix pipeline, for every feasible L.
+        for seed in 0..6 {
+            let w = gen::sorted(gen::uniform_weights(13, 50, seed));
+            let pw = PrefixWeights::new(&w);
+            for limit in 4..=8u32 {
+                let (lengths, cost) = package_merge(&w, limit).unwrap();
+                assert!(lengths.iter().all(|&l| l <= limit));
+                let hb = height_bounded(&pw, limit, false, None);
+                assert_eq!(
+                    cost,
+                    hb.final_matrix.get(0, 13),
+                    "seed={seed} limit={limit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tight_limit_forces_balance() {
+        // 8 very skewed weights forced into 3 bits: must be perfectly
+        // balanced (all lengths 3).
+        let w = gen::sorted(gen::geometric_weights(8, 3.0, 0));
+        let (lengths, _) = package_merge(&w, 3).unwrap();
+        assert_eq!(lengths, vec![3; 8]);
+    }
+
+    #[test]
+    fn restriction_costs_monotonically_more() {
+        let w = gen::sorted(gen::geometric_weights(12, 2.0, 1));
+        let mut prev: Option<Cost> = None;
+        for limit in (4..=11u32).rev() {
+            let (_, cost) = package_merge(&w, limit).unwrap();
+            if let Some(p) = prev {
+                assert!(cost >= p, "tightening the limit must not get cheaper: L={limit}");
+            }
+            prev = Some(cost);
+        }
+    }
+
+    #[test]
+    fn infeasible_limits_rejected() {
+        let w = [1.0, 1.0, 1.0, 1.0, 1.0];
+        assert!(package_merge(&w, 2).is_err()); // 2² < 5
+        assert!(package_merge(&w, 3).is_ok());
+        assert!(package_merge(&[2.0, 1.0], 5).is_err()); // unsorted
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(package_merge(&[5.0], 1).unwrap().0, vec![0]);
+        let (l, c) = package_merge(&[1.0, 2.0], 1).unwrap();
+        assert_eq!(l, vec![1, 1]);
+        assert_eq!(c, Cost::new(3.0));
+    }
+}

@@ -1,0 +1,359 @@
+//! The assembled parallel Huffman algorithm (Theorem 5.1).
+//!
+//! Pipeline:
+//!
+//! 1. sort the frequencies (the general problem reduces to the monotone
+//!    case — Lemma 3.1 / Teng);
+//! 2. height-bounded DP: `⌈log n⌉` concave squarings give `A_{⌈log n⌉}`
+//!    ([`crate::height_bounded`]);
+//! 3. spine: `(M')^{2^{⌈log n⌉+1}}[0, n]` by concave squaring gives the
+//!    optimal cost ([`crate::spine`]); reconstruction recovers the spine
+//!    boundaries with a backward sweep and materializes each off-spine
+//!    segment with the sequential alphabetic DP (any optimal segment
+//!    tree keeps the total optimal — heights need not stay bounded);
+//! 4. un-sort: permute code lengths and leaf tags back to input order.
+//!
+//! [`huffman_parallel_cost`] is the pure cost path (steps 1–3, all
+//! concave-matrix work, no reconstruction memory); [`huffman_parallel`]
+//! adds the tree.
+
+use crate::alphabetic::alphabetic_optimal;
+use crate::height_bounded::{default_height, height_bounded};
+use crate::sequential::weighted_length;
+use crate::spine::{spine_cost, spine_matrix, spine_segments};
+use partree_core::cost::PrefixWeights;
+use partree_core::{Cost, Error, Result};
+use partree_pram::OpCounter;
+use partree_trees::arena::TreeBuilder;
+use partree_trees::Tree;
+
+/// An optimal prefix code produced by the parallel algorithm.
+#[derive(Debug, Clone)]
+pub struct HuffmanCode {
+    /// Code length per symbol, in input order.
+    pub lengths: Vec<u32>,
+    /// Total weighted path length `Σ wᵢ·lᵢ`.
+    cost: Cost,
+    /// The code tree (leaves tagged with input symbol indices).
+    pub tree: Tree,
+}
+
+impl HuffmanCode {
+    /// Total weighted path length.
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// Average word length `Σ pᵢ·lᵢ / Σ pᵢ` — the paper's objective.
+    pub fn average_length(&self, weights: &[f64]) -> f64 {
+        let total: f64 = weights.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.cost.value() / total
+    }
+}
+
+/// Computes an optimal prefix code with the paper's concave-matrix
+/// algorithm, including the code tree.
+///
+/// ```
+/// use partree_huffman::parallel::huffman_parallel;
+///
+/// let code = huffman_parallel(&[45.0, 13.0, 12.0, 16.0, 9.0, 5.0])?;
+/// assert_eq!(code.cost().value(), 224.0);         // the textbook optimum
+/// assert_eq!(code.lengths[0], 1);                 // heaviest symbol: 1 bit
+/// # Ok::<(), partree_core::Error>(())
+/// ```
+pub fn huffman_parallel(weights: &[f64]) -> Result<HuffmanCode> {
+    huffman_parallel_counted(weights, None)
+}
+
+/// [`huffman_parallel`] with work counting.
+pub fn huffman_parallel_counted(
+    weights: &[f64],
+    counter: Option<&OpCounter>,
+) -> Result<HuffmanCode> {
+    crate::check_weights(weights)?;
+    let n = weights.len();
+    if n == 1 {
+        return Ok(HuffmanCode { lengths: vec![0], cost: Cost::ZERO, tree: Tree::leaf(Some(0)) });
+    }
+
+    let (perm, sorted) = sort_perm(weights);
+    let pw = PrefixWeights::new(&sorted);
+
+    // Step 1: height-bounded optimal trees.
+    let hb = height_bounded(&pw, default_height(n), false, counter);
+
+    // Step 2: spine decomposition (backward sweep over A_H).
+    let (bounds, cost) = spine_segments(&hb.final_matrix, &pw);
+
+    // Step 3: materialize — leftmost leaf, then one off-spine subtree
+    // per segment, bottom-up.
+    let mut builder = TreeBuilder::new();
+    let mut spine_node = builder.leaf(Some(0));
+    for seg in bounds.windows(2) {
+        let sub = alphabetic_optimal(&pw, seg[0], seg[1]);
+        let sub_root = import(&mut builder, &sub.tree);
+        spine_node = builder.internal(spine_node, Some(sub_root));
+    }
+    let mut tree = builder.build(spine_node)?;
+
+    // Step 4: back to input order.
+    tree.map_tags(|sorted_idx| perm[sorted_idx]);
+    let mut lengths = vec![0u32; n];
+    for (d, tag) in tree.leaf_levels() {
+        lengths[tag.expect("all leaves tagged")] = d;
+    }
+
+    // Cross-check the invariant Σ w·l = cost (exact for integer weights).
+    let direct = weighted_length(weights, &lengths);
+    if !direct.approx_eq(cost, 1e-6 * (1.0 + cost.value().abs())) {
+        return Err(Error::Internal(format!(
+            "reconstructed tree cost {direct} != spine cost {cost}"
+        )));
+    }
+
+    Ok(HuffmanCode { lengths, cost, tree })
+}
+
+/// Witness-based variant: retains the per-round cut matrices of the
+/// height-bounded phase and materializes every off-spine segment from
+/// them (instead of re-deriving segment trees with the alphabetic DP).
+/// The output tree therefore has *every off-spine subtree of height
+/// ≤ ⌈log₂ n⌉* — the exact Corollary 2.1 structure the paper's
+/// existence argument promises. Costs `⌈log n⌉·(n+1)²` extra `u32`s of
+/// witness memory.
+pub fn huffman_parallel_witnessed(weights: &[f64]) -> Result<HuffmanCode> {
+    crate::check_weights(weights)?;
+    let n = weights.len();
+    if n == 1 {
+        return Ok(HuffmanCode { lengths: vec![0], cost: Cost::ZERO, tree: Tree::leaf(Some(0)) });
+    }
+
+    let (perm, sorted) = sort_perm(weights);
+    let pw = PrefixWeights::new(&sorted);
+    let height = default_height(n);
+    let hb = height_bounded(&pw, height, true, None);
+    let (bounds, cost) = spine_segments(&hb.final_matrix, &pw);
+
+    let mut builder = TreeBuilder::new();
+    let mut spine_node = builder.leaf(Some(0));
+    for seg in bounds.windows(2) {
+        let sub = crate::height_bounded::reconstruct_segment(&hb, seg[0], seg[1])
+            .ok_or_else(|| {
+                Error::Internal(format!(
+                    "spine segment ({}, {}] has no height-{height} witness",
+                    seg[0], seg[1]
+                ))
+            })?;
+        let sub_root = import(&mut builder, &sub);
+        spine_node = builder.internal(spine_node, Some(sub_root));
+    }
+    let mut tree = builder.build(spine_node)?;
+    tree.map_tags(|sorted_idx| perm[sorted_idx]);
+    let mut lengths = vec![0u32; n];
+    for (d, tag) in tree.leaf_levels() {
+        lengths[tag.expect("all leaves tagged")] = d;
+    }
+    let direct = weighted_length(weights, &lengths);
+    if !direct.approx_eq(cost, 1e-6 * (1.0 + cost.value().abs())) {
+        return Err(Error::Internal(format!(
+            "witnessed tree cost {direct} != spine cost {cost}"
+        )));
+    }
+    Ok(HuffmanCode { lengths, cost, tree })
+}
+
+/// Cost-only path: the paper's Theorem 5.1 computation end to end on
+/// concave products (no reconstruction, `O(n²)` memory).
+pub fn huffman_parallel_cost(weights: &[f64]) -> Result<Cost> {
+    huffman_parallel_cost_counted(weights, None)
+}
+
+/// [`huffman_parallel_cost`] with work counting.
+pub fn huffman_parallel_cost_counted(
+    weights: &[f64],
+    counter: Option<&OpCounter>,
+) -> Result<Cost> {
+    crate::check_weights(weights)?;
+    let n = weights.len();
+    if n == 1 {
+        return Ok(Cost::ZERO);
+    }
+    let (_, sorted) = sort_perm(weights);
+    let pw = PrefixWeights::new(&sorted);
+    let hb = height_bounded(&pw, default_height(n), false, counter);
+    let m = spine_matrix(&hb.final_matrix, &pw);
+    let squarings = (n as f64).log2().ceil() as usize + 1;
+    Ok(spine_cost(&m, squarings, counter))
+}
+
+/// Stable sort permutation: returns `(perm, sorted)` with
+/// `sorted[k] = weights[perm[k]]`.
+fn sort_perm(weights: &[f64]) -> (Vec<usize>, Vec<f64>) {
+    let mut perm: Vec<usize> = (0..weights.len()).collect();
+    perm.sort_by(|&a, &b| weights[a].total_cmp(&weights[b]));
+    let sorted = perm.iter().map(|&i| weights[i]).collect();
+    (perm, sorted)
+}
+
+/// Copies `sub` into `builder`, returning the new root id.
+fn import(builder: &mut TreeBuilder, sub: &Tree) -> usize {
+    fn rec(builder: &mut TreeBuilder, sub: &Tree, v: usize) -> usize {
+        let node = &sub.nodes()[v];
+        if node.is_leaf() {
+            return builder.leaf(node.tag);
+        }
+        let l = rec(builder, sub, node.left);
+        let r = if node.right != partree_trees::arena::NONE {
+            Some(rec(builder, sub, node.right))
+        } else {
+            None
+        };
+        builder.internal(l, r)
+    }
+    rec(builder, sub, sub.root())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequential::huffman_heap;
+    use partree_core::gen;
+    use partree_trees::kraft::kraft_complete;
+
+    fn check(weights: &[f64]) {
+        let par = huffman_parallel(weights).unwrap();
+        let seq = huffman_heap(weights).unwrap();
+        assert_eq!(par.cost(), seq.cost, "weights {weights:?}");
+        assert_eq!(weighted_length(weights, &par.lengths), par.cost());
+        assert!(kraft_complete(&par.lengths), "lengths {:?}", par.lengths);
+        par.tree.validate().unwrap();
+        let cost_only = huffman_parallel_cost(weights).unwrap();
+        assert_eq!(cost_only, seq.cost);
+    }
+
+    #[test]
+    fn textbook_example() {
+        check(&[5.0, 9.0, 12.0, 13.0, 16.0, 45.0]);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        check(&[45.0, 5.0, 16.0, 9.0, 13.0, 12.0]);
+    }
+
+    #[test]
+    fn uniform_random_weights() {
+        for seed in 0..10 {
+            check(&gen::uniform_weights(30, 1000, seed));
+        }
+    }
+
+    #[test]
+    fn zipf_weights() {
+        for seed in 0..8 {
+            check(&gen::zipf_weights(40, 1.2, seed));
+        }
+    }
+
+    #[test]
+    fn geometric_weights_deep_spines() {
+        for seed in 0..5 {
+            check(&gen::geometric_weights(24, 1.7, seed));
+        }
+        check(&gen::geometric_weights(16, 2.5, 0));
+    }
+
+    #[test]
+    fn equal_weights() {
+        check(&[7.0; 16]);
+        check(&[3.0; 5]);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let one = huffman_parallel(&[42.0]).unwrap();
+        assert_eq!(one.lengths, vec![0]);
+        assert_eq!(one.cost(), Cost::ZERO);
+        check(&[1.0, 1.0]);
+        check(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn zero_weights() {
+        check(&[0.0, 0.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn moderate_size_exactness() {
+        for seed in 0..3 {
+            check(&gen::uniform_weights(150, 10_000, seed));
+        }
+    }
+
+    #[test]
+    fn lengths_in_input_order() {
+        // Heaviest symbol must get the (weakly) shortest code.
+        let w = [1.0, 100.0, 1.0, 1.0, 1.0];
+        let par = huffman_parallel(&w).unwrap();
+        let min_len = *par.lengths.iter().min().unwrap();
+        assert_eq!(par.lengths[1], min_len);
+    }
+
+    #[test]
+    fn witnessed_variant_is_exact_and_height_structured() {
+        use partree_trees::shape::max_off_spine_height;
+        for seed in 0..8 {
+            for dist in 0..3 {
+                let w = match dist {
+                    0 => gen::uniform_weights(50, 400, seed),
+                    1 => gen::zipf_weights(50, 1.2, seed),
+                    _ => gen::geometric_weights(30, 1.6, seed),
+                };
+                let wit = super::huffman_parallel_witnessed(&w).unwrap();
+                let seq = huffman_heap(&w).unwrap();
+                assert_eq!(wit.cost(), seq.cost, "dist={dist} seed={seed}");
+                wit.tree.validate().unwrap();
+                // Corollary 2.1's structure: off-spine subtrees of the
+                // witnessed tree are height-bounded by ⌈log n⌉.
+                let bound = crate::height_bounded::default_height(w.len());
+                assert!(
+                    max_off_spine_height(&wit.tree) <= bound,
+                    "dist={dist} seed={seed}: off-spine {} > {bound}",
+                    max_off_spine_height(&wit.tree)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witnessed_and_alphabetic_reconstructions_agree_on_cost() {
+        for seed in 0..6 {
+            let w = gen::uniform_weights(64, 256, seed);
+            let a = huffman_parallel(&w).unwrap();
+            let b = super::huffman_parallel_witnessed(&w).unwrap();
+            assert_eq!(a.cost(), b.cost());
+            // Lengths may differ tree-by-tree but Σwl is identical.
+            assert_eq!(
+                weighted_length(&w, &a.lengths),
+                weighted_length(&w, &b.lengths)
+            );
+        }
+    }
+
+    #[test]
+    fn average_length_bounds() {
+        // Entropy ≤ average length < entropy + 1 (source coding theorem).
+        let w = gen::zipf_weights(64, 1.0, 2);
+        let total: f64 = w.iter().sum();
+        let entropy: f64 =
+            w.iter().map(|&x| (x / total) * (total / x).log2()).sum();
+        let par = huffman_parallel(&w).unwrap();
+        let avg = par.average_length(&w);
+        assert!(avg >= entropy - 1e-9, "avg {avg} < entropy {entropy}");
+        assert!(avg < entropy + 1.0, "avg {avg} ≥ entropy+1 {entropy}");
+    }
+}

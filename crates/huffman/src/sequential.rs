@@ -1,0 +1,227 @@
+//! Sequential Huffman baselines.
+//!
+//! * [`huffman_heap`] — Huffman's 1952 algorithm with a binary heap:
+//!   `O(n log n)`, any input order. The correctness oracle for
+//!   everything else in this crate.
+//! * [`huffman_two_queue`] — van Leeuwen's linear-time variant for
+//!   pre-sorted frequencies (the paper cites this as "[11]": if the
+//!   probabilities are preordered the algorithm is actually linear
+//!   time).
+//!
+//! Both produce a [`SeqHuffman`]: total weighted path length, code
+//! lengths per symbol (in input order), and the code tree with leaves
+//! tagged by symbol index.
+
+use crate::check_weights;
+use partree_core::{Cost, Result};
+use partree_trees::arena::{Node, Tree, NONE};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Output of the sequential algorithms.
+#[derive(Debug, Clone)]
+pub struct SeqHuffman {
+    /// Total weighted path length `Σ wᵢ·lᵢ` (the paper's "average word
+    /// length" scaled by the total weight).
+    pub cost: Cost,
+    /// Code length (leaf depth) per symbol, in input order.
+    pub lengths: Vec<u32>,
+    /// The code tree; leaf tags are input symbol indices.
+    pub tree: Tree,
+}
+
+/// Huffman's algorithm with a binary heap. Ties break deterministically
+/// on (weight, creation order).
+pub fn huffman_heap(weights: &[f64]) -> Result<SeqHuffman> {
+    check_weights(weights)?;
+    let n = weights.len();
+
+    let mut nodes: Vec<Node> = (0..n)
+        .map(|i| Node { parent: NONE, left: NONE, right: NONE, tag: Some(i) })
+        .collect();
+
+    // (weight, node id): Ord on the pair gives weight-then-age ties.
+    let mut heap: BinaryHeap<Reverse<(Cost, usize)>> = (0..n)
+        .map(|i| Reverse((Cost::new(weights[i]), i)))
+        .collect();
+
+    let mut cost = Cost::ZERO;
+    while heap.len() >= 2 {
+        let Reverse((wa, a)) = heap.pop().expect("len >= 2");
+        let Reverse((wb, b)) = heap.pop().expect("len >= 2");
+        let id = nodes.len();
+        nodes.push(Node { parent: NONE, left: a, right: b, tag: None });
+        nodes[a].parent = id;
+        nodes[b].parent = id;
+        let w = wa + wb;
+        cost += w;
+        heap.push(Reverse((w, id)));
+    }
+
+    let root = heap.pop().expect("non-empty input").0 .1;
+    finish(nodes, root, n, cost)
+}
+
+/// Van Leeuwen's two-queue algorithm — requires `weights` sorted
+/// non-decreasing; `O(n)` after the sort.
+pub fn huffman_two_queue(sorted_weights: &[f64]) -> Result<SeqHuffman> {
+    check_weights(sorted_weights)?;
+    if sorted_weights.windows(2).any(|w| w[0] > w[1]) {
+        return Err(partree_core::Error::invalid("two-queue Huffman requires sorted weights"));
+    }
+    let n = sorted_weights.len();
+
+    let mut nodes: Vec<Node> = (0..n)
+        .map(|i| Node { parent: NONE, left: NONE, right: NONE, tag: Some(i) })
+        .collect();
+
+    // Queue 1: leaves in weight order; queue 2: merged nodes in creation
+    // order (their weights are non-decreasing — the classic invariant).
+    let mut q1: std::collections::VecDeque<(Cost, usize)> =
+        (0..n).map(|i| (Cost::new(sorted_weights[i]), i)).collect();
+    let mut q2: std::collections::VecDeque<(Cost, usize)> = std::collections::VecDeque::new();
+
+    let mut cost = Cost::ZERO;
+    let take_min = |q1: &mut std::collections::VecDeque<(Cost, usize)>,
+                        q2: &mut std::collections::VecDeque<(Cost, usize)>| {
+        match (q1.front().copied(), q2.front().copied()) {
+            (Some(a), Some(b)) => {
+                // Prefer the leaf queue on ties (deterministic; matches
+                // the heap's weight-then-age order for leaves vs merges).
+                if a.0 <= b.0 {
+                    q1.pop_front().expect("peeked")
+                } else {
+                    q2.pop_front().expect("peeked")
+                }
+            }
+            (Some(_), None) => q1.pop_front().expect("peeked"),
+            (None, Some(_)) => q2.pop_front().expect("peeked"),
+            (None, None) => unreachable!("loop guard keeps ≥ 2 items total"),
+        }
+    };
+
+    while q1.len() + q2.len() >= 2 {
+        let (wa, a) = take_min(&mut q1, &mut q2);
+        let (wb, b) = take_min(&mut q1, &mut q2);
+        let id = nodes.len();
+        nodes.push(Node { parent: NONE, left: a, right: b, tag: None });
+        nodes[a].parent = id;
+        nodes[b].parent = id;
+        let w = wa + wb;
+        cost += w;
+        q2.push_back((w, id));
+    }
+
+    let root = q1.pop_front().or_else(|| q2.pop_front()).expect("non-empty").1;
+    finish(nodes, root, n, cost)
+}
+
+fn finish(nodes: Vec<Node>, root: usize, n: usize, cost: Cost) -> Result<SeqHuffman> {
+    let tree = Tree::from_parts(nodes, root)?;
+    let mut lengths = vec![0u32; n];
+    for (depth, tag) in tree.leaf_levels() {
+        lengths[tag.expect("all leaves tagged")] = depth;
+    }
+    Ok(SeqHuffman { cost, lengths, tree })
+}
+
+/// `Σ wᵢ·lᵢ` for given lengths — the checking identity used by tests.
+pub fn weighted_length(weights: &[f64], lengths: &[u32]) -> Cost {
+    weights
+        .iter()
+        .zip(lengths)
+        .map(|(&w, &l)| Cost::new(w * f64::from(l)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partree_core::gen;
+    use partree_trees::kraft::kraft_complete;
+
+    #[test]
+    fn textbook_example() {
+        // Weights 5 9 12 13 16 45 — classic CLRS example, optimal 224… but
+        // scaled: cost = Σ w·l = 224 for these weights? Compute: optimal
+        // lengths (45:1, 16:3, 13:3, 12:3, 9:4, 5:4) → 45+48+39+36+36+20=224.
+        let w = [5.0, 9.0, 12.0, 13.0, 16.0, 45.0];
+        let h = huffman_heap(&w).unwrap();
+        assert_eq!(h.cost, Cost::new(224.0));
+        assert_eq!(weighted_length(&w, &h.lengths), h.cost);
+        assert!(kraft_complete(&h.lengths));
+    }
+
+    #[test]
+    fn single_symbol() {
+        let h = huffman_heap(&[7.0]).unwrap();
+        assert_eq!(h.cost, Cost::ZERO);
+        assert_eq!(h.lengths, vec![0]);
+        assert_eq!(h.tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn two_symbols() {
+        let h = huffman_heap(&[3.0, 9.0]).unwrap();
+        assert_eq!(h.cost, Cost::new(12.0));
+        assert_eq!(h.lengths, vec![1, 1]);
+    }
+
+    #[test]
+    fn equal_weights_give_balanced_tree() {
+        let h = huffman_heap(&[1.0; 8]).unwrap();
+        assert_eq!(h.lengths, vec![3; 8]);
+        assert_eq!(h.cost, Cost::new(24.0));
+    }
+
+    #[test]
+    fn geometric_weights_give_deep_tree() {
+        let w: Vec<f64> = (0..10).map(|i| 2f64.powi(i)).collect();
+        let h = huffman_heap(&w).unwrap();
+        // Dyadic weights: lengths are the ideal code lengths.
+        assert_eq!(*h.lengths.iter().max().unwrap(), 9);
+        assert!(kraft_complete(&h.lengths));
+    }
+
+    #[test]
+    fn two_queue_matches_heap_on_sorted_inputs() {
+        for seed in 0..20 {
+            let w = gen::sorted(gen::uniform_weights(60, 1000, seed));
+            let a = huffman_heap(&w).unwrap();
+            let b = huffman_two_queue(&w).unwrap();
+            assert_eq!(a.cost, b.cost, "seed={seed}");
+            assert_eq!(weighted_length(&w, &b.lengths), b.cost);
+            assert!(kraft_complete(&b.lengths), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn two_queue_rejects_unsorted() {
+        assert!(huffman_two_queue(&[5.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn tree_is_full_and_consistent_with_lengths() {
+        let w = gen::zipf_weights(40, 1.2, 3);
+        let h = huffman_heap(&w).unwrap();
+        assert!(h.tree.is_full());
+        h.tree.validate().unwrap();
+        let mut by_tag = vec![0u32; 40];
+        for (d, t) in h.tree.leaf_levels() {
+            by_tag[t.unwrap()] = d;
+        }
+        assert_eq!(by_tag, h.lengths);
+    }
+
+    #[test]
+    fn zero_weights_allowed() {
+        let h = huffman_heap(&[0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(weighted_length(&[0.0, 0.0, 1.0], &h.lengths), h.cost);
+        assert!(kraft_complete(&h.lengths));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(huffman_heap(&[]).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Section 5, step 2: the spine computation.
+//!
+//! An optimal left-justified tree is its leftmost path (the *spine*)
+//! with a height-≤`⌈log n⌉` subtree hanging to the right of every spine
+//! node. The paper encodes spine extension as a digraph on the
+//! boundaries `{0, …, n}`:
+//!
+//! ```text
+//! M[0, 1] = 0                              (the leftmost leaf p₁)
+//! M[i, j] = A_H[i, j] + S[0, j]   (0 < i < j ≤ n)
+//! M'      = M  with a zero self-loop at 0
+//! ```
+//!
+//! A path `0 → 1 → j₂ → … → n` of length `k` describes a left-justified
+//! tree whose leftmost leaf is at depth `k − 1`; the `S[0, j]` column
+//! term charges every weight once per spine step above it — summing to
+//! exactly `depth × weight` per leaf. The self-loop lets shorter paths
+//! ride along, so `(M')^{2^{⌈log n⌉}}[0, n]` (repeated *concave*
+//! squaring — `M'` is concave) is the optimal weighted path length:
+//! Theorem 5.1.
+//!
+//! For reconstruction this module also provides the witness-free
+//! backward pass: `best[j] = min_i best[i] + A_H[i, j] + S[0, j]` with
+//! `best[1] = 0` — a sequential `O(n²)` sweep over one concave matrix,
+//! whose argmins are the spine segment boundaries.
+
+use partree_core::cost::PrefixWeights;
+use partree_core::Cost;
+use partree_monge::closure::power_trace;
+use partree_monge::Matrix;
+use partree_pram::OpCounter;
+
+/// Builds the paper's spine matrix `M'` from `A_H` (with the zero
+/// self-loop at vertex 0 already added).
+pub fn spine_matrix(a_h: &Matrix, pw: &PrefixWeights) -> Matrix {
+    let n = pw.len();
+    debug_assert_eq!(a_h.rows(), n + 1);
+    Matrix::from_fn(n + 1, n + 1, |i, j| {
+        if i == 0 && j <= 1 {
+            // j = 0: the self-loop making "length ≤ k" paths exact-length-k;
+            // j = 1: the leftmost leaf p₁.
+            Cost::ZERO
+        } else if i > 0 && i < j {
+            a_h.get(i, j) + pw.sum(0, j)
+        } else {
+            Cost::INFINITY
+        }
+    })
+}
+
+/// The optimal weighted path length via repeated concave squaring of
+/// `M'` — the fully parallel cost path of Theorem 5.1. `squarings`
+/// should be `⌈log₂ n⌉ + 1` so that paths of length up to `n` fit.
+pub fn spine_cost(m_prime: &Matrix, squarings: usize, counter: Option<&OpCounter>) -> Cost {
+    let n = m_prime.rows() - 1;
+    if n == 0 {
+        return Cost::ZERO;
+    }
+    if n == 1 {
+        return m_prime.get(0, 1);
+    }
+    let trace = power_trace(m_prime, squarings, counter);
+    trace.final_matrix().get(0, n)
+}
+
+/// The spine decomposition: segment boundaries `1 = b₀ < b₁ < … < b_m = n`
+/// (each `(b_t, b_{t+1}]` hangs as a height-bounded subtree off the
+/// spine), found by the backward `best[]` sweep. Also returns the
+/// optimal cost for cross-checking.
+pub fn spine_segments(a_h: &Matrix, pw: &PrefixWeights) -> (Vec<usize>, Cost) {
+    let n = pw.len();
+    if n == 1 {
+        return (vec![1], Cost::ZERO);
+    }
+    let mut best = vec![Cost::INFINITY; n + 1];
+    let mut from = vec![usize::MAX; n + 1];
+    best[1] = Cost::ZERO;
+    for j in 2..=n {
+        let col_weight = pw.sum(0, j);
+        for i in 1..j {
+            let a = a_h.get(i, j);
+            if a.is_infinite() || best[i].is_infinite() {
+                continue;
+            }
+            let cand = best[i] + a + col_weight;
+            if cand < best[j] {
+                best[j] = cand;
+                from[j] = i;
+            }
+        }
+    }
+    // Backtrack n → 1.
+    let mut bounds = vec![n];
+    let mut cur = n;
+    while cur != 1 {
+        cur = from[cur];
+        debug_assert_ne!(cur, usize::MAX, "best[] must be reachable");
+        bounds.push(cur);
+    }
+    bounds.reverse();
+    (bounds, best[n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::height_bounded::{default_height, height_bounded};
+    use crate::sequential::huffman_heap;
+    use partree_core::gen;
+    use partree_monge::concave::is_concave;
+
+    fn setup(w: &[f64]) -> (PrefixWeights, Matrix) {
+        let pw = PrefixWeights::new(w);
+        let h = default_height(w.len());
+        let hb = height_bounded(&pw, h, false, None);
+        (pw, hb.final_matrix)
+    }
+
+    #[test]
+    fn m_prime_is_concave() {
+        for seed in 0..8 {
+            let w = gen::sorted(gen::uniform_weights(12, 40, seed));
+            let (pw, a_h) = setup(&w);
+            let m = spine_matrix(&a_h, &pw);
+            assert!(is_concave(&m, 1e-9), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn spine_cost_equals_huffman_small() {
+        for seed in 0..15 {
+            let w = gen::sorted(gen::uniform_weights(9, 30, seed));
+            let (pw, a_h) = setup(&w);
+            let m = spine_matrix(&a_h, &pw);
+            let cost = spine_cost(&m, 5, None);
+            let huff = huffman_heap(&w).unwrap();
+            assert_eq!(cost, huff.cost, "seed={seed}: weights {w:?}");
+        }
+    }
+
+    #[test]
+    fn spine_cost_on_geometric_weights_deep_spine() {
+        // Geometric weights force a long spine — exercises the self-loop
+        // and the full squaring depth.
+        let w = gen::sorted(gen::geometric_weights(20, 1.8, 0));
+        let (pw, a_h) = setup(&w);
+        let m = spine_matrix(&a_h, &pw);
+        let cost = spine_cost(&m, 6, None);
+        assert_eq!(cost, huffman_heap(&w).unwrap().cost);
+    }
+
+    #[test]
+    fn segments_agree_with_power_cost() {
+        for seed in 0..10 {
+            let w = gen::sorted(gen::zipf_weights(24, 1.1, seed));
+            let (pw, a_h) = setup(&w);
+            let m = spine_matrix(&a_h, &pw);
+            let power_cost = spine_cost(&m, 6, None);
+            let (bounds, sweep_cost) = spine_segments(&a_h, &pw);
+            assert_eq!(power_cost, sweep_cost, "seed={seed}");
+            // Bounds: start at 1, end at n, strictly increasing, and each
+            // segment fits the height bound (finite A_H entry).
+            assert_eq!(*bounds.first().unwrap(), 1);
+            assert_eq!(*bounds.last().unwrap(), 24);
+            assert!(bounds.windows(2).all(|p| p[0] < p[1]));
+            for p in bounds.windows(2) {
+                assert!(a_h.get(p[0], p[1]).is_finite(), "seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_symbols() {
+        let w = [1.0, 2.0];
+        let (pw, a_h) = setup(&w);
+        let m = spine_matrix(&a_h, &pw);
+        assert_eq!(spine_cost(&m, 2, None), Cost::new(3.0));
+        let (bounds, c) = spine_segments(&a_h, &pw);
+        assert_eq!(bounds, vec![1, 2]);
+        assert_eq!(c, Cost::new(3.0));
+    }
+
+    #[test]
+    fn single_symbol() {
+        let w = [5.0];
+        let (pw, a_h) = setup(&w);
+        let m = spine_matrix(&a_h, &pw);
+        assert_eq!(spine_cost(&m, 1, None), Cost::ZERO);
+        assert_eq!(spine_segments(&a_h, &pw).0, vec![1]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests: five independent Huffman/alphabetic algorithms
+//! cross-validate on arbitrary weight vectors, and the height-bounded
+//! matrix agrees with package-merge at every feasible limit.
+
+use partree_core::cost::PrefixWeights;
+use partree_huffman::alphabetic::alphabetic_optimal;
+use partree_huffman::garsia_wachs::garsia_wachs;
+use partree_huffman::height_bounded::height_bounded;
+use partree_huffman::package_merge::package_merge;
+use partree_huffman::parallel::huffman_parallel;
+use partree_huffman::sequential::{huffman_heap, huffman_two_queue};
+use proptest::prelude::*;
+
+fn to_f64(ws: &[u32]) -> Vec<f64> {
+    ws.iter().map(|&x| f64::from(x.max(1))).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// heap == two-queue == parallel on sorted copies of arbitrary
+    /// weights; the parallel tree's Σwl matches.
+    #[test]
+    fn optimal_cost_consensus(ws in prop::collection::vec(1u32..5000, 2..48)) {
+        let w = to_f64(&ws);
+        let mut sorted = w.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let heap = huffman_heap(&w).unwrap().cost;
+        prop_assert_eq!(huffman_two_queue(&sorted).unwrap().cost, heap);
+        let par = huffman_parallel(&w).unwrap();
+        prop_assert_eq!(par.cost(), heap);
+    }
+
+    /// Garsia–Wachs == Knuth DP on arbitrary (unsorted!) orders.
+    #[test]
+    fn garsia_wachs_equals_knuth_dp(ws in prop::collection::vec(1u32..2000, 1..36)) {
+        let w = to_f64(&ws);
+        let (_, gw_cost) = garsia_wachs(&w).unwrap();
+        let pw = PrefixWeights::new(&w);
+        if w.len() >= 2 {
+            prop_assert_eq!(gw_cost, alphabetic_optimal(&pw, 0, w.len()).cost);
+        }
+    }
+
+    /// Package-merge == the concave-matrix height-bounded DP at every
+    /// feasible length limit.
+    #[test]
+    fn package_merge_equals_height_bounded(
+        ws in prop::collection::vec(1u32..500, 2..14),
+        extra in 0u32..4,
+    ) {
+        let mut w = to_f64(&ws);
+        w.sort_by(|a, b| a.total_cmp(b));
+        let n = w.len();
+        let min_l = (n as f64).log2().ceil() as u32;
+        let limit = min_l + extra;
+        let (lengths, cost) = package_merge(&w, limit).unwrap();
+        prop_assert!(lengths.iter().all(|&l| l <= limit));
+        let pw = PrefixWeights::new(&w);
+        let hb = height_bounded(&pw, limit, false, None);
+        prop_assert_eq!(cost, hb.final_matrix.get(0, n));
+    }
+
+    /// The sibling property (Huffman optimality certificate): in the
+    /// heap tree, the two deepest subtree weights at every internal
+    /// node merge order are non-decreasing — equivalently the code is
+    /// optimal, so Σwl never beats any other algorithm's output.
+    #[test]
+    fn no_algorithm_beats_another(ws in prop::collection::vec(1u32..1000, 2..24)) {
+        let w = to_f64(&ws);
+        let heap = huffman_heap(&w).unwrap().cost;
+        let (_, gw) = garsia_wachs(&{
+            let mut s = w.clone();
+            s.sort_by(|a, b| a.total_cmp(b));
+            s
+        }).unwrap();
+        // Alphabetic-on-sorted == Huffman (Lemma 3.1's engine).
+        prop_assert_eq!(gw, heap);
+    }
+}

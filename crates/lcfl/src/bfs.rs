@@ -1,0 +1,215 @@
+//! Sequential recognition: BFS over the induced graph.
+//!
+//! `O(n² · |P|)` — the practical sequential algorithm and the oracle
+//! the parallel recognizer is validated against. Parent links double as
+//! parse witnesses: the path from `v_{0,n-1,S}` to an accepting
+//! diagonal vertex, read edge by edge, *is* the derivation.
+
+use crate::grammar::{LinearGrammar, Rule};
+use crate::induced::InducedGraph;
+use std::collections::VecDeque;
+
+/// A derivation: the rules applied, outermost first.
+#[derive(Debug, Clone)]
+pub struct Derivation {
+    /// Applied rules, in derivation order (the last one is `A → a`).
+    pub rules: Vec<Rule>,
+}
+
+impl Derivation {
+    /// Replays the derivation and returns the derived terminal string
+    /// (`None` if the rule sequence is structurally invalid).
+    pub fn derived_string(&self) -> Option<Vec<u8>> {
+        let mut left: Vec<u8> = Vec::new();
+        let mut right: Vec<u8> = Vec::new(); // reversed
+        let mut cur: Option<usize> = None;
+        for (idx, r) in self.rules.iter().enumerate() {
+            let head = match *r {
+                Rule::Left { head, .. } | Rule::Right { head, .. } | Rule::Terminal { head, .. } => {
+                    head
+                }
+            };
+            if let Some(expect) = cur {
+                if head != expect {
+                    return None;
+                }
+            }
+            match *r {
+                Rule::Left { terminal, body, .. } => {
+                    left.push(terminal);
+                    cur = Some(body);
+                }
+                Rule::Right { body, terminal, .. } => {
+                    right.push(terminal);
+                    cur = Some(body);
+                }
+                Rule::Terminal { terminal, .. } => {
+                    if idx + 1 != self.rules.len() {
+                        return None;
+                    }
+                    left.push(terminal);
+                    cur = None;
+                }
+            }
+        }
+        if cur.is_some() {
+            return None; // never bottomed out
+        }
+        left.extend(right.into_iter().rev());
+        Some(left)
+    }
+}
+
+/// Recognizes `w` by BFS; `true` iff `w ∈ L(G)`.
+pub fn recognize_bfs(grammar: &LinearGrammar, word: &[u8]) -> bool {
+    parse_bfs(grammar, word).is_some()
+}
+
+/// Recognizes and extracts a derivation (`None` when `w ∉ L(G)`).
+pub fn parse_bfs(grammar: &LinearGrammar, word: &[u8]) -> Option<Derivation> {
+    let n = word.len();
+    if n == 0 {
+        return None;
+    }
+    let ig = InducedGraph::new(grammar, word);
+    let nnt = grammar.n_nonterminals();
+    let vid = |i: usize, j: usize, p: usize| ig.cell_index(i, j) * nnt + p;
+
+    let mut parent: Vec<Option<(usize, Rule)>> = vec![None; ig.vertex_count()];
+    let mut seen = vec![false; ig.vertex_count()];
+    let start = vid(0, n - 1, grammar.start());
+    seen[start] = true;
+    let mut queue = VecDeque::from([(0usize, n - 1, grammar.start())]);
+
+    while let Some((i, j, p)) = queue.pop_front() {
+        if i == j {
+            // Try to accept here.
+            if let Some(rule) = grammar.rules().iter().find(|r| {
+                matches!(**r, Rule::Terminal { head, terminal } if head == p && terminal == word[i])
+            }) {
+                // Reconstruct the derivation backwards.
+                let mut rules = vec![*rule];
+                let mut cur = vid(i, j, p);
+                while let Some((prev, r)) = parent[cur] {
+                    rules.push(r);
+                    cur = prev;
+                }
+                rules.reverse();
+                // parent chain collected root→leaf reversed; fix order:
+                // we pushed leaf-rule first then ancestors; after reverse
+                // the outermost rule is first and Terminal is last.
+                return Some(Derivation { rules });
+            }
+            continue;
+        }
+        for r in grammar.rules() {
+            let next = match *r {
+                Rule::Right { head, body, terminal } if head == p && terminal == word[j] => {
+                    Some((i, j - 1, body))
+                }
+                Rule::Left { head, terminal, body } if head == p && terminal == word[i] => {
+                    Some((i + 1, j, body))
+                }
+                _ => None,
+            };
+            if let Some((ni, nj, nq)) = next {
+                let id = vid(ni, nj, nq);
+                if !seen[id] {
+                    seen[id] = true;
+                    parent[id] = Some((vid(i, j, p), *r));
+                    queue.push_back((ni, nj, nq));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::{an_bn, even_palindromes, more_as_than_bs, palindromes};
+    use partree_core::gen;
+
+    #[test]
+    fn recognizes_palindromes() {
+        let g = even_palindromes();
+        assert!(recognize_bfs(&g, b"aa"));
+        assert!(recognize_bfs(&g, b"abba"));
+        assert!(recognize_bfs(&g, b"abaaba"));
+        assert!(!recognize_bfs(&g, b"ab"));
+        assert!(!recognize_bfs(&g, b"aba"));
+        assert!(!recognize_bfs(&g, b""));
+    }
+
+    #[test]
+    fn recognizes_an_bn() {
+        let g = an_bn();
+        for n in 1..8 {
+            assert!(recognize_bfs(&g, &gen::an_bn(n)), "a^{n} b^{n}");
+        }
+        assert!(!recognize_bfs(&g, b"aab"));
+        assert!(!recognize_bfs(&g, b"abb"));
+        assert!(!recognize_bfs(&g, b"ba"));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_strings() {
+        for (gname, g) in [
+            ("even_pal", even_palindromes()),
+            ("pal", palindromes()),
+            ("anbn", an_bn()),
+            ("more_as", more_as_than_bs()),
+        ] {
+            for seed in 0..40 {
+                let len = 1 + (seed as usize % 8);
+                let w = gen::random_string(len, b"ab", seed);
+                assert_eq!(
+                    recognize_bfs(&g, &w),
+                    g.derives_brute(&w),
+                    "{gname} on {:?}",
+                    String::from_utf8_lossy(&w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_replays_to_the_input() {
+        let g = palindromes();
+        for seed in 0..10 {
+            let w = gen::palindrome(6, seed);
+            let d = parse_bfs(&g, &w).expect("palindrome recognized");
+            assert_eq!(d.derived_string().expect("valid derivation"), w);
+        }
+        let g = an_bn();
+        let w = gen::an_bn(5);
+        let d = parse_bfs(&g, &w).unwrap();
+        assert_eq!(d.derived_string().unwrap(), w);
+    }
+
+    #[test]
+    fn parse_on_long_palindromes() {
+        let g = even_palindromes();
+        let w = gen::palindrome(60, 3);
+        let d = parse_bfs(&g, &w).expect("recognized");
+        assert_eq!(d.derived_string().unwrap(), w);
+    }
+
+    #[test]
+    fn no_parse_for_rejected_strings() {
+        assert!(parse_bfs(&an_bn(), b"abab").is_none());
+    }
+
+    #[test]
+    fn derivation_validator_rejects_garbage() {
+        let bad = Derivation {
+            rules: vec![Rule::Terminal { head: 0, terminal: b'a' }, Rule::Terminal { head: 0, terminal: b'a' }],
+        };
+        assert!(bad.derived_string().is_none());
+        let dangling = Derivation {
+            rules: vec![Rule::Left { head: 0, terminal: b'a', body: 0 }],
+        };
+        assert!(dangling.derived_string().is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! Theorem 8.1 — parallel recognition by divide-and-conquer over
+//! Boolean matrix products.
+//!
+//! Every edge of `IG(G, w)` moves from layer `d = j − i` to layer
+//! `d − 1`, so a run of the recognizer is a path through the `n` layers
+//! and each layer is a graph separator. Encoding layer-`d` → layer-`d−1`
+//! adjacency as a Boolean *transfer matrix* `T_d` (of shape
+//! `(n−d)|N| × (n−d+1)|N|`), recognition asks whether
+//!
+//! ```text
+//! e_S · T_{n-1} · T_{n-2} · … · T_1
+//! ```
+//!
+//! hits an accepting coordinate. A balanced product tree evaluates this
+//! chain in `⌈log₂ n⌉` rounds of Boolean matrix products (each `M(n)`
+//! work, rounds running their two halves in parallel) — the recurrence
+//! `P(n) = max(4·P(n/2), M(n)) = O(M(n))` of the paper, with the layer
+//! separator in place of the geometric `U/M/L/R` cut of Figure 3 (same
+//! asymptotics, simpler combine; recorded in DESIGN.md).
+
+use crate::grammar::{LinearGrammar, Rule};
+use partree_monge::BitMatrix;
+
+/// Recognizes `w` with the parallel divide-and-conquer recognizer.
+///
+/// ```
+/// use partree_lcfl::grammar::even_palindromes;
+/// use partree_lcfl::recognize_divide;
+///
+/// let g = even_palindromes();
+/// assert!(recognize_divide(&g, b"abba"));
+/// assert!(!recognize_divide(&g, b"abab"));
+/// ```
+pub fn recognize_divide(grammar: &LinearGrammar, word: &[u8]) -> bool {
+    let n = word.len();
+    if n == 0 {
+        return false;
+    }
+    let nnt = grammar.n_nonterminals();
+    if n == 1 {
+        return grammar.rules().iter().any(|r| {
+            matches!(*r, Rule::Terminal { head, terminal } if head == grammar.start() && terminal == word[0])
+        });
+    }
+
+    // The balanced product over transfer matrices T_{n-1} … T_1.
+    let total = product_range(grammar, word, n - 1, 1);
+
+    // Start row: layer n−1 has the single cell (0, n−1); row = start nt.
+    // Accepting columns: layer 0 cell i, nonterminal q with q → w_i.
+    let start_row = grammar.start();
+    debug_assert_eq!(total.rows(), nnt);
+    debug_assert_eq!(total.cols(), n * nnt);
+    grammar.rules().iter().any(|r| match *r {
+        Rule::Terminal { head, terminal } => (0..n)
+            .any(|i| word[i] == terminal && total.get(start_row, i * nnt + head)),
+        _ => false,
+    })
+}
+
+/// Parse extraction from the parallel recognizer: recovers a derivation
+/// by recursive midpoint search over the layer products — the standard
+/// witness-recovery companion to repeated squaring (`O(M(n) log n)`
+/// work, `O(log² n)` depth). Returns `None` when `w ∉ L(G)`.
+pub fn parse_divide(grammar: &LinearGrammar, word: &[u8]) -> Option<crate::bfs::Derivation> {
+    let n = word.len();
+    if n == 0 {
+        return None;
+    }
+    let nnt = grammar.n_nonterminals();
+    let terminal_rule = |cell: usize, nt: usize| {
+        grammar.rules().iter().copied().find(|r| {
+            matches!(*r, Rule::Terminal { head, terminal } if head == nt && terminal == word[cell])
+        })
+    };
+    if n == 1 {
+        return terminal_rule(0, grammar.start())
+            .map(|r| crate::bfs::Derivation { rules: vec![r] });
+    }
+
+    // Find an accepting endpoint on layer 0.
+    let total = product_range(grammar, word, n - 1, 1);
+    let (end_cell, end_nt) = (0..n)
+        .flat_map(|i| (0..nnt).map(move |q| (i, q)))
+        .find(|&(i, q)| {
+            total.get(grammar.start(), i * nnt + q) && terminal_rule(i, q).is_some()
+        })?;
+
+    // Recover the full layer-by-layer state path.
+    let from = LayerVertex { layer: n - 1, cell: 0, nt: grammar.start() };
+    let to = LayerVertex { layer: 0, cell: end_cell, nt: end_nt };
+    let mut states = vec![from];
+    fill_path(grammar, word, from, to, &mut states);
+    debug_assert_eq!(states.len(), n);
+
+    // Translate consecutive states into the rules they used.
+    let mut rules = Vec::with_capacity(n);
+    for pair in states.windows(2) {
+        let (a, b) = (pair[0], pair[1]);
+        let (i, j) = (a.cell, a.cell + a.layer);
+        let rule = grammar.rules().iter().copied().find(|r| match *r {
+            Rule::Right { head, body, terminal } => {
+                head == a.nt && body == b.nt && b.cell == a.cell && terminal == word[j]
+            }
+            Rule::Left { head, terminal, body } => {
+                head == a.nt && body == b.nt && b.cell == a.cell + 1 && terminal == word[i]
+            }
+            _ => false,
+        })?;
+        rules.push(rule);
+    }
+    rules.push(terminal_rule(end_cell, end_nt)?);
+    Some(crate::bfs::Derivation { rules })
+}
+
+/// A vertex of the layered view: cell `c` of layer `d` is the
+/// induced-graph cell `(c, c + d)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LayerVertex {
+    layer: usize,
+    cell: usize,
+    nt: usize,
+}
+
+/// Appends to `out` the states strictly after `from`, down to and
+/// including `to`. Precondition: `to` is reachable from `from` (the
+/// caller established this through the total product).
+fn fill_path(
+    grammar: &LinearGrammar,
+    word: &[u8],
+    from: LayerVertex,
+    to: LayerVertex,
+    out: &mut Vec<LayerVertex>,
+) {
+    debug_assert!(from.layer > to.layer);
+    if from.layer == to.layer + 1 {
+        out.push(to);
+        return;
+    }
+    let nnt = grammar.n_nonterminals();
+    let mid = ((from.layer + to.layer) / 2).max(to.layer + 1);
+    // from → mid is the product of transfers T_from … T_{mid+1};
+    // mid → to is T_mid … T_{to+1}.
+    let p_up = product_range(grammar, word, from.layer, mid + 1);
+    let p_dn = product_range(grammar, word, mid, to.layer + 1);
+
+    let mid_cells = word.len() - mid;
+    let from_row = from.cell * nnt + from.nt;
+    let to_col = to.cell * nnt + to.nt;
+    let (c, p) = (0..mid_cells)
+        .flat_map(|c| (0..nnt).map(move |p| (c, p)))
+        .find(|&(c, p)| p_up.get(from_row, c * nnt + p) && p_dn.get(c * nnt + p, to_col))
+        .expect("a reachable pair always has a midpoint witness");
+    let mid_state = LayerVertex { layer: mid, cell: c, nt: p };
+    fill_path(grammar, word, from, mid_state, out);
+    fill_path(grammar, word, mid_state, to, out);
+}
+
+/// Product `T_hi · T_{hi-1} · … · T_lo` (layers descending), balanced,
+/// halves computed in parallel.
+fn product_range(grammar: &LinearGrammar, word: &[u8], hi: usize, lo: usize) -> BitMatrix {
+    debug_assert!(hi >= lo);
+    if hi == lo {
+        return transfer(grammar, word, hi);
+    }
+    let mid = (hi + lo).div_ceil(2); // upper half [hi, mid], lower half [mid-1, lo]
+    let (a, b) = rayon::join(
+        || product_range(grammar, word, hi, mid),
+        || product_range(grammar, word, mid - 1, lo),
+    );
+    a.mul(&b)
+}
+
+/// The transfer matrix `T_d`: layer `d` (cells `(i, i+d)`,
+/// `0 ≤ i < n−d`) to layer `d−1`.
+fn transfer(grammar: &LinearGrammar, word: &[u8], d: usize) -> BitMatrix {
+    let n = word.len();
+    let nnt = grammar.n_nonterminals();
+    let from_cells = n - d;
+    let mut t = BitMatrix::zeros(from_cells * nnt, (from_cells + 1) * nnt);
+    for i in 0..from_cells {
+        let j = i + d;
+        for r in grammar.rules() {
+            match *r {
+                Rule::Right { head, body, terminal } if terminal == word[j] => {
+                    // (i, j) → (i, j−1): layer d−1 cell index i.
+                    t.set(i * nnt + head, i * nnt + body, true);
+                }
+                Rule::Left { head, terminal, body } if terminal == word[i] => {
+                    // (i, j) → (i+1, j): layer d−1 cell index i+1.
+                    t.set(i * nnt + head, (i + 1) * nnt + body, true);
+                }
+                _ => {}
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::recognize_bfs;
+    use crate::grammar::{an_bn, even_palindromes, more_as_than_bs, palindromes};
+    use partree_core::gen;
+
+    #[test]
+    fn recognizes_stock_languages() {
+        let g = even_palindromes();
+        assert!(recognize_divide(&g, b"abba"));
+        assert!(recognize_divide(&g, b"bb"));
+        assert!(!recognize_divide(&g, b"abab"));
+        assert!(!recognize_divide(&g, b"a"));
+        assert!(!recognize_divide(&g, b""));
+
+        let g = an_bn();
+        assert!(recognize_divide(&g, b"aaabbb"));
+        assert!(!recognize_divide(&g, b"aaabb"));
+    }
+
+    #[test]
+    fn single_character_strings() {
+        let g = palindromes();
+        assert!(recognize_divide(&g, b"a"));
+        assert!(recognize_divide(&g, b"b"));
+        assert!(!recognize_divide(&g, b"c"));
+        let g = an_bn();
+        assert!(!recognize_divide(&g, b"a"));
+    }
+
+    #[test]
+    fn agrees_with_bfs_on_random_strings() {
+        for (gname, g) in [
+            ("even_pal", even_palindromes()),
+            ("pal", palindromes()),
+            ("anbn", an_bn()),
+            ("more_as", more_as_than_bs()),
+        ] {
+            for seed in 0..60 {
+                let len = 1 + (seed as usize % 14);
+                let w = gen::random_string(len, b"ab", seed * 7 + 1);
+                assert_eq!(
+                    recognize_divide(&g, &w),
+                    recognize_bfs(&g, &w),
+                    "{gname} on {:?}",
+                    String::from_utf8_lossy(&w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_bfs_on_structured_strings() {
+        let g = even_palindromes();
+        for k in 1..30 {
+            let w = gen::palindrome(k, k as u64);
+            assert!(recognize_divide(&g, &w), "palindrome of half-length {k}");
+            // Perturb one character: must flip to rejected unless the
+            // perturbation is itself a palindrome (avoid by flipping an
+            // off-center char).
+            let mut bad = w.clone();
+            bad[0] = if bad[0] == b'a' { b'b' } else { b'a' };
+            assert_eq!(recognize_divide(&g, &bad), recognize_bfs(&g, &bad));
+        }
+    }
+
+    #[test]
+    fn long_inputs() {
+        let g = an_bn();
+        assert!(recognize_divide(&g, &gen::an_bn(200)));
+        let mut w = gen::an_bn(200);
+        w[250] = b'a';
+        assert!(!recognize_divide(&g, &w));
+    }
+
+    #[test]
+    fn parse_divide_replays_on_structured_inputs() {
+        let pal = even_palindromes();
+        for k in [1usize, 4, 17, 40] {
+            let w = gen::palindrome(k, 7 * k as u64 + 1);
+            let d = parse_divide(&pal, &w).expect("palindrome accepted");
+            assert_eq!(d.derived_string().expect("valid derivation"), w, "half={k}");
+        }
+        let g = an_bn();
+        for k in [1usize, 9, 30] {
+            let w = gen::an_bn(k);
+            let d = parse_divide(&g, &w).expect("accepted");
+            assert_eq!(d.derived_string().unwrap(), w);
+        }
+        assert!(parse_divide(&g, b"abab").is_none());
+        assert!(parse_divide(&g, b"").is_none());
+    }
+
+    #[test]
+    fn parse_divide_matches_bfs_acceptance() {
+        use crate::bfs::parse_bfs;
+        for (gname, g) in [("pal", palindromes()), ("more_as", more_as_than_bs())] {
+            for seed in 0..40u64 {
+                let len = 1 + (seed as usize % 16);
+                let w = gen::random_string(len, b"ab", seed + 500);
+                let a = parse_divide(&g, &w);
+                let b = parse_bfs(&g, &w);
+                assert_eq!(a.is_some(), b.is_some(), "{gname} on {:?}", String::from_utf8_lossy(&w));
+                if let Some(d) = a {
+                    assert_eq!(d.derived_string().unwrap(), w);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_language() {
+        let g = more_as_than_bs();
+        assert!(recognize_divide(&g, b"aaab"));
+        assert!(recognize_divide(&g, b"aaaa"));
+        assert!(!recognize_divide(&g, b"aabb"));
+        assert!(!recognize_divide(&g, b"b"));
+    }
+}

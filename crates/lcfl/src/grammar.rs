@@ -1,0 +1,420 @@
+//! Linear context-free grammars.
+//!
+//! Normal form (§8): every rule is `A → bB`, `A → Cb`, or `A → a` with
+//! `a, b ∈ Σ` and `A, B, C ∈ N`. [`GeneralRule`]-based grammars
+//! (`A → uBv`, `A → w`) normalize into this form with a constant-factor
+//! blowup, as the paper notes.
+
+use partree_core::{Error, Result};
+
+/// A nonterminal id.
+pub type NonTerminal = usize;
+
+/// A normalized linear rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// `A → b B`: consume `b` on the left.
+    Left {
+        /// Head `A`.
+        head: NonTerminal,
+        /// Leading terminal `b`.
+        terminal: u8,
+        /// Body nonterminal `B`.
+        body: NonTerminal,
+    },
+    /// `A → C b`: consume `b` on the right.
+    Right {
+        /// Head `A`.
+        head: NonTerminal,
+        /// Body nonterminal `C`.
+        body: NonTerminal,
+        /// Trailing terminal `b`.
+        terminal: u8,
+    },
+    /// `A → a`: a single terminal.
+    Terminal {
+        /// Head `A`.
+        head: NonTerminal,
+        /// The terminal `a`.
+        terminal: u8,
+    },
+}
+
+/// A normalized linear grammar.
+#[derive(Debug, Clone)]
+pub struct LinearGrammar {
+    names: Vec<String>,
+    rules: Vec<Rule>,
+    start: NonTerminal,
+}
+
+impl LinearGrammar {
+    /// Builds a grammar; validates rule indices.
+    pub fn new(names: Vec<String>, rules: Vec<Rule>, start: NonTerminal) -> Result<LinearGrammar> {
+        let n = names.len();
+        if n == 0 {
+            return Err(Error::InvalidGrammar("no nonterminals".into()));
+        }
+        if start >= n {
+            return Err(Error::InvalidGrammar(format!("start symbol {start} out of range")));
+        }
+        if rules.is_empty() {
+            return Err(Error::InvalidGrammar("no productions".into()));
+        }
+        for r in &rules {
+            let (h, b) = match *r {
+                Rule::Left { head, body, .. } | Rule::Right { head, body, .. } => (head, Some(body)),
+                Rule::Terminal { head, .. } => (head, None),
+            };
+            if h >= n || b.is_some_and(|b| b >= n) {
+                return Err(Error::InvalidGrammar(format!("rule {r:?} references unknown nonterminal")));
+            }
+        }
+        Ok(LinearGrammar { names, rules, start })
+    }
+
+    /// Number of nonterminals.
+    pub fn n_nonterminals(&self) -> usize {
+        self.names.len()
+    }
+
+    /// The start symbol.
+    pub fn start(&self) -> NonTerminal {
+        self.start
+    }
+
+    /// All rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Name of a nonterminal.
+    pub fn name(&self, nt: NonTerminal) -> &str {
+        &self.names[nt]
+    }
+
+    /// Slow but obviously correct membership test by exhaustive
+    /// derivation search (test oracle; worst-case exponential, tiny
+    /// strings only). Terminates because every normal-form rule
+    /// consumes one terminal.
+    pub fn derives_brute(&self, w: &[u8]) -> bool {
+        self.derives_rec(self.start, w)
+    }
+
+    fn derives_rec(&self, nt: NonTerminal, w: &[u8]) -> bool {
+        if w.is_empty() {
+            return false;
+        }
+        self.rules.iter().any(|r| match *r {
+            Rule::Terminal { head, terminal } => head == nt && w.len() == 1 && w[0] == terminal,
+            Rule::Left { head, terminal, body } => {
+                head == nt && w[0] == terminal && self.derives_rec(body, &w[1..])
+            }
+            Rule::Right { head, body, terminal } => {
+                head == nt
+                    && *w.last().expect("nonempty") == terminal
+                    && self.derives_rec(body, &w[..w.len() - 1])
+            }
+        })
+    }
+}
+
+/// A general linear rule, pre-normalization.
+#[derive(Debug, Clone)]
+pub enum GeneralRule {
+    /// `A → u B v` with terminal strings `u`, `v` (possibly empty).
+    Linear {
+        /// Head nonterminal.
+        head: NonTerminal,
+        /// Left terminal string `u`.
+        left: Vec<u8>,
+        /// Body nonterminal `B`.
+        body: NonTerminal,
+        /// Right terminal string `v`.
+        right: Vec<u8>,
+    },
+    /// `A → w` with a non-empty terminal string `w`.
+    Word {
+        /// Head nonterminal.
+        head: NonTerminal,
+        /// The derived word.
+        word: Vec<u8>,
+    },
+}
+
+/// Normalizes a general linear grammar into [`LinearGrammar`] form by
+/// introducing chain nonterminals (size within a constant factor).
+pub fn normalize(
+    names: Vec<String>,
+    rules: Vec<GeneralRule>,
+    start: NonTerminal,
+) -> Result<LinearGrammar> {
+    let mut names = names;
+    let mut out: Vec<Rule> = Vec::new();
+    let fresh = |names: &mut Vec<String>| {
+        names.push(format!("_T{}", names.len()));
+        names.len() - 1
+    };
+
+    for rule in rules {
+        match rule {
+            GeneralRule::Linear { head, left, body, right } => {
+                if left.is_empty() && right.is_empty() {
+                    return Err(Error::InvalidGrammar(format!(
+                        "unit production {head} → {body} is not supported (eliminate unit rules first)"
+                    )));
+                }
+                // Peel left terminals one by one, then right terminals.
+                let mut cur = head;
+                let mut left_iter = left.iter().peekable();
+                while let Some(&b) = left_iter.next() {
+                    let next = if left_iter.peek().is_some() || !right.is_empty() {
+                        fresh(&mut names)
+                    } else {
+                        body
+                    };
+                    out.push(Rule::Left { head: cur, terminal: b, body: next });
+                    cur = next;
+                }
+                let mut right_syms: Vec<u8> = right.clone();
+                // Peel from the outside in: A → C v means peel the LAST
+                // symbol of v first.
+                while let Some(b) = right_syms.pop() {
+                    let next = if right_syms.is_empty() { body } else { fresh(&mut names) };
+                    out.push(Rule::Right { head: cur, body: next, terminal: b });
+                    cur = next;
+                }
+            }
+            GeneralRule::Word { head, word } => {
+                if word.is_empty() {
+                    return Err(Error::InvalidGrammar(format!(
+                        "ε-production at {head} is not supported"
+                    )));
+                }
+                let mut cur = head;
+                for (k, &b) in word.iter().enumerate() {
+                    if k + 1 == word.len() {
+                        out.push(Rule::Terminal { head: cur, terminal: b });
+                    } else {
+                        let next = fresh(&mut names);
+                        out.push(Rule::Left { head: cur, terminal: b, body: next });
+                        cur = next;
+                    }
+                }
+            }
+        }
+    }
+    LinearGrammar::new(names, out, start)
+}
+
+/// A random normalized linear grammar over `{a, b}` — fuzzing input for
+/// the recognizer equivalence tests. Deterministic in `seed`; always
+/// valid (≥ 1 terminal rule so the language can be non-empty).
+pub fn random_grammar(n_nonterminals: usize, n_rules: usize, seed: u64) -> LinearGrammar {
+    use rand::Rng;
+    assert!(n_nonterminals >= 1 && n_rules >= 1);
+    let mut r = partree_core::gen::rng(seed);
+    let names = (0..n_nonterminals).map(|i| format!("N{i}")).collect();
+    let mut rules = Vec::with_capacity(n_rules);
+    let term = |r: &mut rand::rngs::StdRng| if r.gen_bool(0.5) { b'a' } else { b'b' };
+    for k in 0..n_rules {
+        let head = r.gen_range(0..n_nonterminals);
+        // Guarantee at least one terminal rule (k == 0).
+        let kind = if k == 0 { 2 } else { r.gen_range(0..3) };
+        let rule = match kind {
+            0 => Rule::Left { head, terminal: term(&mut r), body: r.gen_range(0..n_nonterminals) },
+            1 => Rule::Right { head, body: r.gen_range(0..n_nonterminals), terminal: term(&mut r) },
+            _ => Rule::Terminal { head, terminal: term(&mut r) },
+        };
+        rules.push(rule);
+    }
+    LinearGrammar::new(names, rules, 0).expect("constructed rules are in range")
+}
+
+/// Stock grammar: even-length palindromes over `{a, b}` (`w wᴿ`).
+pub fn even_palindromes() -> LinearGrammar {
+    // S → a S a | b S b | aa | bb
+    normalize(
+        vec!["S".into()],
+        vec![
+            GeneralRule::Linear { head: 0, left: b"a".to_vec(), body: 0, right: b"a".to_vec() },
+            GeneralRule::Linear { head: 0, left: b"b".to_vec(), body: 0, right: b"b".to_vec() },
+            GeneralRule::Word { head: 0, word: b"aa".to_vec() },
+            GeneralRule::Word { head: 0, word: b"bb".to_vec() },
+        ],
+        0,
+    )
+    .expect("stock grammar is valid")
+}
+
+/// Stock grammar: all palindromes over `{a, b}` of length ≥ 1.
+pub fn palindromes() -> LinearGrammar {
+    // S → a S a | b S b | a | b | aa | bb
+    normalize(
+        vec!["S".into()],
+        vec![
+            GeneralRule::Linear { head: 0, left: b"a".to_vec(), body: 0, right: b"a".to_vec() },
+            GeneralRule::Linear { head: 0, left: b"b".to_vec(), body: 0, right: b"b".to_vec() },
+            GeneralRule::Word { head: 0, word: b"a".to_vec() },
+            GeneralRule::Word { head: 0, word: b"b".to_vec() },
+            GeneralRule::Word { head: 0, word: b"aa".to_vec() },
+            GeneralRule::Word { head: 0, word: b"bb".to_vec() },
+        ],
+        0,
+    )
+    .expect("stock grammar is valid")
+}
+
+/// Stock grammar: `{ aⁿ bⁿ : n ≥ 1 }`.
+pub fn an_bn() -> LinearGrammar {
+    // S → a S b | ab
+    normalize(
+        vec!["S".into()],
+        vec![
+            GeneralRule::Linear { head: 0, left: b"a".to_vec(), body: 0, right: b"b".to_vec() },
+            GeneralRule::Word { head: 0, word: b"ab".to_vec() },
+        ],
+        0,
+    )
+    .expect("stock grammar is valid")
+}
+
+/// Stock grammar: `{ aⁱ bʲ : i > j ≥ 0, i ≥ 1 }` — strings of `a`s then
+/// strictly fewer `b`s. Exercises asymmetric consumption.
+pub fn more_as_than_bs() -> LinearGrammar {
+    // S → a S b | a S | a
+    normalize(
+        vec!["S".into()],
+        vec![
+            GeneralRule::Linear { head: 0, left: b"a".to_vec(), body: 0, right: b"b".to_vec() },
+            GeneralRule::Linear { head: 0, left: b"a".to_vec(), body: 0, right: vec![] },
+            GeneralRule::Word { head: 0, word: b"a".to_vec() },
+        ],
+        0,
+    )
+    .expect("stock grammar is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_produces_normal_rules_only() {
+        let g = even_palindromes();
+        assert!(g.rules().len() >= 6);
+        // Every rule is one of the three normal forms by construction of
+        // the Rule enum; check chain nonterminals were introduced.
+        assert!(g.n_nonterminals() > 1);
+    }
+
+    #[test]
+    fn brute_force_oracle_sanity() {
+        let g = even_palindromes();
+        assert!(g.derives_brute(b"aa"));
+        assert!(g.derives_brute(b"abba"));
+        assert!(g.derives_brute(b"baab"));
+        assert!(!g.derives_brute(b"ab"));
+        assert!(!g.derives_brute(b"aba")); // odd length
+        assert!(!g.derives_brute(b""));
+    }
+
+    #[test]
+    fn palindromes_include_odd() {
+        let g = palindromes();
+        assert!(g.derives_brute(b"a"));
+        assert!(g.derives_brute(b"aba"));
+        assert!(g.derives_brute(b"abbba"));
+        assert!(!g.derives_brute(b"abb"));
+    }
+
+    #[test]
+    fn an_bn_membership() {
+        let g = an_bn();
+        assert!(g.derives_brute(b"ab"));
+        assert!(g.derives_brute(b"aaabbb"));
+        assert!(!g.derives_brute(b"aabbb"));
+        assert!(!g.derives_brute(b"ba"));
+        assert!(!g.derives_brute(b"a"));
+    }
+
+    #[test]
+    fn more_as_than_bs_membership() {
+        let g = more_as_than_bs();
+        assert!(g.derives_brute(b"a"));
+        assert!(g.derives_brute(b"aab"));
+        assert!(g.derives_brute(b"aaabb"));
+        assert!(!g.derives_brute(b"ab"));
+        assert!(!g.derives_brute(b"abb"));
+    }
+
+    #[test]
+    fn unit_and_epsilon_rules_rejected() {
+        let unit = normalize(
+            vec!["S".into(), "T".into()],
+            vec![GeneralRule::Linear { head: 0, left: vec![], body: 1, right: vec![] }],
+            0,
+        );
+        assert!(unit.is_err());
+        let eps = normalize(
+            vec!["S".into()],
+            vec![GeneralRule::Word { head: 0, word: vec![] }],
+            0,
+        );
+        assert!(eps.is_err());
+    }
+
+    #[test]
+    fn invalid_grammars_rejected() {
+        assert!(LinearGrammar::new(vec![], vec![], 0).is_err());
+        assert!(LinearGrammar::new(vec!["S".into()], vec![], 0).is_err());
+        assert!(LinearGrammar::new(
+            vec!["S".into()],
+            vec![Rule::Terminal { head: 5, terminal: b'a' }],
+            0
+        )
+        .is_err());
+        assert!(LinearGrammar::new(
+            vec!["S".into()],
+            vec![Rule::Terminal { head: 0, terminal: b'a' }],
+            3
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn long_word_rule_normalizes_to_chain() {
+        let g = normalize(
+            vec!["S".into()],
+            vec![GeneralRule::Word { head: 0, word: b"abc".to_vec() }],
+            0,
+        )
+        .unwrap();
+        assert!(g.derives_brute(b"abc"));
+        assert!(!g.derives_brute(b"ab"));
+        assert!(!g.derives_brute(b"abcd"));
+    }
+
+    #[test]
+    fn multi_terminal_linear_rule_normalizes() {
+        // S → ab S ba | x
+        let g = normalize(
+            vec!["S".into()],
+            vec![
+                GeneralRule::Linear {
+                    head: 0,
+                    left: b"ab".to_vec(),
+                    body: 0,
+                    right: b"ba".to_vec(),
+                },
+                GeneralRule::Word { head: 0, word: b"x".to_vec() },
+            ],
+            0,
+        )
+        .unwrap();
+        assert!(g.derives_brute(b"x"));
+        assert!(g.derives_brute(b"abxba"));
+        assert!(g.derives_brute(b"ababxbaba"));
+        assert!(!g.derives_brute(b"abxab"));
+    }
+}

@@ -1,0 +1,49 @@
+//! # partree-lcfl
+//!
+//! Linear context-free language recognition — Section 8 of the paper.
+//!
+//! A CFG is *linear* when every production has at most one nonterminal
+//! on its right-hand side: `A → uBv` or `A → w`. After normalization
+//! (`A → bB`, `A → Cb`, `A → a`), recognizing `w = w_1 … w_n` reduces to
+//! reachability in the *induced graph* `IG(G, w)` whose vertices are
+//! `v_{i,j,p}` (the claim "`A ⇒* w_i … w_j`" as a state) and whose edges
+//! consume one terminal from either end (Claim 8.1).
+//!
+//! * [`grammar`] — normalized linear grammars, a builder for the
+//!   general `A → uBv` form, and stock example languages;
+//! * [`induced`] — `IG(G, w)`: explicit vertex/edge enumeration and the
+//!   structural renderings of the paper's Figures 1–3;
+//! * [`bfs`] — the sequential baseline: BFS over `IG(G, w)` in
+//!   `O(n²·|P|)`, with derivation (parse) extraction;
+//! * [`divide`] — the parallel recognizer: Theorem 8.1's
+//!   divide-and-conquer with Boolean matrix multiplication. Paths in
+//!   `IG(G, w)` advance one *layer* (`j − i` decreases by 1) per step,
+//!   so each layer is a separator; a balanced product tree over the
+//!   `n − 1` layer-transfer matrices yields recognition in `O(log² n)`
+//!   parallel steps with `M(n)` work per level. (The paper cuts the
+//!   triangle geometrically into the four pieces `U, M, L, R` — see
+//!   Figure 3; layers are the same separator idea with an even cleaner
+//!   combine step, and identical asymptotics. DESIGN.md records this
+//!   substitution.);
+//! * [`separator`] — the geometric Figure-3 cut itself (triangle →
+//!   `A`/`B`/rectangle, boundary-reachability matrices composed by
+//!   Boolean closure) — the paper's literal decomposition, cross-
+//!   validated against the other two engines.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// Index-based loops over multiple parallel arrays are the idiom of
+// matrix/PRAM code; iterator rewrites obscure the index arithmetic the
+// correctness arguments are phrased in.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bfs;
+pub mod divide;
+pub mod grammar;
+pub mod induced;
+pub mod separator;
+
+pub use bfs::recognize_bfs;
+pub use divide::{parse_divide, recognize_divide};
+pub use separator::recognize_separator;
+pub use grammar::LinearGrammar;

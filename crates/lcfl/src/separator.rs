@@ -1,0 +1,373 @@
+//! The paper's geometric separator recognizer (§8, Figure 3).
+//!
+//! Where [`crate::divide`] uses the *layer* separator, this module
+//! follows the paper's picture literally: cut the triangle of clusters
+//! `{(i, j) : lo ≤ i ≤ j ≤ hi}` at `mid` into
+//!
+//! * the lower-left triangle `A = T(lo, mid)` (all of `j ≤ mid`),
+//! * the upper-right triangle `B = T(mid+1, hi)` (all of `i > mid`),
+//! * the rectangle `Q = [lo..mid] × [mid+1..hi]` between them
+//!
+//! (the paper's `U, M, L, R` pieces, with the rectangle recursively
+//! quartered as well). Each region's *boundary-to-boundary*
+//! reachability matrix is computed recursively; regions compose through
+//! the `O(side)` crossing edges, with one Boolean transitive closure per
+//! combine — "this can be done simply by boolean matrix multiplication
+//! (actually three such multiplications)". The recurrence is the
+//! paper's `P(n) = max(4·P(n/2), M(n))`.
+//!
+//! Edges only ever leave the triangle `T` inward (`A` and `B` are
+//! absorbing, `Q` is a source), so every path between boundary vertices
+//! decomposes at region boundaries — the invariant making the combine
+//! exact.
+
+use crate::grammar::{LinearGrammar, Rule};
+use partree_monge::BitMatrix;
+use std::collections::HashMap;
+
+/// Below this side length regions are solved by direct BFS.
+const BASE: usize = 8;
+
+/// Recognizes `w` with the geometric separator algorithm.
+pub fn recognize_separator(grammar: &LinearGrammar, word: &[u8]) -> bool {
+    let n = word.len();
+    if n == 0 {
+        return false;
+    }
+    if n == 1 {
+        return grammar.rules().iter().any(|r| {
+            matches!(*r, Rule::Terminal { head, terminal } if head == grammar.start() && terminal == word[0])
+        });
+    }
+
+    let ctx = Ctx { grammar, word, nnt: grammar.n_nonterminals() };
+    let (cells, reach) = triangle_reach(&ctx, 0, n - 1);
+    let slot: HashMap<(usize, usize), usize> =
+        cells.iter().copied().enumerate().map(|(k, c)| (c, k)).collect();
+
+    let start = slot[&(0, n - 1)] * ctx.nnt + grammar.start();
+    grammar.rules().iter().any(|r| match *r {
+        Rule::Terminal { head, terminal } => (0..n).any(|i| {
+            word[i] == terminal
+                && slot
+                    .get(&(i, i))
+                    .is_some_and(|&c| reach.get(start, c * ctx.nnt + head))
+        }),
+        _ => false,
+    })
+}
+
+struct Ctx<'a> {
+    grammar: &'a LinearGrammar,
+    word: &'a [u8],
+    nnt: usize,
+}
+
+impl Ctx<'_> {
+    /// Successor cells of `(i, j, p)` under the grammar (the two
+    /// induced-graph edge families).
+    fn successors(&self, i: usize, j: usize, p: usize) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        if i == j {
+            return out;
+        }
+        for r in self.grammar.rules() {
+            match *r {
+                Rule::Right { head, body, terminal }
+                    if head == p && terminal == self.word[j] =>
+                {
+                    out.push((i, j - 1, body));
+                }
+                Rule::Left { head, terminal, body }
+                    if head == p && terminal == self.word[i] =>
+                {
+                    out.push((i + 1, j, body));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+/// Boundary cells of the triangle `T(lo, hi)`: left side (`i = lo`),
+/// right side (`j = hi`), diagonal (`i = j`), deduplicated, in a
+/// deterministic order.
+fn triangle_boundary(lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let mut cells = Vec::new();
+    for j in lo..=hi {
+        cells.push((lo, j));
+    }
+    for i in lo + 1..=hi {
+        cells.push((i, hi));
+    }
+    for i in lo + 1..hi {
+        cells.push((i, i));
+    }
+    cells
+}
+
+/// Boundary cells of the rectangle `[r0..r1] × [c0..c1]`.
+fn rect_boundary(r0: usize, r1: usize, c0: usize, c1: usize) -> Vec<(usize, usize)> {
+    let mut cells = Vec::new();
+    for j in c0..=c1 {
+        cells.push((r0, j));
+    }
+    if r1 > r0 {
+        for j in c0..=c1 {
+            cells.push((r1, j));
+        }
+    }
+    for i in r0 + 1..r1 {
+        cells.push((i, c0));
+        if c1 > c0 {
+            cells.push((i, c1));
+        }
+    }
+    cells
+}
+
+/// Reachability among boundary vertices of `T(lo, hi)`.
+fn triangle_reach(ctx: &Ctx, lo: usize, hi: usize) -> (Vec<(usize, usize)>, BitMatrix) {
+    let boundary = triangle_boundary(lo, hi);
+    if hi - lo < BASE {
+        let reach = brute_reach(ctx, &boundary, &|i, j| lo <= i && i <= j && j <= hi);
+        return (boundary, reach);
+    }
+    let mid = (lo + hi) / 2;
+    let (a_cells, a_reach) = triangle_reach(ctx, lo, mid);
+    let (b_cells, b_reach) = triangle_reach(ctx, mid + 1, hi);
+    let (q_cells, q_reach) = rect_reach(ctx, lo, mid, mid + 1, hi);
+    let reach = combine(
+        ctx,
+        &[(&a_cells, &a_reach), (&b_cells, &b_reach), (&q_cells, &q_reach)],
+        &boundary,
+    );
+    (boundary, reach)
+}
+
+/// Reachability among boundary vertices of the rectangle.
+fn rect_reach(
+    ctx: &Ctx,
+    r0: usize,
+    r1: usize,
+    c0: usize,
+    c1: usize,
+) -> (Vec<(usize, usize)>, BitMatrix) {
+    let boundary = rect_boundary(r0, r1, c0, c1);
+    let rows = r1 - r0;
+    let cols = c1 - c0;
+    if rows.max(cols) < BASE {
+        let reach = brute_reach(ctx, &boundary, &|i, j| r0 <= i && i <= r1 && c0 <= j && j <= c1);
+        return (boundary, reach);
+    }
+    // Split the longer dimension.
+    let (p1, p2) = if rows >= cols {
+        let rm = (r0 + r1) / 2;
+        (rect_reach(ctx, r0, rm, c0, c1), rect_reach(ctx, rm + 1, r1, c0, c1))
+    } else {
+        let cm = (c0 + c1) / 2;
+        (rect_reach(ctx, r0, r1, cm + 1, c1), rect_reach(ctx, r0, r1, c0, cm))
+    };
+    let reach = combine(ctx, &[(&p1.0, &p1.1), (&p2.0, &p2.1)], &boundary);
+    (boundary, reach)
+}
+
+/// Direct BFS reachability for small regions: from every boundary
+/// vertex, explore the region, record which boundary vertices are hit.
+/// The result is reflexive.
+fn brute_reach(
+    ctx: &Ctx,
+    boundary: &[(usize, usize)],
+    in_region: &dyn Fn(usize, usize) -> bool,
+) -> BitMatrix {
+    let nnt = ctx.nnt;
+    let slot: HashMap<(usize, usize), usize> =
+        boundary.iter().copied().enumerate().map(|(k, c)| (c, k)).collect();
+    let mut out = BitMatrix::zeros(boundary.len() * nnt, boundary.len() * nnt);
+    for (bk, &(bi, bj)) in boundary.iter().enumerate() {
+        for p in 0..nnt {
+            let row = bk * nnt + p;
+            // BFS over region states.
+            let mut seen: HashMap<(usize, usize, usize), ()> = HashMap::new();
+            let mut stack = vec![(bi, bj, p)];
+            seen.insert((bi, bj, p), ());
+            while let Some((i, j, q)) = stack.pop() {
+                if let Some(&c) = slot.get(&(i, j)) {
+                    out.set(row, c * nnt + q, true);
+                }
+                for (ni, nj, nq) in ctx.successors(i, j, q) {
+                    if in_region(ni, nj) && !seen.contains_key(&(ni, nj, nq)) {
+                        seen.insert((ni, nj, nq), ());
+                        stack.push((ni, nj, nq));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Composes part reachability matrices over the union of their boundary
+/// cells: part matrices + all real edges among union cells, transitive
+/// closure, then restriction to `target` pairs.
+fn combine(
+    ctx: &Ctx,
+    parts: &[(&Vec<(usize, usize)>, &BitMatrix)],
+    target: &[(usize, usize)],
+) -> BitMatrix {
+    let nnt = ctx.nnt;
+    // Union vertex set (cells across parts are disjoint by construction,
+    // but dedup defensively).
+    let mut union_cells: Vec<(usize, usize)> = Vec::new();
+    let mut slot: HashMap<(usize, usize), usize> = HashMap::new();
+    for (cells, _) in parts {
+        for &c in cells.iter() {
+            slot.entry(c).or_insert_with(|| {
+                union_cells.push(c);
+                union_cells.len() - 1
+            });
+        }
+    }
+    let v = union_cells.len() * nnt;
+    let mut adj = BitMatrix::zeros(v, v);
+
+    // Part reach matrices.
+    for (cells, reach) in parts {
+        for (ka, &ca) in cells.iter().enumerate() {
+            let base_a = slot[&ca] * nnt;
+            for (kb, &cb) in cells.iter().enumerate() {
+                let base_b = slot[&cb] * nnt;
+                for p in 0..nnt {
+                    for q in 0..nnt {
+                        if reach.get(ka * nnt + p, kb * nnt + q) {
+                            adj.set(base_a + p, base_b + q, true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Real edges among union cells (covers the crossing edges).
+    for &(i, j) in &union_cells {
+        for p in 0..nnt {
+            for (ni, nj, nq) in ctx.successors(i, j, p) {
+                if let Some(&c) = slot.get(&(ni, nj)) {
+                    adj.set(slot[&(i, j)] * nnt + p, c * nnt + nq, true);
+                }
+            }
+        }
+    }
+
+    let closed = adj.transitive_closure();
+
+    // Restrict to the target boundary.
+    let mut out = BitMatrix::zeros(target.len() * nnt, target.len() * nnt);
+    for (ka, &ca) in target.iter().enumerate() {
+        let base_a = slot[&ca] * nnt;
+        for (kb, &cb) in target.iter().enumerate() {
+            let base_b = slot[&cb] * nnt;
+            for p in 0..nnt {
+                for q in 0..nnt {
+                    if closed.get(base_a + p, base_b + q) {
+                        out.set(ka * nnt + p, kb * nnt + q, true);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::recognize_bfs;
+    use crate::grammar::{an_bn, even_palindromes, more_as_than_bs, palindromes};
+    use partree_core::gen;
+
+    #[test]
+    fn recognizes_stock_languages() {
+        let g = even_palindromes();
+        assert!(recognize_separator(&g, b"abba"));
+        assert!(recognize_separator(&g, b"bb"));
+        assert!(!recognize_separator(&g, b"abab"));
+        assert!(!recognize_separator(&g, b""));
+        let g = an_bn();
+        assert!(recognize_separator(&g, b"aaabbb"));
+        assert!(!recognize_separator(&g, b"aaabb"));
+        assert!(!recognize_separator(&g, b"a"));
+    }
+
+    #[test]
+    fn base_case_sizes() {
+        // Inputs below, at, and just above the BFS cutoff.
+        let g = palindromes();
+        for len in 1..=2 * BASE + 3 {
+            let w = if len % 2 == 0 {
+                gen::palindrome(len / 2, len as u64)
+            } else {
+                let mut w = gen::palindrome(len / 2, len as u64);
+                w.insert(len / 2, b'a');
+                w
+            };
+            assert!(
+                recognize_separator(&g, &w),
+                "palindrome of length {len} must be accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_bfs_on_random_strings() {
+        for (gname, g) in [
+            ("even_pal", even_palindromes()),
+            ("pal", palindromes()),
+            ("anbn", an_bn()),
+            ("more_as", more_as_than_bs()),
+        ] {
+            for seed in 0..50u64 {
+                let len = 1 + (seed as usize % 30);
+                let w = gen::random_string(len, b"ab", seed * 3 + 2);
+                assert_eq!(
+                    recognize_separator(&g, &w),
+                    recognize_bfs(&g, &w),
+                    "{gname} on {:?}",
+                    String::from_utf8_lossy(&w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_bfs_on_longer_structured_inputs() {
+        let pal = even_palindromes();
+        for k in [20usize, 40, 70] {
+            let w = gen::palindrome(k, k as u64);
+            assert!(recognize_separator(&pal, &w), "half={k}");
+            let mut bad = w.clone();
+            bad[k / 3] ^= 3;
+            assert_eq!(recognize_separator(&pal, &bad), recognize_bfs(&pal, &bad));
+        }
+        let anbn = an_bn();
+        assert!(recognize_separator(&anbn, &gen::an_bn(60)));
+        let mut bad = gen::an_bn(60);
+        bad[0] = b'b';
+        assert!(!recognize_separator(&anbn, &bad));
+    }
+
+    #[test]
+    fn boundary_enumerations() {
+        let t = triangle_boundary(2, 5);
+        // Left side (2,2..5) = 4, right (3..5,5) = 3, diagonal (3,3),(4,4) = 2.
+        assert_eq!(t.len(), 9);
+        assert!(t.contains(&(2, 2)) && t.contains(&(5, 5)) && t.contains(&(3, 3)));
+        let r = rect_boundary(1, 3, 5, 7);
+        // Top 3 + bottom 3 + sides (2,5),(2,7) = 8.
+        assert_eq!(r.len(), 8);
+        // Degenerate one-row rectangle.
+        let r = rect_boundary(2, 2, 4, 6);
+        assert_eq!(r.len(), 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests: the three recognition engines are equivalent on
+//! random grammars and random strings — the strongest cross-validation
+//! of Theorem 8.1's implementations.
+
+use partree_core::gen;
+use partree_lcfl::grammar::random_grammar;
+use partree_lcfl::{recognize_bfs, recognize_divide, recognize_separator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BFS, layer-divide, and geometric-separator engines agree with
+    /// the brute-force derivation oracle on short strings over random
+    /// grammars.
+    #[test]
+    fn engines_match_brute_force(
+        n_nt in 1usize..4,
+        n_rules in 1usize..10,
+        gseed in 0u64..10_000,
+        sseed in 0u64..10_000,
+        len in 1usize..9,
+    ) {
+        let g = random_grammar(n_nt, n_rules, gseed);
+        let w = gen::random_string(len, b"ab", sseed);
+        let truth = g.derives_brute(&w);
+        prop_assert_eq!(recognize_bfs(&g, &w), truth);
+        prop_assert_eq!(recognize_divide(&g, &w), truth);
+        prop_assert_eq!(recognize_separator(&g, &w), truth);
+    }
+
+    /// On longer strings (where brute force is too slow) the three
+    /// engines still agree with each other.
+    #[test]
+    fn engines_match_each_other_on_long_strings(
+        n_nt in 1usize..4,
+        n_rules in 2usize..12,
+        gseed in 0u64..10_000,
+        sseed in 0u64..10_000,
+        len in 10usize..60,
+    ) {
+        let g = random_grammar(n_nt, n_rules, gseed);
+        let w = gen::random_string(len, b"ab", sseed);
+        let bfs = recognize_bfs(&g, &w);
+        prop_assert_eq!(recognize_divide(&g, &w), bfs);
+        prop_assert_eq!(recognize_separator(&g, &w), bfs);
+    }
+
+    /// Parses extracted by BFS replay to the input whenever the string
+    /// is accepted.
+    #[test]
+    fn parses_replay(
+        n_nt in 1usize..4,
+        n_rules in 2usize..12,
+        gseed in 0u64..10_000,
+        sseed in 0u64..10_000,
+        len in 1usize..20,
+    ) {
+        let g = random_grammar(n_nt, n_rules, gseed);
+        let w = gen::random_string(len, b"ab", sseed);
+        if let Some(d) = partree_lcfl::bfs::parse_bfs(&g, &w) {
+            prop_assert_eq!(d.derived_string().expect("valid derivation"), w);
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! Bit-packed Boolean matrices and their parallel multiplication.
+//!
+//! Section 8 reduces linear-CFL recognition to reachability combined by
+//! Boolean matrix multiplication: "taking time O(log n) with M(n)
+//! processors". `M(n)` is whatever Boolean matrix multiply one has; the
+//! paper cites `M(n) = O(n^{2.36})` via fast matrix multiplication. We
+//! substitute the practical engineered equivalent: 64-way bit-packing
+//! with rayon row-parallelism — `n³/64` bit-ops, embarrassingly
+//! parallel, exactly the primitive a production recognizer would use.
+//! (A Strassen-like sub-cubic multiply changes the constant landscape,
+//! not the algorithm above it; DESIGN.md records this substitution.)
+//!
+//! Matrices are rectangular: the recognizer multiplies layer-transfer
+//! matrices of shape `(n−d)·|N| × (n−d+1)·|N|`.
+
+use rayon::prelude::*;
+
+/// A rectangular Boolean matrix packed 64 entries per word, row-major.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// The all-zeros `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> BitMatrix {
+        let words_per_row = cols.div_ceil(64);
+        BitMatrix { rows, cols, words_per_row, bits: vec![0; rows * words_per_row] }
+    }
+
+    /// The `n × n` identity matrix.
+    pub fn identity(n: usize) -> BitMatrix {
+        let mut m = BitMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, true);
+        }
+        m
+    }
+
+    /// Builds from a predicate (rows in parallel).
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> bool + Sync) -> BitMatrix {
+        let words_per_row = cols.div_ceil(64);
+        let mut bits = vec![0u64; rows * words_per_row];
+        bits.par_chunks_mut(words_per_row.max(1)).enumerate().for_each(|(i, row)| {
+            for j in 0..cols {
+                if f(i, j) {
+                    row[j / 64] |= 1 << (j % 64);
+                }
+            }
+        });
+        BitMatrix { rows, cols, words_per_row, bits }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.rows && j < self.cols);
+        (self.bits[i * self.words_per_row + j / 64] >> (j % 64)) & 1 == 1
+    }
+
+    /// Writes entry `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: bool) {
+        debug_assert!(i < self.rows && j < self.cols);
+        let w = &mut self.bits[i * self.words_per_row + j / 64];
+        if v {
+            *w |= 1 << (j % 64);
+        } else {
+            *w &= !(1 << (j % 64));
+        }
+    }
+
+    /// Row `i` as packed words.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u64] {
+        &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    /// Number of set entries.
+    pub fn count_ones(&self) -> usize {
+        self.bits.par_iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Boolean product `self · rhs` (∨ of ∧), rows in parallel: for each
+    /// set bit `k` of row `i`, OR row `k` of `rhs` into the output row.
+    /// `O(rows·cols + z·cols/64)` word operations where `z` is the
+    /// number of set bits — the engineered `M(n)`.
+    pub fn mul(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = BitMatrix::zeros(self.rows, rhs.cols);
+        let wpr = out.words_per_row;
+        out.bits.par_chunks_mut(wpr.max(1)).enumerate().for_each(|(i, out_row)| {
+            for (wi, &word) in self.row(i).iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let k = wi * 64 + w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    let rk = rhs.row(k);
+                    for (o, &r) in out_row.iter_mut().zip(rk) {
+                        *o |= r;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Entry-by-entry reference product (test oracle).
+    pub fn mul_naive(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!(self.cols, rhs.rows);
+        BitMatrix::from_fn(self.rows, rhs.cols, |i, j| {
+            (0..self.cols).any(|k| self.get(i, k) && rhs.get(k, j))
+        })
+    }
+
+    /// Entrywise OR (shapes must match).
+    pub fn or(&self, rhs: &BitMatrix) -> BitMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        let bits = self
+            .bits
+            .par_iter()
+            .zip(rhs.bits.par_iter())
+            .map(|(&a, &b)| a | b)
+            .collect();
+        BitMatrix { bits, ..*self }
+    }
+
+    /// Reflexive-transitive closure (square matrices) by repeated
+    /// squaring of `I ∨ self`: `⌈log₂ n⌉` Boolean products.
+    pub fn transitive_closure(&self) -> BitMatrix {
+        assert_eq!(self.rows, self.cols, "closure of a non-square matrix");
+        let mut acc = self.or(&BitMatrix::identity(self.rows));
+        let mut span = 1usize;
+        while span < self.rows {
+            acc = acc.mul(&acc);
+            span *= 2;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn random_bits(rows: usize, cols: usize, density: f64, seed: u64) -> BitMatrix {
+        let mut r = partree_core::gen::rng(seed);
+        let flat: Vec<bool> = (0..rows * cols).map(|_| r.gen_bool(density)).collect();
+        BitMatrix::from_fn(rows, cols, |i, j| flat[i * cols + j])
+    }
+
+    #[test]
+    fn get_set_roundtrip_across_word_boundaries() {
+        let mut m = BitMatrix::zeros(130, 130);
+        for j in [0usize, 63, 64, 65, 127, 128, 129] {
+            m.set(77, j, true);
+            assert!(m.get(77, j));
+        }
+        assert_eq!(m.count_ones(), 7);
+        m.set(77, 64, false);
+        assert!(!m.get(77, 64));
+        assert_eq!(m.count_ones(), 6);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let m = random_bits(70, 70, 0.3, 1);
+        let id = BitMatrix::identity(70);
+        assert_eq!(m.mul(&id), m);
+        assert_eq!(id.mul(&m), m);
+    }
+
+    #[test]
+    fn packed_product_matches_naive_square() {
+        for (n, density, seed) in [(1, 0.5, 1), (17, 0.2, 2), (64, 0.1, 3), (100, 0.05, 4), (129, 0.3, 5)] {
+            let a = random_bits(n, n, density, seed);
+            let b = random_bits(n, n, density, seed + 100);
+            assert_eq!(a.mul(&b), a.mul_naive(&b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn packed_product_matches_naive_rectangular() {
+        for (p, q, r, seed) in [(3, 70, 5, 1), (65, 2, 130, 2), (1, 1, 1, 3), (40, 100, 7, 4)] {
+            let a = random_bits(p, q, 0.2, seed);
+            let b = random_bits(q, r, 0.2, seed + 50);
+            let c = a.mul(&b);
+            assert_eq!(c.rows(), p);
+            assert_eq!(c.cols(), r);
+            assert_eq!(c, a.mul_naive(&b), "({p},{q},{r})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn shape_mismatch_panics() {
+        let a = BitMatrix::zeros(3, 4);
+        let b = BitMatrix::zeros(5, 2);
+        let _ = a.mul(&b);
+    }
+
+    #[test]
+    fn or_is_entrywise() {
+        let a = random_bits(40, 23, 0.2, 7);
+        let b = random_bits(40, 23, 0.2, 8);
+        let c = a.or(&b);
+        for i in 0..40 {
+            for j in 0..23 {
+                assert_eq!(c.get(i, j), a.get(i, j) || b.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_closure_of_a_path() {
+        let n = 4;
+        let m = BitMatrix::from_fn(n, n, |i, j| j == i + 1);
+        let c = m.transitive_closure();
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(c.get(i, j), j >= i, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn transitive_closure_matches_floyd_warshall() {
+        let n = 60;
+        let m = random_bits(n, n, 0.04, 11);
+        let fast = m.transitive_closure();
+        let mut reach = vec![vec![false; n]; n];
+        for i in 0..n {
+            reach[i][i] = true;
+            for j in 0..n {
+                if m.get(i, j) {
+                    reach[i][j] = true;
+                }
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                if reach[i][k] {
+                    for j in 0..n {
+                        if reach[k][j] {
+                            reach[i][j] = true;
+                        }
+                    }
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(fast.get(i, j), reach[i][j], "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = BitMatrix::zeros(0, 0);
+        assert_eq!(m.count_ones(), 0);
+        let c = m.mul(&m);
+        assert_eq!(c.rows(), 0);
+    }
+}

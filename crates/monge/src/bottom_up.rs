@@ -1,0 +1,336 @@
+//! The accelerated bottom-up concave multiplication of §4.2.
+//!
+//! The recursive algorithm of §4.1 halves the grid `min(log p, log r)`
+//! times. Section 4.2 observes that once the subsampled problem is small
+//! enough, the processors at hand can solve it *in one step* by brute
+//! force, and the refinement can then proceed in exponentially growing
+//! jumps: strides `n^{1/2}, n^{1/4}, …, n^{1/2^m}, …` — only
+//! `⌈log log n⌉ + 1` rounds instead of `log n`.
+//!
+//! This module implements that schedule. Two implementation notes:
+//!
+//! * Refinement between known rows that are `g` apart fills `g - 1` new
+//!   rows per gap. Filling them *in order inside the gap*, each seeded
+//!   with the previous fill's cut as its lower bound (cut monotonicity
+//!   again), keeps the per-column work telescoping to `O(q)` regardless
+//!   of the jump size — matching the paper's `n²`-per-round bound.
+//! * As in [`crate::cut`], `+∞` entries are handled by confining the
+//!   search to finite spans and marking `+∞` results untrusted.
+
+use crate::cut::{MinPlusProduct, UNTRUSTED};
+use crate::dense::Matrix;
+use partree_core::Cost;
+use partree_pram::OpCounter;
+use rayon::prelude::*;
+
+/// Multiplies two concave matrices with the §4.2 stride schedule
+/// (`⌈log log n⌉ + 1` refinement rounds). Same contract as
+/// [`crate::cut::concave_mul`].
+pub fn concave_mul_bottom_up(
+    a: &Matrix,
+    b: &Matrix,
+    counter: Option<&OpCounter>,
+) -> MinPlusProduct {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (p, q, r) = (a.rows(), a.cols(), b.cols());
+
+    if p == 0 || r == 0 {
+        return MinPlusProduct { values: Matrix::infinite(p, r), cut: vec![] };
+    }
+    if q == 0 {
+        return MinPlusProduct { values: Matrix::infinite(p, r), cut: vec![UNTRUSTED; p * r] };
+    }
+
+    let a_span = a.finite_row_spans();
+    let b_span = b.finite_col_spans();
+
+    let mut cut = vec![UNTRUSTED; p * r];
+
+    // Stride schedule: n, ⌊n^(1/2)⌋, ⌊n^(1/4)⌋, …, 1  (over max(p, r)).
+    let n = p.max(r) as f64;
+    let mut strides = vec![usize::MAX]; // "only row/col 0 known" marker
+    let mut expo = 0.5f64;
+    loop {
+        let s = n.powf(expo).floor() as usize;
+        if s <= 1 {
+            strides.push(1);
+            break;
+        }
+        strides.push(s);
+        expo /= 2.0;
+    }
+
+    // Seed entry (0, 0).
+    {
+        let (c, ops) = solve_range(a, b, &a_span, &b_span, 0, 0, None, None);
+        cut[0] = c;
+        if let Some(cnt) = counter {
+            cnt.add(ops);
+        }
+    }
+
+    let shared = Cells(cut.as_mut_ptr());
+    for w in strides.windows(2) {
+        let (prev, curr) = (w[0], w[1]);
+        let prev_rows: Vec<usize> = grid(p, prev);
+        let curr_rows: Vec<usize> = grid(p, curr);
+        let prev_cols: Vec<usize> = grid(r, prev);
+        let curr_cols: Vec<usize> = grid(r, curr);
+
+        // Phase 1 — new rows at the previous columns. Gaps between
+        // consecutive previously-known rows are independent tasks.
+        let ops: u64 = gaps(&prev_rows, &curr_rows)
+            .into_par_iter()
+            .map(|(lo_known, hi_known, fresh)| {
+                let mut local = 0u64;
+                for &j in &prev_cols {
+                    let mut lo_cut = lo_known.and_then(|i0| shared.read(i0, j, r));
+                    let hi_cut = hi_known.and_then(|i1| shared.read(i1, j, r));
+                    for &i in &fresh {
+                        let (c, ops) =
+                            solve_range(a, b, &a_span, &b_span, i, j, lo_cut, hi_cut);
+                        // SAFETY: rows in `fresh` belong to exactly one gap.
+                        unsafe { shared.write(i, j, r, c) };
+                        if c != UNTRUSTED {
+                            lo_cut = Some(c); // chain within the gap
+                        }
+                        local += 1 + ops;
+                    }
+                }
+                local
+            })
+            .sum();
+        if let Some(cnt) = counter {
+            cnt.add(ops);
+        }
+
+        // Phase 2 — new columns at all current rows; chain within column
+        // gaps of each row. Rows are independent tasks.
+        let col_gaps = gaps(&prev_cols, &curr_cols);
+        let ops: u64 = curr_rows
+            .par_iter()
+            .map(|&i| {
+                let mut local = 0u64;
+                for (lo_known, hi_known, fresh) in &col_gaps {
+                    let mut lo_cut = lo_known.and_then(|j0| shared.read(i, j0, r));
+                    let hi_cut = hi_known.and_then(|j1| shared.read(i, j1, r));
+                    for &j in fresh {
+                        let (c, ops) =
+                            solve_range(a, b, &a_span, &b_span, i, j, lo_cut, hi_cut);
+                        // SAFETY: each task owns row `i` exclusively.
+                        unsafe { shared.write(i, j, r, c) };
+                        if c != UNTRUSTED {
+                            lo_cut = Some(c);
+                        }
+                        local += 1 + ops;
+                    }
+                }
+                local
+            })
+            .sum();
+        if let Some(cnt) = counter {
+            cnt.add(ops);
+        }
+    }
+
+    let values = Matrix::from_fn(p, r, |i, j| match cut[i * r + j] {
+        UNTRUSTED => Cost::INFINITY,
+        k => a.get(i, k as usize) + b.get(k as usize, j),
+    });
+    MinPlusProduct { values, cut }
+}
+
+/// Indices `{0, s, 2s, …} ∩ [0, len)`; for the `usize::MAX` marker just
+/// `{0}`.
+fn grid(len: usize, stride: usize) -> Vec<usize> {
+    if stride == usize::MAX {
+        vec![0]
+    } else {
+        (0..len).step_by(stride.max(1)).collect()
+    }
+}
+
+/// Splits the refinement `prev → curr` into gap tasks: each item is
+/// `(known_below, known_above, fresh_indices_in_between)`.
+fn gaps(
+    prev: &[usize],
+    curr: &[usize],
+) -> Vec<(Option<usize>, Option<usize>, Vec<usize>)> {
+    let prev_set: std::collections::HashSet<usize> = prev.iter().copied().collect();
+    let mut out = Vec::new();
+    let mut fresh = Vec::new();
+    let mut below = Some(prev[0]);
+    for &i in curr {
+        if prev_set.contains(&i) {
+            if !fresh.is_empty() {
+                out.push((below, Some(i), std::mem::take(&mut fresh)));
+            }
+            below = Some(i);
+        } else {
+            fresh.push(i);
+        }
+    }
+    if !fresh.is_empty() {
+        out.push((below, None, fresh));
+    }
+    out
+}
+
+/// Bounded smallest-argmin search (same contract as `cut::solve_entry`).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn solve_range(
+    a: &Matrix,
+    b: &Matrix,
+    a_span: &[Option<(usize, usize)>],
+    b_span: &[Option<(usize, usize)>],
+    i: usize,
+    j: usize,
+    lo_neighbor: Option<u32>,
+    hi_neighbor: Option<u32>,
+) -> (u32, u64) {
+    let Some((alo, ahi)) = a_span[i] else { return (UNTRUSTED, 0) };
+    let Some((blo, bhi)) = b_span[j] else { return (UNTRUSTED, 0) };
+    let mut lo = alo.max(blo);
+    let mut hi = ahi.min(bhi);
+    if let Some(l) = lo_neighbor {
+        lo = lo.max(l as usize);
+    }
+    if let Some(h) = hi_neighbor {
+        hi = hi.min(h as usize);
+    }
+    if lo > hi {
+        return (UNTRUSTED, 0);
+    }
+    let a_row = a.row(i);
+    let mut best = Cost::INFINITY;
+    let mut arg = UNTRUSTED;
+    let mut ops = 0u64;
+    for k in lo..=hi {
+        let cand = a_row[k] + b.get(k, j);
+        ops += 1;
+        if cand < best {
+            best = cand;
+            arg = k as u32;
+        }
+    }
+    if best.is_infinite() {
+        (UNTRUSTED, ops)
+    } else {
+        (arg, ops)
+    }
+}
+
+struct Cells(*mut u32);
+
+impl Cells {
+    #[inline]
+    fn read(&self, i: usize, j: usize, cols: usize) -> Option<u32> {
+        // SAFETY: reads target previously-completed cells only.
+        let v = unsafe { *self.ptr().add(i * cols + j) };
+        (v != UNTRUSTED).then_some(v)
+    }
+
+    #[inline]
+    unsafe fn write(&self, i: usize, j: usize, cols: usize, v: u32) {
+        unsafe { *self.ptr().add(i * cols + j) = v };
+    }
+
+    #[inline]
+    fn ptr(&self) -> *mut u32 {
+        self.0
+    }
+}
+
+// SAFETY: concurrent accesses are to disjoint cells (rows partitioned by
+// gap in phase 1, by row in phase 2).
+unsafe impl Sync for Cells {}
+unsafe impl Send for Cells {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cut::concave_mul;
+    use crate::dense::min_plus_naive;
+    use partree_core::gen;
+
+    fn random_concave(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_rows(&gen::random_monge(rows, cols, seed))
+    }
+
+    #[test]
+    fn matches_naive_on_random_inputs() {
+        for seed in 0..8 {
+            let a = random_concave(19, 13, seed);
+            let b = random_concave(13, 23, seed + 31);
+            let fast = concave_mul_bottom_up(&a, &b, None);
+            let slow = min_plus_naive(&a, &b, None);
+            assert!(fast.values.approx_eq(&slow, 1e-9), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn matches_recursive_variant_including_cuts() {
+        for seed in 0..5 {
+            let a = random_concave(33, 21, seed);
+            let b = random_concave(21, 27, seed + 5);
+            let x = concave_mul_bottom_up(&a, &b, None);
+            let y = concave_mul(&a, &b, None);
+            assert!(x.values.approx_eq(&y.values, 1e-9), "seed={seed}");
+            assert_eq!(x.cut, y.cut, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn handles_triangular_infinities() {
+        let w: Vec<f64> = (1..=10).map(f64::from).collect();
+        let pw = partree_core::cost::PrefixWeights::new(&w);
+        let n = w.len();
+        let s = Matrix::from_fn(n + 1, n + 1, |i, j| {
+            if i < j {
+                pw.sum(i, j)
+            } else {
+                Cost::INFINITY
+            }
+        });
+        let fast = concave_mul_bottom_up(&s, &s, None);
+        let slow = min_plus_naive(&s, &s, None);
+        assert!(fast.values.approx_eq(&slow, 1e-9));
+    }
+
+    #[test]
+    fn rectangular_extremes() {
+        for (p, q, r) in [(1, 4, 9), (9, 4, 1), (2, 2, 2), (64, 5, 3)] {
+            let a = random_concave(p, q, 1);
+            let b = random_concave(q, r, 2);
+            let fast = concave_mul_bottom_up(&a, &b, None);
+            let slow = min_plus_naive(&a, &b, None);
+            assert!(fast.values.approx_eq(&slow, 1e-9), "({p},{q},{r})");
+        }
+    }
+
+    #[test]
+    fn work_stays_quadratic() {
+        let n = 128;
+        let a = random_concave(n, n, 3);
+        let b = random_concave(n, n, 4);
+        let c = OpCounter::new();
+        let _ = concave_mul_bottom_up(&a, &b, Some(&c));
+        let bound = 10 * (n * n) as u64;
+        assert!(c.get() <= bound, "bottom-up used {} ops, bound {bound}", c.get());
+    }
+
+    #[test]
+    fn round_count_is_loglog() {
+        // The stride schedule for n = 65536 must have ≤ ⌈log log n⌉ + 2
+        // refinement rounds (16 → 4 → 2 → 1 exponent halvings).
+        let n = 65536f64;
+        let mut rounds = 0;
+        let mut expo = 0.5;
+        while n.powf(expo).floor() as usize > 1 {
+            rounds += 1;
+            expo /= 2.0;
+        }
+        assert!(rounds <= 5, "rounds = {rounds}");
+    }
+}

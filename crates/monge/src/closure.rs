@@ -1,0 +1,252 @@
+//! Repeated squaring of concave matrices, with witnesses.
+//!
+//! Section 5 computes the Huffman spine by squaring the concave matrix
+//! `M'` (the spine digraph with a zero self-loop at vertex 0)
+//! `⌈log n⌉` times: `(M')^{2^k}[0, n]` is then the optimal weighted path
+//! length. Because every power of a concave matrix is again concave
+//! (closure under `⋆`, see [`crate::concave`]), every squaring costs one
+//! concave multiplication.
+//!
+//! [`PowerTrace`] keeps the cut (witness) matrix of every squaring so
+//! the *path itself* — not just its weight — can be recovered: the cut
+//! of level `ℓ` names the midpoint splitting a `2^ℓ`-step path into two
+//! `2^{ℓ-1}`-step halves.
+
+use crate::cut::{concave_mul, MinPlusProduct};
+use crate::dense::Matrix;
+use partree_pram::OpCounter;
+
+/// The result of repeatedly squaring a matrix, with all intermediate
+/// witnesses retained for path reconstruction.
+pub struct PowerTrace {
+    base: Matrix,
+    /// `levels[ℓ]` is the product `M^{2^ℓ} ⋆ M^{2^ℓ} = M^{2^{ℓ+1}}`.
+    levels: Vec<MinPlusProduct>,
+}
+
+/// Squares `m` (a square concave matrix) `squarings` times using concave
+/// multiplication, retaining witnesses. The final matrix is
+/// `m^{2^squarings}`.
+pub fn power_trace(m: &Matrix, squarings: usize, counter: Option<&OpCounter>) -> PowerTrace {
+    assert_eq!(m.rows(), m.cols(), "power of a non-square matrix");
+    let mut levels = Vec::with_capacity(squarings);
+    let mut cur = m.clone();
+    for _ in 0..squarings {
+        let prod = concave_mul(&cur, &cur, counter);
+        cur = prod.values.clone();
+        levels.push(prod);
+    }
+    PowerTrace { base: m.clone(), levels }
+}
+
+impl PowerTrace {
+    /// The matrix `m^{2^squarings}` (or `m` itself when `squarings = 0`).
+    pub fn final_matrix(&self) -> &Matrix {
+        self.levels.last().map_or(&self.base, |p| &p.values)
+    }
+
+    /// Number of squarings performed.
+    pub fn squarings(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Recovers a minimum-weight walk of length exactly `2^squarings`
+    /// from `i` to `j` in the digraph of the base matrix, as the sequence
+    /// of visited vertices (length `2^squarings + 1`, endpoints
+    /// included). Returns `None` when no such walk exists (entry `+∞`).
+    ///
+    /// Self-loop steps are *not* collapsed here; see
+    /// [`PowerTrace::reconstruct_simple_path`].
+    pub fn reconstruct_walk(&self, i: usize, j: usize) -> Option<Vec<usize>> {
+        if self.final_matrix().get(i, j).is_infinite() {
+            return None;
+        }
+        let mut walk = Vec::with_capacity((1usize << self.levels.len()) + 1);
+        walk.push(i);
+        self.walk_rec(self.levels.len(), i, j, &mut walk)?;
+        Some(walk)
+    }
+
+    /// Like [`PowerTrace::reconstruct_walk`] but with consecutive
+    /// repeats (self-loop dwell steps) collapsed — the paper's "any path
+    /// of length `k` or less from 0 to `j` in `M'` corresponds to a path
+    /// of length exactly `k`" read in reverse.
+    pub fn reconstruct_simple_path(&self, i: usize, j: usize) -> Option<Vec<usize>> {
+        let walk = self.reconstruct_walk(i, j)?;
+        let mut out: Vec<usize> = Vec::with_capacity(walk.len());
+        for v in walk {
+            if out.last() != Some(&v) {
+                out.push(v);
+            }
+        }
+        Some(out)
+    }
+
+    fn walk_rec(&self, level: usize, i: usize, j: usize, out: &mut Vec<usize>) -> Option<()> {
+        if level == 0 {
+            // A single edge of the base digraph.
+            if self.base.get(i, j).is_infinite() {
+                return None;
+            }
+            out.push(j);
+            return Some(());
+        }
+        let prod = &self.levels[level - 1];
+        let k = prod.cut_at(i, j)?;
+        self.walk_rec(level - 1, i, k, out)?;
+        self.walk_rec(level - 1, k, j, out)
+    }
+}
+
+/// All-pairs minimum path weights of an arbitrary weighted digraph —
+/// the §5 preliminary "if `M` is the matrix for a weighted digraph,
+/// `min(M, I)^n` contains the solutions to the all-pairs minimum path
+/// problem". General digraphs are not concave, so this uses the naive
+/// product (`⌈log₂ n⌉` squarings, `O(n³ log n)` work); it exists as the
+/// generic reference the concave spine computation specializes.
+pub fn all_pairs_min_paths(m: &Matrix) -> Matrix {
+    assert_eq!(m.rows(), m.cols(), "digraph matrices are square");
+    let n = m.rows();
+    let mut acc = m.entrywise_min(&Matrix::identity(n));
+    let mut span = 1usize;
+    while span + 1 < n.max(2) {
+        acc = crate::dense::min_plus_naive(&acc, &acc, None);
+        span *= 2;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::min_plus_naive;
+    use partree_core::Cost;
+
+    /// A small concave digraph: a path 0 → 1 → … → n-1 with weighted
+    /// shortcut edges, plus a free self-loop at 0 (the paper's `M'`
+    /// trick), in concave form: weight(i→j) = (j - i)² for j ≥ i (a
+    /// convex-increment function of the jump, which is Monge), ∞ below
+    /// the diagonal except the self-loop.
+    fn quadratic_jump_graph(n: usize) -> Matrix {
+        Matrix::from_fn(n, n, |i, j| {
+            if j >= i {
+                Cost::from(((j - i) * (j - i)) as u64)
+            } else {
+                Cost::INFINITY
+            }
+        })
+    }
+
+    #[test]
+    fn squared_matrix_matches_naive_power() {
+        let m = quadratic_jump_graph(9);
+        let trace = power_trace(&m, 3, None);
+        // Naive m^8 by repeated naive multiplication.
+        let mut naive = m.clone();
+        for _ in 0..3 {
+            naive = min_plus_naive(&naive, &naive, None);
+        }
+        assert!(trace.final_matrix().approx_eq(&naive, 1e-9));
+        assert_eq!(trace.squarings(), 3);
+    }
+
+    #[test]
+    fn zero_squarings_is_identity_operation() {
+        let m = quadratic_jump_graph(5);
+        let trace = power_trace(&m, 0, None);
+        assert!(trace.final_matrix().approx_eq(&m, 0.0));
+        // A walk of length 2^0 = 1 is a single edge.
+        assert_eq!(trace.reconstruct_walk(1, 4), Some(vec![1, 4]));
+        assert_eq!(trace.reconstruct_walk(4, 1), None);
+    }
+
+    #[test]
+    fn reconstructed_walk_has_correct_length_weight_and_edges() {
+        let n = 13;
+        let m = quadratic_jump_graph(n);
+        let squarings = 4; // paths of length 16 ≥ n
+        let trace = power_trace(&m, squarings, None);
+        for j in 0..n {
+            let walk = trace.reconstruct_walk(0, j).expect("reachable");
+            assert_eq!(walk.len(), (1 << squarings) + 1);
+            assert_eq!(*walk.first().unwrap(), 0);
+            assert_eq!(*walk.last().unwrap(), j);
+            let weight: Cost = walk.windows(2).map(|e| m.get(e[0], e[1])).sum();
+            assert!(
+                weight.approx_eq(trace.final_matrix().get(0, j), 1e-9),
+                "weight mismatch for j={j}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_jump_decomposition_is_found() {
+        // With cost (jump)², the cheapest way to advance d in k steps is
+        // d/k-balanced jumps; with a free self-loop at 0 the walk may
+        // dwell first. Check the known optimum for n-1 = 12 in ≤ 16
+        // steps: twelve 1-jumps = 12.
+        let n = 13;
+        let m = quadratic_jump_graph(n);
+        let trace = power_trace(&m, 4, None);
+        assert_eq!(trace.final_matrix().get(0, n - 1), Cost::from(12u64));
+        let path = trace.reconstruct_simple_path(0, n - 1).unwrap();
+        // Collapsed path: 0,1,2,…,12 (dwell steps at 0 removed).
+        assert_eq!(path, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn all_pairs_matches_floyd_warshall() {
+        let n = 24;
+        // Sparse deterministic digraph with integer weights.
+        let m = Matrix::from_fn(n, n, |i, j| {
+            let h = (i * 31 + j * 17) % 97; // deterministic sparsity
+            if i != j && h % 4 == 0 {
+                Cost::from(1 + (h as u64 % 20))
+            } else {
+                Cost::INFINITY
+            }
+        });
+        let fast = all_pairs_min_paths(&m);
+        // Floyd–Warshall reference.
+        let mut d = vec![vec![Cost::INFINITY; n]; n];
+        for i in 0..n {
+            d[i][i] = Cost::ZERO;
+            for j in 0..n {
+                d[i][j] = d[i][j].min(m.get(i, j));
+            }
+        }
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    d[i][j] = d[i][j].min(d[i][k] + d[k][j]);
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(fast.get(i, j), d[i][j], "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_tiny() {
+        let m = Matrix::identity(1);
+        assert!(all_pairs_min_paths(&m).approx_eq(&Matrix::identity(1), 0.0));
+        // Two nodes, one edge.
+        let mut m = Matrix::infinite(2, 2);
+        m.set(0, 1, Cost::from(5u64));
+        let c = all_pairs_min_paths(&m);
+        assert_eq!(c.get(0, 1), Cost::from(5u64));
+        assert_eq!(c.get(0, 0), Cost::ZERO);
+        assert!(c.get(1, 0).is_infinite());
+    }
+
+    #[test]
+    fn unreachable_pairs_return_none() {
+        let m = quadratic_jump_graph(6);
+        let trace = power_trace(&m, 3, None);
+        assert!(trace.reconstruct_walk(5, 0).is_none());
+        assert!(trace.reconstruct_simple_path(3, 1).is_none());
+    }
+}

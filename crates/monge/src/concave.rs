@@ -1,0 +1,168 @@
+//! The quadrangle condition and its closure properties.
+//!
+//! A matrix is *concave* (the paper's term; elsewhere: Monge, or
+//! submodular) when `M[i][j] + M[k][l] ≤ M[i][l] + M[k][j]` for all
+//! `i < k`, `j < l`. Checking adjacent quadruples suffices because the
+//! general inequality telescopes from adjacent ones.
+//!
+//! Infinite entries follow the extended-arithmetic convention: the
+//! inequality holds vacuously whenever its right-hand side is `+∞`; a
+//! finite right-hand side with an infinite left-hand side is a violation.
+//!
+//! This module also carries the closure facts the algorithms lean on,
+//! verified here by tests and by property tests:
+//!
+//! * the `(min,+)` product of concave matrices is concave (this is what
+//!   lets `A_h` and `(M')^{2^k}` stay in the class across iterations —
+//!   Lemma 5.1's engine);
+//! * row/column translations (`M[i][j] + r_i + c_j`) preserve concavity —
+//!   which is why adding the weight matrix `S` keeps `A_h` concave;
+//! * row/column *subsampling* preserves concavity — which is why the
+//!   recursion on `A_even`, `B_even` stays in the class.
+
+use crate::dense::Matrix;
+use partree_core::Cost;
+
+/// Checks the quadrangle condition on all adjacent quadruples, with
+/// absolute tolerance `tol` for float workloads (`0.0` gives the exact
+/// check — appropriate for integer-weight inputs).
+pub fn is_concave(m: &Matrix, tol: f64) -> bool {
+    first_violation(m, tol).is_none()
+}
+
+/// Returns the first adjacent quadruple violating the quadrangle
+/// condition, as `(i, j)` for the quadruple on rows `i, i+1` and columns
+/// `j, j+1` — or `None` if the matrix is concave.
+pub fn first_violation(m: &Matrix, tol: f64) -> Option<(usize, usize)> {
+    for i in 0..m.rows().saturating_sub(1) {
+        for j in 0..m.cols().saturating_sub(1) {
+            if violates(m.get(i, j), m.get(i + 1, j + 1), m.get(i, j + 1), m.get(i + 1, j), tol) {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// Does `a + d ≤ b + c` fail (within `tol`), in extended arithmetic?
+/// (`a = M[i][j]`, `d = M[i+1][j+1]`, `b = M[i][j+1]`, `c = M[i+1][j]`.)
+#[inline]
+fn violates(a: Cost, d: Cost, b: Cost, c: Cost, tol: f64) -> bool {
+    let rhs_inf = b.is_infinite() || c.is_infinite();
+    if rhs_inf {
+        return false; // RHS = +∞ — condition holds vacuously.
+    }
+    let lhs_inf = a.is_infinite() || d.is_infinite();
+    if lhs_inf {
+        return true; // LHS = +∞ > finite RHS.
+    }
+    a.value() + d.value() > b.value() + c.value() + tol
+}
+
+/// Extracts the row/column-subsampled matrix taking every `stride`-th row
+/// and every `stride`-th column (the `A_{mod m}` of §4.2). Concavity is
+/// preserved.
+pub fn subsample(m: &Matrix, row_stride: usize, col_stride: usize) -> Matrix {
+    assert!(row_stride >= 1 && col_stride >= 1);
+    let rows: Vec<usize> = (0..m.rows()).step_by(row_stride).collect();
+    let cols: Vec<usize> = (0..m.cols()).step_by(col_stride).collect();
+    Matrix::from_fn(rows.len(), cols.len(), |i, j| m.get(rows[i], cols[j]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::min_plus_naive;
+    use partree_core::gen;
+
+    fn random_concave(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_rows(&gen::random_monge(rows, cols, seed))
+    }
+
+    #[test]
+    fn generated_matrices_are_concave() {
+        for seed in 0..10 {
+            assert!(is_concave(&random_concave(12, 17, seed), 1e-9));
+        }
+    }
+
+    #[test]
+    fn violation_detected_and_located() {
+        let mut m = random_concave(6, 6, 3);
+        // Break the condition at (2,2)/(3,3) by making the diagonal huge.
+        m.set(3, 3, m.get(3, 3) + Cost::new(1e6));
+        assert!(!is_concave(&m, 1e-9));
+        let (i, j) = first_violation(&m, 1e-9).unwrap();
+        assert!(i <= 3 && j <= 3, "violation at ({i},{j})");
+    }
+
+    #[test]
+    fn infinite_rhs_is_vacuous() {
+        // [0 ∞; 5 3]: quadruple has b = ∞ → holds.
+        let mut m = Matrix::filled(2, 2, Cost::ZERO);
+        m.set(0, 1, Cost::INFINITY);
+        m.set(1, 0, Cost::new(5.0));
+        m.set(1, 1, Cost::new(3.0));
+        assert!(is_concave(&m, 0.0));
+    }
+
+    #[test]
+    fn infinite_lhs_with_finite_rhs_violates() {
+        // [∞ 0; 0 0]: a = ∞, b = c = d = 0 → ∞ > 0 violation.
+        let mut m = Matrix::filled(2, 2, Cost::ZERO);
+        m.set(0, 0, Cost::INFINITY);
+        assert!(!is_concave(&m, 0.0));
+    }
+
+    #[test]
+    fn upper_triangular_weight_matrix_is_concave() {
+        // The paper's S[i,j] = p_{i+1}+…+p_j for i<j, ∞ otherwise.
+        let w = [2.0, 7.0, 1.0, 8.0, 2.0];
+        let pw = partree_core::cost::PrefixWeights::new(&w);
+        let n = w.len();
+        let s = Matrix::from_fn(n + 1, n + 1, |i, j| {
+            if i < j {
+                pw.sum(i, j)
+            } else {
+                Cost::INFINITY
+            }
+        });
+        assert!(is_concave(&s, 1e-9), "S must be concave (paper, §5)");
+    }
+
+    #[test]
+    fn product_of_concave_is_concave() {
+        for seed in 0..8 {
+            let a = random_concave(9, 11, seed);
+            let b = random_concave(11, 7, seed + 100);
+            let c = min_plus_naive(&a, &b, None);
+            assert!(is_concave(&c, 1e-6), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn translation_preserves_concavity() {
+        let a = random_concave(8, 8, 5);
+        let shifted = Matrix::from_fn(8, 8, |i, j| {
+            a.get(i, j) + Cost::from(i as u64 * 3) + Cost::from(j as u64 * 5)
+        });
+        assert!(is_concave(&shifted, 1e-9));
+    }
+
+    #[test]
+    fn subsample_preserves_concavity_and_entries() {
+        let a = random_concave(13, 10, 2);
+        let s = subsample(&a, 2, 3);
+        assert_eq!(s.rows(), 7);
+        assert_eq!(s.cols(), 4);
+        assert_eq!(s.get(3, 2), a.get(6, 6));
+        assert!(is_concave(&s, 1e-9));
+    }
+
+    #[test]
+    fn degenerate_shapes_are_concave() {
+        assert!(is_concave(&Matrix::infinite(0, 0), 0.0));
+        assert!(is_concave(&Matrix::infinite(1, 5), 0.0));
+        assert!(is_concave(&Matrix::infinite(5, 1), 0.0));
+    }
+}

@@ -1,0 +1,463 @@
+//! The paper's MULTIPLICATION ALGORITHM (§4.1): computing `Cut(A, B)`
+//! by recursion on even rows/columns plus monotone interpolation.
+//!
+//! `Cut(A,B)[i][j]` is the smallest `k` minimizing `A[i][k] + B[k][j]`.
+//! Concavity of `A` gives `Cut(A,B)[i][j] ≤ Cut(A,B)[i+1][j]`; concavity
+//! of `B` gives `Cut(A,B)[i][j] ≤ Cut(A,B)[i][j+1]` — the *monotonicity
+//! property*. The recursion of the paper (halve the rows of `A` and the
+//! columns of `B`, recurse, then interpolate the missing rows/columns
+//! inside the monotone bounds) is realized here iteratively as
+//! stride-halving refinement: strides `2^t, 2^{t-1}, …, 1`, each level
+//! interpolating the rows (then the columns) midway between known ones.
+//! The two formulations perform the same comparisons; the iterative one
+//! parallelizes cleanly with rayon (every new row/column is independent).
+//!
+//! ## `+∞` entries
+//!
+//! The paper's matrices carry `+∞` in structured positions (`S[i,j] = ∞`
+//! for `i ≥ j`; `A_h[i,j] = ∞` when no height-`h` tree exists). An
+//! all-`∞` row of the product has *no* meaningful argmin, and naive
+//! tie-breaking there can destroy monotonicity for its neighbours. Two
+//! measures keep the algorithm exact and within its work bound:
+//!
+//! * searches are confined to the *finite spans* — `k` ranges where
+//!   `A[i][k]` and `B[k][j]` can both be finite (every matrix in this
+//!   workspace has contiguous finite spans per row/column, which
+//!   [`concave_mul`] requires and debug-asserts);
+//! * entries whose minimum is `+∞` are marked [`UNTRUSTED`] and never
+//!   used as interpolation bounds; a finite entry with an untrusted
+//!   neighbour falls back to its span bounds.
+//!
+//! Monotonicity between *finite* entries is a theorem (proved in the
+//! paper; re-proved as a property test here), so the bounds used are
+//! always genuine.
+
+use crate::dense::Matrix;
+use partree_core::Cost;
+use partree_pram::OpCounter;
+use rayon::prelude::*;
+
+/// Sentinel cut value for entries whose minimum is `+∞` (no finite
+/// candidate `k` exists).
+pub const UNTRUSTED: u32 = u32::MAX;
+
+/// A `(min,+)` product together with its cut (witness) matrix.
+pub struct MinPlusProduct {
+    /// The product values `C = A ⋆ B`.
+    pub values: Matrix,
+    /// Row-major `rows×cols` cut matrix; `cut[i*cols+j]` is the smallest
+    /// argmin `k`, or [`UNTRUSTED`] where `C[i][j] = +∞`.
+    pub cut: Vec<u32>,
+}
+
+impl MinPlusProduct {
+    /// The witness `k` for entry `(i, j)`, or `None` where the product
+    /// is `+∞`.
+    pub fn cut_at(&self, i: usize, j: usize) -> Option<usize> {
+        let c = self.cut[i * self.values.cols() + j];
+        (c != UNTRUSTED).then_some(c as usize)
+    }
+}
+
+/// Multiplies two concave matrices over `(min,+)` using the paper's §4.1
+/// algorithm: `O((p + q + r)·max(p,r)/min(p,r) + p·r)`-ish comparisons —
+/// `O(n²)` for square inputs — instead of the naive `p·q·r`.
+///
+/// Requirements (debug-asserted): `a.cols() == b.rows()`; both matrices
+/// concave; finite entries contiguous in every row of `a` and every
+/// column of `b`.
+///
+/// ```
+/// use partree_core::gen;
+/// use partree_monge::cut::concave_mul;
+/// use partree_monge::dense::{min_plus_naive, Matrix};
+/// use partree_pram::OpCounter;
+///
+/// let a = Matrix::from_rows(&gen::random_monge(64, 64, 1));
+/// let b = Matrix::from_rows(&gen::random_monge(64, 64, 2));
+/// let ops = OpCounter::new();
+/// let fast = concave_mul(&a, &b, Some(&ops));
+/// assert!(fast.values.approx_eq(&min_plus_naive(&a, &b, None), 1e-9));
+/// assert!(ops.get() < 3 * 64 * 64);        // ≈ n², not n³
+/// ```
+///
+/// `counter` counts candidate evaluations (one per `A[i][k] + B[k][j]`
+/// considered), the paper's work measure.
+pub fn concave_mul(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> MinPlusProduct {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (p, q, r) = (a.rows(), a.cols(), b.cols());
+
+    if p == 0 || r == 0 {
+        return MinPlusProduct { values: Matrix::infinite(p, r), cut: vec![] };
+    }
+    if q == 0 {
+        return MinPlusProduct { values: Matrix::infinite(p, r), cut: vec![UNTRUSTED; p * r] };
+    }
+
+    let a_span = a.finite_row_spans();
+    let b_span = b.finite_col_spans();
+    debug_assert!(spans_contiguous_rows(a), "A must have contiguous finite rows");
+    debug_assert!(spans_contiguous_cols(b), "B must have contiguous finite columns");
+
+    let mut cut = vec![UNTRUSTED; p * r];
+
+    // Coarsest stride: a power of two ≥ max(p, r), so the initial grid is
+    // the single entry (0, 0).
+    let mut s = (p.max(r)).next_power_of_two();
+
+    // Seed entry (0, 0).
+    {
+        let (c, ops) = solve_entry(a, b, &a_span, &b_span, 0, 0, None, None);
+        cut[0] = c;
+        if let Some(cnt) = counter {
+            cnt.add(ops);
+        }
+    }
+
+    let shared = CutCells(cut.as_mut_ptr());
+    while s > 1 {
+        let half = s / 2;
+
+        // Step A — interpolate the new rows (i ≡ half mod s) at the old
+        // columns (j ≡ 0 mod s). Each new row only reads rows i ± half,
+        // which belong to the old grid, so tasks write disjoint rows.
+        let new_rows: Vec<usize> = (half..p).step_by(s).collect();
+        let ops: u64 = new_rows
+            .par_iter()
+            .map(|&i| {
+                let mut local = 0u64;
+                for j in (0..r).step_by(s) {
+                    let lo = shared.read(i - half, j, r);
+                    let hi = if i + half < p { shared.read(i + half, j, r) } else { None };
+                    let (c, ops) = solve_entry(a, b, &a_span, &b_span, i, j, lo, hi);
+                    // SAFETY: row `i` is written only by this task; reads
+                    // touch only rows of the old grid.
+                    unsafe { shared.write(i, j, r, c) };
+                    local += ops;
+                }
+                local
+            })
+            .sum();
+        if let Some(cnt) = counter {
+            cnt.add(ops);
+        }
+
+        // Step B — interpolate the new columns (j ≡ half mod s) at all
+        // current rows (i ≡ 0 mod half). Bounds come from the same row's
+        // columns j ± half, already computed; tasks own whole rows.
+        let cur_rows: Vec<usize> = (0..p).step_by(half).collect();
+        let ops: u64 = cur_rows
+            .par_iter()
+            .map(|&i| {
+                let mut local = 0u64;
+                for j in (half..r).step_by(s) {
+                    let lo = shared.read(i, j - half, r);
+                    let hi = if j + half < r { shared.read(i, j + half, r) } else { None };
+                    let (c, ops) = solve_entry(a, b, &a_span, &b_span, i, j, lo, hi);
+                    // SAFETY: each task owns row `i` exclusively here.
+                    unsafe { shared.write(i, j, r, c) };
+                    local += ops;
+                }
+                local
+            })
+            .sum();
+        if let Some(cnt) = counter {
+            cnt.add(ops);
+        }
+
+        s = half;
+    }
+
+    // Materialize the values from the witnesses — O(1) per entry, the
+    // paper's "construct AB from Cut(A,B)" step.
+    let values = Matrix::from_fn(p, r, |i, j| match cut[i * r + j] {
+        UNTRUSTED => Cost::INFINITY,
+        k => a.get(i, k as usize) + b.get(k as usize, j),
+    });
+
+    MinPlusProduct { values, cut }
+}
+
+/// Finds the smallest argmin for entry `(i, j)`, searching only inside
+/// the intersection of the finite spans and the (optional) monotone
+/// neighbour bounds. Returns the cut value and the number of candidate
+/// evaluations performed.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn solve_entry(
+    a: &Matrix,
+    b: &Matrix,
+    a_span: &[Option<(usize, usize)>],
+    b_span: &[Option<(usize, usize)>],
+    i: usize,
+    j: usize,
+    lo_neighbor: Option<u32>,
+    hi_neighbor: Option<u32>,
+) -> (u32, u64) {
+    let Some((alo, ahi)) = a_span[i] else { return (UNTRUSTED, 0) };
+    let Some((blo, bhi)) = b_span[j] else { return (UNTRUSTED, 0) };
+    let mut lo = alo.max(blo);
+    let mut hi = ahi.min(bhi);
+    if let Some(l) = lo_neighbor {
+        lo = lo.max(l as usize);
+    }
+    if let Some(h) = hi_neighbor {
+        hi = hi.min(h as usize);
+    }
+    if lo > hi {
+        return (UNTRUSTED, 0);
+    }
+
+    let a_row = a.row(i);
+    let mut best = Cost::INFINITY;
+    let mut arg = UNTRUSTED;
+    let mut ops = 0u64;
+    for k in lo..=hi {
+        let cand = a_row[k] + b.get(k, j);
+        ops += 1;
+        if cand < best {
+            best = cand;
+            arg = k as u32;
+        }
+    }
+    if best.is_infinite() {
+        (UNTRUSTED, ops)
+    } else {
+        (arg, ops)
+    }
+}
+
+/// Shared-cut-cell pointer for the provably disjoint interleaved writes
+/// of the refinement loop.
+struct CutCells(*mut u32);
+
+impl CutCells {
+    /// Reads a cut cell, mapping [`UNTRUSTED`] to `None`.
+    #[inline]
+    fn read(&self, i: usize, j: usize, cols: usize) -> Option<u32> {
+        // SAFETY: reads target cells of the previous (coarser) grid,
+        // which no task of the current step writes.
+        let v = unsafe { *self.ptr().add(i * cols + j) };
+        (v != UNTRUSTED).then_some(v)
+    }
+
+    /// Writes a cut cell. Caller must guarantee exclusive access to it.
+    #[inline]
+    unsafe fn write(&self, i: usize, j: usize, cols: usize, v: u32) {
+        unsafe { *self.ptr().add(i * cols + j) = v };
+    }
+
+    #[inline]
+    fn ptr(&self) -> *mut u32 {
+        self.0
+    }
+}
+
+// SAFETY: all concurrent accesses are to disjoint cells (see the SAFETY
+// comments at the call sites).
+unsafe impl Sync for CutCells {}
+unsafe impl Send for CutCells {}
+
+/// Debug check: finite entries contiguous in each row.
+fn spans_contiguous_rows(m: &Matrix) -> bool {
+    (0..m.rows()).all(|i| {
+        let row = m.row(i);
+        let Some(first) = row.iter().position(|c| c.is_finite()) else { return true };
+        let last = row.iter().rposition(|c| c.is_finite()).expect("first exists");
+        row[first..=last].iter().all(|c| c.is_finite())
+    })
+}
+
+/// Debug check: finite entries contiguous in each column.
+fn spans_contiguous_cols(m: &Matrix) -> bool {
+    (0..m.cols()).all(|j| {
+        let mut state = 0u8; // 0 = before, 1 = inside, 2 = after
+        for i in 0..m.rows() {
+            match (state, m.get(i, j).is_finite()) {
+                (0, true) => state = 1,
+                (1, false) => state = 2,
+                (2, true) => return false,
+                _ => {}
+            }
+        }
+        true
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::min_plus_naive;
+    use partree_core::gen;
+
+    fn random_concave(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_rows(&gen::random_monge(rows, cols, seed))
+    }
+
+    /// Smallest-argmin witness matrix by brute force.
+    fn cut_naive(a: &Matrix, b: &Matrix) -> Vec<u32> {
+        let (p, q, r) = (a.rows(), a.cols(), b.cols());
+        let mut out = vec![UNTRUSTED; p * r];
+        for i in 0..p {
+            for j in 0..r {
+                let mut best = Cost::INFINITY;
+                let mut arg = UNTRUSTED;
+                for k in 0..q {
+                    let cand = a.get(i, k) + b.get(k, j);
+                    if cand < best {
+                        best = cand;
+                        arg = k as u32;
+                    }
+                }
+                if !best.is_infinite() {
+                    out[i * r + j] = arg;
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_on_random_concave_matrices() {
+        for seed in 0..10 {
+            let a = random_concave(13, 17, seed);
+            let b = random_concave(17, 11, seed + 50);
+            let fast = concave_mul(&a, &b, None);
+            let slow = min_plus_naive(&a, &b, None);
+            assert!(fast.values.approx_eq(&slow, 1e-9), "values differ, seed={seed}");
+            assert_eq!(fast.cut, cut_naive(&a, &b), "cuts differ, seed={seed}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_on_rectangular_extremes() {
+        for (p, q, r) in [(1, 5, 7), (7, 5, 1), (1, 1, 1), (2, 9, 2), (16, 3, 16)] {
+            let a = random_concave(p, q, 7);
+            let b = random_concave(q, r, 8);
+            let fast = concave_mul(&a, &b, None);
+            let slow = min_plus_naive(&a, &b, None);
+            assert!(fast.values.approx_eq(&slow, 1e-9), "({p},{q},{r})");
+        }
+    }
+
+    #[test]
+    fn handles_upper_triangular_infinity_bands() {
+        // The Huffman-style S matrix squared: finite only above the
+        // diagonal within a band.
+        let w = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let pw = partree_core::cost::PrefixWeights::new(&w);
+        let n = w.len();
+        let s = Matrix::from_fn(n + 1, n + 1, |i, j| {
+            if i < j {
+                pw.sum(i, j)
+            } else {
+                Cost::INFINITY
+            }
+        });
+        let fast = concave_mul(&s, &s, None);
+        let slow = min_plus_naive(&s, &s, None);
+        assert!(fast.values.approx_eq(&slow, 1e-9));
+        // Untrusted exactly where the product is ∞.
+        for i in 0..=n {
+            for j in 0..=n {
+                assert_eq!(
+                    fast.cut_at(i, j).is_none(),
+                    slow.get(i, j).is_infinite(),
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handles_narrow_band_matrices() {
+        // Banded: finite only for 0 < j - i ≤ 2 (like A_1 in §5).
+        let n = 9;
+        let m = Matrix::from_fn(n, n, |i, j| {
+            if j > i && j - i <= 2 {
+                Cost::from((i + j) as u64)
+            } else {
+                Cost::INFINITY
+            }
+        });
+        let fast = concave_mul(&m, &m, None);
+        let slow = min_plus_naive(&m, &m, None);
+        assert!(fast.values.approx_eq(&slow, 1e-9));
+    }
+
+    #[test]
+    fn all_infinite_inputs() {
+        let a = Matrix::infinite(4, 4);
+        let out = concave_mul(&a, &a, None);
+        assert!(out.values.approx_eq(&Matrix::infinite(4, 4), 0.0));
+        assert!(out.cut.iter().all(|&c| c == UNTRUSTED));
+    }
+
+    #[test]
+    fn empty_dimensions() {
+        let a = Matrix::infinite(0, 5);
+        let b = Matrix::infinite(5, 3);
+        let out = concave_mul(&a, &b, None);
+        assert_eq!(out.values.rows(), 0);
+        let a = Matrix::infinite(3, 0);
+        let b = Matrix::infinite(0, 2);
+        let out = concave_mul(&a, &b, None);
+        assert_eq!(out.values.rows(), 3);
+        assert!(out.values.approx_eq(&Matrix::infinite(3, 2), 0.0));
+    }
+
+    #[test]
+    fn work_is_quadratic_not_cubic() {
+        // The headline claim of Theorem 4.1, checked on actual counts.
+        let n = 128;
+        let a = random_concave(n, n, 1);
+        let b = random_concave(n, n, 2);
+        let fast_ops = OpCounter::new();
+        let _ = concave_mul(&a, &b, Some(&fast_ops));
+        let slow_ops = OpCounter::new();
+        let _ = min_plus_naive(&a, &b, Some(&slow_ops));
+        assert_eq!(slow_ops.get(), (n * n * n) as u64);
+        // Generous constant: ≤ 8·n² + O(n log n) candidates.
+        let bound = 8 * (n * n) as u64 + 64 * (n as u64) * 8;
+        assert!(
+            fast_ops.get() <= bound,
+            "fast used {} ops, bound {bound}",
+            fast_ops.get()
+        );
+    }
+
+    #[test]
+    fn cut_matrix_is_monotone() {
+        for seed in 0..5 {
+            let a = random_concave(20, 15, seed);
+            let b = random_concave(15, 22, seed + 9);
+            let out = concave_mul(&a, &b, None);
+            let r = out.values.cols();
+            for i in 0..out.values.rows() {
+                for j in 0..r - 1 {
+                    let x = out.cut[i * r + j];
+                    let y = out.cut[i * r + j + 1];
+                    assert!(x <= y, "row monotonicity at ({i},{j})");
+                }
+            }
+            for j in 0..r {
+                for i in 0..out.values.rows() - 1 {
+                    let x = out.cut[i * r + j];
+                    let y = out.cut[(i + 1) * r + j];
+                    assert!(x <= y, "column monotonicity at ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ties_break_to_smallest_k() {
+        // A and B constant ⇒ every k ties; cut must be the smallest
+        // admissible k (here 0).
+        let a = Matrix::filled(3, 4, Cost::new(1.0));
+        let b = Matrix::filled(4, 3, Cost::new(2.0));
+        let out = concave_mul(&a, &b, None);
+        assert!(out.cut.iter().all(|&c| c == 0), "cut = {:?}", out.cut);
+        assert!(out.values.approx_eq(&Matrix::filled(3, 3, Cost::new(3.0)), 0.0));
+    }
+}

@@ -1,0 +1,309 @@
+//! Dense matrices over the `(min, +)` semiring, and the naive product.
+//!
+//! The paper's comparison point: "In the absence of the concavity
+//! assumption, the best known algorithm for computing `AB` requires
+//! `O(n³)` comparisons." [`min_plus_naive`] is that algorithm — it is
+//! both the correctness oracle for the fast paths and the baseline of
+//! experiment E1.
+
+use partree_core::Cost;
+use partree_pram::OpCounter;
+use rayon::prelude::*;
+
+/// A dense row-major matrix of [`Cost`] values.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Cost>,
+}
+
+impl Matrix {
+    /// A `rows × cols` matrix filled with `fill`.
+    pub fn filled(rows: usize, cols: usize, fill: Cost) -> Matrix {
+        Matrix { rows, cols, data: vec![fill; rows * cols] }
+    }
+
+    /// A `rows × cols` matrix of `+∞` (the `(min,+)` zero matrix).
+    pub fn infinite(rows: usize, cols: usize) -> Matrix {
+        Matrix::filled(rows, cols, Cost::INFINITY)
+    }
+
+    /// The `(min,+)` multiplicative identity: `0` on the diagonal, `+∞`
+    /// elsewhere.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::infinite(n, n);
+        for i in 0..n {
+            m.set(i, i, Cost::ZERO);
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` (rows evaluated in
+    /// parallel).
+    pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> Cost + Sync) -> Matrix {
+        let mut data = vec![Cost::ZERO; rows * cols];
+        data.par_chunks_mut(cols.max(1)).enumerate().for_each(|(i, row)| {
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = f(i, j);
+            }
+        });
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds from nested `f64` rows (must be rectangular, non-empty rows
+    /// allowed to be zero-length only if all are).
+    pub fn from_rows(rows: &[Vec<f64>]) -> Matrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        assert!(rows.iter().all(|row| row.len() == c), "ragged rows");
+        let mut m = Matrix::filled(r, c, Cost::ZERO);
+        for (i, row) in rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, Cost::new(v));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Cost {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: Cost) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Cost] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Entrywise minimum of two equally-shaped matrices — the semiring's
+    /// matrix *addition*.
+    pub fn entrywise_min(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        let data = self
+            .data
+            .par_iter()
+            .zip(other.data.par_iter())
+            .map(|(&a, &b)| a.min(b))
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Entrywise sum of two equally-shaped matrices (used for the
+    /// paper's `A_{h-1} ⋆ A_{h-1} + S` update).
+    pub fn entrywise_add(&self, other: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        let data = self
+            .data
+            .par_iter()
+            .zip(other.data.par_iter())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// `true` when every entry agrees within `tol` (with `∞ == ∞`).
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        (self.rows, self.cols) == (other.rows, other.cols)
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| a.approx_eq(b, tol))
+    }
+
+    /// Per-row interval of finite entries: `(first, last)` column indices,
+    /// or `None` for an all-`∞` row. The fast multiplication paths use
+    /// these to confine searches to candidates that can matter.
+    pub fn finite_row_spans(&self) -> Vec<Option<(usize, usize)>> {
+        (0..self.rows)
+            .into_par_iter()
+            .map(|i| {
+                let row = self.row(i);
+                let first = row.iter().position(|c| c.is_finite())?;
+                let last = row.iter().rposition(|c| c.is_finite()).expect("first exists");
+                Some((first, last))
+            })
+            .collect()
+    }
+
+    /// Per-column interval of finite entries: `(first, last)` row indices,
+    /// or `None` for an all-`∞` column.
+    pub fn finite_col_spans(&self) -> Vec<Option<(usize, usize)>> {
+        (0..self.cols)
+            .into_par_iter()
+            .map(|j| {
+                let mut first = None;
+                let mut last = None;
+                for i in 0..self.rows {
+                    if self.get(i, j).is_finite() {
+                        if first.is_none() {
+                            first = Some(i);
+                        }
+                        last = Some(i);
+                    }
+                }
+                Some((first?, last.expect("first exists")))
+            })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(16) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(16) {
+                write!(f, "{:>8} ", format!("{}", self.get(i, j)))?;
+            }
+            writeln!(f, "{}", if self.cols > 16 { " …" } else { "" })?;
+        }
+        if self.rows > 16 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The naive `(min,+)` product: `O(p·q·r)` comparisons, rows in parallel.
+///
+/// `counter`, when supplied, is bumped once per candidate comparison so
+/// experiment E1 can report exact work.
+pub fn min_plus_naive(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> Matrix {
+    assert_eq!(a.cols, b.rows, "inner dimensions must agree");
+    let (p, q, r) = (a.rows, a.cols, b.cols);
+    let mut out = Matrix::infinite(p, r);
+    out.data.par_chunks_mut(r.max(1)).enumerate().for_each(|(i, out_row)| {
+        let a_row = a.row(i);
+        let mut local_ops = 0u64;
+        for (j, slot) in out_row.iter_mut().enumerate() {
+            let mut best = Cost::INFINITY;
+            for k in 0..q {
+                let cand = a_row[k] + b.get(k, j);
+                local_ops += 1;
+                best = best.min(cand);
+            }
+            *slot = best;
+        }
+        if let Some(c) = counter {
+            c.add(local_ops);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(&rows.iter().map(|r| r.to_vec()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = m(&[&[1.0, 5.0, 2.0], &[0.0, 3.0, 7.0], &[4.0, 4.0, 4.0]]);
+        let id = Matrix::identity(3);
+        assert_eq!(min_plus_naive(&a, &id, None), a);
+        assert_eq!(min_plus_naive(&id, &a, None), a);
+    }
+
+    #[test]
+    fn naive_product_small_known_values() {
+        // C[i][j] = min_k A[i][k] + B[k][j].
+        let a = m(&[&[1.0, 2.0], &[3.0, 0.0]]);
+        let b = m(&[&[5.0, 1.0], &[0.0, 4.0]]);
+        let c = min_plus_naive(&a, &b, None);
+        assert_eq!(c.get(0, 0), Cost::new(2.0)); // min(1+5, 2+0)
+        assert_eq!(c.get(0, 1), Cost::new(2.0)); // min(1+1, 2+4)
+        assert_eq!(c.get(1, 0), Cost::new(0.0)); // min(3+5, 0+0)
+        assert_eq!(c.get(1, 1), Cost::new(4.0)); // min(3+1, 0+4)
+    }
+
+    #[test]
+    fn infinity_rows_propagate() {
+        let a = Matrix::infinite(2, 2);
+        let b = Matrix::identity(2);
+        let c = min_plus_naive(&a, &b, None);
+        assert!(c.data.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn counter_counts_pqr() {
+        let a = Matrix::filled(3, 4, Cost::ZERO);
+        let b = Matrix::filled(4, 5, Cost::ZERO);
+        let c = OpCounter::new();
+        let _ = min_plus_naive(&a, &b, Some(&c));
+        assert_eq!(c.get(), 3 * 4 * 5);
+    }
+
+    #[test]
+    fn entrywise_ops() {
+        let a = m(&[&[1.0, 9.0]]);
+        let b = m(&[&[4.0, 2.0]]);
+        assert_eq!(a.entrywise_min(&b), m(&[&[1.0, 2.0]]));
+        assert_eq!(a.entrywise_add(&b), m(&[&[5.0, 11.0]]));
+    }
+
+    #[test]
+    fn finite_spans() {
+        let mut a = Matrix::infinite(3, 4);
+        a.set(0, 1, Cost::ZERO);
+        a.set(0, 3, Cost::ZERO);
+        a.set(2, 0, Cost::ZERO);
+        let rows = a.finite_row_spans();
+        assert_eq!(rows, vec![Some((1, 3)), None, Some((0, 0))]);
+        let cols = a.finite_col_spans();
+        assert_eq!(cols, vec![Some((2, 2)), Some((0, 0)), None, Some((0, 0))]);
+    }
+
+    #[test]
+    fn from_fn_matches_manual() {
+        let a = Matrix::from_fn(5, 7, |i, j| Cost::from((i * 10 + j) as u64));
+        for i in 0..5 {
+            for j in 0..7 {
+                assert_eq!(a.get(i, j), Cost::from((i * 10 + j) as u64));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn dimension_mismatch_panics() {
+        let a = Matrix::infinite(2, 3);
+        let b = Matrix::infinite(2, 3);
+        let _ = min_plus_naive(&a, &b, None);
+    }
+
+    #[test]
+    fn approx_eq_tolerates_small_differences() {
+        let a = m(&[&[1.0]]);
+        let b = m(&[&[1.0 + 1e-12]]);
+        assert!(a.approx_eq(&b, 1e-9));
+        assert!(!a.approx_eq(&m(&[&[2.0]]), 1e-9));
+        assert!(Matrix::infinite(1, 1).approx_eq(&Matrix::infinite(1, 1), 0.0));
+    }
+}

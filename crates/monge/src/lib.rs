@@ -1,0 +1,53 @@
+//! # partree-monge
+//!
+//! Concave (Monge) matrices and their fast parallel multiplication —
+//! Section 4 of *Constructing Trees in Parallel*, the ingredient that
+//! drops the Huffman/OBST processor counts from `n³` to `n²/log n`.
+//!
+//! A rectangular matrix `M` is **concave** (satisfies the *quadrangle
+//! condition*) when
+//!
+//! ```text
+//! M[i][j] + M[k][l] ≤ M[i][l] + M[k][j]      for all i < k, j < l.
+//! ```
+//!
+//! Multiplication is over the closed semiring `(min, +)` on rationals
+//! extended with `+∞`. The paper's key structural fact is that the
+//! *cut matrix* `Cut(A,B)[i][j] = argmin_k (A[i][k] + B[k][j])` (smallest
+//! `k` on ties) is nondecreasing along rows and columns, which lets the
+//! product be computed with `O(n²)` comparisons instead of `O(n³)`.
+//!
+//! Modules:
+//!
+//! * [`dense`] — the dense `(min,+)` matrix type and the naive `O(n³)`
+//!   product (the paper's stated baseline);
+//! * [`concave`] — quadrangle-condition checks and the closure lemmas;
+//! * [`cut`] — the recursive `Cut(A,B)` algorithm of §4.1, realized as a
+//!   stride-halving refinement parallelized with rayon;
+//! * [`bottom_up`] — the accelerated `n^{1/2^m}`-stride variant of §4.2;
+//! * [`smawk`] — SMAWK row-minima and a per-row SMAWK-based concave
+//!   product (the Aggarwal et al. technique the paper builds on; used as
+//!   an ablation);
+//! * [`closure`] — repeated squaring with witness retention, powering the
+//!   paper's spine computation (`(M')^{2^{⌈log n⌉}}`) and path recovery;
+//! * [`boolean`] — bit-packed Boolean matrices and their parallel
+//!   product, the `M(n)` primitive of §8's linear-CFL recognizer.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// Index-based loops over multiple parallel arrays are the idiom of
+// matrix/PRAM code; iterator rewrites obscure the index arithmetic the
+// correctness arguments are phrased in.
+#![allow(clippy::needless_range_loop)]
+
+pub mod boolean;
+pub mod bottom_up;
+pub mod closure;
+pub mod concave;
+pub mod cut;
+pub mod dense;
+pub mod smawk;
+
+pub use boolean::BitMatrix;
+pub use cut::{concave_mul, MinPlusProduct, UNTRUSTED};
+pub use dense::Matrix;

@@ -1,0 +1,334 @@
+//! SMAWK row minima and a SMAWK-based concave product.
+//!
+//! The paper acknowledges Alok Aggarwal; the SMAWK algorithm (Aggarwal,
+//! Klawe, Moran, Shor, Wilber 1987) is the sequential ancestor of §4's
+//! parallel technique: it finds all row minima of a *totally monotone*
+//! matrix in `O(p + q)` time. A concave (Monge) matrix is totally
+//! monotone, and for a fixed row `i` of the product `C = A ⋆ B` the
+//! matrix `D_i[k][j] = A[i][k] + B[k][j]` inherits concavity from `B`,
+//! so the column minima of `D_i` — row `i` of `C` — come out of one
+//! SMAWK call. Running the `p` calls in parallel gives an `O(n²)`-work,
+//! embarrassingly parallel concave product: the ablation baseline
+//! `smawk_mul` of experiment E1.
+//!
+//! This module handles *finite* matrices; the `+∞`-structured inputs of
+//! the Huffman/OBST pipelines go through [`crate::cut::concave_mul`],
+//! which manages infinite spans explicitly.
+
+use crate::dense::Matrix;
+use partree_core::Cost;
+use partree_pram::OpCounter;
+use rayon::prelude::*;
+
+/// Computes, for each row `i` of the implicit `rows × cols` totally
+/// monotone matrix `f`, the smallest column index minimizing `f(i, ·)`.
+///
+/// `f` must satisfy total monotonicity for minima: for `i < i'` and
+/// `j < j'`, `f(i, j') < f(i, j)` implies `f(i', j') < f(i', j)` — in
+/// particular every concave matrix qualifies.
+pub fn smawk_row_minima(
+    rows: usize,
+    cols: usize,
+    f: &(impl Fn(usize, usize) -> Cost + Sync),
+    counter: Option<&OpCounter>,
+) -> Vec<u32> {
+    let mut result = vec![0u32; rows];
+    if rows == 0 || cols == 0 {
+        return result;
+    }
+    let row_ids: Vec<usize> = (0..rows).collect();
+    let col_ids: Vec<usize> = (0..cols).collect();
+    let mut ops = 0u64;
+    smawk_inner(&row_ids, col_ids, f, &mut result, &mut ops);
+    if let Some(c) = counter {
+        c.add(ops);
+    }
+    result
+}
+
+fn smawk_inner(
+    rows: &[usize],
+    cols: Vec<usize>,
+    f: &(impl Fn(usize, usize) -> Cost + Sync),
+    result: &mut [u32],
+    ops: &mut u64,
+) {
+    if rows.is_empty() {
+        return;
+    }
+
+    // REDUCE: prune columns that cannot hold any row's minimum, keeping
+    // at most |rows| survivors. Strict comparison keeps the *leftmost*
+    // minimum.
+    let cols = if cols.len() > rows.len() {
+        let mut stack: Vec<usize> = Vec::with_capacity(rows.len());
+        for c in cols {
+            while let Some(&top) = stack.last() {
+                let r = rows[stack.len() - 1];
+                *ops += 1;
+                if f(r, c) < f(r, top) {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if stack.len() < rows.len() {
+                stack.push(c);
+            }
+        }
+        stack
+    } else {
+        cols
+    };
+
+    if rows.len() == 1 {
+        // Base: scan the surviving columns.
+        let i = rows[0];
+        let mut best = Cost::INFINITY;
+        let mut arg = cols[0];
+        for &c in &cols {
+            *ops += 1;
+            if f(i, c) < best {
+                best = f(i, c);
+                arg = c;
+            }
+        }
+        result[i] = arg as u32;
+        return;
+    }
+
+    // Recurse on the odd-indexed rows.
+    let odd_rows: Vec<usize> = rows.iter().copied().skip(1).step_by(2).collect();
+    smawk_inner(&odd_rows, cols.clone(), f, result, ops);
+
+    // INTERPOLATE the even-indexed rows between their odd neighbours.
+    let mut col_pos = 0usize;
+    for (idx, &i) in rows.iter().enumerate().step_by(2) {
+        let lo = if idx == 0 {
+            cols[0]
+        } else {
+            result[rows[idx - 1]] as usize
+        };
+        let hi = if idx + 1 < rows.len() {
+            result[rows[idx + 1]] as usize
+        } else {
+            *cols.last().expect("cols nonempty")
+        };
+        // Advance to the first surviving column ≥ lo.
+        while cols[col_pos] < lo {
+            col_pos += 1;
+        }
+        let mut best = Cost::INFINITY;
+        let mut arg = cols[col_pos];
+        let mut t = col_pos;
+        while t < cols.len() && cols[t] <= hi {
+            *ops += 1;
+            if f(i, cols[t]) < best {
+                best = f(i, cols[t]);
+                arg = cols[t];
+            }
+            t += 1;
+        }
+        result[i] = arg as u32;
+    }
+}
+
+/// Row minima by plain divide-and-conquer on the *monotone* (not
+/// totally monotone) property: solve the middle row by full scan,
+/// recurse left/right with narrowed column ranges. `O((p + q) log p)`
+/// comparisons — the simpler classical alternative SMAWK improves on;
+/// kept as an ablation and cross-check.
+pub fn monotone_row_minima(
+    rows: usize,
+    cols: usize,
+    f: &(impl Fn(usize, usize) -> Cost + Sync),
+    counter: Option<&OpCounter>,
+) -> Vec<u32> {
+    let mut result = vec![0u32; rows];
+    if rows == 0 || cols == 0 {
+        return result;
+    }
+    let mut ops = 0u64;
+    fn rec(
+        r0: usize,
+        r1: usize,
+        c0: usize,
+        c1: usize,
+        f: &impl Fn(usize, usize) -> Cost,
+        result: &mut [u32],
+        ops: &mut u64,
+    ) {
+        if r0 > r1 {
+            return;
+        }
+        let mid = r0 + (r1 - r0) / 2;
+        let mut best = Cost::INFINITY;
+        let mut arg = c0;
+        for c in c0..=c1 {
+            *ops += 1;
+            if f(mid, c) < best {
+                best = f(mid, c);
+                arg = c;
+            }
+        }
+        result[mid] = arg as u32;
+        if mid > r0 {
+            rec(r0, mid - 1, c0, arg, f, result, ops);
+        }
+        if mid < r1 {
+            rec(mid + 1, r1, arg, c1, f, result, ops);
+        }
+    }
+    rec(0, rows - 1, 0, cols - 1, f, &mut result, &mut ops);
+    if let Some(c) = counter {
+        c.add(ops);
+    }
+    result
+}
+
+/// Concave `(min,+)` product via one SMAWK call per output row, rows in
+/// parallel. Requires all-finite inputs; see the module docs.
+pub fn smawk_mul(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (p, q, r) = (a.rows(), a.cols(), b.cols());
+    let rows: Vec<Vec<Cost>> = (0..p)
+        .into_par_iter()
+        .map(|i| {
+            let a_row = a.row(i);
+            // Column minima of D[k][j] = A[i][k] + B[k][j]: transpose the
+            // roles so SMAWK's "rows" are the product's columns j.
+            let g = |j: usize, k: usize| a_row[k] + b.get(k, j);
+            let args = smawk_row_minima(r, q, &g, counter);
+            (0..r)
+                .map(|j| {
+                    let k = args[j] as usize;
+                    a_row[k] + b.get(k, j)
+                })
+                .collect()
+        })
+        .collect();
+    Matrix::from_fn(p, r, |i, j| rows[i][j])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::min_plus_naive;
+    use partree_core::gen;
+
+    fn random_concave(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Matrix::from_rows(&gen::random_monge(rows, cols, seed))
+    }
+
+    fn brute_row_minima(m: &Matrix) -> Vec<u32> {
+        (0..m.rows())
+            .map(|i| {
+                let mut best = Cost::INFINITY;
+                let mut arg = 0u32;
+                for j in 0..m.cols() {
+                    if m.get(i, j) < best {
+                        best = m.get(i, j);
+                        arg = j as u32;
+                    }
+                }
+                arg
+            })
+            .collect()
+    }
+
+    #[test]
+    fn row_minima_match_brute_force() {
+        for seed in 0..10 {
+            let m = random_concave(23, 17, seed);
+            let fast = smawk_row_minima(m.rows(), m.cols(), &|i, j| m.get(i, j), None);
+            assert_eq!(fast, brute_row_minima(&m), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn row_minima_rectangular_extremes() {
+        for (p, q) in [(1, 9), (9, 1), (1, 1), (2, 31), (31, 2)] {
+            let m = random_concave(p, q, 3);
+            let fast = smawk_row_minima(p, q, &|i, j| m.get(i, j), None);
+            assert_eq!(fast, brute_row_minima(&m), "({p},{q})");
+        }
+    }
+
+    #[test]
+    fn row_minima_empty() {
+        assert!(smawk_row_minima(0, 5, &|_, _| Cost::ZERO, None).is_empty());
+        assert_eq!(smawk_row_minima(3, 0, &|_, _| Cost::ZERO, None), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn ties_break_leftmost() {
+        // All-equal matrix: every row's minimum must be column 0.
+        let fast = smawk_row_minima(6, 8, &|_, _| Cost::new(5.0), None);
+        assert!(fast.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn work_is_linear_not_quadratic() {
+        let n = 512;
+        let m = random_concave(n, n, 4);
+        let c = OpCounter::new();
+        let _ = smawk_row_minima(n, n, &|i, j| m.get(i, j), Some(&c));
+        assert!(
+            c.get() <= 20 * n as u64,
+            "SMAWK used {} ops on n={n} (expected O(n))",
+            c.get()
+        );
+    }
+
+    #[test]
+    fn monotone_divide_matches_smawk_and_brute() {
+        for seed in 0..8 {
+            let m = random_concave(21, 33, seed);
+            let f = |i: usize, j: usize| m.get(i, j);
+            let a = monotone_row_minima(m.rows(), m.cols(), &f, None);
+            let b = smawk_row_minima(m.rows(), m.cols(), &f, None);
+            assert_eq!(a, brute_row_minima(&m), "seed={seed}");
+            assert_eq!(a, b, "seed={seed}");
+        }
+        assert!(monotone_row_minima(0, 5, &|_, _| Cost::ZERO, None).is_empty());
+    }
+
+    #[test]
+    fn monotone_divide_work_is_n_log_n() {
+        let n = 512;
+        let m = random_concave(n, n, 7);
+        let c = OpCounter::new();
+        let _ = monotone_row_minima(n, n, &|i, j| m.get(i, j), Some(&c));
+        let bound = 3 * (n as u64) * (n as f64).log2() as u64;
+        assert!(c.get() <= bound, "used {} ops, bound {bound}", c.get());
+        // …and strictly more than SMAWK's linear count (the ablation).
+        let s = OpCounter::new();
+        let _ = smawk_row_minima(n, n, &|i, j| m.get(i, j), Some(&s));
+        assert!(s.get() < c.get(), "SMAWK {} should beat divide {}", s.get(), c.get());
+    }
+
+    #[test]
+    fn smawk_mul_matches_naive() {
+        for seed in 0..6 {
+            let a = random_concave(14, 9, seed);
+            let b = random_concave(9, 19, seed + 77);
+            let fast = smawk_mul(&a, &b, None);
+            let slow = min_plus_naive(&a, &b, None);
+            assert!(fast.approx_eq(&slow, 1e-9), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn smawk_mul_work_quadratic() {
+        let n = 128;
+        let a = random_concave(n, n, 1);
+        let b = random_concave(n, n, 2);
+        let c = OpCounter::new();
+        let _ = smawk_mul(&a, &b, Some(&c));
+        assert!(
+            c.get() <= 24 * (n * n) as u64,
+            "smawk_mul used {} ops (expected O(n²))",
+            c.get()
+        );
+    }
+}

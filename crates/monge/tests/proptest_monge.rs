@@ -1,0 +1,88 @@
+//! Property tests: concave multiplication on the *banded* `+∞`-pattern
+//! matrices the Huffman/OBST pipelines actually feed it — the regime
+//! where naive Monge implementations break.
+
+use partree_core::{gen, Cost};
+use partree_monge::bottom_up::concave_mul_bottom_up;
+use partree_monge::concave::is_concave;
+use partree_monge::cut::concave_mul;
+use partree_monge::dense::{min_plus_naive, Matrix};
+use proptest::prelude::*;
+
+/// A random concave matrix that is `+∞` outside the band
+/// `lo ≤ j − i ≤ hi` (upper-triangular banded, like `A_h` and `E_h`).
+fn banded_concave(n: usize, lo: usize, hi: usize, seed: u64) -> Matrix {
+    let base = Matrix::from_rows(&gen::random_monge(n, n, seed));
+    Matrix::from_fn(n, n, |i, j| {
+        if j >= i && (j - i) >= lo && (j - i) <= hi {
+            base.get(i, j)
+        } else {
+            Cost::INFINITY
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Banded inputs stay concave (extended arithmetic) and both fast
+    /// products equal the naive one, untrusted entries exactly at `+∞`.
+    #[test]
+    fn banded_products_are_exact(
+        n in 2usize..28,
+        lo in 0usize..3,
+        width in 1usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let a = banded_concave(n, lo, lo + width, seed);
+        let b = banded_concave(n, lo, lo + width, seed + 1);
+        prop_assume!(is_concave(&a, 1e-9) && is_concave(&b, 1e-9));
+
+        let slow = min_plus_naive(&a, &b, None);
+        let fast = concave_mul(&a, &b, None);
+        let bu = concave_mul_bottom_up(&a, &b, None);
+        prop_assert!(fast.values.approx_eq(&slow, 1e-9));
+        prop_assert!(bu.values.approx_eq(&slow, 1e-9));
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(
+                    fast.cut_at(i, j).is_none(),
+                    slow.get(i, j).is_infinite(),
+                    "untrusted ⇔ +∞ at ({}, {})", i, j
+                );
+            }
+        }
+        // Closure under product (Lemma 5.1's engine).
+        prop_assert!(is_concave(&fast.values, 1e-6));
+    }
+
+    /// Mixed shapes: a banded matrix times a dense concave matrix.
+    #[test]
+    fn banded_times_dense(
+        n in 2usize..24,
+        width in 1usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let a = banded_concave(n, 1, width, seed);
+        let b = Matrix::from_rows(&gen::random_monge(n, n, seed + 9));
+        let slow = min_plus_naive(&a, &b, None);
+        let fast = concave_mul(&a, &b, None);
+        prop_assert!(fast.values.approx_eq(&slow, 1e-9));
+    }
+
+    /// Repeated squaring of a banded matrix (the `A_h` iteration shape)
+    /// stays exact against naive squaring.
+    #[test]
+    fn repeated_squaring_matches_naive(
+        n in 2usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let mut fast_m = banded_concave(n, 0, 2, seed);
+        let mut slow_m = fast_m.clone();
+        for _ in 0..3 {
+            fast_m = concave_mul(&fast_m, &fast_m, None).values;
+            slow_m = min_plus_naive(&slow_m, &slow_m, None);
+            prop_assert!(fast_m.approx_eq(&slow_m, 1e-9));
+        }
+    }
+}

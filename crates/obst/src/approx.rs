@@ -1,0 +1,186 @@
+//! Theorem 6.1 — the assembled approximate-OBST pipeline.
+//!
+//! 1. `δ = ε / (2 n log n)` (relative to the total weight); collapse
+//!    maximal small runs ([`crate::collapse`]);
+//! 2. height bound `H = C + log(1/δ)/log φ` (Lemma 6.1 — every subtree
+//!    of the collapsed optimal tree weighing ≥ δ sits above depth `H`),
+//!    clamped to at least the packing bound `⌈log₂(n'+1)⌉ + 1`;
+//! 3. solve the collapsed instance exactly among height-≤`H` trees with
+//!    concave matrix products ([`crate::height_bounded`]);
+//! 4. expand collapsed gaps into balanced subtrees of height ≤ `log n`.
+//!
+//! Lemma 6.2: the result is within `ε` (times the total weight, for
+//! unnormalized inputs) of the true optimum.
+
+use crate::collapse::collapse_runs;
+use crate::height_bounded::{min_feasible_height, obst_height_bounded, reconstruct};
+use crate::model::{BstNode, ObstInstance};
+use partree_core::{Cost, Error, Result};
+use partree_pram::OpCounter;
+
+/// Result of the approximate construction.
+pub struct ApproxObst {
+    /// The search tree over the original instance.
+    pub tree: BstNode,
+    /// Its weighted path length.
+    pub cost: Cost,
+    /// The height bound used for the collapsed DP.
+    pub height_bound: u32,
+    /// Keys remaining after collapsing.
+    pub collapsed_keys: usize,
+}
+
+/// Builds a BST whose weighted path length is within `eps · total`
+/// of optimal (`0 < eps < 1`).
+///
+/// ```
+/// use partree_obst::{approx_optimal_bst, ObstInstance};
+///
+/// let inst = ObstInstance::new(vec![10.0, 1.0, 20.0], vec![2.0, 1.0, 1.0, 2.0])?;
+/// let approx = approx_optimal_bst(&inst, 0.1)?;
+/// approx.tree.validate(3)?;
+/// let exact = partree_obst::knuth::obst_knuth(&inst).cost();
+/// assert!(approx.cost.value() - exact.value() <= 0.1 * inst.total());
+/// # Ok::<(), partree_core::Error>(())
+/// ```
+///
+pub fn approx_optimal_bst(inst: &ObstInstance, eps: f64) -> Result<ApproxObst> {
+    approx_optimal_bst_counted(inst, eps, None)
+}
+
+/// [`approx_optimal_bst`] with work counting.
+pub fn approx_optimal_bst_counted(
+    inst: &ObstInstance,
+    eps: f64,
+    counter: Option<&OpCounter>,
+) -> Result<ApproxObst> {
+    if !(0.0..1.0).contains(&eps) || eps <= 0.0 {
+        return Err(Error::invalid("eps must lie in (0, 1)"));
+    }
+    let n = inst.n();
+    if n == 0 {
+        let tree = BstNode::Leaf(0);
+        return Ok(ApproxObst { tree, cost: Cost::ZERO, height_bound: 0, collapsed_keys: 0 });
+    }
+    let total = inst.total();
+    if total <= 0.0 {
+        return Err(Error::invalid("total weight must be positive"));
+    }
+
+    // Step 1: collapse. δ = ε / (2 n log n), relative to total weight.
+    let logn = (n.max(2) as f64).log2();
+    let delta = eps / (2.0 * n as f64 * logn);
+    let collapsed = collapse_runs(inst, delta * total);
+    let n_prime = collapsed.inst.n();
+
+    // Step 2: the GMS height bound (φ = golden ratio), plus slack for
+    // the packing constraint.
+    let phi = (1.0 + 5.0f64.sqrt()) / 2.0;
+    let gms = (2.0 + (1.0 / delta).log2() / phi.log2()).ceil() as u32;
+    // A chain always fits n' keys in height n', so bounds beyond that
+    // are vacuous — clamp to keep the number of squarings ≤ n'.
+    let height = gms
+        .min(n_prime.max(1) as u32)
+        .max(min_feasible_height(n_prime) + 1);
+
+    // Step 3: exact height-bounded optimum on the collapsed instance.
+    let hb = obst_height_bounded(&collapsed.inst, height, true, counter);
+    let core = reconstruct(&hb, 0, n_prime).ok_or_else(|| {
+        Error::Internal(format!("no height-{height} tree for {n_prime} collapsed keys"))
+    })?;
+
+    // Step 4: expand.
+    let tree = collapsed.expand(&core);
+    tree.validate(n)?;
+    let cost = tree.weighted_path_length(inst);
+    Ok(ApproxObst { tree, cost, height_bound: height, collapsed_keys: n_prime })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knuth::obst_knuth;
+
+    fn check_gap(inst: &ObstInstance, eps: f64) -> (f64, f64) {
+        let approx = approx_optimal_bst(inst, eps).unwrap();
+        approx.tree.validate(inst.n()).unwrap();
+        let opt = obst_knuth(inst).cost();
+        let gap = approx.cost.value() - opt.value();
+        assert!(gap >= -1e-9, "approx beat the optimum?!");
+        let bound = eps * inst.total();
+        assert!(
+            gap <= bound + 1e-9,
+            "gap {gap} > ε·W = {bound} (n={}, eps={eps})",
+            inst.n()
+        );
+        (gap, bound)
+    }
+
+    #[test]
+    fn within_eps_on_random_instances() {
+        for seed in 0..10 {
+            let inst = ObstInstance::random(24, 100, seed);
+            check_gap(&inst, 1.0 / 24.0);
+        }
+    }
+
+    #[test]
+    fn within_eps_on_skewed_instances() {
+        for seed in 0..5 {
+            let mut inst = ObstInstance::random(20, 10, seed);
+            inst.q[0] = 100_000.0;
+            inst.p[20] = 50_000.0;
+            check_gap(&inst, 0.05);
+        }
+    }
+
+    #[test]
+    fn instances_with_many_small_frequencies_collapse() {
+        // Mostly tiny frequencies with a few heavy keys: collapsing must
+        // shrink the instance, and the answer must stay within ε.
+        let mut q = vec![0.001; 30];
+        let mut p = vec![0.001; 31];
+        q[10] = 500.0;
+        q[20] = 300.0;
+        p[15] = 200.0;
+        let inst = ObstInstance::new(q, p).unwrap();
+        let approx = approx_optimal_bst(&inst, 0.01).unwrap();
+        assert!(approx.collapsed_keys < 30, "nothing collapsed");
+        let opt = obst_knuth(&inst).cost();
+        assert!(approx.cost.value() - opt.value() <= 0.01 * inst.total() + 1e-9);
+    }
+
+    #[test]
+    fn exactness_when_nothing_is_small() {
+        // All frequencies comparable: no collapsing, generous height ⇒
+        // the approximation is exactly optimal.
+        let inst = ObstInstance::random(12, 100, 7);
+        let approx = approx_optimal_bst(&inst, 0.5).unwrap();
+        let opt = obst_knuth(&inst).cost();
+        assert_eq!(approx.cost, opt);
+        assert_eq!(approx.collapsed_keys, 12);
+    }
+
+    #[test]
+    fn tighter_eps_never_hurts_quality() {
+        let inst = ObstInstance::random(16, 50, 3);
+        let loose = approx_optimal_bst(&inst, 0.2).unwrap();
+        let tight = approx_optimal_bst(&inst, 0.01).unwrap();
+        assert!(tight.cost <= loose.cost);
+        assert!(tight.height_bound >= loose.height_bound);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let empty = ObstInstance::new(vec![], vec![5.0]).unwrap();
+        let a = approx_optimal_bst(&empty, 0.1).unwrap();
+        assert_eq!(a.cost, Cost::ZERO);
+
+        let one = ObstInstance::new(vec![3.0], vec![1.0, 1.0]).unwrap();
+        let a = approx_optimal_bst(&one, 0.1).unwrap();
+        assert_eq!(a.cost, obst_knuth(&one).cost());
+
+        assert!(approx_optimal_bst(&one, 0.0).is_err());
+        assert!(approx_optimal_bst(&one, 1.5).is_err());
+    }
+}

@@ -1,0 +1,193 @@
+//! Run-collapsing of small frequencies (Theorem 6.1, steps 1–2).
+//!
+//! With `δ = ε / (2 n log n)`, a frequency is *small* if it is below
+//! `δ·W` (we work with unnormalized weights of total `W`). A *run* is a
+//! maximal sublist starting and ending with a gap (`p`) value in which
+//! every `p` and `q` is small; each run collapses to a single gap whose
+//! weight is the run's sum (still below `ε·W`). The collapsed instance
+//! is what the height-bounded DP solves: by the Güttler–Mehlhorn–
+//! Schneider bound (Lemma 6.1) its optimal tree fits in height
+//! `O(log(1/δ))`, because every subtree of the collapsed instance
+//! weighs at least `δ·W` (any lighter material was collapsed away).
+
+use crate::model::{BstNode, ObstInstance};
+
+/// A collapsed instance plus the bookkeeping to expand solutions back.
+pub struct Collapsed {
+    /// The reduced instance.
+    pub inst: ObstInstance,
+    /// For each collapsed gap index `g`, the original boundary range
+    /// `(lo, hi)` it covers: original gaps `lo..=hi` and keys
+    /// `lo+1..=hi` (1-based key boundaries) were merged. Un-collapsed
+    /// gaps have `lo == hi`.
+    pub gap_ranges: Vec<(usize, usize)>,
+    /// For each collapsed key index, the original key index.
+    pub key_map: Vec<usize>,
+}
+
+/// Collapses maximal small runs. `threshold` is the absolute weight
+/// below which a frequency is small.
+pub fn collapse_runs(inst: &ObstInstance, threshold: f64) -> Collapsed {
+    let n = inst.n();
+    let small_p = |i: usize| inst.p[i] < threshold;
+    let small_q = |k: usize| inst.q[k] < threshold;
+
+    let mut new_q = Vec::new();
+    let mut new_p = Vec::new();
+    let mut gap_ranges = Vec::new();
+    let mut key_map = Vec::new();
+
+    let mut g = 0usize; // current original gap boundary
+    while g <= n {
+        if small_p(g) {
+            // Extend the run: gaps g..=h with all interior q small.
+            let mut h = g;
+            let mut sum = inst.p[g];
+            while h < n && small_q(h) && small_p(h + 1) {
+                sum += inst.q[h] + inst.p[h + 1];
+                h += 1;
+            }
+            new_p.push(sum);
+            gap_ranges.push((g, h));
+            g = h + 1;
+        } else {
+            new_p.push(inst.p[g]);
+            gap_ranges.push((g, g));
+            g += 1;
+        }
+        // The key after this gap (if any) survives.
+        if g <= n {
+            // Key between original gaps g-1… careful: after emitting the
+            // gap ending at boundary h (original), the next surviving
+            // key is the one between gap h and gap h+1, i.e. original
+            // key index h (0-based).
+            let last_hi = gap_ranges.last().expect("just pushed").1;
+            if last_hi < n {
+                new_q.push(inst.q[last_hi]);
+                key_map.push(last_hi);
+            } else {
+                break;
+            }
+        }
+    }
+
+    let inst =
+        ObstInstance::new(new_q, new_p).expect("collapse preserves the n/n+1 invariant");
+    Collapsed { inst, gap_ranges, key_map }
+}
+
+impl Collapsed {
+    /// Expands a BST over the collapsed instance into one over the
+    /// original: every collapsed gap leaf becomes a balanced BST over
+    /// the keys and gaps it swallowed; surviving keys map back.
+    pub fn expand(&self, tree: &BstNode) -> BstNode {
+        match tree {
+            BstNode::Leaf(g) => {
+                let (lo, hi) = self.gap_ranges[*g];
+                // Balanced tree over original keys lo..hi (0-based key
+                // indices lo..hi — i.e. boundaries), gaps lo..=hi.
+                balanced_over(lo, hi)
+            }
+            BstNode::Key { key, left, right } => BstNode::Key {
+                key: self.key_map[*key],
+                left: Box::new(self.expand(left)),
+                right: Box::new(self.expand(right)),
+            },
+        }
+    }
+}
+
+/// Balanced BST over original keys `lo..hi`, gaps `lo..=hi`.
+fn balanced_over(lo: usize, hi: usize) -> BstNode {
+    if lo == hi {
+        return BstNode::Leaf(lo);
+    }
+    let mid = lo + (hi - lo) / 2;
+    BstNode::Key {
+        key: mid,
+        left: Box::new(balanced_over(lo, mid)),
+        right: Box::new(balanced_over(mid + 1, hi)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knuth::obst_knuth;
+
+    #[test]
+    fn no_small_frequencies_is_identity() {
+        let inst = ObstInstance::random(8, 100, 1);
+        let c = collapse_runs(&inst, 0.5); // everything ≥ 1
+        assert_eq!(c.inst.n(), 8);
+        assert_eq!(c.inst.q, inst.q);
+        assert_eq!(c.inst.p, inst.p);
+        assert!(c.gap_ranges.iter().all(|&(a, b)| a == b));
+        assert_eq!(c.key_map, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn middle_run_collapses() {
+        // Keys: big, tiny, tiny, big; gaps: big tiny tiny tiny big.
+        let inst = ObstInstance::new(
+            vec![100.0, 0.1, 0.2, 100.0],
+            vec![50.0, 0.1, 0.1, 0.1, 50.0],
+        )
+        .unwrap();
+        let c = collapse_runs(&inst, 1.0);
+        // Gaps 1..=3 and keys 1,2 merge: survivors q = [100, 100],
+        // p = [50, 0.6, 50].
+        assert_eq!(c.inst.q, vec![100.0, 100.0]);
+        assert_eq!(c.inst.p.len(), 3);
+        assert!((c.inst.p[1] - 0.6).abs() < 1e-12);
+        assert_eq!(c.gap_ranges, vec![(0, 0), (1, 3), (4, 4)]);
+        assert_eq!(c.key_map, vec![0, 3]);
+        // Totals preserved.
+        assert!((c.inst.total() - inst.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn isolated_small_q_survives() {
+        // A small key between big gaps is NOT collapsed (runs must start
+        // and end with a p value).
+        let inst = ObstInstance::new(vec![0.1], vec![10.0, 10.0]).unwrap();
+        let c = collapse_runs(&inst, 1.0);
+        assert_eq!(c.inst.n(), 1);
+        assert_eq!(c.inst.q, vec![0.1]);
+    }
+
+    #[test]
+    fn boundary_runs_collapse() {
+        let inst = ObstInstance::new(vec![0.1, 100.0, 0.1], vec![0.1, 0.1, 50.0, 0.1]).unwrap();
+        let c = collapse_runs(&inst, 1.0);
+        // The leading run (p₀, q₀, p₁) collapses and removes key 0; the
+        // trailing small gap p₃ is a singleton run; key 2 survives even
+        // though it is small — runs must start AND end with a p value.
+        assert_eq!(c.inst.n(), 2);
+        assert_eq!(c.key_map, vec![1, 2]);
+        assert_eq!(c.gap_ranges, vec![(0, 1), (2, 2), (3, 3)]);
+        assert_eq!(c.inst.q, vec![100.0, 0.1]);
+        assert!((c.inst.total() - inst.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn everything_small_collapses_to_single_gap() {
+        let inst = ObstInstance::new(vec![0.1, 0.1], vec![0.1, 0.1, 0.1]).unwrap();
+        let c = collapse_runs(&inst, 1.0);
+        assert_eq!(c.inst.n(), 0);
+        assert_eq!(c.gap_ranges, vec![(0, 2)]);
+    }
+
+    #[test]
+    fn expansion_preserves_validity_and_counts() {
+        let inst = ObstInstance::new(
+            vec![100.0, 0.1, 0.2, 100.0, 0.3],
+            vec![50.0, 0.1, 0.1, 0.1, 50.0, 0.2],
+        )
+        .unwrap();
+        let c = collapse_runs(&inst, 1.0);
+        let opt = obst_knuth(&c.inst).tree();
+        let expanded = c.expand(&opt);
+        expanded.validate(5).unwrap();
+    }
+}

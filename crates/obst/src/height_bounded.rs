@@ -1,0 +1,191 @@
+//! Height-bounded OBSTs by concave matrix multiplication.
+//!
+//! The analogue of the Huffman `A_h` recurrence for search trees:
+//! `E_h[i, j]` is the cheapest BST over keys `i+1..j` of height ≤ `h`.
+//!
+//! ```text
+//! E_0[i, i] = 0, +∞ elsewhere
+//! E_h[i, j] = min_{i<k≤j} E_{h-1}[i, k-1] + E_{h-1}[k, j] + w(i, j)
+//! ```
+//!
+//! The `k-1`/`k` offset is folded into the product by shifting the left
+//! operand's columns (`L[i, k] = E_{h-1}[i, k-1]`), which preserves
+//! concavity; each round is then one concave product — the paper's
+//! "like the problem of constructing optimal Huffman trees of bounded
+//! height, this problem can also be reduced to multiplication of
+//! concave matrices".
+
+use crate::model::{BstNode, ObstInstance};
+use partree_core::Cost;
+use partree_monge::cut::concave_mul;
+use partree_monge::Matrix;
+use partree_pram::OpCounter;
+
+/// Result of the height-bounded OBST phase.
+pub struct HeightBoundedObst {
+    /// `E_H` (boundaries `0..=n`).
+    pub final_matrix: Matrix,
+    /// The computed height bound.
+    pub height: u32,
+    /// Root witnesses per round (`cuts[t]` built `E_{t+1}`), kept when
+    /// requested for reconstruction.
+    pub cuts: Option<Vec<Vec<u32>>>,
+}
+
+/// Computes `E_H` with `H` concave products.
+pub fn obst_height_bounded(
+    inst: &ObstInstance,
+    height: u32,
+    retain_cuts: bool,
+    counter: Option<&OpCounter>,
+) -> HeightBoundedObst {
+    let n = inst.n();
+    let w = Matrix::from_fn(n + 1, n + 1, |i, j| {
+        if i < j {
+            inst.weight(i, j)
+        } else {
+            Cost::INFINITY
+        }
+    });
+
+    let mut e = Matrix::from_fn(n + 1, n + 1, |i, j| {
+        if i == j {
+            Cost::ZERO
+        } else {
+            Cost::INFINITY
+        }
+    });
+    let mut cuts = retain_cuts.then(Vec::new);
+
+    for _ in 0..height {
+        // Left operand with shifted columns: L[i][k] = E[i][k-1].
+        let l = Matrix::from_fn(n + 1, n + 1, |i, k| {
+            if k == 0 {
+                Cost::INFINITY
+            } else {
+                e.get(i, k - 1)
+            }
+        });
+        let prod = concave_mul(&l, &e, counter);
+        let next = prod.values.entrywise_add(&w).entrywise_min(&e);
+        e = next;
+        if let Some(c) = cuts.as_mut() {
+            c.push(prod.cut);
+        }
+    }
+
+    HeightBoundedObst { final_matrix: e, height, cuts }
+}
+
+/// Reconstructs the optimal height-≤`H` BST over keys `i+1..j` from
+/// retained witnesses. `None` when no such tree exists.
+pub fn reconstruct(hb: &HeightBoundedObst, i: usize, j: usize) -> Option<BstNode> {
+    let cuts = hb.cuts.as_ref()?;
+    if hb.final_matrix.get(i, j).is_infinite() {
+        return None;
+    }
+    rec(cuts, hb.final_matrix.cols(), i, j, cuts.len())
+}
+
+fn rec(cuts: &[Vec<u32>], n_cols: usize, i: usize, j: usize, h: usize) -> Option<BstNode> {
+    if i == j {
+        return Some(BstNode::Leaf(i));
+    }
+    debug_assert!(h > 0);
+    let k = cuts[h - 1][i * n_cols + j];
+    if k == partree_monge::UNTRUSTED {
+        return None;
+    }
+    let k = k as usize;
+    Some(BstNode::Key {
+        key: k - 1,
+        left: Box::new(rec(cuts, n_cols, i, k - 1, h - 1)?),
+        right: Box::new(rec(cuts, n_cols, k, j, h - 1)?),
+    })
+}
+
+/// Smallest height that can hold `n` keys: `⌈log₂(n + 1)⌉`.
+pub fn min_feasible_height(n: usize) -> u32 {
+    (usize::BITS - n.leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knuth::obst_knuth;
+    use partree_monge::concave::is_concave;
+
+    #[test]
+    fn matrices_stay_concave() {
+        let inst = ObstInstance::random(12, 40, 1);
+        for h in 1..=4 {
+            let hb = obst_height_bounded(&inst, h, false, None);
+            assert!(is_concave(&hb.final_matrix, 1e-9), "E_{h}");
+        }
+    }
+
+    #[test]
+    fn unrestricted_height_matches_knuth() {
+        for seed in 0..10 {
+            let inst = ObstInstance::random(14, 60, seed);
+            let hb = obst_height_bounded(&inst, 14, false, None);
+            let opt = obst_knuth(&inst);
+            assert_eq!(hb.final_matrix.get(0, 14), opt.cost(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn band_structure_height_h_holds_up_to_2h_minus_1_keys() {
+        let inst = ObstInstance::random(10, 10, 2);
+        let hb = obst_height_bounded(&inst, 2, false, None);
+        for i in 0..=10usize {
+            for j in i..=10usize {
+                let finite = hb.final_matrix.get(i, j).is_finite();
+                assert_eq!(finite, j - i <= 3, "E_2[{i},{j}]"); // 2²−1 = 3 keys
+            }
+        }
+    }
+
+    #[test]
+    fn height_restriction_costs_something_on_skewed_input() {
+        let mut inst = ObstInstance::random(15, 5, 3);
+        inst.q[0] = 10_000.0; // wants the first key at the root, deep chain elsewhere
+        let tight = obst_height_bounded(&inst, min_feasible_height(15), false, None);
+        let free = obst_height_bounded(&inst, 15, false, None);
+        assert!(tight.final_matrix.get(0, 15) >= free.final_matrix.get(0, 15));
+    }
+
+    #[test]
+    fn reconstruction_is_exact_and_height_bounded() {
+        for seed in 0..10 {
+            let inst = ObstInstance::random(13, 30, seed);
+            let h = 5u32;
+            let hb = obst_height_bounded(&inst, h, true, None);
+            let tree = reconstruct(&hb, 0, 13).expect("2⁵−1 ≥ 13 keys");
+            tree.validate(13).unwrap();
+            assert!(tree.height() <= h);
+            assert_eq!(
+                tree.weighted_path_length(&inst),
+                hb.final_matrix.get(0, 13),
+                "seed={seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_reconstruction_returns_none() {
+        let inst = ObstInstance::random(9, 10, 0);
+        let hb = obst_height_bounded(&inst, 2, true, None);
+        assert!(reconstruct(&hb, 0, 9).is_none());
+    }
+
+    #[test]
+    fn min_feasible_height_values() {
+        assert_eq!(min_feasible_height(0), 1);
+        assert_eq!(min_feasible_height(1), 1);
+        assert_eq!(min_feasible_height(3), 2);
+        assert_eq!(min_feasible_height(4), 3);
+        assert_eq!(min_feasible_height(7), 3);
+        assert_eq!(min_feasible_height(8), 4);
+    }
+}

@@ -1,0 +1,63 @@
+//! Knuth's `O(n²)` OBST algorithm.
+//!
+//! "The sequential version … was first studied by Knuth, who used
+//! monotonicity to give an `O(n²)` time algorithm" — the same quadrangle
+//! condition the paper's concave matrices exploit restricts the optimal
+//! root to the window `root[i][j-1] ≤ root[i][j] ≤ root[i+1][j]`, which
+//! telescopes each diagonal's work to `O(n)`. This is the sequential
+//! baseline Theorem 6.1 is measured against.
+
+use crate::model::ObstInstance;
+use crate::naive::{dp, DpTables};
+
+/// Runs the quadratic DP with Knuth's monotone-root window.
+pub fn obst_knuth(inst: &ObstInstance) -> DpTables {
+    dp(inst, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::obst_naive;
+
+    #[test]
+    fn knuth_matches_naive_everywhere() {
+        for seed in 0..20 {
+            let inst = ObstInstance::random(18, 100, seed);
+            let fast = obst_knuth(&inst);
+            let slow = obst_naive(&inst);
+            assert_eq!(fast.cost(), slow.cost(), "seed={seed}");
+            let tree = fast.tree();
+            tree.validate(18).unwrap();
+            assert_eq!(tree.weighted_path_length(&inst), fast.cost(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn knuth_matches_naive_on_skewed_instances() {
+        // Heavily skewed: one enormous key frequency.
+        let mut inst = ObstInstance::random(15, 10, 3);
+        inst.q[7] = 10_000.0;
+        assert_eq!(obst_knuth(&inst).cost(), obst_naive(&inst).cost());
+        // Heavy boundary gaps.
+        let mut inst = ObstInstance::random(15, 10, 4);
+        inst.p[0] = 5_000.0;
+        inst.p[15] = 5_000.0;
+        assert_eq!(obst_knuth(&inst).cost(), obst_naive(&inst).cost());
+    }
+
+    #[test]
+    fn root_monotonicity_holds() {
+        let inst = ObstInstance::random(16, 100, 9);
+        let t = obst_knuth(&inst);
+        let n = 16;
+        let idx = |i: usize, j: usize| i * (n + 1) + j;
+        for d in 2..=n {
+            for i in 0..=n - d {
+                let j = i + d;
+                assert!(t.root[idx(i, j - 1)] <= t.root[idx(i, j)]);
+                assert!(t.root[idx(i, j)] <= t.root[idx(i + 1, j)]);
+            }
+        }
+    }
+}

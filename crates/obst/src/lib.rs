@@ -1,0 +1,39 @@
+//! # partree-obst
+//!
+//! Optimal and near-optimal binary search trees — Section 6 of the
+//! paper.
+//!
+//! Given keys `A_1 < … < A_n` with access frequencies `q_i` and gap
+//! frequencies `p_0 … p_n` (the probability of searching between `A_i`
+//! and `A_{i+1}`), find the BST minimizing the weighted path length
+//! `P(T) = Σ q_i (b_i + 1) + Σ p_i a_i` (Knuth's classic formulation).
+//!
+//! * [`model`] — instances, BST values, exact cost evaluation;
+//! * [`naive`] — the `O(n³)` dynamic program (correctness oracle);
+//! * [`knuth`] — Knuth's `O(n²)` root-monotonicity speedup (the best
+//!   sequential algorithm; the paper's stated comparison point);
+//! * [`height_bounded`] — optimal BSTs of bounded height by concave
+//!   matrix squaring, the parallel workhorse;
+//! * [`collapse`] — the run-collapsing preprocessing (small-frequency
+//!   runs merge into one gap; Güttler–Mehlhorn–Schneider's depth bound,
+//!   Lemma 6.1, then caps the height at `O(log(1/ε))`);
+//! * [`approx`] — the assembled Theorem 6.1 pipeline: collapse →
+//!   height-bounded concave DP → reconstruct → expand with balanced
+//!   subtrees; within `ε` of optimal (Lemma 6.2).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// Index-based loops over multiple parallel arrays are the idiom of
+// matrix/PRAM code; iterator rewrites obscure the index arithmetic the
+// correctness arguments are phrased in.
+#![allow(clippy::needless_range_loop)]
+
+pub mod approx;
+pub mod collapse;
+pub mod height_bounded;
+pub mod knuth;
+pub mod model;
+pub mod naive;
+
+pub use approx::approx_optimal_bst;
+pub use model::{BstNode, ObstInstance};

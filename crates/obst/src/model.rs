@@ -1,0 +1,233 @@
+//! Instances and search-tree values for the OBST problem.
+
+use partree_core::{Cost, Error, Result};
+
+/// An OBST instance: `n` key frequencies `q[0..n]` (the paper's
+/// `q_1 … q_n`) and `n + 1` gap frequencies `p[0..=n]` (the paper's
+/// `p_0 … p_n`).
+#[derive(Debug, Clone)]
+pub struct ObstInstance {
+    /// Key access frequencies (`q[i]` is the paper's `q_{i+1}`).
+    pub q: Vec<f64>,
+    /// Gap frequencies (`p[i]` = probability of a miss between `A_i`
+    /// and `A_{i+1}`).
+    pub p: Vec<f64>,
+}
+
+impl ObstInstance {
+    /// Builds and validates an instance.
+    pub fn new(q: Vec<f64>, p: Vec<f64>) -> Result<ObstInstance> {
+        if p.len() != q.len() + 1 {
+            return Err(Error::invalid(format!(
+                "need n+1 gap frequencies for n keys (got {} keys, {} gaps)",
+                q.len(),
+                p.len()
+            )));
+        }
+        if q.iter().chain(&p).any(|x| !x.is_finite() || *x < 0.0) {
+            return Err(Error::invalid("frequencies must be finite and non-negative"));
+        }
+        Ok(ObstInstance { q, p })
+    }
+
+    /// Number of keys.
+    pub fn n(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Total weight `Σ q + Σ p`.
+    pub fn total(&self) -> f64 {
+        self.q.iter().sum::<f64>() + self.p.iter().sum::<f64>()
+    }
+
+    /// Subtree weight `w(i, j) = p_i + q_{i+1} + p_{i+1} + … + q_j + p_j`
+    /// (paper boundary convention, `0 ≤ i ≤ j ≤ n`).
+    pub fn weight(&self, i: usize, j: usize) -> Cost {
+        let mut w = self.p[i];
+        for k in i + 1..=j {
+            w += self.q[k - 1] + self.p[k];
+        }
+        Cost::new(w)
+    }
+
+    /// A deterministic random instance (integer frequencies, exact in
+    /// `f64`).
+    pub fn random(n: usize, max: u64, seed: u64) -> ObstInstance {
+        let q = partree_core::gen::uniform_weights(n, max, seed);
+        let p = partree_core::gen::uniform_weights(n + 1, max, seed ^ 0xabcd);
+        ObstInstance { q, p }
+    }
+}
+
+/// A binary search tree over keys `0 … n-1` and gaps `0 … n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BstNode {
+    /// A miss leaf: the gap index.
+    Leaf(usize),
+    /// An internal node holding `key`, with everything smaller on the
+    /// left and everything larger on the right.
+    Key {
+        /// Key index (0-based: the paper's `A_{key+1}`).
+        key: usize,
+        /// Left subtree (keys `< key`).
+        left: Box<BstNode>,
+        /// Right subtree (keys `> key`).
+        right: Box<BstNode>,
+    },
+}
+
+impl BstNode {
+    /// Weighted path length `Σ q_i (depth_i + 1) + Σ p_i depth_i`.
+    pub fn weighted_path_length(&self, inst: &ObstInstance) -> Cost {
+        fn rec(node: &BstNode, inst: &ObstInstance, depth: f64) -> f64 {
+            match node {
+                BstNode::Leaf(g) => inst.p[*g] * depth,
+                BstNode::Key { key, left, right } => {
+                    inst.q[*key] * (depth + 1.0)
+                        + rec(left, inst, depth + 1.0)
+                        + rec(right, inst, depth + 1.0)
+                }
+            }
+        }
+        Cost::new(rec(self, inst, 0.0))
+    }
+
+    /// Checks the BST property: an inorder traversal must visit gap 0,
+    /// key 0, gap 1, key 1, …, key n-1, gap n — exactly the search-tree
+    /// ordering over the covered range.
+    pub fn validate(&self, n: usize) -> Result<()> {
+        let mut seq = Vec::new();
+        fn inorder(node: &BstNode, seq: &mut Vec<(bool, usize)>) {
+            match node {
+                BstNode::Leaf(g) => seq.push((false, *g)),
+                BstNode::Key { key, left, right } => {
+                    inorder(left, seq);
+                    seq.push((true, *key));
+                    inorder(right, seq);
+                }
+            }
+        }
+        inorder(self, &mut seq);
+        let mut expect = Vec::with_capacity(2 * n + 1);
+        expect.push((false, 0));
+        for k in 0..n {
+            expect.push((true, k));
+            expect.push((false, k + 1));
+        }
+        if seq == expect {
+            Ok(())
+        } else {
+            Err(Error::Internal("inorder traversal violates the BST property".into()))
+        }
+    }
+
+    /// Height (a lone leaf has height 0).
+    pub fn height(&self) -> u32 {
+        match self {
+            BstNode::Leaf(_) => 0,
+            BstNode::Key { left, right, .. } => 1 + left.height().max(right.height()),
+        }
+    }
+
+    /// Depth of key node `key`, if present.
+    pub fn key_depth(&self, key: usize) -> Option<u32> {
+        match self {
+            BstNode::Leaf(_) => None,
+            BstNode::Key { key: k, left, right } => {
+                if *k == key {
+                    Some(0)
+                } else if key < *k {
+                    left.key_depth(key).map(|d| d + 1)
+                } else {
+                    right.key_depth(key).map(|d| d + 1)
+                }
+            }
+        }
+    }
+}
+
+/// A perfectly balanced BST over keys `lo..hi` (gaps `lo..=hi`) — used
+/// by the expansion step and as a quality baseline.
+pub fn balanced_bst(lo: usize, hi: usize) -> BstNode {
+    if lo == hi {
+        return BstNode::Leaf(lo);
+    }
+    let mid = lo + (hi - lo) / 2; // root key index in lo..hi
+    BstNode::Key {
+        key: mid,
+        left: Box::new(balanced_bst(lo, mid)),
+        right: Box::new(balanced_bst(mid + 1, hi)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ObstInstance {
+        // 2 keys, 3 gaps.
+        ObstInstance::new(vec![3.0, 1.0], vec![1.0, 2.0, 1.0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(ObstInstance::new(vec![1.0], vec![1.0]).is_err());
+        assert!(ObstInstance::new(vec![1.0], vec![1.0, -1.0]).is_err());
+        assert!(ObstInstance::new(vec![], vec![1.0]).is_ok());
+    }
+
+    #[test]
+    fn weights() {
+        let inst = tiny();
+        assert_eq!(inst.weight(0, 0), Cost::new(1.0));
+        assert_eq!(inst.weight(0, 2), Cost::new(8.0));
+        assert_eq!(inst.weight(1, 2), Cost::new(4.0));
+        assert_eq!(inst.total(), 8.0);
+    }
+
+    #[test]
+    fn wpl_hand_computed() {
+        let inst = tiny();
+        // Tree: root = key 0, right subtree root = key 1.
+        let t = BstNode::Key {
+            key: 0,
+            left: Box::new(BstNode::Leaf(0)),
+            right: Box::new(BstNode::Key {
+                key: 1,
+                left: Box::new(BstNode::Leaf(1)),
+                right: Box::new(BstNode::Leaf(2)),
+            }),
+        };
+        t.validate(2).unwrap();
+        // q0·1 + q1·2 + p0·1 + p1·2 + p2·2 = 3 + 2 + 1 + 4 + 2 = 12.
+        assert_eq!(t.weighted_path_length(&inst), Cost::new(12.0));
+        assert_eq!(t.height(), 2);
+        assert_eq!(t.key_depth(0), Some(0));
+        assert_eq!(t.key_depth(1), Some(1));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_order() {
+        let bad = BstNode::Key {
+            key: 1,
+            left: Box::new(BstNode::Leaf(0)),
+            right: Box::new(BstNode::Key {
+                key: 0,
+                left: Box::new(BstNode::Leaf(1)),
+                right: Box::new(BstNode::Leaf(2)),
+            }),
+        };
+        assert!(bad.validate(2).is_err());
+    }
+
+    #[test]
+    fn balanced_bst_shape() {
+        let t = balanced_bst(0, 7); // 7 keys
+        t.validate(7).unwrap();
+        assert_eq!(t.height(), 3);
+        let t1 = balanced_bst(0, 1);
+        t1.validate(1).unwrap();
+        assert_eq!(t1.height(), 1);
+        assert_eq!(balanced_bst(3, 3), BstNode::Leaf(3));
+    }
+}

@@ -1,0 +1,161 @@
+//! The `O(n³)` OBST dynamic program — the parallelization of which (at
+//! `n⁶` processors) is the paper's stated strawman. Here it serves as
+//! the correctness oracle.
+
+use crate::model::{BstNode, ObstInstance};
+use partree_core::Cost;
+
+/// DP result: cost table and root witnesses.
+pub struct DpTables {
+    /// `e[i][j]`: optimal cost over keys `i+1..=j`, gaps `i..=j`.
+    pub e: Vec<Cost>,
+    /// Optimal root key per `(i, j)`, `i < j` (1-based boundary `k`,
+    /// meaning key index `k-1`).
+    pub root: Vec<u32>,
+    /// Number of keys.
+    pub n: usize,
+}
+
+impl DpTables {
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        i * (self.n + 1) + j
+    }
+
+    /// Optimal total cost.
+    pub fn cost(&self) -> Cost {
+        self.e[self.idx(0, self.n)]
+    }
+
+    /// Reconstructs the optimal tree.
+    pub fn tree(&self) -> BstNode {
+        self.build(0, self.n)
+    }
+
+    fn build(&self, i: usize, j: usize) -> BstNode {
+        if i == j {
+            return BstNode::Leaf(i);
+        }
+        let k = self.root[self.idx(i, j)] as usize;
+        BstNode::Key {
+            key: k - 1,
+            left: Box::new(self.build(i, k - 1)),
+            right: Box::new(self.build(k, j)),
+        }
+    }
+}
+
+/// Runs the cubic DP (no monotonicity window).
+pub fn obst_naive(inst: &ObstInstance) -> DpTables {
+    dp(inst, false)
+}
+
+pub(crate) fn dp(inst: &ObstInstance, knuth_window: bool) -> DpTables {
+    let n = inst.n();
+    let idx = |i: usize, j: usize| i * (n + 1) + j;
+    let mut e = vec![Cost::INFINITY; (n + 1) * (n + 1)];
+    let mut root = vec![0u32; (n + 1) * (n + 1)];
+    // Prefix sums for w(i, j).
+    let mut pref = vec![0.0f64; n + 1];
+    let mut acc = inst.p[0];
+    pref[0] = acc;
+    for k in 1..=n {
+        acc += inst.q[k - 1] + inst.p[k];
+        pref[k] = acc;
+    }
+    let w = |i: usize, j: usize| {
+        Cost::new(pref[j] - pref[i] + inst.p[i])
+    };
+
+    for i in 0..=n {
+        e[idx(i, i)] = Cost::ZERO;
+    }
+    for d in 1..=n {
+        for i in 0..=n - d {
+            let j = i + d;
+            let (klo, khi) = if knuth_window && d > 1 {
+                (root[idx(i, j - 1)] as usize, root[idx(i + 1, j)] as usize)
+            } else {
+                (i + 1, j)
+            };
+            let mut best = Cost::INFINITY;
+            let mut arg = i + 1;
+            for k in klo..=khi.min(j).max(klo) {
+                let cand = e[idx(i, k - 1)] + e[idx(k, j)];
+                if cand < best {
+                    best = cand;
+                    arg = k;
+                }
+            }
+            e[idx(i, j)] = best + w(i, j);
+            root[idx(i, j)] = arg as u32;
+        }
+    }
+    DpTables { e, root, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clrs_example() {
+        // CLRS 3rd ed., §15.5 (scaled ×100 to stay integral):
+        // key probs .15 .10 .05 .10 .20, dummy probs .05 .10 .05 .05
+        // .05 .10 — CLRS's expected cost is 2.75 counting every node at
+        // depth+1; the paper's P(T) charges leaves at their depth, i.e.
+        // 2.75 − Σ dummies = 2.35 (×100 = 235). Same optimal tree.
+        let inst = ObstInstance::new(
+            vec![15.0, 10.0, 5.0, 10.0, 20.0],
+            vec![5.0, 10.0, 5.0, 5.0, 5.0, 10.0],
+        )
+        .unwrap();
+        let t = obst_naive(&inst);
+        assert_eq!(t.cost(), Cost::new(235.0));
+        let tree = t.tree();
+        tree.validate(5).unwrap();
+        assert_eq!(tree.weighted_path_length(&inst), Cost::new(235.0));
+        // CLRS's optimal root is key 2 (1-based: k₂, our key index 1).
+        match &tree {
+            BstNode::Key { key, .. } => assert_eq!(*key, 1),
+            _ => panic!("root must be a key"),
+        }
+    }
+
+    #[test]
+    fn zero_keys() {
+        let inst = ObstInstance::new(vec![], vec![7.0]).unwrap();
+        let t = obst_naive(&inst);
+        assert_eq!(t.cost(), Cost::ZERO);
+        assert_eq!(t.tree(), BstNode::Leaf(0));
+    }
+
+    #[test]
+    fn single_key() {
+        let inst = ObstInstance::new(vec![5.0], vec![1.0, 2.0]).unwrap();
+        let t = obst_naive(&inst);
+        // Root key 0: q·1 + p0·1 + p1·1 = 5+1+2 = 8.
+        assert_eq!(t.cost(), Cost::new(8.0));
+    }
+
+    #[test]
+    fn reconstruction_cost_matches_table() {
+        for seed in 0..10 {
+            let inst = ObstInstance::random(12, 50, seed);
+            let t = obst_naive(&inst);
+            let tree = t.tree();
+            tree.validate(12).unwrap();
+            assert_eq!(tree.weighted_path_length(&inst), t.cost(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn optimal_beats_balanced() {
+        for seed in 0..10 {
+            let inst = ObstInstance::random(20, 100, seed);
+            let opt = obst_naive(&inst).cost();
+            let bal = crate::model::balanced_bst(0, 20).weighted_path_length(&inst);
+            assert!(opt <= bal, "seed={seed}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests: OBST algorithm consensus and the ε-guarantee on
+//! arbitrary instances.
+
+use partree_obst::approx::approx_optimal_bst;
+use partree_obst::collapse::collapse_runs;
+use partree_obst::height_bounded::{min_feasible_height, obst_height_bounded, reconstruct};
+use partree_obst::knuth::obst_knuth;
+use partree_obst::naive::obst_naive;
+use partree_obst::ObstInstance;
+use proptest::prelude::*;
+
+fn instance(q: &[u32], p: &[u32]) -> ObstInstance {
+    ObstInstance::new(
+        q.iter().map(|&x| f64::from(x)).collect(),
+        p.iter().map(|&x| f64::from(x)).collect(),
+    )
+    .expect("sizes matched by strategy")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Knuth's window never changes the answer (quadrangle/monotonicity
+    /// correctness) and reconstruction matches the table cost.
+    #[test]
+    fn knuth_equals_naive(n in 1usize..18, seed in 0u64..10_000) {
+        let inst = ObstInstance::random(n, 100, seed);
+        let fast = obst_knuth(&inst);
+        let slow = obst_naive(&inst);
+        prop_assert_eq!(fast.cost(), slow.cost());
+        let t = fast.tree();
+        t.validate(n).unwrap();
+        prop_assert_eq!(t.weighted_path_length(&inst), fast.cost());
+    }
+
+    /// Height-bounded reconstruction is exact and within its bound for
+    /// every feasible height.
+    #[test]
+    fn height_bounded_reconstruction(n in 1usize..14, extra in 0u32..3, seed in 0u64..10_000) {
+        let inst = ObstInstance::random(n, 50, seed);
+        let h = min_feasible_height(n) + extra;
+        let hb = obst_height_bounded(&inst, h, true, None);
+        let t = reconstruct(&hb, 0, n).expect("height is feasible");
+        t.validate(n).unwrap();
+        prop_assert!(t.height() <= h);
+        prop_assert_eq!(t.weighted_path_length(&inst), hb.final_matrix.get(0, n));
+        // More height never costs more.
+        let hb2 = obst_height_bounded(&inst, h + 1, false, None);
+        prop_assert!(hb2.final_matrix.get(0, n) <= hb.final_matrix.get(0, n));
+    }
+
+    /// The ε-guarantee holds on arbitrary instances (with zero
+    /// frequencies allowed).
+    #[test]
+    fn approximation_within_eps(
+        q in prop::collection::vec(0u32..300, 1..20),
+        pseed in 0u64..10_000,
+        eps_inv in 2u32..60,
+    ) {
+        let n = q.len();
+        let p: Vec<u32> = {
+            use rand::Rng;
+            let mut r = partree_core::gen::rng(pseed);
+            (0..=n).map(|_| r.gen_range(0..300)).collect()
+        };
+        let inst = instance(&q, &p);
+        prop_assume!(inst.total() > 0.0);
+        let eps = 1.0 / f64::from(eps_inv);
+        let approx = approx_optimal_bst(&inst, eps).unwrap();
+        approx.tree.validate(n).unwrap();
+        let opt = obst_knuth(&inst).cost();
+        let gap = approx.cost.value() - opt.value();
+        prop_assert!(gap >= -1e-9);
+        prop_assert!(gap <= eps * inst.total() + 1e-9, "gap {} vs bound {}", gap, eps * inst.total());
+    }
+
+    /// Collapsing preserves total weight and produces a structurally
+    /// valid smaller instance.
+    #[test]
+    fn collapse_preserves_mass(
+        q in prop::collection::vec(0u32..50, 1..25),
+        pseed in 0u64..10_000,
+        threshold in 1u32..40,
+    ) {
+        let n = q.len();
+        let p: Vec<u32> = {
+            use rand::Rng;
+            let mut r = partree_core::gen::rng(pseed);
+            (0..=n).map(|_| r.gen_range(0..50)).collect()
+        };
+        let inst = instance(&q, &p);
+        let c = collapse_runs(&inst, f64::from(threshold));
+        prop_assert!(c.inst.n() <= n);
+        prop_assert!((c.inst.total() - inst.total()).abs() < 1e-6);
+        prop_assert_eq!(c.inst.p.len(), c.inst.n() + 1);
+        prop_assert_eq!(c.gap_ranges.len(), c.inst.n() + 1);
+        prop_assert_eq!(c.key_map.len(), c.inst.n());
+        // Gap ranges tile the original boundaries.
+        let mut expect = 0usize;
+        for &(lo, hi) in &c.gap_ranges {
+            prop_assert_eq!(lo, expect);
+            prop_assert!(hi >= lo);
+            expect = hi + 1;
+        }
+        prop_assert_eq!(expect, n + 1);
+    }
+}

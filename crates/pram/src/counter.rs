@@ -1,0 +1,139 @@
+//! Work accounting: counting the comparisons a PRAM algorithm performs.
+//!
+//! The paper's headline results are *processor* bounds, which on a PRAM
+//! are really *work* bounds: Theorem 4.1's claim is that concave matrix
+//! multiplication needs `O(n²)` comparisons where the general algorithm
+//! needs `O(n³)`. Wall-clock time depends on the machine; comparison
+//! counts do not. Instrumented code paths thread an [`OpCounter`] through
+//! and bump it with `Relaxed` atomics (counting, not synchronizing —
+//! ordering between increments is irrelevant for a sum).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A thread-safe operation counter with negligible overhead.
+///
+/// Cloneable handles share the same underlying counter via reference;
+/// typical use is to create one per experiment and pass `&OpCounter` into
+/// the `_counted` variant of an algorithm.
+#[derive(Debug, Default)]
+pub struct OpCounter {
+    ops: AtomicU64,
+}
+
+impl OpCounter {
+    /// A fresh counter at zero.
+    pub fn new() -> OpCounter {
+        OpCounter { ops: AtomicU64::new(0) }
+    }
+
+    /// Record `n` operations.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        // Relaxed: we only ever read the total after the parallel region
+        // has joined, and rayon's join provides the necessary ordering.
+        self.ops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a single operation.
+    #[inline]
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Total operations recorded so far.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (between experiment repetitions).
+    pub fn reset(&self) {
+        self.ops.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A work/depth measurement of one algorithm run, in the Brent work-depth
+/// sense: `work` is total operations, `depth` the length of the critical
+/// path (reported by algorithms that track it structurally).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkDepth {
+    /// Total operations across all processors.
+    pub work: u64,
+    /// Critical-path length (parallel steps).
+    pub depth: u64,
+}
+
+impl WorkDepth {
+    /// Sequential composition: work adds, depth adds.
+    pub fn then(self, next: WorkDepth) -> WorkDepth {
+        WorkDepth { work: self.work + next.work, depth: self.depth + next.depth }
+    }
+
+    /// Parallel composition: work adds, depth maxes.
+    pub fn beside(self, other: WorkDepth) -> WorkDepth {
+        WorkDepth { work: self.work + other.work, depth: self.depth.max(other.depth) }
+    }
+
+    /// Brent's bound: steps on `p` processors is at most `work/p + depth`.
+    pub fn brent_steps(self, p: u64) -> u64 {
+        assert!(p > 0);
+        self.work.div_ceil(p) + self.depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counts_accumulate() {
+        let c = OpCounter::new();
+        c.bump();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counts_from_many_threads() {
+        let c = Arc::new(OpCounter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.bump();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn work_depth_composition() {
+        let a = WorkDepth { work: 10, depth: 2 };
+        let b = WorkDepth { work: 5, depth: 7 };
+        assert_eq!(a.then(b), WorkDepth { work: 15, depth: 9 });
+        assert_eq!(a.beside(b), WorkDepth { work: 15, depth: 7 });
+    }
+
+    #[test]
+    fn brent_bound() {
+        let wd = WorkDepth { work: 100, depth: 3 };
+        assert_eq!(wd.brent_steps(10), 13);
+        assert_eq!(wd.brent_steps(1), 103);
+        assert_eq!(wd.brent_steps(7), 100u64.div_ceil(7) + 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn brent_zero_processors_panics() {
+        let _ = WorkDepth::default().brent_steps(0);
+    }
+}

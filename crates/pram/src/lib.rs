@@ -1,0 +1,40 @@
+//! # partree-pram
+//!
+//! The PRAM → multicore adaptation layer (substitution S1 of DESIGN.md).
+//!
+//! The paper states its results on CREW/EREW/CRCW PRAMs. This crate maps
+//! that model onto `rayon`'s work-stealing pool and provides:
+//!
+//! * [`counter`] — machine-independent *work* accounting (comparison
+//!   counts), the currency of the paper's processor bounds;
+//! * [`model`] — the model mapping itself: thread-count control for
+//!   speedup experiments and notes on how CREW/EREW/CRCW steps translate;
+//! * [`scan`] — parallel prefix sums (the workhorse of Section 7's
+//!   optimal EREW algorithms);
+//! * [`pack`] — parallel stream compaction (stable filter) built on scan;
+//! * [`rank`] — pointer-jumping list ranking (Wyllie), the textbook
+//!   EREW primitive behind COMPRESS-style doubling;
+//! * [`reduce`] — balanced reductions and argmin with work/depth
+//!   reporting (the multicore stand-in for CRCW constant-time min);
+//! * [`simulate`] — an executable PRAM with EREW/CREW/CRCW access-
+//!   discipline *checking*, so model-compliance claims are testable.
+//!
+//! Everything here is deterministic: parallel results are bit-identical
+//! to the sequential reference implementations that sit next to them.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// Index-based loops over multiple parallel arrays are the idiom of
+// matrix/PRAM code; iterator rewrites obscure the index arithmetic the
+// correctness arguments are phrased in.
+#![allow(clippy::needless_range_loop)]
+
+pub mod counter;
+pub mod model;
+pub mod pack;
+pub mod rank;
+pub mod reduce;
+pub mod scan;
+pub mod simulate;
+
+pub use counter::OpCounter;

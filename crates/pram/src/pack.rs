@@ -1,0 +1,126 @@
+//! Parallel stream compaction (stable filter) via prefix sums.
+//!
+//! `pack` keeps the elements satisfying a predicate, preserving order —
+//! the EREW "processor reallocation" step the paper uses implicitly
+//! whenever RAKE removes leaves or Finger-Reduction deletes segments:
+//! survivors must be renumbered densely so the next round can assign
+//! `n/log n` processors evenly.
+
+use rayon::prelude::*;
+
+use crate::scan::exclusive_sum;
+
+/// Input size below which the sequential path runs directly.
+const SEQ_CUTOFF: usize = 1 << 12;
+
+/// Stable parallel filter: returns the elements of `a` for which `keep`
+/// holds, in their original order.
+pub fn pack<T, F>(a: &[T], keep: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    if a.len() < SEQ_CUTOFF {
+        return a.iter().filter(|x| keep(x)).cloned().collect();
+    }
+
+    // Flags → exclusive scan gives each survivor its output slot.
+    let flags: Vec<u64> = a.par_iter().map(|x| u64::from(keep(x))).collect();
+    let (slots, count) = exclusive_sum(&flags);
+
+    let mut out: Vec<Option<T>> = vec![None; count as usize];
+    // Scatter in parallel: each survivor owns a distinct slot, so the
+    // writes are exclusive (EREW). We use chunked zip to let rayon write
+    // disjoint regions without synchronization.
+    let ptr = SyncSlice(out.as_mut_ptr());
+    a.par_iter().enumerate().for_each(|(i, x)| {
+        if flags[i] == 1 {
+            // SAFETY: slots[i] values are distinct for surviving i, each
+            // < count, and no other thread writes the same index.
+            unsafe {
+                *ptr.ptr().add(slots[i] as usize) = Some(x.clone());
+            }
+        }
+    });
+
+    out.into_iter().map(|x| x.expect("every slot was scattered to")).collect()
+}
+
+/// Indices of the elements satisfying `keep`, in order.
+pub fn pack_indices<T, F>(a: &[T], keep: F) -> Vec<usize>
+where
+    T: Sync,
+    F: Fn(&T) -> bool + Send + Sync,
+{
+    if a.len() < SEQ_CUTOFF {
+        return a.iter().enumerate().filter(|(_, x)| keep(x)).map(|(i, _)| i).collect();
+    }
+    let flags: Vec<u64> = a.par_iter().map(|x| u64::from(keep(x))).collect();
+    let (slots, count) = exclusive_sum(&flags);
+    let mut out = vec![0usize; count as usize];
+    let ptr = SyncSlice(out.as_mut_ptr());
+    (0..a.len()).into_par_iter().for_each(|i| {
+        if flags[i] == 1 {
+            // SAFETY: as in `pack` — slots are distinct per survivor.
+            unsafe {
+                *ptr.ptr().add(slots[i] as usize) = i;
+            }
+        }
+    });
+    out
+}
+
+/// Wrapper making a raw pointer Sync for disjoint-index scatters.
+struct SyncSlice<T>(*mut T);
+
+impl<T> SyncSlice<T> {
+    /// Returns the raw pointer. Taking it through `&self` keeps closures
+    /// capturing the (Sync) wrapper rather than the bare pointer field.
+    #[inline]
+    fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
+// SAFETY: only used for writes to provably disjoint indices.
+unsafe impl<T> Sync for SyncSlice<T> {}
+unsafe impl<T> Send for SyncSlice<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn pack_small_preserves_order() {
+        let a = [5, 2, 8, 1, 9, 4];
+        assert_eq!(pack(&a, |&x| x > 4), vec![5, 8, 9]);
+        assert_eq!(pack_indices(&a, |&x| x > 4), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn pack_empty_and_none_kept() {
+        let empty: [u32; 0] = [];
+        assert!(pack(&empty, |_| true).is_empty());
+        assert!(pack(&[1, 2, 3], |_| false).is_empty());
+    }
+
+    #[test]
+    fn pack_all_kept() {
+        let a: Vec<u32> = (0..10).collect();
+        assert_eq!(pack(&a, |_| true), a);
+    }
+
+    #[test]
+    fn pack_large_matches_sequential() {
+        let mut r = partree_core::gen::rng(5);
+        let a: Vec<u32> = (0..50_000).map(|_| r.gen_range(0..100)).collect();
+        let par = pack(&a, |&x| x % 7 == 0);
+        let seq: Vec<u32> = a.iter().copied().filter(|&x| x % 7 == 0).collect();
+        assert_eq!(par, seq);
+
+        let pi = pack_indices(&a, |&x| x % 7 == 0);
+        let si: Vec<usize> = a.iter().enumerate().filter(|(_, &x)| x % 7 == 0).map(|(i, _)| i).collect();
+        assert_eq!(pi, si);
+    }
+}

@@ -1,0 +1,204 @@
+//! List ranking by pointer jumping (Wyllie's algorithm).
+//!
+//! COMPRESS — the chain-halving half of the paper's RAKE/COMPRESS tree
+//! contraction (Section 3) — is doubling on linked chains, and list
+//! ranking is its purest form: given a linked list as a successor array,
+//! compute each node's distance to the end. `⌈log n⌉` rounds, each a
+//! fully parallel EREW step over the nodes.
+//!
+//! This module exists both as a reusable primitive (spine extraction in
+//! the Huffman reconstruction walks a left spine) and as the clearest
+//! demonstration of how a PRAM doubling loop becomes rayon code.
+
+use rayon::prelude::*;
+
+/// Sentinel successor marking the list tail.
+pub const NIL: usize = usize::MAX;
+
+/// Computes, for every node `i` of the linked structure `next` (a forest
+/// of chains ending at `NIL`), the number of links from `i` to its chain
+/// end. Pure pointer jumping: `O(n log n)` work, `O(log n)` rounds — the
+/// classic EREW trade the paper's COMPRESS makes.
+pub fn list_rank(next: &[usize]) -> Vec<u64> {
+    let n = next.len();
+    let mut nxt: Vec<usize> = next.to_vec();
+    let mut rank: Vec<u64> = nxt.iter().map(|&s| u64::from(s != NIL)).collect();
+
+    // Each round halves every chain: rank[i] += rank[next[i]];
+    // next[i] = next[next[i]].
+    let rounds = usize::BITS - n.leading_zeros(); // ⌈log₂(n+1)⌉-ish, enough
+    for _ in 0..rounds {
+        let (new_rank, new_next): (Vec<u64>, Vec<usize>) = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let s = nxt[i];
+                if s == NIL {
+                    (rank[i], NIL)
+                } else {
+                    (rank[i] + rank[s], nxt[s])
+                }
+            })
+            .unzip();
+        rank = new_rank;
+        nxt = new_next;
+        if nxt.par_iter().all(|&s| s == NIL) {
+            break;
+        }
+    }
+    rank
+}
+
+/// Weighted list ranking: for every node `i`, the sum of `weight[·]`
+/// over the nodes from `i` (inclusive) to its chain's tail — the
+/// primitive behind Euler-tour prefix sums (tree depths, subtree sizes
+/// on an EREW PRAM). Same pointer-jumping structure as [`list_rank`]:
+/// `O(n log n)` work, `O(log n)` rounds.
+pub fn list_rank_weighted(next: &[usize], weight: &[i64]) -> Vec<i64> {
+    assert_eq!(next.len(), weight.len());
+    let n = next.len();
+    let mut nxt: Vec<usize> = next.to_vec();
+    let mut sum: Vec<i64> = weight.to_vec();
+
+    let rounds = usize::BITS - n.leading_zeros();
+    for _ in 0..rounds {
+        let (new_sum, new_next): (Vec<i64>, Vec<usize>) = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let s = nxt[i];
+                if s == NIL {
+                    (sum[i], NIL)
+                } else {
+                    (sum[i] + sum[s], nxt[s])
+                }
+            })
+            .unzip();
+        sum = new_sum;
+        nxt = new_next;
+        if nxt.par_iter().all(|&s| s == NIL) {
+            break;
+        }
+    }
+    sum
+}
+
+/// Sequential reference: follow each chain (memoized by processing in
+/// reverse topological order found by one pass).
+pub fn list_rank_seq(next: &[usize]) -> Vec<u64> {
+    let n = next.len();
+    let mut rank = vec![u64::MAX; n];
+    for start in 0..n {
+        if rank[start] != u64::MAX {
+            continue;
+        }
+        // Walk to a known node or the end, then unwind.
+        let mut path = Vec::new();
+        let mut cur = start;
+        while cur != NIL && rank[cur] == u64::MAX {
+            path.push(cur);
+            cur = next[cur];
+        }
+        let base = if cur == NIL { 0 } else { rank[cur] + 1 };
+        for (off, &node) in path.iter().rev().enumerate() {
+            rank[node] = base + off as u64;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+
+    /// Direct quadratic definition for validation.
+    fn rank_naive(next: &[usize]) -> Vec<u64> {
+        next.iter()
+            .enumerate()
+            .map(|(i, _)| {
+                let mut cur = i;
+                let mut d = 0;
+                while next[cur] != NIL {
+                    cur = next[cur];
+                    d += 1;
+                }
+                d
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_chain() {
+        // 0 -> 1 -> 2 -> 3 -> NIL
+        let next = vec![1, 2, 3, NIL];
+        assert_eq!(list_rank(&next), vec![3, 2, 1, 0]);
+        assert_eq!(list_rank_seq(&next), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(list_rank(&[]).is_empty());
+        assert_eq!(list_rank(&[NIL]), vec![0]);
+    }
+
+    #[test]
+    fn forest_of_chains() {
+        // Two chains: 0->2->NIL ; 1->3->4->NIL
+        let next = vec![2, 3, NIL, 4, NIL];
+        let expect = rank_naive(&next);
+        assert_eq!(list_rank(&next), expect);
+        assert_eq!(list_rank_seq(&next), expect);
+    }
+
+    #[test]
+    fn weighted_rank_suffix_sums() {
+        // Chain 0→1→2→3 with weights 5,1,2,7: suffix sums 15,10,9,7.
+        let next = vec![1, 2, 3, NIL];
+        let w = vec![5i64, 1, 2, 7];
+        assert_eq!(list_rank_weighted(&next, &w), vec![15, 10, 9, 7]);
+    }
+
+    #[test]
+    fn weighted_rank_with_negative_weights() {
+        // ±1 weights — the Euler-tour depth encoding.
+        let next = vec![1, 2, 3, 4, NIL];
+        let w = vec![1i64, 1, -1, 1, -1];
+        assert_eq!(list_rank_weighted(&next, &w), vec![1, 0, -1, 0, -1]);
+    }
+
+    #[test]
+    fn weighted_rank_matches_unweighted_on_unit_weights() {
+        use rand::seq::SliceRandom;
+        let n = 5000;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut partree_core::gen::rng(4));
+        let mut next = vec![NIL; n];
+        for w in order.windows(2) {
+            next[w[0]] = w[1];
+        }
+        let unit = vec![1i64; n];
+        let weighted = list_rank_weighted(&next, &unit);
+        let plain = list_rank(&next);
+        for i in 0..n {
+            assert_eq!(weighted[i], plain[i] as i64 + 1);
+        }
+    }
+
+    #[test]
+    fn random_permuted_long_chain() {
+        let n = 10_000;
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut partree_core::gen::rng(17));
+        // Build chain following `order`.
+        let mut next = vec![NIL; n];
+        for w in order.windows(2) {
+            next[w[0]] = w[1];
+        }
+        let par = list_rank(&next);
+        let seq = list_rank_seq(&next);
+        // Spot-check against positions in `order`.
+        for (pos, &node) in order.iter().enumerate() {
+            assert_eq!(par[node] as usize, n - 1 - pos);
+        }
+        assert_eq!(par, seq);
+    }
+}

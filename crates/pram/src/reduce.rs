@@ -1,0 +1,115 @@
+//! Parallel reductions with explicit work/depth accounting.
+//!
+//! The paper's CRCW steps are `n`-way associative reductions (an
+//! `n²`-processor CRCW PRAM computes a min in `O(1)`; CREW needs a
+//! `log n`-depth tree). On the multicore substitution both become
+//! balanced reduction trees; this module provides them with the
+//! [`WorkDepth`] measurements the model mapping reports (see
+//! [`crate::model`]).
+
+use crate::counter::WorkDepth;
+use rayon::prelude::*;
+
+/// Input size below which reduction runs sequentially.
+const SEQ_CUTOFF: usize = 1 << 12;
+
+/// Parallel reduction under an associative `combine` with identity
+/// `id`; returns the value and the work/depth of the reduction tree.
+pub fn reduce<T, F>(a: &[T], id: T, combine: F) -> (T, WorkDepth)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    let work = a.len() as u64;
+    let depth = (usize::BITS - a.len().leading_zeros()) as u64;
+    let wd = WorkDepth { work, depth };
+    if a.len() < SEQ_CUTOFF {
+        return (a.iter().fold(id, |acc, x| combine(&acc, x)), wd);
+    }
+    let value = a
+        .par_iter()
+        .cloned()
+        .reduce(|| id.clone(), |x, y| combine(&x, &y));
+    (value, wd)
+}
+
+/// Minimum of a non-empty slice (by `Ord`), with its smallest index —
+/// the tie-breaking the paper's `Cut` definition uses.
+pub fn argmin<T: Ord + Copy + Send + Sync>(a: &[T]) -> Option<(usize, T)> {
+    if a.is_empty() {
+        return None;
+    }
+    let best = if a.len() < SEQ_CUTOFF {
+        a.iter()
+            .enumerate()
+            .fold(None::<(usize, T)>, |acc, (i, &x)| match acc {
+                Some((bi, bx)) if bx <= x => Some((bi, bx)),
+                _ => Some((i, x)),
+            })
+    } else {
+        a.par_iter().enumerate().map(|(i, &x)| (i, x)).reduce_with(|p, q| {
+            // Smaller value wins; smaller index breaks ties.
+            if q.1 < p.1 || (q.1 == p.1 && q.0 < p.0) {
+                q
+            } else {
+                p
+            }
+        })
+    };
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn sum_reduction_small_and_large() {
+        let small: Vec<u64> = (1..=10).collect();
+        let (v, wd) = reduce(&small, 0u64, |a, b| a + b);
+        assert_eq!(v, 55);
+        assert_eq!(wd.work, 10);
+
+        let large: Vec<u64> = (0..100_000).collect();
+        let (v, wd) = reduce(&large, 0u64, |a, b| a + b);
+        assert_eq!(v, 100_000 * 99_999 / 2);
+        assert!(wd.depth <= 18);
+    }
+
+    #[test]
+    fn empty_reduction_gives_identity() {
+        let (v, wd) = reduce::<u64, _>(&[], 42, |a, b| a + b);
+        assert_eq!(v, 42);
+        assert_eq!(wd.work, 0);
+    }
+
+    #[test]
+    fn argmin_smallest_index_on_ties() {
+        assert_eq!(argmin(&[5, 3, 7, 3, 9]), Some((1, 3)));
+        assert_eq!(argmin::<u32>(&[]), None);
+        assert_eq!(argmin(&[8]), Some((0, 8)));
+    }
+
+    #[test]
+    fn argmin_large_matches_sequential() {
+        let mut r = partree_core::gen::rng(6);
+        let a: Vec<u32> = (0..50_000).map(|_| r.gen_range(0..1000)).collect();
+        let par = argmin(&a).unwrap();
+        let seq = a
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &x)| (x, i))
+            .map(|(i, &x)| (i, x))
+            .unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn brent_steps_from_reduction_measurements() {
+        let a: Vec<u64> = (0..1 << 16).collect();
+        let (_, wd) = reduce(&a, 0u64, |x, y| x + y);
+        // On 16 processors Brent gives ≤ work/16 + depth steps.
+        assert!(wd.brent_steps(16) <= (1 << 12) + 20);
+    }
+}

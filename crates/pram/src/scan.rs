@@ -1,0 +1,163 @@
+//! Parallel prefix sums (scan).
+//!
+//! Section 7 of the paper repeatedly says "this can all be done optimally
+//! using prefix sums": converting monotone leaf patterns to level
+//! histograms, carry propagation when adding the two `n`-bit numbers of
+//! the monotone construction, and distributing work across processors.
+//! This module is that primitive, in the classic two-pass blocked form:
+//!
+//! 1. split the input into `O(p)` blocks and reduce each block (parallel),
+//! 2. exclusive-scan the block sums (sequential — `O(p)` is tiny),
+//! 3. re-walk each block seeded with its block offset (parallel).
+//!
+//! Work `O(n)`, depth `O(n/p + p)` — the EREW-optimal schedule of
+//! Theorem 7.1 instantiated for a work-stealing pool. The operation is
+//! any associative monoid supplied as `(identity, combine)`.
+
+use rayon::prelude::*;
+
+/// Minimum input size before parallelism pays for itself; below this the
+/// sequential scan runs directly.
+const SEQ_CUTOFF: usize = 1 << 12;
+
+/// Exclusive prefix scan: `out[i] = id ⊕ a[0] ⊕ … ⊕ a[i-1]`.
+/// Returns the scanned vector and the total reduction of the input.
+pub fn exclusive_scan<T, F>(a: &[T], id: T, combine: F) -> (Vec<T>, T)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    if a.len() < SEQ_CUTOFF {
+        return exclusive_scan_seq(a, id, combine);
+    }
+
+    let threads = rayon::current_num_threads().max(1);
+    let block = a.len().div_ceil(threads * 4).max(1);
+
+    // Pass 1: per-block totals.
+    let block_sums: Vec<T> = a
+        .par_chunks(block)
+        .map(|chunk| chunk.iter().fold(id.clone(), |acc, x| combine(&acc, x)))
+        .collect();
+
+    // Pass 2: exclusive scan of the block totals (tiny, sequential).
+    let mut offsets = Vec::with_capacity(block_sums.len());
+    let mut acc = id.clone();
+    for s in &block_sums {
+        offsets.push(acc.clone());
+        acc = combine(&acc, s);
+    }
+    let total = acc;
+
+    // Pass 3: rescan each block from its offset.
+    let mut out = vec![id; a.len()];
+    out.par_chunks_mut(block)
+        .zip(a.par_chunks(block))
+        .zip(offsets.into_par_iter())
+        .for_each(|((out_chunk, in_chunk), mut run)| {
+            for (o, x) in out_chunk.iter_mut().zip(in_chunk) {
+                *o = run.clone();
+                run = combine(&run, x);
+            }
+        });
+
+    (out, total)
+}
+
+/// Inclusive prefix scan: `out[i] = a[0] ⊕ … ⊕ a[i]`.
+pub fn inclusive_scan<T, F>(a: &[T], id: T, combine: F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> T + Send + Sync,
+{
+    let (mut ex, _total) = exclusive_scan(a, id, &combine);
+    // Shift: inclusive[i] = exclusive[i] ⊕ a[i].
+    ex.par_iter_mut().zip(a.par_iter()).for_each(|(o, x)| *o = combine(o, x));
+    ex
+}
+
+/// Sequential reference implementation (also the small-input fast path).
+pub fn exclusive_scan_seq<T, F>(a: &[T], id: T, combine: F) -> (Vec<T>, T)
+where
+    T: Clone,
+    F: Fn(&T, &T) -> T,
+{
+    let mut out = Vec::with_capacity(a.len());
+    let mut acc = id;
+    for x in a {
+        out.push(acc.clone());
+        acc = combine(&acc, x);
+    }
+    (out, acc)
+}
+
+/// Exclusive scan of `u64` sums — the common concrete case.
+pub fn exclusive_sum(a: &[u64]) -> (Vec<u64>, u64) {
+    exclusive_scan(a, 0u64, |x, y| x + y)
+}
+
+/// Inclusive scan of `u64` maxima.
+pub fn inclusive_max(a: &[u64]) -> Vec<u64> {
+    inclusive_scan(a, 0u64, |x, y| *x.max(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn exclusive_sum_small() {
+        let (s, total) = exclusive_sum(&[3, 1, 4, 1, 5]);
+        assert_eq!(s, vec![0, 3, 4, 8, 9]);
+        assert_eq!(total, 14);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (s, total) = exclusive_sum(&[]);
+        assert!(s.is_empty());
+        assert_eq!(total, 0);
+        assert!(inclusive_max(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let (s, total) = exclusive_sum(&[7]);
+        assert_eq!(s, vec![0]);
+        assert_eq!(total, 7);
+    }
+
+    #[test]
+    fn inclusive_matches_definition() {
+        let a = [2u64, 0, 7, 7, 1];
+        let inc = inclusive_scan(&a, 0, |x, y| x + y);
+        assert_eq!(inc, vec![2, 2, 9, 16, 17]);
+    }
+
+    #[test]
+    fn inclusive_max_works() {
+        assert_eq!(inclusive_max(&[1, 5, 2, 9, 3]), vec![1, 5, 5, 9, 9]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_large_input() {
+        let mut r = partree_core::gen::rng(99);
+        let a: Vec<u64> = (0..100_000).map(|_| r.gen_range(0..1000)).collect();
+        let (par, par_total) = exclusive_sum(&a);
+        let (seq, seq_total) = exclusive_scan_seq(&a, 0u64, |x, y| x + y);
+        assert_eq!(par_total, seq_total);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn non_commutative_monoid_string_concat() {
+        // Scan must respect order even for non-commutative operations.
+        let a: Vec<String> = (0..5_000).map(|i| ((b'a' + (i % 26) as u8) as char).to_string()).collect();
+        let (par, total) = exclusive_scan(&a, String::new(), |x, y| format!("{x}{y}"));
+        let (seq, seq_total) = exclusive_scan_seq(&a, String::new(), |x, y| format!("{x}{y}"));
+        assert_eq!(total, seq_total);
+        assert_eq!(par[1234], seq[1234]);
+        assert_eq!(par.last(), seq.last());
+    }
+}

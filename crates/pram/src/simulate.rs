@@ -1,0 +1,298 @@
+//! An executable PRAM: synchronous steps with access-discipline checking.
+//!
+//! The paper's algorithms are stated for EREW/CREW/CRCW machines, and
+//! the difference is a *discipline* on each synchronous step: which
+//! combinations of concurrent reads and writes to one shared-memory cell
+//! are legal. The rayon adaptation ([`crate::model`]) argues the
+//! disciplines are respected; this module lets tests *check* that claim
+//! by actually executing an algorithm's steps on a simulated machine
+//! that records every access.
+//!
+//! A step runs `p` processors, each computing its writes from a read
+//! snapshot (synchronous PRAM semantics: all reads see the state before
+//! the step). The simulator then verifies the access pattern against
+//! the declared [`Discipline`] and applies the writes. CRCW resolves
+//! write collisions ARBITRARY-style, made deterministic: the lowest
+//! processor id wins.
+
+use partree_core::{Error, Result};
+use std::collections::HashMap;
+
+/// Memory-access discipline of a PRAM variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// Exclusive read, exclusive write.
+    Erew,
+    /// Concurrent read, exclusive write.
+    Crew,
+    /// Concurrent read, concurrent write (arbitrary-winner).
+    Crcw,
+}
+
+/// A simulated PRAM over `i64` shared memory.
+#[derive(Debug)]
+pub struct Pram {
+    mem: Vec<i64>,
+    discipline: Discipline,
+    steps: u64,
+    max_processors: usize,
+}
+
+/// What one processor does in one step: reads (logged through the
+/// handle) then writes (returned as `(address, value)` pairs).
+pub type StepFn<'a> = dyn Fn(usize, &ReadHandle) -> Vec<(usize, i64)> + Sync + 'a;
+
+/// Read access to the pre-step memory snapshot, with logging.
+pub struct ReadHandle<'a> {
+    mem: &'a [i64],
+    log: std::sync::Mutex<Vec<(usize, usize)>>, // (processor, address)
+    pid: std::cell::Cell<usize>,
+}
+
+impl ReadHandle<'_> {
+    /// Reads cell `addr` (logged for discipline checking).
+    pub fn read(&self, addr: usize) -> i64 {
+        self.log.lock().expect("no poisoning").push((self.pid.get(), addr));
+        self.mem[addr]
+    }
+
+    /// Memory size.
+    pub fn len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// `true` when memory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty()
+    }
+}
+
+impl Pram {
+    /// A machine with `cells` zeroed memory cells.
+    pub fn new(cells: usize, discipline: Discipline) -> Pram {
+        Pram { mem: vec![0; cells], discipline, steps: 0, max_processors: 0 }
+    }
+
+    /// Loads values starting at `addr`.
+    pub fn load(&mut self, addr: usize, values: &[i64]) {
+        self.mem[addr..addr + values.len()].copy_from_slice(values);
+    }
+
+    /// Reads the current memory (outside any step).
+    pub fn memory(&self) -> &[i64] {
+        &self.mem
+    }
+
+    /// Synchronous steps executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Largest processor count any step used.
+    pub fn max_processors(&self) -> usize {
+        self.max_processors
+    }
+
+    /// Executes one synchronous step on `processors` processors.
+    /// Returns an error (leaving memory untouched) if the access pattern
+    /// violates the machine's discipline.
+    pub fn step(&mut self, processors: usize, f: &StepFn<'_>) -> Result<()> {
+        // Run every processor against the same snapshot, sequentially —
+        // the simulator checks semantics; speed is not its job.
+        let mut all_reads: Vec<(usize, usize)> = Vec::new();
+        let mut all_writes: Vec<(usize, usize, i64)> = Vec::new(); // (pid, addr, value)
+        for pid in 0..processors {
+            let handle = ReadHandle {
+                mem: &self.mem,
+                log: std::sync::Mutex::new(Vec::new()),
+                pid: std::cell::Cell::new(pid),
+            };
+            let writes = f(pid, &handle);
+            all_reads.extend(handle.log.into_inner().expect("no poisoning"));
+            for (addr, v) in writes {
+                if addr >= self.mem.len() {
+                    return Err(Error::invalid(format!("processor {pid} wrote out of bounds at {addr}")));
+                }
+                all_writes.push((pid, addr, v));
+            }
+        }
+
+        // Discipline checks.
+        let mut readers: HashMap<usize, Vec<usize>> = HashMap::new();
+        for &(pid, addr) in &all_reads {
+            readers.entry(addr).or_default().push(pid);
+        }
+        let mut writers: HashMap<usize, Vec<(usize, i64)>> = HashMap::new();
+        for &(pid, addr, v) in &all_writes {
+            writers.entry(addr).or_default().push((pid, v));
+        }
+
+        if self.discipline == Discipline::Erew {
+            if let Some((addr, pids)) = readers.iter().find(|(_, p)| p.len() > 1) {
+                return Err(Error::invalid(format!(
+                    "EREW violation: processors {pids:?} concurrently read cell {addr}"
+                )));
+            }
+        }
+        if self.discipline != Discipline::Crcw {
+            if let Some((addr, ws)) = writers.iter().find(|(_, w)| w.len() > 1) {
+                return Err(Error::invalid(format!(
+                    "{:?} violation: {} concurrent writes to cell {addr}",
+                    self.discipline,
+                    ws.len()
+                )));
+            }
+        }
+        // Note: the standard PRAM cycle is read-phase → compute →
+        // write-phase; a cell read in the read phase and written in the
+        // write phase is NOT a conflict (that is how synchronous updates
+        // like pointer jumping work). Only intra-phase collisions count.
+
+        // Apply writes: lowest processor id wins (ARBITRARY, made
+        // deterministic).
+        let mut final_writes: HashMap<usize, (usize, i64)> = HashMap::new();
+        for (pid, addr, v) in all_writes {
+            final_writes
+                .entry(addr)
+                .and_modify(|e| {
+                    if pid < e.0 {
+                        *e = (pid, v);
+                    }
+                })
+                .or_insert((pid, v));
+        }
+        for (addr, (_, v)) in final_writes {
+            self.mem[addr] = v;
+        }
+        self.steps += 1;
+        self.max_processors = self.max_processors.max(processors);
+        Ok(())
+    }
+}
+
+/// EREW prefix sums on the simulator: the classic two-sweep (up/down)
+/// over memory `[x_0 … x_{n-1}]` (n a power of two), leaving inclusive
+/// prefix sums in place. `O(log n)` steps — a checkable rendition of
+/// the Section 7 workhorse.
+pub fn simulate_prefix_sums(values: &[i64]) -> Result<(Vec<i64>, u64)> {
+    let n = values.len();
+    assert!(n.is_power_of_two(), "simulator demo expects a power of two");
+    // Layout: cells 0..n = data; scratch holds the reduction tree.
+    let mut machine = Pram::new(2 * n, Discipline::Erew);
+    machine.load(0, values);
+
+    // Up-sweep: span doubles each step.
+    let mut span = 1;
+    while span < n {
+        let s = span;
+        machine.step(n / (2 * s), &move |pid, r| {
+            let right = (pid * 2 * s) + 2 * s - 1;
+            let left = right - s;
+            vec![(right, r.read(left) + r.read(right))]
+        })?;
+        span *= 2;
+    }
+    // Down-sweep: turn the tree into inclusive prefix sums by pushing
+    // each completed block total into the midpoint to its right.
+    let mut s = n / 2;
+    while s >= 2 {
+        let h = s / 2;
+        machine.step(n / s - 1, &move |pid, r| {
+            let base = (pid + 1) * s - 1;
+            let mid = base + h;
+            vec![(mid, r.read(base) + r.read(mid))]
+        })?;
+        s = h;
+    }
+    let mem = machine.memory()[..n].to_vec();
+    Ok((mem, machine.steps()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erew_rejects_concurrent_reads() {
+        let mut m = Pram::new(4, Discipline::Erew);
+        let err = m.step(2, &|_pid, r| {
+            let _ = r.read(0); // both processors read cell 0
+            vec![]
+        });
+        assert!(err.is_err());
+        // CREW allows it.
+        let mut m = Pram::new(4, Discipline::Crew);
+        m.step(2, &|_pid, r| {
+            let _ = r.read(0);
+            vec![]
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn crew_rejects_concurrent_writes_crcw_accepts() {
+        let mut m = Pram::new(4, Discipline::Crew);
+        assert!(m.step(2, &|pid, _| vec![(1, pid as i64)]).is_err());
+
+        let mut m = Pram::new(4, Discipline::Crcw);
+        m.step(2, &|pid, _| vec![(1, pid as i64 + 10)]).unwrap();
+        // Lowest pid wins.
+        assert_eq!(m.memory()[1], 10);
+    }
+
+    #[test]
+    fn read_phase_and_write_phase_are_independent() {
+        // One processor reads cell 2 while another writes it: legal in
+        // the synchronous read→compute→write cycle, even on EREW.
+        let mut m = Pram::new(4, Discipline::Erew);
+        m.load(2, &[5]);
+        m.step(2, &|pid, r| {
+            if pid == 0 {
+                assert_eq!(r.read(2), 5); // pre-step snapshot
+                vec![]
+            } else {
+                vec![(2, 7)]
+            }
+        })
+        .unwrap();
+        assert_eq!(m.memory()[2], 7);
+    }
+
+    #[test]
+    fn steps_apply_synchronously() {
+        // Swap two cells in ONE step — only possible because reads see
+        // the pre-step snapshot.
+        let mut m = Pram::new(2, Discipline::Erew);
+        m.load(0, &[5, 9]);
+        m.step(2, &|pid, r| vec![(pid, r.read(1 - pid))]).unwrap();
+        assert_eq!(m.memory(), &[9, 5]);
+        assert_eq!(m.steps(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_write_rejected() {
+        let mut m = Pram::new(2, Discipline::Crcw);
+        assert!(m.step(1, &|_, _| vec![(9, 1)]).is_err());
+    }
+
+    #[test]
+    fn prefix_sums_on_the_erew_machine() {
+        for n in [1usize, 2, 4, 8, 16, 32] {
+            let values: Vec<i64> = (1..=n as i64).collect();
+            let (sums, steps) = simulate_prefix_sums(&values).unwrap();
+            let expect: Vec<i64> = (1..=n as i64).map(|k| k * (k + 1) / 2).collect();
+            assert_eq!(sums, expect, "n={n}");
+            // O(log n) steps (2·log n ± small constants).
+            let bound = 2 * (n as f64).log2().ceil() as u64 + 2;
+            assert!(steps <= bound, "n={n}: {steps} steps > {bound}");
+        }
+    }
+
+    #[test]
+    fn prefix_sums_match_the_rayon_scan() {
+        let values: Vec<i64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let (sim, _) = simulate_prefix_sums(&values).unwrap();
+        let host = crate::scan::inclusive_scan(&values, 0i64, |a, b| a + b);
+        assert_eq!(sim, host);
+    }
+}

@@ -1,0 +1,594 @@
+//! Ordered binary trees in index arenas.
+//!
+//! Every tree-producing algorithm in this workspace returns a [`Tree`]:
+//! nodes live in a flat `Vec`, children are ordered (`left`, `right`),
+//! a node with a single child keeps it on the left (the paper's
+//! left-justified convention for unary nodes), and leaves may carry a
+//! `tag` — the index of the symbol / key / virtual leaf they stand for.
+
+use partree_core::{Error, Result};
+
+/// Sentinel for "no node".
+pub const NONE: usize = usize::MAX;
+
+/// One arena node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Node {
+    /// Parent index, or [`NONE`] for a root.
+    pub parent: usize,
+    /// Left child, or [`NONE`].
+    pub left: usize,
+    /// Right child, or [`NONE`].
+    pub right: usize,
+    /// Leaf payload (symbol index); `None` on internal nodes.
+    pub tag: Option<usize>,
+}
+
+impl Node {
+    fn leaf(tag: Option<usize>) -> Node {
+        Node { parent: NONE, left: NONE, right: NONE, tag }
+    }
+
+    /// `true` iff the node has no children.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.left == NONE && self.right == NONE
+    }
+}
+
+/// An ordered forest: an arena plus its roots in left-to-right order.
+#[derive(Clone, Debug)]
+pub struct Forest {
+    nodes: Vec<Node>,
+    roots: Vec<usize>,
+}
+
+/// An ordered binary tree (a [`Forest`] with exactly one root).
+#[derive(Clone, Debug)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl Forest {
+    /// Creates a forest from raw parts; validates structure.
+    pub fn from_parts(nodes: Vec<Node>, roots: Vec<usize>) -> Result<Forest> {
+        let f = Forest { nodes, roots };
+        f.validate()?;
+        Ok(f)
+    }
+
+    /// The roots, left to right.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// The arena.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// `true` iff there are no trees.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Converts into a [`Tree`]; errors (reporting the forest size) when
+    /// there is not exactly one root.
+    pub fn into_tree(self) -> Result<Tree> {
+        if self.roots.len() == 1 {
+            Ok(Tree { root: self.roots[0], nodes: self.nodes })
+        } else {
+            Err(Error::InfeasiblePattern { trees_needed: Some(self.roots.len()) })
+        }
+    }
+
+    /// Splits the forest into standalone trees (copying each root's
+    /// reachable subgraph into its own arena), in root order.
+    pub fn split(&self) -> Vec<Tree> {
+        self.roots
+            .iter()
+            .map(|&r| {
+                let mut nodes = Vec::new();
+                let root = copy_subtree(&self.nodes, r, NONE, &mut nodes);
+                Tree { nodes, root }
+            })
+            .collect()
+    }
+
+    /// Leaf `(depth, tag)` pairs in left-to-right reading order across
+    /// all trees (roots at depth 0).
+    pub fn leaf_levels(&self) -> Vec<(u32, Option<usize>)> {
+        let mut out = Vec::new();
+        for &r in &self.roots {
+            collect_leaves(&self.nodes, r, 0, &mut out);
+        }
+        out
+    }
+
+    /// Structural validation: parent/child pointers consistent, no
+    /// sharing, every node reachable from exactly one root, single
+    /// children stored on the left.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.nodes.len();
+        let mut seen = vec![false; n];
+        for &r in &self.roots {
+            if r >= n {
+                return Err(Error::Internal(format!("root {r} out of bounds")));
+            }
+            if self.nodes[r].parent != NONE {
+                return Err(Error::Internal(format!("root {r} has a parent")));
+            }
+            let mut stack = vec![r];
+            while let Some(v) = stack.pop() {
+                if seen[v] {
+                    return Err(Error::Internal(format!("node {v} reached twice")));
+                }
+                seen[v] = true;
+                let node = &self.nodes[v];
+                if node.left == NONE && node.right != NONE {
+                    return Err(Error::Internal(format!(
+                        "node {v} has a right child but no left child"
+                    )));
+                }
+                if node.tag.is_some() && !node.is_leaf() {
+                    return Err(Error::Internal(format!("internal node {v} carries a tag")));
+                }
+                for c in [node.left, node.right] {
+                    if c != NONE {
+                        if c >= n {
+                            return Err(Error::Internal(format!("child {c} out of bounds")));
+                        }
+                        if self.nodes[c].parent != v {
+                            return Err(Error::Internal(format!(
+                                "child {c} of {v} has wrong parent pointer"
+                            )));
+                        }
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        // Unreached nodes are allowed (grafting leaves tombstones) as
+        // long as nothing reachable points at them — already checked.
+        Ok(())
+    }
+}
+
+/// Copies the subtree rooted at `src` into `out`, returning the new root
+/// index. Iterative to tolerate deep unary chains.
+fn copy_subtree(src_nodes: &[Node], src: usize, parent: usize, out: &mut Vec<Node>) -> usize {
+    let root_new = out.len();
+    // (src id, new parent id, as-left?)
+    let mut stack = vec![(src, parent, true)];
+    while let Some((s, p, as_left)) = stack.pop() {
+        let id = out.len();
+        let n = &src_nodes[s];
+        out.push(Node { parent: p, left: NONE, right: NONE, tag: n.tag });
+        if p != NONE {
+            if as_left {
+                out[p].left = id;
+            } else {
+                out[p].right = id;
+            }
+        }
+        // Push right first so left is materialized next (preorder).
+        if n.right != NONE {
+            stack.push((n.right, id, false));
+        }
+        if n.left != NONE {
+            stack.push((n.left, id, true));
+        }
+    }
+    root_new
+}
+
+/// Iterative (deep chains must not overflow the call stack).
+fn collect_leaves(nodes: &[Node], v: usize, depth: u32, out: &mut Vec<(u32, Option<usize>)>) {
+    let mut stack = vec![(v, depth)];
+    while let Some((v, d)) = stack.pop() {
+        let node = &nodes[v];
+        if node.is_leaf() {
+            out.push((d, node.tag));
+            continue;
+        }
+        // Right first so the left subtree is emitted first (LIFO).
+        if node.right != NONE {
+            stack.push((node.right, d + 1));
+        }
+        if node.left != NONE {
+            stack.push((node.left, d + 1));
+        }
+    }
+}
+
+impl Tree {
+    /// A single-leaf tree.
+    pub fn leaf(tag: Option<usize>) -> Tree {
+        Tree { nodes: vec![Node::leaf(tag)], root: 0 }
+    }
+
+    /// Creates a tree from raw parts; validates structure.
+    pub fn from_parts(nodes: Vec<Node>, root: usize) -> Result<Tree> {
+        Forest::from_parts(nodes, vec![root])?.into_tree()
+    }
+
+    /// The root index.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// The arena.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Number of arena slots (including grafting tombstones).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Leaf `(depth, tag)` pairs in left-to-right order.
+    pub fn leaf_levels(&self) -> Vec<(u32, Option<usize>)> {
+        let mut out = Vec::new();
+        collect_leaves(&self.nodes, self.root, 0, &mut out);
+        out
+    }
+
+    /// Leaf depths only, left to right — the pattern this tree realizes.
+    pub fn leaf_depths(&self) -> Vec<u32> {
+        self.leaf_levels().into_iter().map(|(d, _)| d).collect()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.reachable()
+            .into_iter()
+            .filter(|&v| self.nodes[v].is_leaf())
+            .count()
+    }
+
+    /// Height (longest root→leaf edge count); a single leaf has height 0.
+    pub fn height(&self) -> u32 {
+        self.height_of(self.root)
+    }
+
+    /// Height of the subtree rooted at `v` (iterative — safe on deep
+    /// chains).
+    pub fn height_of(&self, v: usize) -> u32 {
+        let mut best = 0;
+        let mut stack = vec![(v, 0u32)];
+        while let Some((v, d)) = stack.pop() {
+            let node = &self.nodes[v];
+            if node.is_leaf() {
+                best = best.max(d);
+            }
+            if node.left != NONE {
+                stack.push((node.left, d + 1));
+            }
+            if node.right != NONE {
+                stack.push((node.right, d + 1));
+            }
+        }
+        best
+    }
+
+    /// `true` iff every internal node has exactly two children.
+    pub fn is_full(&self) -> bool {
+        self.reachable().iter().all(|&v| {
+            let n = &self.nodes[v];
+            n.is_leaf() || (n.left != NONE && n.right != NONE)
+        })
+    }
+
+    /// Depth of each reachable node (indexed by arena slot; unreachable
+    /// slots get `u32::MAX`).
+    pub fn depths(&self) -> Vec<u32> {
+        let mut d = vec![u32::MAX; self.nodes.len()];
+        let mut stack = vec![(self.root, 0u32)];
+        while let Some((v, dv)) = stack.pop() {
+            d[v] = dv;
+            let n = &self.nodes[v];
+            if n.left != NONE {
+                stack.push((n.left, dv + 1));
+            }
+            if n.right != NONE {
+                stack.push((n.right, dv + 1));
+            }
+        }
+        d
+    }
+
+    /// Indices of reachable nodes (preorder).
+    pub fn reachable(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        while let Some(v) = stack.pop() {
+            out.push(v);
+            let n = &self.nodes[v];
+            if n.right != NONE {
+                stack.push(n.right);
+            }
+            if n.left != NONE {
+                stack.push(n.left);
+            }
+        }
+        out
+    }
+
+    /// Validation (see [`Forest::validate`]).
+    pub fn validate(&self) -> Result<()> {
+        Forest { nodes: self.nodes.clone(), roots: vec![self.root] }.validate()
+    }
+
+    /// Replaces the leaf carrying `tag` with the whole tree `sub`
+    /// (the expansion step of Finger-Reduction and of the OBST
+    /// run-collapse). The grafted subtree keeps its own tags. Errors if
+    /// no leaf carries `tag`.
+    pub fn graft(&mut self, tag: usize, sub: &Tree) -> Result<()> {
+        let slot = self
+            .reachable()
+            .into_iter()
+            .find(|&v| self.nodes[v].is_leaf() && self.nodes[v].tag == Some(tag))
+            .ok_or_else(|| Error::Internal(format!("no leaf tagged {tag} to graft onto")))?;
+
+        let offset = self.nodes.len();
+        for node in &sub.nodes {
+            let mut n = *node;
+            for link in [&mut n.parent, &mut n.left, &mut n.right] {
+                if *link != NONE {
+                    *link += offset;
+                }
+            }
+            self.nodes.push(n);
+        }
+        let sub_root = sub.root + offset;
+        // Splice: the grafted root takes the slot's place.
+        let parent = self.nodes[slot].parent;
+        self.nodes[sub_root].parent = parent;
+        if parent == NONE {
+            self.root = sub_root;
+        } else if self.nodes[parent].left == slot {
+            self.nodes[parent].left = sub_root;
+        } else {
+            self.nodes[parent].right = sub_root;
+        }
+        // The old leaf becomes an unreachable tombstone.
+        self.nodes[slot].parent = NONE;
+        Ok(())
+    }
+
+    /// Rewrites every leaf tag through `f` (e.g. to undo a sorting
+    /// permutation after an algorithm that required sorted input).
+    pub fn map_tags(&mut self, f: impl Fn(usize) -> usize) {
+        for node in &mut self.nodes {
+            if let Some(t) = node.tag {
+                node.tag = Some(f(t));
+            }
+        }
+    }
+
+    /// ASCII rendering (for examples and debugging).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_rec(self.root, "", "", &mut out);
+        out
+    }
+
+    fn render_rec(&self, v: usize, prefix: &str, branch: &str, out: &mut String) {
+        let node = &self.nodes[v];
+        out.push_str(prefix);
+        out.push_str(branch);
+        if node.is_leaf() {
+            match node.tag {
+                Some(t) => out.push_str(&format!("leaf #{t}\n")),
+                None => out.push_str("leaf\n"),
+            }
+        } else {
+            out.push_str("•\n");
+            let child_prefix = format!(
+                "{prefix}{}",
+                if branch.is_empty() {
+                    ""
+                } else if branch.starts_with("├") {
+                    "│ "
+                } else {
+                    "  "
+                }
+            );
+            let kids: Vec<usize> =
+                [node.left, node.right].into_iter().filter(|&c| c != NONE).collect();
+            for (idx, &c) in kids.iter().enumerate() {
+                let b = if idx + 1 < kids.len() { "├─" } else { "└─" };
+                self.render_rec(c, &child_prefix, b, out);
+            }
+        }
+    }
+}
+
+/// Convenience builder for hand-assembled trees in tests and algorithms.
+#[derive(Default)]
+pub struct TreeBuilder {
+    nodes: Vec<Node>,
+}
+
+impl TreeBuilder {
+    /// An empty builder.
+    pub fn new() -> TreeBuilder {
+        TreeBuilder::default()
+    }
+
+    /// Adds a leaf; returns its index.
+    pub fn leaf(&mut self, tag: Option<usize>) -> usize {
+        self.nodes.push(Node::leaf(tag));
+        self.nodes.len() - 1
+    }
+
+    /// Adds an internal node over `left` and (optionally) `right`;
+    /// returns its index.
+    pub fn internal(&mut self, left: usize, right: Option<usize>) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node { parent: NONE, left, right: right.unwrap_or(NONE), tag: None });
+        self.nodes[left].parent = id;
+        if let Some(r) = right {
+            self.nodes[r].parent = id;
+        }
+        id
+    }
+
+    /// Finishes the tree rooted at `root`.
+    pub fn build(self, root: usize) -> Result<Tree> {
+        Tree::from_parts(self.nodes, root)
+    }
+
+    /// Finishes a forest with the given roots (left to right).
+    pub fn build_forest(self, roots: Vec<usize>) -> Result<Forest> {
+        Forest::from_parts(self.nodes, roots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// ((a b) c) with tags 0,1,2.
+    fn small_tree() -> Tree {
+        let mut b = TreeBuilder::new();
+        let a = b.leaf(Some(0));
+        let bb = b.leaf(Some(1));
+        let c = b.leaf(Some(2));
+        let ab = b.internal(a, Some(bb));
+        let root = b.internal(ab, Some(c));
+        b.build(root).unwrap()
+    }
+
+    #[test]
+    fn leaf_levels_in_order() {
+        let t = small_tree();
+        assert_eq!(
+            t.leaf_levels(),
+            vec![(2, Some(0)), (2, Some(1)), (1, Some(2))]
+        );
+        assert_eq!(t.leaf_depths(), vec![2, 2, 1]);
+        assert_eq!(t.leaf_count(), 3);
+        assert_eq!(t.height(), 2);
+        assert!(t.is_full());
+    }
+
+    #[test]
+    fn single_leaf_tree() {
+        let t = Tree::leaf(Some(7));
+        assert_eq!(t.leaf_depths(), vec![0]);
+        assert_eq!(t.height(), 0);
+        assert!(t.is_full());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn unary_chain_allowed_on_left() {
+        let mut b = TreeBuilder::new();
+        let l = b.leaf(Some(0));
+        let mid = b.internal(l, None);
+        let root = b.internal(mid, None);
+        let t = b.build(root).unwrap();
+        assert_eq!(t.leaf_depths(), vec![2]);
+        assert!(!t.is_full());
+    }
+
+    #[test]
+    fn right_only_child_rejected() {
+        let nodes = vec![
+            Node { parent: NONE, left: NONE, right: 1, tag: None },
+            Node { parent: 0, left: NONE, right: NONE, tag: None },
+        ];
+        assert!(Tree::from_parts(nodes, 0).is_err());
+    }
+
+    #[test]
+    fn tagged_internal_rejected() {
+        let nodes = vec![
+            Node { parent: NONE, left: 1, right: NONE, tag: Some(3) },
+            Node { parent: 0, left: NONE, right: NONE, tag: None },
+        ];
+        assert!(Tree::from_parts(nodes, 0).is_err());
+    }
+
+    #[test]
+    fn bad_parent_pointer_rejected() {
+        let nodes = vec![
+            Node { parent: NONE, left: 1, right: NONE, tag: None },
+            Node { parent: NONE, left: NONE, right: NONE, tag: None },
+        ];
+        assert!(Tree::from_parts(nodes, 0).is_err());
+    }
+
+    #[test]
+    fn forest_into_tree_requires_single_root() {
+        let mut b = TreeBuilder::new();
+        let x = b.leaf(Some(0));
+        let y = b.leaf(Some(1));
+        let f = b.build_forest(vec![x, y]).unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(
+            f.leaf_levels(),
+            vec![(0, Some(0)), (0, Some(1))]
+        );
+        match f.into_tree() {
+            Err(Error::InfeasiblePattern { trees_needed: Some(2) }) => {}
+            other => panic!("expected InfeasiblePattern(2), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graft_replaces_tagged_leaf() {
+        let mut t = small_tree();
+        let sub = {
+            let mut b = TreeBuilder::new();
+            let x = b.leaf(Some(10));
+            let y = b.leaf(Some(11));
+            let r = b.internal(x, Some(y));
+            b.build(r).unwrap()
+        };
+        t.graft(1, &sub).unwrap();
+        t.validate().unwrap();
+        assert_eq!(
+            t.leaf_levels(),
+            vec![(2, Some(0)), (3, Some(10)), (3, Some(11)), (1, Some(2))]
+        );
+    }
+
+    #[test]
+    fn graft_at_root() {
+        let mut t = Tree::leaf(Some(0));
+        let sub = small_tree();
+        t.graft(0, &sub).unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.leaf_depths(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn graft_missing_tag_errors() {
+        let mut t = small_tree();
+        assert!(t.graft(99, &Tree::leaf(None)).is_err());
+    }
+
+    #[test]
+    fn render_contains_leaves() {
+        let s = small_tree().render();
+        assert!(s.contains("leaf #0"));
+        assert!(s.contains("leaf #2"));
+    }
+
+    #[test]
+    fn depths_and_reachable() {
+        let t = small_tree();
+        let d = t.depths();
+        assert_eq!(d[t.root()], 0);
+        assert_eq!(t.reachable().len(), 5);
+    }
+}

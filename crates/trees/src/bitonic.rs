@@ -1,0 +1,128 @@
+//! Theorem 7.2 — trees from bitonic leaf patterns.
+//!
+//! "A tree from a bitonic leaf pattern can be constructed in `O(log n)`
+//! time, using `n/log n` processors on an EREW PRAM if it exists. In
+//! general, the minimum number of trees (in order) will be generated
+//! with the prescribed leaf pattern."
+//!
+//! Feasibility is again Kraft's inequality (Lemma 7.2). The forest
+//! output is what Finger-Reduction (Theorem 7.3) consumes: a finger is
+//! replaced by exactly as many leaves as the minimal forest realizing it
+//! has trees.
+
+use crate::arena::{Forest, Tree};
+use crate::level_build::build_layout;
+use crate::pattern::is_bitonic;
+use partree_core::{Error, Result};
+
+/// Builds the tree realizing a bitonic pattern (leaves tagged `0 … n-1`).
+/// Errors when the pattern is not bitonic or needs more than one tree.
+pub fn build_bitonic(levels: &[u32]) -> Result<Tree> {
+    build_bitonic_forest(levels)?.into_tree()
+}
+
+/// The minimal ordered forest realizing a bitonic pattern
+/// (`⌈Σ 2^{-l_i}⌉` trees).
+pub fn build_bitonic_forest(levels: &[u32]) -> Result<Forest> {
+    if !is_bitonic(levels) {
+        return Err(Error::invalid("pattern is not bitonic"));
+    }
+    let tagged: Vec<(u32, usize)> = levels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    build_layout(&tagged)
+}
+
+/// Forest construction over externally tagged leaves — the entry point
+/// Finger-Reduction uses for hump replacement.
+pub fn build_bitonic_forest_tagged(leaves: &[(u32, usize)]) -> Result<Forest> {
+    let levels: Vec<u32> = leaves.iter().map(|&(l, _)| l).collect();
+    if !is_bitonic(&levels) {
+        return Err(Error::invalid("pattern is not bitonic"));
+    }
+    build_layout(leaves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kraft::{kraft_feasible, minimal_forest_size};
+    use crate::pattern::build_exact;
+
+    #[test]
+    fn realizes_generated_bitonic_patterns() {
+        for seed in 0..30 {
+            let p = partree_core::gen::bitonic_pattern(63, seed);
+            let t = build_bitonic(&p).expect("generated patterns are feasible");
+            t.validate().unwrap();
+            assert_eq!(t.leaf_depths(), p, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn kraft_iff_feasible_lemma_7_2() {
+        // Exhaustive bitonic patterns: length ≤ 5, levels ≤ 3.
+        let mut checked = 0usize;
+        for n in 1..=5usize {
+            let mut idx = vec![0u32; n];
+            loop {
+                if is_bitonic(&idx) {
+                    checked += 1;
+                    let ours = build_bitonic(&idx);
+                    let kraft = kraft_feasible(&idx);
+                    assert_eq!(ours.is_ok(), kraft, "pattern {idx:?}");
+                    assert_eq!(build_exact(&idx).is_ok(), kraft, "baseline on {idx:?}");
+                    if let Ok(t) = ours {
+                        assert_eq!(t.leaf_depths(), idx);
+                    }
+                }
+                let mut k = 0;
+                loop {
+                    if k == n {
+                        break;
+                    }
+                    idx[k] += 1;
+                    if idx[k] <= 3 {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == n {
+                    break;
+                }
+            }
+        }
+        assert!(checked > 100, "exhaustive sweep too small: {checked}");
+    }
+
+    #[test]
+    fn minimal_forest_sizes_match_kraft_ceiling() {
+        for p in [
+            vec![1u32, 1, 1],
+            vec![2, 3, 3, 2, 2, 2],
+            vec![0, 0, 0],
+            vec![1, 2, 3, 3, 2, 1],
+        ] {
+            let f = build_bitonic_forest(&p).unwrap();
+            assert_eq!(f.len() as u64, minimal_forest_size(&p), "pattern {p:?}");
+            let got: Vec<u32> = f.leaf_levels().iter().map(|&(l, _)| l).collect();
+            assert_eq!(got, p);
+        }
+    }
+
+    #[test]
+    fn tagged_forest_keeps_tags() {
+        let leaves = vec![(2u32, 100), (3, 200), (3, 300), (1, 400)];
+        let f = build_bitonic_forest_tagged(&leaves).unwrap();
+        let got = f.leaf_levels();
+        assert_eq!(
+            got,
+            vec![(2, Some(100)), (3, Some(200)), (3, Some(300)), (1, Some(400))]
+        );
+    }
+
+    #[test]
+    fn non_bitonic_rejected() {
+        assert!(build_bitonic(&[2, 1, 2]).is_err());
+        assert!(build_bitonic_forest_tagged(&[(2, 0), (1, 1), (2, 2)]).is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! RAKE and COMPRESS — parallel tree contraction (§2–3).
+//!
+//! RAKE removes leaves; COMPRESS halves unary chains by splicing out
+//! every other chain node (pointer doubling). The paper's structural
+//! facts reproduced here:
+//!
+//! * **Proposition 2.1** — left-justified trees are closed under RAKE;
+//! * **Lemma 2.1** — `⌊log₂ n⌋` RAKEs reduce a left-justified tree to a
+//!   chain, namely its leftmost path;
+//! * (Miller–Reif) alternating RAKE and COMPRESS contracts *any* tree
+//!   in `O(log n)` rounds — the schedule §3's dynamic program simulates
+//!   with the `H` (RAKE) and `F` (COMPRESS) recurrences.
+
+use crate::arena::{Node, Tree, NONE};
+
+/// One unrestricted RAKE: removes every leaf (except a root that is
+/// itself a leaf). Nodes that become childless turn into leaves for the
+/// next round.
+pub fn rake(tree: &Tree) -> Tree {
+    let keep = |t: &Tree, v: usize| !t.nodes()[v].is_leaf() || v == t.root();
+    filter_tree(tree, keep)
+}
+
+/// The paper's restricted RAKE: removes a leaf only when its sibling is
+/// also a leaf (or when it is an only child of a unary node — the
+/// degenerate sibling case is excluded: only-children stay).
+pub fn rake_restricted(tree: &Tree) -> Tree {
+    let keep = |t: &Tree, v: usize| {
+        let n = &t.nodes()[v];
+        if !n.is_leaf() || v == t.root() {
+            return true;
+        }
+        let p = &t.nodes()[n.parent];
+        if p.left == NONE || p.right == NONE {
+            return true; // only child: not raked
+        }
+        let sib = if p.left == v { p.right } else { p.left };
+        !t.nodes()[sib].is_leaf()
+    };
+    filter_tree(tree, keep)
+}
+
+/// One COMPRESS: splices out every other node of each maximal unary
+/// chain (the odd-position ones, counting the chain head as 0).
+pub fn compress(tree: &Tree) -> Tree {
+    let nodes = tree.nodes();
+    let unary = |v: usize| {
+        let n = &nodes[v];
+        (n.left == NONE) != (n.right == NONE)
+    };
+    // A chain head is a unary node whose parent is not unary (or root).
+    let mut remove = vec![false; nodes.len()];
+    for v in tree.reachable() {
+        if !unary(v) {
+            continue;
+        }
+        let p = nodes[v].parent;
+        let is_head = p == NONE || !unary(p);
+        if is_head {
+            // Walk the chain, marking odd positions.
+            let mut cur = v;
+            let mut pos = 0u32;
+            loop {
+                if pos % 2 == 1 {
+                    remove[cur] = true;
+                }
+                let child = if nodes[cur].left != NONE { nodes[cur].left } else { nodes[cur].right };
+                if child == NONE || !unary(child) {
+                    break;
+                }
+                cur = child;
+                pos += 1;
+            }
+        }
+    }
+    filter_tree(tree, |_, v| !remove[v])
+}
+
+/// Contracts the tree by alternating RAKE and COMPRESS until one node
+/// remains; returns the number of (RAKE, COMPRESS) rounds.
+pub fn contract_rounds(tree: &Tree) -> usize {
+    let mut t = tree.clone();
+    let mut rounds = 0;
+    while t.reachable().len() > 1 {
+        t = compress(&rake(&t));
+        rounds += 1;
+        assert!(rounds <= 4 * usize::BITS as usize, "contraction failed to converge");
+    }
+    rounds
+}
+
+/// Applies RAKE until the tree is a chain (every node has ≤ 1 child);
+/// returns `(rounds, chain)` — Lemma 2.1's reduction.
+pub fn rake_to_chain(tree: &Tree) -> (usize, Tree) {
+    let mut t = tree.clone();
+    let mut rounds = 0;
+    while !is_chain(&t) {
+        t = rake(&t);
+        rounds += 1;
+        assert!(rounds <= 4 * usize::BITS as usize, "rake failed to converge");
+    }
+    (rounds, t)
+}
+
+/// Is every node unary (or the single leaf)?
+pub fn is_chain(tree: &Tree) -> bool {
+    tree.reachable().into_iter().all(|v| {
+        let n = &tree.nodes()[v];
+        n.left == NONE || n.right == NONE
+    })
+}
+
+/// Rebuilds the tree keeping only nodes accepted by `keep`; a removed
+/// node's surviving descendants reattach to its nearest kept ancestor
+/// along the same child slot. The root is always kept.
+fn filter_tree(tree: &Tree, keep: impl Fn(&Tree, usize) -> bool) -> Tree {
+    let src = tree.nodes();
+    let mut nodes: Vec<Node> = Vec::new();
+    // (src node, new parent, as-left)
+    let mut stack: Vec<(usize, usize, bool)> = vec![(tree.root(), NONE, true)];
+    let mut new_root = NONE;
+    while let Some((s, parent, as_left)) = stack.pop() {
+        if parent != NONE && !keep(tree, s) {
+            // Dropped: its children (if any) are dropped too — RAKE and
+            // COMPRESS only remove leaves / unary nodes, so splicing
+            // reattaches the single child in the unary case.
+            let n = &src[s];
+            let child = if n.left != NONE { n.left } else { n.right };
+            if child != NONE {
+                stack.push((child, parent, as_left));
+            }
+            continue;
+        }
+        let id = nodes.len();
+        nodes.push(Node { parent, left: NONE, right: NONE, tag: src[s].tag });
+        if parent == NONE {
+            new_root = id;
+        } else if as_left {
+            nodes[parent].left = id;
+        } else {
+            nodes[parent].right = id;
+        }
+        let n = &src[s];
+        if n.right != NONE {
+            stack.push((n.right, id, false));
+        }
+        if n.left != NONE {
+            stack.push((n.left, id, true));
+        }
+    }
+    // Internal nodes that lost all children keep their (now-stale) tag
+    // slot empty; leaves carried tags already.
+    normalize_single_children(&mut nodes);
+    Tree::from_parts(nodes, new_root).expect("filter preserves validity")
+}
+
+/// Moves right-only children to the left slot (arena invariant).
+fn normalize_single_children(nodes: &mut [Node]) {
+    for i in 0..nodes.len() {
+        if nodes[i].left == NONE && nodes[i].right != NONE {
+            nodes[i].left = nodes[i].right;
+            nodes[i].right = NONE;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::TreeBuilder;
+    use crate::monotone::build_monotone;
+    use crate::pattern::build_exact;
+    use crate::shape::{is_left_justified, leftmost_path};
+
+    fn perfect(height: u32) -> Tree {
+        fn rec(b: &mut TreeBuilder, h: u32) -> usize {
+            if h == 0 {
+                b.leaf(None)
+            } else {
+                let l = rec(b, h - 1);
+                let r = rec(b, h - 1);
+                b.internal(l, Some(r))
+            }
+        }
+        let mut b = TreeBuilder::new();
+        let root = rec(&mut b, height);
+        b.build(root).unwrap()
+    }
+
+    #[test]
+    fn rake_removes_all_leaves() {
+        let t = perfect(3);
+        let r = rake(&t);
+        assert_eq!(r.leaf_count(), 4); // previous internal level
+        assert_eq!(r.height(), 2);
+        r.validate().unwrap();
+    }
+
+    #[test]
+    fn rake_keeps_lone_root() {
+        let t = Tree::leaf(Some(0));
+        let r = rake(&t);
+        assert_eq!(r.reachable().len(), 1);
+    }
+
+    #[test]
+    fn restricted_rake_spares_lone_leaves() {
+        // Node with children (leaf, internal(leaf,leaf)): the lone left
+        // leaf's sibling is internal, so restricted RAKE keeps it but
+        // removes the two deep leaves.
+        let mut b = TreeBuilder::new();
+        let l = b.leaf(Some(0));
+        let x = b.leaf(Some(1));
+        let y = b.leaf(Some(2));
+        let sub = b.internal(x, Some(y));
+        let root = b.internal(l, Some(sub));
+        let t = b.build(root).unwrap();
+
+        let restricted = rake_restricted(&t);
+        assert_eq!(restricted.leaf_count(), 2); // leaf 0 kept, sub became leaf
+        let tags: Vec<_> = restricted.leaf_levels().iter().map(|&(_, t)| t).collect();
+        assert_eq!(tags, vec![Some(0), None]);
+
+        let unrestricted = rake(&t);
+        assert_eq!(unrestricted.leaf_count(), 1); // only sub survives as leaf
+    }
+
+    #[test]
+    fn proposition_2_1_left_justified_closed_under_rake() {
+        for seed in 0..10 {
+            let p = partree_core::gen::monotone_pattern(48, seed);
+            let mut t = build_monotone(&p).unwrap();
+            assert!(is_left_justified(&t));
+            for _ in 0..4 {
+                t = rake(&t);
+                assert!(is_left_justified(&t), "seed={seed}");
+                if t.reachable().len() == 1 {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_2_1_log_rakes_reach_the_leftmost_path() {
+        for seed in 0..10 {
+            let p = partree_core::gen::monotone_pattern(64, seed);
+            let t = build_monotone(&p).unwrap();
+            let n = t.reachable().len();
+            let spine_before = leftmost_path(&t).len();
+            let (rounds, chain) = rake_to_chain(&t);
+            let bound = (n as f64).log2().floor() as usize + 1;
+            assert!(rounds <= bound, "seed={seed}: {rounds} rakes > ⌊log {n}⌋");
+            // The residual chain is a prefix of the original leftmost path.
+            assert!(is_chain(&chain));
+            assert!(chain.reachable().len() <= spine_before);
+        }
+    }
+
+    #[test]
+    fn compress_halves_a_chain() {
+        // Unary chain of length 9 splices to ⌈9/2⌉-ish in one round.
+        let mut b = TreeBuilder::new();
+        let mut cur = b.leaf(Some(0));
+        for _ in 0..8 {
+            cur = b.internal(cur, None);
+        }
+        let t = b.build(cur).unwrap();
+        let c = compress(&t);
+        c.validate().unwrap();
+        let len_before = t.reachable().len();
+        let len_after = c.reachable().len();
+        assert!(len_after <= len_before / 2 + 2, "{len_before} → {len_after}");
+        assert_eq!(c.leaf_depths().len(), 1); // still exactly one leaf
+    }
+
+    #[test]
+    fn contract_rounds_logarithmic() {
+        for seed in 0..10 {
+            let p = partree_core::gen::full_tree_pattern(128, seed);
+            let t = build_exact(&p).unwrap();
+            let n = t.reachable().len();
+            let rounds = contract_rounds(&t);
+            let bound = 3 * ((n as f64).log2().ceil() as usize) + 3;
+            assert!(rounds <= bound, "seed={seed}: {rounds} rounds for n={n}");
+        }
+    }
+
+    #[test]
+    fn contract_rounds_on_degenerate_chain() {
+        let mut b = TreeBuilder::new();
+        let mut cur = b.leaf(Some(0));
+        for _ in 0..63 {
+            cur = b.internal(cur, None);
+        }
+        let t = b.build(cur).unwrap();
+        let rounds = contract_rounds(&t);
+        assert!(rounds <= 10, "chain of 64 should contract in ≤ 10 rounds, took {rounds}");
+    }
+}

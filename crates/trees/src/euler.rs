@@ -1,0 +1,218 @@
+//! Euler-tour tree computations on the PRAM substrate.
+//!
+//! The Tarjan–Vishkin Euler-tour technique is the EREW workhorse behind
+//! tree measurements in the paper's model: linearize the tree into the
+//! closed walk that traverses every edge once down and once up, then a
+//! single (weighted) list-ranking pass answers global questions —
+//! depths (weight `+1` down, `−1` up), subtree sizes (tour-position
+//! arithmetic), traversal numbering. This module builds the tour from
+//! an arena [`Tree`] and computes node depths and subtree leaf counts
+//! through [`partree_pram::rank::list_rank_weighted`], cross-checked
+//! against the sequential arena walks.
+
+use crate::arena::{Tree, NONE};
+use partree_pram::rank::{list_rank, list_rank_weighted, NIL};
+
+/// One directed tour edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TourEdge {
+    /// The node entered (down edges) or left (up edges).
+    pub node: usize,
+    /// `true` for parent→child (descending) edges.
+    pub down: bool,
+}
+
+/// The Euler tour of the tree as a sequence of directed edges (empty
+/// for a single-node tree), plus the successor array representing it as
+/// a linked list (the input shape the PRAM primitives consume).
+pub struct EulerTour {
+    /// Tour edges in walk order.
+    pub edges: Vec<TourEdge>,
+    /// `next[k]` = index of the edge after edge `k`, or [`NIL`].
+    pub next: Vec<usize>,
+}
+
+/// Builds the Euler tour by a sequential walk (`O(n)`); on a PRAM the
+/// tour's successor array is assembled in `O(1)` from adjacency lists —
+/// building it is not the interesting part, *ranking* it is.
+pub fn euler_tour(tree: &Tree) -> EulerTour {
+    let mut edges = Vec::new();
+    // (node, phase): phase 0 = descend left, 1 = descend right, 2 = leave.
+    let mut stack = vec![(tree.root(), 0u8)];
+    while let Some((v, phase)) = stack.pop() {
+        let n = &tree.nodes()[v];
+        match phase {
+            0 => {
+                stack.push((v, 1));
+                if n.left != NONE {
+                    edges.push(TourEdge { node: n.left, down: true });
+                    stack.push((n.left, 0));
+                }
+            }
+            1 => {
+                stack.push((v, 2));
+                if n.right != NONE {
+                    edges.push(TourEdge { node: n.right, down: true });
+                    stack.push((n.right, 0));
+                }
+            }
+            _ => {
+                if v != tree.root() {
+                    edges.push(TourEdge { node: v, down: false });
+                }
+            }
+        }
+    }
+    let m = edges.len();
+    let next: Vec<usize> = (0..m).map(|k| if k + 1 < m { k + 1 } else { NIL }).collect();
+    EulerTour { edges, next }
+}
+
+/// Node depths via weighted list ranking over the tour (`+1` on down
+/// edges, `−1` on up edges): `depth(v)` is the prefix sum at `v`'s
+/// entering edge. Returns depths indexed by arena slot (`u32::MAX` for
+/// unreachable slots), bit-identical to [`Tree::depths`].
+pub fn depths_euler(tree: &Tree) -> Vec<u32> {
+    let tour = euler_tour(tree);
+    let mut out = vec![u32::MAX; tree.nodes().len()];
+    out[tree.root()] = 0;
+    if tour.edges.is_empty() {
+        return out;
+    }
+    let weights: Vec<i64> =
+        tour.edges.iter().map(|e| if e.down { 1 } else { -1 }).collect();
+    // suffix[k] = Σ weights[k..]; prefix through k = total − suffix[k] + w[k].
+    let suffix = list_rank_weighted(&tour.next, &weights);
+    let total = suffix[0];
+    for (k, e) in tour.edges.iter().enumerate() {
+        if e.down {
+            let prefix_inclusive = total - suffix[k] + weights[k];
+            out[e.node] = u32::try_from(prefix_inclusive).expect("depths are non-negative");
+        }
+    }
+    out
+}
+
+/// Subtree sizes (node counts) via tour positions: a subtree's edges
+/// occupy the contiguous tour interval between its entering and leaving
+/// edges, and a subtree with `s` nodes contributes `2(s − 1)` edges
+/// strictly inside that interval. Positions come from (unweighted) list
+/// ranking. Indexed by arena slot; `0` for unreachable slots.
+pub fn subtree_sizes_euler(tree: &Tree) -> Vec<usize> {
+    let tour = euler_tour(tree);
+    let n_slots = tree.nodes().len();
+    let mut sizes = vec![0usize; n_slots];
+    let m = tour.edges.len();
+    if m == 0 {
+        sizes[tree.root()] = 1;
+        return sizes;
+    }
+    // position k = m − 1 − rank[k] (rank = distance to the tail).
+    let rank = list_rank(&tour.next);
+    let mut enter = vec![usize::MAX; n_slots];
+    let mut leave = vec![usize::MAX; n_slots];
+    for (k, e) in tour.edges.iter().enumerate() {
+        let pos = m - 1 - rank[k] as usize;
+        if e.down {
+            enter[e.node] = pos;
+        } else {
+            leave[e.node] = pos;
+        }
+    }
+    for v in tree.reachable() {
+        if v == tree.root() {
+            sizes[v] = (m + 2) / 2; // all m = 2(n−1) edges ⇒ n nodes
+        } else {
+            let span = leave[v] - enter[v]; // edges strictly inside + 1
+            sizes[v] = span / 2 + 1;
+        }
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::TreeBuilder;
+    use crate::monotone::build_monotone;
+    use crate::pattern::build_exact;
+
+    fn sizes_sequential(tree: &Tree) -> Vec<usize> {
+        fn rec(tree: &Tree, v: usize, out: &mut [usize]) -> usize {
+            let n = &tree.nodes()[v];
+            let mut s = 1;
+            if n.left != NONE {
+                s += rec(tree, n.left, out);
+            }
+            if n.right != NONE {
+                s += rec(tree, n.right, out);
+            }
+            out[v] = s;
+            s
+        }
+        let mut out = vec![0; tree.nodes().len()];
+        rec(tree, tree.root(), &mut out);
+        out
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let t = Tree::leaf(Some(0));
+        assert!(euler_tour(&t).edges.is_empty());
+        assert_eq!(depths_euler(&t)[t.root()], 0);
+        assert_eq!(subtree_sizes_euler(&t)[t.root()], 1);
+    }
+
+    #[test]
+    fn small_tree_tour_shape() {
+        let mut b = TreeBuilder::new();
+        let x = b.leaf(Some(0));
+        let y = b.leaf(Some(1));
+        let r = b.internal(x, Some(y));
+        let t = b.build(r).unwrap();
+        let tour = euler_tour(&t);
+        assert_eq!(tour.edges.len(), 4); // 2 edges, down+up each
+        assert_eq!(
+            tour.edges,
+            vec![
+                TourEdge { node: x, down: true },
+                TourEdge { node: x, down: false },
+                TourEdge { node: y, down: true },
+                TourEdge { node: y, down: false },
+            ]
+        );
+    }
+
+    #[test]
+    fn depths_match_sequential_walk() {
+        for seed in 0..10 {
+            let p = partree_core::gen::full_tree_pattern(60, seed);
+            let t = build_exact(&p).unwrap();
+            assert_eq!(depths_euler(&t), t.depths(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn depths_on_unary_chains() {
+        let t = build_exact(&[5]).unwrap(); // a depth-5 unary chain
+        assert_eq!(depths_euler(&t), t.depths());
+    }
+
+    #[test]
+    fn sizes_match_sequential_walk() {
+        for seed in 0..10 {
+            let p = partree_core::gen::monotone_pattern(50, seed);
+            let t = build_monotone(&p).unwrap();
+            assert_eq!(subtree_sizes_euler(&t), sizes_sequential(&t), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn larger_tree_consistency() {
+        let p = partree_core::gen::full_tree_pattern(5000, 3);
+        let t = build_exact(&p).unwrap();
+        assert_eq!(depths_euler(&t), t.depths());
+        let sizes = subtree_sizes_euler(&t);
+        assert_eq!(sizes[t.root()], t.reachable().len());
+    }
+}

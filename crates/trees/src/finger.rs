@@ -1,0 +1,325 @@
+//! Theorem 7.3 — general leaf patterns by Finger-Reduction.
+//!
+//! A general pattern may have many *fingers* (local maxima of the level
+//! sequence). Each round of Finger-Reduction removes every finger: the
+//! run of levels strictly above the adjacent min-point level `c` is
+//! realized as a minimal bitonic forest (Theorem 7.2) of `K` trees and
+//! replaced by `K` placeholder leaves at level `c` — the paper's
+//! `K = ⌈Σ n_k / 2^{l_k − l_{i−1}}⌉`. Every max-point disappears, so the
+//! number of fingers at least halves per round (Finger Cut Lemma 7.3);
+//! after `O(log m)` rounds the pattern is bitonic, the root tree is
+//! built, and an expansion phase substitutes the recorded forests back
+//! into their placeholders.
+
+use crate::arena::{Node, Tree, NONE};
+use crate::bitonic::build_bitonic_forest_tagged;
+use crate::pattern::{check_levels, is_bitonic};
+use partree_core::{Error, Result};
+
+/// Outcome of the general construction: the tree plus reduction
+/// statistics (for experiment E8).
+pub struct GeneralBuild {
+    /// The constructed tree (leaves tagged `0 … n-1` left to right).
+    pub tree: Tree,
+    /// Number of Finger-Reduction rounds executed (0 when the input was
+    /// already bitonic).
+    pub rounds: usize,
+    /// Finger counts observed at the start of each round.
+    pub finger_counts: Vec<usize>,
+}
+
+/// Builds a tree realizing an arbitrary leaf pattern, or reports
+/// infeasibility. `O(n log m)` work for a pattern with `m` fingers.
+///
+/// ```
+/// use partree_trees::finger::build_general;
+///
+/// // Two fingers around a valley — realizable:
+/// let out = build_general(&[3, 3, 2, 3, 3])?;
+/// assert_eq!(out.tree.leaf_depths(), vec![3, 3, 2, 3, 3]);
+/// // Kraft-feasible but order-infeasible:
+/// assert!(build_general(&[2, 1, 2]).is_err());
+/// # Ok::<(), partree_core::Error>(())
+/// ```
+///
+pub fn build_general(levels: &[u32]) -> Result<GeneralBuild> {
+    check_levels(levels)?;
+    if levels.is_empty() {
+        return Err(Error::invalid("empty pattern"));
+    }
+    let n = levels.len();
+
+    // Working pattern: segments of (level, leaf tags). Tags < n are
+    // original leaves; tags ≥ n index `subs`.
+    let mut segs: Vec<(u32, Vec<usize>)> = Vec::new();
+    for (i, &l) in levels.iter().enumerate() {
+        match segs.last_mut() {
+            Some((last, tags)) if *last == l => tags.push(i),
+            _ => segs.push((l, vec![i])),
+        }
+    }
+
+    let mut subs: Vec<Tree> = Vec::new();
+    let mut rounds = 0usize;
+    let mut finger_counts = Vec::new();
+
+    loop {
+        let lvls: Vec<u32> = segs.iter().map(|&(l, _)| l).collect();
+        if is_bitonic(&lvls) {
+            break;
+        }
+        rounds += 1;
+        if rounds > 2 * usize::BITS as usize {
+            return Err(Error::Internal("Finger-Reduction failed to converge".into()));
+        }
+        finger_counts.push(count_maxima(&lvls));
+
+        // Min-point indices (local minima; pattern ends count when they
+        // are below their single neighbour).
+        let m = segs.len();
+        let mins: Vec<usize> = (0..m)
+            .filter(|&i| {
+                (i == 0 || lvls[i - 1] > lvls[i]) && (i + 1 == m || lvls[i + 1] > lvls[i])
+            })
+            .collect();
+        debug_assert!(!mins.is_empty(), "a finite sequence has a minimum");
+
+        // Hump intervals (exclusive of their anchoring minima): before
+        // the first min, between consecutive mins, after the last min.
+        // For each, the cut level is the *higher* adjacent min (or the
+        // single adjacent min at the pattern boundary).
+        let mut humps: Vec<(usize, usize, u32)> = Vec::new(); // [start, end) interior, cut level
+        if mins[0] > 0 {
+            humps.push((0, mins[0], lvls[mins[0]]));
+        }
+        for w in mins.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if b - a > 1 {
+                humps.push((a + 1, b, lvls[a].max(lvls[b])));
+            }
+        }
+        if *mins.last().expect("nonempty") < m - 1 {
+            let a = *mins.last().expect("nonempty");
+            humps.push((a + 1, m, lvls[a]));
+        }
+
+        // Replace, right to left, the finger of each hump (its run of
+        // segments with level > cut) by placeholder leaves at the cut
+        // level.
+        for &(start, end, cut) in humps.iter().rev() {
+            // The finger: contiguous run with level > cut (the hump is
+            // bitonic, so the run is an interval).
+            let lo = (start..end).find(|&i| segs[i].0 > cut);
+            let Some(lo) = lo else { continue }; // nothing above the cut
+            let mut hi = lo;
+            while hi + 1 < end && segs[hi + 1].0 > cut {
+                hi += 1;
+            }
+
+            // Realize the finger relative to the cut level.
+            let leaves: Vec<(u32, usize)> = segs[lo..=hi]
+                .iter()
+                .flat_map(|(l, tags)| tags.iter().map(move |&t| (l - cut, t)))
+                .collect();
+            let forest = build_bitonic_forest_tagged(&leaves)?;
+            let trees = forest.split();
+
+            // One placeholder per forest tree, in order.
+            let mut placeholder_tags = Vec::with_capacity(trees.len());
+            for t in trees {
+                placeholder_tags.push(n + subs.len());
+                subs.push(t);
+            }
+            segs.splice(lo..=hi, [(cut, placeholder_tags)]);
+        }
+
+        // Merge adjacent equal-level segments.
+        let mut merged: Vec<(u32, Vec<usize>)> = Vec::with_capacity(segs.len());
+        for (l, tags) in segs.drain(..) {
+            match merged.last_mut() {
+                Some((last, acc)) if *last == l => acc.extend(tags),
+                _ => merged.push((l, tags)),
+            }
+        }
+        segs = merged;
+    }
+
+    // Root tree over the final bitonic pattern.
+    let flat: Vec<(u32, usize)> = segs
+        .iter()
+        .flat_map(|(l, tags)| tags.iter().map(move |&t| (*l, t)))
+        .collect();
+    let root_tree = build_bitonic_forest_tagged(&flat)?.into_tree()?;
+
+    // Expansion: substitute the recorded forests for the placeholders.
+    let tree = expand(&root_tree, &subs, n)?;
+    tree.validate()?;
+    Ok(GeneralBuild { tree, rounds, finger_counts })
+}
+
+/// Number of local maxima (fingers) of a level sequence in segment form.
+fn count_maxima(lvls: &[u32]) -> usize {
+    let m = lvls.len();
+    (0..m)
+        .filter(|&i| {
+            (i == 0 || lvls[i - 1] < lvls[i]) && (i + 1 == m || lvls[i + 1] < lvls[i])
+        })
+        .count()
+}
+
+/// Rebuilds the tree with every placeholder leaf (tag ≥ `n`) replaced by
+/// its recorded substitution tree, recursively. Single pass, iterative.
+fn expand(root_tree: &Tree, subs: &[Tree], n: usize) -> Result<Tree> {
+    let mut nodes: Vec<Node> = Vec::new();
+    // (tree, node in that tree, new parent, as-left)
+    let mut stack: Vec<(&Tree, usize, usize, bool)> =
+        vec![(root_tree, root_tree.root(), NONE, true)];
+    let mut root_new = NONE;
+
+    while let Some((tree, s, parent, as_left)) = stack.pop() {
+        let nd = &tree.nodes()[s];
+        if let Some(tag) = nd.tag {
+            if nd.is_leaf() && tag >= n {
+                let sub = subs
+                    .get(tag - n)
+                    .ok_or_else(|| Error::Internal(format!("missing substitution {tag}")))?;
+                stack.push((sub, sub.root(), parent, as_left));
+                continue;
+            }
+        }
+        let id = nodes.len();
+        nodes.push(Node { parent, left: NONE, right: NONE, tag: nd.tag });
+        if parent == NONE {
+            root_new = id;
+        } else if as_left {
+            nodes[parent].left = id;
+        } else {
+            nodes[parent].right = id;
+        }
+        if nd.right != NONE {
+            stack.push((tree, nd.right, id, false));
+        }
+        if nd.left != NONE {
+            stack.push((tree, nd.left, id, true));
+        }
+    }
+    Tree::from_parts(nodes, root_new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{build_exact, feasible_brute};
+    use partree_core::gen;
+
+    fn check_realizes(p: &[u32]) {
+        let out = build_general(p).unwrap_or_else(|e| panic!("{p:?} should be feasible: {e}"));
+        assert_eq!(out.tree.leaf_depths(), p, "depths for {p:?}");
+        let tags: Vec<usize> =
+            out.tree.leaf_levels().iter().map(|&(_, t)| t.expect("tagged")).collect();
+        assert_eq!(tags, (0..p.len()).collect::<Vec<_>>(), "tag order for {p:?}");
+    }
+
+    #[test]
+    fn bitonic_inputs_take_zero_rounds() {
+        let out = build_general(&[1, 2, 3, 3]).unwrap();
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.tree.leaf_depths(), vec![1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn simple_two_finger_pattern() {
+        // (2, 1, 2) is infeasible (Kraft holds but order does not);
+        // (3, 3, 2, 3, 3) is a feasible two-finger pattern.
+        assert!(build_general(&[2, 1, 2]).is_err());
+        check_realizes(&[3, 3, 2, 3, 3]);
+    }
+
+    #[test]
+    fn full_tree_patterns_always_realizable() {
+        for seed in 0..25 {
+            let p = gen::full_tree_pattern(40, seed);
+            check_realizes(&p);
+        }
+    }
+
+    #[test]
+    fn many_finger_patterns() {
+        for seed in 0..10 {
+            let p = gen::pattern_with_fingers(9, 7, seed);
+            check_realizes(&p);
+        }
+    }
+
+    #[test]
+    fn rounds_logarithmic_in_fingers() {
+        for humps in [2usize, 4, 8, 16, 32] {
+            let p = gen::pattern_with_fingers(humps, 8, 3);
+            let out = build_general(&p).unwrap();
+            let m = gen::count_fingers(&p).max(2);
+            let bound = (m as f64).log2().ceil() as usize + 2;
+            assert!(
+                out.rounds <= bound,
+                "humps={humps}: {} rounds for {} fingers (bound {bound})",
+                out.rounds,
+                m
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_agreement_with_brute_force() {
+        // All patterns of length ≤ 5 over levels 0..=3 and length 6 over
+        // levels 0..=4: build_general must accept exactly the feasible
+        // ones and realize them.
+        for n in 1..=6usize {
+            let mut idx = vec![0u32; n];
+            loop {
+                let feasible = feasible_brute(&idx);
+                match build_general(&idx) {
+                    Ok(out) => {
+                        assert!(feasible, "accepted infeasible {idx:?}");
+                        assert_eq!(out.tree.leaf_depths(), idx, "wrong tree for {idx:?}");
+                    }
+                    Err(_) => assert!(!feasible, "rejected feasible {idx:?}"),
+                }
+                let mut k = 0;
+                loop {
+                    if k == n {
+                        break;
+                    }
+                    idx[k] += 1;
+                    if idx[k] <= if n == 6 { 4 } else { 3 } {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == n {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn agreement_with_sequential_baseline_on_random_patterns() {
+        use rand::Rng;
+        let mut r = gen::rng(2024);
+        for _ in 0..200 {
+            let n = r.gen_range(1..40);
+            let p: Vec<u32> = (0..n).map(|_| r.gen_range(0..8)).collect();
+            let fast = build_general(&p);
+            let slow = build_exact(&p);
+            assert_eq!(fast.is_ok(), slow.is_ok(), "disagreement on {p:?}");
+            if let Ok(out) = fast {
+                assert_eq!(out.tree.leaf_depths(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pattern_rejected() {
+        assert!(build_general(&[]).is_err());
+    }
+}

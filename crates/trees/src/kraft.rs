@@ -1,0 +1,177 @@
+//! Exact Kraft sums with `O(log n)`-bit arithmetic.
+//!
+//! Lemma 7.1 (Kraft): a monotone leaf pattern `(l_1 … l_n)` is realizable
+//! iff `Σ 2^{-l_i} ≤ 1`; Lemma 7.2 extends this to bitonic patterns. The
+//! paper warns that "one has to be careful that the numbers added have
+//! only `O(log n)` bits" — naively `Σ 2^{-l_i}` needs `max l_i` bits.
+//!
+//! The trick (the paper's `a'_{l-1} = ⌈a_l / 2⌉ + a_{l-1}`-style
+//! reduction): process the level histogram from the deepest level up,
+//! carrying `used_l = a_l + ⌈used_{deeper} / 2^{gap}⌉`. An easy induction
+//! using `⌈⌈x⌉/2⌉ = ⌈x/2⌉` shows `used_l = ⌈2^l · Σ_{l_i ≥ l} 2^{-l_i}⌉`,
+//! so every intermediate value is at most `n + 1` — `O(log n)` bits — and
+//! the final `used_0` is exactly `⌈Σ 2^{-l_i}⌉`: the minimal number of
+//! trees realizing the pattern (Theorem 7.2's forest size).
+
+/// `⌈Σ_i 2^{-levels[i]}⌉` computed exactly, plus whether the sum is an
+/// exact integer (no rounding occurred anywhere).
+///
+/// Returns `(ceil, exact)`. For an empty pattern: `(0, true)`.
+pub fn kraft_ceil_exact(levels: &[u32]) -> (u64, bool) {
+    if levels.is_empty() {
+        return (0, true);
+    }
+    // Histogram over distinct levels, deepest first.
+    let mut sorted: Vec<u32> = levels.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+
+    let mut used: u64 = 0;
+    let mut cur_level = sorted[0];
+    let mut exact = true;
+    let mut idx = 0;
+    while idx < sorted.len() {
+        // Count this level's multiplicity.
+        let mut count = 0u64;
+        while idx < sorted.len() && sorted[idx] == cur_level {
+            count += 1;
+            idx += 1;
+        }
+        used += count;
+        let next_level = if idx < sorted.len() { sorted[idx] } else { 0 };
+        let gap = cur_level - next_level;
+        // Carry up by `gap` halvings: ⌈used / 2^gap⌉, exactness tracked.
+        if gap >= 64 {
+            // used ≤ n + 1 < 2^63 ⇒ the carry is 1 unless used = 0.
+            exact = exact && used == 0;
+            used = u64::from(used != 0);
+        } else if gap > 0 {
+            let div = 1u64 << gap;
+            if !used.is_multiple_of(div) {
+                exact = false;
+            }
+            used = used.div_ceil(div);
+        }
+        cur_level = next_level;
+    }
+    (used, exact)
+}
+
+/// The minimal number of binary trees realizing a *monotone or bitonic*
+/// pattern: `⌈Σ 2^{-l_i}⌉` (1 means a single tree exists).
+pub fn minimal_forest_size(levels: &[u32]) -> u64 {
+    kraft_ceil_exact(levels).0
+}
+
+/// Kraft feasibility (Lemma 7.1/7.2): does `Σ 2^{-l_i} ≤ 1` hold?
+pub fn kraft_feasible(levels: &[u32]) -> bool {
+    kraft_ceil_exact(levels).0 <= 1
+}
+
+/// Is `Σ 2^{-l_i}` exactly 1 — i.e. is the pattern realizable by a
+/// *full* tree (every internal node binary)?
+pub fn kraft_complete(levels: &[u32]) -> bool {
+    let (c, exact) = kraft_ceil_exact(levels);
+    c == 1 && exact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct f64 reference, valid for small levels.
+    fn kraft_f64(levels: &[u32]) -> f64 {
+        levels.iter().map(|&l| 2f64.powi(-(l as i32))).sum()
+    }
+
+    #[test]
+    fn empty_pattern() {
+        assert_eq!(kraft_ceil_exact(&[]), (0, true));
+        assert!(kraft_feasible(&[]));
+        assert!(!kraft_complete(&[]));
+    }
+
+    #[test]
+    fn single_leaf_at_root() {
+        assert_eq!(kraft_ceil_exact(&[0]), (1, true));
+        assert!(kraft_complete(&[0]));
+    }
+
+    #[test]
+    fn balanced_tree_is_complete() {
+        assert!(kraft_complete(&[2, 2, 2, 2]));
+        assert!(kraft_complete(&[1, 2, 2]));
+        assert!(kraft_complete(&[1, 1]));
+    }
+
+    #[test]
+    fn underfull_is_feasible_not_complete() {
+        assert!(kraft_feasible(&[2, 2, 2]));
+        assert!(!kraft_complete(&[2, 2, 2]));
+        assert_eq!(minimal_forest_size(&[2, 2, 2]), 1);
+    }
+
+    #[test]
+    fn overfull_detected() {
+        assert!(!kraft_feasible(&[1, 1, 1]));
+        assert_eq!(minimal_forest_size(&[1, 1, 1]), 2);
+        assert!(!kraft_feasible(&[2, 2, 2, 2, 2]));
+        assert_eq!(minimal_forest_size(&[0, 0, 3]), 3);
+    }
+
+    #[test]
+    fn matches_f64_reference_on_random_patterns() {
+        for seed in 0..50 {
+            let p = partree_core::gen::full_tree_pattern(40, seed);
+            let (c, exact) = kraft_ceil_exact(&p);
+            assert_eq!(c, 1, "full tree pattern, seed={seed}");
+            assert!(exact, "full tree pattern is exactly 1, seed={seed}");
+            assert!((kraft_f64(&p) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn random_subsets_match_f64() {
+        use rand::Rng;
+        let mut r = partree_core::gen::rng(1234);
+        for _ in 0..100 {
+            let n = r.gen_range(1..30);
+            let levels: Vec<u32> = (0..n).map(|_| r.gen_range(0..12)).collect();
+            let (c, exact) = kraft_ceil_exact(&levels);
+            let f = kraft_f64(&levels);
+            assert_eq!(c, f.ceil() as u64, "levels={levels:?}");
+            assert_eq!(exact, (f - f.round()).abs() < 1e-9 && f.fract() == 0.0, "levels={levels:?}");
+        }
+    }
+
+    #[test]
+    fn huge_levels_do_not_overflow() {
+        // Two leaves at depth 10^6: sum = 2^{-999999}·… — ceil is 1,
+        // inexact; arithmetic must stay in u64.
+        let levels = vec![1_000_000, 1_000_000, 1_000_000];
+        let (c, exact) = kraft_ceil_exact(&levels);
+        assert_eq!(c, 1);
+        assert!(!exact);
+        assert!(kraft_feasible(&levels));
+    }
+
+    #[test]
+    fn huge_levels_exact_pair() {
+        // 2^64 + gap handling: a pair at depth 100 carried up 100 levels:
+        // exact halving once, then inexact single carry.
+        let (c, exact) = kraft_ceil_exact(&[100, 100]);
+        assert_eq!(c, 1);
+        assert!(!exact); // 2^{-99} < 1 strictly
+        let (c, _) = kraft_ceil_exact(&[100, 100, 0]);
+        assert_eq!(c, 2);
+    }
+
+    #[test]
+    fn mixed_gap_carries() {
+        // levels 5,5,5,2: sum = 3/32 + 1/4 = 11/32 → ceil 1, inexact.
+        let (c, exact) = kraft_ceil_exact(&[5, 5, 5, 2]);
+        assert_eq!(c, 1);
+        assert!(!exact);
+        // levels 3,3,3,3,3,3,3,3 = 1 exactly.
+        assert!(kraft_complete(&[3; 8]));
+    }
+}

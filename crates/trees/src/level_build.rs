@@ -1,0 +1,208 @@
+//! The per-level layout engine behind Theorems 7.1 and 7.2.
+//!
+//! Both the monotone and the bitonic constructions reduce to the same
+//! picture: lay the tree out level by level, where level `l` holds (from
+//! left to right)
+//!
+//! ```text
+//! [ leaves of the rising part ][ internal nodes ][ leaves of the falling part ]
+//! ```
+//!
+//! and the internal block's size obeys the paper's RAKE-like reduction
+//! `c_l = ⌈used_{l+1} / 2⌉`, `used_l = aL_l + c_l + aR_l`. Internal node
+//! `t` of level `l` takes nodes `2t` and `2t+1` of level `l+1`'s layout
+//! as children (a final odd node becomes a left-only child). Reading the
+//! leaves in order yields exactly: rising-part leaves by increasing
+//! level, then falling-part leaves by decreasing level — the bitonic
+//! input pattern.
+//!
+//! Feasibility falls out of the same numbers: the forest produced has
+//! `used_0 = ⌈Σ 2^{-l_i}⌉` trees (see [`crate::kraft`]), which is 1
+//! exactly when Kraft's inequality holds — Lemmas 7.1 and 7.2.
+
+use crate::arena::{Forest, Node, NONE};
+use partree_core::{Error, Result};
+
+/// Builds the minimal ordered forest realizing a *bitonic* sequence of
+/// `(level, tag)` leaves (levels non-decreasing, then non-increasing).
+/// The forest has `⌈Σ 2^{-l_i}⌉` trees; pass the result through
+/// [`Forest::into_tree`] when a single tree is required.
+pub fn build_layout(leaves: &[(u32, usize)]) -> Result<Forest> {
+    if leaves.is_empty() {
+        return Err(Error::invalid("empty pattern"));
+    }
+    crate::pattern::check_levels(&leaves.iter().map(|&(l, _)| l).collect::<Vec<_>>())?;
+
+    // Split into the rising prefix and the falling suffix.
+    let mut split = leaves.len();
+    for i in 1..leaves.len() {
+        if leaves[i].0 < leaves[i - 1].0 {
+            split = i;
+            break;
+        }
+    }
+    let (rising, falling) = leaves.split_at(split);
+    if falling.windows(2).any(|w| w[0].0 < w[1].0) {
+        return Err(Error::invalid("pattern is not bitonic"));
+    }
+
+    let max_level = leaves.iter().map(|&(l, _)| l).max().expect("nonempty") as usize;
+
+    // Per-level leaf tag lists (rising in order; falling in order).
+    let mut left_tags: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+    let mut right_tags: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+    for &(l, t) in rising {
+        left_tags[l as usize].push(t);
+    }
+    for &(l, t) in falling {
+        right_tags[l as usize].push(t);
+    }
+
+    // Bottom-up sizes: c[l] internal, used[l] total at level l.
+    let mut internal = vec![0usize; max_level + 1];
+    let mut used = vec![0usize; max_level + 1];
+    used[max_level] = left_tags[max_level].len() + right_tags[max_level].len();
+    for l in (0..max_level).rev() {
+        internal[l] = used[l + 1].div_ceil(2);
+        used[l] = left_tags[l].len() + internal[l] + right_tags[l].len();
+    }
+
+    // Allocate nodes level by level; remember each level's layout order.
+    let total: usize = used.iter().sum();
+    let mut nodes: Vec<Node> = Vec::with_capacity(total);
+    let mut layout: Vec<Vec<usize>> = Vec::with_capacity(max_level + 1);
+    for l in 0..=max_level {
+        let mut row = Vec::with_capacity(used[l]);
+        for &t in &left_tags[l] {
+            row.push(push_node(&mut nodes, Some(t)));
+        }
+        for _ in 0..internal[l] {
+            row.push(push_node(&mut nodes, None));
+        }
+        for &t in &right_tags[l] {
+            row.push(push_node(&mut nodes, Some(t)));
+        }
+        layout.push(row);
+    }
+
+    // Link internal node t of level l to children 2t, 2t+1 of level l+1.
+    for l in 0..max_level {
+        let first_internal = left_tags[l].len();
+        for t in 0..internal[l] {
+            let parent = layout[l][first_internal + t];
+            let below = &layout[l + 1];
+            let left = below[2 * t];
+            nodes[parent].left = left;
+            nodes[left].parent = parent;
+            if 2 * t + 1 < below.len() {
+                let right = below[2 * t + 1];
+                nodes[parent].right = right;
+                nodes[right].parent = parent;
+            }
+        }
+    }
+
+    Forest::from_parts(nodes, layout[0].clone())
+}
+
+fn push_node(nodes: &mut Vec<Node>, tag: Option<usize>) -> usize {
+    nodes.push(Node { parent: NONE, left: NONE, right: NONE, tag });
+    nodes.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kraft::minimal_forest_size;
+
+    fn tagged(levels: &[u32]) -> Vec<(u32, usize)> {
+        levels.iter().enumerate().map(|(i, &l)| (l, i)).collect()
+    }
+
+    fn check_roundtrip(levels: &[u32]) {
+        let f = build_layout(&tagged(levels)).expect("bitonic feasible input");
+        assert_eq!(f.len() as u64, minimal_forest_size(levels), "forest size for {levels:?}");
+        let got = f.leaf_levels();
+        let want: Vec<(u32, Option<usize>)> =
+            levels.iter().enumerate().map(|(i, &l)| (l, Some(i))).collect();
+        assert_eq!(got, want, "leaf levels for {levels:?}");
+    }
+
+    #[test]
+    fn single_leaf() {
+        check_roundtrip(&[0]);
+        check_roundtrip(&[3]);
+    }
+
+    #[test]
+    fn complete_balanced_patterns() {
+        check_roundtrip(&[2, 2, 2, 2]);
+        check_roundtrip(&[3; 8]);
+        check_roundtrip(&[1, 2, 2]);
+        check_roundtrip(&[2, 2, 1]);
+    }
+
+    #[test]
+    fn monotone_decreasing_patterns() {
+        check_roundtrip(&[4, 4, 3, 2, 1]);
+        check_roundtrip(&[5, 5, 5, 5, 2, 1]);
+    }
+
+    #[test]
+    fn monotone_increasing_patterns() {
+        check_roundtrip(&[1, 2, 3, 4, 4]);
+        check_roundtrip(&[1, 2, 2, 3, 3]);
+    }
+
+    #[test]
+    fn proper_bitonic_patterns() {
+        check_roundtrip(&[1, 3, 3, 2]);
+        check_roundtrip(&[2, 4, 4, 4, 4, 3, 2, 2]);
+        check_roundtrip(&[1, 2, 3, 3, 2, 1]); // kraft 2 → forest of 2? see below
+    }
+
+    #[test]
+    fn gap_levels_materialize_chains() {
+        // One leaf at level 4 and one at level 1: chains across the gap.
+        let f = build_layout(&tagged(&[4, 1])).unwrap();
+        assert_eq!(f.len(), 1);
+        let t = f.into_tree().unwrap();
+        t.validate().unwrap();
+        assert_eq!(t.leaf_depths(), vec![4, 1]);
+    }
+
+    #[test]
+    fn forest_when_kraft_exceeds_one() {
+        let f = build_layout(&tagged(&[1, 1, 1])).unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(
+            f.leaf_levels(),
+            vec![(1, Some(0)), (1, Some(1)), (1, Some(2))]
+        );
+    }
+
+    #[test]
+    fn random_generated_bitonic_patterns() {
+        for seed in 0..20 {
+            let p = partree_core::gen::bitonic_pattern(33, seed);
+            check_roundtrip(&p);
+        }
+        for seed in 0..20 {
+            let p = partree_core::gen::monotone_pattern(25, seed);
+            check_roundtrip(&p);
+        }
+    }
+
+    #[test]
+    fn non_bitonic_rejected() {
+        assert!(build_layout(&tagged(&[2, 1, 2])).is_err());
+        assert!(build_layout(&[]).is_err());
+    }
+
+    #[test]
+    fn forest_trees_all_validate() {
+        let f = build_layout(&tagged(&[3, 3, 3, 3, 3])).unwrap();
+        f.validate().unwrap();
+        assert_eq!(f.len() as u64, minimal_forest_size(&[3; 5]));
+    }
+}

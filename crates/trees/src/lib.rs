@@ -1,0 +1,49 @@
+//! # partree-trees
+//!
+//! The tree substrate of the workspace and the paper's Section 7: the
+//! Tree Construction Problem — "given `n` integer values `l_1 … l_n`,
+//! construct an ordered binary tree with `n` leaves whose levels when
+//! read from left to right are `l_1 … l_n`".
+//!
+//! Modules:
+//!
+//! * [`arena`] — ordered binary trees in index arenas: the common
+//!   currency of Huffman, Shannon–Fano and OBST outputs; grafting,
+//!   traversal, validation, rendering;
+//! * [`shape`] — left-justified trees (§2): the structural property that
+//!   powers the paper's Huffman algorithms; completeness and height
+//!   predicates, Lemma 2.1/Corollary 2.1 checks;
+//! * [`contract`] — RAKE and COMPRESS (tree contraction, §2–3);
+//! * [`euler`] — Euler-tour tree computations (depths, subtree sizes)
+//!   on the pointer-jumping substrate — the Tarjan–Vishkin EREW
+//!   technique the paper's model assumes;
+//! * [`kraft`] — exact Kraft sums with `O(log n)`-bit arithmetic
+//!   (Lemma 7.1/7.2): the feasibility oracle;
+//! * [`pattern`] — leaf patterns, segment representation, and the exact
+//!   sequential baseline builder;
+//! * [`level_build`] — the per-level layout engine shared by the
+//!   monotone and bitonic constructions;
+//! * [`monotone`] — Theorem 7.1: monotone patterns in `O(log n)` time,
+//!   `n/log n` processors;
+//! * [`bitonic`] — Theorem 7.2: bitonic patterns, minimal forests;
+//! * [`finger`] — Theorem 7.3: general patterns by Finger-Reduction.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+// Index-based loops over multiple parallel arrays are the idiom of
+// matrix/PRAM code; iterator rewrites obscure the index arithmetic the
+// correctness arguments are phrased in.
+#![allow(clippy::needless_range_loop)]
+
+pub mod arena;
+pub mod bitonic;
+pub mod contract;
+pub mod euler;
+pub mod finger;
+pub mod kraft;
+pub mod level_build;
+pub mod monotone;
+pub mod pattern;
+pub mod shape;
+
+pub use arena::{Forest, Tree};

@@ -1,0 +1,140 @@
+//! Theorem 7.1 — trees from monotone leaf patterns.
+//!
+//! "Trees with monotone leaf patterns can be constructed in `O(log n)`
+//! time, using `n/log n` processors on an EREW PRAM."
+//!
+//! The algorithm: convert the (sorted) pattern to a level histogram,
+//! apply the RAKE-like reduction `a'_{l-1} = ⌈a_l / 2⌉ + a_{l-1}` until
+//! the root, and materialize nodes level by level (carries = internal
+//! nodes). Feasibility is Kraft's inequality (Lemma 7.1), evaluated with
+//! `O(log n)`-bit arithmetic — see [`crate::kraft`].
+//!
+//! On the multicore substitution the histogram is a parallel run-length
+//! computation and the node materialization is data-parallel per level;
+//! the `O(#levels)` carry recurrence is the sequential spine the paper
+//! parallelizes with prefix sums (its work is negligible — `O(log n)`
+//! values of `O(log n)` bits).
+
+use crate::arena::{Forest, Tree};
+use crate::level_build::build_layout;
+use crate::pattern::is_monotone;
+use partree_core::{Error, Result};
+
+/// Builds the tree realizing a monotone (non-increasing or
+/// non-decreasing) pattern; leaves are tagged `0 … n-1` left to right.
+///
+/// ```
+/// use partree_trees::monotone::build_monotone;
+///
+/// let tree = build_monotone(&[3, 3, 2, 1])?;
+/// assert_eq!(tree.leaf_depths(), vec![3, 3, 2, 1]);
+/// assert!(build_monotone(&[1, 1, 1]).is_err());   // Kraft sum 3/2 > 1
+/// # Ok::<(), partree_core::Error>(())
+/// ```
+///
+/// Errors with [`Error::InfeasiblePattern`] (carrying the minimal forest
+/// size) when the Kraft sum exceeds 1, and with
+/// [`Error::InvalidInput`] when the pattern is not monotone.
+pub fn build_monotone(levels: &[u32]) -> Result<Tree> {
+    build_monotone_forest(levels)?.into_tree()
+}
+
+/// Forest variant (Theorem 7.2's "minimum number of trees"): always
+/// succeeds on monotone input, producing `⌈Σ 2^{-l_i}⌉` trees.
+pub fn build_monotone_forest(levels: &[u32]) -> Result<Forest> {
+    if !is_monotone(levels) {
+        return Err(Error::invalid("pattern is not monotone"));
+    }
+    let tagged: Vec<(u32, usize)> = levels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    build_layout(&tagged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kraft::{kraft_feasible, minimal_forest_size};
+    use crate::pattern::build_exact;
+
+    #[test]
+    fn realizes_generated_monotone_patterns() {
+        for seed in 0..30 {
+            let p = partree_core::gen::monotone_pattern(64, seed);
+            let t = build_monotone(&p).expect("generated patterns are feasible");
+            t.validate().unwrap();
+            assert_eq!(t.leaf_depths(), p, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn increasing_orientation() {
+        let p = vec![1, 2, 3, 4, 4];
+        let t = build_monotone(&p).unwrap();
+        assert_eq!(t.leaf_depths(), p);
+    }
+
+    #[test]
+    fn kraft_iff_feasible_lemma_7_1() {
+        // Exhaustive: all monotone non-increasing patterns of length ≤ 6
+        // with levels ≤ 4. Feasible ⇔ Kraft ≤ 1 ⇔ builder succeeds, and
+        // the sequential baseline agrees.
+        fn patterns(n: usize, max: u32) -> Vec<Vec<u32>> {
+            let mut out = vec![vec![]];
+            for _ in 0..n {
+                out = out
+                    .into_iter()
+                    .flat_map(|p: Vec<u32>| {
+                        let hi = p.last().copied().unwrap_or(max);
+                        (0..=hi).map(move |l| {
+                            let mut q = p.clone();
+                            q.push(l);
+                            q
+                        })
+                    })
+                    .collect();
+            }
+            out
+        }
+        for p in patterns(5, 4) {
+            let ours = build_monotone(&p);
+            let kraft = kraft_feasible(&p);
+            let baseline = build_exact(&p);
+            assert_eq!(ours.is_ok(), kraft, "pattern {p:?}");
+            assert_eq!(baseline.is_ok(), kraft, "baseline disagrees on {p:?}");
+            if let Ok(t) = ours {
+                assert_eq!(t.leaf_depths(), p);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_reports_forest_size() {
+        match build_monotone(&[1, 1, 1, 1]) {
+            Err(Error::InfeasiblePattern { trees_needed: Some(2) }) => {}
+            other => panic!("expected forest size 2, got {other:?}"),
+        }
+        let f = build_monotone_forest(&[1, 1, 1, 1]).unwrap();
+        assert_eq!(f.len() as u64, minimal_forest_size(&[1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn non_monotone_rejected() {
+        assert!(build_monotone(&[1, 3, 2]).is_err());
+    }
+
+    #[test]
+    fn large_pattern_round_trip() {
+        let p = partree_core::gen::monotone_pattern(20_000, 7);
+        let t = build_monotone(&p).unwrap();
+        assert_eq!(t.leaf_count(), 20_000);
+        assert_eq!(t.leaf_depths(), p);
+    }
+
+    #[test]
+    fn deep_chain_pattern() {
+        // (n, n-1, …, 1): the degenerate left-spine shape.
+        let p: Vec<u32> = (1..=40).rev().collect();
+        let t = build_monotone(&p).unwrap();
+        assert_eq!(t.leaf_depths(), p);
+        assert_eq!(t.height(), 40);
+    }
+}

@@ -1,0 +1,300 @@
+//! Leaf patterns: classification, segment representation, and the exact
+//! sequential baseline builder.
+//!
+//! A *pattern* is the sequence of leaf levels, left to right, that the
+//! Tree Construction Problem (Definition 1.1) asks us to realize. This
+//! module provides the vocabulary (monotone / bitonic classification,
+//! the `((l'_1, n_1), …, (l'_m, n_m))` segment representation of §7.2)
+//! and [`build_exact`] — a sequential stack-based builder that realizes
+//! *any* feasible pattern in one left-to-right pass. It is the oracle
+//! the parallel constructions (Theorems 7.1–7.3) are tested against.
+
+use crate::arena::{Node, Tree, NONE};
+use partree_core::{Error, Result};
+
+/// Maximum admissible leaf level: the output tree materializes one node
+/// per level on each chain, so levels are capped to keep outputs sane.
+pub const MAX_LEVEL: u32 = 1 << 22;
+
+/// Run-length encodes a pattern into the paper's segment representation
+/// `((l'_1, n_1), …, (l'_m, n_m))` with `l'_j ≠ l'_{j+1}`.
+pub fn segments(levels: &[u32]) -> Vec<(u32, usize)> {
+    let mut out: Vec<(u32, usize)> = Vec::new();
+    for &l in levels {
+        match out.last_mut() {
+            Some((last, n)) if *last == l => *n += 1,
+            _ => out.push((l, 1)),
+        }
+    }
+    out
+}
+
+/// Is the pattern monotone (non-increasing or non-decreasing)?
+pub fn is_monotone(levels: &[u32]) -> bool {
+    levels.windows(2).all(|w| w[0] >= w[1]) || levels.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Is the pattern bitonic (non-decreasing, then non-increasing)?
+/// Monotone patterns are bitonic.
+pub fn is_bitonic(levels: &[u32]) -> bool {
+    let mut i = 0;
+    while i + 1 < levels.len() && levels[i] <= levels[i + 1] {
+        i += 1;
+    }
+    levels[i..].windows(2).all(|w| w[0] >= w[1])
+}
+
+/// Validates levels against [`MAX_LEVEL`].
+pub fn check_levels(levels: &[u32]) -> Result<()> {
+    match levels.iter().find(|&&l| l > MAX_LEVEL) {
+        Some(&l) => Err(Error::invalid(format!("leaf level {l} exceeds MAX_LEVEL ({MAX_LEVEL})"))),
+        None => Ok(()),
+    }
+}
+
+/// Builds a tree realizing an arbitrary pattern, sequentially, by
+/// level-by-level run reduction: repeatedly take the deepest level `L`
+/// present, pair adjacent items of each maximal level-`L` run under
+/// parents at `L−1` (an odd leftover is lifted by a unary node — the
+/// exchange argument shows maximal pairing never hurts feasibility),
+/// until everything sits at level 0. Feasible iff exactly one item
+/// remains. Leaves are tagged `0 … n-1` left to right.
+///
+/// Returns [`Error::InfeasiblePattern`] (with the residual forest size)
+/// when no single tree realizes the pattern. `O(n·depth + Σ chain
+/// lengths)` time.
+pub fn build_exact(levels: &[u32]) -> Result<Tree> {
+    build_exact_tagged(levels, |i| i)
+}
+
+/// [`build_exact`] with custom leaf tags.
+pub fn build_exact_tagged(levels: &[u32], tag: impl Fn(usize) -> usize) -> Result<Tree> {
+    check_levels(levels)?;
+    if levels.is_empty() {
+        return Err(Error::invalid("empty pattern"));
+    }
+
+    let mut nodes: Vec<Node> = Vec::with_capacity(2 * levels.len());
+    let mut items: Vec<(usize, u32)> = levels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| {
+            nodes.push(Node { parent: NONE, left: NONE, right: NONE, tag: Some(tag(i)) });
+            (i, l)
+        })
+        .collect();
+
+    loop {
+        let cur_max = items.iter().map(|&(_, l)| l).max().expect("nonempty");
+        if cur_max == 0 {
+            break;
+        }
+        // Degenerate fast path: a single item just rises to the root.
+        if items.len() == 1 {
+            let (id, l) = items[0];
+            items[0] = (lift(&mut nodes, id, l), 0);
+            break;
+        }
+        // Reduce every maximal run at the deepest level.
+        let mut next: Vec<(usize, u32)> = Vec::with_capacity(items.len());
+        let mut i = 0;
+        while i < items.len() {
+            if items[i].1 != cur_max {
+                next.push(items[i]);
+                i += 1;
+                continue;
+            }
+            let mut j = i;
+            while j < items.len() && items[j].1 == cur_max {
+                j += 1;
+            }
+            let mut k = i;
+            while k + 1 < j {
+                let parent = merge(&mut nodes, items[k].0, items[k + 1].0);
+                next.push((parent, cur_max - 1));
+                k += 2;
+            }
+            if k < j {
+                // Odd leftover: a unary step up.
+                next.push((lift(&mut nodes, items[k].0, 1), cur_max - 1));
+            }
+            i = j;
+        }
+        items = next;
+    }
+
+    if items.len() != 1 {
+        return Err(Error::InfeasiblePattern { trees_needed: Some(items.len()) });
+    }
+    Tree::from_parts(nodes, items[0].0)
+}
+
+/// Adds `by` unary (left-child) chain nodes above `id`.
+fn lift(nodes: &mut Vec<Node>, mut id: usize, by: u32) -> usize {
+    for _ in 0..by {
+        let p = nodes.len();
+        nodes.push(Node { parent: NONE, left: id, right: NONE, tag: None });
+        nodes[id].parent = p;
+        id = p;
+    }
+    id
+}
+
+/// Creates an internal node over `(left, right)`.
+fn merge(nodes: &mut Vec<Node>, left: usize, right: usize) -> usize {
+    let p = nodes.len();
+    nodes.push(Node { parent: NONE, left, right, tag: None });
+    nodes[left].parent = p;
+    nodes[right].parent = p;
+    p
+}
+
+/// Brute-force feasibility oracle (exponential in spirit, memoized to
+/// `O(n² · max_level)`) — test support for validating the fast builders
+/// on exhaustive small inputs.
+pub fn feasible_brute(levels: &[u32]) -> bool {
+    if levels.is_empty() {
+        return false;
+    }
+    let n = levels.len();
+    let max_l = *levels.iter().max().expect("nonempty");
+    let mut memo = std::collections::HashMap::<(usize, usize, u32), bool>::new();
+    fn rec(
+        levels: &[u32],
+        i: usize,
+        j: usize,
+        lvl: u32,
+        max_l: u32,
+        memo: &mut std::collections::HashMap<(usize, usize, u32), bool>,
+    ) -> bool {
+        if lvl > max_l {
+            return false;
+        }
+        if j - i == 1 {
+            return levels[i] >= lvl;
+        }
+        if let Some(&v) = memo.get(&(i, j, lvl)) {
+            return v;
+        }
+        // Unary root, or a binary split.
+        let mut ok = rec(levels, i, j, lvl + 1, max_l, memo);
+        if !ok {
+            for k in i + 1..j {
+                if rec(levels, i, k, lvl + 1, max_l, memo)
+                    && rec(levels, k, j, lvl + 1, max_l, memo)
+                {
+                    ok = true;
+                    break;
+                }
+            }
+        }
+        memo.insert((i, j, lvl), ok);
+        ok
+    }
+    rec(levels, 0, n, 0, max_l, &mut memo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_representation() {
+        assert_eq!(segments(&[3, 3, 1, 2, 2, 2]), vec![(3, 2), (1, 1), (2, 3)]);
+        assert_eq!(segments(&[]), vec![]);
+        assert_eq!(segments(&[5]), vec![(5, 1)]);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(is_monotone(&[3, 2, 2, 1]));
+        assert!(is_monotone(&[1, 2, 3]));
+        assert!(!is_monotone(&[1, 3, 2]));
+        assert!(is_bitonic(&[1, 3, 2]));
+        assert!(is_bitonic(&[3, 2, 1]));
+        assert!(is_bitonic(&[1, 2, 3]));
+        assert!(!is_bitonic(&[2, 1, 2]));
+        assert!(is_bitonic(&[]));
+        assert!(is_monotone(&[7]));
+    }
+
+    #[test]
+    fn build_exact_realizes_full_tree_patterns() {
+        for seed in 0..20 {
+            let p = partree_core::gen::full_tree_pattern(30, seed);
+            let t = build_exact(&p).expect("full tree patterns are feasible");
+            t.validate().unwrap();
+            assert_eq!(t.leaf_depths(), p, "seed={seed}");
+            // Tags are 0..n in order.
+            let tags: Vec<_> = t.leaf_levels().iter().map(|&(_, t)| t.unwrap()).collect();
+            assert_eq!(tags, (0..30).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn build_exact_underfull_pattern() {
+        // (2): a leaf at depth 2 under a unary chain.
+        let t = build_exact(&[2]).unwrap();
+        assert_eq!(t.leaf_depths(), vec![2]);
+        assert!(!t.is_full());
+        // (2, 2, 2): feasible, not complete.
+        let t = build_exact(&[2, 2, 2]).unwrap();
+        assert_eq!(t.leaf_depths(), vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn build_exact_rejects_infeasible() {
+        assert!(build_exact(&[1, 1, 1]).is_err());
+        assert!(build_exact(&[2, 1, 2]).is_err());
+        assert!(build_exact(&[0, 0]).is_err());
+        assert!(build_exact(&[]).is_err());
+    }
+
+    #[test]
+    fn build_exact_accepts_single_root_leaf() {
+        let t = build_exact(&[0]).unwrap();
+        assert_eq!(t.leaf_depths(), vec![0]);
+    }
+
+    #[test]
+    fn exhaustive_agreement_with_brute_force() {
+        // Every pattern of length ≤ 5 over levels 0..=3, plus length 6
+        // over levels 0..=4 (the [2,4,4,4,2,2] regression lives there).
+        for n in 1..=6usize {
+            let mut idx = vec![0u32; n];
+            loop {
+                let feasible = feasible_brute(&idx);
+                match build_exact(&idx) {
+                    Ok(t) => {
+                        assert!(feasible, "builder accepted infeasible {idx:?}");
+                        assert_eq!(t.leaf_depths(), idx, "wrong tree for {idx:?}");
+                        t.validate().unwrap();
+                    }
+                    Err(_) => assert!(!feasible, "builder rejected feasible {idx:?}"),
+                }
+                // Increment the mixed-radix counter.
+                let mut k = 0;
+                loop {
+                    if k == n {
+                        break;
+                    }
+                    idx[k] += 1;
+                    if idx[k] <= if n == 6 { 4 } else { 3 } {
+                        break;
+                    }
+                    idx[k] = 0;
+                    k += 1;
+                }
+                if k == n {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn level_guard() {
+        assert!(build_exact(&[MAX_LEVEL + 1]).is_err());
+        assert!(check_levels(&[0, MAX_LEVEL]).is_ok());
+    }
+}

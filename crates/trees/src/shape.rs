@@ -1,0 +1,232 @@
+//! Left-justified trees (§2 of the paper).
+//!
+//! A binary tree is **left-justified** when (1) unary nodes keep their
+//! child on the left, and (2) for siblings `u` (left) and `v` (right),
+//! wherever `T_v` is non-empty at some level `l`, `T_u` is *complete* at
+//! level `l` (has all `2^l` nodes). Equivalently: every left sibling
+//! subtree is perfect at least down to its right sibling's height.
+//!
+//! Consequences the Huffman algorithms lean on:
+//!
+//! * **Lemma 2.1** — `⌊log₂ n⌋` RAKEs reduce a left-justified tree to
+//!   its leftmost path (see [`crate::contract`]);
+//! * **Corollary 2.1** — every subtree hanging off the leftmost path has
+//!   height `O(log n)`, which is why height-`⌈log n⌉`-bounded DP plus a
+//!   spine computation suffices (§5).
+
+use crate::arena::{Tree, NONE};
+
+/// Per-node structural measures used by the left-justified predicate.
+#[derive(Debug, Clone, Copy)]
+struct Measures {
+    /// Height of the subtree (leaf = 0).
+    height: u32,
+    /// Largest `d` such that the subtree is complete (perfect) through
+    /// level `d`: every level `l ≤ d` has `2^l` nodes.
+    perfect_depth: u32,
+}
+
+fn measures(tree: &Tree) -> Vec<Option<Measures>> {
+    let nodes = tree.nodes();
+    let mut out: Vec<Option<Measures>> = vec![None; nodes.len()];
+    // Postorder via double-visit stack.
+    let mut stack = vec![(tree.root(), false)];
+    while let Some((v, processed)) = stack.pop() {
+        let n = &nodes[v];
+        if !processed && !n.is_leaf() {
+            stack.push((v, true));
+            if n.left != NONE {
+                stack.push((n.left, false));
+            }
+            if n.right != NONE {
+                stack.push((n.right, false));
+            }
+            continue;
+        }
+        let m = if n.is_leaf() {
+            Measures { height: 0, perfect_depth: 0 }
+        } else if n.right == NONE {
+            let lm = out[n.left].expect("child processed");
+            Measures { height: lm.height + 1, perfect_depth: 0 }
+        } else {
+            let lm = out[n.left].expect("child processed");
+            let rm = out[n.right].expect("child processed");
+            Measures {
+                height: lm.height.max(rm.height) + 1,
+                perfect_depth: lm.perfect_depth.min(rm.perfect_depth) + 1,
+            }
+        };
+        out[v] = Some(m);
+    }
+    out
+}
+
+/// Does `tree` satisfy the left-justified property?
+pub fn is_left_justified(tree: &Tree) -> bool {
+    let ms = measures(tree);
+    tree.reachable().into_iter().all(|v| {
+        let n = &tree.nodes()[v];
+        if n.left == NONE || n.right == NONE {
+            // Unary-on-the-left is enforced by the arena invariant.
+            return true;
+        }
+        let lm = ms[n.left].expect("reachable");
+        let rm = ms[n.right].expect("reachable");
+        // T_left must be complete at every level T_right occupies.
+        lm.perfect_depth >= rm.height
+    })
+}
+
+/// Maximum height among subtrees hanging off the leftmost path
+/// (Corollary 2.1 bounds this by `O(log n)` for left-justified trees).
+pub fn max_off_spine_height(tree: &Tree) -> u32 {
+    let ms = measures(tree);
+    let mut best = 0;
+    let mut v = tree.root();
+    loop {
+        let n = &tree.nodes()[v];
+        if n.right != NONE {
+            best = best.max(ms[n.right].expect("reachable").height);
+        }
+        if n.left == NONE {
+            break;
+        }
+        v = n.left;
+    }
+    best
+}
+
+/// The leftmost path (spine) from the root, as node indices.
+pub fn leftmost_path(tree: &Tree) -> Vec<usize> {
+    let mut out = vec![tree.root()];
+    let mut v = tree.root();
+    while tree.nodes()[v].left != NONE {
+        v = tree.nodes()[v].left;
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arena::TreeBuilder;
+
+    /// Perfect binary tree of the given height.
+    fn perfect(height: u32) -> Tree {
+        fn rec(b: &mut TreeBuilder, h: u32) -> usize {
+            if h == 0 {
+                b.leaf(None)
+            } else {
+                let l = rec(b, h - 1);
+                let r = rec(b, h - 1);
+                b.internal(l, Some(r))
+            }
+        }
+        let mut b = TreeBuilder::new();
+        let root = rec(&mut b, height);
+        b.build(root).unwrap()
+    }
+
+    #[test]
+    fn perfect_trees_are_left_justified() {
+        for h in 0..5 {
+            assert!(is_left_justified(&perfect(h)), "height {h}");
+        }
+    }
+
+    #[test]
+    fn left_chain_is_left_justified() {
+        // Chain of unary nodes ending in a leaf.
+        let mut b = TreeBuilder::new();
+        let mut cur = b.leaf(None);
+        for _ in 0..5 {
+            cur = b.internal(cur, None);
+        }
+        let t = b.build(cur).unwrap();
+        assert!(is_left_justified(&t));
+        assert_eq!(max_off_spine_height(&t), 0);
+        assert_eq!(leftmost_path(&t).len(), 6);
+    }
+
+    #[test]
+    fn deep_right_subtree_is_not_left_justified() {
+        // Root with left = leaf, right = perfect(2): the right sibling is
+        // deeper than the left is perfect.
+        let mut b = TreeBuilder::new();
+        let l = b.leaf(None);
+        let r = {
+            let x = b.leaf(None);
+            let y = b.leaf(None);
+            let z = b.internal(x, Some(y));
+            let w = b.leaf(None);
+            b.internal(z, Some(w))
+        };
+        let root = b.internal(l, Some(r));
+        let t = b.build(root).unwrap();
+        assert!(!is_left_justified(&t));
+    }
+
+    #[test]
+    fn spine_with_shallow_right_subtrees_is_left_justified() {
+        // Left spine where each node hangs a right subtree no deeper
+        // than the left continuation is perfect… simplest: right = leaf.
+        let mut b = TreeBuilder::new();
+        let mut cur = b.leaf(None);
+        for _ in 0..4 {
+            let r = b.leaf(None);
+            cur = b.internal(cur, Some(r));
+        }
+        let t = b.build(cur).unwrap();
+        // Left child of each node must be perfect to depth height(right)=0:
+        // trivially true.
+        assert!(is_left_justified(&t));
+        assert_eq!(max_off_spine_height(&t), 0);
+    }
+
+    #[test]
+    fn off_spine_height_measured() {
+        // Root: left = perfect(2), right = perfect(2): left-justified,
+        // off-spine height = 2.
+        let mut b = TreeBuilder::new();
+        let l = {
+            let a = b.leaf(None);
+            let c = b.leaf(None);
+            let d = b.internal(a, Some(c));
+            let e = b.leaf(None);
+            let f = b.leaf(None);
+            let g = b.internal(e, Some(f));
+            b.internal(d, Some(g))
+        };
+        let r = {
+            let a = b.leaf(None);
+            let c = b.leaf(None);
+            let d = b.internal(a, Some(c));
+            let e = b.leaf(None);
+            let f = b.leaf(None);
+            let g = b.internal(e, Some(f));
+            b.internal(d, Some(g))
+        };
+        let root = b.internal(l, Some(r));
+        let t = b.build(root).unwrap();
+        assert!(is_left_justified(&t));
+        assert_eq!(max_off_spine_height(&t), 2);
+    }
+
+    #[test]
+    fn corollary_2_1_on_monotone_pattern_trees() {
+        // Trees built from monotone patterns (deepest leftmost) are
+        // left-justified, and their off-spine subtrees are ≤ ⌈log n⌉
+        // when the pattern came from a full random tree.
+        for seed in 0..10 {
+            let p = partree_core::gen::monotone_pattern(64, seed);
+            let t = crate::monotone::build_monotone(&p).unwrap();
+            assert!(is_left_justified(&t), "seed={seed}");
+            assert!(
+                max_off_spine_height(&t) <= 7,
+                "seed={seed}: off-spine height {} > log2(64)+1",
+                max_off_spine_height(&t)
+            );
+        }
+    }
+}

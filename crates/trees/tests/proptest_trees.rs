@@ -1,0 +1,101 @@
+//! Property tests for the tree substrate: Kraft arithmetic, the three
+//! §7 builders, contraction invariants.
+
+use partree_core::gen;
+use partree_trees::bitonic::build_bitonic_forest;
+use partree_trees::contract::{compress, is_chain, rake, rake_to_chain};
+use partree_trees::euler::{depths_euler, subtree_sizes_euler};
+use partree_trees::finger::build_general;
+use partree_trees::kraft::{kraft_ceil_exact, kraft_feasible};
+use partree_trees::monotone::build_monotone;
+use partree_trees::pattern::{build_exact, is_bitonic};
+use partree_trees::shape::is_left_justified;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Exact Kraft ceiling matches the f64 reference on small levels.
+    #[test]
+    fn kraft_matches_f64(levels in prop::collection::vec(0u32..14, 1..40)) {
+        let f: f64 = levels.iter().map(|&l| 2f64.powi(-(l as i32))).sum();
+        let (c, exact) = kraft_ceil_exact(&levels);
+        prop_assert_eq!(c, f.ceil() as u64);
+        prop_assert_eq!(exact, f.fract() == 0.0);
+    }
+
+    /// Every tree's own leaf pattern is feasible and rebuilds through
+    /// every applicable builder.
+    #[test]
+    fn leaf_patterns_roundtrip(n in 1usize..80, seed in 0u64..10_000) {
+        let p = gen::full_tree_pattern(n, seed);
+        prop_assert!(kraft_feasible(&p));
+        let t = build_exact(&p).unwrap();
+        prop_assert_eq!(t.leaf_depths(), p.clone());
+        let g = build_general(&p).unwrap();
+        prop_assert_eq!(g.tree.leaf_depths(), p);
+    }
+
+    /// Bitonic forests: size == ⌈Kraft⌉ and leaves read back in order,
+    /// for arbitrary bitonic patterns (feasible or not).
+    #[test]
+    fn bitonic_forest_invariants(
+        up in prop::collection::vec(0u32..8, 0..12),
+        down in prop::collection::vec(0u32..8, 1..12),
+    ) {
+        let mut p: Vec<u32> = up.clone();
+        p.sort_unstable();
+        let mut d = down.clone();
+        d.sort_unstable_by(|a, b| b.cmp(a));
+        // Keep bitonicity at the junction.
+        if let (Some(&last_up), Some(&first_down)) = (p.last(), d.first()) {
+            prop_assume!(last_up <= first_down || p.is_empty());
+            let _ = last_up;
+            let _ = first_down;
+        }
+        p.extend(d);
+        prop_assume!(!p.is_empty() && is_bitonic(&p));
+        let f = build_bitonic_forest(&p).unwrap();
+        let (k, _) = kraft_ceil_exact(&p);
+        prop_assert_eq!(f.len() as u64, k);
+        let got: Vec<u32> = f.leaf_levels().iter().map(|&(l, _)| l).collect();
+        prop_assert_eq!(got, p);
+    }
+
+    /// RAKE strictly shrinks multi-node trees, preserves validity, and
+    /// left-justified trees stay left-justified (Proposition 2.1).
+    #[test]
+    fn rake_invariants(n in 2usize..60, seed in 0u64..10_000) {
+        let p = gen::monotone_pattern(n, seed);
+        let t = build_monotone(&p).unwrap();
+        prop_assert!(is_left_justified(&t));
+        let r = rake(&t);
+        r.validate().unwrap();
+        prop_assert!(r.reachable().len() < t.reachable().len());
+        prop_assert!(is_left_justified(&r));
+        let (rounds, chain) = rake_to_chain(&t);
+        prop_assert!(is_chain(&chain));
+        prop_assert!(rounds <= (n as f64).log2().floor() as usize + 1);
+    }
+
+    /// COMPRESS preserves the leaf multiset and validity.
+    #[test]
+    fn compress_preserves_leaves(n in 1usize..50, seed in 0u64..10_000) {
+        let p = gen::full_tree_pattern(n, seed);
+        let t = build_exact(&p).unwrap();
+        let c = compress(&t);
+        c.validate().unwrap();
+        prop_assert_eq!(c.leaf_count(), t.leaf_count());
+    }
+
+    /// Euler-tour measurements equal sequential walks on arbitrary
+    /// trees (including unary chains from underfull patterns).
+    #[test]
+    fn euler_measurements_match(levels in prop::collection::vec(0u32..6, 1..30)) {
+        prop_assume!(build_exact(&levels).is_ok());
+        let t = build_exact(&levels).unwrap();
+        prop_assert_eq!(depths_euler(&t), t.depths());
+        let sizes = subtree_sizes_euler(&t);
+        prop_assert_eq!(sizes[t.root()], t.reachable().len());
+    }
+}

@@ -1,0 +1,86 @@
+//! The codec designer's toolkit: all the code-construction algorithms
+//! of the workspace side by side on one source — exact Huffman (three
+//! implementations), length-limited package-merge, Shannon–Fano — and
+//! the canonical-code transport path (lengths → canonical codewords →
+//! table-driven decode).
+//!
+//! ```text
+//! cargo run --release --example codec_toolkit
+//! ```
+
+use partree::codes::analysis::{entropy, expected_length, redundancy};
+use partree::codes::canonical::canonical_code;
+use partree::codes::decoder::CanonicalDecoder;
+use partree::codes::shannon_fano::shannon_fano;
+use partree::core::gen;
+use partree::huffman::garsia_wachs::garsia_wachs;
+use partree::huffman::package_merge::package_merge;
+use partree::huffman::parallel::huffman_parallel;
+use partree::huffman::sequential::huffman_heap;
+
+fn main() {
+    // A 96-symbol source with Zipf statistics (letter-frequency-like).
+    let n = 96usize;
+    let w = gen::zipf_weights(n, 1.15, 42);
+    let mut sorted = w.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let h = entropy(&w).expect("positive weights");
+    println!("source: {n} symbols, entropy {h:.4} bits/symbol\n");
+
+    println!("{:<28} {:>10} {:>12} {:>9}", "algorithm", "bits/sym", "redundancy", "max len");
+    println!("{}", "-".repeat(63));
+    // Lengths must be paired with the weight order they were computed
+    // for (package-merge works on the sorted copy).
+    let report = |name: &str, weights: &[f64], lengths: &[u32]| {
+        let el = expected_length(weights, lengths).expect("sizes match");
+        let r = redundancy(weights, lengths).expect("sizes match");
+        let ml = lengths.iter().max().copied().unwrap_or(0);
+        println!("{name:<28} {el:>10.4} {r:>12.4} {ml:>9}");
+    };
+
+    // Exact optima (all three must agree).
+    let heap = huffman_heap(&w).expect("valid weights");
+    let par = huffman_parallel(&w).expect("valid weights");
+    assert_eq!(heap.cost, par.cost());
+    let (_, gw_cost) = garsia_wachs(&sorted).expect("valid weights");
+    assert_eq!(gw_cost, heap.cost);
+    report("huffman (heap)", &w, &heap.lengths);
+    report("huffman (concave-matrix)", &w, &par.lengths);
+
+    // Length-limited codes: sweep the limit down toward ⌈log n⌉.
+    let min_l = (n as f64).log2().ceil() as u32;
+    for limit in [16u32, 10, 8, min_l] {
+        let (lengths, _) = package_merge(&sorted, limit).expect("feasible limit");
+        report(&format!("package-merge (L ≤ {limit})"), &sorted, &lengths);
+    }
+
+    // Shannon–Fano: within one bit.
+    let sf = shannon_fano(&w).expect("positive weights");
+    report("shannon-fano", &w, &sf.lengths);
+
+    // Transport: ship the Huffman lengths, rebuild the canonical code on
+    // the other side, decode with the length-indexed table.
+    println!("\ncanonical transport round-trip:");
+    let canon = canonical_code(&heap.lengths).expect("Kraft-feasible lengths");
+    let decoder = CanonicalDecoder::from_lengths(&heap.lengths).expect("same lengths");
+    let message: Vec<usize> = gen::random_string(50_000, &(0..n as u8).collect::<Vec<_>>(), 7)
+        .into_iter()
+        .map(|b| b as usize)
+        .collect();
+    let (bytes, bits) = canon.encode(&message).expect("in-alphabet");
+    let back_tree = canon.decode(&bytes, bits).expect("own stream");
+    let back_table = decoder.decode(&bytes, bits).expect("own stream");
+    assert_eq!(back_tree, message);
+    assert_eq!(back_table, message);
+    println!(
+        "  {} symbols → {} bytes; tree decode == table decode == original ✓",
+        message.len(),
+        bytes.len()
+    );
+    println!(
+        "  code table shipped as {} lengths (≤ {} bits each) instead of {} codewords",
+        heap.lengths.len(),
+        heap.lengths.iter().max().unwrap(),
+        heap.lengths.len()
+    );
+}

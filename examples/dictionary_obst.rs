@@ -1,0 +1,79 @@
+//! Near-optimal binary search trees for a dictionary workload
+//! (Theorem 6.1): build the approximate tree, compare its expected
+//! lookup cost with Knuth's exact optimum and a balanced tree, then
+//! drive a million simulated lookups through all three.
+//!
+//! ```text
+//! cargo run --release --example dictionary_obst
+//! ```
+
+use partree::core::gen;
+use partree::obst::approx::approx_optimal_bst;
+use partree::obst::knuth::obst_knuth;
+use partree::obst::model::{balanced_bst, BstNode};
+use partree::obst::ObstInstance;
+use rand::Rng;
+
+fn main() {
+    // A 200-key dictionary with Zipf-ish access frequencies and light
+    // miss traffic between keys; a run of archaic entries (120..170)
+    // nobody ever looks up.
+    let n = 200usize;
+    let mut q = gen::zipf_weights(n, 1.0, 5);
+    let mut p = vec![0.5f64; n + 1];
+    for k in 120..170 {
+        q[k] = 0.01;
+        p[k] = 0.01;
+    }
+    let inst = ObstInstance::new(q, p).expect("valid instance");
+
+    let eps = 1.0 / n as f64;
+    let approx = approx_optimal_bst(&inst, eps).expect("valid eps");
+    let exact = obst_knuth(&inst);
+    let exact_tree = exact.tree();
+    let balanced = balanced_bst(0, n);
+
+    let total = inst.total();
+    println!("n = {n} keys, ε = {eps:.4}");
+    println!(
+        "collapsed instance: {} keys survive (the dead-entry run merged away)",
+        approx.collapsed_keys
+    );
+    println!("height bound used: {}\n", approx.height_bound);
+
+    let expected = |t: &BstNode| t.weighted_path_length(&inst).value() / total;
+    println!("expected comparisons per lookup:");
+    println!("  optimal (Knuth O(n²))      : {:.5}", exact.cost().value() / total);
+    println!("  approximate (Theorem 6.1)  : {:.5}", expected(&approx.tree));
+    println!("  balanced (frequency-blind) : {:.5}", expected(&balanced));
+    let gap = (approx.cost.value() - exact.cost().value()) / total;
+    println!("  approximation gap          : {gap:.6}  (ε = {eps:.6})");
+    assert!(gap <= eps + 1e-9);
+
+    // Simulate lookups: draw keys by frequency, count actual depth.
+    let mut rng = gen::rng(31);
+    let cumulative: Vec<f64> = inst
+        .q
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let qtotal = *cumulative.last().expect("keys exist");
+    let lookups = 1_000_000usize;
+    let mut cost_approx = 0u64;
+    let mut cost_exact = 0u64;
+    let mut cost_balanced = 0u64;
+    for _ in 0..lookups {
+        let x: f64 = rng.gen_range(0.0..qtotal);
+        let key = cumulative.partition_point(|&c| c <= x);
+        cost_approx += u64::from(approx.tree.key_depth(key).expect("present")) + 1;
+        cost_exact += u64::from(exact_tree.key_depth(key).expect("present")) + 1;
+        cost_balanced += u64::from(balanced.key_depth(key).expect("present")) + 1;
+    }
+    println!("\nsimulated {lookups} lookups (comparisons per hit):");
+    println!("  optimal     : {:.5}", cost_exact as f64 / lookups as f64);
+    println!("  approximate : {:.5}", cost_approx as f64 / lookups as f64);
+    println!("  balanced    : {:.5}", cost_balanced as f64 / lookups as f64);
+}

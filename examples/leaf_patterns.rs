@@ -1,0 +1,69 @@
+//! The Tree Construction Problem (Definition 1.1): build ordered binary
+//! trees from prescribed leaf levels with all three of the paper's
+//! Section 7 algorithms — monotone (Theorem 7.1), bitonic (Theorem
+//! 7.2), and Finger-Reduction for general patterns (Theorem 7.3).
+//!
+//! ```text
+//! cargo run --release --example leaf_patterns
+//! ```
+
+use partree::core::gen;
+use partree::trees::bitonic::build_bitonic_forest;
+use partree::trees::finger::build_general;
+use partree::trees::kraft::{kraft_feasible, minimal_forest_size};
+use partree::trees::monotone::build_monotone;
+
+fn main() {
+    println!("=== monotone patterns (Theorem 7.1) ===\n");
+    let p = vec![4u32, 4, 3, 3, 3, 2];
+    println!("pattern {p:?}  (Kraft feasible: {})", kraft_feasible(&p));
+    let t = build_monotone(&p).expect("feasible");
+    assert_eq!(t.leaf_depths(), p);
+    println!("{}", t.render());
+
+    let infeasible = vec![1u32, 1, 1];
+    println!(
+        "pattern {infeasible:?}: {} (minimal forest: {} trees)",
+        build_monotone(&infeasible).map(|_| "ok").unwrap_or("infeasible as a single tree"),
+        minimal_forest_size(&infeasible)
+    );
+
+    println!("\n=== bitonic patterns (Theorem 7.2) ===\n");
+    let p = vec![2u32, 3, 4, 4, 3, 1];
+    println!("pattern {p:?}  (rises then falls)");
+    let f = build_bitonic_forest(&p).expect("bitonic");
+    println!("minimal forest size: {} (⌈Kraft⌉ = {})", f.len(), minimal_forest_size(&p));
+    let t = f.into_tree().expect("single tree");
+    assert_eq!(t.leaf_depths(), p);
+    println!("{}", t.render());
+
+    println!("=== general patterns by Finger-Reduction (Theorem 7.3) ===\n");
+    let p = vec![3u32, 3, 2, 4, 4, 3, 2, 3, 3];
+    println!("pattern {p:?}  ({} fingers)", gen::count_fingers(&p));
+    match build_general(&p) {
+        Ok(out) => {
+            assert_eq!(out.tree.leaf_depths(), p);
+            println!("built in {} reduction round(s)", out.rounds);
+            println!("{}", out.tree.render());
+        }
+        Err(e) => println!("infeasible: {e}"),
+    }
+
+    // The classic infeasible-but-Kraft-feasible example.
+    let p = vec![2u32, 1, 2];
+    println!(
+        "pattern {p:?}: Kraft sum = 1 but order makes it {} — feasibility is not just Kraft for general patterns",
+        build_general(&p).map(|_| "feasible").unwrap_or("INFEASIBLE")
+    );
+
+    // A large many-finger pattern.
+    let p = gen::pattern_with_fingers(64, 128, 9);
+    let out = build_general(&p).expect("generated patterns are realizable");
+    println!(
+        "\nlarge pattern: {} leaves, {} fingers → {} rounds (⌈log₂ m⌉ = {})",
+        p.len(),
+        gen::count_fingers(&p),
+        out.rounds,
+        (gen::count_fingers(&p) as f64).log2().ceil() as u32,
+    );
+}

@@ -1,0 +1,89 @@
+//! Text compression end to end: build per-byte frequency tables from a
+//! synthetic Zipf-shaped corpus, construct Huffman (exact, via the
+//! paper's parallel algorithm) and Shannon–Fano (one-bit-suboptimal,
+//! via Theorem 7.4) codes, and compare compressed sizes against the
+//! empirical entropy.
+//!
+//! ```text
+//! cargo run --release --example text_compression
+//! ```
+
+use partree::codes::prefix::PrefixCode;
+use partree::codes::shannon_fano::shannon_fano;
+use partree::core::gen;
+use partree::huffman::parallel::huffman_parallel;
+use rand::Rng;
+
+fn main() {
+    // Synthesize a 200 kB corpus with a Zipf unigram distribution over a
+    // 64-symbol alphabet (text-like letter statistics).
+    let n_symbols = 64usize;
+    let corpus_len = 200_000usize;
+    let zipf = gen::zipf_weights(n_symbols, 1.2, 7);
+    let cumulative: Vec<f64> = zipf
+        .iter()
+        .scan(0.0, |acc, w| {
+            *acc += w;
+            Some(*acc)
+        })
+        .collect();
+    let total = *cumulative.last().expect("non-empty alphabet");
+    let mut rng = gen::rng(99);
+    let corpus: Vec<usize> = (0..corpus_len)
+        .map(|_| {
+            let x: f64 = rng.gen_range(0.0..total);
+            cumulative.partition_point(|&c| c <= x)
+        })
+        .collect();
+
+    // Frequency table from the corpus (plus-one smoothing so every
+    // symbol is encodable).
+    let mut freqs = vec![1.0f64; n_symbols];
+    for &s in &corpus {
+        freqs[s] += 1.0;
+    }
+    let total_f: f64 = freqs.iter().sum();
+    let entropy: f64 = freqs
+        .iter()
+        .map(|&f| {
+            let p = f / total_f;
+            -p * p.log2()
+        })
+        .sum();
+
+    println!("corpus: {corpus_len} symbols over a {n_symbols}-symbol alphabet");
+    println!("empirical entropy: {entropy:.4} bits/symbol\n");
+
+    // Exact optimal code via the concave-matrix pipeline.
+    let huff = huffman_parallel(&freqs).expect("valid frequencies");
+    let huff_code = PrefixCode::from_tree(&huff.tree, n_symbols).expect("tagged tree");
+    let (bytes_h, bits_h) = huff_code.encode(&corpus).expect("in-alphabet");
+    let decoded = huff_code.decode(&bytes_h, bits_h).expect("own output");
+    assert_eq!(decoded, corpus);
+
+    // Shannon–Fano.
+    let sf = shannon_fano(&freqs).expect("positive frequencies");
+    let (bytes_sf, bits_sf) = sf.code.encode(&corpus).expect("in-alphabet");
+    assert_eq!(sf.code.decode(&bytes_sf, bits_sf).expect("own output"), corpus);
+
+    let raw_bits = corpus_len as f64 * (n_symbols as f64).log2().ceil();
+    let report = |name: &str, bits: u64, bytes: usize| {
+        println!(
+            "{name:<14} {:>9} bytes   {:.4} bits/symbol   {:.1}% of fixed-width",
+            bytes,
+            bits as f64 / corpus_len as f64,
+            100.0 * bits as f64 / raw_bits
+        );
+    };
+    report("huffman", bits_h, bytes_h.len());
+    report("shannon-fano", bits_sf, bytes_sf.len());
+
+    let h_rate = bits_h as f64 / corpus_len as f64;
+    let sf_rate = bits_sf as f64 / corpus_len as f64;
+    println!("\nsource-coding sanity: entropy ≤ huffman < entropy+1 : {}", {
+        entropy <= h_rate + 1e-9 && h_rate < entropy + 1.0
+    });
+    println!("Claim 7.1: huffman ≤ shannon-fano ≤ huffman+1 : {}", {
+        h_rate <= sf_rate + 1e-9 && sf_rate <= h_rate + 1.0 + 1e-9
+    });
+}

@@ -1,0 +1,53 @@
+//! # partree — Constructing Trees in Parallel
+//!
+//! A Rust reproduction of *Constructing Trees in Parallel*
+//! (M. J. Atallah, S. R. Kosaraju, L. L. Larmore, G. L. Miller,
+//! S.-H. Teng; SPAA 1989).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`core`] | costs, errors, workload generators |
+//! | [`pram`] | PRAM→rayon adaptation layer: work/depth counters, scans, packing, pointer jumping |
+//! | [`monge`] | concave (Monge) matrices, parallel `(min,+)` multiplication, SMAWK, Boolean bitset matrices |
+//! | [`trees`] | tree arena, RAKE/COMPRESS, left-justified trees, Kraft sums, leaf-pattern construction |
+//! | [`huffman`] | Huffman coding: sequential baselines, RAKE/COMPRESS DP, concave-matrix parallel algorithm |
+//! | [`codes`] | prefix codes, canonical codes, bit I/O, Shannon–Fano |
+//! | [`obst`] | optimal / near-optimal binary search trees |
+//! | [`lcfl`] | linear context-free language recognition |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use partree::prelude::*;
+//!
+//! // Frequencies of five symbols.
+//! let freqs = [5.0, 9.0, 12.0, 13.0, 16.0];
+//!
+//! // Optimal prefix code via the paper's parallel algorithm…
+//! let parallel = partree::huffman::parallel::huffman_parallel(&freqs).unwrap();
+//! // …and via the classical sequential heap algorithm.
+//! let sequential = partree::huffman::sequential::huffman_heap(&freqs).unwrap();
+//! assert_eq!(parallel.cost(), sequential.cost);
+//!
+//! // Shannon–Fano is at most one bit worse per symbol (Claim 7.1).
+//! let sf = partree::codes::shannon_fano::shannon_fano(&freqs).unwrap();
+//! let total: f64 = freqs.iter().sum();
+//! assert!(sf.average_length(&freqs) <= sequential.cost.value() / total + 1.0);
+//! # let _ = total;
+//! ```
+
+pub use partree_codes as codes;
+pub use partree_core as core;
+pub use partree_huffman as huffman;
+pub use partree_lcfl as lcfl;
+pub use partree_monge as monge;
+pub use partree_obst as obst;
+pub use partree_pram as pram;
+pub use partree_trees as trees;
+
+/// Convenient glob-import surface: the types used by almost every caller.
+pub mod prelude {
+    pub use partree_core::{Cost, Error, Result};
+}

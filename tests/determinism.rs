@@ -1,0 +1,61 @@
+//! Integration: determinism of the parallel algorithms — same inputs
+//! give bit-identical outputs run to run (ties broken by smallest
+//! index, as the paper's `Cut` definition specifies), regardless of
+//! scheduling.
+
+use partree::core::gen;
+use partree::huffman::parallel::huffman_parallel;
+use partree::monge::cut::concave_mul;
+use partree::monge::dense::Matrix;
+use partree::obst::approx::approx_optimal_bst;
+use partree::obst::ObstInstance;
+use partree::pram::model::with_threads;
+use partree::trees::finger::build_general;
+
+#[test]
+fn concave_mul_is_deterministic_across_runs_and_pools() {
+    let a = Matrix::from_rows(&gen::random_monge(120, 95, 3));
+    let b = Matrix::from_rows(&gen::random_monge(95, 130, 4));
+    let baseline = concave_mul(&a, &b, None);
+    for threads in [1usize, 2, 4] {
+        for _ in 0..3 {
+            let again = with_threads(threads, || concave_mul(&a, &b, None));
+            assert_eq!(again.cut, baseline.cut, "threads={threads}");
+            assert!(again.values.approx_eq(&baseline.values, 0.0));
+        }
+    }
+}
+
+#[test]
+fn huffman_parallel_outputs_are_stable() {
+    let w = gen::zipf_weights(80, 1.1, 9);
+    let first = huffman_parallel(&w).unwrap();
+    for threads in [1usize, 3] {
+        let again = with_threads(threads, || huffman_parallel(&w).unwrap());
+        assert_eq!(again.lengths, first.lengths, "threads={threads}");
+        assert_eq!(again.cost(), first.cost());
+        assert_eq!(again.tree.leaf_levels(), first.tree.leaf_levels());
+    }
+}
+
+#[test]
+fn finger_reduction_is_stable() {
+    let p = gen::pattern_with_fingers(16, 32, 5);
+    let first = build_general(&p).unwrap();
+    for _ in 0..3 {
+        let again = build_general(&p).unwrap();
+        assert_eq!(again.rounds, first.rounds);
+        assert_eq!(again.tree.leaf_levels(), first.tree.leaf_levels());
+    }
+}
+
+#[test]
+fn approx_obst_is_stable() {
+    let inst = ObstInstance::random(48, 200, 11);
+    let first = approx_optimal_bst(&inst, 0.02).unwrap();
+    for threads in [1usize, 2] {
+        let again = with_threads(threads, || approx_optimal_bst(&inst, 0.02).unwrap());
+        assert_eq!(again.cost, first.cost, "threads={threads}");
+        assert_eq!(again.tree, first.tree);
+    }
+}

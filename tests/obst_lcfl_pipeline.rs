@@ -1,0 +1,100 @@
+//! Integration: OBST approximation quality against both sequential DPs,
+//! and LCFL recognition agreement across engines and grammars.
+
+use partree::core::gen;
+use partree::lcfl::bfs::parse_bfs;
+use partree::lcfl::grammar::{an_bn, even_palindromes, more_as_than_bs, palindromes};
+use partree::lcfl::{recognize_bfs, recognize_divide};
+use partree::obst::approx::approx_optimal_bst;
+use partree::obst::knuth::obst_knuth;
+use partree::obst::naive::obst_naive;
+use partree::obst::ObstInstance;
+
+#[test]
+fn obst_three_way_agreement_and_eps_guarantee() {
+    for seed in 0..6 {
+        let inst = ObstInstance::random(30, 200, seed);
+        let naive = obst_naive(&inst);
+        let knuth = obst_knuth(&inst);
+        assert_eq!(naive.cost(), knuth.cost(), "seed={seed}");
+
+        let eps = 1.0 / 30.0;
+        let approx = approx_optimal_bst(&inst, eps).unwrap();
+        approx.tree.validate(30).unwrap();
+        let gap = approx.cost.value() - knuth.cost().value();
+        assert!(gap >= -1e-9);
+        assert!(gap <= eps * inst.total() + 1e-9, "seed={seed}: gap {gap}");
+    }
+}
+
+#[test]
+fn obst_collapsing_instances_stay_within_eps() {
+    for seed in 0..4 {
+        let mut inst = ObstInstance::random(40, 500, seed);
+        for k in 10..30 {
+            inst.q[k] = 0.01;
+            inst.p[k] = 0.01;
+        }
+        let eps = 0.02;
+        let approx = approx_optimal_bst(&inst, eps).unwrap();
+        assert!(approx.collapsed_keys < 40, "seed={seed}: collapsing must trigger");
+        let opt = obst_knuth(&inst).cost();
+        assert!(
+            approx.cost.value() - opt.value() <= eps * inst.total() + 1e-9,
+            "seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn lcfl_engines_agree_across_grammars_and_lengths() {
+    for (gname, g) in [
+        ("even_pal", even_palindromes()),
+        ("pal", palindromes()),
+        ("anbn", an_bn()),
+        ("more_as", more_as_than_bs()),
+    ] {
+        for seed in 0..30u64 {
+            let len = 1 + (seed as usize * 3) % 40;
+            let w = gen::random_string(len, b"ab", seed);
+            assert_eq!(
+                recognize_divide(&g, &w),
+                recognize_bfs(&g, &w),
+                "{gname} on {:?}",
+                String::from_utf8_lossy(&w)
+            );
+        }
+    }
+}
+
+#[test]
+fn lcfl_structured_accepts_and_near_misses() {
+    let pal = even_palindromes();
+    let anbn = an_bn();
+    for k in [1usize, 7, 33, 100] {
+        let p = gen::palindrome(k, k as u64);
+        assert!(recognize_divide(&pal, &p), "palindrome half={k}");
+        let s = gen::an_bn(k);
+        assert!(recognize_divide(&anbn, &s), "a^{k}b^{k}");
+        // Near misses.
+        let mut bad = s.clone();
+        bad[k - 1] = b'b';
+        let expect = recognize_bfs(&anbn, &bad);
+        assert_eq!(recognize_divide(&anbn, &bad), expect);
+        assert!(!expect || k == 1, "a^(k-1) b^(k+1) is out of the language for k>1");
+    }
+}
+
+#[test]
+fn lcfl_parses_replay_for_every_accepted_string() {
+    for (g, words) in [
+        (palindromes(), vec![b"a".to_vec(), gen::palindrome(9, 1), gen::palindrome(20, 2)]),
+        (an_bn(), vec![gen::an_bn(1), gen::an_bn(13)]),
+        (more_as_than_bs(), vec![b"aaab".to_vec(), b"aaaaa".to_vec()]),
+    ] {
+        for w in words {
+            let d = parse_bfs(&g, &w).expect("in the language");
+            assert_eq!(d.derived_string().expect("valid"), w);
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration: leaf-pattern construction across its three algorithms
+//! and its consumers (Shannon–Fano lengths, Huffman lengths).
+
+use partree::core::gen;
+use partree::huffman::sequential::huffman_heap;
+use partree::trees::bitonic::build_bitonic;
+use partree::trees::finger::build_general;
+use partree::trees::kraft::{kraft_feasible, minimal_forest_size};
+use partree::trees::monotone::build_monotone;
+use partree::trees::pattern::{build_exact, is_bitonic, is_monotone};
+
+/// The three §7 builders and the sequential baseline agree on
+/// feasibility and realize identical depth sequences on their shared
+/// domains.
+#[test]
+fn builders_agree_on_shared_domains() {
+    for seed in 0..12 {
+        let mono = gen::monotone_pattern(40, seed);
+        assert!(is_monotone(&mono));
+        let a = build_monotone(&mono).unwrap();
+        let b = build_bitonic(&mono).unwrap(); // monotone ⊂ bitonic
+        let c = build_general(&mono).unwrap().tree;
+        let d = build_exact(&mono).unwrap();
+        for t in [&a, &b, &c, &d] {
+            assert_eq!(t.leaf_depths(), mono, "seed={seed}");
+        }
+
+        let bito = gen::bitonic_pattern(41, seed);
+        assert!(is_bitonic(&bito));
+        let b = build_bitonic(&bito).unwrap();
+        let c = build_general(&bito).unwrap().tree;
+        let d = build_exact(&bito).unwrap();
+        for t in [&b, &c, &d] {
+            assert_eq!(t.leaf_depths(), bito, "seed={seed}");
+        }
+    }
+}
+
+/// Huffman code lengths, sorted descending, form a feasible monotone
+/// pattern realizing a tree of the same cost — closing the loop between
+/// the code and tree views.
+#[test]
+fn huffman_lengths_realize_as_monotone_pattern() {
+    for seed in 0..8 {
+        let w = gen::zipf_weights(30, 1.2, seed);
+        let huff = huffman_heap(&w).unwrap();
+        let mut pattern = huff.lengths.clone();
+        pattern.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(kraft_feasible(&pattern), "Huffman lengths satisfy Kraft");
+        assert_eq!(minimal_forest_size(&pattern), 1);
+        let t = build_monotone(&pattern).unwrap();
+        assert_eq!(t.leaf_depths(), pattern);
+        // Same multiset of depths, paired heaviest ↔ shortest (the
+        // rearrangement-minimal pairing), reproduces the optimal cost.
+        let mut sw = w.clone();
+        sw.sort_by(|a, b| b.total_cmp(a));
+        let cost: f64 =
+            sw.iter().zip(pattern.iter().rev()).map(|(&w, &l)| w * f64::from(l)).sum();
+        assert_eq!(cost, huff.cost.value(), "seed={seed}");
+    }
+}
+
+/// Random patterns: the general builder and the sequential baseline
+/// agree on feasibility everywhere (not just structured inputs).
+#[test]
+fn general_and_baseline_agree_on_random_patterns() {
+    use rand::Rng;
+    let mut r = gen::rng(77);
+    let mut feasible_seen = 0;
+    for _ in 0..300 {
+        let n = r.gen_range(1..25);
+        let p: Vec<u32> = (0..n).map(|_| r.gen_range(0..6)).collect();
+        let fast = build_general(&p);
+        let slow = build_exact(&p);
+        assert_eq!(fast.is_ok(), slow.is_ok(), "pattern {p:?}");
+        if let Ok(out) = fast {
+            feasible_seen += 1;
+            assert_eq!(out.tree.leaf_depths(), p);
+            assert_eq!(slow.unwrap().leaf_depths(), p);
+        }
+    }
+    assert!(feasible_seen > 20, "sweep should hit feasible patterns");
+}
+
+/// Forest semantics: infeasible bitonic patterns produce exactly
+/// ⌈Kraft⌉ trees whose concatenated leaves read the input pattern.
+#[test]
+fn minimal_forests_cover_infeasible_patterns() {
+    use rand::Rng;
+    let mut r = gen::rng(13);
+    for _ in 0..50 {
+        let n = r.gen_range(2..60);
+        let mut p = gen::bitonic_pattern(n, r.gen());
+        // Lift everything up a level or two to make it often overfull.
+        for l in p.iter_mut() {
+            *l = l.saturating_sub(r.gen_range(0..2));
+        }
+        if !is_bitonic(&p) {
+            continue;
+        }
+        let f = partree::trees::bitonic::build_bitonic_forest(&p).unwrap();
+        assert_eq!(f.len() as u64, minimal_forest_size(&p), "pattern {p:?}");
+        let depths: Vec<u32> = f.leaf_levels().iter().map(|&(d, _)| d).collect();
+        assert_eq!(depths, p);
+    }
+}

@@ -1,0 +1,91 @@
+//! Integration: the paper's work bounds, measured end to end with the
+//! PRAM comparison counters — the machine-independent half of every
+//! theorem (see DESIGN.md §2 on the PRAM substitution).
+
+use partree::core::gen;
+use partree::huffman::parallel::huffman_parallel_cost_counted;
+use partree::monge::bottom_up::concave_mul_bottom_up;
+use partree::monge::cut::concave_mul;
+use partree::monge::dense::{min_plus_naive, Matrix};
+use partree::monge::smawk::smawk_mul;
+use partree::pram::OpCounter;
+
+fn concave(n: usize, seed: u64) -> Matrix {
+    Matrix::from_rows(&gen::random_monge(n, n, seed))
+}
+
+/// Theorem 4.1's separation: the concave product's comparisons grow
+/// quadratically while the naive product's grow cubically — measured,
+/// not assumed.
+#[test]
+fn concave_multiplication_work_scales_quadratically() {
+    let mut prev_fast = 0f64;
+    let mut prev_slow = 0f64;
+    for &n in &[64usize, 128, 256] {
+        let a = concave(n, 1);
+        let b = concave(n, 2);
+        let fast = OpCounter::new();
+        let _ = concave_mul(&a, &b, Some(&fast));
+        let slow = OpCounter::new();
+        let _ = min_plus_naive(&a, &b, Some(&slow));
+        if prev_fast > 0.0 {
+            let fast_ratio = fast.get() as f64 / prev_fast;
+            let slow_ratio = slow.get() as f64 / prev_slow;
+            // Doubling n: quadratic ⇒ ×4-ish, cubic ⇒ ×8.
+            assert!(fast_ratio < 5.0, "fast grew ×{fast_ratio:.1} on doubling");
+            assert!(slow_ratio > 7.5, "naive grew ×{slow_ratio:.1} on doubling");
+        }
+        prev_fast = fast.get() as f64;
+        prev_slow = slow.get() as f64;
+    }
+}
+
+/// All three sub-cubic concave products stay within small constants of
+/// n² on the same inputs.
+#[test]
+fn all_fast_products_are_small_constant_times_n_squared() {
+    let n = 256usize;
+    let a = concave(n, 5);
+    let b = concave(n, 6);
+    let n2 = (n * n) as u64;
+    for (name, ops) in [
+        ("recursive", {
+            let c = OpCounter::new();
+            let _ = concave_mul(&a, &b, Some(&c));
+            c.get()
+        }),
+        ("bottom_up", {
+            let c = OpCounter::new();
+            let _ = concave_mul_bottom_up(&a, &b, Some(&c));
+            c.get()
+        }),
+        ("smawk", {
+            let c = OpCounter::new();
+            let _ = smawk_mul(&a, &b, Some(&c));
+            c.get()
+        }),
+    ] {
+        assert!(ops <= 8 * n2, "{name}: {ops} cmps > 8·n²");
+        assert!(ops >= n2 / 8, "{name}: {ops} cmps suspiciously low");
+    }
+}
+
+/// Theorem 5.1's work: the whole Huffman pipeline (2·⌈log n⌉ + 1
+/// concave products) stays within a small constant of n²·log n — far
+/// below the n³ a single naive product would use.
+#[test]
+fn huffman_pipeline_work_is_n_squared_log_n() {
+    for &n in &[128usize, 256, 512] {
+        let w = gen::zipf_weights(n, 1.1, 3);
+        let ops = OpCounter::new();
+        let _ = huffman_parallel_cost_counted(&w, Some(&ops)).unwrap();
+        let budget = 3.0 * (n * n) as f64 * (n as f64).log2();
+        assert!(
+            (ops.get() as f64) < budget,
+            "n={n}: {} cmps > 3·n²·log n = {budget}",
+            ops.get()
+        );
+        let n3 = (n * n * n) as f64;
+        assert!((ops.get() as f64) < n3 / 2.0, "n={n}: work should be ≪ n³");
+    }
+}

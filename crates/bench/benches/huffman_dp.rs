@@ -12,6 +12,7 @@ use partree_huffman::dp::huffman_dp;
 use partree_huffman::garsia_wachs::garsia_wachs;
 use partree_huffman::package_merge::package_merge;
 use partree_huffman::sequential::{huffman_heap, huffman_two_queue};
+use partree_pram::CostTracer;
 
 fn bench_dp(c: &mut Criterion) {
     let mut g = c.benchmark_group("huffman_dp");
@@ -19,7 +20,7 @@ fn bench_dp(c: &mut Criterion) {
     for &n in &[32usize, 64, 128] {
         let w = gen::sorted(Distribution::Uniform.weights(n, 7));
         g.bench_with_input(BenchmarkId::new("rake_compress_dp", n), &n, |b, _| {
-            b.iter(|| huffman_dp(&w, None).unwrap().cost)
+            b.iter(|| huffman_dp(&w, &CostTracer::disabled()).unwrap().cost)
         });
         g.bench_with_input(BenchmarkId::new("heap", n), &n, |b, _| {
             b.iter(|| huffman_heap(&w).unwrap().cost)

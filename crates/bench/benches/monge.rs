@@ -10,6 +10,7 @@ use partree_monge::bottom_up::concave_mul_bottom_up;
 use partree_monge::cut::concave_mul;
 use partree_monge::dense::min_plus_naive;
 use partree_monge::smawk::smawk_mul;
+use partree_pram::CostTracer;
 
 fn bench_monge(c: &mut Criterion) {
     let mut g = c.benchmark_group("monge_mul");
@@ -18,17 +19,25 @@ fn bench_monge(c: &mut Criterion) {
         let a = concave_matrix(n, 1);
         let b = concave_matrix(n, 2);
         g.bench_with_input(BenchmarkId::new("concave_recursive", n), &n, |bench, _| {
-            bench.iter(|| concave_mul(&a, &b, None).values.get(0, 0))
+            bench.iter(|| {
+                concave_mul(&a, &b, &CostTracer::disabled())
+                    .values
+                    .get(0, 0)
+            })
         });
         g.bench_with_input(BenchmarkId::new("concave_bottom_up", n), &n, |bench, _| {
-            bench.iter(|| concave_mul_bottom_up(&a, &b, None).values.get(0, 0))
+            bench.iter(|| {
+                concave_mul_bottom_up(&a, &b, &CostTracer::disabled())
+                    .values
+                    .get(0, 0)
+            })
         });
         g.bench_with_input(BenchmarkId::new("smawk_per_row", n), &n, |bench, _| {
-            bench.iter(|| smawk_mul(&a, &b, None).get(0, 0))
+            bench.iter(|| smawk_mul(&a, &b, &CostTracer::disabled()).get(0, 0))
         });
         if n <= 256 {
             g.bench_with_input(BenchmarkId::new("naive_cubic", n), &n, |bench, _| {
-                bench.iter(|| min_plus_naive(&a, &b, None).get(0, 0))
+                bench.iter(|| min_plus_naive(&a, &b, &CostTracer::disabled()).get(0, 0))
             });
         }
     }

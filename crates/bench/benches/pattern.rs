@@ -30,9 +30,11 @@ fn bench_patterns(c: &mut Criterion) {
         if n <= 100_000 {
             let humps = 64;
             let fingers = gen::pattern_with_fingers(humps, n / humps, 3);
-            g.bench_with_input(BenchmarkId::new("finger_reduction_64_humps", n), &n, |b, _| {
-                b.iter(|| build_general(&fingers).unwrap().tree.leaf_count())
-            });
+            g.bench_with_input(
+                BenchmarkId::new("finger_reduction_64_humps", n),
+                &n,
+                |b, _| b.iter(|| build_general(&fingers).unwrap().tree.leaf_count()),
+            );
         }
     }
     g.finish();

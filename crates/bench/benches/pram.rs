@@ -18,9 +18,11 @@ fn bench_pram(c: &mut Criterion) {
     g.bench_with_input(BenchmarkId::new("exclusive_sum_parallel", n), &n, |b, _| {
         b.iter(|| exclusive_sum(&a).1)
     });
-    g.bench_with_input(BenchmarkId::new("exclusive_sum_sequential", n), &n, |b, _| {
-        b.iter(|| exclusive_scan_seq(&a, 0u64, |x, y| x + y).1)
-    });
+    g.bench_with_input(
+        BenchmarkId::new("exclusive_sum_sequential", n),
+        &n,
+        |b, _| b.iter(|| exclusive_scan_seq(&a, 0u64, |x, y| x + y).1),
+    );
 
     let m = 1_000_000usize;
     let mut order: Vec<usize> = (0..m).collect();
@@ -30,9 +32,11 @@ fn bench_pram(c: &mut Criterion) {
         next[w[0]] = w[1];
     }
     g.throughput(Throughput::Elements(m as u64));
-    g.bench_with_input(BenchmarkId::new("list_rank_pointer_jumping", m), &m, |b, _| {
-        b.iter(|| list_rank(&next)[order[0]])
-    });
+    g.bench_with_input(
+        BenchmarkId::new("list_rank_pointer_jumping", m),
+        &m,
+        |b, _| b.iter(|| list_rank(&next)[order[0]]),
+    );
     g.bench_with_input(BenchmarkId::new("list_rank_sequential", m), &m, |b, _| {
         b.iter(|| list_rank_seq(&next)[order[0]])
     });

@@ -11,26 +11,26 @@
 //! outputs are deterministic except for wall-clock columns.
 
 use partree_bench::{concave_matrix, geomean, Distribution};
-use partree_core::gen;
 use partree_core::cost::PrefixWeights;
+use partree_core::gen;
 use partree_huffman::dp::{huffman_dp, rake_rounds_until_stable};
-use partree_huffman::height_bounded::{default_height, height_bounded};
-use partree_huffman::parallel::huffman_parallel_cost_counted;
 use partree_huffman::garsia_wachs::garsia_wachs;
+use partree_huffman::height_bounded::{default_height, height_bounded};
 use partree_huffman::package_merge::package_merge;
+use partree_huffman::parallel::huffman_parallel_cost_traced;
 use partree_huffman::sequential::huffman_heap;
 use partree_huffman::spine::{spine_cost, spine_matrix};
 use partree_lcfl::grammar::{an_bn, even_palindromes, more_as_than_bs, palindromes};
-use partree_lcfl::{recognize_bfs, recognize_divide, recognize_separator};
+use partree_lcfl::{recognize_bfs, recognize_divide, recognize_divide_traced, recognize_separator};
 use partree_monge::bottom_up::concave_mul_bottom_up;
 use partree_monge::cut::concave_mul;
 use partree_monge::dense::min_plus_naive;
 use partree_monge::smawk::smawk_mul;
-use partree_obst::approx::approx_optimal_bst;
+use partree_obst::approx::{approx_optimal_bst, approx_optimal_bst_traced};
 use partree_obst::knuth::obst_knuth;
 use partree_obst::ObstInstance;
 use partree_pram::model::with_threads;
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 use partree_trees::bitonic::build_bitonic;
 use partree_trees::contract::rake_to_chain;
 use partree_trees::finger::build_general;
@@ -78,6 +78,9 @@ fn main() {
     if want("e11") {
         e11();
     }
+    if want("e12") {
+        e12();
+    }
 }
 
 fn ms(t: Instant) -> f64 {
@@ -86,46 +89,51 @@ fn ms(t: Instant) -> f64 {
 
 /// E1 — Theorem 4.1: comparison counts of concave multiplication.
 fn e1() {
-    println!("\n## E1  Theorem 4.1 — concave (min,+) multiplication work");
+    println!("\n## E1  Theorem 4.1 — concave (min,+) multiplication work & depth");
     println!("paper: O(n^2) comparisons for concave inputs; O(n^3) without concavity\n");
     println!(
-        "| n | naive cmps (=n^3) | recursive cmps | /n^2 | bottom-up cmps | /n^2 | recursive ms | naive ms |"
+        "| n | naive cmps (=n^3) | recursive cmps | /n^2 | rec depth (=2⌈log n⌉+1) | bottom-up cmps | /n^2 | bu depth | recursive ms | naive ms |"
     );
-    println!("|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|");
     for &n in &[64usize, 128, 256, 512] {
         let a = concave_matrix(n, 1);
         let b = concave_matrix(n, 2);
-        let naive_ops = OpCounter::new();
+        let naive_ops = CostTracer::named("naive");
         let t0 = Instant::now();
-        let slow = min_plus_naive(&a, &b, Some(&naive_ops));
+        let slow = min_plus_naive(&a, &b, &naive_ops);
         let naive_ms = ms(t0);
-        let rec_ops = OpCounter::new();
+        let rec_ops = CostTracer::named("recursive");
         let t0 = Instant::now();
-        let fast = concave_mul(&a, &b, Some(&rec_ops));
+        let fast = concave_mul(&a, &b, &rec_ops);
         let rec_ms = ms(t0);
-        let bu_ops = OpCounter::new();
-        let bu = concave_mul_bottom_up(&a, &b, Some(&bu_ops));
+        let bu_ops = CostTracer::named("bottom_up");
+        let bu = concave_mul_bottom_up(&a, &b, &bu_ops);
         assert!(fast.values.approx_eq(&slow, 1e-9) && bu.values.approx_eq(&slow, 1e-9));
         let n2 = (n * n) as f64;
+        let (rec, buw) = (rec_ops.aggregate(), bu_ops.aggregate());
         println!(
-            "| {n} | {} | {} | {:.2} | {} | {:.2} | {rec_ms:.2} | {naive_ms:.2} |",
-            naive_ops.get(),
-            rec_ops.get(),
-            rec_ops.get() as f64 / n2,
-            bu_ops.get(),
-            bu_ops.get() as f64 / n2,
+            "| {n} | {} | {} | {:.2} | {} | {} | {:.2} | {} | {rec_ms:.2} | {naive_ms:.2} |",
+            naive_ops.aggregate().work,
+            rec.work,
+            rec.work as f64 / n2,
+            rec.depth,
+            buw.work,
+            buw.work as f64 / n2,
+            buw.depth,
         );
     }
     // SMAWK ablation at one size.
     let n = 256;
     let a = concave_matrix(n, 3);
     let b = concave_matrix(n, 4);
-    let ops = OpCounter::new();
-    let _ = smawk_mul(&a, &b, Some(&ops));
+    let ops = CostTracer::named("smawk");
+    let _ = smawk_mul(&a, &b, &ops);
+    let wd = ops.aggregate();
     println!(
-        "\nablation: SMAWK-per-row product at n={n}: {} cmps ({:.2}·n^2)",
-        ops.get(),
-        ops.get() as f64 / (n * n) as f64
+        "\nablation: SMAWK-per-row product at n={n}: {} cmps ({:.2}·n^2), depth {} (sequential per-row scan)",
+        wd.work,
+        wd.work as f64 / (n * n) as f64,
+        wd.depth
     );
 }
 
@@ -138,7 +146,7 @@ fn e2() {
     for &n in &[32usize, 64, 128] {
         for d in Distribution::ALL {
             let w = gen::sorted(d.weights(n, 5));
-            let run = huffman_dp(&w, None).expect("sorted weights");
+            let run = huffman_dp(&w, &CostTracer::disabled()).expect("sorted weights");
             let heap = huffman_heap(&w).expect("valid weights");
             let stable = rake_rounds_until_stable(&w, 4 * n).expect("valid weights");
             println!(
@@ -177,23 +185,29 @@ fn e3() {
 fn e4() {
     println!("\n## E4  Theorem 5.1 — Huffman via concave matrix multiplication");
     println!("paper: O(log^2 n) time, n^2/log n processors; exact optimum\n");
-    println!("| n | dist | exact == heap | cmps | cmps/(n^2 log n) | time ms |");
-    println!("|---|---|---|---|---|---|");
+    println!(
+        "| n | dist | exact == heap | cmps | cmps/(n^2 log n) | depth | depth/log^2 n | time ms |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
     for &n in &[128usize, 256, 512, 1024] {
         for d in Distribution::ALL {
             let w = d.weights(n, 13);
             let heap = huffman_heap(&w).expect("valid");
-            let ops = OpCounter::new();
+            let tracer = CostTracer::named("huffman_cost");
             let t0 = Instant::now();
-            let cost = huffman_parallel_cost_counted(&w, Some(&ops)).expect("valid");
+            let cost = huffman_parallel_cost_traced(&w, &tracer).expect("valid");
             let t = ms(t0);
             let denom = (n * n) as f64 * (n as f64).log2();
+            let wd = tracer.aggregate();
+            let log2n = (n as f64).log2();
             println!(
-                "| {n} | {} | {} | {} | {:.2} | {t:.2} |",
+                "| {n} | {} | {} | {} | {:.2} | {} | {:.2} | {t:.2} |",
                 d.label(),
                 cost == heap.cost,
-                ops.get(),
-                ops.get() as f64 / denom,
+                wd.work,
+                wd.work as f64 / denom,
+                wd.depth,
+                wd.depth as f64 / (log2n * log2n),
             );
         }
     }
@@ -204,7 +218,7 @@ fn e4() {
     for threads in [1usize, 2, 4, 8] {
         let t0 = Instant::now();
         let _ = with_threads(threads, || {
-            huffman_parallel_cost_counted(&w, None).expect("valid")
+            huffman_parallel_cost_traced(&w, &CostTracer::disabled()).expect("valid")
         });
         let t = ms(t0);
         if threads == 1 {
@@ -216,9 +230,9 @@ fn e4() {
     // Height restriction ablation: A_H with H = ⌈log n⌉ vs unrestricted.
     let w = gen::sorted(Distribution::Geometric.weights(64, 3));
     let pw = PrefixWeights::new(&w);
-    let restricted = height_bounded(&pw, default_height(64), false, None);
+    let restricted = height_bounded(&pw, default_height(64), false, &CostTracer::disabled());
     let m = spine_matrix(&restricted.final_matrix, &pw);
-    let with_spine = spine_cost(&m, 8, None);
+    let with_spine = spine_cost(&m, 8, &CostTracer::disabled());
     let opt = huffman_heap(&w).expect("valid").cost;
     println!(
         "\nablation (geometric n=64): height-⌈log n⌉ alone A_H[0,n] = {}, with spine = {} , optimum = {}",
@@ -280,7 +294,10 @@ fn e6() {
         let base = build_exact(&p).expect("feasible");
         let t_base = ms(t0);
         let ok = tree.leaf_count() == n && base.leaf_count() == n;
-        println!("| {n} | {t:.1} | {:.0} | {t_base:.1} | {ok} |", t * 1e6 / n as f64);
+        println!(
+            "| {n} | {t:.1} | {:.0} | {t_base:.1} | {ok} |",
+            t * 1e6 / n as f64
+        );
     }
 }
 
@@ -369,7 +386,10 @@ fn e9() {
     let w = gen::dyadic_weights(16);
     let sf = partree_codes::shannon_fano::shannon_fano(&w).expect("positive");
     let huff = huffman_heap(&w).expect("valid");
-    println!("dyadic n=16: SF == Huffman exactly: {}", sf.cost(&w) == huff.cost);
+    println!(
+        "dyadic n=16: SF == Huffman exactly: {}",
+        sf.cost(&w) == huff.cost
+    );
 }
 
 /// E10 — Theorem 8.1: linear CFL recognition.
@@ -441,7 +461,7 @@ fn e11() {
             let (_, pm_cost) = package_merge(&w, limit).expect("feasible limit");
             let t_pm = ms(t0);
             let pw = PrefixWeights::new(&w);
-            let hb = height_bounded(&pw, limit, false, None);
+            let hb = height_bounded(&pw, limit, false, &CostTracer::disabled());
             println!(
                 "| {n} | {} | {} | {} | {t_gw:.1} | {t_pm:.1} |",
                 d.label(),
@@ -450,4 +470,38 @@ fn e11() {
             );
         }
     }
+}
+
+/// E12 — per-phase work/depth span trees, one JSON document per
+/// pipeline (schema in EXPERIMENTS.md § tracer JSON). Machine-readable
+/// companion to E1/E4/E5/E10: the same tracer numbers, but with the
+/// phase structure preserved.
+fn e12() {
+    println!("\n## E12  Work/depth span trees (tracer JSON)");
+    println!("one line of JSON per pipeline; work/depth are per-span self costs,");
+    println!("total_* aggregate children (parallel children contribute max depth)\n");
+
+    let w = Distribution::Zipf.weights(256, 13);
+    let t = CostTracer::named("huffman_parallel_cost n=256 zipf");
+    let _ = huffman_parallel_cost_traced(&w, &t).expect("valid");
+    println!("{}", t.to_json());
+
+    let a = concave_matrix(128, 1);
+    let b = concave_matrix(128, 2);
+    let t = CostTracer::named("concave_mul n=128");
+    let _ = concave_mul(&a, &b, &t);
+    println!("{}", t.to_json());
+
+    let inst = ObstInstance::random(128, 1000, 17);
+    let t = CostTracer::named("approx_optimal_bst n=128 eps=0.05");
+    let _ = approx_optimal_bst_traced(&inst, 0.05, &t).expect("valid eps");
+    println!("{}", t.to_json());
+
+    // Small word so the product-tree span structure stays readable:
+    // the tree has one node per balanced-product combine.
+    let g = even_palindromes();
+    let word = gen::palindrome(8, 3);
+    let t = CostTracer::named("recognize_divide even_palindromes n=16");
+    assert!(recognize_divide_traced(&g, &word, &t));
+    println!("{}", t.to_json());
 }

@@ -35,8 +35,11 @@ pub enum Distribution {
 
 impl Distribution {
     /// All distributions, for sweeps.
-    pub const ALL: [Distribution; 3] =
-        [Distribution::Uniform, Distribution::Zipf, Distribution::Geometric];
+    pub const ALL: [Distribution; 3] = [
+        Distribution::Uniform,
+        Distribution::Zipf,
+        Distribution::Geometric,
+    ];
 
     /// A short label for report rows.
     pub fn label(self) -> &'static str {

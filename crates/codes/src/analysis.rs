@@ -57,7 +57,13 @@ pub fn kraft_slack(lengths: &[u32]) -> (bool, f64) {
     let est: f64 = 1.0
         - lengths
             .iter()
-            .map(|&l| if l < 1080 { 2f64.powi(-(l as i32)) } else { 0.0 })
+            .map(|&l| {
+                if l < 1080 {
+                    2f64.powi(-(l as i32))
+                } else {
+                    0.0
+                }
+            })
             .sum::<f64>();
     (complete, est)
 }

@@ -70,8 +70,15 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// Reads `len_bits` bits from `bytes`.
     pub fn new(bytes: &'a [u8], len_bits: u64) -> BitReader<'a> {
-        assert!(len_bits <= bytes.len() as u64 * 8, "declared length exceeds buffer");
-        BitReader { bytes, pos: 0, len_bits }
+        assert!(
+            len_bits <= bytes.len() as u64 * 8,
+            "declared length exceeds buffer"
+        );
+        BitReader {
+            bytes,
+            pos: 0,
+            len_bits,
+        }
     }
 
     /// Next bit, or `None` at end of stream.
@@ -98,7 +105,9 @@ mod tests {
 
     #[test]
     fn roundtrip_single_bits() {
-        let pattern = [true, false, false, true, true, true, false, true, true, false];
+        let pattern = [
+            true, false, false, true, true, true, false, true, true, false,
+        ];
         let mut w = BitWriter::new();
         for &b in &pattern {
             w.push(b);

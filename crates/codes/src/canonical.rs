@@ -21,7 +21,9 @@ pub fn canonical_code(lengths: &[u32]) -> Result<PrefixCode> {
         return Err(Error::invalid("empty alphabet"));
     }
     if let Some(&l) = lengths.iter().find(|&&l| l > 64) {
-        return Err(Error::invalid(format!("codeword length {l} exceeds 64 bits")));
+        return Err(Error::invalid(format!(
+            "codeword length {l} exceeds 64 bits"
+        )));
     }
     if !kraft_feasible(lengths) {
         return Err(Error::InfeasiblePattern { trees_needed: None });

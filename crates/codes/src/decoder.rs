@@ -75,7 +75,13 @@ impl CanonicalDecoder {
             offset[l] = acc;
             acc += count[l] as usize;
         }
-        Ok(CanonicalDecoder { first: first[..=max_len.max(1)].to_vec(), count, symbols, offset, max_len })
+        Ok(CanonicalDecoder {
+            first: first[..=max_len.max(1)].to_vec(),
+            count,
+            symbols,
+            offset,
+            max_len,
+        })
     }
 
     /// Decodes `len_bits` bits into symbols.
@@ -130,7 +136,11 @@ mod tests {
         let code = canonical_code(lengths).unwrap();
         let dec = CanonicalDecoder::from_lengths(lengths).unwrap();
         let (bytes, bits) = code.encode(msg).unwrap();
-        assert_eq!(dec.decode(&bytes, bits).unwrap(), msg, "lengths {lengths:?}");
+        assert_eq!(
+            dec.decode(&bytes, bits).unwrap(),
+            msg,
+            "lengths {lengths:?}"
+        );
         // And the tree decoder agrees.
         assert_eq!(code.decode(&bytes, bits).unwrap(), msg);
     }

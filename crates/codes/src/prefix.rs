@@ -20,7 +20,10 @@ pub struct Codeword {
 
 impl Codeword {
     fn new() -> Codeword {
-        Codeword { bits: Vec::new(), len: 0 }
+        Codeword {
+            bits: Vec::new(),
+            len: 0,
+        }
     }
 
     fn push(&mut self, bit: bool) {
@@ -52,7 +55,9 @@ impl Codeword {
 
     /// Renders as a 0/1 string.
     pub fn to_bit_string(&self) -> String {
-        (0..self.len).map(|k| if self.bit(k) { '1' } else { '0' }).collect()
+        (0..self.len)
+            .map(|k| if self.bit(k) { '1' } else { '0' })
+            .collect()
     }
 }
 
@@ -101,7 +106,10 @@ impl PrefixCode {
             .enumerate()
             .map(|(i, w)| w.ok_or_else(|| Error::invalid(format!("symbol {i} missing from tree"))))
             .collect::<Result<_>>()?;
-        Ok(PrefixCode { words, tree: tree.clone() })
+        Ok(PrefixCode {
+            words,
+            tree: tree.clone(),
+        })
     }
 
     /// Number of symbols.

@@ -64,17 +64,26 @@ pub fn shannon_fano(weights: &[f64]) -> Result<ShannonFanoCode> {
         return Err(Error::invalid("need at least one symbol"));
     }
     if weights.iter().any(|w| !w.is_finite() || *w <= 0.0) {
-        return Err(Error::invalid("Shannon–Fano requires strictly positive weights"));
+        return Err(Error::invalid(
+            "Shannon–Fano requires strictly positive weights",
+        ));
     }
     let n = weights.len();
     if n == 1 {
         let tree = Tree::leaf(Some(0));
         let code = PrefixCode::from_tree(&tree, 1)?;
-        return Ok(ShannonFanoCode { lengths: vec![0], tree, code });
+        return Ok(ShannonFanoCode {
+            lengths: vec![0],
+            tree,
+            code,
+        });
     }
 
     let total: f64 = weights.iter().sum();
-    let lengths: Vec<u32> = weights.iter().map(|&w| ideal_length(w, total)).collect::<Result<_>>()?;
+    let lengths: Vec<u32> = weights
+        .iter()
+        .map(|&w| ideal_length(w, total))
+        .collect::<Result<_>>()?;
 
     // Sort deepest-first (monotone pattern), realize, un-sort tags.
     let mut order: Vec<usize> = (0..n).collect();
@@ -83,7 +92,11 @@ pub fn shannon_fano(weights: &[f64]) -> Result<ShannonFanoCode> {
     let mut tree = build_monotone(&pattern)?;
     tree.map_tags(|sorted_idx| order[sorted_idx]);
     let code = PrefixCode::from_tree(&tree, n)?;
-    Ok(ShannonFanoCode { lengths, tree, code })
+    Ok(ShannonFanoCode {
+        lengths,
+        tree,
+        code,
+    })
 }
 
 /// The smallest `l` with `w · 2^l ≥ total`, i.e. `⌈log₂(total/w)⌉` —
@@ -95,7 +108,9 @@ fn ideal_length(w: f64, total: f64) -> Result<u32> {
         scaled *= 2.0;
         l += 1;
         if l > 1 << 20 {
-            return Err(Error::invalid(format!("weight {w} too small relative to total {total}")));
+            return Err(Error::invalid(format!(
+                "weight {w} too small relative to total {total}"
+            )));
         }
     }
     Ok(l)

@@ -25,10 +25,9 @@ use std::ops::{Add, AddAssign, Sub};
 /// `Cost` implements a *total* order (`Ord`), with `+∞` as the maximum
 /// element, which is what lets it live in `min`-reductions and sort calls.
 ///
-/// Serialization goes through the raw `f64` (`serde(into/try_from)`), so
-/// the NaN invariant is re-validated on deserialization.
-#[derive(Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
-#[serde(into = "f64", try_from = "f64")]
+/// Serialization goes through the raw `f64` (the `From`/`TryFrom` pair
+/// below), so the NaN invariant is re-validated on deserialization.
+#[derive(Clone, Copy, PartialEq, Default)]
 pub struct Cost(f64);
 
 impl From<Cost> for f64 {

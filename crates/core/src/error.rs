@@ -48,8 +48,13 @@ impl Error {
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Error::InfeasiblePattern { trees_needed: Some(k) } => {
-                write!(f, "leaf pattern is infeasible as a single tree (minimal forest size {k})")
+            Error::InfeasiblePattern {
+                trees_needed: Some(k),
+            } => {
+                write!(
+                    f,
+                    "leaf pattern is infeasible as a single tree (minimal forest size {k})"
+                )
             }
             Error::InfeasiblePattern { trees_needed: None } => {
                 write!(f, "leaf pattern is infeasible as a single tree")
@@ -69,9 +74,11 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert!(Error::InfeasiblePattern { trees_needed: Some(3) }
-            .to_string()
-            .contains("forest size 3"));
+        assert!(Error::InfeasiblePattern {
+            trees_needed: Some(3)
+        }
+        .to_string()
+        .contains("forest size 3"));
         assert!(Error::InfeasiblePattern { trees_needed: None }
             .to_string()
             .contains("infeasible"));
@@ -81,7 +88,9 @@ mod tests {
         assert!(Error::InvalidGrammar("no productions".into())
             .to_string()
             .contains("grammar"));
-        assert!(Error::Internal("oops".into()).to_string().contains("invariant"));
+        assert!(Error::Internal("oops".into())
+            .to_string()
+            .contains("invariant"));
     }
 
     #[test]

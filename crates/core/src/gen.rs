@@ -76,7 +76,9 @@ pub fn dyadic_weights(n: usize) -> Vec<f64> {
     // Build levels of an arbitrary full tree: n-1 weights of exponentially
     // decreasing size plus a duplicate of the smallest, so the Kraft sum
     // of the ideal code lengths is exactly 1.
-    let mut w: Vec<f64> = (0..n - 1).map(|i| 2f64.powi((n - 1 - i).min(50) as i32)).collect();
+    let mut w: Vec<f64> = (0..n - 1)
+        .map(|i| 2f64.powi((n - 1 - i).min(50) as i32))
+        .collect();
     w.push(*w.last().expect("n >= 2"));
     w
 }
@@ -173,7 +175,11 @@ pub fn pattern_with_fingers(humps: usize, leaves_per_hump: usize, seed: u64) -> 
         // Spine node at depth h+1 for all but the last hump, which sits at
         // depth `humps` alongside the previous one (classic chain shape:
         // each spine node has one subtree child and one chain child).
-        let depth = if h + 1 == humps { h as u32 } else { (h + 1) as u32 };
+        let depth = if h + 1 == humps {
+            h as u32
+        } else {
+            (h + 1) as u32
+        };
         let sub = full_tree_pattern(leaves_per_hump, seed.wrapping_add(h as u64));
         out.extend(sub.into_iter().map(|d| d + depth));
     }
@@ -265,7 +271,9 @@ pub fn is_monge(m: &[Vec<f64>], tol: f64) -> bool {
 /// An even-length palindrome over `{a, b}` of length `2k`.
 pub fn palindrome(k: usize, seed: u64) -> Vec<u8> {
     let mut r = rng(seed);
-    let half: Vec<u8> = (0..k).map(|_| if r.gen_bool(0.5) { b'a' } else { b'b' }).collect();
+    let half: Vec<u8> = (0..k)
+        .map(|_| if r.gen_bool(0.5) { b'a' } else { b'b' })
+        .collect();
     let mut s = half.clone();
     s.extend(half.iter().rev());
     s
@@ -282,7 +290,9 @@ pub fn an_bn(n: usize) -> Vec<u8> {
 pub fn random_string(len: usize, alphabet: &[u8], seed: u64) -> Vec<u8> {
     assert!(!alphabet.is_empty());
     let mut r = rng(seed);
-    (0..len).map(|_| alphabet[r.gen_range(0..alphabet.len())]).collect()
+    (0..len)
+        .map(|_| alphabet[r.gen_range(0..alphabet.len())])
+        .collect()
 }
 
 #[cfg(test)]
@@ -306,7 +316,12 @@ mod tests {
         let w = sorted(zipf_weights(64, 1.0, 3));
         assert_eq!(w.len(), 64);
         assert!(w[0] >= 1.0);
-        assert!(w[63] > 10.0 * w[0], "Zipf should be skewed: {} vs {}", w[63], w[0]);
+        assert!(
+            w[63] > 10.0 * w[0],
+            "Zipf should be skewed: {} vs {}",
+            w[63],
+            w[0]
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub fn alphabetic_optimal_with(
 ) -> Alphabetic {
     assert!(i < j && j <= pw.len(), "empty or out-of-range segment");
     let m = j - i; // number of leaves
-    // e[a][b] (local boundaries 0..=m): optimal cost over leaves a..b.
+                   // e[a][b] (local boundaries 0..=m): optimal cost over leaves a..b.
     let idx = |a: usize, b: usize| a * (m + 1) + b;
     let mut e = vec![Cost::INFINITY; (m + 1) * (m + 1)];
     let mut root = vec![0u32; (m + 1) * (m + 1)];
@@ -77,7 +77,10 @@ pub fn alphabetic_optimal_with(
     let mut builder = TreeBuilder::new();
     let r = build(&root, m, i, 0, m, &mut builder);
     let tree = builder.build(r).expect("DP trees are valid");
-    Alphabetic { cost: e[idx(0, m)], tree }
+    Alphabetic {
+        cost: e[idx(0, m)],
+        tree,
+    }
 }
 
 fn build(
@@ -146,7 +149,12 @@ mod tests {
         let w = [9.0, 1.0, 1.0, 2.0, 9.0];
         let pw = PrefixWeights::new(&w);
         let a = alphabetic_optimal(&pw, 1, 4); // weights 1,1,2
-        let tags: Vec<_> = a.tree.leaf_levels().iter().map(|&(_, t)| t.unwrap()).collect();
+        let tags: Vec<_> = a
+            .tree
+            .leaf_levels()
+            .iter()
+            .map(|&(_, t)| t.unwrap())
+            .collect();
         assert_eq!(tags, vec![1, 2, 3]);
         // Optimal over (1,1,2): ((1,1),2) → cost 2·2+2·1… = 1·2+1·2+2·1 = 6.
         assert_eq!(a.cost, Cost::new(6.0));

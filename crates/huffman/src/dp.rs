@@ -19,7 +19,7 @@ use partree_core::cost::PrefixWeights;
 use partree_core::{Cost, Error, Result};
 use partree_monge::dense::min_plus_naive;
 use partree_monge::Matrix;
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 
 /// Outcome of the RAKE/COMPRESS DP.
 #[derive(Debug)]
@@ -33,14 +33,23 @@ pub struct DpRun {
 }
 
 /// Runs the Theorem 3.1 algorithm on *sorted* weights.
-pub fn huffman_dp(sorted_weights: &[f64], counter: Option<&OpCounter>) -> Result<DpRun> {
+///
+/// `tracer` gets two child spans, `rake` and `compress`, one naive
+/// `(min,+)` product per round each.
+pub fn huffman_dp(sorted_weights: &[f64], tracer: &CostTracer) -> Result<DpRun> {
     crate::check_weights(sorted_weights)?;
     if sorted_weights.windows(2).any(|w| w[0] > w[1]) {
-        return Err(Error::invalid("the §3 DP requires monotone weights (Lemma 3.1)"));
+        return Err(Error::invalid(
+            "the §3 DP requires monotone weights (Lemma 3.1)",
+        ));
     }
     let n = sorted_weights.len();
     if n == 1 {
-        return Ok(DpRun { cost: Cost::ZERO, rake_rounds: 0, compress_rounds: 0 });
+        return Ok(DpRun {
+            cost: Cost::ZERO,
+            rake_rounds: 0,
+            compress_rounds: 0,
+        });
     }
     let pw = PrefixWeights::new(sorted_weights);
     let s = weight_matrix(&pw);
@@ -54,19 +63,25 @@ pub fn huffman_dp(sorted_weights: &[f64], counter: Option<&OpCounter>) -> Result
             Cost::INFINITY
         }
     });
+    let rake = tracer.span("rake");
     for _ in 0..rake_rounds {
-        let prod = min_plus_naive(&h, &h, counter).entrywise_add(&s);
+        let prod = min_plus_naive(&h, &h, &rake).entrywise_add(&s);
         h = prod.entrywise_min(&h);
     }
 
     // COMPRESS phase: square the spine matrix ⌈log n⌉ + 1 times.
     let compress_rounds = rake_rounds + 1;
+    let compress = tracer.span("compress");
     let mut m = spine_matrix(&h, &pw);
     for _ in 0..compress_rounds {
-        m = min_plus_naive(&m, &m, counter);
+        m = min_plus_naive(&m, &m, &compress);
     }
 
-    Ok(DpRun { cost: m.get(0, n), rake_rounds, compress_rounds })
+    Ok(DpRun {
+        cost: m.get(0, n),
+        rake_rounds,
+        compress_rounds,
+    })
 }
 
 /// Diagnostic variant: iterates RAKE until the `H` matrix is stable and
@@ -87,7 +102,9 @@ pub fn rake_rounds_until_stable(sorted_weights: &[f64], max_rounds: usize) -> Re
         }
     });
     for round in 1..=max_rounds {
-        let next = min_plus_naive(&h, &h, None).entrywise_add(&s).entrywise_min(&h);
+        let next = min_plus_naive(&h, &h, &CostTracer::disabled())
+            .entrywise_add(&s)
+            .entrywise_min(&h);
         if next.approx_eq(&h, 0.0) {
             return Ok(round - 1);
         }
@@ -99,7 +116,7 @@ pub fn rake_rounds_until_stable(sorted_weights: &[f64], max_rounds: usize) -> Re
 /// Convenience wrapper asserting the DP agrees with the heap baseline
 /// (used by tests and the experiment driver).
 pub fn dp_cost_checked(sorted_weights: &[f64]) -> Result<Cost> {
-    let dp = huffman_dp(sorted_weights, None)?;
+    let dp = huffman_dp(sorted_weights, &CostTracer::disabled())?;
     let heap = huffman_heap(sorted_weights)?;
     if dp.cost != heap.cost {
         return Err(Error::Internal(format!(
@@ -141,21 +158,34 @@ mod tests {
     #[test]
     fn round_counts_are_logarithmic() {
         let w = gen::sorted(gen::uniform_weights(33, 50, 1));
-        let run = huffman_dp(&w, None).unwrap();
+        let run = huffman_dp(&w, &CostTracer::disabled()).unwrap();
         assert_eq!(run.rake_rounds, 6); // ⌈log₂ 33⌉
         assert_eq!(run.compress_rounds, 7);
     }
 
     #[test]
     fn tiny_inputs() {
-        assert_eq!(huffman_dp(&[4.0], None).unwrap().cost, Cost::ZERO);
-        assert_eq!(huffman_dp(&[1.0, 2.0], None).unwrap().cost, Cost::new(3.0));
-        assert_eq!(huffman_dp(&[1.0, 1.0, 2.0], None).unwrap().cost, Cost::new(6.0));
+        assert_eq!(
+            huffman_dp(&[4.0], &CostTracer::disabled()).unwrap().cost,
+            Cost::ZERO
+        );
+        assert_eq!(
+            huffman_dp(&[1.0, 2.0], &CostTracer::disabled())
+                .unwrap()
+                .cost,
+            Cost::new(3.0)
+        );
+        assert_eq!(
+            huffman_dp(&[1.0, 1.0, 2.0], &CostTracer::disabled())
+                .unwrap()
+                .cost,
+            Cost::new(6.0)
+        );
     }
 
     #[test]
     fn unsorted_rejected() {
-        assert!(huffman_dp(&[3.0, 1.0], None).is_err());
+        assert!(huffman_dp(&[3.0, 1.0], &CostTracer::disabled()).is_err());
     }
 
     #[test]
@@ -169,6 +199,9 @@ mod tests {
 
         let chain = gen::sorted(gen::geometric_weights(16, 2.5, 0));
         let slow = rake_rounds_until_stable(&chain, 32).unwrap();
-        assert!(slow > fast, "chain ({slow}) should need more RAKEs than balanced ({fast})");
+        assert!(
+            slow > fast,
+            "chain ({slow}) should need more RAKEs than balanced ({fast})"
+        );
     }
 }

@@ -50,7 +50,11 @@ pub fn garsia_wachs(weights: &[f64]) -> Result<(Tree, Cost)> {
         let len = seq.len();
         let mut k = 1;
         while k < len {
-            let right = if k + 1 < len { seq[k + 1].0 } else { f64::INFINITY };
+            let right = if k + 1 < len {
+                seq[k + 1].0
+            } else {
+                f64::INFINITY
+            };
             if seq[k - 1].0 <= right {
                 break;
             }
@@ -126,8 +130,11 @@ mod tests {
             let dp = alphabetic_optimal(&pw, 0, w.len());
             assert_eq!(cost, dp.cost, "seed={seed}");
             // The tree itself realizes that cost with leaves in order.
-            let tags: Vec<usize> =
-                tree.leaf_levels().iter().map(|&(_, t)| t.unwrap()).collect();
+            let tags: Vec<usize> = tree
+                .leaf_levels()
+                .iter()
+                .map(|&(_, t)| t.unwrap())
+                .collect();
             assert_eq!(tags, (0..w.len()).collect::<Vec<_>>());
             let direct: f64 = tree
                 .leaf_levels()

@@ -21,7 +21,7 @@ use partree_core::cost::PrefixWeights;
 use partree_core::Cost;
 use partree_monge::cut::concave_mul;
 use partree_monge::Matrix;
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 
 /// The result of the height-bounded phase.
 pub struct HeightBounded {
@@ -41,7 +41,7 @@ pub fn height_bounded(
     pw: &PrefixWeights,
     height: u32,
     retain_cuts: bool,
-    counter: Option<&OpCounter>,
+    tracer: &CostTracer,
 ) -> HeightBounded {
     let n = pw.len();
     let s = weight_matrix(pw);
@@ -56,7 +56,7 @@ pub fn height_bounded(
     let mut cuts = retain_cuts.then(Vec::new);
 
     for _ in 0..height {
-        let prod = concave_mul(&a, &a, counter);
+        let prod = concave_mul(&a, &a, tracer);
         // A_h = (A ⋆ A) + S on j−i ≥ 2; single leaves stay at 0. The
         // entrywise min with the previous A restores the j = i+1 zeros
         // (the product is ∞ there — no interior split point exists).
@@ -67,22 +67,24 @@ pub fn height_bounded(
         }
     }
 
-    HeightBounded { final_matrix: a, height, cuts }
+    HeightBounded {
+        final_matrix: a,
+        height,
+        cuts,
+    }
 }
 
 /// The default height bound `⌈log₂ n⌉` (at least 1).
 pub fn default_height(n: usize) -> u32 {
-    (usize::BITS - n.next_power_of_two().leading_zeros()).saturating_sub(1).max(1)
+    (usize::BITS - n.next_power_of_two().leading_zeros())
+        .saturating_sub(1)
+        .max(1)
 }
 
 /// Reconstructs an optimal height-≤`H` tree over the segment `(i, j]`
 /// from retained cut matrices. Leaves are tagged with their (sorted)
 /// weight indices `i … j-1`.
-pub fn reconstruct_segment(
-    hb: &HeightBounded,
-    i: usize,
-    j: usize,
-) -> Option<partree_trees::Tree> {
+pub fn reconstruct_segment(hb: &HeightBounded, i: usize, j: usize) -> Option<partree_trees::Tree> {
     let cuts = hb.cuts.as_ref()?;
     if hb.final_matrix.get(i, j).is_infinite() {
         return None;
@@ -132,7 +134,7 @@ mod tests {
         let w = gen::sorted(gen::uniform_weights(14, 50, 3));
         let p = pw(&w);
         for h in 1..=4 {
-            let hb = height_bounded(&p, h, false, None);
+            let hb = height_bounded(&p, h, false, &CostTracer::disabled());
             assert!(is_concave(&hb.final_matrix, 1e-9), "A_{h} not concave");
         }
     }
@@ -141,7 +143,7 @@ mod tests {
     fn band_structure() {
         let w = gen::sorted(gen::uniform_weights(10, 9, 1));
         let p = pw(&w);
-        let hb = height_bounded(&p, 2, false, None);
+        let hb = height_bounded(&p, 2, false, &CostTracer::disabled());
         for i in 0..=10usize {
             for j in 0..=10usize {
                 let finite = hb.final_matrix.get(i, j).is_finite();
@@ -157,7 +159,7 @@ mod tests {
             let w = gen::sorted(gen::uniform_weights(17, 100, seed));
             let p = pw(&w);
             // Height 17 > any optimal tree's height.
-            let hb = height_bounded(&p, 17, false, None);
+            let hb = height_bounded(&p, 17, false, &CostTracer::disabled());
             let opt = alphabetic_optimal(&p, 0, 17);
             assert_eq!(hb.final_matrix.get(0, 17), opt.cost, "seed={seed}");
             // And on sorted weights the alphabetic optimum IS the
@@ -173,10 +175,10 @@ mod tests {
         // height-2-optimal equals unrestricted; but n=5 with height 2
         // has no tree at all (5 > 2²+…): A_2[0,5] = ∞.
         let p4 = pw(&[1.0, 1.0, 1.0, 1.0]);
-        let hb = height_bounded(&p4, 2, false, None);
+        let hb = height_bounded(&p4, 2, false, &CostTracer::disabled());
         assert_eq!(hb.final_matrix.get(0, 4), Cost::new(8.0));
         let p5 = pw(&[1.0; 5]);
-        let hb = height_bounded(&p5, 2, false, None);
+        let hb = height_bounded(&p5, 2, false, &CostTracer::disabled());
         assert!(hb.final_matrix.get(0, 5).is_infinite());
     }
 
@@ -186,8 +188,12 @@ mod tests {
         // strictly increases cost for a long chain shape.
         let w: Vec<f64> = (0..8).map(|i| 3f64.powi(i)).collect();
         let p = pw(&w);
-        let restricted = height_bounded(&p, 3, false, None).final_matrix.get(0, 8);
-        let free = height_bounded(&p, 8, false, None).final_matrix.get(0, 8);
+        let restricted = height_bounded(&p, 3, false, &CostTracer::disabled())
+            .final_matrix
+            .get(0, 8);
+        let free = height_bounded(&p, 8, false, &CostTracer::disabled())
+            .final_matrix
+            .get(0, 8);
         assert!(restricted > free, "restricted {restricted} ≤ free {free}");
     }
 
@@ -197,7 +203,7 @@ mod tests {
             let w = gen::sorted(gen::uniform_weights(13, 30, seed));
             let p = pw(&w);
             let h = 4u32;
-            let hb = height_bounded(&p, h, true, None);
+            let hb = height_bounded(&p, h, true, &CostTracer::disabled());
             let t = reconstruct_segment(&hb, 0, 13).expect("2^4 ≥ 13");
             t.validate().unwrap();
             assert!(t.height() <= h, "seed={seed}");
@@ -218,7 +224,7 @@ mod tests {
     fn reconstruction_of_inner_segments() {
         let w = gen::sorted(gen::uniform_weights(12, 20, 5));
         let p = pw(&w);
-        let hb = height_bounded(&p, 3, true, None);
+        let hb = height_bounded(&p, 3, true, &CostTracer::disabled());
         let t = reconstruct_segment(&hb, 4, 9).expect("5 leaves fit in height 3");
         let tags: Vec<_> = t.leaf_levels().iter().map(|&(_, t)| t.unwrap()).collect();
         assert_eq!(tags, vec![4, 5, 6, 7, 8]);
@@ -227,7 +233,7 @@ mod tests {
     #[test]
     fn infeasible_segment_returns_none() {
         let p = pw(&[1.0; 9]);
-        let hb = height_bounded(&p, 2, true, None);
+        let hb = height_bounded(&p, 2, true, &CostTracer::disabled());
         assert!(reconstruct_segment(&hb, 0, 9).is_none());
     }
 

@@ -36,8 +36,8 @@
 #![warn(clippy::all)]
 
 pub mod alphabetic;
-pub mod garsia_wachs;
 pub mod dp;
+pub mod garsia_wachs;
 pub mod height_bounded;
 pub mod package_merge;
 pub mod parallel;
@@ -54,7 +54,13 @@ use partree_monge::Matrix;
 /// `+∞` otherwise — concave by construction.
 pub fn weight_matrix(pw: &PrefixWeights) -> Matrix {
     let n = pw.len();
-    Matrix::from_fn(n + 1, n + 1, |i, j| if i < j { pw.sum(i, j) } else { Cost::INFINITY })
+    Matrix::from_fn(n + 1, n + 1, |i, j| {
+        if i < j {
+            pw.sum(i, j)
+        } else {
+            Cost::INFINITY
+        }
+    })
 }
 
 /// Validates a frequency slice: non-empty, all finite and non-negative.

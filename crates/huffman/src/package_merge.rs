@@ -48,12 +48,17 @@ pub fn package_merge(sorted_weights: &[f64], limit: u32) -> Result<(Vec<u32>, Co
         return Ok((vec![0], Cost::ZERO));
     }
     if limit < 64 && (1u64 << limit) < n as u64 {
-        return Err(Error::invalid(format!("no code with {n} symbols fits in {limit} bits")));
+        return Err(Error::invalid(format!(
+            "no code with {n} symbols fits in {limit} bits"
+        )));
     }
 
     // Level-L list: one coin per symbol, already sorted.
     let singletons: Vec<Item> = (0..n)
-        .map(|i| Item { weight: sorted_weights[i], leaves: vec![i as u32] })
+        .map(|i| Item {
+            weight: sorted_weights[i],
+            leaves: vec![i as u32],
+        })
         .collect();
 
     let mut list = singletons.clone();
@@ -64,7 +69,10 @@ pub fn package_merge(sorted_weights: &[f64], limit: u32) -> Result<(Vec<u32>, Co
         for pair in &mut it {
             let mut leaves = pair[0].leaves.clone();
             leaves.extend_from_slice(&pair[1].leaves);
-            packages.push(Item { weight: pair[0].weight + pair[1].weight, leaves });
+            packages.push(Item {
+                weight: pair[0].weight + pair[1].weight,
+                leaves,
+            });
         }
         // …and merge with the next level's singletons (both sorted).
         list = merge(singletons.clone(), packages);
@@ -131,7 +139,7 @@ mod tests {
             for limit in 4..=8u32 {
                 let (lengths, cost) = package_merge(&w, limit).unwrap();
                 assert!(lengths.iter().all(|&l| l <= limit));
-                let hb = height_bounded(&pw, limit, false, None);
+                let hb = height_bounded(&pw, limit, false, &partree_pram::CostTracer::disabled());
                 assert_eq!(
                     cost,
                     hb.final_matrix.get(0, 13),
@@ -157,7 +165,10 @@ mod tests {
         for limit in (4..=11u32).rev() {
             let (_, cost) = package_merge(&w, limit).unwrap();
             if let Some(p) = prev {
-                assert!(cost >= p, "tightening the limit must not get cheaper: L={limit}");
+                assert!(
+                    cost >= p,
+                    "tightening the limit must not get cheaper: L={limit}"
+                );
             }
             prev = Some(cost);
         }

@@ -23,7 +23,7 @@ use crate::sequential::weighted_length;
 use crate::spine::{spine_cost, spine_matrix, spine_segments};
 use partree_core::cost::PrefixWeights;
 use partree_core::{Cost, Error, Result};
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 use partree_trees::arena::TreeBuilder;
 use partree_trees::Tree;
 
@@ -66,37 +66,61 @@ impl HuffmanCode {
 /// # Ok::<(), partree_core::Error>(())
 /// ```
 pub fn huffman_parallel(weights: &[f64]) -> Result<HuffmanCode> {
-    huffman_parallel_counted(weights, None)
+    huffman_parallel_traced(weights, &CostTracer::disabled())
 }
 
-/// [`huffman_parallel`] with work counting.
-pub fn huffman_parallel_counted(
-    weights: &[f64],
-    counter: Option<&OpCounter>,
-) -> Result<HuffmanCode> {
+/// [`huffman_parallel`] with per-phase work/depth tracing. Spans opened
+/// on `tracer`, in order:
+///
+/// * `sort` — comparison count of the stable sort; depth charged as the
+///   `⌈log₂ n⌉` rounds of the PRAM merge sort it stands in for;
+/// * `height_bounded_dp` — the `⌈log n⌉` concave squarings;
+/// * `spine_sweep` — the sequential backward sweep over `A_H`
+///   (`n` work, `n` depth: this step is not parallelized here);
+/// * `reconstruct` — one round per off-spine segment, work = leaves
+///   materialized (the alphabetic DP's comparisons are outside the
+///   paper's work bound and are not counted).
+pub fn huffman_parallel_traced(weights: &[f64], tracer: &CostTracer) -> Result<HuffmanCode> {
     crate::check_weights(weights)?;
     let n = weights.len();
     if n == 1 {
-        return Ok(HuffmanCode { lengths: vec![0], cost: Cost::ZERO, tree: Tree::leaf(Some(0)) });
+        return Ok(HuffmanCode {
+            lengths: vec![0],
+            cost: Cost::ZERO,
+            tree: Tree::leaf(Some(0)),
+        });
     }
 
-    let (perm, sorted) = sort_perm(weights);
+    let sort = tracer.span("sort");
+    let (perm, sorted, cmps) = sort_perm(weights);
+    sort.add_work(cmps);
+    sort.add_depth(ceil_log2(n));
     let pw = PrefixWeights::new(&sorted);
 
     // Step 1: height-bounded optimal trees.
-    let hb = height_bounded(&pw, default_height(n), false, counter);
+    let hb = height_bounded(
+        &pw,
+        default_height(n),
+        false,
+        &tracer.span("height_bounded_dp"),
+    );
 
     // Step 2: spine decomposition (backward sweep over A_H).
+    let sweep = tracer.span("spine_sweep");
     let (bounds, cost) = spine_segments(&hb.final_matrix, &pw);
+    sweep.add_work(n as u64);
+    sweep.add_depth(n as u64);
 
     // Step 3: materialize — leftmost leaf, then one off-spine subtree
     // per segment, bottom-up.
+    let rec = tracer.span("reconstruct");
     let mut builder = TreeBuilder::new();
     let mut spine_node = builder.leaf(Some(0));
     for seg in bounds.windows(2) {
         let sub = alphabetic_optimal(&pw, seg[0], seg[1]);
         let sub_root = import(&mut builder, &sub.tree);
         spine_node = builder.internal(spine_node, Some(sub_root));
+        rec.step((seg[1] - seg[0]) as u64);
     }
     let mut tree = builder.build(spine_node)?;
 
@@ -115,7 +139,11 @@ pub fn huffman_parallel_counted(
         )));
     }
 
-    Ok(HuffmanCode { lengths, cost, tree })
+    Ok(HuffmanCode {
+        lengths,
+        cost,
+        tree,
+    })
 }
 
 /// Witness-based variant: retains the per-round cut matrices of the
@@ -129,20 +157,24 @@ pub fn huffman_parallel_witnessed(weights: &[f64]) -> Result<HuffmanCode> {
     crate::check_weights(weights)?;
     let n = weights.len();
     if n == 1 {
-        return Ok(HuffmanCode { lengths: vec![0], cost: Cost::ZERO, tree: Tree::leaf(Some(0)) });
+        return Ok(HuffmanCode {
+            lengths: vec![0],
+            cost: Cost::ZERO,
+            tree: Tree::leaf(Some(0)),
+        });
     }
 
-    let (perm, sorted) = sort_perm(weights);
+    let (perm, sorted, _) = sort_perm(weights);
     let pw = PrefixWeights::new(&sorted);
     let height = default_height(n);
-    let hb = height_bounded(&pw, height, true, None);
+    let hb = height_bounded(&pw, height, true, &CostTracer::disabled());
     let (bounds, cost) = spine_segments(&hb.final_matrix, &pw);
 
     let mut builder = TreeBuilder::new();
     let mut spine_node = builder.leaf(Some(0));
     for seg in bounds.windows(2) {
-        let sub = crate::height_bounded::reconstruct_segment(&hb, seg[0], seg[1])
-            .ok_or_else(|| {
+        let sub =
+            crate::height_bounded::reconstruct_segment(&hb, seg[0], seg[1]).ok_or_else(|| {
                 Error::Internal(format!(
                     "spine segment ({}, {}] has no height-{height} witness",
                     seg[0], seg[1]
@@ -163,40 +195,65 @@ pub fn huffman_parallel_witnessed(weights: &[f64]) -> Result<HuffmanCode> {
             "witnessed tree cost {direct} != spine cost {cost}"
         )));
     }
-    Ok(HuffmanCode { lengths, cost, tree })
+    Ok(HuffmanCode {
+        lengths,
+        cost,
+        tree,
+    })
 }
 
 /// Cost-only path: the paper's Theorem 5.1 computation end to end on
 /// concave products (no reconstruction, `O(n²)` memory).
 pub fn huffman_parallel_cost(weights: &[f64]) -> Result<Cost> {
-    huffman_parallel_cost_counted(weights, None)
+    huffman_parallel_cost_traced(weights, &CostTracer::disabled())
 }
 
-/// [`huffman_parallel_cost`] with work counting.
-pub fn huffman_parallel_cost_counted(
-    weights: &[f64],
-    counter: Option<&OpCounter>,
-) -> Result<Cost> {
+/// [`huffman_parallel_cost`] with per-phase work/depth tracing. Spans
+/// opened on `tracer`: `sort`, `height_bounded_dp` (⌈log n⌉ concave
+/// squarings — depth `O(log² n)`), and `spine` (the `M'` build plus
+/// `⌈log n⌉ + 1` more squarings — depth `O(log² n)`). The whole
+/// pipeline therefore aggregates to `O(log² n)` depth, the Theorem 5.1
+/// time bound.
+pub fn huffman_parallel_cost_traced(weights: &[f64], tracer: &CostTracer) -> Result<Cost> {
     crate::check_weights(weights)?;
     let n = weights.len();
     if n == 1 {
         return Ok(Cost::ZERO);
     }
-    let (_, sorted) = sort_perm(weights);
+    let sort = tracer.span("sort");
+    let (_, sorted, cmps) = sort_perm(weights);
+    sort.add_work(cmps);
+    sort.add_depth(ceil_log2(n));
     let pw = PrefixWeights::new(&sorted);
-    let hb = height_bounded(&pw, default_height(n), false, counter);
+    let hb = height_bounded(
+        &pw,
+        default_height(n),
+        false,
+        &tracer.span("height_bounded_dp"),
+    );
+    let spine = tracer.span("spine");
     let m = spine_matrix(&hb.final_matrix, &pw);
+    spine.step(((n + 1) * (n + 1)) as u64); // M' built in one sweep
     let squarings = (n as f64).log2().ceil() as usize + 1;
-    Ok(spine_cost(&m, squarings, counter))
+    Ok(spine_cost(&m, squarings, &spine))
 }
 
-/// Stable sort permutation: returns `(perm, sorted)` with
+/// `⌈log₂ n⌉` for `n ≥ 1`.
+fn ceil_log2(n: usize) -> u64 {
+    u64::from(usize::BITS - n.saturating_sub(1).leading_zeros())
+}
+
+/// Stable sort permutation: returns `(perm, sorted, comparisons)` with
 /// `sorted[k] = weights[perm[k]]`.
-fn sort_perm(weights: &[f64]) -> (Vec<usize>, Vec<f64>) {
+fn sort_perm(weights: &[f64]) -> (Vec<usize>, Vec<f64>, u64) {
+    let cmps = std::cell::Cell::new(0u64);
     let mut perm: Vec<usize> = (0..weights.len()).collect();
-    perm.sort_by(|&a, &b| weights[a].total_cmp(&weights[b]));
+    perm.sort_by(|&a, &b| {
+        cmps.set(cmps.get() + 1);
+        weights[a].total_cmp(&weights[b])
+    });
     let sorted = perm.iter().map(|&i| weights[i]).collect();
-    (perm, sorted)
+    (perm, sorted, cmps.get())
 }
 
 /// Copies `sub` into `builder`, returning the new root id.
@@ -349,8 +406,7 @@ mod tests {
         // Entropy ≤ average length < entropy + 1 (source coding theorem).
         let w = gen::zipf_weights(64, 1.0, 2);
         let total: f64 = w.iter().sum();
-        let entropy: f64 =
-            w.iter().map(|&x| (x / total) * (total / x).log2()).sum();
+        let entropy: f64 = w.iter().map(|&x| (x / total) * (total / x).log2()).sum();
         let par = huffman_parallel(&w).unwrap();
         let avg = par.average_length(&w);
         assert!(avg >= entropy - 1e-9, "avg {avg} < entropy {entropy}");

@@ -37,7 +37,12 @@ pub fn huffman_heap(weights: &[f64]) -> Result<SeqHuffman> {
     let n = weights.len();
 
     let mut nodes: Vec<Node> = (0..n)
-        .map(|i| Node { parent: NONE, left: NONE, right: NONE, tag: Some(i) })
+        .map(|i| Node {
+            parent: NONE,
+            left: NONE,
+            right: NONE,
+            tag: Some(i),
+        })
         .collect();
 
     // (weight, node id): Ord on the pair gives weight-then-age ties.
@@ -50,7 +55,12 @@ pub fn huffman_heap(weights: &[f64]) -> Result<SeqHuffman> {
         let Reverse((wa, a)) = heap.pop().expect("len >= 2");
         let Reverse((wb, b)) = heap.pop().expect("len >= 2");
         let id = nodes.len();
-        nodes.push(Node { parent: NONE, left: a, right: b, tag: None });
+        nodes.push(Node {
+            parent: NONE,
+            left: a,
+            right: b,
+            tag: None,
+        });
         nodes[a].parent = id;
         nodes[b].parent = id;
         let w = wa + wb;
@@ -67,12 +77,19 @@ pub fn huffman_heap(weights: &[f64]) -> Result<SeqHuffman> {
 pub fn huffman_two_queue(sorted_weights: &[f64]) -> Result<SeqHuffman> {
     check_weights(sorted_weights)?;
     if sorted_weights.windows(2).any(|w| w[0] > w[1]) {
-        return Err(partree_core::Error::invalid("two-queue Huffman requires sorted weights"));
+        return Err(partree_core::Error::invalid(
+            "two-queue Huffman requires sorted weights",
+        ));
     }
     let n = sorted_weights.len();
 
     let mut nodes: Vec<Node> = (0..n)
-        .map(|i| Node { parent: NONE, left: NONE, right: NONE, tag: Some(i) })
+        .map(|i| Node {
+            parent: NONE,
+            left: NONE,
+            right: NONE,
+            tag: Some(i),
+        })
         .collect();
 
     // Queue 1: leaves in weight order; queue 2: merged nodes in creation
@@ -83,7 +100,7 @@ pub fn huffman_two_queue(sorted_weights: &[f64]) -> Result<SeqHuffman> {
 
     let mut cost = Cost::ZERO;
     let take_min = |q1: &mut std::collections::VecDeque<(Cost, usize)>,
-                        q2: &mut std::collections::VecDeque<(Cost, usize)>| {
+                    q2: &mut std::collections::VecDeque<(Cost, usize)>| {
         match (q1.front().copied(), q2.front().copied()) {
             (Some(a), Some(b)) => {
                 // Prefer the leaf queue on ties (deterministic; matches
@@ -104,7 +121,12 @@ pub fn huffman_two_queue(sorted_weights: &[f64]) -> Result<SeqHuffman> {
         let (wa, a) = take_min(&mut q1, &mut q2);
         let (wb, b) = take_min(&mut q1, &mut q2);
         let id = nodes.len();
-        nodes.push(Node { parent: NONE, left: a, right: b, tag: None });
+        nodes.push(Node {
+            parent: NONE,
+            left: a,
+            right: b,
+            tag: None,
+        });
         nodes[a].parent = id;
         nodes[b].parent = id;
         let w = wa + wb;
@@ -112,7 +134,11 @@ pub fn huffman_two_queue(sorted_weights: &[f64]) -> Result<SeqHuffman> {
         q2.push_back((w, id));
     }
 
-    let root = q1.pop_front().or_else(|| q2.pop_front()).expect("non-empty").1;
+    let root = q1
+        .pop_front()
+        .or_else(|| q2.pop_front())
+        .expect("non-empty")
+        .1;
     finish(nodes, root, n, cost)
 }
 
@@ -122,7 +148,11 @@ fn finish(nodes: Vec<Node>, root: usize, n: usize, cost: Cost) -> Result<SeqHuff
     for (depth, tag) in tree.leaf_levels() {
         lengths[tag.expect("all leaves tagged")] = depth;
     }
-    Ok(SeqHuffman { cost, lengths, tree })
+    Ok(SeqHuffman {
+        cost,
+        lengths,
+        tree,
+    })
 }
 
 /// `Σ wᵢ·lᵢ` for given lengths — the checking identity used by tests.

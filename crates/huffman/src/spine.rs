@@ -28,7 +28,7 @@ use partree_core::cost::PrefixWeights;
 use partree_core::Cost;
 use partree_monge::closure::power_trace;
 use partree_monge::Matrix;
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 
 /// Builds the paper's spine matrix `M'` from `A_H` (with the zero
 /// self-loop at vertex 0 already added).
@@ -51,7 +51,7 @@ pub fn spine_matrix(a_h: &Matrix, pw: &PrefixWeights) -> Matrix {
 /// The optimal weighted path length via repeated concave squaring of
 /// `M'` — the fully parallel cost path of Theorem 5.1. `squarings`
 /// should be `⌈log₂ n⌉ + 1` so that paths of length up to `n` fit.
-pub fn spine_cost(m_prime: &Matrix, squarings: usize, counter: Option<&OpCounter>) -> Cost {
+pub fn spine_cost(m_prime: &Matrix, squarings: usize, tracer: &CostTracer) -> Cost {
     let n = m_prime.rows() - 1;
     if n == 0 {
         return Cost::ZERO;
@@ -59,7 +59,7 @@ pub fn spine_cost(m_prime: &Matrix, squarings: usize, counter: Option<&OpCounter
     if n == 1 {
         return m_prime.get(0, 1);
     }
-    let trace = power_trace(m_prime, squarings, counter);
+    let trace = power_trace(m_prime, squarings, tracer);
     trace.final_matrix().get(0, n)
 }
 
@@ -112,7 +112,7 @@ mod tests {
     fn setup(w: &[f64]) -> (PrefixWeights, Matrix) {
         let pw = PrefixWeights::new(w);
         let h = default_height(w.len());
-        let hb = height_bounded(&pw, h, false, None);
+        let hb = height_bounded(&pw, h, false, &CostTracer::disabled());
         (pw, hb.final_matrix)
     }
 
@@ -132,7 +132,7 @@ mod tests {
             let w = gen::sorted(gen::uniform_weights(9, 30, seed));
             let (pw, a_h) = setup(&w);
             let m = spine_matrix(&a_h, &pw);
-            let cost = spine_cost(&m, 5, None);
+            let cost = spine_cost(&m, 5, &CostTracer::disabled());
             let huff = huffman_heap(&w).unwrap();
             assert_eq!(cost, huff.cost, "seed={seed}: weights {w:?}");
         }
@@ -145,7 +145,7 @@ mod tests {
         let w = gen::sorted(gen::geometric_weights(20, 1.8, 0));
         let (pw, a_h) = setup(&w);
         let m = spine_matrix(&a_h, &pw);
-        let cost = spine_cost(&m, 6, None);
+        let cost = spine_cost(&m, 6, &CostTracer::disabled());
         assert_eq!(cost, huffman_heap(&w).unwrap().cost);
     }
 
@@ -155,7 +155,7 @@ mod tests {
             let w = gen::sorted(gen::zipf_weights(24, 1.1, seed));
             let (pw, a_h) = setup(&w);
             let m = spine_matrix(&a_h, &pw);
-            let power_cost = spine_cost(&m, 6, None);
+            let power_cost = spine_cost(&m, 6, &CostTracer::disabled());
             let (bounds, sweep_cost) = spine_segments(&a_h, &pw);
             assert_eq!(power_cost, sweep_cost, "seed={seed}");
             // Bounds: start at 1, end at n, strictly increasing, and each
@@ -174,7 +174,7 @@ mod tests {
         let w = [1.0, 2.0];
         let (pw, a_h) = setup(&w);
         let m = spine_matrix(&a_h, &pw);
-        assert_eq!(spine_cost(&m, 2, None), Cost::new(3.0));
+        assert_eq!(spine_cost(&m, 2, &CostTracer::disabled()), Cost::new(3.0));
         let (bounds, c) = spine_segments(&a_h, &pw);
         assert_eq!(bounds, vec![1, 2]);
         assert_eq!(c, Cost::new(3.0));
@@ -185,7 +185,7 @@ mod tests {
         let w = [5.0];
         let (pw, a_h) = setup(&w);
         let m = spine_matrix(&a_h, &pw);
-        assert_eq!(spine_cost(&m, 1, None), Cost::ZERO);
+        assert_eq!(spine_cost(&m, 1, &CostTracer::disabled()), Cost::ZERO);
         assert_eq!(spine_segments(&a_h, &pw).0, vec![1]);
     }
 }

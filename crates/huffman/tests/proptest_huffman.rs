@@ -57,7 +57,7 @@ proptest! {
         let (lengths, cost) = package_merge(&w, limit).unwrap();
         prop_assert!(lengths.iter().all(|&l| l <= limit));
         let pw = PrefixWeights::new(&w);
-        let hb = height_bounded(&pw, limit, false, None);
+        let hb = height_bounded(&pw, limit, false, &partree_pram::CostTracer::disabled());
         prop_assert_eq!(cost, hb.final_matrix.get(0, n));
     }
 

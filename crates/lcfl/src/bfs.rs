@@ -25,9 +25,9 @@ impl Derivation {
         let mut cur: Option<usize> = None;
         for (idx, r) in self.rules.iter().enumerate() {
             let head = match *r {
-                Rule::Left { head, .. } | Rule::Right { head, .. } | Rule::Terminal { head, .. } => {
-                    head
-                }
+                Rule::Left { head, .. }
+                | Rule::Right { head, .. }
+                | Rule::Terminal { head, .. } => head,
             };
             if let Some(expect) = cur {
                 if head != expect {
@@ -104,12 +104,16 @@ pub fn parse_bfs(grammar: &LinearGrammar, word: &[u8]) -> Option<Derivation> {
         }
         for r in grammar.rules() {
             let next = match *r {
-                Rule::Right { head, body, terminal } if head == p && terminal == word[j] => {
-                    Some((i, j - 1, body))
-                }
-                Rule::Left { head, terminal, body } if head == p && terminal == word[i] => {
-                    Some((i + 1, j, body))
-                }
+                Rule::Right {
+                    head,
+                    body,
+                    terminal,
+                } if head == p && terminal == word[j] => Some((i, j - 1, body)),
+                Rule::Left {
+                    head,
+                    terminal,
+                    body,
+                } if head == p && terminal == word[i] => Some((i + 1, j, body)),
                 _ => None,
             };
             if let Some((ni, nj, nq)) = next {
@@ -204,11 +208,24 @@ mod tests {
     #[test]
     fn derivation_validator_rejects_garbage() {
         let bad = Derivation {
-            rules: vec![Rule::Terminal { head: 0, terminal: b'a' }, Rule::Terminal { head: 0, terminal: b'a' }],
+            rules: vec![
+                Rule::Terminal {
+                    head: 0,
+                    terminal: b'a',
+                },
+                Rule::Terminal {
+                    head: 0,
+                    terminal: b'a',
+                },
+            ],
         };
         assert!(bad.derived_string().is_none());
         let dangling = Derivation {
-            rules: vec![Rule::Left { head: 0, terminal: b'a', body: 0 }],
+            rules: vec![Rule::Left {
+                head: 0,
+                terminal: b'a',
+                body: 0,
+            }],
         };
         assert!(dangling.derived_string().is_none());
     }

@@ -20,6 +20,7 @@
 
 use crate::grammar::{LinearGrammar, Rule};
 use partree_monge::BitMatrix;
+use partree_pram::CostTracer;
 
 /// Recognizes `w` with the parallel divide-and-conquer recognizer.
 ///
@@ -32,28 +33,46 @@ use partree_monge::BitMatrix;
 /// assert!(!recognize_divide(&g, b"abab"));
 /// ```
 pub fn recognize_divide(grammar: &LinearGrammar, word: &[u8]) -> bool {
+    recognize_divide_traced(grammar, word, &CostTracer::disabled())
+}
+
+/// [`recognize_divide`] with per-phase cost accounting.
+///
+/// The span tree mirrors the balanced product tree: each internal node
+/// records one Boolean-product round (charged the dense word-operation
+/// bound `p·q·⌈r/64⌉`), with its two halves as parallel children — so
+/// the aggregated depth is the `O(log n)` round count of Theorem 8.1,
+/// not the total number of products.
+pub fn recognize_divide_traced(grammar: &LinearGrammar, word: &[u8], tracer: &CostTracer) -> bool {
     let n = word.len();
     if n == 0 {
         return false;
     }
     let nnt = grammar.n_nonterminals();
     if n == 1 {
+        tracer.step(grammar.rules().len() as u64);
         return grammar.rules().iter().any(|r| {
             matches!(*r, Rule::Terminal { head, terminal } if head == grammar.start() && terminal == word[0])
         });
     }
 
     // The balanced product over transfer matrices T_{n-1} … T_1.
-    let total = product_range(grammar, word, n - 1, 1);
+    let total = {
+        let prod = tracer.span("product_tree");
+        product_range(grammar, word, n - 1, 1, &prod)
+    };
 
     // Start row: layer n−1 has the single cell (0, n−1); row = start nt.
     // Accepting columns: layer 0 cell i, nonterminal q with q → w_i.
+    let accept = tracer.span("accept_scan");
+    accept.step((n * grammar.rules().len()) as u64);
     let start_row = grammar.start();
     debug_assert_eq!(total.rows(), nnt);
     debug_assert_eq!(total.cols(), n * nnt);
     grammar.rules().iter().any(|r| match *r {
-        Rule::Terminal { head, terminal } => (0..n)
-            .any(|i| word[i] == terminal && total.get(start_row, i * nnt + head)),
+        Rule::Terminal { head, terminal } => {
+            (0..n).any(|i| word[i] == terminal && total.get(start_row, i * nnt + head))
+        }
         _ => false,
     })
 }
@@ -79,16 +98,22 @@ pub fn parse_divide(grammar: &LinearGrammar, word: &[u8]) -> Option<crate::bfs::
     }
 
     // Find an accepting endpoint on layer 0.
-    let total = product_range(grammar, word, n - 1, 1);
+    let total = product_range(grammar, word, n - 1, 1, &CostTracer::disabled());
     let (end_cell, end_nt) = (0..n)
         .flat_map(|i| (0..nnt).map(move |q| (i, q)))
-        .find(|&(i, q)| {
-            total.get(grammar.start(), i * nnt + q) && terminal_rule(i, q).is_some()
-        })?;
+        .find(|&(i, q)| total.get(grammar.start(), i * nnt + q) && terminal_rule(i, q).is_some())?;
 
     // Recover the full layer-by-layer state path.
-    let from = LayerVertex { layer: n - 1, cell: 0, nt: grammar.start() };
-    let to = LayerVertex { layer: 0, cell: end_cell, nt: end_nt };
+    let from = LayerVertex {
+        layer: n - 1,
+        cell: 0,
+        nt: grammar.start(),
+    };
+    let to = LayerVertex {
+        layer: 0,
+        cell: end_cell,
+        nt: end_nt,
+    };
     let mut states = vec![from];
     fill_path(grammar, word, from, to, &mut states);
     debug_assert_eq!(states.len(), n);
@@ -99,12 +124,16 @@ pub fn parse_divide(grammar: &LinearGrammar, word: &[u8]) -> Option<crate::bfs::
         let (a, b) = (pair[0], pair[1]);
         let (i, j) = (a.cell, a.cell + a.layer);
         let rule = grammar.rules().iter().copied().find(|r| match *r {
-            Rule::Right { head, body, terminal } => {
-                head == a.nt && body == b.nt && b.cell == a.cell && terminal == word[j]
-            }
-            Rule::Left { head, terminal, body } => {
-                head == a.nt && body == b.nt && b.cell == a.cell + 1 && terminal == word[i]
-            }
+            Rule::Right {
+                head,
+                body,
+                terminal,
+            } => head == a.nt && body == b.nt && b.cell == a.cell && terminal == word[j],
+            Rule::Left {
+                head,
+                terminal,
+                body,
+            } => head == a.nt && body == b.nt && b.cell == a.cell + 1 && terminal == word[i],
             _ => false,
         })?;
         rules.push(rule);
@@ -141,8 +170,8 @@ fn fill_path(
     let mid = ((from.layer + to.layer) / 2).max(to.layer + 1);
     // from → mid is the product of transfers T_from … T_{mid+1};
     // mid → to is T_mid … T_{to+1}.
-    let p_up = product_range(grammar, word, from.layer, mid + 1);
-    let p_dn = product_range(grammar, word, mid, to.layer + 1);
+    let p_up = product_range(grammar, word, from.layer, mid + 1, &CostTracer::disabled());
+    let p_dn = product_range(grammar, word, mid, to.layer + 1, &CostTracer::disabled());
 
     let mid_cells = word.len() - mid;
     let from_row = from.cell * nnt + from.nt;
@@ -151,24 +180,46 @@ fn fill_path(
         .flat_map(|c| (0..nnt).map(move |p| (c, p)))
         .find(|&(c, p)| p_up.get(from_row, c * nnt + p) && p_dn.get(c * nnt + p, to_col))
         .expect("a reachable pair always has a midpoint witness");
-    let mid_state = LayerVertex { layer: mid, cell: c, nt: p };
+    let mid_state = LayerVertex {
+        layer: mid,
+        cell: c,
+        nt: p,
+    };
     fill_path(grammar, word, from, mid_state, out);
     fill_path(grammar, word, mid_state, to, out);
 }
 
 /// Product `T_hi · T_{hi-1} · … · T_lo` (layers descending), balanced,
 /// halves computed in parallel.
-fn product_range(grammar: &LinearGrammar, word: &[u8], hi: usize, lo: usize) -> BitMatrix {
+///
+/// Cost model: building `T_hi` at a leaf is one round of
+/// `(n−hi)·|rules|` work; an internal node spawns its halves as
+/// *parallel* children (depth = max of the two) and then charges one
+/// combining round of `p·q·⌈r/64⌉` word-ORs — the dense bound on
+/// [`BitMatrix::mul`].
+fn product_range(
+    grammar: &LinearGrammar,
+    word: &[u8],
+    hi: usize,
+    lo: usize,
+    tracer: &CostTracer,
+) -> BitMatrix {
     debug_assert!(hi >= lo);
     if hi == lo {
-        return transfer(grammar, word, hi);
+        let t = transfer(grammar, word, hi);
+        tracer.step(((word.len() - hi) * grammar.rules().len()) as u64);
+        return t;
     }
     let mid = (hi + lo).div_ceil(2); // upper half [hi, mid], lower half [mid-1, lo]
+    let (left, right) = (tracer.par_span("left"), tracer.par_span("right"));
     let (a, b) = rayon::join(
-        || product_range(grammar, word, hi, mid),
-        || product_range(grammar, word, mid - 1, lo),
+        || product_range(grammar, word, hi, mid, &left),
+        || product_range(grammar, word, mid - 1, lo, &right),
     );
-    a.mul(&b)
+    let mul_work = (a.rows() * a.cols()) as u64 * b.cols().div_ceil(64) as u64;
+    let out = a.mul(&b);
+    tracer.step(mul_work);
+    out
 }
 
 /// The transfer matrix `T_d`: layer `d` (cells `(i, i+d)`,
@@ -182,11 +233,19 @@ fn transfer(grammar: &LinearGrammar, word: &[u8], d: usize) -> BitMatrix {
         let j = i + d;
         for r in grammar.rules() {
             match *r {
-                Rule::Right { head, body, terminal } if terminal == word[j] => {
+                Rule::Right {
+                    head,
+                    body,
+                    terminal,
+                } if terminal == word[j] => {
                     // (i, j) → (i, j−1): layer d−1 cell index i.
                     t.set(i * nnt + head, i * nnt + body, true);
                 }
-                Rule::Left { head, terminal, body } if terminal == word[i] => {
+                Rule::Left {
+                    head,
+                    terminal,
+                    body,
+                } if terminal == word[i] => {
                     // (i, j) → (i+1, j): layer d−1 cell index i+1.
                     t.set(i * nnt + head, (i + 1) * nnt + body, true);
                 }
@@ -300,11 +359,46 @@ mod tests {
                 let w = gen::random_string(len, b"ab", seed + 500);
                 let a = parse_divide(&g, &w);
                 let b = parse_bfs(&g, &w);
-                assert_eq!(a.is_some(), b.is_some(), "{gname} on {:?}", String::from_utf8_lossy(&w));
+                assert_eq!(
+                    a.is_some(),
+                    b.is_some(),
+                    "{gname} on {:?}",
+                    String::from_utf8_lossy(&w)
+                );
                 if let Some(d) = a {
                     assert_eq!(d.derived_string().unwrap(), w);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn tracer_depth_is_logarithmic() {
+        // The product tree over n−1 transfer matrices has ⌈log₂(n−1)⌉
+        // combine levels; each contributes one round on top of the max
+        // of its parallel halves, plus one leaf round and the accept
+        // scan. So depth ≤ ⌈log₂(n−1)⌉ + 2 — far below the n−2 rounds
+        // a sequential product chain would report.
+        let g = even_palindromes();
+        for half in [8usize, 32, 128] {
+            let w = gen::palindrome(half, 3);
+            let n = w.len();
+            let t = CostTracer::named("divide");
+            assert!(recognize_divide_traced(&g, &w, &t));
+            let wd = t.aggregate();
+            let lg = u64::from(usize::BITS - (n - 2).leading_zeros());
+            assert!(
+                wd.depth <= lg + 2,
+                "n={n}: depth {} exceeds log bound {}",
+                wd.depth,
+                lg + 2
+            );
+            assert!(wd.work > 0);
+            // The span tree mirrors the recursion: root has the product
+            // tree and the accept scan as sequential children.
+            let snap = t.snapshot();
+            assert!(snap.find("product_tree").is_some());
+            assert!(snap.find("accept_scan").is_some());
         }
     }
 

@@ -56,21 +56,31 @@ impl LinearGrammar {
             return Err(Error::InvalidGrammar("no nonterminals".into()));
         }
         if start >= n {
-            return Err(Error::InvalidGrammar(format!("start symbol {start} out of range")));
+            return Err(Error::InvalidGrammar(format!(
+                "start symbol {start} out of range"
+            )));
         }
         if rules.is_empty() {
             return Err(Error::InvalidGrammar("no productions".into()));
         }
         for r in &rules {
             let (h, b) = match *r {
-                Rule::Left { head, body, .. } | Rule::Right { head, body, .. } => (head, Some(body)),
+                Rule::Left { head, body, .. } | Rule::Right { head, body, .. } => {
+                    (head, Some(body))
+                }
                 Rule::Terminal { head, .. } => (head, None),
             };
             if h >= n || b.is_some_and(|b| b >= n) {
-                return Err(Error::InvalidGrammar(format!("rule {r:?} references unknown nonterminal")));
+                return Err(Error::InvalidGrammar(format!(
+                    "rule {r:?} references unknown nonterminal"
+                )));
             }
         }
-        Ok(LinearGrammar { names, rules, start })
+        Ok(LinearGrammar {
+            names,
+            rules,
+            start,
+        })
     }
 
     /// Number of nonterminals.
@@ -107,10 +117,16 @@ impl LinearGrammar {
         }
         self.rules.iter().any(|r| match *r {
             Rule::Terminal { head, terminal } => head == nt && w.len() == 1 && w[0] == terminal,
-            Rule::Left { head, terminal, body } => {
-                head == nt && w[0] == terminal && self.derives_rec(body, &w[1..])
-            }
-            Rule::Right { head, body, terminal } => {
+            Rule::Left {
+                head,
+                terminal,
+                body,
+            } => head == nt && w[0] == terminal && self.derives_rec(body, &w[1..]),
+            Rule::Right {
+                head,
+                body,
+                terminal,
+            } => {
                 head == nt
                     && *w.last().expect("nonempty") == terminal
                     && self.derives_rec(body, &w[..w.len() - 1])
@@ -158,7 +174,12 @@ pub fn normalize(
 
     for rule in rules {
         match rule {
-            GeneralRule::Linear { head, left, body, right } => {
+            GeneralRule::Linear {
+                head,
+                left,
+                body,
+                right,
+            } => {
                 if left.is_empty() && right.is_empty() {
                     return Err(Error::InvalidGrammar(format!(
                         "unit production {head} → {body} is not supported (eliminate unit rules first)"
@@ -173,15 +194,27 @@ pub fn normalize(
                     } else {
                         body
                     };
-                    out.push(Rule::Left { head: cur, terminal: b, body: next });
+                    out.push(Rule::Left {
+                        head: cur,
+                        terminal: b,
+                        body: next,
+                    });
                     cur = next;
                 }
                 let mut right_syms: Vec<u8> = right.clone();
                 // Peel from the outside in: A → C v means peel the LAST
                 // symbol of v first.
                 while let Some(b) = right_syms.pop() {
-                    let next = if right_syms.is_empty() { body } else { fresh(&mut names) };
-                    out.push(Rule::Right { head: cur, body: next, terminal: b });
+                    let next = if right_syms.is_empty() {
+                        body
+                    } else {
+                        fresh(&mut names)
+                    };
+                    out.push(Rule::Right {
+                        head: cur,
+                        body: next,
+                        terminal: b,
+                    });
                     cur = next;
                 }
             }
@@ -194,10 +227,17 @@ pub fn normalize(
                 let mut cur = head;
                 for (k, &b) in word.iter().enumerate() {
                     if k + 1 == word.len() {
-                        out.push(Rule::Terminal { head: cur, terminal: b });
+                        out.push(Rule::Terminal {
+                            head: cur,
+                            terminal: b,
+                        });
                     } else {
                         let next = fresh(&mut names);
-                        out.push(Rule::Left { head: cur, terminal: b, body: next });
+                        out.push(Rule::Left {
+                            head: cur,
+                            terminal: b,
+                            body: next,
+                        });
                         cur = next;
                     }
                 }
@@ -222,9 +262,20 @@ pub fn random_grammar(n_nonterminals: usize, n_rules: usize, seed: u64) -> Linea
         // Guarantee at least one terminal rule (k == 0).
         let kind = if k == 0 { 2 } else { r.gen_range(0..3) };
         let rule = match kind {
-            0 => Rule::Left { head, terminal: term(&mut r), body: r.gen_range(0..n_nonterminals) },
-            1 => Rule::Right { head, body: r.gen_range(0..n_nonterminals), terminal: term(&mut r) },
-            _ => Rule::Terminal { head, terminal: term(&mut r) },
+            0 => Rule::Left {
+                head,
+                terminal: term(&mut r),
+                body: r.gen_range(0..n_nonterminals),
+            },
+            1 => Rule::Right {
+                head,
+                body: r.gen_range(0..n_nonterminals),
+                terminal: term(&mut r),
+            },
+            _ => Rule::Terminal {
+                head,
+                terminal: term(&mut r),
+            },
         };
         rules.push(rule);
     }
@@ -237,10 +288,26 @@ pub fn even_palindromes() -> LinearGrammar {
     normalize(
         vec!["S".into()],
         vec![
-            GeneralRule::Linear { head: 0, left: b"a".to_vec(), body: 0, right: b"a".to_vec() },
-            GeneralRule::Linear { head: 0, left: b"b".to_vec(), body: 0, right: b"b".to_vec() },
-            GeneralRule::Word { head: 0, word: b"aa".to_vec() },
-            GeneralRule::Word { head: 0, word: b"bb".to_vec() },
+            GeneralRule::Linear {
+                head: 0,
+                left: b"a".to_vec(),
+                body: 0,
+                right: b"a".to_vec(),
+            },
+            GeneralRule::Linear {
+                head: 0,
+                left: b"b".to_vec(),
+                body: 0,
+                right: b"b".to_vec(),
+            },
+            GeneralRule::Word {
+                head: 0,
+                word: b"aa".to_vec(),
+            },
+            GeneralRule::Word {
+                head: 0,
+                word: b"bb".to_vec(),
+            },
         ],
         0,
     )
@@ -253,12 +320,34 @@ pub fn palindromes() -> LinearGrammar {
     normalize(
         vec!["S".into()],
         vec![
-            GeneralRule::Linear { head: 0, left: b"a".to_vec(), body: 0, right: b"a".to_vec() },
-            GeneralRule::Linear { head: 0, left: b"b".to_vec(), body: 0, right: b"b".to_vec() },
-            GeneralRule::Word { head: 0, word: b"a".to_vec() },
-            GeneralRule::Word { head: 0, word: b"b".to_vec() },
-            GeneralRule::Word { head: 0, word: b"aa".to_vec() },
-            GeneralRule::Word { head: 0, word: b"bb".to_vec() },
+            GeneralRule::Linear {
+                head: 0,
+                left: b"a".to_vec(),
+                body: 0,
+                right: b"a".to_vec(),
+            },
+            GeneralRule::Linear {
+                head: 0,
+                left: b"b".to_vec(),
+                body: 0,
+                right: b"b".to_vec(),
+            },
+            GeneralRule::Word {
+                head: 0,
+                word: b"a".to_vec(),
+            },
+            GeneralRule::Word {
+                head: 0,
+                word: b"b".to_vec(),
+            },
+            GeneralRule::Word {
+                head: 0,
+                word: b"aa".to_vec(),
+            },
+            GeneralRule::Word {
+                head: 0,
+                word: b"bb".to_vec(),
+            },
         ],
         0,
     )
@@ -271,8 +360,16 @@ pub fn an_bn() -> LinearGrammar {
     normalize(
         vec!["S".into()],
         vec![
-            GeneralRule::Linear { head: 0, left: b"a".to_vec(), body: 0, right: b"b".to_vec() },
-            GeneralRule::Word { head: 0, word: b"ab".to_vec() },
+            GeneralRule::Linear {
+                head: 0,
+                left: b"a".to_vec(),
+                body: 0,
+                right: b"b".to_vec(),
+            },
+            GeneralRule::Word {
+                head: 0,
+                word: b"ab".to_vec(),
+            },
         ],
         0,
     )
@@ -286,9 +383,22 @@ pub fn more_as_than_bs() -> LinearGrammar {
     normalize(
         vec!["S".into()],
         vec![
-            GeneralRule::Linear { head: 0, left: b"a".to_vec(), body: 0, right: b"b".to_vec() },
-            GeneralRule::Linear { head: 0, left: b"a".to_vec(), body: 0, right: vec![] },
-            GeneralRule::Word { head: 0, word: b"a".to_vec() },
+            GeneralRule::Linear {
+                head: 0,
+                left: b"a".to_vec(),
+                body: 0,
+                right: b"b".to_vec(),
+            },
+            GeneralRule::Linear {
+                head: 0,
+                left: b"a".to_vec(),
+                body: 0,
+                right: vec![],
+            },
+            GeneralRule::Word {
+                head: 0,
+                word: b"a".to_vec(),
+            },
         ],
         0,
     )
@@ -352,13 +462,21 @@ mod tests {
     fn unit_and_epsilon_rules_rejected() {
         let unit = normalize(
             vec!["S".into(), "T".into()],
-            vec![GeneralRule::Linear { head: 0, left: vec![], body: 1, right: vec![] }],
+            vec![GeneralRule::Linear {
+                head: 0,
+                left: vec![],
+                body: 1,
+                right: vec![],
+            }],
             0,
         );
         assert!(unit.is_err());
         let eps = normalize(
             vec!["S".into()],
-            vec![GeneralRule::Word { head: 0, word: vec![] }],
+            vec![GeneralRule::Word {
+                head: 0,
+                word: vec![],
+            }],
             0,
         );
         assert!(eps.is_err());
@@ -370,13 +488,19 @@ mod tests {
         assert!(LinearGrammar::new(vec!["S".into()], vec![], 0).is_err());
         assert!(LinearGrammar::new(
             vec!["S".into()],
-            vec![Rule::Terminal { head: 5, terminal: b'a' }],
+            vec![Rule::Terminal {
+                head: 5,
+                terminal: b'a'
+            }],
             0
         )
         .is_err());
         assert!(LinearGrammar::new(
             vec!["S".into()],
-            vec![Rule::Terminal { head: 0, terminal: b'a' }],
+            vec![Rule::Terminal {
+                head: 0,
+                terminal: b'a'
+            }],
             3
         )
         .is_err());
@@ -386,7 +510,10 @@ mod tests {
     fn long_word_rule_normalizes_to_chain() {
         let g = normalize(
             vec!["S".into()],
-            vec![GeneralRule::Word { head: 0, word: b"abc".to_vec() }],
+            vec![GeneralRule::Word {
+                head: 0,
+                word: b"abc".to_vec(),
+            }],
             0,
         )
         .unwrap();
@@ -407,7 +534,10 @@ mod tests {
                     body: 0,
                     right: b"ba".to_vec(),
                 },
-                GeneralRule::Word { head: 0, word: b"x".to_vec() },
+                GeneralRule::Word {
+                    head: 0,
+                    word: b"x".to_vec(),
+                },
             ],
             0,
         )

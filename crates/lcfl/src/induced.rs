@@ -59,10 +59,18 @@ impl<'a> InducedGraph<'a> {
         }
         for r in self.grammar.rules() {
             match *r {
-                Rule::Right { head, body, terminal } if head == p && terminal == self.word[j] => {
+                Rule::Right {
+                    head,
+                    body,
+                    terminal,
+                } if head == p && terminal == self.word[j] => {
                     out.push((i, j - 1, body));
                 }
-                Rule::Left { head, terminal, body } if head == p && terminal == self.word[i] => {
+                Rule::Left {
+                    head,
+                    terminal,
+                    body,
+                } if head == p && terminal == self.word[i] => {
                     out.push((i + 1, j, body));
                 }
                 _ => {}
@@ -120,7 +128,15 @@ impl<'a> InducedGraph<'a> {
             s.push_str(&"  ".repeat(i));
             for j in i..n {
                 let d = j - i;
-                let c = if d == mid { '|' } else if d > mid { 'U' } else if j < mid { 'L' } else { 'R' };
+                let c = if d == mid {
+                    '|'
+                } else if d > mid {
+                    'U'
+                } else if j < mid {
+                    'L'
+                } else {
+                    'R'
+                };
                 s.push(c);
                 s.push(' ');
             }

@@ -44,6 +44,6 @@ pub mod induced;
 pub mod separator;
 
 pub use bfs::recognize_bfs;
-pub use divide::{parse_divide, recognize_divide};
-pub use separator::recognize_separator;
+pub use divide::{parse_divide, recognize_divide, recognize_divide_traced};
 pub use grammar::LinearGrammar;
+pub use separator::recognize_separator;

@@ -40,10 +40,18 @@ pub fn recognize_separator(grammar: &LinearGrammar, word: &[u8]) -> bool {
         });
     }
 
-    let ctx = Ctx { grammar, word, nnt: grammar.n_nonterminals() };
+    let ctx = Ctx {
+        grammar,
+        word,
+        nnt: grammar.n_nonterminals(),
+    };
     let (cells, reach) = triangle_reach(&ctx, 0, n - 1);
-    let slot: HashMap<(usize, usize), usize> =
-        cells.iter().copied().enumerate().map(|(k, c)| (c, k)).collect();
+    let slot: HashMap<(usize, usize), usize> = cells
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(k, c)| (c, k))
+        .collect();
 
     let start = slot[&(0, n - 1)] * ctx.nnt + grammar.start();
     grammar.rules().iter().any(|r| match *r {
@@ -73,14 +81,18 @@ impl Ctx<'_> {
         }
         for r in self.grammar.rules() {
             match *r {
-                Rule::Right { head, body, terminal }
-                    if head == p && terminal == self.word[j] =>
-                {
+                Rule::Right {
+                    head,
+                    body,
+                    terminal,
+                } if head == p && terminal == self.word[j] => {
                     out.push((i, j - 1, body));
                 }
-                Rule::Left { head, terminal, body }
-                    if head == p && terminal == self.word[i] =>
-                {
+                Rule::Left {
+                    head,
+                    terminal,
+                    body,
+                } if head == p && terminal == self.word[i] => {
                     out.push((i + 1, j, body));
                 }
                 _ => {}
@@ -140,7 +152,11 @@ fn triangle_reach(ctx: &Ctx, lo: usize, hi: usize) -> (Vec<(usize, usize)>, BitM
     let (q_cells, q_reach) = rect_reach(ctx, lo, mid, mid + 1, hi);
     let reach = combine(
         ctx,
-        &[(&a_cells, &a_reach), (&b_cells, &b_reach), (&q_cells, &q_reach)],
+        &[
+            (&a_cells, &a_reach),
+            (&b_cells, &b_reach),
+            (&q_cells, &q_reach),
+        ],
         &boundary,
     );
     (boundary, reach)
@@ -158,16 +174,24 @@ fn rect_reach(
     let rows = r1 - r0;
     let cols = c1 - c0;
     if rows.max(cols) < BASE {
-        let reach = brute_reach(ctx, &boundary, &|i, j| r0 <= i && i <= r1 && c0 <= j && j <= c1);
+        let reach = brute_reach(ctx, &boundary, &|i, j| {
+            r0 <= i && i <= r1 && c0 <= j && j <= c1
+        });
         return (boundary, reach);
     }
     // Split the longer dimension.
     let (p1, p2) = if rows >= cols {
         let rm = (r0 + r1) / 2;
-        (rect_reach(ctx, r0, rm, c0, c1), rect_reach(ctx, rm + 1, r1, c0, c1))
+        (
+            rect_reach(ctx, r0, rm, c0, c1),
+            rect_reach(ctx, rm + 1, r1, c0, c1),
+        )
     } else {
         let cm = (c0 + c1) / 2;
-        (rect_reach(ctx, r0, r1, cm + 1, c1), rect_reach(ctx, r0, r1, c0, cm))
+        (
+            rect_reach(ctx, r0, r1, cm + 1, c1),
+            rect_reach(ctx, r0, r1, c0, cm),
+        )
     };
     let reach = combine(ctx, &[(&p1.0, &p1.1), (&p2.0, &p2.1)], &boundary);
     (boundary, reach)
@@ -182,8 +206,12 @@ fn brute_reach(
     in_region: &dyn Fn(usize, usize) -> bool,
 ) -> BitMatrix {
     let nnt = ctx.nnt;
-    let slot: HashMap<(usize, usize), usize> =
-        boundary.iter().copied().enumerate().map(|(k, c)| (c, k)).collect();
+    let slot: HashMap<(usize, usize), usize> = boundary
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(k, c)| (c, k))
+        .collect();
     let mut out = BitMatrix::zeros(boundary.len() * nnt, boundary.len() * nnt);
     for (bk, &(bi, bj)) in boundary.iter().enumerate() {
         for p in 0..nnt {

@@ -28,7 +28,12 @@ impl BitMatrix {
     /// The all-zeros `rows × cols` matrix.
     pub fn zeros(rows: usize, cols: usize) -> BitMatrix {
         let words_per_row = cols.div_ceil(64);
-        BitMatrix { rows, cols, words_per_row, bits: vec![0; rows * words_per_row] }
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            bits: vec![0; rows * words_per_row],
+        }
     }
 
     /// The `n × n` identity matrix.
@@ -44,14 +49,21 @@ impl BitMatrix {
     pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> bool + Sync) -> BitMatrix {
         let words_per_row = cols.div_ceil(64);
         let mut bits = vec![0u64; rows * words_per_row];
-        bits.par_chunks_mut(words_per_row.max(1)).enumerate().for_each(|(i, row)| {
-            for j in 0..cols {
-                if f(i, j) {
-                    row[j / 64] |= 1 << (j % 64);
+        bits.par_chunks_mut(words_per_row.max(1))
+            .enumerate()
+            .for_each(|(i, row)| {
+                for j in 0..cols {
+                    if f(i, j) {
+                        row[j / 64] |= 1 << (j % 64);
+                    }
                 }
-            }
-        });
-        BitMatrix { rows, cols, words_per_row, bits }
+            });
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            bits,
+        }
     }
 
     /// Number of rows.
@@ -104,19 +116,22 @@ impl BitMatrix {
         assert_eq!(self.cols, rhs.rows, "dimension mismatch");
         let mut out = BitMatrix::zeros(self.rows, rhs.cols);
         let wpr = out.words_per_row;
-        out.bits.par_chunks_mut(wpr.max(1)).enumerate().for_each(|(i, out_row)| {
-            for (wi, &word) in self.row(i).iter().enumerate() {
-                let mut w = word;
-                while w != 0 {
-                    let k = wi * 64 + w.trailing_zeros() as usize;
-                    w &= w - 1;
-                    let rk = rhs.row(k);
-                    for (o, &r) in out_row.iter_mut().zip(rk) {
-                        *o |= r;
+        out.bits
+            .par_chunks_mut(wpr.max(1))
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                for (wi, &word) in self.row(i).iter().enumerate() {
+                    let mut w = word;
+                    while w != 0 {
+                        let k = wi * 64 + w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        let rk = rhs.row(k);
+                        for (o, &r) in out_row.iter_mut().zip(rk) {
+                            *o |= r;
+                        }
                     }
                 }
-            }
-        });
+            });
         out
     }
 
@@ -188,7 +203,13 @@ mod tests {
 
     #[test]
     fn packed_product_matches_naive_square() {
-        for (n, density, seed) in [(1, 0.5, 1), (17, 0.2, 2), (64, 0.1, 3), (100, 0.05, 4), (129, 0.3, 5)] {
+        for (n, density, seed) in [
+            (1, 0.5, 1),
+            (17, 0.2, 2),
+            (64, 0.1, 3),
+            (100, 0.05, 4),
+            (129, 0.3, 5),
+        ] {
             let a = random_bits(n, n, density, seed);
             let b = random_bits(n, n, density, seed + 100);
             assert_eq!(a.mul(&b), a.mul_naive(&b), "n={n}");
@@ -197,7 +218,12 @@ mod tests {
 
     #[test]
     fn packed_product_matches_naive_rectangular() {
-        for (p, q, r, seed) in [(3, 70, 5, 1), (65, 2, 130, 2), (1, 1, 1, 3), (40, 100, 7, 4)] {
+        for (p, q, r, seed) in [
+            (3, 70, 5, 1),
+            (65, 2, 130, 2),
+            (1, 1, 1, 3),
+            (40, 100, 7, 4),
+        ] {
             let a = random_bits(p, q, 0.2, seed);
             let b = random_bits(q, r, 0.2, seed + 50);
             let c = a.mul(&b);

@@ -20,25 +20,28 @@
 use crate::cut::{MinPlusProduct, UNTRUSTED};
 use crate::dense::Matrix;
 use partree_core::Cost;
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 use rayon::prelude::*;
 
 /// Multiplies two concave matrices with the §4.2 stride schedule
 /// (`⌈log log n⌉ + 1` refinement rounds). Same contract as
-/// [`crate::cut::concave_mul`].
-pub fn concave_mul_bottom_up(
-    a: &Matrix,
-    b: &Matrix,
-    counter: Option<&OpCounter>,
-) -> MinPlusProduct {
+/// [`crate::cut::concave_mul`]; the tracer is charged one depth round
+/// per phase — `2(⌈log log n⌉ + 1) + 1` rounds total.
+pub fn concave_mul_bottom_up(a: &Matrix, b: &Matrix, tracer: &CostTracer) -> MinPlusProduct {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let (p, q, r) = (a.rows(), a.cols(), b.cols());
 
     if p == 0 || r == 0 {
-        return MinPlusProduct { values: Matrix::infinite(p, r), cut: vec![] };
+        return MinPlusProduct {
+            values: Matrix::infinite(p, r),
+            cut: vec![],
+        };
     }
     if q == 0 {
-        return MinPlusProduct { values: Matrix::infinite(p, r), cut: vec![UNTRUSTED; p * r] };
+        return MinPlusProduct {
+            values: Matrix::infinite(p, r),
+            cut: vec![UNTRUSTED; p * r],
+        };
     }
 
     let a_span = a.finite_row_spans();
@@ -60,13 +63,11 @@ pub fn concave_mul_bottom_up(
         expo /= 2.0;
     }
 
-    // Seed entry (0, 0).
+    // Seed entry (0, 0) — one round.
     {
         let (c, ops) = solve_range(a, b, &a_span, &b_span, 0, 0, None, None);
         cut[0] = c;
-        if let Some(cnt) = counter {
-            cnt.add(ops);
-        }
+        tracer.step(ops);
     }
 
     let shared = Cells(cut.as_mut_ptr());
@@ -87,8 +88,7 @@ pub fn concave_mul_bottom_up(
                     let mut lo_cut = lo_known.and_then(|i0| shared.read(i0, j, r));
                     let hi_cut = hi_known.and_then(|i1| shared.read(i1, j, r));
                     for &i in &fresh {
-                        let (c, ops) =
-                            solve_range(a, b, &a_span, &b_span, i, j, lo_cut, hi_cut);
+                        let (c, ops) = solve_range(a, b, &a_span, &b_span, i, j, lo_cut, hi_cut);
                         // SAFETY: rows in `fresh` belong to exactly one gap.
                         unsafe { shared.write(i, j, r, c) };
                         if c != UNTRUSTED {
@@ -100,9 +100,7 @@ pub fn concave_mul_bottom_up(
                 local
             })
             .sum();
-        if let Some(cnt) = counter {
-            cnt.add(ops);
-        }
+        tracer.step(ops);
 
         // Phase 2 — new columns at all current rows; chain within column
         // gaps of each row. Rows are independent tasks.
@@ -115,8 +113,7 @@ pub fn concave_mul_bottom_up(
                     let mut lo_cut = lo_known.and_then(|j0| shared.read(i, j0, r));
                     let hi_cut = hi_known.and_then(|j1| shared.read(i, j1, r));
                     for &j in fresh {
-                        let (c, ops) =
-                            solve_range(a, b, &a_span, &b_span, i, j, lo_cut, hi_cut);
+                        let (c, ops) = solve_range(a, b, &a_span, &b_span, i, j, lo_cut, hi_cut);
                         // SAFETY: each task owns row `i` exclusively.
                         unsafe { shared.write(i, j, r, c) };
                         if c != UNTRUSTED {
@@ -128,9 +125,7 @@ pub fn concave_mul_bottom_up(
                 local
             })
             .sum();
-        if let Some(cnt) = counter {
-            cnt.add(ops);
-        }
+        tracer.step(ops);
     }
 
     let values = Matrix::from_fn(p, r, |i, j| match cut[i * r + j] {
@@ -152,10 +147,7 @@ fn grid(len: usize, stride: usize) -> Vec<usize> {
 
 /// Splits the refinement `prev → curr` into gap tasks: each item is
 /// `(known_below, known_above, fresh_indices_in_between)`.
-fn gaps(
-    prev: &[usize],
-    curr: &[usize],
-) -> Vec<(Option<usize>, Option<usize>, Vec<usize>)> {
+fn gaps(prev: &[usize], curr: &[usize]) -> Vec<(Option<usize>, Option<usize>, Vec<usize>)> {
     let prev_set: std::collections::HashSet<usize> = prev.iter().copied().collect();
     let mut out = Vec::new();
     let mut fresh = Vec::new();
@@ -189,8 +181,12 @@ fn solve_range(
     lo_neighbor: Option<u32>,
     hi_neighbor: Option<u32>,
 ) -> (u32, u64) {
-    let Some((alo, ahi)) = a_span[i] else { return (UNTRUSTED, 0) };
-    let Some((blo, bhi)) = b_span[j] else { return (UNTRUSTED, 0) };
+    let Some((alo, ahi)) = a_span[i] else {
+        return (UNTRUSTED, 0);
+    };
+    let Some((blo, bhi)) = b_span[j] else {
+        return (UNTRUSTED, 0);
+    };
     let mut lo = alo.max(blo);
     let mut hi = ahi.min(bhi);
     if let Some(l) = lo_neighbor {
@@ -263,8 +259,8 @@ mod tests {
         for seed in 0..8 {
             let a = random_concave(19, 13, seed);
             let b = random_concave(13, 23, seed + 31);
-            let fast = concave_mul_bottom_up(&a, &b, None);
-            let slow = min_plus_naive(&a, &b, None);
+            let fast = concave_mul_bottom_up(&a, &b, &CostTracer::disabled());
+            let slow = min_plus_naive(&a, &b, &CostTracer::disabled());
             assert!(fast.values.approx_eq(&slow, 1e-9), "seed={seed}");
         }
     }
@@ -274,8 +270,8 @@ mod tests {
         for seed in 0..5 {
             let a = random_concave(33, 21, seed);
             let b = random_concave(21, 27, seed + 5);
-            let x = concave_mul_bottom_up(&a, &b, None);
-            let y = concave_mul(&a, &b, None);
+            let x = concave_mul_bottom_up(&a, &b, &CostTracer::disabled());
+            let y = concave_mul(&a, &b, &CostTracer::disabled());
             assert!(x.values.approx_eq(&y.values, 1e-9), "seed={seed}");
             assert_eq!(x.cut, y.cut, "seed={seed}");
         }
@@ -293,8 +289,8 @@ mod tests {
                 Cost::INFINITY
             }
         });
-        let fast = concave_mul_bottom_up(&s, &s, None);
-        let slow = min_plus_naive(&s, &s, None);
+        let fast = concave_mul_bottom_up(&s, &s, &CostTracer::disabled());
+        let slow = min_plus_naive(&s, &s, &CostTracer::disabled());
         assert!(fast.values.approx_eq(&slow, 1e-9));
     }
 
@@ -303,8 +299,8 @@ mod tests {
         for (p, q, r) in [(1, 4, 9), (9, 4, 1), (2, 2, 2), (64, 5, 3)] {
             let a = random_concave(p, q, 1);
             let b = random_concave(q, r, 2);
-            let fast = concave_mul_bottom_up(&a, &b, None);
-            let slow = min_plus_naive(&a, &b, None);
+            let fast = concave_mul_bottom_up(&a, &b, &CostTracer::disabled());
+            let slow = min_plus_naive(&a, &b, &CostTracer::disabled());
             assert!(fast.values.approx_eq(&slow, 1e-9), "({p},{q},{r})");
         }
     }
@@ -314,10 +310,17 @@ mod tests {
         let n = 128;
         let a = random_concave(n, n, 3);
         let b = random_concave(n, n, 4);
-        let c = OpCounter::new();
-        let _ = concave_mul_bottom_up(&a, &b, Some(&c));
+        let c = CostTracer::named("bottom_up");
+        let _ = concave_mul_bottom_up(&a, &b, &c);
+        let wd = c.aggregate();
         let bound = 10 * (n * n) as u64;
-        assert!(c.get() <= bound, "bottom-up used {} ops, bound {bound}", c.get());
+        assert!(
+            wd.work <= bound,
+            "bottom-up used {} ops, bound {bound}",
+            wd.work
+        );
+        // Depth: 1 seed round + 2 per stride window — O(log log n).
+        assert!(wd.depth <= 11, "bottom-up depth {} on n={n}", wd.depth);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::cut::{concave_mul, MinPlusProduct};
 use crate::dense::Matrix;
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 
 /// The result of repeatedly squaring a matrix, with all intermediate
 /// witnesses retained for path reconstruction.
@@ -27,16 +27,19 @@ pub struct PowerTrace {
 /// Squares `m` (a square concave matrix) `squarings` times using concave
 /// multiplication, retaining witnesses. The final matrix is
 /// `m^{2^squarings}`.
-pub fn power_trace(m: &Matrix, squarings: usize, counter: Option<&OpCounter>) -> PowerTrace {
+pub fn power_trace(m: &Matrix, squarings: usize, tracer: &CostTracer) -> PowerTrace {
     assert_eq!(m.rows(), m.cols(), "power of a non-square matrix");
     let mut levels = Vec::with_capacity(squarings);
     let mut cur = m.clone();
     for _ in 0..squarings {
-        let prod = concave_mul(&cur, &cur, counter);
+        let prod = concave_mul(&cur, &cur, tracer);
         cur = prod.values.clone();
         levels.push(prod);
     }
-    PowerTrace { base: m.clone(), levels }
+    PowerTrace {
+        base: m.clone(),
+        levels,
+    }
 }
 
 impl PowerTrace {
@@ -110,7 +113,7 @@ pub fn all_pairs_min_paths(m: &Matrix) -> Matrix {
     let mut acc = m.entrywise_min(&Matrix::identity(n));
     let mut span = 1usize;
     while span + 1 < n.max(2) {
-        acc = crate::dense::min_plus_naive(&acc, &acc, None);
+        acc = crate::dense::min_plus_naive(&acc, &acc, &CostTracer::disabled());
         span *= 2;
     }
     acc
@@ -140,11 +143,11 @@ mod tests {
     #[test]
     fn squared_matrix_matches_naive_power() {
         let m = quadratic_jump_graph(9);
-        let trace = power_trace(&m, 3, None);
+        let trace = power_trace(&m, 3, &CostTracer::disabled());
         // Naive m^8 by repeated naive multiplication.
         let mut naive = m.clone();
         for _ in 0..3 {
-            naive = min_plus_naive(&naive, &naive, None);
+            naive = min_plus_naive(&naive, &naive, &CostTracer::disabled());
         }
         assert!(trace.final_matrix().approx_eq(&naive, 1e-9));
         assert_eq!(trace.squarings(), 3);
@@ -153,7 +156,7 @@ mod tests {
     #[test]
     fn zero_squarings_is_identity_operation() {
         let m = quadratic_jump_graph(5);
-        let trace = power_trace(&m, 0, None);
+        let trace = power_trace(&m, 0, &CostTracer::disabled());
         assert!(trace.final_matrix().approx_eq(&m, 0.0));
         // A walk of length 2^0 = 1 is a single edge.
         assert_eq!(trace.reconstruct_walk(1, 4), Some(vec![1, 4]));
@@ -165,7 +168,7 @@ mod tests {
         let n = 13;
         let m = quadratic_jump_graph(n);
         let squarings = 4; // paths of length 16 ≥ n
-        let trace = power_trace(&m, squarings, None);
+        let trace = power_trace(&m, squarings, &CostTracer::disabled());
         for j in 0..n {
             let walk = trace.reconstruct_walk(0, j).expect("reachable");
             assert_eq!(walk.len(), (1 << squarings) + 1);
@@ -187,7 +190,7 @@ mod tests {
         // steps: twelve 1-jumps = 12.
         let n = 13;
         let m = quadratic_jump_graph(n);
-        let trace = power_trace(&m, 4, None);
+        let trace = power_trace(&m, 4, &CostTracer::disabled());
         assert_eq!(trace.final_matrix().get(0, n - 1), Cost::from(12u64));
         let path = trace.reconstruct_simple_path(0, n - 1).unwrap();
         // Collapsed path: 0,1,2,…,12 (dwell steps at 0 removed).
@@ -245,7 +248,7 @@ mod tests {
     #[test]
     fn unreachable_pairs_return_none() {
         let m = quadratic_jump_graph(6);
-        let trace = power_trace(&m, 3, None);
+        let trace = power_trace(&m, 3, &CostTracer::disabled());
         assert!(trace.reconstruct_walk(5, 0).is_none());
         assert!(trace.reconstruct_simple_path(3, 1).is_none());
     }

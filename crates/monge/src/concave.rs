@@ -36,7 +36,13 @@ pub fn is_concave(m: &Matrix, tol: f64) -> bool {
 pub fn first_violation(m: &Matrix, tol: f64) -> Option<(usize, usize)> {
     for i in 0..m.rows().saturating_sub(1) {
         for j in 0..m.cols().saturating_sub(1) {
-            if violates(m.get(i, j), m.get(i + 1, j + 1), m.get(i, j + 1), m.get(i + 1, j), tol) {
+            if violates(
+                m.get(i, j),
+                m.get(i + 1, j + 1),
+                m.get(i, j + 1),
+                m.get(i + 1, j),
+                tol,
+            ) {
                 return Some((i, j));
             }
         }
@@ -135,7 +141,7 @@ mod tests {
         for seed in 0..8 {
             let a = random_concave(9, 11, seed);
             let b = random_concave(11, 7, seed + 100);
-            let c = min_plus_naive(&a, &b, None);
+            let c = min_plus_naive(&a, &b, &partree_pram::CostTracer::disabled());
             assert!(is_concave(&c, 1e-6), "seed={seed}");
         }
     }

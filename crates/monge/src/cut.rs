@@ -34,7 +34,7 @@
 
 use crate::dense::Matrix;
 use partree_core::Cost;
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 use rayon::prelude::*;
 
 /// Sentinel cut value for entries whose minimum is `+∞` (no finite
@@ -71,33 +71,49 @@ impl MinPlusProduct {
 /// use partree_core::gen;
 /// use partree_monge::cut::concave_mul;
 /// use partree_monge::dense::{min_plus_naive, Matrix};
-/// use partree_pram::OpCounter;
+/// use partree_pram::CostTracer;
 ///
 /// let a = Matrix::from_rows(&gen::random_monge(64, 64, 1));
 /// let b = Matrix::from_rows(&gen::random_monge(64, 64, 2));
-/// let ops = OpCounter::new();
-/// let fast = concave_mul(&a, &b, Some(&ops));
-/// assert!(fast.values.approx_eq(&min_plus_naive(&a, &b, None), 1e-9));
-/// assert!(ops.get() < 3 * 64 * 64);        // ≈ n², not n³
+/// let tracer = CostTracer::named("concave_mul");
+/// let fast = concave_mul(&a, &b, &tracer);
+/// let wd = tracer.aggregate();
+/// assert!(fast.values.approx_eq(&min_plus_naive(&a, &b, &CostTracer::disabled()), 1e-9));
+/// assert!(wd.work < 3 * 64 * 64);          // ≈ n², not n³ comparisons
+/// assert!(wd.depth <= 2 * 6 + 1);          // 2·log₂ n + 1 parallel rounds
 /// ```
 ///
-/// `counter` counts candidate evaluations (one per `A[i][k] + B[k][j]`
-/// considered), the paper's work measure.
-pub fn concave_mul(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> MinPlusProduct {
+/// `tracer` records candidate evaluations (one per `A[i][k] + B[k][j]`
+/// considered — the paper's work measure) and one depth round per
+/// stride-level interpolation sweep: the seed entry plus two sweeps per
+/// halving, `2⌈log₂ max(p,r)⌉ + 1` rounds total.
+pub fn concave_mul(a: &Matrix, b: &Matrix, tracer: &CostTracer) -> MinPlusProduct {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let (p, q, r) = (a.rows(), a.cols(), b.cols());
 
     if p == 0 || r == 0 {
-        return MinPlusProduct { values: Matrix::infinite(p, r), cut: vec![] };
+        return MinPlusProduct {
+            values: Matrix::infinite(p, r),
+            cut: vec![],
+        };
     }
     if q == 0 {
-        return MinPlusProduct { values: Matrix::infinite(p, r), cut: vec![UNTRUSTED; p * r] };
+        return MinPlusProduct {
+            values: Matrix::infinite(p, r),
+            cut: vec![UNTRUSTED; p * r],
+        };
     }
 
     let a_span = a.finite_row_spans();
     let b_span = b.finite_col_spans();
-    debug_assert!(spans_contiguous_rows(a), "A must have contiguous finite rows");
-    debug_assert!(spans_contiguous_cols(b), "B must have contiguous finite columns");
+    debug_assert!(
+        spans_contiguous_rows(a),
+        "A must have contiguous finite rows"
+    );
+    debug_assert!(
+        spans_contiguous_cols(b),
+        "B must have contiguous finite columns"
+    );
 
     let mut cut = vec![UNTRUSTED; p * r];
 
@@ -105,13 +121,11 @@ pub fn concave_mul(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> MinPl
     // the single entry (0, 0).
     let mut s = (p.max(r)).next_power_of_two();
 
-    // Seed entry (0, 0).
+    // Seed entry (0, 0) — one round.
     {
         let (c, ops) = solve_entry(a, b, &a_span, &b_span, 0, 0, None, None);
         cut[0] = c;
-        if let Some(cnt) = counter {
-            cnt.add(ops);
-        }
+        tracer.step(ops);
     }
 
     let shared = CutCells(cut.as_mut_ptr());
@@ -128,7 +142,11 @@ pub fn concave_mul(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> MinPl
                 let mut local = 0u64;
                 for j in (0..r).step_by(s) {
                     let lo = shared.read(i - half, j, r);
-                    let hi = if i + half < p { shared.read(i + half, j, r) } else { None };
+                    let hi = if i + half < p {
+                        shared.read(i + half, j, r)
+                    } else {
+                        None
+                    };
                     let (c, ops) = solve_entry(a, b, &a_span, &b_span, i, j, lo, hi);
                     // SAFETY: row `i` is written only by this task; reads
                     // touch only rows of the old grid.
@@ -138,9 +156,7 @@ pub fn concave_mul(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> MinPl
                 local
             })
             .sum();
-        if let Some(cnt) = counter {
-            cnt.add(ops);
-        }
+        tracer.step(ops);
 
         // Step B — interpolate the new columns (j ≡ half mod s) at all
         // current rows (i ≡ 0 mod half). Bounds come from the same row's
@@ -152,7 +168,11 @@ pub fn concave_mul(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> MinPl
                 let mut local = 0u64;
                 for j in (half..r).step_by(s) {
                     let lo = shared.read(i, j - half, r);
-                    let hi = if j + half < r { shared.read(i, j + half, r) } else { None };
+                    let hi = if j + half < r {
+                        shared.read(i, j + half, r)
+                    } else {
+                        None
+                    };
                     let (c, ops) = solve_entry(a, b, &a_span, &b_span, i, j, lo, hi);
                     // SAFETY: each task owns row `i` exclusively here.
                     unsafe { shared.write(i, j, r, c) };
@@ -161,9 +181,7 @@ pub fn concave_mul(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> MinPl
                 local
             })
             .sum();
-        if let Some(cnt) = counter {
-            cnt.add(ops);
-        }
+        tracer.step(ops);
 
         s = half;
     }
@@ -194,8 +212,12 @@ fn solve_entry(
     lo_neighbor: Option<u32>,
     hi_neighbor: Option<u32>,
 ) -> (u32, u64) {
-    let Some((alo, ahi)) = a_span[i] else { return (UNTRUSTED, 0) };
-    let Some((blo, bhi)) = b_span[j] else { return (UNTRUSTED, 0) };
+    let Some((alo, ahi)) = a_span[i] else {
+        return (UNTRUSTED, 0);
+    };
+    let Some((blo, bhi)) = b_span[j] else {
+        return (UNTRUSTED, 0);
+    };
     let mut lo = alo.max(blo);
     let mut hi = ahi.min(bhi);
     if let Some(l) = lo_neighbor {
@@ -262,8 +284,13 @@ unsafe impl Send for CutCells {}
 fn spans_contiguous_rows(m: &Matrix) -> bool {
     (0..m.rows()).all(|i| {
         let row = m.row(i);
-        let Some(first) = row.iter().position(|c| c.is_finite()) else { return true };
-        let last = row.iter().rposition(|c| c.is_finite()).expect("first exists");
+        let Some(first) = row.iter().position(|c| c.is_finite()) else {
+            return true;
+        };
+        let last = row
+            .iter()
+            .rposition(|c| c.is_finite())
+            .expect("first exists");
         row[first..=last].iter().all(|c| c.is_finite())
     })
 }
@@ -322,9 +349,12 @@ mod tests {
         for seed in 0..10 {
             let a = random_concave(13, 17, seed);
             let b = random_concave(17, 11, seed + 50);
-            let fast = concave_mul(&a, &b, None);
-            let slow = min_plus_naive(&a, &b, None);
-            assert!(fast.values.approx_eq(&slow, 1e-9), "values differ, seed={seed}");
+            let fast = concave_mul(&a, &b, &CostTracer::disabled());
+            let slow = min_plus_naive(&a, &b, &CostTracer::disabled());
+            assert!(
+                fast.values.approx_eq(&slow, 1e-9),
+                "values differ, seed={seed}"
+            );
             assert_eq!(fast.cut, cut_naive(&a, &b), "cuts differ, seed={seed}");
         }
     }
@@ -334,8 +364,8 @@ mod tests {
         for (p, q, r) in [(1, 5, 7), (7, 5, 1), (1, 1, 1), (2, 9, 2), (16, 3, 16)] {
             let a = random_concave(p, q, 7);
             let b = random_concave(q, r, 8);
-            let fast = concave_mul(&a, &b, None);
-            let slow = min_plus_naive(&a, &b, None);
+            let fast = concave_mul(&a, &b, &CostTracer::disabled());
+            let slow = min_plus_naive(&a, &b, &CostTracer::disabled());
             assert!(fast.values.approx_eq(&slow, 1e-9), "({p},{q},{r})");
         }
     }
@@ -354,8 +384,8 @@ mod tests {
                 Cost::INFINITY
             }
         });
-        let fast = concave_mul(&s, &s, None);
-        let slow = min_plus_naive(&s, &s, None);
+        let fast = concave_mul(&s, &s, &CostTracer::disabled());
+        let slow = min_plus_naive(&s, &s, &CostTracer::disabled());
         assert!(fast.values.approx_eq(&slow, 1e-9));
         // Untrusted exactly where the product is ∞.
         for i in 0..=n {
@@ -380,15 +410,15 @@ mod tests {
                 Cost::INFINITY
             }
         });
-        let fast = concave_mul(&m, &m, None);
-        let slow = min_plus_naive(&m, &m, None);
+        let fast = concave_mul(&m, &m, &CostTracer::disabled());
+        let slow = min_plus_naive(&m, &m, &CostTracer::disabled());
         assert!(fast.values.approx_eq(&slow, 1e-9));
     }
 
     #[test]
     fn all_infinite_inputs() {
         let a = Matrix::infinite(4, 4);
-        let out = concave_mul(&a, &a, None);
+        let out = concave_mul(&a, &a, &CostTracer::disabled());
         assert!(out.values.approx_eq(&Matrix::infinite(4, 4), 0.0));
         assert!(out.cut.iter().all(|&c| c == UNTRUSTED));
     }
@@ -397,11 +427,11 @@ mod tests {
     fn empty_dimensions() {
         let a = Matrix::infinite(0, 5);
         let b = Matrix::infinite(5, 3);
-        let out = concave_mul(&a, &b, None);
+        let out = concave_mul(&a, &b, &CostTracer::disabled());
         assert_eq!(out.values.rows(), 0);
         let a = Matrix::infinite(3, 0);
         let b = Matrix::infinite(0, 2);
-        let out = concave_mul(&a, &b, None);
+        let out = concave_mul(&a, &b, &CostTracer::disabled());
         assert_eq!(out.values.rows(), 3);
         assert!(out.values.approx_eq(&Matrix::infinite(3, 2), 0.0));
     }
@@ -412,18 +442,29 @@ mod tests {
         let n = 128;
         let a = random_concave(n, n, 1);
         let b = random_concave(n, n, 2);
-        let fast_ops = OpCounter::new();
-        let _ = concave_mul(&a, &b, Some(&fast_ops));
-        let slow_ops = OpCounter::new();
-        let _ = min_plus_naive(&a, &b, Some(&slow_ops));
-        assert_eq!(slow_ops.get(), (n * n * n) as u64);
+        let fast = CostTracer::named("fast");
+        let _ = concave_mul(&a, &b, &fast);
+        let slow = CostTracer::named("slow");
+        let _ = min_plus_naive(&a, &b, &slow);
+        assert_eq!(slow.aggregate().work, (n * n * n) as u64);
         // Generous constant: ≤ 8·n² + O(n log n) candidates.
         let bound = 8 * (n * n) as u64 + 64 * (n as u64) * 8;
-        assert!(
-            fast_ops.get() <= bound,
-            "fast used {} ops, bound {bound}",
-            fast_ops.get()
-        );
+        let got = fast.aggregate().work;
+        assert!(got <= bound, "fast used {got} ops, bound {bound}");
+    }
+
+    #[test]
+    fn depth_is_logarithmic() {
+        // One seed round plus two interpolation sweeps per stride
+        // halving: 2·log₂ n + 1 rounds exactly for power-of-two n.
+        for n in [16usize, 64, 256] {
+            let a = random_concave(n, n, 3);
+            let b = random_concave(n, n, 4);
+            let t = CostTracer::named("mul");
+            let _ = concave_mul(&a, &b, &t);
+            let lg = n.trailing_zeros() as u64;
+            assert_eq!(t.aggregate().depth, 2 * lg + 1, "n={n}");
+        }
     }
 
     #[test]
@@ -431,7 +472,7 @@ mod tests {
         for seed in 0..5 {
             let a = random_concave(20, 15, seed);
             let b = random_concave(15, 22, seed + 9);
-            let out = concave_mul(&a, &b, None);
+            let out = concave_mul(&a, &b, &CostTracer::disabled());
             let r = out.values.cols();
             for i in 0..out.values.rows() {
                 for j in 0..r - 1 {
@@ -456,8 +497,10 @@ mod tests {
         // admissible k (here 0).
         let a = Matrix::filled(3, 4, Cost::new(1.0));
         let b = Matrix::filled(4, 3, Cost::new(2.0));
-        let out = concave_mul(&a, &b, None);
+        let out = concave_mul(&a, &b, &CostTracer::disabled());
         assert!(out.cut.iter().all(|&c| c == 0), "cut = {:?}", out.cut);
-        assert!(out.values.approx_eq(&Matrix::filled(3, 3, Cost::new(3.0)), 0.0));
+        assert!(out
+            .values
+            .approx_eq(&Matrix::filled(3, 3, Cost::new(3.0)), 0.0));
     }
 }

@@ -7,7 +7,7 @@
 //! experiment E1.
 
 use partree_core::Cost;
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 use rayon::prelude::*;
 
 /// A dense row-major matrix of [`Cost`] values.
@@ -21,7 +21,11 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows × cols` matrix filled with `fill`.
     pub fn filled(rows: usize, cols: usize, fill: Cost) -> Matrix {
-        Matrix { rows, cols, data: vec![fill; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![fill; rows * cols],
+        }
     }
 
     /// A `rows × cols` matrix of `+∞` (the `(min,+)` zero matrix).
@@ -43,11 +47,13 @@ impl Matrix {
     /// parallel).
     pub fn from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> Cost + Sync) -> Matrix {
         let mut data = vec![Cost::ZERO; rows * cols];
-        data.par_chunks_mut(cols.max(1)).enumerate().for_each(|(i, row)| {
-            for (j, slot) in row.iter_mut().enumerate() {
-                *slot = f(i, j);
-            }
-        });
+        data.par_chunks_mut(cols.max(1))
+            .enumerate()
+            .for_each(|(i, row)| {
+                for (j, slot) in row.iter_mut().enumerate() {
+                    *slot = f(i, j);
+                }
+            });
         Matrix { rows, cols, data }
     }
 
@@ -101,27 +107,43 @@ impl Matrix {
     /// Entrywise minimum of two equally-shaped matrices — the semiring's
     /// matrix *addition*.
     pub fn entrywise_min(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         let data = self
             .data
             .par_iter()
             .zip(other.data.par_iter())
             .map(|(&a, &b)| a.min(b))
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Entrywise sum of two equally-shaped matrices (used for the
     /// paper's `A_{h-1} ⋆ A_{h-1} + S` update).
     pub fn entrywise_add(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
         let data = self
             .data
             .par_iter()
             .zip(other.data.par_iter())
             .map(|(&a, &b)| a + b)
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// `true` when every entry agrees within `tol` (with `∞ == ∞`).
@@ -143,7 +165,10 @@ impl Matrix {
             .map(|i| {
                 let row = self.row(i);
                 let first = row.iter().position(|c| c.is_finite())?;
-                let last = row.iter().rposition(|c| c.is_finite()).expect("first exists");
+                let last = row
+                    .iter()
+                    .rposition(|c| c.is_finite())
+                    .expect("first exists");
                 Some((first, last))
             })
             .collect()
@@ -190,28 +215,32 @@ impl std::fmt::Debug for Matrix {
 
 /// The naive `(min,+)` product: `O(p·q·r)` comparisons, rows in parallel.
 ///
-/// `counter`, when supplied, is bumped once per candidate comparison so
-/// experiment E1 can report exact work.
-pub fn min_plus_naive(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> Matrix {
+/// `tracer` is bumped once per candidate comparison so experiment E1
+/// can report exact work, and charged `⌈log₂(q+1)⌉` depth: one PRAM
+/// round of `p·q·r` processors followed by a balanced min-reduction
+/// over the `q` candidates of each entry.
+pub fn min_plus_naive(a: &Matrix, b: &Matrix, tracer: &CostTracer) -> Matrix {
     assert_eq!(a.cols, b.rows, "inner dimensions must agree");
     let (p, q, r) = (a.rows, a.cols, b.cols);
     let mut out = Matrix::infinite(p, r);
-    out.data.par_chunks_mut(r.max(1)).enumerate().for_each(|(i, out_row)| {
-        let a_row = a.row(i);
-        let mut local_ops = 0u64;
-        for (j, slot) in out_row.iter_mut().enumerate() {
-            let mut best = Cost::INFINITY;
-            for k in 0..q {
-                let cand = a_row[k] + b.get(k, j);
-                local_ops += 1;
-                best = best.min(cand);
+    out.data
+        .par_chunks_mut(r.max(1))
+        .enumerate()
+        .for_each(|(i, out_row)| {
+            let a_row = a.row(i);
+            let mut local_ops = 0u64;
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                let mut best = Cost::INFINITY;
+                for k in 0..q {
+                    let cand = a_row[k] + b.get(k, j);
+                    local_ops += 1;
+                    best = best.min(cand);
+                }
+                *slot = best;
             }
-            *slot = best;
-        }
-        if let Some(c) = counter {
-            c.add(local_ops);
-        }
-    });
+            tracer.add_work(local_ops);
+        });
+    tracer.add_depth((usize::BITS - q.leading_zeros()) as u64);
     out
 }
 
@@ -227,8 +256,8 @@ mod tests {
     fn identity_is_multiplicative_identity() {
         let a = m(&[&[1.0, 5.0, 2.0], &[0.0, 3.0, 7.0], &[4.0, 4.0, 4.0]]);
         let id = Matrix::identity(3);
-        assert_eq!(min_plus_naive(&a, &id, None), a);
-        assert_eq!(min_plus_naive(&id, &a, None), a);
+        assert_eq!(min_plus_naive(&a, &id, &CostTracer::disabled()), a);
+        assert_eq!(min_plus_naive(&id, &a, &CostTracer::disabled()), a);
     }
 
     #[test]
@@ -236,7 +265,7 @@ mod tests {
         // C[i][j] = min_k A[i][k] + B[k][j].
         let a = m(&[&[1.0, 2.0], &[3.0, 0.0]]);
         let b = m(&[&[5.0, 1.0], &[0.0, 4.0]]);
-        let c = min_plus_naive(&a, &b, None);
+        let c = min_plus_naive(&a, &b, &CostTracer::disabled());
         assert_eq!(c.get(0, 0), Cost::new(2.0)); // min(1+5, 2+0)
         assert_eq!(c.get(0, 1), Cost::new(2.0)); // min(1+1, 2+4)
         assert_eq!(c.get(1, 0), Cost::new(0.0)); // min(3+5, 0+0)
@@ -247,17 +276,19 @@ mod tests {
     fn infinity_rows_propagate() {
         let a = Matrix::infinite(2, 2);
         let b = Matrix::identity(2);
-        let c = min_plus_naive(&a, &b, None);
+        let c = min_plus_naive(&a, &b, &CostTracer::disabled());
         assert!(c.data.iter().all(|x| x.is_infinite()));
     }
 
     #[test]
-    fn counter_counts_pqr() {
+    fn tracer_counts_pqr() {
         let a = Matrix::filled(3, 4, Cost::ZERO);
         let b = Matrix::filled(4, 5, Cost::ZERO);
-        let c = OpCounter::new();
-        let _ = min_plus_naive(&a, &b, Some(&c));
-        assert_eq!(c.get(), 3 * 4 * 5);
+        let t = CostTracer::named("naive");
+        let _ = min_plus_naive(&a, &b, &t);
+        let wd = t.aggregate();
+        assert_eq!(wd.work, 3 * 4 * 5);
+        assert_eq!(wd.depth, 3); // ⌈log₂(4+1)⌉
     }
 
     #[test]
@@ -295,7 +326,7 @@ mod tests {
     fn dimension_mismatch_panics() {
         let a = Matrix::infinite(2, 3);
         let b = Matrix::infinite(2, 3);
-        let _ = min_plus_naive(&a, &b, None);
+        let _ = min_plus_naive(&a, &b, &CostTracer::disabled());
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::dense::Matrix;
 use partree_core::Cost;
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 use rayon::prelude::*;
 
 /// Computes, for each row `i` of the implicit `rows × cols` totally
@@ -30,7 +30,7 @@ pub fn smawk_row_minima(
     rows: usize,
     cols: usize,
     f: &(impl Fn(usize, usize) -> Cost + Sync),
-    counter: Option<&OpCounter>,
+    tracer: &CostTracer,
 ) -> Vec<u32> {
     let mut result = vec![0u32; rows];
     if rows == 0 || cols == 0 {
@@ -40,9 +40,7 @@ pub fn smawk_row_minima(
     let col_ids: Vec<usize> = (0..cols).collect();
     let mut ops = 0u64;
     smawk_inner(&row_ids, col_ids, f, &mut result, &mut ops);
-    if let Some(c) = counter {
-        c.add(ops);
-    }
+    tracer.add_work(ops);
     result
 }
 
@@ -142,7 +140,7 @@ pub fn monotone_row_minima(
     rows: usize,
     cols: usize,
     f: &(impl Fn(usize, usize) -> Cost + Sync),
-    counter: Option<&OpCounter>,
+    tracer: &CostTracer,
 ) -> Vec<u32> {
     let mut result = vec![0u32; rows];
     if rows == 0 || cols == 0 {
@@ -180,15 +178,13 @@ pub fn monotone_row_minima(
         }
     }
     rec(0, rows - 1, 0, cols - 1, f, &mut result, &mut ops);
-    if let Some(c) = counter {
-        c.add(ops);
-    }
+    tracer.add_work(ops);
     result
 }
 
 /// Concave `(min,+)` product via one SMAWK call per output row, rows in
 /// parallel. Requires all-finite inputs; see the module docs.
-pub fn smawk_mul(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> Matrix {
+pub fn smawk_mul(a: &Matrix, b: &Matrix, tracer: &CostTracer) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let (p, q, r) = (a.rows(), a.cols(), b.cols());
     let rows: Vec<Vec<Cost>> = (0..p)
@@ -198,7 +194,7 @@ pub fn smawk_mul(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> Matrix 
             // Column minima of D[k][j] = A[i][k] + B[k][j]: transpose the
             // roles so SMAWK's "rows" are the product's columns j.
             let g = |j: usize, k: usize| a_row[k] + b.get(k, j);
-            let args = smawk_row_minima(r, q, &g, counter);
+            let args = smawk_row_minima(r, q, &g, tracer);
             (0..r)
                 .map(|j| {
                     let k = args[j] as usize;
@@ -207,6 +203,9 @@ pub fn smawk_mul(a: &Matrix, b: &Matrix, counter: Option<&OpCounter>) -> Matrix 
                 .collect()
         })
         .collect();
+    // Depth: one parallel round of per-row *sequential* SMAWK — the
+    // O(q + r) scan is this ablation baseline's critical path.
+    tracer.add_depth((q + r) as u64);
     Matrix::from_fn(p, r, |i, j| rows[i][j])
 }
 
@@ -240,7 +239,12 @@ mod tests {
     fn row_minima_match_brute_force() {
         for seed in 0..10 {
             let m = random_concave(23, 17, seed);
-            let fast = smawk_row_minima(m.rows(), m.cols(), &|i, j| m.get(i, j), None);
+            let fast = smawk_row_minima(
+                m.rows(),
+                m.cols(),
+                &|i, j| m.get(i, j),
+                &CostTracer::disabled(),
+            );
             assert_eq!(fast, brute_row_minima(&m), "seed={seed}");
         }
     }
@@ -249,21 +253,24 @@ mod tests {
     fn row_minima_rectangular_extremes() {
         for (p, q) in [(1, 9), (9, 1), (1, 1), (2, 31), (31, 2)] {
             let m = random_concave(p, q, 3);
-            let fast = smawk_row_minima(p, q, &|i, j| m.get(i, j), None);
+            let fast = smawk_row_minima(p, q, &|i, j| m.get(i, j), &CostTracer::disabled());
             assert_eq!(fast, brute_row_minima(&m), "({p},{q})");
         }
     }
 
     #[test]
     fn row_minima_empty() {
-        assert!(smawk_row_minima(0, 5, &|_, _| Cost::ZERO, None).is_empty());
-        assert_eq!(smawk_row_minima(3, 0, &|_, _| Cost::ZERO, None), vec![0, 0, 0]);
+        assert!(smawk_row_minima(0, 5, &|_, _| Cost::ZERO, &CostTracer::disabled()).is_empty());
+        assert_eq!(
+            smawk_row_minima(3, 0, &|_, _| Cost::ZERO, &CostTracer::disabled()),
+            vec![0, 0, 0]
+        );
     }
 
     #[test]
     fn ties_break_leftmost() {
         // All-equal matrix: every row's minimum must be column 0.
-        let fast = smawk_row_minima(6, 8, &|_, _| Cost::new(5.0), None);
+        let fast = smawk_row_minima(6, 8, &|_, _| Cost::new(5.0), &CostTracer::disabled());
         assert!(fast.iter().all(|&c| c == 0));
     }
 
@@ -271,12 +278,12 @@ mod tests {
     fn work_is_linear_not_quadratic() {
         let n = 512;
         let m = random_concave(n, n, 4);
-        let c = OpCounter::new();
-        let _ = smawk_row_minima(n, n, &|i, j| m.get(i, j), Some(&c));
+        let c = CostTracer::named("smawk");
+        let _ = smawk_row_minima(n, n, &|i, j| m.get(i, j), &c);
+        let got = c.aggregate().work;
         assert!(
-            c.get() <= 20 * n as u64,
-            "SMAWK used {} ops on n={n} (expected O(n))",
-            c.get()
+            got <= 20 * n as u64,
+            "SMAWK used {got} ops on n={n} (expected O(n))"
         );
     }
 
@@ -285,26 +292,28 @@ mod tests {
         for seed in 0..8 {
             let m = random_concave(21, 33, seed);
             let f = |i: usize, j: usize| m.get(i, j);
-            let a = monotone_row_minima(m.rows(), m.cols(), &f, None);
-            let b = smawk_row_minima(m.rows(), m.cols(), &f, None);
+            let a = monotone_row_minima(m.rows(), m.cols(), &f, &CostTracer::disabled());
+            let b = smawk_row_minima(m.rows(), m.cols(), &f, &CostTracer::disabled());
             assert_eq!(a, brute_row_minima(&m), "seed={seed}");
             assert_eq!(a, b, "seed={seed}");
         }
-        assert!(monotone_row_minima(0, 5, &|_, _| Cost::ZERO, None).is_empty());
+        assert!(monotone_row_minima(0, 5, &|_, _| Cost::ZERO, &CostTracer::disabled()).is_empty());
     }
 
     #[test]
     fn monotone_divide_work_is_n_log_n() {
         let n = 512;
         let m = random_concave(n, n, 7);
-        let c = OpCounter::new();
-        let _ = monotone_row_minima(n, n, &|i, j| m.get(i, j), Some(&c));
+        let c = CostTracer::named("divide");
+        let _ = monotone_row_minima(n, n, &|i, j| m.get(i, j), &c);
+        let divide = c.aggregate().work;
         let bound = 3 * (n as u64) * (n as f64).log2() as u64;
-        assert!(c.get() <= bound, "used {} ops, bound {bound}", c.get());
+        assert!(divide <= bound, "used {divide} ops, bound {bound}");
         // …and strictly more than SMAWK's linear count (the ablation).
-        let s = OpCounter::new();
-        let _ = smawk_row_minima(n, n, &|i, j| m.get(i, j), Some(&s));
-        assert!(s.get() < c.get(), "SMAWK {} should beat divide {}", s.get(), c.get());
+        let s = CostTracer::named("smawk");
+        let _ = smawk_row_minima(n, n, &|i, j| m.get(i, j), &s);
+        let smawk = s.aggregate().work;
+        assert!(smawk < divide, "SMAWK {smawk} should beat divide {divide}");
     }
 
     #[test]
@@ -312,8 +321,8 @@ mod tests {
         for seed in 0..6 {
             let a = random_concave(14, 9, seed);
             let b = random_concave(9, 19, seed + 77);
-            let fast = smawk_mul(&a, &b, None);
-            let slow = min_plus_naive(&a, &b, None);
+            let fast = smawk_mul(&a, &b, &CostTracer::disabled());
+            let slow = min_plus_naive(&a, &b, &CostTracer::disabled());
             assert!(fast.approx_eq(&slow, 1e-9), "seed={seed}");
         }
     }
@@ -323,12 +332,12 @@ mod tests {
         let n = 128;
         let a = random_concave(n, n, 1);
         let b = random_concave(n, n, 2);
-        let c = OpCounter::new();
-        let _ = smawk_mul(&a, &b, Some(&c));
+        let c = CostTracer::named("smawk_mul");
+        let _ = smawk_mul(&a, &b, &c);
+        let got = c.aggregate().work;
         assert!(
-            c.get() <= 24 * (n * n) as u64,
-            "smawk_mul used {} ops (expected O(n²))",
-            c.get()
+            got <= 24 * (n * n) as u64,
+            "smawk_mul used {got} ops (expected O(n²))"
         );
     }
 }

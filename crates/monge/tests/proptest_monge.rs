@@ -7,6 +7,7 @@ use partree_monge::bottom_up::concave_mul_bottom_up;
 use partree_monge::concave::is_concave;
 use partree_monge::cut::concave_mul;
 use partree_monge::dense::{min_plus_naive, Matrix};
+use partree_pram::CostTracer;
 use proptest::prelude::*;
 
 /// A random concave matrix that is `+∞` outside the band
@@ -38,9 +39,9 @@ proptest! {
         let b = banded_concave(n, lo, lo + width, seed + 1);
         prop_assume!(is_concave(&a, 1e-9) && is_concave(&b, 1e-9));
 
-        let slow = min_plus_naive(&a, &b, None);
-        let fast = concave_mul(&a, &b, None);
-        let bu = concave_mul_bottom_up(&a, &b, None);
+        let slow = min_plus_naive(&a, &b, &CostTracer::disabled());
+        let fast = concave_mul(&a, &b, &CostTracer::disabled());
+        let bu = concave_mul_bottom_up(&a, &b, &CostTracer::disabled());
         prop_assert!(fast.values.approx_eq(&slow, 1e-9));
         prop_assert!(bu.values.approx_eq(&slow, 1e-9));
         for i in 0..n {
@@ -65,8 +66,8 @@ proptest! {
     ) {
         let a = banded_concave(n, 1, width, seed);
         let b = Matrix::from_rows(&gen::random_monge(n, n, seed + 9));
-        let slow = min_plus_naive(&a, &b, None);
-        let fast = concave_mul(&a, &b, None);
+        let slow = min_plus_naive(&a, &b, &CostTracer::disabled());
+        let fast = concave_mul(&a, &b, &CostTracer::disabled());
         prop_assert!(fast.values.approx_eq(&slow, 1e-9));
     }
 
@@ -80,8 +81,8 @@ proptest! {
         let mut fast_m = banded_concave(n, 0, 2, seed);
         let mut slow_m = fast_m.clone();
         for _ in 0..3 {
-            fast_m = concave_mul(&fast_m, &fast_m, None).values;
-            slow_m = min_plus_naive(&slow_m, &slow_m, None);
+            fast_m = concave_mul(&fast_m, &fast_m, &CostTracer::disabled()).values;
+            slow_m = min_plus_naive(&slow_m, &slow_m, &CostTracer::disabled());
             prop_assert!(fast_m.approx_eq(&slow_m, 1e-9));
         }
     }

@@ -16,7 +16,7 @@ use crate::collapse::collapse_runs;
 use crate::height_bounded::{min_feasible_height, obst_height_bounded, reconstruct};
 use crate::model::{BstNode, ObstInstance};
 use partree_core::{Cost, Error, Result};
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 
 /// Result of the approximate construction.
 pub struct ApproxObst {
@@ -45,14 +45,17 @@ pub struct ApproxObst {
 /// ```
 ///
 pub fn approx_optimal_bst(inst: &ObstInstance, eps: f64) -> Result<ApproxObst> {
-    approx_optimal_bst_counted(inst, eps, None)
+    approx_optimal_bst_traced(inst, eps, &CostTracer::disabled())
 }
 
-/// [`approx_optimal_bst`] with work counting.
-pub fn approx_optimal_bst_counted(
+/// [`approx_optimal_bst`] with per-phase work/depth tracing. Spans
+/// opened on `tracer`: `collapse` (one parallel sweep over the keys),
+/// `height_bounded_dp` (`H` concave products — depth `O(log(1/δ)·log n)`),
+/// and `expand` (one round per collapsed gap).
+pub fn approx_optimal_bst_traced(
     inst: &ObstInstance,
     eps: f64,
-    counter: Option<&OpCounter>,
+    tracer: &CostTracer,
 ) -> Result<ApproxObst> {
     if !(0.0..1.0).contains(&eps) || eps <= 0.0 {
         return Err(Error::invalid("eps must lie in (0, 1)"));
@@ -60,7 +63,12 @@ pub fn approx_optimal_bst_counted(
     let n = inst.n();
     if n == 0 {
         let tree = BstNode::Leaf(0);
-        return Ok(ApproxObst { tree, cost: Cost::ZERO, height_bound: 0, collapsed_keys: 0 });
+        return Ok(ApproxObst {
+            tree,
+            cost: Cost::ZERO,
+            height_bound: 0,
+            collapsed_keys: 0,
+        });
     }
     let total = inst.total();
     if total <= 0.0 {
@@ -70,8 +78,10 @@ pub fn approx_optimal_bst_counted(
     // Step 1: collapse. δ = ε / (2 n log n), relative to total weight.
     let logn = (n.max(2) as f64).log2();
     let delta = eps / (2.0 * n as f64 * logn);
+    let collapse = tracer.span("collapse");
     let collapsed = collapse_runs(inst, delta * total);
     let n_prime = collapsed.inst.n();
+    collapse.step(n as u64); // one sweep over the keys
 
     // Step 2: the GMS height bound (φ = golden ratio), plus slack for
     // the packing constraint.
@@ -84,16 +94,30 @@ pub fn approx_optimal_bst_counted(
         .max(min_feasible_height(n_prime) + 1);
 
     // Step 3: exact height-bounded optimum on the collapsed instance.
-    let hb = obst_height_bounded(&collapsed.inst, height, true, counter);
+    let hb = obst_height_bounded(
+        &collapsed.inst,
+        height,
+        true,
+        &tracer.span("height_bounded_dp"),
+    );
     let core = reconstruct(&hb, 0, n_prime).ok_or_else(|| {
-        Error::Internal(format!("no height-{height} tree for {n_prime} collapsed keys"))
+        Error::Internal(format!(
+            "no height-{height} tree for {n_prime} collapsed keys"
+        ))
     })?;
 
     // Step 4: expand.
+    let expand = tracer.span("expand");
     let tree = collapsed.expand(&core);
+    expand.step((n - n_prime) as u64); // leaves re-materialized
     tree.validate(n)?;
     let cost = tree.weighted_path_length(inst);
-    Ok(ApproxObst { tree, cost, height_bound: height, collapsed_keys: n_prime })
+    Ok(ApproxObst {
+        tree,
+        cost,
+        height_bound: height,
+        collapsed_keys: n_prime,
+    })
 }
 
 #[cfg(test)]

@@ -71,9 +71,12 @@ pub fn collapse_runs(inst: &ObstInstance, threshold: f64) -> Collapsed {
         }
     }
 
-    let inst =
-        ObstInstance::new(new_q, new_p).expect("collapse preserves the n/n+1 invariant");
-    Collapsed { inst, gap_ranges, key_map }
+    let inst = ObstInstance::new(new_q, new_p).expect("collapse preserves the n/n+1 invariant");
+    Collapsed {
+        inst,
+        gap_ranges,
+        key_map,
+    }
 }
 
 impl Collapsed {

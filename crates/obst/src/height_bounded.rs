@@ -19,7 +19,7 @@ use crate::model::{BstNode, ObstInstance};
 use partree_core::Cost;
 use partree_monge::cut::concave_mul;
 use partree_monge::Matrix;
-use partree_pram::OpCounter;
+use partree_pram::CostTracer;
 
 /// Result of the height-bounded OBST phase.
 pub struct HeightBoundedObst {
@@ -37,7 +37,7 @@ pub fn obst_height_bounded(
     inst: &ObstInstance,
     height: u32,
     retain_cuts: bool,
-    counter: Option<&OpCounter>,
+    tracer: &CostTracer,
 ) -> HeightBoundedObst {
     let n = inst.n();
     let w = Matrix::from_fn(n + 1, n + 1, |i, j| {
@@ -66,7 +66,7 @@ pub fn obst_height_bounded(
                 e.get(i, k - 1)
             }
         });
-        let prod = concave_mul(&l, &e, counter);
+        let prod = concave_mul(&l, &e, tracer);
         let next = prod.values.entrywise_add(&w).entrywise_min(&e);
         e = next;
         if let Some(c) = cuts.as_mut() {
@@ -74,7 +74,11 @@ pub fn obst_height_bounded(
         }
     }
 
-    HeightBoundedObst { final_matrix: e, height, cuts }
+    HeightBoundedObst {
+        final_matrix: e,
+        height,
+        cuts,
+    }
 }
 
 /// Reconstructs the optimal height-≤`H` BST over keys `i+1..j` from
@@ -119,7 +123,7 @@ mod tests {
     fn matrices_stay_concave() {
         let inst = ObstInstance::random(12, 40, 1);
         for h in 1..=4 {
-            let hb = obst_height_bounded(&inst, h, false, None);
+            let hb = obst_height_bounded(&inst, h, false, &CostTracer::disabled());
             assert!(is_concave(&hb.final_matrix, 1e-9), "E_{h}");
         }
     }
@@ -128,7 +132,7 @@ mod tests {
     fn unrestricted_height_matches_knuth() {
         for seed in 0..10 {
             let inst = ObstInstance::random(14, 60, seed);
-            let hb = obst_height_bounded(&inst, 14, false, None);
+            let hb = obst_height_bounded(&inst, 14, false, &CostTracer::disabled());
             let opt = obst_knuth(&inst);
             assert_eq!(hb.final_matrix.get(0, 14), opt.cost(), "seed={seed}");
         }
@@ -137,7 +141,7 @@ mod tests {
     #[test]
     fn band_structure_height_h_holds_up_to_2h_minus_1_keys() {
         let inst = ObstInstance::random(10, 10, 2);
-        let hb = obst_height_bounded(&inst, 2, false, None);
+        let hb = obst_height_bounded(&inst, 2, false, &CostTracer::disabled());
         for i in 0..=10usize {
             for j in i..=10usize {
                 let finite = hb.final_matrix.get(i, j).is_finite();
@@ -150,8 +154,13 @@ mod tests {
     fn height_restriction_costs_something_on_skewed_input() {
         let mut inst = ObstInstance::random(15, 5, 3);
         inst.q[0] = 10_000.0; // wants the first key at the root, deep chain elsewhere
-        let tight = obst_height_bounded(&inst, min_feasible_height(15), false, None);
-        let free = obst_height_bounded(&inst, 15, false, None);
+        let tight = obst_height_bounded(
+            &inst,
+            min_feasible_height(15),
+            false,
+            &CostTracer::disabled(),
+        );
+        let free = obst_height_bounded(&inst, 15, false, &CostTracer::disabled());
         assert!(tight.final_matrix.get(0, 15) >= free.final_matrix.get(0, 15));
     }
 
@@ -160,7 +169,7 @@ mod tests {
         for seed in 0..10 {
             let inst = ObstInstance::random(13, 30, seed);
             let h = 5u32;
-            let hb = obst_height_bounded(&inst, h, true, None);
+            let hb = obst_height_bounded(&inst, h, true, &CostTracer::disabled());
             let tree = reconstruct(&hb, 0, 13).expect("2⁵−1 ≥ 13 keys");
             tree.validate(13).unwrap();
             assert!(tree.height() <= h);
@@ -175,7 +184,7 @@ mod tests {
     #[test]
     fn infeasible_reconstruction_returns_none() {
         let inst = ObstInstance::random(9, 10, 0);
-        let hb = obst_height_bounded(&inst, 2, true, None);
+        let hb = obst_height_bounded(&inst, 2, true, &CostTracer::disabled());
         assert!(reconstruct(&hb, 0, 9).is_none());
     }
 

@@ -25,7 +25,9 @@ impl ObstInstance {
             )));
         }
         if q.iter().chain(&p).any(|x| !x.is_finite() || *x < 0.0) {
-            return Err(Error::invalid("frequencies must be finite and non-negative"));
+            return Err(Error::invalid(
+                "frequencies must be finite and non-negative",
+            ));
         }
         Ok(ObstInstance { q, p })
     }
@@ -117,7 +119,9 @@ impl BstNode {
         if seq == expect {
             Ok(())
         } else {
-            Err(Error::Internal("inorder traversal violates the BST property".into()))
+            Err(Error::Internal(
+                "inorder traversal violates the BST property".into(),
+            ))
         }
     }
 
@@ -133,7 +137,11 @@ impl BstNode {
     pub fn key_depth(&self, key: usize) -> Option<u32> {
         match self {
             BstNode::Leaf(_) => None,
-            BstNode::Key { key: k, left, right } => {
+            BstNode::Key {
+                key: k,
+                left,
+                right,
+            } => {
                 if *k == key {
                     Some(0)
                 } else if key < *k {

@@ -63,9 +63,7 @@ pub(crate) fn dp(inst: &ObstInstance, knuth_window: bool) -> DpTables {
         acc += inst.q[k - 1] + inst.p[k];
         pref[k] = acc;
     }
-    let w = |i: usize, j: usize| {
-        Cost::new(pref[j] - pref[i] + inst.p[i])
-    };
+    let w = |i: usize, j: usize| Cost::new(pref[j] - pref[i] + inst.p[i]);
 
     for i in 0..=n {
         e[idx(i, i)] = Cost::ZERO;

@@ -7,6 +7,7 @@ use partree_obst::height_bounded::{min_feasible_height, obst_height_bounded, rec
 use partree_obst::knuth::obst_knuth;
 use partree_obst::naive::obst_naive;
 use partree_obst::ObstInstance;
+use partree_pram::CostTracer;
 use proptest::prelude::*;
 
 fn instance(q: &[u32], p: &[u32]) -> ObstInstance {
@@ -39,13 +40,13 @@ proptest! {
     fn height_bounded_reconstruction(n in 1usize..14, extra in 0u32..3, seed in 0u64..10_000) {
         let inst = ObstInstance::random(n, 50, seed);
         let h = min_feasible_height(n) + extra;
-        let hb = obst_height_bounded(&inst, h, true, None);
+        let hb = obst_height_bounded(&inst, h, true, &CostTracer::disabled());
         let t = reconstruct(&hb, 0, n).expect("height is feasible");
         t.validate(n).unwrap();
         prop_assert!(t.height() <= h);
         prop_assert_eq!(t.weighted_path_length(&inst), hb.final_matrix.get(0, n));
         // More height never costs more.
-        let hb2 = obst_height_bounded(&inst, h + 1, false, None);
+        let hb2 = obst_height_bounded(&inst, h + 1, false, &CostTracer::disabled());
         prop_assert!(hb2.final_matrix.get(0, n) <= hb.final_matrix.get(0, n));
     }
 

@@ -23,7 +23,9 @@ pub struct OpCounter {
 impl OpCounter {
     /// A fresh counter at zero.
     pub fn new() -> OpCounter {
-        OpCounter { ops: AtomicU64::new(0) }
+        OpCounter {
+            ops: AtomicU64::new(0),
+        }
     }
 
     /// Record `n` operations.
@@ -66,12 +68,18 @@ pub struct WorkDepth {
 impl WorkDepth {
     /// Sequential composition: work adds, depth adds.
     pub fn then(self, next: WorkDepth) -> WorkDepth {
-        WorkDepth { work: self.work + next.work, depth: self.depth + next.depth }
+        WorkDepth {
+            work: self.work + next.work,
+            depth: self.depth + next.depth,
+        }
     }
 
     /// Parallel composition: work adds, depth maxes.
     pub fn beside(self, other: WorkDepth) -> WorkDepth {
-        WorkDepth { work: self.work + other.work, depth: self.depth.max(other.depth) }
+        WorkDepth {
+            work: self.work + other.work,
+            depth: self.depth.max(other.depth),
+        }
     }
 
     /// Brent's bound: steps on `p` processors is at most `work/p + depth`.
@@ -125,7 +133,10 @@ mod tests {
 
     #[test]
     fn brent_bound() {
-        let wd = WorkDepth { work: 100, depth: 3 };
+        let wd = WorkDepth {
+            work: 100,
+            depth: 3,
+        };
         assert_eq!(wd.brent_steps(10), 13);
         assert_eq!(wd.brent_steps(1), 103);
         assert_eq!(wd.brent_steps(7), 100u64.div_ceil(7) + 3);

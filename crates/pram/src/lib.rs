@@ -7,6 +7,8 @@
 //!
 //! * [`counter`] — machine-independent *work* accounting (comparison
 //!   counts), the currency of the paper's processor bounds;
+//! * [`tracer`] — named, nestable work/depth spans: per-phase cost
+//!   trees with Brent-style parallel composition and JSON export;
 //! * [`model`] — the model mapping itself: thread-count control for
 //!   speedup experiments and notes on how CREW/EREW/CRCW steps translate;
 //! * [`scan`] — parallel prefix sums (the workhorse of Section 7's
@@ -36,5 +38,7 @@ pub mod rank;
 pub mod reduce;
 pub mod scan;
 pub mod simulate;
+pub mod tracer;
 
-pub use counter::OpCounter;
+pub use counter::{OpCounter, WorkDepth};
+pub use tracer::{CostTracer, SpanSnapshot};

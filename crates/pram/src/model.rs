@@ -105,9 +105,15 @@ mod tests {
     #[test]
     fn budgets_evaluate() {
         let n = 1024;
-        assert_eq!(ProcessorBudget::QuadraticOverLog.eval(n), 1024.0 * 1024.0 / 10.0);
+        assert_eq!(
+            ProcessorBudget::QuadraticOverLog.eval(n),
+            1024.0 * 1024.0 / 10.0
+        );
         assert_eq!(ProcessorBudget::LinearOverLog.eval(n), 1024.0 / 10.0);
-        assert_eq!(ProcessorBudget::CubicOverLog.eval(n), 1024.0f64.powi(3) / 10.0);
+        assert_eq!(
+            ProcessorBudget::CubicOverLog.eval(n),
+            1024.0f64.powi(3) / 10.0
+        );
         assert_eq!(
             ProcessorBudget::QuadraticOverLogSquared.eval(n),
             1024.0 * 1024.0 / 100.0

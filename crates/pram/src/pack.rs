@@ -43,7 +43,9 @@ where
         }
     });
 
-    out.into_iter().map(|x| x.expect("every slot was scattered to")).collect()
+    out.into_iter()
+        .map(|x| x.expect("every slot was scattered to"))
+        .collect()
 }
 
 /// Indices of the elements satisfying `keep`, in order.
@@ -53,7 +55,12 @@ where
     F: Fn(&T) -> bool + Send + Sync,
 {
     if a.len() < SEQ_CUTOFF {
-        return a.iter().enumerate().filter(|(_, x)| keep(x)).map(|(i, _)| i).collect();
+        return a
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| keep(x))
+            .map(|(i, _)| i)
+            .collect();
     }
     let flags: Vec<u64> = a.par_iter().map(|x| u64::from(keep(x))).collect();
     let (slots, count) = exclusive_sum(&flags);
@@ -120,7 +127,12 @@ mod tests {
         assert_eq!(par, seq);
 
         let pi = pack_indices(&a, |&x| x % 7 == 0);
-        let si: Vec<usize> = a.iter().enumerate().filter(|(_, &x)| x % 7 == 0).map(|(i, _)| i).collect();
+        let si: Vec<usize> = a
+            .iter()
+            .enumerate()
+            .filter(|(_, &x)| x % 7 == 0)
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(pi, si);
     }
 }

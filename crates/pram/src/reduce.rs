@@ -47,14 +47,17 @@ pub fn argmin<T: Ord + Copy + Send + Sync>(a: &[T]) -> Option<(usize, T)> {
                 _ => Some((i, x)),
             })
     } else {
-        a.par_iter().enumerate().map(|(i, &x)| (i, x)).reduce_with(|p, q| {
-            // Smaller value wins; smaller index breaks ties.
-            if q.1 < p.1 || (q.1 == p.1 && q.0 < p.0) {
-                q
-            } else {
-                p
-            }
-        })
+        a.par_iter()
+            .enumerate()
+            .map(|(i, &x)| (i, x))
+            .reduce_with(|p, q| {
+                // Smaller value wins; smaller index breaks ties.
+                if q.1 < p.1 || (q.1 == p.1 && q.0 < p.0) {
+                    q
+                } else {
+                    p
+                }
+            })
     };
     best
 }

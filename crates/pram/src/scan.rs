@@ -72,7 +72,9 @@ where
 {
     let (mut ex, _total) = exclusive_scan(a, id, &combine);
     // Shift: inclusive[i] = exclusive[i] ⊕ a[i].
-    ex.par_iter_mut().zip(a.par_iter()).for_each(|(o, x)| *o = combine(o, x));
+    ex.par_iter_mut()
+        .zip(a.par_iter())
+        .for_each(|(o, x)| *o = combine(o, x));
     ex
 }
 
@@ -153,7 +155,9 @@ mod tests {
     #[test]
     fn non_commutative_monoid_string_concat() {
         // Scan must respect order even for non-commutative operations.
-        let a: Vec<String> = (0..5_000).map(|i| ((b'a' + (i % 26) as u8) as char).to_string()).collect();
+        let a: Vec<String> = (0..5_000)
+            .map(|i| ((b'a' + (i % 26) as u8) as char).to_string())
+            .collect();
         let (par, total) = exclusive_scan(&a, String::new(), |x, y| format!("{x}{y}"));
         let (seq, seq_total) = exclusive_scan_seq(&a, String::new(), |x, y| format!("{x}{y}"));
         assert_eq!(total, seq_total);

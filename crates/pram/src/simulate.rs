@@ -52,7 +52,10 @@ pub struct ReadHandle<'a> {
 impl ReadHandle<'_> {
     /// Reads cell `addr` (logged for discipline checking).
     pub fn read(&self, addr: usize) -> i64 {
-        self.log.lock().expect("no poisoning").push((self.pid.get(), addr));
+        self.log
+            .lock()
+            .expect("no poisoning")
+            .push((self.pid.get(), addr));
         self.mem[addr]
     }
 
@@ -70,7 +73,12 @@ impl ReadHandle<'_> {
 impl Pram {
     /// A machine with `cells` zeroed memory cells.
     pub fn new(cells: usize, discipline: Discipline) -> Pram {
-        Pram { mem: vec![0; cells], discipline, steps: 0, max_processors: 0 }
+        Pram {
+            mem: vec![0; cells],
+            discipline,
+            steps: 0,
+            max_processors: 0,
+        }
     }
 
     /// Loads values starting at `addr`.
@@ -111,7 +119,9 @@ impl Pram {
             all_reads.extend(handle.log.into_inner().expect("no poisoning"));
             for (addr, v) in writes {
                 if addr >= self.mem.len() {
-                    return Err(Error::invalid(format!("processor {pid} wrote out of bounds at {addr}")));
+                    return Err(Error::invalid(format!(
+                        "processor {pid} wrote out of bounds at {addr}"
+                    )));
                 }
                 all_writes.push((pid, addr, v));
             }

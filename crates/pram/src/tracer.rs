@@ -1,0 +1,720 @@
+//! Work/depth span tracing: named, nestable cost accounting for the
+//! PRAM algorithms.
+//!
+//! [`OpCounter`](crate::OpCounter) answers "how many comparisons did
+//! this run make?" — one number. The paper's bounds are richer: Theorem
+//! 5.1 is `O(log² n)` *time* on `n²/log n` processors, i.e. a claim
+//! about the **depth** (critical path) of the computation as well as
+//! its **work**. [`CostTracer`] records both, per named phase, as a
+//! tree of spans:
+//!
+//! ```text
+//! huffman_parallel_cost            work  depth
+//! ├─ sort                          1 043      6
+//! ├─ height_bounded_dp            68 112    131   ← ⌈log n⌉ concave products
+//! └─ spine                        61 440    122   ← ⌈log n⌉+1 squarings
+//! ```
+//!
+//! ## Accounting model
+//!
+//! Depth is counted in *synchronous parallel rounds* (the PRAM step of
+//! [`crate::model`]): [`CostTracer::step`] records one round that
+//! performed `work` operations across all processors. A phase that the
+//! implementation runs as one `par_iter` sweep is one round, no matter
+//! how many threads the pool happens to have — so traced depths are
+//! machine-independent, exactly like `OpCounter` work counts.
+//!
+//! Composition follows Brent's work/depth calculus
+//! ([`WorkDepth`](crate::counter::WorkDepth)):
+//!
+//! * children created with [`CostTracer::span`] are **sequential**:
+//!   their depths add;
+//! * children created with [`CostTracer::par_span`] are **parallel**:
+//!   as a group they contribute the *max* of their depths;
+//! * a node's own `work`/`depth` always add to its children's total.
+//!
+//! ## Threading discipline
+//!
+//! `work` may be added from any thread (it is a relaxed atomic, like
+//! `OpCounter`). Span *creation* and `depth` accounting must happen on
+//! the thread that coordinates the phase — the one that issues the
+//! parallel sweeps — which keeps the span tree's shape and the depth
+//! totals deterministic. All the workspace pipelines follow this rule:
+//! workers only ever contribute operation counts.
+//!
+//! ## Disabled tracers
+//!
+//! [`CostTracer::disabled`] is a no-op handle: every method
+//! short-circuits on a `None` branch, so production call-paths pay one
+//! predictable branch per phase — there is no `Option<&OpCounter>`
+//! plumbing left to thread through APIs.
+//!
+//! ## Serialization
+//!
+//! [`CostTracer::snapshot`] freezes the live tree into a plain
+//! [`SpanSnapshot`], which serializes to the JSON schema documented in
+//! `EXPERIMENTS.md` (and parses back via [`SpanSnapshot::from_json`],
+//! so experiment outputs can be post-processed without external crates).
+
+use crate::counter::WorkDepth;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A node of the live span tree.
+#[derive(Debug)]
+struct Node {
+    name: String,
+    /// `true` if this span runs in parallel with its `par` siblings.
+    par: bool,
+    /// Operations charged directly to this span (not to children).
+    work: AtomicU64,
+    /// Rounds charged directly to this span (not to children).
+    depth: AtomicU64,
+    children: Mutex<Vec<Arc<Node>>>,
+}
+
+impl Node {
+    fn new(name: &str, par: bool) -> Arc<Node> {
+        Arc::new(Node {
+            name: name.to_string(),
+            par,
+            work: AtomicU64::new(0),
+            depth: AtomicU64::new(0),
+            children: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn snapshot(&self) -> SpanSnapshot {
+        let children = self
+            .children
+            .lock()
+            .expect("span tree lock poisoned")
+            .iter()
+            .map(|c| c.snapshot())
+            .collect();
+        SpanSnapshot {
+            name: self.name.clone(),
+            par: self.par,
+            work: self.work.load(Ordering::Relaxed),
+            depth: self.depth.load(Ordering::Relaxed),
+            children,
+        }
+    }
+}
+
+/// A handle into the span tree: either a live node or a disabled no-op.
+///
+/// Cloning is cheap (an `Option<Arc>` bump) and clones refer to the
+/// same span.
+#[derive(Debug, Clone, Default)]
+pub struct CostTracer {
+    node: Option<Arc<Node>>,
+}
+
+impl CostTracer {
+    /// An enabled tracer whose root span is named `root`.
+    pub fn new() -> CostTracer {
+        CostTracer::named("root")
+    }
+
+    /// An enabled tracer with a custom root span name.
+    pub fn named(name: &str) -> CostTracer {
+        CostTracer {
+            node: Some(Node::new(name, false)),
+        }
+    }
+
+    /// The no-op handle: every operation short-circuits.
+    pub fn disabled() -> CostTracer {
+        CostTracer { node: None }
+    }
+
+    /// `true` iff this handle records anything.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.node.is_some()
+    }
+
+    /// Opens a named child span composed *sequentially* with its
+    /// siblings: its depth adds to theirs.
+    pub fn span(&self, name: &str) -> CostTracer {
+        self.child(name, false)
+    }
+
+    /// Opens a named child span composed *in parallel* with its `par`
+    /// siblings: the group contributes the max of their depths.
+    pub fn par_span(&self, name: &str) -> CostTracer {
+        self.child(name, true)
+    }
+
+    fn child(&self, name: &str, par: bool) -> CostTracer {
+        match &self.node {
+            None => CostTracer::disabled(),
+            Some(n) => {
+                let c = Node::new(name, par);
+                n.children
+                    .lock()
+                    .expect("span tree lock poisoned")
+                    .push(Arc::clone(&c));
+                CostTracer { node: Some(c) }
+            }
+        }
+    }
+
+    /// Records `n` operations on this span. Callable from any thread.
+    #[inline]
+    pub fn add_work(&self, n: u64) {
+        if let Some(node) = &self.node {
+            node.work.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `d` extra rounds of critical path. Coordinator-thread
+    /// only (see the module docs).
+    #[inline]
+    pub fn add_depth(&self, d: u64) {
+        if let Some(node) = &self.node {
+            node.depth.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one synchronous parallel round that performed `work`
+    /// operations: `work += work, depth += 1`.
+    #[inline]
+    pub fn step(&self, work: u64) {
+        if let Some(node) = &self.node {
+            node.work.fetch_add(work, Ordering::Relaxed);
+            node.depth.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Freezes the subtree rooted at this span. Disabled handles
+    /// snapshot to an empty span named `disabled`.
+    pub fn snapshot(&self) -> SpanSnapshot {
+        match &self.node {
+            Some(n) => n.snapshot(),
+            None => SpanSnapshot {
+                name: "disabled".to_string(),
+                par: false,
+                work: 0,
+                depth: 0,
+                children: Vec::new(),
+            },
+        }
+    }
+
+    /// Total work/depth of the subtree rooted at this span, under the
+    /// Brent composition rules (see [`SpanSnapshot::total`]).
+    pub fn aggregate(&self) -> WorkDepth {
+        self.snapshot().total()
+    }
+
+    /// Serializes [`CostTracer::snapshot`] to JSON (schema in
+    /// `EXPERIMENTS.md`).
+    pub fn to_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+/// An immutable copy of a span subtree: what [`CostTracer::snapshot`]
+/// returns and what the JSON schema encodes.
+///
+/// `work` and `depth` are the span's *self* costs; totals including
+/// children come from [`SpanSnapshot::total`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Span name.
+    pub name: String,
+    /// `true` if this span runs in parallel with its `par` siblings.
+    pub par: bool,
+    /// Operations charged directly to this span.
+    pub work: u64,
+    /// Rounds charged directly to this span.
+    pub depth: u64,
+    /// Child spans, in creation order.
+    pub children: Vec<SpanSnapshot>,
+}
+
+impl SpanSnapshot {
+    /// Aggregate work/depth of the subtree:
+    ///
+    /// * `work` — self work plus the sum of all children's total work;
+    /// * `depth` — self depth, plus the sum of sequential children's
+    ///   total depths, plus the *max* over parallel children's total
+    ///   depths (the `par` children form one concurrent group).
+    pub fn total(&self) -> WorkDepth {
+        let mut work = self.work;
+        let mut seq_depth = 0u64;
+        let mut par_depth = 0u64;
+        for c in &self.children {
+            let t = c.total();
+            work += t.work;
+            if c.par {
+                par_depth = par_depth.max(t.depth);
+            } else {
+                seq_depth += t.depth;
+            }
+        }
+        WorkDepth {
+            work,
+            depth: self.depth + seq_depth + par_depth,
+        }
+    }
+
+    /// First span named `name` in a pre-order walk (the snapshot itself
+    /// included), or `None`.
+    pub fn find(&self, name: &str) -> Option<&SpanSnapshot> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Serializes to the JSON schema documented in `EXPERIMENTS.md`:
+    /// each span is an object with `name`, `par`, `work`, `depth`,
+    /// `total_work`, `total_depth`, and `children` (an array of the
+    /// same shape). `total_*` are derived and ignored on input.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let t = self.total();
+        out.push_str("{\"name\":");
+        write_json_string(out, &self.name);
+        let _ = write!(
+            out,
+            ",\"par\":{},\"work\":{},\"depth\":{},\"total_work\":{},\"total_depth\":{},\"children\":[",
+            self.par, self.work, self.depth, t.work, t.depth
+        );
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            c.write_json(out);
+        }
+        out.push_str("]}");
+    }
+
+    /// Parses a snapshot back from [`SpanSnapshot::to_json`] output.
+    /// Unknown keys (including the derived `total_*`) are ignored.
+    pub fn from_json(text: &str) -> Result<SpanSnapshot, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let snap = p.parse_span()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(snap)
+    }
+}
+
+/// Writes `s` as a JSON string literal (escaping quotes, backslashes,
+/// and control characters; non-ASCII passes through as UTF-8).
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Minimal recursive-descent parser for the span-tree JSON subset:
+/// objects, arrays, strings (with `\uXXXX` BMP escapes), unsigned
+/// integers, and booleans. No external crates, no floats, no `null`.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        let got = self.peek()?;
+        if got != b {
+            return Err(format!(
+                "expected '{}' at byte {}, found '{}'",
+                b as char, self.pos, got as char
+            ));
+        }
+        self.pos += 1;
+        Ok(())
+    }
+
+    fn parse_span(&mut self) -> Result<SpanSnapshot, String> {
+        self.expect(b'{')?;
+        let mut name: Option<String> = None;
+        let mut par: Option<bool> = None;
+        let mut work: Option<u64> = None;
+        let mut depth: Option<u64> = None;
+        let mut children: Option<Vec<SpanSnapshot>> = None;
+        if self.peek()? == b'}' {
+            self.pos += 1;
+        } else {
+            loop {
+                let key = self.parse_string()?;
+                self.expect(b':')?;
+                match key.as_str() {
+                    "name" => name = Some(self.parse_string()?),
+                    "par" => par = Some(self.parse_bool()?),
+                    "work" => work = Some(self.parse_u64()?),
+                    "depth" => depth = Some(self.parse_u64()?),
+                    "children" => children = Some(self.parse_children()?),
+                    _ => self.skip_value()?, // total_work / total_depth / future keys
+                }
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}' at byte {}, found '{}'",
+                            self.pos, other as char
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(SpanSnapshot {
+            name: name.ok_or("span missing \"name\"")?,
+            par: par.ok_or("span missing \"par\"")?,
+            work: work.ok_or("span missing \"work\"")?,
+            depth: depth.ok_or("span missing \"depth\"")?,
+            children: children.ok_or("span missing \"children\"")?,
+        })
+    }
+
+    fn parse_children(&mut self) -> Result<Vec<SpanSnapshot>, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            out.push(self.parse_span()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found '{}'",
+                        self.pos, other as char
+                    ));
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string literal")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or("unterminated escape sequence")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| "non-ASCII \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).ok_or(
+                                "\\u escape is not a scalar value (surrogates unsupported)",
+                            )?);
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                // The input is valid UTF-8 (it came from &str); copy
+                // multi-byte sequences through verbatim.
+                _ => {
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && !self.bytes[end].is_ascii() {
+                        end += 1;
+                    }
+                    if b.is_ascii() {
+                        out.push(b as char);
+                    } else {
+                        let s = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| "invalid UTF-8 in string literal")?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|e| format!("bad integer: {e}"))
+    }
+
+    fn parse_bool(&mut self) -> Result<bool, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(format!("expected a boolean at byte {}", self.pos))
+        }
+    }
+
+    /// Skips one value of any supported kind (for ignored keys).
+    fn skip_value(&mut self) -> Result<(), String> {
+        match self.peek()? {
+            b'{' => self
+                .parse_span()
+                .map(|_| ())
+                .map_err(|_| "cannot skip malformed object".to_string()),
+            b'[' => self.parse_children().map(|_| ()),
+            b'"' => self.parse_string().map(|_| ()),
+            b't' | b'f' => self.parse_bool().map(|_| ()),
+            _ => self.parse_u64().map(|_| ()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let t = CostTracer::disabled();
+        assert!(!t.is_enabled());
+        t.add_work(10);
+        t.step(5);
+        let child = t.span("phase");
+        assert!(!child.is_enabled());
+        child.add_depth(3);
+        assert_eq!(t.aggregate(), WorkDepth::default());
+        assert!(t.snapshot().children.is_empty());
+    }
+
+    #[test]
+    fn sequential_spans_add_depth() {
+        let t = CostTracer::named("pipeline");
+        let a = t.span("a");
+        a.step(10); // 1 round, 10 ops
+        a.step(20);
+        let b = t.span("b");
+        b.add_work(5);
+        b.add_depth(7);
+        let total = t.aggregate();
+        assert_eq!(total, WorkDepth { work: 35, depth: 9 });
+        assert_eq!(a.aggregate(), WorkDepth { work: 30, depth: 2 });
+    }
+
+    #[test]
+    fn parallel_spans_max_depth() {
+        let t = CostTracer::new();
+        let left = t.par_span("left");
+        let right = t.par_span("right");
+        left.add_work(100);
+        left.add_depth(4);
+        right.add_work(50);
+        right.add_depth(9);
+        t.step(1); // the combine round
+        assert_eq!(
+            t.aggregate(),
+            WorkDepth {
+                work: 151,
+                depth: 10
+            }
+        );
+    }
+
+    #[test]
+    fn mixed_seq_and_par_children() {
+        // seq(3) then a par group {5, 2} then seq(1), plus self depth 1:
+        // depth = 1 + 3 + max(5, 2) + 1 = 10.
+        let t = CostTracer::new();
+        t.add_depth(1);
+        t.span("s1").add_depth(3);
+        t.par_span("p1").add_depth(5);
+        t.par_span("p2").add_depth(2);
+        t.span("s2").add_depth(1);
+        assert_eq!(t.aggregate().depth, 10);
+    }
+
+    #[test]
+    fn nesting_aggregates_recursively() {
+        let t = CostTracer::new();
+        let outer = t.span("outer");
+        let inner = outer.span("inner");
+        inner.step(11);
+        inner.step(13);
+        outer.add_work(2);
+        assert_eq!(outer.aggregate(), WorkDepth { work: 26, depth: 2 });
+        assert_eq!(t.aggregate(), WorkDepth { work: 26, depth: 2 });
+    }
+
+    #[test]
+    fn work_from_many_threads() {
+        let t = CostTracer::named("sweep");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = t.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        h.add_work(1);
+                    }
+                });
+            }
+        });
+        t.add_depth(1); // coordinator charges the round
+        assert_eq!(
+            t.aggregate(),
+            WorkDepth {
+                work: 8000,
+                depth: 1
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_find() {
+        let t = CostTracer::named("root");
+        let a = t.span("dp");
+        a.span("mul").step(9);
+        t.span("spine").step(4);
+        let snap = t.snapshot();
+        assert_eq!(snap.find("mul").unwrap().work, 9);
+        assert_eq!(snap.find("spine").unwrap().depth, 1);
+        assert!(snap.find("absent").is_none());
+    }
+
+    #[test]
+    fn json_roundtrip_simple() {
+        let t = CostTracer::named("root");
+        let dp = t.span("height_bounded_dp");
+        dp.step(100);
+        dp.step(200);
+        t.par_span("left").step(7);
+        t.par_span("right").step(8);
+        let snap = t.snapshot();
+        let json = t.to_json();
+        assert_eq!(SpanSnapshot::from_json(&json).unwrap(), snap);
+        // The derived totals are present for consumers.
+        assert!(json.contains("\"total_work\":315"));
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let t = CostTracer::named("a \"b\"\\\n\tc\u{1}δ");
+        let json = t.to_json();
+        let back = SpanSnapshot::from_json(&json).unwrap();
+        assert_eq!(back.name, "a \"b\"\\\n\tc\u{1}δ");
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(SpanSnapshot::from_json("").is_err());
+        assert!(SpanSnapshot::from_json("{}").is_err()); // missing fields
+        assert!(SpanSnapshot::from_json("[1,2]").is_err());
+        assert!(SpanSnapshot::from_json(
+            "{\"name\":\"x\",\"par\":false,\"work\":1,\"depth\":0,\"children\":[]} trailing"
+        )
+        .is_err());
+        assert!(SpanSnapshot::from_json(
+            "{\"name\":\"x\",\"par\":maybe,\"work\":1,\"depth\":0,\"children\":[]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn json_accepts_whitespace_and_unknown_keys() {
+        let text = r#" { "name" : "x" , "par" : true ,
+                         "work" : 12 , "depth" : 3 ,
+                         "future_key" : "ignored" ,
+                         "children" : [ ] } "#;
+        let s = SpanSnapshot::from_json(text).unwrap();
+        assert_eq!(
+            s,
+            SpanSnapshot {
+                name: "x".into(),
+                par: true,
+                work: 12,
+                depth: 3,
+                children: vec![]
+            }
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Property tests for the cost tracer: random span programs are run
+//! against both the tracer and an independent reference model, and the
+//! two must agree on the whole span tree — work sums, the
+//! max-over-parallel-children depth rule, and JSON round-trips.
+
+use partree_pram::{CostTracer, SpanSnapshot};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One instruction of a random span program. The program drives a
+/// cursor through the span tree: opens push, `Pop` returns to the
+/// parent (no-op at the root).
+#[derive(Debug, Clone)]
+enum Op {
+    AddWork(u64),
+    AddDepth(u64),
+    Step(u64),
+    OpenSeq(u8),
+    OpenPar(u8),
+    Pop,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u64..1000).prop_map(Op::AddWork),
+        2 => (0u64..10).prop_map(Op::AddDepth),
+        3 => (0u64..1000).prop_map(Op::Step),
+        2 => (0u8..6).prop_map(Op::OpenSeq),
+        2 => (0u8..6).prop_map(Op::OpenPar),
+        3 => Just(Op::Pop),
+    ]
+}
+
+/// Reference model: a plain tree mirroring what the program did.
+#[derive(Debug)]
+struct RefNode {
+    name: String,
+    par: bool,
+    work: u64,
+    depth: u64,
+    children: Vec<RefNode>,
+}
+
+impl RefNode {
+    fn new(name: &str, par: bool) -> RefNode {
+        RefNode {
+            name: name.into(),
+            par,
+            work: 0,
+            depth: 0,
+            children: Vec::new(),
+        }
+    }
+
+    /// Independent re-statement of the Brent rule: sequential children
+    /// add their totals, parallel children contribute the max.
+    fn total(&self) -> (u64, u64) {
+        let mut work = self.work;
+        let mut seq_depth = self.depth;
+        let mut par_depth = 0u64;
+        for c in &self.children {
+            let (w, d) = c.total();
+            work += w;
+            if c.par {
+                par_depth = par_depth.max(d);
+            } else {
+                seq_depth += d;
+            }
+        }
+        (work, seq_depth + par_depth)
+    }
+
+    fn to_snapshot(&self) -> SpanSnapshot {
+        SpanSnapshot {
+            name: self.name.clone(),
+            par: self.par,
+            work: self.work,
+            depth: self.depth,
+            children: self.children.iter().map(RefNode::to_snapshot).collect(),
+        }
+    }
+
+    /// Walks `path` (a stack of child indices) to the cursor node.
+    fn at_path(&mut self, path: &[usize]) -> &mut RefNode {
+        let mut cur = self;
+        for &i in path {
+            cur = &mut cur.children[i];
+        }
+        cur
+    }
+}
+
+/// Runs `ops` against a live tracer and the reference model in
+/// lockstep; returns the tracer plus the model root.
+fn run_program(ops: &[Op]) -> (CostTracer, RefNode) {
+    let root = CostTracer::named("prog");
+    let mut model = RefNode::new("prog", false);
+    // Live tracer handles for every open ancestor, root first.
+    let mut stack: Vec<CostTracer> = Vec::new();
+    let mut path: Vec<usize> = Vec::new();
+    for op in ops {
+        let cur = stack.last().unwrap_or(&root);
+        match *op {
+            Op::AddWork(w) => {
+                cur.add_work(w);
+                model.at_path(&path).work += w;
+            }
+            Op::AddDepth(d) => {
+                cur.add_depth(d);
+                model.at_path(&path).depth += d;
+            }
+            Op::Step(w) => {
+                cur.step(w);
+                let m = model.at_path(&path);
+                m.work += w;
+                m.depth += 1;
+            }
+            Op::OpenSeq(tag) => {
+                let name = format!("s{tag}");
+                let child = cur.span(&name);
+                let m = model.at_path(&path);
+                m.children.push(RefNode::new(&name, false));
+                path.push(m.children.len() - 1);
+                stack.push(child);
+            }
+            Op::OpenPar(tag) => {
+                let name = format!("p{tag}");
+                let child = cur.par_span(&name);
+                let m = model.at_path(&path);
+                m.children.push(RefNode::new(&name, true));
+                path.push(m.children.len() - 1);
+                stack.push(child);
+            }
+            Op::Pop => {
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    (root, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The tracer's snapshot matches the reference tree node for node,
+    /// and its aggregate obeys the reference Brent totals.
+    #[test]
+    fn tracer_matches_reference_model(ops in vec(op_strategy(), 0..60)) {
+        let (tracer, model) = run_program(&ops);
+        let snap = tracer.snapshot();
+        prop_assert_eq!(&snap, &model.to_snapshot());
+
+        let (want_work, want_depth) = model.total();
+        let wd = tracer.aggregate();
+        prop_assert_eq!(wd.work, want_work, "work must sum over the whole tree");
+        prop_assert_eq!(wd.depth, want_depth, "depth: seq adds, par maxes");
+        let tot = snap.total();
+        prop_assert_eq!((tot.work, tot.depth), (want_work, want_depth));
+    }
+
+    /// Aggregate depth never exceeds the sum of every depth increment
+    /// (parallel composition can only shorten the critical path), and
+    /// equals it when no parallel span exists.
+    #[test]
+    fn parallelism_only_shortens_the_critical_path(ops in vec(op_strategy(), 0..60)) {
+        let (tracer, _) = run_program(&ops);
+        let serial: u64 = ops.iter().map(|op| match *op {
+            Op::AddDepth(d) => d,
+            Op::Step(_) => 1,
+            _ => 0,
+        }).sum();
+        let wd = tracer.aggregate();
+        prop_assert!(wd.depth <= serial, "{} > serialized {}", wd.depth, serial);
+        if !ops.iter().any(|op| matches!(op, Op::OpenPar(_))) {
+            prop_assert_eq!(wd.depth, serial);
+        }
+    }
+
+    /// JSON round-trips the exact tree for arbitrary programs.
+    #[test]
+    fn json_round_trips(ops in vec(op_strategy(), 0..60)) {
+        let (tracer, _) = run_program(&ops);
+        let snap = tracer.snapshot();
+        let json = snap.to_json();
+        let back = SpanSnapshot::from_json(&json).expect("own output parses");
+        prop_assert_eq!(back, snap);
+    }
+}

@@ -26,7 +26,12 @@ pub struct Node {
 
 impl Node {
     fn leaf(tag: Option<usize>) -> Node {
-        Node { parent: NONE, left: NONE, right: NONE, tag }
+        Node {
+            parent: NONE,
+            left: NONE,
+            right: NONE,
+            tag,
+        }
     }
 
     /// `true` iff the node has no children.
@@ -82,9 +87,14 @@ impl Forest {
     /// there is not exactly one root.
     pub fn into_tree(self) -> Result<Tree> {
         if self.roots.len() == 1 {
-            Ok(Tree { root: self.roots[0], nodes: self.nodes })
+            Ok(Tree {
+                root: self.roots[0],
+                nodes: self.nodes,
+            })
         } else {
-            Err(Error::InfeasiblePattern { trees_needed: Some(self.roots.len()) })
+            Err(Error::InfeasiblePattern {
+                trees_needed: Some(self.roots.len()),
+            })
         }
     }
 
@@ -169,7 +179,12 @@ fn copy_subtree(src_nodes: &[Node], src: usize, parent: usize, out: &mut Vec<Nod
     while let Some((s, p, as_left)) = stack.pop() {
         let id = out.len();
         let n = &src_nodes[s];
-        out.push(Node { parent: p, left: NONE, right: NONE, tag: n.tag });
+        out.push(Node {
+            parent: p,
+            left: NONE,
+            right: NONE,
+            tag: n.tag,
+        });
         if p != NONE {
             if as_left {
                 out[p].left = id;
@@ -210,7 +225,10 @@ fn collect_leaves(nodes: &[Node], v: usize, depth: u32, out: &mut Vec<(u32, Opti
 impl Tree {
     /// A single-leaf tree.
     pub fn leaf(tag: Option<usize>) -> Tree {
-        Tree { nodes: vec![Node::leaf(tag)], root: 0 }
+        Tree {
+            nodes: vec![Node::leaf(tag)],
+            root: 0,
+        }
     }
 
     /// Creates a tree from raw parts; validates structure.
@@ -323,7 +341,11 @@ impl Tree {
 
     /// Validation (see [`Forest::validate`]).
     pub fn validate(&self) -> Result<()> {
-        Forest { nodes: self.nodes.clone(), roots: vec![self.root] }.validate()
+        Forest {
+            nodes: self.nodes.clone(),
+            roots: vec![self.root],
+        }
+        .validate()
     }
 
     /// Replaces the leaf carrying `tag` with the whole tree `sub`
@@ -401,10 +423,16 @@ impl Tree {
                     "  "
                 }
             );
-            let kids: Vec<usize> =
-                [node.left, node.right].into_iter().filter(|&c| c != NONE).collect();
+            let kids: Vec<usize> = [node.left, node.right]
+                .into_iter()
+                .filter(|&c| c != NONE)
+                .collect();
             for (idx, &c) in kids.iter().enumerate() {
-                let b = if idx + 1 < kids.len() { "├─" } else { "└─" };
+                let b = if idx + 1 < kids.len() {
+                    "├─"
+                } else {
+                    "└─"
+                };
                 self.render_rec(c, &child_prefix, b, out);
             }
         }
@@ -433,7 +461,12 @@ impl TreeBuilder {
     /// returns its index.
     pub fn internal(&mut self, left: usize, right: Option<usize>) -> usize {
         let id = self.nodes.len();
-        self.nodes.push(Node { parent: NONE, left, right: right.unwrap_or(NONE), tag: None });
+        self.nodes.push(Node {
+            parent: NONE,
+            left,
+            right: right.unwrap_or(NONE),
+            tag: None,
+        });
         self.nodes[left].parent = id;
         if let Some(r) = right {
             self.nodes[r].parent = id;
@@ -503,8 +536,18 @@ mod tests {
     #[test]
     fn right_only_child_rejected() {
         let nodes = vec![
-            Node { parent: NONE, left: NONE, right: 1, tag: None },
-            Node { parent: 0, left: NONE, right: NONE, tag: None },
+            Node {
+                parent: NONE,
+                left: NONE,
+                right: 1,
+                tag: None,
+            },
+            Node {
+                parent: 0,
+                left: NONE,
+                right: NONE,
+                tag: None,
+            },
         ];
         assert!(Tree::from_parts(nodes, 0).is_err());
     }
@@ -512,8 +555,18 @@ mod tests {
     #[test]
     fn tagged_internal_rejected() {
         let nodes = vec![
-            Node { parent: NONE, left: 1, right: NONE, tag: Some(3) },
-            Node { parent: 0, left: NONE, right: NONE, tag: None },
+            Node {
+                parent: NONE,
+                left: 1,
+                right: NONE,
+                tag: Some(3),
+            },
+            Node {
+                parent: 0,
+                left: NONE,
+                right: NONE,
+                tag: None,
+            },
         ];
         assert!(Tree::from_parts(nodes, 0).is_err());
     }
@@ -521,8 +574,18 @@ mod tests {
     #[test]
     fn bad_parent_pointer_rejected() {
         let nodes = vec![
-            Node { parent: NONE, left: 1, right: NONE, tag: None },
-            Node { parent: NONE, left: NONE, right: NONE, tag: None },
+            Node {
+                parent: NONE,
+                left: 1,
+                right: NONE,
+                tag: None,
+            },
+            Node {
+                parent: NONE,
+                left: NONE,
+                right: NONE,
+                tag: None,
+            },
         ];
         assert!(Tree::from_parts(nodes, 0).is_err());
     }
@@ -534,12 +597,11 @@ mod tests {
         let y = b.leaf(Some(1));
         let f = b.build_forest(vec![x, y]).unwrap();
         assert_eq!(f.len(), 2);
-        assert_eq!(
-            f.leaf_levels(),
-            vec![(0, Some(0)), (0, Some(1))]
-        );
+        assert_eq!(f.leaf_levels(), vec![(0, Some(0)), (0, Some(1))]);
         match f.into_tree() {
-            Err(Error::InfeasiblePattern { trees_needed: Some(2) }) => {}
+            Err(Error::InfeasiblePattern {
+                trees_needed: Some(2),
+            }) => {}
             other => panic!("expected InfeasiblePattern(2), got {other:?}"),
         }
     }

@@ -116,7 +116,12 @@ mod tests {
         let got = f.leaf_levels();
         assert_eq!(
             got,
-            vec![(2, Some(100)), (3, Some(200)), (3, Some(300)), (1, Some(400))]
+            vec![
+                (2, Some(100)),
+                (3, Some(200)),
+                (3, Some(300)),
+                (1, Some(400))
+            ]
         );
     }
 

@@ -64,7 +64,11 @@ pub fn compress(tree: &Tree) -> Tree {
                 if pos % 2 == 1 {
                     remove[cur] = true;
                 }
-                let child = if nodes[cur].left != NONE { nodes[cur].left } else { nodes[cur].right };
+                let child = if nodes[cur].left != NONE {
+                    nodes[cur].left
+                } else {
+                    nodes[cur].right
+                };
                 if child == NONE || !unary(child) {
                     break;
                 }
@@ -84,7 +88,10 @@ pub fn contract_rounds(tree: &Tree) -> usize {
     while t.reachable().len() > 1 {
         t = compress(&rake(&t));
         rounds += 1;
-        assert!(rounds <= 4 * usize::BITS as usize, "contraction failed to converge");
+        assert!(
+            rounds <= 4 * usize::BITS as usize,
+            "contraction failed to converge"
+        );
     }
     rounds
 }
@@ -97,7 +104,10 @@ pub fn rake_to_chain(tree: &Tree) -> (usize, Tree) {
     while !is_chain(&t) {
         t = rake(&t);
         rounds += 1;
-        assert!(rounds <= 4 * usize::BITS as usize, "rake failed to converge");
+        assert!(
+            rounds <= 4 * usize::BITS as usize,
+            "rake failed to converge"
+        );
     }
     (rounds, t)
 }
@@ -132,7 +142,12 @@ fn filter_tree(tree: &Tree, keep: impl Fn(&Tree, usize) -> bool) -> Tree {
             continue;
         }
         let id = nodes.len();
-        nodes.push(Node { parent, left: NONE, right: NONE, tag: src[s].tag });
+        nodes.push(Node {
+            parent,
+            left: NONE,
+            right: NONE,
+            tag: src[s].tag,
+        });
         if parent == NONE {
             new_root = id;
         } else if as_left {
@@ -270,7 +285,10 @@ mod tests {
         c.validate().unwrap();
         let len_before = t.reachable().len();
         let len_after = c.reachable().len();
-        assert!(len_after <= len_before / 2 + 2, "{len_before} → {len_after}");
+        assert!(
+            len_after <= len_before / 2 + 2,
+            "{len_before} → {len_after}"
+        );
         assert_eq!(c.leaf_depths().len(), 1); // still exactly one leaf
     }
 
@@ -295,6 +313,9 @@ mod tests {
         }
         let t = b.build(cur).unwrap();
         let rounds = contract_rounds(&t);
-        assert!(rounds <= 10, "chain of 64 should contract in ≤ 10 rounds, took {rounds}");
+        assert!(
+            rounds <= 10,
+            "chain of 64 should contract in ≤ 10 rounds, took {rounds}"
+        );
     }
 }

@@ -45,26 +45,37 @@ pub fn euler_tour(tree: &Tree) -> EulerTour {
             0 => {
                 stack.push((v, 1));
                 if n.left != NONE {
-                    edges.push(TourEdge { node: n.left, down: true });
+                    edges.push(TourEdge {
+                        node: n.left,
+                        down: true,
+                    });
                     stack.push((n.left, 0));
                 }
             }
             1 => {
                 stack.push((v, 2));
                 if n.right != NONE {
-                    edges.push(TourEdge { node: n.right, down: true });
+                    edges.push(TourEdge {
+                        node: n.right,
+                        down: true,
+                    });
                     stack.push((n.right, 0));
                 }
             }
             _ => {
                 if v != tree.root() {
-                    edges.push(TourEdge { node: v, down: false });
+                    edges.push(TourEdge {
+                        node: v,
+                        down: false,
+                    });
                 }
             }
         }
     }
     let m = edges.len();
-    let next: Vec<usize> = (0..m).map(|k| if k + 1 < m { k + 1 } else { NIL }).collect();
+    let next: Vec<usize> = (0..m)
+        .map(|k| if k + 1 < m { k + 1 } else { NIL })
+        .collect();
     EulerTour { edges, next }
 }
 
@@ -79,8 +90,11 @@ pub fn depths_euler(tree: &Tree) -> Vec<u32> {
     if tour.edges.is_empty() {
         return out;
     }
-    let weights: Vec<i64> =
-        tour.edges.iter().map(|e| if e.down { 1 } else { -1 }).collect();
+    let weights: Vec<i64> = tour
+        .edges
+        .iter()
+        .map(|e| if e.down { 1 } else { -1 })
+        .collect();
     // suffix[k] = Σ weights[k..]; prefix through k = total − suffix[k] + w[k].
     let suffix = list_rank_weighted(&tour.next, &weights);
     let total = suffix[0];
@@ -175,10 +189,22 @@ mod tests {
         assert_eq!(
             tour.edges,
             vec![
-                TourEdge { node: x, down: true },
-                TourEdge { node: x, down: false },
-                TourEdge { node: y, down: true },
-                TourEdge { node: y, down: false },
+                TourEdge {
+                    node: x,
+                    down: true
+                },
+                TourEdge {
+                    node: x,
+                    down: false
+                },
+                TourEdge {
+                    node: y,
+                    down: true
+                },
+                TourEdge {
+                    node: y,
+                    down: false
+                },
             ]
         );
     }

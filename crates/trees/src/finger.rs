@@ -70,7 +70,9 @@ pub fn build_general(levels: &[u32]) -> Result<GeneralBuild> {
         }
         rounds += 1;
         if rounds > 2 * usize::BITS as usize {
-            return Err(Error::Internal("Finger-Reduction failed to converge".into()));
+            return Err(Error::Internal(
+                "Finger-Reduction failed to converge".into(),
+            ));
         }
         finger_counts.push(count_maxima(&lvls));
 
@@ -78,9 +80,7 @@ pub fn build_general(levels: &[u32]) -> Result<GeneralBuild> {
         // are below their single neighbour).
         let m = segs.len();
         let mins: Vec<usize> = (0..m)
-            .filter(|&i| {
-                (i == 0 || lvls[i - 1] > lvls[i]) && (i + 1 == m || lvls[i + 1] > lvls[i])
-            })
+            .filter(|&i| (i == 0 || lvls[i - 1] > lvls[i]) && (i + 1 == m || lvls[i + 1] > lvls[i]))
             .collect();
         debug_assert!(!mins.is_empty(), "a finite sequence has a minimum");
 
@@ -154,16 +154,18 @@ pub fn build_general(levels: &[u32]) -> Result<GeneralBuild> {
     // Expansion: substitute the recorded forests for the placeholders.
     let tree = expand(&root_tree, &subs, n)?;
     tree.validate()?;
-    Ok(GeneralBuild { tree, rounds, finger_counts })
+    Ok(GeneralBuild {
+        tree,
+        rounds,
+        finger_counts,
+    })
 }
 
 /// Number of local maxima (fingers) of a level sequence in segment form.
 fn count_maxima(lvls: &[u32]) -> usize {
     let m = lvls.len();
     (0..m)
-        .filter(|&i| {
-            (i == 0 || lvls[i - 1] < lvls[i]) && (i + 1 == m || lvls[i + 1] < lvls[i])
-        })
+        .filter(|&i| (i == 0 || lvls[i - 1] < lvls[i]) && (i + 1 == m || lvls[i + 1] < lvls[i]))
         .count()
 }
 
@@ -188,7 +190,12 @@ fn expand(root_tree: &Tree, subs: &[Tree], n: usize) -> Result<Tree> {
             }
         }
         let id = nodes.len();
-        nodes.push(Node { parent, left: NONE, right: NONE, tag: nd.tag });
+        nodes.push(Node {
+            parent,
+            left: NONE,
+            right: NONE,
+            tag: nd.tag,
+        });
         if parent == NONE {
             root_new = id;
         } else if as_left {
@@ -215,9 +222,17 @@ mod tests {
     fn check_realizes(p: &[u32]) {
         let out = build_general(p).unwrap_or_else(|e| panic!("{p:?} should be feasible: {e}"));
         assert_eq!(out.tree.leaf_depths(), p, "depths for {p:?}");
-        let tags: Vec<usize> =
-            out.tree.leaf_levels().iter().map(|&(_, t)| t.expect("tagged")).collect();
-        assert_eq!(tags, (0..p.len()).collect::<Vec<_>>(), "tag order for {p:?}");
+        let tags: Vec<usize> = out
+            .tree
+            .leaf_levels()
+            .iter()
+            .map(|&(_, t)| t.expect("tagged"))
+            .collect();
+        assert_eq!(
+            tags,
+            (0..p.len()).collect::<Vec<_>>(),
+            "tag order for {p:?}"
+        );
     }
 
     #[test]

@@ -139,7 +139,11 @@ mod tests {
             let (c, exact) = kraft_ceil_exact(&levels);
             let f = kraft_f64(&levels);
             assert_eq!(c, f.ceil() as u64, "levels={levels:?}");
-            assert_eq!(exact, (f - f.round()).abs() < 1e-9 && f.fract() == 0.0, "levels={levels:?}");
+            assert_eq!(
+                exact,
+                (f - f.round()).abs() < 1e-9 && f.fract() == 0.0,
+                "levels={levels:?}"
+            );
         }
     }
 

@@ -106,7 +106,12 @@ pub fn build_layout(leaves: &[(u32, usize)]) -> Result<Forest> {
 }
 
 fn push_node(nodes: &mut Vec<Node>, tag: Option<usize>) -> usize {
-    nodes.push(Node { parent: NONE, left: NONE, right: NONE, tag });
+    nodes.push(Node {
+        parent: NONE,
+        left: NONE,
+        right: NONE,
+        tag,
+    });
     nodes.len() - 1
 }
 
@@ -121,10 +126,17 @@ mod tests {
 
     fn check_roundtrip(levels: &[u32]) {
         let f = build_layout(&tagged(levels)).expect("bitonic feasible input");
-        assert_eq!(f.len() as u64, minimal_forest_size(levels), "forest size for {levels:?}");
+        assert_eq!(
+            f.len() as u64,
+            minimal_forest_size(levels),
+            "forest size for {levels:?}"
+        );
         let got = f.leaf_levels();
-        let want: Vec<(u32, Option<usize>)> =
-            levels.iter().enumerate().map(|(i, &l)| (l, Some(i))).collect();
+        let want: Vec<(u32, Option<usize>)> = levels
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| (l, Some(i)))
+            .collect();
         assert_eq!(got, want, "leaf levels for {levels:?}");
     }
 

@@ -109,7 +109,9 @@ mod tests {
     #[test]
     fn infeasible_reports_forest_size() {
         match build_monotone(&[1, 1, 1, 1]) {
-            Err(Error::InfeasiblePattern { trees_needed: Some(2) }) => {}
+            Err(Error::InfeasiblePattern {
+                trees_needed: Some(2),
+            }) => {}
             other => panic!("expected forest size 2, got {other:?}"),
         }
         let f = build_monotone_forest(&[1, 1, 1, 1]).unwrap();

@@ -47,7 +47,9 @@ pub fn is_bitonic(levels: &[u32]) -> bool {
 /// Validates levels against [`MAX_LEVEL`].
 pub fn check_levels(levels: &[u32]) -> Result<()> {
     match levels.iter().find(|&&l| l > MAX_LEVEL) {
-        Some(&l) => Err(Error::invalid(format!("leaf level {l} exceeds MAX_LEVEL ({MAX_LEVEL})"))),
+        Some(&l) => Err(Error::invalid(format!(
+            "leaf level {l} exceeds MAX_LEVEL ({MAX_LEVEL})"
+        ))),
         None => Ok(()),
     }
 }
@@ -79,7 +81,12 @@ pub fn build_exact_tagged(levels: &[u32], tag: impl Fn(usize) -> usize) -> Resul
         .iter()
         .enumerate()
         .map(|(i, &l)| {
-            nodes.push(Node { parent: NONE, left: NONE, right: NONE, tag: Some(tag(i)) });
+            nodes.push(Node {
+                parent: NONE,
+                left: NONE,
+                right: NONE,
+                tag: Some(tag(i)),
+            });
             (i, l)
         })
         .collect();
@@ -124,7 +131,9 @@ pub fn build_exact_tagged(levels: &[u32], tag: impl Fn(usize) -> usize) -> Resul
     }
 
     if items.len() != 1 {
-        return Err(Error::InfeasiblePattern { trees_needed: Some(items.len()) });
+        return Err(Error::InfeasiblePattern {
+            trees_needed: Some(items.len()),
+        });
     }
     Tree::from_parts(nodes, items[0].0)
 }
@@ -133,7 +142,12 @@ pub fn build_exact_tagged(levels: &[u32], tag: impl Fn(usize) -> usize) -> Resul
 fn lift(nodes: &mut Vec<Node>, mut id: usize, by: u32) -> usize {
     for _ in 0..by {
         let p = nodes.len();
-        nodes.push(Node { parent: NONE, left: id, right: NONE, tag: None });
+        nodes.push(Node {
+            parent: NONE,
+            left: id,
+            right: NONE,
+            tag: None,
+        });
         nodes[id].parent = p;
         id = p;
     }
@@ -143,7 +157,12 @@ fn lift(nodes: &mut Vec<Node>, mut id: usize, by: u32) -> usize {
 /// Creates an internal node over `(left, right)`.
 fn merge(nodes: &mut Vec<Node>, left: usize, right: usize) -> usize {
     let p = nodes.len();
-    nodes.push(Node { parent: NONE, left, right, tag: None });
+    nodes.push(Node {
+        parent: NONE,
+        left,
+        right,
+        tag: None,
+    });
     nodes[left].parent = p;
     nodes[right].parent = p;
     p

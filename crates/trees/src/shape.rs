@@ -44,10 +44,16 @@ fn measures(tree: &Tree) -> Vec<Option<Measures>> {
             continue;
         }
         let m = if n.is_leaf() {
-            Measures { height: 0, perfect_depth: 0 }
+            Measures {
+                height: 0,
+                perfect_depth: 0,
+            }
         } else if n.right == NONE {
             let lm = out[n.left].expect("child processed");
-            Measures { height: lm.height + 1, perfect_depth: 0 }
+            Measures {
+                height: lm.height + 1,
+                perfect_depth: 0,
+            }
         } else {
             let lm = out[n.left].expect("child processed");
             let rm = out[n.right].expect("child processed");

@@ -27,7 +27,10 @@ fn main() {
     let h = entropy(&w).expect("positive weights");
     println!("source: {n} symbols, entropy {h:.4} bits/symbol\n");
 
-    println!("{:<28} {:>10} {:>12} {:>9}", "algorithm", "bits/sym", "redundancy", "max len");
+    println!(
+        "{:<28} {:>10} {:>12} {:>9}",
+        "algorithm", "bits/sym", "redundancy", "max len"
+    );
     println!("{}", "-".repeat(63));
     // Lengths must be paired with the weight order they were computed
     // for (package-merge works on the sorted copy).

@@ -43,8 +43,14 @@ fn main() {
 
     let expected = |t: &BstNode| t.weighted_path_length(&inst).value() / total;
     println!("expected comparisons per lookup:");
-    println!("  optimal (Knuth O(n²))      : {:.5}", exact.cost().value() / total);
-    println!("  approximate (Theorem 6.1)  : {:.5}", expected(&approx.tree));
+    println!(
+        "  optimal (Knuth O(n²))      : {:.5}",
+        exact.cost().value() / total
+    );
+    println!(
+        "  approximate (Theorem 6.1)  : {:.5}",
+        expected(&approx.tree)
+    );
     println!("  balanced (frequency-blind) : {:.5}", expected(&balanced));
     let gap = (approx.cost.value() - exact.cost().value()) / total;
     println!("  approximation gap          : {gap:.6}  (ε = {eps:.6})");
@@ -75,5 +81,8 @@ fn main() {
     println!("\nsimulated {lookups} lookups (comparisons per hit):");
     println!("  optimal     : {:.5}", cost_exact as f64 / lookups as f64);
     println!("  approximate : {:.5}", cost_approx as f64 / lookups as f64);
-    println!("  balanced    : {:.5}", cost_balanced as f64 / lookups as f64);
+    println!(
+        "  balanced    : {:.5}",
+        cost_balanced as f64 / lookups as f64
+    );
 }

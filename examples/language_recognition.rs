@@ -34,12 +34,18 @@ fn main() {
         let b = recognize_bfs(&pal, w);
         let d = recognize_divide(&pal, w);
         assert_eq!(b, d, "engines must agree");
-        println!("palindromes ∋ {name:<28} : {}", if b { "ACCEPT" } else { "reject" });
+        println!(
+            "palindromes ∋ {name:<28} : {}",
+            if b { "ACCEPT" } else { "reject" }
+        );
     }
     for k in [1usize, 5, 50] {
         let w = gen::an_bn(k);
         assert!(recognize_divide(&anbn, &w));
-        println!("a^n b^n    ∋ a^{k} b^{k}{pad} : ACCEPT", pad = " ".repeat(18 - k.to_string().len() * 2));
+        println!(
+            "a^n b^n    ∋ a^{k} b^{k}{pad} : ACCEPT",
+            pad = " ".repeat(18 - k.to_string().len() * 2)
+        );
     }
     assert!(!recognize_divide(&anbn, b"aabbb"));
     println!("a^n b^n    ∌ aabbb                 : reject");
@@ -47,7 +53,10 @@ fn main() {
     println!("\n=== parse extraction (Claim 8.1 witnesses) ===\n");
     let w = b"abaaba".to_vec();
     let d = parse_bfs(&pal, &w).expect("abaaba is an even palindrome");
-    println!("derivation of \"abaaba\" uses {} rule applications:", d.rules.len());
+    println!(
+        "derivation of \"abaaba\" uses {} rule applications:",
+        d.rules.len()
+    );
     for r in &d.rules {
         println!("  {r:?}");
     }
@@ -59,8 +68,14 @@ fn main() {
         let w = gen::palindrome(4, 1);
         let ig = InducedGraph::new(&pal, &w);
         println!("Figure 1 — cluster wiring:\n{}", ig.render_figure1());
-        println!("Figure 2 — the collapsed triangular grid:\n{}", ig.render_figure2());
-        println!("Figure 3 — separator pieces (| = separator layer):\n{}", ig.render_figure3());
+        println!(
+            "Figure 2 — the collapsed triangular grid:\n{}",
+            ig.render_figure2()
+        );
+        println!(
+            "Figure 3 — separator pieces (| = separator layer):\n{}",
+            ig.render_figure3()
+        );
     } else {
         println!("\n(pass --render to draw the paper's Figures 1–3)");
     }

@@ -24,7 +24,9 @@ fn main() {
     let infeasible = vec![1u32, 1, 1];
     println!(
         "pattern {infeasible:?}: {} (minimal forest: {} trees)",
-        build_monotone(&infeasible).map(|_| "ok").unwrap_or("infeasible as a single tree"),
+        build_monotone(&infeasible)
+            .map(|_| "ok")
+            .unwrap_or("infeasible as a single tree"),
         minimal_forest_size(&infeasible)
     );
 
@@ -32,7 +34,11 @@ fn main() {
     let p = vec![2u32, 3, 4, 4, 3, 1];
     println!("pattern {p:?}  (rises then falls)");
     let f = build_bitonic_forest(&p).expect("bitonic");
-    println!("minimal forest size: {} (⌈Kraft⌉ = {})", f.len(), minimal_forest_size(&p));
+    println!(
+        "minimal forest size: {} (⌈Kraft⌉ = {})",
+        f.len(),
+        minimal_forest_size(&p)
+    );
     let t = f.into_tree().expect("single tree");
     assert_eq!(t.leaf_depths(), p);
     println!("{}", t.render());

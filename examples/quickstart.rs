@@ -38,7 +38,10 @@ fn main() {
         par.cost().value() / total
     );
 
-    println!("\ncode tree (leaves are symbol indices):\n{}", par.tree.render());
+    println!(
+        "\ncode tree (leaves are symbol indices):\n{}",
+        par.tree.render()
+    );
 
     println!("=== Shannon–Fano (Theorem 7.4): within one bit of optimal ===\n");
     let sf = shannon_fano(&freqs).expect("positive frequencies");

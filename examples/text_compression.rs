@@ -64,7 +64,10 @@ fn main() {
     // Shannon–Fano.
     let sf = shannon_fano(&freqs).expect("positive frequencies");
     let (bytes_sf, bits_sf) = sf.code.encode(&corpus).expect("in-alphabet");
-    assert_eq!(sf.code.decode(&bytes_sf, bits_sf).expect("own output"), corpus);
+    assert_eq!(
+        sf.code.decode(&bytes_sf, bits_sf).expect("own output"),
+        corpus
+    );
 
     let raw_bits = corpus_len as f64 * (n_symbols as f64).log2().ceil();
     let report = |name: &str, bits: u64, bytes: usize| {
@@ -80,9 +83,10 @@ fn main() {
 
     let h_rate = bits_h as f64 / corpus_len as f64;
     let sf_rate = bits_sf as f64 / corpus_len as f64;
-    println!("\nsource-coding sanity: entropy ≤ huffman < entropy+1 : {}", {
-        entropy <= h_rate + 1e-9 && h_rate < entropy + 1.0
-    });
+    println!(
+        "\nsource-coding sanity: entropy ≤ huffman < entropy+1 : {}",
+        { entropy <= h_rate + 1e-9 && h_rate < entropy + 1.0 }
+    );
     println!("Claim 7.1: huffman ≤ shannon-fano ≤ huffman+1 : {}", {
         h_rate <= sf_rate + 1e-9 && sf_rate <= h_rate + 1.0 + 1e-9
     });

@@ -9,6 +9,7 @@ use partree::core::gen;
 use partree::huffman::dp::huffman_dp;
 use partree::huffman::parallel::{huffman_parallel, huffman_parallel_cost};
 use partree::huffman::sequential::{huffman_heap, huffman_two_queue, weighted_length};
+use partree::pram::CostTracer;
 use partree::trees::kraft::kraft_complete;
 
 /// All four Huffman implementations agree on the optimum.
@@ -24,7 +25,7 @@ fn four_huffman_algorithms_agree() {
             let heap = huffman_heap(&w).unwrap().cost;
             let sorted = gen::sorted(w.clone());
             let two_q = huffman_two_queue(&sorted).unwrap().cost;
-            let dp = huffman_dp(&sorted, None).unwrap().cost;
+            let dp = huffman_dp(&sorted, &CostTracer::disabled()).unwrap().cost;
             let par = huffman_parallel_cost(&w).unwrap();
             assert_eq!(heap, two_q, "{dist} seed={seed}");
             assert_eq!(heap, dp, "{dist} seed={seed}");
@@ -101,8 +102,12 @@ fn parallel_huffman_output_invariants() {
         huff.tree.validate().unwrap();
         assert_eq!(huff.tree.leaf_count(), n);
         // Every symbol appears exactly once as a tag.
-        let mut tags: Vec<usize> =
-            huff.tree.leaf_levels().iter().map(|&(_, t)| t.unwrap()).collect();
+        let mut tags: Vec<usize> = huff
+            .tree
+            .leaf_levels()
+            .iter()
+            .map(|&(_, t)| t.unwrap())
+            .collect();
         tags.sort_unstable();
         assert_eq!(tags, (0..n).collect::<Vec<_>>());
     }

@@ -10,6 +10,7 @@ use partree::huffman::sequential::huffman_heap;
 use partree::monge::concave::is_concave;
 use partree::monge::cut::concave_mul;
 use partree::monge::dense::{min_plus_naive, Matrix};
+use partree::pram::CostTracer;
 use partree::trees::finger::build_general;
 use partree::trees::kraft::kraft_feasible;
 use partree::trees::pattern::build_exact;
@@ -26,8 +27,8 @@ proptest! {
     ) {
         let a = Matrix::from_rows(&gen::random_monge(p, q, seed));
         let b = Matrix::from_rows(&gen::random_monge(q, r, seed + 1));
-        let fast = concave_mul(&a, &b, None);
-        let slow = min_plus_naive(&a, &b, None);
+        let fast = concave_mul(&a, &b, &CostTracer::disabled());
+        let slow = min_plus_naive(&a, &b, &CostTracer::disabled());
         prop_assert!(fast.values.approx_eq(&slow, 1e-6));
         prop_assert!(is_concave(&fast.values, 1e-6));
     }
@@ -38,7 +39,7 @@ proptest! {
     fn cut_monotonicity(n in 2usize..24, seed in 0u64..1000) {
         let a = Matrix::from_rows(&gen::random_monge(n, n, seed));
         let b = Matrix::from_rows(&gen::random_monge(n, n, seed + 7));
-        let out = concave_mul(&a, &b, None);
+        let out = concave_mul(&a, &b, &CostTracer::disabled());
         for i in 0..n {
             for j in 0..n - 1 {
                 prop_assert!(out.cut[i * n + j] <= out.cut[i * n + j + 1]);

@@ -1,25 +1,33 @@
 //! Integration: determinism of the parallel algorithms — same inputs
 //! give bit-identical outputs run to run (ties broken by smallest
 //! index, as the paper's `Cut` definition specifies), regardless of
-//! scheduling.
+//! scheduling. Every pipeline is exercised under 1, 2, and 8 worker
+//! threads; the cost tracer's span trees must also be identical,
+//! because depth is counted in synchronous PRAM rounds rather than
+//! wall-clock scheduling.
 
 use partree::core::gen;
-use partree::huffman::parallel::huffman_parallel;
+use partree::huffman::parallel::{huffman_parallel, huffman_parallel_cost_traced};
+use partree::lcfl::grammar::even_palindromes;
+use partree::lcfl::{parse_divide, recognize_divide};
 use partree::monge::cut::concave_mul;
 use partree::monge::dense::Matrix;
 use partree::obst::approx::approx_optimal_bst;
 use partree::obst::ObstInstance;
 use partree::pram::model::with_threads;
+use partree::pram::CostTracer;
 use partree::trees::finger::build_general;
+
+const POOLS: [usize; 3] = [1, 2, 8];
 
 #[test]
 fn concave_mul_is_deterministic_across_runs_and_pools() {
     let a = Matrix::from_rows(&gen::random_monge(120, 95, 3));
     let b = Matrix::from_rows(&gen::random_monge(95, 130, 4));
-    let baseline = concave_mul(&a, &b, None);
-    for threads in [1usize, 2, 4] {
+    let baseline = concave_mul(&a, &b, &CostTracer::disabled());
+    for threads in POOLS {
         for _ in 0..3 {
-            let again = with_threads(threads, || concave_mul(&a, &b, None));
+            let again = with_threads(threads, || concave_mul(&a, &b, &CostTracer::disabled()));
             assert_eq!(again.cut, baseline.cut, "threads={threads}");
             assert!(again.values.approx_eq(&baseline.values, 0.0));
         }
@@ -30,7 +38,7 @@ fn concave_mul_is_deterministic_across_runs_and_pools() {
 fn huffman_parallel_outputs_are_stable() {
     let w = gen::zipf_weights(80, 1.1, 9);
     let first = huffman_parallel(&w).unwrap();
-    for threads in [1usize, 3] {
+    for threads in POOLS {
         let again = with_threads(threads, || huffman_parallel(&w).unwrap());
         assert_eq!(again.lengths, first.lengths, "threads={threads}");
         assert_eq!(again.cost(), first.cost());
@@ -42,9 +50,9 @@ fn huffman_parallel_outputs_are_stable() {
 fn finger_reduction_is_stable() {
     let p = gen::pattern_with_fingers(16, 32, 5);
     let first = build_general(&p).unwrap();
-    for _ in 0..3 {
-        let again = build_general(&p).unwrap();
-        assert_eq!(again.rounds, first.rounds);
+    for threads in POOLS {
+        let again = with_threads(threads, || build_general(&p).unwrap());
+        assert_eq!(again.rounds, first.rounds, "threads={threads}");
         assert_eq!(again.tree.leaf_levels(), first.tree.leaf_levels());
     }
 }
@@ -53,9 +61,51 @@ fn finger_reduction_is_stable() {
 fn approx_obst_is_stable() {
     let inst = ObstInstance::random(48, 200, 11);
     let first = approx_optimal_bst(&inst, 0.02).unwrap();
-    for threads in [1usize, 2] {
+    for threads in POOLS {
         let again = with_threads(threads, || approx_optimal_bst(&inst, 0.02).unwrap());
         assert_eq!(again.cost, first.cost, "threads={threads}");
         assert_eq!(again.tree, first.tree);
+    }
+}
+
+#[test]
+fn lcfl_recognizer_and_parser_are_stable() {
+    let g = even_palindromes();
+    let good = gen::palindrome(40, 3);
+    let mut bad = good.clone();
+    bad[0] = if bad[0] == b'a' { b'b' } else { b'a' };
+    let first = parse_divide(&g, &good).expect("accepted");
+    for threads in POOLS {
+        let (acc, rej, d) = with_threads(threads, || {
+            (
+                recognize_divide(&g, &good),
+                recognize_divide(&g, &bad),
+                parse_divide(&g, &good).expect("accepted"),
+            )
+        });
+        assert!(acc, "threads={threads}");
+        assert!(!rej, "threads={threads}");
+        assert_eq!(d.rules, first.rules, "threads={threads}");
+    }
+}
+
+#[test]
+fn tracer_span_trees_are_pool_independent() {
+    // Depth is counted in synchronous rounds, so the whole span tree —
+    // names, nesting, work, depth — must not depend on how many OS
+    // threads rayon actually used.
+    let w = gen::zipf_weights(96, 1.1, 7);
+    let baseline = {
+        let t = CostTracer::named("huffman");
+        let _ = huffman_parallel_cost_traced(&w, &t).unwrap();
+        t.snapshot()
+    };
+    for threads in POOLS {
+        let snap = with_threads(threads, || {
+            let t = CostTracer::named("huffman");
+            let _ = huffman_parallel_cost_traced(&w, &t).unwrap();
+            t.snapshot()
+        });
+        assert_eq!(snap, baseline, "threads={threads}");
     }
 }

@@ -1,0 +1,97 @@
+//! Differential testing: four independent optimal-code constructions —
+//! the paper's parallel pipeline, the sequential heap, package-merge
+//! (with a generous length limit), and Garsia–Wachs — must agree on the
+//! total weighted path length for every input family. The cost of an
+//! optimal code is permutation-invariant, so the sorted-input oracles
+//! (package-merge, Garsia–Wachs) are run on `gen::sorted` copies and
+//! compared against the unsorted runs of the other two.
+
+use partree::core::gen;
+use partree::huffman::garsia_wachs::garsia_wachs;
+use partree::huffman::package_merge::package_merge;
+use partree::huffman::parallel::huffman_parallel;
+use partree::huffman::sequential::huffman_heap;
+
+/// A length limit no optimal code ever hits: n − 1 is the depth of the
+/// most skewed binary tree on n leaves.
+fn generous_limit(n: usize) -> u32 {
+    (n - 1) as u32
+}
+
+fn assert_all_agree(label: &str, w: &[f64]) {
+    let n = w.len();
+    let par = huffman_parallel(w).expect("parallel");
+    let heap = huffman_heap(w).expect("heap");
+    let sorted = gen::sorted(w.to_vec());
+    let (_, gw) = garsia_wachs(&sorted).expect("garsia-wachs");
+    let (_, pm) = package_merge(&sorted, generous_limit(n)).expect("package-merge");
+
+    assert_eq!(par.cost(), heap.cost, "{label}: parallel vs heap");
+    assert_eq!(gw, heap.cost, "{label}: garsia-wachs vs heap");
+    assert_eq!(pm, heap.cost, "{label}: package-merge vs heap");
+
+    // The parallel code must also be a valid prefix code of that cost:
+    // Kraft equality and length-weighted sum both recomputed from the
+    // reported lengths.
+    assert_eq!(par.lengths.len(), n, "{label}: one length per symbol");
+    let kraft: f64 = par.lengths.iter().map(|&l| 0.5f64.powi(l as i32)).sum();
+    assert!((kraft - 1.0).abs() < 1e-9, "{label}: Kraft sum {kraft} ≠ 1");
+}
+
+#[test]
+fn random_inputs_agree() {
+    for &n in &[2usize, 3, 7, 33, 128, 257] {
+        for seed in [1u64, 5, 9] {
+            let w = gen::uniform_weights(n, 1000, seed);
+            assert_all_agree(&format!("uniform n={n} seed={seed}"), &w);
+            let z = gen::zipf_weights(n, 1.2, seed);
+            assert_all_agree(&format!("zipf n={n} seed={seed}"), &z);
+        }
+    }
+}
+
+#[test]
+fn sorted_inputs_agree() {
+    for &n in &[16usize, 64, 200] {
+        let asc = gen::sorted(gen::geometric_weights(n, 1.3, 2));
+        assert_all_agree(&format!("ascending n={n}"), &asc);
+        let mut desc = asc.clone();
+        desc.reverse();
+        assert_all_agree(&format!("descending n={n}"), &desc);
+    }
+}
+
+#[test]
+fn equal_weight_inputs_agree() {
+    // All-equal weights: the optimum is the complete-as-possible tree;
+    // ties everywhere stress the tie-breaking of every algorithm.
+    for &n in &[2usize, 5, 8, 31, 32, 33, 100] {
+        let w = vec![1.0; n];
+        assert_all_agree(&format!("equal n={n}"), &w);
+    }
+}
+
+#[test]
+fn two_symbol_adversarial_inputs_agree() {
+    // Two-valued weight sets with extreme imbalance produce the
+    // deepest optimal trees — the adversarial case for height-bounded
+    // DP pipelines (the parallel path's A_H matrices must reach the
+    // full ⌈log n⌉ height budget and hand off to the spine).
+    for &n in &[8usize, 40, 96] {
+        // One heavy symbol among featherweights → near-caterpillar tree.
+        let mut w = vec![1.0; n];
+        w[0] = (n * n) as f64;
+        assert_all_agree(&format!("one-heavy n={n}"), &w);
+
+        // Half heavy, half light.
+        let mut w = vec![1.0; n];
+        for x in w.iter_mut().skip(n / 2) {
+            *x = 1e6;
+        }
+        assert_all_agree(&format!("bimodal n={n}"), &w);
+
+        // Exponentially separated pairs: forces maximal depth spread.
+        let w: Vec<f64> = (0..n).map(|i| 2f64.powi((i % 30) as i32)).collect();
+        assert_all_agree(&format!("exponential n={n}"), &w);
+    }
+}

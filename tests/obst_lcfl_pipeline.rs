@@ -37,7 +37,10 @@ fn obst_collapsing_instances_stay_within_eps() {
         }
         let eps = 0.02;
         let approx = approx_optimal_bst(&inst, eps).unwrap();
-        assert!(approx.collapsed_keys < 40, "seed={seed}: collapsing must trigger");
+        assert!(
+            approx.collapsed_keys < 40,
+            "seed={seed}: collapsing must trigger"
+        );
         let opt = obst_knuth(&inst).cost();
         assert!(
             approx.cost.value() - opt.value() <= eps * inst.total() + 1e-9,
@@ -81,14 +84,20 @@ fn lcfl_structured_accepts_and_near_misses() {
         bad[k - 1] = b'b';
         let expect = recognize_bfs(&anbn, &bad);
         assert_eq!(recognize_divide(&anbn, &bad), expect);
-        assert!(!expect || k == 1, "a^(k-1) b^(k+1) is out of the language for k>1");
+        assert!(
+            !expect || k == 1,
+            "a^(k-1) b^(k+1) is out of the language for k>1"
+        );
     }
 }
 
 #[test]
 fn lcfl_parses_replay_for_every_accepted_string() {
     for (g, words) in [
-        (palindromes(), vec![b"a".to_vec(), gen::palindrome(9, 1), gen::palindrome(20, 2)]),
+        (
+            palindromes(),
+            vec![b"a".to_vec(), gen::palindrome(9, 1), gen::palindrome(20, 2)],
+        ),
         (an_bn(), vec![gen::an_bn(1), gen::an_bn(13)]),
         (more_as_than_bs(), vec![b"aaab".to_vec(), b"aaaaa".to_vec()]),
     ] {

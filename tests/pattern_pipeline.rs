@@ -54,8 +54,11 @@ fn huffman_lengths_realize_as_monotone_pattern() {
         // rearrangement-minimal pairing), reproduces the optimal cost.
         let mut sw = w.clone();
         sw.sort_by(|a, b| b.total_cmp(a));
-        let cost: f64 =
-            sw.iter().zip(pattern.iter().rev()).map(|(&w, &l)| w * f64::from(l)).sum();
+        let cost: f64 = sw
+            .iter()
+            .zip(pattern.iter().rev())
+            .map(|(&w, &l)| w * f64::from(l))
+            .sum();
         assert_eq!(cost, huff.cost.value(), "seed={seed}");
     }
 }

@@ -1,17 +1,23 @@
-//! Integration: the paper's work bounds, measured end to end with the
-//! PRAM comparison counters — the machine-independent half of every
-//! theorem (see DESIGN.md §2 on the PRAM substitution).
+//! Integration: the paper's work AND depth bounds, measured end to end
+//! with the PRAM cost tracer — the machine-independent half of every
+//! theorem (see DESIGN.md §2 on the PRAM substitution). Depth here is
+//! the tracer's synchronous-round count: parallel children contribute
+//! their max, sequential composition adds.
 
 use partree::core::gen;
-use partree::huffman::parallel::huffman_parallel_cost_counted;
+use partree::huffman::parallel::huffman_parallel_cost_traced;
 use partree::monge::bottom_up::concave_mul_bottom_up;
 use partree::monge::cut::concave_mul;
 use partree::monge::dense::{min_plus_naive, Matrix};
 use partree::monge::smawk::smawk_mul;
-use partree::pram::OpCounter;
+use partree::pram::CostTracer;
 
 fn concave(n: usize, seed: u64) -> Matrix {
     Matrix::from_rows(&gen::random_monge(n, n, seed))
+}
+
+fn ceil_log2(n: usize) -> u64 {
+    u64::from(usize::BITS - n.saturating_sub(1).leading_zeros())
 }
 
 /// Theorem 4.1's separation: the concave product's comparisons grow
@@ -24,19 +30,48 @@ fn concave_multiplication_work_scales_quadratically() {
     for &n in &[64usize, 128, 256] {
         let a = concave(n, 1);
         let b = concave(n, 2);
-        let fast = OpCounter::new();
-        let _ = concave_mul(&a, &b, Some(&fast));
-        let slow = OpCounter::new();
-        let _ = min_plus_naive(&a, &b, Some(&slow));
+        let fast = CostTracer::named("concave_mul");
+        let _ = concave_mul(&a, &b, &fast);
+        let slow = CostTracer::named("naive");
+        let _ = min_plus_naive(&a, &b, &slow);
+        let (fast, slow) = (fast.aggregate().work, slow.aggregate().work);
         if prev_fast > 0.0 {
-            let fast_ratio = fast.get() as f64 / prev_fast;
-            let slow_ratio = slow.get() as f64 / prev_slow;
+            let fast_ratio = fast as f64 / prev_fast;
+            let slow_ratio = slow as f64 / prev_slow;
             // Doubling n: quadratic ⇒ ×4-ish, cubic ⇒ ×8.
             assert!(fast_ratio < 5.0, "fast grew ×{fast_ratio:.1} on doubling");
             assert!(slow_ratio > 7.5, "naive grew ×{slow_ratio:.1} on doubling");
         }
-        prev_fast = fast.get() as f64;
-        prev_slow = slow.get() as f64;
+        prev_fast = fast as f64;
+        prev_slow = slow as f64;
+    }
+}
+
+/// Theorem 4.1's depth: one concave product runs in O(log n) rounds —
+/// exactly 2·⌈log₂ n⌉ + 1 under the tracer's round accounting (one
+/// seeding round plus two sweeps per stride halving), at every size.
+#[test]
+fn concave_mul_depth_is_logarithmic() {
+    for &n in &[64usize, 128, 256, 512] {
+        let a = concave(n, 1);
+        let b = concave(n, 2);
+        let t = CostTracer::named("concave_mul");
+        let _ = concave_mul(&a, &b, &t);
+        let wd = t.aggregate();
+        assert_eq!(
+            wd.depth,
+            2 * ceil_log2(n) + 1,
+            "n={n}: concave_mul depth {} ≠ 2⌈log n⌉+1",
+            wd.depth
+        );
+        // …while the per-row SMAWK ablation is depth-Θ(n): the paper's
+        // reason to prefer the cut-based product in parallel settings.
+        let s = CostTracer::named("smawk");
+        let _ = smawk_mul(&a, &b, &s);
+        assert!(
+            s.aggregate().depth >= n as u64,
+            "n={n}: smawk ablation should pay linear depth"
+        );
     }
 }
 
@@ -50,19 +85,19 @@ fn all_fast_products_are_small_constant_times_n_squared() {
     let n2 = (n * n) as u64;
     for (name, ops) in [
         ("recursive", {
-            let c = OpCounter::new();
-            let _ = concave_mul(&a, &b, Some(&c));
-            c.get()
+            let c = CostTracer::named("recursive");
+            let _ = concave_mul(&a, &b, &c);
+            c.aggregate().work
         }),
         ("bottom_up", {
-            let c = OpCounter::new();
-            let _ = concave_mul_bottom_up(&a, &b, Some(&c));
-            c.get()
+            let c = CostTracer::named("bottom_up");
+            let _ = concave_mul_bottom_up(&a, &b, &c);
+            c.aggregate().work
         }),
         ("smawk", {
-            let c = OpCounter::new();
-            let _ = smawk_mul(&a, &b, Some(&c));
-            c.get()
+            let c = CostTracer::named("smawk");
+            let _ = smawk_mul(&a, &b, &c);
+            c.aggregate().work
         }),
     ] {
         assert!(ops <= 8 * n2, "{name}: {ops} cmps > 8·n²");
@@ -77,15 +112,60 @@ fn all_fast_products_are_small_constant_times_n_squared() {
 fn huffman_pipeline_work_is_n_squared_log_n() {
     for &n in &[128usize, 256, 512] {
         let w = gen::zipf_weights(n, 1.1, 3);
-        let ops = OpCounter::new();
-        let _ = huffman_parallel_cost_counted(&w, Some(&ops)).unwrap();
+        let t = CostTracer::named("huffman");
+        let work = {
+            let _ = huffman_parallel_cost_traced(&w, &t).unwrap();
+            t.aggregate().work
+        };
         let budget = 3.0 * (n * n) as f64 * (n as f64).log2();
         assert!(
-            (ops.get() as f64) < budget,
-            "n={n}: {} cmps > 3·n²·log n = {budget}",
-            ops.get()
+            (work as f64) < budget,
+            "n={n}: {work} cmps > 3·n²·log n = {budget}"
         );
         let n3 = (n * n * n) as f64;
-        assert!((ops.get() as f64) < n3 / 2.0, "n={n}: work should be ≪ n³");
+        assert!((work as f64) < n3 / 2.0, "n={n}: work should be ≪ n³");
     }
+}
+
+/// Theorem 5.1's depth: the pipeline's critical path is O(log² n)
+/// rounds. Checked two ways: an absolute budget (each of the
+/// 2·⌈log n⌉+1 products costs 2·⌈log n⌉+1 rounds, plus the sort and
+/// the M′ build), and a growth check — multiplying n by 8 must grow
+/// the depth like (log n)², i.e. well under ×3, while the work grows
+/// ×~64.
+#[test]
+fn huffman_pipeline_depth_is_log_squared() {
+    let mut depths = Vec::new();
+    for &n in &[64usize, 128, 256, 512] {
+        let w = gen::zipf_weights(n, 1.1, 3);
+        let t = CostTracer::named("huffman");
+        let _ = huffman_parallel_cost_traced(&w, &t).unwrap();
+        let wd = t.aggregate();
+        let lg = ceil_log2(n) as f64;
+        let budget = 8.0 * lg * lg;
+        assert!(
+            (wd.depth as f64) < budget,
+            "n={n}: depth {} > 8·log²n = {budget}",
+            wd.depth
+        );
+        // Per-phase structure is present: each named phase reported both
+        // work and a nonzero round count.
+        let snap = t.snapshot();
+        for phase in ["sort", "height_bounded_dp", "spine"] {
+            let s = snap
+                .find(phase)
+                .unwrap_or_else(|| panic!("missing span {phase}"));
+            let tot = s.total();
+            assert!(tot.work > 0, "n={n}: phase {phase} reported no work");
+            assert!(tot.depth > 0, "n={n}: phase {phase} reported no rounds");
+        }
+        depths.push(wd.depth as f64);
+    }
+    let growth = depths.last().unwrap() / depths.first().unwrap();
+    // n: 64 → 512 (×8). log²: 36 → 81 (×2.25). Anything linear-ish
+    // in n would be ×8.
+    assert!(
+        growth < 3.0,
+        "depth grew ×{growth:.2} over n×8 — not polylogarithmic"
+    );
 }

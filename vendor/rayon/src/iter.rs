@@ -1,0 +1,467 @@
+//! A miniature indexed parallel-iterator library.
+//!
+//! Everything is *eager*: entry points materialize a `Vec` of items (for
+//! slices these are references, so this is O(n) pointer bumps, not data
+//! copies), adapters transform that `Vec`, and the two "drivers"
+//! ([`drive_blocks`] for order-preserving work, plus the block-fold it
+//! enables for reductions) fan blocks of items out over scoped threads.
+//!
+//! ## Determinism contract
+//!
+//! Reductions fold per-block partials **in block-index order**, and the
+//! reduction block size ([`REDUCE_BLOCK`]) is a constant independent of
+//! the worker count. Consequently `sum()` over `f64`-like non-associative
+//! carriers produces bit-identical results at every pool width — the
+//! property partree's determinism suite asserts.
+
+use crate::pool::{current_num_threads, with_width};
+
+/// Fixed block size for reductions. Must never depend on thread count.
+const REDUCE_BLOCK: usize = 256;
+
+/// An eager parallel iterator: an ordered batch of items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Conversion into a [`ParIter`], mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+range_into_par_iter!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `&collection → par_iter()`, mirroring `IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, C: ?Sized + 'a> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+    <&'a C as IntoParallelIterator>::Item: 'a,
+{
+    type Item = <&'a C as IntoParallelIterator>::Item;
+    fn par_iter(&'a self) -> ParIter<Self::Item> {
+        self.into_par_iter()
+    }
+}
+
+/// `&mut collection → par_iter_mut()`, mirroring `IntoParallelRefMutIterator`.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter_mut(&'a mut self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> ParIter<&'a mut T> {
+        ParIter {
+            items: self.iter_mut().collect(),
+        }
+    }
+}
+
+/// Chunked views of slices, mirroring `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Mutable chunked views, mirroring `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+/// Splits `items` into blocks of `block` elements (last one ragged),
+/// applies `g` to each block on a pool of scoped workers, and returns the
+/// per-block results **in block order**.
+fn drive_blocks<T, U, G>(items: Vec<T>, block: usize, g: G) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    G: Fn(Vec<T>) -> U + Sync,
+{
+    let width = current_num_threads();
+    let n = items.len();
+    if width <= 1 || n <= block {
+        let mut out = Vec::with_capacity(n.div_ceil(block.max(1)));
+        let mut it = items.into_iter();
+        loop {
+            let blk: Vec<T> = it.by_ref().take(block.max(1)).collect();
+            if blk.is_empty() {
+                break;
+            }
+            out.push(g(blk));
+        }
+        return out;
+    }
+
+    // Materialize the blocks, then hand contiguous runs of blocks to
+    // `width` workers. Output slots are pre-split so each worker writes
+    // its own disjoint region; order is by construction the block order.
+    let mut blocks: Vec<Vec<T>> = Vec::new();
+    let mut it = items.into_iter();
+    loop {
+        let blk: Vec<T> = it.by_ref().take(block).collect();
+        if blk.is_empty() {
+            break;
+        }
+        blocks.push(blk);
+    }
+    let nb = blocks.len();
+    let workers = width.min(nb);
+    let mut out: Vec<Option<U>> = (0..nb).map(|_| None).collect();
+    let g = &g;
+    std::thread::scope(|s| {
+        let mut out_rest: &mut [Option<U>] = &mut out;
+        let mut blk_it = blocks.into_iter();
+        let per = nb / workers;
+        let extra = nb % workers;
+        for w in 0..workers {
+            let count = per + usize::from(w < extra);
+            let my_blocks: Vec<Vec<T>> = blk_it.by_ref().take(count).collect();
+            let (mine, rest) = out_rest.split_at_mut(count);
+            out_rest = rest;
+            s.spawn(move || {
+                with_width(width, || {
+                    for (slot, blk) in mine.iter_mut().zip(my_blocks) {
+                        *slot = Some(g(blk));
+                    }
+                })
+            });
+        }
+    });
+    out.into_iter()
+        .map(|u| u.expect("worker filled every slot"))
+        .collect()
+}
+
+/// Block size for order-preserving operations (`map`, `for_each`): output
+/// identity does not depend on the split, so we are free to match it to
+/// the pool width for better load balance.
+fn elastic_block(len: usize, width: usize) -> usize {
+    len.div_ceil(width.saturating_mul(4).max(1)).max(1)
+}
+
+impl<T: Send> ParIter<T> {
+    /// Number of items in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Parallel map; preserves item order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let width = current_num_threads();
+        let block = elastic_block(self.items.len(), width);
+        let out_blocks = drive_blocks(self.items, block, |blk| {
+            blk.into_iter().map(&f).collect::<Vec<U>>()
+        });
+        ParIter {
+            items: out_blocks.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel side-effecting loop. Items may run concurrently; the
+    /// caller's closure must be `Sync`, which statically enforces the
+    /// EREW/CREW discipline the PRAM layer documents.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let width = current_num_threads();
+        let block = elastic_block(self.items.len(), width);
+        drive_blocks(self.items, block, |blk| blk.into_iter().for_each(&f));
+    }
+
+    /// Pairs each item with its index.
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Zips with another batch, truncating to the shorter length.
+    pub fn zip<B>(self, other: B) -> ParIter<(T, B::Item)>
+    where
+        B: IntoParallelIterator,
+    {
+        let rhs = other.into_par_iter().items;
+        ParIter {
+            items: self.items.into_iter().zip(rhs).collect(),
+        }
+    }
+
+    /// Deterministic parallel sum: fixed-size blocks folded in order.
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<T> + std::iter::Sum<S> + Send,
+    {
+        let partials = drive_blocks(self.items, REDUCE_BLOCK, |blk| blk.into_iter().sum::<S>());
+        partials.into_iter().sum()
+    }
+
+    /// Deterministic parallel reduction with an identity, mirroring
+    /// `ParallelIterator::reduce`. Blocks fold left-to-right from the
+    /// identity; partials combine in block order.
+    pub fn reduce<ID, F>(self, identity: ID, op: F) -> T
+    where
+        ID: Fn() -> T + Sync,
+        F: Fn(T, T) -> T + Sync,
+    {
+        let partials = drive_blocks(self.items, REDUCE_BLOCK, |blk| {
+            blk.into_iter().fold(identity(), &op)
+        });
+        partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Deterministic parallel reduction; `None` on an empty batch.
+    /// Per-block partials are combined left-to-right in block order, so
+    /// the result does not depend on the pool width even for
+    /// non-associative `op`.
+    pub fn reduce_with<F>(self, op: F) -> Option<T>
+    where
+        F: Fn(T, T) -> T + Sync,
+    {
+        let partials = drive_blocks(self.items, REDUCE_BLOCK, |blk| blk.into_iter().reduce(&op));
+        partials.into_iter().flatten().reduce(&op)
+    }
+
+    /// Parallel universally-quantified test (no cross-block
+    /// short-circuit; blocks still stop at their first failure).
+    pub fn all<F>(self, f: F) -> bool
+    where
+        F: Fn(T) -> bool + Sync,
+    {
+        let partials = drive_blocks(self.items, REDUCE_BLOCK, |blk| blk.into_iter().all(&f));
+        partials.into_iter().all(|b| b)
+    }
+
+    /// Parallel existentially-quantified test.
+    pub fn any<F>(self, f: F) -> bool
+    where
+        F: Fn(T) -> bool + Sync,
+    {
+        let partials = drive_blocks(self.items, REDUCE_BLOCK, |blk| blk.into_iter().any(&f));
+        partials.into_iter().any(|b| b)
+    }
+
+    /// Parallel filter; preserves item order.
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        let width = current_num_threads();
+        let block = elastic_block(self.items.len(), width);
+        let out_blocks = drive_blocks(self.items, block, |blk| {
+            blk.into_iter().filter(|t| f(t)).collect::<Vec<T>>()
+        });
+        ParIter {
+            items: out_blocks.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel min by the natural order (deterministic: first minimum in
+    /// index order wins, as with a left fold).
+    pub fn min(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.reduce_with(|a, b| if b < a { b } else { a })
+    }
+
+    /// Parallel max by the natural order.
+    pub fn max(self) -> Option<T>
+    where
+        T: Ord,
+    {
+        self.reduce_with(|a, b| if b > a { b } else { a })
+    }
+
+    /// Materializes into any `FromIterator` collection (items are already
+    /// computed by the time `collect` runs, so this is a plain move).
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<T>,
+    {
+        self.items.into_iter().collect()
+    }
+
+    /// Parallel count (items are materialized, so this is `len`).
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+impl<A: Send, B: Send> ParIter<(A, B)> {
+    /// Splits a batch of pairs into two collections, preserving order.
+    pub fn unzip<FromA, FromB>(self) -> (FromA, FromB)
+    where
+        FromA: FromIterator<A>,
+        FromB: FromIterator<B>,
+    {
+        // Items are already materialized; a sequential unzip is a move.
+        let mut right = Vec::with_capacity(self.items.len());
+        let left: FromA = self
+            .items
+            .into_iter()
+            .map(|(a, b)| {
+                right.push(b);
+                a
+            })
+            .collect();
+        (left, right.into_iter().collect())
+    }
+}
+
+impl<T: Sync + Clone + Send> ParIter<&T> {
+    /// Clones each referenced item.
+    pub fn cloned(self) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().cloned().collect(),
+        }
+    }
+}
+
+impl<T: Sync + Copy + Send> ParIter<&T> {
+    /// Copies each referenced item.
+    pub fn copied(self) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().copied().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::with_width;
+
+    #[test]
+    fn map_preserves_order_across_widths() {
+        let base: Vec<u64> = (0..10_000).collect();
+        let seq: Vec<u64> = with_width(1, || base.par_iter().map(|&x| x * 3).collect());
+        let par: Vec<u64> = with_width(8, || base.par_iter().map(|&x| x * 3).collect());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_widths() {
+        let xs: Vec<f64> = (1..50_000).map(|i| 1.0 / i as f64).collect();
+        let s1: f64 = with_width(1, || xs.par_iter().map(|&x| x).sum());
+        let s2: f64 = with_width(2, || xs.par_iter().map(|&x| x).sum());
+        let s8: f64 = with_width(8, || xs.par_iter().map(|&x| x).sum());
+        assert_eq!(s1.to_bits(), s2.to_bits());
+        assert_eq!(s1.to_bits(), s8.to_bits());
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjointly() {
+        let mut v = vec![0u32; 1000];
+        with_width(4, || {
+            v.par_chunks_mut(7).enumerate().for_each(|(i, chunk)| {
+                for c in chunk.iter_mut() {
+                    *c = i as u32;
+                }
+            })
+        });
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, (i / 7) as u32);
+        }
+    }
+
+    #[test]
+    fn join_runs_both_and_propagates_width() {
+        let (a, b) = with_width(3, || {
+            crate::join(crate::current_num_threads, crate::current_num_threads)
+        });
+        assert_eq!(a, 3);
+        assert_eq!(b, 3);
+    }
+
+    #[test]
+    fn reduce_with_matches_sequential() {
+        let xs: Vec<u64> = (0..4096).collect();
+        let m = with_width(5, || xs.par_iter().map(|&x| x).reduce_with(|a, b| a.max(b)));
+        assert_eq!(m, Some(4095));
+    }
+}

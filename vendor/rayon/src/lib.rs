@@ -1,0 +1,67 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no access to the crates registry, so this
+//! crate reimplements the *subset* of rayon's API that partree uses, on
+//! top of `std::thread::scope`. Three properties matter here and are
+//! guaranteed by construction:
+//!
+//! 1. **Same API shape.** `par_iter` / `par_chunks_mut` / `join` /
+//!    `ThreadPoolBuilder` call sites compile unchanged, so swapping the
+//!    real rayon back in later is a one-line `Cargo.toml` change.
+//! 2. **Determinism across thread counts.** Reductions (`sum`,
+//!    `reduce_with`, `all`) fold fixed-size blocks in index order, and the
+//!    block size never depends on the worker count — so the result of
+//!    every operation, including non-associative `f64` folds, is
+//!    bit-identical under `with_threads(1)`, `with_threads(2)`, and
+//!    `with_threads(8)`.
+//! 3. **Real parallelism.** When the effective pool width is > 1, `map`,
+//!    `for_each`, and `join` actually fan out over scoped threads; Brent
+//!    scheduling degrades gracefully to sequential execution at width 1.
+
+// Vendored stand-in for an external crate: exempt from the
+// workspace lint policy, as a registry dependency would be.
+#![allow(clippy::all)]
+
+mod iter;
+mod pool;
+
+pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+
+pub mod prelude {
+    //! The traits that make `.par_iter()` et al. resolve, mirroring
+    //! `rayon::prelude`.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+        ParallelSlice, ParallelSliceMut,
+    };
+}
+
+pub use iter::{
+    IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParIter,
+    ParallelSlice, ParallelSliceMut,
+};
+
+/// Runs both closures, potentially in parallel, and returns both results.
+///
+/// Mirrors `rayon::join`: `a` runs on the calling thread; `b` runs on a
+/// scoped worker when the current pool width allows it.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let width = current_num_threads();
+    if width <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || pool::with_width(width, b));
+        let ra = a();
+        let rb = hb.join().expect("rayon-shim: joined task panicked");
+        (ra, rb)
+    })
+}

@@ -1,0 +1,109 @@
+//! Thread-count control: a thread-local "current pool width" that
+//! `ThreadPool::install` scopes and every driver consults.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// 0 means "unset": fall back to the machine's logical-CPU count.
+    static WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn default_width() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The pool width parallel drivers on this thread will use.
+pub fn current_num_threads() -> usize {
+    let w = WIDTH.with(Cell::get);
+    if w == 0 {
+        default_width()
+    } else {
+        w
+    }
+}
+
+/// Runs `f` with the thread-local width set to `width`, restoring the
+/// previous value afterwards. Worker threads spawned by the iterator
+/// drivers call this so nested parallel calls observe the pool they were
+/// launched from.
+pub fn with_width<R>(width: usize, f: impl FnOnce() -> R) -> R {
+    let prev = WIDTH.with(Cell::get);
+    WIDTH.with(|w| w.set(width));
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WIDTH.with(|w| w.set(self.0));
+        }
+    }
+    let _guard = Restore(prev);
+    f()
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the `num_threads` +
+/// `build` path.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; construction cannot
+/// actually fail in the shim, the type exists for signature parity.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Requests an exact worker count; 0 means "machine default".
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            default_width()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A "pool" is just a width: workers are spawned scoped per driver call,
+/// which keeps the shim free of global state and shutdown ordering.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's width as the ambient parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_width(self.width, f)
+    }
+
+    /// The width this pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}

@@ -1,0 +1,101 @@
+//! Codec service hot paths: frame codec throughput, codebook cache
+//! hit/miss costs, and end-to-end in-process submit latency. The TCP
+//! layer is excluded on purpose — loopback socket noise would swamp
+//! the construction/caching effects the service exists to amortize.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use partree_pram::CostTracer;
+use partree_service::codebook::CodebookCache;
+use partree_service::frame::{decode_request, encode_request, Histogram, Request, Response};
+use partree_service::server::{Service, ServiceConfig};
+
+fn payload(n: usize, len: usize) -> Vec<u8> {
+    let mut s = 0x243f_6a88_85a3_08d3u64;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % n as u64) as u8
+        })
+        .collect()
+}
+
+fn bench_service(c: &mut Criterion) {
+    // Frame codec: encode_request + decode_request roundtrip.
+    let mut g = c.benchmark_group("frame_codec");
+    for &len in &[64usize, 1024, 16_384] {
+        let hist = Histogram::new((1..=64).collect()).unwrap();
+        let req = Request::Encode {
+            histogram: hist,
+            payload: payload(64, len),
+        };
+        g.throughput(Throughput::Bytes(len as u64));
+        g.bench_with_input(BenchmarkId::new("roundtrip", len), &len, |b, _| {
+            b.iter(|| {
+                let wire = encode_request(7, &req);
+                // Header is 16 bytes: opcode at offset 3, body after.
+                decode_request(
+                    partree_service::frame::Opcode::Encode,
+                    &wire[partree_service::frame::HEADER_LEN..],
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // Codebook cache: cold build vs warm lookup.
+    let mut g = c.benchmark_group("codebook_cache");
+    g.sample_size(20);
+    for &n in &[16usize, 64, 256] {
+        let hist = Histogram::new((1..=n as u32).collect()).unwrap();
+        g.bench_with_input(BenchmarkId::new("miss_build", n), &n, |b, _| {
+            b.iter(|| {
+                let cache = CodebookCache::new(4, 8);
+                cache.get_or_build(&hist, &CostTracer::disabled()).unwrap()
+            })
+        });
+        let warm = CodebookCache::new(4, 8);
+        warm.get_or_build(&hist, &CostTracer::disabled()).unwrap();
+        g.bench_with_input(BenchmarkId::new("hit_lookup", n), &n, |b, _| {
+            b.iter(|| warm.get_or_build(&hist, &CostTracer::disabled()).unwrap())
+        });
+    }
+    g.finish();
+
+    // End-to-end submit on a warm service: queue + batch + encode.
+    let mut g = c.benchmark_group("service_submit");
+    g.sample_size(20);
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let hist = Histogram::new(vec![45, 13, 12, 16, 9, 5]).unwrap();
+    let msg = payload(6, 256);
+    // Warm the cache so the loop measures steady state.
+    match svc.submit(Request::Encode {
+        histogram: hist.clone(),
+        payload: msg.clone(),
+    }) {
+        Response::Encoded { .. } => {}
+        other => panic!("warmup failed: {other:?}"),
+    }
+    g.throughput(Throughput::Bytes(msg.len() as u64));
+    g.bench_function("encode_256B_warm", |b| {
+        b.iter(|| {
+            match svc.submit(Request::Encode {
+                histogram: hist.clone(),
+                payload: msg.clone(),
+            }) {
+                Response::Encoded { bit_len, .. } => bit_len,
+                other => panic!("encode failed: {other:?}"),
+            }
+        })
+    });
+    g.finish();
+    svc.shutdown();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -81,6 +81,9 @@ fn main() {
     if want("e12") {
         e12();
     }
+    if want("e13") {
+        e13();
+    }
 }
 
 fn ms(t: Instant) -> f64 {
@@ -504,4 +507,97 @@ fn e12() {
     let t = CostTracer::named("recognize_divide even_palindromes n=16");
     assert!(recognize_divide_traced(&g, &word, &t));
     println!("{}", t.to_json());
+}
+
+/// E13 — codec service throughput (schema in EXPERIMENTS.md § E13).
+/// Drives the batched service with concurrent clients over a fixed
+/// request mix and reports, per configuration, one JSON line with the
+/// throughput and the tracer's aggregate work/depth. The claim under
+/// test: batching amortizes codebook construction, so throughput
+/// scales with client concurrency while constructions stay bounded by
+/// the number of distinct histograms (cache capacity permitting).
+fn e13() {
+    use partree_service::frame::{Histogram, Request, Response};
+    use partree_service::server::{Service, ServiceConfig};
+
+    println!("\n## E13  Codec service throughput (batched vs unbatched)");
+    println!("one JSON line per configuration; requests = encode+decode pairs,");
+    println!("work/depth are the tracer aggregates over every scheduling tick\n");
+
+    let hists: Vec<Histogram> = vec![
+        Histogram::new(vec![45, 13, 12, 16, 9, 5]).expect("valid"),
+        Histogram::new((1..=32).collect()).expect("valid"),
+        Histogram::new((0..12).map(|i| 1u32 << i).collect()).expect("valid"),
+        Histogram::new(vec![1; 256]).expect("valid"),
+    ];
+    let payload = |n: usize, seed: u64| -> Vec<u8> {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..64)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % n as u64) as u8
+            })
+            .collect()
+    };
+
+    const PAIRS: usize = 500;
+    for &(workers, clients) in &[(1usize, 1usize), (1, 4), (2, 8), (4, 16)] {
+        let svc = Service::start(ServiceConfig {
+            workers,
+            queue_capacity: 4096,
+            ..ServiceConfig::default()
+        });
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..clients {
+                let svc = svc.clone();
+                let hists = &hists;
+                s.spawn(move || {
+                    for r in 0..PAIRS / clients {
+                        let hist = &hists[(c + r) % hists.len()];
+                        let msg = payload(hist.counts().len(), (c * PAIRS + r) as u64);
+                        let (bit_len, data) = match svc.submit(Request::Encode {
+                            histogram: hist.clone(),
+                            payload: msg.clone(),
+                        }) {
+                            Response::Encoded { bit_len, data } => (bit_len, data),
+                            other => panic!("encode failed: {other:?}"),
+                        };
+                        match svc.submit(Request::Decode {
+                            histogram: hist.clone(),
+                            bit_len,
+                            data,
+                        }) {
+                            Response::Decoded { payload } => assert_eq!(payload, msg),
+                            other => panic!("decode failed: {other:?}"),
+                        }
+                    }
+                });
+            }
+        });
+        let elapsed_ms = ms(t0);
+        let m = svc.metrics();
+        svc.shutdown();
+        let reqs = m.encoded + m.decoded;
+        println!(
+            "{{\"experiment\":\"e13\",\"workers\":{workers},\"clients\":{clients},\
+             \"requests\":{reqs},\"elapsed_ms\":{elapsed_ms:.2},\
+             \"throughput_rps\":{:.0},\"batches\":{},\"mean_batch\":{:.2},\
+             \"max_batch\":{},\"constructions\":{},\"cache_hits\":{},\
+             \"work\":{},\"depth\":{},\"latency_us_mean\":{:.1},\
+             \"latency_us_max\":{}}}",
+            reqs as f64 / (elapsed_ms / 1e3),
+            m.batches,
+            m.batched_requests as f64 / m.batches.max(1) as f64,
+            m.max_batch,
+            m.constructions,
+            m.cache_hits,
+            m.work,
+            m.depth,
+            m.latency_us_total as f64 / reqs.max(1) as f64,
+            m.latency_us_max,
+        );
+    }
 }

@@ -85,7 +85,18 @@ impl CanonicalDecoder {
     }
 
     /// Decodes `len_bits` bits into symbols.
+    ///
+    /// Hardened against untrusted input: every malformed stream — a
+    /// declared length longer than the buffer, a codeword truncated at
+    /// end of stream, or bits that match no codeword in the book —
+    /// returns [`Error::InvalidInput`]; this method never panics.
     pub fn decode(&self, bytes: &[u8], len_bits: u64) -> Result<Vec<usize>> {
+        if len_bits > bytes.len() as u64 * 8 {
+            return Err(Error::invalid(format!(
+                "declared length {len_bits} bits exceeds the {}-byte buffer",
+                bytes.len()
+            )));
+        }
         if self.max_len == 0 {
             return if len_bits == 0 {
                 Ok(Vec::new())
@@ -189,5 +200,23 @@ mod tests {
         assert!(CanonicalDecoder::from_lengths(&[1, 1, 1]).is_err());
         assert!(CanonicalDecoder::from_lengths(&[]).is_err());
         assert!(CanonicalDecoder::from_lengths(&[90]).is_err());
+    }
+
+    #[test]
+    fn overlong_declared_length_is_err_not_panic() {
+        let dec = CanonicalDecoder::from_lengths(&[2, 2, 2, 2]).unwrap();
+        assert!(dec.decode(&[0xFF], 9).is_err());
+        assert!(dec.decode(&[], 1).is_err());
+        assert!(dec.decode(&[0xFF, 0xFF], u64::MAX).is_err());
+    }
+
+    #[test]
+    fn garbage_bits_rejected_without_panic() {
+        // Underfull code {00, 01}: streams reaching the unassigned
+        // region (1…) never complete a codeword and must error out.
+        let dec = CanonicalDecoder::from_lengths(&[2, 2]).unwrap();
+        assert!(dec.decode(&[0xFF], 8).is_err());
+        // Mid-symbol EOF after a valid prefix.
+        assert!(dec.decode(&[0b0100_0000], 3).is_err());
     }
 }

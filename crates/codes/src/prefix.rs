@@ -148,7 +148,17 @@ impl PrefixCode {
     }
 
     /// Decodes a bit stream back into symbols (walking the code tree).
+    ///
+    /// Like [`crate::decoder::CanonicalDecoder::decode`], malformed
+    /// input — an overlong declared length, a truncated codeword, a
+    /// bit path that leaves the tree — is an `Err`, never a panic.
     pub fn decode(&self, bytes: &[u8], len_bits: u64) -> Result<Vec<usize>> {
+        if len_bits > bytes.len() as u64 * 8 {
+            return Err(Error::invalid(format!(
+                "declared length {len_bits} bits exceeds the {}-byte buffer",
+                bytes.len()
+            )));
+        }
         let mut out = Vec::new();
         let mut r = BitReader::new(bytes, len_bits);
         let nodes = self.tree.nodes();
@@ -237,6 +247,15 @@ mod tests {
         let code = code_for(&[1.0, 1.0, 1.0, 1.0]);
         let (bytes, bits) = code.encode(&[0, 1, 2]).unwrap();
         assert!(code.decode(&bytes, bits - 1).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_overlong_declared_length() {
+        let code = code_for(&[1.0, 1.0, 1.0, 1.0]);
+        let (bytes, bits) = code.encode(&[0, 1, 2]).unwrap();
+        assert!(code.decode(&bytes, bytes.len() as u64 * 8 + 1).is_err());
+        assert!(code.decode(&[], 4).is_err());
+        let _ = (bytes, bits);
     }
 
     #[test]

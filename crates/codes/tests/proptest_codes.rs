@@ -80,6 +80,36 @@ proptest! {
         prop_assert!(el <= h_avg + 1.0 + 1e-9);
     }
 
+    /// Decoder hardening: feeding random byte strings (with random
+    /// declared bit lengths, including lengths longer than the buffer)
+    /// to a random codebook never panics — every outcome is `Ok` with
+    /// in-alphabet symbols or a structured `Err`. Both the table
+    /// decoder and the tree decoder are exercised.
+    #[test]
+    fn decoding_garbage_never_panics(
+        lengths in prop::collection::vec(0u32..14, 1..24),
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+        slack in 0u64..32,
+        overshoot in any::<bool>(),
+    ) {
+        let total_bits = bytes.len() as u64 * 8;
+        let declared = if overshoot {
+            total_bits + slack
+        } else {
+            total_bits.saturating_sub(slack)
+        };
+        if let Ok(dec) = CanonicalDecoder::from_lengths(&lengths) {
+            if let Ok(syms) = dec.decode(&bytes, declared) {
+                prop_assert!(syms.iter().all(|&s| s < lengths.len()));
+            }
+        }
+        if let Ok(code) = canonical_code(&lengths) {
+            if let Ok(syms) = code.decode(&bytes, declared) {
+                prop_assert!(syms.iter().all(|&s| s < lengths.len()));
+            }
+        }
+    }
+
     /// Redundancy of Huffman codes lies in [0, 1); Kraft slack of a
     /// Huffman code is zero (complete code).
     #[test]

@@ -1,0 +1,166 @@
+//! CI smoke test: start a loopback server, hammer it with 1k mixed
+//! requests from several client threads, check every roundtrip is
+//! byte-identical, then shut down and verify nothing leaked.
+//!
+//! Exits non-zero (with a message on stderr) on any failure; the CI
+//! step wraps this in a timeout so a hung shutdown also fails.
+
+use partree_service::frame::Histogram;
+use partree_service::net::Server;
+use partree_service::server::{Service, ServiceConfig};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 125; // 8 × 125 = 1000 roundtrips
+
+/// The mixed alphabets the clients cycle through: sizes 2..=256,
+/// skewed and flat weight shapes.
+fn alphabets() -> Vec<Histogram> {
+    // Fibonacci weights: the classic worst case for code depth.
+    let mut fib = vec![1u32, 1];
+    for i in 2..20 {
+        let next = fib[i - 1] + fib[i - 2];
+        fib.push(next);
+    }
+    // Mid-size with one dominant symbol.
+    let mut dom = vec![1u32; 40];
+    dom[7] = 1000;
+    vec![
+        // Textbook skewed 6-symbol alphabet.
+        Histogram::new(vec![45, 13, 12, 16, 9, 5]).unwrap(),
+        // Smallest legal alphabet.
+        Histogram::new(vec![3, 1]).unwrap(),
+        // Flat power-of-two alphabet.
+        Histogram::new(vec![1; 16]).unwrap(),
+        // Exponentially skewed: deep, unbalanced code tree.
+        Histogram::new((0..12).map(|i| 1u32 << i).collect()).unwrap(),
+        Histogram::new(fib).unwrap(),
+        // Full byte alphabet, mildly non-uniform.
+        Histogram::new((0..256).map(|i| 1 + (i as u32 % 7)).collect()).unwrap(),
+        Histogram::new(dom).unwrap(),
+        // Primes, because no shape in common with the others.
+        Histogram::new(vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37]).unwrap(),
+    ]
+}
+
+/// Deterministic pseudo-random payload over `n` symbols.
+fn payload(n: usize, seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % n as u64) as u8
+        })
+        .collect()
+}
+
+fn run() -> Result<(), String> {
+    let threads_before = active_threads()?;
+
+    let cfg = ServiceConfig {
+        workers: 2,
+        queue_capacity: 4096,
+        max_batch: 64,
+        ..ServiceConfig::default()
+    };
+    let server =
+        Server::bind(Service::start(cfg), "127.0.0.1:0").map_err(|e| format!("bind: {e}"))?;
+    let addr = server.addr();
+    let hists = alphabets();
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let hists = hists.clone();
+            std::thread::spawn(move || -> Result<(), String> {
+                let mut client = partree_service::client::Client::connect(addr)
+                    .map_err(|e| format!("client {c} connect: {e}"))?;
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let hist = &hists[(c + r) % hists.len()];
+                    let n = hist.counts().len();
+                    let msg = payload(n, (c * REQUESTS_PER_CLIENT + r) as u64, 32 + r % 96);
+                    let (bit_len, data) = client
+                        .encode(hist, &msg)
+                        .map_err(|e| format!("client {c} req {r} encode: {e}"))?;
+                    let back = client
+                        .decode(hist, bit_len, &data)
+                        .map_err(|e| format!("client {c} req {r} decode: {e}"))?;
+                    if back != msg {
+                        return Err(format!(
+                            "client {c} req {r}: roundtrip mismatch ({} symbols over {n})",
+                            msg.len()
+                        ));
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().map_err(|_| "client thread panicked")??;
+    }
+
+    let stats = server.service().metrics();
+    let dropped = server.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    if stats.encoded != total || stats.decoded != total {
+        return Err(format!(
+            "expected {total} encodes and decodes, saw {} / {}",
+            stats.encoded, stats.decoded
+        ));
+    }
+    if stats.cache_hits == 0 {
+        return Err("cache never hit across 1000 repeated-alphabet requests".into());
+    }
+    if stats.work == 0 || stats.depth == 0 {
+        return Err(format!(
+            "tracer exported no cost (work={}, depth={})",
+            stats.work, stats.depth
+        ));
+    }
+    if dropped != 0 {
+        return Err(format!("shutdown dropped {dropped} queued jobs"));
+    }
+
+    // Leak check: every spawned thread must be joined by now. Allow a
+    // few polls for the OS to reap kernel-side bookkeeping.
+    for _ in 0..50 {
+        if active_threads()? <= threads_before {
+            println!(
+                "service-smoke OK: {total} roundtrips over {} alphabets, \
+                 {} constructions, {} cache hits, mean batch {:.2}, \
+                 work {} depth {}",
+                alphabets().len(),
+                stats.constructions,
+                stats.cache_hits,
+                stats.batched_requests as f64 / stats.batches.max(1) as f64,
+                stats.work,
+                stats.depth
+            );
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    }
+    Err(format!(
+        "thread leak: {} threads before, {} after shutdown",
+        threads_before,
+        active_threads()?
+    ))
+}
+
+/// Counts this process's live threads via procfs (Linux CI).
+fn active_threads() -> Result<usize, String> {
+    match std::fs::read_dir("/proc/self/task") {
+        Ok(entries) => Ok(entries.count()),
+        // Not on Linux: fall back to "no leak detected".
+        Err(_) => Ok(usize::MAX),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("service-smoke FAILED: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,90 @@
+//! A blocking loopback client: one connection, one outstanding request.
+//!
+//! Concurrency is per-connection — open one [`Client`] per thread. The
+//! client assigns monotonically increasing request ids and checks the
+//! echo on every response, so a desynchronized stream surfaces as an
+//! error instead of a misattributed payload.
+
+use crate::frame::{
+    decode_response, encode_request, read_frame, write_frame, Histogram, Request, Response,
+};
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+
+/// A synchronous connection to a [`crate::net::Server`].
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+fn bad_data(e: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+}
+
+impl Client {
+    /// Connects to `addr`.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, next_id: 0 })
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &encode_request(id, request))?;
+        let raw = read_frame(&mut self.stream)?
+            .ok_or_else(|| bad_data("server closed the connection mid-request"))?;
+        if raw.id != id {
+            return Err(bad_data(format!(
+                "response id {} does not echo request id {id}",
+                raw.id
+            )));
+        }
+        decode_response(raw.opcode, &raw.body).map_err(bad_data)
+    }
+
+    /// Encodes `payload` under `histogram`'s code; returns
+    /// `(bit_len, bytes)`. Server-side failures (`Busy`, `Timeout`,
+    /// `Error`) come back as `io::Error` with the frame's message.
+    pub fn encode(&mut self, histogram: &Histogram, payload: &[u8]) -> io::Result<(u64, Vec<u8>)> {
+        let resp = self.request(&Request::Encode {
+            histogram: histogram.clone(),
+            payload: payload.to_vec(),
+        })?;
+        match resp {
+            Response::Encoded { bit_len, data } => Ok((bit_len, data)),
+            other => Err(bad_data(format!("expected Encoded, got {other:?}"))),
+        }
+    }
+
+    /// Decodes `bit_len` bits of `data` under `histogram`'s code.
+    pub fn decode(
+        &mut self,
+        histogram: &Histogram,
+        bit_len: u64,
+        data: &[u8],
+    ) -> io::Result<Vec<u8>> {
+        let resp = self.request(&Request::Decode {
+            histogram: histogram.clone(),
+            bit_len,
+            data: data.to_vec(),
+        })?;
+        match resp {
+            Response::Decoded { payload } => Ok(payload),
+            other => Err(bad_data(format!("expected Decoded, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the server's metrics snapshot.
+    pub fn stats(&mut self) -> io::Result<crate::metrics::MetricsSnapshot> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { json } => {
+                crate::metrics::MetricsSnapshot::from_json(&json).map_err(bad_data)
+            }
+            other => Err(bad_data(format!("expected Stats, got {other:?}"))),
+        }
+    }
+}

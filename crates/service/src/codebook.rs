@@ -1,0 +1,323 @@
+//! Codebooks and the sharded LRU cache that amortizes their
+//! construction.
+//!
+//! A [`Codebook`] is one histogram's worth of deliverable: the optimal
+//! code lengths from [`partree_huffman::parallel`] (Theorem 5.1's
+//! algorithm), realized as a canonical [`PrefixCode`] for encoding and
+//! a table-driven [`CanonicalDecoder`] for decoding. Construction is
+//! deterministic — same histogram, same codebook, bit for bit, at any
+//! pool width — which is what lets the cache hand the same `Arc` to
+//! racing requests without coordination beyond first-insert-wins.
+//!
+//! [`CodebookCache`] shards by histogram hash so concurrent batch
+//! workers rarely contend on one lock, and evicts least-recently-used
+//! entries per shard once a shard exceeds its capacity.
+
+use crate::frame::{ErrorCode, FrameError, Histogram};
+use partree_codes::canonical::canonical_code;
+use partree_codes::decoder::CanonicalDecoder;
+use partree_codes::prefix::PrefixCode;
+use partree_huffman::parallel::huffman_parallel_traced;
+use partree_pram::{CostTracer, WorkDepth};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A built codec for one histogram: canonical code + table decoder.
+#[derive(Debug)]
+pub struct Codebook {
+    /// Cache key: [`Histogram::hash64`] of the source histogram.
+    pub key: u64,
+    /// The histogram this codebook was built from (for hash-collision
+    /// verification on lookup).
+    pub histogram: Histogram,
+    /// Optimal code length per symbol, in symbol order.
+    pub lengths: Vec<u32>,
+    /// Work/depth spent constructing this codebook.
+    pub construction: WorkDepth,
+    code: PrefixCode,
+    decoder: CanonicalDecoder,
+}
+
+impl Codebook {
+    /// Builds the codebook for `histogram`: one parallel Huffman
+    /// construction plus the canonical realization. Spans for the
+    /// construction phases open under `tracer`.
+    pub fn build(histogram: &Histogram, tracer: &CostTracer) -> Result<Codebook, FrameError> {
+        let weights: Vec<f64> = histogram.counts().iter().map(|&c| f64::from(c)).collect();
+        fn internal(stage: &str, e: impl std::fmt::Display) -> FrameError {
+            FrameError::new(
+                ErrorCode::Internal,
+                format!("{stage} failed for a valid histogram: {e}"),
+            )
+        }
+        let huff = huffman_parallel_traced(&weights, tracer).map_err(|e| internal("huffman", e))?;
+        let canon_span = tracer.span("canonicalize");
+        let code = canonical_code(&huff.lengths).map_err(|e| internal("canonical code", e))?;
+        let decoder =
+            CanonicalDecoder::from_lengths(&huff.lengths).map_err(|e| internal("decoder", e))?;
+        canon_span.step(huff.lengths.len() as u64);
+        Ok(Codebook {
+            key: histogram.hash64(),
+            histogram: histogram.clone(),
+            lengths: huff.lengths,
+            construction: tracer.aggregate(),
+            code,
+            decoder,
+        })
+    }
+
+    /// Encodes payload symbols (one byte each) to `(bytes, bit_len)`.
+    pub fn encode(&self, payload: &[u8]) -> Result<(Vec<u8>, u64), FrameError> {
+        let n = self.histogram.alphabet();
+        let symbols: Result<Vec<usize>, FrameError> = payload
+            .iter()
+            .map(|&b| {
+                if (b as usize) < n {
+                    Ok(b as usize)
+                } else {
+                    Err(FrameError::new(
+                        ErrorCode::SymbolOutOfRange,
+                        format!("symbol {b} outside alphabet of {n}"),
+                    ))
+                }
+            })
+            .collect();
+        self.code
+            .encode(&symbols?)
+            .map_err(|e| FrameError::new(ErrorCode::Internal, format!("encode failed: {e}")))
+    }
+
+    /// Decodes `bit_len` bits of `data` back to payload symbols.
+    pub fn decode(&self, data: &[u8], bit_len: u64) -> Result<Vec<u8>, FrameError> {
+        let symbols = self.decoder.decode(data, bit_len).map_err(|e| {
+            FrameError::new(ErrorCode::CorruptPayload, format!("decode failed: {e}"))
+        })?;
+        // Alphabet ≤ 256, so every symbol index fits a byte.
+        Ok(symbols.into_iter().map(|s| s as u8).collect())
+    }
+}
+
+struct Entry {
+    book: Arc<Codebook>,
+    last_used: u64,
+}
+
+struct Shard {
+    map: HashMap<u64, Entry>,
+}
+
+/// A sharded LRU cache of [`Codebook`]s keyed by histogram hash.
+pub struct CodebookCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl std::fmt::Debug for CodebookCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CodebookCache")
+            .field("shards", &self.shards.len())
+            .field("capacity_per_shard", &self.capacity_per_shard)
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl CodebookCache {
+    /// A cache with `shards` independent shards holding at most
+    /// `capacity` entries in total (rounded up to a whole number per
+    /// shard). Both arguments are clamped to at least 1.
+    pub fn new(shards: usize, capacity: usize) -> CodebookCache {
+        let shards = shards.max(1);
+        let capacity_per_shard = capacity.div_ceil(shards).max(1);
+        CodebookCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                    })
+                })
+                .collect(),
+            capacity_per_shard,
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    /// Returns the cached codebook for `histogram`, building it on a
+    /// miss. Racing misses on the same histogram may each build (the
+    /// build happens outside the shard lock so a slow construction
+    /// never blocks lookups of other histograms on the shard), but the
+    /// first insert wins and every caller receives a bit-identical
+    /// codebook — construction is deterministic.
+    pub fn get_or_build(
+        &self,
+        histogram: &Histogram,
+        tracer: &CostTracer,
+    ) -> Result<Arc<Codebook>, FrameError> {
+        let key = histogram.hash64();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            if let Some(e) = shard.map.get_mut(&key) {
+                if e.book.histogram == *histogram {
+                    e.last_used = stamp;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&e.book));
+                }
+                // Hash collision between distinct histograms: evict the
+                // resident and rebuild for the newcomer.
+                shard.map.remove(&key);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(Codebook::build(histogram, tracer)?);
+        let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+        let winner = match shard.map.get_mut(&key) {
+            // A racing builder inserted first — hand back its copy so
+            // all callers share one Arc.
+            Some(e) if e.book.histogram == *histogram => {
+                e.last_used = stamp;
+                Arc::clone(&e.book)
+            }
+            _ => {
+                shard.map.insert(
+                    key,
+                    Entry {
+                        book: Arc::clone(&built),
+                        last_used: stamp,
+                    },
+                );
+                built
+            }
+        };
+        if shard.map.len() > self.capacity_per_shard {
+            let oldest = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+                .expect("non-empty shard");
+            shard.map.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(winner)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (= constructions attempted) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Codebooks currently resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// `true` when no codebook is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(counts: &[u32]) -> Histogram {
+        Histogram::new(counts.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn codebook_roundtrips_and_is_optimal() {
+        let h = hist(&[45, 13, 12, 16, 9, 5]);
+        let book = Codebook::build(&h, &CostTracer::disabled()).unwrap();
+        // Textbook optimum: cost 224 → lengths [1,3,3,3,4,4] as a set.
+        let mut sorted = book.lengths.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 3, 3, 3, 4, 4]);
+        let payload = vec![0, 1, 2, 3, 4, 5, 0, 0, 3];
+        let (bytes, bits) = book.encode(&payload).unwrap();
+        assert_eq!(book.decode(&bytes, bits).unwrap(), payload);
+    }
+
+    #[test]
+    fn encode_rejects_out_of_alphabet() {
+        let book = Codebook::build(&hist(&[1, 1]), &CostTracer::disabled()).unwrap();
+        let e = book.encode(&[0, 2]).unwrap_err();
+        assert_eq!(e.code, ErrorCode::SymbolOutOfRange);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let book = Codebook::build(&hist(&[1, 1, 1]), &CostTracer::disabled()).unwrap();
+        let e = book.decode(&[0xFF], 9).unwrap_err(); // declared > buffer
+        assert_eq!(e.code, ErrorCode::CorruptPayload);
+    }
+
+    #[test]
+    fn cache_hits_after_first_build() {
+        let cache = CodebookCache::new(4, 16);
+        let h = hist(&[5, 3, 2]);
+        let a = cache.get_or_build(&h, &CostTracer::disabled()).unwrap();
+        let b = cache.get_or_build(&h, &CostTracer::disabled()).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_evicts_lru_per_shard() {
+        // One shard, capacity 2: inserting a third histogram evicts the
+        // least recently used.
+        let cache = CodebookCache::new(1, 2);
+        let h1 = hist(&[1, 2]);
+        let h2 = hist(&[1, 3]);
+        let h3 = hist(&[1, 4]);
+        let t = CostTracer::disabled();
+        cache.get_or_build(&h1, &t).unwrap();
+        cache.get_or_build(&h2, &t).unwrap();
+        cache.get_or_build(&h1, &t).unwrap(); // refresh h1
+        cache.get_or_build(&h3, &t).unwrap(); // evicts h2
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+        cache.get_or_build(&h1, &t).unwrap();
+        assert_eq!(cache.misses(), 3, "h1 still resident");
+        cache.get_or_build(&h2, &t).unwrap();
+        assert_eq!(cache.misses(), 4, "h2 was evicted");
+    }
+
+    #[test]
+    fn construction_records_work_and_depth() {
+        let h = hist(&[8, 4, 2, 1, 1]);
+        let t = CostTracer::named("build");
+        let book = Codebook::build(&h, &t).unwrap();
+        assert!(book.construction.work > 0);
+        assert!(book.construction.depth > 0);
+        assert!(t.snapshot().find("canonicalize").is_some());
+    }
+}

@@ -1,0 +1,712 @@
+//! The wire protocol: length-prefixed frames over a byte stream.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic        0x5054 ("PT"), big-endian
+//! 2       1     version      1
+//! 3       1     opcode       see [`Opcode`]
+//! 4       8     request id   echoed verbatim in the response
+//! 12      4     body length  bytes that follow (≤ 16 MiB)
+//! 16      …     body         opcode-specific, layouts below
+//! ```
+//!
+//! All integers are big-endian, written and read through the vendored
+//! [`bytes`] `BufMut`/`Buf` traits so the codec swaps onto the real
+//! crate unchanged. Body layouts:
+//!
+//! | opcode | body |
+//! |---|---|
+//! | `Encode` (0x01) | `n:u16` · `n × count:u32` · `payload_len:u32` · payload bytes (symbols `< n`) |
+//! | `Decode` (0x02) | `n:u16` · `n × count:u32` · `bit_len:u64` · `data_len:u32` · encoded bytes |
+//! | `Stats` (0x03) | empty |
+//! | `EncodeOk` (0x81) | `bit_len:u64` · `data_len:u32` · encoded bytes |
+//! | `DecodeOk` (0x82) | `payload_len:u32` · payload bytes |
+//! | `StatsOk` (0x83) | `json_len:u32` · UTF-8 JSON (schema in `EXPERIMENTS.md`) |
+//! | `Error` (0xE0) | `code:u16` · `msg_len:u16` · UTF-8 message |
+//! | `Busy` (0xE1) | empty — the request was **not** queued; retry later |
+//! | `Timeout` (0xE2) | empty — queued but missed its deadline |
+//!
+//! `Busy` is the backpressure signal: the server sheds load the moment
+//! its bounded queue is full instead of buffering without bound, so a
+//! client always learns the fate of a request within one round trip or
+//! one request-timeout, whichever comes first.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+
+/// Frame magic: "PT".
+pub const MAGIC: u16 = 0x5054;
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 16;
+/// Upper bound on a frame body; larger declared lengths are malformed.
+pub const MAX_BODY: u32 = 16 * 1024 * 1024;
+/// Alphabet-size ceiling: payload symbols travel as single bytes.
+pub const MAX_ALPHABET: usize = 256;
+
+/// Frame type tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Encode request.
+    Encode = 0x01,
+    /// Decode request.
+    Decode = 0x02,
+    /// Metrics request.
+    Stats = 0x03,
+    /// Successful encode.
+    EncodeOk = 0x81,
+    /// Successful decode.
+    DecodeOk = 0x82,
+    /// Metrics snapshot.
+    StatsOk = 0x83,
+    /// Structured failure.
+    Error = 0xE0,
+    /// Load shed: the bounded queue was full.
+    Busy = 0xE1,
+    /// The request missed its processing deadline.
+    Timeout = 0xE2,
+}
+
+impl Opcode {
+    fn from_u8(b: u8) -> Option<Opcode> {
+        match b {
+            0x01 => Some(Opcode::Encode),
+            0x02 => Some(Opcode::Decode),
+            0x03 => Some(Opcode::Stats),
+            0x81 => Some(Opcode::EncodeOk),
+            0x82 => Some(Opcode::DecodeOk),
+            0x83 => Some(Opcode::StatsOk),
+            0xE0 => Some(Opcode::Error),
+            0xE1 => Some(Opcode::Busy),
+            0xE2 => Some(Opcode::Timeout),
+            _ => None,
+        }
+    }
+}
+
+/// Error codes carried by [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The frame did not parse (bad magic/version/opcode/lengths).
+    Malformed = 1,
+    /// Alphabet outside `2..=256` symbols, or an all-zero histogram.
+    UnsupportedAlphabet = 2,
+    /// A payload symbol is outside the declared alphabet.
+    SymbolOutOfRange = 3,
+    /// Encoded data does not decode under the declared histogram.
+    CorruptPayload = 4,
+    /// The service is shutting down.
+    ShuttingDown = 5,
+    /// A server-side invariant failed.
+    Internal = 6,
+}
+
+impl ErrorCode {
+    fn from_u16(v: u16) -> ErrorCode {
+        match v {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnsupportedAlphabet,
+            3 => ErrorCode::SymbolOutOfRange,
+            4 => ErrorCode::CorruptPayload,
+            5 => ErrorCode::ShuttingDown,
+            _ => ErrorCode::Internal,
+        }
+    }
+}
+
+/// A symbol-frequency table: `counts[s]` is the weight of symbol `s`.
+/// The alphabet is `0..counts.len()`, with `2..=256` symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Histogram {
+    counts: Vec<u32>,
+}
+
+impl Histogram {
+    /// Validates and wraps a count table.
+    pub fn new(counts: Vec<u32>) -> Result<Histogram, FrameError> {
+        if counts.len() < 2 || counts.len() > MAX_ALPHABET {
+            return Err(FrameError::new(
+                ErrorCode::UnsupportedAlphabet,
+                format!("alphabet size {} outside 2..=256", counts.len()),
+            ));
+        }
+        if counts.iter().all(|&c| c == 0) {
+            return Err(FrameError::new(
+                ErrorCode::UnsupportedAlphabet,
+                "histogram has no nonzero count",
+            ));
+        }
+        Ok(Histogram { counts })
+    }
+
+    /// Builds the histogram of `payload` over an `n`-symbol alphabet.
+    pub fn of_payload(n: usize, payload: &[u8]) -> Result<Histogram, FrameError> {
+        let mut counts = vec![0u32; n];
+        for &b in payload {
+            let slot = counts.get_mut(b as usize).ok_or_else(|| {
+                FrameError::new(
+                    ErrorCode::SymbolOutOfRange,
+                    format!("symbol {b} outside alphabet of {n}"),
+                )
+            })?;
+            *slot = slot.saturating_add(1);
+        }
+        Histogram::new(counts)
+    }
+
+    /// The count table.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Alphabet size.
+    pub fn alphabet(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// 64-bit FNV-1a over the count table — the codebook cache key.
+    /// Collisions are resolved by full equality in the cache, so the
+    /// hash only needs to spread, not to be unique.
+    pub fn hash64(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &c in &self.counts {
+            for b in c.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+/// A decoded request frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Turn `payload` symbols into bits under `histogram`'s code.
+    Encode {
+        /// The weight table the codebook is built from.
+        histogram: Histogram,
+        /// One byte per symbol, each `< histogram.alphabet()`.
+        payload: Vec<u8>,
+    },
+    /// Turn bits back into symbols under `histogram`'s code.
+    Decode {
+        /// The weight table the codebook is built from.
+        histogram: Histogram,
+        /// Exact number of meaningful bits in `data`.
+        bit_len: u64,
+        /// The encoded bytes.
+        data: Vec<u8>,
+    },
+    /// Fetch the server's aggregate counters as JSON.
+    Stats,
+}
+
+/// A decoded response frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Encode succeeded.
+    Encoded {
+        /// Exact number of meaningful bits in `data`.
+        bit_len: u64,
+        /// The encoded bytes (zero-padded to a whole byte).
+        data: Vec<u8>,
+    },
+    /// Decode succeeded.
+    Decoded {
+        /// One byte per recovered symbol.
+        payload: Vec<u8>,
+    },
+    /// Metrics snapshot.
+    Stats {
+        /// JSON document (schema in `EXPERIMENTS.md` § E13).
+        json: String,
+    },
+    /// Structured failure.
+    Error {
+        /// Machine-readable cause.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The bounded queue was full; the request was not accepted.
+    Busy,
+    /// The request was queued but missed its deadline.
+    Timeout,
+}
+
+/// A protocol-level failure: what went wrong and the matching wire
+/// error code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameError {
+    /// Wire error code.
+    pub code: ErrorCode,
+    /// Detail for the `Error` frame body.
+    pub message: String,
+}
+
+impl FrameError {
+    /// Builds an error with an explicit code.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> FrameError {
+        FrameError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    fn malformed(message: impl Into<String>) -> FrameError {
+        FrameError::new(ErrorCode::Malformed, message)
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for Response {
+    fn from(e: FrameError) -> Response {
+        Response::Error {
+            code: e.code,
+            message: e.message,
+        }
+    }
+}
+
+/// A checked reader over a frame body: every under-run is a
+/// [`FrameError`], never a panic, on top of the panicking [`Buf`]
+/// primitives.
+struct BodyReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> BodyReader<'a> {
+    fn need(&self, n: usize, what: &str) -> Result<(), FrameError> {
+        if self.buf.remaining() < n {
+            return Err(FrameError::malformed(format!(
+                "body truncated reading {what}: need {n} bytes, have {}",
+                self.buf.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, FrameError> {
+        self.need(2, what)?;
+        Ok(self.buf.get_u16())
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, FrameError> {
+        self.need(4, what)?;
+        Ok(self.buf.get_u32())
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, FrameError> {
+        self.need(8, what)?;
+        Ok(self.buf.get_u64())
+    }
+
+    fn bytes(&mut self, n: usize, what: &str) -> Result<Vec<u8>, FrameError> {
+        self.need(n, what)?;
+        let mut out = vec![0u8; n];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    fn finish(&self) -> Result<(), FrameError> {
+        if self.buf.has_remaining() {
+            return Err(FrameError::malformed(format!(
+                "{} trailing bytes after body",
+                self.buf.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    fn histogram(&mut self) -> Result<Histogram, FrameError> {
+        let n = self.u16("alphabet size")? as usize;
+        if !(2..=MAX_ALPHABET).contains(&n) {
+            return Err(FrameError::new(
+                ErrorCode::UnsupportedAlphabet,
+                format!("alphabet size {n} outside 2..=256"),
+            ));
+        }
+        self.need(4 * n, "histogram counts")?;
+        let mut counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            counts.push(self.buf.get_u32());
+        }
+        Histogram::new(counts)
+    }
+}
+
+fn put_histogram(out: &mut BytesMut, h: &Histogram) {
+    out.put_u16(h.alphabet() as u16);
+    for &c in h.counts() {
+        out.put_u32(c);
+    }
+}
+
+/// Serializes one frame (header + body) into a byte vector.
+pub fn encode_frame(id: u64, opcode: Opcode, body: &[u8]) -> Vec<u8> {
+    let mut out = BytesMut::with_capacity(HEADER_LEN + body.len());
+    out.put_u16(MAGIC);
+    out.put_u8(VERSION);
+    out.put_u8(opcode as u8);
+    out.put_u64(id);
+    out.put_u32(body.len() as u32);
+    out.put_slice(body);
+    out.into_vec()
+}
+
+/// Serializes a request frame.
+pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    let opcode = match req {
+        Request::Encode { histogram, payload } => {
+            put_histogram(&mut body, histogram);
+            body.put_u32(payload.len() as u32);
+            body.put_slice(payload);
+            Opcode::Encode
+        }
+        Request::Decode {
+            histogram,
+            bit_len,
+            data,
+        } => {
+            put_histogram(&mut body, histogram);
+            body.put_u64(*bit_len);
+            body.put_u32(data.len() as u32);
+            body.put_slice(data);
+            Opcode::Decode
+        }
+        Request::Stats => Opcode::Stats,
+    };
+    encode_frame(id, opcode, &body)
+}
+
+/// Serializes a response frame.
+pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    let opcode = match resp {
+        Response::Encoded { bit_len, data } => {
+            body.put_u64(*bit_len);
+            body.put_u32(data.len() as u32);
+            body.put_slice(data);
+            Opcode::EncodeOk
+        }
+        Response::Decoded { payload } => {
+            body.put_u32(payload.len() as u32);
+            body.put_slice(payload);
+            Opcode::DecodeOk
+        }
+        Response::Stats { json } => {
+            body.put_u32(json.len() as u32);
+            body.put_slice(json.as_bytes());
+            Opcode::StatsOk
+        }
+        Response::Error { code, message } => {
+            let msg = message.as_bytes();
+            let take = msg.len().min(u16::MAX as usize);
+            body.put_u16(*code as u16);
+            body.put_u16(take as u16);
+            body.put_slice(&msg[..take]);
+            Opcode::Error
+        }
+        Response::Busy => Opcode::Busy,
+        Response::Timeout => Opcode::Timeout,
+    };
+    encode_frame(id, opcode, &body)
+}
+
+/// Parses a request body for `opcode`.
+pub fn decode_request(opcode: Opcode, body: &[u8]) -> Result<Request, FrameError> {
+    let mut r = BodyReader { buf: body };
+    let req = match opcode {
+        Opcode::Encode => {
+            let histogram = r.histogram()?;
+            let len = r.u32("payload length")? as usize;
+            let payload = r.bytes(len, "payload")?;
+            let n = histogram.alphabet();
+            if let Some(&bad) = payload.iter().find(|&&b| b as usize >= n) {
+                return Err(FrameError::new(
+                    ErrorCode::SymbolOutOfRange,
+                    format!("payload symbol {bad} outside alphabet of {n}"),
+                ));
+            }
+            Request::Encode { histogram, payload }
+        }
+        Opcode::Decode => {
+            let histogram = r.histogram()?;
+            let bit_len = r.u64("bit length")?;
+            let len = r.u32("data length")? as usize;
+            let data = r.bytes(len, "data")?;
+            if bit_len > data.len() as u64 * 8 {
+                return Err(FrameError::new(
+                    ErrorCode::CorruptPayload,
+                    format!("bit length {bit_len} exceeds {}-byte data", data.len()),
+                ));
+            }
+            Request::Decode {
+                histogram,
+                bit_len,
+                data,
+            }
+        }
+        Opcode::Stats => Request::Stats,
+        other => {
+            return Err(FrameError::malformed(format!(
+                "opcode {other:?} is not a request"
+            )));
+        }
+    };
+    r.finish()?;
+    Ok(req)
+}
+
+/// Parses a response body for `opcode`.
+pub fn decode_response(opcode: Opcode, body: &[u8]) -> Result<Response, FrameError> {
+    let mut r = BodyReader { buf: body };
+    let resp = match opcode {
+        Opcode::EncodeOk => {
+            let bit_len = r.u64("bit length")?;
+            let len = r.u32("data length")? as usize;
+            let data = r.bytes(len, "data")?;
+            Response::Encoded { bit_len, data }
+        }
+        Opcode::DecodeOk => {
+            let len = r.u32("payload length")? as usize;
+            let payload = r.bytes(len, "payload")?;
+            Response::Decoded { payload }
+        }
+        Opcode::StatsOk => {
+            let len = r.u32("json length")? as usize;
+            let raw = r.bytes(len, "json")?;
+            let json = String::from_utf8(raw)
+                .map_err(|_| FrameError::malformed("stats body is not UTF-8"))?;
+            Response::Stats { json }
+        }
+        Opcode::Error => {
+            let code = ErrorCode::from_u16(r.u16("error code")?);
+            let len = r.u16("message length")? as usize;
+            let raw = r.bytes(len, "message")?;
+            let message = String::from_utf8_lossy(&raw).into_owned();
+            Response::Error { code, message }
+        }
+        Opcode::Busy => Response::Busy,
+        Opcode::Timeout => Response::Timeout,
+        other => {
+            return Err(FrameError::malformed(format!(
+                "opcode {other:?} is not a response"
+            )));
+        }
+    };
+    r.finish()?;
+    Ok(resp)
+}
+
+/// One frame as read off a stream, body not yet interpreted.
+#[derive(Debug)]
+pub struct RawFrame {
+    /// Request id from the header.
+    pub id: u64,
+    /// Frame type.
+    pub opcode: Opcode,
+    /// Uninterpreted body bytes.
+    pub body: Vec<u8>,
+}
+
+/// Reads one frame from `r`. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary; mid-frame EOF and malformed headers are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<RawFrame>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside a frame header",
+            ));
+        }
+        filled += n;
+    }
+    let mut h: &[u8] = &header;
+    let magic = h.get_u16();
+    let version = h.get_u8();
+    let opcode = h.get_u8();
+    let id = h.get_u64();
+    let body_len = h.get_u32();
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad magic {magic:#06x}"),
+        ));
+    }
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported protocol version {version}"),
+        ));
+    }
+    if body_len > MAX_BODY {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("body length {body_len} exceeds {MAX_BODY}"),
+        ));
+    }
+    let opcode = Opcode::from_u8(opcode).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("opcode {opcode:#04x}"))
+    })?;
+    let mut body = vec![0u8; body_len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(RawFrame { id, opcode, body }))
+}
+
+/// Writes one already-encoded frame to `w`.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(counts: &[u32]) -> Histogram {
+        Histogram::new(counts.to_vec()).unwrap()
+    }
+
+    fn roundtrip_request(req: &Request) {
+        let wire = encode_request(7, req);
+        let raw = read_frame(&mut &wire[..]).unwrap().unwrap();
+        assert_eq!(raw.id, 7);
+        assert_eq!(&decode_request(raw.opcode, &raw.body).unwrap(), req);
+    }
+
+    fn roundtrip_response(resp: &Response) {
+        let wire = encode_response(99, resp);
+        let raw = read_frame(&mut &wire[..]).unwrap().unwrap();
+        assert_eq!(raw.id, 99);
+        assert_eq!(&decode_response(raw.opcode, &raw.body).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_frames_roundtrip() {
+        roundtrip_request(&Request::Encode {
+            histogram: hist(&[3, 1, 4, 1, 5]),
+            payload: vec![0, 4, 2, 2, 1, 3],
+        });
+        roundtrip_request(&Request::Decode {
+            histogram: hist(&[10, 20]),
+            bit_len: 11,
+            data: vec![0xAB, 0xC0],
+        });
+        roundtrip_request(&Request::Stats);
+    }
+
+    #[test]
+    fn response_frames_roundtrip() {
+        roundtrip_response(&Response::Encoded {
+            bit_len: 13,
+            data: vec![1, 2],
+        });
+        roundtrip_response(&Response::Decoded {
+            payload: vec![0, 1, 1, 0],
+        });
+        roundtrip_response(&Response::Stats {
+            json: "{\"requests\":3}".into(),
+        });
+        roundtrip_response(&Response::Error {
+            code: ErrorCode::SymbolOutOfRange,
+            message: "symbol 9 outside alphabet of 4".into(),
+        });
+        roundtrip_response(&Response::Busy);
+        roundtrip_response(&Response::Timeout);
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_eof_is_err() {
+        assert!(read_frame(&mut &[][..]).unwrap().is_none());
+        let wire = encode_request(1, &Request::Stats);
+        assert!(read_frame(&mut &wire[..5]).is_err());
+        assert!(read_frame(&mut &wire[..HEADER_LEN - 1]).is_err());
+    }
+
+    #[test]
+    fn bad_headers_rejected() {
+        let mut wire = encode_request(1, &Request::Stats);
+        wire[0] = 0; // magic
+        assert!(read_frame(&mut &wire[..]).is_err());
+        let mut wire = encode_request(1, &Request::Stats);
+        wire[2] = 9; // version
+        assert!(read_frame(&mut &wire[..]).is_err());
+        let mut wire = encode_request(1, &Request::Stats);
+        wire[3] = 0x77; // opcode
+        assert!(read_frame(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_bodies_are_frame_errors() {
+        let req = Request::Encode {
+            histogram: hist(&[1, 2, 3]),
+            payload: vec![0, 1, 2],
+        };
+        let wire = encode_request(1, &req);
+        let raw = read_frame(&mut &wire[..]).unwrap().unwrap();
+        for cut in 0..raw.body.len() {
+            let e = decode_request(raw.opcode, &raw.body[..cut]).unwrap_err();
+            assert_eq!(e.code, ErrorCode::Malformed, "cut at {cut}");
+        }
+        // Trailing garbage is also malformed.
+        let mut long = raw.body.clone();
+        long.push(0);
+        assert!(decode_request(raw.opcode, &long).is_err());
+    }
+
+    #[test]
+    fn semantic_checks_have_specific_codes() {
+        // Symbol outside the alphabet.
+        let mut body = BytesMut::new();
+        put_histogram(&mut body, &hist(&[1, 1]));
+        body.put_u32(1);
+        body.put_u8(2); // alphabet is {0, 1}
+        let e = decode_request(Opcode::Encode, &body).unwrap_err();
+        assert_eq!(e.code, ErrorCode::SymbolOutOfRange);
+
+        // Declared bits exceed the data buffer.
+        let mut body = BytesMut::new();
+        put_histogram(&mut body, &hist(&[1, 1]));
+        body.put_u64(9);
+        body.put_u32(1);
+        body.put_u8(0xFF);
+        let e = decode_request(Opcode::Decode, &body).unwrap_err();
+        assert_eq!(e.code, ErrorCode::CorruptPayload);
+
+        // Alphabet too small / too large.
+        assert!(Histogram::new(vec![5]).is_err());
+        assert!(Histogram::new(vec![0; 257]).is_err());
+        assert!(Histogram::new(vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn histogram_hash_spreads_and_matches_equality() {
+        let a = hist(&[1, 2, 3]);
+        let b = hist(&[1, 2, 3]);
+        let c = hist(&[3, 2, 1]);
+        assert_eq!(a.hash64(), b.hash64());
+        assert_ne!(a.hash64(), c.hash64());
+        assert_eq!(Histogram::of_payload(3, &[0, 1, 1, 2, 2, 2]).unwrap(), a);
+    }
+}

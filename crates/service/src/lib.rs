@@ -1,0 +1,71 @@
+//! # partree-service
+//!
+//! A batched compression codec service on top of the paper's tree
+//! pipelines — the workload layer that turns Theorem 5.1's parallel
+//! Huffman construction into something traffic can hit.
+//!
+//! The design exploits the regime where the paper's algorithms win:
+//! many small requests sharing few alphabets. Requests are drained in
+//! *scheduling ticks* and grouped by weight histogram, so one
+//! `O(log² n)`-depth codebook construction (parallel Huffman +
+//! canonical code + table decoder) serves a whole group, and a sharded
+//! LRU cache lets hot alphabets skip construction entirely.
+//!
+//! * [`frame`] — the length-prefixed wire protocol (spec in
+//!   `EXPERIMENTS.md`), built on the vendored [`bytes`] `Buf`/`BufMut`;
+//! * [`codebook`] — [`codebook::Codebook`] construction and the
+//!   [`codebook::CodebookCache`];
+//! * [`server`] — [`server::Service`]: bounded queue, batch workers on
+//!   a [`rayon`] pool, `Busy` backpressure, per-request deadlines,
+//!   graceful shutdown;
+//! * [`net`] — [`net::Server`]: the loopback TCP front end;
+//! * [`client`] — [`client::Client`]: a blocking loopback client;
+//! * [`metrics`] — aggregate counters, including the traced work/depth
+//!   of every scheduling tick, exported as JSON.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use partree_service::frame::Histogram;
+//! use partree_service::server::{Service, ServiceConfig};
+//!
+//! let svc = Service::start(ServiceConfig::default());
+//! let hist = Histogram::new(vec![45, 13, 12, 16, 9, 5])?;
+//! let payload = vec![0u8, 1, 2, 3, 4, 5, 0, 0];
+//! let resp = svc.submit(partree_service::frame::Request::Encode {
+//!     histogram: hist.clone(),
+//!     payload: payload.clone(),
+//! });
+//! let (bit_len, data) = match resp {
+//!     partree_service::frame::Response::Encoded { bit_len, data } => (bit_len, data),
+//!     other => panic!("{other:?}"),
+//! };
+//! let resp = svc.submit(partree_service::frame::Request::Decode {
+//!     histogram: hist,
+//!     bit_len,
+//!     data,
+//! });
+//! assert!(matches!(
+//!     resp,
+//!     partree_service::frame::Response::Decoded { payload: p } if p == payload
+//! ));
+//! svc.shutdown();
+//! # Ok::<(), partree_service::frame::FrameError>(())
+//! ```
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod codebook;
+pub mod frame;
+pub mod metrics;
+pub mod net;
+pub mod server;
+
+pub use client::Client;
+pub use codebook::{Codebook, CodebookCache};
+pub use frame::{ErrorCode, FrameError, Histogram, Request, Response};
+pub use metrics::MetricsSnapshot;
+pub use net::Server;
+pub use server::{Service, ServiceConfig};

@@ -1,0 +1,242 @@
+//! Aggregate service counters, exported as JSON.
+//!
+//! All counters are relaxed atomics — they cross batch-worker and
+//! connection threads — and the JSON snapshot is written by hand (no
+//! external crates), flat and integer-valued so the span-tree parser
+//! conventions of `EXPERIMENTS.md` carry over: unknown keys are for
+//! readers to skip.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for one [`crate::server::Service`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests accepted into the queue (encode + decode).
+    pub accepted: AtomicU64,
+    /// Encode requests completed successfully.
+    pub encoded: AtomicU64,
+    /// Decode requests completed successfully.
+    pub decoded: AtomicU64,
+    /// Requests rejected with `Busy` (queue full — load shed).
+    pub busy: AtomicU64,
+    /// Requests whose submitter gave up waiting (deadline missed).
+    pub timeouts: AtomicU64,
+    /// Requests answered with an `Error` response.
+    pub errors: AtomicU64,
+    /// Scheduling ticks executed by batch workers.
+    pub batches: AtomicU64,
+    /// Requests processed across all ticks (`batched_requests /
+    /// batches` is the mean batch size — the amortization factor).
+    pub batched_requests: AtomicU64,
+    /// Largest single batch observed.
+    pub max_batch: AtomicU64,
+    /// Traced PRAM work across all batch span trees.
+    pub work: AtomicU64,
+    /// Traced PRAM depth across all batch span trees (sequential
+    /// composition over batches; within a batch, Brent's rules apply).
+    pub depth: AtomicU64,
+    /// Payload bytes received in encode requests.
+    pub bytes_in: AtomicU64,
+    /// Encoded bytes produced by encode responses.
+    pub bytes_out: AtomicU64,
+    /// Sum of queue→response latencies, microseconds.
+    pub latency_us_total: AtomicU64,
+    /// Largest single queue→response latency, microseconds.
+    pub latency_us_max: AtomicU64,
+}
+
+/// A plain-data copy of [`Metrics`] plus cache counters, as exported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Requests accepted into the queue.
+    pub accepted: u64,
+    /// Encode requests completed.
+    pub encoded: u64,
+    /// Decode requests completed.
+    pub decoded: u64,
+    /// `Busy` rejections.
+    pub busy: u64,
+    /// Deadline misses.
+    pub timeouts: u64,
+    /// `Error` responses.
+    pub errors: u64,
+    /// Scheduling ticks.
+    pub batches: u64,
+    /// Requests across all ticks.
+    pub batched_requests: u64,
+    /// Largest batch.
+    pub max_batch: u64,
+    /// Codebook constructions performed (= cache misses: every miss
+    /// builds exactly once, even when a racing insert wins).
+    pub constructions: u64,
+    /// Codebook cache hits.
+    pub cache_hits: u64,
+    /// Codebook cache misses.
+    pub cache_misses: u64,
+    /// Codebook cache evictions.
+    pub cache_evictions: u64,
+    /// Traced work total.
+    pub work: u64,
+    /// Traced depth total.
+    pub depth: u64,
+    /// Payload bytes in.
+    pub bytes_in: u64,
+    /// Encoded bytes out.
+    pub bytes_out: u64,
+    /// Latency sum, µs.
+    pub latency_us_total: u64,
+    /// Latency max, µs.
+    pub latency_us_max: u64,
+}
+
+impl Metrics {
+    /// Raises `cell` to at least `v` (relaxed compare-exchange loop).
+    pub fn raise_max(cell: &AtomicU64, v: u64) {
+        let mut cur = cell.load(Ordering::Relaxed);
+        while v > cur {
+            match cell.compare_exchange_weak(cur, v, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Freezes the counters together with the cache's hit/miss/eviction
+    /// numbers (the cache owns those so lookups stay lock-free here).
+    pub fn snapshot(&self, cache: &crate::codebook::CodebookCache) -> MetricsSnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            accepted: get(&self.accepted),
+            encoded: get(&self.encoded),
+            decoded: get(&self.decoded),
+            busy: get(&self.busy),
+            timeouts: get(&self.timeouts),
+            errors: get(&self.errors),
+            batches: get(&self.batches),
+            batched_requests: get(&self.batched_requests),
+            max_batch: get(&self.max_batch),
+            constructions: cache.misses(),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            cache_evictions: cache.evictions(),
+            work: get(&self.work),
+            depth: get(&self.depth),
+            bytes_in: get(&self.bytes_in),
+            bytes_out: get(&self.bytes_out),
+            latency_us_total: get(&self.latency_us_total),
+            latency_us_max: get(&self.latency_us_max),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// One flat JSON object, keys in declaration order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        let mut first = true;
+        let mut field = |k: &str, v: u64| {
+            let sep = if first { "" } else { "," };
+            first = false;
+            let _ = write!(out, "{sep}\"{k}\":{v}");
+        };
+        field("accepted", self.accepted);
+        field("encoded", self.encoded);
+        field("decoded", self.decoded);
+        field("busy", self.busy);
+        field("timeouts", self.timeouts);
+        field("errors", self.errors);
+        field("batches", self.batches);
+        field("batched_requests", self.batched_requests);
+        field("max_batch", self.max_batch);
+        field("constructions", self.constructions);
+        field("cache_hits", self.cache_hits);
+        field("cache_misses", self.cache_misses);
+        field("cache_evictions", self.cache_evictions);
+        field("work", self.work);
+        field("depth", self.depth);
+        field("bytes_in", self.bytes_in);
+        field("bytes_out", self.bytes_out);
+        field("latency_us_total", self.latency_us_total);
+        field("latency_us_max", self.latency_us_max);
+        out.push('}');
+        out
+    }
+
+    /// Parses a JSON object produced by [`MetricsSnapshot::to_json`].
+    /// Unknown keys are ignored; missing keys default to 0.
+    pub fn from_json(text: &str) -> Result<MetricsSnapshot, String> {
+        let body = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or("metrics JSON must be one object")?;
+        let mut snap = MetricsSnapshot::default();
+        if body.trim().is_empty() {
+            return Ok(snap);
+        }
+        for pair in body.split(',') {
+            let (k, v) = pair
+                .split_once(':')
+                .ok_or_else(|| format!("bad pair {pair:?}"))?;
+            let k = k.trim().trim_matches('"');
+            let v: u64 = v
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad value for {k}: {e}"))?;
+            match k {
+                "accepted" => snap.accepted = v,
+                "encoded" => snap.encoded = v,
+                "decoded" => snap.decoded = v,
+                "busy" => snap.busy = v,
+                "timeouts" => snap.timeouts = v,
+                "errors" => snap.errors = v,
+                "batches" => snap.batches = v,
+                "batched_requests" => snap.batched_requests = v,
+                "max_batch" => snap.max_batch = v,
+                "constructions" => snap.constructions = v,
+                "cache_hits" => snap.cache_hits = v,
+                "cache_misses" => snap.cache_misses = v,
+                "cache_evictions" => snap.cache_evictions = v,
+                "work" => snap.work = v,
+                "depth" => snap.depth = v,
+                "bytes_in" => snap.bytes_in = v,
+                "bytes_out" => snap.bytes_out = v,
+                "latency_us_total" => snap.latency_us_total = v,
+                "latency_us_max" => snap.latency_us_max = v,
+                _ => {} // forward compatibility
+            }
+        }
+        Ok(snap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebook::CodebookCache;
+
+    #[test]
+    fn json_roundtrip() {
+        let m = Metrics::default();
+        m.accepted.store(10, Ordering::Relaxed);
+        m.encoded.store(6, Ordering::Relaxed);
+        m.busy.store(1, Ordering::Relaxed);
+        Metrics::raise_max(&m.max_batch, 4);
+        Metrics::raise_max(&m.max_batch, 2); // no-op, 4 stays
+        let cache = CodebookCache::new(2, 4);
+        let snap = m.snapshot(&cache);
+        assert_eq!(snap.max_batch, 4);
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn from_json_ignores_unknown_and_rejects_garbage() {
+        let s = MetricsSnapshot::from_json("{\"accepted\":3,\"new_key\":9}").unwrap();
+        assert_eq!(s.accepted, 3);
+        assert!(MetricsSnapshot::from_json("not json").is_err());
+        assert!(MetricsSnapshot::from_json("{\"accepted\":\"x\"}").is_err());
+    }
+}

@@ -1,0 +1,553 @@
+//! The in-process service: bounded queue, batch workers, backpressure.
+//!
+//! ## Scheduling model
+//!
+//! Requests land in one bounded queue. Each of the `workers` batch
+//! threads repeatedly drains up to `max_batch` requests in one
+//! *scheduling tick*, groups them by weight histogram, and runs **one**
+//! codebook construction per distinct histogram (cache misses only) —
+//! the batching regime where the paper's `n²/log n`-processor
+//! construction pays for itself: the `O(log² n)` critical path is paid
+//! once per histogram per tick, not once per request.
+//!
+//! ## Backpressure
+//!
+//! The queue never grows past `queue_capacity`: a submit against a full
+//! queue returns [`Response::Busy`] immediately instead of buffering.
+//! Combined with the per-request deadline (`request_timeout`, enforced
+//! by the submitting side waiting on its reply channel) every request
+//! resolves in bounded time — `Busy` now, a result, or `Timeout`.
+//!
+//! ## Observability
+//!
+//! Every tick builds a [`CostTracer`] span tree: one parallel group of
+//! `histogram:…` spans (independent alphabets are PRAM-parallel), each
+//! holding the construction spans of a cache miss plus one parallel
+//! `req:…` span per request. The aggregate work/depth folds into the
+//! service [`Metrics`], exported as JSON via [`Service::stats_json`].
+
+use crate::codebook::CodebookCache;
+use crate::frame::{ErrorCode, Request, Response};
+use crate::metrics::{Metrics, MetricsSnapshot};
+use partree_pram::CostTracer;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Service::start`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Batch worker threads. `0` starts the service *paused*: requests
+    /// queue (and shed as `Busy` once full) but nothing drains — useful
+    /// for deterministic backpressure tests.
+    pub workers: usize,
+    /// Width of the rayon pool codebook constructions run on.
+    /// `0` = the machine default.
+    pub pool_threads: usize,
+    /// Bounded queue length; submits beyond it get `Busy`.
+    pub queue_capacity: usize,
+    /// Most requests one worker drains per scheduling tick.
+    pub max_batch: usize,
+    /// Deadline a submitter waits for its reply before `Timeout`.
+    pub request_timeout: Duration,
+    /// Codebook cache shard count.
+    pub cache_shards: usize,
+    /// Codebook cache total capacity (entries across shards).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            pool_threads: 0,
+            queue_capacity: 1024,
+            max_batch: 256,
+            request_timeout: Duration::from_secs(5),
+            cache_shards: 8,
+            cache_capacity: 64,
+        }
+    }
+}
+
+struct Job {
+    seq: u64,
+    request: Request,
+    enqueued: Instant,
+    reply: mpsc::Sender<Response>,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    queue: Mutex<VecDeque<Job>>,
+    wake: Condvar,
+    stopping: AtomicBool,
+    next_seq: AtomicU64,
+    cache: CodebookCache,
+    metrics: Metrics,
+    pool: rayon::ThreadPool,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Handle to a running service. Cloning shares the same instance.
+#[derive(Clone)]
+pub struct Service {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("cfg", &self.inner.cfg)
+            .field(
+                "queued",
+                &self.inner.queue.lock().map(|q| q.len()).unwrap_or(0),
+            )
+            .finish()
+    }
+}
+
+impl Service {
+    /// Builds the cache and rayon pool and spawns the batch workers.
+    pub fn start(cfg: ServiceConfig) -> Service {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(cfg.pool_threads)
+            .build()
+            .expect("the vendored rayon pool builder cannot fail");
+        let inner = Arc::new(Inner {
+            cache: CodebookCache::new(cfg.cache_shards, cfg.cache_capacity),
+            queue: Mutex::new(VecDeque::with_capacity(cfg.queue_capacity.min(4096))),
+            wake: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            next_seq: AtomicU64::new(0),
+            metrics: Metrics::default(),
+            pool,
+            workers: Mutex::new(Vec::new()),
+            cfg,
+        });
+        let svc = Service { inner };
+        let mut handles = svc.inner.workers.lock().expect("worker registry poisoned");
+        for k in 0..svc.inner.cfg.workers {
+            let worker = Arc::clone(&svc.inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("partree-batch-{k}"))
+                    .spawn(move || batch_loop(&worker))
+                    .expect("spawning a batch worker cannot fail"),
+            );
+        }
+        drop(handles);
+        svc
+    }
+
+    /// Enqueues a request without waiting for the reply. `Err` carries
+    /// the immediate response (`Busy` on a full queue, `Error` when
+    /// shutting down); `Ok` is the channel the reply will arrive on.
+    pub fn try_enqueue(&self, request: Request) -> Result<mpsc::Receiver<Response>, Response> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.inner.queue.lock().expect("queue poisoned");
+            // Checked under the queue lock: `shutdown` sets the flag and
+            // clears the queue under the same lock, so a request either
+            // sees the flag here or is dropped by that clear (its
+            // submitter then observes the disconnected reply channel).
+            if self.inner.stopping.load(Ordering::Acquire) {
+                return Err(Response::Error {
+                    code: ErrorCode::ShuttingDown,
+                    message: "service is shutting down".into(),
+                });
+            }
+            if queue.len() >= self.inner.cfg.queue_capacity {
+                self.inner.metrics.busy.fetch_add(1, Ordering::Relaxed);
+                return Err(Response::Busy);
+            }
+            queue.push_back(Job {
+                seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
+                request,
+                enqueued: Instant::now(),
+                reply: tx,
+            });
+        }
+        self.inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        self.inner.wake.notify_one();
+        Ok(rx)
+    }
+
+    /// Submits a request and blocks for its response: the codec result,
+    /// `Busy` (not queued), `Timeout` (deadline missed), or `Error`.
+    /// `Stats` requests are answered inline and never queue.
+    pub fn submit(&self, request: Request) -> Response {
+        if matches!(request, Request::Stats) {
+            return Response::Stats {
+                json: self.stats_json(),
+            };
+        }
+        let rx = match self.try_enqueue(request) {
+            Ok(rx) => rx,
+            Err(resp) => return resp,
+        };
+        match rx.recv_timeout(self.inner.cfg.request_timeout) {
+            Ok(resp) => resp,
+            Err(RecvTimeoutError::Timeout) => {
+                self.inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                Response::Timeout
+            }
+            Err(RecvTimeoutError::Disconnected) => Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "service dropped the request during shutdown".into(),
+            },
+        }
+    }
+
+    /// The aggregate counters as a flat JSON object.
+    pub fn stats_json(&self) -> String {
+        self.metrics().to_json()
+    }
+
+    /// The aggregate counters as plain data.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot(&self.inner.cache)
+    }
+
+    /// Codebooks currently resident in the cache.
+    pub fn cached_codebooks(&self) -> usize {
+        self.inner.cache.len()
+    }
+
+    /// Stops accepting work, drains the queue (pending jobs are
+    /// dropped; their submitters see a shutdown error), and joins every
+    /// batch worker. Idempotent; returns the number of jobs dropped.
+    pub fn shutdown(&self) -> usize {
+        self.inner.stopping.store(true, Ordering::Release);
+        let dropped = {
+            let mut queue = self.inner.queue.lock().expect("queue poisoned");
+            let n = queue.len();
+            queue.clear();
+            n
+        };
+        self.inner.wake.notify_all();
+        let handles: Vec<_> = {
+            let mut reg = self.inner.workers.lock().expect("worker registry poisoned");
+            reg.drain(..).collect()
+        };
+        for h in handles {
+            h.join().expect("batch worker panicked");
+        }
+        dropped
+    }
+}
+
+/// One worker: drain a batch, process it, repeat until shutdown.
+fn batch_loop(inner: &Inner) {
+    loop {
+        let batch = {
+            let mut queue = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if !queue.is_empty() {
+                    let take = queue.len().min(inner.cfg.max_batch);
+                    break queue.drain(..take).collect::<Vec<Job>>();
+                }
+                if inner.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = inner
+                    .wake
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("queue poisoned")
+                    .0;
+            }
+        };
+        process_batch(inner, batch);
+    }
+}
+
+/// Groups a batch by histogram, constructs each codebook once, answers
+/// every request, and folds the tick's span tree into the metrics.
+fn process_batch(inner: &Inner, batch: Vec<Job>) {
+    let m = &inner.metrics;
+    m.batches.fetch_add(1, Ordering::Relaxed);
+    m.batched_requests
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    Metrics::raise_max(&m.max_batch, batch.len() as u64);
+
+    // Group jobs by histogram hash, preserving arrival order within a
+    // group (stable drain order keeps processing deterministic).
+    let mut groups: Vec<(u64, Vec<Job>)> = Vec::new();
+    for job in batch {
+        let key = match &job.request {
+            Request::Encode { histogram, .. } | Request::Decode { histogram, .. } => {
+                histogram.hash64()
+            }
+            // Stats is answered inline by `submit` and never queued;
+            // answer defensively anyway.
+            Request::Stats => {
+                respond(
+                    inner,
+                    job,
+                    Response::Stats {
+                        json: inner.metrics.snapshot(&inner.cache).to_json(),
+                    },
+                );
+                continue;
+            }
+        };
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, jobs)) => jobs.push(job),
+            None => groups.push((key, vec![job])),
+        }
+    }
+
+    let tick = CostTracer::named("batch");
+    for (key, jobs) in groups {
+        // Distinct histograms are independent: parallel siblings under
+        // the tick (Brent: the tick's depth is the max over groups).
+        let group_span = tick.par_span(&format!("histogram:{key:016x}"));
+        let histogram = match &jobs[0].request {
+            Request::Encode { histogram, .. } | Request::Decode { histogram, .. } => {
+                histogram.clone()
+            }
+            Request::Stats => unreachable!("stats jobs answered above"),
+        };
+        let construct_span = group_span.span("construct");
+        let book = inner
+            .pool
+            .install(|| inner.cache.get_or_build(&histogram, &construct_span));
+        let book = match book {
+            Ok(book) => book,
+            Err(e) => {
+                m.errors.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+                for job in jobs {
+                    respond(inner, job, Response::from(e.clone()));
+                }
+                continue;
+            }
+        };
+        for job in jobs {
+            let seq = job.seq;
+            let req_span = group_span.par_span(&format!("req:{seq}"));
+            let response = match &job.request {
+                Request::Encode { payload, .. } => match book.encode(payload) {
+                    Ok((data, bit_len)) => {
+                        m.encoded.fetch_add(1, Ordering::Relaxed);
+                        m.bytes_in
+                            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                        m.bytes_out.fetch_add(data.len() as u64, Ordering::Relaxed);
+                        req_span.step(bit_len);
+                        Response::Encoded { bit_len, data }
+                    }
+                    Err(e) => {
+                        m.errors.fetch_add(1, Ordering::Relaxed);
+                        Response::from(e)
+                    }
+                },
+                Request::Decode { bit_len, data, .. } => match book.decode(data, *bit_len) {
+                    Ok(payload) => {
+                        m.decoded.fetch_add(1, Ordering::Relaxed);
+                        m.bytes_in.fetch_add(data.len() as u64, Ordering::Relaxed);
+                        m.bytes_out
+                            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                        req_span.step(*bit_len);
+                        Response::Decoded { payload }
+                    }
+                    Err(e) => {
+                        m.errors.fetch_add(1, Ordering::Relaxed);
+                        Response::from(e)
+                    }
+                },
+                Request::Stats => unreachable!("stats jobs answered above"),
+            };
+            respond(inner, job, response);
+        }
+    }
+
+    let tick_cost = tick.aggregate();
+    m.work.fetch_add(tick_cost.work, Ordering::Relaxed);
+    m.depth.fetch_add(tick_cost.depth, Ordering::Relaxed);
+}
+
+fn respond(inner: &Inner, job: Job, response: Response) {
+    let us = job.enqueued.elapsed().as_micros() as u64;
+    inner
+        .metrics
+        .latency_us_total
+        .fetch_add(us, Ordering::Relaxed);
+    Metrics::raise_max(&inner.metrics.latency_us_max, us);
+    // The submitter may have timed out and dropped its receiver; a
+    // failed send is that race, not an error.
+    let _ = job.reply.send(response);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Histogram;
+
+    fn hist(counts: &[u32]) -> Histogram {
+        Histogram::new(counts.to_vec()).unwrap()
+    }
+
+    fn encode_req(counts: &[u32], payload: &[u8]) -> Request {
+        Request::Encode {
+            histogram: hist(counts),
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_the_service() {
+        let svc = Service::start(ServiceConfig::default());
+        let payload = vec![0u8, 1, 2, 0, 0, 1, 3, 3, 3, 0];
+        let counts = [10u32, 4, 2, 7];
+        let (bit_len, data) = match svc.submit(encode_req(&counts, &payload)) {
+            Response::Encoded { bit_len, data } => (bit_len, data),
+            other => panic!("expected Encoded, got {other:?}"),
+        };
+        let back = match svc.submit(Request::Decode {
+            histogram: hist(&counts),
+            bit_len,
+            data,
+        }) {
+            Response::Decoded { payload } => payload,
+            other => panic!("expected Decoded, got {other:?}"),
+        };
+        assert_eq!(back, payload);
+        let m = svc.metrics();
+        assert_eq!((m.encoded, m.decoded), (1, 1));
+        assert_eq!(m.cache_hits, 1, "decode reused the encode's codebook");
+        assert!(m.work > 0 && m.depth > 0, "tick span trees folded in");
+        assert_eq!(svc.shutdown(), 0);
+    }
+
+    #[test]
+    fn busy_when_queue_full() {
+        // Paused service (workers = 0), capacity 2: the third enqueue
+        // must shed.
+        let svc = Service::start(ServiceConfig {
+            workers: 0,
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        let r1 = svc.try_enqueue(encode_req(&[1, 1], &[0, 1]));
+        let r2 = svc.try_enqueue(encode_req(&[1, 1], &[0, 1]));
+        assert!(r1.is_ok() && r2.is_ok());
+        match svc.try_enqueue(encode_req(&[1, 1], &[0, 1])) {
+            Err(Response::Busy) => {}
+            other => panic!("expected Busy, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().busy, 1);
+        assert_eq!(svc.shutdown(), 2, "pending jobs dropped at shutdown");
+    }
+
+    #[test]
+    fn timeout_when_nothing_drains() {
+        let svc = Service::start(ServiceConfig {
+            workers: 0,
+            request_timeout: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        });
+        match svc.submit(encode_req(&[1, 1], &[0])) {
+            Response::Timeout => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().timeouts, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let svc = Service::start(ServiceConfig::default());
+        svc.shutdown();
+        match svc.submit(encode_req(&[1, 1], &[0])) {
+            Response::Error {
+                code: ErrorCode::ShuttingDown,
+                ..
+            } => {}
+            other => panic!("expected shutdown error, got {other:?}"),
+        }
+        // Idempotent.
+        assert_eq!(svc.shutdown(), 0);
+    }
+
+    #[test]
+    fn batching_amortizes_construction() {
+        // The cache is consulted once per histogram *group*, not once
+        // per request. Sequential submits make that deterministic:
+        // every batch holds exactly one request, so 24 submits over 3
+        // histograms are 3 misses + 21 hits.
+        let svc = Service::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let hists: [&[u32]; 3] = [&[5, 1], &[1, 5, 5], &[9, 9, 9, 1]];
+        for k in 0..24 {
+            let payload = vec![0u8; 8];
+            match svc.submit(encode_req(hists[k % 3], &payload)) {
+                Response::Encoded { .. } => {}
+                other => panic!("expected Encoded, got {other:?}"),
+            }
+        }
+        let m = svc.metrics();
+        assert_eq!(m.encoded, 24);
+        assert_eq!(m.cache_misses, 3, "one construction per histogram");
+        assert_eq!(m.constructions, 3);
+        assert_eq!(m.cache_hits, 21);
+        assert_eq!(m.batches, 24);
+
+        // A concurrent wave may group same-histogram requests into one
+        // batch (fewer lookups), but never rebuilds: misses stay at 3.
+        std::thread::scope(|s| {
+            for k in 0..24 {
+                let svc = svc.clone();
+                let counts = hists[k % 3];
+                s.spawn(move || {
+                    let payload = vec![0u8; 8];
+                    match svc.submit(encode_req(counts, &payload)) {
+                        Response::Encoded { .. } => {}
+                        other => panic!("expected Encoded, got {other:?}"),
+                    }
+                });
+            }
+        });
+        let m = svc.metrics();
+        assert_eq!(m.encoded, 48);
+        assert_eq!(m.cache_misses, 3, "warm cache: no rebuilds under load");
+        assert!(m.cache_hits >= 24);
+        assert_eq!(m.batched_requests, 48);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn error_responses_for_bad_requests() {
+        let svc = Service::start(ServiceConfig::default());
+        // Declared bit length exceeds the buffer: always corrupt.
+        let resp = svc.submit(Request::Decode {
+            histogram: hist(&[1, 1]),
+            bit_len: 9,
+            data: vec![0xFF],
+        });
+        match resp {
+            Response::Error {
+                code: ErrorCode::CorruptPayload,
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Mid-symbol truncation: a length-2 codeword cut after 1 bit.
+        let resp = svc.submit(Request::Decode {
+            histogram: hist(&[1, 1, 2]),
+            bit_len: 1,
+            data: vec![0x00],
+        });
+        match resp {
+            Response::Error {
+                code: ErrorCode::CorruptPayload,
+                ..
+            } => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(svc.metrics().errors, 2);
+        svc.shutdown();
+    }
+}

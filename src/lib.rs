@@ -16,6 +16,7 @@
 //! | [`codes`] | prefix codes, canonical codes, bit I/O, Shannon–Fano |
 //! | [`obst`] | optimal / near-optimal binary search trees |
 //! | [`lcfl`] | linear context-free language recognition |
+//! | [`service`] | batched codec service: framed encode/decode over loopback TCP, codebook cache |
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@ pub use partree_lcfl as lcfl;
 pub use partree_monge as monge;
 pub use partree_obst as obst;
 pub use partree_pram as pram;
+pub use partree_service as service;
 pub use partree_trees as trees;
 
 /// Convenient glob-import surface: the types used by almost every caller.

@@ -16,6 +16,8 @@ use partree::obst::approx::approx_optimal_bst;
 use partree::obst::ObstInstance;
 use partree::pram::model::with_threads;
 use partree::pram::CostTracer;
+use partree::service::frame::Histogram;
+use partree::service::CodebookCache;
 use partree::trees::finger::build_general;
 
 const POOLS: [usize; 3] = [1, 2, 8];
@@ -86,6 +88,69 @@ fn lcfl_recognizer_and_parser_are_stable() {
         assert!(acc, "threads={threads}");
         assert!(!rej, "threads={threads}");
         assert_eq!(d.rules, first.rules, "threads={threads}");
+    }
+}
+
+#[test]
+fn service_codebooks_are_bit_identical_across_pools() {
+    // The service's cache must hand back the same canonical codebook
+    // whatever pool width built it: same code lengths, same encoded
+    // bytes for a probe payload. This is what makes first-insert-wins
+    // sound for racing misses.
+    let hist = Histogram::new(vec![45, 13, 12, 16, 9, 5, 31, 2, 2, 8]).unwrap();
+    let probe: Vec<u8> = (0..64).map(|i| (i * 7 % 10) as u8).collect();
+
+    let baseline = {
+        let cache = CodebookCache::new(4, 16);
+        let book = cache.get_or_build(&hist, &CostTracer::disabled()).unwrap();
+        (book.lengths.clone(), book.encode(&probe).unwrap())
+    };
+    for threads in POOLS {
+        let (lengths, encoded) = with_threads(threads, || {
+            let cache = CodebookCache::new(4, 16);
+            let book = cache.get_or_build(&hist, &CostTracer::disabled()).unwrap();
+            (book.lengths.clone(), book.encode(&probe).unwrap())
+        });
+        assert_eq!(lengths, baseline.0, "threads={threads}");
+        assert_eq!(encoded, baseline.1, "threads={threads}");
+    }
+}
+
+#[test]
+fn racing_cache_misses_converge_on_one_codebook() {
+    // Eight threads hit a cold cache with the same histogram at once.
+    // Every thread may build, but construction is deterministic, so
+    // all of them must return bit-identical codebooks, and the cache
+    // must end up with a single resident entry.
+    type Probe = (Vec<u32>, (Vec<u8>, u64));
+    let hist = Histogram::new((1..=24).map(|i| i * i).collect()).unwrap();
+    let probe: Vec<u8> = (0..48).map(|i| (i % 24) as u8).collect();
+    for threads in POOLS {
+        let cache = CodebookCache::new(8, 32);
+        let results: Vec<Probe> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let cache = &cache;
+                    let hist = &hist;
+                    let probe = &probe;
+                    s.spawn(move || {
+                        let book = with_threads(threads, || {
+                            cache.get_or_build(hist, &CostTracer::disabled()).unwrap()
+                        });
+                        (book.lengths.clone(), book.encode(probe).unwrap())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for r in &results[1..] {
+            assert_eq!(r.0, results[0].0, "threads={threads}: lengths diverged");
+            assert_eq!(r.1, results[0].1, "threads={threads}: encodings diverged");
+        }
+        assert_eq!(cache.len(), 1, "threads={threads}: duplicate entries");
+        assert!(cache.misses() >= 1, "threads={threads}");
+        // Hits + misses account for all eight lookups.
+        assert_eq!(cache.hits() + cache.misses(), 8, "threads={threads}");
     }
 }
 

@@ -1,0 +1,173 @@
+//! Integration: the codec service under concurrent load — 1000+
+//! encode/decode roundtrips over loopback TCP across 8+ distinct
+//! alphabets, all byte-identical, with the codebook cache visibly
+//! amortizing construction; plus backpressure (`Busy`) when the
+//! bounded queue saturates, and clean shutdowns throughout.
+
+use partree::service::frame::{Histogram, Request, Response};
+use partree::service::net::Server;
+use partree::service::server::{Service, ServiceConfig};
+use partree::service::Client;
+
+/// Ten distinct alphabets, sizes 2..=256, flat and skewed shapes.
+fn alphabets() -> Vec<Histogram> {
+    let fib = {
+        let mut f = vec![1u32, 1];
+        for i in 2..16 {
+            let next = f[i - 1] + f[i - 2];
+            f.push(next);
+        }
+        f
+    };
+    vec![
+        Histogram::new(vec![45, 13, 12, 16, 9, 5]).unwrap(),
+        Histogram::new(vec![1, 1]).unwrap(),
+        Histogram::new(vec![1; 8]).unwrap(),
+        Histogram::new(vec![1; 256]).unwrap(),
+        Histogram::new((1..=32).collect()).unwrap(),
+        Histogram::new((0..10).map(|i| 1u32 << i).collect()).unwrap(),
+        Histogram::new(fib).unwrap(),
+        Histogram::new(vec![100, 1, 1, 1, 1]).unwrap(),
+        Histogram::new(vec![2, 3, 5, 7, 11, 13, 17]).unwrap(),
+        Histogram::new((0..64).map(|i| 1 + (i % 5)).collect()).unwrap(),
+    ]
+}
+
+/// Deterministic xorshift payload over an `n`-symbol alphabet.
+fn payload(n: usize, seed: u64, len: usize) -> Vec<u8> {
+    let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % n as u64) as u8
+        })
+        .collect()
+}
+
+#[test]
+fn thousand_concurrent_roundtrips_over_tcp() {
+    const CLIENTS: usize = 10;
+    const PER_CLIENT: usize = 100; // 10 × 100 = 1000 encode+decode pairs
+
+    let server = Server::bind(
+        Service::start(ServiceConfig {
+            workers: 2,
+            queue_capacity: 4096,
+            ..ServiceConfig::default()
+        }),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.addr();
+    let hists = alphabets();
+    assert!(hists.len() >= 8);
+
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let hists = &hists;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for r in 0..PER_CLIENT {
+                    let hist = &hists[(c + r) % hists.len()];
+                    let n = hist.counts().len();
+                    let msg = payload(n, (c * PER_CLIENT + r) as u64, 16 + r % 80);
+                    let (bit_len, data) = client.encode(hist, &msg).unwrap();
+                    let back = client.decode(hist, bit_len, &data).unwrap();
+                    assert_eq!(back, msg, "client {c} request {r}: lossy roundtrip");
+                }
+            });
+        }
+    });
+
+    let stats = server.service().metrics();
+    let total = (CLIENTS * PER_CLIENT) as u64;
+    assert_eq!(stats.encoded, total);
+    assert_eq!(stats.decoded, total);
+    assert!(
+        stats.cache_hits > 0,
+        "2000 requests over 10 alphabets must hit the cache"
+    );
+    assert!(stats.work > 0 && stats.depth > 0, "tracer exported no cost");
+    assert_eq!(stats.busy, 0);
+    assert_eq!(server.shutdown().unwrap(), 0, "no queued jobs dropped");
+}
+
+#[test]
+fn saturated_queue_sheds_load_with_busy() {
+    // workers: 0 — nothing drains, so the queue fills deterministically:
+    // 3 slots enqueue, every later request sheds as Busy.
+    let svc = Service::start(ServiceConfig {
+        workers: 0,
+        queue_capacity: 3,
+        ..ServiceConfig::default()
+    });
+    let hist = Histogram::new(vec![1, 1]).unwrap();
+    let mut receivers = Vec::new();
+    let mut busy = 0;
+    for k in 0..5 {
+        match svc.try_enqueue(Request::Encode {
+            histogram: hist.clone(),
+            payload: vec![0],
+        }) {
+            Ok(rx) => receivers.push(rx),
+            Err(Response::Busy) => {
+                assert!(k >= 3, "slot {k} rejected before the queue was full");
+                busy += 1;
+            }
+            Err(other) => panic!("expected Busy on slot {k}, got {other:?}"),
+        }
+    }
+    assert_eq!(receivers.len(), 3);
+    assert_eq!(busy, 2);
+    assert_eq!(svc.metrics().busy, 2);
+    assert_eq!(svc.shutdown(), 3, "the three queued jobs are dropped");
+}
+
+#[test]
+fn tcp_busy_surfaces_to_clients() {
+    let server = Server::bind(
+        Service::start(ServiceConfig {
+            workers: 0,
+            queue_capacity: 1,
+            request_timeout: std::time::Duration::from_millis(200),
+            ..ServiceConfig::default()
+        }),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.addr();
+    let hist = Histogram::new(vec![3, 2, 1]).unwrap();
+
+    // Two clients race: one occupies the single queue slot (and times
+    // out, since nothing drains); the other must see Busy.
+    let outcomes: Vec<Response> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let hist = hist.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .request(&Request::Encode {
+                            histogram: hist,
+                            payload: vec![0, 1, 2],
+                        })
+                        .unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let busy = outcomes
+        .iter()
+        .filter(|r| matches!(r, Response::Busy))
+        .count();
+    let timeout = outcomes
+        .iter()
+        .filter(|r| matches!(r, Response::Timeout))
+        .count();
+    assert_eq!(busy + timeout, 2, "got {outcomes:?}");
+    assert!(timeout >= 1, "the occupying request must time out");
+    server.shutdown().unwrap();
+}

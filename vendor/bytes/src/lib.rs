@@ -1,8 +1,12 @@
 //! Offline stand-in for [bytes](https://crates.io/crates/bytes).
 //!
-//! [`BytesMut`] is a thin newtype over `Vec<u8>` and [`BufMut`] the
-//! append trait — exactly the surface the bit-I/O layer uses. The real
-//! crate's zero-copy splitting machinery is deliberately absent.
+//! [`BytesMut`] is a thin newtype over `Vec<u8>`, [`BufMut`] the append
+//! trait, and [`Buf`] the cursor-style read trait — the surface the
+//! bit-I/O layer and the `partree-service` frame codec use. Method
+//! names, semantics (big-endian integers, panic on under-run — exactly
+//! as the real crate documents), and the `split_to`/`split_off`
+//! signatures match the real crate, so swapping it back in is a no-op;
+//! only the zero-copy sharing machinery is absent (splits copy).
 
 // Vendored stand-in for an external crate: exempt from the
 // workspace lint policy, as a registry dependency would be.
@@ -57,6 +61,28 @@ impl BytesMut {
     pub fn freeze(self) -> Vec<u8> {
         self.inner
     }
+
+    /// Splits off and returns the first `at` bytes; `self` keeps the
+    /// rest. Panics when `at > len`, like the real crate.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.inner.len(), "split_to out of bounds");
+        let head = self.inner.drain(..at).collect();
+        BytesMut { inner: head }
+    }
+
+    /// Splits off and returns the bytes from `at` onward; `self` keeps
+    /// the prefix. Panics when `at > len`, like the real crate.
+    pub fn split_off(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.inner.len(), "split_off out of bounds");
+        BytesMut {
+            inner: self.inner.split_off(at),
+        }
+    }
+
+    /// Splits off the entire contents, leaving `self` empty.
+    pub fn split(&mut self) -> BytesMut {
+        self.split_to(self.inner.len())
+    }
 }
 
 impl Deref for BytesMut {
@@ -75,6 +101,89 @@ impl DerefMut for BytesMut {
 impl From<Vec<u8>> for BytesMut {
     fn from(v: Vec<u8>) -> BytesMut {
         BytesMut { inner: v }
+    }
+}
+
+/// Cursor-style read operations, mirroring `bytes::Buf`.
+///
+/// As in the real crate, the `get_*` methods read big-endian and
+/// **panic** when fewer than the requested bytes remain — callers that
+/// parse untrusted input check [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Consumes `cnt` bytes. Panics when `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// `true` while bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice(&mut raw);
+        u16::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_be_bytes(raw)
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_be_bytes(raw)
+    }
+
+    /// Fills `dst` from the front of the buffer, consuming the bytes.
+    /// Panics when `dst.len() > remaining()`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "copy_to_slice under-run");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        *self = &self[cnt..];
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.inner.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        &self.inner
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.inner.len(), "advance out of bounds");
+        self.inner.drain(..cnt);
     }
 }
 
@@ -126,6 +235,57 @@ impl BufMut for Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn buf_reads_back_bufmut_writes() {
+        let mut b = BytesMut::new();
+        b.put_u8(0x7F);
+        b.put_u16(0x0102);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(0x0011_2233_4455_6677);
+        b.put_slice(&[9, 8]);
+        let mut r: &[u8] = &b;
+        assert_eq!(r.remaining(), 17);
+        assert_eq!(r.get_u8(), 0x7F);
+        assert_eq!(r.get_u16(), 0x0102);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 0x0011_2233_4455_6677);
+        let mut tail = [0u8; 2];
+        r.copy_to_slice(&mut tail);
+        assert_eq!(tail, [9, 8]);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn bytesmut_consumes_from_front() {
+        let mut b = BytesMut::from(vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(b.get_u16(), 0x0001);
+        b.advance(1);
+        assert_eq!(b.chunk(), &[3, 4, 5]);
+        assert_eq!(b.remaining(), 3);
+    }
+
+    #[test]
+    fn split_variants() {
+        let mut b = BytesMut::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(head.to_vec(), vec![1, 2]);
+        assert_eq!(b.to_vec(), vec![3, 4, 5]);
+        let tail = b.split_off(1);
+        assert_eq!(b.to_vec(), vec![3]);
+        assert_eq!(tail.to_vec(), vec![4, 5]);
+        let mut c = BytesMut::from(vec![7, 7]);
+        let all = c.split();
+        assert!(c.is_empty());
+        assert_eq!(all.to_vec(), vec![7, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance out of bounds")]
+    fn advance_past_end_panics() {
+        let mut r: &[u8] = &[1, 2];
+        r.advance(3);
+    }
 
     #[test]
     fn roundtrip() {

@@ -104,6 +104,9 @@ pub enum ErrorCode {
     ShuttingDown = 5,
     /// A server-side invariant failed.
     Internal = 6,
+    /// The request was processed but its result would not fit in one
+    /// frame (body over [`MAX_BODY`]), so the body was dropped.
+    ResultTooLarge = 7,
 }
 
 impl ErrorCode {
@@ -114,6 +117,7 @@ impl ErrorCode {
             3 => ErrorCode::SymbolOutOfRange,
             4 => ErrorCode::CorruptPayload,
             5 => ErrorCode::ShuttingDown,
+            7 => ErrorCode::ResultTooLarge,
             _ => ErrorCode::Internal,
         }
     }
@@ -393,7 +397,12 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
     encode_frame(id, opcode, &body)
 }
 
-/// Serializes a response frame.
+/// Serializes a response frame. Total over every [`Response`]: a body
+/// that would exceed [`MAX_BODY`] (e.g. an encode of a near-limit
+/// payload under a deeply skewed code, up to 255 bits per symbol) is
+/// replaced by an [`ErrorCode::ResultTooLarge`] error frame, because
+/// the peer's [`read_frame`] would reject the oversized frame and
+/// desynchronize the connection.
 pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
     let mut body = BytesMut::new();
     let opcode = match resp {
@@ -424,6 +433,18 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
         Response::Busy => Opcode::Busy,
         Response::Timeout => Opcode::Timeout,
     };
+    if body.len() > MAX_BODY as usize {
+        return encode_response(
+            id,
+            &Response::Error {
+                code: ErrorCode::ResultTooLarge,
+                message: format!(
+                    "response body of {} bytes exceeds the {MAX_BODY}-byte frame limit",
+                    body.len()
+                ),
+            },
+        );
+    }
     encode_frame(id, opcode, &body)
 }
 
@@ -698,6 +719,32 @@ mod tests {
         assert!(Histogram::new(vec![5]).is_err());
         assert!(Histogram::new(vec![0; 257]).is_err());
         assert!(Histogram::new(vec![0, 0]).is_err());
+    }
+
+    #[test]
+    fn oversized_response_bodies_become_result_too_large_errors() {
+        let resp = Response::Encoded {
+            bit_len: 8 * (MAX_BODY as u64 + 1),
+            data: vec![0u8; MAX_BODY as usize + 1],
+        };
+        let wire = encode_response(42, &resp);
+        // The substituted frame is small and parses cleanly.
+        let raw = read_frame(&mut &wire[..]).unwrap().unwrap();
+        assert_eq!(raw.id, 42);
+        match decode_response(raw.opcode, &raw.body).unwrap() {
+            Response::Error {
+                code: ErrorCode::ResultTooLarge,
+                ..
+            } => {}
+            other => panic!("expected ResultTooLarge, got {other:?}"),
+        }
+        // A body exactly at the limit still goes out verbatim.
+        let resp = Response::Decoded {
+            payload: vec![0u8; MAX_BODY as usize - 4],
+        };
+        let wire = encode_response(7, &resp);
+        let raw = read_frame(&mut &wire[..]).unwrap().unwrap();
+        assert_eq!(decode_response(raw.opcode, &raw.body).unwrap(), resp);
     }
 
     #[test]

@@ -22,6 +22,11 @@ pub struct Metrics {
     pub busy: AtomicU64,
     /// Requests whose submitter gave up waiting (deadline missed).
     pub timeouts: AtomicU64,
+    /// Jobs dropped at drain time because their deadline had already
+    /// passed (the submitter timed out while they sat in the queue;
+    /// distinct from `timeouts`, which the submitter counts, so one
+    /// request is never tallied twice).
+    pub expired: AtomicU64,
     /// Requests answered with an `Error` response.
     pub errors: AtomicU64,
     /// Scheduling ticks executed by batch workers.
@@ -59,6 +64,8 @@ pub struct MetricsSnapshot {
     pub busy: u64,
     /// Deadline misses.
     pub timeouts: u64,
+    /// Already-expired jobs dropped undone at drain time.
+    pub expired: u64,
     /// `Error` responses.
     pub errors: u64,
     /// Scheduling ticks.
@@ -112,6 +119,7 @@ impl Metrics {
             decoded: get(&self.decoded),
             busy: get(&self.busy),
             timeouts: get(&self.timeouts),
+            expired: get(&self.expired),
             errors: get(&self.errors),
             batches: get(&self.batches),
             batched_requests: get(&self.batched_requests),
@@ -146,6 +154,7 @@ impl MetricsSnapshot {
         field("decoded", self.decoded);
         field("busy", self.busy);
         field("timeouts", self.timeouts);
+        field("expired", self.expired);
         field("errors", self.errors);
         field("batches", self.batches);
         field("batched_requests", self.batched_requests);
@@ -191,6 +200,7 @@ impl MetricsSnapshot {
                 "decoded" => snap.decoded = v,
                 "busy" => snap.busy = v,
                 "timeouts" => snap.timeouts = v,
+                "expired" => snap.expired = v,
                 "errors" => snap.errors = v,
                 "batches" => snap.batches = v,
                 "batched_requests" => snap.batched_requests = v,

@@ -109,7 +109,12 @@ fn accept_loop(
     while !stop.load(Ordering::Acquire) {
         let (stream, _) = match listener.accept() {
             Ok(pair) => pair,
-            Err(_) => continue,
+            Err(_) => {
+                // Persistent failures (e.g. EMFILE under fd exhaustion)
+                // must not turn this loop into a hot spin.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
         };
         if stop.load(Ordering::Acquire) {
             break; // the shutdown self-connection
@@ -148,8 +153,11 @@ impl Read for StoppableReader<'_> {
                     ) =>
                 {
                     if self.stop.load(Ordering::Acquire) {
+                        // Not `Interrupted`: `Read::read_exact` retries
+                        // that kind forever, which would wedge a thread
+                        // blocked mid-frame and hang `Server::shutdown`.
                         return Err(io::Error::new(
-                            io::ErrorKind::Interrupted,
+                            io::ErrorKind::ConnectionAborted,
                             "server shutting down",
                         ));
                     }
@@ -202,6 +210,28 @@ mod tests {
         assert_eq!(stats.decoded, 1);
         drop(client);
         assert_eq!(server.shutdown().unwrap(), 0);
+    }
+
+    #[test]
+    fn shutdown_unblocks_a_partial_frame_read() {
+        use crate::frame::{encode_frame, Opcode, HEADER_LEN};
+        use std::io::Write;
+
+        let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        // Send a header promising a 16-byte body but only 4 body bytes,
+        // parking the connection thread inside read_frame's body read.
+        let wire = encode_frame(1, Opcode::Encode, &[0u8; 16]);
+        stream.write_all(&wire[..HEADER_LEN + 4]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(server.shutdown());
+        });
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("shutdown hung on a connection mid-frame")
+            .unwrap();
     }
 
     #[test]

@@ -267,6 +267,24 @@ fn batch_loop(inner: &Inner) {
 /// every request, and folds the tick's span tree into the metrics.
 fn process_batch(inner: &Inner, batch: Vec<Job>) {
     let m = &inner.metrics;
+    // A job past its deadline has no audience — its submitter already
+    // returned `Timeout` and dropped the receiver — so building and
+    // encoding it would only amplify the overload that caused the
+    // timeout. Drop such jobs undone, counted under `expired`.
+    let deadline = inner.cfg.request_timeout;
+    let batch: Vec<Job> = batch
+        .into_iter()
+        .filter(|job| {
+            let live = job.enqueued.elapsed() < deadline;
+            if !live {
+                m.expired.fetch_add(1, Ordering::Relaxed);
+            }
+            live
+        })
+        .collect();
+    if batch.is_empty() {
+        return;
+    }
     m.batches.fetch_add(1, Ordering::Relaxed);
     m.batched_requests
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -515,6 +533,48 @@ mod tests {
         assert_eq!(m.cache_misses, 3, "warm cache: no rebuilds under load");
         assert!(m.cache_hits >= 24);
         assert_eq!(m.batched_requests, 48);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn expired_jobs_are_dropped_undone_at_drain() {
+        let svc = Service::start(ServiceConfig {
+            workers: 0,
+            request_timeout: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        });
+        let stale_enqueued = Instant::now()
+            .checked_sub(Duration::from_secs(1))
+            .expect("monotonic clock is at least 1s past boot");
+        let (stale_tx, stale_rx) = mpsc::channel();
+        let (fresh_tx, fresh_rx) = mpsc::channel();
+        process_batch(
+            &svc.inner,
+            vec![
+                Job {
+                    seq: 0,
+                    request: encode_req(&[1, 1], &[0]),
+                    enqueued: stale_enqueued,
+                    reply: stale_tx,
+                },
+                Job {
+                    seq: 1,
+                    request: encode_req(&[1, 1], &[0]),
+                    enqueued: Instant::now(),
+                    reply: fresh_tx,
+                },
+            ],
+        );
+        assert!(stale_rx.try_recv().is_err(), "stale job must not be built");
+        match fresh_rx.try_recv() {
+            Ok(Response::Encoded { .. }) => {}
+            other => panic!("expected Encoded, got {other:?}"),
+        }
+        let m = svc.metrics();
+        assert_eq!(m.expired, 1);
+        assert_eq!(m.encoded, 1, "expired work is not counted as encoded");
+        assert_eq!(m.timeouts, 0, "drain-time expiry is not double-counted");
+        assert_eq!(m.batched_requests, 1, "only live jobs count toward ticks");
         svc.shutdown();
     }
 

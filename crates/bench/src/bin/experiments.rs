@@ -84,6 +84,9 @@ fn main() {
     if want("e13") {
         e13();
     }
+    if want("e14") {
+        e14();
+    }
 }
 
 fn ms(t: Instant) -> f64 {
@@ -599,5 +602,101 @@ fn e13() {
             m.latency_us_total as f64 / reqs.max(1) as f64,
             m.latency_us_max,
         );
+    }
+}
+
+/// E14 — runtime substrate A/B: spawn-per-call scoped threads (the
+/// pre-executor shim driver) vs the persistent `partree-exec` pool
+/// (schema in EXPERIMENTS.md § E14).
+///
+/// Two workloads: a `par_iter` map+sum sweep (the primitive huffman's
+/// inner loops are built from) at n ≥ 64k, where per-op wall-clock and
+/// thread-spawn counts are cleanly attributable, and the full
+/// `huffman_parallel` pipeline at DP-feasible sizes. The sweep also
+/// cross-checks the determinism contract: both substrates must produce
+/// bit-identical `f64` sums.
+fn e14() {
+    use rayon::prelude::*;
+
+    println!("\n## E14  Runtime substrate — spawn-per-call vs persistent pool");
+    println!("one JSON line per (workload, mode, n); thread_spawns counts OS threads");
+    println!("created during the measured reps (pool workers spawn once, before)\n");
+
+    let width = partree_pram::model::processors().clamp(2, 8);
+    let mut sum_bits: Option<(usize, u64)> = None;
+
+    // Workload 1: map+sum sweep, one par_iter op per rep.
+    for &n in &[65_536usize, 1_048_576] {
+        let xs: Vec<f64> = (1..=n).map(|i| 1.0 / i as f64).collect();
+        let reps = if n > 100_000 { 8 } else { 40 };
+        for legacy in [true, false] {
+            rayon::force_legacy_driver(legacy);
+            let op =
+                || -> f64 { with_threads(width, || xs.par_iter().map(|&x| x * 1.000_000_1).sum()) };
+            let warm = op();
+            if let Some((bn, bits)) = sum_bits {
+                assert!(
+                    bn != n || bits == warm.to_bits(),
+                    "substrates disagree on a deterministic f64 sum"
+                );
+            }
+            sum_bits = Some((n, warm.to_bits()));
+            let spawns0 = partree_exec::scoped_spawns();
+            let exec0 = partree_exec::global_snapshot();
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(op());
+            }
+            let elapsed_ms = ms(t0);
+            let spawns = partree_exec::scoped_spawns() - spawns0;
+            let exec = partree_exec::global_snapshot();
+            println!(
+                "{{\"experiment\":\"e14\",\"workload\":\"sweep\",\"mode\":\"{}\",\
+                 \"n\":{n},\"width\":{width},\"reps\":{reps},\
+                 \"elapsed_ms\":{elapsed_ms:.2},\"ms_per_op\":{:.3},\
+                 \"thread_spawns\":{spawns},\"spawns_per_op\":{:.1},\
+                 \"pool_blocks\":{},\"pool_steals\":{},\"pool_workers\":{}}}",
+                mode_label(legacy),
+                elapsed_ms / reps as f64,
+                spawns as f64 / reps as f64,
+                exec.blocks_executed - exec0.blocks_executed,
+                exec.steals - exec0.steals,
+                exec.workers,
+            );
+        }
+    }
+
+    // Workload 2: the full parallel Huffman pipeline (quadratic DP, so
+    // sized accordingly; its inner loops are the sweep above).
+    for &n in &[512usize, 1024] {
+        let w = gen::zipf_weights(n, 1.07, 42);
+        for legacy in [true, false] {
+            rayon::force_legacy_driver(legacy);
+            let spawns0 = partree_exec::scoped_spawns();
+            let t0 = Instant::now();
+            let cost = with_threads(width, || {
+                huffman_parallel_cost_traced(&w, &CostTracer::disabled()).expect("valid weights")
+            });
+            let elapsed_ms = ms(t0);
+            let spawns = partree_exec::scoped_spawns() - spawns0;
+            println!(
+                "{{\"experiment\":\"e14\",\"workload\":\"huffman\",\"mode\":\"{}\",\
+                 \"n\":{n},\"width\":{width},\"reps\":1,\
+                 \"elapsed_ms\":{elapsed_ms:.2},\"ms_per_op\":{elapsed_ms:.2},\
+                 \"thread_spawns\":{spawns},\"spawns_per_op\":{spawns},\
+                 \"cost\":{:.3}}}",
+                mode_label(legacy),
+                cost.value(),
+            );
+        }
+    }
+    rayon::force_legacy_driver(false);
+}
+
+fn mode_label(legacy: bool) -> &'static str {
+    if legacy {
+        "spawn_per_call"
+    } else {
+        "pool"
     }
 }

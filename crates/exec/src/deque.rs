@@ -1,0 +1,301 @@
+//! A Chase–Lev work-stealing deque over raw job pointers.
+//!
+//! One [`Deque`] belongs to one worker thread: only the owner calls
+//! [`Deque::push`] / [`Deque::pop`] (LIFO end), while any thread may call
+//! [`Deque::steal`] (FIFO end). The implementation is the classic
+//! Chase–Lev circular-array algorithm with the memory-ordering recipe of
+//! Lê et al., *Correct and Efficient Work-Stealing for Weak Memory
+//! Models* (PPoPP 2013): a release fence between the slot write and the
+//! `bottom` bump on push, seq-cst fences on the pop/steal races, and a
+//! seq-cst CAS on `top` to arbitrate the last element.
+//!
+//! Two deliberate simplifications keep the unsafe surface small without
+//! changing the algorithm:
+//!
+//! * Elements are thin raw pointers (`*mut T`), so slots can be
+//!   `AtomicPtr` cells — the benign data race of the original (stealers
+//!   may read a slot that the owner is about to overwrite; the `top` CAS
+//!   then tells them the value was stale) becomes a well-defined relaxed
+//!   atomic race instead of UB.
+//! * Retired buffers from growth are kept alive until the deque drops
+//!   instead of being reclaimed concurrently. Stealers holding a stale
+//!   buffer pointer therefore never touch freed memory, and a worker's
+//!   queue growing past its high-water mark is rare enough that the held
+//!   memory is noise.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+/// A growable power-of-two circular buffer of job pointers.
+struct Buffer<T> {
+    mask: usize,
+    slots: Box<[AtomicPtr<T>]>,
+}
+
+impl<T> Buffer<T> {
+    fn new(cap: usize) -> Box<Buffer<T>> {
+        debug_assert!(cap.is_power_of_two());
+        Box::new(Buffer {
+            mask: cap - 1,
+            slots: (0..cap)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        })
+    }
+
+    fn cap(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Relaxed slot read; the surrounding top/bottom protocol decides
+    /// whether the value is current.
+    fn get(&self, i: isize) -> *mut T {
+        self.slots[i as usize & self.mask].load(Ordering::Relaxed)
+    }
+
+    fn put(&self, i: isize, p: *mut T) {
+        self.slots[i as usize & self.mask].store(p, Ordering::Relaxed);
+    }
+}
+
+/// Result of a steal attempt.
+pub enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying later.
+    Retry,
+    /// Took the oldest element.
+    Success(*mut T),
+}
+
+/// The work-stealing deque. `top` chases `bottom`: owner pushes/pops at
+/// `bottom`, thieves advance `top`.
+pub struct Deque<T> {
+    bottom: AtomicIsize,
+    top: AtomicIsize,
+    /// Current buffer; swapped (release) by the owner on growth.
+    buf: AtomicPtr<Buffer<T>>,
+    /// Superseded buffers, freed on drop (see module docs). The inner
+    /// `Box` is load-bearing: racing thieves may still hold raw slot
+    /// pointers into a retired buffer, so its address must not move
+    /// when this `Vec` reallocates.
+    #[allow(clippy::vec_box)]
+    retired: Mutex<Vec<Box<Buffer<T>>>>,
+}
+
+// Elements are raw pointers to owned heap jobs; transferring them between
+// threads is the whole point. The protocol guarantees each pointer is
+// handed out exactly once.
+unsafe impl<T> Send for Deque<T> {}
+unsafe impl<T> Sync for Deque<T> {}
+
+const INITIAL_CAP: usize = 64;
+
+impl<T> Deque<T> {
+    pub fn new() -> Deque<T> {
+        Deque {
+            bottom: AtomicIsize::new(0),
+            top: AtomicIsize::new(0),
+            buf: AtomicPtr::new(Box::into_raw(Buffer::new(INITIAL_CAP))),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Cheap emptiness probe for idle-worker scans. May race; callers
+    /// treat the answer as a hint.
+    pub fn is_empty_hint(&self) -> bool {
+        let t = self.top.load(Ordering::Acquire);
+        let b = self.bottom.load(Ordering::Acquire);
+        b <= t
+    }
+
+    /// Owner-only: push one element at the LIFO end.
+    ///
+    /// # Safety
+    /// Must be called only from the owning worker thread.
+    pub unsafe fn push(&self, p: *mut T) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        let mut buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        if b - t >= buf.cap() as isize {
+            buf = self.grow(t, b, buf);
+        }
+        buf.put(b, p);
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+    }
+
+    /// Owner-only growth: double the buffer, copying live entries.
+    fn grow(&self, t: isize, b: isize, old: &Buffer<T>) -> &Buffer<T> {
+        let new = Buffer::new(old.cap() * 2);
+        for i in t..b {
+            new.put(i, old.get(i));
+        }
+        let new = Box::into_raw(new);
+        let prev = self.buf.swap(new, Ordering::Release);
+        self.retired
+            .lock()
+            .expect("deque retire list poisoned")
+            .push(unsafe { Box::from_raw(prev) });
+        unsafe { &*new }
+    }
+
+    /// Owner-only: pop from the LIFO end.
+    ///
+    /// # Safety
+    /// Must be called only from the owning worker thread.
+    pub unsafe fn pop(&self) -> Option<*mut T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        let buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let p = buf.get(b);
+            if t == b {
+                // Last element: race the thieves for it.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                if won {
+                    Some(p)
+                } else {
+                    None
+                }
+            } else {
+                Some(p)
+            }
+        } else {
+            // Already empty; undo the speculative decrement.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: steal from the FIFO end.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read the slot *before* the CAS: a successful CAS certifies the
+        // read was of the live value.
+        let buf = unsafe { &*self.buf.load(Ordering::Acquire) };
+        let p = buf.get(t);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Steal::Success(p)
+        } else {
+            Steal::Retry
+        }
+    }
+}
+
+impl<T> Drop for Deque<T> {
+    fn drop(&mut self) {
+        // By the pool's contract every submitted job completes before the
+        // submitter unblocks, so a dropping deque is empty of live jobs;
+        // only the buffers themselves need freeing.
+        debug_assert!(self.is_empty_hint(), "deque dropped with queued jobs");
+        drop(unsafe { Box::from_raw(self.buf.load(Ordering::Relaxed)) });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn lifo_for_owner_fifo_for_thief() {
+        let d: Deque<usize> = Deque::new();
+        let vals: Vec<Box<usize>> = (0..4).map(Box::new).collect();
+        let ptrs: Vec<*mut usize> = vals.into_iter().map(Box::into_raw).collect();
+        unsafe {
+            for &p in &ptrs {
+                d.push(p);
+            }
+            // Thief takes the oldest.
+            match d.steal() {
+                Steal::Success(p) => assert_eq!(*Box::from_raw(p), 0),
+                _ => panic!("steal failed on non-empty deque"),
+            }
+            // Owner takes the newest.
+            let p = d.pop().expect("owner pop");
+            assert_eq!(*Box::from_raw(p), 3);
+            drop(Box::from_raw(d.pop().expect("pop")));
+            drop(Box::from_raw(d.pop().expect("pop")));
+            assert!(d.pop().is_none());
+        }
+    }
+
+    #[test]
+    fn growth_preserves_elements() {
+        let d: Deque<usize> = Deque::new();
+        let n = INITIAL_CAP * 4 + 3;
+        unsafe {
+            for i in 0..n {
+                d.push(Box::into_raw(Box::new(i)));
+            }
+            let mut seen = Vec::new();
+            while let Some(p) = d.pop() {
+                seen.push(*Box::from_raw(p));
+            }
+            seen.reverse();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn concurrent_steals_hand_out_each_job_once() {
+        // One producer pushing and popping, several thieves stealing:
+        // every pushed value must be consumed exactly once.
+        const N: usize = 20_000;
+        const THIEVES: usize = 3;
+        let d: Arc<Deque<usize>> = Arc::new(Deque::new());
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..THIEVES {
+                let d = Arc::clone(&d);
+                let consumed = Arc::clone(&consumed);
+                let sum = Arc::clone(&sum);
+                s.spawn(move || loop {
+                    if consumed.load(Ordering::Acquire) == N {
+                        break;
+                    }
+                    if let Steal::Success(p) = d.steal() {
+                        let v = *unsafe { Box::from_raw(p) };
+                        sum.fetch_add(v, Ordering::Relaxed);
+                        consumed.fetch_add(1, Ordering::AcqRel);
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                });
+            }
+            // Owner: push all, then drain what the thieves left.
+            for i in 0..N {
+                unsafe { d.push(Box::into_raw(Box::new(i))) };
+            }
+            loop {
+                if consumed.load(Ordering::Acquire) == N {
+                    break;
+                }
+                if let Some(p) = unsafe { d.pop() } {
+                    let v = *unsafe { Box::from_raw(p) };
+                    sum.fetch_add(v, Ordering::Relaxed);
+                    consumed.fetch_add(1, Ordering::AcqRel);
+                }
+            }
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), N * (N - 1) / 2);
+    }
+}

@@ -1,0 +1,138 @@
+//! Scheduler-independence stress: nested `join` under racing steals must
+//! never deadlock, and folds whose *shape* is fixed (fixed-size blocks
+//! combined in index order) must produce bit-identical results no matter
+//! which worker executes which block — the determinism contract the
+//! rayon shim builds on top of this executor.
+
+use partree_exec::Pool;
+use proptest::prelude::*;
+
+/// Folds `xs` in fixed 16-element blocks, combining partials strictly in
+/// index order, but computing the per-block partials through a recursive
+/// `join` tree over the block range. Steals may move any block to any
+/// worker; the combination order cannot change.
+fn block_fold_sum(pool: &Pool, xs: &[f64]) -> f64 {
+    const BLOCK: usize = 16;
+    let nb = xs.len().div_ceil(BLOCK).max(1);
+    fn partials(pool: &Pool, xs: &[f64], lo: usize, hi: usize, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), hi - lo);
+        if hi - lo <= 1 {
+            for (i, slot) in out.iter_mut().enumerate() {
+                let b = lo + i;
+                let blk = &xs[b * 16..((b + 1) * 16).min(xs.len())];
+                *slot = blk.iter().fold(0.0, |acc, &x| acc + x);
+            }
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let (left, right) = out.split_at_mut(mid - lo);
+        pool.join(
+            || partials(pool, xs, lo, mid, left),
+            || partials(pool, xs, mid, hi, right),
+        );
+    }
+    let mut out = vec![0.0; nb];
+    partials(pool, xs, 0, nb, &mut out);
+    out.into_iter().fold(0.0, |acc, x| acc + x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline contract: non-associative f64 folds are bit-identical
+    /// across pool widths 1/2/8 and across repeated runs with racing
+    /// steals, because only block *placement* is racy, never block
+    /// *order*.
+    #[test]
+    fn nested_join_fold_is_bit_identical_across_widths(
+        xs in prop::collection::vec(-1.0e6f64..1.0e6, 1..400),
+    ) {
+        let p1 = Pool::new(1);
+        let p2 = Pool::new(2);
+        let p8 = Pool::new(8);
+        let baseline = block_fold_sum(&p1, &xs);
+        for _ in 0..4 {
+            prop_assert_eq!(block_fold_sum(&p1, &xs).to_bits(), baseline.to_bits());
+            prop_assert_eq!(block_fold_sum(&p2, &xs).to_bits(), baseline.to_bits());
+            prop_assert_eq!(block_fold_sum(&p8, &xs).to_bits(), baseline.to_bits());
+        }
+    }
+
+    /// Deep, irregular join trees complete without deadlock even when the
+    /// pool is much narrower than the recursion fan-out, because waiting
+    /// workers help instead of blocking.
+    #[test]
+    fn irregular_join_trees_never_deadlock(
+        n in 1usize..3000,
+        skew in 1usize..7,
+    ) {
+        fn tree_sum(pool: &Pool, lo: u64, hi: u64, skew: u64) -> u64 {
+            if hi - lo <= 4 {
+                return (lo..hi).sum();
+            }
+            // Deliberately unbalanced split so steals race constantly.
+            let mid = lo + (hi - lo) / (skew + 1) + 1;
+            let (a, b) = pool.join(
+                || tree_sum(pool, lo, mid, skew),
+                || tree_sum(pool, mid, hi, skew),
+            );
+            a + b
+        }
+        let pool = Pool::new(3);
+        let n = n as u64;
+        prop_assert_eq!(tree_sum(&pool, 0, n, skew as u64), n * (n - 1) / 2);
+    }
+}
+
+#[test]
+fn many_external_submitters_share_the_pool() {
+    // run_all batches from many non-worker threads at once: the injector,
+    // wake handshake, and helping protocol all race here.
+    let pool = Pool::new(4);
+    std::thread::scope(|s| {
+        for t in 0..8u64 {
+            let pool = &pool;
+            s.spawn(move || {
+                for round in 0..20u64 {
+                    let mut outs = vec![0u64; 32];
+                    {
+                        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = outs
+                            .iter_mut()
+                            .enumerate()
+                            .map(|(i, slot)| {
+                                Box::new(move || *slot = t * 1000 + round * 100 + i as u64)
+                                    as Box<dyn FnOnce() + Send + '_>
+                            })
+                            .collect();
+                        pool.run_all(tasks);
+                    }
+                    for (i, &v) in outs.iter().enumerate() {
+                        assert_eq!(v, t * 1000 + round * 100 + i as u64);
+                    }
+                }
+            });
+        }
+    });
+    let snap = pool.metrics_snapshot();
+    assert_eq!(snap.blocks_executed, 8 * 20 * 32);
+    assert!(
+        snap.injected > 0,
+        "external submissions must use the injector"
+    );
+}
+
+#[test]
+fn oversubscribed_width_still_completes() {
+    // 2× the machine's cores, plus fan-out wider than the pool: the
+    // CI exec-stress shape.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let pool = Pool::new(2 * cores);
+    let xs: Vec<f64> = (1..=50_000).map(|i| 1.0 / i as f64).collect();
+    let first = block_fold_sum(&pool, &xs);
+    for _ in 0..3 {
+        assert_eq!(block_fold_sum(&pool, &xs).to_bits(), first.to_bits());
+    }
+    assert!(pool.metrics_snapshot().joins > 0);
+}

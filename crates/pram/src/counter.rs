@@ -92,7 +92,6 @@ impl WorkDepth {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn counts_accumulate() {
@@ -106,20 +105,23 @@ mod tests {
 
     #[test]
     fn counts_from_many_threads() {
-        let c = Arc::new(OpCounter::new());
-        let handles: Vec<_> = (0..8)
-            .map(|_| {
-                let c = Arc::clone(&c);
-                std::thread::spawn(move || {
-                    for _ in 0..1000 {
-                        c.bump();
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
+        // Concurrent bumps go through the shared partree-exec pool (via
+        // the rayon shim) rather than raw `std::thread::spawn`, so the
+        // workers hammering the counter are the same accounted, joined
+        // threads every other parallel path uses.
+        use rayon::prelude::*;
+        let c = OpCounter::new();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .expect("building a rayon pool cannot fail");
+        pool.install(|| {
+            (0..8u32).into_par_iter().for_each(|_| {
+                for _ in 0..1000 {
+                    c.bump();
+                }
+            });
+        });
         assert_eq!(c.get(), 8000);
     }
 

@@ -56,6 +56,11 @@ fn payload(n: usize, seed: u64, len: usize) -> Vec<u8> {
 }
 
 fn run() -> Result<(), String> {
+    // The shared partree-exec pool is process-global and deliberately
+    // outlives the service; force it into existence before capturing the
+    // baseline so the leak check measures only threads this run must
+    // join (batch workers, connection handlers, accept loop).
+    let _ = partree_exec::global();
     let threads_before = active_threads()?;
 
     let cfg = ServiceConfig {

@@ -95,6 +95,15 @@ pub struct MetricsSnapshot {
     pub latency_us_total: u64,
     /// Latency max, µs.
     pub latency_us_max: u64,
+    /// Executor: successful steals on the shared `partree-exec` pool
+    /// (process-wide — the pool is shared by everything in-process).
+    pub exec_steals: u64,
+    /// Executor: worker park events (idle transitions).
+    pub exec_parks: u64,
+    /// Executor: jobs waiting in the injector right now (gauge).
+    pub exec_injector_depth: u64,
+    /// Executor: jobs (lane blocks + join halves) executed.
+    pub exec_blocks: u64,
 }
 
 impl Metrics {
@@ -110,8 +119,11 @@ impl Metrics {
     }
 
     /// Freezes the counters together with the cache's hit/miss/eviction
-    /// numbers (the cache owns those so lookups stay lock-free here).
+    /// numbers (the cache owns those so lookups stay lock-free here) and
+    /// the shared executor pool's scheduling counters (zeros if no
+    /// parallel work has run in-process yet).
     pub fn snapshot(&self, cache: &crate::codebook::CodebookCache) -> MetricsSnapshot {
+        let exec = partree_exec::global_snapshot();
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         MetricsSnapshot {
             accepted: get(&self.accepted),
@@ -134,6 +146,10 @@ impl Metrics {
             bytes_out: get(&self.bytes_out),
             latency_us_total: get(&self.latency_us_total),
             latency_us_max: get(&self.latency_us_max),
+            exec_steals: exec.steals,
+            exec_parks: exec.parks,
+            exec_injector_depth: exec.injector_depth,
+            exec_blocks: exec.blocks_executed,
         }
     }
 }
@@ -169,6 +185,10 @@ impl MetricsSnapshot {
         field("bytes_out", self.bytes_out);
         field("latency_us_total", self.latency_us_total);
         field("latency_us_max", self.latency_us_max);
+        field("exec_steals", self.exec_steals);
+        field("exec_parks", self.exec_parks);
+        field("exec_injector_depth", self.exec_injector_depth);
+        field("exec_blocks", self.exec_blocks);
         out.push('}');
         out
     }
@@ -215,6 +235,10 @@ impl MetricsSnapshot {
                 "bytes_out" => snap.bytes_out = v,
                 "latency_us_total" => snap.latency_us_total = v,
                 "latency_us_max" => snap.latency_us_max = v,
+                "exec_steals" => snap.exec_steals = v,
+                "exec_parks" => snap.exec_parks = v,
+                "exec_injector_depth" => snap.exec_injector_depth = v,
+                "exec_blocks" => snap.exec_blocks = v,
                 _ => {} // forward compatibility
             }
         }

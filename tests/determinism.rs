@@ -12,6 +12,7 @@ use partree::lcfl::grammar::even_palindromes;
 use partree::lcfl::{parse_divide, recognize_divide};
 use partree::monge::cut::concave_mul;
 use partree::monge::dense::Matrix;
+use partree::monge::smawk::smawk_mul;
 use partree::obst::approx::approx_optimal_bst;
 use partree::obst::ObstInstance;
 use partree::pram::model::with_threads;
@@ -32,6 +33,39 @@ fn concave_mul_is_deterministic_across_runs_and_pools() {
             let again = with_threads(threads, || concave_mul(&a, &b, &CostTracer::disabled()));
             assert_eq!(again.cut, baseline.cut, "threads={threads}");
             assert!(again.values.approx_eq(&baseline.values, 0.0));
+        }
+    }
+}
+
+#[test]
+fn smawk_mul_is_stable_across_pools_and_runs() {
+    // SMAWK-based (min,+) multiplication on the persistent executor:
+    // racing steals may move lane blocks between workers, but the value
+    // matrix must not wobble by a bit.
+    let a = Matrix::from_rows(&gen::random_monge(100, 80, 7));
+    let b = Matrix::from_rows(&gen::random_monge(80, 110, 8));
+    let baseline = smawk_mul(&a, &b, &CostTracer::disabled());
+    for threads in POOLS {
+        for _ in 0..3 {
+            let again = with_threads(threads, || smawk_mul(&a, &b, &CostTracer::disabled()));
+            assert!(again.approx_eq(&baseline, 0.0), "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn f64_reductions_are_bit_identical_under_racing_steals() {
+    // Non-associative floating-point folds are the sharpest determinism
+    // probe: the shim folds fixed 256-element blocks in index order on
+    // the executor, so neither the pool width nor which worker stole
+    // which block may perturb rounding.
+    use rayon::prelude::*;
+    let xs: Vec<f64> = (1..60_000).map(|i| 1.0 / (i as f64).sqrt()).collect();
+    let baseline: f64 = with_threads(1, || xs.par_iter().copied().sum());
+    for threads in POOLS {
+        for _ in 0..5 {
+            let sum: f64 = with_threads(threads, || xs.par_iter().copied().sum());
+            assert_eq!(sum.to_bits(), baseline.to_bits(), "threads={threads}");
         }
     }
 }

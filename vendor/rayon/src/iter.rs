@@ -144,8 +144,14 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 }
 
 /// Splits `items` into blocks of `block` elements (last one ragged),
-/// applies `g` to each block on a pool of scoped workers, and returns the
+/// applies `g` to each block on the persistent `partree-exec` pool (or,
+/// under the legacy driver, on per-call scoped workers), and returns the
 /// per-block results **in block order**.
+///
+/// Contiguous runs of blocks go to `min(width, nb)` lane tasks; each lane
+/// writes its own pre-split region of the output, so which executor
+/// worker runs a lane — and in what order lanes complete — cannot affect
+/// the result.
 fn drive_blocks<T, U, G>(items: Vec<T>, block: usize, g: G) -> Vec<U>
 where
     T: Send,
@@ -183,7 +189,29 @@ where
     let workers = width.min(nb);
     let mut out: Vec<Option<U>> = (0..nb).map(|_| None).collect();
     let g = &g;
-    std::thread::scope(|s| {
+    if crate::pool::legacy_driver() {
+        std::thread::scope(|s| {
+            let mut out_rest: &mut [Option<U>] = &mut out;
+            let mut blk_it = blocks.into_iter();
+            let per = nb / workers;
+            let extra = nb % workers;
+            for w in 0..workers {
+                let count = per + usize::from(w < extra);
+                let my_blocks: Vec<Vec<T>> = blk_it.by_ref().take(count).collect();
+                let (mine, rest) = out_rest.split_at_mut(count);
+                out_rest = rest;
+                partree_exec::count_scoped_spawn();
+                s.spawn(move || {
+                    with_width(width, || {
+                        for (slot, blk) in mine.iter_mut().zip(my_blocks) {
+                            *slot = Some(g(blk));
+                        }
+                    })
+                });
+            }
+        });
+    } else {
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(workers);
         let mut out_rest: &mut [Option<U>] = &mut out;
         let mut blk_it = blocks.into_iter();
         let per = nb / workers;
@@ -193,15 +221,18 @@ where
             let my_blocks: Vec<Vec<T>> = blk_it.by_ref().take(count).collect();
             let (mine, rest) = out_rest.split_at_mut(count);
             out_rest = rest;
-            s.spawn(move || {
+            // Lane tasks propagate the submitting pool's width so nested
+            // parallel calls inside `g` observe the same ambient pool.
+            tasks.push(Box::new(move || {
                 with_width(width, || {
                     for (slot, blk) in mine.iter_mut().zip(my_blocks) {
                         *slot = Some(g(blk));
                     }
                 })
-            });
+            }));
         }
-    });
+        partree_exec::global().run_all(tasks);
+    }
     out.into_iter()
         .map(|u| u.expect("worker filled every slot"))
         .collect()

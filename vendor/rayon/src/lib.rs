@@ -2,21 +2,26 @@
 //!
 //! The build environment has no access to the crates registry, so this
 //! crate reimplements the *subset* of rayon's API that partree uses, on
-//! top of `std::thread::scope`. Three properties matter here and are
-//! guaranteed by construction:
+//! top of the persistent [`partree_exec`] work-stealing pool. Three
+//! properties matter here and are guaranteed by construction:
 //!
 //! 1. **Same API shape.** `par_iter` / `par_chunks_mut` / `join` /
 //!    `ThreadPoolBuilder` call sites compile unchanged, so swapping the
 //!    real rayon back in later is a one-line `Cargo.toml` change.
-//! 2. **Determinism across thread counts.** Reductions (`sum`,
-//!    `reduce_with`, `all`) fold fixed-size blocks in index order, and the
-//!    block size never depends on the worker count — so the result of
-//!    every operation, including non-associative `f64` folds, is
-//!    bit-identical under `with_threads(1)`, `with_threads(2)`, and
-//!    `with_threads(8)`.
-//! 3. **Real parallelism.** When the effective pool width is > 1, `map`,
-//!    `for_each`, and `join` actually fan out over scoped threads; Brent
-//!    scheduling degrades gracefully to sequential execution at width 1.
+//! 2. **Determinism across thread counts and schedules.** Reductions
+//!    (`sum`, `reduce_with`, `all`) fold fixed-size blocks in index
+//!    order, and the block size never depends on the worker count — so
+//!    the result of every operation, including non-associative `f64`
+//!    folds, is bit-identical under `with_threads(1)`, `with_threads(2)`,
+//!    and `with_threads(8)`, and independent of which executor worker
+//!    steals which block.
+//! 3. **Real parallelism without per-call spawns.** When the effective
+//!    pool width is > 1, `map`, `for_each`, and `join` fan out as lane
+//!    tasks on the shared `partree-exec` pool (steady-state OS-thread
+//!    spawns per operation: zero); Brent scheduling degrades gracefully
+//!    to inline sequential execution at width 1. The pre-executor
+//!    spawn-per-call driver survives behind `PARTREE_EXEC_DISABLE=1` /
+//!    [`force_legacy_driver`] as an A/B baseline for experiment E14.
 
 // Vendored stand-in for an external crate: exempt from the
 // workspace lint policy, as a registry dependency would be.
@@ -25,7 +30,9 @@
 mod iter;
 mod pool;
 
-pub use pool::{current_num_threads, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder};
+pub use pool::{
+    current_num_threads, force_legacy_driver, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
 
 pub mod prelude {
     //! The traits that make `.par_iter()` et al. resolve, mirroring
@@ -43,8 +50,12 @@ pub use iter::{
 
 /// Runs both closures, potentially in parallel, and returns both results.
 ///
-/// Mirrors `rayon::join`: `a` runs on the calling thread; `b` runs on a
-/// scoped worker when the current pool width allows it.
+/// Mirrors `rayon::join`: `a` runs on the calling thread; `b` is queued
+/// on the persistent executor when the current pool width allows it. A
+/// worker that forked `b` and finds it unstolen pops it right back, so
+/// the fast path costs one deque push/pop, not a thread spawn; while `b`
+/// is stolen, the forking worker helps execute other ready work instead
+/// of blocking (nested joins therefore cannot deadlock the pool).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -58,10 +69,14 @@ where
         let rb = b();
         return (ra, rb);
     }
-    std::thread::scope(|s| {
-        let hb = s.spawn(move || pool::with_width(width, b));
-        let ra = a();
-        let rb = hb.join().expect("rayon-shim: joined task panicked");
-        (ra, rb)
-    })
+    if pool::legacy_driver() {
+        return std::thread::scope(|s| {
+            partree_exec::count_scoped_spawn();
+            let hb = s.spawn(move || pool::with_width(width, b));
+            let ra = a();
+            let rb = hb.join().expect("rayon-shim: joined task panicked");
+            (ra, rb)
+        });
+    }
+    partree_exec::global().join(a, move || pool::with_width(width, b))
 }

@@ -1,8 +1,15 @@
 //! Thread-count control: a thread-local "current pool width" that
 //! `ThreadPool::install` scopes and every driver consults.
+//!
+//! Width is a *semantic* knob — how many parallel lanes a driver splits
+//! work into — decoupled from the OS threads that execute them: lanes
+//! run on the shared persistent [`partree_exec`] pool. A `ThreadPool`
+//! here is therefore still just a width; what changed underneath is
+//! that drivers no longer spawn scoped threads per call.
 
 use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 thread_local! {
     /// 0 means "unset": fall back to the machine's logical-CPU count.
@@ -19,6 +26,34 @@ fn default_width() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+}
+
+/// Driver selector: 0 = unresolved (consult `PARTREE_EXEC_DISABLE`),
+/// 1 = legacy spawn-per-call scoped threads, 2 = persistent executor.
+static DRIVER: AtomicU8 = AtomicU8::new(0);
+
+/// True when drivers should use the legacy spawn-per-call scoped-thread
+/// path instead of the persistent `partree-exec` pool. Resolved once
+/// from the `PARTREE_EXEC_DISABLE=1` environment variable; benchmarks
+/// flip it at runtime via [`force_legacy_driver`] to A/B the two
+/// substrates in one process (experiment E14).
+pub(crate) fn legacy_driver() -> bool {
+    match DRIVER.load(Ordering::Relaxed) {
+        0 => {
+            let legacy = std::env::var("PARTREE_EXEC_DISABLE").is_ok_and(|v| v == "1");
+            DRIVER.store(if legacy { 1 } else { 2 }, Ordering::Relaxed);
+            legacy
+        }
+        1 => true,
+        _ => false,
+    }
+}
+
+/// Forces the driver choice at runtime (benchmark hook; see
+/// [`legacy_driver`]). Not for concurrent use with in-flight parallel
+/// work — callers toggle it between measurement phases.
+pub fn force_legacy_driver(legacy: bool) {
+    DRIVER.store(if legacy { 1 } else { 2 }, Ordering::Relaxed);
 }
 
 /// The pool width parallel drivers on this thread will use.
@@ -89,8 +124,9 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A "pool" is just a width: workers are spawned scoped per driver call,
-/// which keeps the shim free of global state and shutdown ordering.
+/// A "pool" is just a width: execution happens on the shared persistent
+/// `partree-exec` worker set, so building one of these is free and many
+/// can coexist (each `install` merely scopes the ambient lane count).
 #[derive(Debug)]
 pub struct ThreadPool {
     width: usize,

@@ -1,0 +1,93 @@
+//! Gateway hot paths: rendezvous route selection (pure CPU, no I/O)
+//! and the end-to-end routing tax — an encode roundtrip through the
+//! gateway's retry/hedge machinery vs a raw pooled client against the
+//! same single replica, then against a three-replica fleet where the
+//! router actually has choices to weigh.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use partree_gateway::{route, Gateway, GatewayConfig};
+use partree_service::client::Client;
+use partree_service::frame::Histogram;
+use partree_service::net::Server;
+use partree_service::server::{Service, ServiceConfig};
+
+/// Deterministic payload over `n` symbols, every symbol present.
+fn payload(n: usize, len: usize) -> Vec<u8> {
+    let mut s = 0x243f_6a88_85a3_08d3u64;
+    let mut out: Vec<u8> = (0..n as u16).map(|sym| sym as u8).collect();
+    out.extend((0..len).map(|_| {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        (s % n as u64) as u8
+    }));
+    out
+}
+
+fn bench_route(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gateway_route");
+    for &n in &[3usize, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("preference_order", n), &n, |b, &n| {
+            let mut key = 0x9e37_79b9u64;
+            b.iter(|| {
+                key = key.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1);
+                route::preference_order(key, n)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("home", n), &n, |b, &n| {
+            let mut key = 0x9e37_79b9u64;
+            b.iter(|| {
+                key = key.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1);
+                route::home(key, n)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gateway_roundtrip");
+    g.sample_size(30);
+    let msg = payload(64, 4096);
+    let hist = Histogram::of_payload(64, &msg).unwrap();
+    g.throughput(Throughput::Bytes(msg.len() as u64));
+
+    // Baseline: one replica, one raw client, no router in the path.
+    let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
+    let mut raw = Client::connect(server.addr()).unwrap();
+    raw.encode(&hist, &msg).unwrap(); // warm the codebook cache
+    g.bench_function("direct_client", |b| {
+        b.iter(|| raw.encode(&hist, &msg).unwrap())
+    });
+    drop(raw);
+
+    // Same replica through the gateway: the routing tax in isolation.
+    let gw1 = Gateway::start(GatewayConfig::new(vec![server.addr()]));
+    gw1.encode(&hist, &msg).unwrap();
+    g.bench_function("gateway_1_replica", |b| {
+        b.iter(|| gw1.encode(&hist, &msg).unwrap())
+    });
+    gw1.shutdown();
+
+    // Three replicas: rendezvous choice + health bookkeeping live.
+    let fleet: Vec<Server> = (0..2)
+        .map(|_| Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap())
+        .collect();
+    let mut addrs = vec![server.addr()];
+    addrs.extend(fleet.iter().map(|s| s.addr()));
+    let gw3 = Gateway::start(GatewayConfig::new(addrs));
+    gw3.encode(&hist, &msg).unwrap();
+    g.bench_function("gateway_3_replicas", |b| {
+        b.iter(|| gw3.encode(&hist, &msg).unwrap())
+    });
+    gw3.shutdown();
+
+    for s in fleet {
+        s.shutdown().unwrap();
+    }
+    server.shutdown().unwrap();
+    g.finish();
+}
+
+criterion_group!(benches, bench_route, bench_roundtrip);
+criterion_main!(benches);

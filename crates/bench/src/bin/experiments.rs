@@ -87,6 +87,9 @@ fn main() {
     if want("e14") {
         e14();
     }
+    if want("e15") {
+        e15();
+    }
 }
 
 fn ms(t: Instant) -> f64 {
@@ -698,5 +701,169 @@ fn mode_label(legacy: bool) -> &'static str {
         "spawn_per_call"
     } else {
         "pool"
+    }
+}
+
+/// E15 — replica gateway: scaling and failover economics (schema in
+/// EXPERIMENTS.md § E15).
+///
+/// Part 1: encode throughput through the gateway as the fleet grows.
+/// Rendezvous hashing pins each histogram to one replica, so every
+/// replica's codebook cache stays hot and added replicas buy capacity
+/// without re-paying code construction.
+///
+/// Part 2: three replicas, one killed mid-run — the router's own
+/// accounting of what the failover cost: success rate, retries,
+/// winning hedges, breaker opens.
+fn e15() {
+    use partree_gateway::{Gateway, GatewayConfig};
+    use partree_service::frame::Histogram;
+    use partree_service::net::Server;
+    use partree_service::server::{Service, ServiceConfig};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    println!("\n## E15  Replica gateway — sharded scaling and failover");
+    println!("one JSON line per fleet size, then one for the kill-one-replica run;");
+    println!("constructions/cache_hits are summed over the surviving fleet\n");
+
+    // Workload: eight alphabets (every count nonzero), 2 KiB payloads.
+    let payload = |n: usize, seed: u64| -> Vec<u8> {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut out: Vec<u8> = (0..n as u16).map(|sym| sym as u8).collect();
+        out.extend((0..2048).map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % n as u64) as u8
+        }));
+        out
+    };
+    let workload: Vec<(Histogram, Vec<u8>)> = (0..8u64)
+        .map(|i| {
+            let n = [2usize, 5, 16, 48, 64, 100, 200, 256][i as usize];
+            let msg = payload(n, i);
+            (Histogram::of_payload(n, &msg).expect("valid"), msg)
+        })
+        .collect();
+
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 150;
+
+    // Part 1 — fleet scaling.
+    for replicas in [1usize, 2, 3] {
+        let servers: Vec<Server> = (0..replicas)
+            .map(|_| {
+                Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").expect("bind")
+            })
+            .collect();
+        let gw = Arc::new(Gateway::start(GatewayConfig::new(
+            servers.iter().map(|s| s.addr()).collect(),
+        )));
+        for (h, p) in &workload {
+            gw.encode(h, p).expect("warm");
+        }
+        let t0 = Instant::now();
+        std::thread::scope(|s| {
+            for c in 0..CLIENTS {
+                let gw = Arc::clone(&gw);
+                let workload = &workload;
+                s.spawn(move || {
+                    for r in 0..PER_CLIENT {
+                        let (h, p) = &workload[(c + r) % workload.len()];
+                        gw.encode(h, p).expect("encode");
+                    }
+                });
+            }
+        });
+        let elapsed_ms = ms(t0);
+        let snap = gw.snapshot();
+        let (constructions, cache_hits) = servers.iter().fold((0u64, 0u64), |acc, s| {
+            let m = s.service().metrics();
+            (acc.0 + m.constructions, acc.1 + m.cache_hits)
+        });
+        let requests = (CLIENTS * PER_CLIENT) as u64;
+        println!(
+            "{{\"experiment\":\"e15\",\"part\":\"scaling\",\"replicas\":{replicas},\
+             \"clients\":{CLIENTS},\"requests\":{requests},\
+             \"elapsed_ms\":{elapsed_ms:.2},\"throughput_rps\":{:.0},\
+             \"hedges_issued\":{},\"retries\":{},\"constructions\":{constructions},\
+             \"cache_hits\":{cache_hits}}}",
+            requests as f64 / (elapsed_ms / 1e3),
+            snap.hedges_issued,
+            snap.retries,
+        );
+        match Arc::try_unwrap(gw) {
+            Ok(gw) => gw.shutdown(),
+            Err(_) => unreachable!("clients joined"),
+        }
+        for s in servers {
+            s.shutdown().expect("shutdown");
+        }
+    }
+
+    // Part 2 — kill one of three replicas mid-run.
+    let mut servers: Vec<Option<Server>> = (0..3)
+        .map(|_| {
+            Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0")
+                .map(Some)
+                .expect("bind")
+        })
+        .collect();
+    let mut cfg = GatewayConfig::new(servers.iter().map(|s| s.as_ref().unwrap().addr()).collect());
+    cfg.probe_interval = Duration::from_millis(25);
+    let gw = Arc::new(Gateway::start(cfg));
+    for (h, p) in &workload {
+        gw.encode(h, p).expect("warm");
+    }
+    let ok = AtomicU64::new(0);
+    let shed = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let gw = Arc::clone(&gw);
+            let workload = &workload;
+            let (ok, shed) = (&ok, &shed);
+            s.spawn(move || {
+                for r in 0..PER_CLIENT {
+                    std::thread::sleep(Duration::from_millis(2));
+                    let (h, p) = &workload[(c + r) % workload.len()];
+                    match gw.encode(h, p) {
+                        Ok(_) => ok.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => shed.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            });
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        servers[1]
+            .take()
+            .expect("present")
+            .shutdown()
+            .expect("kill replica 1");
+    });
+    let elapsed_ms = ms(t0);
+    let snap = gw.snapshot();
+    let (ok, shed) = (ok.load(Ordering::Relaxed), shed.load(Ordering::Relaxed));
+    println!(
+        "{{\"experiment\":\"e15\",\"part\":\"failover\",\"replicas\":3,\"killed\":1,\
+         \"clients\":{CLIENTS},\"ok\":{ok},\"shed\":{shed},\
+         \"success_pct\":{:.2},\"elapsed_ms\":{elapsed_ms:.2},\
+         \"retries\":{},\"failovers\":{},\"hedges_issued\":{},\"hedges_won\":{},\
+         \"breaker_opened\":{}}}",
+        ok as f64 * 100.0 / (ok + shed).max(1) as f64,
+        snap.retries,
+        snap.failovers,
+        snap.hedges_issued,
+        snap.hedges_won,
+        snap.replicas[1].breaker_opened,
+    );
+    match Arc::try_unwrap(gw) {
+        Ok(gw) => gw.shutdown(),
+        Err(_) => unreachable!("clients joined"),
+    }
+    for s in servers.into_iter().flatten() {
+        s.shutdown().expect("shutdown");
     }
 }

@@ -1,0 +1,244 @@
+//! CI smoke test for the gateway: three replicas under concurrent
+//! load, one slowed to force hedging, one killed mid-run to force
+//! failover. Asserts ≥99% of requests succeed inside the deadline,
+//! every response is byte-identical to a direct single-service run,
+//! the router's metrics show the machinery actually engaged (retries,
+//! hedges, an opened breaker), and no threads leak.
+//!
+//! Exits non-zero with a message on stderr on any failure; the CI step
+//! wraps this in a timeout so a hung shutdown also fails.
+
+use partree_gateway::{Gateway, GatewayConfig};
+use partree_service::frame::{Histogram, Request, Response};
+use partree_service::net::Server;
+use partree_service::server::{Service, ServiceConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const REPLICAS: usize = 3;
+const CLIENTS: usize = 6;
+const REQUESTS_PER_CLIENT: usize = 80;
+const KILL_AFTER: Duration = Duration::from_millis(150);
+/// Pacing between a client's requests, so the load phase reliably spans
+/// the mid-run kill instead of finishing inside the pre-kill window.
+const PACE: Duration = Duration::from_millis(3);
+
+/// One pre-verified workload item: the request and the bytes a direct
+/// service produced for it.
+struct Expected {
+    hist: Histogram,
+    payload: Vec<u8>,
+    bit_len: u64,
+    data: Vec<u8>,
+}
+
+/// Deterministic pseudo-random payload over `n` symbols.
+fn payload(n: usize, seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % n as u64) as u8
+        })
+        .collect()
+}
+
+/// Builds the workload and answers every item on a direct (no-network,
+/// no-gateway) service, so load-phase responses can be compared
+/// byte-for-byte.
+fn build_expected() -> Result<Vec<Expected>, String> {
+    let direct = Service::start(ServiceConfig::default());
+    let mut out = Vec::new();
+    for i in 0..24u64 {
+        let n = [2usize, 5, 16, 64, 256][i as usize % 5];
+        // Lead with one of each symbol so every count is nonzero (the
+        // codec wants dense histograms), then append random bulk.
+        let mut msg: Vec<u8> = (0..n as u16).map(|s| s as u8).collect();
+        msg.extend(payload(n, i, 64 + (i as usize % 128)));
+        let hist =
+            Histogram::of_payload(n, &msg).map_err(|e| format!("workload {i}: {}", e.message))?;
+        match direct.submit(Request::Encode {
+            histogram: hist.clone(),
+            payload: msg.clone(),
+        }) {
+            Response::Encoded { bit_len, data } => out.push(Expected {
+                hist,
+                payload: msg,
+                bit_len,
+                data,
+            }),
+            other => return Err(format!("direct encode {i} failed: {other:?}")),
+        }
+    }
+    direct.shutdown();
+    Ok(out)
+}
+
+fn run() -> Result<(), String> {
+    let _ = partree_exec::global();
+    let threads_before = active_threads()?;
+    let t0 = std::time::Instant::now();
+    let mark = |phase: &str| eprintln!("gateway-smoke [{:>7.2?}] {phase}", t0.elapsed());
+
+    let expected = Arc::new(build_expected()?);
+    mark("workload pre-answered on a direct service");
+
+    let mut servers: Vec<Option<Server>> = (0..REPLICAS)
+        .map(|_| {
+            Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0")
+                .map(Some)
+                .map_err(|e| format!("bind: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let addrs = servers.iter().map(|s| s.as_ref().unwrap().addr()).collect();
+
+    let mut cfg = GatewayConfig::new(addrs);
+    cfg.deadline = Duration::from_secs(2);
+    cfg.probe_interval = Duration::from_millis(25);
+    cfg.breaker.open_cooldown = Duration::from_millis(200);
+    let gw = Arc::new(Gateway::start(cfg));
+
+    // Phase 1 — warm: every workload item once, so the codebook caches
+    // and the gateway's latency EWMA have data.
+    for (i, e) in expected.iter().enumerate() {
+        let (bits, data) = gw
+            .encode(&e.hist, &e.payload)
+            .map_err(|err| format!("warm {i}: {err}"))?;
+        if (bits, &data) != (e.bit_len, &e.data) {
+            return Err(format!("warm {i}: gateway bytes differ from direct run"));
+        }
+    }
+
+    mark("phase 1 (warm) done");
+
+    // Phase 2 — hedge: slow replica 2 past the adaptive threshold and
+    // push the workload through again; items homed there must be
+    // rescued by hedges, not by waiting.
+    servers[2].as_ref().unwrap().faults().set_delay_ms(150);
+    for (i, e) in expected.iter().enumerate() {
+        let (bits, data) = gw
+            .encode(&e.hist, &e.payload)
+            .map_err(|err| format!("hedge phase {i}: {err}"))?;
+        if (bits, &data) != (e.bit_len, &e.data) {
+            return Err(format!("hedge phase {i}: bytes differ from direct run"));
+        }
+    }
+    servers[2].as_ref().unwrap().faults().set_delay_ms(0);
+    mark("phase 2 (hedge) done");
+
+    // Phase 3 — failover under load: concurrent clients, replica 1
+    // killed mid-run.
+    let ok = Arc::new(AtomicU64::new(0));
+    let failed = Arc::new(AtomicU64::new(0));
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let gw = Arc::clone(&gw);
+            let expected = Arc::clone(&expected);
+            let ok = Arc::clone(&ok);
+            let failed = Arc::clone(&failed);
+            std::thread::spawn(move || -> Result<(), String> {
+                for r in 0..REQUESTS_PER_CLIENT {
+                    std::thread::sleep(PACE);
+                    let e = &expected[(c * 7 + r) % expected.len()];
+                    match gw.encode(&e.hist, &e.payload) {
+                        Ok((bits, data)) => {
+                            if (bits, &data) != (e.bit_len, &e.data) {
+                                return Err(format!(
+                                    "client {c} req {r}: bytes differ from direct run"
+                                ));
+                            }
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                Ok(())
+            })
+        })
+        .collect();
+
+    std::thread::sleep(KILL_AFTER);
+    let killed = servers[1].take().unwrap();
+    killed
+        .shutdown()
+        .map_err(|e| format!("kill replica 1: {e}"))?;
+    mark("replica 1 killed");
+
+    for w in workers {
+        w.join().map_err(|_| "client thread panicked")??;
+    }
+    mark("phase 3 (failover load) done");
+
+    let ok = ok.load(Ordering::Relaxed);
+    let failed = failed.load(Ordering::Relaxed);
+    let total = (CLIENTS * REQUESTS_PER_CLIENT) as u64;
+    if ok + failed != total {
+        return Err(format!("accounting: {ok} + {failed} != {total}"));
+    }
+    if failed * 100 > total {
+        return Err(format!(
+            "failover success rate below 99%: {ok}/{total} succeeded"
+        ));
+    }
+
+    let snap = gw.snapshot();
+    if snap.retries == 0 {
+        return Err(format!("killed replica produced no retries: {snap:?}"));
+    }
+    if snap.hedges_issued == 0 || snap.hedges_won == 0 {
+        return Err(format!(
+            "slow replica produced no winning hedges: issued {}, won {}",
+            snap.hedges_issued, snap.hedges_won
+        ));
+    }
+    if snap.replicas[1].breaker_opened == 0 {
+        return Err(format!(
+            "breaker never opened on the killed replica: {snap:?}"
+        ));
+    }
+
+    let gw = Arc::try_unwrap(gw).map_err(|_| "gateway still shared after join")?;
+    gw.shutdown();
+    for s in servers.into_iter().flatten() {
+        s.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    }
+    mark("gateway and surviving replicas shut down");
+
+    for _ in 0..50 {
+        if active_threads()? <= threads_before {
+            println!(
+                "gateway-smoke OK: {ok}/{total} under-load roundtrips bit-identical \
+                 ({failed} shed), retries {}, hedges {}/{}, replica-1 breaker opened {}x",
+                snap.retries, snap.hedges_won, snap.hedges_issued, snap.replicas[1].breaker_opened
+            );
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    Err(format!(
+        "thread leak: {} threads before, {} after shutdown",
+        threads_before,
+        active_threads()?
+    ))
+}
+
+/// Counts this process's live threads via procfs (Linux CI).
+fn active_threads() -> Result<usize, String> {
+    match std::fs::read_dir("/proc/self/task") {
+        Ok(entries) => Ok(entries.count()),
+        // Not on Linux: fall back to "no leak detected".
+        Err(_) => Ok(usize::MAX),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("gateway-smoke FAILED: {e}");
+        std::process::exit(1);
+    }
+}

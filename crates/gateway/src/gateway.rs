@@ -1,0 +1,880 @@
+//! The router itself: deadline-budgeted attempts over a rendezvous
+//! preference order, with bounded retries, one hedge, and health-gated
+//! replica selection.
+//!
+//! ## Attempt lifecycle
+//!
+//! Each codec request walks its key's preference order. Attempts run on
+//! their own thread (the blocking client pins one request to one
+//! connection) and report back over a channel; the router's event loop
+//! decides what each outcome means:
+//!
+//! | outcome                         | class     | breaker        |
+//! |---------------------------------|-----------|----------------|
+//! | `Encoded`/`Decoded`/`Stats`     | terminal  | success        |
+//! | `Error` (malformed, bad symbol…)| terminal  | success        |
+//! | `Busy`                          | retryable | success        |
+//! | `Timeout` (server-side)         | retryable | success        |
+//! | `Error(ShuttingDown)`           | retryable | **failure**    |
+//! | transport `io::Error`           | retryable | **failure**    |
+//!
+//! The split in the last column is deliberate: `Busy`/`Timeout` prove
+//! the replica is alive (it parsed the frame and answered), so they
+//! must not open the breaker — only liveness failures do.
+//!
+//! ## Hedging
+//!
+//! If the first attempt has not answered after an adaptive threshold —
+//! `max(hedge_after_min, 3 × EWMA of successful attempt latency)`, or
+//! `deadline / 4` before any data exists — one hedge is launched at the
+//! next replica in the preference order and the first response wins.
+//! The loser's thread finishes on its own, recording its replica's
+//! metrics and returning its connection itself, because the event loop
+//! may already have returned to the caller.
+//!
+//! ## Determinism
+//!
+//! The gateway adds no compute: a response that arrives is byte-for-byte
+//! what the serving replica produced, and every replica produces
+//! identical bytes for identical requests (the service's determinism
+//! contract). Retries, failover, and hedging therefore never change
+//! *what* is returned, only *which* replica returns it.
+
+use crate::breaker::{Breaker, BreakerConfig};
+use crate::metrics::{Metrics, ReplicaMetrics, ReplicaSnapshot};
+use crate::pool::ConnPool;
+use crate::route::preference_order;
+use partree_service::frame::{ErrorCode, Histogram, Request, Response};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Router tunables. `new` fills in defaults sized for loopback
+/// replicas; every field is public for tests and experiments.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Replica addresses; index in this list is the replica id.
+    pub addrs: Vec<SocketAddr>,
+    /// Total per-request budget: attempts, backoff, and hedging all
+    /// spend from it.
+    pub deadline: Duration,
+    /// Extra attempts allowed after the first (hedges not counted).
+    pub max_retries: u32,
+    /// First backoff step; doubles per retry up to `backoff_cap`.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Floor for the adaptive hedge threshold.
+    pub hedge_after_min: Duration,
+    /// Idle connections kept per replica.
+    pub pool_cap: usize,
+    /// TCP connect budget per attempt (also the probe io timeout).
+    pub connect_timeout: Duration,
+    /// Per-replica breaker tunables.
+    pub breaker: BreakerConfig,
+    /// Health-probe period.
+    pub probe_interval: Duration,
+}
+
+impl GatewayConfig {
+    /// Defaults for a loopback fleet at `addrs`.
+    pub fn new(addrs: Vec<SocketAddr>) -> GatewayConfig {
+        GatewayConfig {
+            addrs,
+            deadline: Duration::from_secs(2),
+            max_retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+            hedge_after_min: Duration::from_millis(1),
+            pool_cap: 8,
+            connect_timeout: Duration::from_millis(500),
+            breaker: BreakerConfig::default(),
+            probe_interval: Duration::from_millis(100),
+        }
+    }
+}
+
+/// One replica as the gateway sees it.
+#[derive(Debug)]
+struct Replica {
+    id: usize,
+    addr: SocketAddr,
+    pool: ConnPool,
+    breaker: Breaker,
+    metrics: ReplicaMetrics,
+    /// Last drain bit reported by a probe or inferred from `Busy`-free
+    /// traffic; draining replicas are skipped while alternatives exist.
+    draining: AtomicBool,
+}
+
+impl Replica {
+    /// Eligible for new attempts: breaker allows (this call performs
+    /// the open → half-open transition when the cooldown has elapsed)
+    /// and the replica is not draining.
+    fn healthy(&self) -> bool {
+        !self.draining.load(Ordering::Relaxed) && self.breaker.allow()
+    }
+}
+
+struct Inner {
+    cfg: GatewayConfig,
+    replicas: Vec<Replica>,
+    metrics: Metrics,
+    /// EWMA of successful data-attempt latency, µs (0 = no data yet).
+    ewma_us: AtomicU64,
+    /// Set by [`Gateway::drain`]: new requests are shed as `Busy`.
+    draining: AtomicBool,
+    /// Set by shutdown: stops the prober thread.
+    stopped: AtomicBool,
+    /// Codec requests currently inside [`Gateway::request`].
+    inflight: AtomicU64,
+    /// Attempt threads currently alive (including hedge losers).
+    attempt_threads: AtomicU64,
+    /// Jitter state for backoff.
+    jitter_seed: AtomicU64,
+}
+
+impl Inner {
+    fn next_jitter(&self) -> u64 {
+        let mut x = self.jitter_seed.load(Ordering::Relaxed);
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter_seed.store(x, Ordering::Relaxed);
+        x
+    }
+
+    /// `base·2^(retry-1)` capped, jittered into `[½, 1]×`, clamped to
+    /// the remaining budget.
+    fn backoff(&self, retry: u32, remaining: Duration) -> Duration {
+        let exp = self
+            .cfg
+            .backoff_base
+            .saturating_mul(1u32 << (retry.saturating_sub(1)).min(16))
+            .min(self.cfg.backoff_cap);
+        let jitter = self.next_jitter() % 1024;
+        let d = exp / 2 + exp.mul_f64(jitter as f64 / 2048.0);
+        d.min(remaining)
+    }
+
+    fn observe_latency(&self, us: u64) {
+        let old = self.ewma_us.load(Ordering::Relaxed);
+        let new = if old == 0 { us } else { old - old / 8 + us / 8 };
+        self.ewma_us.store(new.max(1), Ordering::Relaxed);
+    }
+
+    fn hedge_threshold(&self) -> Duration {
+        let ewma = self.ewma_us.load(Ordering::Relaxed);
+        if ewma == 0 {
+            self.cfg.deadline / 4
+        } else {
+            Duration::from_micros(ewma.saturating_mul(3)).max(self.cfg.hedge_after_min)
+        }
+    }
+}
+
+/// What one attempt thread reports back to the event loop.
+struct AttemptReport {
+    replica: usize,
+    hedge: bool,
+    outcome: io::Result<Response>,
+}
+
+/// How the event loop treats a response.
+#[derive(PartialEq, Eq)]
+enum Class {
+    Terminal,
+    Retryable,
+}
+
+fn classify(resp: &Response) -> Class {
+    match resp {
+        Response::Busy | Response::Timeout => Class::Retryable,
+        Response::Error {
+            code: ErrorCode::ShuttingDown,
+            ..
+        } => Class::Retryable,
+        _ => Class::Terminal,
+    }
+}
+
+/// The sharded replica router. Cheap to share (`request` takes `&self`)
+/// — open one per fleet, not one per thread.
+pub struct Gateway {
+    inner: Arc<Inner>,
+    prober: Option<thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Gateway {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gateway")
+            .field("replicas", &self.inner.replicas.len())
+            .finish()
+    }
+}
+
+impl Gateway {
+    /// Builds the router and starts its background health prober.
+    /// Connections are dialed lazily; replicas may come up after this
+    /// call (their breakers simply stay open until a probe succeeds).
+    pub fn start(cfg: GatewayConfig) -> Gateway {
+        assert!(!cfg.addrs.is_empty(), "gateway needs at least one replica");
+        let replicas = cfg
+            .addrs
+            .iter()
+            .enumerate()
+            .map(|(id, &addr)| Replica {
+                id,
+                addr,
+                pool: ConnPool::new(addr, cfg.pool_cap, cfg.connect_timeout),
+                breaker: Breaker::new(cfg.breaker),
+                metrics: ReplicaMetrics::default(),
+                draining: AtomicBool::new(false),
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            replicas,
+            metrics: Metrics::default(),
+            ewma_us: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            inflight: AtomicU64::new(0),
+            attempt_threads: AtomicU64::new(0),
+            jitter_seed: AtomicU64::new(0x853c_49e6_748f_ea9b),
+            cfg,
+        });
+        let prober = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("gateway-prober".into())
+                .spawn(move || prober_loop(&inner))
+                .expect("spawn prober")
+        };
+        Gateway {
+            inner,
+            prober: Some(prober),
+        }
+    }
+
+    /// Routes one request. Control requests (`Stats`, `Ping`, `Drain`)
+    /// are answered by the gateway itself; `Encode`/`Decode` go through
+    /// the full retry/hedge machinery. `Err` is transport-level only —
+    /// server-side failures arrive as `Response::Error`/`Busy`/`Timeout`
+    /// exactly as a direct [`partree_service::client::Client`] would
+    /// surface them.
+    pub fn request(&self, request: &Request) -> io::Result<Response> {
+        match request {
+            Request::Stats => Ok(Response::Stats {
+                json: self.stats_json(),
+            }),
+            Request::Ping => Ok(Response::Pong {
+                draining: self.inner.draining.load(Ordering::Relaxed),
+            }),
+            Request::Drain => {
+                self.drain();
+                Ok(Response::DrainOk)
+            }
+            Request::Encode { histogram, .. } | Request::Decode { histogram, .. } => {
+                self.route_codec(request, histogram.hash64())
+            }
+        }
+    }
+
+    /// Encodes `payload` under `histogram`'s code via the fleet;
+    /// mirrors [`partree_service::client::Client::encode`].
+    pub fn encode(&self, histogram: &Histogram, payload: &[u8]) -> io::Result<(u64, Vec<u8>)> {
+        let resp = self.request(&Request::Encode {
+            histogram: histogram.clone(),
+            payload: payload.to_vec(),
+        })?;
+        match resp {
+            Response::Encoded { bit_len, data } => Ok((bit_len, data)),
+            other => Err(io::Error::other(format!("expected Encoded, got {other:?}"))),
+        }
+    }
+
+    /// Decodes `bit_len` bits of `data` under `histogram`'s code via
+    /// the fleet; mirrors [`partree_service::client::Client::decode`].
+    pub fn decode(&self, histogram: &Histogram, bit_len: u64, data: &[u8]) -> io::Result<Vec<u8>> {
+        let resp = self.request(&Request::Decode {
+            histogram: histogram.clone(),
+            bit_len,
+            data: data.to_vec(),
+        })?;
+        match resp {
+            Response::Decoded { payload } => Ok(payload),
+            other => Err(io::Error::other(format!("expected Decoded, got {other:?}"))),
+        }
+    }
+
+    /// Stops accepting new requests (they are shed as `Busy`);
+    /// in-flight requests complete. Irreversible.
+    pub fn drain(&self) {
+        self.inner.draining.store(true, Ordering::Relaxed);
+    }
+
+    /// Drains, waits for in-flight requests and attempt threads (hedge
+    /// losers included) to finish, stops the prober, and closes every
+    /// pooled connection. Waits at most `deadline + 1s` past the drain
+    /// before giving up on stragglers.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.drain();
+        let give_up = Instant::now() + self.inner.cfg.deadline + Duration::from_secs(1);
+        while (self.inner.inflight.load(Ordering::Relaxed) > 0
+            || self.inner.attempt_threads.load(Ordering::Relaxed) > 0)
+            && Instant::now() < give_up
+        {
+            thread::sleep(Duration::from_millis(1));
+        }
+        self.inner.stopped.store(true, Ordering::Relaxed);
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
+        for r in &self.inner.replicas {
+            r.pool.clear();
+        }
+    }
+
+    /// Current counters, breaker states, and latency histograms.
+    pub fn snapshot(&self) -> crate::metrics::GatewaySnapshot {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let rows = self
+            .inner
+            .replicas
+            .iter()
+            .map(|r| ReplicaSnapshot {
+                id: r.id,
+                addr: r.addr.to_string(),
+                attempts: get(&r.metrics.attempts),
+                successes: get(&r.metrics.successes),
+                transport_errors: get(&r.metrics.transport_errors),
+                busy: get(&r.metrics.busy),
+                pings_ok: get(&r.metrics.pings_ok),
+                pings_failed: get(&r.metrics.pings_failed),
+                latency: r
+                    .metrics
+                    .latency
+                    .iter()
+                    .map(|b| b.load(Ordering::Relaxed))
+                    .collect(),
+                latency_us_total: get(&r.metrics.latency_us_total),
+                latency_us_max: get(&r.metrics.latency_us_max),
+                breaker: r.breaker.state(),
+                breaker_opened: r.breaker.opened_total(),
+                draining: r.draining.load(Ordering::Relaxed),
+            })
+            .collect();
+        self.inner.metrics.snapshot(rows)
+    }
+
+    /// [`Gateway::snapshot`] as JSON (schema in `EXPERIMENTS.md` § E15).
+    pub fn stats_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+
+    /// Number of replicas in the fleet.
+    pub fn replica_count(&self) -> usize {
+        self.inner.replicas.len()
+    }
+
+    /// The routing event loop for one codec request.
+    fn route_codec(&self, request: &Request, key: u64) -> io::Result<Response> {
+        let inner = &self.inner;
+        if inner.draining.load(Ordering::Relaxed) {
+            inner
+                .metrics
+                .rejected_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            return Ok(Response::Busy);
+        }
+        inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        inner.inflight.fetch_add(1, Ordering::Relaxed);
+        let result = self.route_codec_inner(request, key);
+        inner.inflight.fetch_sub(1, Ordering::Relaxed);
+        result
+    }
+
+    fn route_codec_inner(&self, request: &Request, key: u64) -> io::Result<Response> {
+        let inner = &self.inner;
+        let n = inner.replicas.len();
+        let start = Instant::now();
+        let deadline = start + inner.cfg.deadline;
+        let order = preference_order(key, n);
+        let home = order[0];
+        let hedge_at = start + inner.hedge_threshold();
+        let request = Arc::new(request.clone());
+        let (tx, rx) = mpsc::channel::<AttemptReport>();
+
+        let mut rank = 0usize; // next position in the routing sequence
+        let mut in_flight: Vec<usize> = Vec::with_capacity(2);
+        let mut retries_used = 0u32;
+        let mut hedged = false;
+
+        let first = self.pick(&order, &mut rank, &in_flight);
+        self.launch(first, &request, false, deadline, &tx);
+        in_flight.push(first);
+
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                inner
+                    .metrics
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "gateway deadline of {:?} exhausted after {} attempt(s)",
+                        inner.cfg.deadline,
+                        in_flight.len() as u32 + retries_used
+                    ),
+                ));
+            }
+            // Wake at the hedge point while the hedge is still armed,
+            // otherwise at the deadline.
+            let wait = if !hedged && !in_flight.is_empty() && hedge_at > now {
+                (hedge_at - now).min(deadline - now)
+            } else {
+                deadline - now
+            };
+            match rx.recv_timeout(wait) {
+                Ok(report) => {
+                    in_flight.retain(|&r| r != report.replica);
+                    match report.outcome {
+                        Ok(resp) if classify(&resp) == Class::Terminal => {
+                            inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                            if report.replica != home {
+                                inner.metrics.failovers.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if report.hedge {
+                                inner.metrics.hedges_won.fetch_add(1, Ordering::Relaxed);
+                            }
+                            return Ok(resp);
+                        }
+                        outcome => {
+                            // Retryable: Busy / Timeout / ShuttingDown /
+                            // transport error.
+                            if retries_used < inner.cfg.max_retries {
+                                retries_used += 1;
+                                inner.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                                // Back off only when nothing is in
+                                // flight — otherwise the outstanding
+                                // attempt *is* the wait.
+                                if in_flight.is_empty() {
+                                    let pause = inner.backoff(
+                                        retries_used,
+                                        deadline.saturating_duration_since(Instant::now()),
+                                    );
+                                    if !pause.is_zero() {
+                                        thread::sleep(pause);
+                                    }
+                                }
+                                let next = self.pick(&order, &mut rank, &in_flight);
+                                self.launch(next, &request, false, deadline, &tx);
+                                in_flight.push(next);
+                            } else if in_flight.is_empty() {
+                                // Budget exhausted: surface the failure
+                                // as a direct client would.
+                                return outcome;
+                            }
+                            // Budget exhausted but an attempt is still
+                            // out — keep waiting for it.
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if !hedged && !in_flight.is_empty() && Instant::now() >= hedge_at {
+                        hedged = true;
+                        inner.metrics.hedges_issued.fetch_add(1, Ordering::Relaxed);
+                        let next = self.pick(&order, &mut rank, &in_flight);
+                        self.launch(next, &request, true, deadline, &tx);
+                        in_flight.push(next);
+                    }
+                    // Deadline handling happens at the top of the loop.
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("event loop holds a sender")
+                }
+            }
+        }
+    }
+
+    /// Next attempt target: walk the preference order (cyclically from
+    /// `rank`), preferring healthy replicas not already in flight; if
+    /// none qualifies, fall back to any not-in-flight replica (counted
+    /// as `no_healthy_replica`), and as a last resort reuse the order
+    /// head.
+    fn pick(&self, order: &[usize], rank: &mut usize, in_flight: &[usize]) -> usize {
+        let inner = &self.inner;
+        let n = order.len();
+        for _ in 0..n {
+            let r = order[*rank % n];
+            *rank += 1;
+            if !in_flight.contains(&r) && inner.replicas[r].healthy() {
+                return r;
+            }
+        }
+        inner
+            .metrics
+            .no_healthy_replica
+            .fetch_add(1, Ordering::Relaxed);
+        for _ in 0..n {
+            let r = order[*rank % n];
+            *rank += 1;
+            if !in_flight.contains(&r) {
+                return r;
+            }
+        }
+        let r = order[*rank % n];
+        *rank += 1;
+        r
+    }
+
+    /// Spawns one attempt thread. The thread owns the whole attempt —
+    /// checkout, request, metrics, breaker, check-in — so a hedge loser
+    /// finishes correctly even after the event loop has returned.
+    fn launch(
+        &self,
+        replica: usize,
+        request: &Arc<Request>,
+        hedge: bool,
+        deadline: Instant,
+        tx: &mpsc::Sender<AttemptReport>,
+    ) {
+        let thread_inner = Arc::clone(&self.inner);
+        let request = Arc::clone(request);
+        let thread_tx = tx.clone();
+        self.inner.attempt_threads.fetch_add(1, Ordering::Relaxed);
+        let spawned = thread::Builder::new()
+            .name(format!("gateway-attempt-{replica}"))
+            .spawn(move || {
+                let outcome = run_attempt(&thread_inner, replica, &request, deadline);
+                let _ = thread_tx.send(AttemptReport {
+                    replica,
+                    hedge,
+                    outcome,
+                });
+                thread_inner.attempt_threads.fetch_sub(1, Ordering::Relaxed);
+            });
+        if let Err(e) = spawned {
+            self.inner.attempt_threads.fetch_sub(1, Ordering::Relaxed);
+            let _ = tx.send(AttemptReport {
+                replica,
+                hedge,
+                outcome: Err(e),
+            });
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        if self.prober.is_some() {
+            self.shutdown_in_place();
+        }
+    }
+}
+
+/// One attempt, end to end, on the calling thread.
+fn run_attempt(
+    inner: &Inner,
+    replica: usize,
+    request: &Request,
+    deadline: Instant,
+) -> io::Result<Response> {
+    let r = &inner.replicas[replica];
+    r.metrics.attempts.fetch_add(1, Ordering::Relaxed);
+    let t0 = Instant::now();
+    let budget = deadline.saturating_duration_since(t0);
+    let result = (|| {
+        let mut conn = r
+            .pool
+            .checkout(Some(budget.max(Duration::from_millis(1))))?;
+        let resp = conn.request(request)?;
+        // Only a cleanly-answered connection is safe to reuse.
+        r.pool.checkin(conn);
+        Ok(resp)
+    })();
+    match &result {
+        Ok(resp) => match resp {
+            Response::Busy | Response::Timeout => {
+                r.metrics.busy.fetch_add(1, Ordering::Relaxed);
+                r.breaker.record_success();
+            }
+            Response::Error {
+                code: ErrorCode::ShuttingDown,
+                ..
+            } => {
+                r.metrics.transport_errors.fetch_add(1, Ordering::Relaxed);
+                r.breaker.record_failure();
+            }
+            _ => {
+                let us = t0.elapsed().as_micros() as u64;
+                r.metrics.successes.fetch_add(1, Ordering::Relaxed);
+                r.metrics.record_latency(us);
+                inner.observe_latency(us);
+                r.breaker.record_success();
+            }
+        },
+        Err(_) => {
+            r.metrics.transport_errors.fetch_add(1, Ordering::Relaxed);
+            r.breaker.record_failure();
+        }
+    }
+    result
+}
+
+/// Background health prober: pings every replica each period, feeding
+/// the breakers and the drain flags. Probes bypass `Breaker::allow`,
+/// which is how an open breaker learns its replica recovered — one
+/// good ping re-closes it without waiting for half-open data traffic.
+fn prober_loop(inner: &Arc<Inner>) {
+    let io_timeout = Some(inner.cfg.connect_timeout);
+    while !inner.stopped.load(Ordering::Relaxed) {
+        for r in &inner.replicas {
+            if inner.stopped.load(Ordering::Relaxed) {
+                return;
+            }
+            let outcome = r.pool.checkout(io_timeout).and_then(|mut conn| {
+                let draining = conn.ping()?;
+                r.pool.checkin(conn);
+                Ok(draining)
+            });
+            match outcome {
+                Ok(draining) => {
+                    r.metrics.pings_ok.fetch_add(1, Ordering::Relaxed);
+                    r.draining.store(draining, Ordering::Relaxed);
+                    r.breaker.record_success();
+                }
+                Err(_) => {
+                    r.metrics.pings_failed.fetch_add(1, Ordering::Relaxed);
+                    r.breaker.record_failure();
+                    // Idle connections to a failing replica are suspect.
+                    r.pool.clear();
+                }
+            }
+        }
+        // Sleep in short slices so shutdown is prompt.
+        let until = Instant::now() + inner.cfg.probe_interval;
+        while Instant::now() < until && !inner.stopped.load(Ordering::Relaxed) {
+            thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partree_service::net::Server;
+    use partree_service::server::{Service, ServiceConfig};
+
+    fn fleet(n: usize) -> (Vec<Server>, Vec<SocketAddr>) {
+        let servers: Vec<Server> = (0..n)
+            .map(|_| Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap())
+            .collect();
+        let addrs = servers.iter().map(|s| s.addr()).collect();
+        (servers, addrs)
+    }
+
+    fn tiny_cfg(addrs: Vec<SocketAddr>) -> GatewayConfig {
+        let mut cfg = GatewayConfig::new(addrs);
+        cfg.deadline = Duration::from_secs(2);
+        cfg.backoff_base = Duration::from_millis(2);
+        cfg.probe_interval = Duration::from_millis(20);
+        cfg.breaker.open_cooldown = Duration::from_millis(100);
+        cfg
+    }
+
+    #[test]
+    fn roundtrips_and_matches_direct_service() {
+        let (servers, addrs) = fleet(3);
+        let gw = Gateway::start(tiny_cfg(addrs));
+        let direct = Service::start(ServiceConfig::default());
+
+        for seed in 0u64..20 {
+            let payload: Vec<u8> = (0..512).map(|i| ((seed * 31 + i) % 7) as u8).collect();
+            let hist = Histogram::of_payload(7, &payload).unwrap();
+            let (bits, data) = gw.encode(&hist, &payload).unwrap();
+            let via_direct = direct.submit(Request::Encode {
+                histogram: hist.clone(),
+                payload: payload.clone(),
+            });
+            match via_direct {
+                Response::Encoded {
+                    bit_len,
+                    data: d_data,
+                } => {
+                    assert_eq!((bits, &data), (bit_len, &d_data), "gateway == direct");
+                }
+                other => panic!("direct encode failed: {other:?}"),
+            }
+            let back = gw.decode(&hist, bits, &data).unwrap();
+            assert_eq!(back, payload);
+        }
+
+        let snap = gw.snapshot();
+        assert_eq!(snap.requests, 40);
+        assert_eq!(snap.completed, 40);
+        assert_eq!(snap.deadline_exceeded, 0);
+
+        direct.shutdown();
+        gw.shutdown();
+        for s in servers {
+            s.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn same_histogram_routes_to_the_same_replica() {
+        let (servers, addrs) = fleet(4);
+        let gw = Gateway::start(tiny_cfg(addrs));
+        let payload: Vec<u8> = (0..256).map(|i| (i % 5) as u8).collect();
+        let hist = Histogram::of_payload(5, &payload).unwrap();
+        for _ in 0..10 {
+            gw.encode(&hist, &payload).unwrap();
+        }
+        let snap = gw.snapshot();
+        let served: Vec<u64> = snap.replicas.iter().map(|r| r.successes).collect();
+        assert_eq!(
+            served.iter().sum::<u64>(),
+            10,
+            "all attempts succeeded: {served:?}"
+        );
+        assert_eq!(
+            served.iter().filter(|&&c| c > 0).count(),
+            1,
+            "one home shard served everything: {served:?}"
+        );
+        gw.shutdown();
+        for s in servers {
+            s.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn dead_replica_fails_over_and_opens_its_breaker() {
+        let (mut servers, addrs) = fleet(2);
+        let mut cfg = tiny_cfg(addrs);
+        // Keep the prober quiet so the breaker is driven by data
+        // traffic: the first attempt must actually hit the dead home
+        // (recording a retry) rather than be routed around it by a
+        // probe that already opened the breaker.
+        cfg.probe_interval = Duration::from_secs(30);
+        cfg.breaker.failure_threshold = 2;
+        let gw = Gateway::start(cfg);
+
+        // Find a histogram homed on replica 0, then kill replica 0.
+        let mut homed = None;
+        for n in 2u32..40 {
+            let payload: Vec<u8> = (0..128).map(|i| (i % n as usize) as u8).collect();
+            let hist = Histogram::of_payload(n as usize, &payload).unwrap();
+            if preference_order(hist.hash64(), 2)[0] == 0 {
+                homed = Some((hist, payload));
+                break;
+            }
+        }
+        let (hist, payload) = homed.expect("some histogram homes on replica 0");
+        servers.remove(0).shutdown().unwrap();
+
+        let (bits, data) = gw.encode(&hist, &payload).unwrap();
+        let back = gw.decode(&hist, bits, &data).unwrap();
+        assert_eq!(back, payload);
+
+        let snap = gw.snapshot();
+        assert!(snap.failovers >= 1, "winner was not the home: {snap:?}");
+        assert!(snap.retries >= 1, "dead home forced a retry: {snap:?}");
+        assert!(
+            snap.replicas[0].breaker_opened >= 1,
+            "breaker opened on the dead replica: {snap:?}"
+        );
+        gw.shutdown();
+        for s in servers {
+            s.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn slow_replica_is_hedged_and_the_hedge_wins() {
+        let (servers, addrs) = fleet(2);
+        let mut cfg = tiny_cfg(addrs);
+        cfg.hedge_after_min = Duration::from_millis(1);
+        let gw = Gateway::start(cfg);
+
+        // Warm the EWMA so the hedge threshold is data-driven and small.
+        let warm: Vec<u8> = (0..64).map(|i| (i % 3) as u8).collect();
+        let warm_hist = Histogram::of_payload(3, &warm).unwrap();
+        for _ in 0..5 {
+            gw.encode(&warm_hist, &warm).unwrap();
+        }
+
+        // Find a histogram homed on replica 0 and make replica 0 slow.
+        let mut homed = None;
+        for n in 2u32..40 {
+            let payload: Vec<u8> = (0..128).map(|i| (i % n as usize) as u8).collect();
+            let hist = Histogram::of_payload(n as usize, &payload).unwrap();
+            if preference_order(hist.hash64(), 2)[0] == 0 {
+                homed = Some((hist, payload));
+                break;
+            }
+        }
+        let (hist, payload) = homed.unwrap();
+        servers[0].faults().set_delay_ms(300);
+
+        let t0 = Instant::now();
+        let (bits, data) = gw.encode(&hist, &payload).unwrap();
+        assert!(
+            t0.elapsed() < Duration::from_millis(250),
+            "hedge answered before the slow home: {:?}",
+            t0.elapsed()
+        );
+        let back = gw.decode(&hist, bits, &data).unwrap();
+        assert_eq!(back, payload);
+
+        let snap = gw.snapshot();
+        assert!(snap.hedges_issued >= 1, "hedge launched: {snap:?}");
+        assert!(snap.hedges_won >= 1, "hedge won: {snap:?}");
+        gw.shutdown();
+        for s in servers {
+            s.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn draining_gateway_sheds_and_answers_control_plane() {
+        let (servers, addrs) = fleet(1);
+        let gw = Gateway::start(tiny_cfg(addrs));
+        match gw.request(&Request::Ping).unwrap() {
+            Response::Pong { draining } => assert!(!draining),
+            other => panic!("expected Pong, got {other:?}"),
+        }
+        assert_eq!(gw.request(&Request::Drain).unwrap(), Response::DrainOk);
+        match gw.request(&Request::Ping).unwrap() {
+            Response::Pong { draining } => assert!(draining),
+            other => panic!("expected Pong, got {other:?}"),
+        }
+        let payload = vec![0u8, 1, 0, 1];
+        let hist = Histogram::of_payload(2, &payload).unwrap();
+        assert_eq!(
+            gw.request(&Request::Encode {
+                histogram: hist,
+                payload,
+            })
+            .unwrap(),
+            Response::Busy,
+            "draining gateway sheds codec work"
+        );
+        let snap = gw.snapshot();
+        assert_eq!(snap.rejected_shutdown, 1);
+        gw.shutdown();
+        for s in servers {
+            s.shutdown().unwrap();
+        }
+    }
+}

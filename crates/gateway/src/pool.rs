@@ -1,0 +1,145 @@
+//! Per-replica connection pool for the blocking [`Client`].
+//!
+//! One `partree-service` connection carries one outstanding request, so
+//! router concurrency is connection concurrency; the pool amortizes the
+//! TCP + handshake cost across requests. The safety rule inherited from
+//! the client is load-bearing here: a connection that produced **any**
+//! error is poisoned (it may be mid-frame) and must be discarded, never
+//! checked back in — callers return connections only after a clean
+//! response.
+
+use partree_service::client::Client;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// A bounded stack of idle connections to one replica.
+#[derive(Debug)]
+pub struct ConnPool {
+    addr: SocketAddr,
+    idle: Mutex<Vec<Client>>,
+    cap: usize,
+    connect_timeout: Duration,
+    created: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl ConnPool {
+    /// An empty pool for `addr` holding at most `cap` idle connections.
+    pub fn new(addr: SocketAddr, cap: usize, connect_timeout: Duration) -> ConnPool {
+        ConnPool {
+            addr,
+            idle: Mutex::new(Vec::new()),
+            cap,
+            connect_timeout,
+            created: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// The replica this pool dials.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Pops an idle connection (rebinding its io timeout) or dials a
+    /// new one. LIFO reuse keeps the hottest connection hottest and
+    /// lets the idle tail age out of kernel buffers.
+    pub fn checkout(&self, io_timeout: Option<Duration>) -> io::Result<Client> {
+        let idle = self.idle.lock().expect("pool poisoned").pop();
+        if let Some(client) = idle {
+            // A dead socket rejects setsockopt; on error fall through
+            // and dial fresh rather than failing the checkout.
+            if client.set_io_timeout(io_timeout).is_ok() {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                return Ok(client);
+            }
+        }
+        let client = Client::connect_with(self.addr, self.connect_timeout, io_timeout)?;
+        self.created.fetch_add(1, Ordering::Relaxed);
+        Ok(client)
+    }
+
+    /// Returns a connection after a clean response. Over-cap
+    /// connections are dropped (closing the socket).
+    pub fn checkin(&self, client: Client) {
+        let mut g = self.idle.lock().expect("pool poisoned");
+        if g.len() < self.cap {
+            g.push(client);
+        }
+    }
+
+    /// Drops every idle connection (poisoned-replica reset / shutdown).
+    pub fn clear(&self) {
+        self.idle.lock().expect("pool poisoned").clear();
+    }
+
+    /// Idle connections right now.
+    pub fn idle_len(&self) -> usize {
+        self.idle.lock().expect("pool poisoned").len()
+    }
+
+    /// `(connections dialed, checkouts served from idle)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.created.load(Ordering::Relaxed),
+            self.reused.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partree_service::net::Server;
+    use partree_service::server::{Service, ServiceConfig};
+
+    #[test]
+    fn checkout_reuses_checked_in_connections() {
+        let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
+        let pool = ConnPool::new(server.addr(), 4, Duration::from_millis(500));
+        let mut c = pool.checkout(Some(Duration::from_secs(1))).unwrap();
+        assert!(!c.ping().unwrap());
+        pool.checkin(c);
+        assert_eq!(pool.idle_len(), 1);
+        let mut c = pool.checkout(Some(Duration::from_secs(1))).unwrap();
+        assert!(!c.ping().unwrap());
+        pool.checkin(c);
+        let (created, reused) = pool.counters();
+        assert_eq!((created, reused), (1, 1), "second checkout reused");
+        pool.clear();
+        assert_eq!(pool.idle_len(), 0);
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn cap_bounds_idle_connections() {
+        let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
+        let pool = ConnPool::new(server.addr(), 2, Duration::from_millis(500));
+        let conns: Vec<Client> = (0..4)
+            .map(|_| pool.checkout(Some(Duration::from_secs(1))).unwrap())
+            .collect();
+        for c in conns {
+            pool.checkin(c);
+        }
+        assert_eq!(pool.idle_len(), 2, "over-cap connections dropped");
+        pool.clear();
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn dead_replica_fails_checkout_within_the_connect_timeout() {
+        let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        server.shutdown().unwrap();
+        let pool = ConnPool::new(addr, 2, Duration::from_millis(300));
+        let t0 = std::time::Instant::now();
+        assert!(pool.checkout(Some(Duration::from_secs(1))).is_err());
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "connect did not hang"
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Rendezvous (highest-random-weight) hashing.
+//!
+//! Every request key — the FNV-1a hash of its weight histogram — gets a
+//! deterministic score against each replica; a key's *preference order*
+//! is the replicas sorted by descending score. The properties that make
+//! this the right shard function for a codebook-cache fleet:
+//!
+//! * **Cache affinity.** A histogram always lands on the same replica
+//!   (its rank-0 choice), so each replica's `CodebookCache` stays hot
+//!   for its slice of the alphabet space instead of every replica
+//!   caching everything.
+//! * **Minimal disruption.** When a replica dies, only the keys that
+//!   ranked it first move — and they move to their rank-1 choice, which
+//!   is exactly the replica hedges and retries were already warming.
+//!   Keys mapped to surviving replicas do not move at all (no global
+//!   reshuffle, unlike modular hashing).
+//! * **No coordination.** The order is a pure function of
+//!   `(key, replica count)`; every gateway instance computes the same
+//!   one without shared state.
+
+/// Deterministic per-`(key, replica)` score: a splitmix64 finalizer
+/// over the pair. The finalizer's avalanche property is what spreads
+/// consecutive replica indices into independent scores.
+fn score(key: u64, replica: u64) -> u64 {
+    let mut z = key ^ replica.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The full preference order for `key` over `n` replicas: index 0 is
+/// the home shard, index 1 the first failover/hedge target, and so on.
+/// Deterministic; ties (never observed under splitmix64, but possible
+/// in principle) break toward the lower replica index.
+pub fn preference_order(key: u64, n: usize) -> Vec<usize> {
+    let mut scored: Vec<(u64, usize)> = (0..n).map(|r| (score(key, r as u64), r)).collect();
+    // Descending score; `Reverse` on the index keeps ties stable-low.
+    scored.sort_unstable_by_key(|&(s, r)| (std::cmp::Reverse(s), r));
+    scored.into_iter().map(|(_, r)| r).collect()
+}
+
+/// The home shard alone (rank 0), when the caller does not need the
+/// whole order.
+pub fn home(key: u64, n: usize) -> usize {
+    (0..n)
+        .max_by_key(|&r| (score(key, r as u64), std::cmp::Reverse(r)))
+        .expect("at least one replica")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_deterministic_and_a_permutation() {
+        for key in [0u64, 1, 0xdead_beef, u64::MAX] {
+            let a = preference_order(key, 7);
+            let b = preference_order(key, 7);
+            assert_eq!(a, b);
+            let mut sorted = a.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..7).collect::<Vec<_>>());
+            assert_eq!(a[0], home(key, 7));
+        }
+    }
+
+    #[test]
+    fn keys_spread_roughly_uniformly() {
+        const KEYS: usize = 10_000;
+        const N: usize = 4;
+        let mut counts = [0usize; N];
+        for k in 0..KEYS {
+            counts[home(k as u64, N)] += 1;
+        }
+        for &c in &counts {
+            // Expected 2500 per shard; 3σ of a binomial(10⁴, ¼) is ~130.
+            assert!((2100..=2900).contains(&c), "shard imbalance: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn removing_a_replica_only_moves_its_own_keys() {
+        const KEYS: usize = 2_000;
+        const N: usize = 5;
+        for k in 0..KEYS {
+            let key = (k as u64).wrapping_mul(0x2545_f491_4f6c_dd1d);
+            let full = preference_order(key, N);
+            // Simulate replica `full[0]` dying: the surviving order is
+            // the full order with it filtered out — i.e. keys homed on
+            // a survivor keep their home, and keys homed on the dead
+            // replica move to their rank-1 choice.
+            let dead = full[0];
+            let survivors: Vec<usize> = full.iter().copied().filter(|&r| r != dead).collect();
+            assert_eq!(survivors[0], full[1]);
+            for (i, &r) in full.iter().enumerate().skip(1) {
+                assert_eq!(survivors[i - 1], r);
+            }
+        }
+    }
+}

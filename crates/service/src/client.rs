@@ -4,12 +4,23 @@
 //! client assigns monotonically increasing request ids and checks the
 //! echo on every response, so a desynchronized stream surfaces as an
 //! error instead of a misattributed payload.
+//!
+//! ## Timeouts
+//!
+//! [`Client::connect_with`] bounds both the TCP connect and every
+//! subsequent read/write, so a dead or wedged replica surfaces as an
+//! `io::Error` instead of blocking the caller forever — the property
+//! `partree-gateway` builds its failover on. A timed-out read leaves
+//! the stream mid-frame, so after **any** error from [`Client::request`]
+//! the connection must be discarded, never reused: the next response on
+//! it could belong to the previous request.
 
 use crate::frame::{
     decode_response, encode_request, read_frame, write_frame, Histogram, Request, Response,
 };
 use std::io;
 use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
 
 /// A synchronous connection to a [`crate::net::Server`].
 #[derive(Debug)]
@@ -23,11 +34,34 @@ fn bad_data(e: impl std::fmt::Display) -> io::Error {
 }
 
 impl Client {
-    /// Connects to `addr`.
+    /// Connects to `addr` with no timeouts (reads block indefinitely).
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client { stream, next_id: 0 })
+    }
+
+    /// Connects to `addr`, giving up after `connect_timeout`, and bounds
+    /// every subsequent read and write by `io_timeout` (`None` = block
+    /// indefinitely). See the module docs for the discard-on-error rule.
+    pub fn connect_with(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        io_timeout: Option<Duration>,
+    ) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(io_timeout)?;
+        stream.set_write_timeout(io_timeout)?;
+        Ok(Client { stream, next_id: 0 })
+    }
+
+    /// Rebounds the read/write timeout on the live connection (`None` =
+    /// block indefinitely). Routers use this to spend a per-request
+    /// deadline budget rather than a fixed socket timeout.
+    pub fn set_io_timeout(&self, io_timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(io_timeout)?;
+        self.stream.set_write_timeout(io_timeout)
     }
 
     /// Sends one request and blocks for its response.
@@ -85,6 +119,24 @@ impl Client {
                 crate::metrics::MetricsSnapshot::from_json(&json).map_err(bad_data)
             }
             other => Err(bad_data(format!("expected Stats, got {other:?}"))),
+        }
+    }
+
+    /// Health probe. Returns the server's drain bit: `false` = serving,
+    /// `true` = alive but draining (route new work elsewhere).
+    pub fn ping(&mut self) -> io::Result<bool> {
+        match self.request(&Request::Ping)? {
+            Response::Pong { draining } => Ok(draining),
+            other => Err(bad_data(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server to stop accepting new work (queued work still
+    /// completes). Irreversible on the server side.
+    pub fn drain(&mut self) -> io::Result<()> {
+        match self.request(&Request::Drain)? {
+            Response::DrainOk => Ok(()),
+            other => Err(bad_data(format!("expected DrainOk, got {other:?}"))),
         }
     }
 }

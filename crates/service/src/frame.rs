@@ -21,9 +21,13 @@
 //! | `Encode` (0x01) | `n:u16` · `n × count:u32` · `payload_len:u32` · payload bytes (symbols `< n`) |
 //! | `Decode` (0x02) | `n:u16` · `n × count:u32` · `bit_len:u64` · `data_len:u32` · encoded bytes |
 //! | `Stats` (0x03) | empty |
+//! | `Ping` (0x04) | empty — liveness/health probe, answered inline |
+//! | `Drain` (0x05) | empty — stop accepting new work; in-flight completes |
 //! | `EncodeOk` (0x81) | `bit_len:u64` · `data_len:u32` · encoded bytes |
 //! | `DecodeOk` (0x82) | `payload_len:u32` · payload bytes |
 //! | `StatsOk` (0x83) | `json_len:u32` · UTF-8 JSON (schema in `EXPERIMENTS.md`) |
+//! | `Pong` (0x84) | `status:u8` — 0 serving, 1 draining |
+//! | `DrainOk` (0x85) | empty — the drain flag is set |
 //! | `Error` (0xE0) | `code:u16` · `msg_len:u16` · UTF-8 message |
 //! | `Busy` (0xE1) | empty — the request was **not** queued; retry later |
 //! | `Timeout` (0xE2) | empty — queued but missed its deadline |
@@ -32,6 +36,13 @@
 //! its bounded queue is full instead of buffering without bound, so a
 //! client always learns the fate of a request within one round trip or
 //! one request-timeout, whichever comes first.
+//!
+//! `Ping`/`Pong` exists for routers (`partree-gateway`): it is answered
+//! on the connection thread without touching the request queue, so a
+//! replica that is saturated but alive still answers its health checks —
+//! overload surfaces as `Busy`, not as a dead replica. `Pong` carries a
+//! drain bit so a draining replica can advertise "alive, but route new
+//! work elsewhere" before it goes away.
 
 use bytes::{Buf, BufMut, BytesMut};
 use std::io::{self, Read, Write};
@@ -57,12 +68,20 @@ pub enum Opcode {
     Decode = 0x02,
     /// Metrics request.
     Stats = 0x03,
+    /// Liveness/health probe (answered inline, never queued).
+    Ping = 0x04,
+    /// Ask the service to stop accepting new work.
+    Drain = 0x05,
     /// Successful encode.
     EncodeOk = 0x81,
     /// Successful decode.
     DecodeOk = 0x82,
     /// Metrics snapshot.
     StatsOk = 0x83,
+    /// Probe answer, carrying the drain bit.
+    Pong = 0x84,
+    /// Drain acknowledged.
+    DrainOk = 0x85,
     /// Structured failure.
     Error = 0xE0,
     /// Load shed: the bounded queue was full.
@@ -77,9 +96,13 @@ impl Opcode {
             0x01 => Some(Opcode::Encode),
             0x02 => Some(Opcode::Decode),
             0x03 => Some(Opcode::Stats),
+            0x04 => Some(Opcode::Ping),
+            0x05 => Some(Opcode::Drain),
             0x81 => Some(Opcode::EncodeOk),
             0x82 => Some(Opcode::DecodeOk),
             0x83 => Some(Opcode::StatsOk),
+            0x84 => Some(Opcode::Pong),
+            0x85 => Some(Opcode::DrainOk),
             0xE0 => Some(Opcode::Error),
             0xE1 => Some(Opcode::Busy),
             0xE2 => Some(Opcode::Timeout),
@@ -209,6 +232,12 @@ pub enum Request {
     },
     /// Fetch the server's aggregate counters as JSON.
     Stats,
+    /// Health probe: answered inline with [`Response::Pong`] even when
+    /// the request queue is full.
+    Ping,
+    /// Stop accepting new work; queued work still completes. Answered
+    /// with [`Response::DrainOk`].
+    Drain,
 }
 
 /// A decoded response frame body.
@@ -231,6 +260,14 @@ pub enum Response {
         /// JSON document (schema in `EXPERIMENTS.md` § E13).
         json: String,
     },
+    /// Probe answer.
+    Pong {
+        /// True when the service is draining: alive, but new work
+        /// should be routed elsewhere.
+        draining: bool,
+    },
+    /// The drain flag is set.
+    DrainOk,
     /// Structured failure.
     Error {
         /// Machine-readable cause.
@@ -301,6 +338,11 @@ impl<'a> BodyReader<'a> {
             )));
         }
         Ok(())
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, FrameError> {
+        self.need(1, what)?;
+        Ok(self.buf.get_u8())
     }
 
     fn u16(&mut self, what: &str) -> Result<u16, FrameError> {
@@ -393,6 +435,8 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             Opcode::Decode
         }
         Request::Stats => Opcode::Stats,
+        Request::Ping => Opcode::Ping,
+        Request::Drain => Opcode::Drain,
     };
     encode_frame(id, opcode, &body)
 }
@@ -430,6 +474,11 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             body.put_slice(&msg[..take]);
             Opcode::Error
         }
+        Response::Pong { draining } => {
+            body.put_u8(u8::from(*draining));
+            Opcode::Pong
+        }
+        Response::DrainOk => Opcode::DrainOk,
         Response::Busy => Opcode::Busy,
         Response::Timeout => Opcode::Timeout,
     };
@@ -483,6 +532,8 @@ pub fn decode_request(opcode: Opcode, body: &[u8]) -> Result<Request, FrameError
             }
         }
         Opcode::Stats => Request::Stats,
+        Opcode::Ping => Request::Ping,
+        Opcode::Drain => Request::Drain,
         other => {
             return Err(FrameError::malformed(format!(
                 "opcode {other:?} is not a request"
@@ -522,6 +573,10 @@ pub fn decode_response(opcode: Opcode, body: &[u8]) -> Result<Response, FrameErr
             let message = String::from_utf8_lossy(&raw).into_owned();
             Response::Error { code, message }
         }
+        Opcode::Pong => Response::Pong {
+            draining: r.u8("pong status")? != 0,
+        },
+        Opcode::DrainOk => Response::DrainOk,
         Opcode::Busy => Response::Busy,
         Opcode::Timeout => Response::Timeout,
         other => {
@@ -635,6 +690,8 @@ mod tests {
             data: vec![0xAB, 0xC0],
         });
         roundtrip_request(&Request::Stats);
+        roundtrip_request(&Request::Ping);
+        roundtrip_request(&Request::Drain);
     }
 
     #[test]
@@ -653,6 +710,9 @@ mod tests {
             code: ErrorCode::SymbolOutOfRange,
             message: "symbol 9 outside alphabet of 4".into(),
         });
+        roundtrip_response(&Response::Pong { draining: false });
+        roundtrip_response(&Response::Pong { draining: true });
+        roundtrip_response(&Response::DrainOk);
         roundtrip_response(&Response::Busy);
         roundtrip_response(&Response::Timeout);
     }

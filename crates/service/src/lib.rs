@@ -67,5 +67,5 @@ pub use client::Client;
 pub use codebook::{Codebook, CodebookCache};
 pub use frame::{ErrorCode, FrameError, Histogram, Request, Response};
 pub use metrics::MetricsSnapshot;
-pub use net::Server;
+pub use net::{FaultInjection, Server};
 pub use server::{Service, ServiceConfig};

@@ -49,6 +49,8 @@ pub struct Metrics {
     pub latency_us_total: AtomicU64,
     /// Largest single queue→response latency, microseconds.
     pub latency_us_max: AtomicU64,
+    /// Gauge: 1 once the service is draining (new work shed as `Busy`).
+    pub draining: AtomicU64,
 }
 
 /// A plain-data copy of [`Metrics`] plus cache counters, as exported.
@@ -95,6 +97,8 @@ pub struct MetricsSnapshot {
     pub latency_us_total: u64,
     /// Latency max, µs.
     pub latency_us_max: u64,
+    /// Gauge: 1 once the service is draining.
+    pub draining: u64,
     /// Executor: successful steals on the shared `partree-exec` pool
     /// (process-wide — the pool is shared by everything in-process).
     pub exec_steals: u64,
@@ -146,6 +150,7 @@ impl Metrics {
             bytes_out: get(&self.bytes_out),
             latency_us_total: get(&self.latency_us_total),
             latency_us_max: get(&self.latency_us_max),
+            draining: get(&self.draining),
             exec_steals: exec.steals,
             exec_parks: exec.parks,
             exec_injector_depth: exec.injector_depth,
@@ -185,6 +190,7 @@ impl MetricsSnapshot {
         field("bytes_out", self.bytes_out);
         field("latency_us_total", self.latency_us_total);
         field("latency_us_max", self.latency_us_max);
+        field("draining", self.draining);
         field("exec_steals", self.exec_steals);
         field("exec_parks", self.exec_parks);
         field("exec_injector_depth", self.exec_injector_depth);
@@ -235,6 +241,7 @@ impl MetricsSnapshot {
                 "bytes_out" => snap.bytes_out = v,
                 "latency_us_total" => snap.latency_us_total = v,
                 "latency_us_max" => snap.latency_us_max = v,
+                "draining" => snap.draining = v,
                 "exec_steals" => snap.exec_steals = v,
                 "exec_parks" => snap.exec_parks = v,
                 "exec_injector_depth" => snap.exec_injector_depth = v,

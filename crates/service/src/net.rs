@@ -18,12 +18,75 @@ use crate::frame::{decode_request, encode_response, read_frame, write_frame, Req
 use crate::server::Service;
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// How often blocked reads wake to poll the stop flag.
 const POLL: Duration = Duration::from_millis(100);
+
+/// Fault-injection knobs for failover testing: a server can be told to
+/// sever connections or delay replies, which is how the gateway's
+/// retry/hedging paths are exercised deterministically without a real
+/// network. Both knobs are live atomics — tests flip them mid-run —
+/// and apply only to codec requests (`Encode`/`Decode`): health probes
+/// stay truthful so a *faulty* replica is distinguishable from a
+/// *dead* one.
+///
+/// Defaults come from the environment at [`Server::bind`] time
+/// (`PARTREE_FAULT_DROP_PCT`, `PARTREE_FAULT_DELAY_MS`), so
+/// multi-process setups can inject faults without code changes; both
+/// default to off.
+#[derive(Debug, Default)]
+pub struct FaultInjection {
+    /// Percent (0–100) of codec requests whose connection is severed
+    /// without a reply — the client sees a transport error mid-request.
+    drop_pct: AtomicU32,
+    /// Delay before answering each codec request, milliseconds.
+    delay_ms: AtomicU64,
+}
+
+impl FaultInjection {
+    fn from_env() -> FaultInjection {
+        let parse = |k: &str| {
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0)
+        };
+        FaultInjection {
+            drop_pct: AtomicU32::new(parse("PARTREE_FAULT_DROP_PCT").min(100) as u32),
+            delay_ms: AtomicU64::new(parse("PARTREE_FAULT_DELAY_MS")),
+        }
+    }
+
+    /// Sets the percentage (0–100) of codec requests to sever.
+    pub fn set_drop_pct(&self, pct: u32) {
+        self.drop_pct.store(pct.min(100), Ordering::Relaxed);
+    }
+
+    /// Sets the per-request reply delay in milliseconds.
+    pub fn set_delay_ms(&self, ms: u64) {
+        self.delay_ms.store(ms, Ordering::Relaxed);
+    }
+
+    fn should_drop(&self, rng: &mut u64) -> bool {
+        let pct = self.drop_pct.load(Ordering::Relaxed);
+        if pct == 0 {
+            return false;
+        }
+        // xorshift64*: deterministic per connection, seeded by the
+        // connection index, so tests replay exactly.
+        *rng ^= *rng << 13;
+        *rng ^= *rng >> 7;
+        *rng ^= *rng << 17;
+        (*rng % 100) < u64::from(pct)
+    }
+
+    fn delay(&self) -> Duration {
+        Duration::from_millis(self.delay_ms.load(Ordering::Relaxed))
+    }
+}
 
 /// A listening codec server bound to a loopback port.
 pub struct Server {
@@ -32,6 +95,7 @@ pub struct Server {
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
     conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    faults: Arc<FaultInjection>,
 }
 
 impl std::fmt::Debug for Server {
@@ -48,13 +112,15 @@ impl Server {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let faults = Arc::new(FaultInjection::from_env());
         let accept_thread = {
             let service = service.clone();
             let stop = Arc::clone(&stop);
             let conns = Arc::clone(&conns);
+            let faults = Arc::clone(&faults);
             std::thread::Builder::new()
                 .name("partree-accept".into())
-                .spawn(move || accept_loop(&listener, &service, &stop, &conns))
+                .spawn(move || accept_loop(&listener, &service, &stop, &conns, &faults))
                 .expect("spawning the accept thread cannot fail")
         };
         Ok(Server {
@@ -63,7 +129,13 @@ impl Server {
             stop,
             accept_thread: Some(accept_thread),
             conns,
+            faults,
         })
+    }
+
+    /// The live fault-injection knobs (tests flip them mid-run).
+    pub fn faults(&self) -> &FaultInjection {
+        &self.faults
     }
 
     /// The bound address (the ephemeral port clients connect to).
@@ -104,6 +176,7 @@ fn accept_loop(
     service: &Service,
     stop: &Arc<AtomicBool>,
     conns: &Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    faults: &Arc<FaultInjection>,
 ) {
     let mut next = 0u64;
     while !stop.load(Ordering::Acquire) {
@@ -121,10 +194,12 @@ fn accept_loop(
         }
         let service = service.clone();
         let stop_flag = Arc::clone(stop);
+        let faults = Arc::clone(faults);
+        let conn_seed = next.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
         let handle = std::thread::Builder::new()
             .name(format!("partree-conn-{next}"))
             .spawn(move || {
-                let _ = serve_connection(&stream, &service, &stop_flag);
+                let _ = serve_connection(&stream, &service, &stop_flag, &faults, conn_seed);
             })
             .expect("spawning a connection thread cannot fail");
         next += 1;
@@ -168,12 +243,29 @@ impl Read for StoppableReader<'_> {
     }
 }
 
-fn serve_connection(stream: &TcpStream, service: &Service, stop: &AtomicBool) -> io::Result<()> {
+fn serve_connection(
+    stream: &TcpStream,
+    service: &Service,
+    stop: &AtomicBool,
+    faults: &FaultInjection,
+    mut rng: u64,
+) -> io::Result<()> {
     stream.set_read_timeout(Some(POLL))?;
     stream.set_nodelay(true)?;
     let mut reader = StoppableReader { stream, stop };
     let mut writer = stream;
     loop {
+        // Checked at every frame boundary, not just on idle-read
+        // timeouts: a peer that keeps frames coming (a router's health
+        // prober, a tight request loop) would otherwise never leave a
+        // quiet window for the timeout path to notice the flag, and
+        // `Server::shutdown` would block on this thread for as long as
+        // the peer keeps talking. Severing mid-stream is the intended
+        // shutdown signal — the peer sees a transport error and fails
+        // over.
+        if stop.load(Ordering::Acquire) {
+            return Ok(());
+        }
         let raw = match read_frame(&mut reader)? {
             Some(raw) => raw,
             None => return Ok(()), // clean EOF between frames
@@ -182,10 +274,45 @@ fn serve_connection(stream: &TcpStream, service: &Service, stop: &AtomicBool) ->
             Ok(Request::Stats) => Response::Stats {
                 json: service.stats_json(),
             },
-            Ok(request) => service.submit(request),
+            // Control requests bypass both the queue and the fault
+            // knobs: a saturated or faulty replica still answers its
+            // health probes truthfully.
+            Ok(Request::Ping) => Response::Pong {
+                draining: service.is_draining(),
+            },
+            Ok(Request::Drain) => {
+                service.drain();
+                Response::DrainOk
+            }
+            Ok(request) => {
+                if faults.should_drop(&mut rng) {
+                    // Sever without a reply: the peer observes a
+                    // transport error mid-request.
+                    return Ok(());
+                }
+                let delay = faults.delay();
+                if !delay.is_zero() {
+                    interruptible_sleep(delay, stop);
+                    if stop.load(Ordering::Acquire) {
+                        return Ok(());
+                    }
+                }
+                service.submit(request)
+            }
             Err(e) => Response::from(e),
         };
         write_frame(&mut writer, &encode_response(raw.id, &response))?;
+    }
+}
+
+/// Sleeps in short slices so an injected delay cannot outlive a
+/// shutdown request by more than one poll interval.
+fn interruptible_sleep(total: Duration, stop: &AtomicBool) {
+    let mut left = total;
+    while !left.is_zero() && !stop.load(Ordering::Acquire) {
+        let slice = left.min(POLL);
+        std::thread::sleep(slice);
+        left -= slice;
     }
 }
 
@@ -213,6 +340,31 @@ mod tests {
     }
 
     #[test]
+    fn shutdown_completes_under_continuous_traffic() {
+        // A peer that never stops sending (here: a tight ping loop,
+        // like a router's health prober) must not be able to hold
+        // `Server::shutdown` hostage — connection threads check the
+        // stop flag at every frame boundary, not only on idle reads.
+        let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let pinger = std::thread::spawn(move || {
+            let mut client = crate::client::Client::connect(addr).unwrap();
+            // Ping until the server severs the connection.
+            while client.ping().is_ok() {}
+        });
+        // Let the ping loop get going.
+        std::thread::sleep(Duration::from_millis(100));
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(server.shutdown());
+        });
+        rx.recv_timeout(Duration::from_secs(5))
+            .expect("shutdown hung on a continuously-talking connection")
+            .unwrap();
+        pinger.join().unwrap();
+    }
+
+    #[test]
     fn shutdown_unblocks_a_partial_frame_read() {
         use crate::frame::{encode_frame, Opcode, HEADER_LEN};
         use std::io::Write;
@@ -232,6 +384,35 @@ mod tests {
         rx.recv_timeout(Duration::from_secs(5))
             .expect("shutdown hung on a connection mid-frame")
             .unwrap();
+    }
+
+    #[test]
+    fn ping_drain_and_fault_injection_over_tcp() {
+        let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        assert!(!client.ping().unwrap(), "fresh server is not draining");
+
+        // Delay fault: the reply still arrives, just late — and Ping is
+        // exempt, so health stays honest while data lags.
+        server.faults().set_delay_ms(30);
+        let hist = Histogram::new(vec![3, 1]).unwrap();
+        let t0 = std::time::Instant::now();
+        let (bits, data) = client.encode(&hist, &[0, 1, 0]).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(25), "delay applied");
+        server.faults().set_delay_ms(0);
+
+        // Drop fault: the connection is severed without a reply.
+        server.faults().set_drop_pct(100);
+        assert!(client.encode(&hist, &[0, 1]).is_err());
+        server.faults().set_drop_pct(0);
+
+        // A fresh connection works again; drain flips the pong bit.
+        let mut c2 = Client::connect(server.addr()).unwrap();
+        assert_eq!(c2.decode(&hist, bits, &data).unwrap(), vec![0, 1, 0]);
+        c2.drain().unwrap();
+        assert!(c2.ping().unwrap(), "drained server advertises it");
+        drop((client, c2));
+        server.shutdown().unwrap();
     }
 
     #[test]

@@ -84,6 +84,7 @@ struct Inner {
     queue: Mutex<VecDeque<Job>>,
     wake: Condvar,
     stopping: AtomicBool,
+    draining: AtomicBool,
     next_seq: AtomicU64,
     cache: CodebookCache,
     metrics: Metrics,
@@ -121,6 +122,7 @@ impl Service {
             queue: Mutex::new(VecDeque::with_capacity(cfg.queue_capacity.min(4096))),
             wake: Condvar::new(),
             stopping: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             next_seq: AtomicU64::new(0),
             metrics: Metrics::default(),
             pool,
@@ -159,7 +161,12 @@ impl Service {
                     message: "service is shutting down".into(),
                 });
             }
-            if queue.len() >= self.inner.cfg.queue_capacity {
+            // A draining service sheds new work the same way a full
+            // queue does: `Busy` is retryable, so a router fails the
+            // request over to another replica instead of erroring.
+            if self.inner.draining.load(Ordering::Acquire)
+                || queue.len() >= self.inner.cfg.queue_capacity
+            {
                 self.inner.metrics.busy.fetch_add(1, Ordering::Relaxed);
                 return Err(Response::Busy);
             }
@@ -179,10 +186,22 @@ impl Service {
     /// `Busy` (not queued), `Timeout` (deadline missed), or `Error`.
     /// `Stats` requests are answered inline and never queue.
     pub fn submit(&self, request: Request) -> Response {
-        if matches!(request, Request::Stats) {
-            return Response::Stats {
-                json: self.stats_json(),
-            };
+        match request {
+            Request::Stats => {
+                return Response::Stats {
+                    json: self.stats_json(),
+                }
+            }
+            Request::Ping => {
+                return Response::Pong {
+                    draining: self.is_draining(),
+                }
+            }
+            Request::Drain => {
+                self.drain();
+                return Response::DrainOk;
+            }
+            Request::Encode { .. } | Request::Decode { .. } => {}
         }
         let rx = match self.try_enqueue(request) {
             Ok(rx) => rx,
@@ -214,6 +233,23 @@ impl Service {
     /// Codebooks currently resident in the cache.
     pub fn cached_codebooks(&self) -> usize {
         self.inner.cache.len()
+    }
+
+    /// Stops accepting new work (submits shed as `Busy`) while queued
+    /// work still completes and workers stay up. Health probes keep
+    /// answering, with the drain bit set, so a router routes away
+    /// before the process exits. Irreversible; idempotent.
+    pub fn drain(&self) {
+        self.inner.draining.store(true, Ordering::Release);
+        self.inner
+            .metrics
+            .draining
+            .store(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// True once [`Service::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.inner.draining.load(Ordering::Acquire)
     }
 
     /// Stops accepting work, drains the queue (pending jobs are
@@ -298,8 +334,8 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
             Request::Encode { histogram, .. } | Request::Decode { histogram, .. } => {
                 histogram.hash64()
             }
-            // Stats is answered inline by `submit` and never queued;
-            // answer defensively anyway.
+            // Control requests are answered inline by `submit` and
+            // never queued; answer defensively anyway.
             Request::Stats => {
                 respond(
                     inner,
@@ -308,6 +344,17 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
                         json: inner.metrics.snapshot(&inner.cache).to_json(),
                     },
                 );
+                continue;
+            }
+            Request::Ping => {
+                let draining = inner.draining.load(Ordering::Acquire);
+                respond(inner, job, Response::Pong { draining });
+                continue;
+            }
+            Request::Drain => {
+                inner.draining.store(true, Ordering::Release);
+                inner.metrics.draining.store(1, Ordering::Relaxed);
+                respond(inner, job, Response::DrainOk);
                 continue;
             }
         };
@@ -326,7 +373,7 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
             Request::Encode { histogram, .. } | Request::Decode { histogram, .. } => {
                 histogram.clone()
             }
-            Request::Stats => unreachable!("stats jobs answered above"),
+            _ => unreachable!("control jobs answered above"),
         };
         let construct_span = group_span.span("construct");
         let book = inner
@@ -374,7 +421,7 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
                         Response::from(e)
                     }
                 },
-                Request::Stats => unreachable!("stats jobs answered above"),
+                _ => unreachable!("control jobs answered above"),
             };
             respond(inner, job, response);
         }
@@ -575,6 +622,29 @@ mod tests {
         assert_eq!(m.encoded, 1, "expired work is not counted as encoded");
         assert_eq!(m.timeouts, 0, "drain-time expiry is not double-counted");
         assert_eq!(m.batched_requests, 1, "only live jobs count toward ticks");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn drain_sheds_new_work_but_keeps_answering_pings() {
+        let svc = Service::start(ServiceConfig::default());
+        match svc.submit(Request::Ping) {
+            Response::Pong { draining: false } => {}
+            other => panic!("expected serving Pong, got {other:?}"),
+        }
+        match svc.submit(Request::Drain) {
+            Response::DrainOk => {}
+            other => panic!("expected DrainOk, got {other:?}"),
+        }
+        match svc.submit(Request::Ping) {
+            Response::Pong { draining: true } => {}
+            other => panic!("expected draining Pong, got {other:?}"),
+        }
+        match svc.submit(encode_req(&[1, 1], &[0, 1])) {
+            Response::Busy => {}
+            other => panic!("expected Busy after drain, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().draining, 1);
         svc.shutdown();
     }
 

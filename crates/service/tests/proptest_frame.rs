@@ -1,0 +1,121 @@
+//! Adversarial property tests for the frame codec: arbitrary bytes off
+//! the wire must surface as typed errors (`FrameError` from the body
+//! decoders, `io::Error` from `read_frame`) — never as a panic, and
+//! never as an out-of-bounds read past the declared lengths.
+
+use partree_service::frame::{
+    decode_request, decode_response, encode_request, read_frame, Opcode, Request, HEADER_LEN,
+    MAGIC, MAX_BODY, VERSION,
+};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+/// Every opcode a frame header may carry.
+const OPCODES: [Opcode; 13] = [
+    Opcode::Encode,
+    Opcode::Decode,
+    Opcode::Stats,
+    Opcode::Ping,
+    Opcode::Drain,
+    Opcode::EncodeOk,
+    Opcode::DecodeOk,
+    Opcode::StatsOk,
+    Opcode::Pong,
+    Opcode::DrainOk,
+    Opcode::Error,
+    Opcode::Busy,
+    Opcode::Timeout,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random bodies under every opcode: the request decoder returns a
+    /// typed `FrameError` or a valid `Request`, and on success the
+    /// round-trip through the encoder reproduces the request.
+    #[test]
+    fn decode_request_never_panics(
+        op_idx in 0usize..OPCODES.len(),
+        body in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let opcode = OPCODES[op_idx];
+        if let Ok(req) = decode_request(opcode, &body) {
+            let bytes = encode_request(7, &req);
+            let raw = read_frame(&mut Cursor::new(bytes)).unwrap().unwrap();
+            prop_assert_eq!(decode_request(raw.opcode, &raw.body).unwrap(), req);
+        }
+        // Err is equally fine — the property is "no panic, typed error".
+    }
+
+    /// Random bodies under every opcode through the response decoder.
+    #[test]
+    fn decode_response_never_panics(
+        op_idx in 0usize..OPCODES.len(),
+        body in prop::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = decode_response(OPCODES[op_idx], &body);
+    }
+
+    /// Fully random 16-byte headers plus random trailing bytes:
+    /// `read_frame` yields a frame, a typed `io::Error`, or clean EOF —
+    /// and never reads past the declared body length.
+    #[test]
+    fn read_frame_survives_random_headers(
+        header in prop::collection::vec(any::<u8>(), HEADER_LEN),
+        tail in prop::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let mut wire = header.clone();
+        wire.extend_from_slice(&tail);
+        let mut cursor = Cursor::new(wire);
+        match read_frame(&mut cursor) {
+            Ok(Some(frame)) => {
+                // Accepting the header implies it was well-formed and
+                // the body length was satisfiable from the tail.
+                prop_assert_eq!(u16::from_be_bytes([header[0], header[1]]), MAGIC);
+                prop_assert_eq!(header[2], VERSION);
+                let declared =
+                    u32::from_be_bytes([header[12], header[13], header[14], header[15]]);
+                prop_assert_eq!(frame.body.len() as u32, declared);
+                prop_assert!(declared as usize <= tail.len());
+                prop_assert_eq!(cursor.position() as usize, HEADER_LEN + declared as usize);
+            }
+            Ok(None) => prop_assert!(false, "non-empty input cannot be clean EOF"),
+            Err(_) => {} // typed io::Error is the expected adversarial outcome
+        }
+    }
+
+    /// Truncating a valid frame anywhere — inside the header or inside
+    /// the body — is an error (or, at exactly zero bytes, clean EOF),
+    /// never a panic or a short frame.
+    #[test]
+    fn truncated_frames_error_cleanly(
+        n in 2u16..=64,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let counts: Vec<u32> = (1..=u32::from(n)).collect();
+        let hist = partree_service::frame::Histogram::new(counts).unwrap();
+        let payload: Vec<u8> = (0..64).map(|i| (i % n as usize) as u8).collect();
+        let full = encode_request(42, &Request::Encode { histogram: hist, payload });
+        let cut = ((full.len() as f64) * cut_frac) as usize; // < full.len()
+        match read_frame(&mut Cursor::new(&full[..cut])) {
+            Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at a frame boundary"),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame parsed whole"),
+            Err(_) => prop_assert!(cut > 0),
+        }
+    }
+
+    /// Oversized declared bodies are rejected from the header alone,
+    /// before any allocation or body read.
+    #[test]
+    fn oversized_bodies_rejected_from_the_header(excess in 1u32..1024) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC.to_be_bytes());
+        wire.push(VERSION);
+        wire.push(0x03); // Stats
+        wire.extend_from_slice(&9u64.to_be_bytes());
+        wire.extend_from_slice(&(MAX_BODY + excess).to_be_bytes());
+        let mut cursor = Cursor::new(wire);
+        prop_assert!(read_frame(&mut cursor).is_err());
+        prop_assert_eq!(cursor.position() as usize, HEADER_LEN, "no body bytes consumed");
+    }
+}

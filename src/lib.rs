@@ -17,6 +17,7 @@
 //! | [`obst`] | optimal / near-optimal binary search trees |
 //! | [`lcfl`] | linear context-free language recognition |
 //! | [`service`] | batched codec service: framed encode/decode over loopback TCP, codebook cache |
+//! | [`gateway`] | sharded replica router: rendezvous hashing, retries, hedged requests, health-gated failover |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@
 
 pub use partree_codes as codes;
 pub use partree_core as core;
+pub use partree_gateway as gateway;
 pub use partree_huffman as huffman;
 pub use partree_lcfl as lcfl;
 pub use partree_monge as monge;

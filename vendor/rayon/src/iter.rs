@@ -13,11 +13,35 @@
 //! the worker count. Consequently `sum()` over `f64`-like non-associative
 //! carriers produces bit-identical results at every pool width — the
 //! property partree's determinism suite asserts.
+//!
+//! The same invariant makes the adaptive sequential cutoff safe: small
+//! inputs skip the pool (and medium inputs cap their lane count) by
+//! folding the *same* blocks in the *same* order on fewer threads, so
+//! the cutoff changes scheduling cost only, never results.
 
 use crate::pool::{current_num_threads, with_width};
 
 /// Fixed block size for reductions. Must never depend on thread count.
 const REDUCE_BLOCK: usize = 256;
+
+/// Adaptive sequential cutoff: the minimum number of items a lane must
+/// carry before a pool submission is worth its injector+wake
+/// round-trip. Inputs smaller than this run inline on the calling
+/// thread; larger inputs cap their lane count so no lane falls below
+/// it. Override with `PARTREE_SEQ_CUTOFF` (read once; `0` disables the
+/// cutoff). The default is calibrated against the executor's measured
+/// submission overhead (~5–15 µs) versus per-item costs of the
+/// cheapest `par_iter` bodies in the tree pipeline (a few ns): below a
+/// few thousand items the round-trip dominates any possible speedup.
+fn sequential_cutoff() -> usize {
+    static CUTOFF: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CUTOFF.get_or_init(|| {
+        std::env::var("PARTREE_SEQ_CUTOFF")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(2048)
+    })
+}
 
 /// An eager parallel iterator: an ordered batch of items.
 pub struct ParIter<T> {
@@ -148,10 +172,12 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 /// under the legacy driver, on per-call scoped workers), and returns the
 /// per-block results **in block order**.
 ///
-/// Contiguous runs of blocks go to `min(width, nb)` lane tasks; each lane
-/// writes its own pre-split region of the output, so which executor
-/// worker runs a lane — and in what order lanes complete — cannot affect
-/// the result.
+/// Contiguous runs of blocks go to `min(width, nb, ⌈n/cutoff⌉)` lane
+/// tasks — the last term is the adaptive sequential cutoff, which keeps
+/// every lane above [`sequential_cutoff`] items and routes inputs
+/// smaller than that entirely around the pool. Each lane writes its own
+/// pre-split region of the output, so which executor worker runs a lane
+/// — and in what order lanes complete — cannot affect the result.
 fn drive_blocks<T, U, G>(items: Vec<T>, block: usize, g: G) -> Vec<U>
 where
     T: Send,
@@ -160,7 +186,20 @@ where
 {
     let width = current_num_threads();
     let n = items.len();
-    if width <= 1 || n <= block {
+    // The sequential cutoff caps how many lanes the input may fan out
+    // to — never how it is *split*: block boundaries and fold order are
+    // untouched, so results stay bit-identical whether the cutoff
+    // engages or not (a lane processes its run of blocks in order
+    // either way; with one lane that run is simply all of them). Lanes
+    // still propagate the *ambient* `width`, so nested parallel calls
+    // inside `g` are not throttled by the outer input being small.
+    let cutoff = sequential_cutoff();
+    let lane_cap = if cutoff == 0 {
+        usize::MAX
+    } else {
+        n.div_ceil(cutoff).max(1)
+    };
+    if width <= 1 || lane_cap <= 1 || n <= block {
         let mut out = Vec::with_capacity(n.div_ceil(block.max(1)));
         let mut it = items.into_iter();
         loop {
@@ -186,7 +225,7 @@ where
         blocks.push(blk);
     }
     let nb = blocks.len();
-    let workers = width.min(nb);
+    let workers = width.min(nb).min(lane_cap);
     let mut out: Vec<Option<U>> = (0..nb).map(|_| None).collect();
     let g = &g;
     if crate::pool::legacy_driver() {
@@ -494,5 +533,31 @@ mod tests {
         let xs: Vec<u64> = (0..4096).collect();
         let m = with_width(5, || xs.par_iter().map(|&x| x).reduce_with(|a, b| a.max(b)));
         assert_eq!(m, Some(4095));
+    }
+
+    #[test]
+    fn tiny_inputs_skip_the_pool_entirely() {
+        // Well under the sequential cutoff: the whole batch must run
+        // inline, with zero executor submissions.
+        let before = partree_exec::global_snapshot().injected;
+        let xs: Vec<u64> = (0..64).collect();
+        let doubled: Vec<u64> = with_width(8, || xs.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled[63], 126);
+        let after = partree_exec::global_snapshot().injected;
+        assert_eq!(after, before, "a 64-item par_iter paid a pool round-trip");
+    }
+
+    #[test]
+    fn cutoff_sized_inputs_agree_with_large_widths() {
+        // Straddle the cutoff boundary: results (including a
+        // non-associative f64 fold) must be bit-identical whether the
+        // lane cap engages (small n), partially engages (medium n), or
+        // is moot (large n).
+        for n in [100usize, 2048, 2049, 10_000, 100_000] {
+            let xs: Vec<f64> = (1..=n).map(|i| 1.0 / i as f64).collect();
+            let s1: f64 = with_width(1, || xs.par_iter().map(|&x| x).sum());
+            let s8: f64 = with_width(8, || xs.par_iter().map(|&x| x).sum());
+            assert_eq!(s1.to_bits(), s8.to_bits(), "n = {n}");
+        }
     }
 }

@@ -5,6 +5,8 @@
 //! Criterion benches and the `experiments` binary measure identical
 //! workloads.
 
+#![forbid(unsafe_code)]
+
 use partree_core::gen;
 use partree_monge::Matrix;
 

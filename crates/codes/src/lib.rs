@@ -17,6 +17,7 @@
 //!   the monotone tree construction, within one bit of Huffman
 //!   (Claim 7.1).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

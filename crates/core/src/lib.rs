@@ -15,6 +15,7 @@
 //!
 //! Nothing in here is parallel; this is the vocabulary layer.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

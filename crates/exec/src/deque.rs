@@ -22,9 +22,14 @@
 //!   buffer pointer therefore never touch freed memory, and a worker's
 //!   queue growing past its high-water mark is rare enough that the held
 //!   memory is noise.
+//!
+//! The ordering argument for every fence and relaxed access below is
+//! spelled out in DESIGN.md §2.3 and machine-checked by the bounded
+//! model checker in `crates/verify` (scenarios in [`crate::model`]):
+//! the primitives are imported through [`crate::sync`], which resolves
+//! to shadow types under `--cfg partree_model`.
 
-use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
-use std::sync::Mutex;
+use crate::sync::{fence, AtomicIsize, AtomicPtr, Mutex, Ordering};
 
 /// A growable power-of-two circular buffer of job pointers.
 struct Buffer<T> {
@@ -50,10 +55,16 @@ impl<T> Buffer<T> {
     /// Relaxed slot read; the surrounding top/bottom protocol decides
     /// whether the value is current.
     fn get(&self, i: isize) -> *mut T {
+        // ordering: Relaxed — slot freshness is certified by the top CAS
+        // (thieves) or by owner-only access (push/pop); the value itself
+        // is published by push's release fence before `bottom` advances.
         self.slots[i as usize & self.mask].load(Ordering::Relaxed)
     }
 
     fn put(&self, i: isize, p: *mut T) {
+        // ordering: Relaxed — push's release fence (before the `bottom`
+        // store) publishes this write; no one reads the slot until they
+        // have observed `bottom` cover it.
         self.slots[i as usize & self.mask].store(p, Ordering::Relaxed);
     }
 }
@@ -83,13 +94,48 @@ pub struct Deque<T> {
     retired: Mutex<Vec<Box<Buffer<T>>>>,
 }
 
-// Elements are raw pointers to owned heap jobs; transferring them between
-// threads is the whole point. The protocol guarantees each pointer is
-// handed out exactly once.
+// SAFETY: elements are raw pointers to owned heap jobs; transferring them
+// between threads is the whole point. The protocol guarantees each
+// pointer is handed out exactly once, and the buffer lifetime rules
+// (retire-until-drop) keep every slot a thief can reach alive.
 unsafe impl<T> Send for Deque<T> {}
+// SAFETY: shared access is mediated entirely by the atomic protocol
+// (owner-only push/pop is an API contract documented on those methods).
 unsafe impl<T> Sync for Deque<T> {}
 
+/// Model builds shrink the buffer so the growth path is reachable within
+/// a handful of pushes — the checker explores `grow` racing `steal` with
+/// a 3-element scenario instead of a 65-element one.
+#[cfg(partree_model)]
+const INITIAL_CAP: usize = 2;
+#[cfg(not(partree_model))]
 const INITIAL_CAP: usize = 64;
+
+/// Fault-injection hook for the checker's falsifiability test: weakens
+/// pop's owner-side SeqCst fence to Relaxed, reintroducing the classic
+/// Chase–Lev bug (owner reads a stale `top` and re-hands-out a job a
+/// thief already took). `verify --mutate` flips it and asserts the model
+/// reports a violation — proving the suite can actually see this family
+/// of bugs. Compiled out of shipping builds entirely.
+#[cfg(partree_model)]
+pub(crate) mod mutation {
+    use super::Ordering;
+    // Real std atomic on purpose: this is checker-harness state, not part
+    // of the modeled program, so it must not create decision points.
+    use std::sync::atomic::AtomicBool;
+
+    pub(crate) static WEAKEN_POP_FENCE: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn pop_fence_ordering() -> Ordering {
+        // ordering: Relaxed — harness flag, toggled only between (never
+        // during) model explorations.
+        if WEAKEN_POP_FENCE.load(std::sync::atomic::Ordering::Relaxed) {
+            Ordering::Relaxed // ordering: the weakened value under test
+        } else {
+            Ordering::SeqCst
+        }
+    }
+}
 
 impl<T> Deque<T> {
     pub fn new() -> Deque<T> {
@@ -114,14 +160,26 @@ impl<T> Deque<T> {
     /// # Safety
     /// Must be called only from the owning worker thread.
     pub unsafe fn push(&self, p: *mut T) {
+        // ordering: Relaxed — `bottom` is only written by the owner, so
+        // the owner always reads its own latest value.
         let b = self.bottom.load(Ordering::Relaxed);
         let t = self.top.load(Ordering::Acquire);
+        // SAFETY: `buf` always points to a live buffer — the owner is the
+        // only writer (via `grow`) and retired buffers outlive the deque.
+        // ordering: Relaxed — owner-only writes, so owner reads see the
+        // latest buffer.
         let mut buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
         if b - t >= buf.cap() as isize {
             buf = self.grow(t, b, buf);
         }
         buf.put(b, p);
+        // ordering: release fence + relaxed `bottom` store — any thread
+        // that acquires a `bottom` value covering slot `b` also sees the
+        // slot write above; cheaper than a release store because push is
+        // the hot path and `bottom` is owner-written only.
         fence(Ordering::Release);
+        // ordering: Relaxed — ordered after the slot write by the
+        // release fence above; `bottom` is owner-written only.
         self.bottom.store(b + 1, Ordering::Relaxed);
     }
 
@@ -136,7 +194,13 @@ impl<T> Deque<T> {
         self.retired
             .lock()
             .expect("deque retire list poisoned")
+            // SAFETY: `prev` came from `Box::into_raw` in `Buffer::new`
+            // and is superseded by the swap above; boxing it here defers
+            // the free until drop, so thieves holding the old pointer
+            // stay valid.
             .push(unsafe { Box::from_raw(prev) });
+        // SAFETY: `new` was just leaked from a live Box and installed as
+        // the current buffer; it lives until retired-then-dropped.
         unsafe { &*new }
     }
 
@@ -145,10 +209,29 @@ impl<T> Deque<T> {
     /// # Safety
     /// Must be called only from the owning worker thread.
     pub unsafe fn pop(&self) -> Option<*mut T> {
+        // ordering: Relaxed — owner-only variable (see push).
         let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: owner-only read of the current buffer (see push).
+        // ordering: Relaxed — owner-only writes to `buf`.
         let buf = unsafe { &*self.buf.load(Ordering::Relaxed) };
+        // ordering: Relaxed — the SeqCst fence below globally orders this
+        // speculative decrement against thieves' fenced top/bottom reads.
         self.bottom.store(b, Ordering::Relaxed);
+        // ordering: SeqCst fence — the heart of Chase–Lev: totally orders
+        // the `bottom` decrement above against every thief's fence-then-
+        // `bottom` read, so either the thief sees the shrunken deque (and
+        // reports Empty) or the owner's `top` read below sees the thief's
+        // CAS. Weakening this to Relaxed lets both miss each other and
+        // the same job is handed out twice — exactly the violation the
+        // model's mutation test demonstrates.
+        #[cfg(not(partree_model))]
         fence(Ordering::SeqCst);
+        // ordering: model builds take the same SeqCst fence unless the
+        // mutation harness deliberately weakens it to Relaxed.
+        #[cfg(partree_model)]
+        fence(mutation::pop_fence_ordering());
+        // ordering: Relaxed — ordered by the fence above; an unfenced
+        // acquire would not close the store-buffering window anyway.
         let t = self.top.load(Ordering::Relaxed);
         if t <= b {
             let p = buf.get(b);
@@ -156,8 +239,13 @@ impl<T> Deque<T> {
                 // Last element: race the thieves for it.
                 let won = self
                     .top
+                    // ordering: SeqCst success keeps the CAS in the same
+                    // total order as the fences; Relaxed failure is fine
+                    // — losing means a thief took the job and we return
+                    // None without reading anything it published.
                     .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
                     .is_ok();
+                // ordering: Relaxed — owner-only restore of `bottom`.
                 self.bottom.store(b + 1, Ordering::Relaxed);
                 if won {
                     Some(p)
@@ -169,6 +257,7 @@ impl<T> Deque<T> {
             }
         } else {
             // Already empty; undo the speculative decrement.
+            // ordering: Relaxed — owner-only restore of `bottom`.
             self.bottom.store(b + 1, Ordering::Relaxed);
             None
         }
@@ -177,6 +266,10 @@ impl<T> Deque<T> {
     /// Any thread: steal from the FIFO end.
     pub fn steal(&self) -> Steal<T> {
         let t = self.top.load(Ordering::Acquire);
+        // ordering: SeqCst fence — pairs with pop's fence: after it, the
+        // `bottom` read below cannot appear to precede the `top` read
+        // above in the global order, so a thief and the popping owner
+        // cannot both believe they hold the last element.
         fence(Ordering::SeqCst);
         let b = self.bottom.load(Ordering::Acquire);
         if t >= b {
@@ -184,10 +277,17 @@ impl<T> Deque<T> {
         }
         // Read the slot *before* the CAS: a successful CAS certifies the
         // read was of the live value.
+        // SAFETY: `buf` points to the current or a retired buffer; both
+        // stay alive until the deque drops (retire-until-drop), and index
+        // `t` was live in whichever buffer this load observed.
         let buf = unsafe { &*self.buf.load(Ordering::Acquire) };
         let p = buf.get(t);
         if self
             .top
+            // ordering: SeqCst success arbitrates the job against the
+            // owner and other thieves within the fence total order;
+            // Relaxed failure is fine — Retry uses nothing read under
+            // the lost race.
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
             .is_ok()
         {
@@ -202,8 +302,15 @@ impl<T> Drop for Deque<T> {
     fn drop(&mut self) {
         // By the pool's contract every submitted job completes before the
         // submitter unblocks, so a dropping deque is empty of live jobs;
-        // only the buffers themselves need freeing.
-        debug_assert!(self.is_empty_hint(), "deque dropped with queued jobs");
+        // only the buffers themselves need freeing. Skip the assert when
+        // already unwinding — a deque torn down by a panic elsewhere is
+        // allowed to be mid-operation, and asserting would double-panic.
+        if !std::thread::panicking() {
+            debug_assert!(self.is_empty_hint(), "deque dropped with queued jobs");
+        }
+        // SAFETY: `&mut self` means no concurrent owner or thief; the
+        // current buffer pointer is live and uniquely owned here.
+        // ordering: Relaxed — `&mut self` already excludes racing writes.
         drop(unsafe { Box::from_raw(self.buf.load(Ordering::Relaxed)) });
     }
 }

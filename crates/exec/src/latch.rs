@@ -1,0 +1,84 @@
+//! Completion latch for a batch of jobs.
+//!
+//! Carries the first panic payload so unwinding propagates to the
+//! submitter only after the whole batch (and every borrow it holds) has
+//! quiesced. Imports its primitives through [`crate::sync`] so the model
+//! checker can explore this exact source (see `crates/verify`).
+
+use crate::sync::{AtomicUsize, Condvar, Mutex, Ordering};
+use std::any::Any;
+use std::panic::resume_unwind;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Counts submitted jobs down to zero, then wakes every waiter.
+pub(crate) struct CountLatch {
+    remaining: AtomicUsize,
+    pub(crate) state: Mutex<LatchState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+pub(crate) struct LatchState {
+    pub(crate) done: bool,
+    pub(crate) poison: Option<Box<dyn Any + Send>>,
+}
+
+impl CountLatch {
+    pub(crate) fn new(count: usize) -> Arc<CountLatch> {
+        Arc::new(CountLatch {
+            remaining: AtomicUsize::new(count),
+            state: Mutex::new(LatchState::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Lock-free completion probe; acquire pairs with the release half
+    /// of the `AcqRel` decrement in [`CountLatch::count_down`], ordering
+    /// each job's writes (result slots) before a `true` observation.
+    pub(crate) fn probe_done(&self) -> bool {
+        self.remaining.load(Ordering::Acquire) == 0
+    }
+
+    pub(crate) fn count_down(&self) {
+        // ordering: AcqRel — the release half publishes this job's writes
+        // to whoever observes the count at 0; the acquire half makes the
+        // last decrementer (who flips `done`) see every earlier job's
+        // writes, so `wait_done` returning implies the whole batch.
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut g = self.state.lock().expect("latch poisoned");
+            g.done = true;
+            self.cv.notify_all();
+        }
+    }
+
+    pub(crate) fn poison(&self, payload: Box<dyn Any + Send>) {
+        let mut g = self.state.lock().expect("latch poisoned");
+        // First panic wins; later ones are duplicates of the same batch.
+        g.poison.get_or_insert(payload);
+    }
+
+    /// Blocking wait for threads that cannot help (non-workers).
+    pub(crate) fn wait_done(&self) {
+        let mut g = self.state.lock().expect("latch poisoned");
+        while !g.done {
+            g = self.cv.wait(g).expect("latch poisoned");
+        }
+    }
+
+    /// Bounded wait used by helping workers between scheduler re-scans.
+    pub(crate) fn wait_done_timeout(&self, d: Duration) {
+        let g = self.state.lock().expect("latch poisoned");
+        if !g.done {
+            let _ = self.cv.wait_timeout(g, d).expect("latch poisoned");
+        }
+    }
+
+    /// Re-raises the batch's first panic on the submitting thread.
+    pub(crate) fn rethrow(&self) {
+        let payload = self.state.lock().expect("latch poisoned").poison.take();
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
+}

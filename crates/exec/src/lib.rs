@@ -40,13 +40,17 @@
 //! the executor never reorders, merges, or splits submitted jobs.
 
 mod deque;
+mod latch;
 pub mod metrics;
+#[cfg(partree_model)]
+pub mod model;
+mod sync;
 
 pub use metrics::{count_scoped_spawn, scoped_spawns, ExecSnapshot};
 
 use deque::{Deque, Steal};
+use latch::CountLatch;
 use metrics::Metrics;
-use std::any::Any;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -59,6 +63,9 @@ struct Job(Box<dyn FnOnce() + Send + 'static>);
 
 /// Raw job pointer that may cross threads (ownership transfers with it).
 struct JobPtr(*mut Job);
+// SAFETY: a JobPtr is a unique owner of its heap Job; exactly one
+// thread converts it back with Box::from_raw (see `execute`), so
+// sending it transfers ownership rather than sharing it.
 unsafe impl Send for JobPtr {}
 
 /// Erases a scoped closure to `'static` for queueing.
@@ -68,77 +75,9 @@ unsafe impl Send for JobPtr {}
 /// until the job has finished executing. All submission paths in this
 /// crate block on a completion latch, which upholds this.
 unsafe fn erase<'a>(f: Box<dyn FnOnce() + Send + 'a>) -> Box<dyn FnOnce() + Send + 'static> {
+    // SAFETY: only the lifetime is transmuted; the caller (per the
+    // contract above) outlives the job's execution.
     unsafe { std::mem::transmute(f) }
-}
-
-/// Completion latch for a batch of jobs, carrying the first panic payload
-/// so unwinding propagates to the submitter after the whole batch (and
-/// every borrow it holds) has quiesced.
-struct CountLatch {
-    remaining: AtomicUsize,
-    state: Mutex<LatchState>,
-    cv: Condvar,
-}
-
-#[derive(Default)]
-struct LatchState {
-    done: bool,
-    poison: Option<Box<dyn Any + Send>>,
-}
-
-impl CountLatch {
-    fn new(count: usize) -> Arc<CountLatch> {
-        Arc::new(CountLatch {
-            remaining: AtomicUsize::new(count),
-            state: Mutex::new(LatchState::default()),
-            cv: Condvar::new(),
-        })
-    }
-
-    /// Lock-free completion probe; acquire pairs with the release in
-    /// [`CountLatch::count_down`], ordering each job's writes (result
-    /// slots) before a `true` observation.
-    fn probe_done(&self) -> bool {
-        self.remaining.load(Ordering::Acquire) == 0
-    }
-
-    fn count_down(&self) {
-        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut g = self.state.lock().expect("latch poisoned");
-            g.done = true;
-            self.cv.notify_all();
-        }
-    }
-
-    fn poison(&self, payload: Box<dyn Any + Send>) {
-        let mut g = self.state.lock().expect("latch poisoned");
-        // First panic wins; later ones are duplicates of the same batch.
-        g.poison.get_or_insert(payload);
-    }
-
-    /// Blocking wait for threads that cannot help (non-workers).
-    fn wait_done(&self) {
-        let mut g = self.state.lock().expect("latch poisoned");
-        while !g.done {
-            g = self.cv.wait(g).expect("latch poisoned");
-        }
-    }
-
-    /// Bounded wait used by helping workers between scheduler re-scans.
-    fn wait_done_timeout(&self, d: Duration) {
-        let g = self.state.lock().expect("latch poisoned");
-        if !g.done {
-            let _ = self.cv.wait_timeout(g, d).expect("latch poisoned");
-        }
-    }
-
-    /// Re-raises the batch's first panic on the submitting thread.
-    fn rethrow(&self) {
-        let payload = self.state.lock().expect("latch poisoned").poison.take();
-        if let Some(p) = payload {
-            resume_unwind(p);
-        }
-    }
 }
 
 thread_local! {
@@ -179,6 +118,8 @@ impl Pool {
     /// Spawns a pool of exactly `workers` threads (min 1).
     pub fn new(workers: usize) -> Pool {
         let workers = workers.max(1);
+        // ordering: Relaxed — a unique-id counter; nothing synchronizes
+        // through it.
         let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
         let inner = Arc::new(Inner {
             id,
@@ -233,6 +174,8 @@ impl Pool {
         let latch = CountLatch::new(tasks.len());
         let me = self.current_worker();
         for task in tasks {
+            // SAFETY: run_all blocks on the latch below until every task
+            // (and thus every borrow in it) has finished.
             let task = unsafe { erase(task) };
             let l = Arc::clone(&latch);
             let job = Box::into_raw(Box::new(Job(Box::new(move || {
@@ -242,6 +185,8 @@ impl Pool {
                 l.count_down();
             }))));
             match me {
+                // SAFETY: `me` is this thread's own worker index, so this
+                // is the owner pushing to its own deque.
                 Some(i) => unsafe { self.inner.deques[i].push(job) },
                 None => self.inject(job),
             }
@@ -280,8 +225,12 @@ impl Pool {
                 }
                 l.count_down();
             });
+            // SAFETY: join blocks on the latch below until `b` finishes,
+            // keeping its borrows alive for the job's whole run.
             let job = Box::into_raw(Box::new(Job(unsafe { erase(wrapped) })));
             match me {
+                // SAFETY: `me` is this thread's own worker index (owner
+                // push, see run_all).
                 Some(i) => unsafe { self.inner.deques[i].push(job) },
                 None => self.inject(job),
             }
@@ -308,6 +257,8 @@ impl Pool {
     /// Freezes this pool's counters and gauges.
     pub fn metrics_snapshot(&self) -> ExecSnapshot {
         let m = &self.inner.metrics;
+        // ordering: Relaxed — monotonic counters; the snapshot is a
+        // statistical freeze, not a synchronization point.
         let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
         ExecSnapshot {
             steals: get(&m.steals),
@@ -316,6 +267,7 @@ impl Pool {
             blocks_executed: get(&m.blocks_executed),
             joins: get(&m.joins),
             workers: get(&m.workers_spawned),
+            // ordering: Relaxed — gauge read for display only.
             injector_depth: self.inner.injector_len.load(Ordering::Relaxed) as u64,
             scoped_spawns: metrics::scoped_spawns(),
         }
@@ -383,6 +335,8 @@ fn worker_main(inner: Arc<Inner>, me: usize) {
 /// One full scan: own deque (LIFO), then the injector, then a stealing
 /// sweep over the other workers' deques.
 fn find_work(inner: &Inner, me: usize) -> Option<*mut Job> {
+    // SAFETY: `me` is the calling worker's own index — worker_main and
+    // help_until only pass their own slot — so this is the owner popping.
     if let Some(job) = unsafe { inner.deques[me].pop() } {
         return Some(job);
     }
@@ -416,6 +370,8 @@ fn execute(inner: &Inner, job: *mut Job) {
     Metrics::bump(&inner.metrics.blocks_executed);
     // Every queued job is wrapped in catch_unwind by its submission path,
     // so this call does not unwind through the worker loop.
+    // SAFETY: `job` came from Box::into_raw at submission and the deque/
+    // injector protocol hands each pointer out exactly once.
     (unsafe { Box::from_raw(job) }.0)();
 }
 
@@ -432,6 +388,10 @@ fn has_work(inner: &Inner) -> bool {
 /// epoch this worker is about to wait on.
 fn park(inner: &Inner, _me: usize) {
     inner.sleepers.fetch_add(1, Ordering::SeqCst);
+    // ordering: SeqCst fence — Dekker handshake with wake_sleepers: the
+    // sleeper bump above and the work scan below cannot reorder past it,
+    // so a submitter's post-push fence either sees this sleeper or this
+    // scan sees the push.
     fence(Ordering::SeqCst);
     let epoch = *inner.sleep_epoch.lock().expect("sleep lock poisoned");
     if has_work(inner) || inner.shutdown.load(Ordering::Acquire) {
@@ -451,6 +411,8 @@ fn park(inner: &Inner, _me: usize) {
 
 /// Wakes parked workers after a submission (see [`park`]).
 fn wake_sleepers(inner: &Inner) {
+    // ordering: SeqCst fence — the submitter's half of the park Dekker
+    // handshake: orders the job push before the sleeper-count read.
     fence(Ordering::SeqCst);
     if inner.sleepers.load(Ordering::SeqCst) > 0 {
         let mut g = inner.sleep_epoch.lock().expect("sleep lock poisoned");

@@ -15,11 +15,13 @@ static SCOPED_SPAWNS: AtomicU64 = AtomicU64::new(0);
 /// fallback driver so experiment E14 can contrast spawn-per-op against
 /// pool reuse.
 pub fn count_scoped_spawn() {
+    // ordering: Relaxed — statistical counter, no synchronization.
     SCOPED_SPAWNS.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Total legacy scoped-thread spawns so far in this process.
 pub fn scoped_spawns() -> u64 {
+    // ordering: Relaxed — statistical counter read.
     SCOPED_SPAWNS.load(Ordering::Relaxed)
 }
 
@@ -45,6 +47,7 @@ pub struct Metrics {
 impl Metrics {
     #[inline]
     pub(crate) fn bump(cell: &AtomicU64) {
+        // ordering: Relaxed — counters count; they do not synchronize.
         cell.fetch_add(1, Ordering::Relaxed);
     }
 }

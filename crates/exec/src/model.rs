@@ -1,0 +1,216 @@
+//! Model-check scenarios for the executor's unsafe/atomic core.
+//!
+//! Only compiled under `--cfg partree_model`. Each scenario is a small
+//! closed program over the *shipping* [`crate::deque`] and
+//! [`crate::latch`] sources (routed through shadow primitives by
+//! [`crate::sync`]); `partree_verify::explore` enumerates its bounded
+//! interleavings and weak-memory outcomes, and any assertion failure,
+//! deadlock, or livelock is reported with a replayable seed.
+//!
+//! Scenario values are non-null sentinel addresses (`0x10`, `0x20`, …)
+//! rather than heap allocations: the deque never dereferences its
+//! elements, and sentinels make exactly-once accounting trivial without
+//! entangling the model in allocator behavior.
+
+use crate::deque::{Deque, Steal};
+use crate::latch::CountLatch;
+use partree_verify::{thread, Config, Scenario};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Flips the pop-fence mutation (see `deque::mutation`): with `on`, the
+/// owner-side SeqCst fence in `Deque::pop` degrades to Relaxed. The
+/// falsifiability suite turns it on, demonstrates the checker catches
+/// the resulting double-handout, and turns it back off.
+pub fn set_weaken_pop_fence(on: bool) {
+    // ordering: Relaxed — harness flag, mutated only between explorations.
+    crate::deque::mutation::WEAKEN_POP_FENCE.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Steals until a terminal outcome, retrying transient CAS losses.
+/// Returns the sentinels it won, as integers.
+fn steal_up_to(d: &Deque<usize>, max: usize) -> Vec<usize> {
+    let mut got = Vec::new();
+    while got.len() < max {
+        match d.steal() {
+            Steal::Success(p) => got.push(p as usize),
+            // A lost CAS means another thread advanced `top`; bounded
+            // overall because each retry needs someone else's progress.
+            Steal::Retry => continue,
+            Steal::Empty => break,
+        }
+    }
+    got
+}
+
+/// Two jobs, owner popping both while a thief steals: every consumed
+/// sentinel must be handed out exactly once, and between the owner's two
+/// pop attempts and the thief's drain, nothing may be lost. This is the
+/// scenario whose correctness hangs on pop's SeqCst fence — weakening it
+/// (via [`set_weaken_pop_fence`]) makes the owner read a stale `top` and
+/// re-hand-out a stolen job.
+fn deque_pop_steal_race() {
+    let d: Arc<Deque<usize>> = Arc::new(Deque::new());
+    // SAFETY: this thread is the deque's owner; the thief only steals.
+    unsafe {
+        d.push(0x10 as *mut usize);
+        d.push(0x20 as *mut usize);
+    }
+    let d2 = Arc::clone(&d);
+    let thief = thread::spawn(move || steal_up_to(&d2, 2));
+    let mut got = Vec::new();
+    for _ in 0..2 {
+        // SAFETY: still the owning thread.
+        if let Some(p) = unsafe { d.pop() } {
+            got.push(p as usize);
+        }
+    }
+    got.extend(thief.join().expect("thief panicked"));
+    got.sort_unstable();
+    assert_eq!(got, vec![0x10, 0x20], "jobs not handed out exactly once: {got:#x?}");
+}
+
+/// Owner growth racing a thief: model builds start at capacity 2, so the
+/// third push doubles the buffer while the thief may hold the retired
+/// one. Every sentinel must still be consumed exactly once, whichever
+/// buffer each side read through.
+fn deque_growth_steal_race() {
+    let d: Arc<Deque<usize>> = Arc::new(Deque::new());
+    // SAFETY: owner thread (see pop_steal_race).
+    unsafe {
+        d.push(0x10 as *mut usize);
+        d.push(0x20 as *mut usize);
+    }
+    let d2 = Arc::clone(&d);
+    let thief = thread::spawn(move || steal_up_to(&d2, 1));
+    // SAFETY: owner thread; this push grows the buffer (cap 2 -> 4).
+    unsafe { d.push(0x30 as *mut usize) };
+    let mut got = Vec::new();
+    for _ in 0..3 {
+        // SAFETY: owner thread.
+        if let Some(p) = unsafe { d.pop() } {
+            got.push(p as usize);
+        }
+    }
+    got.extend(thief.join().expect("thief panicked"));
+    got.sort_unstable();
+    assert_eq!(got, vec![0x10, 0x20, 0x30], "growth lost or duplicated a job: {got:#x?}");
+}
+
+/// The last-element arbitration: one job, owner pop racing one steal.
+/// Exactly one side may win it — zero winners is a lost job, two is the
+/// double-handout.
+fn deque_last_element_race() {
+    let d: Arc<Deque<usize>> = Arc::new(Deque::new());
+    // SAFETY: owner thread.
+    unsafe { d.push(0x10 as *mut usize) };
+    let d2 = Arc::clone(&d);
+    let thief = thread::spawn(move || steal_up_to(&d2, 1));
+    // SAFETY: owner thread.
+    let mine = unsafe { d.pop() };
+    let stolen = thief.join().expect("thief panicked");
+    let mut got: Vec<usize> = stolen;
+    if let Some(p) = mine {
+        got.push(p as usize);
+    }
+    assert_eq!(got, vec![0x10], "last element won {} times", got.len());
+}
+
+/// Thief-vs-thief: two stealers racing the owner for two jobs exercises
+/// the steal CAS's failure path (Retry) against a concurrent winner, not
+/// just against the owner.
+fn deque_two_thieves_race() {
+    let d: Arc<Deque<usize>> = Arc::new(Deque::new());
+    // SAFETY: owner thread.
+    unsafe {
+        d.push(0x10 as *mut usize);
+        d.push(0x20 as *mut usize);
+    }
+    let (da, db) = (Arc::clone(&d), Arc::clone(&d));
+    let t1 = thread::spawn(move || steal_up_to(&da, 1));
+    let t2 = thread::spawn(move || steal_up_to(&db, 1));
+    let mut got = Vec::new();
+    for _ in 0..2 {
+        // SAFETY: owner thread.
+        if let Some(p) = unsafe { d.pop() } {
+            got.push(p as usize);
+        }
+    }
+    got.extend(t1.join().expect("thief 1 panicked"));
+    got.extend(t2.join().expect("thief 2 panicked"));
+    got.sort_unstable();
+    assert_eq!(got, vec![0x10, 0x20], "jobs not handed out exactly once: {got:#x?}");
+}
+
+/// Two jobs counting a latch down while the submitter blocks on it: the
+/// wait must terminate (a lost wakeup surfaces as a model deadlock) and
+/// completion must be visible afterwards.
+fn latch_countdown_wakes_waiter() {
+    let latch = CountLatch::new(2);
+    let (l1, l2) = (Arc::clone(&latch), Arc::clone(&latch));
+    let t1 = thread::spawn(move || l1.count_down());
+    let t2 = thread::spawn(move || l2.count_down());
+    latch.wait_done();
+    assert!(latch.probe_done(), "wait_done returned before the count hit zero");
+    t1.join().expect("counter 1 panicked");
+    t2.join().expect("counter 2 panicked");
+}
+
+/// Two jobs poisoning concurrently while the submitter polls through the
+/// helping path's bounded wait: exactly one payload survives (first
+/// poison wins), and it is one of the two that were actually reported.
+fn latch_poison_first_wins() {
+    let latch = CountLatch::new(2);
+    let (l1, l2) = (Arc::clone(&latch), Arc::clone(&latch));
+    let t1 = thread::spawn(move || {
+        l1.poison(Box::new("boom-a"));
+        l1.count_down();
+    });
+    let t2 = thread::spawn(move || {
+        l2.poison(Box::new("boom-b"));
+        l2.count_down();
+    });
+    // The helping-worker shape: probe + bounded wait, not a blocking one.
+    while !latch.probe_done() {
+        latch.wait_done_timeout(Duration::from_micros(50));
+    }
+    t1.join().expect("poisoner 1 panicked");
+    t2.join().expect("poisoner 2 panicked");
+    let state = latch.state.lock().expect("latch poisoned");
+    let payload = state.poison.as_ref().expect("no panic payload retained");
+    let msg = payload
+        .downcast_ref::<&str>()
+        .expect("payload of unexpected type");
+    assert!(
+        *msg == "boom-a" || *msg == "boom-b",
+        "poison payload corrupted: {msg}"
+    );
+}
+
+/// The executor's scenario registry, exhaustively run by
+/// `cargo run -p xtask -- verify` and the model test suite.
+pub fn scenarios() -> Vec<Scenario> {
+    // Deque scenarios run at preemption bound 3: the two-phase races
+    // (speculative decrement, fence, CAS) need an extra context switch
+    // beyond the classic lost-update bound to cover their full shape.
+    let deep = Config {
+        preemption_bound: 3,
+        max_executions: 120_000,
+        max_steps: 5_000,
+        read_window: 4,
+    };
+    let cfg = Config {
+        preemption_bound: 2,
+        max_executions: 60_000,
+        max_steps: 5_000,
+        read_window: 4,
+    };
+    vec![
+        Scenario { name: "deque_pop_steal_race", cfg: deep, body: deque_pop_steal_race },
+        Scenario { name: "deque_growth_steal_race", cfg: deep, body: deque_growth_steal_race },
+        Scenario { name: "deque_last_element_race", cfg: deep, body: deque_last_element_race },
+        Scenario { name: "deque_two_thieves_race", cfg, body: deque_two_thieves_race },
+        Scenario { name: "latch_countdown_wakes_waiter", cfg, body: latch_countdown_wakes_waiter },
+        Scenario { name: "latch_poison_first_wins", cfg, body: latch_poison_first_wins },
+    ]
+}

@@ -1,0 +1,102 @@
+//! Model-check suite for the executor core. Only meaningful (and only
+//! compiled) under `--cfg partree_model`, which routes the deque and
+//! latch through partree-verify's shadow primitives:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg partree_model" cargo test -p partree-exec --test model
+//! ```
+#![cfg(partree_model)]
+
+use partree_exec::model;
+use partree_verify::{decode_seed, explore, replay};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Serializes explorations: the mutation flag is process-global, so a
+/// weakened-fence test must not overlap a trunk-cleanliness test.
+fn serial() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores the un-mutated fence even if the test panics.
+struct ResetMutation;
+impl Drop for ResetMutation {
+    fn drop(&mut self) {
+        model::set_weaken_pop_fence(false);
+    }
+}
+
+#[test]
+fn trunk_scenarios_are_clean_and_exhaustive() {
+    let _g = serial();
+    let mut total = 0usize;
+    for s in model::scenarios() {
+        let report = explore(s.name, s.cfg, s.body);
+        assert!(
+            report.passed(),
+            "{}: unexpected violation {:?}",
+            s.name,
+            report.violation
+        );
+        assert!(
+            report.complete,
+            "{}: DFS cut off after {} executions — raise max_executions or shrink the scenario",
+            s.name, report.executions
+        );
+        assert!(
+            report.executions > 20,
+            "{}: only {} interleavings — scenario has no real concurrency",
+            s.name, report.executions
+        );
+        total += report.executions;
+    }
+    println!("executor model suite: {total} distinct interleavings across all scenarios");
+}
+
+/// Falsifiability: weakening pop's SeqCst fence to Relaxed (the classic
+/// Chase–Lev misordering) must produce a caught violation whose seed
+/// replays to the same failure. If this ever stops failing-under-
+/// mutation, the checker has gone blind to the bug family the fence
+/// exists to prevent.
+#[test]
+fn weakened_pop_fence_is_caught_and_replays() {
+    let _g = serial();
+    let _reset = ResetMutation;
+    model::set_weaken_pop_fence(true);
+    let s = model::scenarios()
+        .into_iter()
+        .find(|s| s.name == "deque_pop_steal_race")
+        .expect("registry lost the pop/steal scenario");
+    let report = explore(s.name, s.cfg, s.body);
+    let v = report
+        .violation
+        .expect("model failed to catch the weakened pop fence");
+    assert!(
+        v.seed.starts_with("deque_pop_steal_race@"),
+        "malformed seed {}",
+        v.seed
+    );
+    let (name, decisions) = decode_seed(&v.seed).expect("seed must decode");
+    let replayed = replay(name, s.cfg, decisions, s.body);
+    let rv = replayed
+        .violation
+        .expect("violation seed did not reproduce the failure");
+    assert!(!rv.trace.is_empty(), "traced replay produced no schedule");
+}
+
+/// The mutation is an injected fault, not a latent trunk bug: with the
+/// flag off again, the same scenario explores clean.
+#[test]
+fn unmutated_pop_steal_scenario_is_clean() {
+    let _g = serial();
+    model::set_weaken_pop_fence(false);
+    let s = model::scenarios()
+        .into_iter()
+        .find(|s| s.name == "deque_pop_steal_race")
+        .expect("registry lost the pop/steal scenario");
+    let report = explore(s.name, s.cfg, s.body);
+    assert!(report.passed(), "trunk deque flagged: {:?}", report.violation);
+    assert!(report.complete);
+}

@@ -251,6 +251,7 @@ impl Gateway {
             thread::Builder::new()
                 .name("gateway-prober".into())
                 .spawn(move || prober_loop(&inner))
+                // lint: allow(no-unwrap): prober spawn happens once at gateway startup; failure there is resource exhaustion before any request exists
                 .expect("spawn prober")
         };
         Gateway {
@@ -602,33 +603,50 @@ fn run_attempt(
         r.pool.checkin(conn);
         Ok(resp)
     })();
+    if breaker_counts_as_failure(&result) {
+        r.breaker.record_failure();
+    } else {
+        r.breaker.record_success();
+    }
     match &result {
         Ok(resp) => match resp {
             Response::Busy | Response::Timeout => {
                 r.metrics.busy.fetch_add(1, Ordering::Relaxed);
-                r.breaker.record_success();
             }
             Response::Error {
                 code: ErrorCode::ShuttingDown,
                 ..
             } => {
                 r.metrics.transport_errors.fetch_add(1, Ordering::Relaxed);
-                r.breaker.record_failure();
             }
             _ => {
                 let us = t0.elapsed().as_micros() as u64;
                 r.metrics.successes.fetch_add(1, Ordering::Relaxed);
                 r.metrics.record_latency(us);
                 inner.observe_latency(us);
-                r.breaker.record_success();
             }
         },
         Err(_) => {
             r.metrics.transport_errors.fetch_add(1, Ordering::Relaxed);
-            r.breaker.record_failure();
         }
     }
     result
+}
+
+/// The liveness line the module docs promise: transport errors and
+/// `ShuttingDown` count as breaker failures; every reachable-replica
+/// outcome — including `Busy`/`Timeout` backpressure — counts as a
+/// breaker success. Public so the breaker property tests drive this
+/// exact classification instead of re-stating it.
+pub fn breaker_counts_as_failure(outcome: &io::Result<Response>) -> bool {
+    match outcome {
+        Ok(Response::Error {
+            code: ErrorCode::ShuttingDown,
+            ..
+        }) => true,
+        Ok(_) => false,
+        Err(_) => true,
+    }
 }
 
 /// Background health prober: pings every replica each period, feeding

@@ -43,14 +43,18 @@
 //! gw.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod breaker;
 pub mod gateway;
 pub mod metrics;
+#[cfg(partree_model)]
+pub mod model;
 pub mod pool;
 pub mod route;
+mod sync;
 
 pub use breaker::{Breaker, BreakerConfig, BreakerState};
 pub use gateway::{Gateway, GatewayConfig};

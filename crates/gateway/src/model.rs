@@ -1,0 +1,133 @@
+//! Model-check scenarios for the circuit breaker.
+//!
+//! Only compiled under `--cfg partree_model`. The breaker's mutex and
+//! counters route through [`crate::sync`]'s shadow types, so these
+//! scenarios explore the *shipping* `breaker.rs` under every bounded
+//! interleaving. Cooldowns are pinned to `Duration::ZERO` or
+//! effectively-infinite so wall-clock reads in `Breaker::allow` never
+//! become nondeterministic branches.
+
+use crate::breaker::{Breaker, BreakerConfig, BreakerState};
+use partree_verify::{thread, Config, Scenario};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A threshold-1 breaker with no cooldown: the first failure opens it,
+/// the next `allow` probes.
+fn instant_cfg() -> BreakerConfig {
+    BreakerConfig {
+        failure_threshold: 1,
+        open_cooldown: Duration::ZERO,
+    }
+}
+
+/// Three callers racing for the probe slot after the cooldown: exactly
+/// one may be admitted, in every interleaving.
+fn breaker_single_probe_admission() {
+    let b = Arc::new(Breaker::new(instant_cfg()));
+    b.record_failure();
+    let rivals: Vec<_> = (0..2)
+        .map(|_| {
+            let b2 = Arc::clone(&b);
+            thread::spawn(move || b2.allow())
+        })
+        .collect();
+    let mut admitted = b.allow() as u32;
+    for rival in rivals {
+        admitted += rival.join().expect("rival panicked") as u32;
+    }
+    assert_eq!(admitted, 1, "half-open admitted {admitted} probes");
+    assert_eq!(b.state(), BreakerState::HalfOpen);
+}
+
+/// Concurrent failures crossing the threshold, with a concurrent
+/// success racing the run: the breaker may not double-count a trip —
+/// `opened_total` moves by at most one, and the final state is
+/// consistent with whether the success landed before or after the trip.
+fn breaker_concurrent_trip_opens_once() {
+    let b = Arc::new(Breaker::new(BreakerConfig {
+        failure_threshold: 2,
+        // Effectively infinite: no allow() in this scenario may promote.
+        open_cooldown: Duration::from_secs(3600),
+    }));
+    let (b1, b2) = (Arc::clone(&b), Arc::clone(&b));
+    let t1 = thread::spawn(move || b1.record_failure());
+    let t2 = thread::spawn(move || b2.record_failure());
+    t1.join().expect("failer 1 panicked");
+    t2.join().expect("failer 2 panicked");
+    assert_eq!(b.state(), BreakerState::Open);
+    assert_eq!(b.opened_total(), 1, "threshold crossing double-counted");
+    assert!(!b.allow(), "open breaker within cooldown must refuse");
+    // A third failure while already open must not re-count.
+    b.record_failure();
+    assert_eq!(b.opened_total(), 1, "open breaker re-counted a failure");
+}
+
+/// A failed probe racing a late rival `allow`: whoever won the slot,
+/// the failure re-opens the breaker, a fresh episode admits a fresh
+/// probe, and `opened_total` counts both openings exactly.
+fn breaker_probe_failure_reopens() {
+    let b = Arc::new(Breaker::new(instant_cfg()));
+    b.record_failure();
+    let rivals: Vec<_> = (0..2)
+        .map(|_| {
+            let b2 = Arc::clone(&b);
+            thread::spawn(move || b2.allow())
+        })
+        .collect();
+    let mut admitted = b.allow() as u32;
+    for rival in rivals {
+        admitted += rival.join().expect("rival panicked") as u32;
+    }
+    assert_eq!(admitted, 1, "probe slot admitted {admitted}");
+    b.record_failure();
+    assert_eq!(b.state(), BreakerState::Open);
+    assert_eq!(b.opened_total(), 2);
+    assert!(b.allow(), "new episode must admit a new probe");
+    b.record_success();
+    assert_eq!(b.state(), BreakerState::Closed);
+}
+
+/// A successful probe racing concurrent traffic: after the winner's
+/// `record_success`, the breaker is closed and everyone flows again.
+fn breaker_probe_success_recloses() {
+    let b = Arc::new(Breaker::new(instant_cfg()));
+    b.record_failure();
+    let b2 = Arc::clone(&b);
+    let prober = thread::spawn(move || {
+        if b2.allow() {
+            b2.record_success();
+            true
+        } else {
+            false
+        }
+    });
+    let mine = b.allow();
+    let probed = prober.join().expect("prober panicked");
+    if mine {
+        // This thread won the slot; resolve it so the scenario ends in
+        // a quiescent state in every branch.
+        b.record_success();
+    } else {
+        assert!(probed, "slot admitted no one");
+    }
+    assert_eq!(b.state(), BreakerState::Closed);
+    assert!(b.allow() && b.allow(), "closed breaker must flow freely");
+}
+
+/// The breaker's scenario registry, run by `cargo run -p xtask --
+/// verify` and the gateway model test suite.
+pub fn scenarios() -> Vec<Scenario> {
+    let cfg = Config {
+        preemption_bound: 3,
+        max_executions: 120_000,
+        max_steps: 5_000,
+        read_window: 4,
+    };
+    vec![
+        Scenario { name: "breaker_single_probe_admission", cfg, body: breaker_single_probe_admission },
+        Scenario { name: "breaker_concurrent_trip_opens_once", cfg, body: breaker_concurrent_trip_opens_once },
+        Scenario { name: "breaker_probe_failure_reopens", cfg, body: breaker_probe_failure_reopens },
+        Scenario { name: "breaker_probe_success_recloses", cfg, body: breaker_probe_success_recloses },
+    ]
+}

@@ -48,6 +48,7 @@ impl ConnPool {
     /// new one. LIFO reuse keeps the hottest connection hottest and
     /// lets the idle tail age out of kernel buffers.
     pub fn checkout(&self, io_timeout: Option<Duration>) -> io::Result<Client> {
+        // lint: allow(no-unwrap): a poisoned pool lock means a panic mid-checkout; the idle list may alias live connections, so crashing is the only sound escalation
         let idle = self.idle.lock().expect("pool poisoned").pop();
         if let Some(client) = idle {
             // A dead socket rejects setsockopt; on error fall through
@@ -65,6 +66,7 @@ impl ConnPool {
     /// Returns a connection after a clean response. Over-cap
     /// connections are dropped (closing the socket).
     pub fn checkin(&self, client: Client) {
+        // lint: allow(no-unwrap): poisoned pool lock, as above
         let mut g = self.idle.lock().expect("pool poisoned");
         if g.len() < self.cap {
             g.push(client);
@@ -73,11 +75,13 @@ impl ConnPool {
 
     /// Drops every idle connection (poisoned-replica reset / shutdown).
     pub fn clear(&self) {
+        // lint: allow(no-unwrap): poisoned pool lock, as above
         self.idle.lock().expect("pool poisoned").clear();
     }
 
     /// Idle connections right now.
     pub fn idle_len(&self) -> usize {
+        // lint: allow(no-unwrap): poisoned pool lock, as above
         self.idle.lock().expect("pool poisoned").len()
     }
 

@@ -44,6 +44,7 @@ pub fn preference_order(key: u64, n: usize) -> Vec<usize> {
 pub fn home(key: u64, n: usize) -> usize {
     (0..n)
         .max_by_key(|&r| (score(key, r as u64), std::cmp::Reverse(r)))
+        // lint: allow(no-unwrap): constructor rejects empty replica sets, so the ranked list is provably nonempty here
         .expect("at least one replica")
 }
 

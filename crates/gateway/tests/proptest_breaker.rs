@@ -1,0 +1,175 @@
+//! Property tests for the circuit breaker against a reference state
+//! machine, driven through the gateway's *real* outcome classifier
+//! (`breaker_counts_as_failure`) — so the liveness line the module docs
+//! promise ("backpressure never opens the breaker") is tested as wired,
+//! not as restated.
+
+use partree_gateway::breaker::{Breaker, BreakerConfig, BreakerState};
+use partree_gateway::gateway::breaker_counts_as_failure;
+use partree_service::frame::{ErrorCode, Response};
+use proptest::prelude::*;
+use std::io;
+use std::time::Duration;
+
+/// One replica outcome, as `attempt_once` would see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A served request (encode/decode/stats answered).
+    Ok,
+    /// Backpressure: the replica is alive but shedding (`Busy`).
+    Busy,
+    /// Backpressure: the replica answered with a server-side `Timeout`.
+    Timeout,
+    /// Liveness failure: the replica said it is going away.
+    ShuttingDown,
+    /// Liveness failure: transport error (dial refused, broken pipe).
+    Transport,
+}
+
+impl Event {
+    fn outcome(self) -> io::Result<Response> {
+        match self {
+            Event::Ok => Ok(Response::Pong { draining: false }),
+            Event::Busy => Ok(Response::Busy),
+            Event::Timeout => Ok(Response::Timeout),
+            Event::ShuttingDown => Ok(Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "draining".to_string(),
+            }),
+            Event::Transport => Err(io::Error::new(io::ErrorKind::ConnectionRefused, "refused")),
+        }
+    }
+
+    fn is_liveness_failure(self) -> bool {
+        matches!(self, Event::ShuttingDown | Event::Transport)
+    }
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        Just(Event::Ok),
+        Just(Event::Busy),
+        Just(Event::Timeout),
+        Just(Event::ShuttingDown),
+        Just(Event::Transport),
+    ]
+}
+
+/// Reference model of the breaker: the documented state machine,
+/// reimplemented independently of `breaker.rs`.
+struct Reference {
+    threshold: u32,
+    state: BreakerState,
+    run: u32,
+    opened: u64,
+}
+
+impl Reference {
+    fn new(threshold: u32) -> Reference {
+        Reference {
+            threshold,
+            state: BreakerState::Closed,
+            run: 0,
+            opened: 0,
+        }
+    }
+
+    fn feed(&mut self, failure: bool) {
+        if failure {
+            self.run += 1;
+            let trip = match self.state {
+                BreakerState::Closed => self.run >= self.threshold,
+                BreakerState::HalfOpen => true,
+                BreakerState::Open => false,
+            };
+            if trip {
+                self.state = BreakerState::Open;
+                self.opened += 1;
+            }
+        } else {
+            self.run = 0;
+            self.state = BreakerState::Closed;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary outcome streams, classified by the real gateway rule,
+    /// drive the breaker exactly like the reference machine: same state
+    /// and same open count after every event. With an effectively
+    /// infinite cooldown the time axis is frozen, so the comparison is
+    /// exact. In particular: streams free of liveness failures never
+    /// open the breaker — `Busy`/`Timeout` backpressure cannot amputate
+    /// capacity.
+    #[test]
+    fn breaker_tracks_reference_machine(
+        threshold in 1u32..5,
+        events in prop::collection::vec(event_strategy(), 0..64),
+    ) {
+        let b = Breaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_cooldown: Duration::from_secs(3600),
+        });
+        let mut reference = Reference::new(threshold);
+        for &ev in &events {
+            let failure = breaker_counts_as_failure(&ev.outcome());
+            prop_assert_eq!(
+                failure,
+                ev.is_liveness_failure(),
+                "classifier drew the liveness line wrong for {:?}",
+                ev
+            );
+            if failure {
+                b.record_failure();
+            } else {
+                b.record_success();
+            }
+            reference.feed(failure);
+            prop_assert_eq!(b.state(), reference.state, "after {:?}", ev);
+            prop_assert_eq!(b.opened_total(), reference.opened, "after {:?}", ev);
+            // Routing view: closed allows, open (within cooldown) blocks.
+            match reference.state {
+                BreakerState::Closed => prop_assert!(b.allow()),
+                BreakerState::Open => prop_assert!(!b.allow()),
+                BreakerState::HalfOpen => unreachable!("feed never parks in half-open"),
+            }
+        }
+        if events.iter().all(|e| !e.is_liveness_failure()) {
+            prop_assert_eq!(b.opened_total(), 0, "backpressure opened the breaker");
+            prop_assert!(b.allow());
+        }
+    }
+
+    /// Across random open/probe episodes: each half-open episode admits
+    /// exactly one probe no matter how many callers ask, and the probe's
+    /// resolution (random success/failure) either re-closes or re-opens
+    /// for the next episode.
+    #[test]
+    fn half_open_admits_exactly_one_probe(
+        // Packed episode: low bit = probe outcome, high bits = caller
+        // count (the vendored proptest has no tuple strategies).
+        episodes in prop::collection::vec(0usize..12, 1..20),
+    ) {
+        let b = Breaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_cooldown: Duration::ZERO,
+        });
+        b.record_failure(); // open; zero cooldown arms the first probe
+        for &ep in &episodes {
+            let (callers, probe_succeeds) = (ep / 2 + 1, ep % 2 == 1);
+            let admitted: usize = (0..callers).map(|_| b.allow() as usize).sum();
+            prop_assert_eq!(admitted, 1, "probe slot admitted {} of {}", admitted, callers);
+            prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+            if probe_succeeds {
+                b.record_success();
+                prop_assert_eq!(b.state(), BreakerState::Closed);
+                b.record_failure(); // re-arm the next episode
+            } else {
+                b.record_failure();
+            }
+            prop_assert_eq!(b.state(), BreakerState::Open);
+        }
+    }
+}

@@ -32,6 +32,7 @@
 //! *boundaries* `0..=n`; entry `(i, j)` concerns weights `i+1 ..= j` in
 //! sorted order.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

@@ -30,6 +30,7 @@
 //!   Boolean closure) — the paper's literal decomposition, cross-
 //!   validated against the other two engines.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // Index-based loops over multiple parallel arrays are the idiom of

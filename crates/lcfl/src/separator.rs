@@ -46,6 +46,8 @@ pub fn recognize_separator(grammar: &LinearGrammar, word: &[u8]) -> bool {
         nnt: grammar.n_nonterminals(),
     };
     let (cells, reach) = triangle_reach(&ctx, 0, n - 1);
+    // determinism: keyed lookups only; every ordered walk below follows
+    // the `cells` vector, never map iteration.
     let slot: HashMap<(usize, usize), usize> = cells
         .iter()
         .copied()
@@ -206,6 +208,8 @@ fn brute_reach(
     in_region: &dyn Fn(usize, usize) -> bool,
 ) -> BitMatrix {
     let nnt = ctx.nnt;
+    // determinism: keyed lookups only; output rows/columns are indexed
+    // by position in the `boundary` slice.
     let slot: HashMap<(usize, usize), usize> = boundary
         .iter()
         .copied()
@@ -217,6 +221,9 @@ fn brute_reach(
         for p in 0..nnt {
             let row = bk * nnt + p;
             // BFS over region states.
+            // determinism: visited-set membership only; traversal order
+            // comes from the explicit stack, and the reachability bits
+            // set below are order-independent.
             let mut seen: HashMap<(usize, usize, usize), ()> = HashMap::new();
             let mut stack = vec![(bi, bj, p)];
             seen.insert((bi, bj, p), ());
@@ -248,6 +255,8 @@ fn combine(
     // Union vertex set (cells across parts are disjoint by construction,
     // but dedup defensively).
     let mut union_cells: Vec<(usize, usize)> = Vec::new();
+    // determinism: dedup lookups only; `union_cells` keeps first-seen
+    // order from the deterministic `parts` walk.
     let mut slot: HashMap<(usize, usize), usize> = HashMap::new();
     for (cells, _) in parts {
         for &c in cells.iter() {

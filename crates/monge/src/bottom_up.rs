@@ -148,6 +148,7 @@ fn grid(len: usize, stride: usize) -> Vec<usize> {
 /// Splits the refinement `prev → curr` into gap tasks: each item is
 /// `(known_below, known_above, fresh_indices_in_between)`.
 fn gaps(prev: &[usize], curr: &[usize]) -> Vec<(Option<usize>, Option<usize>, Vec<usize>)> {
+    // determinism: membership tests only; gap order follows `curr`.
     let prev_set: std::collections::HashSet<usize> = prev.iter().copied().collect();
     let mut out = Vec::new();
     let mut fresh = Vec::new();
@@ -229,6 +230,8 @@ impl Cells {
 
     #[inline]
     unsafe fn write(&self, i: usize, j: usize, cols: usize, v: u32) {
+        // SAFETY: forwarded contract — the caller guarantees exclusive
+        // access to cell (i, j) and that it is in bounds.
         unsafe { *self.ptr().add(i * cols + j) = v };
     }
 
@@ -241,6 +244,8 @@ impl Cells {
 // SAFETY: concurrent accesses are to disjoint cells (rows partitioned by
 // gap in phase 1, by row in phase 2).
 unsafe impl Sync for Cells {}
+// SAFETY: same argument as Sync above; the pointer owns no thread-bound
+// state.
 unsafe impl Send for Cells {}
 
 #[cfg(test)]

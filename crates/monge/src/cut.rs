@@ -266,6 +266,8 @@ impl CutCells {
     /// Writes a cut cell. Caller must guarantee exclusive access to it.
     #[inline]
     unsafe fn write(&self, i: usize, j: usize, cols: usize, v: u32) {
+        // SAFETY: forwarded contract — the caller guarantees exclusive
+        // access to cell (i, j) and that it is in bounds.
         unsafe { *self.ptr().add(i * cols + j) = v };
     }
 
@@ -278,6 +280,8 @@ impl CutCells {
 // SAFETY: all concurrent accesses are to disjoint cells (see the SAFETY
 // comments at the call sites).
 unsafe impl Sync for CutCells {}
+// SAFETY: same argument as Sync above; the pointer owns no thread-bound
+// state.
 unsafe impl Send for CutCells {}
 
 /// Debug check: finite entries contiguous in each row.

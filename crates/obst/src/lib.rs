@@ -21,6 +21,7 @@
 //!   height-bounded concave DP → reconstruct → expand with balanced
 //!   subtrees; within `ε` of optimal (Lemma 6.2).
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // Index-based loops over multiple parallel arrays are the idiom of

@@ -91,6 +91,8 @@ impl<T> SyncSlice<T> {
 
 // SAFETY: only used for writes to provably disjoint indices.
 unsafe impl<T> Sync for SyncSlice<T> {}
+// SAFETY: same argument as Sync above; the borrowed slice's lifetime
+// keeps the pointee alive for any thread holding the wrapper.
 unsafe impl<T> Send for SyncSlice<T> {}
 
 #[cfg(test)]

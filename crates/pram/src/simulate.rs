@@ -128,24 +128,38 @@ impl Pram {
         }
 
         // Discipline checks.
+        // determinism: grouping maps are never iterated for output —
+        // violation witnesses below are chosen by min address, and the
+        // per-cell vectors fill in `all_reads`/`all_writes` order.
         let mut readers: HashMap<usize, Vec<usize>> = HashMap::new();
         for &(pid, addr) in &all_reads {
             readers.entry(addr).or_default().push(pid);
         }
+        // determinism: as above — keyed grouping only, no ordered walk.
         let mut writers: HashMap<usize, Vec<(usize, i64)>> = HashMap::new();
         for &(pid, addr, v) in &all_writes {
             writers.entry(addr).or_default().push((pid, v));
         }
 
         if self.discipline == Discipline::Erew {
-            if let Some((addr, pids)) = readers.iter().find(|(_, p)| p.len() > 1) {
+            // Witness the *lowest* violating cell so the error message
+            // does not depend on hash iteration order.
+            if let Some((addr, pids)) = readers
+                .iter()
+                .filter(|(_, p)| p.len() > 1)
+                .min_by_key(|(addr, _)| **addr)
+            {
                 return Err(Error::invalid(format!(
                     "EREW violation: processors {pids:?} concurrently read cell {addr}"
                 )));
             }
         }
         if self.discipline != Discipline::Crcw {
-            if let Some((addr, ws)) = writers.iter().find(|(_, w)| w.len() > 1) {
+            if let Some((addr, ws)) = writers
+                .iter()
+                .filter(|(_, w)| w.len() > 1)
+                .min_by_key(|(addr, _)| **addr)
+            {
                 return Err(Error::invalid(format!(
                     "{:?} violation: {} concurrent writes to cell {addr}",
                     self.discipline,
@@ -160,6 +174,8 @@ impl Pram {
 
         // Apply writes: lowest processor id wins (ARBITRARY, made
         // deterministic).
+        // determinism: one entry per address; the drain below stores to
+        // disjoint cells, so apply order cannot affect memory state.
         let mut final_writes: HashMap<usize, (usize, i64)> = HashMap::new();
         for (pid, addr, v) in all_writes {
             final_writes

@@ -53,6 +53,7 @@
 //! # Ok::<(), partree_service::frame::FrameError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 

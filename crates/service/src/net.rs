@@ -121,6 +121,7 @@ impl Server {
             std::thread::Builder::new()
                 .name("partree-accept".into())
                 .spawn(move || accept_loop(&listener, &service, &stop, &conns, &faults))
+                // lint: allow(no-unwrap): accept-thread spawn happens once at server startup, before any connection exists
                 .expect("spawning the accept thread cannot fail")
         };
         Ok(Server {
@@ -160,6 +161,7 @@ impl Server {
                 .map_err(|_| io::Error::other("accept thread panicked"))?;
         }
         let handles: Vec<_> = {
+            // lint: allow(no-unwrap): a poisoned connection registry means a panic mid-insert; shutdown could strand sockets, so crash loudly instead
             let mut reg = self.conns.lock().expect("connection registry poisoned");
             reg.drain(..).collect()
         };
@@ -201,10 +203,12 @@ fn accept_loop(
             .spawn(move || {
                 let _ = serve_connection(&stream, &service, &stop_flag, &faults, conn_seed);
             })
+            // lint: allow(no-unwrap): per-connection spawn failure is resource exhaustion; the acceptor cannot answer in-protocol and dying is visible
             .expect("spawning a connection thread cannot fail");
         next += 1;
         conns
             .lock()
+            // lint: allow(no-unwrap): poisoned connection registry, as above
             .expect("connection registry poisoned")
             .push(handle);
     }

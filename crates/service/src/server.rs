@@ -116,6 +116,7 @@ impl Service {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(cfg.pool_threads)
             .build()
+            // lint: allow(no-unwrap): vendored rayon's builder is infallible by construction; see vendor/rayon
             .expect("the vendored rayon pool builder cannot fail");
         let inner = Arc::new(Inner {
             cache: CodebookCache::new(cfg.cache_shards, cfg.cache_capacity),
@@ -130,6 +131,7 @@ impl Service {
             cfg,
         });
         let svc = Service { inner };
+        // lint: allow(no-unwrap): a poisoned worker registry means a panic mid-startup; no request traffic exists yet
         let mut handles = svc.inner.workers.lock().expect("worker registry poisoned");
         for k in 0..svc.inner.cfg.workers {
             let worker = Arc::clone(&svc.inner);
@@ -137,6 +139,7 @@ impl Service {
                 std::thread::Builder::new()
                     .name(format!("partree-batch-{k}"))
                     .spawn(move || batch_loop(&worker))
+                    // lint: allow(no-unwrap): batch-worker spawn happens once at startup; failure is resource exhaustion before any request exists
                     .expect("spawning a batch worker cannot fail"),
             );
         }
@@ -150,6 +153,7 @@ impl Service {
     pub fn try_enqueue(&self, request: Request) -> Result<mpsc::Receiver<Response>, Response> {
         let (tx, rx) = mpsc::channel();
         {
+            // lint: allow(no-unwrap): a poisoned batch queue means a panic mid-enqueue; batches may be half-recorded and crashing beats serving them
             let mut queue = self.inner.queue.lock().expect("queue poisoned");
             // Checked under the queue lock: `shutdown` sets the flag and
             // clears the queue under the same lock, so a request either
@@ -258,6 +262,7 @@ impl Service {
     pub fn shutdown(&self) -> usize {
         self.inner.stopping.store(true, Ordering::Release);
         let dropped = {
+            // lint: allow(no-unwrap): poisoned batch queue, as above
             let mut queue = self.inner.queue.lock().expect("queue poisoned");
             let n = queue.len();
             queue.clear();
@@ -265,10 +270,12 @@ impl Service {
         };
         self.inner.wake.notify_all();
         let handles: Vec<_> = {
+            // lint: allow(no-unwrap): poisoned worker registry, as above
             let mut reg = self.inner.workers.lock().expect("worker registry poisoned");
             reg.drain(..).collect()
         };
         for h in handles {
+            // lint: allow(no-unwrap): shutdown path: re-raising a batch worker's panic is the contract, not a request-path crash
             h.join().expect("batch worker panicked");
         }
         dropped
@@ -279,6 +286,7 @@ impl Service {
 fn batch_loop(inner: &Inner) {
     loop {
         let batch = {
+            // lint: allow(no-unwrap): poisoned batch queue, as above
             let mut queue = inner.queue.lock().expect("queue poisoned");
             loop {
                 if !queue.is_empty() {
@@ -291,6 +299,7 @@ fn batch_loop(inner: &Inner) {
                 queue = inner
                     .wake
                     .wait_timeout(queue, Duration::from_millis(50))
+                    // lint: allow(no-unwrap): poisoned batch queue, as above
                     .expect("queue poisoned")
                     .0;
             }

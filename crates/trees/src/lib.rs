@@ -28,6 +28,7 @@
 //! * [`bitonic`] — Theorem 7.2: bitonic patterns, minimal forests;
 //! * [`finger`] — Theorem 7.3: general patterns by Finger-Reduction.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 // Index-based loops over multiple parallel arrays are the idiom of

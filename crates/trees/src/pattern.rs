@@ -177,6 +177,7 @@ pub fn feasible_brute(levels: &[u32]) -> bool {
     }
     let n = levels.len();
     let max_l = *levels.iter().max().expect("nonempty");
+    // determinism: memo cache — keyed lookups only, never iterated.
     let mut memo = std::collections::HashMap::<(usize, usize, u32), bool>::new();
     fn rec(
         levels: &[u32],
@@ -184,6 +185,7 @@ pub fn feasible_brute(levels: &[u32]) -> bool {
         j: usize,
         lvl: u32,
         max_l: u32,
+        // determinism: memo cache — keyed lookups only, never iterated.
         memo: &mut std::collections::HashMap<(usize, usize, u32), bool>,
     ) -> bool {
         if lvl > max_l {

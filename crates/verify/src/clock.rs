@@ -1,0 +1,63 @@
+//! Vector clocks over a fixed thread universe.
+//!
+//! Every shared-memory event in a model execution is stamped with the
+//! acting thread's [`VClock`]; joins build the happens-before partial
+//! order and `le` queries it. The universe is capped at
+//! [`MAX_THREADS`] — model scenarios are tiny by design (the state
+//! space is exponential in thread count), so a fixed array beats a
+//! heap-allocated clock on every op of every explored interleaving.
+
+/// Upper bound on model threads per execution (including the body).
+pub const MAX_THREADS: usize = 8;
+
+/// A vector clock: one logical-time component per model thread.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct VClock([u32; MAX_THREADS]);
+
+impl VClock {
+    /// The zero clock (happens-before everything).
+    pub const ZERO: VClock = VClock([0; MAX_THREADS]);
+
+    /// Advances this thread's own component.
+    #[inline]
+    pub fn tick(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum: afterwards `self` dominates both inputs.
+    #[inline]
+    pub fn join(&mut self, other: &VClock) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            if *b > *a {
+                *a = *b;
+            }
+        }
+    }
+
+    /// `self ≤ other` in the pointwise partial order — i.e. the event
+    /// stamped `self` happens-before (or equals) the view `other`.
+    #[inline]
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().zip(other.0.iter()).all(|(a, b)| a <= b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_le_form_the_expected_lattice() {
+        let mut a = VClock::ZERO;
+        let mut b = VClock::ZERO;
+        a.tick(0);
+        b.tick(1);
+        assert!(!a.le(&b));
+        assert!(!b.le(&a));
+        let mut j = a;
+        j.join(&b);
+        assert!(a.le(&j));
+        assert!(b.le(&j));
+        assert!(VClock::ZERO.le(&a));
+    }
+}

@@ -1,0 +1,968 @@
+//! One model execution: lockstep scheduling plus an operational weak
+//! memory model.
+//!
+//! ## Scheduling
+//!
+//! Exactly one model thread runs at a time. Before every shared-memory
+//! operation the running thread enters [`Execution::yield_point`],
+//! where the set of *enabled* threads is computed and a scheduling
+//! decision is taken. Decisions are drawn from a forced prefix (DFS
+//! backtracking / seed replay) and recorded, so an execution is a
+//! deterministic function of its decision vector. A *preemption bound*
+//! caps how many times a runnable thread is switched away from, which
+//! keeps exploration tractable (CHESS-style: most concurrency bugs
+//! need very few preemptions).
+//!
+//! ## Memory model
+//!
+//! Each shadow atomic keeps its full modification order — a list of
+//! stores stamped with the storer's vector clock plus a release clock.
+//! A load may read any store that coherence and happens-before allow:
+//! nothing older than a store the thread already observed at this
+//! location, and nothing overwritten by a store that happens-before
+//! the load. *Which* eligible store is read is itself an explored
+//! decision. Release/acquire edges join clocks; release fences arm
+//! subsequent relaxed stores; SeqCst operations additionally
+//! synchronize through a global SC clock.
+//!
+//! The model is deliberately slightly *stronger* than C11 in three
+//! places, trading missed exotic behaviours for zero false alarms
+//! (a reported violation is always a real interleaving of the model):
+//!
+//! 1. RMWs read the newest store (a real failed CAS may compare
+//!    against a staler read).
+//! 2. SeqCst is modelled as acquire+release of one global clock; the
+//!    per-execution SC total order is stood in for by the scheduler's
+//!    interleaving choice.
+//! 3. Read-read coherence is enforced per thread, across thread join
+//!    and across mutex hand-off, but a release *store* does not carry
+//!    the storer's read-set (reads-from edges still carry full store
+//!    stamps, which covers the write-centric cases).
+//!
+//! All three are argued in DESIGN.md §2.3.
+//!
+//! ## Teardown
+//!
+//! After a violation the execution is *poisoned*: shadow types bypass
+//! the model entirely (they fall back to their real std backing, kept
+//! fresh by write-through), the running thread drains to completion,
+//! and suspended threads are unwound one at a time via a per-thread
+//! kill flag that fires only at token-wakeup points — never while the
+//! thread is already panicking, which would double-panic inside drops.
+
+use crate::clock::{VClock, MAX_THREADS};
+use crate::sched::{Ctl, StrandPool};
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Marker payload used to unwind a model thread during teardown;
+/// never reported as a panic.
+pub(crate) struct Abort;
+
+/// Resolved per-execution tunables (public mirror: [`crate::Config`]).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Limits {
+    pub preemption_bound: u32,
+    pub max_steps: u64,
+    pub read_window: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum RunState {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCv {
+        mutex: usize,
+        notified: bool,
+        timeoutable: bool,
+    },
+    BlockedJoin(usize),
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub run_state: RunState,
+    /// Happens-before view: everything this thread has synchronized
+    /// with.
+    pub view: VClock,
+    /// Join of the release clocks of every store this thread has read
+    /// (any ordering); an acquire fence promotes it into `view`.
+    pub acq_buf: VClock,
+    /// View at the last release (or stronger) fence; relaxed stores
+    /// publish this clock, per C11 fence semantics.
+    pub rel_fence: VClock,
+    /// Per-atomic coherence floor: newest modification-order index
+    /// this thread has read or written, per location.
+    pub seen: Vec<usize>,
+    /// Set during teardown: the thread's next token wakeup unwinds it.
+    pub kill: bool,
+}
+
+pub(crate) struct Store {
+    pub val: u64,
+    /// What an acquire read of this store synchronizes with.
+    pub rel: VClock,
+    /// The storer's full clock at the store; the happens-before
+    /// visibility floor is computed from these.
+    pub stamp: VClock,
+}
+
+pub(crate) struct AtomicState {
+    pub history: Vec<Store>,
+}
+
+pub(crate) struct MutexState {
+    pub locked_by: Option<usize>,
+    pub clock: VClock,
+    /// Coherence floors carried across the lock hand-off (CoRR).
+    pub seen: Vec<usize>,
+}
+
+pub(crate) struct CvWaiter {
+    pub tid: usize,
+    pub cv: usize,
+    pub notified: bool,
+}
+
+/// A recorded decision: which of `options` was `chosen`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PathEntry {
+    pub chosen: u8,
+    pub options: u8,
+}
+
+pub(crate) struct State {
+    pub threads: Vec<ThreadState>,
+    pub atomics: Vec<AtomicState>,
+    pub mutexes: Vec<MutexState>,
+    pub condvars: usize,
+    pub cv_waiters: Vec<CvWaiter>,
+    pub sc_clock: VClock,
+    pub steps: u64,
+    pub preemptions: u32,
+    pub forced: Vec<u8>,
+    pub path: Vec<PathEntry>,
+    pub violation: Option<String>,
+    pub trace: Vec<String>,
+    pub trace_on: bool,
+}
+
+fn join_seen(dst: &mut Vec<usize>, src: &[usize]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        if *s > *d {
+            *d = *s;
+        }
+    }
+}
+
+impl State {
+    fn degraded(&self) -> bool {
+        self.violation.is_some()
+    }
+
+    fn decide(&mut self, options: usize) -> usize {
+        debug_assert!(options >= 1);
+        if self.degraded() {
+            return 0;
+        }
+        let i = self.path.len();
+        let chosen = if i < self.forced.len() {
+            (self.forced[i] as usize).min(options - 1)
+        } else {
+            0
+        };
+        self.path.push(PathEntry {
+            chosen: chosen as u8,
+            options: options as u8,
+        });
+        chosen
+    }
+
+    fn runnable(&self, t: usize) -> bool {
+        match self.threads[t].run_state {
+            RunState::Runnable => true,
+            RunState::BlockedMutex(m) => self.mutexes[m].locked_by.is_none(),
+            RunState::BlockedCv {
+                notified, mutex, ..
+            } => notified && self.mutexes[mutex].locked_by.is_none(),
+            RunState::BlockedJoin(target) => {
+                matches!(self.threads[target].run_state, RunState::Finished)
+            }
+            RunState::Finished => false,
+        }
+    }
+
+    fn enabled(&self) -> Vec<usize> {
+        (0..self.threads.len()).filter(|&t| self.runnable(t)).collect()
+    }
+
+    /// Fires one pending cv timeout (lowest thread id first). Returns
+    /// whether anything changed.
+    fn fire_one_timeout(&mut self) -> bool {
+        let tid = self
+            .threads
+            .iter()
+            .enumerate()
+            .find(|(_, t)| {
+                matches!(
+                    t.run_state,
+                    RunState::BlockedCv {
+                        timeoutable: true,
+                        notified: false,
+                        ..
+                    }
+                )
+            })
+            .map(|(i, _)| i);
+        if let Some(tid) = tid {
+            // A timeout wake sets the run-state flag but NOT the
+            // waiter-entry flag, so the waker can distinguish notify
+            // from timeout when it resumes.
+            if let RunState::BlockedCv { ref mut notified, .. } = self.threads[tid].run_state {
+                *notified = true;
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn set_cv_notified(&mut self, tid: usize) {
+        if let RunState::BlockedCv { ref mut notified, .. } = self.threads[tid].run_state {
+            *notified = true;
+        }
+        for w in &mut self.cv_waiters {
+            if w.tid == tid {
+                w.notified = true;
+            }
+        }
+    }
+
+    fn trace(&mut self, f: impl FnOnce() -> String) {
+        if self.trace_on {
+            let line = f();
+            self.trace.push(line);
+        }
+    }
+}
+
+fn acquire_in(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn release_out(ord: Ordering) -> bool {
+    matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+/// Shared state of one model execution. Strands hold an `Arc` in TLS.
+pub(crate) struct Execution {
+    /// Process-unique generation; shadow objects cache the id they got
+    /// from an execution together with its generation, so stale
+    /// registrations from earlier executions are never honoured.
+    pub gen: u64,
+    pub limits: Limits,
+    /// Set the instant a violation is recorded. Shadow types read this
+    /// (cheaply, without the state lock) to bypass the model during
+    /// teardown, so unwinding drops cannot re-enter the scheduler.
+    poisoned: AtomicBool,
+    pub state: Mutex<State>,
+    /// Handoff tokens: one per model thread.
+    strand_ctls: Mutex<Vec<Arc<Ctl>>>,
+    /// The driver's token, set when the last thread finishes.
+    outer: Arc<Ctl>,
+    pool: Arc<StrandPool>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The executing strand's (execution, thread id), if any. Shadow types
+/// use this to route operations into the model; `None` means "run on
+/// the real primitives".
+pub(crate) fn current() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn in_model() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// What one finished execution reports back to the explorer.
+pub(crate) struct Outcome {
+    pub violation: Option<String>,
+    pub path: Vec<PathEntry>,
+    pub trace: Vec<String>,
+}
+
+impl Execution {
+    pub(crate) fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn ctl(&self, tid: usize) -> Arc<Ctl> {
+        Arc::clone(&self.strand_ctls.lock().unwrap_or_else(|e| e.into_inner())[tid])
+    }
+
+    /// Passes the token to `tid` and parks the calling strand until the
+    /// token comes back to `me`. Must be called WITHOUT the state lock.
+    fn handoff(&self, me: usize, to: usize) {
+        debug_assert_ne!(me, to);
+        self.ctl(to).set();
+        self.ctl(me).wait();
+        let st = self.lock();
+        if st.threads[me].kill && !std::thread::panicking() {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+    }
+
+    /// Records a violation, poisons the execution, and unwinds the
+    /// calling strand; its finish handler continues the teardown.
+    fn violate(&self, mut st: MutexGuard<'_, State>, msg: String) -> ! {
+        if st.violation.is_none() {
+            st.violation = Some(msg);
+        }
+        self.poisoned.store(true, Ordering::SeqCst);
+        drop(st);
+        std::panic::panic_any(Abort);
+    }
+
+    /// The scheduling decision before every shared-memory operation.
+    pub(crate) fn yield_point(self: &Arc<Execution>, me: usize, what: &str) {
+        let mut st = self.lock();
+        if st.threads[me].kill && !std::thread::panicking() {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.steps += 1;
+        if st.degraded() {
+            // Drain mode: current thread runs to completion, no
+            // scheduling, no recording.
+            return;
+        }
+        if st.steps > self.limits.max_steps {
+            let msg = format!(
+                "step budget exceeded ({} ops): livelock or unbounded loop in scenario",
+                self.limits.max_steps
+            );
+            self.violate(st, msg);
+        }
+        st.trace(|| format!("t{me}: {what}"));
+        let enabled = st.enabled();
+        debug_assert!(enabled.contains(&me), "yield_point from a blocked thread");
+        if enabled.len() == 1 || st.preemptions >= self.limits.preemption_bound {
+            return;
+        }
+        // Current thread first: choice 0 (the DFS default) is
+        // "no context switch".
+        let mut options = vec![me];
+        options.extend(enabled.into_iter().filter(|&t| t != me));
+        let k = st.decide(options.len());
+        let next = options[k];
+        if next == me {
+            return;
+        }
+        st.preemptions += 1;
+        drop(st);
+        self.handoff(me, next);
+    }
+
+    /// Blocks the calling thread (whose `run_state` must already be a
+    /// blocked variant) and passes the token on. Returns once this
+    /// thread is scheduled again; the caller re-validates its wake
+    /// condition.
+    fn block(self: &Arc<Execution>, mut st: MutexGuard<'_, State>, me: usize) {
+        loop {
+            let enabled = st.enabled();
+            if !enabled.is_empty() {
+                let next = if enabled.len() == 1 || st.degraded() {
+                    enabled[0]
+                } else {
+                    let k = st.decide(enabled.len());
+                    enabled[k]
+                };
+                st.trace(|| format!("t{me}: blocked, t{next} runs"));
+                drop(st);
+                self.handoff(me, next);
+                return;
+            }
+            // Nothing runnable: fire a cv timeout if one exists,
+            // otherwise this is a deadlock.
+            if st.fire_one_timeout() {
+                continue;
+            }
+            let held: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.run_state, RunState::Finished))
+                .map(|(i, t)| format!("t{i}:{:?}", t.run_state))
+                .collect();
+            let msg = format!("deadlock: all threads blocked [{}]", held.join(", "));
+            st.threads[me].kill = true;
+            self.violate(st, msg);
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Registration
+    // ---------------------------------------------------------------
+
+    pub(crate) fn register_atomic(&self, init: u64) -> u32 {
+        let mut st = self.lock();
+        st.atomics.push(AtomicState {
+            history: vec![Store {
+                val: init,
+                rel: VClock::ZERO,
+                stamp: VClock::ZERO,
+            }],
+        });
+        (st.atomics.len() - 1) as u32
+    }
+
+    pub(crate) fn register_mutex(&self) -> u32 {
+        let mut st = self.lock();
+        st.mutexes.push(MutexState {
+            locked_by: None,
+            clock: VClock::ZERO,
+            seen: Vec::new(),
+        });
+        (st.mutexes.len() - 1) as u32
+    }
+
+    pub(crate) fn register_condvar(&self) -> u32 {
+        let mut st = self.lock();
+        st.condvars += 1;
+        (st.condvars - 1) as u32
+    }
+
+    // ---------------------------------------------------------------
+    // Atomics
+    // ---------------------------------------------------------------
+
+    fn set_seen(st: &mut State, me: usize, a: usize, idx: usize) {
+        let seen = &mut st.threads[me].seen;
+        if seen.len() <= a {
+            seen.resize(a + 1, 0);
+        }
+        if idx > seen[a] {
+            seen[a] = idx;
+        }
+    }
+
+    fn sc_sync(st: &mut State, me: usize) {
+        let sc = st.sc_clock;
+        st.threads[me].view.join(&sc);
+        let view = st.threads[me].view;
+        st.sc_clock.join(&view);
+    }
+
+    pub(crate) fn atomic_load(self: &Arc<Execution>, me: usize, a: u32, ord: Ordering) -> u64 {
+        let a = a as usize;
+        self.yield_point(me, "atomic load");
+        let mut st = self.lock();
+        if ord == Ordering::SeqCst {
+            Self::sc_sync(&mut st, me);
+        }
+        // Visibility floor: the newest store this thread has already
+        // observed at this location, or that happens-before this load.
+        let view = st.threads[me].view;
+        let hist_len = st.atomics[a].history.len();
+        let mut floor = st.threads[me].seen.get(a).copied().unwrap_or(0);
+        for (i, s) in st.atomics[a].history.iter().enumerate().skip(floor + 1) {
+            if s.stamp.le(&view) {
+                floor = i;
+            }
+        }
+        // Eligible range: floor..hist_len, windowed to the newest few.
+        // Options are numbered newest-first so the DFS default (0) is
+        // the SC-like "read the latest store".
+        let lo = floor.max(hist_len.saturating_sub(self.limits.read_window));
+        let n = hist_len - lo;
+        let k = if n > 1 { st.decide(n) } else { 0 };
+        let idx = hist_len - 1 - k;
+        let (val, rel) = {
+            let s = &st.atomics[a].history[idx];
+            (s.val, s.rel)
+        };
+        Self::set_seen(&mut st, me, a, idx);
+        st.threads[me].acq_buf.join(&rel);
+        if acquire_in(ord) {
+            st.threads[me].view.join(&rel);
+        }
+        st.trace(|| format!("t{me}: load a{a} -> {val} (mo {idx}/{})", hist_len - 1));
+        val
+    }
+
+    pub(crate) fn atomic_store(self: &Arc<Execution>, me: usize, a: u32, val: u64, ord: Ordering) {
+        let a = a as usize;
+        self.yield_point(me, "atomic store");
+        let mut st = self.lock();
+        if ord == Ordering::SeqCst {
+            Self::sc_sync(&mut st, me);
+        }
+        st.threads[me].view.tick(me);
+        let view = st.threads[me].view;
+        // A release store publishes the full view; a relaxed store
+        // publishes only what the last release fence armed.
+        let rel = if release_out(ord) {
+            view
+        } else {
+            st.threads[me].rel_fence
+        };
+        if ord == Ordering::SeqCst {
+            st.sc_clock.join(&view);
+        }
+        st.atomics[a].history.push(Store { val, rel, stamp: view });
+        let idx = st.atomics[a].history.len() - 1;
+        Self::set_seen(&mut st, me, a, idx);
+        st.trace(|| format!("t{me}: store a{a} <- {val} (mo {idx})"));
+    }
+
+    /// Generic RMW: `f` maps the newest value to `Some(new)` (write) or
+    /// `None` (failed CAS; acts as a load with `fail` ordering).
+    pub(crate) fn atomic_rmw(
+        self: &Arc<Execution>,
+        me: usize,
+        a: u32,
+        f: &mut dyn FnMut(u64) -> Option<u64>,
+        success: Ordering,
+        fail: Ordering,
+    ) -> (u64, bool) {
+        let a = a as usize;
+        self.yield_point(me, "atomic rmw");
+        let mut st = self.lock();
+        if success == Ordering::SeqCst || fail == Ordering::SeqCst {
+            Self::sc_sync(&mut st, me);
+        }
+        let hist_len = st.atomics[a].history.len();
+        let (prev, prev_rel) = {
+            let s = &st.atomics[a].history[hist_len - 1];
+            (s.val, s.rel)
+        };
+        st.threads[me].acq_buf.join(&prev_rel);
+        match f(prev) {
+            None => {
+                Self::set_seen(&mut st, me, a, hist_len - 1);
+                if acquire_in(fail) {
+                    st.threads[me].view.join(&prev_rel);
+                }
+                st.trace(|| format!("t{me}: rmw a{a} failed (read {prev})"));
+                (prev, false)
+            }
+            Some(new) => {
+                if acquire_in(success) {
+                    st.threads[me].view.join(&prev_rel);
+                }
+                st.threads[me].view.tick(me);
+                let view = st.threads[me].view;
+                let mut rel = if release_out(success) {
+                    view
+                } else {
+                    st.threads[me].rel_fence
+                };
+                // An RMW continues the release sequence it modifies.
+                rel.join(&prev_rel);
+                if success == Ordering::SeqCst {
+                    st.sc_clock.join(&view);
+                }
+                st.atomics[a].history.push(Store {
+                    val: new,
+                    rel,
+                    stamp: view,
+                });
+                let idx = st.atomics[a].history.len() - 1;
+                Self::set_seen(&mut st, me, a, idx);
+                st.trace(|| format!("t{me}: rmw a{a} {prev} -> {new} (mo {idx})"));
+                (prev, true)
+            }
+        }
+    }
+
+    pub(crate) fn fence(self: &Arc<Execution>, me: usize, ord: Ordering) {
+        self.yield_point(me, "fence");
+        let mut st = self.lock();
+        match ord {
+            Ordering::Acquire => {
+                let b = st.threads[me].acq_buf;
+                st.threads[me].view.join(&b);
+            }
+            Ordering::Release => {
+                st.threads[me].rel_fence = st.threads[me].view;
+            }
+            Ordering::AcqRel => {
+                let b = st.threads[me].acq_buf;
+                st.threads[me].view.join(&b);
+                st.threads[me].rel_fence = st.threads[me].view;
+            }
+            Ordering::SeqCst => {
+                let b = st.threads[me].acq_buf;
+                st.threads[me].view.join(&b);
+                Self::sc_sync(&mut st, me);
+                st.threads[me].rel_fence = st.threads[me].view;
+            }
+            _ => {}
+        }
+        st.trace(|| format!("t{me}: fence {ord:?}"));
+    }
+
+    // ---------------------------------------------------------------
+    // Mutex / Condvar
+    // ---------------------------------------------------------------
+
+    pub(crate) fn mutex_lock(self: &Arc<Execution>, me: usize, m: u32) {
+        let m = m as usize;
+        self.yield_point(me, "mutex lock");
+        self.lock_loop(me, m);
+    }
+
+    fn lock_loop(self: &Arc<Execution>, me: usize, m: usize) {
+        loop {
+            let mut st = self.lock();
+            if st.mutexes[m].locked_by.is_none() {
+                st.mutexes[m].locked_by = Some(me);
+                let clock = st.mutexes[m].clock;
+                st.threads[me].view.join(&clock);
+                let mseen = std::mem::take(&mut st.mutexes[m].seen);
+                join_seen(&mut st.threads[me].seen, &mseen);
+                st.mutexes[m].seen = mseen;
+                st.trace(|| format!("t{me}: lock m{m}"));
+                return;
+            }
+            st.threads[me].run_state = RunState::BlockedMutex(m);
+            self.block(st, me);
+            let mut st2 = self.lock();
+            st2.threads[me].run_state = RunState::Runnable;
+            // Loop: another thread may have won the lock meanwhile.
+        }
+    }
+
+    pub(crate) fn mutex_unlock(self: &Arc<Execution>, me: usize, m: u32) {
+        let m = m as usize;
+        // Unlock is not a decision point: the interesting orderings
+        // are covered by who wins the next lock.
+        let mut st = self.lock();
+        debug_assert_eq!(st.mutexes[m].locked_by, Some(me), "unlock by non-owner");
+        st.threads[me].view.tick(me);
+        st.mutexes[m].clock = st.threads[me].view;
+        let tseen = std::mem::take(&mut st.threads[me].seen);
+        join_seen(&mut st.mutexes[m].seen, &tseen);
+        st.threads[me].seen = tseen;
+        st.mutexes[m].locked_by = None;
+        st.trace(|| format!("t{me}: unlock m{m}"));
+    }
+
+    /// Atomically releases `m` and blocks on `cv`; returns with `m`
+    /// re-acquired. `timeoutable` waits may additionally be woken by
+    /// the model's timeout rule when the execution would otherwise be
+    /// stuck. Returns `false` if the wake was a timeout.
+    pub(crate) fn condvar_wait(
+        self: &Arc<Execution>,
+        me: usize,
+        cv: u32,
+        m: u32,
+        timeoutable: bool,
+    ) -> bool {
+        let (cv, m) = (cv as usize, m as usize);
+        self.yield_point(me, "condvar wait");
+        let mut st = self.lock();
+        debug_assert_eq!(st.mutexes[m].locked_by, Some(me), "cv wait without the lock");
+        st.threads[me].view.tick(me);
+        st.mutexes[m].clock = st.threads[me].view;
+        let tseen = std::mem::take(&mut st.threads[me].seen);
+        join_seen(&mut st.mutexes[m].seen, &tseen);
+        st.threads[me].seen = tseen;
+        st.mutexes[m].locked_by = None;
+        st.cv_waiters.push(CvWaiter {
+            tid: me,
+            cv,
+            notified: false,
+        });
+        st.threads[me].run_state = RunState::BlockedCv {
+            mutex: m,
+            notified: false,
+            timeoutable,
+        };
+        st.trace(|| format!("t{me}: cv{cv} wait (releases m{m})"));
+        self.block(st, me);
+        // Scheduled again. The waiter entry's flag distinguishes a
+        // genuine notify from the timeout rule (which only sets the
+        // run-state flag).
+        let mut st = self.lock();
+        st.threads[me].run_state = RunState::Runnable;
+        let genuinely_notified = st
+            .cv_waiters
+            .iter()
+            .find(|w| w.tid == me)
+            .map(|w| w.notified)
+            .unwrap_or(true);
+        st.cv_waiters.retain(|w| w.tid != me);
+        drop(st);
+        self.lock_loop(me, m);
+        genuinely_notified
+    }
+
+    pub(crate) fn condvar_notify(self: &Arc<Execution>, me: usize, cv: u32, all: bool) {
+        let cv = cv as usize;
+        self.yield_point(me, "condvar notify");
+        let mut st = self.lock();
+        let mut tids: Vec<usize> = st
+            .cv_waiters
+            .iter()
+            .filter(|w| w.cv == cv && !w.notified)
+            .map(|w| w.tid)
+            .collect();
+        tids.sort_unstable();
+        if !all {
+            tids.truncate(1);
+        }
+        for tid in tids {
+            st.set_cv_notified(tid);
+        }
+        st.trace(|| format!("t{me}: cv{cv} notify{}", if all { "_all" } else { "_one" }));
+    }
+
+    // ---------------------------------------------------------------
+    // Threads
+    // ---------------------------------------------------------------
+
+    /// Registers a new model thread and dispatches it onto a strand.
+    pub(crate) fn spawn_thread(
+        self: &Arc<Execution>,
+        me: usize,
+        f: Box<dyn FnOnce() + Send + 'static>,
+    ) -> usize {
+        self.yield_point(me, "spawn");
+        let tid;
+        {
+            let mut st = self.lock();
+            tid = st.threads.len();
+            assert!(
+                tid < MAX_THREADS,
+                "model scenario spawned more than {MAX_THREADS} threads"
+            );
+            st.threads[me].view.tick(me);
+            let view = st.threads[me].view;
+            let seen = st.threads[me].seen.clone();
+            st.threads.push(ThreadState {
+                run_state: RunState::Runnable,
+                view,
+                acq_buf: VClock::ZERO,
+                rel_fence: VClock::ZERO,
+                seen,
+                kill: false,
+            });
+            st.trace(|| format!("t{me}: spawned t{tid}"));
+        }
+        self.strand_ctls
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Ctl::new());
+        let exec = Arc::clone(self);
+        self.pool.submit(Box::new(move || strand_main(exec, tid, f)));
+        tid
+    }
+
+    pub(crate) fn join_thread(self: &Arc<Execution>, me: usize, target: usize) {
+        self.yield_point(me, "join");
+        let mut st = self.lock();
+        if !matches!(st.threads[target].run_state, RunState::Finished) {
+            st.threads[me].run_state = RunState::BlockedJoin(target);
+            self.block(st, me);
+            st = self.lock();
+            st.threads[me].run_state = RunState::Runnable;
+        }
+        let tv = st.threads[target].view;
+        st.threads[me].view.join(&tv);
+        let tseen = std::mem::take(&mut st.threads[target].seen);
+        join_seen(&mut st.threads[me].seen, &tseen);
+        st.threads[target].seen = tseen;
+        st.trace(|| format!("t{me}: joined t{target}"));
+    }
+
+    /// Called by a strand after its model thread's closure has ended
+    /// (normally or by unwinding). Keeps the token moving: schedules a
+    /// survivor, or during teardown kills the next suspended thread,
+    /// or signals the driver when everyone is done.
+    fn finish_thread(self: &Arc<Execution>, me: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        st.threads[me].run_state = RunState::Finished;
+        st.threads[me].kill = false;
+        if let Some(msg) = panic_msg {
+            if st.violation.is_none() {
+                st.violation = Some(msg);
+            }
+            self.poisoned.store(true, Ordering::SeqCst);
+        }
+        if st
+            .threads
+            .iter()
+            .all(|t| matches!(t.run_state, RunState::Finished))
+        {
+            drop(st);
+            self.outer.set();
+            return;
+        }
+        loop {
+            let enabled = st.enabled();
+            if !enabled.is_empty() {
+                let next = if enabled.len() == 1 || st.degraded() {
+                    enabled[0]
+                } else {
+                    let k = st.decide(enabled.len());
+                    enabled[k]
+                };
+                st.trace(|| format!("t{me}: finished, t{next} runs"));
+                drop(st);
+                self.ctl(next).set();
+                return;
+            }
+            if st.fire_one_timeout() {
+                continue;
+            }
+            // Nothing runnable and nothing timeoutable: record the
+            // deadlock (if this isn't already a teardown) and unwind
+            // the lowest non-finished thread; its own finish_thread
+            // call continues the cascade.
+            if st.violation.is_none() {
+                st.violation = Some("deadlock: all remaining threads blocked".to_string());
+            }
+            self.poisoned.store(true, Ordering::SeqCst);
+            let victim = (0..st.threads.len())
+                .find(|&t| !matches!(st.threads[t].run_state, RunState::Finished));
+            match victim {
+                Some(v) => {
+                    st.threads[v].kill = true;
+                    drop(st);
+                    self.ctl(v).set();
+                    return;
+                }
+                None => {
+                    drop(st);
+                    self.outer.set();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Suppress default panic-hook output for panics on model strands —
+/// violation asserts and teardown unwinds are expected and reported
+/// through [`Outcome`], not stderr.
+fn install_quiet_hook() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if in_model() {
+                return;
+            }
+            default(info);
+        }));
+    });
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked with a non-string payload".to_string()
+    }
+}
+
+/// Body run by a strand for one model thread: wait for the first turn,
+/// run the closure under `catch_unwind`, then finish.
+fn strand_main(exec: Arc<Execution>, tid: usize, f: Box<dyn FnOnce() + Send + 'static>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    exec.ctl(tid).wait();
+    let killed_on_entry = {
+        let st = exec.lock();
+        st.threads[tid].kill
+    };
+    let mut unrun = None;
+    let panic_msg = if killed_on_entry {
+        // Never ran; defer dropping `f` until after TLS is cleared so
+        // any shadow ops in its destructors take the non-model path.
+        unrun = Some(f);
+        None
+    } else {
+        match catch_unwind(AssertUnwindSafe(f)) {
+            Ok(()) => None,
+            Err(p) if p.is::<Abort>() => None,
+            Err(p) => Some(format!("t{tid} panicked: {}", panic_message(p.as_ref()))),
+        }
+    };
+    exec.finish_thread(tid, panic_msg);
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    drop(unrun);
+}
+
+static NEXT_GEN: AtomicU64 = AtomicU64::new(1);
+
+/// Runs exactly one execution of `body` under `forced` decisions.
+pub(crate) fn run_one(
+    pool: &Arc<StrandPool>,
+    limits: Limits,
+    forced: Vec<u8>,
+    trace_on: bool,
+    body: Arc<dyn Fn() + Send + Sync + 'static>,
+) -> Outcome {
+    install_quiet_hook();
+    let gen = NEXT_GEN.fetch_add(1, Ordering::Relaxed);
+    let exec = Arc::new(Execution {
+        gen,
+        limits,
+        poisoned: AtomicBool::new(false),
+        state: Mutex::new(State {
+            threads: vec![ThreadState {
+                run_state: RunState::Runnable,
+                view: VClock::ZERO,
+                acq_buf: VClock::ZERO,
+                rel_fence: VClock::ZERO,
+                seen: Vec::new(),
+                kill: false,
+            }],
+            atomics: Vec::new(),
+            mutexes: Vec::new(),
+            condvars: 0,
+            cv_waiters: Vec::new(),
+            sc_clock: VClock::ZERO,
+            steps: 0,
+            preemptions: 0,
+            forced,
+            path: Vec::new(),
+            violation: None,
+            trace: Vec::new(),
+            trace_on,
+        }),
+        strand_ctls: Mutex::new(vec![Ctl::new()]),
+        outer: Ctl::new(),
+        pool: Arc::clone(pool),
+    });
+    let e2 = Arc::clone(&exec);
+    pool.submit(Box::new(move || {
+        strand_main(e2, 0, Box::new(move || body()))
+    }));
+    exec.ctl(0).set();
+    exec.outer.wait();
+    let mut st = exec.lock();
+    Outcome {
+        violation: st.violation.take(),
+        path: std::mem::take(&mut st.path),
+        trace: std::mem::take(&mut st.trace),
+    }
+}

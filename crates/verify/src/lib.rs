@@ -1,0 +1,47 @@
+//! partree-verify: an in-repo bounded concurrency model checker.
+//!
+//! A vendored mini-loom, sized to this repository's unsafe/atomic core
+//! (the work-stealing deque, the `CountLatch`, the gateway breaker).
+//! The code under test is the *shipping source*: those modules import
+//! their primitives through a `sync` shim that resolves to
+//! [`crate::sync`] when built with `--cfg partree_model` and to
+//! `std::sync` otherwise.
+//!
+//! Three layers:
+//!
+//! - [`sync`] / [`thread`] — shadow primitives. API-compatible with
+//!   `std`; outside a checker run they defer to their real std
+//!   backing, inside one they feed an operational weak memory model
+//!   (per-location modification orders + vector clocks, see
+//!   `exec.rs`).
+//! - `exec` (internal) — one deterministic execution: lockstep strand
+//!   scheduling with a preemption bound, every scheduling and
+//!   weak-memory choice recorded as a decision.
+//! - [`explore`] / [`replay`] — DFS over decision vectors; a found
+//!   violation is reported with a `name@nibbles` seed that replays
+//!   exactly that interleaving.
+//!
+//! The crate has no dependencies (it must be buildable before
+//! anything it checks) and is safe code throughout.
+
+#![forbid(unsafe_code)]
+
+mod clock;
+mod exec;
+mod model;
+mod sched;
+mod shadow;
+pub mod thread;
+
+pub use clock::MAX_THREADS;
+pub use model::{decode_seed, explore, explore_dyn, replay, Config, Report, Scenario, Violation};
+
+/// Shadow `std::sync` surface: what the checked code imports through
+/// its `sync` shim under `--cfg partree_model`.
+pub mod sync {
+    pub use crate::shadow::{
+        fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Condvar,
+        LockResult, Mutex, MutexGuard, PoisonError, WaitTimeoutResult,
+    };
+    pub use std::sync::atomic::Ordering;
+}

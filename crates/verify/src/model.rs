@@ -1,0 +1,208 @@
+//! The exploration driver: exhaustive (bounded) DFS over scheduling
+//! and weak-memory decisions, plus deterministic seed replay.
+//!
+//! Every execution is a pure function of its *decision vector* — the
+//! sequence of choices (which thread runs next, which store a load
+//! reads) made at each decision point. The driver runs the vector-all-
+//! zeros execution first, then backtracks: find the last decision with
+//! an untried option, bump it, truncate, rerun. Because executions are
+//! deterministic, the shared prefix replays identically, so the DFS
+//! enumerates each distinct bounded interleaving exactly once.
+//!
+//! A violation's decision vector IS its reproduction seed: nibble-hex
+//! encoded (every decision point has < 16 options — at most
+//! [`crate::clock::MAX_THREADS`] threads or `read_window` stores) and
+//! prefixed with the scenario name, e.g. `deque_two_pop_two_steal@30212`.
+
+use crate::exec::{run_one, Limits, Outcome};
+use crate::sched::StrandPool;
+use std::sync::Arc;
+
+/// Exploration bounds. The defaults are tuned so each shipped scenario
+/// finishes in seconds while still covering every interleaving within
+/// the preemption bound.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Max context switches away from a runnable thread per execution
+    /// (CHESS bound). 2 catches the classic lost-update/ABA families.
+    pub preemption_bound: u32,
+    /// Hard cap on executions; hitting it marks the report incomplete.
+    pub max_executions: usize,
+    /// Per-execution operation budget; exceeding it is reported as a
+    /// livelock violation.
+    pub max_steps: u64,
+    /// How many of the newest modification-order entries a load may
+    /// choose between (1 = sequential consistency per location).
+    pub read_window: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            preemption_bound: 2,
+            max_executions: 200_000,
+            max_steps: 20_000,
+            read_window: 4,
+        }
+    }
+}
+
+impl Config {
+    fn limits(&self) -> Limits {
+        Limits {
+            preemption_bound: self.preemption_bound,
+            max_steps: self.max_steps,
+            read_window: self.read_window,
+        }
+    }
+}
+
+/// A named, checkable concurrency scenario. Registries of these live
+/// next to the code under test (e.g. `partree_exec::model::scenarios`)
+/// and are executed by the `verify` runner.
+pub struct Scenario {
+    pub name: &'static str,
+    pub cfg: Config,
+    pub body: fn(),
+}
+
+/// A found violation, with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// What went wrong (assertion message, deadlock, livelock).
+    pub message: String,
+    /// `name@nibbles` seed: pass to [`replay`] (or `verify --replay`)
+    /// to rerun exactly this interleaving.
+    pub seed: String,
+    /// Per-operation schedule trace of the violating execution.
+    pub trace: Vec<String>,
+}
+
+/// Result of exploring one scenario.
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub name: String,
+    /// Distinct executions (interleavings) run.
+    pub executions: usize,
+    /// `false` if the DFS was cut off by `max_executions`.
+    pub complete: bool,
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+fn encode_seed(name: &str, decisions: &[u8]) -> String {
+    let mut s = String::with_capacity(name.len() + 1 + decisions.len());
+    s.push_str(name);
+    s.push('@');
+    for &d in decisions {
+        debug_assert!(d < 16, "decision out of nibble range");
+        s.push(char::from_digit(d as u32, 16).unwrap_or('f'));
+    }
+    s
+}
+
+/// Splits a `name@nibbles` seed into its scenario name and decision
+/// vector. Returns `None` on malformed input.
+pub fn decode_seed(seed: &str) -> Option<(&str, Vec<u8>)> {
+    let (name, hex) = seed.split_once('@')?;
+    let mut decisions = Vec::with_capacity(hex.len());
+    for c in hex.chars() {
+        decisions.push(c.to_digit(16)? as u8);
+    }
+    Some((name, decisions))
+}
+
+/// Exhaustively explores `body` under `cfg` bounds. Stops at the first
+/// violation (re-running it once with tracing on, so the report can
+/// show the schedule) or when the decision tree is exhausted.
+pub fn explore(name: &str, cfg: Config, body: fn()) -> Report {
+    explore_dyn(name, cfg, Arc::new(body))
+}
+
+/// [`explore`] for non-`fn` bodies (closures capturing setup).
+pub fn explore_dyn(name: &str, cfg: Config, body: Arc<dyn Fn() + Send + Sync>) -> Report {
+    let pool = StrandPool::new();
+    let limits = cfg.limits();
+    let mut forced: Vec<u8> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        let out = run_one(&pool, limits, forced.clone(), false, Arc::clone(&body));
+        executions += 1;
+        if out.violation.is_some() {
+            // Decisions recorded up to the violation reproduce it;
+            // rerun traced for the report.
+            let decisions: Vec<u8> = out.path.iter().map(|p| p.chosen).collect();
+            let traced = run_one(&pool, limits, decisions.clone(), true, Arc::clone(&body));
+            return Report {
+                name: name.to_string(),
+                executions,
+                complete: false,
+                violation: Some(Violation {
+                    message: out
+                        .violation
+                        .unwrap_or_else(|| "violation vanished on traced rerun".to_string()),
+                    seed: encode_seed(name, &decisions),
+                    trace: traced.trace,
+                }),
+            };
+        }
+        if executions >= cfg.max_executions {
+            return Report {
+                name: name.to_string(),
+                executions,
+                complete: false,
+                violation: None,
+            };
+        }
+        match next_vector(out) {
+            Some(v) => forced = v,
+            None => {
+                return Report {
+                    name: name.to_string(),
+                    executions,
+                    complete: true,
+                    violation: None,
+                }
+            }
+        }
+    }
+}
+
+/// DFS backtracking: the next decision vector after `out`, or `None`
+/// when the tree is exhausted.
+fn next_vector(out: Outcome) -> Option<Vec<u8>> {
+    let mut path = out.path;
+    loop {
+        let last = path.last()?;
+        if (last.chosen as usize) + 1 < last.options as usize {
+            let mut v: Vec<u8> = path.iter().map(|p| p.chosen).collect();
+            if let Some(x) = v.last_mut() {
+                *x += 1;
+            }
+            return Some(v);
+        }
+        path.pop();
+    }
+}
+
+/// Reruns exactly one interleaving from a seed's decision vector, with
+/// tracing on. The caller matches the seed's scenario name to a body.
+pub fn replay(name: &str, cfg: Config, decisions: Vec<u8>, body: fn()) -> Report {
+    let pool = StrandPool::new();
+    let out = run_one(&pool, cfg.limits(), decisions.clone(), true, Arc::new(body));
+    Report {
+        name: name.to_string(),
+        executions: 1,
+        complete: false,
+        violation: out.violation.map(|message| Violation {
+            seed: encode_seed(name, &decisions),
+            message,
+            trace: out.trace,
+        }),
+    }
+}

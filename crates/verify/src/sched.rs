@@ -1,0 +1,161 @@
+//! Strand plumbing: the OS-thread substrate the model checker runs
+//! model threads on.
+//!
+//! A *strand* is a reusable OS thread that executes one model thread
+//! per execution. Exactly one strand runs at any instant — control is
+//! a token passed by [`Ctl`] handoffs — so model code is effectively
+//! single-stepped, and every interleaving decision is made explicitly
+//! by the scheduler logic in [`crate::exec`]. Strands are pooled and
+//! reused across the (many thousands of) executions of an exploration:
+//! spawning a fresh OS thread per model thread per execution would
+//! dominate the checker's runtime on a small machine.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A binary handoff flag: `set` passes the token, `wait` receives it.
+///
+/// The flag (rather than a bare condvar) makes handoffs race-free when
+/// the setter runs before the waiter has parked: the token is latched,
+/// not pulsed.
+#[derive(Default)]
+pub(crate) struct Ctl {
+    flag: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Ctl {
+    pub(crate) fn new() -> Arc<Ctl> {
+        Arc::new(Ctl::default())
+    }
+
+    /// Passes the token to whoever waits (or will wait) on this ctl.
+    pub(crate) fn set(&self) {
+        let mut g = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        *g = true;
+        self.cv.notify_one();
+    }
+
+    /// Blocks until the token arrives, then consumes it.
+    pub(crate) fn wait(&self) {
+        let mut g = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+        while !*g {
+            g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+        *g = false;
+    }
+}
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+enum Slot {
+    Idle,
+    Run(Task),
+    Shutdown,
+}
+
+struct Worker {
+    slot: Mutex<Slot>,
+    cv: Condvar,
+}
+
+impl Worker {
+    fn give(&self, s: Slot) {
+        let mut g = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        *g = s;
+        self.cv.notify_one();
+    }
+
+    /// Worker side: park until a task (or shutdown) arrives.
+    fn take(&self) -> Option<Task> {
+        let mut g = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            match std::mem::replace(&mut *g, Slot::Idle) {
+                Slot::Run(t) => return Some(t),
+                Slot::Shutdown => return None,
+                Slot::Idle => g = self.cv.wait(g).unwrap_or_else(|e| e.into_inner()),
+            }
+        }
+    }
+}
+
+/// A pool of parked OS threads, grown on demand, reused across
+/// executions. Dropping the pool shuts down and joins every worker.
+pub(crate) struct StrandPool {
+    inner: Mutex<PoolInner>,
+}
+
+#[derive(Default)]
+struct PoolInner {
+    idle: VecDeque<Arc<Worker>>,
+    all: Vec<(Arc<Worker>, std::thread::JoinHandle<()>)>,
+}
+
+impl StrandPool {
+    pub(crate) fn new() -> Arc<StrandPool> {
+        Arc::new(StrandPool {
+            inner: Mutex::new(PoolInner::default()),
+        })
+    }
+
+    /// Runs `task` on an idle (or freshly spawned) worker thread.
+    pub(crate) fn submit(self: &Arc<StrandPool>, task: Task) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(w) = g.idle.pop_front() {
+            drop(g);
+            w.give(Slot::Run(task));
+            return;
+        }
+        let w = Arc::new(Worker {
+            slot: Mutex::new(Slot::Run(task)),
+            cv: Condvar::new(),
+        });
+        let pool = Arc::downgrade(self);
+        let worker = Arc::clone(&w);
+        let handle = std::thread::Builder::new()
+            .name("pverify-strand".into())
+            // Model scenarios are shallow; a small stack keeps many
+            // pooled strands cheap.
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                while let Some(task) = worker.take() {
+                    task();
+                    // Park back into the idle list (pool may be gone
+                    // during teardown, in which case just exit).
+                    match pool.upgrade() {
+                        Some(p) => p
+                            .inner
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .idle
+                            .push_back(Arc::clone(&worker)),
+                        None => return,
+                    }
+                }
+            })
+            .expect("verify: strand spawn failed");
+        g.all.push((w, handle));
+    }
+}
+
+impl Drop for StrandPool {
+    fn drop(&mut self) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let all = std::mem::take(&mut g.all);
+        g.idle.clear();
+        drop(g);
+        for (w, _) in &all {
+            w.give(Slot::Shutdown);
+        }
+        for (_, h) in all {
+            // A strand can itself hold the last pool reference (the
+            // execution state drops on it after a violation); std's
+            // join panics on self-join (EDEADLK), so skip it — that
+            // thread exits on its own once it sees Shutdown.
+            if h.thread().id() == std::thread::current().id() {
+                continue;
+            }
+            let _ = h.join();
+        }
+    }
+}

@@ -1,0 +1,732 @@
+//! Shadow synchronization primitives: drop-in replacements for the
+//! `std::sync` types used by the code under verification.
+//!
+//! Each shadow object carries its real std backing *plus* a lazily
+//! registered model identity. When the calling thread is a model
+//! strand (and the execution is not poisoned), operations route into
+//! [`crate::exec`], which simulates them under the weak memory model
+//! and explores scheduling; otherwise they fall through to the std
+//! backing with native semantics, so `--cfg partree_model` builds
+//! behave normally outside the checker.
+//!
+//! Model-mode stores **write through** to the std backing (the model's
+//! newest modification-order entry always equals the native value), so
+//! a poisoned execution can drain with native operations and still see
+//! fresh state.
+//!
+//! Registration uses a packed `generation << 24 | id` header; ids are
+//! assigned in first-touch order, which is deterministic because model
+//! executions are deterministic functions of their decision vectors.
+
+use crate::exec::{self, Abort, Execution};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+pub use std::sync::{LockResult, PoisonError};
+
+const ID_BITS: u32 = 24;
+
+/// Lazily-registered model identity, valid for one execution.
+struct Header(std::sync::atomic::AtomicU64);
+
+impl Header {
+    const fn new() -> Header {
+        Header(std::sync::atomic::AtomicU64::new(0))
+    }
+
+    /// This object's id in `ex`, registering on first touch. Only the
+    /// token-holding strand calls this, so plain load/store suffice.
+    fn id(&self, ex: &Arc<Execution>, register: impl FnOnce() -> u32) -> u32 {
+        let h = self.0.load(Ordering::Relaxed);
+        if h >> ID_BITS == ex.gen {
+            return (h & ((1 << ID_BITS) - 1)) as u32;
+        }
+        let id = register();
+        debug_assert!(id < (1 << ID_BITS) && ex.gen < (1 << (64 - ID_BITS)));
+        self.0.store((ex.gen << ID_BITS) | id as u64, Ordering::Relaxed);
+        id
+    }
+}
+
+/// The active, un-poisoned execution this thread belongs to, if any.
+fn route() -> Option<(Arc<Execution>, usize)> {
+    let (ex, me) = exec::current()?;
+    if ex.poisoned() {
+        return None;
+    }
+    Some((ex, me))
+}
+
+fn check_load_order(ord: Ordering) {
+    if matches!(ord, Ordering::Release | Ordering::AcqRel) {
+        panic!("invalid ordering for an atomic load: {ord:?}");
+    }
+}
+
+fn check_store_order(ord: Ordering) {
+    if matches!(ord, Ordering::Acquire | Ordering::AcqRel) {
+        panic!("invalid ordering for an atomic store: {ord:?}");
+    }
+}
+
+fn check_fail_order(ord: Ordering) {
+    if matches!(ord, Ordering::Release | Ordering::AcqRel) {
+        panic!("invalid failure ordering for compare_exchange: {ord:?}");
+    }
+}
+
+/// Atomic memory fence. Identical to [`std::sync::atomic::fence`]
+/// outside the model; inside, it feeds the fence semantics of the
+/// memory model — where `Relaxed` is accepted as a deliberate no-op,
+/// so ordering-weakening mutation hooks can pass it.
+pub fn fence(ord: Ordering) {
+    if let Some((ex, me)) = route() {
+        ex.fence(me, ord);
+        return;
+    }
+    if ord == Ordering::Relaxed {
+        // std's fence rejects Relaxed; the checker's mutation hooks
+        // legitimately produce it, and outside the model it means
+        // "no fence".
+        return;
+    }
+    std::sync::atomic::fence(ord);
+}
+
+macro_rules! shadow_int_atomic {
+    ($(#[$meta:meta])* $Shadow:ident, $Native:ty, $Val:ty) => {
+        $(#[$meta])*
+        pub struct $Shadow {
+            header: Header,
+            native: $Native,
+        }
+
+        impl $Shadow {
+            pub const fn new(v: $Val) -> Self {
+                Self {
+                    header: Header::new(),
+                    native: <$Native>::new(v),
+                }
+            }
+
+            fn model(&self) -> Option<(Arc<Execution>, usize, u32)> {
+                let (ex, me) = route()?;
+                let init = self.native.load(Ordering::Relaxed) as u64;
+                let id = self.header.id(&ex, || ex.register_atomic(init));
+                Some((ex, me, id))
+            }
+
+            pub fn load(&self, ord: Ordering) -> $Val {
+                check_load_order(ord);
+                match self.model() {
+                    Some((ex, me, id)) => ex.atomic_load(me, id, ord) as $Val,
+                    None => self.native.load(ord),
+                }
+            }
+
+            pub fn store(&self, v: $Val, ord: Ordering) {
+                check_store_order(ord);
+                match self.model() {
+                    Some((ex, me, id)) => {
+                        ex.atomic_store(me, id, v as u64, ord);
+                        self.native.store(v, Ordering::Relaxed);
+                    }
+                    None => self.native.store(v, ord),
+                }
+            }
+
+            pub fn swap(&self, v: $Val, ord: Ordering) -> $Val {
+                match self.model() {
+                    Some((ex, me, id)) => {
+                        let (prev, _) = ex.atomic_rmw(
+                            me,
+                            id,
+                            &mut |_| Some(v as u64),
+                            ord,
+                            Ordering::Relaxed,
+                        );
+                        self.native.store(v, Ordering::Relaxed);
+                        prev as $Val
+                    }
+                    None => self.native.swap(v, ord),
+                }
+            }
+
+            pub fn compare_exchange(
+                &self,
+                cur: $Val,
+                new: $Val,
+                success: Ordering,
+                fail: Ordering,
+            ) -> Result<$Val, $Val> {
+                check_fail_order(fail);
+                match self.model() {
+                    Some((ex, me, id)) => {
+                        let (prev, ok) = ex.atomic_rmw(
+                            me,
+                            id,
+                            &mut |v| (v == cur as u64).then_some(new as u64),
+                            success,
+                            fail,
+                        );
+                        if ok {
+                            self.native.store(new, Ordering::Relaxed);
+                            Ok(prev as $Val)
+                        } else {
+                            Err(prev as $Val)
+                        }
+                    }
+                    None => self.native.compare_exchange(cur, new, success, fail),
+                }
+            }
+
+            /// In the model, never fails spuriously (a strengthening:
+            /// fewer behaviours than hardware LL/SC, no false alarms).
+            pub fn compare_exchange_weak(
+                &self,
+                cur: $Val,
+                new: $Val,
+                success: Ordering,
+                fail: Ordering,
+            ) -> Result<$Val, $Val> {
+                self.compare_exchange(cur, new, success, fail)
+            }
+
+            pub fn fetch_add(&self, d: $Val, ord: Ordering) -> $Val {
+                match self.model() {
+                    Some((ex, me, id)) => {
+                        let (prev, _) = ex.atomic_rmw(
+                            me,
+                            id,
+                            &mut |v| Some((v as $Val).wrapping_add(d) as u64),
+                            ord,
+                            Ordering::Relaxed,
+                        );
+                        self.native
+                            .store((prev as $Val).wrapping_add(d), Ordering::Relaxed);
+                        prev as $Val
+                    }
+                    None => self.native.fetch_add(d, ord),
+                }
+            }
+
+            pub fn fetch_sub(&self, d: $Val, ord: Ordering) -> $Val {
+                match self.model() {
+                    Some((ex, me, id)) => {
+                        let (prev, _) = ex.atomic_rmw(
+                            me,
+                            id,
+                            &mut |v| Some((v as $Val).wrapping_sub(d) as u64),
+                            ord,
+                            Ordering::Relaxed,
+                        );
+                        self.native
+                            .store((prev as $Val).wrapping_sub(d), Ordering::Relaxed);
+                        prev as $Val
+                    }
+                    None => self.native.fetch_sub(d, ord),
+                }
+            }
+        }
+
+        impl Default for $Shadow {
+            fn default() -> Self {
+                Self::new(Default::default())
+            }
+        }
+
+        impl std::fmt::Debug for $Shadow {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($Shadow))
+                    .field(&self.native.load(Ordering::Relaxed))
+                    .finish()
+            }
+        }
+    };
+}
+
+shadow_int_atomic!(
+    /// Shadow [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    std::sync::atomic::AtomicUsize,
+    usize
+);
+shadow_int_atomic!(
+    /// Shadow [`std::sync::atomic::AtomicIsize`].
+    AtomicIsize,
+    std::sync::atomic::AtomicIsize,
+    isize
+);
+shadow_int_atomic!(
+    /// Shadow [`std::sync::atomic::AtomicU64`].
+    AtomicU64,
+    std::sync::atomic::AtomicU64,
+    u64
+);
+shadow_int_atomic!(
+    /// Shadow [`std::sync::atomic::AtomicU32`].
+    AtomicU32,
+    std::sync::atomic::AtomicU32,
+    u32
+);
+
+/// Shadow [`std::sync::atomic::AtomicBool`].
+pub struct AtomicBool {
+    header: Header,
+    native: std::sync::atomic::AtomicBool,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            header: Header::new(),
+            native: std::sync::atomic::AtomicBool::new(v),
+        }
+    }
+
+    fn model(&self) -> Option<(Arc<Execution>, usize, u32)> {
+        let (ex, me) = route()?;
+        let init = self.native.load(Ordering::Relaxed) as u64;
+        let id = self.header.id(&ex, || ex.register_atomic(init));
+        Some((ex, me, id))
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        check_load_order(ord);
+        match self.model() {
+            Some((ex, me, id)) => ex.atomic_load(me, id, ord) != 0,
+            None => self.native.load(ord),
+        }
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        check_store_order(ord);
+        match self.model() {
+            Some((ex, me, id)) => {
+                ex.atomic_store(me, id, v as u64, ord);
+                self.native.store(v, Ordering::Relaxed);
+            }
+            None => self.native.store(v, ord),
+        }
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        match self.model() {
+            Some((ex, me, id)) => {
+                let (prev, _) =
+                    ex.atomic_rmw(me, id, &mut |_| Some(v as u64), ord, Ordering::Relaxed);
+                self.native.store(v, Ordering::Relaxed);
+                prev != 0
+            }
+            None => self.native.swap(v, ord),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        cur: bool,
+        new: bool,
+        success: Ordering,
+        fail: Ordering,
+    ) -> Result<bool, bool> {
+        check_fail_order(fail);
+        match self.model() {
+            Some((ex, me, id)) => {
+                let (prev, ok) = ex.atomic_rmw(
+                    me,
+                    id,
+                    &mut |v| (v == cur as u64).then_some(new as u64),
+                    success,
+                    fail,
+                );
+                if ok {
+                    self.native.store(new, Ordering::Relaxed);
+                    Ok(prev != 0)
+                } else {
+                    Err(prev != 0)
+                }
+            }
+            None => self.native.compare_exchange(cur, new, success, fail),
+        }
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool")
+            .field(&self.native.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Shadow [`std::sync::atomic::AtomicPtr`].
+pub struct AtomicPtr<T> {
+    header: Header,
+    native: std::sync::atomic::AtomicPtr<T>,
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            header: Header::new(),
+            native: std::sync::atomic::AtomicPtr::new(p),
+        }
+    }
+
+    fn model(&self) -> Option<(Arc<Execution>, usize, u32)> {
+        let (ex, me) = route()?;
+        let init = self.native.load(Ordering::Relaxed) as u64;
+        let id = self.header.id(&ex, || ex.register_atomic(init));
+        Some((ex, me, id))
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        check_load_order(ord);
+        match self.model() {
+            Some((ex, me, id)) => ex.atomic_load(me, id, ord) as *mut T,
+            None => self.native.load(ord),
+        }
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        check_store_order(ord);
+        match self.model() {
+            Some((ex, me, id)) => {
+                ex.atomic_store(me, id, p as u64, ord);
+                self.native.store(p, Ordering::Relaxed);
+            }
+            None => self.native.store(p, ord),
+        }
+    }
+
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        match self.model() {
+            Some((ex, me, id)) => {
+                let (prev, _) =
+                    ex.atomic_rmw(me, id, &mut |_| Some(p as u64), ord, Ordering::Relaxed);
+                self.native.store(p, Ordering::Relaxed);
+                prev as *mut T
+            }
+            None => self.native.swap(p, ord),
+        }
+    }
+
+    pub fn compare_exchange(
+        &self,
+        cur: *mut T,
+        new: *mut T,
+        success: Ordering,
+        fail: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        check_fail_order(fail);
+        match self.model() {
+            Some((ex, me, id)) => {
+                let (prev, ok) = ex.atomic_rmw(
+                    me,
+                    id,
+                    &mut |v| (v == cur as u64).then_some(new as u64),
+                    success,
+                    fail,
+                );
+                if ok {
+                    self.native.store(new, Ordering::Relaxed);
+                    Ok(prev as *mut T)
+                } else {
+                    Err(prev as *mut T)
+                }
+            }
+            None => self.native.compare_exchange(cur, new, success, fail),
+        }
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicPtr")
+            .field(&self.native.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+// -------------------------------------------------------------------
+// Mutex / Condvar
+// -------------------------------------------------------------------
+
+/// Shadow [`std::sync::Mutex`]. In model mode, contention and
+/// lock-ordering are simulated first; the std backing lock is then
+/// taken uncontended (model exclusivity guarantees it) to protect the
+/// actual data.
+pub struct Mutex<T: ?Sized> {
+    header: Header,
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]. `std` and `model` are both `Option` so
+/// [`Condvar::wait`] can disassemble a guard without running its drop
+/// logic.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    std: Option<std::sync::MutexGuard<'a, T>>,
+    model: Option<(Arc<Execution>, usize, u32)>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(v: T) -> Mutex<T> {
+        Mutex {
+            header: Header::new(),
+            inner: std::sync::Mutex::new(v),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn model_id(&self, ex: &Arc<Execution>) -> u32 {
+        self.header.id(ex, || ex.register_mutex())
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if let Some((ex, me)) = route() {
+            let id = self.model_id(&ex);
+            ex.mutex_lock(me, id);
+            // Model exclusivity holds as long as every critical
+            // section is free of suspension points OR the execution
+            // never degrades mid-section; recover from std poison
+            // either way.
+            let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            return Ok(MutexGuard {
+                lock: self,
+                std: Some(g),
+                model: Some((ex, me, id)),
+            });
+        }
+        match self.inner.lock() {
+            Ok(g) => Ok(MutexGuard {
+                lock: self,
+                std: Some(g),
+                model: None,
+            }),
+            Err(p) => Err(PoisonError::new(MutexGuard {
+                lock: self,
+                std: Some(p.into_inner()),
+                model: None,
+            })),
+        }
+    }
+
+    pub fn get_mut(&mut self) -> LockResult<&mut T> {
+        self.inner.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.std.as_ref().expect("mutex guard invariant: std half present outside a wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.std.as_mut().expect("mutex guard invariant: std half present outside a wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Std half first, then the model half — but skip the model
+        // unlock if the execution has been poisoned (its state is
+        // frozen for reporting, and re-entering it could deadlock the
+        // teardown).
+        drop(self.std.take());
+        if let Some((ex, me, id)) = self.model.take() {
+            if !ex.poisoned() {
+                ex.mutex_unlock(me, id);
+            }
+        }
+    }
+}
+
+/// Result of a timed condvar wait (std's equivalent has no public
+/// constructor, hence this mirror).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Shadow [`std::sync::Condvar`].
+///
+/// In the model, an *untimed* wait can only be ended by a notify (or
+/// flagged as a deadlock); a *timed* wait may additionally be woken by
+/// the model's timeout rule, which fires exactly when the execution
+/// would otherwise be stuck — so no interleaving is hidden behind
+/// real-time behaviour, and timed waits add no decision-space blowup.
+pub struct Condvar {
+    header: Header,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            header: Header::new(),
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Shared wait logic. Returns the re-locked guard and whether the
+    /// wake was a genuine notify (`false` = model timeout fired).
+    fn wait_model<'a, T: ?Sized>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeoutable: bool,
+    ) -> (MutexGuard<'a, T>, bool) {
+        if let Some((ex, me, mid)) = guard.model.take() {
+            if !ex.poisoned() {
+                let cv = self.header.id(&ex, || ex.register_condvar());
+                let lock = guard.lock;
+                drop(guard.std.take());
+                drop(guard);
+                let notified = ex.condvar_wait(me, cv, mid, timeoutable);
+                // Model mutex re-acquired inside condvar_wait; now take
+                // the (uncontended) std half back.
+                let g = lock.inner.lock().unwrap_or_else(|e| e.into_inner());
+                return (
+                    MutexGuard {
+                        lock,
+                        std: Some(g),
+                        model: Some((ex, me, mid)),
+                    },
+                    notified,
+                );
+            }
+            guard.model = Some((ex, me, mid));
+        }
+        // A model strand reaches here only when the execution is
+        // already poisoned: nobody will ever notify (threads run one
+        // at a time during teardown), so waiting would hang the
+        // drain. Unwind instead — unless already unwinding, in which
+        // case return spuriously (callers loop on their predicate).
+        if !std::thread::panicking() {
+            drop(guard);
+            std::panic::panic_any(Abort);
+        }
+        (guard, true)
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        if exec::in_model() {
+            let (g, _) = self.wait_model(guard, false);
+            return Ok(g);
+        }
+        let lock = guard.lock;
+        let mut guard = guard;
+        let sg = guard
+            .std
+            .take()
+            .expect("mutex guard invariant: std half present outside a wait");
+        std::mem::forget(guard);
+        let g = match self.inner.wait(sg) {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        Ok(MutexGuard {
+            lock,
+            std: Some(g),
+            model: None,
+        })
+    }
+
+    /// Like [`std::sync::Condvar::wait_timeout`]. In the model the
+    /// duration is ignored (see type docs); natively it is honoured.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        dur: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if exec::in_model() {
+            let (g, notified) = self.wait_model(guard, true);
+            return Ok((g, WaitTimeoutResult(!notified)));
+        }
+        let lock = guard.lock;
+        let mut guard = guard;
+        let sg = guard
+            .std
+            .take()
+            .expect("mutex guard invariant: std half present outside a wait");
+        std::mem::forget(guard);
+        let (g, r) = match self.inner.wait_timeout(sg, dur) {
+            Ok((g, r)) => (g, r),
+            Err(p) => p.into_inner(),
+        };
+        Ok((
+            MutexGuard {
+                lock,
+                std: Some(g),
+                model: None,
+            },
+            WaitTimeoutResult(r.timed_out()),
+        ))
+    }
+
+    pub fn notify_one(&self) {
+        if let Some((ex, me)) = route() {
+            let cv = self.header.id(&ex, || ex.register_condvar());
+            ex.condvar_notify(me, cv, false);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        if let Some((ex, me)) = route() {
+            let cv = self.header.id(&ex, || ex.register_condvar());
+            ex.condvar_notify(me, cv, true);
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.pad("Condvar { .. }")
+    }
+}

@@ -1,0 +1,91 @@
+//! Shadow threads for model scenarios: `spawn`/`join` that map onto
+//! model threads inside an execution and onto real `std::thread`s
+//! outside one.
+//!
+//! Results travel through a plain `std` mutex slot: the checker's
+//! token handoffs already give real happens-before between the writing
+//! strand and the joining strand, and the slot is never touched by two
+//! strands at once.
+
+use crate::exec::{self, Abort, Execution};
+use std::sync::{Arc, Mutex};
+
+enum Inner<T> {
+    Native(std::thread::JoinHandle<T>),
+    Model {
+        exec: Arc<Execution>,
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned (model or native) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result; `Err`
+    /// means the thread panicked (in the model, that panic has already
+    /// been recorded as the execution's violation).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Native(h) => h.join(),
+            Inner::Model { exec, tid, slot } => {
+                if !exec.poisoned() {
+                    exec.join_thread(current_tid(&exec), tid);
+                }
+                let v = slot.lock().unwrap_or_else(|e| e.into_inner()).take();
+                match v {
+                    Some(v) => Ok(v),
+                    None if exec.poisoned() => {
+                        // Target never produced a value: it panicked,
+                        // or it is suspended and the execution is
+                        // tearing down. Unwind (unless this thread
+                        // already is).
+                        if !std::thread::panicking() {
+                            std::panic::panic_any(Abort);
+                        }
+                        Err(Box::new("model thread torn down before completing"))
+                    }
+                    None => Err(Box::new("model thread panicked")),
+                }
+            }
+        }
+    }
+}
+
+fn current_tid(exec: &Arc<Execution>) -> usize {
+    let (cur, me) = exec::current().expect("join called off-strand for a model thread");
+    assert!(
+        Arc::ptr_eq(&cur, exec),
+        "join called from a different execution"
+    );
+    me
+}
+
+/// Shadow [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if let Some((exec, me)) = exec::current() {
+        if !exec.poisoned() {
+            let slot = Arc::new(Mutex::new(None));
+            let s2 = Arc::clone(&slot);
+            let tid = exec.spawn_thread(
+                me,
+                Box::new(move || {
+                    let v = f();
+                    *s2.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                }),
+            );
+            return JoinHandle(Inner::Model { exec, tid, slot });
+        }
+        // Poisoned: spawning more work is pointless and would confuse
+        // the teardown; unwind unless already unwinding.
+        if !std::thread::panicking() {
+            std::panic::panic_any(Abort);
+        }
+    }
+    JoinHandle(Inner::Native(std::thread::spawn(f)))
+}

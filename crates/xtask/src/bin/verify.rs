@@ -1,0 +1,203 @@
+//! Concurrency model-check runner over the shipping lock-free core.
+//!
+//! Requires the workspace rebuilt with the model cfg so the deque,
+//! latch, and breaker route through `partree-verify`'s shadow types:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg partree_model" cargo run --release -p xtask --bin verify
+//! RUSTFLAGS="--cfg partree_model" cargo run --release -p xtask --bin verify -- --mutate
+//! RUSTFLAGS="--cfg partree_model" cargo run --release -p xtask --bin verify -- --replay <seed>
+//! ```
+//!
+//! * default — run every registered scenario exhaustively; exit nonzero
+//!   on any violation, on a cut-off (non-exhaustive) search, or if the
+//!   suite explored fewer than the coverage floor of interleavings.
+//! * `--mutate` — falsifiability check: weaken the deque's pop-side
+//!   `SeqCst` fence to `Relaxed` and demand the checker catch the lost
+//!   task with a replayable seed. Exits nonzero if the bug is *missed*.
+//! * `--replay <seed>` — re-run exactly one interleaving from a seed
+//!   printed by a failing run, for debugging under a determinstic
+//!   schedule.
+
+#[cfg(not(partree_model))]
+fn main() -> std::process::ExitCode {
+    eprintln!(
+        "verify: built without the model cfg; the shadow-typed scenario \
+         registries do not exist in this build.\n\
+         rebuild with: RUSTFLAGS=\"--cfg partree_model\" \
+         cargo run --release -p xtask --bin verify"
+    );
+    std::process::ExitCode::from(2)
+}
+
+#[cfg(partree_model)]
+fn main() -> std::process::ExitCode {
+    model::main()
+}
+
+#[cfg(partree_model)]
+mod model {
+    use partree_verify::{decode_seed, explore, replay, Report, Scenario};
+    use std::process::ExitCode;
+    use std::time::Instant;
+
+    /// The whole suite must explore at least this many distinct
+    /// interleavings; shrinking below it means a scenario degenerated
+    /// and the suite's coverage claim is void.
+    const COVERAGE_FLOOR: usize = 10_000;
+
+    fn registries() -> Vec<(&'static str, Vec<Scenario>)> {
+        vec![
+            ("exec", partree_exec::model::scenarios()),
+            ("gateway", partree_gateway::model::scenarios()),
+        ]
+    }
+
+    pub fn main() -> ExitCode {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        match args.first().map(String::as_str) {
+            None => run_all(),
+            Some("--mutate") => run_mutation(),
+            Some("--replay") => match args.get(1) {
+                Some(seed) => run_replay(seed),
+                None => {
+                    eprintln!("usage: verify --replay <seed>");
+                    ExitCode::from(2)
+                }
+            },
+            Some(other) => {
+                eprintln!("unknown flag `{other}`; available: --mutate, --replay <seed>");
+                ExitCode::from(2)
+            }
+        }
+    }
+
+    fn describe(group: &str, report: &Report, secs: f64) {
+        println!(
+            "  [{group}] {:<40} {:>8} interleavings  {}  {:.2}s",
+            report.name,
+            report.executions,
+            if report.complete { "exhaustive" } else { "CUT OFF" },
+            secs,
+        );
+    }
+
+    fn run_all() -> ExitCode {
+        let start = Instant::now();
+        let mut total = 0usize;
+        let mut failed = false;
+        for (group, scenarios) in registries() {
+            for s in scenarios {
+                let t0 = Instant::now();
+                let report = explore(s.name, s.cfg, s.body);
+                describe(group, &report, t0.elapsed().as_secs_f64());
+                total += report.executions;
+                if let Some(v) = &report.violation {
+                    failed = true;
+                    println!("    VIOLATION: {}", v.message);
+                    println!("    replay with: verify --replay {}", v.seed);
+                }
+                if !report.complete {
+                    failed = true;
+                    println!(
+                        "    search cut off after {} executions; raise max_executions \
+                         or shrink the scenario",
+                        report.executions
+                    );
+                }
+            }
+        }
+        println!(
+            "verify: {total} distinct interleavings in {:.2}s",
+            start.elapsed().as_secs_f64()
+        );
+        if total < COVERAGE_FLOOR {
+            println!("verify: coverage floor missed ({total} < {COVERAGE_FLOOR})");
+            failed = true;
+        }
+        if failed {
+            ExitCode::FAILURE
+        } else {
+            println!("verify: all scenarios clean and exhaustive");
+            ExitCode::SUCCESS
+        }
+    }
+
+    /// Seeded-mutation falsifiability: a checker that cannot catch a
+    /// known-bad weakening proves nothing by passing.
+    fn run_mutation() -> ExitCode {
+        partree_exec::model::set_weaken_pop_fence(true);
+        let result = (|| {
+            let Some(s) = registries()
+                .into_iter()
+                .flat_map(|(_, v)| v)
+                .find(|s| s.name == "deque_pop_steal_race")
+            else {
+                println!("mutation: scenario deque_pop_steal_race missing from registry");
+                return ExitCode::FAILURE;
+            };
+            let report = explore(s.name, s.cfg, s.body);
+            let Some(v) = &report.violation else {
+                println!(
+                    "mutation NOT CAUGHT: pop fence weakened to Relaxed, yet {} \
+                     interleavings found no violation — the checker is blind",
+                    report.executions
+                );
+                return ExitCode::FAILURE;
+            };
+            println!("mutation caught after {} interleavings:", report.executions);
+            println!("  {}", v.message);
+            println!("  seed: {}", v.seed);
+            // The seed must actually reproduce, or it is useless for
+            // debugging.
+            let Some((name, decisions)) = decode_seed(&v.seed) else {
+                println!("  seed does not decode");
+                return ExitCode::FAILURE;
+            };
+            let re = replay(name, s.cfg, decisions, s.body);
+            if re.violation.is_some() {
+                println!("  seed replays: violation reproduced deterministically");
+                ExitCode::SUCCESS
+            } else {
+                println!("  seed does NOT replay the violation");
+                ExitCode::FAILURE
+            }
+        })();
+        partree_exec::model::set_weaken_pop_fence(false);
+        result
+    }
+
+    fn run_replay(seed: &str) -> ExitCode {
+        let Some((name, decisions)) = decode_seed(seed) else {
+            eprintln!("replay: malformed seed `{seed}`");
+            return ExitCode::from(2);
+        };
+        let Some(s) = registries()
+            .into_iter()
+            .flat_map(|(_, v)| v)
+            .find(|s| s.name == name)
+        else {
+            eprintln!("replay: no scenario named `{name}` in any registry");
+            return ExitCode::from(2);
+        };
+        let report = replay(s.name, s.cfg, decisions, s.body);
+        match &report.violation {
+            Some(v) => {
+                println!("replay {}: VIOLATION", s.name);
+                println!("  {}", v.message);
+                for line in &v.trace {
+                    println!("    {line}");
+                }
+                ExitCode::FAILURE
+            }
+            None => {
+                println!(
+                    "replay {}: clean under this schedule (the mutation that \
+                     produced the seed may not be active in this build)",
+                    s.name
+                );
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Repo automation entry point.
+//!
+//! ```text
+//! cargo run -p xtask -- lint        # run the custom lint pass
+//! ```
+//!
+//! The concurrency model-check runner is the separate `verify` binary
+//! (`cargo run -p xtask --bin verify`) because it needs the whole
+//! workspace rebuilt with `RUSTFLAGS="--cfg partree_model"`, which
+//! would needlessly recompile everything for a plain lint run.
+
+mod lint;
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn repo_root() -> PathBuf {
+    // crates/xtask/ -> crates/ -> repo root. Compile-time anchor so the
+    // pass works from any cwd under `cargo run -p xtask`.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("xtask manifest dir has no grandparent")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some(other) => {
+            eprintln!("unknown xtask `{other}`; available: lint");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = repo_root();
+    let findings = lint::lint_tree(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "lint: {} finding(s); fix, or waive in place with \
+             `// lint: allow(<rule>): <reason>`",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

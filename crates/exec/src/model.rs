@@ -67,7 +67,11 @@ fn deque_pop_steal_race() {
     }
     got.extend(thief.join().expect("thief panicked"));
     got.sort_unstable();
-    assert_eq!(got, vec![0x10, 0x20], "jobs not handed out exactly once: {got:#x?}");
+    assert_eq!(
+        got,
+        vec![0x10, 0x20],
+        "jobs not handed out exactly once: {got:#x?}"
+    );
 }
 
 /// Owner growth racing a thief: model builds start at capacity 2, so the
@@ -94,7 +98,11 @@ fn deque_growth_steal_race() {
     }
     got.extend(thief.join().expect("thief panicked"));
     got.sort_unstable();
-    assert_eq!(got, vec![0x10, 0x20, 0x30], "growth lost or duplicated a job: {got:#x?}");
+    assert_eq!(
+        got,
+        vec![0x10, 0x20, 0x30],
+        "growth lost or duplicated a job: {got:#x?}"
+    );
 }
 
 /// The last-element arbitration: one job, owner pop racing one steal.
@@ -139,7 +147,11 @@ fn deque_two_thieves_race() {
     got.extend(t1.join().expect("thief 1 panicked"));
     got.extend(t2.join().expect("thief 2 panicked"));
     got.sort_unstable();
-    assert_eq!(got, vec![0x10, 0x20], "jobs not handed out exactly once: {got:#x?}");
+    assert_eq!(
+        got,
+        vec![0x10, 0x20],
+        "jobs not handed out exactly once: {got:#x?}"
+    );
 }
 
 /// Two jobs counting a latch down while the submitter blocks on it: the
@@ -151,7 +163,10 @@ fn latch_countdown_wakes_waiter() {
     let t1 = thread::spawn(move || l1.count_down());
     let t2 = thread::spawn(move || l2.count_down());
     latch.wait_done();
-    assert!(latch.probe_done(), "wait_done returned before the count hit zero");
+    assert!(
+        latch.probe_done(),
+        "wait_done returned before the count hit zero"
+    );
     t1.join().expect("counter 1 panicked");
     t2.join().expect("counter 2 panicked");
 }
@@ -206,11 +221,35 @@ pub fn scenarios() -> Vec<Scenario> {
         read_window: 4,
     };
     vec![
-        Scenario { name: "deque_pop_steal_race", cfg: deep, body: deque_pop_steal_race },
-        Scenario { name: "deque_growth_steal_race", cfg: deep, body: deque_growth_steal_race },
-        Scenario { name: "deque_last_element_race", cfg: deep, body: deque_last_element_race },
-        Scenario { name: "deque_two_thieves_race", cfg, body: deque_two_thieves_race },
-        Scenario { name: "latch_countdown_wakes_waiter", cfg, body: latch_countdown_wakes_waiter },
-        Scenario { name: "latch_poison_first_wins", cfg, body: latch_poison_first_wins },
+        Scenario {
+            name: "deque_pop_steal_race",
+            cfg: deep,
+            body: deque_pop_steal_race,
+        },
+        Scenario {
+            name: "deque_growth_steal_race",
+            cfg: deep,
+            body: deque_growth_steal_race,
+        },
+        Scenario {
+            name: "deque_last_element_race",
+            cfg: deep,
+            body: deque_last_element_race,
+        },
+        Scenario {
+            name: "deque_two_thieves_race",
+            cfg,
+            body: deque_two_thieves_race,
+        },
+        Scenario {
+            name: "latch_countdown_wakes_waiter",
+            cfg,
+            body: latch_countdown_wakes_waiter,
+        },
+        Scenario {
+            name: "latch_poison_first_wins",
+            cfg,
+            body: latch_poison_first_wins,
+        },
     ]
 }

@@ -48,7 +48,8 @@ fn trunk_scenarios_are_clean_and_exhaustive() {
         assert!(
             report.executions > 20,
             "{}: only {} interleavings — scenario has no real concurrency",
-            s.name, report.executions
+            s.name,
+            report.executions
         );
         total += report.executions;
     }
@@ -97,6 +98,10 @@ fn unmutated_pop_steal_scenario_is_clean() {
         .find(|s| s.name == "deque_pop_steal_race")
         .expect("registry lost the pop/steal scenario");
     let report = explore(s.name, s.cfg, s.body);
-    assert!(report.passed(), "trunk deque flagged: {:?}", report.violation);
+    assert!(
+        report.passed(),
+        "trunk deque flagged: {:?}",
+        report.violation
+    );
     assert!(report.complete);
 }

@@ -43,8 +43,10 @@
 use crate::breaker::{Breaker, BreakerConfig};
 use crate::metrics::{Metrics, ReplicaMetrics, ReplicaSnapshot};
 use crate::pool::ConnPool;
+use crate::reactor::RpcClient;
 use crate::route::preference_order;
 use partree_service::frame::{ErrorCode, Histogram, Request, Response};
+use partree_service::net::Transport;
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -77,6 +79,12 @@ pub struct GatewayConfig {
     pub breaker: BreakerConfig,
     /// Health-probe period.
     pub probe_interval: Duration,
+    /// Attempt engine: `Blocking` pins each attempt to its own thread
+    /// and a blocking client; `Reactor` multiplexes every attempt on
+    /// one shared epoll thread. Defaults from `PARTREE_TRANSPORT` so
+    /// one environment variable A/Bs the gateway and the service
+    /// together.
+    pub transport: Transport,
 }
 
 impl GatewayConfig {
@@ -93,6 +101,7 @@ impl GatewayConfig {
             connect_timeout: Duration::from_millis(500),
             breaker: BreakerConfig::default(),
             probe_interval: Duration::from_millis(100),
+            transport: Transport::from_env(),
         }
     }
 }
@@ -131,10 +140,14 @@ struct Inner {
     stopped: AtomicBool,
     /// Codec requests currently inside [`Gateway::request`].
     inflight: AtomicU64,
-    /// Attempt threads currently alive (including hedge losers).
+    /// Attempts currently alive (including hedge losers): threads on
+    /// the blocking transport, outstanding reactor calls otherwise.
     attempt_threads: AtomicU64,
     /// Jitter state for backoff.
     jitter_seed: AtomicU64,
+    /// The shared attempt reactor; `Some` iff
+    /// `cfg.transport == Transport::Reactor`.
+    rpc: Option<RpcClient>,
 }
 
 impl Inner {
@@ -235,6 +248,14 @@ impl Gateway {
                 draining: AtomicBool::new(false),
             })
             .collect();
+        let rpc = match cfg.transport {
+            Transport::Blocking => None,
+            Transport::Reactor => Some(
+                RpcClient::start(cfg.pool_cap)
+                    // lint: allow(no-unwrap): reactor startup happens once at gateway startup; failure there is resource exhaustion before any request exists
+                    .expect("start rpc reactor"),
+            ),
+        };
         let inner = Arc::new(Inner {
             replicas,
             metrics: Metrics::default(),
@@ -244,6 +265,7 @@ impl Gateway {
             inflight: AtomicU64::new(0),
             attempt_threads: AtomicU64::new(0),
             jitter_seed: AtomicU64::new(0x853c_49e6_748f_ea9b),
+            rpc,
             cfg,
         });
         let prober = {
@@ -340,6 +362,11 @@ impl Gateway {
         }
         for r in &self.inner.replicas {
             r.pool.clear();
+        }
+        if let Some(rpc) = &self.inner.rpc {
+            // Straggler calls complete with a shutdown error via their
+            // drop guards as the reactor unwinds.
+            rpc.shutdown_in_place();
         }
     }
 
@@ -538,9 +565,13 @@ impl Gateway {
         r
     }
 
-    /// Spawns one attempt thread. The thread owns the whole attempt —
-    /// checkout, request, metrics, breaker, check-in — so a hedge loser
-    /// finishes correctly even after the event loop has returned.
+    /// Launches one attempt. On the blocking transport this spawns a
+    /// thread that owns the whole attempt — checkout, request, metrics,
+    /// breaker, check-in — so a hedge loser finishes correctly even
+    /// after the event loop has returned. On the reactor transport the
+    /// attempt is a non-blocking call whose completion callback (run on
+    /// the reactor thread, hedge losers included) does the same
+    /// accounting through [`account_attempt`].
     fn launch(
         &self,
         replica: usize,
@@ -553,6 +584,27 @@ impl Gateway {
         let request = Arc::clone(request);
         let thread_tx = tx.clone();
         self.inner.attempt_threads.fetch_add(1, Ordering::Relaxed);
+        if let Some(rpc) = &self.inner.rpc {
+            let r = &self.inner.replicas[replica];
+            r.metrics.attempts.fetch_add(1, Ordering::Relaxed);
+            let t0 = Instant::now();
+            rpc.call(
+                r.addr,
+                request,
+                deadline,
+                self.inner.cfg.connect_timeout,
+                move |outcome| {
+                    let outcome = account_attempt(&thread_inner, replica, t0, outcome);
+                    let _ = thread_tx.send(AttemptReport {
+                        replica,
+                        hedge,
+                        outcome,
+                    });
+                    thread_inner.attempt_threads.fetch_sub(1, Ordering::Relaxed);
+                },
+            );
+            return;
+        }
         let spawned = thread::Builder::new()
             .name(format!("gateway-attempt-{replica}"))
             .spawn(move || {
@@ -603,6 +655,21 @@ fn run_attempt(
         r.pool.checkin(conn);
         Ok(resp)
     })();
+    account_attempt(inner, replica, t0, result)
+}
+
+/// The transport-independent tail of an attempt: feeds the breaker and
+/// the per-replica counters, then hands the outcome back unchanged.
+/// The blocking path runs this on the attempt thread, the reactor path
+/// in the completion callback — identical outcomes produce identical
+/// breaker transitions and metrics either way.
+fn account_attempt(
+    inner: &Inner,
+    replica: usize,
+    t0: Instant,
+    result: io::Result<Response>,
+) -> io::Result<Response> {
+    let r = &inner.replicas[replica];
     if breaker_counts_as_failure(&result) {
         r.breaker.record_failure();
     } else {
@@ -660,11 +727,14 @@ fn prober_loop(inner: &Arc<Inner>) {
             if inner.stopped.load(Ordering::Relaxed) {
                 return;
             }
-            let outcome = r.pool.checkout(io_timeout).and_then(|mut conn| {
-                let draining = conn.ping()?;
-                r.pool.checkin(conn);
-                Ok(draining)
-            });
+            let outcome = match &inner.rpc {
+                Some(rpc) => probe_over_rpc(rpc, r.addr, inner.cfg.connect_timeout),
+                None => r.pool.checkout(io_timeout).and_then(|mut conn| {
+                    let draining = conn.ping()?;
+                    r.pool.checkin(conn);
+                    Ok(draining)
+                }),
+            };
             match outcome {
                 Ok(draining) => {
                     r.metrics.pings_ok.fetch_add(1, Ordering::Relaxed);
@@ -675,7 +745,10 @@ fn prober_loop(inner: &Arc<Inner>) {
                     r.metrics.pings_failed.fetch_add(1, Ordering::Relaxed);
                     r.breaker.record_failure();
                     // Idle connections to a failing replica are suspect.
-                    r.pool.clear();
+                    match &inner.rpc {
+                        Some(rpc) => rpc.purge(r.addr),
+                        None => r.pool.clear(),
+                    }
                 }
             }
         }
@@ -687,6 +760,37 @@ fn prober_loop(inner: &Arc<Inner>) {
     }
 }
 
+/// One probe over the shared reactor: a `Ping` call bridged back to the
+/// prober thread through a channel. Probes bypass `Breaker::allow` in
+/// this mode too — the reactor dials unconditionally.
+fn probe_over_rpc(rpc: &RpcClient, addr: SocketAddr, budget: Duration) -> io::Result<bool> {
+    let (tx, rx) = mpsc::channel();
+    rpc.call(
+        addr,
+        Arc::new(Request::Ping),
+        Instant::now() + budget,
+        budget,
+        move |outcome| {
+            let _ = tx.send(outcome);
+        },
+    );
+    // The reactor enforces the budget itself (deadline sweep); the
+    // extra slack only covers its tick granularity. The callback's drop
+    // guard guarantees an answer even across reactor shutdown, so a
+    // recv timeout here is strictly a backstop.
+    match rx.recv_timeout(budget + Duration::from_millis(250)) {
+        Ok(Ok(Response::Pong { draining })) => Ok(draining),
+        Ok(Ok(other)) => Err(io::Error::other(format!(
+            "probe expected Pong, got {other:?}"
+        ))),
+        Ok(Err(e)) => Err(e),
+        Err(_) => Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "probe reply never arrived",
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -694,8 +798,19 @@ mod tests {
     use partree_service::server::{Service, ServiceConfig};
 
     fn fleet(n: usize) -> (Vec<Server>, Vec<SocketAddr>) {
+        fleet_on(n, Transport::Blocking)
+    }
+
+    fn fleet_on(n: usize, transport: Transport) -> (Vec<Server>, Vec<SocketAddr>) {
         let servers: Vec<Server> = (0..n)
-            .map(|_| Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap())
+            .map(|_| {
+                Server::bind_with(
+                    Service::start(ServiceConfig::default()),
+                    "127.0.0.1:0",
+                    transport,
+                )
+                .unwrap()
+            })
             .collect();
         let addrs = servers.iter().map(|s| s.addr()).collect();
         (servers, addrs)
@@ -858,6 +973,85 @@ mod tests {
         let snap = gw.snapshot();
         assert!(snap.hedges_issued >= 1, "hedge launched: {snap:?}");
         assert!(snap.hedges_won >= 1, "hedge won: {snap:?}");
+        gw.shutdown();
+        for s in servers {
+            s.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn reactor_transport_roundtrips_and_matches_blocking() {
+        // Reactor on both sides: the fleet serves over the service
+        // reactor, the gateway attempts over the shared rpc reactor.
+        let (servers, addrs) = fleet_on(3, Transport::Reactor);
+        let mut cfg = tiny_cfg(addrs);
+        cfg.transport = Transport::Reactor;
+        let gw = Gateway::start(cfg);
+        let direct = Service::start(ServiceConfig::default());
+
+        for seed in 0u64..20 {
+            let payload: Vec<u8> = (0..512).map(|i| ((seed * 37 + i) % 6) as u8).collect();
+            let hist = Histogram::of_payload(6, &payload).unwrap();
+            let (bits, data) = gw.encode(&hist, &payload).unwrap();
+            match direct.submit(Request::Encode {
+                histogram: hist.clone(),
+                payload: payload.clone(),
+            }) {
+                Response::Encoded {
+                    bit_len,
+                    data: d_data,
+                } => assert_eq!(
+                    (bits, &data),
+                    (bit_len, &d_data),
+                    "reactor gateway == direct service"
+                ),
+                other => panic!("direct encode failed: {other:?}"),
+            }
+            assert_eq!(gw.decode(&hist, bits, &data).unwrap(), payload);
+        }
+
+        let snap = gw.snapshot();
+        assert_eq!(snap.requests, 40);
+        assert_eq!(snap.completed, 40);
+        assert_eq!(snap.deadline_exceeded, 0);
+        assert!(
+            snap.replicas.iter().any(|r| r.pings_ok > 0),
+            "rpc prober reached the fleet: {snap:?}"
+        );
+
+        direct.shutdown();
+        gw.shutdown();
+        for s in servers {
+            s.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn reactor_transport_fails_over_around_a_dead_replica() {
+        let (mut servers, addrs) = fleet_on(2, Transport::Reactor);
+        let mut cfg = tiny_cfg(addrs);
+        cfg.probe_interval = Duration::from_secs(30);
+        cfg.breaker.failure_threshold = 2;
+        cfg.transport = Transport::Reactor;
+        let gw = Gateway::start(cfg);
+
+        let mut homed = None;
+        for n in 2u32..40 {
+            let payload: Vec<u8> = (0..128).map(|i| (i % n as usize) as u8).collect();
+            let hist = Histogram::of_payload(n as usize, &payload).unwrap();
+            if preference_order(hist.hash64(), 2)[0] == 0 {
+                homed = Some((hist, payload));
+                break;
+            }
+        }
+        let (hist, payload) = homed.expect("some histogram homes on replica 0");
+        servers.remove(0).shutdown().unwrap();
+
+        let (bits, data) = gw.encode(&hist, &payload).unwrap();
+        assert_eq!(gw.decode(&hist, bits, &data).unwrap(), payload);
+
+        let snap = gw.snapshot();
+        assert!(snap.failovers >= 1, "winner was not the home: {snap:?}");
         gw.shutdown();
         for s in servers {
             s.shutdown().unwrap();

@@ -20,6 +20,10 @@
 //! * [`gateway`] — the event loop: per-request deadline budget, bounded
 //!   retries with jittered exponential backoff, and one hedged attempt
 //!   after an adaptive latency threshold, first response wins.
+//!   Attempts run on per-attempt threads (blocking transport) or are
+//!   multiplexed on one shared epoll reactor
+//!   ([`partree_service::net::Transport`] selects, default from
+//!   `PARTREE_TRANSPORT`).
 //! * [`metrics`] — per-replica latency histograms and router counters,
 //!   exported as the same style of hand-written JSON as the service.
 //!
@@ -53,6 +57,7 @@ pub mod metrics;
 #[cfg(partree_model)]
 pub mod model;
 pub mod pool;
+mod reactor;
 pub mod route;
 mod sync;
 

@@ -125,9 +125,25 @@ pub fn scenarios() -> Vec<Scenario> {
         read_window: 4,
     };
     vec![
-        Scenario { name: "breaker_single_probe_admission", cfg, body: breaker_single_probe_admission },
-        Scenario { name: "breaker_concurrent_trip_opens_once", cfg, body: breaker_concurrent_trip_opens_once },
-        Scenario { name: "breaker_probe_failure_reopens", cfg, body: breaker_probe_failure_reopens },
-        Scenario { name: "breaker_probe_success_recloses", cfg, body: breaker_probe_success_recloses },
+        Scenario {
+            name: "breaker_single_probe_admission",
+            cfg,
+            body: breaker_single_probe_admission,
+        },
+        Scenario {
+            name: "breaker_concurrent_trip_opens_once",
+            cfg,
+            body: breaker_concurrent_trip_opens_once,
+        },
+        Scenario {
+            name: "breaker_probe_failure_reopens",
+            cfg,
+            body: breaker_probe_failure_reopens,
+        },
+        Scenario {
+            name: "breaker_probe_success_recloses",
+            cfg,
+            body: breaker_probe_success_recloses,
+        },
     ]
 }

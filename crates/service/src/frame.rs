@@ -600,25 +600,12 @@ pub struct RawFrame {
     pub body: Vec<u8>,
 }
 
-/// Reads one frame from `r`. Returns `Ok(None)` on a clean EOF at a
-/// frame boundary; mid-frame EOF and malformed headers are errors.
-pub fn read_frame(r: &mut impl Read) -> io::Result<Option<RawFrame>> {
-    let mut header = [0u8; HEADER_LEN];
-    let mut filled = 0usize;
-    while filled < HEADER_LEN {
-        let n = r.read(&mut header[filled..])?;
-        if n == 0 {
-            if filled == 0 {
-                return Ok(None);
-            }
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "EOF inside a frame header",
-            ));
-        }
-        filled += n;
-    }
-    let mut h: &[u8] = &header;
+/// Validates a complete 16-byte header, returning `(id, opcode,
+/// body_len)`. Shared by the one-shot [`read_frame`] and the
+/// incremental [`FrameDecoder`], so the two parsers reject exactly the
+/// same headers with exactly the same errors.
+fn parse_header(header: &[u8; HEADER_LEN]) -> io::Result<(u64, Opcode, u32)> {
+    let mut h: &[u8] = header;
     let magic = h.get_u16();
     let version = h.get_u8();
     let opcode = h.get_u8();
@@ -645,9 +632,157 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<RawFrame>> {
     let opcode = Opcode::from_u8(opcode).ok_or_else(|| {
         io::Error::new(io::ErrorKind::InvalidData, format!("opcode {opcode:#04x}"))
     })?;
+    Ok((id, opcode, body_len))
+}
+
+/// Reads one frame from `r`. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary; mid-frame EOF and malformed headers are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<RawFrame>> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < HEADER_LEN {
+        let n = r.read(&mut header[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "EOF inside a frame header",
+            ));
+        }
+        filled += n;
+    }
+    let (id, opcode, body_len) = parse_header(&header)?;
     let mut body = vec![0u8; body_len as usize];
     r.read_exact(&mut body)?;
     Ok(Some(RawFrame { id, opcode, body }))
+}
+
+/// Resumable frame parser for non-blocking transports: a header/body
+/// state machine that accepts input in arbitrary slices — one byte at a
+/// time, or several coalesced frames per read — and yields exactly the
+/// frames [`read_frame`] would yield from the concatenation of those
+/// slices (the header validation is literally shared; see
+/// [`parse_header`]).
+///
+/// Contract, proven property-style by `tests/frame_fragmentation.rs`:
+/// for any byte stream and any split of it into chunks, the sequence of
+/// frames (and the first error, if any) is identical to the one-shot
+/// parser's, and no input — adversarial headers included — panics.
+/// After the first error the decoder is poisoned: the stream may be
+/// mid-garbage, so every later [`FrameDecoder::advance`] fails too and
+/// the connection must be closed, mirroring the blocking transport
+/// dropping a connection whose `read_frame` errored.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    header: [u8; HEADER_LEN],
+    hfill: usize,
+    id: u64,
+    opcode: Opcode,
+    need: usize,
+    body: Vec<u8>,
+    in_body: bool,
+    poisoned: bool,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> FrameDecoder {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder at a frame boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder {
+            header: [0; HEADER_LEN],
+            hfill: 0,
+            id: 0,
+            opcode: Opcode::Ping,
+            need: 0,
+            body: Vec::new(),
+            in_body: false,
+            poisoned: false,
+        }
+    }
+
+    /// Consumes a prefix of `input` — at most enough to finish the
+    /// frame in progress — and returns `(bytes_consumed, frame)`.
+    /// Call in a loop until all input is consumed, handling each
+    /// yielded frame:
+    ///
+    /// ```
+    /// # use partree_service::frame::{encode_request, FrameDecoder, Request};
+    /// let wire = encode_request(1, &Request::Ping);
+    /// let mut dec = FrameDecoder::new();
+    /// let mut at = 0;
+    /// while at < wire.len() {
+    ///     let (used, frame) = dec.advance(&wire[at..]).unwrap();
+    ///     at += used;
+    ///     if let Some(f) = frame {
+    ///         assert_eq!(f.id, 1);
+    ///     }
+    /// }
+    /// ```
+    ///
+    /// Progress is guaranteed: on non-empty input, either bytes are
+    /// consumed or a completed frame is returned. Errors are sticky
+    /// (see the type docs).
+    pub fn advance(&mut self, input: &[u8]) -> io::Result<(usize, Option<RawFrame>)> {
+        if self.poisoned {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "frame decoder already failed; the stream is desynchronized",
+            ));
+        }
+        let mut used = 0usize;
+        if !self.in_body {
+            let take = (HEADER_LEN - self.hfill).min(input.len());
+            self.header[self.hfill..self.hfill + take].copy_from_slice(&input[..take]);
+            self.hfill += take;
+            used += take;
+            if self.hfill < HEADER_LEN {
+                return Ok((used, None));
+            }
+            match parse_header(&self.header) {
+                Ok((id, opcode, body_len)) => {
+                    self.id = id;
+                    self.opcode = opcode;
+                    self.need = body_len as usize;
+                    // Capped pre-allocation: a hostile header may
+                    // declare up to MAX_BODY without ever sending it.
+                    self.body = Vec::with_capacity(self.need.min(64 * 1024));
+                    self.in_body = true;
+                }
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(e);
+                }
+            }
+        }
+        let take = (self.need - self.body.len()).min(input.len() - used);
+        self.body.extend_from_slice(&input[used..used + take]);
+        used += take;
+        if self.body.len() == self.need {
+            let frame = RawFrame {
+                id: self.id,
+                opcode: self.opcode,
+                body: std::mem::take(&mut self.body),
+            };
+            self.in_body = false;
+            self.hfill = 0;
+            return Ok((used, Some(frame)));
+        }
+        Ok((used, None))
+    }
+
+    /// True at a frame boundary — an EOF here is clean, exactly when
+    /// [`read_frame`] would have returned `Ok(None)`; an EOF mid-frame
+    /// is the `UnexpectedEof` case.
+    pub fn is_idle(&self) -> bool {
+        !self.in_body && self.hfill == 0 && !self.poisoned
+    }
 }
 
 /// Writes one already-encoded frame to `w`.
@@ -805,6 +940,86 @@ mod tests {
         let wire = encode_response(7, &resp);
         let raw = read_frame(&mut &wire[..]).unwrap().unwrap();
         assert_eq!(decode_response(raw.opcode, &raw.body).unwrap(), resp);
+    }
+
+    /// Runs the incremental decoder over `wire` in `chunk`-byte slices
+    /// and returns every frame it yields.
+    fn decode_chunked(wire: &[u8], chunk: usize) -> Vec<RawFrame> {
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in wire.chunks(chunk.max(1)) {
+            let mut at = 0;
+            while at < piece.len() {
+                let (used, frame) = dec.advance(&piece[at..]).unwrap();
+                at += used;
+                if let Some(f) = frame {
+                    out.push(f);
+                }
+            }
+        }
+        assert!(dec.is_idle(), "stream ended mid-frame");
+        out
+    }
+
+    #[test]
+    fn incremental_decoder_matches_one_shot_at_every_split() {
+        let frames = [
+            encode_request(1, &Request::Ping),
+            encode_request(
+                2,
+                &Request::Encode {
+                    histogram: hist(&[3, 1, 4]),
+                    payload: vec![0, 2, 1, 1, 0],
+                },
+            ),
+            encode_response(3, &Response::Busy),
+            encode_response(
+                4,
+                &Response::Encoded {
+                    bit_len: 11,
+                    data: vec![0xAB, 0xC0],
+                },
+            ),
+        ];
+        let wire: Vec<u8> = frames.iter().flatten().copied().collect();
+        let mut reader: &[u8] = &wire;
+        let mut expected = Vec::new();
+        while let Some(f) = read_frame(&mut reader).unwrap() {
+            expected.push((f.id, f.opcode, f.body));
+        }
+        for chunk in 1..=wire.len() {
+            let got: Vec<_> = decode_chunked(&wire, chunk)
+                .into_iter()
+                .map(|f| (f.id, f.opcode, f.body))
+                .collect();
+            assert_eq!(got, expected, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_bad_headers_and_stays_poisoned() {
+        let mut wire = encode_request(1, &Request::Stats);
+        wire[0] = 0; // magic
+        let mut dec = FrameDecoder::new();
+        let err = dec.advance(&wire).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // Sticky: valid bytes after the failure still error.
+        let good = encode_request(2, &Request::Ping);
+        assert!(dec.advance(&good).is_err());
+        assert!(!dec.is_idle());
+    }
+
+    #[test]
+    fn incremental_decoder_yields_zero_body_frames_without_extra_input() {
+        let wire = encode_request(9, &Request::Drain);
+        let mut dec = FrameDecoder::new();
+        // Feed exactly the header; the empty-body frame must complete.
+        let (used, frame) = dec.advance(&wire).unwrap();
+        assert_eq!(used, HEADER_LEN);
+        let frame = frame.expect("zero-body frame completes at the header");
+        assert_eq!((frame.id, frame.opcode), (9, Opcode::Drain));
+        assert!(frame.body.is_empty());
+        assert!(dec.is_idle());
     }
 
     #[test]

@@ -18,8 +18,13 @@
 //! * [`server`] — [`server::Service`]: bounded queue, batch workers on
 //!   a [`rayon`] pool, `Busy` backpressure, per-request deadlines,
 //!   graceful shutdown;
-//! * [`net`] — [`net::Server`]: the loopback TCP front end;
+//! * [`net`] — [`net::Server`]: the loopback TCP front end, with a
+//!   [`net::Transport`] switch between a blocking thread-per-connection
+//!   engine and a single-threaded epoll reactor;
 //! * [`client`] — [`client::Client`]: a blocking loopback client;
+//! * [`waker`] — the reactor's cross-thread wakeup handshake
+//!   ([`waker::CompletionQueue`]), model-checked under
+//!   `--cfg partree_model`;
 //! * [`metrics`] — aggregate counters, including the traced work/depth
 //!   of every scheduling tick, exported as JSON.
 //!
@@ -61,12 +66,17 @@ pub mod client;
 pub mod codebook;
 pub mod frame;
 pub mod metrics;
+#[cfg(partree_model)]
+pub mod model;
 pub mod net;
+mod reactor;
 pub mod server;
+mod sync;
+pub mod waker;
 
 pub use client::Client;
 pub use codebook::{Codebook, CodebookCache};
 pub use frame::{ErrorCode, FrameError, Histogram, Request, Response};
 pub use metrics::MetricsSnapshot;
-pub use net::{FaultInjection, Server};
+pub use net::{FaultInjection, Server, Transport};
 pub use server::{Service, ServiceConfig};

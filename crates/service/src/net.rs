@@ -1,18 +1,29 @@
-//! Loopback TCP front end: one [`Server`] owns a listener plus one
-//! thread per connection, each translating frames to
-//! [`Service::submit`] calls.
+//! Loopback TCP front end: one [`Server`] owns a listener and serves
+//! frames against a [`Service`], over one of two [`Transport`]s.
 //!
-//! Connections are synchronous — one outstanding request per
-//! connection — so client-side concurrency comes from opening several
-//! connections, and server-side batching comes from those connections'
-//! submits landing in the shared bounded queue together.
+//! * [`Transport::Blocking`] — one thread per connection, blocking
+//!   reads, frames translated to [`Service::submit`] calls.
+//!   Connections are synchronous (one outstanding request per
+//!   connection), so client-side concurrency comes from opening
+//!   several connections.
+//! * [`Transport::Reactor`] — a single epoll thread owning every
+//!   socket ([`crate::reactor`]): incremental frame decoding over
+//!   partial reads, requests fed to the same bounded queue via
+//!   [`Service::submit_async`]. Same wire behavior, thousands of
+//!   connections per thread instead of one.
 //!
-//! Shutdown is cooperative and complete: sockets carry a short read
-//! timeout so connection threads notice the stop flag between frames,
-//! the accept loop is unblocked by a self-connection, and
-//! [`Server::shutdown`] joins every thread it ever spawned before
+//! Both transports share the listener-side API ([`Server::bind`],
+//! [`Server::faults`], [`Server::shutdown`]) and produce bit-identical
+//! responses — the transport only moves bytes; batching, caching, and
+//! shedding all live behind the queue.
+//!
+//! Shutdown is cooperative and complete: blocking-mode sockets carry a
+//! short read timeout so connection threads notice the stop flag
+//! between frames, the accept loop is unblocked by a self-connection,
+//! and [`Server::shutdown`] joins every thread it ever spawned before
 //! returning — no leaked threads, asserted by the `service-smoke` CI
-//! step.
+//! step. The reactor is a single thread woken by its eventfd waker and
+//! joined the same way.
 
 use crate::frame::{decode_request, encode_response, read_frame, write_frame, Request, Response};
 use crate::server::Service;
@@ -70,7 +81,7 @@ impl FaultInjection {
         self.delay_ms.store(ms, Ordering::Relaxed);
     }
 
-    fn should_drop(&self, rng: &mut u64) -> bool {
+    pub(crate) fn should_drop(&self, rng: &mut u64) -> bool {
         let pct = self.drop_pct.load(Ordering::Relaxed);
         if pct == 0 {
             return false;
@@ -83,8 +94,33 @@ impl FaultInjection {
         (*rng % 100) < u64::from(pct)
     }
 
-    fn delay(&self) -> Duration {
+    pub(crate) fn delay(&self) -> Duration {
         Duration::from_millis(self.delay_ms.load(Ordering::Relaxed))
+    }
+}
+
+/// Which connection engine a [`Server`] runs. The wire protocol and
+/// every response byte are identical across engines; only the
+/// threading model differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Transport {
+    /// One thread per connection, blocking reads (the default).
+    #[default]
+    Blocking,
+    /// One epoll reactor thread owning every socket.
+    Reactor,
+}
+
+impl Transport {
+    /// Reads `PARTREE_TRANSPORT`: `"reactor"` (case-insensitive)
+    /// selects [`Transport::Reactor`]; anything else, or unset, the
+    /// blocking engine. Lets multi-process experiments A/B transports
+    /// without code changes.
+    pub fn from_env() -> Transport {
+        match std::env::var("PARTREE_TRANSPORT") {
+            Ok(v) if v.eq_ignore_ascii_case("reactor") => Transport::Reactor,
+            _ => Transport::Blocking,
+        }
     }
 }
 
@@ -92,10 +128,18 @@ impl FaultInjection {
 pub struct Server {
     service: Service,
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<std::thread::JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
     faults: Arc<FaultInjection>,
+    engine: Engine,
+}
+
+/// The transport-specific innards behind a [`Server`].
+enum Engine {
+    Blocking {
+        stop: Arc<AtomicBool>,
+        accept_thread: Option<std::thread::JoinHandle<()>>,
+        conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    },
+    Reactor(crate::reactor::ReactorHandle),
 }
 
 impl std::fmt::Debug for Server {
@@ -106,31 +150,50 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Binds `addr` (use `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts accepting connections against `service`.
+    /// starts accepting connections against `service`, on the
+    /// transport selected by `PARTREE_TRANSPORT` (default blocking).
     pub fn bind(service: Service, addr: &str) -> io::Result<Server> {
+        Server::bind_with(service, addr, Transport::from_env())
+    }
+
+    /// [`Server::bind`] with an explicit transport choice.
+    pub fn bind_with(service: Service, addr: &str, transport: Transport) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
         let faults = Arc::new(FaultInjection::from_env());
-        let accept_thread = {
-            let service = service.clone();
-            let stop = Arc::clone(&stop);
-            let conns = Arc::clone(&conns);
-            let faults = Arc::clone(&faults);
-            std::thread::Builder::new()
-                .name("partree-accept".into())
-                .spawn(move || accept_loop(&listener, &service, &stop, &conns, &faults))
-                // lint: allow(no-unwrap): accept-thread spawn happens once at server startup, before any connection exists
-                .expect("spawning the accept thread cannot fail")
+        let engine = match transport {
+            Transport::Blocking => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let conns: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+                    Arc::new(Mutex::new(Vec::new()));
+                let accept_thread = {
+                    let service = service.clone();
+                    let stop = Arc::clone(&stop);
+                    let conns = Arc::clone(&conns);
+                    let faults = Arc::clone(&faults);
+                    std::thread::Builder::new()
+                        .name("partree-accept".into())
+                        .spawn(move || accept_loop(&listener, &service, &stop, &conns, &faults))
+                        // lint: allow(no-unwrap): accept-thread spawn happens once at server startup, before any connection exists
+                        .expect("spawning the accept thread cannot fail")
+                };
+                Engine::Blocking {
+                    stop,
+                    accept_thread: Some(accept_thread),
+                    conns,
+                }
+            }
+            Transport::Reactor => Engine::Reactor(crate::reactor::spawn(
+                service.clone(),
+                listener,
+                Arc::clone(&faults),
+            )?),
         };
         Ok(Server {
             service,
             addr,
-            stop,
-            accept_thread: Some(accept_thread),
-            conns,
             faults,
+            engine,
         })
     }
 
@@ -149,25 +212,34 @@ impl Server {
         &self.service
     }
 
-    /// Stops accepting, drains connections, joins every thread, and
-    /// shuts the service down. Returns the number of queued jobs the
-    /// service dropped.
-    pub fn shutdown(mut self) -> io::Result<usize> {
-        self.stop.store(true, Ordering::Release);
-        // Unblock `accept` with a throwaway self-connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(h) = self.accept_thread.take() {
-            h.join()
-                .map_err(|_| io::Error::other("accept thread panicked"))?;
-        }
-        let handles: Vec<_> = {
-            // lint: allow(no-unwrap): a poisoned connection registry means a panic mid-insert; shutdown could strand sockets, so crash loudly instead
-            let mut reg = self.conns.lock().expect("connection registry poisoned");
-            reg.drain(..).collect()
-        };
-        for h in handles {
-            h.join()
-                .map_err(|_| io::Error::other("connection thread panicked"))?;
+    /// Stops accepting, drains connections, joins every transport
+    /// thread, and shuts the service down. Returns the number of
+    /// queued jobs the service dropped.
+    pub fn shutdown(self) -> io::Result<usize> {
+        match self.engine {
+            Engine::Blocking {
+                stop,
+                mut accept_thread,
+                conns,
+            } => {
+                stop.store(true, Ordering::Release);
+                // Unblock `accept` with a throwaway self-connection.
+                let _ = TcpStream::connect(self.addr);
+                if let Some(h) = accept_thread.take() {
+                    h.join()
+                        .map_err(|_| io::Error::other("accept thread panicked"))?;
+                }
+                let handles: Vec<_> = {
+                    // lint: allow(no-unwrap): a poisoned connection registry means a panic mid-insert; shutdown could strand sockets, so crash loudly instead
+                    let mut reg = conns.lock().expect("connection registry poisoned");
+                    reg.drain(..).collect()
+                };
+                for h in handles {
+                    h.join()
+                        .map_err(|_| io::Error::other("connection thread panicked"))?;
+                }
+            }
+            Engine::Reactor(handle) => handle.shutdown()?,
         }
         Ok(self.service.shutdown())
     }
@@ -327,20 +399,47 @@ mod tests {
     use crate::frame::Histogram;
     use crate::server::ServiceConfig;
 
+    const BOTH: [Transport; 2] = [Transport::Blocking, Transport::Reactor];
+
+    fn bind_on(transport: Transport) -> Server {
+        Server::bind_with(
+            Service::start(ServiceConfig::default()),
+            "127.0.0.1:0",
+            transport,
+        )
+        .unwrap()
+    }
+
     #[test]
     fn tcp_roundtrip_and_clean_shutdown() {
-        let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
-        let mut client = Client::connect(server.addr()).unwrap();
-        let hist = Histogram::new(vec![7, 3, 1, 1]).unwrap();
-        let payload = vec![0u8, 1, 2, 3, 0, 0, 1];
-        let (bit_len, data) = client.encode(&hist, &payload).unwrap();
-        let back = client.decode(&hist, bit_len, &data).unwrap();
-        assert_eq!(back, payload);
-        let stats = client.stats().unwrap();
-        assert_eq!(stats.encoded, 1);
-        assert_eq!(stats.decoded, 1);
-        drop(client);
-        assert_eq!(server.shutdown().unwrap(), 0);
+        for transport in BOTH {
+            let server = bind_on(transport);
+            let mut client = Client::connect(server.addr()).unwrap();
+            let hist = Histogram::new(vec![7, 3, 1, 1]).unwrap();
+            let payload = vec![0u8, 1, 2, 3, 0, 0, 1];
+            let (bit_len, data) = client.encode(&hist, &payload).unwrap();
+            let back = client.decode(&hist, bit_len, &data).unwrap();
+            assert_eq!(back, payload, "{transport:?}");
+            let stats = client.stats().unwrap();
+            assert_eq!(stats.encoded, 1, "{transport:?}");
+            assert_eq!(stats.decoded, 1, "{transport:?}");
+            drop(client);
+            assert_eq!(server.shutdown().unwrap(), 0, "{transport:?}");
+        }
+    }
+
+    #[test]
+    fn transport_selection_reads_the_environment() {
+        let saved = std::env::var("PARTREE_TRANSPORT").ok();
+        std::env::set_var("PARTREE_TRANSPORT", "REACTOR");
+        assert_eq!(Transport::from_env(), Transport::Reactor);
+        std::env::set_var("PARTREE_TRANSPORT", "nonsense");
+        assert_eq!(Transport::from_env(), Transport::Blocking);
+        std::env::remove_var("PARTREE_TRANSPORT");
+        assert_eq!(Transport::from_env(), Transport::Blocking);
+        if let Some(v) = saved {
+            std::env::set_var("PARTREE_TRANSPORT", v);
+        }
     }
 
     #[test]
@@ -349,23 +448,27 @@ mod tests {
         // like a router's health prober) must not be able to hold
         // `Server::shutdown` hostage — connection threads check the
         // stop flag at every frame boundary, not only on idle reads.
-        let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
-        let addr = server.addr();
-        let pinger = std::thread::spawn(move || {
-            let mut client = crate::client::Client::connect(addr).unwrap();
-            // Ping until the server severs the connection.
-            while client.ping().is_ok() {}
-        });
-        // Let the ping loop get going.
-        std::thread::sleep(Duration::from_millis(100));
-        let (tx, rx) = std::sync::mpsc::channel();
-        std::thread::spawn(move || {
-            let _ = tx.send(server.shutdown());
-        });
-        rx.recv_timeout(Duration::from_secs(5))
-            .expect("shutdown hung on a continuously-talking connection")
-            .unwrap();
-        pinger.join().unwrap();
+        for transport in BOTH {
+            let server = bind_on(transport);
+            let addr = server.addr();
+            let pinger = std::thread::spawn(move || {
+                let mut client = crate::client::Client::connect(addr).unwrap();
+                // Ping until the server severs the connection.
+                while client.ping().is_ok() {}
+            });
+            // Let the ping loop get going.
+            std::thread::sleep(Duration::from_millis(100));
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::spawn(move || {
+                let _ = tx.send(server.shutdown());
+            });
+            rx.recv_timeout(Duration::from_secs(5))
+                .unwrap_or_else(|_| {
+                    panic!("{transport:?} shutdown hung on a continuously-talking connection")
+                })
+                .unwrap();
+            pinger.join().unwrap();
+        }
     }
 
     #[test]
@@ -373,50 +476,59 @@ mod tests {
         use crate::frame::{encode_frame, Opcode, HEADER_LEN};
         use std::io::Write;
 
-        let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
-        let mut stream = TcpStream::connect(server.addr()).unwrap();
-        // Send a header promising a 16-byte body but only 4 body bytes,
-        // parking the connection thread inside read_frame's body read.
-        let wire = encode_frame(1, Opcode::Encode, &[0u8; 16]);
-        stream.write_all(&wire[..HEADER_LEN + 4]).unwrap();
-        stream.flush().unwrap();
-        std::thread::sleep(Duration::from_millis(150));
-        let (tx, rx) = std::sync::mpsc::channel();
-        std::thread::spawn(move || {
-            let _ = tx.send(server.shutdown());
-        });
-        rx.recv_timeout(Duration::from_secs(5))
-            .expect("shutdown hung on a connection mid-frame")
-            .unwrap();
+        for transport in BOTH {
+            let server = bind_on(transport);
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            // Send a header promising a 16-byte body but only 4 body
+            // bytes: the blocking transport parks a thread inside
+            // read_frame's body read; the reactor just holds decoder
+            // state. Both must shut down promptly regardless.
+            let wire = encode_frame(1, Opcode::Encode, &[0u8; 16]);
+            stream.write_all(&wire[..HEADER_LEN + 4]).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(150));
+            let (tx, rx) = std::sync::mpsc::channel();
+            std::thread::spawn(move || {
+                let _ = tx.send(server.shutdown());
+            });
+            rx.recv_timeout(Duration::from_secs(5))
+                .unwrap_or_else(|_| panic!("{transport:?} shutdown hung on a mid-frame connection"))
+                .unwrap();
+        }
     }
 
     #[test]
     fn ping_drain_and_fault_injection_over_tcp() {
-        let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
-        let mut client = Client::connect(server.addr()).unwrap();
-        assert!(!client.ping().unwrap(), "fresh server is not draining");
+        for transport in BOTH {
+            let server = bind_on(transport);
+            let mut client = Client::connect(server.addr()).unwrap();
+            assert!(!client.ping().unwrap(), "fresh server is not draining");
 
-        // Delay fault: the reply still arrives, just late — and Ping is
-        // exempt, so health stays honest while data lags.
-        server.faults().set_delay_ms(30);
-        let hist = Histogram::new(vec![3, 1]).unwrap();
-        let t0 = std::time::Instant::now();
-        let (bits, data) = client.encode(&hist, &[0, 1, 0]).unwrap();
-        assert!(t0.elapsed() >= Duration::from_millis(25), "delay applied");
-        server.faults().set_delay_ms(0);
+            // Delay fault: the reply still arrives, just late — and Ping
+            // is exempt, so health stays honest while data lags.
+            server.faults().set_delay_ms(30);
+            let hist = Histogram::new(vec![3, 1]).unwrap();
+            let t0 = std::time::Instant::now();
+            let (bits, data) = client.encode(&hist, &[0, 1, 0]).unwrap();
+            assert!(
+                t0.elapsed() >= Duration::from_millis(25),
+                "{transport:?} delay applied"
+            );
+            server.faults().set_delay_ms(0);
 
-        // Drop fault: the connection is severed without a reply.
-        server.faults().set_drop_pct(100);
-        assert!(client.encode(&hist, &[0, 1]).is_err());
-        server.faults().set_drop_pct(0);
+            // Drop fault: the connection is severed without a reply.
+            server.faults().set_drop_pct(100);
+            assert!(client.encode(&hist, &[0, 1]).is_err(), "{transport:?}");
+            server.faults().set_drop_pct(0);
 
-        // A fresh connection works again; drain flips the pong bit.
-        let mut c2 = Client::connect(server.addr()).unwrap();
-        assert_eq!(c2.decode(&hist, bits, &data).unwrap(), vec![0, 1, 0]);
-        c2.drain().unwrap();
-        assert!(c2.ping().unwrap(), "drained server advertises it");
-        drop((client, c2));
-        server.shutdown().unwrap();
+            // A fresh connection works again; drain flips the pong bit.
+            let mut c2 = Client::connect(server.addr()).unwrap();
+            assert_eq!(c2.decode(&hist, bits, &data).unwrap(), vec![0, 1, 0]);
+            c2.drain().unwrap();
+            assert!(c2.ping().unwrap(), "drained server advertises it");
+            drop((client, c2));
+            server.shutdown().unwrap();
+        }
     }
 
     #[test]
@@ -424,22 +536,73 @@ mod tests {
         use crate::frame::{encode_frame, ErrorCode, Opcode};
         use std::io::Write;
 
-        let server = Server::bind(Service::start(ServiceConfig::default()), "127.0.0.1:0").unwrap();
-        let mut stream = TcpStream::connect(server.addr()).unwrap();
-        // An Encode frame with an empty body: truncated at "alphabet".
-        let wire = encode_frame(5, Opcode::Encode, &[]);
-        stream.write_all(&wire).unwrap();
-        stream.flush().unwrap();
-        let raw = read_frame(&mut &stream).unwrap().unwrap();
-        assert_eq!(raw.id, 5);
-        match crate::frame::decode_response(raw.opcode, &raw.body).unwrap() {
-            Response::Error {
-                code: ErrorCode::Malformed,
-                ..
-            } => {}
-            other => panic!("expected Malformed, got {other:?}"),
+        for transport in BOTH {
+            let server = bind_on(transport);
+            let mut stream = TcpStream::connect(server.addr()).unwrap();
+            // An Encode frame with an empty body: truncated at "alphabet".
+            let wire = encode_frame(5, Opcode::Encode, &[]);
+            stream.write_all(&wire).unwrap();
+            stream.flush().unwrap();
+            let raw = read_frame(&mut &stream).unwrap().unwrap();
+            assert_eq!(raw.id, 5);
+            match crate::frame::decode_response(raw.opcode, &raw.body).unwrap() {
+                Response::Error {
+                    code: ErrorCode::Malformed,
+                    ..
+                } => {}
+                other => panic!("{transport:?}: expected Malformed, got {other:?}"),
+            }
+            drop(stream);
+            server.shutdown().unwrap();
         }
-        drop(stream);
+    }
+
+    #[test]
+    fn reactor_reassembles_a_dripped_frame_and_interleaves_connections() {
+        use crate::frame::{encode_request, Opcode};
+        use std::io::Write;
+
+        let server = bind_on(Transport::Reactor);
+        let hist = Histogram::new(vec![5, 2, 1]).unwrap();
+
+        // Connection A drips an Encode request a byte at a time...
+        let mut slow = TcpStream::connect(server.addr()).unwrap();
+        let wire = encode_request(
+            9,
+            &Request::Encode {
+                histogram: hist.clone(),
+                payload: vec![0, 1, 2, 0, 0],
+            },
+        );
+        let (head, tail) = wire.split_at(wire.len() / 2);
+        for &b in head {
+            slow.write_all(&[b]).unwrap();
+            slow.flush().unwrap();
+        }
+        // ...while connection B does a full round trip in the middle:
+        // one stalled peer must not stall the reactor.
+        let mut quick = Client::connect(server.addr()).unwrap();
+        let (bits, data) = quick.encode(&hist, &[0, 1, 2, 0, 0]).unwrap();
+        for &b in tail {
+            slow.write_all(&[b]).unwrap();
+            slow.flush().unwrap();
+        }
+        let raw = read_frame(&mut &slow).unwrap().unwrap();
+        assert_eq!((raw.id, raw.opcode), (9, Opcode::EncodeOk));
+        match crate::frame::decode_response(raw.opcode, &raw.body).unwrap() {
+            Response::Encoded {
+                bit_len,
+                data: slow_data,
+            } => {
+                assert_eq!(
+                    (bit_len, slow_data),
+                    (bits, data),
+                    "dripped and one-shot requests must encode bit-identically"
+                );
+            }
+            other => panic!("expected Encoded, got {other:?}"),
+        }
+        drop((slow, quick));
         server.shutdown().unwrap();
     }
 }

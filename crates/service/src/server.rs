@@ -72,11 +72,88 @@ impl Default for ServiceConfig {
     }
 }
 
+/// Where a job's response goes. The blocking transport waits on a
+/// channel; the reactor transport registers a callback that runs on
+/// whichever worker thread finishes the job (it pushes the response
+/// onto the reactor's completion queue — cheap and non-blocking).
+pub(crate) enum ReplySink {
+    /// The submitter blocks on the receiving end ([`Service::submit`]).
+    Channel(mpsc::Sender<Response>),
+    /// The response is handed to a callback ([`Service::submit_async`]).
+    Callback(CompletionSink),
+}
+
+impl ReplySink {
+    fn deliver(self, response: Response) {
+        match self {
+            // The submitter may have timed out and dropped its
+            // receiver; a failed send is that race, not an error.
+            ReplySink::Channel(tx) => {
+                let _ = tx.send(response);
+            }
+            ReplySink::Callback(sink) => sink.complete(response),
+        }
+    }
+
+    /// Expiry at drain time. A channel submitter already returned
+    /// `Timeout` on its own clock, so the channel is just dropped; a
+    /// callback sink has nobody waiting on a clock for it, so the
+    /// `Timeout` is delivered here (the reactor discards it if its own
+    /// deadline sweep answered first).
+    fn expire(self) {
+        if let ReplySink::Callback(sink) = self {
+            sink.complete(Response::Timeout);
+        }
+    }
+}
+
+/// A single-shot response callback with a drop guarantee: if the
+/// service drops the job without answering (shutdown clears the
+/// queue), the callback still fires with a `ShuttingDown` error — the
+/// reactor must never be left holding a connection whose request
+/// silently evaporated.
+pub(crate) struct CompletionSink {
+    f: Option<Box<dyn FnOnce(Response) + Send>>,
+}
+
+impl CompletionSink {
+    pub(crate) fn new(f: impl FnOnce(Response) + Send + 'static) -> CompletionSink {
+        CompletionSink {
+            f: Some(Box::new(f)),
+        }
+    }
+
+    fn complete(mut self, response: Response) {
+        if let Some(f) = self.f.take() {
+            f(response);
+        }
+    }
+}
+
+impl Drop for CompletionSink {
+    fn drop(&mut self) {
+        if let Some(f) = self.f.take() {
+            f(Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "service dropped the request during shutdown".into(),
+            });
+        }
+    }
+}
+
+impl std::fmt::Debug for CompletionSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionSink")
+            .field("answered", &self.f.is_none())
+            .finish()
+    }
+}
+
 struct Job {
     seq: u64,
     request: Request,
     enqueued: Instant,
-    reply: mpsc::Sender<Response>,
+    reply: ReplySink,
 }
 
 struct Inner {
@@ -152,6 +229,45 @@ impl Service {
     /// shutting down); `Ok` is the channel the reply will arrive on.
     pub fn try_enqueue(&self, request: Request) -> Result<mpsc::Receiver<Response>, Response> {
         let (tx, rx) = mpsc::channel();
+        match self.enqueue(request, ReplySink::Channel(tx)) {
+            Ok(()) => Ok(rx),
+            Err((resp, _sink)) => Err(resp),
+        }
+    }
+
+    /// Enqueues a codec request whose response is delivered through
+    /// `done` instead of a channel — the reactor transport's entry
+    /// point. Shedding (`Busy`), shutdown errors, and inline control
+    /// answers all arrive through the same callback, so the caller has
+    /// exactly one response per submission, always.
+    pub(crate) fn submit_async(&self, request: Request, done: CompletionSink) {
+        match request {
+            Request::Stats => {
+                return done.complete(Response::Stats {
+                    json: self.stats_json(),
+                })
+            }
+            Request::Ping => {
+                return done.complete(Response::Pong {
+                    draining: self.is_draining(),
+                })
+            }
+            Request::Drain => {
+                self.drain();
+                return done.complete(Response::DrainOk);
+            }
+            Request::Encode { .. } | Request::Decode { .. } => {}
+        }
+        if let Err((resp, sink)) = self.enqueue(request, ReplySink::Callback(done)) {
+            sink.deliver(resp);
+        }
+    }
+
+    /// The shared enqueue path behind [`Service::try_enqueue`] and
+    /// [`Service::submit_async`]. An immediate rejection hands the sink
+    /// back with the response so the caller delivers it (the sink must
+    /// not be consumed here while the queue lock is held).
+    fn enqueue(&self, request: Request, reply: ReplySink) -> Result<(), (Response, ReplySink)> {
         {
             // lint: allow(no-unwrap): a poisoned batch queue means a panic mid-enqueue; batches may be half-recorded and crashing beats serving them
             let mut queue = self.inner.queue.lock().expect("queue poisoned");
@@ -160,10 +276,13 @@ impl Service {
             // sees the flag here or is dropped by that clear (its
             // submitter then observes the disconnected reply channel).
             if self.inner.stopping.load(Ordering::Acquire) {
-                return Err(Response::Error {
-                    code: ErrorCode::ShuttingDown,
-                    message: "service is shutting down".into(),
-                });
+                return Err((
+                    Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "service is shutting down".into(),
+                    },
+                    reply,
+                ));
             }
             // A draining service sheds new work the same way a full
             // queue does: `Busy` is retryable, so a router fails the
@@ -172,18 +291,18 @@ impl Service {
                 || queue.len() >= self.inner.cfg.queue_capacity
             {
                 self.inner.metrics.busy.fetch_add(1, Ordering::Relaxed);
-                return Err(Response::Busy);
+                return Err((Response::Busy, reply));
             }
             queue.push_back(Job {
                 seq: self.inner.next_seq.fetch_add(1, Ordering::Relaxed),
                 request,
                 enqueued: Instant::now(),
-                reply: tx,
+                reply,
             });
         }
         self.inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
         self.inner.wake.notify_one();
-        Ok(rx)
+        Ok(())
     }
 
     /// Submits a request and blocks for its response: the codec result,
@@ -222,6 +341,20 @@ impl Service {
                 message: "service dropped the request during shutdown".into(),
             },
         }
+    }
+
+    /// The per-request deadline, shared with the reactor transport so
+    /// its deadline sweep and the batch workers' drain-time expiry
+    /// agree on when a request is dead.
+    pub(crate) fn request_timeout(&self) -> Duration {
+        self.inner.cfg.request_timeout
+    }
+
+    /// Counts a deadline miss observed by a transport (the reactor's
+    /// sweep), mirroring what [`Service::submit`] counts when its
+    /// channel wait times out.
+    pub(crate) fn note_timeout(&self) {
+        self.inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The aggregate counters as a flat JSON object.
@@ -319,12 +452,13 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
     let deadline = inner.cfg.request_timeout;
     let batch: Vec<Job> = batch
         .into_iter()
-        .filter(|job| {
-            let live = job.enqueued.elapsed() < deadline;
-            if !live {
-                m.expired.fetch_add(1, Ordering::Relaxed);
+        .filter_map(|job| {
+            if job.enqueued.elapsed() < deadline {
+                return Some(job);
             }
-            live
+            m.expired.fetch_add(1, Ordering::Relaxed);
+            job.reply.expire();
+            None
         })
         .collect();
     if batch.is_empty() {
@@ -448,9 +582,7 @@ fn respond(inner: &Inner, job: Job, response: Response) {
         .latency_us_total
         .fetch_add(us, Ordering::Relaxed);
     Metrics::raise_max(&inner.metrics.latency_us_max, us);
-    // The submitter may have timed out and dropped its receiver; a
-    // failed send is that race, not an error.
-    let _ = job.reply.send(response);
+    job.reply.deliver(response);
 }
 
 #[cfg(test)]
@@ -611,13 +743,13 @@ mod tests {
                     seq: 0,
                     request: encode_req(&[1, 1], &[0]),
                     enqueued: stale_enqueued,
-                    reply: stale_tx,
+                    reply: ReplySink::Channel(stale_tx),
                 },
                 Job {
                     seq: 1,
                     request: encode_req(&[1, 1], &[0]),
                     enqueued: Instant::now(),
-                    reply: fresh_tx,
+                    reply: ReplySink::Channel(fresh_tx),
                 },
             ],
         );
@@ -631,6 +763,107 @@ mod tests {
         assert_eq!(m.encoded, 1, "expired work is not counted as encoded");
         assert_eq!(m.timeouts, 0, "drain-time expiry is not double-counted");
         assert_eq!(m.batched_requests, 1, "only live jobs count toward ticks");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn async_submission_answers_exactly_once_per_request() {
+        let svc = Service::start(ServiceConfig::default());
+        let (tx, rx) = mpsc::channel();
+        let sink_tx = tx.clone();
+        svc.submit_async(
+            encode_req(&[3, 1], &[0, 0, 1]),
+            CompletionSink::new(move |r| {
+                let _ = sink_tx.send(r);
+            }),
+        );
+        match rx.recv_timeout(Duration::from_secs(5)) {
+            Ok(Response::Encoded { .. }) => {}
+            other => panic!("expected Encoded, got {other:?}"),
+        }
+        // Control requests answer inline through the same callback.
+        let sink_tx = tx.clone();
+        svc.submit_async(
+            Request::Ping,
+            CompletionSink::new(move |r| {
+                let _ = sink_tx.send(r);
+            }),
+        );
+        match rx.recv_timeout(Duration::from_secs(5)) {
+            Ok(Response::Pong { draining: false }) => {}
+            other => panic!("expected Pong, got {other:?}"),
+        }
+        svc.shutdown();
+        // Past shutdown, the rejection also arrives via the callback.
+        svc.submit_async(
+            encode_req(&[1, 1], &[0]),
+            CompletionSink::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+        match rx.recv_timeout(Duration::from_secs(5)) {
+            Ok(Response::Error {
+                code: ErrorCode::ShuttingDown,
+                ..
+            }) => {}
+            other => panic!("expected shutdown error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_callback_jobs_still_answer_shutting_down() {
+        // Paused service: the async job sits queued until shutdown
+        // clears the queue, and the sink's drop guard must turn that
+        // silent drop into a ShuttingDown error.
+        let svc = Service::start(ServiceConfig {
+            workers: 0,
+            ..ServiceConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        svc.submit_async(
+            encode_req(&[1, 1], &[0]),
+            CompletionSink::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+        assert!(rx.try_recv().is_err(), "job is parked, not answered");
+        assert_eq!(svc.shutdown(), 1);
+        match rx.try_recv() {
+            Ok(Response::Error {
+                code: ErrorCode::ShuttingDown,
+                ..
+            }) => {}
+            other => panic!("expected ShuttingDown from the drop guard, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_callback_jobs_are_answered_with_timeout() {
+        let svc = Service::start(ServiceConfig {
+            workers: 0,
+            request_timeout: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let stale_enqueued = Instant::now()
+            .checked_sub(Duration::from_secs(1))
+            .expect("monotonic clock is at least 1s past boot");
+        process_batch(
+            &svc.inner,
+            vec![Job {
+                seq: 0,
+                request: encode_req(&[1, 1], &[0]),
+                enqueued: stale_enqueued,
+                reply: ReplySink::Callback(CompletionSink::new(move |r| {
+                    let _ = tx.send(r);
+                })),
+            }],
+        );
+        match rx.try_recv() {
+            Ok(Response::Timeout) => {}
+            other => panic!("expected Timeout at expiry, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().expired, 1);
         svc.shutdown();
     }
 

@@ -1,0 +1,18 @@
+//! Primitive shim for the model-checked waker handshake.
+//!
+//! [`crate::waker`] imports its atomic and mutex from here: a pure
+//! `std::sync` re-export in shipping builds, partree-verify's shadow
+//! types under `--cfg partree_model` — so the model checker explores
+//! the exact completion-queue source the reactors ship (see
+//! `crates/exec/src/sync.rs` and `crates/gateway/src/sync.rs` for the
+//! same pattern over the executor core and the breaker).
+
+#[cfg(not(partree_model))]
+pub(crate) use std::sync::atomic::AtomicUsize;
+#[cfg(not(partree_model))]
+pub(crate) use std::sync::Mutex;
+
+#[cfg(partree_model)]
+pub(crate) use partree_verify::sync::{AtomicUsize, Mutex};
+
+pub(crate) use std::sync::atomic::Ordering;

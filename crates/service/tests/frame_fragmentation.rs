@@ -1,0 +1,192 @@
+//! Fragmentation battery for the incremental [`FrameDecoder`]: for any
+//! byte stream — valid frame sequences, truncations, and outright
+//! garbage — and for **any** split of that stream into chunks, the
+//! decoder must yield exactly the frames the one-shot [`read_frame`]
+//! parser yields from the whole buffer, classify the tail identically
+//! (clean boundary / mid-frame / error), and never panic. This is the
+//! contract the reactor transport stands on: TCP may deliver a frame
+//! one byte at a time or five frames in one `read`, and the reactor
+//! must behave as if each connection were a quiet blocking stream.
+
+use partree_service::frame::{
+    encode_request, encode_response, read_frame, FrameDecoder, Histogram, RawFrame, Request,
+    Response, HEADER_LEN,
+};
+use proptest::prelude::*;
+use std::io::{self, Cursor};
+
+/// How a parse run ended, after zero or more whole frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tail {
+    /// Input exhausted at a frame boundary.
+    Clean,
+    /// Input exhausted inside a header or body.
+    MidFrame,
+    /// The stream was rejected.
+    Error(io::ErrorKind),
+}
+
+/// Ground truth: the blocking parser over the whole buffer.
+fn oneshot(wire: &[u8]) -> (Vec<RawFrame>, Tail) {
+    let mut cur = Cursor::new(wire);
+    let mut frames = Vec::new();
+    loop {
+        match read_frame(&mut cur) {
+            Ok(Some(f)) => frames.push(f),
+            Ok(None) => return (frames, Tail::Clean),
+            // `read_frame` reports truncation as UnexpectedEof; the
+            // incremental decoder never sees EOF, it just stays
+            // mid-frame, so the comparison maps both to `MidFrame`.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return (frames, Tail::MidFrame),
+            Err(e) => return (frames, Tail::Error(e.kind())),
+        }
+    }
+}
+
+/// The incremental decoder over the same buffer, split at `cuts`
+/// (relative chunk lengths; a trailing chunk covers the rest). After
+/// the first error, verifies the decoder is poisoned: every further
+/// `advance` must fail too.
+fn incremental(wire: &[u8], chunk_lens: &[usize]) -> (Vec<RawFrame>, Tail) {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut at = 0usize;
+    let mut lens = chunk_lens.iter().copied();
+    while at < wire.len() {
+        let len = lens.next().unwrap_or(wire.len() - at).min(wire.len() - at);
+        let chunk = &wire[at..at + len];
+        at += len;
+        let mut off = 0usize;
+        while off < chunk.len() {
+            match dec.advance(&chunk[off..]) {
+                Ok((used, done)) => {
+                    assert!(used > 0 || done.is_some(), "no progress on non-empty input");
+                    off += used;
+                    if let Some(f) = done {
+                        frames.push(f);
+                    }
+                }
+                Err(e) => {
+                    let kind = e.kind();
+                    // Sticky poisoning: the stream is desynchronized,
+                    // later calls must keep failing.
+                    assert!(dec.advance(b"x").is_err(), "decoder error was not sticky");
+                    assert!(!dec.is_idle(), "poisoned decoder claims a clean boundary");
+                    return (frames, Tail::Error(kind));
+                }
+            }
+        }
+    }
+    let tail = if dec.is_idle() {
+        Tail::Clean
+    } else {
+        Tail::MidFrame
+    };
+    (frames, tail)
+}
+
+fn assert_equivalent(wire: &[u8], chunk_lens: &[usize]) {
+    let (want_frames, want_tail) = oneshot(wire);
+    let (got_frames, got_tail) = incremental(wire, chunk_lens);
+    assert_eq!(got_frames.len(), want_frames.len(), "frame count differs");
+    for (i, (g, w)) in got_frames.iter().zip(&want_frames).enumerate() {
+        assert_eq!(
+            (g.id, g.opcode, &g.body),
+            (w.id, w.opcode, &w.body),
+            "frame {i} differs from the one-shot parser"
+        );
+    }
+    assert_eq!(got_tail, want_tail, "tail classification differs");
+}
+
+/// A short deterministic stream mixing request and response frames,
+/// including an empty-body frame and a multi-kilobyte one.
+fn sample_stream() -> Vec<u8> {
+    let payload: Vec<u8> = (0..2048).map(|i| (i % 5) as u8).collect();
+    let hist = Histogram::of_payload(5, &payload).unwrap();
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&encode_request(1, &Request::Ping));
+    wire.extend_from_slice(&encode_request(
+        2,
+        &Request::Encode {
+            histogram: hist.clone(),
+            payload,
+        },
+    ));
+    wire.extend_from_slice(&encode_response(3, &Response::Busy));
+    wire.extend_from_slice(&encode_response(4, &Response::Pong { draining: true }));
+    wire
+}
+
+/// Every split point of a valid two-chunk delivery, plus the all
+/// single-byte delivery: the decoder is boundary-oblivious.
+#[test]
+fn every_split_point_matches_the_oneshot_parser() {
+    let wire = sample_stream();
+    for cut in 0..=wire.len() {
+        assert_equivalent(&wire, &[cut]);
+    }
+    assert_equivalent(&wire, &vec![1; wire.len()]);
+}
+
+/// Truncating the stream anywhere and delivering byte-by-byte leaves
+/// the decoder mid-frame exactly when the one-shot parser reports a
+/// mid-frame EOF.
+#[test]
+fn every_truncation_classifies_like_the_oneshot_parser() {
+    let wire = sample_stream();
+    for cut in 0..wire.len() {
+        assert_equivalent(&wire[..cut], &[7, 1, 3]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Random valid frame sequences under random fragmentation.
+    #[test]
+    fn random_fragmentation_of_valid_streams(
+        alphabets in prop::collection::vec(2usize..33, 0..4),
+        lens in prop::collection::vec(0usize..512, 4),
+        chunk_lens in prop::collection::vec(1usize..64, 0..64),
+    ) {
+        let mut wire = Vec::new();
+        for (i, (n, len)) in alphabets.iter().zip(&lens).enumerate() {
+            let payload: Vec<u8> = (0..*len).map(|j| (j % n) as u8).collect();
+            let hist = Histogram::new((1..=*n as u32).collect()).unwrap();
+            wire.extend_from_slice(&encode_request(
+                i as u64,
+                &Request::Encode { histogram: hist, payload },
+            ));
+        }
+        assert_equivalent(&wire, &chunk_lens);
+    }
+
+    /// Pure garbage under random fragmentation: no panic, and the
+    /// error/first-frames behaviour matches the one-shot parser.
+    #[test]
+    fn adversarial_bytes_never_panic_and_match(
+        wire in prop::collection::vec(any::<u8>(), 0..256),
+        chunk_lens in prop::collection::vec(1usize..16, 0..64),
+    ) {
+        assert_equivalent(&wire, &chunk_lens);
+    }
+
+    /// A valid prefix followed by a corrupted header: the frames before
+    /// the corruption are delivered intact, then the decoder poisons at
+    /// the same point the one-shot parser errors.
+    #[test]
+    fn corruption_after_valid_frames_poisons_at_the_same_point(
+        flip_at in 0usize..HEADER_LEN,
+        flip_with in 1u8..=255,
+        chunk_lens in prop::collection::vec(1usize..32, 0..32),
+    ) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode_request(10, &Request::Ping));
+        wire.extend_from_slice(&encode_request(11, &Request::Stats));
+        let corrupt_from = wire.len();
+        wire.extend_from_slice(&encode_request(12, &Request::Drain));
+        wire[corrupt_from + flip_at] ^= flip_with;
+        assert_equivalent(&wire, &chunk_lens);
+    }
+}

@@ -198,7 +198,9 @@ impl State {
     }
 
     fn enabled(&self) -> Vec<usize> {
-        (0..self.threads.len()).filter(|&t| self.runnable(t)).collect()
+        (0..self.threads.len())
+            .filter(|&t| self.runnable(t))
+            .collect()
     }
 
     /// Fires one pending cv timeout (lowest thread id first). Returns
@@ -223,7 +225,10 @@ impl State {
             // A timeout wake sets the run-state flag but NOT the
             // waiter-entry flag, so the waker can distinguish notify
             // from timeout when it resumes.
-            if let RunState::BlockedCv { ref mut notified, .. } = self.threads[tid].run_state {
+            if let RunState::BlockedCv {
+                ref mut notified, ..
+            } = self.threads[tid].run_state
+            {
                 *notified = true;
             }
             true
@@ -233,7 +238,10 @@ impl State {
     }
 
     fn set_cv_notified(&mut self, tid: usize) {
-        if let RunState::BlockedCv { ref mut notified, .. } = self.threads[tid].run_state {
+        if let RunState::BlockedCv {
+            ref mut notified, ..
+        } = self.threads[tid].run_state
+        {
             *notified = true;
         }
         for w in &mut self.cv_waiters {
@@ -523,7 +531,11 @@ impl Execution {
         if ord == Ordering::SeqCst {
             st.sc_clock.join(&view);
         }
-        st.atomics[a].history.push(Store { val, rel, stamp: view });
+        st.atomics[a].history.push(Store {
+            val,
+            rel,
+            stamp: view,
+        });
         let idx = st.atomics[a].history.len() - 1;
         Self::set_seen(&mut st, me, a, idx);
         st.trace(|| format!("t{me}: store a{a} <- {val} (mo {idx})"));
@@ -676,7 +688,11 @@ impl Execution {
         let (cv, m) = (cv as usize, m as usize);
         self.yield_point(me, "condvar wait");
         let mut st = self.lock();
-        debug_assert_eq!(st.mutexes[m].locked_by, Some(me), "cv wait without the lock");
+        debug_assert_eq!(
+            st.mutexes[m].locked_by,
+            Some(me),
+            "cv wait without the lock"
+        );
         st.threads[me].view.tick(me);
         st.mutexes[m].clock = st.threads[me].view;
         let tseen = std::mem::take(&mut st.threads[me].seen);
@@ -769,7 +785,8 @@ impl Execution {
             .unwrap_or_else(|e| e.into_inner())
             .push(Ctl::new());
         let exec = Arc::clone(self);
-        self.pool.submit(Box::new(move || strand_main(exec, tid, f)));
+        self.pool
+            .submit(Box::new(move || strand_main(exec, tid, f)));
         tid
     }
 

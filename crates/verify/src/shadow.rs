@@ -43,7 +43,8 @@ impl Header {
         }
         let id = register();
         debug_assert!(id < (1 << ID_BITS) && ex.gen < (1 << (64 - ID_BITS)));
-        self.0.store((ex.gen << ID_BITS) | id as u64, Ordering::Relaxed);
+        self.0
+            .store((ex.gen << ID_BITS) | id as u64, Ordering::Relaxed);
         id
     }
 }
@@ -549,13 +550,17 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.std.as_ref().expect("mutex guard invariant: std half present outside a wait")
+        self.std
+            .as_ref()
+            .expect("mutex guard invariant: std half present outside a wait")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.std.as_mut().expect("mutex guard invariant: std half present outside a wait")
+        self.std
+            .as_mut()
+            .expect("mutex guard invariant: std half present outside a wait")
     }
 }
 

@@ -36,8 +36,14 @@ fn mp_relaxed_body() {
 #[test]
 fn mp_relaxed_violates() {
     let report = explore("mp_relaxed", cfg(), mp_relaxed_body);
-    let v = report.violation.expect("relaxed message passing must be flagged");
-    assert!(v.message.contains("stale data"), "unexpected: {}", v.message);
+    let v = report
+        .violation
+        .expect("relaxed message passing must be flagged");
+    assert!(
+        v.message.contains("stale data"),
+        "unexpected: {}",
+        v.message
+    );
     assert!(v.seed.starts_with("mp_relaxed@"));
 }
 
@@ -133,7 +139,9 @@ fn lock_order_deadlock_detected() {
         drop((ga, gb));
         t.join().unwrap();
     });
-    let v = report.violation.expect("opposite-order locking must deadlock");
+    let v = report
+        .violation
+        .expect("opposite-order locking must deadlock");
     assert!(v.message.contains("deadlock"), "got: {}", v.message);
 }
 
@@ -193,7 +201,9 @@ fn replay_reproduces_violation() {
     let (name, decisions) = partree_verify::decode_seed(&v.seed).expect("well-formed seed");
     assert_eq!(name, "mp_relaxed");
     let replayed = replay(name, cfg(), decisions, mp_relaxed_body);
-    let rv = replayed.violation.expect("seed must reproduce the violation");
+    let rv = replayed
+        .violation
+        .expect("seed must reproduce the violation");
     assert!(
         rv.message.contains("stale data"),
         "replayed different failure: {}",

@@ -50,6 +50,7 @@ mod model {
         vec![
             ("exec", partree_exec::model::scenarios()),
             ("gateway", partree_gateway::model::scenarios()),
+            ("service", partree_service::model::scenarios()),
         ]
     }
 
@@ -77,7 +78,11 @@ mod model {
             "  [{group}] {:<40} {:>8} interleavings  {}  {:.2}s",
             report.name,
             report.executions,
-            if report.complete { "exhaustive" } else { "CUT OFF" },
+            if report.complete {
+                "exhaustive"
+            } else {
+                "CUT OFF"
+            },
             secs,
         );
     }

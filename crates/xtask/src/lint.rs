@@ -86,10 +86,13 @@ const DETERMINISTIC_CRATES: &[&str] = &["huffman", "lcfl", "monge", "obst", "pra
 const REQUEST_PATH_FILES: &[&str] = &[
     "crates/service/src/server.rs",
     "crates/service/src/net.rs",
+    "crates/service/src/reactor.rs",
+    "crates/service/src/waker.rs",
     "crates/gateway/src/gateway.rs",
     "crates/gateway/src/pool.rs",
     "crates/gateway/src/breaker.rs",
     "crates/gateway/src/route.rs",
+    "crates/gateway/src/reactor.rs",
 ];
 
 /// Entropy / wall-clock tokens banned from deterministic crates.
@@ -175,10 +178,13 @@ fn crate_of(path: &str) -> Option<&str> {
     rest.split('/').next()
 }
 
-/// Whether `ordering-comment` applies to this file: the lock-free core
-/// plus the breaker (whose counters ride outside its mutex).
+/// Whether `ordering-comment` applies to this file: the lock-free core,
+/// the breaker (whose counters ride outside its mutex), and the
+/// reactor waker handshake (whose three-state flag is pure RMWs).
 fn in_ordering_scope(path: &str) -> bool {
-    path.starts_with("crates/exec/src/") || path == "crates/gateway/src/breaker.rs"
+    path.starts_with("crates/exec/src/")
+        || path == "crates/gateway/src/breaker.rs"
+        || path == "crates/service/src/waker.rs"
 }
 
 /// Lint a single file's contents. `path` must be repo-relative with
@@ -221,7 +227,8 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
 
         // ordering-comment: relaxed atomics and fences in the core.
         if in_ordering_scope(path)
-            && (code.contains("Ordering::Relaxed") || has_word(code, "fence") && code.contains("fence("))
+            && (code.contains("Ordering::Relaxed")
+                || has_word(code, "fence") && code.contains("fence("))
             && !annotated(&lines, i, "ordering:")
             && !waived(&lines, i, "ordering-comment")
         {
@@ -390,7 +397,10 @@ mod tests {
     use super::*;
 
     fn rules(path: &str, content: &str) -> Vec<&'static str> {
-        lint_file(path, content).into_iter().map(|f| f.rule).collect()
+        lint_file(path, content)
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
     }
 
     #[test]
@@ -445,7 +455,10 @@ mod tests {
     fn relaxed_without_ordering_comment_is_flagged_in_scope_only() {
         let src = "let n = c.load(Ordering::Relaxed);\n";
         assert_eq!(rules("crates/exec/src/a.rs", src), vec!["ordering-comment"]);
-        assert_eq!(rules("crates/gateway/src/breaker.rs", src), vec!["ordering-comment"]);
+        assert_eq!(
+            rules("crates/gateway/src/breaker.rs", src),
+            vec!["ordering-comment"]
+        );
         // Out of scope: metrics counters elsewhere are not policed.
         assert!(lint_file("crates/gateway/src/gateway.rs", src).is_empty());
     }
@@ -454,7 +467,10 @@ mod tests {
     fn fence_word_boundary_is_not_fooled_by_identifiers() {
         let src = "fence(mutation::pop_fence_ordering());\n";
         // `fence(` matches; `pop_fence_ordering(` alone would not.
-        assert_eq!(rules("crates/exec/src/deque.rs", src), vec!["ordering-comment"]);
+        assert_eq!(
+            rules("crates/exec/src/deque.rs", src),
+            vec!["ordering-comment"]
+        );
         let ident_only = "let o = pop_fence_ordering();\n";
         assert!(lint_file("crates/exec/src/deque.rs", ident_only).is_empty());
     }
@@ -510,17 +526,18 @@ mod tests {
 
     #[test]
     fn test_code_is_exempt() {
-        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = unsafe { x() }; }\n}\n";
+        let src =
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { let _ = unsafe { x() }; }\n}\n";
         assert!(lint_file("crates/exec/src/a.rs", src).is_empty());
     }
 
     #[test]
     fn findings_render_as_file_line_rule() {
-        let f = lint_file(
-            "crates/exec/src/seeded.rs",
-            "let _ = unsafe { *p };\n",
-        );
+        let f = lint_file("crates/exec/src/seeded.rs", "let _ = unsafe { *p };\n");
         let s = f[0].to_string();
-        assert!(s.starts_with("crates/exec/src/seeded.rs:1: [safety-comment]"), "{s}");
+        assert!(
+            s.starts_with("crates/exec/src/seeded.rs:1: [safety-comment]"),
+            "{s}"
+        );
     }
 }

@@ -1,0 +1,655 @@
+//! Offline stand-in for `mio`: the epoll-based readiness subset the
+//! partree reactors use.
+//!
+//! The real crate's contract, reduced to what this workspace needs:
+//!
+//! * [`Poll`] — an `epoll` instance. Sockets are registered with a
+//!   [`Token`] and an [`Interest`]; [`Poll::poll`] blocks (bounded by a
+//!   timeout) and fills an [`Events`] buffer with what became ready.
+//!   Registration is level-triggered by default, so a handler that
+//!   leaves bytes unread is re-notified on the next poll;
+//!   [`Interest::edge`] opts a registration into edge-triggered
+//!   delivery (one event per readiness *transition*), which is what
+//!   the cross-thread waker uses.
+//! * [`Waker`] — an `eventfd` registered edge-triggered with a `Poll`:
+//!   any thread may call [`Waker::wake`] to make a concurrent or
+//!   subsequent [`Poll::poll`] return with the waker's token. The
+//!   poll-side owner calls [`Waker::drain`] to reset the counter.
+//! * [`net`] — non-blocking TCP connect (`SOCK_NONBLOCK` + `connect`
+//!   returning `EINPROGRESS`, completion read from `SO_ERROR` once the
+//!   socket polls writable), plus an `RLIMIT_NOFILE` raiser for the
+//!   soak tests that open tens of thousands of sockets.
+//!
+//! Everything here speaks raw Linux syscalls through `extern "C"`
+//! bindings to the already-linked libc — the build environment has no
+//! registry access, and the `libc` crate is deliberately not vendored.
+//! This keeps every `unsafe` block of the I/O path in this one leaf
+//! crate: `partree-service` and `partree-gateway` stay
+//! `#![forbid(unsafe_code)]`.
+//
+// Vendored stand-in: exempt from the workspace lint policy (the xtask
+// lint walks `crates/*/src` only), but SAFETY comments are kept to the
+// same standard anyway — this is the only unsafe I/O code in the tree.
+#![allow(clippy::all)]
+#![cfg(target_os = "linux")]
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Duration;
+
+mod sys {
+    //! Raw syscall surface: just enough of libc for epoll, eventfd,
+    //! non-blocking connect, and rlimit.
+    #![allow(non_camel_case_types)]
+
+    pub type c_int = i32;
+    pub type c_uint = u32;
+    pub type c_void = std::ffi::c_void;
+
+    /// Kernel `struct epoll_event`. On x86_64 the kernel declares it
+    /// `__attribute__((packed))` (data at offset 4); other 64-bit
+    /// targets use natural alignment (data at offset 8).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    /// `struct sockaddr_in`; port and address are big-endian.
+    #[repr(C)]
+    pub struct sockaddr_in {
+        pub sin_family: u16,
+        pub sin_port: u16,
+        pub sin_addr: u32,
+        pub sin_zero: [u8; 8],
+    }
+
+    /// `struct rlimit` (64-bit fields on every 64-bit Linux target).
+    #[repr(C)]
+    pub struct rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    pub const AF_INET: c_int = 2;
+    pub const SOCK_STREAM: c_int = 1;
+    pub const SOCK_NONBLOCK: c_int = 0o4000;
+    pub const SOCK_CLOEXEC: c_int = 0o2000000;
+    pub const SOL_SOCKET: c_int = 1;
+    pub const SO_ERROR: c_int = 4;
+
+    pub const EINPROGRESS: c_int = 115;
+
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout_ms: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        pub fn connect(fd: c_int, addr: *const sockaddr_in, len: u32) -> c_int;
+        pub fn getsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *mut c_void,
+            optlen: *mut u32,
+        ) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+    }
+}
+
+/// Turns a `-1` syscall return into the current `errno` as `io::Error`.
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Caller-chosen identifier attached to a registration; every readiness
+/// event echoes the token of the fd that became ready.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// What readiness a registration subscribes to. Hangup and error are
+/// always delivered regardless of interest, as epoll itself does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Readable interest.
+    pub const READABLE: Interest = Interest(0b001);
+    /// Writable interest.
+    pub const WRITABLE: Interest = Interest(0b010);
+
+    /// Union of two interests.
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Switches the registration to edge-triggered delivery: one event
+    /// per readiness *transition* instead of one per poll while ready.
+    /// Used by [`Waker`]; sockets stay level-triggered so a partially
+    /// drained read buffer is re-announced.
+    pub const fn edge(self) -> Interest {
+        Interest(self.0 | 0b100)
+    }
+
+    fn epoll_bits(self) -> u32 {
+        let mut bits = sys::EPOLLRDHUP;
+        if self.0 & 0b001 != 0 {
+            bits |= sys::EPOLLIN;
+        }
+        if self.0 & 0b010 != 0 {
+            bits |= sys::EPOLLOUT;
+        }
+        if self.0 & 0b100 != 0 {
+            bits |= sys::EPOLLET;
+        }
+        bits
+    }
+}
+
+/// One readiness notification out of [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: usize,
+    bits: u32,
+}
+
+impl Event {
+    /// The token the ready fd was registered under.
+    pub fn token(&self) -> Token {
+        Token(self.token)
+    }
+
+    /// Ready for reading — includes hangup/error, which a read-path
+    /// handler must observe (the read will surface the actual error).
+    pub fn is_readable(&self) -> bool {
+        self.bits & (sys::EPOLLIN | sys::EPOLLHUP | sys::EPOLLERR | sys::EPOLLRDHUP) != 0
+    }
+
+    /// Ready for writing — includes hangup/error, for the same reason.
+    pub fn is_writable(&self) -> bool {
+        self.bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0
+    }
+
+    /// The peer shut down its write half (or the connection hung up).
+    pub fn is_read_closed(&self) -> bool {
+        self.bits & (sys::EPOLLRDHUP | sys::EPOLLHUP) != 0
+    }
+
+    /// An error condition is pending on the fd.
+    pub fn is_error(&self) -> bool {
+        self.bits & sys::EPOLLERR != 0
+    }
+}
+
+/// Reusable buffer [`Poll::poll`] fills with ready [`Event`]s.
+pub struct Events {
+    raw: Vec<sys::epoll_event>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer that receives at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            raw: vec![sys::epoll_event { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Events delivered by the last poll.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.raw[..self.len].iter().map(|e| {
+            // Copy out of the (possibly packed) kernel struct before use.
+            let bits = e.events;
+            let data = e.data;
+            Event {
+                token: data as usize,
+                bits,
+            }
+        })
+    }
+
+    /// Whether the last poll delivered anything.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An epoll instance. Not `Clone`: exactly one thread owns the poll
+/// and its registrations; other threads reach it via [`Waker`].
+#[derive(Debug)]
+pub struct Poll {
+    epfd: RawFd,
+}
+
+impl Poll {
+    /// Creates a fresh epoll instance.
+    pub fn new() -> io::Result<Poll> {
+        // SAFETY: plain syscall, no pointers; the returned fd is owned
+        // by the Poll and closed exactly once in Drop.
+        let epfd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        Ok(Poll { epfd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        let mut ev = sys::epoll_event {
+            events: interest.epoll_bits(),
+            data: token.0 as u64,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it before
+        // returning. DEL ignores the event argument entirely.
+        cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Registers `fd` under `token` with `interest`.
+    pub fn register(&self, fd: &impl AsRawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd.as_raw_fd(), token, interest)
+    }
+
+    /// Changes an existing registration's interest (and/or token).
+    pub fn reregister(
+        &self,
+        fd: &impl AsRawFd,
+        token: Token,
+        interest: Interest,
+    ) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd.as_raw_fd(), token, interest)
+    }
+
+    /// Removes `fd`'s registration. Dropping (closing) a registered fd
+    /// also removes it, so this is only needed for fds that live on.
+    pub fn deregister(&self, fd: &impl AsRawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd.as_raw_fd(), Token(0), Interest(0))
+    }
+
+    /// Blocks until at least one registration is ready or `timeout`
+    /// elapses (`None` = indefinitely), filling `events`. A sub-1ms
+    /// timeout is rounded up to 1ms, never down to a busy-spin 0.
+    /// Spurious interrupts (`EINTR`) return an empty `events`, like mio.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let ms: i32 = match timeout {
+            None => -1,
+            Some(t) if t.is_zero() => 0,
+            Some(t) => t.as_millis().clamp(1, i32::MAX as u128) as i32,
+        };
+        events.len = 0;
+        // SAFETY: the buffer is a live Vec of `raw.len()` properly
+        // initialized epoll_event structs; the kernel writes at most
+        // `maxevents` entries into it.
+        let n = unsafe {
+            sys::epoll_wait(
+                self.epfd,
+                events.raw.as_mut_ptr(),
+                events.raw.len() as i32,
+                ms,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        events.len = n as usize;
+        Ok(())
+    }
+}
+
+impl Drop for Poll {
+    fn drop(&mut self) {
+        // SAFETY: epfd was returned by epoll_create1 and is closed
+        // exactly here, once.
+        unsafe { sys::close(self.epfd) };
+    }
+}
+
+/// Cross-thread wakeup for a [`Poll`]: an `eventfd` registered
+/// edge-triggered under a caller-chosen token. `wake` may be called
+/// from any thread, any number of times; the poll thread sees at least
+/// one event for them and resets the counter with `drain`.
+#[derive(Debug)]
+pub struct Waker {
+    fd: RawFd,
+}
+
+impl Waker {
+    /// Creates the eventfd and registers it with `poll` under `token`.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        // SAFETY: plain syscall; the fd is owned by the Waker and
+        // closed exactly once in Drop.
+        let fd = cvt(unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) })?;
+        let waker = Waker { fd };
+        poll.register(&waker, token, Interest::READABLE.edge())?;
+        Ok(waker)
+    }
+
+    /// Makes a concurrent or subsequent poll return with this waker's
+    /// token. Async-signal-thin: one 8-byte write, no allocation.
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        // SAFETY: writes 8 bytes from a live stack value to an owned
+        // eventfd; eventfd writes of 8 bytes are atomic.
+        let n = unsafe { sys::write(self.fd, (&one as *const u64).cast(), 8) };
+        if n == 8 {
+            return Ok(());
+        }
+        let e = io::Error::last_os_error();
+        // A full counter (u64::MAX - 1 pending wakes) still wakes the
+        // poller; treat WouldBlock as success like mio does.
+        if e.kind() == io::ErrorKind::WouldBlock {
+            return Ok(());
+        }
+        Err(e)
+    }
+
+    /// Resets the wake counter (poll-thread side). Idempotent: reading
+    /// an already-zero eventfd just returns `WouldBlock`.
+    pub fn drain(&self) {
+        let mut buf: u64 = 0;
+        // SAFETY: reads 8 bytes into a live stack value from an owned
+        // nonblocking eventfd.
+        let _ = unsafe { sys::read(self.fd, (&mut buf as *mut u64).cast(), 8) };
+    }
+}
+
+impl AsRawFd for Waker {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        // SAFETY: fd was returned by eventfd and is closed exactly
+        // here, once.
+        unsafe { sys::close(self.fd) };
+    }
+}
+
+pub mod net {
+    //! Non-blocking TCP connect and fd-limit helpers.
+
+    use super::{cvt, sys};
+    use std::io;
+    use std::net::{SocketAddr, TcpStream};
+    use std::os::fd::{AsRawFd, FromRawFd};
+
+    /// Starts a non-blocking IPv4 connect: returns immediately with a
+    /// `TcpStream` whose connect is still in flight. The caller
+    /// registers it for WRITABLE; once writable, [`take_error`] reports
+    /// whether the connect actually succeeded. IPv6 targets return
+    /// `Unsupported` — callers fall back to a blocking connect.
+    pub fn connect_nonblocking(addr: SocketAddr) -> io::Result<TcpStream> {
+        let SocketAddr::V4(v4) = addr else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "non-blocking connect is IPv4-only in the vendored mio",
+            ));
+        };
+        // SAFETY: plain syscall; on success the fd is immediately
+        // wrapped in a TcpStream, which owns and closes it.
+        let fd = cvt(unsafe {
+            sys::socket(
+                sys::AF_INET,
+                sys::SOCK_STREAM | sys::SOCK_NONBLOCK | sys::SOCK_CLOEXEC,
+                0,
+            )
+        })?;
+        // SAFETY: fd is fresh from socket(2) above and owned by nothing
+        // else; TcpStream takes ownership (closes on drop / error paths).
+        let stream = unsafe { TcpStream::from_raw_fd(fd) };
+        let sa = sys::sockaddr_in {
+            sin_family: sys::AF_INET as u16,
+            sin_port: v4.port().to_be(),
+            // Octets are already network order; keep their memory layout.
+            sin_addr: u32::from_ne_bytes(v4.ip().octets()),
+            sin_zero: [0; 8],
+        };
+        // SAFETY: `sa` is a live, fully initialized sockaddr_in and the
+        // length matches; the kernel copies it before returning.
+        let rc = unsafe {
+            sys::connect(
+                stream.as_raw_fd(),
+                &sa,
+                std::mem::size_of::<sys::sockaddr_in>() as u32,
+            )
+        };
+        if rc == 0 {
+            return Ok(stream); // loopback can complete synchronously
+        }
+        let err = io::Error::last_os_error();
+        if err.raw_os_error() == Some(sys::EINPROGRESS) {
+            return Ok(stream); // in flight: poll for WRITABLE
+        }
+        Err(err)
+    }
+
+    /// Reads and clears `SO_ERROR`: `Ok(())` if the in-flight connect
+    /// (or the socket generally) has no pending error.
+    pub fn take_error(stream: &TcpStream) -> io::Result<()> {
+        let mut err: i32 = 0;
+        let mut len: u32 = 4;
+        // SAFETY: optval/optlen point at live stack values sized for
+        // the int SO_ERROR returns.
+        cvt(unsafe {
+            sys::getsockopt(
+                stream.as_raw_fd(),
+                sys::SOL_SOCKET,
+                sys::SO_ERROR,
+                (&mut err as *mut i32).cast(),
+                &mut len,
+            )
+        })?;
+        if err == 0 {
+            Ok(())
+        } else {
+            Err(io::Error::from_raw_os_error(err))
+        }
+    }
+
+    /// Current `RLIMIT_NOFILE` as `(soft, hard)`.
+    pub fn nofile_limit() -> io::Result<(u64, u64)> {
+        let mut lim = sys::rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        // SAFETY: `lim` is a live, correctly sized rlimit the kernel
+        // fills in.
+        cvt(unsafe { sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) })?;
+        Ok((lim.rlim_cur, lim.rlim_max))
+    }
+
+    /// Raises the soft `RLIMIT_NOFILE` toward `target` (raising the
+    /// hard limit too when the process may — e.g. root in a container)
+    /// and returns the soft limit actually in effect afterwards. Never
+    /// lowers anything; a refusal to raise is not an error.
+    pub fn raise_nofile_limit(target: u64) -> io::Result<u64> {
+        let (soft, hard) = nofile_limit()?;
+        if soft >= target {
+            return Ok(soft);
+        }
+        if target > hard {
+            // Needs a hard-limit raise (privileged); try, ignore refusal.
+            let lim = sys::rlimit {
+                rlim_cur: target,
+                rlim_max: target,
+            };
+            // SAFETY: `lim` is a live, fully initialized rlimit.
+            if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &lim) } == 0 {
+                return Ok(target);
+            }
+        }
+        let reachable = target.min(hard);
+        if reachable > soft {
+            let lim = sys::rlimit {
+                rlim_cur: reachable,
+                rlim_max: hard,
+            };
+            // SAFETY: as above.
+            if unsafe { sys::setrlimit(sys::RLIMIT_NOFILE, &lim) } == 0 {
+                return Ok(reachable);
+            }
+        }
+        Ok(soft)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+
+    #[test]
+    fn listener_accept_and_stream_readiness() {
+        let poll = Poll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poll.register(&listener, Token(1), Interest::READABLE)
+            .unwrap();
+
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "no connection yet");
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        let toks: Vec<usize> = events.iter().map(|e| e.token().0).collect();
+        assert!(
+            toks.contains(&1),
+            "listener readable after connect: {toks:?}"
+        );
+
+        let (accepted, _) = listener.accept().unwrap();
+        accepted.set_nonblocking(true).unwrap();
+        poll.register(&accepted, Token(2), Interest::READABLE)
+            .unwrap();
+        client.write_all(b"ping").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        let ready: Vec<_> = events.iter().filter(|e| e.token().0 == 2).collect();
+        assert!(!ready.is_empty() && ready[0].is_readable());
+        let mut buf = [0u8; 4];
+        (&accepted).read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        // Level-triggered: unread bytes re-announce on the next poll.
+        client.write_all(b"pong").unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(2)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token().0 == 2));
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.token().0 == 2),
+            "level-triggered readiness must persist while unread"
+        );
+        poll.deregister(&accepted).unwrap();
+    }
+
+    #[test]
+    fn waker_crosses_threads_and_drains() {
+        let poll = Poll::new().unwrap();
+        let waker = Arc::new(Waker::new(&poll, Token(9)).unwrap());
+        let w2 = Arc::clone(&waker);
+        let t = std::thread::spawn(move || w2.wake().unwrap());
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token().0 == 9));
+        t.join().unwrap();
+        waker.drain();
+        // Edge-triggered + drained: quiet until the next wake.
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+        waker.wake().unwrap();
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token().0 == 9));
+    }
+
+    #[test]
+    fn nonblocking_connect_completes_via_writable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poll = Poll::new().unwrap();
+        let stream = net::connect_nonblocking(listener.local_addr().unwrap()).unwrap();
+        poll.register(&stream, Token(3), Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token().0 == 3 && e.is_writable()));
+        net::take_error(&stream).unwrap();
+        let _ = listener.accept().unwrap();
+    }
+
+    #[test]
+    fn nonblocking_connect_to_dead_port_reports_the_error() {
+        // Bind-then-drop: the port is (briefly) known-dead.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let poll = Poll::new().unwrap();
+        let Ok(stream) = net::connect_nonblocking(addr) else {
+            return; // synchronous refusal is equally correct
+        };
+        poll.register(&stream, Token(4), Interest::WRITABLE)
+            .unwrap();
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(!events.is_empty());
+        assert!(
+            net::take_error(&stream).is_err(),
+            "refused connect must surface"
+        );
+    }
+
+    #[test]
+    fn nofile_limit_reads_and_never_lowers() {
+        let (soft, _hard) = net::nofile_limit().unwrap();
+        assert!(soft > 0);
+        let after = net::raise_nofile_limit(soft).unwrap();
+        assert!(after >= soft);
+    }
+}

@@ -90,6 +90,9 @@ fn main() {
     if want("e15") {
         e15();
     }
+    if want("e16") {
+        e16();
+    }
 }
 
 fn ms(t: Instant) -> f64 {
@@ -1004,4 +1007,92 @@ fn e15() {
     for s in servers.into_iter().flatten() {
         s.shutdown().expect("shutdown");
     }
+}
+
+/// E16 — tiered persistent store: cold start vs restart onto the same
+/// tier-1 log vs memory-only restart. The claim under test: a restart
+/// with the log present answers every previously-seen histogram with
+/// zero reconstructions (pure tier-1 reads), while the memory-only
+/// restart pays full construction again.
+fn e16() {
+    use partree_service::frame::{Histogram, Request, Response};
+    use partree_service::server::{Service, ServiceConfig};
+    use std::path::PathBuf;
+
+    println!("\n## E16  Persistent codebook store — cold vs warm restart");
+    println!("one JSON line per phase; `warm` must show constructions=0\n");
+
+    let payload = |n: usize, seed: u64| -> Vec<u8> {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut out: Vec<u8> = (0..n as u16).map(|sym| sym as u8).collect();
+        out.extend((0..2048).map(|_| {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            (s % n as u64) as u8
+        }));
+        out
+    };
+    let workload: Vec<(Histogram, Vec<u8>)> = (0..32u64)
+        .map(|i| {
+            let n = [2usize, 5, 16, 48, 64, 100, 200, 256][i as usize % 8];
+            let msg = payload(n, i);
+            (Histogram::of_payload(n, &msg).expect("valid"), msg)
+        })
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("partree-e16-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let run_phase = |part: &str, store_dir: Option<PathBuf>| {
+        let svc = Service::start(ServiceConfig {
+            store_dir,
+            ..ServiceConfig::default()
+        });
+        let t0 = Instant::now();
+        let mut first_ms = 0.0f64;
+        for (i, (h, p)) in workload.iter().enumerate() {
+            match svc.submit(Request::Encode {
+                histogram: h.clone(),
+                payload: p.clone(),
+            }) {
+                Response::Encoded { .. } => {}
+                other => panic!("e16 {part} encode {i}: {other:?}"),
+            }
+            if i == 0 {
+                first_ms = ms(t0);
+            }
+        }
+        let elapsed_ms = ms(t0);
+        let m = svc.metrics();
+        println!(
+            "{{\"experiment\":\"e16\",\"part\":\"{part}\",\"requests\":{},\
+             \"elapsed_ms\":{elapsed_ms:.3},\"first_request_ms\":{first_ms:.3},\
+             \"constructions\":{},\"tier0_hits\":{},\"tier1_hits\":{},\
+             \"tier1_promotions\":{},\"store_errors\":{}}}",
+            workload.len(),
+            m.constructions,
+            m.tier0_hits,
+            m.tier1_hits,
+            m.tier1_promotions,
+            m.store_errors,
+        );
+        svc.shutdown();
+        m
+    };
+
+    // Cold: empty dir, every histogram is a construction + write-through.
+    let cold = run_phase("cold", Some(dir.clone()));
+    assert_eq!(cold.constructions, 32, "e16 cold must build everything");
+
+    // Warm: same dir, a fresh process; tier 1 must answer everything.
+    let warm = run_phase("warm", Some(dir.clone()));
+    assert_eq!(warm.constructions, 0, "e16 warm restart must not rebuild");
+    assert_eq!(warm.tier1_hits, 32, "e16 warm restart must hit tier 1");
+
+    // Baseline: restart without the store pays full construction again.
+    let mem = run_phase("memory_only", None);
+    assert_eq!(mem.constructions, 32, "e16 memory-only restart rebuilds");
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,273 @@
+//! CI smoke test for the tiered persistent store plus fleet warm-up:
+//! a fleet of store-backed replicas under load, one killed and then
+//! restarted onto the **same** store directory. Asserts the restarted
+//! replica is warmed by a donor before rejoining (`warmup_keys_sent`
+//! moved), answers its traffic with **zero reconstructions** — tier 0
+//! from the donation, tier 1 from its own surviving log — with a warm
+//! tier-1 hit rate above zero, that every response stays byte-identical
+//! to a direct single-service run, and that no threads or file
+//! descriptors leak across the kill/restart cycle.
+//!
+//! Exits non-zero with a message on stderr on any failure; the CI step
+//! wraps this in a timeout so a hung recovery also fails.
+
+use partree_gateway::{Gateway, GatewayConfig};
+use partree_service::frame::{Histogram, Request, Response};
+use partree_service::net::Server;
+use partree_service::server::{Service, ServiceConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const REPLICAS: usize = 3;
+/// The replica that gets killed and restarted onto its old store.
+const VICTIM: usize = 0;
+
+/// One pre-verified workload item: the request and the bytes a direct
+/// service produced for it.
+struct Expected {
+    hist: Histogram,
+    payload: Vec<u8>,
+    bit_len: u64,
+    data: Vec<u8>,
+}
+
+/// Deterministic pseudo-random payload over `n` symbols.
+fn payload(n: usize, seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % n as u64) as u8
+        })
+        .collect()
+}
+
+/// Builds the workload and answers every item on a direct (no-network,
+/// no-store) service, so every later response can be compared
+/// byte-for-byte.
+fn build_expected() -> Result<Vec<Expected>, String> {
+    let direct = Service::start(ServiceConfig::default());
+    let mut out = Vec::new();
+    for i in 0..24u64 {
+        let n = [2usize, 5, 16, 64, 256][i as usize % 5];
+        let mut msg: Vec<u8> = (0..n as u16).map(|s| s as u8).collect();
+        msg.extend(payload(n, i, 64 + (i as usize % 128)));
+        let hist =
+            Histogram::of_payload(n, &msg).map_err(|e| format!("workload {i}: {}", e.message))?;
+        match direct.submit(Request::Encode {
+            histogram: hist.clone(),
+            payload: msg.clone(),
+        }) {
+            Response::Encoded { bit_len, data } => out.push(Expected {
+                hist,
+                payload: msg,
+                bit_len,
+                data,
+            }),
+            other => return Err(format!("direct encode {i} failed: {other:?}")),
+        }
+    }
+    direct.shutdown();
+    Ok(out)
+}
+
+/// Store-backed replica config. The restarted victim also gets a tiny
+/// tier 0 (one shard, four entries) so its post-recovery traffic cannot
+/// be absorbed by memory alone — the warm tier-1 hit rate we assert on
+/// has to come from the log.
+fn replica_cfg(dir: &Path, tiny_tier0: bool) -> ServiceConfig {
+    let mut cfg = ServiceConfig {
+        store_dir: Some(dir.to_path_buf()),
+        ..ServiceConfig::default()
+    };
+    if tiny_tier0 {
+        cfg.cache_shards = 1;
+        cfg.cache_capacity = 4;
+    }
+    cfg
+}
+
+fn drive(gw: &Gateway, expected: &[Expected], phase: &str) -> Result<(), String> {
+    for (i, e) in expected.iter().enumerate() {
+        let (bits, data) = gw
+            .encode(&e.hist, &e.payload)
+            .map_err(|err| format!("{phase} {i}: {err}"))?;
+        if (bits, &data) != (e.bit_len, &e.data) {
+            return Err(format!("{phase} {i}: gateway bytes differ from direct run"));
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let _ = partree_exec::global();
+    let threads_before = active_threads()?;
+    let fds_before = open_fds()?;
+    let t0 = Instant::now();
+    let mark = |phase: &str| eprintln!("store-smoke [{:>7.2?}] {phase}", t0.elapsed());
+
+    let store_root =
+        std::env::temp_dir().join(format!("partree-store-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let dirs: Vec<PathBuf> = (0..REPLICAS)
+        .map(|i| store_root.join(format!("replica-{i}")))
+        .collect();
+
+    let expected = Arc::new(build_expected()?);
+    mark("workload pre-answered on a direct service");
+
+    let mut servers: Vec<Option<Server>> = dirs
+        .iter()
+        .map(|dir| {
+            Server::bind(Service::start(replica_cfg(dir, false)), "127.0.0.1:0")
+                .map(Some)
+                .map_err(|e| format!("bind: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<_> = servers.iter().map(|s| s.as_ref().unwrap().addr()).collect();
+
+    let mut cfg = GatewayConfig::new(addrs.clone());
+    cfg.deadline = Duration::from_secs(2);
+    cfg.probe_interval = Duration::from_millis(25);
+    cfg.breaker.failure_threshold = 1;
+    cfg.breaker.open_cooldown = Duration::from_millis(200);
+    // No hedging: a hedge could route a foreign key onto the restarted
+    // replica and blur the zero-reconstruction assertion.
+    cfg.hedge_after_min = Duration::from_secs(5);
+    let gw = Gateway::start(cfg);
+
+    // Phase 1 — populate: every codebook is built on its home replica
+    // and written through to that replica's tier-1 log.
+    drive(&gw, &expected, "populate")?;
+    mark("phase 1 (populate) done — every replica's tier-1 log written");
+
+    // Phase 2 — kill the victim and keep serving: its keys fail over to
+    // the survivors, whose hit counters make those keys donor-visible
+    // for the warm-up that follows.
+    let killed = servers[VICTIM].take().ok_or("victim already taken")?;
+    let dead_svc = killed.service().clone();
+    killed
+        .shutdown()
+        .map_err(|e| format!("kill replica {VICTIM}: {e}"))?;
+    dead_svc.shutdown();
+    // Release our handle so the dead replica's store (and its open
+    // segment file) actually closes — the restart below must reopen
+    // the log from disk, not share a live file.
+    drop(dead_svc);
+    drive(&gw, &expected, "failover")?;
+    mark("phase 2 (failover) done — victim killed, survivors absorbed its keys");
+
+    // Phase 3 — restart onto the same store directory, same address.
+    // The prober must warm the replica from a donor's hot set before
+    // re-closing its breaker and routing to it again.
+    let svc = Service::start(replica_cfg(&dirs[VICTIM], true));
+    let revived = Server::bind(svc.clone(), &addrs[VICTIM].to_string())
+        .map_err(|e| format!("rebind replica {VICTIM}: {e}"))?;
+    let warm_deadline = Instant::now() + Duration::from_secs(15);
+    while gw.snapshot().warmups == 0 {
+        if Instant::now() >= warm_deadline {
+            return Err(format!(
+                "restarted replica was never warmed: {:?}",
+                gw.snapshot()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    mark("phase 3 (restart) — replica revived on its old store and warmed");
+
+    // Drive the workload twice more. The victim's homed keys must be
+    // answered without a single reconstruction: the donated hot set
+    // covers tier 0, and everything else comes off its tier-1 log.
+    drive(&gw, &expected, "warm pass 1")?;
+    drive(&gw, &expected, "warm pass 2")?;
+    mark("warm passes done — all responses bit-identical");
+
+    let snap = gw.snapshot();
+    if snap.warmups == 0 || snap.warmup_keys_sent == 0 {
+        return Err(format!("warm-up never donated keys: {snap:?}"));
+    }
+    let m = svc.metrics();
+    if m.encoded == 0 {
+        return Err(format!(
+            "restarted replica saw no traffic after warm-up: {m:?}"
+        ));
+    }
+    if m.constructions != 0 {
+        return Err(format!(
+            "restarted replica rebuilt {} codebook(s) that its store should have served: {m:?}",
+            m.constructions
+        ));
+    }
+    if m.tier1_hits == 0 {
+        return Err(format!(
+            "warm tier-1 hit rate is zero — recovery never read the log: {m:?}"
+        ));
+    }
+    if m.store_errors != 0 {
+        return Err(format!("store errors after clean restart: {m:?}"));
+    }
+
+    gw.shutdown();
+    revived
+        .shutdown()
+        .map_err(|e| format!("shutdown revived: {e}"))?;
+    svc.shutdown();
+    drop(svc);
+    for s in servers.into_iter().flatten() {
+        let svc = s.service().clone();
+        s.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        svc.shutdown();
+    }
+    mark("gateway and replicas shut down");
+
+    // Leak checks: threads and fds must return to (at most) their
+    // pre-fleet counts. Polled because socket teardown is asynchronous.
+    for _ in 0..50 {
+        if active_threads()? <= threads_before && open_fds()? <= fds_before + 2 {
+            let _ = std::fs::remove_dir_all(&store_root);
+            println!(
+                "store-smoke OK: restart served {} requests with 0 reconstructions \
+                 ({} tier-1 hits, {} tier-0 hits), warm-up donated {} key(s) in {} round(s)",
+                m.encoded, m.tier1_hits, m.tier0_hits, snap.warmup_keys_sent, snap.warmups
+            );
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    Err(format!(
+        "leak: threads {} -> {}, fds {} -> {} after shutdown",
+        threads_before,
+        active_threads()?,
+        fds_before,
+        open_fds()?
+    ))
+}
+
+/// Counts this process's live threads via procfs (Linux CI).
+fn active_threads() -> Result<usize, String> {
+    match std::fs::read_dir("/proc/self/task") {
+        Ok(entries) => Ok(entries.count()),
+        // Not on Linux: fall back to "no leak detected".
+        Err(_) => Ok(usize::MAX),
+    }
+}
+
+/// Counts this process's open file descriptors via procfs (Linux CI).
+fn open_fds() -> Result<usize, String> {
+    match std::fs::read_dir("/proc/self/fd") {
+        Ok(entries) => Ok(entries.count()),
+        // Not on Linux: fall back to "no leak detected" (0 passes any
+        // `<= before + slack` comparison against a usize::MAX baseline).
+        Err(_) => Ok(0),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("store-smoke FAILED: {e}");
+        std::process::exit(1);
+    }
+}

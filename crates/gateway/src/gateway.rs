@@ -40,12 +40,12 @@
 //! contract). Retries, failover, and hedging therefore never change
 //! *what* is returned, only *which* replica returns it.
 
-use crate::breaker::{Breaker, BreakerConfig};
+use crate::breaker::{Breaker, BreakerConfig, BreakerState};
 use crate::metrics::{Metrics, ReplicaMetrics, ReplicaSnapshot};
 use crate::pool::ConnPool;
 use crate::reactor::RpcClient;
-use crate::route::preference_order;
-use partree_service::frame::{ErrorCode, Histogram, Request, Response};
+use crate::route::{home, preference_order};
+use partree_service::frame::{ErrorCode, Histogram, Request, Response, WarmEntry};
 use partree_service::net::Transport;
 use std::io;
 use std::net::SocketAddr;
@@ -85,6 +85,9 @@ pub struct GatewayConfig {
     /// one environment variable A/Bs the gateway and the service
     /// together.
     pub transport: Transport,
+    /// Most codebooks donated to a recovered replica before its
+    /// breaker re-closes (fleet warm-up). `0` disables warm-up.
+    pub warmup_keys: usize,
 }
 
 impl GatewayConfig {
@@ -102,6 +105,7 @@ impl GatewayConfig {
             breaker: BreakerConfig::default(),
             probe_interval: Duration::from_millis(100),
             transport: Transport::from_env(),
+            warmup_keys: 32,
         }
     }
 }
@@ -300,6 +304,15 @@ impl Gateway {
                 self.drain();
                 Ok(Response::DrainOk)
             }
+            // Warm-up frames are replica-to-replica transfers the
+            // gateway's own prober issues; routing one *through* the
+            // router has no meaningful target replica.
+            Request::WarmUp { .. } | Request::HotSet { .. } => Ok(Response::Error {
+                code: ErrorCode::Malformed,
+                message: "warm-up opcodes address a single replica; \
+                          the gateway issues them itself during recovery"
+                    .into(),
+            }),
             Request::Encode { histogram, .. } | Request::Decode { histogram, .. } => {
                 self.route_codec(request, histogram.hash64())
             }
@@ -739,6 +752,18 @@ fn prober_loop(inner: &Arc<Inner>) {
                 Ok(draining) => {
                     r.metrics.pings_ok.fetch_add(1, Ordering::Relaxed);
                     r.draining.store(draining, Ordering::Relaxed);
+                    // A good ping from a replica whose breaker is not
+                    // closed means it just came back (restart or
+                    // recovery). Refill its cache from a healthy donor
+                    // *before* re-closing the breaker — data traffic
+                    // only resumes once `record_success` runs, so the
+                    // replica's first real requests land warm.
+                    if !draining
+                        && inner.cfg.warmup_keys > 0
+                        && r.breaker.state() != BreakerState::Closed
+                    {
+                        warm_up_replica(inner, r);
+                    }
                     r.breaker.record_success();
                 }
                 Err(_) => {
@@ -757,6 +782,72 @@ fn prober_loop(inner: &Arc<Inner>) {
         while Instant::now() < until && !inner.stopped.load(Ordering::Relaxed) {
             thread::sleep(Duration::from_millis(5));
         }
+    }
+}
+
+/// Fleet warm-up: stream healthy donors' hottest codebooks to a
+/// replica that just came back, so its first data requests after the
+/// breaker re-closes hit a warm cache instead of paying construction
+/// (or, with a persistent store, so tier 0 is hot before tier 1 is
+/// even consulted).
+///
+/// Donors are the other breaker-closed, non-draining replicas; only
+/// entries whose rendezvous home is the recovering replica are pushed
+/// (those are exactly the keys that failed over *away* from it while
+/// it was down, and the keys it will serve again the moment routing
+/// resumes). Everything here is best-effort over the blocking client —
+/// the protocol is transport-agnostic, and a failed donation changes
+/// nothing but the number of cold misses the replica pays later.
+fn warm_up_replica(inner: &Inner, target: &Replica) {
+    let n = inner.replicas.len();
+    let io_timeout = Some(inner.cfg.connect_timeout);
+    let max = inner.cfg.warmup_keys;
+    let mut entries: Vec<WarmEntry> = Vec::new();
+    for donor in &inner.replicas {
+        if donor.id == target.id
+            || donor.draining.load(Ordering::Relaxed)
+            || donor.breaker.state() != BreakerState::Closed
+        {
+            continue;
+        }
+        let hot = donor.pool.checkout(io_timeout).and_then(|mut conn| {
+            let hot = conn.hot_set(max.min(u16::MAX as usize) as u16)?;
+            donor.pool.checkin(conn);
+            Ok(hot)
+        });
+        let Ok(hot) = hot else { continue };
+        for e in hot {
+            if entries.len() >= max {
+                break;
+            }
+            let key = e.histogram.hash64();
+            if home(key, n) != target.id {
+                continue;
+            }
+            if entries.iter().any(|x| x.histogram.hash64() == key) {
+                continue;
+            }
+            entries.push(e);
+        }
+        if entries.len() >= max {
+            break;
+        }
+    }
+    if entries.is_empty() {
+        return;
+    }
+    let sent = entries.len() as u64;
+    let pushed = target.pool.checkout(io_timeout).and_then(|mut conn| {
+        let counts = conn.warm_up(entries)?;
+        target.pool.checkin(conn);
+        Ok(counts)
+    });
+    if pushed.is_ok() {
+        inner.metrics.warmups.fetch_add(1, Ordering::Relaxed);
+        inner
+            .metrics
+            .warmup_keys_sent
+            .fetch_add(sent, Ordering::Relaxed);
     }
 }
 
@@ -1053,6 +1144,72 @@ mod tests {
         let snap = gw.snapshot();
         assert!(snap.failovers >= 1, "winner was not the home: {snap:?}");
         gw.shutdown();
+        for s in servers {
+            s.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn recovered_replica_is_warmed_before_rejoining() {
+        let (mut servers, addrs) = fleet(2);
+        let mut cfg = tiny_cfg(addrs.clone());
+        cfg.probe_interval = Duration::from_millis(20);
+        cfg.breaker.failure_threshold = 1;
+        cfg.breaker.open_cooldown = Duration::from_millis(50);
+        let gw = Gateway::start(cfg);
+
+        // A histogram homed on replica 0.
+        let mut homed = None;
+        for n in 2u32..40 {
+            let payload: Vec<u8> = (0..128).map(|i| (i % n as usize) as u8).collect();
+            let hist = Histogram::of_payload(n as usize, &payload).unwrap();
+            if preference_order(hist.hash64(), 2)[0] == 0 {
+                homed = Some((hist, payload));
+                break;
+            }
+        }
+        let (hist, payload) = homed.expect("some histogram homes on replica 0");
+
+        // Kill the home; traffic fails over to replica 1, which builds
+        // the codebook and accumulates tier-0 hits on it.
+        servers.remove(0).shutdown().unwrap();
+        let expected = gw.encode(&hist, &payload).unwrap();
+        for _ in 0..4 {
+            assert_eq!(gw.encode(&hist, &payload).unwrap(), expected);
+        }
+
+        // Revive replica 0 on the same address, empty-cached.
+        let svc0 = Service::start(ServiceConfig::default());
+        let revived = Server::bind_with(svc0.clone(), &addrs[0].to_string(), Transport::Blocking)
+            .expect("rebind the killed replica's address");
+
+        // The prober notices, warms it from replica 1, then re-closes
+        // the breaker.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline && gw.snapshot().warmups == 0 {
+            thread::sleep(Duration::from_millis(10));
+        }
+        let snap = gw.snapshot();
+        assert!(snap.warmups >= 1, "no warm-up round ran: {snap:?}");
+        assert!(snap.warmup_keys_sent >= 1, "no keys donated: {snap:?}");
+        assert!(
+            svc0.metrics().warmup_accepted >= 1,
+            "revived replica adopted nothing: {:?}",
+            svc0.metrics()
+        );
+
+        // Once routing resumes, the home serves the adopted codebook
+        // bit-identically — without ever constructing it.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline && svc0.metrics().encoded == 0 {
+            assert_eq!(gw.encode(&hist, &payload).unwrap(), expected);
+        }
+        let m0 = svc0.metrics();
+        assert!(m0.encoded >= 1, "home never rejoined routing: {m0:?}");
+        assert_eq!(m0.constructions, 0, "warm cache: no construction: {m0:?}");
+
+        gw.shutdown();
+        revived.shutdown().unwrap();
         for s in servers {
             s.shutdown().unwrap();
         }

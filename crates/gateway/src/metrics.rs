@@ -87,6 +87,11 @@ pub struct Metrics {
     pub no_healthy_replica: AtomicU64,
     /// Requests rejected because the gateway is shutting down.
     pub rejected_shutdown: AtomicU64,
+    /// Warm-up rounds completed: a recovered replica was refilled from
+    /// a healthy donor's hot set before its breaker re-closed.
+    pub warmups: AtomicU64,
+    /// Codebooks donated across all warm-up rounds.
+    pub warmup_keys_sent: AtomicU64,
 }
 
 /// Plain-data per-replica view, as exported.
@@ -143,6 +148,10 @@ pub struct GatewaySnapshot {
     pub no_healthy_replica: u64,
     /// Rejected during shutdown.
     pub rejected_shutdown: u64,
+    /// Warm-up rounds completed.
+    pub warmups: u64,
+    /// Codebooks donated across all warm-up rounds.
+    pub warmup_keys_sent: u64,
     /// Per-replica views.
     pub replicas: Vec<ReplicaSnapshot>,
 }
@@ -162,6 +171,8 @@ impl Metrics {
             deadline_exceeded: get(&self.deadline_exceeded),
             no_healthy_replica: get(&self.no_healthy_replica),
             rejected_shutdown: get(&self.rejected_shutdown),
+            warmups: get(&self.warmups),
+            warmup_keys_sent: get(&self.warmup_keys_sent),
             replicas,
         }
     }
@@ -176,7 +187,8 @@ impl GatewaySnapshot {
             out,
             "{{\"requests\":{},\"completed\":{},\"retries\":{},\"failovers\":{},\
              \"hedges_issued\":{},\"hedges_won\":{},\"deadline_exceeded\":{},\
-             \"no_healthy_replica\":{},\"rejected_shutdown\":{},\"replicas\":[",
+             \"no_healthy_replica\":{},\"rejected_shutdown\":{},\"warmups\":{},\
+             \"warmup_keys_sent\":{},\"replicas\":[",
             self.requests,
             self.completed,
             self.retries,
@@ -186,6 +198,8 @@ impl GatewaySnapshot {
             self.deadline_exceeded,
             self.no_healthy_replica,
             self.rejected_shutdown,
+            self.warmups,
+            self.warmup_keys_sent,
         );
         for (i, r) in self.replicas.iter().enumerate() {
             if i > 0 {

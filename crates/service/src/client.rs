@@ -17,6 +17,7 @@
 
 use crate::frame::{
     decode_response, encode_request, read_frame, write_frame, Histogram, Request, Response,
+    WarmEntry,
 };
 use std::io;
 use std::net::{SocketAddr, TcpStream};
@@ -137,6 +138,25 @@ impl Client {
         match self.request(&Request::Drain)? {
             Response::DrainOk => Ok(()),
             other => Err(bad_data(format!("expected DrainOk, got {other:?}"))),
+        }
+    }
+
+    /// Donates codebooks to the server's cache (fleet warm-up).
+    /// Returns `(accepted, rejected)` — rejected entries were invalid
+    /// or already resident, never fatal.
+    pub fn warm_up(&mut self, entries: Vec<WarmEntry>) -> io::Result<(u32, u32)> {
+        match self.request(&Request::WarmUp { entries })? {
+            Response::WarmedUp { accepted, rejected } => Ok((accepted, rejected)),
+            other => Err(bad_data(format!("expected WarmedUp, got {other:?}"))),
+        }
+    }
+
+    /// Asks the server for its `max` hottest cached codebooks, ranked
+    /// by tier-0 hits descending — the donor side of fleet warm-up.
+    pub fn hot_set(&mut self, max: u16) -> io::Result<Vec<WarmEntry>> {
+        match self.request(&Request::HotSet { max })? {
+            Response::HotSet { entries } => Ok(entries),
+            other => Err(bad_data(format!("expected HotSet, got {other:?}"))),
         }
     }
 }

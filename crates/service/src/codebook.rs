@@ -12,6 +12,20 @@
 //! [`CodebookCache`] shards by histogram hash so concurrent batch
 //! workers rarely contend on one lock, and evicts least-recently-used
 //! entries per shard once a shard exceeds its capacity.
+//!
+//! ## Tiering
+//!
+//! The cache is **tier 0**. It can sit on top of an optional
+//! [`CodebookStore`] (**tier 1**, usually `partree-store`'s
+//! log-structured on-disk backend): a tier-0 miss first consults the
+//! store, and a stored record is *promoted* — rebuilt from its code
+//! lengths via [`Codebook::from_lengths`], skipping the
+//! `O(n log² n)` Huffman construction entirely (canonical realization
+//! from lengths is `O(n log n)` table work). Only when both tiers miss
+//! does a full construction run, and its result is written through to
+//! the store so the next process lifetime starts warm. Determinism
+//! (same histogram → bit-identical codebook) is what makes the stored
+//! lengths a faithful stand-in for a rebuild.
 
 use crate::frame::{ErrorCode, FrameError, Histogram};
 use partree_codes::canonical::canonical_code;
@@ -19,6 +33,7 @@ use partree_codes::decoder::CanonicalDecoder;
 use partree_codes::prefix::PrefixCode;
 use partree_huffman::parallel::huffman_parallel_traced;
 use partree_pram::{CostTracer, WorkDepth};
+use partree_store::CodebookStore;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -67,6 +82,64 @@ impl Codebook {
         })
     }
 
+    /// Realizes a codebook from already-known optimal code lengths —
+    /// the tier-1 promotion and warm-up path. Skips Huffman
+    /// construction entirely: canonical code + decoder tables are
+    /// rebuilt from the lengths, which is exactly what [`Codebook::build`]
+    /// does after its construction phase, so the result is
+    /// bit-identical to a from-scratch build of the same histogram.
+    /// Invalid lengths (wrong count, Kraft violation) are rejected, so
+    /// a forged or stale record can never produce a working codebook
+    /// that disagrees with a rebuild.
+    pub fn from_lengths(
+        histogram: &Histogram,
+        lengths: Vec<u32>,
+        tracer: &CostTracer,
+    ) -> Result<Codebook, FrameError> {
+        if lengths.len() != histogram.alphabet() {
+            return Err(FrameError::new(
+                ErrorCode::Internal,
+                format!(
+                    "stored lengths count {} does not match alphabet {}",
+                    lengths.len(),
+                    histogram.alphabet()
+                ),
+            ));
+        }
+        fn invalid(stage: &str, e: impl std::fmt::Display) -> FrameError {
+            FrameError::new(
+                ErrorCode::Internal,
+                format!("{stage} rejected stored lengths: {e}"),
+            )
+        }
+        let span = tracer.span("canonicalize-from-lengths");
+        let code = canonical_code(&lengths).map_err(|e| invalid("canonical code", e))?;
+        let decoder =
+            CanonicalDecoder::from_lengths(&lengths).map_err(|e| invalid("decoder", e))?;
+        span.step(lengths.len() as u64);
+        Ok(Codebook {
+            key: histogram.hash64(),
+            histogram: histogram.clone(),
+            lengths,
+            construction: WorkDepth::default(),
+            code,
+            decoder,
+        })
+    }
+
+    /// Serializes the codebook for tier-1 storage: the canonical-code
+    /// representation already used on the wire — alphabet size, symbol
+    /// counts, and one code length per symbol.
+    ///
+    /// ```text
+    /// n:       u16 LE
+    /// counts:  n × u32 LE   (the histogram, for collision verification)
+    /// lengths: n × u8       (max code length < alphabet ≤ 256)
+    /// ```
+    pub fn to_store_body(&self) -> Vec<u8> {
+        encode_store_body(&self.histogram, &self.lengths)
+    }
+
     /// Encodes payload symbols (one byte each) to `(bytes, bit_len)`.
     pub fn encode(&self, payload: &[u8]) -> Result<(Vec<u8>, u64), FrameError> {
         let n = self.histogram.alphabet();
@@ -98,23 +171,81 @@ impl Codebook {
     }
 }
 
+/// Serializes a histogram + code lengths into a tier-1 record body.
+/// See [`Codebook::to_store_body`] for the layout.
+pub fn encode_store_body(histogram: &Histogram, lengths: &[u32]) -> Vec<u8> {
+    let counts = histogram.counts();
+    debug_assert_eq!(counts.len(), lengths.len());
+    let mut out = Vec::with_capacity(2 + counts.len() * 5);
+    out.extend_from_slice(&(counts.len() as u16).to_le_bytes());
+    for &c in counts {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    for &l in lengths {
+        debug_assert!(l <= u8::MAX as u32);
+        out.push(l as u8);
+    }
+    out
+}
+
+/// Parses a tier-1 record body back into `(counts, lengths)`. Returns
+/// `None` on any structural mismatch; the caller treats that as a miss
+/// (the deterministic rebuild heals it) — never as data.
+pub fn decode_store_body(body: &[u8]) -> Option<(Vec<u32>, Vec<u32>)> {
+    let n = u16::from_le_bytes([*body.first()?, *body.get(1)?]) as usize;
+    if body.len() != 2 + n * 5 {
+        return None;
+    }
+    let counts = (0..n)
+        .map(|i| {
+            let at = 2 + i * 4;
+            u32::from_le_bytes([body[at], body[at + 1], body[at + 2], body[at + 3]])
+        })
+        .collect();
+    let lengths = body[2 + n * 4..].iter().map(|&b| u32::from(b)).collect();
+    Some((counts, lengths))
+}
+
 struct Entry {
     book: Arc<Codebook>,
     last_used: u64,
+    /// Tier-0 hits on this entry; under HRW routing this defines the
+    /// replica's hot set, which warm-up streams to a replacement.
+    hits: u64,
 }
 
 struct Shard {
     map: HashMap<u64, Entry>,
 }
 
-/// A sharded LRU cache of [`Codebook`]s keyed by histogram hash.
+/// One hot cache entry, as reported by [`CodebookCache::hottest`].
+#[derive(Debug, Clone)]
+pub struct HotEntry {
+    /// Tier-0 hits the entry has absorbed.
+    pub hits: u64,
+    /// The source histogram.
+    pub histogram: Histogram,
+    /// The optimal code lengths (enough to rebuild the codebook
+    /// without construction, via [`Codebook::from_lengths`]).
+    pub lengths: Vec<u32>,
+}
+
+/// A sharded LRU cache of [`Codebook`]s keyed by histogram hash —
+/// tier 0 of the codebook store, optionally backed by a tier-1
+/// [`CodebookStore`].
 pub struct CodebookCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
+    tier1: Option<Arc<dyn CodebookStore>>,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    constructions: AtomicU64,
+    tier1_hits: AtomicU64,
+    tier1_promotions: AtomicU64,
+    store_errors: AtomicU64,
+    warmup_accepted: AtomicU64,
 }
 
 impl std::fmt::Debug for CodebookCache {
@@ -133,6 +264,16 @@ impl CodebookCache {
     /// `capacity` entries in total (rounded up to a whole number per
     /// shard). Both arguments are clamped to at least 1.
     pub fn new(shards: usize, capacity: usize) -> CodebookCache {
+        CodebookCache::with_tier1(shards, capacity, None)
+    }
+
+    /// A cache backed by a tier-1 store: misses consult `tier1` before
+    /// constructing, and constructions write through to it.
+    pub fn with_tier1(
+        shards: usize,
+        capacity: usize,
+        tier1: Option<Arc<dyn CodebookStore>>,
+    ) -> CodebookCache {
         let shards = shards.max(1);
         let capacity_per_shard = capacity.div_ceil(shards).max(1);
         CodebookCache {
@@ -144,10 +285,16 @@ impl CodebookCache {
                 })
                 .collect(),
             capacity_per_shard,
+            tier1,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            constructions: AtomicU64::new(0),
+            tier1_hits: AtomicU64::new(0),
+            tier1_promotions: AtomicU64::new(0),
+            store_errors: AtomicU64::new(0),
+            warmup_accepted: AtomicU64::new(0),
         }
     }
 
@@ -155,12 +302,13 @@ impl CodebookCache {
         &self.shards[(key % self.shards.len() as u64) as usize]
     }
 
-    /// Returns the cached codebook for `histogram`, building it on a
-    /// miss. Racing misses on the same histogram may each build (the
-    /// build happens outside the shard lock so a slow construction
-    /// never blocks lookups of other histograms on the shard), but the
-    /// first insert wins and every caller receives a bit-identical
-    /// codebook — construction is deterministic.
+    /// Returns the cached codebook for `histogram`, consulting tier 1
+    /// and building only when both tiers miss. Racing misses on the
+    /// same histogram may each build (the build happens outside the
+    /// shard lock so a slow construction never blocks lookups of other
+    /// histograms on the shard), but the first insert wins and every
+    /// caller receives a bit-identical codebook — construction is
+    /// deterministic.
     pub fn get_or_build(
         &self,
         histogram: &Histogram,
@@ -173,6 +321,7 @@ impl CodebookCache {
             if let Some(e) = shard.map.get_mut(&key) {
                 if e.book.histogram == *histogram {
                     e.last_used = stamp;
+                    e.hits += 1;
                     self.hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(Arc::clone(&e.book));
                 }
@@ -182,24 +331,93 @@ impl CodebookCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+
+        // Tier 1: a stored record promotes without construction.
+        if let Some(book) = self.promote_from_tier1(key, histogram, tracer) {
+            self.tier1_hits.fetch_add(1, Ordering::Relaxed);
+            let (winner, fresh) = self.insert_first_wins(key, stamp, book);
+            if fresh {
+                self.tier1_promotions.fetch_add(1, Ordering::Relaxed);
+            }
+            return Ok(winner);
+        }
+
+        self.constructions.fetch_add(1, Ordering::Relaxed);
         let built = Arc::new(Codebook::build(histogram, tracer)?);
+        // Write through so the next process lifetime starts warm. Best
+        // effort: a store failure only costs future warmth.
+        if let Some(store) = &self.tier1 {
+            if store.put(key, &built.to_store_body()).is_err() {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (winner, _) = self.insert_first_wins(key, stamp, built);
+        Ok(winner)
+    }
+
+    /// Attempts a tier-1 load: fetch, parse, verify the stored counts
+    /// against the requested histogram (hash-collision defense, same
+    /// as tier 0's histogram equality check), and realize the codebook
+    /// from lengths. Any failure is a miss — and a parse/validation
+    /// failure additionally drops the bad record so the write-through
+    /// after the rebuild replaces it.
+    fn promote_from_tier1(
+        &self,
+        key: u64,
+        histogram: &Histogram,
+        tracer: &CostTracer,
+    ) -> Option<Arc<Codebook>> {
+        let store = self.tier1.as_ref()?;
+        let body = match store.get(key) {
+            Ok(Some(body)) => body,
+            Ok(None) => return None,
+            Err(_) => {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let parsed = decode_store_body(&body);
+        let book = parsed.and_then(|(counts, lengths)| {
+            if counts != *histogram.counts() {
+                return None;
+            }
+            Codebook::from_lengths(histogram, lengths, tracer).ok()
+        });
+        if book.is_none() {
+            // Structurally invalid or a 64-bit hash collision: either
+            // way this record can never serve this key again.
+            let _ = store.remove(key);
+        }
+        book.map(Arc::new)
+    }
+
+    /// Inserts `book` under first-insert-wins semantics and applies
+    /// the per-shard LRU cap. Returns the winning Arc and whether the
+    /// insert actually happened (false: a racing builder beat us).
+    fn insert_first_wins(
+        &self,
+        key: u64,
+        stamp: u64,
+        book: Arc<Codebook>,
+    ) -> (Arc<Codebook>, bool) {
         let mut shard = self.shard(key).lock().expect("cache shard poisoned");
-        let winner = match shard.map.get_mut(&key) {
+        let (winner, fresh) = match shard.map.get_mut(&key) {
             // A racing builder inserted first — hand back its copy so
             // all callers share one Arc.
-            Some(e) if e.book.histogram == *histogram => {
+            Some(e) if e.book.histogram == book.histogram => {
                 e.last_used = stamp;
-                Arc::clone(&e.book)
+                (Arc::clone(&e.book), false)
             }
             _ => {
                 shard.map.insert(
                     key,
                     Entry {
-                        book: Arc::clone(&built),
+                        book: Arc::clone(&book),
                         last_used: stamp,
+                        hits: 0,
                     },
                 );
-                built
+                (book, true)
             }
         };
         if shard.map.len() > self.capacity_per_shard {
@@ -212,7 +430,67 @@ impl CodebookCache {
             shard.map.remove(&oldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(winner)
+        (winner, fresh)
+    }
+
+    /// Adopts a pre-built `(histogram, lengths)` pair pushed by the
+    /// gateway's warm-up path. No Huffman construction runs; invalid
+    /// lengths are rejected. Returns `true` if the entry was adopted
+    /// (false: already resident, or rejected). Adopted entries are
+    /// also written through to tier 1.
+    pub fn adopt(&self, histogram: &Histogram, lengths: Vec<u32>) -> bool {
+        let key = histogram.hash64();
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            if let Some(e) = shard.map.get_mut(&key) {
+                if e.book.histogram == *histogram {
+                    e.last_used = stamp;
+                    return false;
+                }
+            }
+        }
+        let Ok(book) = Codebook::from_lengths(histogram, lengths, &CostTracer::disabled()) else {
+            return false;
+        };
+        let book = Arc::new(book);
+        if let Some(store) = &self.tier1 {
+            if store.put(key, &book.to_store_body()).is_err() {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (_, fresh) = self.insert_first_wins(key, stamp, book);
+        if fresh {
+            self.warmup_accepted.fetch_add(1, Ordering::Relaxed);
+        }
+        fresh
+    }
+
+    /// The `max` hottest resident entries, by tier-0 hits (descending,
+    /// key-ordered on ties so the result is deterministic for a given
+    /// hit profile). This is what a replica streams to a replacement
+    /// during warm-up.
+    pub fn hottest(&self, max: usize) -> Vec<HotEntry> {
+        let mut all: Vec<(u64, u64, HotEntry)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            for (&key, e) in shard.map.iter() {
+                all.push((
+                    e.hits,
+                    key,
+                    HotEntry {
+                        hits: e.hits,
+                        histogram: e.book.histogram.clone(),
+                        lengths: e.book.lengths.clone(),
+                    },
+                ));
+            }
+        }
+        // determinism: HashMap shard iteration feeds a full sort on
+        // (hits desc, key asc) before anything reaches the output.
+        all.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        all.truncate(max);
+        all.into_iter().map(|(_, _, e)| e).collect()
     }
 
     /// Cache hits so far.
@@ -228,6 +506,38 @@ impl CodebookCache {
     /// Entries evicted so far.
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Full Huffman constructions actually performed (a miss that was
+    /// answered by tier 1 does not construct).
+    pub fn constructions(&self) -> u64 {
+        self.constructions.load(Ordering::Relaxed)
+    }
+
+    /// Tier-0 misses answered from the tier-1 store.
+    pub fn tier1_hits(&self) -> u64 {
+        self.tier1_hits.load(Ordering::Relaxed)
+    }
+
+    /// Tier-1 records promoted into tier 0 (≤ `tier1_hits`; a racing
+    /// insert can win the slot first).
+    pub fn tier1_promotions(&self) -> u64 {
+        self.tier1_promotions.load(Ordering::Relaxed)
+    }
+
+    /// Tier-1 store operations that failed (reads and write-throughs).
+    pub fn store_errors(&self) -> u64 {
+        self.store_errors.load(Ordering::Relaxed)
+    }
+
+    /// Warm-up entries adopted via [`CodebookCache::adopt`].
+    pub fn warmup_accepted(&self) -> u64 {
+        self.warmup_accepted.load(Ordering::Relaxed)
+    }
+
+    /// Whether a tier-1 store is attached.
+    pub fn has_tier1(&self) -> bool {
+        self.tier1.is_some()
     }
 
     /// Codebooks currently resident across all shards.
@@ -309,6 +619,134 @@ mod tests {
         assert_eq!(cache.misses(), 3, "h1 still resident");
         cache.get_or_build(&h2, &t).unwrap();
         assert_eq!(cache.misses(), 4, "h2 was evicted");
+    }
+
+    #[test]
+    fn from_lengths_is_bit_identical_to_build() {
+        let h = hist(&[45, 13, 12, 16, 9, 5]);
+        let t = CostTracer::disabled();
+        let built = Codebook::build(&h, &t).unwrap();
+        let loaded = Codebook::from_lengths(&h, built.lengths.clone(), &t).unwrap();
+        let payload = vec![0, 1, 2, 3, 4, 5, 0, 0, 3, 2, 1];
+        let (b1, n1) = built.encode(&payload).unwrap();
+        let (b2, n2) = loaded.encode(&payload).unwrap();
+        assert_eq!((n1, &b1), (n2, &b2), "encode differs");
+        assert_eq!(loaded.decode(&b1, n1).unwrap(), payload);
+    }
+
+    #[test]
+    fn from_lengths_rejects_invalid() {
+        let h = hist(&[4, 2, 1, 1]);
+        let t = CostTracer::disabled();
+        // Wrong count.
+        assert!(Codebook::from_lengths(&h, vec![1, 1], &t).is_err());
+        // Kraft violation: all length 1 over 4 symbols.
+        assert!(Codebook::from_lengths(&h, vec![1, 1, 1, 1], &t).is_err());
+    }
+
+    #[test]
+    fn store_body_roundtrips() {
+        let h = hist(&[45, 13, 12, 16, 9, 5]);
+        let book = Codebook::build(&h, &CostTracer::disabled()).unwrap();
+        let body = book.to_store_body();
+        let (counts, lengths) = decode_store_body(&body).unwrap();
+        assert_eq!(&counts, h.counts());
+        assert_eq!(lengths, book.lengths);
+        // Structural damage is a parse failure, not garbage data.
+        assert!(decode_store_body(&body[..body.len() - 1]).is_none());
+        assert!(decode_store_body(&[]).is_none());
+    }
+
+    #[test]
+    fn tier1_miss_constructs_and_writes_through() {
+        let store = Arc::new(partree_store::MemStore::new());
+        let cache = CodebookCache::with_tier1(2, 8, Some(store.clone()));
+        let h = hist(&[5, 3, 2]);
+        let t = CostTracer::disabled();
+        cache.get_or_build(&h, &t).unwrap();
+        assert_eq!(cache.constructions(), 1);
+        assert_eq!(cache.tier1_hits(), 0);
+        assert!(store.contains(h.hash64()), "write-through missing");
+    }
+
+    #[test]
+    fn tier1_hit_promotes_without_construction() {
+        let store = Arc::new(partree_store::MemStore::new());
+        let t = CostTracer::disabled();
+        let h = hist(&[5, 3, 2, 1]);
+        // First cache lifetime constructs and persists.
+        let warm = CodebookCache::with_tier1(2, 8, Some(store.clone()));
+        let original = warm.get_or_build(&h, &t).unwrap();
+        drop(warm);
+        // Second lifetime (same store): answered from tier 1, zero
+        // constructions, bit-identical result.
+        let cold = CodebookCache::with_tier1(2, 8, Some(store.clone()));
+        let promoted = cold.get_or_build(&h, &t).unwrap();
+        assert_eq!(cold.constructions(), 0, "tier-1 hit must not construct");
+        assert_eq!((cold.tier1_hits(), cold.tier1_promotions()), (1, 1));
+        assert_eq!(promoted.lengths, original.lengths);
+        let payload = vec![0u8, 1, 2, 3, 0, 0];
+        assert_eq!(
+            promoted.encode(&payload).unwrap(),
+            original.encode(&payload).unwrap()
+        );
+        // Second lookup is a tier-0 hit.
+        cold.get_or_build(&h, &t).unwrap();
+        assert_eq!(cold.hits(), 1);
+        assert_eq!(cold.tier1_hits(), 1);
+    }
+
+    #[test]
+    fn corrupt_tier1_record_falls_back_to_construction() {
+        let store = Arc::new(partree_store::MemStore::new());
+        let h = hist(&[5, 3, 2]);
+        store.put(h.hash64(), b"not a codebook record").unwrap();
+        let cache = CodebookCache::with_tier1(2, 8, Some(store.clone()));
+        let book = cache
+            .get_or_build(&h, &CostTracer::disabled())
+            .expect("rebuild heals");
+        assert_eq!(cache.constructions(), 1);
+        assert_eq!(cache.tier1_hits(), 0);
+        // The bad record was replaced by the rebuild's write-through.
+        let healed = store.get(h.hash64()).unwrap().expect("re-put");
+        let (counts, lengths) = decode_store_body(&healed).expect("valid now");
+        assert_eq!(&counts, h.counts());
+        assert_eq!(lengths, book.lengths);
+    }
+
+    #[test]
+    fn adopt_and_hottest_drive_warmup() {
+        let cache = CodebookCache::new(2, 8);
+        let t = CostTracer::disabled();
+        let h1 = hist(&[9, 3, 1]);
+        let h2 = hist(&[1, 1, 1, 1, 4]);
+        cache.get_or_build(&h1, &t).unwrap();
+        for _ in 0..3 {
+            cache.get_or_build(&h1, &t).unwrap(); // 3 hits
+        }
+        cache.get_or_build(&h2, &t).unwrap();
+        cache.get_or_build(&h2, &t).unwrap(); // 1 hit
+        let hot = cache.hottest(10);
+        assert_eq!(hot.len(), 2);
+        assert_eq!(hot[0].hits, 3);
+        assert_eq!(hot[0].histogram, h1);
+        assert_eq!(cache.hottest(1).len(), 1);
+
+        // A second cache adopts the hot set without constructing.
+        let peer = CodebookCache::new(2, 8);
+        for e in &hot {
+            assert!(peer.adopt(&e.histogram, e.lengths.clone()));
+        }
+        assert_eq!(peer.warmup_accepted(), 2);
+        assert_eq!(peer.constructions(), 0);
+        let book = peer.get_or_build(&h1, &t).unwrap();
+        assert_eq!(peer.constructions(), 0, "adopted entry serves the hit");
+        let reference = cache.get_or_build(&h1, &t).unwrap();
+        assert_eq!(book.lengths, reference.lengths);
+        // Re-adopting is a no-op.
+        assert!(!peer.adopt(&hot[0].histogram, hot[0].lengths.clone()));
+        // Garbage lengths are rejected.
+        assert!(!peer.adopt(&hist(&[2, 2, 2]), vec![1, 1, 1]));
     }
 
     #[test]

@@ -23,11 +23,15 @@
 //! | `Stats` (0x03) | empty |
 //! | `Ping` (0x04) | empty — liveness/health probe, answered inline |
 //! | `Drain` (0x05) | empty — stop accepting new work; in-flight completes |
+//! | `WarmUp` (0x06) | `count:u16` · `count ×` warm entry (below) — adopt pre-built codebooks |
+//! | `HotSet` (0x07) | `max:u16` — report the `max` hottest cached codebooks |
 //! | `EncodeOk` (0x81) | `bit_len:u64` · `data_len:u32` · encoded bytes |
 //! | `DecodeOk` (0x82) | `payload_len:u32` · payload bytes |
 //! | `StatsOk` (0x83) | `json_len:u32` · UTF-8 JSON (schema in `EXPERIMENTS.md`) |
 //! | `Pong` (0x84) | `status:u8` — 0 serving, 1 draining |
 //! | `DrainOk` (0x85) | empty — the drain flag is set |
+//! | `WarmUpOk` (0x86) | `accepted:u32` · `rejected:u32` |
+//! | `HotSetOk` (0x87) | `count:u16` · `count ×` warm entry |
 //! | `Error` (0xE0) | `code:u16` · `msg_len:u16` · UTF-8 message |
 //! | `Busy` (0xE1) | empty — the request was **not** queued; retry later |
 //! | `Timeout` (0xE2) | empty — queued but missed its deadline |
@@ -43,6 +47,13 @@
 //! overload surfaces as `Busy`, not as a dead replica. `Pong` carries a
 //! drain bit so a draining replica can advertise "alive, but route new
 //! work elsewhere" before it goes away.
+//!
+//! A **warm entry** — shared by `WarmUp` and `HotSetOk` — is
+//! `hits:u64` · histogram (`n:u16` · `n × count:u32`) · `n × length:u8`:
+//! the canonical-code representation, from which a codebook is
+//! realized *without* Huffman construction. `WarmUp`/`HotSet` are the
+//! fleet warm-up path: the gateway pulls a healthy replica's hot set
+//! and pushes it to a replacement replica before admitting traffic.
 
 use bytes::{Buf, BufMut, BytesMut};
 use std::io::{self, Read, Write};
@@ -72,6 +83,10 @@ pub enum Opcode {
     Ping = 0x04,
     /// Ask the service to stop accepting new work.
     Drain = 0x05,
+    /// Adopt pre-built codebooks (fleet warm-up push).
+    WarmUp = 0x06,
+    /// Report the hottest cached codebooks (fleet warm-up pull).
+    HotSet = 0x07,
     /// Successful encode.
     EncodeOk = 0x81,
     /// Successful decode.
@@ -82,6 +97,10 @@ pub enum Opcode {
     Pong = 0x84,
     /// Drain acknowledged.
     DrainOk = 0x85,
+    /// Warm-up adopted (with accept/reject counts).
+    WarmUpOk = 0x86,
+    /// Hot-set report.
+    HotSetOk = 0x87,
     /// Structured failure.
     Error = 0xE0,
     /// Load shed: the bounded queue was full.
@@ -98,11 +117,15 @@ impl Opcode {
             0x03 => Some(Opcode::Stats),
             0x04 => Some(Opcode::Ping),
             0x05 => Some(Opcode::Drain),
+            0x06 => Some(Opcode::WarmUp),
+            0x07 => Some(Opcode::HotSet),
             0x81 => Some(Opcode::EncodeOk),
             0x82 => Some(Opcode::DecodeOk),
             0x83 => Some(Opcode::StatsOk),
             0x84 => Some(Opcode::Pong),
             0x85 => Some(Opcode::DrainOk),
+            0x86 => Some(Opcode::WarmUpOk),
+            0x87 => Some(Opcode::HotSetOk),
             0xE0 => Some(Opcode::Error),
             0xE1 => Some(Opcode::Busy),
             0xE2 => Some(Opcode::Timeout),
@@ -211,6 +234,25 @@ impl Histogram {
     }
 }
 
+/// One pre-built codebook on the wire: enough to adopt it without
+/// construction. Carried by [`Request::WarmUp`] (hits are advisory)
+/// and [`Response::HotSet`] (hits rank the entries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmEntry {
+    /// Tier-0 hits the source replica counted for this codebook.
+    pub hits: u64,
+    /// The source histogram.
+    pub histogram: Histogram,
+    /// Optimal code length per symbol (each < 256, so one byte each
+    /// on the wire).
+    pub lengths: Vec<u32>,
+}
+
+/// Cap on entries in one `WarmUp`/`HotSetOk` frame; larger counts are
+/// malformed (a warm-up push is a handful of hot keys, not a bulk
+/// transfer protocol).
+pub const MAX_WARM_ENTRIES: usize = 1024;
+
 /// A decoded request frame body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -238,6 +280,19 @@ pub enum Request {
     /// Stop accepting new work; queued work still completes. Answered
     /// with [`Response::DrainOk`].
     Drain,
+    /// Adopt pre-built codebooks into the cache (and tier-1 store, if
+    /// attached) without construction. Answered with
+    /// [`Response::WarmedUp`].
+    WarmUp {
+        /// The codebooks to adopt.
+        entries: Vec<WarmEntry>,
+    },
+    /// Report the `max` hottest cached codebooks. Answered with
+    /// [`Response::HotSet`].
+    HotSet {
+        /// Maximum entries to report.
+        max: u16,
+    },
 }
 
 /// A decoded response frame body.
@@ -268,6 +323,18 @@ pub enum Response {
     },
     /// The drain flag is set.
     DrainOk,
+    /// Warm-up outcome.
+    WarmedUp {
+        /// Entries newly adopted.
+        accepted: u32,
+        /// Entries already resident or rejected as invalid.
+        rejected: u32,
+    },
+    /// The hottest cached codebooks, hottest first.
+    HotSet {
+        /// The entries, ranked by tier-0 hits descending.
+        entries: Vec<WarmEntry>,
+    },
     /// Structured failure.
     Error {
         /// Machine-readable cause.
@@ -377,6 +444,32 @@ impl<'a> BodyReader<'a> {
         Ok(())
     }
 
+    fn warm_entries(&mut self) -> Result<Vec<WarmEntry>, FrameError> {
+        let count = self.u16("warm entry count")? as usize;
+        if count > MAX_WARM_ENTRIES {
+            return Err(FrameError::malformed(format!(
+                "{count} warm entries exceeds the cap of {MAX_WARM_ENTRIES}"
+            )));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let hits = self.u64("warm entry hits")?;
+            let histogram = self.histogram()?;
+            let n = histogram.alphabet();
+            let lengths = self
+                .bytes(n, "warm entry lengths")?
+                .into_iter()
+                .map(u32::from)
+                .collect();
+            entries.push(WarmEntry {
+                hits,
+                histogram,
+                lengths,
+            });
+        }
+        Ok(entries)
+    }
+
     fn histogram(&mut self) -> Result<Histogram, FrameError> {
         let n = self.u16("alphabet size")? as usize;
         if !(2..=MAX_ALPHABET).contains(&n) {
@@ -398,6 +491,17 @@ fn put_histogram(out: &mut BytesMut, h: &Histogram) {
     out.put_u16(h.alphabet() as u16);
     for &c in h.counts() {
         out.put_u32(c);
+    }
+}
+
+fn put_warm_entries(out: &mut BytesMut, entries: &[WarmEntry]) {
+    out.put_u16(entries.len() as u16);
+    for e in entries {
+        out.put_u64(e.hits);
+        put_histogram(out, &e.histogram);
+        for &l in &e.lengths {
+            out.put_u8(l.min(u8::MAX as u32) as u8);
+        }
     }
 }
 
@@ -437,6 +541,14 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
         Request::Stats => Opcode::Stats,
         Request::Ping => Opcode::Ping,
         Request::Drain => Opcode::Drain,
+        Request::WarmUp { entries } => {
+            put_warm_entries(&mut body, entries);
+            Opcode::WarmUp
+        }
+        Request::HotSet { max } => {
+            body.put_u16(*max);
+            Opcode::HotSet
+        }
     };
     encode_frame(id, opcode, &body)
 }
@@ -479,6 +591,15 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
             Opcode::Pong
         }
         Response::DrainOk => Opcode::DrainOk,
+        Response::WarmedUp { accepted, rejected } => {
+            body.put_u32(*accepted);
+            body.put_u32(*rejected);
+            Opcode::WarmUpOk
+        }
+        Response::HotSet { entries } => {
+            put_warm_entries(&mut body, entries);
+            Opcode::HotSetOk
+        }
         Response::Busy => Opcode::Busy,
         Response::Timeout => Opcode::Timeout,
     };
@@ -534,6 +655,12 @@ pub fn decode_request(opcode: Opcode, body: &[u8]) -> Result<Request, FrameError
         Opcode::Stats => Request::Stats,
         Opcode::Ping => Request::Ping,
         Opcode::Drain => Request::Drain,
+        Opcode::WarmUp => Request::WarmUp {
+            entries: r.warm_entries()?,
+        },
+        Opcode::HotSet => Request::HotSet {
+            max: r.u16("hot-set max")?,
+        },
         other => {
             return Err(FrameError::malformed(format!(
                 "opcode {other:?} is not a request"
@@ -577,6 +704,13 @@ pub fn decode_response(opcode: Opcode, body: &[u8]) -> Result<Response, FrameErr
             draining: r.u8("pong status")? != 0,
         },
         Opcode::DrainOk => Response::DrainOk,
+        Opcode::WarmUpOk => Response::WarmedUp {
+            accepted: r.u32("accepted count")?,
+            rejected: r.u32("rejected count")?,
+        },
+        Opcode::HotSetOk => Response::HotSet {
+            entries: r.warm_entries()?,
+        },
         Opcode::Busy => Response::Busy,
         Opcode::Timeout => Response::Timeout,
         other => {
@@ -827,6 +961,22 @@ mod tests {
         roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::Ping);
         roundtrip_request(&Request::Drain);
+        roundtrip_request(&Request::WarmUp {
+            entries: vec![
+                WarmEntry {
+                    hits: 41,
+                    histogram: hist(&[9, 3, 1]),
+                    lengths: vec![1, 2, 2],
+                },
+                WarmEntry {
+                    hits: 0,
+                    histogram: hist(&[1, 1]),
+                    lengths: vec![1, 1],
+                },
+            ],
+        });
+        roundtrip_request(&Request::WarmUp { entries: vec![] });
+        roundtrip_request(&Request::HotSet { max: 32 });
     }
 
     #[test]
@@ -848,8 +998,29 @@ mod tests {
         roundtrip_response(&Response::Pong { draining: false });
         roundtrip_response(&Response::Pong { draining: true });
         roundtrip_response(&Response::DrainOk);
+        roundtrip_response(&Response::WarmedUp {
+            accepted: 7,
+            rejected: 2,
+        });
+        roundtrip_response(&Response::HotSet {
+            entries: vec![WarmEntry {
+                hits: 1000,
+                histogram: hist(&[4, 2, 1, 1]),
+                lengths: vec![1, 2, 3, 3],
+            }],
+        });
+        roundtrip_response(&Response::HotSet { entries: vec![] });
         roundtrip_response(&Response::Busy);
         roundtrip_response(&Response::Timeout);
+    }
+
+    #[test]
+    fn warm_entry_count_is_capped() {
+        // Hand-build a WarmUp body declaring too many entries.
+        let mut body = BytesMut::new();
+        body.put_u16((MAX_WARM_ENTRIES + 1) as u16);
+        let e = decode_request(Opcode::WarmUp, &body).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Malformed);
     }
 
     #[test]

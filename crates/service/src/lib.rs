@@ -75,8 +75,9 @@ mod sync;
 pub mod waker;
 
 pub use client::Client;
-pub use codebook::{Codebook, CodebookCache};
-pub use frame::{ErrorCode, FrameError, Histogram, Request, Response};
+pub use codebook::{Codebook, CodebookCache, HotEntry};
+pub use frame::{ErrorCode, FrameError, Histogram, Request, Response, WarmEntry};
 pub use metrics::MetricsSnapshot;
 pub use net::{FaultInjection, Server, Transport};
+pub use reactor::WriteOverflow;
 pub use server::{Service, ServiceConfig};

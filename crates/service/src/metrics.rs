@@ -51,6 +51,9 @@ pub struct Metrics {
     pub latency_us_max: AtomicU64,
     /// Gauge: 1 once the service is draining (new work shed as `Busy`).
     pub draining: AtomicU64,
+    /// Connections severed by the reactor's per-connection write-queue
+    /// cap (a peer stopped reading while responses kept accumulating).
+    pub write_overflows: AtomicU64,
 }
 
 /// A plain-data copy of [`Metrics`] plus cache counters, as exported.
@@ -76,8 +79,9 @@ pub struct MetricsSnapshot {
     pub batched_requests: u64,
     /// Largest batch.
     pub max_batch: u64,
-    /// Codebook constructions performed (= cache misses: every miss
-    /// builds exactly once, even when a racing insert wins).
+    /// Codebook constructions actually performed. With no tier-1
+    /// store this equals `cache_misses`; with one attached it is the
+    /// misses tier 1 could not answer.
     pub constructions: u64,
     /// Codebook cache hits.
     pub cache_hits: u64,
@@ -85,6 +89,18 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Codebook cache evictions.
     pub cache_evictions: u64,
+    /// Tier-0 (in-memory) hits; alias of `cache_hits` under the
+    /// tiered-store naming, kept separate so E16 charts both tiers
+    /// with symmetric keys.
+    pub tier0_hits: u64,
+    /// Tier-0 misses answered by the tier-1 store (no construction).
+    pub tier1_hits: u64,
+    /// Tier-1 records promoted into tier 0.
+    pub tier1_promotions: u64,
+    /// Tier-1 store operations that failed (read or write-through).
+    pub store_errors: u64,
+    /// Warm-up entries adopted from a peer via the `WarmUp` opcode.
+    pub warmup_accepted: u64,
     /// Traced work total.
     pub work: u64,
     /// Traced depth total.
@@ -99,6 +115,8 @@ pub struct MetricsSnapshot {
     pub latency_us_max: u64,
     /// Gauge: 1 once the service is draining.
     pub draining: u64,
+    /// Connections severed by the reactor write-backpressure cap.
+    pub write_overflows: u64,
     /// Executor: successful steals on the shared `partree-exec` pool
     /// (process-wide — the pool is shared by everything in-process).
     pub exec_steals: u64,
@@ -140,10 +158,15 @@ impl Metrics {
             batches: get(&self.batches),
             batched_requests: get(&self.batched_requests),
             max_batch: get(&self.max_batch),
-            constructions: cache.misses(),
+            constructions: cache.constructions(),
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
             cache_evictions: cache.evictions(),
+            tier0_hits: cache.hits(),
+            tier1_hits: cache.tier1_hits(),
+            tier1_promotions: cache.tier1_promotions(),
+            store_errors: cache.store_errors(),
+            warmup_accepted: cache.warmup_accepted(),
             work: get(&self.work),
             depth: get(&self.depth),
             bytes_in: get(&self.bytes_in),
@@ -151,6 +174,7 @@ impl Metrics {
             latency_us_total: get(&self.latency_us_total),
             latency_us_max: get(&self.latency_us_max),
             draining: get(&self.draining),
+            write_overflows: get(&self.write_overflows),
             exec_steals: exec.steals,
             exec_parks: exec.parks,
             exec_injector_depth: exec.injector_depth,
@@ -184,6 +208,11 @@ impl MetricsSnapshot {
         field("cache_hits", self.cache_hits);
         field("cache_misses", self.cache_misses);
         field("cache_evictions", self.cache_evictions);
+        field("tier0_hits", self.tier0_hits);
+        field("tier1_hits", self.tier1_hits);
+        field("tier1_promotions", self.tier1_promotions);
+        field("store_errors", self.store_errors);
+        field("warmup_accepted", self.warmup_accepted);
         field("work", self.work);
         field("depth", self.depth);
         field("bytes_in", self.bytes_in);
@@ -191,6 +220,7 @@ impl MetricsSnapshot {
         field("latency_us_total", self.latency_us_total);
         field("latency_us_max", self.latency_us_max);
         field("draining", self.draining);
+        field("write_overflows", self.write_overflows);
         field("exec_steals", self.exec_steals);
         field("exec_parks", self.exec_parks);
         field("exec_injector_depth", self.exec_injector_depth);
@@ -235,6 +265,11 @@ impl MetricsSnapshot {
                 "cache_hits" => snap.cache_hits = v,
                 "cache_misses" => snap.cache_misses = v,
                 "cache_evictions" => snap.cache_evictions = v,
+                "tier0_hits" => snap.tier0_hits = v,
+                "tier1_hits" => snap.tier1_hits = v,
+                "tier1_promotions" => snap.tier1_promotions = v,
+                "store_errors" => snap.store_errors = v,
+                "warmup_accepted" => snap.warmup_accepted = v,
                 "work" => snap.work = v,
                 "depth" => snap.depth = v,
                 "bytes_in" => snap.bytes_in = v,
@@ -242,6 +277,7 @@ impl MetricsSnapshot {
                 "latency_us_total" => snap.latency_us_total = v,
                 "latency_us_max" => snap.latency_us_max = v,
                 "draining" => snap.draining = v,
+                "write_overflows" => snap.write_overflows = v,
                 "exec_steals" => snap.exec_steals = v,
                 "exec_parks" => snap.exec_parks = v,
                 "exec_injector_depth" => snap.exec_injector_depth = v,

@@ -360,6 +360,13 @@ fn serve_connection(
                 service.drain();
                 Response::DrainOk
             }
+            // Warm-up is control-plane too: `submit` answers these
+            // inline (no queue wait), and a replica being refilled
+            // after a restart should not lose donated codebooks to
+            // injected faults.
+            Ok(request @ (Request::WarmUp { .. } | Request::HotSet { .. })) => {
+                service.submit(request)
+            }
             Ok(request) => {
                 if faults.should_drop(&mut rng) {
                     // Sever without a reply: the peer observes a

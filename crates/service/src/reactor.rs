@@ -60,6 +60,56 @@ const READ_CHUNK: usize = 16 * 1024;
 const READS_PER_EVENT: usize = 4;
 /// Accepts per listener event before yielding (same re-announce logic).
 const ACCEPTS_PER_EVENT: usize = 256;
+/// Default ceiling on unflushed response bytes queued per connection.
+/// A peer that stops reading while requests keep completing would
+/// otherwise grow `Conn::out` without bound — one slow consumer
+/// becoming the whole process's memory problem. Overridable via
+/// `PARTREE_WRITE_CAP_BYTES` (tests shrink it to trip deterministically).
+const DEFAULT_WRITE_CAP_BYTES: usize = 32 << 20;
+
+/// Reads `PARTREE_WRITE_CAP_BYTES`; unset, unparsable, or zero falls
+/// back to [`DEFAULT_WRITE_CAP_BYTES`].
+fn write_cap_from_env() -> usize {
+    std::env::var("PARTREE_WRITE_CAP_BYTES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(DEFAULT_WRITE_CAP_BYTES)
+}
+
+/// Typed cause for a connection severed by write backpressure: the
+/// peer's unread responses exceeded the per-connection cap. Carried
+/// inside the [`io::Error`] that closes the connection so callers (and
+/// tests) can distinguish the cap from a transport failure.
+#[derive(Debug, PartialEq, Eq)]
+pub struct WriteOverflow {
+    /// Unflushed bytes queued when the cap tripped.
+    pub queued: usize,
+    /// The configured cap.
+    pub cap: usize,
+}
+
+impl std::fmt::Display for WriteOverflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "write backpressure: {} bytes queued for a peer that is not reading (cap {})",
+            self.queued, self.cap
+        )
+    }
+}
+
+impl std::error::Error for WriteOverflow {}
+
+/// `Ok` while the queued-byte count is under the cap; the typed
+/// overflow error otherwise. Factored out of [`Reactor::queue_write`]
+/// so the trip condition is unit-testable without a live socket.
+fn check_write_cap(queued: usize, cap: usize) -> io::Result<()> {
+    if queued > cap {
+        return Err(io::Error::other(WriteOverflow { queued, cap }));
+    }
+    Ok(())
+}
 
 /// A finished response traveling from a batch worker to the reactor.
 struct Completion {
@@ -125,6 +175,7 @@ pub(crate) fn spawn(
         next_generation: 0,
         delayed: Vec::new(),
         next_sweep: Instant::now(),
+        write_cap: write_cap_from_env(),
     };
     let thread = std::thread::Builder::new()
         .name("partree-reactor".into())
@@ -169,6 +220,8 @@ struct Reactor {
     next_generation: u64,
     delayed: Vec<Delayed>,
     next_sweep: Instant,
+    /// Per-connection unflushed-byte ceiling (see [`write_cap_from_env`]).
+    write_cap: usize,
 }
 
 impl Reactor {
@@ -351,6 +404,12 @@ impl Reactor {
                 self.service.drain();
                 Some(Response::DrainOk)
             }
+            // Warm-up is control-plane: answered inline by `submit`
+            // (adoption never constructs, so it cannot stall the
+            // event loop), bypassing fault knobs like the probes do.
+            Ok(request @ (Request::WarmUp { .. } | Request::HotSet { .. })) => {
+                Some(self.service.submit(request))
+            }
             Ok(request) => {
                 let Some(conn) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
                     return false;
@@ -481,13 +540,19 @@ impl Reactor {
     }
 
     /// Appends one response frame to the connection's write buffer and
-    /// flushes as much as the socket accepts right now.
+    /// flushes as much as the socket accepts right now. Severs the
+    /// connection (typed [`WriteOverflow`] error) if the peer's unread
+    /// backlog exceeds the write cap even after flushing.
     fn queue_write(&mut self, slot: usize, id: u64, response: &Response) -> io::Result<()> {
         let Some(conn) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
             return Ok(()); // connection already gone; nothing to say
         };
         conn.out.extend_from_slice(&encode_response(id, response));
         flush(conn)?;
+        if let Err(e) = check_write_cap(conn.out.len() - conn.written, self.write_cap) {
+            self.service.note_write_overflow();
+            return Err(e);
+        }
         self.reconcile_interest(slot)
     }
 
@@ -545,4 +610,37 @@ fn flush(conn: &mut Conn) -> io::Result<()> {
         conn.written = 0;
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_cap_trips_with_a_typed_error() {
+        assert!(check_write_cap(100, 100).is_ok());
+        let err = check_write_cap(101, 100).expect_err("over cap");
+        let overflow = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<WriteOverflow>())
+            .expect("cause is WriteOverflow");
+        assert_eq!(
+            overflow,
+            &WriteOverflow {
+                queued: 101,
+                cap: 100
+            }
+        );
+        assert!(err.to_string().contains("write backpressure"));
+    }
+
+    #[test]
+    fn write_cap_env_parsing() {
+        // Read-only check against the default: the env var is unset in
+        // the test runner (the integration test that sets it runs in
+        // its own process).
+        if std::env::var_os("PARTREE_WRITE_CAP_BYTES").is_none() {
+            assert_eq!(write_cap_from_env(), DEFAULT_WRITE_CAP_BYTES);
+        }
+    }
 }

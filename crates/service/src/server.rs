@@ -27,10 +27,11 @@
 //! service [`Metrics`], exported as JSON via [`Service::stats_json`].
 
 use crate::codebook::CodebookCache;
-use crate::frame::{ErrorCode, Request, Response};
+use crate::frame::{ErrorCode, Request, Response, WarmEntry};
 use crate::metrics::{Metrics, MetricsSnapshot};
 use partree_pram::CostTracer;
 use std::collections::VecDeque;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex};
@@ -56,6 +57,11 @@ pub struct ServiceConfig {
     pub cache_shards: usize,
     /// Codebook cache total capacity (entries across shards).
     pub cache_capacity: usize,
+    /// Directory of the tier-1 persistent codebook store. `None` keeps
+    /// the cache memory-only (the historical behaviour). The default
+    /// reads `PARTREE_STORE_DIR` from the environment, so persistence
+    /// is opt-in per process without touching call sites.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +74,7 @@ impl Default for ServiceConfig {
             request_timeout: Duration::from_secs(5),
             cache_shards: 8,
             cache_capacity: 64,
+            store_dir: std::env::var_os("PARTREE_STORE_DIR").map(PathBuf::from),
         }
     }
 }
@@ -195,8 +202,24 @@ impl Service {
             .build()
             // lint: allow(no-unwrap): vendored rayon's builder is infallible by construction; see vendor/rayon
             .expect("the vendored rayon pool builder cannot fail");
+        // A broken tier-1 store must not take the service down with it:
+        // the store is a cache of a pure function, so losing it costs
+        // reconstruction work, never correctness. Degrade to
+        // memory-only and say so on stderr.
+        let tier1 = cfg.store_dir.as_ref().and_then(|dir| {
+            match partree_store::open_log_store(dir) {
+                Ok(store) => Some(Arc::new(store) as Arc<dyn partree_store::CodebookStore>),
+                Err(e) => {
+                    eprintln!(
+                        "partree-service: tier-1 store at {} unavailable ({e}); running memory-only",
+                        dir.display()
+                    );
+                    None
+                }
+            }
+        });
         let inner = Arc::new(Inner {
-            cache: CodebookCache::new(cfg.cache_shards, cfg.cache_capacity),
+            cache: CodebookCache::with_tier1(cfg.cache_shards, cfg.cache_capacity, tier1),
             queue: Mutex::new(VecDeque::with_capacity(cfg.queue_capacity.min(4096))),
             wake: Condvar::new(),
             stopping: AtomicBool::new(false),
@@ -256,11 +279,53 @@ impl Service {
                 self.drain();
                 return done.complete(Response::DrainOk);
             }
+            // Warm-up traffic is control-plane work: adoption skips
+            // construction entirely (`O(n log n)` canonicalization per
+            // entry), so answering inline keeps it off the batch queue
+            // and ahead of any encode backlog.
+            Request::WarmUp { entries } => {
+                return done.complete(self.warm_up(entries));
+            }
+            Request::HotSet { max } => {
+                return done.complete(self.hot_set(max));
+            }
             Request::Encode { .. } | Request::Decode { .. } => {}
         }
         if let Err((resp, sink)) = self.enqueue(request, ReplySink::Callback(done)) {
             sink.deliver(resp);
         }
+    }
+
+    /// Adopts donated codebooks into the cache (and tier-1 store, when
+    /// configured). Invalid or already-resident entries are counted as
+    /// rejected, never errors: warm-up is best-effort by design.
+    fn warm_up(&self, entries: Vec<WarmEntry>) -> Response {
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        for e in entries {
+            if self.inner.cache.adopt(&e.histogram, e.lengths) {
+                accepted += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        Response::WarmedUp { accepted, rejected }
+    }
+
+    /// Reports the hottest cached codebooks, ranked by tier-0 hits.
+    fn hot_set(&self, max: u16) -> Response {
+        let entries = self
+            .inner
+            .cache
+            .hottest(max as usize)
+            .into_iter()
+            .map(|h| WarmEntry {
+                hits: h.hits,
+                histogram: h.histogram,
+                lengths: h.lengths,
+            })
+            .collect();
+        Response::HotSet { entries }
     }
 
     /// The shared enqueue path behind [`Service::try_enqueue`] and
@@ -324,6 +389,8 @@ impl Service {
                 self.drain();
                 return Response::DrainOk;
             }
+            Request::WarmUp { entries } => return self.warm_up(entries),
+            Request::HotSet { max } => return self.hot_set(max),
             Request::Encode { .. } | Request::Decode { .. } => {}
         }
         let rx = match self.try_enqueue(request) {
@@ -355,6 +422,15 @@ impl Service {
     /// channel wait times out.
     pub(crate) fn note_timeout(&self) {
         self.inner.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a connection severed by the reactor's write-backpressure
+    /// cap (the peer stopped reading its responses).
+    pub(crate) fn note_write_overflow(&self) {
+        self.inner
+            .metrics
+            .write_overflows
+            .fetch_add(1, Ordering::Relaxed);
     }
 
     /// The aggregate counters as a flat JSON object.
@@ -498,6 +574,33 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
                 inner.draining.store(true, Ordering::Release);
                 inner.metrics.draining.store(1, Ordering::Relaxed);
                 respond(inner, job, Response::DrainOk);
+                continue;
+            }
+            Request::WarmUp { entries } => {
+                let mut accepted = 0u32;
+                let mut rejected = 0u32;
+                for e in entries {
+                    if inner.cache.adopt(&e.histogram, e.lengths.clone()) {
+                        accepted += 1;
+                    } else {
+                        rejected += 1;
+                    }
+                }
+                respond(inner, job, Response::WarmedUp { accepted, rejected });
+                continue;
+            }
+            Request::HotSet { max } => {
+                let entries = inner
+                    .cache
+                    .hottest(*max as usize)
+                    .into_iter()
+                    .map(|h| WarmEntry {
+                        hits: h.hits,
+                        histogram: h.histogram,
+                        lengths: h.lengths,
+                    })
+                    .collect();
+                respond(inner, job, Response::HotSet { entries });
                 continue;
             }
         };

@@ -1,0 +1,138 @@
+//! The restart-warm invariant, counter-asserted end to end:
+//!
+//! * a service restarted onto the same `store_dir` answers every
+//!   previously-seen histogram out of tier 1 **without reconstruction**
+//!   (`constructions == 0`, `tier1_hits == histograms`), and the
+//!   encodings are bit-identical to the cold build's;
+//! * a crash mid-append (simulated by truncating / mangling the active
+//!   segment's tail) never panics the next open and never serves a
+//!   corrupt codebook — damaged records degrade to reconstruction,
+//!   which writes through and heals the store.
+
+use partree_service::frame::{Histogram, Request, Response};
+use partree_service::{Service, ServiceConfig};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("partree-restart-warm-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_cfg(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        store_dir: Some(dir.to_path_buf()),
+        request_timeout: Duration::from_secs(10),
+        ..ServiceConfig::default()
+    }
+}
+
+const HISTS: [&[u32]; 4] = [
+    &[10, 4, 2, 7],
+    &[1, 1, 1, 1, 1, 90],
+    &[5, 1, 5, 1, 5, 1, 5],
+    &[300, 200, 100, 50, 25, 12, 6, 3],
+];
+
+fn hist(counts: &[u32]) -> Histogram {
+    Histogram::new(counts.to_vec()).expect("valid histogram")
+}
+
+fn encode_all(svc: &Service) -> Vec<(u64, Vec<u8>)> {
+    HISTS
+        .iter()
+        .map(|counts| {
+            let payload: Vec<u8> = (0..64u8).map(|i| i % counts.len() as u8).collect();
+            match svc.submit(Request::Encode {
+                histogram: hist(counts),
+                payload,
+            }) {
+                Response::Encoded { bit_len, data } => (bit_len, data),
+                other => panic!("expected Encoded, got {other:?}"),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn restart_answers_from_tier1_without_reconstruction() {
+    let dir = fresh_dir("warm");
+
+    // Cold process: every histogram is a construction + write-through.
+    let svc = Service::start(store_cfg(&dir));
+    let cold = encode_all(&svc);
+    let m = svc.metrics();
+    assert_eq!(m.constructions, HISTS.len() as u64, "cold: all built");
+    assert_eq!(m.tier1_hits, 0, "cold: nothing to hit in tier 1 yet");
+    svc.shutdown();
+
+    // Restarted process, same dir: tier 1 answers everything; the
+    // expensive parallel construction never runs.
+    let svc = Service::start(store_cfg(&dir));
+    let warm = encode_all(&svc);
+    assert_eq!(warm, cold, "warm responses are bit-identical to cold");
+    let m = svc.metrics();
+    assert_eq!(m.constructions, 0, "warm: zero reconstructions");
+    assert_eq!(m.tier1_hits, HISTS.len() as u64);
+    assert_eq!(m.tier1_promotions, HISTS.len() as u64);
+    assert_eq!(m.store_errors, 0);
+    svc.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn crash_mid_write_degrades_to_rebuild_and_heals() {
+    let dir = fresh_dir("torn");
+
+    let svc = Service::start(store_cfg(&dir));
+    let cold = encode_all(&svc);
+    svc.shutdown();
+
+    // Simulate dying mid-append: chop bytes off the newest segment's
+    // tail, leaving a half-written record.
+    let mut segs: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("store dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .collect();
+    segs.sort();
+    let tail = segs.last().expect("at least one segment");
+    let len = fs::metadata(tail).expect("stat").len();
+    let f = fs::OpenOptions::new()
+        .write(true)
+        .open(tail)
+        .expect("open segment");
+    f.set_len(len.saturating_sub(7)).expect("tear the tail");
+    drop(f);
+
+    // Open never panics; every histogram still answers correctly —
+    // survivors from tier 1, the torn one via reconstruction (which
+    // writes through again).
+    let svc = Service::start(store_cfg(&dir));
+    let warm = encode_all(&svc);
+    assert_eq!(warm, cold, "recovery never serves corrupt codebooks");
+    let m = svc.metrics();
+    assert!(
+        m.constructions >= 1,
+        "the torn record must be rebuilt, not served"
+    );
+    assert_eq!(
+        m.constructions + m.tier1_hits,
+        HISTS.len() as u64,
+        "every histogram is either a tier-1 hit or a rebuild"
+    );
+    svc.shutdown();
+
+    // One more restart: the write-through healed the store, so now
+    // everything is warm again.
+    let svc = Service::start(store_cfg(&dir));
+    let healed = encode_all(&svc);
+    assert_eq!(healed, cold);
+    assert_eq!(svc.metrics().constructions, 0, "store fully healed");
+    svc.shutdown();
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,135 @@
+//! `partree-store` — tiered persistence for deterministically
+//! reconstructible codebooks.
+//!
+//! The service's sharded LRU cache (`partree-service::codebook`) is
+//! tier 0: hot, in-memory, dies with the process. This crate supplies
+//! the tier beneath it: a [`CodebookStore`] trait over raw
+//! `key → bytes` records, with two backends —
+//!
+//! * [`MemStore`] — sharded in-memory map; tiering semantics without
+//!   disk, used by tests and as the torture-test reference model.
+//! * [`LogStore`] — log-structured on-disk segments. Append-only
+//!   records sealed by a CRC-32 trailer, torn-tail truncation on open,
+//!   a startup index scan, and size-triggered compaction that rewrites
+//!   live records (key-sorted, so layout is deterministic) into a
+//!   fresh segment.
+//!
+//! The store never interprets bodies. The service stores the canonical
+//! code representation already used on the wire (symbol counts +
+//! code lengths); because construction is deterministic, a loaded
+//! record is verifiable against a rebuild, and a *missing* record is
+//! never an error — the rebuild heals it. That property shapes the
+//! whole recovery posture: on any damage (torn tail, bit rot, bad
+//! magic) the store drops what it cannot CRC-verify and reports a
+//! miss, and correctness is preserved because tier-1 is a cache of a
+//! pure function, not a system of record.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod crc;
+pub mod log;
+pub mod mem;
+pub mod record;
+pub mod segment;
+
+pub use crate::log::{LogConfig, LogStore};
+pub use crate::mem::MemStore;
+
+use std::path::Path;
+
+/// When the on-disk tier calls `fsync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync; the OS flushes on its own schedule. Fastest, and
+    /// still crash-safe for *consistency* (CRC catches torn writes) —
+    /// only durability of the most recent appends is at risk, which a
+    /// deterministic rebuild heals.
+    Never,
+    /// Fsync when rotating or compacting segments (default).
+    OnRotate,
+    /// Fsync after every put. Durable to the last record, slowest.
+    Always,
+}
+
+impl FsyncPolicy {
+    /// Parses the `PARTREE_STORE_FSYNC` values `never|rotate|always`;
+    /// anything else falls back to [`FsyncPolicy::OnRotate`].
+    pub fn from_env_str(s: &str) -> FsyncPolicy {
+        match s {
+            "never" => FsyncPolicy::Never,
+            "always" => FsyncPolicy::Always,
+            _ => FsyncPolicy::OnRotate,
+        }
+    }
+}
+
+/// Errors surfaced by a [`CodebookStore`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure, tagged with the operation.
+    Io {
+        /// What the store was doing.
+        op: &'static str,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A body exceeded the record size cap.
+    TooLarge(usize),
+}
+
+impl StoreError {
+    /// Adapter for `map_err`: tags an `io::Error` with the operation.
+    pub fn io(op: &'static str) -> impl Fn(std::io::Error) -> StoreError {
+        move |source| StoreError::Io { op, source }
+    }
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, source } => write!(f, "store io error during {op}: {source}"),
+            StoreError::TooLarge(n) => write!(f, "record body of {n} bytes exceeds cap"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A durable (or at least process-independent) byte store keyed by a
+/// 64-bit hash. All methods are callable from any thread.
+pub trait CodebookStore: Send + Sync {
+    /// Returns the stored body for `key`, or `None` if absent or
+    /// unrecoverable (a failed CRC check is a miss, never a value).
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Stores `body` under `key`, replacing any previous record.
+    fn put(&self, key: u64, body: &[u8]) -> Result<(), StoreError>;
+
+    /// Removes `key` (tombstone in log-structured backends).
+    fn remove(&self, key: u64) -> Result<(), StoreError>;
+
+    /// True if a live record for `key` exists.
+    fn contains(&self, key: u64) -> bool;
+
+    /// Number of live records.
+    fn len(&self) -> usize;
+
+    /// True when no live records exist.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flushes buffered writes to durable media where applicable.
+    fn sync(&self) -> Result<(), StoreError>;
+}
+
+/// Convenience: opens a [`LogStore`] at `dir` with a config assembled
+/// from the environment (`PARTREE_STORE_FSYNC`, default on-rotate).
+pub fn open_log_store(dir: &Path) -> Result<LogStore, StoreError> {
+    let mut cfg = LogConfig::default();
+    if let Ok(v) = std::env::var("PARTREE_STORE_FSYNC") {
+        cfg.fsync = FsyncPolicy::from_env_str(&v);
+    }
+    LogStore::open(dir, cfg)
+}

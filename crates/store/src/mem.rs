@@ -1,0 +1,87 @@
+//! In-memory [`CodebookStore`]: the tier-0 shape as a standalone
+//! backend. Used as the drop-in store for tests that want tiering
+//! semantics without touching disk, and as the reference model the
+//! crash-recovery torture test compares the log store against.
+
+use crate::{CodebookStore, StoreError};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Number of shards; power of two so the selector is a mask.
+const SHARDS: usize = 8;
+
+/// Sharded in-memory store.
+#[derive(Default)]
+pub struct MemStore {
+    // determinism: sharded by low key bits; lookups are by exact key
+    // and nothing iterates a shard into output.
+    shards: [Mutex<HashMap<u64, Vec<u8>>>; SHARDS],
+}
+
+impl MemStore {
+    /// Creates an empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    // determinism: return type only; the shard map is probed by exact
+    // key, never iterated.
+    fn shard(&self, key: u64) -> std::sync::MutexGuard<'_, HashMap<u64, Vec<u8>>> {
+        // lint: allow(no-unwrap): a poisoned shard means a panic while
+        // holding the map; entries may be half-written and crashing
+        // beats serving them.
+        self.shards[(key as usize) & (SHARDS - 1)]
+            .lock()
+            .expect("mem store shard poisoned")
+    }
+}
+
+impl CodebookStore for MemStore {
+    fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.shard(key).get(&key).cloned())
+    }
+
+    fn put(&self, key: u64, body: &[u8]) -> Result<(), StoreError> {
+        self.shard(key).insert(key, body.to_vec());
+        Ok(())
+    }
+
+    fn remove(&self, key: u64) -> Result<(), StoreError> {
+        self.shard(key).remove(&key);
+        Ok(())
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        self.shard(key).contains_key(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().fold(0, |acc, s| {
+            // lint: allow(no-unwrap): same poisoning argument as `shard`.
+            acc + s.lock().expect("mem store shard poisoned").len()
+        })
+    }
+
+    fn sync(&self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let store = MemStore::new();
+        assert!(store.is_empty());
+        store.put(1, b"one").expect("put");
+        store.put(9, b"nine").expect("put");
+        assert_eq!(store.get(1).expect("get"), Some(b"one".to_vec()));
+        assert!(store.contains(9));
+        assert_eq!(store.len(), 2);
+        store.remove(1).expect("remove");
+        assert_eq!(store.get(1).expect("get"), None);
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! On-disk record format for the log-structured tier.
+//!
+//! Every record is a 16-byte little-endian header, a body, and a 4-byte
+//! CRC-32 trailer sealing header *and* body:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic      0x5043 ("PC")
+//! 2       1     version    1
+//! 3       1     flags      bit 0 = tombstone (body empty)
+//! 4       8     key        caller-supplied 64-bit hash
+//! 12      4     body_len   bytes of body that follow the header
+//! 16      n     body
+//! 16+n    4     crc32      over bytes [0, 16+n)
+//! ```
+//!
+//! The CRC rides *behind* the body rather than inside the header so a
+//! torn write — the common crash shape, where the tail of an append
+//! never hit the disk — is always detected: a record is only accepted
+//! once every byte up to and including its trailer checks out.
+
+use crate::crc::crc32;
+
+/// Record magic, `"PC"` for *partree codebook*. Distinct from the wire
+/// frame magic (`0x5054`) so a segment file pushed down a socket, or a
+/// frame capture written to the store directory, is rejected instantly.
+pub const RECORD_MAGIC: u16 = 0x5043;
+
+/// Current record format version.
+pub const RECORD_VERSION: u8 = 1;
+
+/// Header bytes before the body.
+pub const HEADER_LEN: usize = 16;
+
+/// CRC trailer bytes after the body.
+pub const TRAILER_LEN: usize = 4;
+
+/// Upper bound on a record body. Real codebook records are ≤ ~1.3 KiB
+/// (256 symbols × 5 bytes + header); anything claiming more than this
+/// is treated as corruption, which keeps a damaged `body_len` field
+/// from making the scanner skip megabytes of recoverable log.
+pub const MAX_BODY_LEN: u32 = 1 << 20;
+
+/// Flag bit: the record deletes `key` rather than defining it.
+pub const FLAG_TOMBSTONE: u8 = 0b0000_0001;
+
+/// A decoded record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// 64-bit key (the service uses `Histogram::hash64`).
+    pub key: u64,
+    /// True if this record tombstones the key.
+    pub tombstone: bool,
+    /// Record body (empty for tombstones).
+    pub body: Vec<u8>,
+}
+
+/// Why a slice failed to decode as a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordError {
+    /// Fewer bytes remain than a header + trailer need; expected when
+    /// scanning hits a torn tail.
+    Truncated,
+    /// Magic bytes are wrong — the offset is not a record boundary.
+    BadMagic,
+    /// Unknown format version.
+    BadVersion,
+    /// `body_len` exceeds [`MAX_BODY_LEN`] (or a tombstone carries a body).
+    BadLength,
+    /// The CRC-32 trailer does not match header + body.
+    BadCrc,
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match self {
+            RecordError::Truncated => "record truncated",
+            RecordError::BadMagic => "bad record magic",
+            RecordError::BadVersion => "unsupported record version",
+            RecordError::BadLength => "implausible record length",
+            RecordError::BadCrc => "record CRC mismatch",
+        };
+        f.write_str(what)
+    }
+}
+
+/// Total encoded size of a record with `body_len` body bytes.
+pub fn record_len(body_len: usize) -> usize {
+    HEADER_LEN + body_len + TRAILER_LEN
+}
+
+/// Encodes one record (header, body, CRC trailer) into a fresh buffer.
+pub fn encode_record(key: u64, tombstone: bool, body: &[u8]) -> Vec<u8> {
+    debug_assert!(body.len() as u64 <= MAX_BODY_LEN as u64);
+    debug_assert!(!tombstone || body.is_empty());
+    let mut out = Vec::with_capacity(record_len(body.len()));
+    out.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+    out.push(RECORD_VERSION);
+    out.push(if tombstone { FLAG_TOMBSTONE } else { 0 });
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes the record starting at `buf[0]`, returning it and the number
+/// of bytes it occupied. Never panics on arbitrary input.
+pub fn decode_record(buf: &[u8]) -> Result<(Record, usize), RecordError> {
+    if buf.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(RecordError::Truncated);
+    }
+    let magic = u16::from_le_bytes([buf[0], buf[1]]);
+    if magic != RECORD_MAGIC {
+        return Err(RecordError::BadMagic);
+    }
+    if buf[2] != RECORD_VERSION {
+        return Err(RecordError::BadVersion);
+    }
+    let flags = buf[3];
+    let tombstone = flags & FLAG_TOMBSTONE != 0;
+    let key = u64::from_le_bytes([
+        buf[4], buf[5], buf[6], buf[7], buf[8], buf[9], buf[10], buf[11],
+    ]);
+    let body_len = u32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]);
+    if body_len > MAX_BODY_LEN || (tombstone && body_len != 0) {
+        return Err(RecordError::BadLength);
+    }
+    let total = record_len(body_len as usize);
+    if buf.len() < total {
+        return Err(RecordError::Truncated);
+    }
+    let sealed = HEADER_LEN + body_len as usize;
+    let stored = u32::from_le_bytes([
+        buf[sealed],
+        buf[sealed + 1],
+        buf[sealed + 2],
+        buf[sealed + 3],
+    ]);
+    if crc32(&buf[..sealed]) != stored {
+        return Err(RecordError::BadCrc);
+    }
+    Ok((
+        Record {
+            key,
+            tombstone,
+            body: buf[HEADER_LEN..sealed].to_vec(),
+        },
+        total,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let body = (0u8..=255).collect::<Vec<u8>>();
+        let bytes = encode_record(0xDEAD_BEEF_CAFE_F00D, false, &body);
+        assert_eq!(bytes.len(), record_len(body.len()));
+        let (rec, used) = decode_record(&bytes).expect("decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(rec.key, 0xDEAD_BEEF_CAFE_F00D);
+        assert!(!rec.tombstone);
+        assert_eq!(rec.body, body);
+    }
+
+    #[test]
+    fn tombstone_roundtrip() {
+        let bytes = encode_record(7, true, &[]);
+        let (rec, _) = decode_record(&bytes).expect("decodes");
+        assert!(rec.tombstone);
+        assert!(rec.body.is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_without_panic() {
+        let bytes = encode_record(42, false, b"body bytes");
+        for cut in 0..bytes.len() {
+            assert!(decode_record(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = encode_record(42, false, b"body bytes");
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(decode_record(&bad).is_err(), "flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn implausible_length_is_rejected_early() {
+        let mut bytes = encode_record(42, false, b"x");
+        bytes[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_record(&bytes), Err(RecordError::BadLength));
+    }
+}

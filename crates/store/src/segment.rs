@@ -1,0 +1,145 @@
+//! Segment files: naming, sequential scan, and crash repair.
+//!
+//! A segment is a flat concatenation of records (see [`crate::record`]).
+//! Scanning walks records front to back and stops at the first byte
+//! that does not decode — everything before that point is recovered,
+//! everything after is unreachable (there is no reliable way to resync
+//! inside a damaged log, and trying invites serving a forged record
+//! whose CRC happens to hold). The caller then truncates the file at
+//! the valid prefix so the next open sees a clean segment.
+
+use crate::record::{decode_record, Record, RecordError};
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// File extension shared by all segment files.
+const SEGMENT_EXT: &str = "seg";
+
+/// Path of segment `seq` inside `dir`, e.g. `00000003.seg`.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{seq:08}.{SEGMENT_EXT}"))
+}
+
+/// Parses a directory-entry name back into a segment sequence number.
+/// Non-segment files (lockfiles, editor droppings) return `None`.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let stem = name.strip_suffix(&format!(".{SEGMENT_EXT}"))?;
+    if stem.len() != 8 || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse().ok()
+}
+
+/// One recovered record plus where it lives in the segment.
+pub struct ScannedRecord {
+    /// The decoded record.
+    pub record: Record,
+    /// Byte offset of the record header within the segment.
+    pub offset: u64,
+    /// Total encoded length (header + body + trailer).
+    pub len: u32,
+}
+
+/// Result of scanning one segment file.
+pub struct ScanOutcome {
+    /// Every record recovered, in log order.
+    pub records: Vec<ScannedRecord>,
+    /// Length of the valid prefix; bytes past this are damage or a
+    /// torn tail.
+    pub valid_len: u64,
+    /// Why the scan stopped early, if it did. `None` means the file
+    /// ended exactly on a record boundary.
+    pub damage: Option<RecordError>,
+}
+
+/// Scans `path` front to back. Never panics: any malformed byte ends
+/// the scan with the records recovered so far.
+pub fn scan_segment(path: &Path) -> std::io::Result<ScanOutcome> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut bytes)?;
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let mut damage = None;
+    while at < bytes.len() {
+        match decode_record(&bytes[at..]) {
+            Ok((record, used)) => {
+                records.push(ScannedRecord {
+                    record,
+                    offset: at as u64,
+                    len: used as u32,
+                });
+                at += used;
+            }
+            Err(e) => {
+                damage = Some(e);
+                break;
+            }
+        }
+    }
+    Ok(ScanOutcome {
+        records,
+        valid_len: at as u64,
+        damage,
+    })
+}
+
+/// Truncates `path` to its valid prefix after a damaged scan, so the
+/// next open (and any appends) resume from a clean record boundary.
+pub fn repair_segment(path: &Path, valid_len: u64) -> std::io::Result<()> {
+    let file = fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(valid_len)?;
+    file.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::encode_record;
+    use std::io::Write;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("partree-segtest-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        let dir = Path::new("/tmp");
+        let p = segment_path(dir, 7);
+        let name = p.file_name().and_then(|n| n.to_str()).expect("utf8");
+        assert_eq!(name, "00000007.seg");
+        assert_eq!(parse_segment_name(name), Some(7));
+        assert_eq!(parse_segment_name("lockfile"), None);
+        assert_eq!(parse_segment_name("0007.seg"), None);
+        assert_eq!(parse_segment_name("0000000x.seg"), None);
+    }
+
+    #[test]
+    fn scan_recovers_prefix_before_torn_tail() {
+        let dir = temp_dir("torn");
+        let path = segment_path(&dir, 0);
+        let mut file = fs::File::create(&path).expect("create");
+        let a = encode_record(1, false, b"first");
+        let b = encode_record(2, false, b"second");
+        file.write_all(&a).expect("write");
+        // Torn append: only half of the second record made it out.
+        file.write_all(&b[..b.len() / 2]).expect("write");
+        drop(file);
+
+        let scan = scan_segment(&path).expect("scan");
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].record.key, 1);
+        assert_eq!(scan.valid_len, a.len() as u64);
+        assert!(scan.damage.is_some());
+
+        repair_segment(&path, scan.valid_len).expect("repair");
+        let rescan = scan_segment(&path).expect("rescan");
+        assert_eq!(rescan.records.len(), 1);
+        assert!(rescan.damage.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,227 @@
+//! Crash-recovery torture test for the log-structured store.
+//!
+//! Property: for ANY single damaged region — a truncation (torn tail)
+//! or a byte flip (bit rot) at a random offset in a random segment —
+//!
+//! 1. `LogStore::open` never panics and never errors,
+//! 2. every record whose bytes lie entirely before the damage in its
+//!    segment (and every record in other segments) is recovered intact,
+//! 3. no `get` ever returns bytes that differ from what was written
+//!    (CRC verification means damage surfaces as a miss, never as a
+//!    corrupt value), and
+//! 4. re-putting the lost keys — standing in for the service's
+//!    deterministic rebuild — heals the store completely, including
+//!    across one more reopen.
+
+use partree_store::record;
+use partree_store::segment::{parse_segment_name, scan_segment};
+use partree_store::{CodebookStore, FsyncPolicy, LogConfig, LogStore};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Unique temp dir per case (cases run sequentially per test, but the
+/// two tests here run in parallel under `cargo test`).
+fn fresh_dir() -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "partree-torture-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_cfg() -> LogConfig {
+    LogConfig {
+        segment_bytes: 200,
+        fsync: FsyncPolicy::Never,
+        // Compaction off so the record→segment layout stays exactly as
+        // written and the survivor prediction below is exact.
+        compact_live_pct: 0,
+    }
+}
+
+/// Byte span of every record: key → (segment seq, offset, len).
+fn layout(dir: &PathBuf) -> BTreeMap<u64, (u64, u64, u64)> {
+    let mut out = BTreeMap::new();
+    let mut names: Vec<(u64, PathBuf)> = fs::read_dir(dir)
+        .expect("ls")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| {
+            let seq = e.file_name().to_str().and_then(parse_segment_name)?;
+            Some((seq, e.path()))
+        })
+        .collect();
+    names.sort();
+    for (seq, path) in names {
+        let scan = scan_segment(&path).expect("scan");
+        assert!(scan.damage.is_none(), "pristine store scanned clean");
+        for sr in scan.records {
+            out.insert(sr.record.key, (seq, sr.offset, sr.len as u64));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Damage one spot, reopen, check recovery, heal, reopen again.
+    #[test]
+    fn single_damage_recovers_prefix_and_heals(
+        n_records in 4usize..40,
+        body_seed in any::<u64>(),
+        damage_pick in any::<u64>(),
+        flip_not_truncate in any::<bool>(),
+        flip_bit in 0u32..8,
+    ) {
+        let dir = fresh_dir();
+        // Distinct keys, varied body sizes: records straddle several
+        // 200-byte segments.
+        let bodies: BTreeMap<u64, Vec<u8>> = (0..n_records as u64)
+            .map(|k| {
+                let len = 8 + ((body_seed.rotate_left(k as u32) ^ k) % 48) as usize;
+                let body: Vec<u8> = (0..len)
+                    .map(|i| (body_seed as usize + k as usize * 31 + i) as u8)
+                    .collect();
+                (k, body)
+            })
+            .collect();
+        {
+            let store = LogStore::open(&dir, small_cfg()).expect("open fresh");
+            for (k, body) in &bodies {
+                store.put(*k, body).expect("put");
+            }
+        }
+        let spans = layout(&dir);
+        prop_assert_eq!(spans.len(), bodies.len());
+
+        // Pick a victim segment + byte offset inside its data.
+        let seg_files: Vec<(u64, PathBuf, u64)> = {
+            let mut v: Vec<(u64, PathBuf, u64)> = fs::read_dir(&dir)
+                .expect("ls")
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    let seq = e.file_name().to_str().and_then(parse_segment_name)?;
+                    let len = e.metadata().ok()?.len();
+                    (len > 0).then(|| (seq, e.path(), len))
+                })
+                .collect();
+            v.sort();
+            v
+        };
+        prop_assert!(!seg_files.is_empty());
+        let (victim_seq, victim_path, victim_len) =
+            &seg_files[(damage_pick % seg_files.len() as u64) as usize];
+        let damage_at = damage_pick.rotate_left(17) % *victim_len;
+
+        if flip_not_truncate {
+            let mut bytes = fs::read(victim_path).expect("read victim");
+            bytes[damage_at as usize] ^= 1 << flip_bit;
+            fs::write(victim_path, &bytes).expect("write victim");
+        } else {
+            let f = fs::OpenOptions::new()
+                .write(true)
+                .open(victim_path)
+                .expect("open victim");
+            f.set_len(damage_at).expect("truncate victim");
+        }
+
+        // A record survives iff its bytes end at or before the damage,
+        // or it lives in another segment.
+        let survives = |k: &u64| {
+            let (seg, off, len) = spans[k];
+            seg != *victim_seq || off + len <= damage_at
+        };
+
+        // (1) open never panics or errors on damaged input.
+        let store = LogStore::open(&dir, small_cfg()).expect("open damaged");
+
+        for (k, body) in &bodies {
+            let got = store.get(*k).expect("get");
+            if survives(k) {
+                // (2) everything before the damage is recovered.
+                prop_assert_eq!(got.as_ref(), Some(body), "key {} should survive", k);
+            } else {
+                // (3) never a corrupt value: a damaged record is a
+                // miss, not garbage.
+                prop_assert!(
+                    got.is_none(),
+                    "key {} was damaged yet produced a value", k
+                );
+            }
+        }
+
+        // (4) the deterministic rebuild heals: re-put the losses.
+        for (k, body) in &bodies {
+            if !survives(k) {
+                store.put(*k, body).expect("heal put");
+            }
+        }
+        drop(store);
+        let store = LogStore::open(&dir, small_cfg()).expect("reopen healed");
+        for (k, body) in &bodies {
+            prop_assert_eq!(store.get(*k).expect("get"), Some(body.clone()));
+        }
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Arbitrary trailing garbage (simulating a crash mid-append of an
+    /// arbitrarily mangled buffer) is truncated away on open and an
+    /// append-after-repair round-trips.
+    #[test]
+    fn trailing_garbage_is_cut_and_log_stays_appendable(
+        n_records in 1usize..12,
+        garbage in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let dir = fresh_dir();
+        let cfg = LogConfig {
+            // One big segment so the garbage lands on the active tail.
+            segment_bytes: 1 << 20,
+            ..small_cfg()
+        };
+        {
+            let store = LogStore::open(&dir, cfg.clone()).expect("open");
+            for k in 0..n_records as u64 {
+                store.put(k, &k.to_le_bytes()).expect("put");
+            }
+        }
+        let path = dir.join("00000000.seg");
+        let mut bytes = fs::read(&path).expect("read");
+        let clean_len = bytes.len();
+        bytes.extend_from_slice(&garbage);
+        fs::write(&path, &bytes).expect("write");
+
+        let store = LogStore::open(&dir, cfg.clone()).expect("open with garbage");
+        for k in 0..n_records as u64 {
+            prop_assert_eq!(
+                store.get(k).expect("get"),
+                Some(k.to_le_bytes().to_vec())
+            );
+        }
+        // Note: garbage that happens to decode as a record could in
+        // principle survive, but it would need a valid CRC over ≥ 20
+        // bytes — vanishingly unlikely from random bytes, and the CRC
+        // guarantee (never serve corrupt data) is what matters.
+        store.put(1000, b"appended after repair").expect("put");
+        drop(store);
+
+        let repaired_len = fs::metadata(&path).expect("stat").len();
+        prop_assert_eq!(
+            repaired_len,
+            clean_len as u64 + record::record_len(b"appended after repair".len()) as u64
+        );
+        let store = LogStore::open(&dir, cfg).expect("reopen");
+        prop_assert_eq!(
+            store.get(1000).expect("get"),
+            Some(b"appended after repair".to_vec())
+        );
+        drop(store);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -19,11 +19,16 @@
 //!   clocks or entropy (`Instant::now`, `SystemTime::now`,
 //!   `thread_rng`, `from_entropy`, `rand::random`), and every
 //!   `HashMap`/`HashSet` use needs a `// determinism:` comment arguing
-//!   why iteration order cannot leak into output.
+//!   why iteration order cannot leak into output. The hash-container
+//!   half also covers `store` (its on-disk index): compaction rewrites
+//!   whatever order the container yields, so an unargued iteration
+//!   would make segment layout — and recovery behaviour — vary by run.
 //! * `no-unwrap` — no `.unwrap()` / `.expect(` on the request paths
 //!   (`service/src/{server,net}.rs`,
-//!   `gateway/src/{gateway,pool,breaker,route}.rs`): a poisoned lock or
-//!   failed spawn there must be an explicit, waived decision.
+//!   `gateway/src/{gateway,pool,breaker,route}.rs`, and the store's
+//!   request/recovery paths `store/src/{log,segment,record}.rs`): a
+//!   poisoned lock or failed spawn there must be an explicit, waived
+//!   decision.
 //! * `forbid-unsafe` — crates outside the unsafe core declare
 //!   `#![forbid(unsafe_code)]` in their `lib.rs`.
 //!
@@ -69,7 +74,7 @@ impl std::fmt::Display for Finding {
 /// unsafe core (`exec`, `monge`, `pram`) and the checker (`verify`,
 /// which forbids it voluntarily) are the only exceptions.
 const FORBID_UNSAFE_CRATES: &[&str] = &[
-    "bench", "codes", "core", "gateway", "huffman", "lcfl", "obst", "service", "trees",
+    "bench", "codes", "core", "gateway", "huffman", "lcfl", "obst", "service", "store", "trees",
 ];
 
 /// Crates allowed to call `std::thread` directly: the executor owns
@@ -80,6 +85,13 @@ const THREAD_CRATES: &[&str] = &["exec", "gateway", "service", "verify"];
 /// Crates on the deterministic pipeline: same input must give the same
 /// bytes on every run and every machine.
 const DETERMINISTIC_CRATES: &[&str] = &["huffman", "lcfl", "monge", "obst", "pram", "trees"];
+
+/// Crates where the hash-container half of `determinism` applies: the
+/// pipeline crates plus the store, whose index feeds compaction — an
+/// unargued iteration there would leak hash order into segment layout
+/// and make two replicas' logs diverge on identical histories.
+const HASH_CONTAINER_CRATES: &[&str] =
+    &["huffman", "lcfl", "monge", "obst", "pram", "store", "trees"];
 
 /// Request-path files where a panic becomes a dropped connection or a
 /// wedged worker rather than an error frame.
@@ -93,6 +105,9 @@ const REQUEST_PATH_FILES: &[&str] = &[
     "crates/gateway/src/breaker.rs",
     "crates/gateway/src/route.rs",
     "crates/gateway/src/reactor.rs",
+    "crates/store/src/log.rs",
+    "crates/store/src/segment.rs",
+    "crates/store/src/record.rs",
 ];
 
 /// Entropy / wall-clock tokens banned from deterministic crates.
@@ -270,22 +285,25 @@ pub fn lint_file(path: &str, content: &str) -> Vec<Finding> {
                     );
                 }
             }
-            // determinism: hash containers need an argument that their
-            // iteration order cannot reach the output.
-            if (code.contains("HashMap") || code.contains("HashSet"))
-                && !code.trim_start().starts_with("use ")
-                && !annotated(&lines, i, "determinism:")
-                && !waived(&lines, i, "determinism")
-            {
-                push(
-                    i,
-                    "determinism",
-                    "HashMap/HashSet in a deterministic crate without a \
-                     `// determinism:` comment arguing iteration order cannot \
-                     leak into output (or switch to BTreeMap)"
-                        .to_string(),
-                );
-            }
+        }
+
+        // determinism: hash containers need an argument that their
+        // iteration order cannot reach the output — in the pipeline
+        // crates and in the store's index/recovery code.
+        if HASH_CONTAINER_CRATES.contains(&krate)
+            && (code.contains("HashMap") || code.contains("HashSet"))
+            && !code.trim_start().starts_with("use ")
+            && !annotated(&lines, i, "determinism:")
+            && !waived(&lines, i, "determinism")
+        {
+            push(
+                i,
+                "determinism",
+                "HashMap/HashSet in a determinism-scoped crate without a \
+                 `// determinism:` comment arguing iteration order cannot \
+                 leak into output (or switch to BTreeMap)"
+                    .to_string(),
+            );
         }
 
         // no-unwrap: request paths return error frames, not panics.
@@ -512,6 +530,28 @@ mod tests {
         assert!(lint_file("crates/trees/src/a.rs", argued).is_empty());
         // Imports alone are fine; uses are what need arguing.
         assert!(lint_file("crates/trees/src/a.rs", "use std::collections::HashMap;\n").is_empty());
+    }
+
+    #[test]
+    fn store_index_hash_containers_need_a_determinism_argument() {
+        let bare = "let mut index: HashMap<u64, Loc> = HashMap::new();\n";
+        assert_eq!(rules("crates/store/src/log.rs", bare), vec!["determinism"]);
+        let argued = "// determinism: compaction sorts keys before rewriting\n\
+                      let mut index: HashMap<u64, Loc> = HashMap::new();\n";
+        assert!(lint_file("crates/store/src/log.rs", argued).is_empty());
+        // But the store is not a pipeline crate: clocks are fine there
+        // (fsync pacing, compaction timing).
+        assert!(lint_file("crates/store/src/log.rs", "let t = Instant::now();\n").is_empty());
+    }
+
+    #[test]
+    fn store_recovery_paths_ban_unwrap() {
+        let src = "let g = self.inner.lock().unwrap();\n";
+        assert_eq!(rules("crates/store/src/log.rs", src), vec!["no-unwrap"]);
+        assert_eq!(rules("crates/store/src/segment.rs", src), vec!["no-unwrap"]);
+        assert_eq!(rules("crates/store/src/record.rs", src), vec!["no-unwrap"]);
+        // The in-memory tier is not on the recovery path.
+        assert!(lint_file("crates/store/src/mem.rs", src).is_empty());
     }
 
     #[test]

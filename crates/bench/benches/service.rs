@@ -8,6 +8,7 @@ use partree_pram::CostTracer;
 use partree_service::codebook::CodebookCache;
 use partree_service::frame::{decode_request, encode_request, Histogram, Request, Response};
 use partree_service::server::{Service, ServiceConfig};
+use partree_service::FamilyId;
 
 fn payload(n: usize, len: usize) -> Vec<u8> {
     let mut s = 0x243f_6a88_85a3_08d3u64;
@@ -27,6 +28,7 @@ fn bench_service(c: &mut Criterion) {
     for &len in &[64usize, 1024, 16_384] {
         let hist = Histogram::new((1..=64).collect()).unwrap();
         let req = Request::Encode {
+            family: FamilyId::Huffman,
             histogram: hist,
             payload: payload(64, len),
         };
@@ -53,13 +55,19 @@ fn bench_service(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("miss_build", n), &n, |b, _| {
             b.iter(|| {
                 let cache = CodebookCache::new(4, 8);
-                cache.get_or_build(&hist, &CostTracer::disabled()).unwrap()
+                cache
+                    .get_or_build(&hist, FamilyId::Huffman, &CostTracer::disabled())
+                    .unwrap()
             })
         });
         let warm = CodebookCache::new(4, 8);
-        warm.get_or_build(&hist, &CostTracer::disabled()).unwrap();
+        warm.get_or_build(&hist, FamilyId::Huffman, &CostTracer::disabled())
+            .unwrap();
         g.bench_with_input(BenchmarkId::new("hit_lookup", n), &n, |b, _| {
-            b.iter(|| warm.get_or_build(&hist, &CostTracer::disabled()).unwrap())
+            b.iter(|| {
+                warm.get_or_build(&hist, FamilyId::Huffman, &CostTracer::disabled())
+                    .unwrap()
+            })
         });
     }
     g.finish();
@@ -75,6 +83,7 @@ fn bench_service(c: &mut Criterion) {
     let msg = payload(6, 256);
     // Warm the cache so the loop measures steady state.
     match svc.submit(Request::Encode {
+        family: FamilyId::Huffman,
         histogram: hist.clone(),
         payload: msg.clone(),
     }) {
@@ -85,6 +94,7 @@ fn bench_service(c: &mut Criterion) {
     g.bench_function("encode_256B_warm", |b| {
         b.iter(|| {
             match svc.submit(Request::Encode {
+                family: FamilyId::Huffman,
                 histogram: hist.clone(),
                 payload: msg.clone(),
             }) {

@@ -93,6 +93,9 @@ fn main() {
     if want("e16") {
         e16();
     }
+    if want("e17") {
+        e17();
+    }
 }
 
 fn ms(t: Instant) -> f64 {
@@ -528,6 +531,7 @@ fn e12() {
 fn e13() {
     use partree_service::frame::{Histogram, Request, Response};
     use partree_service::server::{Service, ServiceConfig};
+    use partree_service::FamilyId;
 
     println!("\n## E13  Codec service throughput (batched vs unbatched)");
     println!("one JSON line per configuration; requests = encode+decode pairs,");
@@ -568,6 +572,7 @@ fn e13() {
                         let hist = &hists[(c + r) % hists.len()];
                         let msg = payload(hist.counts().len(), (c * PAIRS + r) as u64);
                         let (bit_len, data) = match svc.submit(Request::Encode {
+                            family: FamilyId::Huffman,
                             histogram: hist.clone(),
                             payload: msg.clone(),
                         }) {
@@ -575,6 +580,7 @@ fn e13() {
                             other => panic!("encode failed: {other:?}"),
                         };
                         match svc.submit(Request::Decode {
+                            family: FamilyId::Huffman,
                             histogram: hist.clone(),
                             bit_len,
                             data,
@@ -624,6 +630,7 @@ fn e13_transport() {
     use partree_service::net::{Server, Transport};
     use partree_service::server::{Service, ServiceConfig};
     use partree_service::Client;
+    use partree_service::FamilyId;
     use std::time::Duration;
 
     println!("\n### E13  Transport A/B — thread-per-connection vs epoll reactor");
@@ -659,6 +666,7 @@ fn e13_transport() {
             let hist = hists[i as usize % hists.len()].clone();
             let msg = payload(hist.counts().len(), i);
             match direct.submit(Request::Encode {
+                family: FamilyId::Huffman,
                 histogram: hist.clone(),
                 payload: msg.clone(),
             }) {
@@ -1017,6 +1025,7 @@ fn e15() {
 fn e16() {
     use partree_service::frame::{Histogram, Request, Response};
     use partree_service::server::{Service, ServiceConfig};
+    use partree_service::FamilyId;
     use std::path::PathBuf;
 
     println!("\n## E16  Persistent codebook store — cold vs warm restart");
@@ -1053,6 +1062,7 @@ fn e16() {
         let mut first_ms = 0.0f64;
         for (i, (h, p)) in workload.iter().enumerate() {
             match svc.submit(Request::Encode {
+                family: FamilyId::Huffman,
                 histogram: h.clone(),
                 payload: p.clone(),
             }) {
@@ -1095,4 +1105,153 @@ fn e16() {
     assert_eq!(mem.constructions, 32, "e16 memory-only restart rebuilds");
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// E17 — the code-family subsystem: per-family construction cost and
+/// cache economics across alphabet sizes (schema in EXPERIMENTS.md
+/// § E17). Two claims under test: (1) construction cost varies by
+/// family — Shannon–Fano and minimax stay near Huffman while the
+/// choosable-edge DP pays more per symbol on its capped alphabet — and
+/// (2) the shared cache amortizes every family identically: R requests
+/// over one (histogram, family) pair cost exactly one construction.
+fn e17() {
+    use partree_codecs::{family, FamilyId};
+    use partree_service::frame::{Histogram, Request, Response};
+    use partree_service::server::{Service, ServiceConfig};
+
+    println!("\n## E17  Code families — construction cost & cache economics");
+    println!("one JSON line per (family, n); cache part and summary last\n");
+
+    let counts = |n: usize, seed: u64| -> Vec<u32> {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 997 + 1) as u32
+            })
+            .collect()
+    };
+
+    // Part 1 — raw construction: median-of-9 build time per family per
+    // alphabet size, plus each family's own cost objective and the
+    // weighted-path-length comparison against Huffman's optimum.
+    let mut per_symbol_us: Vec<(FamilyId, f64)> = Vec::new();
+    for f in FamilyId::ALL {
+        let fam = family(f);
+        let sizes: &[usize] = if fam.max_alphabet() < 64 {
+            &[8, 16, 32]
+        } else {
+            &[16, 64, 256]
+        };
+        for &n in sizes {
+            let w = counts(n, n as u64);
+            let mut times_us: Vec<f64> = (0..9)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    let _ = fam.lengths(&w).expect("valid counts");
+                    t0.elapsed().as_secs_f64() * 1e6
+                })
+                .collect();
+            times_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let median_us = times_us[times_us.len() / 2];
+            let lengths = fam.lengths(&w).expect("valid counts");
+            let cost = fam.cost(&w, &lengths);
+            let huff = family(FamilyId::Huffman);
+            let huff_lengths = huff.lengths(&w).expect("valid counts");
+            let wpl: u64 = w
+                .iter()
+                .zip(&lengths)
+                .map(|(&c, &l)| u64::from(c) * u64::from(l))
+                .sum();
+            let huff_wpl: u64 = w
+                .iter()
+                .zip(&huff_lengths)
+                .map(|(&c, &l)| u64::from(c) * u64::from(l))
+                .sum();
+            println!(
+                "{{\"experiment\":\"e17\",\"part\":\"construct\",\"family\":\"{}\",\
+                 \"n\":{n},\"build_us\":{median_us:.2},\"objective_cost\":{cost},\
+                 \"wpl\":{wpl},\"huffman_wpl\":{huff_wpl}}}",
+                f.name(),
+            );
+            if n == *sizes.last().expect("nonempty") {
+                per_symbol_us.push((f, median_us / n as f64));
+            }
+        }
+    }
+
+    // Part 2 — cache economics: R requests over one histogram per
+    // family through a real service; every family must amortize to one
+    // construction, with the remainder served as tier-0 hits.
+    const R: usize = 64;
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let n = 32usize;
+    let msg: Vec<u8> = {
+        let mut m: Vec<u8> = (0..n as u16).map(|s| s as u8).collect();
+        m.extend((0..1024).map(|i| (i * 31 % n) as u8));
+        m
+    };
+    let hist = Histogram::of_payload(n, &msg).expect("valid");
+    for f in FamilyId::ALL {
+        let t0 = Instant::now();
+        let mut first_ms = 0.0f64;
+        for i in 0..R {
+            match svc.submit(Request::Encode {
+                family: f,
+                histogram: hist.clone(),
+                payload: msg.clone(),
+            }) {
+                Response::Encoded { .. } => {}
+                other => panic!("e17 {f} encode {i}: {other:?}"),
+            }
+            if i == 0 {
+                first_ms = ms(t0);
+            }
+        }
+        let elapsed_ms = ms(t0);
+        println!(
+            "{{\"experiment\":\"e17\",\"part\":\"cache\",\"family\":\"{}\",\
+             \"n\":{n},\"requests\":{R},\"elapsed_ms\":{elapsed_ms:.3},\
+             \"first_request_ms\":{first_ms:.3},\
+             \"amortized_us_per_request\":{:.2}}}",
+            f.name(),
+            elapsed_ms * 1e3 / R as f64,
+        );
+    }
+    let m = svc.metrics();
+    assert_eq!(
+        m.family_constructions,
+        [1, 1, 1, 1],
+        "e17: one construction per family"
+    );
+    assert_eq!(
+        m.family_requests, [R as u64; 4],
+        "e17: all requests counted per family"
+    );
+    svc.shutdown();
+
+    // Summary — per-symbol construction cost relative to Huffman at
+    // each family's largest swept alphabet.
+    let base = per_symbol_us
+        .iter()
+        .find(|(f, _)| *f == FamilyId::Huffman)
+        .map(|&(_, us)| us)
+        .expect("huffman swept");
+    let rel: Vec<String> = per_symbol_us
+        .iter()
+        .map(|(f, us)| format!("\"{}\":{:.2}", f.name(), us / base))
+        .collect();
+    println!(
+        "{{\"experiment\":\"e17\",\"part\":\"summary\",\
+         \"per_symbol_build_relative_to_huffman\":{{{}}},\
+         \"cache_hits\":{},\"cache_constructions\":{}}}",
+        rel.join(","),
+        m.family_hits.iter().sum::<u64>(),
+        m.family_constructions.iter().sum::<u64>(),
+    );
 }

@@ -1,0 +1,150 @@
+//! Minimax trees: code lengths minimizing `maxᵢ (wᵢ + lᵢ)`.
+//!
+//! Golumbic's *combinatorial merging* is Huffman's greedy with the
+//! combine rule swapped: merging nodes of values `a ≤ b` produces a
+//! parent of value `max(a, b) + 1 = b + 1`, and repeatedly merging the
+//! two globally smallest values yields a tree whose root value
+//! `maxᵢ (wᵢ + depthᵢ)` is optimal for integer weights. (Gawrychowski–
+//! Gagie, arXiv 0812.2868, push the real-weight variant to `O(n)` on
+//! sorted input; the integer case here is the classic result.)
+//!
+//! The implementation is the standard two-queue linear pass over
+//! sorted leaves: created parents are non-decreasing — a parent's
+//! value `b + 1` is at least the value of anything popped before it —
+//! so a FIFO of parents stays sorted and each merge is `O(1)`.
+//! Ties break on `(value, creation order)`, with leaves created in
+//! `(weight, symbol index)` order, so the tree — and therefore every
+//! emitted length — is deterministic.
+
+use partree_pram::CostTracer;
+use rayon::prelude::*;
+
+/// Minimax code lengths for `counts`, in symbol order. The caller
+/// guarantees at least two symbols (family-layer validation).
+pub fn minimax_lengths(counts: &[u32]) -> Vec<u32> {
+    minimax_lengths_traced(counts, &CostTracer::disabled())
+}
+
+/// [`minimax_lengths`] with tracing: a `sort` span (the `⌈log₂ n⌉`
+/// PRAM merge-sort rounds it stands in for) and a `merge` span for the
+/// linear two-queue pass (`n − 1` merges; inherently sequential here,
+/// so work and depth are both `n − 1`).
+pub fn minimax_lengths_traced(counts: &[u32], tracer: &CostTracer) -> Vec<u32> {
+    let n = counts.len();
+    debug_assert!(n >= 2);
+
+    let sort = tracer.span("sort");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&s| (counts[s], s));
+    sort.add_work(n as u64);
+    sort.add_depth(u64::from(usize::BITS - n.saturating_sub(1).leading_zeros()));
+
+    let merge = tracer.span("merge");
+    // Nodes 0..n are the sorted leaves; parents append after them.
+    // parent[v] links each merged node to its parent for the final
+    // depth sweep.
+    let mut value: Vec<u64> = order.iter().map(|&s| u64::from(counts[s])).collect();
+    let mut parent: Vec<usize> = Vec::with_capacity(2 * n - 1);
+    parent.resize(n, usize::MAX);
+
+    let mut leaf_at = 0usize; // next unmerged leaf (indices 0..n)
+    let mut node_at = n; // next unmerged parent (indices n..)
+    for _ in 0..n - 1 {
+        let pop = |value: &Vec<u64>, leaf_at: &mut usize, node_at: &mut usize| {
+            // Leaves win ties: they were created earlier.
+            if *leaf_at < n && (*node_at >= value.len() || value[*leaf_at] <= value[*node_at]) {
+                *leaf_at += 1;
+                *leaf_at - 1
+            } else {
+                *node_at += 1;
+                *node_at - 1
+            }
+        };
+        let a = pop(&value, &mut leaf_at, &mut node_at);
+        let b = pop(&value, &mut leaf_at, &mut node_at);
+        let v = value[a].max(value[b]) + 1;
+        let p = value.len();
+        value.push(v);
+        parent.push(usize::MAX);
+        parent[a] = p;
+        parent[b] = p;
+    }
+    merge.add_work((n - 1) as u64);
+    merge.add_depth((n - 1) as u64);
+
+    // Depth of each sorted leaf = parent-chain hops to the root, then
+    // un-sort back to symbol order.
+    let root = value.len() - 1;
+    let mut depth = vec![0u32; value.len()];
+    // Parents have larger indices than both children, so a reverse
+    // index sweep sees every parent before its children.
+    for v in (0..value.len() - 1).rev() {
+        depth[v] = depth[parent[v]] + 1;
+    }
+    debug_assert_eq!(depth[root], 0);
+    let mut lengths = vec![0u32; n];
+    for (sorted_idx, &sym) in order.iter().enumerate() {
+        lengths[sym] = depth[sorted_idx];
+    }
+    lengths
+}
+
+/// The minimax objective `maxᵢ (wᵢ + lᵢ)` in exact integer arithmetic.
+pub fn minimax_cost(counts: &[u32], lengths: &[u32]) -> u64 {
+    counts
+        .par_iter()
+        .zip(lengths.par_iter())
+        .map(|(&w, &l)| u64::from(w) + u64::from(l))
+        .reduce(|| 0u64, u64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partree_trees::kraft::kraft_feasible;
+
+    #[test]
+    fn equal_weights_give_a_balanced_tree() {
+        let l = minimax_lengths(&[5, 5, 5, 5]);
+        assert_eq!(l, vec![2, 2, 2, 2]);
+        assert_eq!(minimax_cost(&[5, 5, 5, 5], &l), 7);
+    }
+
+    #[test]
+    fn heavy_symbol_floats_to_the_root() {
+        let counts = [100u32, 1, 1, 1];
+        let l = minimax_lengths(&counts);
+        assert_eq!(l[0], 1, "heaviest symbol shallowest: {l:?}");
+        assert_eq!(minimax_cost(&counts, &l), 101);
+        assert!(kraft_feasible(&l));
+    }
+
+    #[test]
+    fn zero_weights_sink_deepest_but_stay_feasible() {
+        let counts = [0u32, 0, 9, 4];
+        let l = minimax_lengths(&counts);
+        assert!(kraft_feasible(&l), "{l:?}");
+        assert!(l[0] >= l[2] && l[1] >= l[2]);
+    }
+
+    #[test]
+    fn deterministic_under_permuted_ties() {
+        // All-equal weights: ties everywhere; output must be stable.
+        let a = minimax_lengths(&[3; 7]);
+        let b = minimax_lengths(&[3; 7]);
+        assert_eq!(a, b);
+        assert!(kraft_feasible(&a));
+    }
+
+    #[test]
+    fn geometric_weights_build_a_spine() {
+        // 1,2,4,8,…: merging two smallest chains left-to-right.
+        let counts = [1u32, 2, 4, 8, 16];
+        let l = minimax_lengths(&counts);
+        assert!(kraft_feasible(&l), "{l:?}");
+        // Lightest symbols deepest, monotone in weight.
+        for w in l.windows(2) {
+            assert!(w[0] >= w[1], "{l:?}");
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Differential tests pinning each code family against independent
+//! ground truth:
+//!
+//! * Shannon–Fano expected length is within one bit of Huffman's
+//!   (Claim 7.1: `E_sf < H + 1 ≤ E_huff + 1`, so in integer form
+//!   `Σ wᵢ·l_sf ≤ Σ wᵢ·l_huff + W`);
+//! * minimax and choosable-edge costs equal the brute-force optimum
+//!   over *all* tree shapes for small alphabets;
+//! * every family's lengths are bit-identical across 1/2/8-thread
+//!   rayon pools — the property that lets a length vector key a
+//!   distributed cache.
+
+use partree_codecs::choosable::EDGE_PAIRS;
+use partree_codecs::oracle::{choosable_optimal_cost, minimax_optimal_cost};
+use partree_codecs::{family, FamilyId};
+use partree_trees::kraft::kraft_feasible;
+use proptest::prelude::*;
+
+fn weighted(counts: &[u32], lengths: &[u32]) -> u64 {
+    counts
+        .iter()
+        .zip(lengths)
+        .map(|(&c, &l)| u64::from(c) * u64::from(l))
+        .sum()
+}
+
+proptest! {
+    // The choosable-edge DP is the expensive piece (branch-and-bound
+    // exact search); 64 cases keeps the whole file under ~30 s debug.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shannon_fano_within_one_bit_of_huffman(
+        counts in proptest::collection::vec(1u32..10_000, 2..40),
+    ) {
+        let sf = family(FamilyId::ShannonFano).lengths(&counts).unwrap();
+        let huff = family(FamilyId::Huffman).lengths(&counts).unwrap();
+        prop_assert!(kraft_feasible(&sf));
+        let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        prop_assert!(
+            weighted(&counts, &sf) <= weighted(&counts, &huff) + total,
+            "SF {} vs Huffman {} + W {}",
+            weighted(&counts, &sf),
+            weighted(&counts, &huff),
+            total,
+        );
+    }
+
+    #[test]
+    fn minimax_matches_brute_force_optimum(
+        counts in proptest::collection::vec(0u32..50, 2..=7),
+    ) {
+        let lengths = family(FamilyId::Minimax).lengths(&counts);
+        // All-zero histograms are rejected at the family layer; any
+        // other small histogram must be exactly optimal.
+        prop_assume!(counts.iter().any(|&c| c > 0));
+        let lengths = lengths.unwrap();
+        prop_assert!(kraft_feasible(&lengths));
+        let cost = family(FamilyId::Minimax).cost(&counts, &lengths);
+        prop_assert_eq!(cost, minimax_optimal_cost(&counts), "{:?}", counts);
+    }
+
+    #[test]
+    fn choosable_matches_brute_force_optimum(
+        counts in proptest::collection::vec(0u32..50, 2..=7),
+    ) {
+        prop_assume!(counts.iter().any(|&c| c > 0));
+        let lengths = family(FamilyId::ChoosableEdge).lengths(&counts).unwrap();
+        prop_assert!(kraft_feasible(&lengths));
+        let cost = family(FamilyId::ChoosableEdge).cost(&counts, &lengths);
+        prop_assert_eq!(
+            cost,
+            choosable_optimal_cost(&counts, &EDGE_PAIRS),
+            "{:?}", counts
+        );
+    }
+
+    #[test]
+    fn all_families_are_thread_width_invariant(
+        counts in proptest::collection::vec(0u32..1000, 2..=12),
+    ) {
+        prop_assume!(counts.iter().any(|&c| c > 0));
+        for id in FamilyId::ALL {
+            let fam = family(id);
+            let reference = fam.lengths(&counts).unwrap();
+            for threads in [1usize, 2, 8] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap();
+                let inside = pool.install(|| fam.lengths(&counts)).unwrap();
+                prop_assert_eq!(
+                    &inside, &reference,
+                    "{} diverged at {} threads", fam.id(), threads
+                );
+            }
+        }
+    }
+}

@@ -1,12 +1,12 @@
-//! CI smoke test for the tiered persistent store plus fleet warm-up:
-//! a fleet of store-backed replicas under load, one killed and then
-//! restarted onto the **same** store directory. Asserts the restarted
-//! replica is warmed by a donor before rejoining (`warmup_keys_sent`
-//! moved), answers its traffic with **zero reconstructions** — tier 0
-//! from the donation, tier 1 from its own surviving log — with a warm
-//! tier-1 hit rate above zero, that every response stays byte-identical
-//! to a direct single-service run, and that no threads or file
-//! descriptors leak across the kill/restart cycle.
+//! CI smoke test for the multi-family codec subsystem: a store-backed
+//! fleet serving all four code families (Huffman, Shannon–Fano,
+//! minimax, choosable-edge) through the gateway, then one replica
+//! restarted onto its mixed-family store directory. Asserts every
+//! response is byte-identical to a direct single-service run, the
+//! gateway's per-family request counters move for all four families,
+//! the restarted replica answers its mixed-family traffic without
+//! reconstruction, and no threads or file descriptors leak across the
+//! kill/restart cycle.
 //!
 //! Exits non-zero with a message on stderr on any failure; the CI step
 //! wraps this in a timeout so a hung recovery also fails.
@@ -24,62 +24,66 @@ const REPLICAS: usize = 3;
 /// The replica that gets killed and restarted onto its old store.
 const VICTIM: usize = 0;
 
-/// One pre-verified workload item: the request and the bytes a direct
-/// service produced for it.
+/// One pre-verified workload item: the family-tagged request and the
+/// bytes a direct service produced for it.
 struct Expected {
+    family: FamilyId,
     hist: Histogram,
     payload: Vec<u8>,
     bit_len: u64,
     data: Vec<u8>,
 }
 
-/// Deterministic pseudo-random payload over `n` symbols.
+/// Deterministic pseudo-random payload over `n` symbols, led by one of
+/// each symbol so every histogram count is nonzero.
 fn payload(n: usize, seed: u64, len: usize) -> Vec<u8> {
     let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
-    (0..len)
-        .map(|_| {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state % n as u64) as u8
-        })
-        .collect()
+    let mut out: Vec<u8> = (0..n as u16).map(|s| s as u8).collect();
+    out.extend((0..len).map(|_| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % n as u64) as u8
+    }));
+    out
 }
 
-/// Builds the workload and answers every item on a direct (no-network,
-/// no-store) service, so every later response can be compared
-/// byte-for-byte.
+/// Builds a workload that cycles all four families over varied
+/// alphabets (choosable capped at its 32-symbol ceiling) and answers
+/// every item on a direct service for byte-for-byte comparison.
 fn build_expected() -> Result<Vec<Expected>, String> {
     let direct = Service::start(ServiceConfig::default());
     let mut out = Vec::new();
     for i in 0..24u64 {
-        let n = [2usize, 5, 16, 64, 256][i as usize % 5];
-        let mut msg: Vec<u8> = (0..n as u16).map(|s| s as u8).collect();
-        msg.extend(payload(n, i, 64 + (i as usize % 128)));
+        let family = FamilyId::ALL[i as usize % 4];
+        let n = match family {
+            FamilyId::ChoosableEdge => [2usize, 5, 16, 32][i as usize % 4],
+            _ => [2usize, 5, 16, 64, 256][i as usize % 5],
+        };
+        let msg = payload(n, i, 64 + (i as usize % 128));
         let hist =
             Histogram::of_payload(n, &msg).map_err(|e| format!("workload {i}: {}", e.message))?;
         match direct.submit(Request::Encode {
-            family: FamilyId::Huffman,
+            family,
             histogram: hist.clone(),
             payload: msg.clone(),
         }) {
             Response::Encoded { bit_len, data } => out.push(Expected {
+                family,
                 hist,
                 payload: msg,
                 bit_len,
                 data,
             }),
-            other => return Err(format!("direct encode {i} failed: {other:?}")),
+            other => return Err(format!("direct {family} encode {i} failed: {other:?}")),
         }
     }
     direct.shutdown();
     Ok(out)
 }
 
-/// Store-backed replica config. The restarted victim also gets a tiny
-/// tier 0 (one shard, four entries) so its post-recovery traffic cannot
-/// be absorbed by memory alone — the warm tier-1 hit rate we assert on
-/// has to come from the log.
+/// Store-backed replica config; the restarted victim gets a tiny tier 0
+/// so its post-recovery traffic must come off the mixed-family log.
 fn replica_cfg(dir: &Path, tiny_tier0: bool) -> ServiceConfig {
     let mut cfg = ServiceConfig {
         store_dir: Some(dir.to_path_buf()),
@@ -95,10 +99,19 @@ fn replica_cfg(dir: &Path, tiny_tier0: bool) -> ServiceConfig {
 fn drive(gw: &Gateway, expected: &[Expected], phase: &str) -> Result<(), String> {
     for (i, e) in expected.iter().enumerate() {
         let (bits, data) = gw
-            .encode(&e.hist, &e.payload)
-            .map_err(|err| format!("{phase} {i}: {err}"))?;
+            .encode_with(e.family, &e.hist, &e.payload)
+            .map_err(|err| format!("{phase} {i} ({}): {err}", e.family))?;
         if (bits, &data) != (e.bit_len, &e.data) {
-            return Err(format!("{phase} {i}: gateway bytes differ from direct run"));
+            return Err(format!(
+                "{phase} {i} ({}): gateway bytes differ from direct run",
+                e.family
+            ));
+        }
+        let back = gw
+            .decode_with(e.family, &e.hist, bits, &data)
+            .map_err(|err| format!("{phase} decode {i} ({}): {err}", e.family))?;
+        if back != e.payload {
+            return Err(format!("{phase} {i} ({}): decode mismatch", e.family));
         }
     }
     Ok(())
@@ -109,17 +122,17 @@ fn run() -> Result<(), String> {
     let threads_before = active_threads()?;
     let fds_before = open_fds()?;
     let t0 = Instant::now();
-    let mark = |phase: &str| eprintln!("store-smoke [{:>7.2?}] {phase}", t0.elapsed());
+    let mark = |phase: &str| eprintln!("codecs-smoke [{:>7.2?}] {phase}", t0.elapsed());
 
     let store_root =
-        std::env::temp_dir().join(format!("partree-store-smoke-{}", std::process::id()));
+        std::env::temp_dir().join(format!("partree-codecs-smoke-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_root);
     let dirs: Vec<PathBuf> = (0..REPLICAS)
         .map(|i| store_root.join(format!("replica-{i}")))
         .collect();
 
     let expected = Arc::new(build_expected()?);
-    mark("workload pre-answered on a direct service");
+    mark("mixed-family workload pre-answered on a direct service");
 
     let mut servers: Vec<Option<Server>> = dirs
         .iter()
@@ -141,30 +154,35 @@ fn run() -> Result<(), String> {
     cfg.hedge_after_min = Duration::from_secs(5);
     let gw = Gateway::start(cfg);
 
-    // Phase 1 — populate: every codebook is built on its home replica
-    // and written through to that replica's tier-1 log.
+    // Phase 1 — populate: every (histogram, family) pair is built on
+    // its home replica and written through as a family-tagged record.
     drive(&gw, &expected, "populate")?;
-    mark("phase 1 (populate) done — every replica's tier-1 log written");
+    mark("phase 1 (populate) done — mixed-family tier-1 logs written");
 
-    // Phase 2 — kill the victim and keep serving: its keys fail over to
-    // the survivors, whose hit counters make those keys donor-visible
-    // for the warm-up that follows.
+    let snap = gw.snapshot();
+    for f in FamilyId::ALL {
+        if snap.family_requests[f.index()] == 0 {
+            return Err(format!(
+                "gateway never counted a {f} request: {:?}",
+                snap.family_requests
+            ));
+        }
+    }
+
+    // Phase 2 — kill the victim and keep serving: its keys fail over,
+    // making them donor-visible for the warm-up that follows.
     let killed = servers[VICTIM].take().ok_or("victim already taken")?;
     let dead_svc = killed.service().clone();
     killed
         .shutdown()
         .map_err(|e| format!("kill replica {VICTIM}: {e}"))?;
     dead_svc.shutdown();
-    // Release our handle so the dead replica's store (and its open
-    // segment file) actually closes — the restart below must reopen
-    // the log from disk, not share a live file.
     drop(dead_svc);
     drive(&gw, &expected, "failover")?;
-    mark("phase 2 (failover) done — victim killed, survivors absorbed its keys");
+    mark("phase 2 (failover) done — survivors absorbed the victim's keys");
 
-    // Phase 3 — restart onto the same store directory, same address.
-    // The prober must warm the replica from a donor's hot set before
-    // re-closing its breaker and routing to it again.
+    // Phase 3 — restart onto the same mixed-family store, same address;
+    // the prober warms it (family-tagged entries) before re-routing.
     let svc = Service::start(replica_cfg(&dirs[VICTIM], true));
     let revived = Server::bind(svc.clone(), &addrs[VICTIM].to_string())
         .map_err(|e| format!("rebind replica {VICTIM}: {e}"))?;
@@ -178,14 +196,11 @@ fn run() -> Result<(), String> {
         }
         std::thread::sleep(Duration::from_millis(20));
     }
-    mark("phase 3 (restart) — replica revived on its old store and warmed");
+    mark("phase 3 (restart) — replica revived on its mixed-family store and warmed");
 
-    // Drive the workload twice more. The victim's homed keys must be
-    // answered without a single reconstruction: the donated hot set
-    // covers tier 0, and everything else comes off its tier-1 log.
     drive(&gw, &expected, "warm pass 1")?;
     drive(&gw, &expected, "warm pass 2")?;
-    mark("warm passes done — all responses bit-identical");
+    mark("warm passes done — all families bit-identical");
 
     let snap = gw.snapshot();
     if snap.warmups == 0 || snap.warmup_keys_sent == 0 {
@@ -199,13 +214,9 @@ fn run() -> Result<(), String> {
     }
     if m.constructions != 0 {
         return Err(format!(
-            "restarted replica rebuilt {} codebook(s) that its store should have served: {m:?}",
+            "restarted replica rebuilt {} codebook(s) its mixed-family store should have \
+             served: {m:?}",
             m.constructions
-        ));
-    }
-    if m.tier1_hits == 0 {
-        return Err(format!(
-            "warm tier-1 hit rate is zero — recovery never read the log: {m:?}"
         ));
     }
     if m.store_errors != 0 {
@@ -231,9 +242,12 @@ fn run() -> Result<(), String> {
         if active_threads()? <= threads_before && open_fds()? <= fds_before + 2 {
             let _ = std::fs::remove_dir_all(&store_root);
             println!(
-                "store-smoke OK: restart served {} requests with 0 reconstructions \
-                 ({} tier-1 hits, {} tier-0 hits), warm-up donated {} key(s) in {} round(s)",
-                m.encoded, m.tier1_hits, m.tier0_hits, snap.warmup_keys_sent, snap.warmups
+                "codecs-smoke OK: {} mixed-family items served 3x bit-identically, \
+                 restart answered with 0 reconstructions ({} tier-1 hits), \
+                 warm-up donated {} key(s)",
+                expected.len(),
+                m.tier1_hits,
+                snap.warmup_keys_sent
             );
             return Ok(());
         }
@@ -269,7 +283,7 @@ fn open_fds() -> Result<usize, String> {
 
 fn main() {
     if let Err(e) = run() {
-        eprintln!("store-smoke FAILED: {e}");
+        eprintln!("codecs-smoke FAILED: {e}");
         std::process::exit(1);
     }
 }

@@ -12,6 +12,7 @@ use partree_gateway::{Gateway, GatewayConfig};
 use partree_service::frame::{Histogram, Request, Response};
 use partree_service::net::Server;
 use partree_service::server::{Service, ServiceConfig};
+use partree_service::FamilyId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -61,6 +62,7 @@ fn build_expected() -> Result<Vec<Expected>, String> {
         let hist =
             Histogram::of_payload(n, &msg).map_err(|e| format!("workload {i}: {}", e.message))?;
         match direct.submit(Request::Encode {
+            family: FamilyId::Huffman,
             histogram: hist.clone(),
             payload: msg.clone(),
         }) {

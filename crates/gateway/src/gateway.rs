@@ -47,6 +47,7 @@ use crate::reactor::RpcClient;
 use crate::route::{home, preference_order};
 use partree_service::frame::{ErrorCode, Histogram, Request, Response, WarmEntry};
 use partree_service::net::Transport;
+use partree_service::FamilyId;
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -313,16 +314,45 @@ impl Gateway {
                           the gateway issues them itself during recovery"
                     .into(),
             }),
-            Request::Encode { histogram, .. } | Request::Decode { histogram, .. } => {
-                self.route_codec(request, histogram.hash64())
+            // The routing key is family-tagged (matching the service's
+            // cache key), so different families over the same histogram
+            // may home on different replicas — each replica then serves
+            // its (histogram, family) pair from a warm cache. Huffman's
+            // tag is the identity, so legacy traffic routes exactly as
+            // before.
+            Request::Encode {
+                family, histogram, ..
             }
+            | Request::Decode {
+                family, histogram, ..
+            } => self.route_codec(request, *family, family.tagged_key(histogram.hash64())),
         }
     }
 
-    /// Encodes `payload` under `histogram`'s code via the fleet;
-    /// mirrors [`partree_service::client::Client::encode`].
+    /// Encodes `payload` under `histogram`'s classic Huffman code via
+    /// the fleet; mirrors [`partree_service::client::Client::encode`].
     pub fn encode(&self, histogram: &Histogram, payload: &[u8]) -> io::Result<(u64, Vec<u8>)> {
+        self.encode_with(FamilyId::Huffman, histogram, payload)
+    }
+
+    /// Decodes `bit_len` bits of `data` under `histogram`'s classic
+    /// Huffman code via the fleet; mirrors
+    /// [`partree_service::client::Client::decode`].
+    pub fn decode(&self, histogram: &Histogram, bit_len: u64, data: &[u8]) -> io::Result<Vec<u8>> {
+        self.decode_with(FamilyId::Huffman, histogram, bit_len, data)
+    }
+
+    /// Encodes `payload` under the code `family` builds for `histogram`
+    /// via the fleet; mirrors
+    /// [`partree_service::client::Client::encode_with`].
+    pub fn encode_with(
+        &self,
+        family: FamilyId,
+        histogram: &Histogram,
+        payload: &[u8],
+    ) -> io::Result<(u64, Vec<u8>)> {
         let resp = self.request(&Request::Encode {
+            family,
             histogram: histogram.clone(),
             payload: payload.to_vec(),
         })?;
@@ -332,10 +362,18 @@ impl Gateway {
         }
     }
 
-    /// Decodes `bit_len` bits of `data` under `histogram`'s code via
-    /// the fleet; mirrors [`partree_service::client::Client::decode`].
-    pub fn decode(&self, histogram: &Histogram, bit_len: u64, data: &[u8]) -> io::Result<Vec<u8>> {
+    /// Decodes `bit_len` bits of `data` under the code `family` builds
+    /// for `histogram` via the fleet; mirrors
+    /// [`partree_service::client::Client::decode_with`].
+    pub fn decode_with(
+        &self,
+        family: FamilyId,
+        histogram: &Histogram,
+        bit_len: u64,
+        data: &[u8],
+    ) -> io::Result<Vec<u8>> {
         let resp = self.request(&Request::Decode {
+            family,
             histogram: histogram.clone(),
             bit_len,
             data: data.to_vec(),
@@ -426,7 +464,7 @@ impl Gateway {
     }
 
     /// The routing event loop for one codec request.
-    fn route_codec(&self, request: &Request, key: u64) -> io::Result<Response> {
+    fn route_codec(&self, request: &Request, family: FamilyId, key: u64) -> io::Result<Response> {
         let inner = &self.inner;
         if inner.draining.load(Ordering::Relaxed) {
             inner
@@ -436,6 +474,7 @@ impl Gateway {
             return Ok(Response::Busy);
         }
         inner.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        inner.metrics.family_requests[family.index()].fetch_add(1, Ordering::Relaxed);
         inner.inflight.fetch_add(1, Ordering::Relaxed);
         let result = self.route_codec_inner(request, key);
         inner.inflight.fetch_sub(1, Ordering::Relaxed);
@@ -820,11 +859,18 @@ fn warm_up_replica(inner: &Inner, target: &Replica) {
             if entries.len() >= max {
                 break;
             }
-            let key = e.histogram.hash64();
+            // Donated entries carry their family; home them on the same
+            // family-tagged key the router uses for data traffic, so a
+            // recovering replica is warmed with exactly the
+            // (histogram, family) pairs it is about to serve.
+            let key = e.family.tagged_key(e.histogram.hash64());
             if home(key, n) != target.id {
                 continue;
             }
-            if entries.iter().any(|x| x.histogram.hash64() == key) {
+            if entries
+                .iter()
+                .any(|x| x.family.tagged_key(x.histogram.hash64()) == key)
+            {
                 continue;
             }
             entries.push(e);
@@ -927,6 +973,7 @@ mod tests {
             let hist = Histogram::of_payload(7, &payload).unwrap();
             let (bits, data) = gw.encode(&hist, &payload).unwrap();
             let via_direct = direct.submit(Request::Encode {
+                family: FamilyId::Huffman,
                 histogram: hist.clone(),
                 payload: payload.clone(),
             });
@@ -1085,6 +1132,7 @@ mod tests {
             let hist = Histogram::of_payload(6, &payload).unwrap();
             let (bits, data) = gw.encode(&hist, &payload).unwrap();
             match direct.submit(Request::Encode {
+                family: FamilyId::Huffman,
                 histogram: hist.clone(),
                 payload: payload.clone(),
             }) {
@@ -1216,6 +1264,49 @@ mod tests {
     }
 
     #[test]
+    fn families_route_independently_and_are_counted() {
+        let (servers, addrs) = fleet(3);
+        let gw = Gateway::start(tiny_cfg(addrs));
+        let direct = Service::start(ServiceConfig::default());
+
+        let payload: Vec<u8> = (0..256).map(|i| (i % 6) as u8).collect();
+        let hist = Histogram::of_payload(6, &payload).unwrap();
+        for f in FamilyId::ALL {
+            let (bits, data) = gw.encode_with(f, &hist, &payload).unwrap();
+            match direct.submit(Request::Encode {
+                family: f,
+                histogram: hist.clone(),
+                payload: payload.clone(),
+            }) {
+                Response::Encoded {
+                    bit_len,
+                    data: d_data,
+                } => assert_eq!((bits, &data), (bit_len, &d_data), "{f}: gateway == direct"),
+                other => panic!("direct {f} encode failed: {other:?}"),
+            }
+            assert_eq!(gw.decode_with(f, &hist, bits, &data).unwrap(), payload);
+        }
+
+        let snap = gw.snapshot();
+        assert_eq!(snap.requests, 8);
+        assert_eq!(snap.completed, 8);
+        assert_eq!(snap.family_requests, [2, 2, 2, 2]);
+        let json = snap.to_json();
+        for f in FamilyId::ALL {
+            assert!(
+                json.contains(&format!("\"family_{}_requests\":2", f.name())),
+                "{f} missing from {json}"
+            );
+        }
+
+        direct.shutdown();
+        gw.shutdown();
+        for s in servers {
+            s.shutdown().unwrap();
+        }
+    }
+
+    #[test]
     fn draining_gateway_sheds_and_answers_control_plane() {
         let (servers, addrs) = fleet(1);
         let gw = Gateway::start(tiny_cfg(addrs));
@@ -1232,6 +1323,7 @@ mod tests {
         let hist = Histogram::of_payload(2, &payload).unwrap();
         assert_eq!(
             gw.request(&Request::Encode {
+                family: FamilyId::Huffman,
                 histogram: hist,
                 payload,
             })

@@ -4,6 +4,7 @@
 //! schema is in `EXPERIMENTS.md` § E15).
 
 use crate::breaker::BreakerState;
+use partree_service::{FamilyId, FAMILY_COUNT};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -92,6 +93,9 @@ pub struct Metrics {
     pub warmups: AtomicU64,
     /// Codebooks donated across all warm-up rounds.
     pub warmup_keys_sent: AtomicU64,
+    /// Codec requests entering the router, by code family (indexed by
+    /// [`FamilyId::index`]; legacy opcodes count as Huffman).
+    pub family_requests: [AtomicU64; FAMILY_COUNT],
 }
 
 /// Plain-data per-replica view, as exported.
@@ -152,6 +156,8 @@ pub struct GatewaySnapshot {
     pub warmups: u64,
     /// Codebooks donated across all warm-up rounds.
     pub warmup_keys_sent: u64,
+    /// Codec requests by code family (indexed by [`FamilyId::index`]).
+    pub family_requests: [u64; FAMILY_COUNT],
     /// Per-replica views.
     pub replicas: Vec<ReplicaSnapshot>,
 }
@@ -173,6 +179,7 @@ impl Metrics {
             rejected_shutdown: get(&self.rejected_shutdown),
             warmups: get(&self.warmups),
             warmup_keys_sent: get(&self.warmup_keys_sent),
+            family_requests: std::array::from_fn(|i| get(&self.family_requests[i])),
             replicas,
         }
     }
@@ -188,7 +195,7 @@ impl GatewaySnapshot {
             "{{\"requests\":{},\"completed\":{},\"retries\":{},\"failovers\":{},\
              \"hedges_issued\":{},\"hedges_won\":{},\"deadline_exceeded\":{},\
              \"no_healthy_replica\":{},\"rejected_shutdown\":{},\"warmups\":{},\
-             \"warmup_keys_sent\":{},\"replicas\":[",
+             \"warmup_keys_sent\":{},",
             self.requests,
             self.completed,
             self.retries,
@@ -201,6 +208,15 @@ impl GatewaySnapshot {
             self.warmups,
             self.warmup_keys_sent,
         );
+        for f in FamilyId::ALL {
+            let _ = write!(
+                out,
+                "\"family_{}_requests\":{},",
+                f.name(),
+                self.family_requests[f.index()]
+            );
+        }
+        out.push_str("\"replicas\":[");
         for (i, r) in self.replicas.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -263,6 +279,7 @@ mod tests {
 
         let m = Metrics::default();
         m.requests.store(7, Ordering::Relaxed);
+        m.family_requests[FamilyId::ShannonFano.index()].store(4, Ordering::Relaxed);
         let snap = m.snapshot(vec![ReplicaSnapshot {
             id: 0,
             addr: "127.0.0.1:9".into(),
@@ -281,6 +298,9 @@ mod tests {
         }]);
         let json = snap.to_json();
         assert!(json.starts_with("{\"requests\":7,"));
+        assert_eq!(snap.family_requests, [0, 4, 0, 0]);
+        assert!(json.contains("\"family_sf_requests\":4"));
+        assert!(json.contains("\"family_huffman_requests\":0"));
         assert!(json.contains("\"breaker\":\"closed\""));
         assert!(json.contains("\"latency_log2_us\":[0,1,2,"));
         assert!(json.ends_with("]}"));

@@ -19,6 +19,7 @@ use crate::frame::{
     decode_response, encode_request, read_frame, write_frame, Histogram, Request, Response,
     WarmEntry,
 };
+use partree_codecs::FamilyId;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -81,11 +82,35 @@ impl Client {
         decode_response(raw.opcode, &raw.body).map_err(bad_data)
     }
 
-    /// Encodes `payload` under `histogram`'s code; returns
-    /// `(bit_len, bytes)`. Server-side failures (`Busy`, `Timeout`,
-    /// `Error`) come back as `io::Error` with the frame's message.
+    /// Encodes `payload` under `histogram`'s classic Huffman code;
+    /// returns `(bit_len, bytes)`. Server-side failures (`Busy`,
+    /// `Timeout`, `Error`) come back as `io::Error` with the frame's
+    /// message.
     pub fn encode(&mut self, histogram: &Histogram, payload: &[u8]) -> io::Result<(u64, Vec<u8>)> {
+        self.encode_with(FamilyId::Huffman, histogram, payload)
+    }
+
+    /// Decodes `bit_len` bits of `data` under `histogram`'s classic
+    /// Huffman code.
+    pub fn decode(
+        &mut self,
+        histogram: &Histogram,
+        bit_len: u64,
+        data: &[u8],
+    ) -> io::Result<Vec<u8>> {
+        self.decode_with(FamilyId::Huffman, histogram, bit_len, data)
+    }
+
+    /// Encodes `payload` under the code `family` builds for
+    /// `histogram`; returns `(bit_len, bytes)`.
+    pub fn encode_with(
+        &mut self,
+        family: FamilyId,
+        histogram: &Histogram,
+        payload: &[u8],
+    ) -> io::Result<(u64, Vec<u8>)> {
         let resp = self.request(&Request::Encode {
+            family,
             histogram: histogram.clone(),
             payload: payload.to_vec(),
         })?;
@@ -95,14 +120,17 @@ impl Client {
         }
     }
 
-    /// Decodes `bit_len` bits of `data` under `histogram`'s code.
-    pub fn decode(
+    /// Decodes `bit_len` bits of `data` under the code `family` builds
+    /// for `histogram`.
+    pub fn decode_with(
         &mut self,
+        family: FamilyId,
         histogram: &Histogram,
         bit_len: u64,
         data: &[u8],
     ) -> io::Result<Vec<u8>> {
         let resp = self.request(&Request::Decode {
+            family,
             histogram: histogram.clone(),
             bit_len,
             data: data.to_vec(),

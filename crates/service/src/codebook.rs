@@ -1,17 +1,24 @@
 //! Codebooks and the sharded LRU cache that amortizes their
 //! construction.
 //!
-//! A [`Codebook`] is one histogram's worth of deliverable: the optimal
-//! code lengths from [`partree_huffman::parallel`] (Theorem 5.1's
-//! algorithm), realized as a canonical [`PrefixCode`] for encoding and
-//! a table-driven [`CanonicalDecoder`] for decoding. Construction is
-//! deterministic — same histogram, same codebook, bit for bit, at any
-//! pool width — which is what lets the cache hand the same `Arc` to
-//! racing requests without coordination beyond first-insert-wins.
+//! A [`Codebook`] is one `(histogram, family)` pair's worth of
+//! deliverable: canonical code lengths from the requested
+//! [`FamilyId`]'s construction (classic Huffman via
+//! [`partree_huffman::parallel`], Shannon–Fano, minimax, or
+//! choosable-edge via `partree-codecs`), realized as a canonical
+//! [`PrefixCode`] for encoding and a table-driven [`CanonicalDecoder`]
+//! for decoding. Construction is deterministic — same histogram, same
+//! family, same codebook, bit for bit, at any pool width — which is
+//! what lets the cache hand the same `Arc` to racing requests without
+//! coordination beyond first-insert-wins.
 //!
-//! [`CodebookCache`] shards by histogram hash so concurrent batch
-//! workers rarely contend on one lock, and evicts least-recently-used
-//! entries per shard once a shard exceeds its capacity.
+//! [`CodebookCache`] shards by the **family-tagged** histogram hash
+//! ([`FamilyId::tagged_key`]) so concurrent batch workers rarely
+//! contend on one lock, and evicts least-recently-used entries per
+//! shard once a shard exceeds its capacity. Tagging means two families
+//! never collide on the same histogram; the Huffman tag is the
+//! identity mapping, so every key a Huffman-only build ever produced
+//! is unchanged.
 //!
 //! ## Tiering
 //!
@@ -19,34 +26,39 @@
 //! [`CodebookStore`] (**tier 1**, usually `partree-store`'s
 //! log-structured on-disk backend): a tier-0 miss first consults the
 //! store, and a stored record is *promoted* — rebuilt from its code
-//! lengths via [`Codebook::from_lengths`], skipping the
-//! `O(n log² n)` Huffman construction entirely (canonical realization
-//! from lengths is `O(n log n)` table work). Only when both tiers miss
-//! does a full construction run, and its result is written through to
-//! the store so the next process lifetime starts warm. Determinism
-//! (same histogram → bit-identical codebook) is what makes the stored
-//! lengths a faithful stand-in for a rebuild.
+//! lengths via [`Codebook::from_lengths`], skipping construction
+//! entirely (canonical realization from lengths is `O(n log n)` table
+//! work). Only when both tiers miss does a full construction run, and
+//! its result is written through to the store — tagged with the family
+//! so a v2 record's nibble can be verified on the way back in.
+//! Determinism (same histogram + family → bit-identical codebook) is
+//! what makes the stored lengths a faithful stand-in for a rebuild.
 
 use crate::frame::{ErrorCode, FrameError, Histogram};
+use partree_codecs::family::FAMILY_COUNT;
+use partree_codecs::{family, FamilyId};
 use partree_codes::canonical::canonical_code;
 use partree_codes::decoder::CanonicalDecoder;
 use partree_codes::prefix::PrefixCode;
-use partree_huffman::parallel::huffman_parallel_traced;
 use partree_pram::{CostTracer, WorkDepth};
 use partree_store::CodebookStore;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A built codec for one histogram: canonical code + table decoder.
+/// A built codec for one `(histogram, family)` pair: canonical code +
+/// table decoder.
 #[derive(Debug)]
 pub struct Codebook {
-    /// Cache key: [`Histogram::hash64`] of the source histogram.
+    /// Cache key: [`FamilyId::tagged_key`] over [`Histogram::hash64`].
     pub key: u64,
+    /// The code family this book was constructed by.
+    pub family: FamilyId,
     /// The histogram this codebook was built from (for hash-collision
     /// verification on lookup).
     pub histogram: Histogram,
-    /// Optimal code length per symbol, in symbol order.
+    /// Code length per symbol, in symbol order, under the family's
+    /// objective.
     pub lengths: Vec<u32>,
     /// Work/depth spent constructing this codebook.
     pub construction: WorkDepth,
@@ -55,44 +67,67 @@ pub struct Codebook {
 }
 
 impl Codebook {
-    /// Builds the codebook for `histogram`: one parallel Huffman
-    /// construction plus the canonical realization. Spans for the
-    /// construction phases open under `tracer`.
-    pub fn build(histogram: &Histogram, tracer: &CostTracer) -> Result<Codebook, FrameError> {
-        let weights: Vec<f64> = histogram.counts().iter().map(|&c| f64::from(c)).collect();
+    /// Builds the codebook for `histogram` under `family_id`: one
+    /// traced construction through the family registry plus the shared
+    /// canonical realization. Spans for the construction phases open
+    /// under `tracer`. An alphabet beyond the family's cap (the
+    /// choosable-edge DP accepts at most
+    /// [`partree_codecs::choosable::MAX_ALPHABET`] symbols) is an
+    /// [`ErrorCode::UnsupportedAlphabet`] error, not a panic.
+    pub fn build(
+        histogram: &Histogram,
+        family_id: FamilyId,
+        tracer: &CostTracer,
+    ) -> Result<Codebook, FrameError> {
+        let fam = family(family_id);
+        if histogram.alphabet() > fam.max_alphabet() {
+            return Err(FrameError::new(
+                ErrorCode::UnsupportedAlphabet,
+                format!(
+                    "alphabet {} exceeds the {} family's cap of {}",
+                    histogram.alphabet(),
+                    family_id,
+                    fam.max_alphabet()
+                ),
+            ));
+        }
         fn internal(stage: &str, e: impl std::fmt::Display) -> FrameError {
             FrameError::new(
                 ErrorCode::Internal,
                 format!("{stage} failed for a valid histogram: {e}"),
             )
         }
-        let huff = huffman_parallel_traced(&weights, tracer).map_err(|e| internal("huffman", e))?;
+        let lengths = fam
+            .lengths_traced(histogram.counts(), tracer)
+            .map_err(|e| internal("construction", e))?;
         let canon_span = tracer.span("canonicalize");
-        let code = canonical_code(&huff.lengths).map_err(|e| internal("canonical code", e))?;
+        let code = canonical_code(&lengths).map_err(|e| internal("canonical code", e))?;
         let decoder =
-            CanonicalDecoder::from_lengths(&huff.lengths).map_err(|e| internal("decoder", e))?;
-        canon_span.step(huff.lengths.len() as u64);
+            CanonicalDecoder::from_lengths(&lengths).map_err(|e| internal("decoder", e))?;
+        canon_span.step(lengths.len() as u64);
         Ok(Codebook {
-            key: histogram.hash64(),
+            key: family_id.tagged_key(histogram.hash64()),
+            family: family_id,
             histogram: histogram.clone(),
-            lengths: huff.lengths,
+            lengths,
             construction: tracer.aggregate(),
             code,
             decoder,
         })
     }
 
-    /// Realizes a codebook from already-known optimal code lengths —
-    /// the tier-1 promotion and warm-up path. Skips Huffman
-    /// construction entirely: canonical code + decoder tables are
-    /// rebuilt from the lengths, which is exactly what [`Codebook::build`]
-    /// does after its construction phase, so the result is
-    /// bit-identical to a from-scratch build of the same histogram.
+    /// Realizes a codebook from already-known code lengths — the
+    /// tier-1 promotion and warm-up path. Skips construction entirely:
+    /// canonical code + decoder tables are rebuilt from the lengths,
+    /// which is exactly what [`Codebook::build`] does after its
+    /// construction phase, so the result is bit-identical to a
+    /// from-scratch build of the same `(histogram, family)` pair.
     /// Invalid lengths (wrong count, Kraft violation) are rejected, so
     /// a forged or stale record can never produce a working codebook
     /// that disagrees with a rebuild.
     pub fn from_lengths(
         histogram: &Histogram,
+        family_id: FamilyId,
         lengths: Vec<u32>,
         tracer: &CostTracer,
     ) -> Result<Codebook, FrameError> {
@@ -118,7 +153,8 @@ impl Codebook {
             CanonicalDecoder::from_lengths(&lengths).map_err(|e| invalid("decoder", e))?;
         span.step(lengths.len() as u64);
         Ok(Codebook {
-            key: histogram.hash64(),
+            key: family_id.tagged_key(histogram.hash64()),
+            family: family_id,
             histogram: histogram.clone(),
             lengths,
             construction: WorkDepth::default(),
@@ -129,12 +165,15 @@ impl Codebook {
 
     /// Serializes the codebook for tier-1 storage: the canonical-code
     /// representation already used on the wire — alphabet size, symbol
-    /// counts, and one code length per symbol.
+    /// counts, and one code length per symbol. The family does **not**
+    /// appear in the body; it rides in the store record's v2 flags
+    /// nibble (and in the key itself via [`FamilyId::tagged_key`]), so
+    /// family-0 bodies stay byte-identical to the pre-family format.
     ///
     /// ```text
     /// n:       u16 LE
     /// counts:  n × u32 LE   (the histogram, for collision verification)
-    /// lengths: n × u8       (max code length < alphabet ≤ 256)
+    /// lengths: n × u8       (every family's depth bound is < 256)
     /// ```
     pub fn to_store_body(&self) -> Vec<u8> {
         encode_store_body(&self.histogram, &self.lengths)
@@ -223,16 +262,18 @@ struct Shard {
 pub struct HotEntry {
     /// Tier-0 hits the entry has absorbed.
     pub hits: u64,
+    /// The code family the entry was built by.
+    pub family: FamilyId,
     /// The source histogram.
     pub histogram: Histogram,
-    /// The optimal code lengths (enough to rebuild the codebook
-    /// without construction, via [`Codebook::from_lengths`]).
+    /// The code lengths (enough to rebuild the codebook without
+    /// construction, via [`Codebook::from_lengths`]).
     pub lengths: Vec<u32>,
 }
 
-/// A sharded LRU cache of [`Codebook`]s keyed by histogram hash —
-/// tier 0 of the codebook store, optionally backed by a tier-1
-/// [`CodebookStore`].
+/// A sharded LRU cache of [`Codebook`]s keyed by the family-tagged
+/// histogram hash — tier 0 of the codebook store, optionally backed by
+/// a tier-1 [`CodebookStore`].
 pub struct CodebookCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
@@ -246,6 +287,8 @@ pub struct CodebookCache {
     tier1_promotions: AtomicU64,
     store_errors: AtomicU64,
     warmup_accepted: AtomicU64,
+    family_hits: [AtomicU64; FAMILY_COUNT],
+    family_constructions: [AtomicU64; FAMILY_COUNT],
 }
 
 impl std::fmt::Debug for CodebookCache {
@@ -295,6 +338,8 @@ impl CodebookCache {
             tier1_promotions: AtomicU64::new(0),
             store_errors: AtomicU64::new(0),
             warmup_accepted: AtomicU64::new(0),
+            family_hits: std::array::from_fn(|_| AtomicU64::new(0)),
+            family_constructions: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -302,38 +347,41 @@ impl CodebookCache {
         &self.shards[(key % self.shards.len() as u64) as usize]
     }
 
-    /// Returns the cached codebook for `histogram`, consulting tier 1
-    /// and building only when both tiers miss. Racing misses on the
-    /// same histogram may each build (the build happens outside the
-    /// shard lock so a slow construction never blocks lookups of other
-    /// histograms on the shard), but the first insert wins and every
-    /// caller receives a bit-identical codebook — construction is
-    /// deterministic.
+    /// Returns the cached codebook for `(histogram, family_id)`,
+    /// consulting tier 1 and building only when both tiers miss.
+    /// Racing misses on the same pair may each build (the build
+    /// happens outside the shard lock so a slow construction never
+    /// blocks lookups of other histograms on the shard), but the first
+    /// insert wins and every caller receives a bit-identical codebook
+    /// — construction is deterministic per family.
     pub fn get_or_build(
         &self,
         histogram: &Histogram,
+        family_id: FamilyId,
         tracer: &CostTracer,
     ) -> Result<Arc<Codebook>, FrameError> {
-        let key = histogram.hash64();
+        let key = family_id.tagged_key(histogram.hash64());
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         {
             let mut shard = self.shard(key).lock().expect("cache shard poisoned");
             if let Some(e) = shard.map.get_mut(&key) {
-                if e.book.histogram == *histogram {
+                if e.book.histogram == *histogram && e.book.family == family_id {
                     e.last_used = stamp;
                     e.hits += 1;
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.family_hits[family_id.index()].fetch_add(1, Ordering::Relaxed);
                     return Ok(Arc::clone(&e.book));
                 }
-                // Hash collision between distinct histograms: evict the
-                // resident and rebuild for the newcomer.
+                // Hash collision between distinct (histogram, family)
+                // pairs: evict the resident and rebuild for the
+                // newcomer.
                 shard.map.remove(&key);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
 
         // Tier 1: a stored record promotes without construction.
-        if let Some(book) = self.promote_from_tier1(key, histogram, tracer) {
+        if let Some(book) = self.promote_from_tier1(key, histogram, family_id, tracer) {
             self.tier1_hits.fetch_add(1, Ordering::Relaxed);
             let (winner, fresh) = self.insert_first_wins(key, stamp, book);
             if fresh {
@@ -343,11 +391,15 @@ impl CodebookCache {
         }
 
         self.constructions.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(Codebook::build(histogram, tracer)?);
+        self.family_constructions[family_id.index()].fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(Codebook::build(histogram, family_id, tracer)?);
         // Write through so the next process lifetime starts warm. Best
         // effort: a store failure only costs future warmth.
         if let Some(store) = &self.tier1 {
-            if store.put(key, &built.to_store_body()).is_err() {
+            if store
+                .put_tagged(key, family_id.tag(), &built.to_store_body())
+                .is_err()
+            {
                 self.store_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -355,37 +407,44 @@ impl CodebookCache {
         Ok(winner)
     }
 
-    /// Attempts a tier-1 load: fetch, parse, verify the stored counts
+    /// Attempts a tier-1 load: fetch, verify the record's family
+    /// nibble against the requested family, verify the stored counts
     /// against the requested histogram (hash-collision defense, same
-    /// as tier 0's histogram equality check), and realize the codebook
-    /// from lengths. Any failure is a miss — and a parse/validation
-    /// failure additionally drops the bad record so the write-through
-    /// after the rebuild replaces it.
+    /// as tier 0's equality check), and realize the codebook from
+    /// lengths. Any failure is a miss — and a parse/validation failure
+    /// additionally drops the bad record so the write-through after
+    /// the rebuild replaces it.
     fn promote_from_tier1(
         &self,
         key: u64,
         histogram: &Histogram,
+        family_id: FamilyId,
         tracer: &CostTracer,
     ) -> Option<Arc<Codebook>> {
         let store = self.tier1.as_ref()?;
-        let body = match store.get(key) {
-            Ok(Some(body)) => body,
+        let (tag, body) = match store.get_tagged(key) {
+            Ok(Some(tagged)) => tagged,
             Ok(None) => return None,
             Err(_) => {
                 self.store_errors.fetch_add(1, Ordering::Relaxed);
                 return None;
             }
         };
-        let parsed = decode_store_body(&body);
-        let book = parsed.and_then(|(counts, lengths)| {
-            if counts != *histogram.counts() {
-                return None;
-            }
-            Codebook::from_lengths(histogram, lengths, tracer).ok()
-        });
+        // The key is family-tagged, so a record under this key with a
+        // different family nibble can only be damage or a collision.
+        let book = (tag == family_id.tag())
+            .then(|| decode_store_body(&body))
+            .flatten()
+            .and_then(|(counts, lengths)| {
+                if counts != *histogram.counts() {
+                    return None;
+                }
+                Codebook::from_lengths(histogram, family_id, lengths, tracer).ok()
+            });
         if book.is_none() {
-            // Structurally invalid or a 64-bit hash collision: either
-            // way this record can never serve this key again.
+            // Structurally invalid, wrong family, or a 64-bit hash
+            // collision: either way this record can never serve this
+            // key again.
             let _ = store.remove(key);
         }
         book.map(Arc::new)
@@ -404,7 +463,7 @@ impl CodebookCache {
         let (winner, fresh) = match shard.map.get_mut(&key) {
             // A racing builder inserted first — hand back its copy so
             // all callers share one Arc.
-            Some(e) if e.book.histogram == book.histogram => {
+            Some(e) if e.book.histogram == book.histogram && e.book.family == book.family => {
                 e.last_used = stamp;
                 (Arc::clone(&e.book), false)
             }
@@ -433,29 +492,34 @@ impl CodebookCache {
         (winner, fresh)
     }
 
-    /// Adopts a pre-built `(histogram, lengths)` pair pushed by the
-    /// gateway's warm-up path. No Huffman construction runs; invalid
+    /// Adopts a pre-built `(histogram, family, lengths)` triple pushed
+    /// by the gateway's warm-up path. No construction runs; invalid
     /// lengths are rejected. Returns `true` if the entry was adopted
     /// (false: already resident, or rejected). Adopted entries are
-    /// also written through to tier 1.
-    pub fn adopt(&self, histogram: &Histogram, lengths: Vec<u32>) -> bool {
-        let key = histogram.hash64();
+    /// also written through to tier 1 under the family-tagged key.
+    pub fn adopt(&self, histogram: &Histogram, family_id: FamilyId, lengths: Vec<u32>) -> bool {
+        let key = family_id.tagged_key(histogram.hash64());
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         {
             let mut shard = self.shard(key).lock().expect("cache shard poisoned");
             if let Some(e) = shard.map.get_mut(&key) {
-                if e.book.histogram == *histogram {
+                if e.book.histogram == *histogram && e.book.family == family_id {
                     e.last_used = stamp;
                     return false;
                 }
             }
         }
-        let Ok(book) = Codebook::from_lengths(histogram, lengths, &CostTracer::disabled()) else {
+        let Ok(book) =
+            Codebook::from_lengths(histogram, family_id, lengths, &CostTracer::disabled())
+        else {
             return false;
         };
         let book = Arc::new(book);
         if let Some(store) = &self.tier1 {
-            if store.put(key, &book.to_store_body()).is_err() {
+            if store
+                .put_tagged(key, family_id.tag(), &book.to_store_body())
+                .is_err()
+            {
                 self.store_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -469,7 +533,8 @@ impl CodebookCache {
     /// The `max` hottest resident entries, by tier-0 hits (descending,
     /// key-ordered on ties so the result is deterministic for a given
     /// hit profile). This is what a replica streams to a replacement
-    /// during warm-up.
+    /// during warm-up; the entries carry their family so the adopter
+    /// re-files them under the same tagged keys.
     pub fn hottest(&self, max: usize) -> Vec<HotEntry> {
         let mut all: Vec<(u64, u64, HotEntry)> = Vec::new();
         for shard in &self.shards {
@@ -480,6 +545,7 @@ impl CodebookCache {
                     key,
                     HotEntry {
                         hits: e.hits,
+                        family: e.book.family,
                         histogram: e.book.histogram.clone(),
                         lengths: e.book.lengths.clone(),
                     },
@@ -508,10 +574,22 @@ impl CodebookCache {
         self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Full Huffman constructions actually performed (a miss that was
-    /// answered by tier 1 does not construct).
+    /// Full constructions actually performed (a miss that was answered
+    /// by tier 1 does not construct).
     pub fn constructions(&self) -> u64 {
         self.constructions.load(Ordering::Relaxed)
+    }
+
+    /// Tier-0 hits broken down by code family, indexed by
+    /// [`FamilyId::index`].
+    pub fn family_hits(&self) -> [u64; FAMILY_COUNT] {
+        std::array::from_fn(|i| self.family_hits[i].load(Ordering::Relaxed))
+    }
+
+    /// Constructions broken down by code family, indexed by
+    /// [`FamilyId::index`].
+    pub fn family_constructions(&self) -> [u64; FAMILY_COUNT] {
+        std::array::from_fn(|i| self.family_constructions[i].load(Ordering::Relaxed))
     }
 
     /// Tier-0 misses answered from the tier-1 store.
@@ -562,10 +640,14 @@ mod tests {
         Histogram::new(counts.to_vec()).unwrap()
     }
 
+    fn huff(h: &Histogram, t: &CostTracer) -> Codebook {
+        Codebook::build(h, FamilyId::Huffman, t).unwrap()
+    }
+
     #[test]
     fn codebook_roundtrips_and_is_optimal() {
         let h = hist(&[45, 13, 12, 16, 9, 5]);
-        let book = Codebook::build(&h, &CostTracer::disabled()).unwrap();
+        let book = huff(&h, &CostTracer::disabled());
         // Textbook optimum: cost 224 → lengths [1,3,3,3,4,4] as a set.
         let mut sorted = book.lengths.clone();
         sorted.sort_unstable();
@@ -576,15 +658,39 @@ mod tests {
     }
 
     #[test]
+    fn every_family_builds_a_working_codebook() {
+        let h = hist(&[45, 13, 12, 16, 9, 5]);
+        let payload = vec![0u8, 1, 2, 3, 4, 5, 0, 0, 3];
+        for f in FamilyId::ALL {
+            let book = Codebook::build(&h, f, &CostTracer::disabled()).unwrap();
+            assert_eq!(book.family, f);
+            assert_eq!(book.key, f.tagged_key(h.hash64()));
+            let (bytes, bits) = book.encode(&payload).unwrap();
+            assert_eq!(book.decode(&bytes, bits).unwrap(), payload, "{f}");
+        }
+    }
+
+    #[test]
+    fn oversized_alphabet_for_family_is_unsupported() {
+        // 33 symbols exceeds the choosable-edge DP's cap of 32 but is
+        // fine for every other family.
+        let h = hist(&[1u32; 33]);
+        let t = CostTracer::disabled();
+        let e = Codebook::build(&h, FamilyId::ChoosableEdge, &t).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UnsupportedAlphabet);
+        assert!(Codebook::build(&h, FamilyId::Minimax, &t).is_ok());
+    }
+
+    #[test]
     fn encode_rejects_out_of_alphabet() {
-        let book = Codebook::build(&hist(&[1, 1]), &CostTracer::disabled()).unwrap();
+        let book = huff(&hist(&[1, 1]), &CostTracer::disabled());
         let e = book.encode(&[0, 2]).unwrap_err();
         assert_eq!(e.code, ErrorCode::SymbolOutOfRange);
     }
 
     #[test]
     fn decode_rejects_garbage() {
-        let book = Codebook::build(&hist(&[1, 1, 1]), &CostTracer::disabled()).unwrap();
+        let book = huff(&hist(&[1, 1, 1]), &CostTracer::disabled());
         let e = book.decode(&[0xFF], 9).unwrap_err(); // declared > buffer
         assert_eq!(e.code, ErrorCode::CorruptPayload);
     }
@@ -593,11 +699,38 @@ mod tests {
     fn cache_hits_after_first_build() {
         let cache = CodebookCache::new(4, 16);
         let h = hist(&[5, 3, 2]);
-        let a = cache.get_or_build(&h, &CostTracer::disabled()).unwrap();
-        let b = cache.get_or_build(&h, &CostTracer::disabled()).unwrap();
+        let t = CostTracer::disabled();
+        let a = cache.get_or_build(&h, FamilyId::Huffman, &t).unwrap();
+        let b = cache.get_or_build(&h, FamilyId::Huffman, &t).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn families_occupy_distinct_cache_slots() {
+        let cache = CodebookCache::new(4, 16);
+        let h = hist(&[20, 9, 8, 2, 1]);
+        let t = CostTracer::disabled();
+        let mut books = Vec::new();
+        for f in FamilyId::ALL {
+            books.push(cache.get_or_build(&h, f, &t).unwrap());
+        }
+        assert_eq!(cache.len(), 4, "one slot per family");
+        assert_eq!(cache.misses(), 4);
+        // Second pass: all hits, each family handing back its own Arc.
+        for (f, first) in FamilyId::ALL.iter().zip(&books) {
+            let again = cache.get_or_build(&h, *f, &t).unwrap();
+            assert!(Arc::ptr_eq(first, &again), "{f} lost its slot");
+        }
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.family_hits(), [1, 1, 1, 1]);
+        assert_eq!(cache.family_constructions(), [1, 1, 1, 1]);
+        // SF trades optimality for simplicity and choosable pays for
+        // long edges — the slots really do hold different codes (on
+        // this histogram minimax happens to coincide with Huffman).
+        assert_ne!(books[0].lengths, books[1].lengths);
+        assert_ne!(books[0].lengths, books[3].lengths);
     }
 
     #[test]
@@ -609,15 +742,15 @@ mod tests {
         let h2 = hist(&[1, 3]);
         let h3 = hist(&[1, 4]);
         let t = CostTracer::disabled();
-        cache.get_or_build(&h1, &t).unwrap();
-        cache.get_or_build(&h2, &t).unwrap();
-        cache.get_or_build(&h1, &t).unwrap(); // refresh h1
-        cache.get_or_build(&h3, &t).unwrap(); // evicts h2
+        cache.get_or_build(&h1, FamilyId::Huffman, &t).unwrap();
+        cache.get_or_build(&h2, FamilyId::Huffman, &t).unwrap();
+        cache.get_or_build(&h1, FamilyId::Huffman, &t).unwrap(); // refresh h1
+        cache.get_or_build(&h3, FamilyId::Huffman, &t).unwrap(); // evicts h2
         assert_eq!(cache.evictions(), 1);
         assert_eq!(cache.len(), 2);
-        cache.get_or_build(&h1, &t).unwrap();
+        cache.get_or_build(&h1, FamilyId::Huffman, &t).unwrap();
         assert_eq!(cache.misses(), 3, "h1 still resident");
-        cache.get_or_build(&h2, &t).unwrap();
+        cache.get_or_build(&h2, FamilyId::Huffman, &t).unwrap();
         assert_eq!(cache.misses(), 4, "h2 was evicted");
     }
 
@@ -625,13 +758,15 @@ mod tests {
     fn from_lengths_is_bit_identical_to_build() {
         let h = hist(&[45, 13, 12, 16, 9, 5]);
         let t = CostTracer::disabled();
-        let built = Codebook::build(&h, &t).unwrap();
-        let loaded = Codebook::from_lengths(&h, built.lengths.clone(), &t).unwrap();
-        let payload = vec![0, 1, 2, 3, 4, 5, 0, 0, 3, 2, 1];
-        let (b1, n1) = built.encode(&payload).unwrap();
-        let (b2, n2) = loaded.encode(&payload).unwrap();
-        assert_eq!((n1, &b1), (n2, &b2), "encode differs");
-        assert_eq!(loaded.decode(&b1, n1).unwrap(), payload);
+        for f in FamilyId::ALL {
+            let built = Codebook::build(&h, f, &t).unwrap();
+            let loaded = Codebook::from_lengths(&h, f, built.lengths.clone(), &t).unwrap();
+            let payload = vec![0, 1, 2, 3, 4, 5, 0, 0, 3, 2, 1];
+            let (b1, n1) = built.encode(&payload).unwrap();
+            let (b2, n2) = loaded.encode(&payload).unwrap();
+            assert_eq!((n1, &b1), (n2, &b2), "{f} encode differs");
+            assert_eq!(loaded.decode(&b1, n1).unwrap(), payload);
+        }
     }
 
     #[test]
@@ -639,15 +774,15 @@ mod tests {
         let h = hist(&[4, 2, 1, 1]);
         let t = CostTracer::disabled();
         // Wrong count.
-        assert!(Codebook::from_lengths(&h, vec![1, 1], &t).is_err());
+        assert!(Codebook::from_lengths(&h, FamilyId::Huffman, vec![1, 1], &t).is_err());
         // Kraft violation: all length 1 over 4 symbols.
-        assert!(Codebook::from_lengths(&h, vec![1, 1, 1, 1], &t).is_err());
+        assert!(Codebook::from_lengths(&h, FamilyId::Huffman, vec![1, 1, 1, 1], &t).is_err());
     }
 
     #[test]
     fn store_body_roundtrips() {
         let h = hist(&[45, 13, 12, 16, 9, 5]);
-        let book = Codebook::build(&h, &CostTracer::disabled()).unwrap();
+        let book = huff(&h, &CostTracer::disabled());
         let body = book.to_store_body();
         let (counts, lengths) = decode_store_body(&body).unwrap();
         assert_eq!(&counts, h.counts());
@@ -663,10 +798,26 @@ mod tests {
         let cache = CodebookCache::with_tier1(2, 8, Some(store.clone()));
         let h = hist(&[5, 3, 2]);
         let t = CostTracer::disabled();
-        cache.get_or_build(&h, &t).unwrap();
+        cache.get_or_build(&h, FamilyId::Huffman, &t).unwrap();
         assert_eq!(cache.constructions(), 1);
         assert_eq!(cache.tier1_hits(), 0);
+        // Huffman's tagged key is the raw histogram hash.
         assert!(store.contains(h.hash64()), "write-through missing");
+    }
+
+    #[test]
+    fn tier1_write_through_carries_the_family_tag() {
+        let store = Arc::new(partree_store::MemStore::new());
+        let cache = CodebookCache::with_tier1(2, 8, Some(store.clone()));
+        let h = hist(&[5, 3, 2, 1]);
+        let t = CostTracer::disabled();
+        for f in FamilyId::ALL {
+            cache.get_or_build(&h, f, &t).unwrap();
+            let key = f.tagged_key(h.hash64());
+            let (tag, _) = store.get_tagged(key).unwrap().expect("write-through");
+            assert_eq!(tag, f.tag(), "{f}");
+        }
+        assert_eq!(store.len(), 4, "four distinct tagged keys");
     }
 
     #[test]
@@ -674,26 +825,32 @@ mod tests {
         let store = Arc::new(partree_store::MemStore::new());
         let t = CostTracer::disabled();
         let h = hist(&[5, 3, 2, 1]);
-        // First cache lifetime constructs and persists.
+        // First cache lifetime constructs and persists — one book per
+        // family.
         let warm = CodebookCache::with_tier1(2, 8, Some(store.clone()));
-        let original = warm.get_or_build(&h, &t).unwrap();
+        let originals: Vec<_> = FamilyId::ALL
+            .iter()
+            .map(|&f| warm.get_or_build(&h, f, &t).unwrap())
+            .collect();
         drop(warm);
         // Second lifetime (same store): answered from tier 1, zero
-        // constructions, bit-identical result.
+        // constructions, bit-identical results per family.
         let cold = CodebookCache::with_tier1(2, 8, Some(store.clone()));
-        let promoted = cold.get_or_build(&h, &t).unwrap();
-        assert_eq!(cold.constructions(), 0, "tier-1 hit must not construct");
-        assert_eq!((cold.tier1_hits(), cold.tier1_promotions()), (1, 1));
-        assert_eq!(promoted.lengths, original.lengths);
-        let payload = vec![0u8, 1, 2, 3, 0, 0];
-        assert_eq!(
-            promoted.encode(&payload).unwrap(),
-            original.encode(&payload).unwrap()
-        );
+        for (f, original) in FamilyId::ALL.iter().zip(&originals) {
+            let promoted = cold.get_or_build(&h, *f, &t).unwrap();
+            assert_eq!(promoted.lengths, original.lengths, "{f}");
+            let payload = vec![0u8, 1, 2, 3, 0, 0];
+            assert_eq!(
+                promoted.encode(&payload).unwrap(),
+                original.encode(&payload).unwrap()
+            );
+        }
+        assert_eq!(cold.constructions(), 0, "tier-1 hits must not construct");
+        assert_eq!((cold.tier1_hits(), cold.tier1_promotions()), (4, 4));
         // Second lookup is a tier-0 hit.
-        cold.get_or_build(&h, &t).unwrap();
+        cold.get_or_build(&h, FamilyId::Huffman, &t).unwrap();
         assert_eq!(cold.hits(), 1);
-        assert_eq!(cold.tier1_hits(), 1);
+        assert_eq!(cold.tier1_hits(), 4);
     }
 
     #[test]
@@ -703,7 +860,7 @@ mod tests {
         store.put(h.hash64(), b"not a codebook record").unwrap();
         let cache = CodebookCache::with_tier1(2, 8, Some(store.clone()));
         let book = cache
-            .get_or_build(&h, &CostTracer::disabled())
+            .get_or_build(&h, FamilyId::Huffman, &CostTracer::disabled())
             .expect("rebuild heals");
         assert_eq!(cache.constructions(), 1);
         assert_eq!(cache.tier1_hits(), 0);
@@ -715,45 +872,73 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_family_tag_is_a_miss_and_heals() {
+        // A structurally valid record filed under the minimax key but
+        // tagged Huffman: promotion must refuse it (the lengths were
+        // built under a different objective) and the rebuild replaces
+        // it with a correctly-tagged record.
+        let store = Arc::new(partree_store::MemStore::new());
+        let t = CostTracer::disabled();
+        let h = hist(&[9, 4, 2, 1]);
+        let huff_book = Codebook::build(&h, FamilyId::Huffman, &t).unwrap();
+        let minimax_key = FamilyId::Minimax.tagged_key(h.hash64());
+        store
+            .put_tagged(
+                minimax_key,
+                FamilyId::Huffman.tag(),
+                &huff_book.to_store_body(),
+            )
+            .unwrap();
+        let cache = CodebookCache::with_tier1(2, 8, Some(store.clone()));
+        let book = cache.get_or_build(&h, FamilyId::Minimax, &t).unwrap();
+        assert_eq!(cache.constructions(), 1, "wrong tag must rebuild");
+        assert_eq!(cache.tier1_hits(), 0);
+        assert_eq!(book.family, FamilyId::Minimax);
+        let (tag, _) = store.get_tagged(minimax_key).unwrap().expect("healed");
+        assert_eq!(tag, FamilyId::Minimax.tag());
+    }
+
+    #[test]
     fn adopt_and_hottest_drive_warmup() {
         let cache = CodebookCache::new(2, 8);
         let t = CostTracer::disabled();
         let h1 = hist(&[9, 3, 1]);
         let h2 = hist(&[1, 1, 1, 1, 4]);
-        cache.get_or_build(&h1, &t).unwrap();
+        cache.get_or_build(&h1, FamilyId::Minimax, &t).unwrap();
         for _ in 0..3 {
-            cache.get_or_build(&h1, &t).unwrap(); // 3 hits
+            cache.get_or_build(&h1, FamilyId::Minimax, &t).unwrap(); // 3 hits
         }
-        cache.get_or_build(&h2, &t).unwrap();
-        cache.get_or_build(&h2, &t).unwrap(); // 1 hit
+        cache.get_or_build(&h2, FamilyId::Huffman, &t).unwrap();
+        cache.get_or_build(&h2, FamilyId::Huffman, &t).unwrap(); // 1 hit
         let hot = cache.hottest(10);
         assert_eq!(hot.len(), 2);
         assert_eq!(hot[0].hits, 3);
         assert_eq!(hot[0].histogram, h1);
+        assert_eq!(hot[0].family, FamilyId::Minimax);
         assert_eq!(cache.hottest(1).len(), 1);
 
         // A second cache adopts the hot set without constructing.
         let peer = CodebookCache::new(2, 8);
         for e in &hot {
-            assert!(peer.adopt(&e.histogram, e.lengths.clone()));
+            assert!(peer.adopt(&e.histogram, e.family, e.lengths.clone()));
         }
         assert_eq!(peer.warmup_accepted(), 2);
         assert_eq!(peer.constructions(), 0);
-        let book = peer.get_or_build(&h1, &t).unwrap();
+        let book = peer.get_or_build(&h1, FamilyId::Minimax, &t).unwrap();
         assert_eq!(peer.constructions(), 0, "adopted entry serves the hit");
-        let reference = cache.get_or_build(&h1, &t).unwrap();
+        let reference = cache.get_or_build(&h1, FamilyId::Minimax, &t).unwrap();
         assert_eq!(book.lengths, reference.lengths);
         // Re-adopting is a no-op.
-        assert!(!peer.adopt(&hot[0].histogram, hot[0].lengths.clone()));
+        assert!(!peer.adopt(&hot[0].histogram, hot[0].family, hot[0].lengths.clone()));
         // Garbage lengths are rejected.
-        assert!(!peer.adopt(&hist(&[2, 2, 2]), vec![1, 1, 1]));
+        assert!(!peer.adopt(&hist(&[2, 2, 2]), FamilyId::Huffman, vec![1, 1, 1]));
     }
 
     #[test]
     fn construction_records_work_and_depth() {
         let h = hist(&[8, 4, 2, 1, 1]);
         let t = CostTracer::named("build");
-        let book = Codebook::build(&h, &t).unwrap();
+        let book = Codebook::build(&h, FamilyId::Huffman, &t).unwrap();
         assert!(book.construction.work > 0);
         assert!(book.construction.depth > 0);
         assert!(t.snapshot().find("canonicalize").is_some());

@@ -25,6 +25,12 @@
 //! | `Drain` (0x05) | empty — stop accepting new work; in-flight completes |
 //! | `WarmUp` (0x06) | `count:u16` · `count ×` warm entry (below) — adopt pre-built codebooks |
 //! | `HotSet` (0x07) | `max:u16` — report the `max` hottest cached codebooks |
+//! | `EncodeSf` (0x08) | as `Encode`, Shannon–Fano code family |
+//! | `DecodeSf` (0x09) | as `Decode`, Shannon–Fano code family |
+//! | `EncodeMinimax` (0x0A) | as `Encode`, minimax code family |
+//! | `DecodeMinimax` (0x0B) | as `Decode`, minimax code family |
+//! | `EncodeChoosable` (0x0C) | as `Encode`, choosable-edge code family |
+//! | `DecodeChoosable` (0x0D) | as `Decode`, choosable-edge code family |
 //! | `EncodeOk` (0x81) | `bit_len:u64` · `data_len:u32` · encoded bytes |
 //! | `DecodeOk` (0x82) | `payload_len:u32` · payload bytes |
 //! | `StatsOk` (0x83) | `json_len:u32` · UTF-8 JSON (schema in `EXPERIMENTS.md`) |
@@ -48,14 +54,23 @@
 //! drain bit so a draining replica can advertise "alive, but route new
 //! work elsewhere" before it goes away.
 //!
+//! Every encode/decode pair selects a **code family**
+//! ([`partree_codecs::FamilyId`]): the classic opcodes 0x01/0x02 are
+//! the Huffman family, and 0x08–0x0D select Shannon–Fano, minimax, and
+//! choosable-edge trees over the *same* body layout. Responses are
+//! family-agnostic — the request id correlates them — so a pre-family
+//! client speaking only 0x01/0x02 sees byte-identical traffic.
+//!
 //! A **warm entry** — shared by `WarmUp` and `HotSetOk` — is
-//! `hits:u64` · histogram (`n:u16` · `n × count:u32`) · `n × length:u8`:
-//! the canonical-code representation, from which a codebook is
-//! realized *without* Huffman construction. `WarmUp`/`HotSet` are the
-//! fleet warm-up path: the gateway pulls a healthy replica's hot set
-//! and pushes it to a replacement replica before admitting traffic.
+//! `hits:u64` · `family:u8` · histogram (`n:u16` · `n × count:u32`) ·
+//! `n × length:u8`: the canonical-code representation, from which a
+//! codebook is realized *without* construction, tagged with the family
+//! that built it. `WarmUp`/`HotSet` are the fleet warm-up path: the
+//! gateway pulls a healthy replica's hot set and pushes it to a
+//! replacement replica before admitting traffic.
 
 use bytes::{Buf, BufMut, BytesMut};
+use partree_codecs::FamilyId;
 use std::io::{self, Read, Write};
 
 /// Frame magic: "PT".
@@ -87,6 +102,18 @@ pub enum Opcode {
     WarmUp = 0x06,
     /// Report the hottest cached codebooks (fleet warm-up pull).
     HotSet = 0x07,
+    /// Encode request, Shannon–Fano family.
+    EncodeSf = 0x08,
+    /// Decode request, Shannon–Fano family.
+    DecodeSf = 0x09,
+    /// Encode request, minimax family.
+    EncodeMinimax = 0x0A,
+    /// Decode request, minimax family.
+    DecodeMinimax = 0x0B,
+    /// Encode request, choosable-edge family.
+    EncodeChoosable = 0x0C,
+    /// Decode request, choosable-edge family.
+    DecodeChoosable = 0x0D,
     /// Successful encode.
     EncodeOk = 0x81,
     /// Successful decode.
@@ -119,6 +146,12 @@ impl Opcode {
             0x05 => Some(Opcode::Drain),
             0x06 => Some(Opcode::WarmUp),
             0x07 => Some(Opcode::HotSet),
+            0x08 => Some(Opcode::EncodeSf),
+            0x09 => Some(Opcode::DecodeSf),
+            0x0A => Some(Opcode::EncodeMinimax),
+            0x0B => Some(Opcode::DecodeMinimax),
+            0x0C => Some(Opcode::EncodeChoosable),
+            0x0D => Some(Opcode::DecodeChoosable),
             0x81 => Some(Opcode::EncodeOk),
             0x82 => Some(Opcode::DecodeOk),
             0x83 => Some(Opcode::StatsOk),
@@ -241,11 +274,25 @@ impl Histogram {
 pub struct WarmEntry {
     /// Tier-0 hits the source replica counted for this codebook.
     pub hits: u64,
+    /// The code family that produced `lengths`.
+    pub family: FamilyId,
     /// The source histogram.
     pub histogram: Histogram,
     /// Optimal code length per symbol (each < 256, so one byte each
     /// on the wire).
     pub lengths: Vec<u32>,
+}
+
+/// The request opcodes for a family's encode/decode pair. The Huffman
+/// family keeps the original 0x01/0x02 so a default-family client's
+/// wire traffic is byte-identical to the pre-family protocol.
+pub fn family_opcodes(family: FamilyId) -> (Opcode, Opcode) {
+    match family {
+        FamilyId::Huffman => (Opcode::Encode, Opcode::Decode),
+        FamilyId::ShannonFano => (Opcode::EncodeSf, Opcode::DecodeSf),
+        FamilyId::Minimax => (Opcode::EncodeMinimax, Opcode::DecodeMinimax),
+        FamilyId::ChoosableEdge => (Opcode::EncodeChoosable, Opcode::DecodeChoosable),
+    }
 }
 
 /// Cap on entries in one `WarmUp`/`HotSetOk` frame; larger counts are
@@ -258,6 +305,8 @@ pub const MAX_WARM_ENTRIES: usize = 1024;
 pub enum Request {
     /// Turn `payload` symbols into bits under `histogram`'s code.
     Encode {
+        /// The code family to build the codebook with.
+        family: FamilyId,
         /// The weight table the codebook is built from.
         histogram: Histogram,
         /// One byte per symbol, each `< histogram.alphabet()`.
@@ -265,6 +314,8 @@ pub enum Request {
     },
     /// Turn bits back into symbols under `histogram`'s code.
     Decode {
+        /// The code family to build the codebook with.
+        family: FamilyId,
         /// The weight table the codebook is built from.
         histogram: Histogram,
         /// Exact number of meaningful bits in `data`.
@@ -454,6 +505,9 @@ impl<'a> BodyReader<'a> {
         let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
             let hits = self.u64("warm entry hits")?;
+            let tag = self.u8("warm entry family")?;
+            let family = FamilyId::from_u8(tag)
+                .ok_or_else(|| FrameError::malformed(format!("unknown code family tag {tag}")))?;
             let histogram = self.histogram()?;
             let n = histogram.alphabet();
             let lengths = self
@@ -463,6 +517,7 @@ impl<'a> BodyReader<'a> {
                 .collect();
             entries.push(WarmEntry {
                 hits,
+                family,
                 histogram,
                 lengths,
             });
@@ -498,6 +553,7 @@ fn put_warm_entries(out: &mut BytesMut, entries: &[WarmEntry]) {
     out.put_u16(entries.len() as u16);
     for e in entries {
         out.put_u64(e.hits);
+        out.put_u8(e.family.tag());
         put_histogram(out, &e.histogram);
         for &l in &e.lengths {
             out.put_u8(l.min(u8::MAX as u32) as u8);
@@ -521,13 +577,18 @@ pub fn encode_frame(id: u64, opcode: Opcode, body: &[u8]) -> Vec<u8> {
 pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
     let mut body = BytesMut::new();
     let opcode = match req {
-        Request::Encode { histogram, payload } => {
+        Request::Encode {
+            family,
+            histogram,
+            payload,
+        } => {
             put_histogram(&mut body, histogram);
             body.put_u32(payload.len() as u32);
             body.put_slice(payload);
-            Opcode::Encode
+            family_opcodes(*family).0
         }
         Request::Decode {
+            family,
             histogram,
             bit_len,
             data,
@@ -536,7 +597,7 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             body.put_u64(*bit_len);
             body.put_u32(data.len() as u32);
             body.put_slice(data);
-            Opcode::Decode
+            family_opcodes(*family).1
         }
         Request::Stats => Opcode::Stats,
         Request::Ping => Opcode::Ping,
@@ -618,11 +679,23 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
     encode_frame(id, opcode, &body)
 }
 
+/// The family an encode/decode request opcode selects. Only meaningful
+/// for the eight request opcodes; anything else maps to the default.
+fn request_family(opcode: Opcode) -> FamilyId {
+    match opcode {
+        Opcode::EncodeSf | Opcode::DecodeSf => FamilyId::ShannonFano,
+        Opcode::EncodeMinimax | Opcode::DecodeMinimax => FamilyId::Minimax,
+        Opcode::EncodeChoosable | Opcode::DecodeChoosable => FamilyId::ChoosableEdge,
+        _ => FamilyId::Huffman,
+    }
+}
+
 /// Parses a request body for `opcode`.
 pub fn decode_request(opcode: Opcode, body: &[u8]) -> Result<Request, FrameError> {
     let mut r = BodyReader { buf: body };
     let req = match opcode {
-        Opcode::Encode => {
+        Opcode::Encode | Opcode::EncodeSf | Opcode::EncodeMinimax | Opcode::EncodeChoosable => {
+            let family = request_family(opcode);
             let histogram = r.histogram()?;
             let len = r.u32("payload length")? as usize;
             let payload = r.bytes(len, "payload")?;
@@ -633,9 +706,14 @@ pub fn decode_request(opcode: Opcode, body: &[u8]) -> Result<Request, FrameError
                     format!("payload symbol {bad} outside alphabet of {n}"),
                 ));
             }
-            Request::Encode { histogram, payload }
+            Request::Encode {
+                family,
+                histogram,
+                payload,
+            }
         }
-        Opcode::Decode => {
+        Opcode::Decode | Opcode::DecodeSf | Opcode::DecodeMinimax | Opcode::DecodeChoosable => {
+            let family = request_family(opcode);
             let histogram = r.histogram()?;
             let bit_len = r.u64("bit length")?;
             let len = r.u32("data length")? as usize;
@@ -647,6 +725,7 @@ pub fn decode_request(opcode: Opcode, body: &[u8]) -> Result<Request, FrameError
                 ));
             }
             Request::Decode {
+                family,
                 histogram,
                 bit_len,
                 data,
@@ -949,15 +1028,19 @@ mod tests {
 
     #[test]
     fn request_frames_roundtrip() {
-        roundtrip_request(&Request::Encode {
-            histogram: hist(&[3, 1, 4, 1, 5]),
-            payload: vec![0, 4, 2, 2, 1, 3],
-        });
-        roundtrip_request(&Request::Decode {
-            histogram: hist(&[10, 20]),
-            bit_len: 11,
-            data: vec![0xAB, 0xC0],
-        });
+        for family in FamilyId::ALL {
+            roundtrip_request(&Request::Encode {
+                family,
+                histogram: hist(&[3, 1, 4, 1, 5]),
+                payload: vec![0, 4, 2, 2, 1, 3],
+            });
+            roundtrip_request(&Request::Decode {
+                family,
+                histogram: hist(&[10, 20]),
+                bit_len: 11,
+                data: vec![0xAB, 0xC0],
+            });
+        }
         roundtrip_request(&Request::Stats);
         roundtrip_request(&Request::Ping);
         roundtrip_request(&Request::Drain);
@@ -965,11 +1048,13 @@ mod tests {
             entries: vec![
                 WarmEntry {
                     hits: 41,
+                    family: FamilyId::Huffman,
                     histogram: hist(&[9, 3, 1]),
                     lengths: vec![1, 2, 2],
                 },
                 WarmEntry {
                     hits: 0,
+                    family: FamilyId::Minimax,
                     histogram: hist(&[1, 1]),
                     lengths: vec![1, 1],
                 },
@@ -977,6 +1062,50 @@ mod tests {
         });
         roundtrip_request(&Request::WarmUp { entries: vec![] });
         roundtrip_request(&Request::HotSet { max: 32 });
+    }
+
+    #[test]
+    fn family_opcode_mapping_is_stable() {
+        // The wire values are a protocol commitment: Huffman keeps the
+        // legacy pair, the other families take 0x08..=0x0D.
+        assert_eq!(
+            family_opcodes(FamilyId::Huffman),
+            (Opcode::Encode, Opcode::Decode)
+        );
+        assert_eq!(
+            family_opcodes(FamilyId::ShannonFano),
+            (Opcode::EncodeSf, Opcode::DecodeSf)
+        );
+        assert_eq!(
+            family_opcodes(FamilyId::Minimax),
+            (Opcode::EncodeMinimax, Opcode::DecodeMinimax)
+        );
+        assert_eq!(
+            family_opcodes(FamilyId::ChoosableEdge),
+            (Opcode::EncodeChoosable, Opcode::DecodeChoosable)
+        );
+        // Default-family frames are byte-identical to the pre-family
+        // protocol: same opcode byte, same body bytes.
+        let req = Request::Encode {
+            family: FamilyId::Huffman,
+            histogram: hist(&[3, 1]),
+            payload: vec![0, 1, 0],
+        };
+        let wire = encode_request(5, &req);
+        assert_eq!(wire[3], 0x01, "legacy Encode opcode byte");
+    }
+
+    #[test]
+    fn unknown_warm_entry_family_is_malformed() {
+        let mut body = BytesMut::new();
+        body.put_u16(1);
+        body.put_u64(3); // hits
+        body.put_u8(9); // no such family
+        put_histogram(&mut body, &hist(&[1, 1]));
+        body.put_u8(1);
+        body.put_u8(1);
+        let e = decode_request(Opcode::WarmUp, &body).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Malformed);
     }
 
     #[test]
@@ -1005,6 +1134,7 @@ mod tests {
         roundtrip_response(&Response::HotSet {
             entries: vec![WarmEntry {
                 hits: 1000,
+                family: FamilyId::ShannonFano,
                 histogram: hist(&[4, 2, 1, 1]),
                 lengths: vec![1, 2, 3, 3],
             }],
@@ -1047,6 +1177,7 @@ mod tests {
     #[test]
     fn truncated_bodies_are_frame_errors() {
         let req = Request::Encode {
+            family: FamilyId::Huffman,
             histogram: hist(&[1, 2, 3]),
             payload: vec![0, 1, 2],
         };
@@ -1139,6 +1270,7 @@ mod tests {
             encode_request(
                 2,
                 &Request::Encode {
+                    family: FamilyId::Minimax,
                     histogram: hist(&[3, 1, 4]),
                     payload: vec![0, 2, 1, 1, 0],
                 },

@@ -6,10 +6,17 @@
 //!
 //! The design exploits the regime where the paper's algorithms win:
 //! many small requests sharing few alphabets. Requests are drained in
-//! *scheduling ticks* and grouped by weight histogram, so one
-//! `O(log² n)`-depth codebook construction (parallel Huffman +
+//! *scheduling ticks* and grouped by `(histogram, family)`, so one
+//! `O(log² n)`-depth codebook construction (parallel construction +
 //! canonical code + table decoder) serves a whole group, and a sharded
 //! LRU cache lets hot alphabets skip construction entirely.
+//!
+//! Four code families are served as first-class opcodes (see
+//! [`partree_codecs`]): classic Huffman (the default, opcodes
+//! `0x01`/`0x02`), Shannon–Fano (`0x08`/`0x09`), minimax
+//! (`0x0A`/`0x0B`), and choosable-edge Huffman (`0x0C`/`0x0D`). Every
+//! family shares the cache, the tier-1 store (family-tagged v2
+//! records), and the warm-up plane.
 //!
 //! * [`frame`] — the length-prefixed wire protocol (spec in
 //!   `EXPERIMENTS.md`), built on the vendored [`bytes`] `Buf`/`BufMut`;
@@ -33,11 +40,13 @@
 //! ```
 //! use partree_service::frame::Histogram;
 //! use partree_service::server::{Service, ServiceConfig};
+//! use partree_service::FamilyId;
 //!
 //! let svc = Service::start(ServiceConfig::default());
 //! let hist = Histogram::new(vec![45, 13, 12, 16, 9, 5])?;
 //! let payload = vec![0u8, 1, 2, 3, 4, 5, 0, 0];
 //! let resp = svc.submit(partree_service::frame::Request::Encode {
+//!     family: FamilyId::Huffman,
 //!     histogram: hist.clone(),
 //!     payload: payload.clone(),
 //! });
@@ -46,6 +55,7 @@
 //!     other => panic!("{other:?}"),
 //! };
 //! let resp = svc.submit(partree_service::frame::Request::Decode {
+//!     family: FamilyId::Huffman,
 //!     histogram: hist,
 //!     bit_len,
 //!     data,
@@ -79,5 +89,6 @@ pub use codebook::{Codebook, CodebookCache, HotEntry};
 pub use frame::{ErrorCode, FrameError, Histogram, Request, Response, WarmEntry};
 pub use metrics::MetricsSnapshot;
 pub use net::{FaultInjection, Server, Transport};
+pub use partree_codecs::{FamilyId, FAMILY_COUNT};
 pub use reactor::WriteOverflow;
 pub use server::{Service, ServiceConfig};

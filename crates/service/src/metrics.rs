@@ -6,6 +6,8 @@
 //! conventions of `EXPERIMENTS.md` carry over: unknown keys are for
 //! readers to skip.
 
+use partree_codecs::family::FAMILY_COUNT;
+use partree_codecs::FamilyId;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -54,6 +56,9 @@ pub struct Metrics {
     /// Connections severed by the reactor's per-connection write-queue
     /// cap (a peer stopped reading while responses kept accumulating).
     pub write_overflows: AtomicU64,
+    /// Encode/decode requests accepted per code family, indexed by
+    /// [`FamilyId::index`].
+    pub family_requests: [AtomicU64; FAMILY_COUNT],
 }
 
 /// A plain-data copy of [`Metrics`] plus cache counters, as exported.
@@ -101,6 +106,13 @@ pub struct MetricsSnapshot {
     pub store_errors: u64,
     /// Warm-up entries adopted from a peer via the `WarmUp` opcode.
     pub warmup_accepted: u64,
+    /// Encode/decode requests accepted per code family, indexed by
+    /// [`FamilyId::index`] (JSON keys `family_<name>_requests`).
+    pub family_requests: [u64; FAMILY_COUNT],
+    /// Tier-0 cache hits per code family (`family_<name>_hits`).
+    pub family_hits: [u64; FAMILY_COUNT],
+    /// Constructions per code family (`family_<name>_constructions`).
+    pub family_constructions: [u64; FAMILY_COUNT],
     /// Traced work total.
     pub work: u64,
     /// Traced depth total.
@@ -167,6 +179,9 @@ impl Metrics {
             tier1_promotions: cache.tier1_promotions(),
             store_errors: cache.store_errors(),
             warmup_accepted: cache.warmup_accepted(),
+            family_requests: std::array::from_fn(|i| get(&self.family_requests[i])),
+            family_hits: cache.family_hits(),
+            family_constructions: cache.family_constructions(),
             work: get(&self.work),
             depth: get(&self.depth),
             bytes_in: get(&self.bytes_in),
@@ -213,6 +228,20 @@ impl MetricsSnapshot {
         field("tier1_promotions", self.tier1_promotions);
         field("store_errors", self.store_errors);
         field("warmup_accepted", self.warmup_accepted);
+        for f in FamilyId::ALL {
+            field(
+                &format!("family_{}_requests", f.name()),
+                self.family_requests[f.index()],
+            );
+            field(
+                &format!("family_{}_hits", f.name()),
+                self.family_hits[f.index()],
+            );
+            field(
+                &format!("family_{}_constructions", f.name()),
+                self.family_constructions[f.index()],
+            );
+        }
         field("work", self.work);
         field("depth", self.depth);
         field("bytes_in", self.bytes_in);
@@ -250,6 +279,21 @@ impl MetricsSnapshot {
                 .trim()
                 .parse()
                 .map_err(|e| format!("bad value for {k}: {e}"))?;
+            // Per-family keys: family_<name>_{requests,hits,constructions}.
+            if let Some((fname, kind)) = k
+                .strip_prefix("family_")
+                .and_then(|rest| rest.rsplit_once('_'))
+            {
+                if let Some(f) = FamilyId::ALL.iter().find(|f| f.name() == fname) {
+                    match kind {
+                        "requests" => snap.family_requests[f.index()] = v,
+                        "hits" => snap.family_hits[f.index()] = v,
+                        "constructions" => snap.family_constructions[f.index()] = v,
+                        _ => {} // forward compatibility
+                    }
+                    continue;
+                }
+            }
             match k {
                 "accepted" => snap.accepted = v,
                 "encoded" => snap.encoded = v,
@@ -300,12 +344,19 @@ mod tests {
         m.accepted.store(10, Ordering::Relaxed);
         m.encoded.store(6, Ordering::Relaxed);
         m.busy.store(1, Ordering::Relaxed);
+        m.family_requests[FamilyId::ShannonFano.index()].store(5, Ordering::Relaxed);
+        m.family_requests[FamilyId::ChoosableEdge.index()].store(2, Ordering::Relaxed);
         Metrics::raise_max(&m.max_batch, 4);
         Metrics::raise_max(&m.max_batch, 2); // no-op, 4 stays
         let cache = CodebookCache::new(2, 4);
         let snap = m.snapshot(&cache);
         assert_eq!(snap.max_batch, 4);
-        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap.family_requests, [0, 5, 0, 2]);
+        let json = snap.to_json();
+        assert!(json.contains("\"family_sf_requests\":5"));
+        assert!(json.contains("\"family_choosable_requests\":2"));
+        assert!(json.contains("\"family_minimax_hits\":0"));
+        let back = MetricsSnapshot::from_json(&json).unwrap();
         assert_eq!(back, snap);
     }
 

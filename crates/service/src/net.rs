@@ -577,6 +577,7 @@ mod tests {
         let wire = encode_request(
             9,
             &Request::Encode {
+                family: partree_codecs::FamilyId::Huffman,
                 histogram: hist.clone(),
                 payload: vec![0, 1, 2, 0, 0],
             },

@@ -303,7 +303,7 @@ impl Service {
         let mut accepted = 0u32;
         let mut rejected = 0u32;
         for e in entries {
-            if self.inner.cache.adopt(&e.histogram, e.lengths) {
+            if self.inner.cache.adopt(&e.histogram, e.family, e.lengths) {
                 accepted += 1;
             } else {
                 rejected += 1;
@@ -321,6 +321,7 @@ impl Service {
             .into_iter()
             .map(|h| WarmEntry {
                 hits: h.hits,
+                family: h.family,
                 histogram: h.histogram,
                 lengths: h.lengths,
             })
@@ -333,6 +334,10 @@ impl Service {
     /// back with the response so the caller delivers it (the sink must
     /// not be consumed here while the queue lock is held).
     fn enqueue(&self, request: Request, reply: ReplySink) -> Result<(), (Response, ReplySink)> {
+        let family = match &request {
+            Request::Encode { family, .. } | Request::Decode { family, .. } => Some(*family),
+            _ => None,
+        };
         {
             // lint: allow(no-unwrap): a poisoned batch queue means a panic mid-enqueue; batches may be half-recorded and crashing beats serving them
             let mut queue = self.inner.queue.lock().expect("queue poisoned");
@@ -366,6 +371,9 @@ impl Service {
             });
         }
         self.inner.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+        if let Some(f) = family {
+            self.inner.metrics.family_requests[f.index()].fetch_add(1, Ordering::Relaxed);
+        }
         self.inner.wake.notify_one();
         Ok(())
     }
@@ -545,14 +553,19 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
     Metrics::raise_max(&m.max_batch, batch.len() as u64);
 
-    // Group jobs by histogram hash, preserving arrival order within a
-    // group (stable drain order keeps processing deterministic).
+    // Group jobs by the family-tagged histogram hash, preserving
+    // arrival order within a group (stable drain order keeps
+    // processing deterministic). Tagging means one construction per
+    // distinct (histogram, family) pair per tick.
     let mut groups: Vec<(u64, Vec<Job>)> = Vec::new();
     for job in batch {
         let key = match &job.request {
-            Request::Encode { histogram, .. } | Request::Decode { histogram, .. } => {
-                histogram.hash64()
+            Request::Encode {
+                family, histogram, ..
             }
+            | Request::Decode {
+                family, histogram, ..
+            } => family.tagged_key(histogram.hash64()),
             // Control requests are answered inline by `submit` and
             // never queued; answer defensively anyway.
             Request::Stats => {
@@ -580,7 +593,7 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
                 let mut accepted = 0u32;
                 let mut rejected = 0u32;
                 for e in entries {
-                    if inner.cache.adopt(&e.histogram, e.lengths.clone()) {
+                    if inner.cache.adopt(&e.histogram, e.family, e.lengths.clone()) {
                         accepted += 1;
                     } else {
                         rejected += 1;
@@ -596,6 +609,7 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
                     .into_iter()
                     .map(|h| WarmEntry {
                         hits: h.hits,
+                        family: h.family,
                         histogram: h.histogram,
                         lengths: h.lengths,
                     })
@@ -615,16 +629,21 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
         // Distinct histograms are independent: parallel siblings under
         // the tick (Brent: the tick's depth is the max over groups).
         let group_span = tick.par_span(&format!("histogram:{key:016x}"));
-        let histogram = match &jobs[0].request {
-            Request::Encode { histogram, .. } | Request::Decode { histogram, .. } => {
-                histogram.clone()
+        let (histogram, family) = match &jobs[0].request {
+            Request::Encode {
+                family, histogram, ..
             }
+            | Request::Decode {
+                family, histogram, ..
+            } => (histogram.clone(), *family),
             _ => unreachable!("control jobs answered above"),
         };
         let construct_span = group_span.span("construct");
-        let book = inner
-            .pool
-            .install(|| inner.cache.get_or_build(&histogram, &construct_span));
+        let book = inner.pool.install(|| {
+            inner
+                .cache
+                .get_or_build(&histogram, family, &construct_span)
+        });
         let book = match book {
             Ok(book) => book,
             Err(e) => {
@@ -692,6 +711,7 @@ fn respond(inner: &Inner, job: Job, response: Response) {
 mod tests {
     use super::*;
     use crate::frame::Histogram;
+    use partree_codecs::FamilyId;
 
     fn hist(counts: &[u32]) -> Histogram {
         Histogram::new(counts.to_vec()).unwrap()
@@ -699,6 +719,7 @@ mod tests {
 
     fn encode_req(counts: &[u32], payload: &[u8]) -> Request {
         Request::Encode {
+            family: FamilyId::Huffman,
             histogram: hist(counts),
             payload: payload.to_vec(),
         }
@@ -714,6 +735,7 @@ mod tests {
             other => panic!("expected Encoded, got {other:?}"),
         };
         let back = match svc.submit(Request::Decode {
+            family: FamilyId::Huffman,
             histogram: hist(&counts),
             bit_len,
             data,
@@ -727,6 +749,68 @@ mod tests {
         assert_eq!(m.cache_hits, 1, "decode reused the encode's codebook");
         assert!(m.work > 0 && m.depth > 0, "tick span trees folded in");
         assert_eq!(svc.shutdown(), 0);
+    }
+
+    #[test]
+    fn every_family_roundtrips_and_is_counted() {
+        let svc = Service::start(ServiceConfig::default());
+        let payload = vec![0u8, 1, 2, 0, 0, 1, 3, 3, 3, 0];
+        let counts = [10u32, 4, 2, 7];
+        for f in FamilyId::ALL {
+            let (bit_len, data) = match svc.submit(Request::Encode {
+                family: f,
+                histogram: hist(&counts),
+                payload: payload.clone(),
+            }) {
+                Response::Encoded { bit_len, data } => (bit_len, data),
+                other => panic!("{f}: expected Encoded, got {other:?}"),
+            };
+            let back = match svc.submit(Request::Decode {
+                family: f,
+                histogram: hist(&counts),
+                bit_len,
+                data,
+            }) {
+                Response::Decoded { payload } => payload,
+                other => panic!("{f}: expected Decoded, got {other:?}"),
+            };
+            assert_eq!(back, payload, "{f}");
+        }
+        let m = svc.metrics();
+        assert_eq!((m.encoded, m.decoded), (4, 4));
+        assert_eq!(m.family_requests, [2, 2, 2, 2]);
+        assert_eq!(m.family_constructions, [1, 1, 1, 1]);
+        assert_eq!(m.family_hits, [1, 1, 1, 1], "decode reused each book");
+        assert_eq!(m.cache_misses, 4, "one slot per family, no collisions");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn oversized_family_alphabet_is_a_structured_error() {
+        // 33 symbols: past the choosable-edge DP's cap, fine elsewhere.
+        let svc = Service::start(ServiceConfig::default());
+        let counts = vec![1u32; 33];
+        match svc.submit(Request::Encode {
+            family: FamilyId::ChoosableEdge,
+            histogram: hist(&counts),
+            payload: vec![0, 1, 2],
+        }) {
+            Response::Error {
+                code: ErrorCode::UnsupportedAlphabet,
+                ..
+            } => {}
+            other => panic!("expected UnsupportedAlphabet, got {other:?}"),
+        }
+        match svc.submit(Request::Encode {
+            family: FamilyId::ShannonFano,
+            histogram: hist(&counts),
+            payload: vec![0, 1, 2],
+        }) {
+            Response::Encoded { .. } => {}
+            other => panic!("expected Encoded, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().errors, 1);
+        svc.shutdown();
     }
 
     #[test]
@@ -998,6 +1082,7 @@ mod tests {
         let svc = Service::start(ServiceConfig::default());
         // Declared bit length exceeds the buffer: always corrupt.
         let resp = svc.submit(Request::Decode {
+            family: FamilyId::Huffman,
             histogram: hist(&[1, 1]),
             bit_len: 9,
             data: vec![0xFF],
@@ -1011,6 +1096,7 @@ mod tests {
         }
         // Mid-symbol truncation: a length-2 codeword cut after 1 bit.
         let resp = svc.submit(Request::Decode {
+            family: FamilyId::Huffman,
             histogram: hist(&[1, 1, 2]),
             bit_len: 1,
             data: vec![0x00],

@@ -12,6 +12,7 @@ use partree_service::frame::{
     encode_request, encode_response, read_frame, FrameDecoder, Histogram, RawFrame, Request,
     Response, HEADER_LEN,
 };
+use partree_service::FamilyId;
 use proptest::prelude::*;
 use std::io::{self, Cursor};
 
@@ -109,6 +110,7 @@ fn sample_stream() -> Vec<u8> {
     wire.extend_from_slice(&encode_request(
         2,
         &Request::Encode {
+            family: FamilyId::Huffman,
             histogram: hist.clone(),
             payload,
         },
@@ -156,7 +158,8 @@ proptest! {
             let hist = Histogram::new((1..=*n as u32).collect()).unwrap();
             wire.extend_from_slice(&encode_request(
                 i as u64,
-                &Request::Encode { histogram: hist, payload },
+                &Request::Encode {
+            family: FamilyId::Huffman, histogram: hist, payload },
             ));
         }
         assert_equivalent(&wire, &chunk_lens);

@@ -7,6 +7,7 @@ use partree_service::frame::{
     decode_request, decode_response, encode_request, read_frame, Opcode, Request, HEADER_LEN,
     MAGIC, MAX_BODY, VERSION,
 };
+use partree_service::FamilyId;
 use proptest::prelude::*;
 use std::io::Cursor;
 
@@ -95,7 +96,8 @@ proptest! {
         let counts: Vec<u32> = (1..=u32::from(n)).collect();
         let hist = partree_service::frame::Histogram::new(counts).unwrap();
         let payload: Vec<u8> = (0..64).map(|i| (i % n as usize) as u8).collect();
-        let full = encode_request(42, &Request::Encode { histogram: hist, payload });
+        let full = encode_request(42, &Request::Encode {
+            family: FamilyId::Huffman, histogram: hist, payload });
         let cut = ((full.len() as f64) * cut_frac) as usize; // < full.len()
         match read_frame(&mut Cursor::new(&full[..cut])) {
             Ok(None) => prop_assert_eq!(cut, 0, "clean EOF only at a frame boundary"),

@@ -10,6 +10,7 @@
 //!   which writes through and heals the store.
 
 use partree_service::frame::{Histogram, Request, Response};
+use partree_service::FamilyId;
 use partree_service::{Service, ServiceConfig};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -48,6 +49,7 @@ fn encode_all(svc: &Service) -> Vec<(u64, Vec<u8>)> {
         .map(|counts| {
             let payload: Vec<u8> = (0..64u8).map(|i| i % counts.len() as u8).collect();
             match svc.submit(Request::Encode {
+                family: FamilyId::Huffman,
                 histogram: hist(counts),
                 payload,
             }) {

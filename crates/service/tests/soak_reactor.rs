@@ -16,6 +16,7 @@ use partree_service::frame::{encode_request, read_frame, Histogram, Opcode, Requ
 use partree_service::net::{Server, Transport};
 use partree_service::server::{Service, ServiceConfig};
 use partree_service::Client;
+use partree_service::FamilyId;
 use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
@@ -61,6 +62,7 @@ fn reactor_soaks_thousands_of_idle_connections_without_leaks() {
         let svc = Service::start(ServiceConfig::default());
         let hist = Histogram::new(vec![3, 2, 1]).unwrap();
         svc.submit(Request::Encode {
+            family: FamilyId::Huffman,
             histogram: hist,
             payload: vec![0, 1, 2],
         });
@@ -89,6 +91,7 @@ fn reactor_soaks_thousands_of_idle_connections_without_leaks() {
             let payload: Vec<u8> = (0..256).map(|i| (i % 7) as u8).collect();
             let hist = Histogram::of_payload(7, &payload).unwrap();
             let resp = direct.submit(Request::Encode {
+                family: FamilyId::Huffman,
                 histogram: hist.clone(),
                 payload: payload.clone(),
             });
@@ -160,6 +163,7 @@ fn paused_service_sheds_busy_deterministically_over_the_reactor() {
     let wire = encode_request(
         5,
         &Request::Encode {
+            family: FamilyId::Huffman,
             histogram: hist,
             payload,
         },

@@ -106,6 +106,21 @@ pub trait CodebookStore: Send + Sync {
     /// Stores `body` under `key`, replacing any previous record.
     fn put(&self, key: u64, body: &[u8]) -> Result<(), StoreError>;
 
+    /// Stores `body` under `key` with a code-family tag (0–15). The
+    /// default implementation drops the tag — backends that persist it
+    /// (the log store's v2 records, [`MemStore`]) override this.
+    fn put_tagged(&self, key: u64, family: u8, body: &[u8]) -> Result<(), StoreError> {
+        let _ = family;
+        self.put(key, body)
+    }
+
+    /// Returns the stored `(family, body)` for `key`. Backends without
+    /// family storage report family 0 (the default family), matching
+    /// how v1 log records read back.
+    fn get_tagged(&self, key: u64) -> Result<Option<(u8, Vec<u8>)>, StoreError> {
+        Ok(self.get(key)?.map(|b| (0, b)))
+    }
+
     /// Removes `key` (tombstone in log-structured backends).
     fn remove(&self, key: u64) -> Result<(), StoreError>;
 

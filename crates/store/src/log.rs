@@ -9,7 +9,7 @@
 //! the bottleneck and buys straightforward crash reasoning: every
 //! append is a single contiguous `write_all` under the lock.
 
-use crate::record::{decode_record, encode_record, record_len, RecordError};
+use crate::record::{decode_record, encode_record_tagged, record_len, RecordError};
 use crate::segment::{parse_segment_name, repair_segment, scan_segment, segment_path};
 use crate::{CodebookStore, FsyncPolicy, StoreError};
 use std::collections::HashMap;
@@ -250,8 +250,9 @@ impl LogStore {
         Ok(())
     }
 
-    /// Reads and CRC-verifies the record at `loc`.
-    fn read_at(&self, inner: &mut LogInner, loc: Loc) -> Result<Vec<u8>, RecordReadError> {
+    /// Reads and CRC-verifies the record at `loc`, returning its
+    /// family tag and body.
+    fn read_at(&self, inner: &mut LogInner, loc: Loc) -> Result<(u8, Vec<u8>), RecordReadError> {
         let dir = self.dir.clone();
         let file = match inner.readers.get_mut(&loc.seg) {
             Some(f) => f,
@@ -265,7 +266,7 @@ impl LogStore {
         let mut buf = vec![0u8; loc.len as usize];
         file.read_exact(&mut buf).map_err(RecordReadError::Io)?;
         match decode_record(&buf) {
-            Ok((rec, _)) if !rec.tombstone => Ok(rec.body),
+            Ok((rec, _)) if !rec.tombstone => Ok((rec.family, rec.body)),
             Ok(_) | Err(_) => Err(RecordReadError::Corrupt),
         }
     }
@@ -281,13 +282,13 @@ impl LogStore {
     fn compact_locked(&self, inner: &mut LogInner) -> Result<(), StoreError> {
         let mut keys: Vec<u64> = inner.index.keys().copied().collect();
         keys.sort_unstable();
-        let mut survivors: Vec<(u64, Vec<u8>)> = Vec::with_capacity(keys.len());
+        let mut survivors: Vec<(u64, u8, Vec<u8>)> = Vec::with_capacity(keys.len());
         for key in keys {
             let Some(loc) = inner.index.get(&key).copied() else {
                 continue;
             };
             match self.read_at(inner, loc) {
-                Ok(body) => survivors.push((key, body)),
+                Ok((family, body)) => survivors.push((key, family, body)),
                 Err(_) => {
                     // Bit rot discovered during compaction: drop the
                     // record; the deterministic rebuild heals it.
@@ -309,8 +310,8 @@ impl LogStore {
         // already key-sorted; this map is never iterated for output.
         let mut new_index = HashMap::with_capacity(survivors.len());
         let mut offset = 0u64;
-        for (key, body) in &survivors {
-            let bytes = encode_record(*key, false, body);
+        for (key, family, body) in &survivors {
+            let bytes = encode_record_tagged(*key, false, *family, body);
             file.write_all(&bytes)
                 .map_err(StoreError::io("write compacted record"))?;
             new_index.insert(
@@ -364,12 +365,16 @@ fn damaged_guess(file_len: u64, valid_len: u64, _err: RecordError) -> u64 {
 
 impl CodebookStore for LogStore {
     fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
+        Ok(self.get_tagged(key)?.map(|(_, body)| body))
+    }
+
+    fn get_tagged(&self, key: u64) -> Result<Option<(u8, Vec<u8>)>, StoreError> {
         let mut inner = self.lock();
         let Some(loc) = inner.index.get(&key).copied() else {
             return Ok(None);
         };
         match self.read_at(&mut inner, loc) {
-            Ok(body) => Ok(Some(body)),
+            Ok(tagged) => Ok(Some(tagged)),
             Err(RecordReadError::Corrupt) => {
                 // CRC said no: never serve it. Forget the entry and
                 // report a miss so the caller rebuilds and re-puts.
@@ -383,10 +388,14 @@ impl CodebookStore for LogStore {
     }
 
     fn put(&self, key: u64, body: &[u8]) -> Result<(), StoreError> {
+        self.put_tagged(key, 0, body)
+    }
+
+    fn put_tagged(&self, key: u64, family: u8, body: &[u8]) -> Result<(), StoreError> {
         if record_len(body.len()) as u64 > crate::record::MAX_BODY_LEN as u64 {
             return Err(StoreError::TooLarge(body.len()));
         }
-        let bytes = encode_record(key, false, body);
+        let bytes = encode_record_tagged(key, false, family, body);
         let mut inner = self.lock();
         let loc = self.append(&mut inner, &bytes)?;
         if let Some(old) = inner.index.insert(key, loc) {
@@ -405,7 +414,7 @@ impl CodebookStore for LogStore {
             return Ok(());
         };
         inner.live_bytes = inner.live_bytes.saturating_sub(old.len as u64);
-        let bytes = encode_record(key, true, &[]);
+        let bytes = encode_record_tagged(key, true, 0, &[]);
         self.append(&mut inner, &bytes)?;
         if self.wants_compaction(&inner) {
             self.compact_locked(&mut inner)?;
@@ -516,6 +525,40 @@ mod tests {
         let store = LogStore::open(&dir, small_cfg()).expect("reopen");
         for k in 0..4u64 {
             assert_eq!(store.get(k).expect("get"), Some(vec![39u8; 32]));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn family_tags_survive_reopen_and_compaction() {
+        let dir = temp_dir("family");
+        {
+            let store = LogStore::open(&dir, small_cfg()).expect("open");
+            // Mixed-family churn: overwrites generate dead bytes so
+            // compaction fires while families 0..=3 are all live.
+            for round in 0..40u64 {
+                for k in 0..8u64 {
+                    store
+                        .put_tagged(k, (k % 4) as u8, &[round as u8; 24])
+                        .expect("put");
+                }
+            }
+            assert!(store.compactions() > 0, "compaction never triggered");
+            for k in 0..8u64 {
+                assert_eq!(
+                    store.get_tagged(k).expect("get"),
+                    Some(((k % 4) as u8, vec![39u8; 24])),
+                    "key {k} after compaction"
+                );
+            }
+        }
+        let store = LogStore::open(&dir, small_cfg()).expect("reopen");
+        for k in 0..8u64 {
+            assert_eq!(
+                store.get_tagged(k).expect("get"),
+                Some(((k % 4) as u8, vec![39u8; 24])),
+                "key {k} after reopen"
+            );
         }
         let _ = fs::remove_dir_all(&dir);
     }

@@ -10,12 +10,16 @@ use std::sync::Mutex;
 /// Number of shards; power of two so the selector is a mask.
 const SHARDS: usize = 8;
 
-/// Sharded in-memory store.
+/// One shard: key → (code-family tag, body bytes).
+type Shard = Mutex<HashMap<u64, (u8, Vec<u8>)>>;
+
+/// Sharded in-memory store. Values carry the code-family tag so the
+/// torture tests can model the log store's v2 records exactly.
 #[derive(Default)]
 pub struct MemStore {
     // determinism: sharded by low key bits; lookups are by exact key
     // and nothing iterates a shard into output.
-    shards: [Mutex<HashMap<u64, Vec<u8>>>; SHARDS],
+    shards: [Shard; SHARDS],
 }
 
 impl MemStore {
@@ -26,7 +30,7 @@ impl MemStore {
 
     // determinism: return type only; the shard map is probed by exact
     // key, never iterated.
-    fn shard(&self, key: u64) -> std::sync::MutexGuard<'_, HashMap<u64, Vec<u8>>> {
+    fn shard(&self, key: u64) -> std::sync::MutexGuard<'_, HashMap<u64, (u8, Vec<u8>)>> {
         // lint: allow(no-unwrap): a poisoned shard means a panic while
         // holding the map; entries may be half-written and crashing
         // beats serving them.
@@ -38,12 +42,20 @@ impl MemStore {
 
 impl CodebookStore for MemStore {
     fn get(&self, key: u64) -> Result<Option<Vec<u8>>, StoreError> {
-        Ok(self.shard(key).get(&key).cloned())
+        Ok(self.shard(key).get(&key).map(|(_, b)| b.clone()))
     }
 
     fn put(&self, key: u64, body: &[u8]) -> Result<(), StoreError> {
-        self.shard(key).insert(key, body.to_vec());
+        self.put_tagged(key, 0, body)
+    }
+
+    fn put_tagged(&self, key: u64, family: u8, body: &[u8]) -> Result<(), StoreError> {
+        self.shard(key).insert(key, (family, body.to_vec()));
         Ok(())
+    }
+
+    fn get_tagged(&self, key: u64) -> Result<Option<(u8, Vec<u8>)>, StoreError> {
+        Ok(self.shard(key).get(&key).cloned())
     }
 
     fn remove(&self, key: u64) -> Result<(), StoreError> {
@@ -83,5 +95,22 @@ mod tests {
         store.remove(1).expect("remove");
         assert_eq!(store.get(1).expect("get"), None);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn family_tags_roundtrip() {
+        let store = MemStore::new();
+        store.put_tagged(5, 3, b"choosable").expect("put");
+        store.put(6, b"plain").expect("put");
+        assert_eq!(
+            store.get_tagged(5).expect("get"),
+            Some((3, b"choosable".to_vec()))
+        );
+        assert_eq!(
+            store.get_tagged(6).expect("get"),
+            Some((0, b"plain".to_vec()))
+        );
+        // The untagged view still serves the body.
+        assert_eq!(store.get(5).expect("get"), Some(b"choosable".to_vec()));
     }
 }

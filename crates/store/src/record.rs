@@ -6,8 +6,9 @@
 //! ```text
 //! offset  size  field
 //! 0       2     magic      0x5043 ("PC")
-//! 2       1     version    1
-//! 3       1     flags      bit 0 = tombstone (body empty)
+//! 2       1     version    1 or 2
+//! 3       1     flags      bit 0 = tombstone (body empty);
+//!                          bits 4–7 = code family tag (v2)
 //! 4       8     key        caller-supplied 64-bit hash
 //! 12      4     body_len   bytes of body that follow the header
 //! 16      n     body
@@ -18,6 +19,12 @@
 //! torn write — the common crash shape, where the tail of an append
 //! never hit the disk — is always detected: a record is only accepted
 //! once every byte up to and including its trailer checks out.
+//!
+//! **Version 2** adds the code-family tag in the high nibble of the
+//! flags byte; a v1 record is read as family 0 (Huffman), so logs
+//! written before the multi-family protocol reopen unchanged. Writers
+//! emit v1 for family 0 and v2 otherwise, which keeps a Huffman-only
+//! deployment's log bytes identical to the pre-family build.
 
 use crate::crc::crc32;
 
@@ -26,8 +33,15 @@ use crate::crc::crc32;
 /// frame capture written to the store directory, is rejected instantly.
 pub const RECORD_MAGIC: u16 = 0x5043;
 
-/// Current record format version.
-pub const RECORD_VERSION: u8 = 1;
+/// Original record format version: no family tag, flags bits 4–7 zero.
+pub const RECORD_VERSION_V1: u8 = 1;
+
+/// Current record format version: flags bits 4–7 carry the code-family
+/// tag. Only emitted when the tag is nonzero (see module docs).
+pub const RECORD_VERSION: u8 = 2;
+
+/// Highest code-family tag the flags nibble can carry.
+pub const MAX_FAMILY_TAG: u8 = 0x0F;
 
 /// Header bytes before the body.
 pub const HEADER_LEN: usize = 16;
@@ -44,13 +58,18 @@ pub const MAX_BODY_LEN: u32 = 1 << 20;
 /// Flag bit: the record deletes `key` rather than defining it.
 pub const FLAG_TOMBSTONE: u8 = 0b0000_0001;
 
+/// Shift of the code-family tag within the flags byte (v2 records).
+pub const FLAG_FAMILY_SHIFT: u8 = 4;
+
 /// A decoded record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Record {
-    /// 64-bit key (the service uses `Histogram::hash64`).
+    /// 64-bit key (the service uses the family-tagged histogram hash).
     pub key: u64,
     /// True if this record tombstones the key.
     pub tombstone: bool,
+    /// Code-family tag (0 for v1 records and the default family).
+    pub family: u8,
     /// Record body (empty for tombstones).
     pub body: Vec<u8>,
 }
@@ -89,14 +108,30 @@ pub fn record_len(body_len: usize) -> usize {
     HEADER_LEN + body_len + TRAILER_LEN
 }
 
-/// Encodes one record (header, body, CRC trailer) into a fresh buffer.
+/// Encodes one family-0 record (header, body, CRC trailer) into a
+/// fresh buffer. Emits version 1 — byte-identical to the pre-family
+/// format.
 pub fn encode_record(key: u64, tombstone: bool, body: &[u8]) -> Vec<u8> {
+    encode_record_tagged(key, tombstone, 0, body)
+}
+
+/// Encodes one record carrying a code-family tag. Family 0 is written
+/// as a v1 record (so default-family logs stay byte-identical);
+/// nonzero families are v2 with the tag in flags bits 4–7.
+pub fn encode_record_tagged(key: u64, tombstone: bool, family: u8, body: &[u8]) -> Vec<u8> {
     debug_assert!(body.len() as u64 <= MAX_BODY_LEN as u64);
     debug_assert!(!tombstone || body.is_empty());
+    debug_assert!(family <= MAX_FAMILY_TAG);
     let mut out = Vec::with_capacity(record_len(body.len()));
     out.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
-    out.push(RECORD_VERSION);
-    out.push(if tombstone { FLAG_TOMBSTONE } else { 0 });
+    out.push(if family == 0 {
+        RECORD_VERSION_V1
+    } else {
+        RECORD_VERSION
+    });
+    let mut flags = if tombstone { FLAG_TOMBSTONE } else { 0 };
+    flags |= family << FLAG_FAMILY_SHIFT;
+    out.push(flags);
     out.extend_from_slice(&key.to_le_bytes());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(body);
@@ -115,11 +150,18 @@ pub fn decode_record(buf: &[u8]) -> Result<(Record, usize), RecordError> {
     if magic != RECORD_MAGIC {
         return Err(RecordError::BadMagic);
     }
-    if buf[2] != RECORD_VERSION {
+    let version = buf[2];
+    if version != RECORD_VERSION_V1 && version != RECORD_VERSION {
         return Err(RecordError::BadVersion);
     }
     let flags = buf[3];
     let tombstone = flags & FLAG_TOMBSTONE != 0;
+    // v1 predates the family nibble; read it as the default family.
+    let family = if version == RECORD_VERSION_V1 {
+        0
+    } else {
+        flags >> FLAG_FAMILY_SHIFT
+    };
     let key = u64::from_le_bytes([
         buf[4], buf[5], buf[6], buf[7], buf[8], buf[9], buf[10], buf[11],
     ]);
@@ -145,6 +187,7 @@ pub fn decode_record(buf: &[u8]) -> Result<(Record, usize), RecordError> {
         Record {
             key,
             tombstone,
+            family,
             body: buf[HEADER_LEN..sealed].to_vec(),
         },
         total,
@@ -173,6 +216,49 @@ mod tests {
         let (rec, _) = decode_record(&bytes).expect("decodes");
         assert!(rec.tombstone);
         assert!(rec.body.is_empty());
+        assert_eq!(rec.family, 0);
+    }
+
+    #[test]
+    fn family_tag_roundtrips_and_family_zero_stays_v1() {
+        for family in 0..=MAX_FAMILY_TAG {
+            let bytes = encode_record_tagged(11, false, family, b"lengths");
+            assert_eq!(
+                bytes[2],
+                if family == 0 {
+                    RECORD_VERSION_V1
+                } else {
+                    RECORD_VERSION
+                },
+                "family {family} version byte"
+            );
+            let (rec, _) = decode_record(&bytes).expect("decodes");
+            assert_eq!(rec.family, family);
+            assert_eq!(rec.body, b"lengths");
+        }
+        // Family 0 is byte-identical to the pre-family encoder output.
+        assert_eq!(
+            encode_record_tagged(11, false, 0, b"x"),
+            encode_record(11, false, b"x"),
+        );
+    }
+
+    #[test]
+    fn v1_records_decode_as_family_zero() {
+        // A hand-built v1 record — exactly what the pre-family build
+        // wrote — must parse with family 0.
+        let mut out = Vec::new();
+        out.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+        out.push(RECORD_VERSION_V1);
+        out.push(0);
+        out.extend_from_slice(&99u64.to_le_bytes());
+        out.extend_from_slice(&4u32.to_le_bytes());
+        out.extend_from_slice(b"body");
+        let crc = crate::crc::crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        let (rec, used) = decode_record(&out).expect("v1 decodes");
+        assert_eq!(used, out.len());
+        assert_eq!((rec.key, rec.family, rec.tombstone), (99, 0, false));
     }
 
     #[test]

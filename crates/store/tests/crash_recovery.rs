@@ -12,6 +12,10 @@
 //! 4. re-putting the lost keys — standing in for the service's
 //!    deterministic rebuild — heals the store completely, including
 //!    across one more reopen.
+//!
+//! The appends are mixed-family (`key % 4` cycles all four code-family
+//! tags), so the property also covers the v2 record format: family
+//! tags must survive damage, recovery, and healing byte-for-byte.
 
 use partree_store::record;
 use partree_store::segment::{parse_segment_name, scan_segment};
@@ -91,10 +95,13 @@ proptest! {
                 (k, body)
             })
             .collect();
+        // Family tag per key: cycles through all four families, so v1
+        // (family 0) and v2 records interleave in every segment.
+        let fam = |k: u64| (k % 4) as u8;
         {
             let store = LogStore::open(&dir, small_cfg()).expect("open fresh");
             for (k, body) in &bodies {
-                store.put(*k, body).expect("put");
+                store.put_tagged(*k, fam(*k), body).expect("put");
             }
         }
         let spans = layout(&dir);
@@ -142,10 +149,15 @@ proptest! {
         let store = LogStore::open(&dir, small_cfg()).expect("open damaged");
 
         for (k, body) in &bodies {
-            let got = store.get(*k).expect("get");
+            let got = store.get_tagged(*k).expect("get");
             if survives(k) {
-                // (2) everything before the damage is recovered.
-                prop_assert_eq!(got.as_ref(), Some(body), "key {} should survive", k);
+                // (2) everything before the damage is recovered,
+                // family tag included.
+                prop_assert_eq!(
+                    got,
+                    Some((fam(*k), body.clone())),
+                    "key {} should survive with its family tag", k
+                );
             } else {
                 // (3) never a corrupt value: a damaged record is a
                 // miss, not garbage.
@@ -159,13 +171,16 @@ proptest! {
         // (4) the deterministic rebuild heals: re-put the losses.
         for (k, body) in &bodies {
             if !survives(k) {
-                store.put(*k, body).expect("heal put");
+                store.put_tagged(*k, fam(*k), body).expect("heal put");
             }
         }
         drop(store);
         let store = LogStore::open(&dir, small_cfg()).expect("reopen healed");
         for (k, body) in &bodies {
-            prop_assert_eq!(store.get(*k).expect("get"), Some(body.clone()));
+            prop_assert_eq!(
+                store.get_tagged(*k).expect("get"),
+                Some((fam(*k), body.clone()))
+            );
         }
         drop(store);
         let _ = fs::remove_dir_all(&dir);

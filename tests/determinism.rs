@@ -19,6 +19,7 @@ use partree::pram::model::with_threads;
 use partree::pram::CostTracer;
 use partree::service::frame::Histogram;
 use partree::service::CodebookCache;
+use partree::service::FamilyId;
 use partree::trees::finger::build_general;
 
 const POOLS: [usize; 3] = [1, 2, 8];
@@ -128,25 +129,31 @@ fn lcfl_recognizer_and_parser_are_stable() {
 #[test]
 fn service_codebooks_are_bit_identical_across_pools() {
     // The service's cache must hand back the same canonical codebook
-    // whatever pool width built it: same code lengths, same encoded
-    // bytes for a probe payload. This is what makes first-insert-wins
-    // sound for racing misses.
+    // whatever pool width built it — for every code family: same code
+    // lengths, same encoded bytes for a probe payload. This is what
+    // makes first-insert-wins sound for racing misses.
     let hist = Histogram::new(vec![45, 13, 12, 16, 9, 5, 31, 2, 2, 8]).unwrap();
     let probe: Vec<u8> = (0..64).map(|i| (i * 7 % 10) as u8).collect();
 
-    let baseline = {
-        let cache = CodebookCache::new(4, 16);
-        let book = cache.get_or_build(&hist, &CostTracer::disabled()).unwrap();
-        (book.lengths.clone(), book.encode(&probe).unwrap())
-    };
-    for threads in POOLS {
-        let (lengths, encoded) = with_threads(threads, || {
+    for family in FamilyId::ALL {
+        let baseline = {
             let cache = CodebookCache::new(4, 16);
-            let book = cache.get_or_build(&hist, &CostTracer::disabled()).unwrap();
+            let book = cache
+                .get_or_build(&hist, family, &CostTracer::disabled())
+                .unwrap();
             (book.lengths.clone(), book.encode(&probe).unwrap())
-        });
-        assert_eq!(lengths, baseline.0, "threads={threads}");
-        assert_eq!(encoded, baseline.1, "threads={threads}");
+        };
+        for threads in POOLS {
+            let (lengths, encoded) = with_threads(threads, || {
+                let cache = CodebookCache::new(4, 16);
+                let book = cache
+                    .get_or_build(&hist, family, &CostTracer::disabled())
+                    .unwrap();
+                (book.lengths.clone(), book.encode(&probe).unwrap())
+            });
+            assert_eq!(lengths, baseline.0, "{family} threads={threads}");
+            assert_eq!(encoded, baseline.1, "{family} threads={threads}");
+        }
     }
 }
 
@@ -169,7 +176,9 @@ fn racing_cache_misses_converge_on_one_codebook() {
                     let probe = &probe;
                     s.spawn(move || {
                         let book = with_threads(threads, || {
-                            cache.get_or_build(hist, &CostTracer::disabled()).unwrap()
+                            cache
+                                .get_or_build(hist, FamilyId::Huffman, &CostTracer::disabled())
+                                .unwrap()
                         });
                         (book.lengths.clone(), book.encode(probe).unwrap())
                     })

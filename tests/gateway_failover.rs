@@ -10,6 +10,7 @@ use partree::gateway::{Gateway, GatewayConfig};
 use partree::service::frame::{Histogram, Request, Response};
 use partree::service::net::Server;
 use partree::service::server::{Service, ServiceConfig};
+use partree::service::FamilyId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -45,6 +46,7 @@ fn build_expected() -> Vec<Expected> {
             let msg = payload(n, i, 48 + (i as usize % 96));
             let hist = Histogram::of_payload(n, &msg).unwrap();
             match direct.submit(Request::Encode {
+                family: FamilyId::Huffman,
                 histogram: hist.clone(),
                 payload: msg.clone(),
             }) {
@@ -205,6 +207,7 @@ fn gateway_stats_and_drain_roundtrip() {
     }
     assert!(matches!(
         gw.request(&Request::Encode {
+            family: FamilyId::Huffman,
             histogram: hist.clone(),
             payload: msg.clone(),
         })

@@ -14,6 +14,7 @@ use partree::gateway::{Gateway, GatewayConfig};
 use partree::service::frame::{Histogram, Request, Response};
 use partree::service::net::{Server, Transport};
 use partree::service::server::{Service, ServiceConfig};
+use partree::service::FamilyId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -49,6 +50,7 @@ fn build_expected() -> Vec<Expected> {
             let msg = payload(n, i, 48 + (i as usize % 96));
             let hist = Histogram::of_payload(n, &msg).unwrap();
             match direct.submit(Request::Encode {
+                family: FamilyId::Huffman,
                 histogram: hist.clone(),
                 payload: msg.clone(),
             }) {

@@ -8,6 +8,7 @@ use partree::service::frame::{Histogram, Request, Response};
 use partree::service::net::Server;
 use partree::service::server::{Service, ServiceConfig};
 use partree::service::Client;
+use partree::service::FamilyId;
 
 /// Ten distinct alphabets, sizes 2..=256, flat and skewed shapes.
 fn alphabets() -> Vec<Histogram> {
@@ -108,6 +109,7 @@ fn saturated_queue_sheds_load_with_busy() {
     let mut busy = 0;
     for k in 0..5 {
         match svc.try_enqueue(Request::Encode {
+            family: FamilyId::Huffman,
             histogram: hist.clone(),
             payload: vec![0],
         }) {
@@ -150,6 +152,7 @@ fn tcp_busy_surfaces_to_clients() {
                     let mut client = Client::connect(addr).unwrap();
                     client
                         .request(&Request::Encode {
+                            family: FamilyId::Huffman,
                             histogram: hist,
                             payload: vec![0, 1, 2],
                         })

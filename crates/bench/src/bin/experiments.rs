@@ -96,6 +96,9 @@ fn main() {
     if want("e17") {
         e17();
     }
+    if want("e18") {
+        e18();
+    }
 }
 
 fn ms(t: Instant) -> f64 {
@@ -1253,5 +1256,205 @@ fn e17() {
         rel.join(","),
         m.family_hits.iter().sum::<u64>(),
         m.family_constructions.iter().sum::<u64>(),
+    );
+}
+
+/// E18 — incremental codebook maintenance: the patched-vs-rebuild
+/// crossover (schema in EXPERIMENTS.md § E18). Part 1 times the delta
+/// engine against from-scratch construction per family and alphabet
+/// size, alongside the engine's own work model. Part 2 drives the same
+/// bounded drifts end-to-end through a live service via `EncodeDelta`.
+/// The claims under test: (1) for a bounded drift of distinct counts
+/// the Huffman patch serves bit-identical lengths at a fraction of the
+/// DP rebuild's cost, with the gap widening as n grows; (2) families
+/// without a patch rule fall back and stay exact; (3) the service
+/// answers a drift stream with exactly one full construction (the
+/// base) — every delta request is a patch or a counted fallback, never
+/// a cache rebuild of the base.
+fn e18() {
+    use partree_codecs::{family, FamilyId};
+    use partree_delta::{apply, DeltaConfig, DeltaPath};
+    use partree_service::frame::{Histogram, Request, Response};
+    use partree_service::server::{Service, ServiceConfig};
+
+    println!("\n## E18  Incremental maintenance — patched vs rebuild crossover");
+    println!("one JSON line per (family, n), then the service-level drift stream\n");
+
+    let counts = |n: usize, seed: u64| -> Vec<u32> {
+        let mut s = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (s % 1_000_000 + 2) as u32
+            })
+            .collect()
+    };
+    // Bounded multiplicative drift: every count scaled into [0.80, 1.25],
+    // comfortably inside the default factor-of-two bound.
+    let drift = |base: &[u32], seed: u64| -> Vec<u32> {
+        let mut s = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+        base.iter()
+            .map(|&c| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                (u64::from(c) * (80 + s % 46) / 100).max(1) as u32
+            })
+            .collect()
+    };
+    fn median9(mut op: impl FnMut()) -> f64 {
+        let mut t: Vec<f64> = (0..9)
+            .map(|_| {
+                let t0 = Instant::now();
+                op();
+                t0.elapsed().as_secs_f64() * 1e6
+            })
+            .collect();
+        t.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        t[4]
+    }
+
+    // Part 1 — raw crossover: the delta engine (classification + patch
+    // rule + exactness verification) vs the family's from-scratch
+    // pipeline, median-of-9 each, plus the engine's work model.
+    let cfg = DeltaConfig::default();
+    for f in FamilyId::ALL {
+        let fam = family(f);
+        let sizes: &[usize] = if fam.max_alphabet() < 64 {
+            &[8, 16, 32]
+        } else {
+            &[16, 64, 256]
+        };
+        for &n in sizes {
+            let base = counts(n, n as u64 + 1);
+            let drifted = drift(&base, n as u64 + 2);
+            let base_lengths = fam.lengths(&base).expect("valid counts");
+            let r = apply(f, &base, &base_lengths, &drifted, &cfg).expect("valid drift");
+            assert_eq!(
+                r.lengths,
+                fam.lengths(&drifted).expect("valid counts"),
+                "e18 {f} n={n}: delta lengths must be exact"
+            );
+            let patch_us = median9(|| {
+                let _ = std::hint::black_box(apply(f, &base, &base_lengths, &drifted, &cfg));
+            });
+            let rebuild_us = median9(|| {
+                let _ = std::hint::black_box(fam.lengths(&drifted));
+            });
+            println!(
+                "{{\"experiment\":\"e18\",\"part\":\"crossover\",\"family\":\"{}\",\
+                 \"n\":{n},\"path\":\"{}\",\"patch_us\":{patch_us:.2},\
+                 \"rebuild_us\":{rebuild_us:.2},\"patch_work\":{},\
+                 \"rebuild_work\":{},\"measured_speedup\":{:.2}}}",
+                f.name(),
+                match r.path {
+                    DeltaPath::Patched => "patched",
+                    DeltaPath::Rebuilt => "rebuilt",
+                },
+                r.patch_work,
+                r.rebuild_work,
+                rebuild_us / patch_us.max(0.01),
+            );
+            match f {
+                FamilyId::Huffman => {
+                    assert_eq!(
+                        r.path,
+                        DeltaPath::Patched,
+                        "e18: bounded drift of distinct counts must patch (n={n})"
+                    );
+                    assert!(r.patch_work < r.rebuild_work, "e18: work model n={n}");
+                    // The DP rebuild is quadratic; by n=64 the O(n log n)
+                    // patch must win on the clock, not just on the model.
+                    if n >= 64 {
+                        assert!(
+                            patch_us < rebuild_us,
+                            "e18: patch must beat the DP rebuild at n={n} \
+                             ({patch_us:.1}us vs {rebuild_us:.1}us)"
+                        );
+                    }
+                }
+                FamilyId::ShannonFano => assert_eq!(r.path, DeltaPath::Patched),
+                FamilyId::Minimax | FamilyId::ChoosableEdge => {
+                    assert_eq!(r.path, DeltaPath::Rebuilt, "{f} has no patch rule")
+                }
+            }
+        }
+    }
+
+    // Part 2 — the drift stream a cache actually sees: one base Encode,
+    // then R EncodeDelta requests against its key, each a fresh bounded
+    // drift. The base is the only full construction; every delta is a
+    // patch or a counted fallback.
+    const R: usize = 32;
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let n = 64usize;
+    let base = counts(n, 5);
+    let hist = Histogram::new(base.clone()).expect("valid");
+    let base_key = FamilyId::Huffman.tagged_key(hist.hash64());
+    let msg: Vec<u8> = (0..2048).map(|i| (i * 31 % n) as u8).collect();
+    match svc.submit(Request::Encode {
+        family: FamilyId::Huffman,
+        histogram: hist,
+        payload: msg.clone(),
+    }) {
+        Response::Encoded { .. } => {}
+        other => panic!("e18 base encode: {other:?}"),
+    }
+    let t0 = Instant::now();
+    for i in 0..R {
+        let drifted = drift(&base, 100 + i as u64);
+        let deltas: Vec<(u16, i32)> = base
+            .iter()
+            .zip(&drifted)
+            .enumerate()
+            .filter(|(_, (b, d))| b != d)
+            .map(|(s, (&b, &d))| (s as u16, d as i32 - b as i32))
+            .collect();
+        match svc.submit(Request::EncodeDelta {
+            family: FamilyId::Huffman,
+            base_key,
+            deltas,
+            payload: msg.clone(),
+        }) {
+            Response::DeltaEncoded { .. } => {}
+            other => panic!("e18 delta {i}: {other:?}"),
+        }
+    }
+    let elapsed_ms = ms(t0);
+    let m = svc.metrics();
+    svc.shutdown();
+    println!(
+        "{{\"experiment\":\"e18\",\"part\":\"service\",\"family\":\"huffman\",\
+         \"n\":{n},\"delta_requests\":{},\"delta_patched\":{},\
+         \"delta_fallbacks\":{},\"delta_unknown_base\":{},\
+         \"constructions\":{},\"elapsed_ms\":{elapsed_ms:.3},\
+         \"amortized_us_per_request\":{:.2}}}",
+        m.delta_requests,
+        m.delta_patched,
+        m.delta_fallbacks,
+        m.delta_unknown_base,
+        m.constructions,
+        elapsed_ms * 1e3 / R as f64,
+    );
+    assert_eq!(m.delta_requests, R as u64, "e18: every delta counted");
+    assert_eq!(m.delta_unknown_base, 0, "e18: the base stayed resident");
+    assert_eq!(
+        m.delta_patched + m.delta_fallbacks,
+        R as u64,
+        "e18: every delta patched or counted as a fallback"
+    );
+    assert!(
+        m.delta_patched >= R as u64 * 3 / 4,
+        "e18: distinct-count drifts must mostly patch ({}/{R})",
+        m.delta_patched
+    );
+    assert_eq!(
+        m.constructions, 1,
+        "e18: the base is the only full construction"
     );
 }

@@ -1,0 +1,262 @@
+//! Drift classification and sparse delta application.
+//!
+//! A **drift** is the relation between a cached base histogram and the
+//! histogram a client now wants served. The wire carries it as sparse
+//! `(symbol, signed delta)` pairs against the base ([`apply_sparse`]);
+//! the engine classifies the reconstructed counts ([`classify`])
+//! against a configurable per-symbol ratio bound ([`DeltaConfig`]) to
+//! decide whether a patch rule may run at all.
+
+use partree_core::{Error, Result};
+
+/// Policy knobs for the delta engine. The per-symbol ratio bound is a
+/// rational `num/den` so the comparison stays in exact integer
+/// arithmetic: a nonzero count `old` may drift to `new` iff
+/// `new·den ≤ old·num` and `old·den ≤ new·num`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaConfig {
+    /// Ratio-bound numerator (default 2).
+    pub ratio_num: u64,
+    /// Ratio-bound denominator (default 1 — a factor-of-two bound).
+    pub ratio_den: u64,
+}
+
+impl Default for DeltaConfig {
+    fn default() -> Self {
+        DeltaConfig {
+            ratio_num: 2,
+            ratio_den: 1,
+        }
+    }
+}
+
+impl DeltaConfig {
+    /// A bound of `pct` percent: 200 is the factor-of-two default, 150
+    /// allows ±1.5×. Values below 100 collapse to "no drift allowed".
+    pub fn from_ratio_pct(pct: u32) -> DeltaConfig {
+        DeltaConfig {
+            ratio_num: u64::from(pct.max(100)),
+            ratio_den: 100,
+        }
+    }
+
+    /// True iff a nonzero count may drift `old → new` under the bound.
+    pub fn within_bound(&self, old: u32, new: u32) -> bool {
+        let (old, new) = (u64::from(old), u64::from(new));
+        new * self.ratio_den <= old * self.ratio_num && old * self.ratio_den <= new * self.ratio_num
+    }
+}
+
+/// The classification of a drifted histogram against its base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Drift {
+    /// Counts are identical: the base codebook is the answer.
+    Unchanged,
+    /// Every changed symbol stayed nonzero and within the ratio bound:
+    /// a patch rule may run.
+    Bounded {
+        /// Number of symbols whose count changed.
+        changed: usize,
+        /// Smallest affected position in the drifted sorted order — the
+        /// left edge of the spine region a patch must reconsider.
+        lo: usize,
+        /// Largest affected position in the drifted sorted order.
+        hi: usize,
+    },
+    /// Symbols crossed zero: the leaf set itself changed, so the tree
+    /// shape is not locally repairable.
+    AddedRemoved {
+        /// Symbols that went `0 → nonzero`.
+        added: usize,
+        /// Symbols that went `nonzero → 0`.
+        removed: usize,
+    },
+    /// The alphabet size changed.
+    AlphabetChanged {
+        /// Base alphabet size.
+        from: usize,
+        /// Drifted alphabet size.
+        to: usize,
+    },
+    /// Some symbol drifted past the ratio bound.
+    ExceedsBound {
+        /// First offending symbol index.
+        symbol: usize,
+        /// Its base count.
+        old: u32,
+        /// Its drifted count.
+        new: u32,
+    },
+}
+
+/// Classifies `drifted` against `base` under `cfg`. Structural changes
+/// (alphabet, zero crossings) dominate ratio violations, which dominate
+/// the bounded case; ties inside each class report the smallest symbol.
+pub fn classify(base: &[u32], drifted: &[u32], cfg: &DeltaConfig) -> Drift {
+    if base.len() != drifted.len() {
+        return Drift::AlphabetChanged {
+            from: base.len(),
+            to: drifted.len(),
+        };
+    }
+    let mut added = 0usize;
+    let mut removed = 0usize;
+    for (&b, &d) in base.iter().zip(drifted) {
+        if b == 0 && d > 0 {
+            added += 1;
+        }
+        if b > 0 && d == 0 {
+            removed += 1;
+        }
+    }
+    if added + removed > 0 {
+        return Drift::AddedRemoved { added, removed };
+    }
+    for (i, (&b, &d)) in base.iter().zip(drifted).enumerate() {
+        if b > 0 && d > 0 && b != d && !cfg.within_bound(b, d) {
+            return Drift::ExceedsBound {
+                symbol: i,
+                old: b,
+                new: d,
+            };
+        }
+    }
+    let changed: Vec<usize> = (0..base.len()).filter(|&i| base[i] != drifted[i]).collect();
+    if changed.is_empty() {
+        return Drift::Unchanged;
+    }
+    // The affected window in the drifted *sorted* order: the stretch of
+    // spine positions a patch must reconsider (everything outside it
+    // kept both its weight and its rank).
+    let mut order: Vec<usize> = (0..drifted.len()).collect();
+    order.sort_by_key(|&s| (drifted[s], s));
+    let mut lo = usize::MAX;
+    let mut hi = 0usize;
+    for (pos, &sym) in order.iter().enumerate() {
+        if base[sym] != drifted[sym] {
+            lo = lo.min(pos);
+            hi = hi.max(pos);
+        }
+    }
+    Drift::Bounded {
+        changed: changed.len(),
+        lo,
+        hi,
+    }
+}
+
+/// Applies sparse `(symbol, signed delta)` pairs to `base`, producing
+/// the drifted counts. Deltas to the same symbol accumulate. Errors on
+/// a symbol index outside the base alphabet and on any count leaving
+/// `0..=u32::MAX`.
+pub fn apply_sparse(base: &[u32], deltas: &[(u16, i32)]) -> Result<Vec<u32>> {
+    let mut out: Vec<i64> = base.iter().map(|&c| i64::from(c)).collect();
+    for &(symbol, delta) in deltas {
+        let i = usize::from(symbol);
+        if i >= base.len() {
+            return Err(Error::invalid(format!(
+                "delta symbol {i} outside base alphabet of {}",
+                base.len()
+            )));
+        }
+        out[i] += i64::from(delta);
+    }
+    out.into_iter()
+        .enumerate()
+        .map(|(i, c)| {
+            u32::try_from(c).map_err(|_| {
+                Error::invalid(format!(
+                    "drifted count for symbol {i} leaves u32 range ({c})"
+                ))
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_bound_is_a_factor_of_two() {
+        let cfg = DeltaConfig::default();
+        assert!(cfg.within_bound(10, 20));
+        assert!(cfg.within_bound(20, 10));
+        assert!(!cfg.within_bound(10, 21));
+        assert!(!cfg.within_bound(21, 10));
+        assert!(cfg.within_bound(1, 1));
+    }
+
+    #[test]
+    fn pct_bound_is_exact_at_the_edge() {
+        let cfg = DeltaConfig::from_ratio_pct(150);
+        assert!(cfg.within_bound(100, 150));
+        assert!(!cfg.within_bound(100, 151));
+        assert!(cfg.within_bound(150, 100));
+        assert!(!cfg.within_bound(151, 100));
+        // Sub-100 collapses to "unchanged only".
+        let tight = DeltaConfig::from_ratio_pct(50);
+        assert!(tight.within_bound(7, 7));
+        assert!(!tight.within_bound(7, 8));
+    }
+
+    #[test]
+    fn classification_precedence() {
+        let cfg = DeltaConfig::default();
+        assert_eq!(classify(&[1, 2], &[1, 2], &cfg), Drift::Unchanged);
+        assert_eq!(
+            classify(&[1, 2], &[1, 2, 3], &cfg),
+            Drift::AlphabetChanged { from: 2, to: 3 }
+        );
+        // Zero crossings win over a simultaneous ratio violation.
+        assert_eq!(
+            classify(&[0, 2, 9], &[5, 2, 90], &cfg),
+            Drift::AddedRemoved {
+                added: 1,
+                removed: 0
+            }
+        );
+        assert_eq!(
+            classify(&[4, 2], &[4, 0], &cfg),
+            Drift::AddedRemoved {
+                added: 0,
+                removed: 1
+            }
+        );
+        assert_eq!(
+            classify(&[4, 10], &[4, 21], &cfg),
+            Drift::ExceedsBound {
+                symbol: 1,
+                old: 10,
+                new: 21
+            }
+        );
+    }
+
+    #[test]
+    fn bounded_window_is_in_sorted_positions() {
+        let cfg = DeltaConfig::default();
+        // base sorted order: [2]=1, [0]=5, [1]=9; drift symbol 0 to 7.
+        let d = classify(&[5, 9, 1], &[7, 9, 1], &cfg);
+        match d {
+            Drift::Bounded { changed, lo, hi } => {
+                assert_eq!(changed, 1);
+                // Symbol 0 (count 7) still sorts between 1 and 9.
+                assert_eq!((lo, hi), (1, 1));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sparse_deltas_accumulate_and_validate() {
+        assert_eq!(
+            apply_sparse(&[5, 9], &[(0, 2), (0, -1)]).unwrap(),
+            vec![6, 9]
+        );
+        assert_eq!(apply_sparse(&[5, 9], &[]).unwrap(), vec![5, 9]);
+        assert!(apply_sparse(&[5, 9], &[(2, 1)]).is_err(), "out of range");
+        assert!(apply_sparse(&[5, 9], &[(0, -6)]).is_err(), "negative");
+        assert!(apply_sparse(&[u32::MAX, 9], &[(0, 1)]).is_err(), "overflow");
+    }
+}

@@ -1,0 +1,346 @@
+//! CI smoke test for the delta subsystem end to end: a fleet of
+//! store-backed replicas serving a **drifting** workload — every base
+//! codebook named by key, every drift shipped as sparse count deltas —
+//! then one replica killed and restarted onto the same store. Asserts:
+//!
+//! * every `EncodeDelta` answer is byte-identical to a from-scratch
+//!   encode of the drifted histogram on a direct service (the
+//!   subsystem's differential invariant, measured at the wire);
+//! * the workload's well-separated histograms take the **patch** path
+//!   every time — zero `delta_fallbacks` fleet-wide, i.e. no spurious
+//!   full reconstructions;
+//! * patched codebooks survive the kill/restart cycle bit-identically
+//!   and the restarted replica re-serves the whole drifting workload
+//!   with **zero** constructions (bases and patched results both come
+//!   off its tier-1 log);
+//! * no thread or file-descriptor leaks across the cycle.
+//!
+//! Exits non-zero with a message on stderr on any failure; the CI step
+//! wraps this in a timeout so a hung recovery also fails.
+
+use partree_gateway::{Gateway, GatewayConfig};
+use partree_service::frame::{Histogram, Request, Response};
+use partree_service::net::Server;
+use partree_service::server::{Service, ServiceConfig};
+use partree_service::FamilyId;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+const REPLICAS: usize = 2;
+const VICTIM: usize = 0;
+
+/// Base shape with pairwise-distinct counts *and* pairwise-distinct
+/// Huffman merge sums — the regime the patch rule proves uniqueness
+/// in — stable under uniform scaling.
+const BASE_SHAPE: [u32; 8] = [610, 310, 160, 80, 40, 21, 11, 5];
+
+/// Per-base drifts (also scaled): each stays within the factor-of-two
+/// default bound and preserves the separation above.
+const DRIFTS: [&[(u16, i32)]; 3] = [&[(0, 60), (3, -9)], &[(1, -40), (5, 4)], &[(2, 30)]];
+
+/// Patch-capable families only: the no-fallback assertion is the
+/// point of this smoke.
+const FAMILIES: [FamilyId; 2] = [FamilyId::Huffman, FamilyId::ShannonFano];
+
+const BASES: usize = 6;
+
+/// One drifting workload item, pre-answered on a direct service.
+struct Expected {
+    family: FamilyId,
+    base: Histogram,
+    base_key: u64,
+    deltas: Vec<(u16, i32)>,
+    payload: Vec<u8>,
+    bit_len: u64,
+    data: Vec<u8>,
+}
+
+fn scaled_base(i: usize) -> Vec<u32> {
+    let m = i as u32 + 1;
+    BASE_SHAPE.iter().map(|&c| c * m).collect()
+}
+
+fn scaled_deltas(i: usize, d: &[(u16, i32)]) -> Vec<(u16, i32)> {
+    let m = i as i32 + 1;
+    d.iter().map(|&(s, v)| (s, v * m)).collect()
+}
+
+fn apply_deltas(counts: &[u32], deltas: &[(u16, i32)]) -> Vec<u32> {
+    let mut next = counts.to_vec();
+    for &(s, d) in deltas {
+        next[s as usize] = (i64::from(next[s as usize]) + i64::from(d)) as u32;
+    }
+    next
+}
+
+fn payload(seed: u64) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..96)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % BASE_SHAPE.len() as u64) as u8
+        })
+        .collect()
+}
+
+/// Answers every drifted item from scratch on a direct service: the
+/// ground truth all gateway answers must match byte-for-byte.
+fn build_expected() -> Result<Vec<Expected>, String> {
+    let direct = Service::start(ServiceConfig::default());
+    let mut out = Vec::new();
+    for i in 0..BASES {
+        let base = Histogram::new(scaled_base(i)).map_err(|e| format!("base {i}: {e:?}"))?;
+        for (j, d) in DRIFTS.iter().enumerate() {
+            let family = FAMILIES[(i + j) % FAMILIES.len()];
+            let deltas = scaled_deltas(i, d);
+            let drifted = Histogram::new(apply_deltas(base.counts(), &deltas))
+                .map_err(|e| format!("drift {i}/{j}: {e:?}"))?;
+            let msg = payload((i * DRIFTS.len() + j) as u64);
+            match direct.submit(Request::Encode {
+                family,
+                histogram: drifted,
+                payload: msg.clone(),
+            }) {
+                Response::Encoded { bit_len, data } => out.push(Expected {
+                    family,
+                    base_key: family.tagged_key(base.hash64()),
+                    base: base.clone(),
+                    deltas,
+                    payload: msg,
+                    bit_len,
+                    data,
+                }),
+                other => return Err(format!("direct encode {i}/{j} failed: {other:?}")),
+            }
+        }
+    }
+    direct.shutdown();
+    Ok(out)
+}
+
+fn replica_cfg(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        store_dir: Some(dir.to_path_buf()),
+        ..ServiceConfig::default()
+    }
+}
+
+/// Seeds every base through the gateway (full encodes route on the
+/// same family-tagged key the deltas will).
+fn seed_bases(gw: &Gateway, expected: &[Expected], phase: &str) -> Result<(), String> {
+    for (i, e) in expected.iter().enumerate() {
+        gw.encode_with(e.family, &e.base, &e.payload)
+            .map_err(|err| format!("{phase} seed {i}: {err}"))?;
+    }
+    Ok(())
+}
+
+/// Drives every drifted item as an `EncodeDelta`/`DecodeDelta` pair,
+/// asserting bit-identity with the direct run and that every answer
+/// took the patch path.
+fn drive_deltas(gw: &Gateway, expected: &[Expected], phase: &str) -> Result<(), String> {
+    for (i, e) in expected.iter().enumerate() {
+        let (path, bits, data) = gw
+            .encode_delta(e.family, e.base_key, &e.deltas, &e.payload)
+            .map_err(|err| format!("{phase} delta {i}: {err}"))?;
+        if path != 0 {
+            return Err(format!(
+                "{phase} delta {i} ({}): took the rebuild path on a patchable drift",
+                e.family
+            ));
+        }
+        if (bits, &data) != (e.bit_len, &e.data) {
+            return Err(format!(
+                "{phase} delta {i} ({}): patched bytes differ from the from-scratch run",
+                e.family
+            ));
+        }
+        let back = gw
+            .decode_delta(e.family, e.base_key, &e.deltas, bits, &data)
+            .map_err(|err| format!("{phase} decode {i}: {err}"))?;
+        if back != e.payload {
+            return Err(format!("{phase} decode {i}: payload did not roundtrip"));
+        }
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let _ = partree_exec::global();
+    let threads_before = active_threads()?;
+    let fds_before = open_fds()?;
+    let t0 = Instant::now();
+    let mark = |phase: &str| eprintln!("delta-smoke [{:>7.2?}] {phase}", t0.elapsed());
+
+    let store_root =
+        std::env::temp_dir().join(format!("partree-delta-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_root);
+    let dirs: Vec<PathBuf> = (0..REPLICAS)
+        .map(|i| store_root.join(format!("replica-{i}")))
+        .collect();
+
+    let expected = build_expected()?;
+    mark("drifting workload pre-answered on a direct service");
+
+    let mut servers: Vec<Option<Server>> = dirs
+        .iter()
+        .map(|dir| {
+            Server::bind(Service::start(replica_cfg(dir)), "127.0.0.1:0")
+                .map(Some)
+                .map_err(|e| format!("bind: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<_> = servers.iter().map(|s| s.as_ref().unwrap().addr()).collect();
+    let services: Vec<Service> = servers
+        .iter()
+        .map(|s| s.as_ref().unwrap().service().clone())
+        .collect();
+
+    let mut cfg = GatewayConfig::new(addrs.clone());
+    cfg.deadline = Duration::from_secs(2);
+    cfg.probe_interval = Duration::from_millis(25);
+    cfg.breaker.failure_threshold = 1;
+    cfg.breaker.open_cooldown = Duration::from_millis(200);
+    // No hedging: a hedged delta could land on a replica that never saw
+    // the base and fail as UnknownBase instead of being retried in
+    // place.
+    cfg.hedge_after_min = Duration::from_secs(5);
+    let gw = Gateway::start(cfg);
+
+    // Phase 1 — seed the bases, then drive the drifting workload. Every
+    // delta routes on its base key to the replica holding the base hot,
+    // patches there, and writes the drifted codebook through to that
+    // replica's log.
+    seed_bases(&gw, &expected, "populate")?;
+    drive_deltas(&gw, &expected, "populate")?;
+    let fallbacks: u64 = services.iter().map(|s| s.metrics().delta_fallbacks).sum();
+    if fallbacks != 0 {
+        return Err(format!(
+            "{fallbacks} delta(s) fell back to full reconstruction on a patchable workload"
+        ));
+    }
+    mark("phase 1 (populate) done — all drifts patched, zero fallbacks");
+
+    // Phase 2 — kill the victim. Its store keeps the bases *and* the
+    // patched results it served.
+    let killed = servers[VICTIM].take().ok_or("victim already taken")?;
+    let dead_svc = killed.service().clone();
+    killed
+        .shutdown()
+        .map_err(|e| format!("kill replica {VICTIM}: {e}"))?;
+    dead_svc.shutdown();
+    drop(dead_svc);
+    mark("phase 2 (kill) done — victim down, log on disk");
+
+    // Phase 3 — restart onto the same store directory and address, wait
+    // for the prober to warm and re-admit it.
+    let svc = Service::start(replica_cfg(&dirs[VICTIM]));
+    let revived = Server::bind(svc.clone(), &addrs[VICTIM].to_string())
+        .map_err(|e| format!("rebind replica {VICTIM}: {e}"))?;
+    let warm_deadline = Instant::now() + Duration::from_secs(15);
+    while gw.snapshot().warmups == 0 {
+        if Instant::now() >= warm_deadline {
+            return Err(format!(
+                "restarted replica was never warmed: {:?}",
+                gw.snapshot()
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    mark("phase 3 (restart) — victim revived on its old store and warmed");
+
+    // Phase 4 — re-drive the whole drifting workload, twice. Bases and
+    // patched codebooks on the revived replica both resolve from its
+    // tier-1 log (or the donated hot set); answers stay bit-identical
+    // and nothing is reconstructed from scratch.
+    drive_deltas(&gw, &expected, "recovery pass 1")?;
+    drive_deltas(&gw, &expected, "recovery pass 2")?;
+    mark("recovery passes done — patched results survived bit-identically");
+
+    let m = svc.metrics();
+    if m.delta_requests == 0 {
+        return Err(format!(
+            "restarted replica saw no delta traffic after warm-up: {m:?}"
+        ));
+    }
+    if m.constructions != 0 {
+        return Err(format!(
+            "restarted replica reconstructed {} codebook(s) its store should have served: {m:?}",
+            m.constructions
+        ));
+    }
+    let fallbacks: u64 = services
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != VICTIM)
+        .map(|(_, s)| s.metrics().delta_fallbacks)
+        .sum::<u64>()
+        + m.delta_fallbacks;
+    if fallbacks != 0 {
+        return Err(format!("{fallbacks} post-restart fallback(s)"));
+    }
+    if m.store_errors != 0 {
+        return Err(format!("store errors after clean restart: {m:?}"));
+    }
+
+    gw.shutdown();
+    revived
+        .shutdown()
+        .map_err(|e| format!("shutdown revived: {e}"))?;
+    svc.shutdown();
+    drop(svc);
+    for s in servers.into_iter().flatten() {
+        let svc = s.service().clone();
+        s.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+        svc.shutdown();
+    }
+    drop(services);
+    mark("gateway and replicas shut down");
+
+    for _ in 0..50 {
+        if active_threads()? <= threads_before && open_fds()? <= fds_before + 2 {
+            let _ = std::fs::remove_dir_all(&store_root);
+            println!(
+                "delta-smoke OK: {} drifted items served patched ({} delta requests on the \
+                 revived replica, {} patched, 0 fallbacks, 0 reconstructions after restart)",
+                expected.len(),
+                m.delta_requests,
+                m.delta_patched,
+            );
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    Err(format!(
+        "leak: threads {} -> {}, fds {} -> {} after shutdown",
+        threads_before,
+        active_threads()?,
+        fds_before,
+        open_fds()?
+    ))
+}
+
+/// Counts this process's live threads via procfs (Linux CI).
+fn active_threads() -> Result<usize, String> {
+    match std::fs::read_dir("/proc/self/task") {
+        Ok(entries) => Ok(entries.count()),
+        Err(_) => Ok(usize::MAX),
+    }
+}
+
+/// Counts this process's open file descriptors via procfs (Linux CI).
+fn open_fds() -> Result<usize, String> {
+    match std::fs::read_dir("/proc/self/fd") {
+        Ok(entries) => Ok(entries.count()),
+        Err(_) => Ok(0),
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("delta-smoke FAILED: {e}");
+        std::process::exit(1);
+    }
+}

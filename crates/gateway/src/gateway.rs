@@ -89,6 +89,19 @@ pub struct GatewayConfig {
     /// Most codebooks donated to a recovered replica before its
     /// breaker re-closes (fleet warm-up). `0` disables warm-up.
     pub warmup_keys: usize,
+    /// Most breaker-closed donors whose hot sets are merged (deduped
+    /// on family-tagged keys) into one warm-up push. More donors see
+    /// more of the fleet's heat at the cost of extra `HotSet` fetches
+    /// per recovery. Defaults from `PARTREE_WARM_DONORS` (2 when
+    /// unset); `0` disables warm-up.
+    pub warm_donors: usize,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl GatewayConfig {
@@ -107,6 +120,7 @@ impl GatewayConfig {
             probe_interval: Duration::from_millis(100),
             transport: Transport::from_env(),
             warmup_keys: 32,
+            warm_donors: env_usize("PARTREE_WARM_DONORS", 2),
         }
     }
 }
@@ -326,6 +340,16 @@ impl Gateway {
             | Request::Decode {
                 family, histogram, ..
             } => self.route_codec(request, *family, family.tagged_key(histogram.hash64())),
+            // Delta requests route by the *base* key — already
+            // family-tagged, and exactly the key the base's own
+            // encode/decode traffic routed on — so the drift lands on
+            // the replica whose cache holds the base hot.
+            Request::EncodeDelta {
+                family, base_key, ..
+            }
+            | Request::DecodeDelta {
+                family, base_key, ..
+            } => self.route_codec(request, *family, *base_key),
         }
     }
 
@@ -375,6 +399,60 @@ impl Gateway {
         let resp = self.request(&Request::Decode {
             family,
             histogram: histogram.clone(),
+            bit_len,
+            data: data.to_vec(),
+        })?;
+        match resp {
+            Response::Decoded { payload } => Ok(payload),
+            other => Err(io::Error::other(format!("expected Decoded, got {other:?}"))),
+        }
+    }
+
+    /// Encodes `payload` against a drift of the base codebook named by
+    /// `base_key` via the fleet; mirrors
+    /// [`partree_service::client::Client::encode_delta`]. Returns
+    /// `(path, bit_len, bytes)` with `path` the `DeltaPath` tag
+    /// (0 = patched, 1 = rebuilt by the serving replica).
+    pub fn encode_delta(
+        &self,
+        family: FamilyId,
+        base_key: u64,
+        deltas: &[(u16, i32)],
+        payload: &[u8],
+    ) -> io::Result<(u8, u64, Vec<u8>)> {
+        let resp = self.request(&Request::EncodeDelta {
+            family,
+            base_key,
+            deltas: deltas.to_vec(),
+            payload: payload.to_vec(),
+        })?;
+        match resp {
+            Response::DeltaEncoded {
+                path,
+                bit_len,
+                data,
+            } => Ok((path, bit_len, data)),
+            other => Err(io::Error::other(format!(
+                "expected DeltaEncoded, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Decodes `bit_len` bits of `data` under the drifted codebook
+    /// named by `(base_key, deltas)` via the fleet; mirrors
+    /// [`partree_service::client::Client::decode_delta`].
+    pub fn decode_delta(
+        &self,
+        family: FamilyId,
+        base_key: u64,
+        deltas: &[(u16, i32)],
+        bit_len: u64,
+        data: &[u8],
+    ) -> io::Result<Vec<u8>> {
+        let resp = self.request(&Request::DecodeDelta {
+            family,
+            base_key,
+            deltas: deltas.to_vec(),
             bit_len,
             data: data.to_vec(),
         })?;
@@ -830,19 +908,27 @@ fn prober_loop(inner: &Arc<Inner>) {
 /// (or, with a persistent store, so tier 0 is hot before tier 1 is
 /// even consulted).
 ///
-/// Donors are the other breaker-closed, non-draining replicas; only
-/// entries whose rendezvous home is the recovering replica are pushed
-/// (those are exactly the keys that failed over *away* from it while
-/// it was down, and the keys it will serve again the moment routing
-/// resumes). Everything here is best-effort over the blocking client —
-/// the protocol is transport-agnostic, and a failed donation changes
-/// nothing but the number of cold misses the replica pays later.
+/// Donors are the other breaker-closed, non-draining replicas — up to
+/// `warm_donors` of them, their hot sets merged and deduped on the
+/// family-tagged key before the single `WarmUp` push, so a key that
+/// failed over to different survivors at different times is donated
+/// once. Only entries whose rendezvous home is the recovering replica
+/// are pushed (those are exactly the keys that failed over *away*
+/// from it while it was down, and the keys it will serve again the
+/// moment routing resumes). Everything here is best-effort over the
+/// blocking client — the protocol is transport-agnostic, and a failed
+/// donation changes nothing but the number of cold misses the replica
+/// pays later.
 fn warm_up_replica(inner: &Inner, target: &Replica) {
     let n = inner.replicas.len();
     let io_timeout = Some(inner.cfg.connect_timeout);
     let max = inner.cfg.warmup_keys;
     let mut entries: Vec<WarmEntry> = Vec::new();
+    let mut donors_used = 0usize;
     for donor in &inner.replicas {
+        if donors_used >= inner.cfg.warm_donors {
+            break;
+        }
         if donor.id == target.id
             || donor.draining.load(Ordering::Relaxed)
             || donor.breaker.state() != BreakerState::Closed
@@ -855,6 +941,7 @@ fn warm_up_replica(inner: &Inner, target: &Replica) {
             Ok(hot)
         });
         let Ok(hot) = hot else { continue };
+        donors_used += 1;
         for e in hot {
             if entries.len() >= max {
                 break;
@@ -1301,6 +1388,117 @@ mod tests {
 
         direct.shutdown();
         gw.shutdown();
+        for s in servers {
+            s.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn delta_requests_follow_the_base_key_to_the_hot_replica() {
+        let (servers, addrs) = fleet(4);
+        let gw = Gateway::start(tiny_cfg(addrs));
+        let direct = Service::start(ServiceConfig::default());
+
+        // Seed a well-separated base through the gateway, then drift
+        // it within the patch bound (distinct merge sums throughout,
+        // so the Huffman patch rule applies).
+        let payload: Vec<u8> = (0..256).map(|i| (i % 4) as u8).collect();
+        let base = Histogram::new(vec![40, 20, 10, 5]).unwrap();
+        gw.encode(&base, &payload).unwrap();
+        let base_key = FamilyId::Huffman.tagged_key(base.hash64());
+        let deltas = [(0u16, 8i32), (2, -3)];
+        let drifted_counts = vec![48u32, 20, 7, 5];
+
+        let (path, bits, data) = gw
+            .encode_delta(FamilyId::Huffman, base_key, &deltas, &payload)
+            .unwrap();
+        assert_eq!(path, 0, "bounded drift patches");
+        // Differential at the gateway boundary: identical bits to a
+        // from-scratch encode of the drifted histogram.
+        match direct.submit(Request::Encode {
+            family: FamilyId::Huffman,
+            histogram: Histogram::new(drifted_counts).unwrap(),
+            payload: payload.clone(),
+        }) {
+            Response::Encoded { bit_len, data: d } => {
+                assert_eq!((bits, &data), (bit_len, &d), "patched == direct");
+            }
+            other => panic!("direct encode failed: {other:?}"),
+        }
+        let back = gw
+            .decode_delta(FamilyId::Huffman, base_key, &deltas, bits, &data)
+            .unwrap();
+        assert_eq!(back, payload);
+
+        // Base seeding + both delta requests rode the same replica:
+        // the base key pinned them to the base's home.
+        let snap = gw.snapshot();
+        let served: Vec<u64> = snap.replicas.iter().map(|r| r.successes).collect();
+        assert_eq!(served.iter().sum::<u64>(), 3, "{served:?}");
+        assert_eq!(
+            served.iter().filter(|&&c| c > 0).count(),
+            1,
+            "deltas routed away from the base's replica: {served:?}"
+        );
+
+        direct.shutdown();
+        gw.shutdown();
+        for s in servers {
+            s.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn warm_up_merges_hot_sets_from_multiple_donors() {
+        let (mut servers, addrs) = fleet(3);
+        let mut cfg = tiny_cfg(addrs.clone());
+        cfg.probe_interval = Duration::from_millis(20);
+        cfg.breaker.failure_threshold = 1;
+        cfg.breaker.open_cooldown = Duration::from_millis(50);
+        cfg.warm_donors = 2;
+        let gw = Gateway::start(cfg);
+
+        // Two histograms homed on replica 0 whose failover targets
+        // differ — after the kill, each survivor holds one of them, so
+        // a full donation requires merging both donors' hot sets.
+        let mut to_1 = None;
+        let mut to_2 = None;
+        for n in 2u32..200 {
+            let payload: Vec<u8> = (0..128).map(|i| (i % n as usize) as u8).collect();
+            let hist = Histogram::of_payload(n as usize, &payload).unwrap();
+            let order = preference_order(hist.hash64(), 3);
+            if order[0] == 0 && order[1] == 1 && to_1.is_none() {
+                to_1 = Some((hist, payload));
+            } else if order[0] == 0 && order[1] == 2 && to_2.is_none() {
+                to_2 = Some((hist, payload));
+            }
+            if to_1.is_some() && to_2.is_some() {
+                break;
+            }
+        }
+        let (h1, p1) = to_1.expect("a key homed 0 → 1");
+        let (h2, p2) = to_2.expect("a key homed 0 → 2");
+
+        servers.remove(0).shutdown().unwrap();
+        for _ in 0..3 {
+            gw.encode(&h1, &p1).unwrap();
+            gw.encode(&h2, &p2).unwrap();
+        }
+
+        let svc0 = Service::start(ServiceConfig::default());
+        let revived = Server::bind_with(svc0.clone(), &addrs[0].to_string(), Transport::Blocking)
+            .expect("rebind the killed replica's address");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline && svc0.metrics().warmup_accepted < 2 {
+            thread::sleep(Duration::from_millis(10));
+        }
+        assert!(
+            svc0.metrics().warmup_accepted >= 2,
+            "both donors' books should arrive in the merged push: {:?}",
+            svc0.metrics()
+        );
+        gw.shutdown();
+        revived.shutdown().unwrap();
         for s in servers {
             s.shutdown().unwrap();
         }

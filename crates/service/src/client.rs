@@ -141,6 +141,61 @@ impl Client {
         }
     }
 
+    /// Encodes `payload` against a drift of the cached base codebook
+    /// named by `base_key` (a family-tagged key — see
+    /// [`FamilyId::tagged_key`]): the server applies the sparse count
+    /// `deltas` to the base histogram and patches or rebuilds the
+    /// codebook. Returns `(path, bit_len, bytes)` where `path` is a
+    /// [`crate::DeltaPath`] tag (0 = patched, 1 = rebuilt). A base the
+    /// server no longer holds comes back as an `UnknownBase` error —
+    /// re-seed with a full [`Client::encode_with`] and retry.
+    pub fn encode_delta(
+        &mut self,
+        family: FamilyId,
+        base_key: u64,
+        deltas: &[(u16, i32)],
+        payload: &[u8],
+    ) -> io::Result<(u8, u64, Vec<u8>)> {
+        let resp = self.request(&Request::EncodeDelta {
+            family,
+            base_key,
+            deltas: deltas.to_vec(),
+            payload: payload.to_vec(),
+        })?;
+        match resp {
+            Response::DeltaEncoded {
+                path,
+                bit_len,
+                data,
+            } => Ok((path, bit_len, data)),
+            other => Err(bad_data(format!("expected DeltaEncoded, got {other:?}"))),
+        }
+    }
+
+    /// Decodes `bit_len` bits of `data` under the drifted codebook
+    /// named by `(base_key, deltas)` — the inverse of
+    /// [`Client::encode_delta`] for the same base and drift.
+    pub fn decode_delta(
+        &mut self,
+        family: FamilyId,
+        base_key: u64,
+        deltas: &[(u16, i32)],
+        bit_len: u64,
+        data: &[u8],
+    ) -> io::Result<Vec<u8>> {
+        let resp = self.request(&Request::DecodeDelta {
+            family,
+            base_key,
+            deltas: deltas.to_vec(),
+            bit_len,
+            data: data.to_vec(),
+        })?;
+        match resp {
+            Response::Decoded { payload } => Ok(payload),
+            other => Err(bad_data(format!("expected Decoded, got {other:?}"))),
+        }
+    }
+
     /// Fetches the server's metrics snapshot.
     pub fn stats(&mut self) -> io::Result<crate::metrics::MetricsSnapshot> {
         match self.request(&Request::Stats)? {

@@ -277,6 +277,11 @@ pub struct HotEntry {
 pub struct CodebookCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
+    /// Per-family residency cap per shard (entries). `None` disables
+    /// quotas: eviction is plain per-shard LRU. With a quota, an
+    /// over-quota family evicts within itself first, so one family's
+    /// burst cannot push another family's hot set out of tier 0.
+    family_quota_per_shard: Option<usize>,
     tier1: Option<Arc<dyn CodebookStore>>,
     clock: AtomicU64,
     hits: AtomicU64,
@@ -317,8 +322,23 @@ impl CodebookCache {
         capacity: usize,
         tier1: Option<Arc<dyn CodebookStore>>,
     ) -> CodebookCache {
+        CodebookCache::with_config(shards, capacity, tier1, 100)
+    }
+
+    /// Full-control constructor: like [`CodebookCache::with_tier1`],
+    /// plus a per-family residency quota of `family_pct` percent of
+    /// each shard's capacity. `family_pct >= 100` disables quotas
+    /// (every family may fill a whole shard — the historical LRU).
+    pub fn with_config(
+        shards: usize,
+        capacity: usize,
+        tier1: Option<Arc<dyn CodebookStore>>,
+        family_pct: u32,
+    ) -> CodebookCache {
         let shards = shards.max(1);
         let capacity_per_shard = capacity.div_ceil(shards).max(1);
+        let family_quota_per_shard =
+            (family_pct < 100).then(|| (capacity_per_shard * family_pct as usize / 100).max(1));
         CodebookCache {
             shards: (0..shards)
                 .map(|_| {
@@ -328,6 +348,7 @@ impl CodebookCache {
                 })
                 .collect(),
             capacity_per_shard,
+            family_quota_per_shard,
             tier1,
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
@@ -450,6 +471,90 @@ impl CodebookCache {
         book.map(Arc::new)
     }
 
+    /// Resolves a codebook by its **tagged key alone** — the delta
+    /// path's base lookup, where the client sends a key instead of a
+    /// histogram. Consults tier 0, then tier 1 (promoting on a hit),
+    /// and never constructs: `None` means the base is gone and the
+    /// caller must answer `UnknownBase`. When `expect` is given, the
+    /// resident histogram must match it (hash-collision defense for
+    /// callers that do know the histogram); a tier-1 record must
+    /// always hash back to `key`, so a damaged or mis-filed record can
+    /// never serve as a base.
+    pub fn lookup_key(
+        &self,
+        key: u64,
+        family_id: FamilyId,
+        expect: Option<&Histogram>,
+    ) -> Option<Arc<Codebook>> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut shard = self.shard(key).lock().expect("cache shard poisoned");
+            if let Some(e) = shard.map.get_mut(&key) {
+                let matches =
+                    e.book.family == family_id && expect.is_none_or(|h| e.book.histogram == *h);
+                if matches {
+                    e.last_used = stamp;
+                    e.hits += 1;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.family_hits[family_id.index()].fetch_add(1, Ordering::Relaxed);
+                    return Some(Arc::clone(&e.book));
+                }
+            }
+        }
+        let store = self.tier1.as_ref()?;
+        let (tag, body) = match store.get_tagged(key) {
+            Ok(Some(tagged)) => tagged,
+            Ok(None) => return None,
+            Err(_) => {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        if tag != family_id.tag() {
+            return None;
+        }
+        let (counts, lengths) = decode_store_body(&body)?;
+        if let Some(h) = expect {
+            if counts != *h.counts() {
+                return None;
+            }
+        }
+        let histogram = Histogram::new(counts).ok()?;
+        if family_id.tagged_key(histogram.hash64()) != key {
+            return None;
+        }
+        let book =
+            Codebook::from_lengths(&histogram, family_id, lengths, &CostTracer::disabled()).ok()?;
+        self.tier1_hits.fetch_add(1, Ordering::Relaxed);
+        let (winner, fresh) = self.insert_first_wins(key, stamp, Arc::new(book));
+        if fresh {
+            self.tier1_promotions.fetch_add(1, Ordering::Relaxed);
+        }
+        Some(winner)
+    }
+
+    /// Inserts an externally built codebook (the delta engine's patched
+    /// or rebuilt result) under its own key, writing through to tier 1
+    /// so the drifted codebook survives a restart exactly like a
+    /// constructed one. Returns the resident Arc (a racing insert of
+    /// the same pair wins — constructions are deterministic, so the
+    /// copies are bit-identical).
+    pub fn install(&self, book: Codebook) -> Arc<Codebook> {
+        let key = book.key;
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let book = Arc::new(book);
+        if let Some(store) = &self.tier1 {
+            if store
+                .put_tagged(key, book.family.tag(), &book.to_store_body())
+                .is_err()
+            {
+                self.store_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (winner, _) = self.insert_first_wins(key, stamp, book);
+        winner
+    }
+
     /// Inserts `book` under first-insert-wins semantics and applies
     /// the per-shard LRU cap. Returns the winning Arc and whether the
     /// insert actually happened (false: a racing builder beat us).
@@ -480,16 +585,40 @@ impl CodebookCache {
             }
         };
         if shard.map.len() > self.capacity_per_shard {
-            let oldest = shard
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(&k, _)| k)
-                .expect("non-empty shard");
-            shard.map.remove(&oldest);
+            let evictee = self.pick_evictee(&shard);
+            shard.map.remove(&evictee);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
         (winner, fresh)
+    }
+
+    /// Chooses the entry an over-capacity shard sheds. Without quotas:
+    /// the per-shard LRU (key-ordered on stamp ties, so the choice is
+    /// deterministic). With quotas: the LRU *within an over-quota
+    /// family* when one exists — the family that burst past its share
+    /// pays its own eviction, never a family still inside its quota.
+    fn pick_evictee(&self, shard: &Shard) -> u64 {
+        if let Some(quota) = self.family_quota_per_shard {
+            let mut per_family = [0usize; FAMILY_COUNT];
+            for e in shard.map.values() {
+                per_family[e.book.family.index()] += 1;
+            }
+            let over_quota = shard
+                .map
+                .iter()
+                .filter(|(_, e)| per_family[e.book.family.index()] > quota)
+                .min_by_key(|(&k, e)| (e.last_used, k))
+                .map(|(&k, _)| k);
+            if let Some(k) = over_quota {
+                return k;
+            }
+        }
+        shard
+            .map
+            .iter()
+            .min_by_key(|(&k, e)| (e.last_used, k))
+            .map(|(&k, _)| k)
+            .expect("non-empty shard")
     }
 
     /// Adopts a pre-built `(histogram, family, lengths)` triple pushed
@@ -942,5 +1071,133 @@ mod tests {
         assert!(book.construction.work > 0);
         assert!(book.construction.depth > 0);
         assert!(t.snapshot().find("canonicalize").is_some());
+    }
+
+    #[test]
+    fn lookup_key_answers_from_tier0_and_never_constructs() {
+        let cache = CodebookCache::new(2, 8);
+        let h = hist(&[9, 4, 2]);
+        let t = CostTracer::disabled();
+        let built = cache.get_or_build(&h, FamilyId::Huffman, &t).unwrap();
+        let key = FamilyId::Huffman.tagged_key(h.hash64());
+
+        let found = cache.lookup_key(key, FamilyId::Huffman, None).unwrap();
+        assert!(Arc::ptr_eq(&found, &built));
+        let found = cache.lookup_key(key, FamilyId::Huffman, Some(&h)).unwrap();
+        assert!(Arc::ptr_eq(&found, &built));
+
+        // Wrong family under the same raw hash, a histogram mismatch,
+        // and an unknown key are all misses — and none constructs.
+        assert!(cache.lookup_key(key, FamilyId::Minimax, None).is_none());
+        let other = hist(&[1, 2, 3]);
+        assert!(cache
+            .lookup_key(key, FamilyId::Huffman, Some(&other))
+            .is_none());
+        assert!(cache
+            .lookup_key(0xBAD_C0DE, FamilyId::Huffman, None)
+            .is_none());
+        assert_eq!(cache.constructions(), 1, "lookup_key never constructs");
+    }
+
+    #[test]
+    fn lookup_key_promotes_from_tier1_and_verifies_the_key() {
+        let store = Arc::new(partree_store::MemStore::new());
+        let t = CostTracer::disabled();
+        let h = hist(&[9, 4, 2, 1]);
+        let warm = CodebookCache::with_tier1(2, 8, Some(store.clone()));
+        let original = warm.get_or_build(&h, FamilyId::ShannonFano, &t).unwrap();
+        drop(warm);
+
+        let cold = CodebookCache::with_tier1(2, 8, Some(store.clone()));
+        let key = FamilyId::ShannonFano.tagged_key(h.hash64());
+        let promoted = cold
+            .lookup_key(key, FamilyId::ShannonFano, None)
+            .expect("tier-1 record resolves the key");
+        assert_eq!(promoted.lengths, original.lengths);
+        assert_eq!(cold.constructions(), 0);
+        assert_eq!((cold.tier1_hits(), cold.tier1_promotions()), (1, 1));
+        // Promoted into tier 0: the next lookup is a tier-0 hit.
+        cold.lookup_key(key, FamilyId::ShannonFano, None).unwrap();
+        assert_eq!(cold.tier1_hits(), 1);
+        assert_eq!(cold.hits(), 1);
+
+        // A record filed under a key its own counts don't hash to must
+        // never serve as a base: re-file the valid body under a bogus
+        // key and look that key up.
+        let bogus = FamilyId::ShannonFano.tagged_key(0x1234_5678_9ABC_DEF0);
+        let (tag, body) = store.get_tagged(key).unwrap().expect("record");
+        store.put_tagged(bogus, tag, &body).unwrap();
+        assert!(
+            cold.lookup_key(bogus, FamilyId::ShannonFano, None)
+                .is_none(),
+            "mis-filed record must not resolve"
+        );
+    }
+
+    #[test]
+    fn install_writes_through_and_serves_the_key() {
+        let store = Arc::new(partree_store::MemStore::new());
+        let cache = CodebookCache::with_tier1(2, 8, Some(store.clone()));
+        let h = hist(&[7, 3, 1]);
+        let t = CostTracer::disabled();
+        let book = Codebook::build(&h, FamilyId::Huffman, &t).unwrap();
+        let key = book.key;
+        let resident = cache.install(book);
+        assert_eq!(cache.constructions(), 0, "install is not a construction");
+        let found = cache.lookup_key(key, FamilyId::Huffman, Some(&h)).unwrap();
+        assert!(Arc::ptr_eq(&found, &resident));
+        // Write-through: a cold cache on the same store resolves it.
+        let cold = CodebookCache::with_tier1(2, 8, Some(store));
+        let promoted = cold.lookup_key(key, FamilyId::Huffman, None).unwrap();
+        assert_eq!(promoted.lengths, resident.lengths);
+        assert_eq!(cold.constructions(), 0);
+    }
+
+    #[test]
+    fn family_quota_protects_a_resident_family() {
+        // One shard, capacity 4, 50% quota → at most 2 entries per
+        // family once the shard is full. Two resident Huffman books
+        // must survive a six-histogram minimax burst: every eviction
+        // lands inside the bursting family.
+        let t = CostTracer::disabled();
+        let huff_hists = [hist(&[9, 1]), hist(&[8, 2])];
+        let burst: Vec<Histogram> = (0..6).map(|i| hist(&[10 + i, 3, 1])).collect();
+
+        let quota = CodebookCache::with_config(1, 4, None, 50);
+        for h in &huff_hists {
+            quota.get_or_build(h, FamilyId::Huffman, &t).unwrap();
+        }
+        for h in &burst {
+            quota.get_or_build(h, FamilyId::Minimax, &t).unwrap();
+        }
+        assert_eq!(quota.evictions(), 4, "burst evicts only within minimax");
+        let before = quota.constructions();
+        for h in &huff_hists {
+            quota.get_or_build(h, FamilyId::Huffman, &t).unwrap();
+        }
+        assert_eq!(
+            quota.constructions(),
+            before,
+            "quota kept the Huffman hot set resident"
+        );
+
+        // Contrast: quotas off (pct = 100) and the same burst walks
+        // straight over the Huffman entries via global LRU.
+        let lru = CodebookCache::with_config(1, 4, None, 100);
+        for h in &huff_hists {
+            lru.get_or_build(h, FamilyId::Huffman, &t).unwrap();
+        }
+        for h in &burst {
+            lru.get_or_build(h, FamilyId::Minimax, &t).unwrap();
+        }
+        let before = lru.constructions();
+        for h in &huff_hists {
+            lru.get_or_build(h, FamilyId::Huffman, &t).unwrap();
+        }
+        assert_eq!(
+            lru.constructions(),
+            before + 2,
+            "without quotas the burst evicted both Huffman books"
+        );
     }
 }

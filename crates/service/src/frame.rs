@@ -31,6 +31,8 @@
 //! | `DecodeMinimax` (0x0B) | as `Decode`, minimax code family |
 //! | `EncodeChoosable` (0x0C) | as `Encode`, choosable-edge code family |
 //! | `DecodeChoosable` (0x0D) | as `Decode`, choosable-edge code family |
+//! | `EncodeDelta` (0x0E) | `family:u8` · `base_key:u64` · deltas (below) · `payload_len:u32` · payload bytes |
+//! | `DecodeDelta` (0x0F) | `family:u8` · `base_key:u64` · deltas (below) · `bit_len:u64` · `data_len:u32` · encoded bytes |
 //! | `EncodeOk` (0x81) | `bit_len:u64` · `data_len:u32` · encoded bytes |
 //! | `DecodeOk` (0x82) | `payload_len:u32` · payload bytes |
 //! | `StatsOk` (0x83) | `json_len:u32` · UTF-8 JSON (schema in `EXPERIMENTS.md`) |
@@ -38,6 +40,7 @@
 //! | `DrainOk` (0x85) | empty — the drain flag is set |
 //! | `WarmUpOk` (0x86) | `accepted:u32` · `rejected:u32` |
 //! | `HotSetOk` (0x87) | `count:u16` · `count ×` warm entry |
+//! | `DeltaOk` (0x8E) | `path:u8` (0 patched, 1 rebuilt) · `bit_len:u64` · `data_len:u32` · encoded bytes |
 //! | `Error` (0xE0) | `code:u16` · `msg_len:u16` · UTF-8 message |
 //! | `Busy` (0xE1) | empty — the request was **not** queued; retry later |
 //! | `Timeout` (0xE2) | empty — queued but missed its deadline |
@@ -68,6 +71,18 @@
 //! that built it. `WarmUp`/`HotSet` are the fleet warm-up path: the
 //! gateway pulls a healthy replica's hot set and pushes it to a
 //! replacement replica before admitting traffic.
+//!
+//! **Deltas** — shared by `EncodeDelta` and `DecodeDelta` — are
+//! `count:u16` · `count × (symbol:u16 · delta:i32)` (the `i32` travels
+//! as its two's-complement `u32`): a sparse drift against the histogram
+//! of an *already cached* codebook, identified by `base_key` — the
+//! family-tagged cache key (`family.tagged_key(histogram.hash64())`).
+//! The server reconstructs the drifted histogram from the base plus the
+//! deltas and answers with `DeltaOk` (encode) or the plain `DecodeOk`
+//! (decode), so the client never re-sends a full count table it already
+//! shipped once. A delta against a key the server no longer holds fails
+//! with [`ErrorCode::UnknownBase`]; the client falls back to a full
+//! `Encode`.
 
 use bytes::{Buf, BufMut, BytesMut};
 use partree_codecs::FamilyId;
@@ -114,6 +129,10 @@ pub enum Opcode {
     EncodeChoosable = 0x0C,
     /// Decode request, choosable-edge family.
     DecodeChoosable = 0x0D,
+    /// Encode against a cached base codebook plus sparse drift deltas.
+    EncodeDelta = 0x0E,
+    /// Decode against a cached base codebook plus sparse drift deltas.
+    DecodeDelta = 0x0F,
     /// Successful encode.
     EncodeOk = 0x81,
     /// Successful decode.
@@ -128,6 +147,8 @@ pub enum Opcode {
     WarmUpOk = 0x86,
     /// Hot-set report.
     HotSetOk = 0x87,
+    /// Successful delta encode, carrying which path served it.
+    DeltaOk = 0x8E,
     /// Structured failure.
     Error = 0xE0,
     /// Load shed: the bounded queue was full.
@@ -152,6 +173,8 @@ impl Opcode {
             0x0B => Some(Opcode::DecodeMinimax),
             0x0C => Some(Opcode::EncodeChoosable),
             0x0D => Some(Opcode::DecodeChoosable),
+            0x0E => Some(Opcode::EncodeDelta),
+            0x0F => Some(Opcode::DecodeDelta),
             0x81 => Some(Opcode::EncodeOk),
             0x82 => Some(Opcode::DecodeOk),
             0x83 => Some(Opcode::StatsOk),
@@ -159,6 +182,7 @@ impl Opcode {
             0x85 => Some(Opcode::DrainOk),
             0x86 => Some(Opcode::WarmUpOk),
             0x87 => Some(Opcode::HotSetOk),
+            0x8E => Some(Opcode::DeltaOk),
             0xE0 => Some(Opcode::Error),
             0xE1 => Some(Opcode::Busy),
             0xE2 => Some(Opcode::Timeout),
@@ -186,6 +210,10 @@ pub enum ErrorCode {
     /// The request was processed but its result would not fit in one
     /// frame (body over [`MAX_BODY`]), so the body was dropped.
     ResultTooLarge = 7,
+    /// A delta request named a base codebook key this server holds in
+    /// neither cache tier. The client should fall back to a full
+    /// encode/decode carrying the histogram.
+    UnknownBase = 8,
 }
 
 impl ErrorCode {
@@ -197,6 +225,7 @@ impl ErrorCode {
             4 => ErrorCode::CorruptPayload,
             5 => ErrorCode::ShuttingDown,
             7 => ErrorCode::ResultTooLarge,
+            8 => ErrorCode::UnknownBase,
             _ => ErrorCode::Internal,
         }
     }
@@ -300,6 +329,12 @@ pub fn family_opcodes(family: FamilyId) -> (Opcode, Opcode) {
 /// transfer protocol).
 pub const MAX_WARM_ENTRIES: usize = 1024;
 
+/// Cap on sparse deltas in one `EncodeDelta`/`DecodeDelta` frame.
+/// Deltas to the same symbol accumulate, but a drift that needs more
+/// than 16× the maximum alphabet in updates is cheaper to ship as a
+/// full histogram — larger counts are malformed.
+pub const MAX_DELTA_ENTRIES: usize = 16 * MAX_ALPHABET;
+
 /// A decoded request frame body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
@@ -344,6 +379,37 @@ pub enum Request {
         /// Maximum entries to report.
         max: u16,
     },
+    /// Encode `payload` under the codebook for a drifted histogram,
+    /// described as sparse deltas against the cached base `base_key`.
+    /// Answered with [`Response::DeltaEncoded`], or an
+    /// [`ErrorCode::UnknownBase`] error if the base is not resident.
+    EncodeDelta {
+        /// The code family of the base codebook.
+        family: FamilyId,
+        /// Family-tagged cache key of the base codebook.
+        base_key: u64,
+        /// Sparse `(symbol, signed delta)` drift against the base
+        /// histogram; deltas to the same symbol accumulate.
+        deltas: Vec<(u16, i32)>,
+        /// One byte per symbol, each `<` the base alphabet.
+        payload: Vec<u8>,
+    },
+    /// Decode `data` under the codebook for a drifted histogram,
+    /// described as sparse deltas against the cached base `base_key`.
+    /// Answered with the plain [`Response::Decoded`].
+    DecodeDelta {
+        /// The code family of the base codebook.
+        family: FamilyId,
+        /// Family-tagged cache key of the base codebook.
+        base_key: u64,
+        /// Sparse `(symbol, signed delta)` drift against the base
+        /// histogram; deltas to the same symbol accumulate.
+        deltas: Vec<(u16, i32)>,
+        /// Exact number of meaningful bits in `data`.
+        bit_len: u64,
+        /// The encoded bytes.
+        data: Vec<u8>,
+    },
 }
 
 /// A decoded response frame body.
@@ -385,6 +451,16 @@ pub enum Response {
     HotSet {
         /// The entries, ranked by tier-0 hits descending.
         entries: Vec<WarmEntry>,
+    },
+    /// Delta encode succeeded.
+    DeltaEncoded {
+        /// Which path produced the codebook: 0 the patch rule, 1 a
+        /// full rebuild (see `partree_delta::DeltaPath`).
+        path: u8,
+        /// Exact number of meaningful bits in `data`.
+        bit_len: u64,
+        /// The encoded bytes (zero-padded to a whole byte).
+        data: Vec<u8>,
     },
     /// Structured failure.
     Error {
@@ -495,6 +571,12 @@ impl<'a> BodyReader<'a> {
         Ok(())
     }
 
+    fn family(&mut self) -> Result<FamilyId, FrameError> {
+        let tag = self.u8("code family")?;
+        FamilyId::from_u8(tag)
+            .ok_or_else(|| FrameError::malformed(format!("unknown code family tag {tag}")))
+    }
+
     fn warm_entries(&mut self) -> Result<Vec<WarmEntry>, FrameError> {
         let count = self.u16("warm entry count")? as usize;
         if count > MAX_WARM_ENTRIES {
@@ -505,9 +587,7 @@ impl<'a> BodyReader<'a> {
         let mut entries = Vec::with_capacity(count);
         for _ in 0..count {
             let hits = self.u64("warm entry hits")?;
-            let tag = self.u8("warm entry family")?;
-            let family = FamilyId::from_u8(tag)
-                .ok_or_else(|| FrameError::malformed(format!("unknown code family tag {tag}")))?;
+            let family = self.family()?;
             let histogram = self.histogram()?;
             let n = histogram.alphabet();
             let lengths = self
@@ -523,6 +603,30 @@ impl<'a> BodyReader<'a> {
             });
         }
         Ok(entries)
+    }
+
+    fn deltas(&mut self) -> Result<Vec<(u16, i32)>, FrameError> {
+        let count = self.u16("delta count")? as usize;
+        if count > MAX_DELTA_ENTRIES {
+            return Err(FrameError::malformed(format!(
+                "{count} deltas exceeds the cap of {MAX_DELTA_ENTRIES}"
+            )));
+        }
+        let mut deltas = Vec::with_capacity(count);
+        for _ in 0..count {
+            let symbol = self.u16("delta symbol")?;
+            if usize::from(symbol) >= MAX_ALPHABET {
+                return Err(FrameError::new(
+                    ErrorCode::SymbolOutOfRange,
+                    format!("delta symbol {symbol} outside the {MAX_ALPHABET}-symbol ceiling"),
+                ));
+            }
+            // i32 travels as its two's-complement u32 (the vendored
+            // `bytes` API is unsigned-only).
+            let delta = self.u32("delta amount")? as i32;
+            deltas.push((symbol, delta));
+        }
+        Ok(deltas)
     }
 
     fn histogram(&mut self) -> Result<Histogram, FrameError> {
@@ -558,6 +662,14 @@ fn put_warm_entries(out: &mut BytesMut, entries: &[WarmEntry]) {
         for &l in &e.lengths {
             out.put_u8(l.min(u8::MAX as u32) as u8);
         }
+    }
+}
+
+fn put_deltas(out: &mut BytesMut, deltas: &[(u16, i32)]) {
+    out.put_u16(deltas.len() as u16);
+    for &(symbol, delta) in deltas {
+        out.put_u16(symbol);
+        out.put_u32(delta as u32);
     }
 }
 
@@ -610,6 +722,34 @@ pub fn encode_request(id: u64, req: &Request) -> Vec<u8> {
             body.put_u16(*max);
             Opcode::HotSet
         }
+        Request::EncodeDelta {
+            family,
+            base_key,
+            deltas,
+            payload,
+        } => {
+            body.put_u8(family.tag());
+            body.put_u64(*base_key);
+            put_deltas(&mut body, deltas);
+            body.put_u32(payload.len() as u32);
+            body.put_slice(payload);
+            Opcode::EncodeDelta
+        }
+        Request::DecodeDelta {
+            family,
+            base_key,
+            deltas,
+            bit_len,
+            data,
+        } => {
+            body.put_u8(family.tag());
+            body.put_u64(*base_key);
+            put_deltas(&mut body, deltas);
+            body.put_u64(*bit_len);
+            body.put_u32(data.len() as u32);
+            body.put_slice(data);
+            Opcode::DecodeDelta
+        }
     };
     encode_frame(id, opcode, &body)
 }
@@ -660,6 +800,17 @@ pub fn encode_response(id: u64, resp: &Response) -> Vec<u8> {
         Response::HotSet { entries } => {
             put_warm_entries(&mut body, entries);
             Opcode::HotSetOk
+        }
+        Response::DeltaEncoded {
+            path,
+            bit_len,
+            data,
+        } => {
+            body.put_u8(*path);
+            body.put_u64(*bit_len);
+            body.put_u32(data.len() as u32);
+            body.put_slice(data);
+            Opcode::DeltaOk
         }
         Response::Busy => Opcode::Busy,
         Response::Timeout => Opcode::Timeout,
@@ -740,6 +891,42 @@ pub fn decode_request(opcode: Opcode, body: &[u8]) -> Result<Request, FrameError
         Opcode::HotSet => Request::HotSet {
             max: r.u16("hot-set max")?,
         },
+        Opcode::EncodeDelta => {
+            let family = r.family()?;
+            let base_key = r.u64("base key")?;
+            let deltas = r.deltas()?;
+            let len = r.u32("payload length")? as usize;
+            // Payload symbols are validated against the *base* alphabet
+            // server-side, once the base codebook is resolved.
+            let payload = r.bytes(len, "payload")?;
+            Request::EncodeDelta {
+                family,
+                base_key,
+                deltas,
+                payload,
+            }
+        }
+        Opcode::DecodeDelta => {
+            let family = r.family()?;
+            let base_key = r.u64("base key")?;
+            let deltas = r.deltas()?;
+            let bit_len = r.u64("bit length")?;
+            let len = r.u32("data length")? as usize;
+            let data = r.bytes(len, "data")?;
+            if bit_len > data.len() as u64 * 8 {
+                return Err(FrameError::new(
+                    ErrorCode::CorruptPayload,
+                    format!("bit length {bit_len} exceeds {}-byte data", data.len()),
+                ));
+            }
+            Request::DecodeDelta {
+                family,
+                base_key,
+                deltas,
+                bit_len,
+                data,
+            }
+        }
         other => {
             return Err(FrameError::malformed(format!(
                 "opcode {other:?} is not a request"
@@ -790,6 +977,22 @@ pub fn decode_response(opcode: Opcode, body: &[u8]) -> Result<Response, FrameErr
         Opcode::HotSetOk => Response::HotSet {
             entries: r.warm_entries()?,
         },
+        Opcode::DeltaOk => {
+            let path = r.u8("delta path")?;
+            if path > 1 {
+                return Err(FrameError::malformed(format!(
+                    "delta path tag {path} is not 0 (patched) or 1 (rebuilt)"
+                )));
+            }
+            let bit_len = r.u64("bit length")?;
+            let len = r.u32("data length")? as usize;
+            let data = r.bytes(len, "data")?;
+            Response::DeltaEncoded {
+                path,
+                bit_len,
+                data,
+            }
+        }
         Opcode::Busy => Response::Busy,
         Opcode::Timeout => Response::Timeout,
         other => {
@@ -1062,6 +1265,87 @@ mod tests {
         });
         roundtrip_request(&Request::WarmUp { entries: vec![] });
         roundtrip_request(&Request::HotSet { max: 32 });
+        for family in FamilyId::ALL {
+            roundtrip_request(&Request::EncodeDelta {
+                family,
+                base_key: 0xDEAD_BEEF_CAFE_F00D,
+                deltas: vec![(0, 5), (3, -2), (0, 1)],
+                payload: vec![0, 4, 2, 2, 1, 3],
+            });
+            roundtrip_request(&Request::DecodeDelta {
+                family,
+                base_key: 42,
+                deltas: vec![(255, i32::MIN), (1, i32::MAX)],
+                bit_len: 11,
+                data: vec![0xAB, 0xC0],
+            });
+        }
+        roundtrip_request(&Request::EncodeDelta {
+            family: FamilyId::Huffman,
+            base_key: 0,
+            deltas: vec![],
+            payload: vec![],
+        });
+    }
+
+    #[test]
+    fn delta_requests_reject_bad_symbols_counts_and_bits() {
+        // A delta symbol at the alphabet ceiling.
+        let mut body = BytesMut::new();
+        body.put_u8(FamilyId::Huffman.tag());
+        body.put_u64(7);
+        body.put_u16(1);
+        body.put_u16(MAX_ALPHABET as u16); // first symbol out of range
+        body.put_u32(1u32);
+        body.put_u32(0); // empty payload
+        let e = decode_request(Opcode::EncodeDelta, &body).unwrap_err();
+        assert_eq!(e.code, ErrorCode::SymbolOutOfRange);
+
+        // Delta count over the cap.
+        let mut body = BytesMut::new();
+        body.put_u8(FamilyId::Huffman.tag());
+        body.put_u64(7);
+        body.put_u16((MAX_DELTA_ENTRIES + 1) as u16);
+        let e = decode_request(Opcode::EncodeDelta, &body).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Malformed);
+
+        // An unknown family tag.
+        let mut body = BytesMut::new();
+        body.put_u8(9);
+        let e = decode_request(Opcode::DecodeDelta, &body).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Malformed);
+
+        // Declared bits exceed the data buffer.
+        let mut body = BytesMut::new();
+        body.put_u8(FamilyId::Huffman.tag());
+        body.put_u64(7);
+        body.put_u16(0);
+        body.put_u64(9); // bit_len
+        body.put_u32(1);
+        body.put_u8(0xFF);
+        let e = decode_request(Opcode::DecodeDelta, &body).unwrap_err();
+        assert_eq!(e.code, ErrorCode::CorruptPayload);
+    }
+
+    #[test]
+    fn truncated_delta_bodies_are_frame_errors() {
+        let req = Request::EncodeDelta {
+            family: FamilyId::ShannonFano,
+            base_key: 99,
+            deltas: vec![(1, -3), (2, 8)],
+            payload: vec![0, 1, 2],
+        };
+        let wire = encode_request(1, &req);
+        let raw = read_frame(&mut &wire[..]).unwrap().unwrap();
+        for cut in 0..raw.body.len() {
+            assert!(
+                decode_request(raw.opcode, &raw.body[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        let mut long = raw.body.clone();
+        long.push(0);
+        assert!(decode_request(raw.opcode, &long).is_err());
     }
 
     #[test]
@@ -1140,8 +1424,32 @@ mod tests {
             }],
         });
         roundtrip_response(&Response::HotSet { entries: vec![] });
+        roundtrip_response(&Response::DeltaEncoded {
+            path: 0,
+            bit_len: 13,
+            data: vec![1, 2],
+        });
+        roundtrip_response(&Response::DeltaEncoded {
+            path: 1,
+            bit_len: 0,
+            data: vec![],
+        });
+        roundtrip_response(&Response::Error {
+            code: ErrorCode::UnknownBase,
+            message: "no codebook under key 7".into(),
+        });
         roundtrip_response(&Response::Busy);
         roundtrip_response(&Response::Timeout);
+    }
+
+    #[test]
+    fn delta_ok_rejects_unknown_path_tags() {
+        let mut body = BytesMut::new();
+        body.put_u8(2); // only 0 and 1 are defined
+        body.put_u64(0);
+        body.put_u32(0);
+        let e = decode_response(Opcode::DeltaOk, &body).unwrap_err();
+        assert_eq!(e.code, ErrorCode::Malformed);
     }
 
     #[test]

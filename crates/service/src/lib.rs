@@ -18,6 +18,13 @@
 //! family shares the cache, the tier-1 store (family-tagged v2
 //! records), and the warm-up plane.
 //!
+//! A fifth opcode pair (`EncodeDelta` `0x0E` / `DecodeDelta` `0x0F`)
+//! serves **drifting histograms** incrementally: the client names an
+//! already-cached base codebook by key and ships only sparse count
+//! deltas; the [`partree_delta`] engine patches the codebook in place
+//! when it can prove bit-identity with a from-scratch build, and falls
+//! back to full reconstruction when it cannot.
+//!
 //! * [`frame`] — the length-prefixed wire protocol (spec in
 //!   `EXPERIMENTS.md`), built on the vendored [`bytes`] `Buf`/`BufMut`;
 //! * [`codebook`] — [`codebook::Codebook`] construction and the
@@ -90,5 +97,6 @@ pub use frame::{ErrorCode, FrameError, Histogram, Request, Response, WarmEntry};
 pub use metrics::MetricsSnapshot;
 pub use net::{FaultInjection, Server, Transport};
 pub use partree_codecs::{FamilyId, FAMILY_COUNT};
+pub use partree_delta::{DeltaConfig, DeltaPath};
 pub use reactor::WriteOverflow;
 pub use server::{Service, ServiceConfig};

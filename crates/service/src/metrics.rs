@@ -59,6 +59,18 @@ pub struct Metrics {
     /// Encode/decode requests accepted per code family, indexed by
     /// [`FamilyId::index`].
     pub family_requests: [AtomicU64; FAMILY_COUNT],
+    /// Delta requests processed (`EncodeDelta` + `DecodeDelta`).
+    pub delta_requests: AtomicU64,
+    /// Delta requests served by a patch rule (or an already-resident
+    /// drifted codebook) — no full construction ran.
+    pub delta_patched: AtomicU64,
+    /// Delta requests that fell back to a full from-scratch rebuild
+    /// (structural drift, a tie refusal, or a family with no patch
+    /// rule).
+    pub delta_fallbacks: AtomicU64,
+    /// Delta requests rejected because the named base codebook was
+    /// resident in neither tier.
+    pub delta_unknown_base: AtomicU64,
 }
 
 /// A plain-data copy of [`Metrics`] plus cache counters, as exported.
@@ -113,6 +125,14 @@ pub struct MetricsSnapshot {
     pub family_hits: [u64; FAMILY_COUNT],
     /// Constructions per code family (`family_<name>_constructions`).
     pub family_constructions: [u64; FAMILY_COUNT],
+    /// Delta requests processed.
+    pub delta_requests: u64,
+    /// Delta requests served without a full construction.
+    pub delta_patched: u64,
+    /// Delta requests that rebuilt from scratch.
+    pub delta_fallbacks: u64,
+    /// Delta requests whose base codebook was not resident.
+    pub delta_unknown_base: u64,
     /// Traced work total.
     pub work: u64,
     /// Traced depth total.
@@ -182,6 +202,10 @@ impl Metrics {
             family_requests: std::array::from_fn(|i| get(&self.family_requests[i])),
             family_hits: cache.family_hits(),
             family_constructions: cache.family_constructions(),
+            delta_requests: get(&self.delta_requests),
+            delta_patched: get(&self.delta_patched),
+            delta_fallbacks: get(&self.delta_fallbacks),
+            delta_unknown_base: get(&self.delta_unknown_base),
             work: get(&self.work),
             depth: get(&self.depth),
             bytes_in: get(&self.bytes_in),
@@ -242,6 +266,10 @@ impl MetricsSnapshot {
                 self.family_constructions[f.index()],
             );
         }
+        field("delta_requests", self.delta_requests);
+        field("delta_patched", self.delta_patched);
+        field("delta_fallbacks", self.delta_fallbacks);
+        field("delta_unknown_base", self.delta_unknown_base);
         field("work", self.work);
         field("depth", self.depth);
         field("bytes_in", self.bytes_in);
@@ -314,6 +342,10 @@ impl MetricsSnapshot {
                 "tier1_promotions" => snap.tier1_promotions = v,
                 "store_errors" => snap.store_errors = v,
                 "warmup_accepted" => snap.warmup_accepted = v,
+                "delta_requests" => snap.delta_requests = v,
+                "delta_patched" => snap.delta_patched = v,
+                "delta_fallbacks" => snap.delta_fallbacks = v,
+                "delta_unknown_base" => snap.delta_unknown_base = v,
                 "work" => snap.work = v,
                 "depth" => snap.depth = v,
                 "bytes_in" => snap.bytes_in = v,

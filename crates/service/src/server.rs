@@ -26,9 +26,11 @@
 //! `req:…` span per request. The aggregate work/depth folds into the
 //! service [`Metrics`], exported as JSON via [`Service::stats_json`].
 
-use crate::codebook::CodebookCache;
-use crate::frame::{ErrorCode, Request, Response, WarmEntry};
+use crate::codebook::{Codebook, CodebookCache};
+use crate::frame::{ErrorCode, Histogram, Request, Response, WarmEntry};
 use crate::metrics::{Metrics, MetricsSnapshot};
+use partree_codecs::FamilyId;
+use partree_delta::{DeltaConfig, DeltaPath};
 use partree_pram::CostTracer;
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -62,6 +64,26 @@ pub struct ServiceConfig {
     /// reads `PARTREE_STORE_DIR` from the environment, so persistence
     /// is opt-in per process without touching call sites.
     pub store_dir: Option<PathBuf>,
+    /// Per-family tier-0 residency quota as a percentage of each cache
+    /// shard's capacity; `100` disables quotas (plain per-shard LRU).
+    /// With a quota, one family's burst evicts within that family
+    /// first, so it cannot push another family's hot set out. The
+    /// default reads `PARTREE_CACHE_FAMILY_PCT`.
+    pub cache_family_pct: u32,
+    /// Per-symbol ratio bound for the delta path, in percent: `200`
+    /// (the default) lets a count drift by up to a factor of two
+    /// before the engine refuses to patch and rebuilds. The default
+    /// reads `PARTREE_DELTA_RATIO_PCT`.
+    pub delta_ratio_pct: u32,
+}
+
+/// Reads a `u32` environment knob, falling back to `default` when the
+/// variable is unset or unparseable.
+fn env_u32(name: &str, default: u32) -> u32 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl Default for ServiceConfig {
@@ -75,6 +97,8 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             cache_capacity: 64,
             store_dir: std::env::var_os("PARTREE_STORE_DIR").map(PathBuf::from),
+            cache_family_pct: env_u32("PARTREE_CACHE_FAMILY_PCT", 100),
+            delta_ratio_pct: env_u32("PARTREE_DELTA_RATIO_PCT", 200),
         }
     }
 }
@@ -171,6 +195,7 @@ struct Inner {
     draining: AtomicBool,
     next_seq: AtomicU64,
     cache: CodebookCache,
+    delta_cfg: DeltaConfig,
     metrics: Metrics,
     pool: rayon::ThreadPool,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
@@ -219,7 +244,13 @@ impl Service {
             }
         });
         let inner = Arc::new(Inner {
-            cache: CodebookCache::with_tier1(cfg.cache_shards, cfg.cache_capacity, tier1),
+            cache: CodebookCache::with_config(
+                cfg.cache_shards,
+                cfg.cache_capacity,
+                tier1,
+                cfg.cache_family_pct,
+            ),
+            delta_cfg: DeltaConfig::from_ratio_pct(cfg.delta_ratio_pct),
             queue: Mutex::new(VecDeque::with_capacity(cfg.queue_capacity.min(4096))),
             wake: Condvar::new(),
             stopping: AtomicBool::new(false),
@@ -289,7 +320,10 @@ impl Service {
             Request::HotSet { max } => {
                 return done.complete(self.hot_set(max));
             }
-            Request::Encode { .. } | Request::Decode { .. } => {}
+            Request::Encode { .. }
+            | Request::Decode { .. }
+            | Request::EncodeDelta { .. }
+            | Request::DecodeDelta { .. } => {}
         }
         if let Err((resp, sink)) = self.enqueue(request, ReplySink::Callback(done)) {
             sink.deliver(resp);
@@ -335,7 +369,10 @@ impl Service {
     /// not be consumed here while the queue lock is held).
     fn enqueue(&self, request: Request, reply: ReplySink) -> Result<(), (Response, ReplySink)> {
         let family = match &request {
-            Request::Encode { family, .. } | Request::Decode { family, .. } => Some(*family),
+            Request::Encode { family, .. }
+            | Request::Decode { family, .. }
+            | Request::EncodeDelta { family, .. }
+            | Request::DecodeDelta { family, .. } => Some(*family),
             _ => None,
         };
         {
@@ -399,7 +436,10 @@ impl Service {
             }
             Request::WarmUp { entries } => return self.warm_up(entries),
             Request::HotSet { max } => return self.hot_set(max),
-            Request::Encode { .. } | Request::Decode { .. } => {}
+            Request::Encode { .. }
+            | Request::Decode { .. }
+            | Request::EncodeDelta { .. }
+            | Request::DecodeDelta { .. } => {}
         }
         let rx = match self.try_enqueue(request) {
             Ok(rx) => rx,
@@ -566,6 +606,21 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
             | Request::Decode {
                 family, histogram, ..
             } => family.tagged_key(histogram.hash64()),
+            // Delta jobs group on (family, base, drift): identical
+            // drift requests share one delta application per tick, the
+            // same way plain codec jobs share one construction.
+            Request::EncodeDelta {
+                family,
+                base_key,
+                deltas,
+                ..
+            }
+            | Request::DecodeDelta {
+                family,
+                base_key,
+                deltas,
+                ..
+            } => delta_group_key(*family, *base_key, deltas),
             // Control requests are answered inline by `submit` and
             // never queued; answer defensively anyway.
             Request::Stats => {
@@ -629,6 +684,13 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
         // Distinct histograms are independent: parallel siblings under
         // the tick (Brent: the tick's depth is the max over groups).
         let group_span = tick.par_span(&format!("histogram:{key:016x}"));
+        if matches!(
+            jobs[0].request,
+            Request::EncodeDelta { .. } | Request::DecodeDelta { .. }
+        ) {
+            process_delta_group(inner, &group_span, jobs);
+            continue;
+        }
         let (histogram, family) = match &jobs[0].request {
             Request::Encode {
                 family, histogram, ..
@@ -695,6 +757,196 @@ fn process_batch(inner: &Inner, batch: Vec<Job>) {
     let tick_cost = tick.aggregate();
     m.work.fetch_add(tick_cost.work, Ordering::Relaxed);
     m.depth.fetch_add(tick_cost.depth, Ordering::Relaxed);
+}
+
+/// Group key for delta jobs: FNV-1a over the family tag, the base key,
+/// and the sparse deltas, spread apart from the histogram-hash keyspace
+/// by a domain byte. Identical `(family, base, drift)` requests batch
+/// into one delta application per tick.
+fn delta_group_key(family: FamilyId, base_key: u64, deltas: &[(u16, i32)]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let eat = |h: &mut u64, b: u8| {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    eat(&mut h, 0xD1); // domain separator: delta group
+    eat(&mut h, family.tag());
+    for b in base_key.to_le_bytes() {
+        eat(&mut h, b);
+    }
+    for &(symbol, delta) in deltas {
+        for b in symbol.to_le_bytes() {
+            eat(&mut h, b);
+        }
+        for b in delta.to_le_bytes() {
+            eat(&mut h, b);
+        }
+    }
+    h
+}
+
+/// Resolves one delta group: base lookup (both cache tiers, never a
+/// construction), sparse drift application, the delta engine's
+/// patch-or-rebuild decision, installation of the drifted codebook
+/// under its own key (tier-1 write-through included), and one response
+/// per job. The served codebook is bit-identical to a from-scratch
+/// build of the drifted histogram — [`partree_delta::apply`]'s
+/// contract — so a later plain `Encode` of the same histogram shares
+/// the cache entry installed here.
+fn process_delta_group(inner: &Inner, group_span: &CostTracer, jobs: Vec<Job>) {
+    let m = &inner.metrics;
+    m.delta_requests
+        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    let (family, base_key, deltas) = match &jobs[0].request {
+        Request::EncodeDelta {
+            family,
+            base_key,
+            deltas,
+            ..
+        }
+        | Request::DecodeDelta {
+            family,
+            base_key,
+            deltas,
+            ..
+        } => (*family, *base_key, deltas.clone()),
+        _ => unreachable!("non-delta jobs never reach a delta group"),
+    };
+    let fail = |jobs: Vec<Job>, response: Response| {
+        m.errors.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        for job in jobs {
+            respond(inner, job, response.clone());
+        }
+    };
+
+    let Some(base) = inner.cache.lookup_key(base_key, family, None) else {
+        m.delta_unknown_base
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        fail(
+            jobs,
+            Response::Error {
+                code: ErrorCode::UnknownBase,
+                message: format!("no {family} codebook resident under base key {base_key:#018x}"),
+            },
+        );
+        return;
+    };
+    let drifted_counts = match partree_delta::apply_sparse(base.histogram.counts(), &deltas) {
+        Ok(counts) => counts,
+        Err(e) => {
+            fail(
+                jobs,
+                Response::Error {
+                    code: ErrorCode::Malformed,
+                    message: format!("sparse drift rejected: {e}"),
+                },
+            );
+            return;
+        }
+    };
+    let drifted_hist = match Histogram::new(drifted_counts) {
+        Ok(h) => h,
+        Err(e) => {
+            fail(jobs, Response::from(e));
+            return;
+        }
+    };
+    let new_key = family.tagged_key(drifted_hist.hash64());
+    // A resident drifted codebook (either tier) is served as the patch
+    // path — no engine work runs at all. Otherwise the engine decides
+    // patch vs rebuild on the worker pool and the result is installed
+    // under the drifted key.
+    let (book, path_tag) = match inner.cache.lookup_key(new_key, family, Some(&drifted_hist)) {
+        Some(book) => {
+            m.delta_patched
+                .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            (book, DeltaPath::Patched.tag())
+        }
+        None => {
+            let delta_span = group_span.span("delta");
+            let result = inner.pool.install(|| {
+                partree_delta::apply(
+                    family,
+                    base.histogram.counts(),
+                    &base.lengths,
+                    drifted_hist.counts(),
+                    &inner.delta_cfg,
+                )
+            });
+            let result = match result {
+                Ok(r) => r,
+                Err(e) => {
+                    fail(
+                        jobs,
+                        Response::Error {
+                            code: ErrorCode::Internal,
+                            message: format!("delta engine failed for a valid drift: {e}"),
+                        },
+                    );
+                    return;
+                }
+            };
+            let counter = match result.path {
+                DeltaPath::Patched => &m.delta_patched,
+                DeltaPath::Rebuilt => &m.delta_fallbacks,
+            };
+            counter.fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            // Charge the work model of the path that actually ran.
+            delta_span.step(match result.path {
+                DeltaPath::Patched => result.patch_work,
+                DeltaPath::Rebuilt => result.rebuild_work,
+            });
+            let book =
+                match Codebook::from_lengths(&drifted_hist, family, result.lengths, &delta_span) {
+                    Ok(book) => book,
+                    Err(e) => {
+                        fail(jobs, Response::from(e));
+                        return;
+                    }
+                };
+            (inner.cache.install(book), result.path.tag())
+        }
+    };
+    for job in jobs {
+        let seq = job.seq;
+        let req_span = group_span.par_span(&format!("req:{seq}"));
+        let response = match &job.request {
+            Request::EncodeDelta { payload, .. } => match book.encode(payload) {
+                Ok((data, bit_len)) => {
+                    m.encoded.fetch_add(1, Ordering::Relaxed);
+                    m.bytes_in
+                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    m.bytes_out.fetch_add(data.len() as u64, Ordering::Relaxed);
+                    req_span.step(bit_len);
+                    Response::DeltaEncoded {
+                        path: path_tag,
+                        bit_len,
+                        data,
+                    }
+                }
+                Err(e) => {
+                    m.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::from(e)
+                }
+            },
+            Request::DecodeDelta { bit_len, data, .. } => match book.decode(data, *bit_len) {
+                Ok(payload) => {
+                    m.decoded.fetch_add(1, Ordering::Relaxed);
+                    m.bytes_in.fetch_add(data.len() as u64, Ordering::Relaxed);
+                    m.bytes_out
+                        .fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    req_span.step(*bit_len);
+                    Response::Decoded { payload }
+                }
+                Err(e) => {
+                    m.errors.fetch_add(1, Ordering::Relaxed);
+                    Response::from(e)
+                }
+            },
+            _ => unreachable!("non-delta jobs never reach a delta group"),
+        };
+        respond(inner, job, response);
+    }
 }
 
 fn respond(inner: &Inner, job: Job, response: Response) {
@@ -1109,6 +1361,196 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(svc.metrics().errors, 2);
+        svc.shutdown();
+    }
+
+    /// Seeds a base codebook via a plain `Encode` and returns its
+    /// family-tagged base key.
+    fn seed_base(svc: &Service, family: FamilyId, counts: &[u32]) -> u64 {
+        let h = hist(counts);
+        match svc.submit(Request::Encode {
+            family,
+            histogram: h.clone(),
+            payload: vec![0, 1],
+        }) {
+            Response::Encoded { .. } => {}
+            other => panic!("seeding {family}: expected Encoded, got {other:?}"),
+        }
+        family.tagged_key(h.hash64())
+    }
+
+    #[test]
+    fn delta_patch_is_bit_identical_to_direct_encode() {
+        let svc = Service::start(ServiceConfig::default());
+        let base_counts = [40u32, 20, 10, 5];
+        let base_key = seed_base(&svc, FamilyId::Huffman, &base_counts);
+        // Bounded drift, all ratios within the default factor-of-two.
+        let deltas = vec![(0u16, 8i32), (2, -3)];
+        let drifted = [48u32, 20, 7, 5];
+        let payload = vec![0u8, 1, 2, 3, 0, 0, 1, 2];
+
+        let (path, bit_len, data) = match svc.submit(Request::EncodeDelta {
+            family: FamilyId::Huffman,
+            base_key,
+            deltas: deltas.clone(),
+            payload: payload.clone(),
+        }) {
+            Response::DeltaEncoded {
+                path,
+                bit_len,
+                data,
+            } => (path, bit_len, data),
+            other => panic!("expected DeltaEncoded, got {other:?}"),
+        };
+        assert_eq!(path, DeltaPath::Patched.tag(), "distinct counts patch");
+
+        // The differential invariant at the wire: a from-scratch Encode
+        // of the drifted histogram yields the same bits.
+        let direct = Service::start(ServiceConfig::default());
+        match direct.submit(Request::Encode {
+            family: FamilyId::Huffman,
+            histogram: hist(&drifted),
+            payload: payload.clone(),
+        }) {
+            Response::Encoded {
+                bit_len: b,
+                data: d,
+            } => assert_eq!((b, d), (bit_len, data.clone()), "patched != from-scratch"),
+            other => panic!("expected Encoded, got {other:?}"),
+        }
+        direct.shutdown();
+
+        // DecodeDelta resolves the same drifted book and inverts it.
+        match svc.submit(Request::DecodeDelta {
+            family: FamilyId::Huffman,
+            base_key,
+            deltas,
+            bit_len,
+            data,
+        }) {
+            Response::Decoded { payload: p } => assert_eq!(p, payload),
+            other => panic!("expected Decoded, got {other:?}"),
+        }
+
+        let m = svc.metrics();
+        assert_eq!(m.delta_requests, 2);
+        assert_eq!(m.delta_patched, 2, "encode patched, decode hit the key");
+        assert_eq!((m.delta_fallbacks, m.delta_unknown_base), (0, 0));
+        // A later plain Encode of the drifted histogram reuses the
+        // installed entry — no construction.
+        let before = svc.metrics().constructions;
+        match svc.submit(Request::Encode {
+            family: FamilyId::Huffman,
+            histogram: hist(&drifted),
+            payload: vec![0, 1],
+        }) {
+            Response::Encoded { .. } => {}
+            other => panic!("expected Encoded, got {other:?}"),
+        }
+        assert_eq!(
+            svc.metrics().constructions,
+            before,
+            "installed drifted book serves plain Encode"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn delta_unknown_base_is_a_structured_error() {
+        let svc = Service::start(ServiceConfig::default());
+        match svc.submit(Request::EncodeDelta {
+            family: FamilyId::Huffman,
+            base_key: 0xDEAD_BEEF,
+            deltas: vec![(0, 1)],
+            payload: vec![0],
+        }) {
+            Response::Error {
+                code: ErrorCode::UnknownBase,
+                ..
+            } => {}
+            other => panic!("expected UnknownBase, got {other:?}"),
+        }
+        let m = svc.metrics();
+        assert_eq!((m.delta_requests, m.delta_unknown_base), (1, 1));
+        assert_eq!(m.errors, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn families_without_patch_rules_fall_back_to_rebuild() {
+        let svc = Service::start(ServiceConfig::default());
+        let base_counts = [40u32, 20, 10, 5];
+        let payload = vec![0u8, 1, 2, 3];
+        for family in [FamilyId::Minimax, FamilyId::ChoosableEdge] {
+            let base_key = seed_base(&svc, family, &base_counts);
+            match svc.submit(Request::EncodeDelta {
+                family,
+                base_key,
+                deltas: vec![(1, 5)],
+                payload: payload.clone(),
+            }) {
+                Response::DeltaEncoded { path, .. } => {
+                    assert_eq!(path, DeltaPath::Rebuilt.tag(), "{family} has no patch rule");
+                }
+                other => panic!("{family}: expected DeltaEncoded, got {other:?}"),
+            }
+        }
+        let m = svc.metrics();
+        assert_eq!(m.delta_fallbacks, 2);
+        assert_eq!(m.delta_patched, 0);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn structural_drift_rebuilds_and_bad_drift_is_malformed() {
+        let svc = Service::start(ServiceConfig::default());
+        let base_key = seed_base(&svc, FamilyId::Huffman, &[40, 20, 10, 5]);
+        // Structural drift: symbol 2 drops to zero — alphabet shrinks.
+        match svc.submit(Request::EncodeDelta {
+            family: FamilyId::Huffman,
+            base_key,
+            deltas: vec![(2, -10)],
+            payload: vec![0, 1, 3],
+        }) {
+            Response::DeltaEncoded { path, .. } => {
+                assert_eq!(path, DeltaPath::Rebuilt.tag(), "removed symbol rebuilds");
+            }
+            other => panic!("expected DeltaEncoded, got {other:?}"),
+        }
+        // A drift that drives a count negative is malformed, not a panic.
+        match svc.submit(Request::EncodeDelta {
+            family: FamilyId::Huffman,
+            base_key,
+            deltas: vec![(0, -100)],
+            payload: vec![0],
+        }) {
+            Response::Error {
+                code: ErrorCode::Malformed,
+                ..
+            } => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        let m = svc.metrics();
+        assert_eq!(m.delta_fallbacks, 1);
+        assert_eq!(m.errors, 1);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn delta_payload_symbols_validated_against_drifted_alphabet() {
+        let svc = Service::start(ServiceConfig::default());
+        let base_key = seed_base(&svc, FamilyId::Huffman, &[40, 20, 10]);
+        // Symbol 3 is outside the 3-symbol drifted alphabet.
+        match svc.submit(Request::EncodeDelta {
+            family: FamilyId::Huffman,
+            base_key,
+            deltas: vec![(0, 1)],
+            payload: vec![0, 3],
+        }) {
+            Response::Error { .. } => {}
+            other => panic!("expected an error, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().errors, 1);
         svc.shutdown();
     }
 }

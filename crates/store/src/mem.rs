@@ -11,6 +11,7 @@ use std::sync::Mutex;
 const SHARDS: usize = 8;
 
 /// One shard: key → (code-family tag, body bytes).
+// determinism: keyed get/put only; nothing iterates the map into output.
 type Shard = Mutex<HashMap<u64, (u8, Vec<u8>)>>;
 
 /// Sharded in-memory store. Values carry the code-family tag so the

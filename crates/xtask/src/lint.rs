@@ -74,8 +74,8 @@ impl std::fmt::Display for Finding {
 /// unsafe core (`exec`, `monge`, `pram`) and the checker (`verify`,
 /// which forbids it voluntarily) are the only exceptions.
 const FORBID_UNSAFE_CRATES: &[&str] = &[
-    "bench", "codecs", "codes", "core", "gateway", "huffman", "lcfl", "obst", "service", "store",
-    "trees",
+    "bench", "codecs", "codes", "core", "delta", "gateway", "huffman", "lcfl", "obst", "service",
+    "store", "trees",
 ];
 
 /// Crates allowed to call `std::thread` directly: the executor owns
@@ -86,7 +86,7 @@ const THREAD_CRATES: &[&str] = &["exec", "gateway", "service", "verify"];
 /// Crates on the deterministic pipeline: same input must give the same
 /// bytes on every run and every machine.
 const DETERMINISTIC_CRATES: &[&str] = &[
-    "codecs", "huffman", "lcfl", "monge", "obst", "pram", "trees",
+    "codecs", "delta", "huffman", "lcfl", "monge", "obst", "pram", "trees",
 ];
 
 /// Crates where the hash-container half of `determinism` applies: the
@@ -94,12 +94,15 @@ const DETERMINISTIC_CRATES: &[&str] = &[
 /// unargued iteration there would leak hash order into segment layout
 /// and make two replicas' logs diverge on identical histories.
 const HASH_CONTAINER_CRATES: &[&str] = &[
-    "codecs", "huffman", "lcfl", "monge", "obst", "pram", "store", "trees",
+    "codecs", "delta", "huffman", "lcfl", "monge", "obst", "pram", "store", "trees",
 ];
 
 /// Request-path files where a panic becomes a dropped connection or a
 /// wedged worker rather than an error frame.
 const REQUEST_PATH_FILES: &[&str] = &[
+    "crates/delta/src/lib.rs",
+    "crates/delta/src/drift.rs",
+    "crates/delta/src/patch.rs",
     "crates/service/src/server.rs",
     "crates/service/src/net.rs",
     "crates/service/src/reactor.rs",

@@ -16,6 +16,7 @@
 //! | [`codes`] | prefix codes, canonical codes, bit I/O, Shannon–Fano |
 //! | [`obst`] | optimal / near-optimal binary search trees |
 //! | [`lcfl`] | linear context-free language recognition |
+//! | [`delta`] | incremental codebook maintenance: drift classification, patch-vs-rebuild decisions |
 //! | [`service`] | batched codec service: framed encode/decode over loopback TCP, codebook cache |
 //! | [`gateway`] | sharded replica router: rendezvous hashing, retries, hedged requests, health-gated failover |
 //!
@@ -42,6 +43,7 @@
 
 pub use partree_codes as codes;
 pub use partree_core as core;
+pub use partree_delta as delta;
 pub use partree_gateway as gateway;
 pub use partree_huffman as huffman;
 pub use partree_lcfl as lcfl;

@@ -1,0 +1,237 @@
+//! Integration: the delta subsystem's differential invariant at the
+//! service boundary — every `EncodeDelta` answer, patched or rebuilt,
+//! is byte-identical to a from-scratch `Encode` of the drifted
+//! histogram, across chains of drifts in which each drifted codebook
+//! becomes the next base, interleaved with full service restarts over
+//! a persistent store.
+
+use partree::service::frame::{ErrorCode, Histogram, Request, Response};
+use partree::service::server::{Service, ServiceConfig};
+use partree::service::{DeltaPath, FamilyId};
+
+fn direct_encode(family: FamilyId, counts: &[u32], payload: &[u8]) -> (u64, Vec<u8>) {
+    let svc = Service::start(ServiceConfig::default());
+    let resp = svc.submit(Request::Encode {
+        family,
+        histogram: Histogram::new(counts.to_vec()).unwrap(),
+        payload: payload.to_vec(),
+    });
+    svc.shutdown();
+    match resp {
+        Response::Encoded { bit_len, data } => (bit_len, data),
+        other => panic!("direct {family} encode failed: {other:?}"),
+    }
+}
+
+fn delta_encode(
+    svc: &Service,
+    family: FamilyId,
+    base_key: u64,
+    deltas: &[(u16, i32)],
+    payload: &[u8],
+) -> (u8, u64, Vec<u8>) {
+    match svc.submit(Request::EncodeDelta {
+        family,
+        base_key,
+        deltas: deltas.to_vec(),
+        payload: payload.to_vec(),
+    }) {
+        Response::DeltaEncoded {
+            path,
+            bit_len,
+            data,
+        } => (path, bit_len, data),
+        other => panic!("{family} delta encode failed: {other:?}"),
+    }
+}
+
+fn apply_deltas(counts: &[u32], deltas: &[(u16, i32)]) -> Vec<u32> {
+    let mut next = counts.to_vec();
+    for &(s, d) in deltas {
+        let v = i64::from(next[s as usize]) + i64::from(d);
+        next[s as usize] = u32::try_from(v).expect("test drift stays in range");
+    }
+    next
+}
+
+/// A payload over the symbols that stay present across every drift in
+/// these chains (symbol 7 is the one a structural step removes).
+fn payload_for(n: usize) -> Vec<u8> {
+    (0..160).map(|i| (i % (n - 1)) as u8).collect()
+}
+
+#[test]
+fn drift_chains_survive_restarts_bit_identically() {
+    let dir = std::env::temp_dir().join(format!("partree-delta-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || ServiceConfig {
+        workers: 1,
+        store_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+
+    // Well-separated base: distinct counts and distinct merge sums, so
+    // bounded steps genuinely exercise the Huffman patch rule rather
+    // than always falling back.
+    let base: Vec<u32> = vec![610, 310, 160, 80, 40, 21, 11, 5];
+    let n = base.len();
+    let payload = payload_for(n);
+
+    // Each chain step drifts the *previous* step's histogram: the
+    // installed drifted codebook becomes the next base, so the chain
+    // exercises write-through and key re-resolution at every link.
+    // `None` marks a restart of the store-backed service.
+    type Step = Option<Vec<(u16, i32)>>;
+    let steps: Vec<Step> = vec![
+        Some(vec![(0, 60), (3, -9)]), // bounded → patch
+        Some(vec![(1, -40), (5, 4)]), // bounded → patch
+        None,                         // restart mid-chain
+        Some(vec![(2, 30)]),          // bounded, base off tier 1
+        Some(vec![(0, 2000)]),        // ratio blown → rebuild
+        None,                         // restart again
+        Some(vec![(7, -5)]),          // symbol removed → rebuild
+        Some(vec![(4, 13), (6, 3)]),  // bounded on shrunk alphabet
+    ];
+
+    for family in FamilyId::ALL {
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut svc = Service::start(cfg());
+        // Seed the chain's root the only way a client can: a full
+        // encode of the base histogram.
+        let base_hist = Histogram::new(base.clone()).unwrap();
+        match svc.submit(Request::Encode {
+            family,
+            histogram: base_hist.clone(),
+            payload: payload.clone(),
+        }) {
+            Response::Encoded { .. } => {}
+            other => panic!("{family}: seeding failed: {other:?}"),
+        }
+        let mut counts = base.clone();
+        let mut key = family.tagged_key(base_hist.hash64());
+        let mut patched = 0u64;
+        let mut rebuilt = 0u64;
+
+        for (i, step) in steps.iter().enumerate() {
+            let Some(deltas) = step else {
+                svc.shutdown();
+                svc = Service::start(cfg());
+                continue;
+            };
+            let next = apply_deltas(&counts, deltas);
+            let (path, bit_len, data) = delta_encode(&svc, family, key, deltas, &payload);
+            let expected = direct_encode(family, &next, &payload);
+            assert_eq!(
+                (bit_len, &data),
+                (expected.0, &expected.1),
+                "{family} step {i}: delta answer != from-scratch answer"
+            );
+            match DeltaPath::from_tag(path).unwrap() {
+                DeltaPath::Patched => patched += 1,
+                DeltaPath::Rebuilt => rebuilt += 1,
+            }
+            counts = next;
+            key = family.tagged_key(Histogram::new(counts.clone()).unwrap().hash64());
+        }
+
+        let delta_steps = steps.iter().flatten().count() as u64;
+        assert_eq!(patched + rebuilt, delta_steps, "{family}: a step was lost");
+        let m = svc.metrics();
+        assert_eq!(m.delta_unknown_base, 0, "{family}: {m:?}");
+        // Huffman and Shannon–Fano have patch rules; minimax and
+        // choosable-edge rebuild every drift.
+        match family {
+            FamilyId::Huffman | FamilyId::ShannonFano => {
+                assert!(patched >= 3, "{family}: patch rule never ran ({patched})");
+                assert!(
+                    rebuilt >= 2,
+                    "{family}: structural steps rebuild ({rebuilt})"
+                );
+            }
+            FamilyId::Minimax | FamilyId::ChoosableEdge => {
+                assert_eq!(patched, 0, "{family} has no patch rule");
+            }
+        }
+        svc.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn restart_resolves_bases_from_the_store_without_reconstruction() {
+    let dir = std::env::temp_dir().join(format!("partree-delta-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = || ServiceConfig {
+        workers: 1,
+        store_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    };
+    let base: Vec<u32> = vec![400, 200, 100, 50, 25, 12];
+    let payload = vec![0u8, 1, 2, 3, 4, 5, 0, 1, 0];
+    let deltas = [(0u16, 50i32), (4, -5)];
+    let drifted = apply_deltas(&base, &deltas);
+
+    let svc = Service::start(cfg());
+    let base_hist = Histogram::new(base.clone()).unwrap();
+    match svc.submit(Request::Encode {
+        family: FamilyId::Huffman,
+        histogram: base_hist.clone(),
+        payload: payload.clone(),
+    }) {
+        Response::Encoded { .. } => {}
+        other => panic!("seed failed: {other:?}"),
+    }
+    let base_key = FamilyId::Huffman.tagged_key(base_hist.hash64());
+    let first = delta_encode(&svc, FamilyId::Huffman, base_key, &deltas, &payload);
+    assert_eq!(first.0, DeltaPath::Patched.tag());
+    svc.shutdown();
+
+    // Cold restart: the base AND the drifted result both come off the
+    // store. The repeated delta is served from the already-persisted
+    // drifted codebook — no engine run, no construction, same bytes.
+    let svc = Service::start(cfg());
+    let again = delta_encode(&svc, FamilyId::Huffman, base_key, &deltas, &payload);
+    assert_eq!(again, first, "patched result did not survive the restart");
+    let m = svc.metrics();
+    assert_eq!(m.constructions, 0, "restart must not reconstruct: {m:?}");
+    assert_eq!(m.delta_patched, 1, "{m:?}");
+    assert_eq!(m.store_errors, 0, "{m:?}");
+
+    // The drifted codebook also answers a *plain* encode of the
+    // drifted histogram — proof it was installed under its own
+    // first-class key, not a delta-only alias.
+    match svc.submit(Request::Encode {
+        family: FamilyId::Huffman,
+        histogram: Histogram::new(drifted).unwrap(),
+        payload: payload.clone(),
+    }) {
+        Response::Encoded { bit_len, data } => {
+            assert_eq!((bit_len, data), (first.1, first.2), "plain == delta");
+        }
+        other => panic!("plain encode failed: {other:?}"),
+    }
+    assert_eq!(svc.metrics().constructions, 0);
+    svc.shutdown();
+
+    // A pruned store surfaces as UnknownBase, never a wrong answer.
+    let _ = std::fs::remove_dir_all(&dir);
+    let svc = Service::start(ServiceConfig {
+        workers: 1,
+        store_dir: Some(dir.join("empty")),
+        ..ServiceConfig::default()
+    });
+    match svc.submit(Request::EncodeDelta {
+        family: FamilyId::Huffman,
+        base_key,
+        deltas: deltas.to_vec(),
+        payload,
+    }) {
+        Response::Error {
+            code: ErrorCode::UnknownBase,
+            ..
+        } => {}
+        other => panic!("expected UnknownBase after prune, got {other:?}"),
+    }
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

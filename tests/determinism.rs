@@ -198,6 +198,104 @@ fn racing_cache_misses_converge_on_one_codebook() {
 }
 
 #[test]
+fn delta_patches_are_bit_identical_across_pools() {
+    // The delta engine's patch-or-rebuild decision and the lengths it
+    // serves must not depend on pool width: both the exact two-queue
+    // patch verification and the fallback construction are
+    // deterministic, so a drifted codebook patched under one thread
+    // is byte-for-byte the codebook rebuilt under eight.
+    use partree::delta::{apply, DeltaConfig};
+    // 24 symbols fits every family (the choosable-edge DP caps at 32).
+    let base: Vec<u32> = (1..=24u32).map(|i| i * i + i).collect();
+    let cfg = DeltaConfig::default();
+    for family in FamilyId::ALL {
+        let n = base.len();
+        let base = &base[..];
+        let base_lengths = {
+            let h = Histogram::new(base.to_vec()).unwrap();
+            let cache = CodebookCache::new(1, 4);
+            cache
+                .get_or_build(&h, family, &CostTracer::disabled())
+                .unwrap()
+                .lengths
+                .clone()
+        };
+        let mut drifted = base.to_vec();
+        drifted[0] += drifted[0] / 2;
+        drifted[n - 1] += 1;
+        let baseline = apply(family, base, &base_lengths, &drifted, &cfg).unwrap();
+        for threads in POOLS {
+            let again = with_threads(threads, || {
+                apply(family, base, &base_lengths, &drifted, &cfg).unwrap()
+            });
+            assert_eq!(again.path, baseline.path, "{family} threads={threads}");
+            assert_eq!(
+                again.lengths, baseline.lengths,
+                "{family} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn delta_responses_are_bit_identical_across_transports() {
+    // The wire answers a drifted encode must not depend on which
+    // transport engine served it: a blocking thread-per-connection
+    // replica and an epoll reactor replica patch the same base with
+    // the same deltas into the same bytes — and both match a direct
+    // from-scratch encode of the drifted histogram.
+    use partree::service::net::{Server, Transport};
+    use partree::service::server::{Service, ServiceConfig};
+    use partree::service::Client;
+
+    let base_counts = vec![40u32, 20, 10, 5];
+    let deltas = [(0u16, 8i32), (2, -3)];
+    let drifted = Histogram::new(vec![48, 20, 7, 5]).unwrap();
+    let payload: Vec<u8> = (0..96).map(|i| (i % 4) as u8).collect();
+
+    let expected = {
+        let svc = Service::start(ServiceConfig::default());
+        let resp = svc.submit(partree::service::frame::Request::Encode {
+            family: FamilyId::Huffman,
+            histogram: drifted.clone(),
+            payload: payload.clone(),
+        });
+        svc.shutdown();
+        match resp {
+            partree::service::frame::Response::Encoded { bit_len, data } => (bit_len, data),
+            other => panic!("direct encode failed: {other:?}"),
+        }
+    };
+
+    for transport in [Transport::Blocking, Transport::Reactor] {
+        let server = Server::bind_with(
+            Service::start(ServiceConfig::default()),
+            "127.0.0.1:0",
+            transport,
+        )
+        .unwrap();
+        let mut client = Client::connect(server.addr()).unwrap();
+        let base = Histogram::new(base_counts.clone()).unwrap();
+        client.encode(&base, &payload).unwrap();
+        let base_key = FamilyId::Huffman.tagged_key(base.hash64());
+        let (path, bit_len, data) = client
+            .encode_delta(FamilyId::Huffman, base_key, &deltas, &payload)
+            .unwrap();
+        assert_eq!(path, 0, "{transport:?}: bounded drift patches");
+        assert_eq!(
+            (bit_len, &data),
+            (expected.0, &expected.1),
+            "{transport:?}: patched bytes == from-scratch bytes"
+        );
+        let back = client
+            .decode_delta(FamilyId::Huffman, base_key, &deltas, bit_len, &data)
+            .unwrap();
+        assert_eq!(back, payload, "{transport:?}");
+        server.shutdown().unwrap();
+    }
+}
+
+#[test]
 fn tracer_span_trees_are_pool_independent() {
     // Depth is counted in synchronous rounds, so the whole span tree —
     // names, nesting, work, depth — must not depend on how many OS

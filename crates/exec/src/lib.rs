@@ -48,14 +48,15 @@ mod sync;
 
 pub use metrics::{count_scoped_spawn, scoped_spawns, ExecSnapshot};
 
+use crate::sync::{fence, AtomicBool, AtomicUsize, Condvar, Mutex, Ordering};
 use deque::{Deque, Steal};
 use latch::CountLatch;
 use metrics::Metrics;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// An erased, heap-owned unit of work.
@@ -86,7 +87,9 @@ thread_local! {
     static WORKER: Cell<(usize, usize)> = const { Cell::new((usize::MAX, usize::MAX)) };
 }
 
-static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(1);
+// Real std atomic on purpose: pool ids are harness-level bookkeeping,
+// not synchronization the checker should model.
+static NEXT_POOL_ID: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(1);
 
 /// Shared state between the [`Pool`] handle and its workers.
 struct Inner {
@@ -103,25 +106,16 @@ struct Inner {
     metrics: Metrics,
 }
 
-/// A persistent work-stealing thread pool.
-///
-/// Workers spawn eagerly in [`Pool::new`] and are joined when the pool
-/// drops. Both entry points — [`Pool::run_all`] and [`Pool::join`] —
-/// block the submitting thread until the submitted work has completed,
-/// which is what lets them accept non-`'static` closures.
-pub struct Pool {
-    inner: Arc<Inner>,
-    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
-}
-
-impl Pool {
-    /// Spawns a pool of exactly `workers` threads (min 1).
-    pub fn new(workers: usize) -> Pool {
-        let workers = workers.max(1);
+impl Inner {
+    /// Builds the shared pool state without spawning any workers.
+    /// [`Pool::new`] wraps it in OS worker threads; the model scenarios
+    /// in [`model`] drive the same state directly on checker strands, so
+    /// the park/unpark handshake explored there is the shipping one.
+    fn bare(workers: usize) -> Arc<Inner> {
         // ordering: Relaxed — a unique-id counter; nothing synchronizes
         // through it.
-        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
-        let inner = Arc::new(Inner {
+        let id = NEXT_POOL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Arc::new(Inner {
             id,
             deques: (0..workers).map(|_| Deque::new()).collect(),
             injector: Mutex::new(VecDeque::new()),
@@ -131,7 +125,29 @@ impl Pool {
             sleepers: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             metrics: Metrics::default(),
-        });
+        })
+    }
+}
+
+/// A persistent work-stealing thread pool.
+///
+/// Workers spawn eagerly in [`Pool::new`] and are joined when the pool
+/// drops. Both entry points — [`Pool::run_all`] and [`Pool::join`] —
+/// block the submitting thread until the submitted work has completed,
+/// which is what lets them accept non-`'static` closures.
+pub struct Pool {
+    inner: Arc<Inner>,
+    // Real std mutex on purpose: join handles are teardown bookkeeping,
+    // not part of the modeled synchronization.
+    handles: std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Spawns a pool of exactly `workers` threads (min 1).
+    pub fn new(workers: usize) -> Pool {
+        let workers = workers.max(1);
+        let inner = Inner::bare(workers);
+        let id = inner.id;
         let handles = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -145,7 +161,7 @@ impl Pool {
             .collect();
         Pool {
             inner,
-            handles: Mutex::new(handles),
+            handles: std::sync::Mutex::new(handles),
         }
     }
 
@@ -279,27 +295,40 @@ impl Pool {
     }
 
     fn inject(&self, job: *mut Job) {
-        let mut q = self.inner.injector.lock().expect("injector poisoned");
-        q.push_back(JobPtr(job));
-        self.inner.injector_len.store(q.len(), Ordering::Release);
-        drop(q);
-        Metrics::bump(&self.inner.metrics.injected);
+        inject_job(&self.inner, job);
     }
 
     /// Signals shutdown and joins every worker. Idempotent; also run by
     /// `Drop`.
     pub fn shutdown(&self) {
-        self.inner.shutdown.store(true, Ordering::Release);
-        {
-            let mut g = self.inner.sleep_epoch.lock().expect("sleep lock poisoned");
-            *g = g.wrapping_add(1);
-            self.inner.wake_cv.notify_all();
-        }
+        signal_shutdown(&self.inner);
         let handles = std::mem::take(&mut *self.handles.lock().expect("handle lock poisoned"));
         for h in handles {
             let _ = h.join();
         }
     }
+}
+
+/// Queues a job on the global injector (submission path for threads
+/// outside the pool). Callers follow up with [`wake_sleepers`].
+fn inject_job(inner: &Inner, job: *mut Job) {
+    let mut q = inner.injector.lock().expect("injector poisoned");
+    q.push_back(JobPtr(job));
+    inner.injector_len.store(q.len(), Ordering::Release);
+    drop(q);
+    Metrics::bump(&inner.metrics.injected);
+}
+
+/// The signal half of shutdown: raise the flag, then bump the epoch and
+/// notify under the sleep lock so every parked worker re-checks it.
+/// Unlike [`wake_sleepers`] this wakes unconditionally — shutdown must
+/// reach workers that are *about* to sleep as well as those already
+/// waiting, and the epoch bump covers both.
+fn signal_shutdown(inner: &Inner) {
+    inner.shutdown.store(true, Ordering::Release);
+    let mut g = inner.sleep_epoch.lock().expect("sleep lock poisoned");
+    *g = g.wrapping_add(1);
+    inner.wake_cv.notify_all();
 }
 
 impl Drop for Pool {
@@ -381,18 +410,62 @@ fn has_work(inner: &Inner) -> bool {
         || inner.deques.iter().any(|d| !d.is_empty_hint())
 }
 
+/// Fault-injection hook for the checker's falsifiability test: weakens
+/// park's sleeper-side SeqCst synchronization — the Dekker fence *and*
+/// the sleeper-count RMW it anchors — to Relaxed, opening the classic
+/// lost-wakeup window (the worker's final scan misses a push whose
+/// submitter missed the sleeper count). Both points must weaken
+/// together because the model deliberately over-approximates C11: every
+/// SeqCst operation joins one global SC clock (acting like a full SC
+/// fence), so a SeqCst `fetch_add` alone would mask the fence's removal
+/// even though real hardware provides no such rescue. `verify --mutate`
+/// flips the hook and asserts the model reports the resulting deadlock
+/// with a replayable seed — proving the suite can actually see this
+/// family of bugs. Compiled out of shipping builds entirely.
+#[cfg(partree_model)]
+pub(crate) mod park_mutation {
+    use super::Ordering;
+    // Real std atomic on purpose: this is checker-harness state, not part
+    // of the modeled program, so it must not create decision points.
+    use std::sync::atomic::AtomicBool;
+
+    pub(crate) static WEAKEN_PARK_FENCE: AtomicBool = AtomicBool::new(false);
+
+    pub(crate) fn park_ordering() -> Ordering {
+        // ordering: Relaxed — harness flag, toggled only between (never
+        // during) model explorations.
+        if WEAKEN_PARK_FENCE.load(std::sync::atomic::Ordering::Relaxed) {
+            Ordering::Relaxed // ordering: the weakened value under test
+        } else {
+            Ordering::SeqCst
+        }
+    }
+}
+
 /// Blocks until new work may exist. Pairs with [`wake_sleepers`]: the
 /// sleeper count is incremented *before* the final scan and checked by
 /// submitters *after* their push (both sides seq-cst fenced), so either
 /// the scan sees the push or the submitter sees the sleeper and bumps the
 /// epoch this worker is about to wait on.
 fn park(inner: &Inner, _me: usize) {
+    // ordering: SeqCst RMW — the sleeper registration must take a slot
+    // in the same total order as the submitter's post-push sleeper read.
+    #[cfg(not(partree_model))]
     inner.sleepers.fetch_add(1, Ordering::SeqCst);
+    // ordering: model builds take the same SeqCst unless the mutation
+    // harness deliberately weakens the park side to Relaxed.
+    #[cfg(partree_model)]
+    inner.sleepers.fetch_add(1, park_mutation::park_ordering());
     // ordering: SeqCst fence — Dekker handshake with wake_sleepers: the
     // sleeper bump above and the work scan below cannot reorder past it,
     // so a submitter's post-push fence either sees this sleeper or this
     // scan sees the push.
+    #[cfg(not(partree_model))]
     fence(Ordering::SeqCst);
+    // ordering: model builds take the same SeqCst fence unless the
+    // mutation harness deliberately weakens it to Relaxed.
+    #[cfg(partree_model)]
+    fence(park_mutation::park_ordering());
     let epoch = *inner.sleep_epoch.lock().expect("sleep lock poisoned");
     if has_work(inner) || inner.shutdown.load(Ordering::Acquire) {
         inner.sleepers.fetch_sub(1, Ordering::SeqCst);

@@ -14,6 +14,8 @@
 
 use crate::deque::{Deque, Steal};
 use crate::latch::CountLatch;
+use crate::sync::Ordering;
+use crate::{find_work, inject_job, park, signal_shutdown, wake_sleepers, Inner, Job};
 use partree_verify::{thread, Config, Scenario};
 use std::sync::Arc;
 use std::time::Duration;
@@ -25,6 +27,25 @@ use std::time::Duration;
 pub fn set_weaken_pop_fence(on: bool) {
     // ordering: Relaxed — harness flag, mutated only between explorations.
     crate::deque::mutation::WEAKEN_POP_FENCE.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Flips the park-side mutation (see `crate::park_mutation`): with `on`,
+/// the sleeper registration and the Dekker fence in [`crate::park`]
+/// degrade to Relaxed, reopening the lost-wakeup window the SeqCst pair
+/// exists to close. The falsifiability suite turns it on, demonstrates
+/// the checker reports the resulting deadlock with a replayable seed,
+/// and turns it back off.
+pub fn set_weaken_park_fence(on: bool) {
+    // ordering: Relaxed — harness flag, mutated only between explorations.
+    crate::park_mutation::WEAKEN_PARK_FENCE.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// A non-null sentinel "job" for the pool scenarios. The injector and
+/// deques never dereference queued pointers, so sentinels let the
+/// scenarios account for exactly-once handout without touching the
+/// allocator (see module docs). They must never reach `execute`.
+fn sentinel(addr: usize) -> *mut Job {
+    addr as *mut Job
 }
 
 /// Steals until a terminal outcome, retrying transient CAS losses.
@@ -202,6 +223,144 @@ fn latch_poison_first_wins() {
     );
 }
 
+/// The core lost-wakeup race: a worker that found nothing parks while a
+/// submitter pushes one job and runs the wake handshake. The Dekker
+/// pairing (sleeper bump + SeqCst fence in [`park`] against push +
+/// SeqCst fence + sleeper read in [`wake_sleepers`]) must guarantee the
+/// worker either re-checks into the job or is woken by the epoch bump —
+/// a parked-forever worker surfaces as a model deadlock, and the job
+/// must then be handed out exactly once.
+fn pool_park_vs_push_race() {
+    let inner = Inner::bare(1);
+    let i2 = Arc::clone(&inner);
+    let submitter = thread::spawn(move || {
+        inject_job(&i2, sentinel(0x10));
+        wake_sleepers(&i2);
+    });
+    park(&inner, 0);
+    let got = find_work(&inner, 0);
+    submitter.join().expect("submitter panicked");
+    assert_eq!(
+        got.map(|p| p as usize),
+        Some(0x10),
+        "woken worker did not find the pushed job"
+    );
+}
+
+/// `worker_main`'s idle transition, inlined: one full scan that may
+/// race the push, then park only if it found nothing. This is the exact
+/// window the protocol exists for — a push slipping between the last
+/// scan and the sleep — and the job must be consumed exactly once
+/// whichever side of the scan it lands on.
+fn pool_sleep_after_final_scan() {
+    let inner = Inner::bare(1);
+    let i2 = Arc::clone(&inner);
+    let submitter = thread::spawn(move || {
+        inject_job(&i2, sentinel(0x10));
+        wake_sleepers(&i2);
+    });
+    let mut got = find_work(&inner, 0);
+    if got.is_none() {
+        park(&inner, 0);
+        got = find_work(&inner, 0);
+    }
+    submitter.join().expect("submitter panicked");
+    assert_eq!(
+        got.map(|p| p as usize),
+        Some(0x10),
+        "job lost across the scan-then-sleep window"
+    );
+}
+
+/// Two workers run `worker_main`'s idle loop (scan, park, rescan) while
+/// one submitter pushes two jobs and issues a *single* wake: the epoch
+/// bump plus `notify_all` must reach both sleepers (one lost would
+/// deadlock; the epoch predicate also stops a late parker sleeping
+/// through the already-spent wake), and the two jobs must be handed out
+/// exactly once each. The loop shape matters: `find_work`'s injector
+/// gate is an advisory hint that may legitimately read stale, so a
+/// single post-park scan is allowed to miss — liveness is a property of
+/// scan-park-rescan, where park's SeqCst handshake refreshes the view.
+fn pool_two_sleepers_one_wakeup() {
+    let inner = Inner::bare(2);
+    let (ia, ib) = (Arc::clone(&inner), Arc::clone(&inner));
+    let wa = thread::spawn(move || loop {
+        if let Some(p) = find_work(&ia, 0) {
+            break p as usize;
+        }
+        park(&ia, 0);
+    });
+    let wb = thread::spawn(move || loop {
+        if let Some(p) = find_work(&ib, 1) {
+            break p as usize;
+        }
+        park(&ib, 1);
+    });
+    inject_job(&inner, sentinel(0x10));
+    inject_job(&inner, sentinel(0x20));
+    wake_sleepers(&inner);
+    let a = wa.join().expect("worker 0 panicked");
+    let b = wb.join().expect("worker 1 panicked");
+    let mut got = vec![a, b];
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        vec![0x10, 0x20],
+        "one wakeup did not deliver both jobs exactly once: {got:#x?}"
+    );
+}
+
+/// Shutdown racing a parking worker on an empty pool: the signal half
+/// of [`crate::Pool::shutdown`] (flag store, then unconditional epoch
+/// bump + notify under the sleep lock) must terminate the park in every
+/// interleaving — before the registration, between the registration and
+/// the wait, or mid-wait — and the worker must observe the flag once
+/// park returns.
+fn pool_shutdown_vs_parked_worker() {
+    let inner = Inner::bare(1);
+    let i2 = Arc::clone(&inner);
+    let stopper = thread::spawn(move || signal_shutdown(&i2));
+    park(&inner, 0);
+    stopper.join().expect("stopper panicked");
+    assert!(
+        inner.shutdown.load(Ordering::Acquire),
+        "parked worker woke without observing shutdown"
+    );
+}
+
+/// Epoch-ABA shape: two submitters bump the epoch twice around one
+/// worker's read of it. `u64` equality cannot actually wrap back, so
+/// the predicate must treat *any* bump as "a wake happened since my
+/// read" — the worker re-scans instead of sleeping through the second
+/// wake, and the mini worker loop drains both jobs exactly once.
+fn pool_epoch_aba_two_wakes() {
+    let inner = Inner::bare(1);
+    let (ia, ib) = (Arc::clone(&inner), Arc::clone(&inner));
+    let sa = thread::spawn(move || {
+        inject_job(&ia, sentinel(0x10));
+        wake_sleepers(&ia);
+    });
+    let sb = thread::spawn(move || {
+        inject_job(&ib, sentinel(0x20));
+        wake_sleepers(&ib);
+    });
+    let mut got = Vec::new();
+    while got.len() < 2 {
+        match find_work(&inner, 0) {
+            Some(p) => got.push(p as usize),
+            None => park(&inner, 0),
+        }
+    }
+    sa.join().expect("submitter a panicked");
+    sb.join().expect("submitter b panicked");
+    got.sort_unstable();
+    assert_eq!(
+        got,
+        vec![0x10, 0x20],
+        "jobs not handed out exactly once across two wakes: {got:#x?}"
+    );
+}
+
 /// The executor's scenario registry, exhaustively run by
 /// `cargo run -p xtask -- verify` and the model test suite.
 pub fn scenarios() -> Vec<Scenario> {
@@ -217,6 +376,17 @@ pub fn scenarios() -> Vec<Scenario> {
     let cfg = Config {
         preemption_bound: 2,
         max_executions: 60_000,
+        max_steps: 5_000,
+        read_window: 4,
+    };
+    // Pool scenarios walk the whole park/unpark handshake (two mutexes,
+    // a condvar, four atomics), so each execution is longer than a deque
+    // run; the classic lost-update bound of 2 preemptions covers the
+    // Dekker window, and the generous execution cap keeps the search
+    // exhaustive.
+    let pool = Config {
+        preemption_bound: 2,
+        max_executions: 400_000,
         max_steps: 5_000,
         read_window: 4,
     };
@@ -250,6 +420,31 @@ pub fn scenarios() -> Vec<Scenario> {
             name: "latch_poison_first_wins",
             cfg,
             body: latch_poison_first_wins,
+        },
+        Scenario {
+            name: "pool_park_vs_push_race",
+            cfg: pool,
+            body: pool_park_vs_push_race,
+        },
+        Scenario {
+            name: "pool_sleep_after_final_scan",
+            cfg: pool,
+            body: pool_sleep_after_final_scan,
+        },
+        Scenario {
+            name: "pool_two_sleepers_one_wakeup",
+            cfg: pool,
+            body: pool_two_sleepers_one_wakeup,
+        },
+        Scenario {
+            name: "pool_shutdown_vs_parked_worker",
+            cfg: pool,
+            body: pool_shutdown_vs_parked_worker,
+        },
+        Scenario {
+            name: "pool_epoch_aba_two_wakes",
+            cfg: pool,
+            body: pool_epoch_aba_two_wakes,
         },
     ]
 }

@@ -1,25 +1,30 @@
 //! Primitive shim for the model-checked core.
 //!
-//! The deque and the latch import their atomics, locks, and fences from
-//! here instead of `std::sync`. In shipping builds this module is a pure
-//! re-export of `std` — zero overhead, zero behavior change. Under
+//! The deque, the latch, and the pool machinery in `lib.rs` import
+//! their atomics, locks, condvars, and fences from here instead of
+//! `std::sync`. In shipping builds this module is a pure re-export of
+//! `std` — zero overhead, zero behavior change. Under
 //! `--cfg partree_model` (set by the `verify` runner and the model test
 //! suite) the same names resolve to `partree-verify`'s shadow types, so
-//! the *shipping source* of `deque.rs` and `latch.rs` is what the
-//! checker explores — there is no parallel "model version" to drift.
+//! the *shipping source* of `deque.rs`, `latch.rs`, and the park/unpark
+//! Dekker handshake in `lib.rs` is what the checker explores — there is
+//! no parallel "model version" to drift.
 //!
-//! The pool machinery in `lib.rs` deliberately stays on `std`: the
-//! park/unpark protocol runs on real OS worker threads that outlive any
-//! single model execution, so it is out of scope for the per-execution
-//! checker (its lost-wakeup freedom is argued in DESIGN.md and covered
-//! by the stress tests).
+//! Pool state routed through the shim: the injector queue and its
+//! length mirror, the sleeper count, the shutdown flag, the sleep-epoch
+//! mutex, and the wake condvar. The worker `JoinHandle` list and the
+//! metrics counters stay native even in model builds — they are
+//! harness/observability state, not synchronization under test, and
+//! keeping them native keeps the checker's decision space small.
 
 #[cfg(not(partree_model))]
-pub(crate) use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, AtomicUsize};
+pub(crate) use std::sync::atomic::{fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicUsize};
 #[cfg(not(partree_model))]
 pub(crate) use std::sync::{Condvar, Mutex};
 
 #[cfg(partree_model)]
-pub(crate) use partree_verify::sync::{fence, AtomicIsize, AtomicPtr, AtomicUsize, Condvar, Mutex};
+pub(crate) use partree_verify::sync::{
+    fence, AtomicBool, AtomicIsize, AtomicPtr, AtomicUsize, Condvar, Mutex,
+};
 
 pub(crate) use std::sync::atomic::Ordering;

@@ -1,0 +1,116 @@
+//! Std-build liveness watchdog for the real pool. The model checker
+//! proves the park/unpark handshake loses no wakeups at DFS-tractable
+//! widths (2-3 threads); this exercises the same contract at runtime
+//! widths the DFS cannot reach: an oversubscribed worker set plus a
+//! storm of submitters hammering a pool that keeps returning to the
+//! fully-parked state. A lost wakeup shows up as a submitter stuck in
+//! `run_all` forever; the watchdog converts that hang into a loud abort
+//! after a 5s stall instead of a silent CI timeout.
+
+use partree_exec::Pool;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long overall progress may sit still before we call it a stall.
+/// Generous against CI scheduling noise: every job is a counter bump,
+/// so five idle seconds means a wakeup genuinely went missing.
+const STALL_LIMIT: Duration = Duration::from_secs(5);
+
+const JOBS_PER_ROUND: usize = 3;
+
+fn hammer(workers: usize, submitters: usize, rounds: usize) {
+    let pool = Arc::new(Pool::new(workers));
+    // Let every worker reach the parked state before the first
+    // submission, so the opening wakeup crosses the full handshake.
+    std::thread::sleep(Duration::from_millis(20));
+
+    let progress = Arc::new(AtomicUsize::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    let watchdog = {
+        let progress = Arc::clone(&progress);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut last = progress.load(Ordering::Acquire);
+            let mut last_change = Instant::now();
+            while !done.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(50));
+                let now = progress.load(Ordering::Acquire);
+                if now != last {
+                    last = now;
+                    last_change = Instant::now();
+                } else if last_change.elapsed() > STALL_LIMIT {
+                    eprintln!(
+                        "liveness watchdog: pool made no progress for \
+                         {STALL_LIMIT:?} with {now} jobs completed — lost \
+                         wakeup? ({workers} workers, {submitters} submitters)"
+                    );
+                    // A submitter hung inside `run_all` cannot be unwound
+                    // past; abort so the harness reports the stall rather
+                    // than timing out with no diagnostic.
+                    std::process::abort();
+                }
+            }
+        })
+    };
+
+    let subs: Vec<_> = (0..submitters)
+        .map(|_| {
+            let pool = Arc::clone(&pool);
+            let progress = Arc::clone(&progress);
+            std::thread::spawn(move || {
+                for r in 0..rounds {
+                    let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..JOBS_PER_ROUND)
+                        .map(|_| {
+                            let progress = Arc::clone(&progress);
+                            Box::new(move || {
+                                progress.fetch_add(1, Ordering::AcqRel);
+                            }) as Box<dyn FnOnce() + Send>
+                        })
+                        .collect();
+                    pool.run_all(tasks);
+                    if r % 8 == 0 {
+                        // Let the workers drain and re-park so later
+                        // rounds cross the park/wake handshake again
+                        // instead of catching still-spinning workers.
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+        })
+        .collect();
+    for s in subs {
+        s.join().expect("submitter panicked");
+    }
+    done.store(true, Ordering::Release);
+    watchdog.join().expect("watchdog panicked");
+    assert_eq!(
+        progress.load(Ordering::Acquire),
+        submitters * rounds * JOBS_PER_ROUND,
+        "all submitted jobs must run exactly once"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// No submission storm may ever stall a parked pool: every
+    /// `run_all` round must complete, no matter how many submitters
+    /// race their wakeups against workers going to sleep.
+    #[test]
+    fn parked_pool_never_stalls_under_submission_storm(
+        submitters in 1usize..5,
+        rounds in 8usize..40,
+        width_factor in 1usize..3,
+    ) {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        // Strictly more workers than cores (oversubscription), capped so
+        // the widest case stays cheap to spawn.
+        let workers = (cores * width_factor + 1).min(16);
+        hammer(workers, submitters, rounds);
+    }
+}

@@ -20,11 +20,12 @@ fn serial() -> MutexGuard<'static, ()> {
         .unwrap_or_else(|e| e.into_inner())
 }
 
-/// Restores the un-mutated fence even if the test panics.
+/// Restores the un-mutated fences even if the test panics.
 struct ResetMutation;
 impl Drop for ResetMutation {
     fn drop(&mut self) {
         model::set_weaken_pop_fence(false);
+        model::set_weaken_park_fence(false);
     }
 }
 
@@ -85,6 +86,57 @@ fn weakened_pop_fence_is_caught_and_replays() {
         .violation
         .expect("violation seed did not reproduce the failure");
     assert!(!rv.trace.is_empty(), "traced replay produced no schedule");
+}
+
+/// Falsifiability for the pool handshake: weakening the park-side
+/// SeqCst points (the sleeper registration and the fence before the
+/// final has-work scan) to Relaxed reopens the classic Dekker lost
+/// wakeup — the submitter's sleeper check and the parker's work check
+/// can both read stale and the worker sleeps forever. The checker must
+/// catch it as a deadlock with a seed that replays.
+#[test]
+fn weakened_park_handshake_is_caught_and_replays() {
+    let _g = serial();
+    let _reset = ResetMutation;
+    model::set_weaken_park_fence(true);
+    let s = model::scenarios()
+        .into_iter()
+        .find(|s| s.name == "pool_park_vs_push_race")
+        .expect("registry lost the park/push scenario");
+    let report = explore(s.name, s.cfg, s.body);
+    let v = report
+        .violation
+        .expect("model failed to catch the weakened park handshake");
+    assert!(
+        v.seed.starts_with("pool_park_vs_push_race@"),
+        "malformed seed {}",
+        v.seed
+    );
+    let (name, decisions) = decode_seed(&v.seed).expect("seed must decode");
+    let replayed = replay(name, s.cfg, decisions, s.body);
+    let rv = replayed
+        .violation
+        .expect("violation seed did not reproduce the failure");
+    assert!(!rv.trace.is_empty(), "traced replay produced no schedule");
+}
+
+/// The park mutation is an injected fault, not a latent trunk bug:
+/// with the flag off again, the same scenario explores clean.
+#[test]
+fn unmutated_park_scenario_is_clean() {
+    let _g = serial();
+    model::set_weaken_park_fence(false);
+    let s = model::scenarios()
+        .into_iter()
+        .find(|s| s.name == "pool_park_vs_push_race")
+        .expect("registry lost the park/push scenario");
+    let report = explore(s.name, s.cfg, s.body);
+    assert!(
+        report.passed(),
+        "trunk park/unpark flagged: {:?}",
+        report.violation
+    );
+    assert!(report.complete);
 }
 
 /// The mutation is an injected fault, not a latent trunk bug: with the

@@ -12,9 +12,11 @@
 //! * default — run every registered scenario exhaustively; exit nonzero
 //!   on any violation, on a cut-off (non-exhaustive) search, or if the
 //!   suite explored fewer than the coverage floor of interleavings.
-//! * `--mutate` — falsifiability check: weaken the deque's pop-side
-//!   `SeqCst` fence to `Relaxed` and demand the checker catch the lost
-//!   task with a replayable seed. Exits nonzero if the bug is *missed*.
+//! * `--mutate` — falsifiability check: weaken each known-load-bearing
+//!   `SeqCst` point to `Relaxed` one at a time (the deque's pop-side
+//!   fence, then the pool's park-side handshake) and demand the checker
+//!   catch the resulting lost task / lost wakeup with a replayable
+//!   seed. Exits nonzero if any planted bug is *missed*.
 //! * `--replay <seed>` — re-run exactly one interleaving from a seed
 //!   printed by a failing run, for debugging under a determinstic
 //!   schedule.
@@ -43,15 +45,24 @@ mod model {
 
     /// The whole suite must explore at least this many distinct
     /// interleavings; shrinking below it means a scenario degenerated
-    /// and the suite's coverage claim is void.
-    const COVERAGE_FLOOR: usize = 10_000;
+    /// and the suite's coverage claim is void. The pool park/unpark
+    /// scenarios lifted the suite from ~26k to ~58k, so the floor sits
+    /// at 40k: comfortably above the pre-pool total (losing the pool
+    /// coverage trips it) and comfortably below the current total.
+    const COVERAGE_FLOOR: usize = 40_000;
 
     fn registries() -> Vec<(&'static str, Vec<Scenario>)> {
-        vec![
+        let mut groups = vec![
             ("exec", partree_exec::model::scenarios()),
             ("gateway", partree_gateway::model::scenarios()),
             ("service", partree_service::model::scenarios()),
-        ]
+        ];
+        // Registration order inside each crate is incidental; sort by
+        // name so successive runs (and CI log diffs) line up.
+        for (_, scenarios) in &mut groups {
+            scenarios.sort_by_key(|s| s.name);
+        }
+        groups
     }
 
     pub fn main() -> ExitCode {
@@ -128,48 +139,80 @@ mod model {
         }
     }
 
+    /// One planted weakening and the scenario expected to expose it.
+    struct Mutation {
+        label: &'static str,
+        scenario: &'static str,
+        set: fn(bool),
+    }
+
+    const MUTATIONS: &[Mutation] = &[
+        Mutation {
+            label: "deque pop-side SeqCst fence -> Relaxed",
+            scenario: "deque_pop_steal_race",
+            set: partree_exec::model::set_weaken_pop_fence,
+        },
+        Mutation {
+            label: "pool park-side SeqCst handshake -> Relaxed",
+            scenario: "pool_park_vs_push_race",
+            set: partree_exec::model::set_weaken_park_fence,
+        },
+    ];
+
     /// Seeded-mutation falsifiability: a checker that cannot catch a
-    /// known-bad weakening proves nothing by passing.
+    /// known-bad weakening proves nothing by passing. Each planted bug
+    /// must be caught AND its seed must replay deterministically.
     fn run_mutation() -> ExitCode {
-        partree_exec::model::set_weaken_pop_fence(true);
-        let result = (|| {
-            let Some(s) = registries()
-                .into_iter()
-                .flat_map(|(_, v)| v)
-                .find(|s| s.name == "deque_pop_steal_race")
-            else {
-                println!("mutation: scenario deque_pop_steal_race missing from registry");
-                return ExitCode::FAILURE;
-            };
-            let report = explore(s.name, s.cfg, s.body);
-            let Some(v) = &report.violation else {
-                println!(
-                    "mutation NOT CAUGHT: pop fence weakened to Relaxed, yet {} \
-                     interleavings found no violation — the checker is blind",
-                    report.executions
-                );
-                return ExitCode::FAILURE;
-            };
-            println!("mutation caught after {} interleavings:", report.executions);
-            println!("  {}", v.message);
-            println!("  seed: {}", v.seed);
-            // The seed must actually reproduce, or it is useless for
-            // debugging.
-            let Some((name, decisions)) = decode_seed(&v.seed) else {
-                println!("  seed does not decode");
-                return ExitCode::FAILURE;
-            };
-            let re = replay(name, s.cfg, decisions, s.body);
-            if re.violation.is_some() {
-                println!("  seed replays: violation reproduced deterministically");
-                ExitCode::SUCCESS
-            } else {
-                println!("  seed does NOT replay the violation");
-                ExitCode::FAILURE
-            }
-        })();
-        partree_exec::model::set_weaken_pop_fence(false);
-        result
+        let mut failed = false;
+        for m in MUTATIONS {
+            (m.set)(true);
+            let ok = check_mutation(m);
+            (m.set)(false);
+            failed |= !ok;
+        }
+        if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        }
+    }
+
+    fn check_mutation(m: &Mutation) -> bool {
+        println!("mutation: {}", m.label);
+        let Some(s) = registries()
+            .into_iter()
+            .flat_map(|(_, v)| v)
+            .find(|s| s.name == m.scenario)
+        else {
+            println!("  scenario {} missing from registry", m.scenario);
+            return false;
+        };
+        let report = explore(s.name, s.cfg, s.body);
+        let Some(v) = &report.violation else {
+            println!(
+                "  NOT CAUGHT: weakened to Relaxed, yet {} interleavings \
+                 found no violation — the checker is blind",
+                report.executions
+            );
+            return false;
+        };
+        println!("  caught after {} interleavings:", report.executions);
+        println!("    {}", v.message);
+        println!("    seed: {}", v.seed);
+        // The seed must actually reproduce, or it is useless for
+        // debugging.
+        let Some((name, decisions)) = decode_seed(&v.seed) else {
+            println!("    seed does not decode");
+            return false;
+        };
+        let re = replay(name, s.cfg, decisions, s.body);
+        if re.violation.is_some() {
+            println!("    seed replays: violation reproduced deterministically");
+            true
+        } else {
+            println!("    seed does NOT replay the violation");
+            false
+        }
     }
 
     fn run_replay(seed: &str) -> ExitCode {

@@ -129,7 +129,7 @@ const NONDETERMINISM_TOKENS: &[&str] = &[
 /// Returns the code portion of a line (everything before the first
 /// `//`). Good enough here: the scanned sources do not put `//` inside
 /// string literals on lines that also carry the lint-relevant tokens.
-fn code_of(line: &str) -> &str {
+pub(crate) fn code_of(line: &str) -> &str {
     match line.find("//") {
         Some(i) => &line[..i],
         None => line,
@@ -160,7 +160,7 @@ fn has_word(hay: &str, needle: &str) -> bool {
 /// `marker`. A plain code line breaks the run, so a marker cannot
 /// vouch for code it is not adjacent to — but a long comment block
 /// directly above its code counts in full.
-fn annotated(lines: &[&str], i: usize, marker: &str) -> bool {
+pub(crate) fn annotated(lines: &[&str], i: usize, marker: &str) -> bool {
     if lines[i].contains(marker) {
         return true;
     }
@@ -181,7 +181,7 @@ fn annotated(lines: &[&str], i: usize, marker: &str) -> bool {
 
 /// True if the finding at line `i` is waived by a
 /// `lint: allow(<rule>)` comment in scope.
-fn waived(lines: &[&str], i: usize, rule: &str) -> bool {
+pub(crate) fn waived(lines: &[&str], i: usize, rule: &str) -> bool {
     annotated(lines, i, &format!("lint: allow({rule})"))
 }
 

@@ -1,7 +1,8 @@
 //! Repo automation entry point.
 //!
 //! ```text
-//! cargo run -p xtask -- lint        # run the custom lint pass
+//! cargo run -p xtask -- lint        # line-based policy rules
+//! cargo run -p xtask -- contracts   # cross-file code/doc/CI contracts
 //! ```
 //!
 //! The concurrency model-check runner is the separate `verify` binary
@@ -9,6 +10,7 @@
 //! workspace rebuilt with `RUSTFLAGS="--cfg partree_model"`, which
 //! would needlessly recompile everything for a plain lint run.
 
+mod contracts;
 mod lint;
 
 use std::path::PathBuf;
@@ -28,14 +30,34 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
+        Some("contracts") => run_contracts(),
         Some(other) => {
-            eprintln!("unknown xtask `{other}`; available: lint");
+            eprintln!("unknown xtask `{other}`; available: lint, contracts");
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint|contracts>");
             ExitCode::from(2)
         }
+    }
+}
+
+fn run_contracts() -> ExitCode {
+    let root = repo_root();
+    let findings = contracts::contracts_tree(&root);
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        println!("contracts: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "contracts: {} finding(s); fix the drift, or waive in place with \
+             `// lint: allow(<rule>): <reason>`",
+            findings.len()
+        );
+        ExitCode::FAILURE
     }
 }
 
